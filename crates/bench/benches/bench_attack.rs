@@ -1,0 +1,44 @@
+//! Reconstruction-attack benchmarks (E1 computational side): one attack
+//! round = encode + mechanism + decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::attack::{exact_shortest_path, random_bits, PathAttack};
+use privpath_core::shortest_path::{private_shortest_paths, ShortestPathParams};
+use privpath_dp::Epsilon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_attack_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/path_round");
+    group.sample_size(20);
+    for &n in &[128usize, 1024] {
+        let attack = PathAttack::new(n);
+        let params = ShortestPathParams::new(Epsilon::new(0.5).unwrap(), 0.1).unwrap();
+        group.bench_with_input(BenchmarkId::new("vs_alg3", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(60);
+            b.iter(|| {
+                attack
+                    .run(&mut rng, |topo, w| {
+                        let mut mech = StdRng::seed_from_u64(61);
+                        let rel = private_shortest_paths(topo, w, &params, &mut mech)?;
+                        rel.path(attack.s(), attack.t())
+                    })
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("vs_exact", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(62);
+            b.iter(|| {
+                let bits = random_bits(n, &mut rng);
+                let w = attack.encode(&bits);
+                let path =
+                    exact_shortest_path(attack.topology(), &w, attack.s(), attack.t()).unwrap();
+                attack.decode(&path)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack_round);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Algorithm 2 benchmarks (E7/E8/E9 computational side): release cost is
+//! dominated by |Z| Dijkstras; query cost is two table lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::bounded::{bounded_weight_all_pairs, BoundedWeightParams, CoveringStrategy};
+use privpath_dp::{Delta, Epsilon};
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+use privpath_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded/release");
+    group.sample_size(10);
+    for &v in &[512usize, 2048] {
+        let mut rng = StdRng::seed_from_u64(40);
+        let topo = connected_gnm(v, 3 * v, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+        let pure = BoundedWeightParams::pure(Epsilon::new(1.0).unwrap(), 1.0).unwrap();
+        let approx =
+            BoundedWeightParams::approx(Epsilon::new(1.0).unwrap(), Delta::new(1e-6).unwrap(), 1.0)
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new("pure_auto_k", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(41);
+            b.iter(|| bounded_weight_all_pairs(&topo, &w, &pure, &mut mech).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("approx_auto_k", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(42);
+            b.iter(|| bounded_weight_all_pairs(&topo, &w, &approx, &mut mech).unwrap());
+        });
+        let fixed = BoundedWeightParams::pure(Epsilon::new(1.0).unwrap(), 1.0)
+            .unwrap()
+            .with_strategy(CoveringStrategy::MeirMoon { k: 4 });
+        group.bench_with_input(BenchmarkId::new("pure_k4", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(43);
+            b.iter(|| bounded_weight_all_pairs(&topo, &w, &fixed, &mut mech).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded/query");
+    let v = 2048usize;
+    let mut rng = StdRng::seed_from_u64(44);
+    let topo = connected_gnm(v, 3 * v, &mut rng);
+    let w = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    let params = BoundedWeightParams::pure(Epsilon::new(1.0).unwrap(), 1.0).unwrap();
+    let release = bounded_weight_all_pairs(&topo, &w, &params, &mut rng).unwrap();
+    group.bench_function("distance", |b| {
+        b.iter(|| release.distance(NodeId::new(17), NodeId::new(v - 19)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_release, bench_query);
+criterion_main!(benches);

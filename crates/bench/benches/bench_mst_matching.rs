@@ -1,0 +1,52 @@
+//! Appendix B benchmarks (E10/E11 computational side): noisy-weight MST
+//! and perfect matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::matching::{private_matching, MatchingParams};
+use privpath_core::mst::{private_mst, MstParams};
+use privpath_dp::Epsilon;
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+use privpath_graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_b/private_mst");
+    group.sample_size(20);
+    for &v in &[512usize, 2048] {
+        let mut rng = StdRng::seed_from_u64(50);
+        let topo = connected_gnm(v, 4 * v, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let params = MstParams::new(Epsilon::new(1.0).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(51);
+            b.iter(|| private_mst(&topo, &w, &params, &mut mech).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_b/private_matching");
+    group.sample_size(10);
+    for &half in &[16usize, 48] {
+        let mut b = Topology::builder(2 * half);
+        for i in 0..half {
+            for j in 0..half {
+                b.add_edge(NodeId::new(i), NodeId::new(half + j));
+            }
+        }
+        let topo = b.build();
+        let mut rng = StdRng::seed_from_u64(52);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let params = MatchingParams::new(Epsilon::new(1.0).unwrap());
+        group.bench_with_input(BenchmarkId::new("k_nn", 2 * half), &half, |bch, _| {
+            let mut mech = StdRng::seed_from_u64(53);
+            bch.iter(|| private_matching(&topo, &w, &params, &mut mech).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Appendix A benchmarks (E6 computational side): hub vs dyadic release
+//! and query cost, plus the branching ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::path_graph::{dyadic_path_release, hub_path_release, PathGraphParams};
+use privpath_dp::Epsilon;
+use privpath_graph::generators::{path_graph, uniform_weights};
+use privpath_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_releases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_graph/release");
+    group.sample_size(20);
+    for &v in &[4096usize, 65536] {
+        let mut rng = StdRng::seed_from_u64(30);
+        let topo = path_graph(v);
+        let w = uniform_weights(v - 1, 0.0, 10.0, &mut rng);
+        let p2 = PathGraphParams::new(Epsilon::new(1.0).unwrap());
+        let p8 = PathGraphParams::new(Epsilon::new(1.0).unwrap()).with_branching(8).unwrap();
+        group.bench_with_input(BenchmarkId::new("hub_b2", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(31);
+            b.iter(|| hub_path_release(&topo, &w, &p2, &mut mech).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("hub_b8", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(32);
+            b.iter(|| hub_path_release(&topo, &w, &p8, &mut mech).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("dyadic", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(33);
+            b.iter(|| dyadic_path_release(&topo, &w, &p2, &mut mech).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_graph/query");
+    let v = 65536usize;
+    let mut rng = StdRng::seed_from_u64(34);
+    let topo = path_graph(v);
+    let w = uniform_weights(v - 1, 0.0, 10.0, &mut rng);
+    let p = PathGraphParams::new(Epsilon::new(1.0).unwrap());
+    let hub = hub_path_release(&topo, &w, &p, &mut rng).unwrap();
+    let dyadic = dyadic_path_release(&topo, &w, &p, &mut rng).unwrap();
+    group.bench_function("hub", |b| {
+        b.iter(|| hub.distance(NodeId::new(123), NodeId::new(v - 321)));
+    });
+    group.bench_function("dyadic", |b| {
+        b.iter(|| dyadic.distance(NodeId::new(123), NodeId::new(v - 321)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_releases, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Algorithm 3 benchmarks (E2/E3 computational side): release cost is one
+//! pass over the edges; query cost is one Dijkstra on the released graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::shortest_path::{private_shortest_paths, ShortestPathParams};
+use privpath_dp::Epsilon;
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+use privpath_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3/release");
+    group.sample_size(20);
+    for &v in &[256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(10);
+        let topo = connected_gnm(v, 4 * v, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let params = ShortestPathParams::new(Epsilon::new(1.0).unwrap(), 0.05).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(11);
+            b.iter(|| private_shortest_paths(&topo, &w, &params, &mut mech).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3/query_path");
+    group.sample_size(20);
+    for &v in &[1024usize, 4096] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let topo = connected_gnm(v, 4 * v, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let params = ShortestPathParams::new(Epsilon::new(1.0).unwrap(), 0.05).unwrap();
+        let release = private_shortest_paths(&topo, &w, &params, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| release.path(NodeId::new(0), NodeId::new(v - 1)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_release, bench_query);
+criterion_main!(benches);

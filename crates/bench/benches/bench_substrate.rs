@@ -1,0 +1,78 @@
+//! Substrate benchmarks: the classical algorithms every mechanism
+//! post-processes through. Establishes that releases are cheap (the paper
+//! stresses all its algorithms run in polynomial time, unlike the
+//! exponential-time DRV10 alternative discussed in Section 1.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_graph::algo::{dijkstra, minimum_spanning_forest};
+use privpath_graph::covering::meir_moon_covering;
+use privpath_graph::generators::{connected_gnm, random_tree_prufer, uniform_weights};
+use privpath_graph::tree::{decompose, Lca, RootedTree};
+use privpath_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/dijkstra");
+    group.sample_size(20);
+    for &v in &[256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let topo = connected_gnm(v, 4 * v, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| dijkstra(&topo, &w, NodeId::new(0)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/kruskal");
+    group.sample_size(20);
+    for &v in &[1024usize, 4096] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let topo = connected_gnm(v, 4 * v, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| minimum_spanning_forest(&topo, &w).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/tree");
+    group.sample_size(20);
+    for &v in &[1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = random_tree_prufer(v, &mut rng);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        group.bench_with_input(BenchmarkId::new("decompose", v), &v, |b, _| {
+            b.iter(|| decompose(&rt));
+        });
+        group.bench_with_input(BenchmarkId::new("lca_build", v), &v, |b, _| {
+            b.iter(|| Lca::new(&rt));
+        });
+        let lca = Lca::new(&rt);
+        group.bench_with_input(BenchmarkId::new("lca_query", v), &v, |b, _| {
+            b.iter(|| lca.lca(NodeId::new(v / 3), NodeId::new(2 * v / 3)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_covering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/meir_moon_covering");
+    group.sample_size(15);
+    for &v in &[1024usize, 4096] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let topo = connected_gnm(v, 4 * v, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            b.iter(|| meir_moon_covering(&topo, 4).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_mst, bench_tree_machinery, bench_covering);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Algorithm 1 / Theorem 4.2 benchmarks (E4/E5 computational side):
+//! release builds the decomposition and draws <= 2V Laplace samples; a
+//! query is three array reads and one LCA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::tree_distance::{
+    tree_all_pairs_distances, tree_single_source_distances, TreeDistanceParams,
+};
+use privpath_core::tree_hld::hld_tree_all_pairs;
+use privpath_dp::Epsilon;
+use privpath_graph::generators::{random_tree_prufer, uniform_weights};
+use privpath_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_single_source(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/single_source_release");
+    group.sample_size(20);
+    for &v in &[1024usize, 8192, 32768] {
+        let mut rng = StdRng::seed_from_u64(20);
+        let topo = random_tree_prufer(v, &mut rng);
+        let w = uniform_weights(v - 1, 0.0, 10.0, &mut rng);
+        let params = TreeDistanceParams::new(Epsilon::new(1.0).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(21);
+            b.iter(|| {
+                tree_single_source_distances(&topo, &w, NodeId::new(0), &params, &mut mech)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/all_pairs");
+    group.sample_size(20);
+    for &v in &[1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(22);
+        let topo = random_tree_prufer(v, &mut rng);
+        let w = uniform_weights(v - 1, 0.0, 10.0, &mut rng);
+        let params = TreeDistanceParams::new(Epsilon::new(1.0).unwrap());
+        group.bench_with_input(BenchmarkId::new("release", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(23);
+            b.iter(|| tree_all_pairs_distances(&topo, &w, &params, &mut mech).unwrap());
+        });
+        let release = tree_all_pairs_distances(&topo, &w, &params, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("query", v), &v, |b, _| {
+            b.iter(|| release.distance(NodeId::new(v / 3), NodeId::new(2 * v / 3)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hld(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree/hld_release");
+    group.sample_size(20);
+    for &v in &[1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(24);
+        let topo = random_tree_prufer(v, &mut rng);
+        let w = uniform_weights(v - 1, 0.0, 10.0, &mut rng);
+        let params = TreeDistanceParams::new(Epsilon::new(1.0).unwrap());
+        group.bench_with_input(BenchmarkId::new("release", v), &v, |b, _| {
+            let mut mech = StdRng::seed_from_u64(25);
+            b.iter(|| hld_tree_all_pairs(&topo, &w, &params, &mut mech).unwrap());
+        });
+        let release = hld_tree_all_pairs(&topo, &w, &params, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("query", v), &v, |b, _| {
+            b.iter(|| release.distance(NodeId::new(v / 3), NodeId::new(2 * v / 3)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_source, bench_all_pairs, bench_hld);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared experiment context.
+
+use privpath_bench::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// Run configuration shared by every experiment.
+pub struct Ctx {
+    /// Number of mechanism trials per configuration.
+    pub trials: u64,
+    /// Base seed; experiments derive sub-seeds deterministically.
+    pub seed: u64,
+    /// CSV output directory (`None` disables CSV).
+    pub out: Option<PathBuf>,
+}
+
+impl Ctx {
+    /// A deterministic RNG for a given salt.
+    pub fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(salt))
+    }
+
+    /// Prints a table and writes its CSV if an output directory is set.
+    pub fn emit(&self, table: &Table) {
+        table.print();
+        if let Some(dir) = &self.out {
+            if let Err(e) = table.write_csv(dir) {
+                eprintln!("warning: failed to write CSV: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! E3 — Corollary 5.6: worst-case (over all pairs) error of Algorithm 3.
+//!
+//! One release answers every pair; we measure the maximum excess over
+//! sampled pairs on G(n, 3n) graphs and compare with `(2V/eps) ln(E/gamma)`.
+//! The max grows far slower than the worst-case bound (which assumes
+//! V-hop shortest paths) because random graphs have logarithmic diameter —
+//! the bound is loose but the *linear-in-V* scaling is visible on path-like
+//! topologies, also reported here.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::bounds;
+use privpath_core::experiment::ErrorCollector;
+use privpath_core::shortest_path::{private_shortest_paths, ShortestPathParams};
+use privpath_dp::Epsilon;
+use privpath_graph::algo::dijkstra;
+use privpath_graph::generators::{connected_gnm, path_graph, uniform_weights};
+use privpath_graph::{EdgeWeights, NodeId, Topology};
+
+fn max_excess_over_pairs(
+    ctx: &Ctx,
+    topo: &Topology,
+    weights: &EdgeWeights,
+    eps_v: f64,
+    gamma: f64,
+    salt: u64,
+) -> f64 {
+    let params = ShortestPathParams::new(Epsilon::new(eps_v).unwrap(), gamma).unwrap();
+    let mut worst = ErrorCollector::new();
+    for t in 0..ctx.trials {
+        let mut mech = ctx.rng(salt + t);
+        let rel = private_shortest_paths(topo, weights, &params, &mut mech).expect("valid");
+        let mut pair_rng = ctx.rng(salt + 7777 + t);
+        let mut max_excess = 0.0f64;
+        // Group queries by source so each Dijkstra is reused.
+        let mut pairs = sample_pairs(topo.num_nodes(), 60, &mut pair_rng);
+        pairs.sort();
+        let mut cur_source: Option<(NodeId, _, _)> = None;
+        for (s, t) in pairs {
+            let need_new = cur_source.as_ref().is_none_or(|(src, _, _)| *src != s);
+            if need_new {
+                let truth = dijkstra(topo, weights, s).expect("nonneg");
+                let released = rel.paths_from(s).expect("valid source");
+                cur_source = Some((s, truth, released));
+            }
+            let (_, truth, released) = cur_source.as_ref().expect("just set");
+            let path = released.path_to(t).expect("connected");
+            let excess = weights.path_weight(&path) - truth.distance(t).expect("connected");
+            max_excess = max_excess.max(excess);
+        }
+        worst.push(max_excess);
+    }
+    worst.stats().mean
+}
+
+pub fn run(ctx: &Ctx) {
+    let gamma = 0.1;
+    let eps_v = 1.0;
+    let mut table = Table::new(
+        "E3 worst-case pair excess of Algorithm 3",
+        &["topology", "V", "E", "mean_max_excess", "cor56_bound"],
+    );
+    for &v in &[64usize, 128, 256, 512] {
+        let mut gen_rng = ctx.rng(v as u64);
+        let topo = connected_gnm(v, 3 * v, &mut gen_rng);
+        let weights = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut gen_rng);
+        let max_e = max_excess_over_pairs(ctx, &topo, &weights, eps_v, gamma, 31 * v as u64);
+        table.row(vec![
+            "gnm(3V)".into(),
+            v.to_string(),
+            topo.num_edges().to_string(),
+            fmt(max_e),
+            fmt(bounds::cor56_worst_case(v, eps_v, topo.num_edges(), gamma)),
+        ]);
+    }
+    // The path graph has unique shortest paths (excess identically 0), so
+    // the V-linear worst case needs a topology with V-many route choices:
+    // the Figure 2 parallel-edge ladder with random weights.
+    for &v in &[64usize, 256, 1024] {
+        let mut gen_rng = ctx.rng(99 + v as u64);
+        let gadget = privpath_graph::generators::ParallelPathGadget::new(v - 1);
+        let topo = gadget.topology().clone();
+        let weights = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut gen_rng);
+        let max_e = max_excess_over_pairs(ctx, &topo, &weights, eps_v, gamma, 17 * v as u64);
+        table.row(vec![
+            "ladder".into(),
+            v.to_string(),
+            topo.num_edges().to_string(),
+            fmt(max_e),
+            fmt(bounds::cor56_worst_case(v, eps_v, topo.num_edges(), gamma)),
+        ]);
+    }
+    // Degenerate sanity row: the plain path has unique routes, so excess 0.
+    {
+        let mut gen_rng = ctx.rng(7);
+        let topo = path_graph(256);
+        let weights = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut gen_rng);
+        let max_e = max_excess_over_pairs(ctx, &topo, &weights, eps_v, gamma, 7007);
+        table.row(vec![
+            "path".into(),
+            "256".into(),
+            topo.num_edges().to_string(),
+            fmt(max_e),
+            fmt(bounds::cor56_worst_case(256, eps_v, topo.num_edges(), gamma)),
+        ]);
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: on expander-ish gnm graphs the max excess grows slowly\n\
+         (short hop diameters); on the parallel-edge ladder — V-many binary\n\
+         route choices — it grows ~linearly in V, tracking the corollary's\n\
+         V-dependence. The plain path is a sanity row: unique routes mean\n\
+         zero excess. All values stay below the bound.\n"
+    );
+}

@@ -1,0 +1,85 @@
+//! E4 — Theorem 4.1 / Figure 1: single-source tree distances via the
+//! recursive split decomposition.
+//!
+//! Across tree shapes and sizes, the maximum per-vertex error must stay
+//! polylogarithmic in V — the bound is
+//! `4 (L/eps) sqrt(2L ln(2/gamma))`, `L = ceil(log2 V)`.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, Table};
+use privpath_core::bounds;
+use privpath_core::experiment::ErrorCollector;
+use privpath_core::tree_distance::{tree_single_source_distances, TreeDistanceParams};
+use privpath_dp::Epsilon;
+use privpath_graph::generators::{
+    balanced_binary_tree, caterpillar_tree, path_graph, random_tree_prufer, star_graph,
+    uniform_weights,
+};
+use privpath_graph::tree::{weighted_depths, RootedTree};
+use privpath_graph::{NodeId, Topology};
+
+fn shapes(v: usize, ctx: &Ctx) -> Vec<(&'static str, Topology)> {
+    let mut rng = ctx.rng(v as u64);
+    vec![
+        ("path", path_graph(v)),
+        ("star", star_graph(v)),
+        ("balanced", balanced_binary_tree(v)),
+        ("caterpillar", caterpillar_tree(v / 4 + 1, 3)),
+        ("random", random_tree_prufer(v, &mut rng)),
+    ]
+}
+
+pub fn run(ctx: &Ctx) {
+    let eps_v = 1.0;
+    let gamma = 0.05;
+    let mut table = Table::new(
+        "E4 single-source tree distance error (Algorithm 1)",
+        &["shape", "V", "depth_L", "queries", "mean_err", "max_err", "thm41_bound"],
+    );
+    for &v in &[64usize, 256, 1024, 4096] {
+        for (name, topo) in shapes(v, ctx) {
+            let n = topo.num_nodes();
+            let mut wrng = ctx.rng(n as u64 + 5);
+            let weights = uniform_weights(topo.num_edges(), 0.0, 100.0, &mut wrng);
+            let root = NodeId::new(0);
+            let rt = RootedTree::new(&topo, root).expect("tree");
+            let truth = weighted_depths(&rt, &weights).expect("weights fit");
+
+            let mut errs = ErrorCollector::new();
+            let mut depth = 0;
+            let mut queries = 0;
+            for t in 0..ctx.trials {
+                let mut mech = ctx.rng(31 * n as u64 + t);
+                let rel = tree_single_source_distances(
+                    &topo,
+                    &weights,
+                    root,
+                    &TreeDistanceParams::new(Epsilon::new(eps_v).unwrap()),
+                    &mut mech,
+                )
+                .expect("tree workload");
+                depth = rel.decomposition_depth();
+                queries = rel.num_queries();
+                for vx in topo.nodes() {
+                    errs.push((rel.distance(vx) - truth[vx.index()]).abs());
+                }
+            }
+            let stats = errs.stats();
+            table.row(vec![
+                name.into(),
+                n.to_string(),
+                depth.to_string(),
+                queries.to_string(),
+                fmt(stats.mean),
+                fmt(stats.max),
+                fmt(bounds::thm41_single_source_tree(n, eps_v, gamma / n as f64)),
+            ]);
+        }
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: max_err grows polylog in V (compare 64 -> 4096: less\n\
+         than ~3x, not 64x); depth <= log2 V + 1; queries <= 2V; the star\n\
+         decomposes in one level and has the smallest error.\n"
+    );
+}

@@ -1,0 +1,170 @@
+//! E5 — Theorem 4.2 vs the Section 4 baselines: all-pairs distances on
+//! trees.
+//!
+//! On the path graph (the hardest tree: diameter V) the tree mechanism's
+//! polylog error separates from the synthetic graph's `~sqrt(V)`-typical /
+//! `~V`-worst-case error and from basic composition's `~V^2` noise. We
+//! report the max error over sampled pairs — the quantity the theorems
+//! bound — plus each approach's theoretical guarantee.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::baselines;
+use privpath_core::bounds;
+use privpath_core::experiment::ErrorCollector;
+use privpath_core::model::NeighborScale;
+use privpath_core::tree_distance::{tree_all_pairs_distances, TreeDistanceParams};
+use privpath_dp::{Delta, Epsilon};
+use privpath_graph::generators::{path_graph, random_tree_prufer, uniform_weights};
+use privpath_graph::tree::{weighted_depths, RootedTree};
+use privpath_graph::{NodeId, Topology};
+
+pub fn run(ctx: &Ctx) {
+    let eps = Epsilon::new(1.0).unwrap();
+    let delta = Delta::new(1e-6).unwrap();
+    let gamma = 0.05;
+    let mut table = Table::new(
+        "E5 all-pairs tree distances: mechanism vs baselines (max err over pairs)",
+        &[
+            "topology", "V", "tree_mech", "synthetic", "advanced_comp", "basic_comp",
+            "tree_bound", "synth_bound",
+        ],
+    );
+
+    for (name, sizes) in
+        [("path", vec![128usize, 512, 2048, 8192, 32768]), ("random_tree", vec![128, 512, 2048])]
+    {
+        for &v in &sizes {
+            let topo: Topology = if name == "path" {
+                path_graph(v)
+            } else {
+                random_tree_prufer(v, &mut ctx.rng(v as u64))
+            };
+            let mut wrng = ctx.rng(3 + v as u64);
+            let weights = uniform_weights(topo.num_edges(), 0.0, 50.0, &mut wrng);
+
+            // Truth per sampled source.
+            let mut pair_rng = ctx.rng(4 + v as u64);
+            let pairs = sample_pairs(v, 80, &mut pair_rng);
+            let truth_of = |s: NodeId| -> Vec<f64> {
+                let rt = RootedTree::new(&topo, s).expect("tree");
+                weighted_depths(&rt, &weights).expect("fits")
+            };
+
+            let mut tree_err = ErrorCollector::new();
+            let mut synth_err = ErrorCollector::new();
+            let mut adv_err = ErrorCollector::new();
+            let mut basic_err = ErrorCollector::new();
+            // Basic composition at V=8192 would mean 33M queries and the
+            // advanced-composition release does V full Dijkstras; their
+            // noise scales alone tell the story at large V, so cap the
+            // measured variants.
+            let measure_basic = v <= 512;
+            let measure_advanced = v <= 2048;
+
+            for t in 0..ctx.trials {
+                let mut mech = ctx.rng(100 + t * 17 + v as u64);
+                let tree_rel = tree_all_pairs_distances(
+                    &topo,
+                    &weights,
+                    &TreeDistanceParams::new(eps),
+                    &mut mech,
+                )
+                .expect("tree");
+                let synth = baselines::rng::synthetic_graph_release(
+                    &topo,
+                    &weights,
+                    eps,
+                    NeighborScale::unit(),
+                    &mut mech,
+                )
+                .expect("valid");
+                // Advanced composition answers only the sampled pairs in
+                // this measurement, but is charged for all V(V-1)/2 —
+                // matching the released object's actual guarantee.
+                let adv = if measure_advanced {
+                    Some(
+                        baselines::rng::all_pairs_advanced_composition(
+                            &topo,
+                            &weights,
+                            eps,
+                            delta,
+                            NeighborScale::unit(),
+                            &mut mech,
+                        )
+                        .expect("valid"),
+                    )
+                } else {
+                    None
+                };
+                let basic = if measure_basic {
+                    Some(
+                        baselines::rng::all_pairs_basic_composition(
+                            &topo,
+                            &weights,
+                            eps,
+                            NeighborScale::unit(),
+                            &mut mech,
+                        )
+                        .expect("valid"),
+                    )
+                } else {
+                    None
+                };
+
+                let mut max_tree = 0.0f64;
+                let mut max_synth = 0.0f64;
+                let mut max_adv = 0.0f64;
+                let mut max_basic = 0.0f64;
+                let mut cur: Option<(NodeId, Vec<f64>, Vec<f64>)> = None;
+                let mut sorted = pairs.clone();
+                sorted.sort();
+                for &(s, t2) in &sorted {
+                    let refresh = cur.as_ref().is_none_or(|(src, _, _)| *src != s);
+                    if refresh {
+                        let truths = truth_of(s);
+                        let synth_d = synth.distances_from(s).expect("valid");
+                        cur = Some((s, truths, synth_d));
+                    }
+                    let (_, truths, synth_d) = cur.as_ref().expect("set");
+                    let truth = truths[t2.index()];
+                    max_tree = max_tree.max((tree_rel.distance(s, t2) - truth).abs());
+                    max_synth = max_synth.max((synth_d[t2.index()] - truth).abs());
+                    if let Some(adv) = &adv {
+                        max_adv = max_adv.max((adv.distance(s, t2) - truth).abs());
+                    }
+                    if let Some(basic) = &basic {
+                        max_basic = max_basic.max((basic.distance(s, t2) - truth).abs());
+                    }
+                }
+                tree_err.push(max_tree);
+                synth_err.push(max_synth);
+                if measure_advanced {
+                    adv_err.push(max_adv);
+                }
+                if measure_basic {
+                    basic_err.push(max_basic);
+                }
+            }
+
+            table.row(vec![
+                name.into(),
+                v.to_string(),
+                fmt(tree_err.stats().mean),
+                fmt(synth_err.stats().mean),
+                if measure_advanced { fmt(adv_err.stats().mean) } else { "(skipped)".into() },
+                if measure_basic { fmt(basic_err.stats().mean) } else { "(skipped)".into() },
+                fmt(bounds::thm42_all_pairs_tree(v, 1.0, gamma)),
+                fmt((v as f64) * ((topo.num_edges() as f64) / gamma).ln()),
+            ]);
+        }
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: tree_mech grows polylog; synthetic grows ~sqrt(V) on\n\
+         the path (random-walk cancellation) with an O(V) guarantee; advanced\n\
+         composition grows ~V; basic composition ~V^2 and is hopeless. The\n\
+         measured crossover where tree_mech < synthetic lands on the path\n\
+         topology as V grows — the separation of Theorem 4.2.\n"
+    );
+}

@@ -1,0 +1,82 @@
+//! E6 — Appendix A: all-pairs distances on the path graph.
+//!
+//! Compares the paper's hub hierarchy (branching 2 and 4), the DNPR10-style
+//! dyadic mechanism, and the general tree mechanism (the path is a tree) at
+//! equal eps. All should exhibit the same `O(log^{1.5} V)` error shape;
+//! the branching factor trades noise-per-value against values-per-query.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::bounds;
+use privpath_core::experiment::ErrorCollector;
+use privpath_core::path_graph::{dyadic_path_release, hub_path_release, PathGraphParams};
+use privpath_core::tree_distance::{tree_all_pairs_distances, TreeDistanceParams};
+use privpath_dp::Epsilon;
+use privpath_graph::generators::{path_graph, uniform_weights};
+use privpath_graph::NodeId;
+
+pub fn run(ctx: &Ctx) {
+    let eps = Epsilon::new(1.0).unwrap();
+    let gamma = 0.05;
+    let mut table = Table::new(
+        "E6 path graph mechanisms (p95 err over pairs)",
+        &["V", "hub_b2", "hub_b4", "dyadic", "tree_mech", "thm_a1_shape"],
+    );
+    for &v in &[128usize, 512, 2048, 8192, 16384] {
+        let topo = path_graph(v);
+        let mut wrng = ctx.rng(v as u64);
+        let weights = uniform_weights(v - 1, 0.0, 20.0, &mut wrng);
+        // Prefix sums for exact distances.
+        let mut prefix = vec![0.0f64];
+        for (_, w) in weights.iter() {
+            prefix.push(prefix.last().expect("non-empty") + w);
+        }
+
+        let mut hub2_err = ErrorCollector::new();
+        let mut hub4_err = ErrorCollector::new();
+        let mut dyadic_err = ErrorCollector::new();
+        let mut tree_err = ErrorCollector::new();
+
+        for t in 0..ctx.trials {
+            let mut mech = ctx.rng(v as u64 * 13 + t);
+            let p2 = PathGraphParams::new(eps);
+            let p4 = PathGraphParams::new(eps).with_branching(4).expect("valid");
+            let hub2 = hub_path_release(&topo, &weights, &p2, &mut mech).expect("path");
+            let hub4 = hub_path_release(&topo, &weights, &p4, &mut mech).expect("path");
+            let dyadic = dyadic_path_release(&topo, &weights, &p2, &mut mech).expect("path");
+            let tree = tree_all_pairs_distances(
+                &topo,
+                &weights,
+                &TreeDistanceParams::new(eps),
+                &mut mech,
+            )
+            .expect("path is a tree");
+
+            let mut pair_rng = ctx.rng(v as u64 * 29 + t);
+            for (x, y) in sample_pairs(v, 100, &mut pair_rng) {
+                let truth = (prefix[y.index()] - prefix[x.index()]).abs();
+                hub2_err.push((hub2.distance(x, y) - truth).abs());
+                hub4_err.push((hub4.distance(x, y) - truth).abs());
+                dyadic_err.push((dyadic.distance(x, y) - truth).abs());
+                tree_err.push((tree.distance(x, y) - truth).abs());
+            }
+            let _ = NodeId::new(0);
+        }
+        table.row(vec![
+            v.to_string(),
+            fmt(hub2_err.stats().p95),
+            fmt(hub4_err.stats().p95),
+            fmt(dyadic_err.stats().p95),
+            fmt(tree_err.stats().p95),
+            fmt(bounds::thm41_single_source_tree(v, 1.0, gamma)),
+        ]);
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: every column grows polylog (compare V=128 vs 16384:\n\
+         factor ~2-3, not 128). Branching 4 uses fewer levels (less noise per\n\
+         value, more values per query) — close to branching 2 overall. The\n\
+         dyadic and hub-2 mechanisms release identical information and differ\n\
+         only in query assembly.\n"
+    );
+}

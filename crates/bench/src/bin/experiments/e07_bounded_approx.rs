@@ -1,0 +1,99 @@
+//! E7 — Theorems 4.3/4.5: bounded-weight all-pairs distances under
+//! approximate DP, with the auto-balanced `k = floor(sqrt(V/(M eps)))`.
+//!
+//! Sweeps V and M on connected G(n, 3n) graphs, measuring per-pair error
+//! against the `2kM + noise` bound and against the synthetic-graph
+//! baseline. The headline: error grows ~sqrt(V * M), sublinear in V.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::baselines;
+use privpath_core::bounded::{bounded_weight_all_pairs, BoundedWeightParams};
+use privpath_core::bounds;
+use privpath_core::experiment::ErrorCollector;
+use privpath_core::model::NeighborScale;
+use privpath_dp::{Delta, Epsilon};
+use privpath_graph::algo::dijkstra;
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+
+pub fn run(ctx: &Ctx) {
+    let eps = Epsilon::new(1.0).unwrap();
+    let delta = Delta::new(1e-6).unwrap();
+    let gamma = 0.05;
+    let mut table = Table::new(
+        "E7 bounded-weight all-pairs, approximate DP (Thm 4.5, auto-k)",
+        &["V", "M", "k", "|Z|", "p95_err", "max_err", "bound", "synthetic_p95"],
+    );
+    for &v in &[128usize, 256, 512, 1024] {
+        for &m_w in &[0.25f64, 1.0, 4.0] {
+            let mut gen_rng = ctx.rng(v as u64 * 7 + (m_w * 100.0) as u64);
+            let topo = connected_gnm(v, 3 * v, &mut gen_rng);
+            let weights = uniform_weights(topo.num_edges(), 0.0, m_w, &mut gen_rng);
+
+            let params = BoundedWeightParams::approx(eps, delta, m_w).expect("valid");
+            let mut errs = ErrorCollector::new();
+            let mut synth_errs = ErrorCollector::new();
+            let mut k = 0;
+            let mut z = 0;
+            let mut bound = 0.0;
+            for t in 0..ctx.trials {
+                let mut mech = ctx.rng(v as u64 * 31 + t);
+                let rel = bounded_weight_all_pairs(&topo, &weights, &params, &mut mech)
+                    .expect("connected bounded workload");
+                k = rel.k();
+                z = rel.centers().len();
+                bound = bounds::bounded_error(
+                    rel.k(),
+                    m_w,
+                    rel.noise_scale(),
+                    rel.num_released(),
+                    gamma,
+                );
+                let synth = baselines::rng::synthetic_graph_release(
+                    &topo,
+                    &weights,
+                    eps,
+                    NeighborScale::unit(),
+                    &mut mech,
+                )
+                .expect("valid");
+
+                let mut pair_rng = ctx.rng(v as u64 * 43 + t);
+                let mut pairs = sample_pairs(v, 50, &mut pair_rng);
+                pairs.sort();
+                let mut cur: Option<(privpath_graph::NodeId, Vec<f64>, Vec<f64>)> = None;
+                for (s, t2) in pairs {
+                    let refresh = cur.as_ref().is_none_or(|(src, _, _)| *src != s);
+                    if refresh {
+                        let spt = dijkstra(&topo, &weights, s).expect("nonneg");
+                        let synth_d = synth.distances_from(s).expect("valid");
+                        cur = Some((s, spt.distances().to_vec(), synth_d));
+                    }
+                    let (_, truths, synth_d) = cur.as_ref().expect("set");
+                    let truth = truths[t2.index()];
+                    errs.push((rel.distance(s, t2) - truth).abs());
+                    synth_errs.push((synth_d[t2.index()] - truth).abs());
+                }
+            }
+            let stats = errs.stats();
+            table.row(vec![
+                v.to_string(),
+                fmt(m_w),
+                k.to_string(),
+                z.to_string(),
+                fmt(stats.p95),
+                fmt(stats.max),
+                fmt(bound),
+                fmt(synth_errs.stats().p95),
+            ]);
+        }
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: at fixed M, quadrupling V roughly doubles the error\n\
+         (sqrt(V) scaling); larger M means smaller k (cheaper detours are\n\
+         impossible) and more centers. The synthetic baseline is competitive\n\
+         on these low-diameter graphs but carries an O(V) guarantee; the\n\
+         covering mechanism's bound column grows only ~sqrt(V M).\n"
+    );
+}

@@ -1,0 +1,79 @@
+//! E8 — Theorem 4.6: bounded-weight all-pairs distances under **pure** DP
+//! with `k = floor(V^{2/3} / (M eps)^{1/3})`.
+//!
+//! Same workloads as E7; the pure variant pays basic composition over the
+//! released center pairs, landing at the `(V M)^{2/3}` rate — worse than
+//! E7's `sqrt(V M)` but with delta = 0.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::bounded::{bounded_weight_all_pairs, BoundedWeightParams};
+use privpath_core::bounds;
+use privpath_core::experiment::ErrorCollector;
+use privpath_dp::Epsilon;
+use privpath_graph::algo::dijkstra;
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+
+pub fn run(ctx: &Ctx) {
+    let eps = Epsilon::new(1.0).unwrap();
+    let gamma = 0.05;
+    let mut table = Table::new(
+        "E8 bounded-weight all-pairs, pure DP (Thm 4.6, auto-k)",
+        &["V", "M", "k", "|Z|", "p95_err", "max_err", "bound"],
+    );
+    for &v in &[128usize, 256, 512, 1024] {
+        for &m_w in &[0.25f64, 1.0] {
+            let mut gen_rng = ctx.rng(v as u64 * 11 + (m_w * 100.0) as u64);
+            let topo = connected_gnm(v, 3 * v, &mut gen_rng);
+            let weights = uniform_weights(topo.num_edges(), 0.0, m_w, &mut gen_rng);
+
+            let params = BoundedWeightParams::pure(eps, m_w).expect("valid");
+            let mut errs = ErrorCollector::new();
+            let (mut k, mut z, mut bound) = (0usize, 0usize, 0.0f64);
+            for t in 0..ctx.trials {
+                let mut mech = ctx.rng(v as u64 * 37 + t);
+                let rel = bounded_weight_all_pairs(&topo, &weights, &params, &mut mech)
+                    .expect("connected bounded workload");
+                k = rel.k();
+                z = rel.centers().len();
+                bound = bounds::bounded_error(
+                    rel.k(),
+                    m_w,
+                    rel.noise_scale(),
+                    rel.num_released(),
+                    gamma,
+                );
+                let mut pair_rng = ctx.rng(v as u64 * 53 + t);
+                let mut pairs = sample_pairs(v, 50, &mut pair_rng);
+                pairs.sort();
+                let mut cur: Option<(privpath_graph::NodeId, Vec<f64>)> = None;
+                for (s, t2) in pairs {
+                    let refresh = cur.as_ref().is_none_or(|(src, _)| *src != s);
+                    if refresh {
+                        let spt = dijkstra(&topo, &weights, s).expect("nonneg");
+                        cur = Some((s, spt.distances().to_vec()));
+                    }
+                    let (_, truths) = cur.as_ref().expect("set");
+                    errs.push((rel.distance(s, t2) - truths[t2.index()]).abs());
+                }
+            }
+            let stats = errs.stats();
+            table.row(vec![
+                v.to_string(),
+                fmt(m_w),
+                k.to_string(),
+                z.to_string(),
+                fmt(stats.p95),
+                fmt(stats.max),
+                fmt(bound),
+            ]);
+        }
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: pure DP forces larger k (fewer centers) than E7 and\n\
+         still lands above E7's error at the same (V, M) — the price of\n\
+         delta = 0. Scaling is ~(V M)^(2/3): quadrupling V multiplies error\n\
+         by ~2.5.\n"
+    );
+}

@@ -1,0 +1,107 @@
+//! E9 — Theorem 4.7: the sqrt(V) x sqrt(V) grid with the modular covering.
+//!
+//! The grid admits a `2 V^{1/3}`-covering of ~`V^{1/3}` centers; the
+//! generic Lemma 4.4 construction at the same radius produces many more.
+//! Fewer centers = less composition noise. Ablation: modular vs Meir-Moon
+//! vs greedy coverings at the same radius.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::bounded::{bounded_weight_all_pairs, BoundedWeightParams, CoveringStrategy};
+use privpath_core::bounds;
+use privpath_core::experiment::ErrorCollector;
+use privpath_dp::{Delta, Epsilon};
+use privpath_graph::algo::dijkstra;
+use privpath_graph::generators::{uniform_weights, GridGraph};
+use privpath_graph::{EdgeWeights, Topology};
+
+fn measure(
+    ctx: &Ctx,
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &BoundedWeightParams,
+    salt: u64,
+) -> (usize, f64, f64) {
+    let mut errs = ErrorCollector::new();
+    let mut z = 0usize;
+    let mut bound = 0.0;
+    for t in 0..ctx.trials {
+        let mut mech = ctx.rng(salt + t);
+        let rel = bounded_weight_all_pairs(topo, weights, params, &mut mech)
+            .expect("grid workload");
+        z = rel.centers().len();
+        bound = bounds::bounded_error(rel.k(), 1.0, rel.noise_scale(), rel.num_released(), 0.05);
+        let mut pair_rng = ctx.rng(salt + 999 + t);
+        let mut pairs = sample_pairs(topo.num_nodes(), 40, &mut pair_rng);
+        pairs.sort();
+        let mut cur: Option<(privpath_graph::NodeId, Vec<f64>)> = None;
+        for (s, t2) in pairs {
+            let refresh = cur.as_ref().is_none_or(|(src, _)| *src != s);
+            if refresh {
+                let spt = dijkstra(topo, weights, s).expect("nonneg");
+                cur = Some((s, spt.distances().to_vec()));
+            }
+            let (_, truths) = cur.as_ref().expect("set");
+            errs.push((rel.distance(s, t2) - truths[t2.index()]).abs());
+        }
+    }
+    (z, errs.stats().p95, bound)
+}
+
+pub fn run(ctx: &Ctx) {
+    let eps = Epsilon::new(1.0).unwrap();
+    let delta = Delta::new(1e-6).unwrap();
+    let m_w = 1.0;
+    let mut table = Table::new(
+        "E9 grid coverings (Thm 4.7): modular vs generic vs greedy",
+        &[
+            "V", "side", "radius_k", "Z_modular", "p95_modular", "Z_meirmoon", "p95_meirmoon",
+            "Z_greedy", "p95_greedy", "bound_modular",
+        ],
+    );
+    for &side in &[8usize, 16, 24, 32] {
+        let grid = GridGraph::new(side, side);
+        let topo = grid.topology();
+        let v = topo.num_nodes();
+        let mut wrng = ctx.rng(side as u64);
+        let weights = uniform_weights(topo.num_edges(), 0.0, m_w, &mut wrng);
+
+        let spacing = ((v as f64).powf(1.0 / 3.0).round() as usize).clamp(1, side);
+        let k = 2 * spacing;
+        let centers = grid.modular_covering(spacing).expect("valid spacing");
+
+        let modular = BoundedWeightParams::approx(eps, delta, m_w)
+            .expect("valid")
+            .with_strategy(CoveringStrategy::Custom { centers, k });
+        let meirmoon = BoundedWeightParams::approx(eps, delta, m_w)
+            .expect("valid")
+            .with_strategy(CoveringStrategy::MeirMoon { k });
+        let greedy = BoundedWeightParams::approx(eps, delta, m_w)
+            .expect("valid")
+            .with_strategy(CoveringStrategy::Greedy { k });
+
+        let (zm, pm, bm) = measure(ctx, topo, &weights, &modular, side as u64 * 101);
+        let (zg, pg, _) = measure(ctx, topo, &weights, &meirmoon, side as u64 * 211);
+        let (zr, pr, _) = measure(ctx, topo, &weights, &greedy, side as u64 * 307);
+
+        table.row(vec![
+            v.to_string(),
+            format!("{side}x{side}"),
+            k.to_string(),
+            zm.to_string(),
+            fmt(pm),
+            zg.to_string(),
+            fmt(pg),
+            zr.to_string(),
+            fmt(pr),
+            fmt(bm),
+        ]);
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: the modular covering has ~V^(1/3) centers vs the\n\
+         generic bound's ~V/(k+1), and correspondingly lower noise/error —\n\
+         the structured-covering advantage of Theorem 4.7. Greedy lands\n\
+         between the two.\n"
+    );
+}

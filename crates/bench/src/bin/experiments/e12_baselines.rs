@@ -1,0 +1,107 @@
+//! E12 — Section 4's opening inventory: the four generic approaches to
+//! private distances, measured side by side on one workload family.
+//!
+//! * single-pair Laplace oracle — noise `1/eps`, but spends the whole
+//!   budget on one pair;
+//! * all-pairs by basic composition — noise `~V^2 / eps`;
+//! * all-pairs by advanced composition — noise `~V sqrt(ln(1/delta))/eps`;
+//! * synthetic graph — per-edge noise `1/eps`, per-query error up to
+//!   `~(V/eps) log E` on deep graphs.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::baselines;
+use privpath_core::experiment::ErrorCollector;
+use privpath_core::model::NeighborScale;
+use privpath_dp::{Delta, Epsilon, RngNoise};
+use privpath_graph::algo::dijkstra;
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+
+pub fn run(ctx: &Ctx) {
+    let eps = Epsilon::new(1.0).unwrap();
+    let delta = Delta::new(1e-6).unwrap();
+    let scale = NeighborScale::unit();
+    let mut table = Table::new(
+        "E12 generic baselines for all-pairs distances (p95 err over pairs)",
+        &[
+            "V", "oracle_noise_scale", "synthetic_p95", "advanced_p95", "basic_p95",
+            "synthetic_scale", "advanced_scale", "basic_scale",
+        ],
+    );
+    for &v in &[64usize, 128, 256, 512] {
+        let mut gen_rng = ctx.rng(v as u64);
+        let topo = connected_gnm(v, 3 * v, &mut gen_rng);
+        let weights = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut gen_rng);
+
+        let mut synth_err = ErrorCollector::new();
+        let mut adv_err = ErrorCollector::new();
+        let mut basic_err = ErrorCollector::new();
+        let (mut s_scale, mut a_scale, mut b_scale) = (0.0, 0.0, 0.0);
+        for t in 0..ctx.trials {
+            let mut mech = ctx.rng(v as u64 * 91 + t);
+            let synth =
+                baselines::rng::synthetic_graph_release(&topo, &weights, eps, scale, &mut mech)
+                    .expect("valid");
+            let adv = baselines::rng::all_pairs_advanced_composition(
+                &topo, &weights, eps, delta, scale, &mut mech,
+            )
+            .expect("valid");
+            let basic =
+                baselines::rng::all_pairs_basic_composition(&topo, &weights, eps, scale, &mut mech)
+                    .expect("valid");
+            s_scale = synth.noise_scale();
+            a_scale = adv.noise_scale();
+            b_scale = basic.noise_scale();
+
+            let mut pair_rng = ctx.rng(v as u64 * 71 + t);
+            let mut pairs = sample_pairs(v, 40, &mut pair_rng);
+            pairs.sort();
+            let mut cur: Option<(privpath_graph::NodeId, Vec<f64>, Vec<f64>)> = None;
+            for (s, t2) in pairs {
+                let refresh = cur.as_ref().is_none_or(|(src, _, _)| *src != s);
+                if refresh {
+                    let spt = dijkstra(&topo, &weights, s).expect("nonneg");
+                    let sd = synth.distances_from(s).expect("valid");
+                    cur = Some((s, spt.distances().to_vec(), sd));
+                }
+                let (_, truths, synth_d) = cur.as_ref().expect("set");
+                let truth = truths[t2.index()];
+                synth_err.push((synth_d[t2.index()] - truth).abs());
+                adv_err.push((adv.distance(s, t2) - truth).abs());
+                basic_err.push((basic.distance(s, t2) - truth).abs());
+            }
+        }
+        // The oracle answers exactly one query at scale 1/eps; demonstrate
+        // one call so the code path is exercised.
+        let mut noise = RngNoise::new(ctx.rng(v as u64 + 12345));
+        let _ = baselines::laplace_distance_oracle(
+            &topo,
+            &weights,
+            privpath_graph::NodeId::new(0),
+            privpath_graph::NodeId::new(1),
+            eps,
+            scale,
+            &mut noise,
+        )
+        .expect("connected");
+
+        table.row(vec![
+            v.to_string(),
+            fmt(1.0 / eps.value()),
+            fmt(synth_err.stats().p95),
+            fmt(adv_err.stats().p95),
+            fmt(basic_err.stats().p95),
+            fmt(s_scale),
+            fmt(a_scale),
+            fmt(b_scale),
+        ]);
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: noise scales order 1/eps (oracle, one query only) <\n\
+         synthetic (1/eps per edge) < advanced (~V) < basic (~V^2); measured\n\
+         p95 errors follow: synthetic smallest on these shallow graphs,\n\
+         advanced ~V, basic ~V^2 — the hierarchy the paper's Section 4 opens\n\
+         with, and the floor Theorems 4.1-4.7 dig under.\n"
+    );
+}

@@ -1,0 +1,105 @@
+//! E13 — Figure 1 and Lemma 4.4 as a census: the structural invariants the
+//! privacy proofs rest on, verified over many random inputs.
+//!
+//! * Algorithm 1's decomposition: every sub-piece has at most
+//!   `ceil(|S|/2)` vertices, recursion depth <= ceil(log2 V) + 1, at most
+//!   `2V` queries, per-level query edges disjoint (sensitivity 1/level).
+//! * Lemma 4.4's covering: a k-covering of size <= floor(V/(k+1)) with
+//!   verified radius <= k.
+
+use super::context::Ctx;
+use privpath_bench::Table;
+use privpath_graph::covering::{covering_radius, meir_moon_covering};
+use privpath_graph::generators::{connected_gnm, random_tree_prufer};
+use privpath_graph::tree::{decompose, RootedTree};
+use privpath_graph::NodeId;
+use rand::Rng;
+use std::collections::HashSet;
+
+pub fn run(ctx: &Ctx) {
+    let samples = 40 * ctx.trials as usize;
+
+    // --- Decomposition census over random trees ---
+    let mut decomp = Table::new(
+        "E13a Algorithm 1 decomposition census (random trees)",
+        &["V_range", "samples", "max_depth", "depth_bound", "max_queries_over_2V", "level_overlaps", "piece_violations"],
+    );
+    let mut rng = ctx.rng(13);
+    let mut max_depth = 0usize;
+    let mut depth_bound = 0usize;
+    let mut max_q_ratio = 0.0f64;
+    let mut overlaps = 0usize;
+    let mut piece_violations = 0usize;
+    for _ in 0..samples {
+        let v = rng.gen_range(2..600);
+        let topo = random_tree_prufer(v, &mut rng);
+        let root = NodeId::new(rng.gen_range(0..v));
+        let rt = RootedTree::new(&topo, root).expect("tree");
+        let d = decompose(&rt);
+        max_depth = max_depth.max(d.depth);
+        depth_bound = depth_bound.max((v as f64).log2().ceil() as usize + 1);
+        max_q_ratio = max_q_ratio.max(d.num_queries as f64 / (2.0 * v as f64));
+        for edges in d.level_edge_usage(&rt) {
+            let unique: HashSet<_> = edges.iter().collect();
+            if unique.len() != edges.len() {
+                overlaps += 1;
+            }
+        }
+        d.for_each_call(|call, _| {
+            for sub in &call.subcalls {
+                if sub.size > call.size.div_ceil(2) {
+                    piece_violations += 1;
+                }
+            }
+        });
+    }
+    decomp.row(vec![
+        "2..600".into(),
+        samples.to_string(),
+        max_depth.to_string(),
+        depth_bound.to_string(),
+        format!("{max_q_ratio:.3}"),
+        overlaps.to_string(),
+        piece_violations.to_string(),
+    ]);
+    ctx.emit(&decomp);
+
+    // --- Covering census over random connected graphs ---
+    let mut cover = Table::new(
+        "E13b Lemma 4.4 covering census (connected gnm)",
+        &["V_range", "k_range", "samples", "size_violations", "radius_violations", "max_size_ratio"],
+    );
+    let mut size_violations = 0usize;
+    let mut radius_violations = 0usize;
+    let mut max_ratio = 0.0f64;
+    for _ in 0..samples {
+        let v = rng.gen_range(3..300);
+        let max_m = v * (v - 1) / 2;
+        let m = (v - 1) + rng.gen_range(0..v.min(max_m - v + 2));
+        let topo = connected_gnm(v, m.min(max_m), &mut rng);
+        let k = rng.gen_range(1..6);
+        let z = meir_moon_covering(&topo, k).expect("connected");
+        let allowed = if v > k { v / (k + 1) } else { 1 };
+        if z.len() > allowed {
+            size_violations += 1;
+        }
+        max_ratio = max_ratio.max(z.len() as f64 / allowed.max(1) as f64);
+        match covering_radius(&topo, &z).expect("valid centers") {
+            Some(r) if (r as usize) <= k => {}
+            _ => radius_violations += 1,
+        }
+    }
+    cover.row(vec![
+        "3..300".into(),
+        "1..6".into(),
+        samples.to_string(),
+        size_violations.to_string(),
+        radius_violations.to_string(),
+        format!("{max_ratio:.3}"),
+    ]);
+    ctx.emit(&cover);
+    println!(
+        "Expected shape: zero violations in every column; max_depth at or\n\
+         below the log2 bound; queries never exceed 2V (ratio <= 1).\n"
+    );
+}

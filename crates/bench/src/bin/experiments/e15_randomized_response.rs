@@ -1,0 +1,43 @@
+//! E15 — Lemma 5.3: the reconstruction floor `(1-delta)/(1+e^eps)` is
+//! exactly achieved by randomized response — the primitive behind every
+//! lower bound in the paper.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, Table};
+use privpath_dp::randomized_response::{
+    estimate_frequency, randomized_response, reconstruction_error_floor,
+};
+use privpath_dp::{Delta, Epsilon};
+use rand::Rng;
+
+pub fn run(ctx: &Ctx) {
+    let n = 40_000 * ctx.trials as usize;
+    let mut table = Table::new(
+        "E15 randomized response vs the Lemma 5.3 floor",
+        &["eps", "measured_flip_rate", "floor", "ratio", "freq_estimate_of_0.30"],
+    );
+    for &eps_v in &[0.1f64, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let eps = Epsilon::new(eps_v).unwrap();
+        let mut rng = ctx.rng((eps_v * 1000.0) as u64);
+        let bits: Vec<bool> = (0..n).map(|i| (i as f64 / n as f64) < 0.30).collect();
+        let reported = randomized_response(&bits, eps, &mut rng);
+        let flips = bits.iter().zip(&reported).filter(|(a, b)| a != b).count();
+        let rate = flips as f64 / n as f64;
+        let floor = reconstruction_error_floor(eps, Delta::zero()).expect("valid");
+        let p_hat = reported.iter().filter(|&&b| b).count() as f64 / n as f64;
+        table.row(vec![
+            fmt(eps_v),
+            fmt(rate),
+            fmt(floor),
+            fmt(rate / floor),
+            fmt(estimate_frequency(p_hat, eps)),
+        ]);
+        let _: bool = rng.gen(); // keep rng used uniformly across loop bodies
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: measured flip rate == floor (ratio ~ 1.00) at every\n\
+         eps — Lemma 5.3 is tight; the debiased frequency estimate recovers\n\
+         the true 0.30 despite the flips.\n"
+    );
+}

@@ -1,0 +1,95 @@
+//! E16 (extension) — heavy-path decomposition vs Algorithm 1.
+//!
+//! Both release eps-DP all-pairs tree distances with polylog error. The
+//! interesting axis is the noise scale: Algorithm 1 pays its recursion
+//! depth (`~log V`) per query value, while the heavy-path + dyadic layout
+//! pays only the dyadic depth of its *longest chain* — `O(log log V)` on
+//! balanced/random trees, `log V` only when the tree is one long chain.
+//! The experiment measures where each layout wins, per tree shape.
+
+use super::context::Ctx;
+use privpath_bench::{fmt, sample_pairs, Table};
+use privpath_core::experiment::ErrorCollector;
+use privpath_core::tree_distance::{tree_all_pairs_distances, TreeDistanceParams};
+use privpath_core::tree_hld::hld_tree_all_pairs;
+use privpath_dp::Epsilon;
+use privpath_graph::generators::{
+    balanced_binary_tree, caterpillar_tree, path_graph, random_tree_prufer, uniform_weights,
+};
+use privpath_graph::tree::{weighted_depths, RootedTree};
+use privpath_graph::{NodeId, Topology};
+
+pub fn run(ctx: &Ctx) {
+    let eps = Epsilon::new(1.0).unwrap();
+    let mut table = Table::new(
+        "E16 Algorithm 1 vs heavy-path dyadic release (p95 err over pairs)",
+        &["shape", "V", "alg1_p95", "hld_p95", "hld_over_alg1", "hld_chains", "hld_levels"],
+    );
+    for &v in &[256usize, 1024, 4096] {
+        let shapes: Vec<(&str, Topology)> = vec![
+            ("path", path_graph(v)),
+            ("balanced", balanced_binary_tree(v)),
+            ("caterpillar", caterpillar_tree(v / 4 + 1, 3)),
+            ("random", random_tree_prufer(v, &mut ctx.rng(v as u64))),
+        ];
+        for (name, topo) in shapes {
+            let n = topo.num_nodes();
+            let mut wrng = ctx.rng(n as u64 + 16);
+            let weights = uniform_weights(topo.num_edges(), 0.0, 40.0, &mut wrng);
+
+            let mut alg1 = ErrorCollector::new();
+            let mut hld = ErrorCollector::new();
+            let mut chains = 0usize;
+            let mut levels = 0usize;
+            for t in 0..ctx.trials {
+                let mut mech = ctx.rng(n as u64 * 19 + t);
+                let rel1 = tree_all_pairs_distances(
+                    &topo,
+                    &weights,
+                    &TreeDistanceParams::new(eps),
+                    &mut mech,
+                )
+                .expect("tree");
+                let rel2 =
+                    hld_tree_all_pairs(&topo, &weights, &TreeDistanceParams::new(eps), &mut mech)
+                        .expect("tree");
+                chains = rel2.num_chains();
+                levels = rel2.sensitivity_levels();
+
+                let mut pair_rng = ctx.rng(n as u64 * 23 + t);
+                let mut pairs = sample_pairs(n, 60, &mut pair_rng);
+                pairs.sort();
+                let mut cur: Option<(NodeId, Vec<f64>)> = None;
+                for (x, y) in pairs {
+                    let refresh = cur.as_ref().is_none_or(|(src, _)| *src != x);
+                    if refresh {
+                        let rt = RootedTree::new(&topo, x).expect("tree");
+                        cur = Some((x, weighted_depths(&rt, &weights).expect("fits")));
+                    }
+                    let (_, truths) = cur.as_ref().expect("set");
+                    let truth = truths[y.index()];
+                    alg1.push((rel1.distance(x, y) - truth).abs());
+                    hld.push((rel2.distance(x, y) - truth).abs());
+                }
+            }
+            let (a, h) = (alg1.stats().p95, hld.stats().p95);
+            table.row(vec![
+                name.into(),
+                n.to_string(),
+                fmt(a),
+                fmt(h),
+                fmt(h / a),
+                chains.to_string(),
+                levels.to_string(),
+            ]);
+        }
+    }
+    ctx.emit(&table);
+    println!(
+        "Expected shape: both mechanisms stay polylog. On shapes with short\n\
+         heavy chains (balanced, random) the heavy-path release's adaptive\n\
+         sensitivity (hld_levels ~ log log V, vs Algorithm 1's log V) makes\n\
+         it strictly better (ratio well below 1); on the path — one chain,\n\
+         hld_levels = log V — the two coincide up to constants (ratio ~1).\n"
+    );
+}

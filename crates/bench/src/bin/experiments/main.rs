@@ -1,0 +1,148 @@
+//! The experiment harness: regenerates an empirical analogue of every
+//! theorem, figure, and baseline comparison in Sealfon (PODS 2016).
+//!
+//! ```text
+//! cargo run --release -p privpath-bench --bin experiments -- all
+//! cargo run --release -p privpath-bench --bin experiments -- e1 e5 --trials 10
+//! cargo run --release -p privpath-bench --bin experiments -- --list
+//! ```
+//!
+//! Each experiment prints one or more tables and (with `--out DIR`,
+//! default `results/`) writes them as CSV. EXPERIMENTS.md records the
+//! paper-vs-measured discussion per experiment.
+
+mod context;
+mod e01_lower_bound;
+mod e02_hop_error;
+mod e03_worst_case;
+mod e04_tree_single_source;
+mod e05_tree_vs_baselines;
+mod e06_path_graph;
+mod e07_bounded_approx;
+mod e08_bounded_pure;
+mod e09_grid;
+mod e10_mst;
+mod e11_matching;
+mod e12_baselines;
+mod e13_structure;
+mod e14_scaling;
+mod e15_randomized_response;
+mod e16_hld_ablation;
+
+use context::Ctx;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+type ExpFn = fn(&Ctx);
+
+struct Experiment {
+    id: &'static str,
+    anchor: &'static str,
+    run: ExpFn,
+}
+
+fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "e1", anchor: "Thm 5.1 + Fig 2: shortest-path reconstruction lower bound", run: e01_lower_bound::run },
+        Experiment { id: "e2", anchor: "Thm 5.5: Algorithm 3 error is hop-proportional", run: e02_hop_error::run },
+        Experiment { id: "e3", anchor: "Cor 5.6: Algorithm 3 worst case over all pairs", run: e03_worst_case::run },
+        Experiment { id: "e4", anchor: "Thm 4.1 + Fig 1: single-source tree distances", run: e04_tree_single_source::run },
+        Experiment { id: "e5", anchor: "Thm 4.2 + Sec 4 intro: all-pairs trees vs baselines", run: e05_tree_vs_baselines::run },
+        Experiment { id: "e6", anchor: "Appendix A: path graph hub hierarchy and dyadic ablation", run: e06_path_graph::run },
+        Experiment { id: "e7", anchor: "Thm 4.3/4.5: bounded weights, approximate DP", run: e07_bounded_approx::run },
+        Experiment { id: "e8", anchor: "Thm 4.6: bounded weights, pure DP", run: e08_bounded_pure::run },
+        Experiment { id: "e9", anchor: "Thm 4.7: grid covering vs generic covering", run: e09_grid::run },
+        Experiment { id: "e10", anchor: "Thm B.1/B.3 + Fig 3: private MST", run: e10_mst::run },
+        Experiment { id: "e11", anchor: "Thm B.4/B.6 + Fig 3: private matching", run: e11_matching::run },
+        Experiment { id: "e12", anchor: "Sec 4 intro: the four generic all-pairs baselines", run: e12_baselines::run },
+        Experiment { id: "e13", anchor: "Fig 1 + Lemma 4.4: structural invariants census", run: e13_structure::run },
+        Experiment { id: "e14", anchor: "Sec 1.2: error scales with the neighbor unit", run: e14_scaling::run },
+        Experiment { id: "e15", anchor: "Lemma 5.3: randomized-response optimality", run: e15_randomized_response::run },
+        Experiment { id: "e16", anchor: "Extension: Algorithm 1 vs heavy-path dyadic release", run: e16_hld_ablation::run },
+    ]
+}
+
+fn print_usage(exps: &[Experiment]) {
+    eprintln!("usage: experiments <exp-id ...|all> [--trials N] [--seed S] [--out DIR] [--no-csv]");
+    eprintln!("experiments:");
+    for e in exps {
+        eprintln!("  {:>4}  {}", e.id, e.anchor);
+    }
+}
+
+fn main() -> ExitCode {
+    let exps = registry();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "--list") {
+        print_usage(&exps);
+        return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
+    let mut selected: Vec<&str> = Vec::new();
+    let mut trials = 5u64;
+    let mut seed = 20160626u64; // PODS'16 conference date
+    let mut out: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                i += 1;
+                trials = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v > 0 => v,
+                    _ => {
+                        eprintln!("--trials needs a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("--seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--out needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--no-csv" => out = None,
+            "all" => selected = exps.iter().map(|e| e.id).collect(),
+            other => {
+                if exps.iter().any(|e| e.id == other) {
+                    selected.push(exps.iter().find(|e| e.id == other).expect("checked").id);
+                } else {
+                    eprintln!("unknown experiment '{other}'");
+                    print_usage(&exps);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        eprintln!("no experiment selected");
+        print_usage(&exps);
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = Ctx { trials, seed, out };
+    for exp in &exps {
+        if selected.contains(&exp.id) {
+            println!("==== {} — {} ====", exp.id.to_uppercase(), exp.anchor);
+            let start = std::time::Instant::now();
+            (exp.run)(&ctx);
+            println!("[{} done in {:.1}s]\n", exp.id, start.elapsed().as_secs_f64());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,567 @@
+//! Section 5.1 and Appendix B: reconstruction-attack lower bounds,
+//! executable.
+//!
+//! The paper's `Ω(V)` lower bounds (Theorems 5.1, B.1, B.4) all follow one
+//! reduction pattern (Lemmas 5.2, B.2, B.5): encode a secret
+//! `x ∈ {0,1}^n` as a `{0,1}` edge weighting of a gadget graph whose
+//! optimum (shortest path / MST / perfect matching) has weight 0 and
+//! *reveals every bit*; run the mechanism; decode the released object back
+//! to `y ∈ {0,1}^n`. Two facts collide:
+//!
+//! * **Utility**: the released object's true weight equals the number of
+//!   wrong bits, so expected error `alpha` implies expected Hamming
+//!   distance `<= alpha`.
+//! * **Privacy** (Lemmas 5.3/5.4, the optimality of randomized response):
+//!   any `(2 eps, (1+e^eps) delta)`-DP reconstruction must mis-guess each
+//!   uniform bit with probability at least
+//!   `(1 - (1+e^eps) delta) / (1 + e^{2 eps})`.
+//!
+//! Hence `alpha >= (V - 1)(1 - (1+e^eps) delta) / (1 + e^{2 eps})` — about
+//! `0.49 (V-1)` for small `eps`. (The factor 2 on `eps` appears because
+//! flipping one bit moves the weight function by 2 in `l1`.)
+//!
+//! Each attack struct packages the gadget, the encoding `x -> w_x`, and
+//! the decoding `released object -> y`, so experiments (and the paper's
+//! claim that *exact* release is blatantly non-private) run as plain code.
+
+use crate::CoreError;
+use privpath_dp::{Delta, Epsilon};
+use privpath_graph::generators::{
+    HourglassGadget, ParallelPathGadget, SimpleParallelPathGadget, StarGadget,
+};
+use privpath_graph::{EdgeId, EdgeWeights, NodeId, Path, Topology};
+use rand::Rng;
+
+/// Hamming distance between two bit vectors.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn hamming(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len(), "bit vectors must have equal length");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Samples a uniform bit vector.
+pub fn random_bits(n: usize, rng: &mut impl Rng) -> Vec<bool> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// The outcome of one reconstruction attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconstructionOutcome {
+    /// Number of encoded bits.
+    pub n: usize,
+    /// Hamming distance between the secret and the reconstruction.
+    pub hamming: usize,
+    /// The released object's error (true weight minus optimum 0) — equals
+    /// the number of "wrong" structural choices and upper-bounds
+    /// `hamming`.
+    pub objective_error: f64,
+}
+
+impl ReconstructionOutcome {
+    /// Fraction of bits recovered incorrectly.
+    pub fn hamming_rate(&self) -> f64 {
+        self.hamming as f64 / self.n as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shortest paths (Figure 2, Lemma 5.2, Theorem 5.1)
+// ---------------------------------------------------------------------------
+
+/// The shortest-path reconstruction attack on the parallel-edge path
+/// gadget.
+#[derive(Clone, Debug)]
+pub struct PathAttack {
+    gadget: ParallelPathGadget,
+}
+
+impl PathAttack {
+    /// An attack instance over `n` secret bits.
+    pub fn new(n: usize) -> Self {
+        PathAttack { gadget: ParallelPathGadget::new(n) }
+    }
+
+    /// The public gadget topology.
+    pub fn topology(&self) -> &Topology {
+        self.gadget.topology()
+    }
+
+    /// Query source.
+    pub fn s(&self) -> NodeId {
+        self.gadget.s()
+    }
+
+    /// Query target.
+    pub fn t(&self) -> NodeId {
+        self.gadget.t()
+    }
+
+    /// Number of secret bits.
+    pub fn num_bits(&self) -> usize {
+        self.gadget.num_bits()
+    }
+
+    /// Encodes `x` as the weight function `w_x`: for each bit,
+    /// `w(e_i^{(x_i)}) = 0` and `w(e_i^{(1-x_i)}) = 1`.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != num_bits()`.
+    pub fn encode(&self, bits: &[bool]) -> EdgeWeights {
+        assert_eq!(bits.len(), self.num_bits());
+        let mut w = EdgeWeights::zeros(self.topology().num_edges());
+        for (i, &bit) in bits.iter().enumerate() {
+            let (zero_e, one_e) = (self.gadget.zero_edge(i), self.gadget.one_edge(i));
+            if bit {
+                w.set(zero_e, 1.0); // x_i = 1: the "0" edge is heavy
+            } else {
+                w.set(one_e, 1.0);
+            }
+        }
+        w
+    }
+
+    /// Decodes a released `s -> t` path into the adversary's guess:
+    /// `y_i = 0` iff the path uses `e_i^{(0)}` (Lemma 5.2).
+    pub fn decode(&self, path: &Path) -> Vec<bool> {
+        (0..self.num_bits())
+            .map(|i| !path.contains_edge(self.gadget.zero_edge(i)))
+            .collect()
+    }
+
+    /// Runs one attack round against a path-releasing mechanism: sample a
+    /// uniform secret, encode, invoke the mechanism, decode, score.
+    ///
+    /// # Errors
+    /// Propagates the mechanism's error.
+    pub fn run<E>(
+        &self,
+        rng: &mut impl Rng,
+        mechanism: impl FnOnce(&Topology, &EdgeWeights) -> Result<Path, E>,
+    ) -> Result<ReconstructionOutcome, E> {
+        let bits = random_bits(self.num_bits(), rng);
+        let w = self.encode(&bits);
+        let path = mechanism(self.topology(), &w)?;
+        let guess = self.decode(&path);
+        Ok(ReconstructionOutcome {
+            n: self.num_bits(),
+            hamming: hamming(&bits, &guess),
+            objective_error: w.path_weight(&path),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shortest paths, simple-graph variant
+// ---------------------------------------------------------------------------
+
+/// The simple-graph (subdivided) variant of [`PathAttack`], realizing the
+/// paper's remark that the multigraph gadget becomes a simple graph at a
+/// factor-2 cost in the bound.
+#[derive(Clone, Debug)]
+pub struct SimplePathAttack {
+    gadget: SimpleParallelPathGadget,
+}
+
+impl SimplePathAttack {
+    /// An attack instance over `n` secret bits.
+    pub fn new(n: usize) -> Self {
+        SimplePathAttack { gadget: SimpleParallelPathGadget::new(n) }
+    }
+
+    /// The public gadget topology.
+    pub fn topology(&self) -> &Topology {
+        self.gadget.topology()
+    }
+
+    /// Query source.
+    pub fn s(&self) -> NodeId {
+        self.gadget.s()
+    }
+
+    /// Query target.
+    pub fn t(&self) -> NodeId {
+        self.gadget.t()
+    }
+
+    /// Number of secret bits.
+    pub fn num_bits(&self) -> usize {
+        self.gadget.num_bits()
+    }
+
+    /// Encodes `x`: the chosen branch weighs 0; the other branch carries
+    /// weight 1 on its first edge (so one bit flip moves `w` by 2 in `l1`,
+    /// as in the multigraph gadget).
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != num_bits()`.
+    pub fn encode(&self, bits: &[bool]) -> EdgeWeights {
+        assert_eq!(bits.len(), self.num_bits());
+        let mut w = EdgeWeights::zeros(self.topology().num_edges());
+        for (i, &bit) in bits.iter().enumerate() {
+            let other_side = u8::from(!bit);
+            let [first, _] = self.gadget.branch_edges(i, other_side);
+            w.set(first, 1.0);
+        }
+        w
+    }
+
+    /// Decodes a released path by which middle vertex it visits per bit.
+    pub fn decode(&self, path: &Path) -> Vec<bool> {
+        (0..self.num_bits())
+            .map(|i| {
+                let m1 = self.gadget.middle_vertex(i, 1);
+                path.nodes().contains(&m1)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MST (Figure 3 left, Lemma B.2, Theorem B.1)
+// ---------------------------------------------------------------------------
+
+/// The MST reconstruction attack on the star gadget.
+#[derive(Clone, Debug)]
+pub struct MstAttack {
+    gadget: StarGadget,
+}
+
+impl MstAttack {
+    /// An attack instance over `n` secret bits.
+    pub fn new(n: usize) -> Self {
+        MstAttack { gadget: StarGadget::new(n) }
+    }
+
+    /// The public gadget topology.
+    pub fn topology(&self) -> &Topology {
+        self.gadget.topology()
+    }
+
+    /// Number of secret bits.
+    pub fn num_bits(&self) -> usize {
+        self.gadget.num_bits()
+    }
+
+    /// Encodes `x` as in [`PathAttack::encode`]: per spoke, the `x_i` edge
+    /// weighs 0 and the other weighs 1.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != num_bits()`.
+    pub fn encode(&self, bits: &[bool]) -> EdgeWeights {
+        assert_eq!(bits.len(), self.num_bits());
+        let mut w = EdgeWeights::zeros(self.topology().num_edges());
+        for (i, &bit) in bits.iter().enumerate() {
+            if bit {
+                w.set(self.gadget.zero_edge(i), 1.0);
+            } else {
+                w.set(self.gadget.one_edge(i), 1.0);
+            }
+        }
+        w
+    }
+
+    /// Decodes a released spanning tree: `y_i = 0` iff the tree uses
+    /// `e_i^{(0)}` (Lemma B.2).
+    pub fn decode(&self, tree_edges: &[EdgeId]) -> Vec<bool> {
+        (0..self.num_bits())
+            .map(|i| !tree_edges.contains(&self.gadget.zero_edge(i)))
+            .collect()
+    }
+
+    /// Runs one attack round against a spanning-tree-releasing mechanism.
+    ///
+    /// # Errors
+    /// Propagates the mechanism's error.
+    pub fn run<E>(
+        &self,
+        rng: &mut impl Rng,
+        mechanism: impl FnOnce(&Topology, &EdgeWeights) -> Result<Vec<EdgeId>, E>,
+    ) -> Result<ReconstructionOutcome, E> {
+        let bits = random_bits(self.num_bits(), rng);
+        let w = self.encode(&bits);
+        let edges = mechanism(self.topology(), &w)?;
+        let guess = self.decode(&edges);
+        let objective_error = edges.iter().map(|&e| w.get(e)).sum();
+        Ok(ReconstructionOutcome {
+            n: self.num_bits(),
+            hamming: hamming(&bits, &guess),
+            objective_error,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matching (Figure 3 right, Lemma B.5, Theorem B.4)
+// ---------------------------------------------------------------------------
+
+/// The perfect-matching reconstruction attack on the hourglass gadgets.
+#[derive(Clone, Debug)]
+pub struct MatchingAttack {
+    gadget: HourglassGadget,
+}
+
+impl MatchingAttack {
+    /// An attack instance over `n` secret bits.
+    pub fn new(n: usize) -> Self {
+        MatchingAttack { gadget: HourglassGadget::new(n) }
+    }
+
+    /// The public gadget topology.
+    pub fn topology(&self) -> &Topology {
+        self.gadget.topology()
+    }
+
+    /// Number of secret bits.
+    pub fn num_bits(&self) -> usize {
+        self.gadget.num_bits()
+    }
+
+    /// Encodes `x` per Lemma B.5: in gadget `c`, the edge from `(0,1,c)`
+    /// to `(1, 1 - x_c, c)` weighs 1; the other three edges weigh 0.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != num_bits()`.
+    pub fn encode(&self, bits: &[bool]) -> EdgeWeights {
+        assert_eq!(bits.len(), self.num_bits());
+        let mut w = EdgeWeights::zeros(self.topology().num_edges());
+        for (c, &bit) in bits.iter().enumerate() {
+            let bp = u8::from(!bit); // 1 - x_c
+            w.set(self.gadget.edge(c, 1, bp), 1.0);
+        }
+        w
+    }
+
+    /// Decodes a released perfect matching: `y_c = 0` iff the edge
+    /// `(0,1,c)-(1,0,c)` is matched (Lemma B.5).
+    pub fn decode(&self, matching_edges: &[EdgeId]) -> Vec<bool> {
+        (0..self.num_bits())
+            .map(|c| !matching_edges.contains(&self.gadget.edge(c, 1, 0)))
+            .collect()
+    }
+
+    /// Runs one attack round against a matching-releasing mechanism.
+    ///
+    /// # Errors
+    /// Propagates the mechanism's error.
+    pub fn run<E>(
+        &self,
+        rng: &mut impl Rng,
+        mechanism: impl FnOnce(&Topology, &EdgeWeights) -> Result<Vec<EdgeId>, E>,
+    ) -> Result<ReconstructionOutcome, E> {
+        let bits = random_bits(self.num_bits(), rng);
+        let w = self.encode(&bits);
+        let edges = mechanism(self.topology(), &w)?;
+        let guess = self.decode(&edges);
+        let objective_error = edges.iter().map(|&e| w.get(e)).sum();
+        Ok(ReconstructionOutcome {
+            n: self.num_bits(),
+            hamming: hamming(&bits, &guess),
+            objective_error,
+        })
+    }
+}
+
+/// Theorem 5.1's lower bound
+/// `alpha = (V - 1) (1 - (1 + e^eps) delta) / (1 + e^{2 eps})` on the
+/// expected error of any `(eps, delta)`-DP shortest-path release on the
+/// Figure 2 gadget with `V - 1 = n` bits. The same expression (with `n`
+/// bits) bounds the MST gadget (Theorem B.1); the matching bound
+/// (Theorem B.4) is `n = V/4` gadget bits.
+pub fn thm51_alpha_bits(n_bits: usize, eps: Epsilon, delta: Delta) -> f64 {
+    let e = eps.value();
+    n_bits as f64 * (1.0 - (1.0 + e.exp()) * delta.value()) / (1.0 + (2.0 * e).exp())
+}
+
+/// Sanity helper used by the experiments: the *trivially non-private*
+/// exact mechanism (zero-noise shortest path) against which the attacks
+/// demonstrate blatant non-privacy.
+///
+/// # Errors
+/// Returns [`CoreError::Graph`] if `s` and `t` are disconnected.
+pub fn exact_shortest_path(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    s: NodeId,
+    t: NodeId,
+) -> Result<Path, CoreError> {
+    let spt = privpath_graph::algo::dijkstra(topo, weights, s)?;
+    spt.path_to(t)
+        .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected { from: s, to: t }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{private_matching, MatchingParams};
+    use crate::mst::{private_mst, MstParams};
+    use crate::shortest_path::{private_shortest_paths, ShortestPathParams};
+    use privpath_graph::algo::minimum_spanning_forest;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(&[true, false], &[true, true]), 1);
+        assert_eq!(hamming(&[], &[]), 0);
+    }
+
+    #[test]
+    fn path_attack_roundtrip_on_exact_release() {
+        // Blatant non-privacy: the exact shortest path reveals x entirely.
+        let attack = PathAttack::new(16);
+        let mut rng = StdRng::seed_from_u64(60);
+        for _ in 0..5 {
+            let bits = random_bits(16, &mut rng);
+            let w = attack.encode(&bits);
+            // Neighboring-encoding check: flipping one bit moves w by 2.
+            let mut flipped = bits.clone();
+            flipped[3] = !flipped[3];
+            assert_eq!(w.l1_distance(&attack.encode(&flipped)), 2.0);
+
+            let path = exact_shortest_path(attack.topology(), &w, attack.s(), attack.t()).unwrap();
+            assert_eq!(w.path_weight(&path), 0.0);
+            assert_eq!(attack.decode(&path), bits);
+        }
+    }
+
+    #[test]
+    fn path_attack_fails_against_algorithm_3() {
+        // Against the eps-DP mechanism at small eps the reconstruction
+        // hovers near 50% — privacy, verified adversarially.
+        let attack = PathAttack::new(64);
+        let mut rng = StdRng::seed_from_u64(61);
+        let params = ShortestPathParams::new(eps(0.1), 0.1).unwrap();
+        let mut total_rate = 0.0;
+        let trials = 20;
+        for t in 0..trials {
+            let outcome = attack
+                .run(&mut rng, |topo, w| {
+                    let mut mech_rng = StdRng::seed_from_u64(4000 + t);
+                    let release = private_shortest_paths(topo, w, &params, &mut mech_rng)?;
+                    release.path(attack.s(), attack.t())
+                })
+                .unwrap();
+            total_rate += outcome.hamming_rate();
+        }
+        let mean_rate = total_rate / trials as f64;
+        assert!(
+            (mean_rate - 0.5).abs() < 0.1,
+            "mean reconstruction rate {mean_rate}, expected ~0.5"
+        );
+    }
+
+    #[test]
+    fn path_attack_error_exceeds_alpha_for_dp_mechanism() {
+        // Theorem 5.1: expected path error must be at least alpha.
+        let n = 64;
+        let attack = PathAttack::new(n);
+        let mut rng = StdRng::seed_from_u64(62);
+        let e = eps(0.1);
+        let params = ShortestPathParams::new(e, 0.1).unwrap();
+        let alpha = thm51_alpha_bits(n, e, Delta::zero());
+        let trials = 20;
+        let mut total_err = 0.0;
+        for t in 0..trials {
+            let outcome = attack
+                .run(&mut rng, |topo, w| {
+                    let mut mech_rng = StdRng::seed_from_u64(8800 + t);
+                    let release = private_shortest_paths(topo, w, &params, &mut mech_rng)?;
+                    release.path(attack.s(), attack.t())
+                })
+                .unwrap();
+            total_err += outcome.objective_error;
+        }
+        let mean_err = total_err / trials as f64;
+        assert!(
+            mean_err >= alpha * 0.8,
+            "mean error {mean_err} below alpha {alpha} — impossible for a DP mechanism"
+        );
+    }
+
+    #[test]
+    fn simple_path_attack_roundtrip() {
+        let attack = SimplePathAttack::new(8);
+        let mut rng = StdRng::seed_from_u64(63);
+        let bits = random_bits(8, &mut rng);
+        let w = attack.encode(&bits);
+        let mut flipped = bits.clone();
+        flipped[0] = !flipped[0];
+        assert_eq!(w.l1_distance(&attack.encode(&flipped)), 2.0);
+        let path = exact_shortest_path(attack.topology(), &w, attack.s(), attack.t()).unwrap();
+        assert_eq!(w.path_weight(&path), 0.0);
+        assert_eq!(attack.decode(&path), bits);
+    }
+
+    #[test]
+    fn mst_attack_roundtrip_and_dp_resistance() {
+        let attack = MstAttack::new(32);
+        let mut rng = StdRng::seed_from_u64(64);
+        // Exact MST reveals everything.
+        let bits = random_bits(32, &mut rng);
+        let w = attack.encode(&bits);
+        let forest = minimum_spanning_forest(attack.topology(), &w).unwrap();
+        assert_eq!(attack.decode(&forest.edges), bits);
+        assert_eq!(forest.total_weight, 0.0);
+
+        // DP MST resists.
+        let params = MstParams::new(eps(0.1));
+        let mut total_rate = 0.0;
+        let trials = 15;
+        for t in 0..trials {
+            let outcome = attack
+                .run(&mut rng, |topo, w| {
+                    let mut mech_rng = StdRng::seed_from_u64(2200 + t);
+                    private_mst(topo, w, &params, &mut mech_rng).map(|r| r.edges().to_vec())
+                })
+                .unwrap();
+            total_rate += outcome.hamming_rate();
+        }
+        let mean = total_rate / trials as f64;
+        assert!((mean - 0.5).abs() < 0.12, "MST reconstruction rate {mean}");
+    }
+
+    #[test]
+    fn matching_attack_roundtrip_and_dp_resistance() {
+        let attack = MatchingAttack::new(24);
+        let mut rng = StdRng::seed_from_u64(65);
+        let bits = random_bits(24, &mut rng);
+        let w = attack.encode(&bits);
+        let m = privpath_graph::algo::min_weight_perfect_matching(attack.topology(), &w).unwrap();
+        assert_eq!(m.total_weight, 0.0);
+        assert_eq!(attack.decode(&m.edges), bits);
+
+        let params = MatchingParams::new(eps(0.1));
+        let mut total_rate = 0.0;
+        let trials = 15;
+        for t in 0..trials {
+            let outcome = attack
+                .run(&mut rng, |topo, w| {
+                    let mut mech_rng = StdRng::seed_from_u64(3300 + t);
+                    private_matching(topo, w, &params, &mut mech_rng).map(|r| r.edges().to_vec())
+                })
+                .unwrap();
+            total_rate += outcome.hamming_rate();
+        }
+        let mean = total_rate / trials as f64;
+        assert!((mean - 0.5).abs() < 0.12, "matching reconstruction rate {mean}");
+    }
+
+    #[test]
+    fn alpha_formula() {
+        // Small eps, delta = 0: alpha -> n / 2.
+        let a = thm51_alpha_bits(100, eps(1e-9), Delta::zero());
+        assert!((a - 50.0).abs() < 1e-3);
+        // The paper: for sufficiently small eps and delta, alpha >= 0.49 n.
+        let a = thm51_alpha_bits(100, eps(0.01), Delta::new(1e-6).unwrap());
+        assert!(a >= 49.0);
+        // Large eps: alpha vanishes.
+        let a = thm51_alpha_bits(100, eps(10.0), Delta::zero());
+        assert!(a < 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Every theorem's error bound as an executable formula.
+//!
+//! The experiment harness and the statistical tests compare measured errors
+//! against these predictions. Conventions: `log` is the natural logarithm
+//! (matching the Laplace tail `Pr[|Y| > t b] = e^{-t}`); recursion depths
+//! use `ceil(log2 V)` (Algorithm 1 halves piece sizes). Each function
+//! documents the exact expression it computes, so the constants are pinned
+//! down rather than hidden in `O(·)`.
+
+use privpath_dp::concentration::laplace_sum_bound;
+use privpath_dp::{Delta, Epsilon};
+
+/// `ceil(log2 v)`, at least 1 — the recursion-depth / level-count bound
+/// shared by Algorithm 1 and the path-graph hierarchy.
+pub fn log2_ceil(v: usize) -> usize {
+    if v <= 2 {
+        1
+    } else {
+        (usize::BITS - (v - 1).leading_zeros()) as usize
+    }
+}
+
+/// Theorem 4.1 (single-source tree distances): with probability
+/// `1 - gamma` each released distance errs by at most the Lemma 3.1 bound
+/// for `2 L` independent `Lap(L / eps)` terms, `L = ceil(log2 V)`:
+/// `4 (L / eps) sqrt(2 L ln(2 / gamma))` — the `O(log^{1.5} V log(1/gamma)
+/// / eps)` of the paper.
+pub fn thm41_single_source_tree(v: usize, eps: f64, gamma: f64) -> f64 {
+    let l = log2_ceil(v) as f64;
+    laplace_sum_bound(l / eps, 2 * log2_ceil(v), gamma)
+        .expect("validated parameters")
+        .max(0.0)
+}
+
+/// Theorem 4.2 (all-pairs tree distances): each pair combines three
+/// single-source estimates (`x`, `y`, and their LCA twice), so a union
+/// bound over all `V(V-1)/2` pairs gives, with probability `1 - gamma`,
+/// per-pair error at most `4x` the single-source bound at confidence
+/// `gamma / pairs` — the paper's extra `log V` factor.
+pub fn thm42_all_pairs_tree(v: usize, eps: f64, gamma: f64) -> f64 {
+    let pairs = (v * v.saturating_sub(1) / 2).max(1) as f64;
+    4.0 * thm41_single_source_tree(v, eps, gamma / pairs)
+}
+
+/// Theorem 5.5 (Algorithm 3, hop-dependent): with probability `1 - gamma`,
+/// against any `k`-hop competitor path the released path's excess true
+/// weight is at most `(2 k / eps) ln(E / gamma)`.
+pub fn thm55_path_error(k_hops: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
+    (2.0 * k_hops as f64 / eps) * ((num_edges as f64) / gamma).ln().max(0.0)
+}
+
+/// Corollary 5.6 (Algorithm 3, worst case): every pair simultaneously errs
+/// by at most `(2 V / eps) ln(E / gamma)`.
+pub fn cor56_worst_case(v: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
+    thm55_path_error(v, eps, num_edges, gamma)
+}
+
+/// Theorem 5.1 (shortest-path lower bound): any `(eps, delta)`-DP release
+/// on the Figure 2 gadget has expected error at least
+/// `(V - 1) (1 - (1 + e^eps) delta) / (1 + e^{2 eps})` for some input.
+pub fn thm51_alpha(v: usize, eps: Epsilon, delta: Delta) -> f64 {
+    crate::attack::thm51_alpha_bits(v.saturating_sub(1), eps, delta)
+}
+
+/// Theorem 4.5 / Algorithm 2 utility, parameterized by the mechanism's
+/// actual per-value noise scale: with probability `1 - gamma`, per-pair
+/// error at most `2 k M + noise_scale * ln(num_released / gamma)` (detour
+/// plus the union bound over released values).
+pub fn bounded_error(
+    k: usize,
+    max_weight: f64,
+    noise_scale: f64,
+    num_released: usize,
+    gamma: f64,
+) -> f64 {
+    let union = if num_released == 0 {
+        0.0
+    } else {
+        noise_scale * ((num_released as f64) / gamma).ln().max(0.0)
+    };
+    2.0 * k as f64 * max_weight + union
+}
+
+/// Theorem 4.3's headline rate for the approximate-DP variant:
+/// `sqrt(V M / eps) * (detour + noise)` shape, evaluated with the paper's
+/// `k = floor(sqrt(V / (M eps)))` and `|Z| <= V / (k + 1)`; noise scale
+/// `~ Z sqrt(2 ln(1/delta)) / eps`. Used as the *shape* reference in
+/// experiment plots.
+pub fn thm43_approx_rate(v: usize, max_weight: f64, eps: f64, delta: f64, gamma: f64) -> f64 {
+    let k = ((v as f64 / (max_weight * eps)).sqrt().floor() as usize).clamp(1, v.max(2) - 1);
+    let z = (v / (k + 1)).max(1);
+    let noise_scale = z as f64 * (2.0 * (1.0 / delta).ln()).sqrt() / eps;
+    bounded_error(k, max_weight, noise_scale, z * z, gamma)
+}
+
+/// Theorem B.3 (private MST): with probability `1 - gamma` the released
+/// tree's true weight exceeds the optimum by at most
+/// `2 (V - 1) (1 / eps) ln(E / gamma)`.
+pub fn thm_b3_mst_error(v: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
+    2.0 * (v.saturating_sub(1) as f64) / eps * ((num_edges as f64) / gamma).ln().max(0.0)
+}
+
+/// Theorem B.6 (private matching): with probability `1 - gamma` the
+/// released perfect matching's true weight exceeds the optimum by at most
+/// `(V / eps) ln(E / gamma)`.
+pub fn thm_b6_matching_error(v: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
+    (v as f64) / eps * ((num_edges as f64) / gamma).ln().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 1);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn tree_bounds_scale_polylog() {
+        // Doubling V multiplies the bound by ~(L+1/L)^{1.5}, far below 2.
+        let b1 = thm41_single_source_tree(1 << 10, 1.0, 0.05);
+        let b2 = thm41_single_source_tree(1 << 11, 1.0, 0.05);
+        assert!(b2 > b1);
+        assert!(b2 / b1 < 1.3, "ratio {}", b2 / b1);
+        // All-pairs bound exceeds single-source.
+        assert!(thm42_all_pairs_tree(1024, 1.0, 0.05) > b1);
+    }
+
+    #[test]
+    fn path_error_linear_in_hops() {
+        let b1 = thm55_path_error(4, 1.0, 100, 0.1);
+        let b2 = thm55_path_error(8, 1.0, 100, 0.1);
+        assert!((b2 / b1 - 2.0).abs() < 1e-12);
+        assert_eq!(cor56_worst_case(50, 1.0, 100, 0.1), thm55_path_error(50, 1.0, 100, 0.1));
+    }
+
+    #[test]
+    fn alpha_is_half_v_for_tiny_eps() {
+        let a = thm51_alpha(
+            101,
+            Epsilon::new(1e-9).unwrap(),
+            Delta::zero(),
+        );
+        assert!((a - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bounded_error_components() {
+        let b = bounded_error(3, 2.0, 0.0_f64.max(1.0), 100, 0.1);
+        assert!(b > 12.0); // detour part alone is 2*3*2 = 12
+        let detour_only = bounded_error(3, 2.0, 1.0, 0, 0.1);
+        assert_eq!(detour_only, 12.0);
+    }
+
+    #[test]
+    fn thm43_rate_grows_sublinearly() {
+        let r1 = thm43_approx_rate(1 << 8, 1.0, 1.0, 1e-6, 0.1);
+        let r2 = thm43_approx_rate(1 << 10, 1.0, 1.0, 1e-6, 0.1);
+        // sqrt scaling: quadrupling V should roughly double the rate, not 4x.
+        assert!(r2 / r1 < 3.0, "ratio {}", r2 / r1);
+        assert!(r2 > r1);
+    }
+
+    #[test]
+    fn mst_and_matching_bounds() {
+        let mst = thm_b3_mst_error(10, 1.0, 20, 0.1);
+        assert!((mst - 2.0 * 9.0 * (200.0f64).ln()).abs() < 1e-9);
+        let m = thm_b6_matching_error(10, 1.0, 20, 0.1);
+        assert!((m - 10.0 * (200.0f64).ln()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the mechanism layer.
+
+use privpath_dp::DpError;
+use privpath_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the paper's mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A substrate graph error (invalid ids, disconnected query, ...).
+    Graph(GraphError),
+    /// A privacy-parameter error.
+    Dp(DpError),
+    /// The mechanism requires the canonical path graph (`path_graph(n)`'s
+    /// layout) but was given something else.
+    NotAPathGraph(String),
+    /// Weights violate the bounded-weight model `w : E -> [0, M]`.
+    WeightOutOfBounds {
+        /// The violating value.
+        value: f64,
+        /// The stated maximum `M`.
+        max_weight: f64,
+    },
+    /// A mechanism parameter was outside its documented domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Dp(e) => write!(f, "privacy error: {e}"),
+            CoreError::NotAPathGraph(msg) => {
+                write!(f, "mechanism requires the canonical path graph: {msg}")
+            }
+            CoreError::WeightOutOfBounds { value, max_weight } => {
+                write!(f, "weight {value} outside the bounded-weight range [0, {max_weight}]")
+            }
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<DpError> for CoreError {
+    fn from(e: DpError) -> Self {
+        CoreError::Dp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let g: CoreError = GraphError::EmptyGraph.into();
+        assert!(matches!(g, CoreError::Graph(_)));
+        assert!(g.source().is_some());
+
+        let d: CoreError = DpError::InvalidEpsilon(0.0).into();
+        assert!(matches!(d, CoreError::Dp(_)));
+        assert!(d.to_string().contains("epsilon"));
+    }
+
+    #[test]
+    fn bounded_weight_message() {
+        let e = CoreError::WeightOutOfBounds { value: 3.0, max_weight: 1.0 };
+        assert!(e.to_string().contains("[0, 1]"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Error statistics shared by the experiment harness and the statistical
+//! tests.
+
+/// Summary statistics of a set of absolute errors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl ErrorStats {
+    /// Computes the statistics of `errors` (absolute values are **not**
+    /// taken; pass `|err|` if that is what you mean).
+    ///
+    /// # Panics
+    /// Panics if `errors` is empty or contains NaN.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "cannot summarize zero samples");
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors must not contain NaN"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let q = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        ErrorStats {
+            count,
+            max: *sorted.last().expect("non-empty"),
+            mean,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// Incrementally collects error samples across trials.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorCollector {
+    samples: Vec<f64>,
+}
+
+impl ErrorCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one error sample.
+    pub fn push(&mut self, err: f64) {
+        self.samples.push(err);
+    }
+
+    /// Records many error samples.
+    pub fn extend(&mut self, errs: impl IntoIterator<Item = f64>) {
+        self.samples.extend(errs);
+    }
+
+    /// Number of samples so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the collector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summarizes the collected samples.
+    ///
+    /// # Panics
+    /// Panics if no samples were collected.
+    pub fn stats(&self) -> ErrorStats {
+        ErrorStats::from_errors(&self.samples)
+    }
+
+    /// The fraction of samples exceeding `bound` — the empirical failure
+    /// probability to compare against a theorem's `gamma`.
+    pub fn exceed_fraction(&self, bound: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&e| e > bound).count() as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sequence() {
+        let errors: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = ErrorStats::from_errors(&errors);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, 51.0); // index round(99 * 0.5) = 50 -> value 51
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = ErrorStats::from_errors(&[3.5]);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.p99, 3.5);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_panics() {
+        let _ = ErrorStats::from_errors(&[]);
+    }
+
+    #[test]
+    fn collector_flow() {
+        let mut c = ErrorCollector::new();
+        assert!(c.is_empty());
+        c.push(1.0);
+        c.extend([2.0, 3.0]);
+        assert_eq!(c.len(), 3);
+        let s = c.stats();
+        assert_eq!(s.max, 3.0);
+        assert!((c.exceed_fraction(1.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.exceed_fraction(10.0), 0.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Appendix B.2: private low-weight perfect matching.
+//!
+//! Theorem B.6: add `Lap(s/eps)` noise to every edge and release the
+//! minimum-weight perfect matching of the noisy graph — post-processing of
+//! one Laplace mechanism, hence `eps`-DP. With probability `1 - gamma` the
+//! released matching's true weight exceeds the optimum by at most
+//! `(V s / eps) ln(E/gamma)` (a perfect matching has `V/2` edges; each
+//! contributes at most twice the per-edge noise bound). Theorem B.4 shows
+//! `Ω(V)` error is unavoidable (see [`crate::attack::MatchingAttack`]).
+//! Edge weights may be negative.
+
+use crate::model::NeighborScale;
+use crate::CoreError;
+use privpath_dp::{Epsilon, NoiseSource, RngNoise};
+use privpath_graph::algo::{min_weight_perfect_matching, Matching};
+use privpath_graph::{EdgeId, EdgeWeights, Topology};
+use rand::Rng;
+
+/// Parameters for [`private_matching`].
+#[derive(Clone, Copy, Debug)]
+pub struct MatchingParams {
+    eps: Epsilon,
+    scale: NeighborScale,
+}
+
+impl MatchingParams {
+    /// Privacy `eps` at unit neighbor scale.
+    pub fn new(eps: Epsilon) -> Self {
+        MatchingParams { eps, scale: NeighborScale::unit() }
+    }
+
+    /// Overrides the neighbor scale.
+    pub fn with_scale(mut self, scale: NeighborScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The privacy parameter.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+}
+
+/// The released perfect matching (Appendix B.2).
+#[derive(Clone, Debug)]
+pub struct MatchingRelease {
+    matching: Matching,
+    noise_scale: f64,
+}
+
+impl MatchingRelease {
+    /// The released matching's edges.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.matching.edges
+    }
+
+    /// The released matching (weight evaluated on the *noisy* graph).
+    pub fn matching(&self) -> &Matching {
+        &self.matching
+    }
+
+    /// The Laplace scale applied per edge.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Evaluates the released matching under (true) `weights` — the
+    /// utility metric of Theorem B.6.
+    pub fn weight_under(&self, weights: &EdgeWeights) -> f64 {
+        self.matching.weight_under(weights)
+    }
+}
+
+/// Releases a low-weight perfect matching with an explicit noise source.
+///
+/// # Errors
+/// * [`CoreError::Graph`] on weight mismatch, if no perfect matching
+///   exists, or if a non-bipartite component exceeds the exact solver's
+///   size limit.
+pub fn private_matching_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &MatchingParams,
+    noise: &mut impl NoiseSource,
+) -> Result<MatchingRelease, CoreError> {
+    weights.validate_for(topo)?;
+    let b = params.scale.value() / params.eps.value();
+    let noisy = weights.map(|_, w| w + noise.laplace(b));
+    let matching = min_weight_perfect_matching(topo, &noisy)?;
+    Ok(MatchingRelease { matching, noise_scale: b })
+}
+
+/// Releases a low-weight perfect matching drawing noise from `rng`.
+///
+/// # Errors
+/// Same conditions as [`private_matching_with`].
+pub fn private_matching(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &MatchingParams,
+    rng: &mut impl Rng,
+) -> Result<MatchingRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    private_matching_with(topo, weights, params, &mut noise)
+}
+
+/// The matching objective to optimize privately. The paper notes its
+/// Appendix B.2 results carry over verbatim to all four variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchingObjective {
+    /// Minimum-weight perfect matching (the default of
+    /// [`private_matching`]).
+    MinPerfect,
+    /// Minimum-weight matching, not required to be perfect (optimum is
+    /// always `<= 0`; only negative edges are ever chosen).
+    MinAny,
+    /// Maximum-weight perfect matching.
+    MaxPerfect,
+    /// Maximum-weight matching, not required to be perfect.
+    MaxAny,
+}
+
+/// Releases a matching optimizing `objective` on Laplace-noised weights —
+/// post-processing of the same mechanism as [`private_matching_with`],
+/// hence `eps`-DP for every objective.
+///
+/// # Errors
+/// * [`CoreError::Graph`] on weight mismatch; for the perfect variants,
+///   also when no perfect matching exists or a non-bipartite component
+///   exceeds the exact-solver limit.
+pub fn private_matching_objective_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &MatchingParams,
+    objective: MatchingObjective,
+    noise: &mut impl NoiseSource,
+) -> Result<MatchingRelease, CoreError> {
+    weights.validate_for(topo)?;
+    let b = params.scale.value() / params.eps.value();
+    let noisy = weights.map(|_, w| w + noise.laplace(b));
+    let matching = match objective {
+        MatchingObjective::MinPerfect => min_weight_perfect_matching(topo, &noisy)?,
+        MatchingObjective::MinAny => {
+            privpath_graph::algo::min_weight_matching(topo, &noisy)?
+        }
+        MatchingObjective::MaxPerfect => {
+            privpath_graph::algo::max_weight_perfect_matching(topo, &noisy)?
+        }
+        MatchingObjective::MaxAny => {
+            privpath_graph::algo::max_weight_matching(topo, &noisy)?
+        }
+    };
+    Ok(MatchingRelease { matching, noise_scale: b })
+}
+
+/// Objective-selecting release drawing noise from `rng`.
+///
+/// # Errors
+/// Same conditions as [`private_matching_objective_with`].
+pub fn private_matching_objective(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &MatchingParams,
+    objective: MatchingObjective,
+    rng: &mut impl Rng,
+) -> Result<MatchingRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    private_matching_objective_with(topo, weights, params, objective, &mut noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_dp::{RecordingNoise, ZeroNoise};
+    use privpath_graph::generators::{uniform_weights, HourglassGadget};
+    use privpath_graph::NodeId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn params(e: f64) -> MatchingParams {
+        MatchingParams::new(Epsilon::new(e).unwrap())
+    }
+
+    /// A complete bipartite K_{n,n} topology: left 0..n, right n..2n.
+    fn complete_bipartite(n: usize) -> Topology {
+        let mut b = Topology::builder(2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                b.add_edge(NodeId::new(i), NodeId::new(n + j));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn zero_noise_releases_true_optimum() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let topo = complete_bipartite(6);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let rel = private_matching_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        let truth = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert!((rel.weight_under(&w) - truth.total_weight).abs() < 1e-9);
+        assert!(rel.matching().is_perfect(&topo));
+    }
+
+    #[test]
+    fn hourglass_gadgets_match_privately() {
+        let g = HourglassGadget::new(10);
+        let w = EdgeWeights::constant(g.topology().num_edges(), 1.0);
+        let mut rng = StdRng::seed_from_u64(51);
+        let rel = private_matching(g.topology(), &w, &params(1.0), &mut rng).unwrap();
+        assert!(rel.matching().is_perfect(g.topology()));
+        assert_eq!(rel.edges().len(), 20);
+    }
+
+    #[test]
+    fn noise_audit() {
+        let topo = complete_bipartite(4);
+        let w = EdgeWeights::constant(topo.num_edges(), 1.0);
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let rel = private_matching_with(&topo, &w, &params(4.0), &mut rec).unwrap();
+        assert_eq!(rec.len(), topo.num_edges());
+        assert!((rel.noise_scale() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_within_thm_b6_bound_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let topo = complete_bipartite(8); // V = 16
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let truth = min_weight_perfect_matching(&topo, &w).unwrap().total_weight;
+        let gamma = 0.1;
+        let bound = crate::bounds::thm_b6_matching_error(16, 1.0, topo.num_edges(), gamma);
+        let trials = 30;
+        let mut violations = 0;
+        for t in 0..trials {
+            let mut trial_rng = StdRng::seed_from_u64(7000 + t);
+            let rel = private_matching(&topo, &w, &params(1.0), &mut trial_rng).unwrap();
+            let err = rel.weight_under(&w) - truth;
+            assert!(err >= -1e-9, "released matching beat the optimum");
+            if err > bound {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 6, "{violations}/{trials} violations");
+    }
+
+    #[test]
+    fn no_perfect_matching_propagates() {
+        let topo = privpath_graph::generators::star_graph(4);
+        let w = EdgeWeights::constant(3, 1.0);
+        assert!(matches!(
+            private_matching_with(&topo, &w, &params(1.0), &mut ZeroNoise),
+            Err(CoreError::Graph(privpath_graph::GraphError::NoPerfectMatching))
+        ));
+    }
+
+    #[test]
+    fn objective_variants_zero_noise_match_exact_optima() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let topo = complete_bipartite(5);
+        // Mixed-sign weights so the non-perfect variants are non-trivial.
+        let w = EdgeWeights::new(
+            (0..topo.num_edges())
+                .map(|_| rng.gen::<f64>() * 10.0 - 5.0)
+                .collect(),
+        )
+        .unwrap();
+        use privpath_graph::algo as galgo;
+
+        let cases: [(MatchingObjective, f64); 4] = [
+            (
+                MatchingObjective::MinPerfect,
+                galgo::min_weight_perfect_matching(&topo, &w).unwrap().total_weight,
+            ),
+            (
+                MatchingObjective::MinAny,
+                galgo::min_weight_matching(&topo, &w).unwrap().total_weight,
+            ),
+            (
+                MatchingObjective::MaxPerfect,
+                galgo::max_weight_perfect_matching(&topo, &w).unwrap().total_weight,
+            ),
+            (
+                MatchingObjective::MaxAny,
+                galgo::max_weight_matching(&topo, &w).unwrap().total_weight,
+            ),
+        ];
+        for (objective, expected) in cases {
+            let rel = private_matching_objective_with(
+                &topo,
+                &w,
+                &params(1.0),
+                objective,
+                &mut ZeroNoise,
+            )
+            .unwrap();
+            assert!(
+                (rel.weight_under(&w) - expected).abs() < 1e-9,
+                "{objective:?}: {} vs {expected}",
+                rel.weight_under(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn objective_ordering_holds() {
+        // MinAny <= MinPerfect and MaxAny >= MaxPerfect on the true
+        // weights under zero noise.
+        let mut rng = StdRng::seed_from_u64(54);
+        let topo = complete_bipartite(6);
+        let w = EdgeWeights::new(
+            (0..topo.num_edges())
+                .map(|_| rng.gen::<f64>() * 8.0 - 4.0)
+                .collect(),
+        )
+        .unwrap();
+        let value = |obj| {
+            private_matching_objective_with(&topo, &w, &params(1.0), obj, &mut ZeroNoise)
+                .unwrap()
+                .weight_under(&w)
+        };
+        assert!(value(MatchingObjective::MinAny) <= value(MatchingObjective::MinPerfect) + 1e-9);
+        assert!(value(MatchingObjective::MaxAny) >= value(MatchingObjective::MaxPerfect) - 1e-9);
+        assert!(value(MatchingObjective::MinAny) <= 0.0 + 1e-9);
+        assert!(value(MatchingObjective::MaxAny) >= 0.0 - 1e-9);
+    }
+
+    #[test]
+    fn noisy_objective_release_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let topo = complete_bipartite(4);
+        let w = uniform_weights(topo.num_edges(), 0.0, 4.0, &mut rng);
+        let rel = private_matching_objective(
+            &topo,
+            &w,
+            &params(0.5),
+            MatchingObjective::MinAny,
+            &mut rng,
+        )
+        .unwrap();
+        // A (possibly empty) matching: vertex-disjoint edges.
+        let mut seen = vec![false; topo.num_nodes()];
+        for &e in rel.edges() {
+            let (u, v) = topo.endpoints(e);
+            assert!(!seen[u.index()] && !seen[v.index()]);
+            seen[u.index()] = true;
+            seen[v.index()] = true;
+        }
+    }
+}

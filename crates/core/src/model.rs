@@ -1,0 +1,92 @@
+//! The private edge-weight model (paper Section 2).
+//!
+//! The database is a weight function `w : E -> R+` over a **public**
+//! topology. Two weight functions are *neighboring* (Definition 2.1) when
+//! `||w - w'||_1 <= 1`; an algorithm `A` is `(eps, delta)`-DP on `G`
+//! (Definition 2.2) when for all neighboring `w ~ w'` and output sets `S`,
+//! `Pr[A(w) in S] <= e^eps Pr[A(w') in S] + delta`.
+//!
+//! Because any fixed path's weight changes by at most `||w - w'||_1`, every
+//! *distance* query has global sensitivity 1 in this model — the fact that
+//! powers all of the paper's upper bounds.
+//!
+//! The paper's Section 1.2 "Scaling" remark observes that the neighboring
+//! threshold `1` is an arbitrary unit: if an individual can influence
+//! weights by at most `s` in `l1`, all error bounds scale by `s`.
+//! [`NeighborScale`] carries that unit; every mechanism's parameter struct
+//! embeds one (default 1).
+
+use crate::CoreError;
+use privpath_graph::EdgeWeights;
+
+/// Whether two weight vectors are neighboring at the default unit scale
+/// (`||w - w'||_1 <= 1`, Definition 2.1).
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn are_neighbors(w: &EdgeWeights, w_prime: &EdgeWeights) -> bool {
+    w.l1_distance(w_prime) <= 1.0
+}
+
+/// The neighboring unit of the model: individuals influence the weights by
+/// at most `scale` in `l1` norm (Section 1.2, "Scaling"). Mechanism noise
+/// scales linearly in this value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NeighborScale(f64);
+
+impl NeighborScale {
+    /// The paper's default unit scale of 1.
+    pub fn unit() -> Self {
+        NeighborScale(1.0)
+    }
+
+    /// A custom scale.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] unless `scale` is positive
+    /// and finite.
+    pub fn new(scale: f64) -> Result<Self, CoreError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "neighbor scale must be positive and finite, got {scale}"
+            )));
+        }
+        Ok(NeighborScale(scale))
+    }
+
+    /// The raw scale value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for NeighborScale {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_relation_is_l1_ball() {
+        let a = EdgeWeights::new(vec![1.0, 2.0]).unwrap();
+        let b = EdgeWeights::new(vec![1.5, 2.5]).unwrap();
+        let c = EdgeWeights::new(vec![2.0, 3.0]).unwrap();
+        assert!(are_neighbors(&a, &b)); // l1 = 1.0
+        assert!(!are_neighbors(&a, &c)); // l1 = 2.0
+        assert!(are_neighbors(&a, &a)); // reflexive
+    }
+
+    #[test]
+    fn scale_validation() {
+        assert_eq!(NeighborScale::unit().value(), 1.0);
+        assert_eq!(NeighborScale::default().value(), 1.0);
+        assert!(NeighborScale::new(0.0).is_err());
+        assert!(NeighborScale::new(-2.0).is_err());
+        assert!(NeighborScale::new(f64::NAN).is_err());
+        assert_eq!(NeighborScale::new(0.5).unwrap().value(), 0.5);
+    }
+}

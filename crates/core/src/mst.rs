@@ -1,0 +1,194 @@
+//! Appendix B.1: private almost-minimum spanning tree.
+//!
+//! Theorem B.3: add `Lap(s/eps)` noise to every edge weight and release the
+//! minimum spanning tree of the noisy graph — post-processing of one
+//! Laplace mechanism, hence `eps`-DP. With probability `1 - gamma` every
+//! noise variable is at most `(s/eps) ln(E/gamma)` in magnitude, so the
+//! released tree's *true* weight exceeds the true MST's by at most
+//! `2(V-1)(s/eps) ln(E/gamma)`. Theorem B.1 shows `Ω(V)` error is
+//! unavoidable (see [`crate::attack::MstAttack`]). Edge weights may be
+//! negative (the substrate's Kruskal handles them).
+
+use crate::model::NeighborScale;
+use crate::CoreError;
+use privpath_dp::{Epsilon, NoiseSource, RngNoise};
+use privpath_graph::algo::{minimum_spanning_forest, SpanningForest};
+use privpath_graph::{EdgeId, EdgeWeights, Topology};
+use rand::Rng;
+
+/// Parameters for [`private_mst`].
+#[derive(Clone, Copy, Debug)]
+pub struct MstParams {
+    eps: Epsilon,
+    scale: NeighborScale,
+}
+
+impl MstParams {
+    /// Privacy `eps` at unit neighbor scale.
+    pub fn new(eps: Epsilon) -> Self {
+        MstParams { eps, scale: NeighborScale::unit() }
+    }
+
+    /// Overrides the neighbor scale.
+    pub fn with_scale(mut self, scale: NeighborScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The privacy parameter.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+}
+
+/// The released spanning forest (Appendix B.1).
+#[derive(Clone, Debug)]
+pub struct MstRelease {
+    forest: SpanningForest,
+    noise_scale: f64,
+}
+
+impl MstRelease {
+    /// The released edges.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.forest.edges
+    }
+
+    /// The released forest (weights evaluated on the *noisy* graph).
+    pub fn forest(&self) -> &SpanningForest {
+        &self.forest
+    }
+
+    /// The Laplace scale applied per edge.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Evaluates the released tree under (true) `weights` — the utility
+    /// metric of Theorem B.3. (Calling this with the private weights is an
+    /// *analysis* step, not part of the release.)
+    pub fn weight_under(&self, weights: &EdgeWeights) -> f64 {
+        self.forest.weight_under(weights)
+    }
+}
+
+/// Releases an almost-minimum spanning tree with an explicit noise source.
+///
+/// # Errors
+/// Returns [`CoreError::Graph`] on weight/topology mismatch.
+pub fn private_mst_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &MstParams,
+    noise: &mut impl NoiseSource,
+) -> Result<MstRelease, CoreError> {
+    weights.validate_for(topo)?;
+    let b = params.scale.value() / params.eps.value();
+    let noisy = weights.map(|_, w| w + noise.laplace(b));
+    let forest = minimum_spanning_forest(topo, &noisy)?;
+    Ok(MstRelease { forest, noise_scale: b })
+}
+
+/// Releases an almost-minimum spanning tree drawing noise from `rng`.
+///
+/// ```
+/// use privpath_core::mst::{private_mst, MstParams};
+/// use privpath_dp::Epsilon;
+/// use privpath_graph::generators::{connected_gnm, uniform_weights};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let topo = connected_gnm(40, 120, &mut rng);
+/// let weights = uniform_weights(120, 0.0, 5.0, &mut rng);
+/// let release = private_mst(&topo, &weights, &MstParams::new(Epsilon::new(1.0)?), &mut rng)?;
+/// assert_eq!(release.edges().len(), 39); // a spanning tree
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+/// Same conditions as [`private_mst_with`].
+pub fn private_mst(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &MstParams,
+    rng: &mut impl Rng,
+) -> Result<MstRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    private_mst_with(topo, weights, params, &mut noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_dp::{RecordingNoise, ZeroNoise};
+    use privpath_graph::generators::{complete_graph, connected_gnm, uniform_weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(e: f64) -> MstParams {
+        MstParams::new(Epsilon::new(e).unwrap())
+    }
+
+    #[test]
+    fn zero_noise_releases_true_mst() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let topo = connected_gnm(30, 90, &mut rng);
+        let w = uniform_weights(90, 0.0, 10.0, &mut rng);
+        let rel = private_mst_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        let truth = minimum_spanning_forest(&topo, &w).unwrap();
+        assert!((rel.weight_under(&w) - truth.total_weight).abs() < 1e-9);
+        assert!(rel.forest().is_spanning_tree());
+    }
+
+    #[test]
+    fn noise_audit() {
+        let topo = complete_graph(8);
+        let w = EdgeWeights::constant(topo.num_edges(), 1.0);
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let rel = private_mst_with(&topo, &w, &params(0.5), &mut rec).unwrap();
+        assert_eq!(rec.len(), topo.num_edges());
+        assert!((rel.noise_scale() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_within_thm_b3_bound_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let topo = connected_gnm(40, 120, &mut rng);
+        let w = uniform_weights(120, 0.0, 20.0, &mut rng);
+        let truth = minimum_spanning_forest(&topo, &w).unwrap().total_weight;
+        let gamma = 0.1;
+        let bound = crate::bounds::thm_b3_mst_error(40, 1.0, 120, gamma);
+        let trials = 30;
+        let mut violations = 0;
+        for t in 0..trials {
+            let mut trial_rng = StdRng::seed_from_u64(9000 + t);
+            let rel = private_mst(&topo, &w, &params(1.0), &mut trial_rng).unwrap();
+            if rel.weight_under(&w) - truth > bound {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 6, "{violations}/{trials} violations");
+    }
+
+    #[test]
+    fn released_tree_weight_at_least_optimum() {
+        // The true MST is minimal, so any released tree's true weight is
+        // at least the optimum (error is nonnegative).
+        let mut rng = StdRng::seed_from_u64(42);
+        let topo = connected_gnm(20, 50, &mut rng);
+        let w = uniform_weights(50, 0.0, 5.0, &mut rng);
+        let truth = minimum_spanning_forest(&topo, &w).unwrap().total_weight;
+        for t in 0..10 {
+            let mut trial_rng = StdRng::seed_from_u64(t);
+            let rel = private_mst(&topo, &w, &params(0.5), &mut trial_rng).unwrap();
+            assert!(rel.weight_under(&w) >= truth - 1e-9);
+        }
+    }
+
+    #[test]
+    fn weight_mismatch_rejected() {
+        let topo = complete_graph(4);
+        let w = EdgeWeights::zeros(3);
+        assert!(private_mst_with(&topo, &w, &params(1.0), &mut ZeroNoise).is_err());
+    }
+}

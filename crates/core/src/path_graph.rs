@@ -1,0 +1,618 @@
+//! Appendix A: all-pairs distances on the path graph.
+//!
+//! Releasing all-pairs distances on the path `P_n` is exactly query release
+//! of threshold functions over the edge universe (paper Section 1.2), and
+//! the paper's Appendix A scheme is a restatement of the \[DNPR10\] continual
+//! counting mechanism. Two implementations are provided:
+//!
+//! * [`hub_path_release`] — the paper's hub hierarchy, literally: nested
+//!   vertex sets `S_0 ⊃ S_1 ⊃ ...` with `S_i` holding every
+//!   `branching^i`-th vertex; for each level the mechanism releases noisy
+//!   distances between *consecutive* hubs. A query climbs the hierarchy
+//!   from both ends, touching `O(branching * log V)` released values. The
+//!   paper uses strides `V^{i/k}`; integer strides `branching^i` are the
+//!   general-`V` instantiation (for `V` a power of `branching` they
+//!   coincide), and exposing `branching` gives the noise-vs-pieces
+//!   trade-off as an ablation.
+//! * [`dyadic_path_release`] — the binary-tree (segment-tree) form: noisy
+//!   sums of aligned dyadic edge blocks, queries answered by the canonical
+//!   `<= 2 log V` block decomposition. Equivalent released information to
+//!   `branching = 2` hubs, different query assembly.
+//!
+//! Every edge lies in exactly one released interval per level, so the query
+//! vector has sensitivity `levels` and `Lap(levels * s / eps)` noise per
+//! value gives `eps`-DP (Lemma 3.2).
+
+use crate::model::NeighborScale;
+use crate::CoreError;
+use privpath_dp::{Epsilon, NoiseSource, RngNoise};
+use privpath_graph::{EdgeId, EdgeWeights, NodeId, Topology};
+use rand::Rng;
+
+/// Parameters for the path-graph mechanisms.
+#[derive(Clone, Copy, Debug)]
+pub struct PathGraphParams {
+    eps: Epsilon,
+    scale: NeighborScale,
+    branching: usize,
+}
+
+impl PathGraphParams {
+    /// Privacy `eps`, unit neighbor scale, branching factor 2.
+    pub fn new(eps: Epsilon) -> Self {
+        PathGraphParams { eps, scale: NeighborScale::unit(), branching: 2 }
+    }
+
+    /// Overrides the hub-hierarchy branching factor (`>= 2`). Larger
+    /// factors mean fewer levels (less noise per released value) but more
+    /// released values summed per query.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if `branching < 2`.
+    pub fn with_branching(mut self, branching: usize) -> Result<Self, CoreError> {
+        if branching < 2 {
+            return Err(CoreError::InvalidParameter(format!(
+                "branching must be >= 2, got {branching}"
+            )));
+        }
+        self.branching = branching;
+        Ok(self)
+    }
+
+    /// Overrides the neighbor scale.
+    pub fn with_scale(mut self, scale: NeighborScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The privacy parameter.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The branching factor.
+    pub fn branching(&self) -> usize {
+        self.branching
+    }
+}
+
+/// Validates that `topo` is the canonical path graph produced by
+/// [`privpath_graph::generators::path_graph`]: edge `i` joins vertices `i`
+/// and `i + 1`. Returns the vertex count.
+///
+/// # Errors
+/// Returns [`CoreError::NotAPathGraph`] describing the first violation.
+pub fn expect_path_topology(topo: &Topology) -> Result<usize, CoreError> {
+    let n = topo.num_nodes();
+    if n == 0 {
+        return Err(CoreError::NotAPathGraph("empty topology".into()));
+    }
+    if topo.num_edges() != n - 1 {
+        return Err(CoreError::NotAPathGraph(format!(
+            "expected {} edges for {} vertices, found {}",
+            n - 1,
+            n,
+            topo.num_edges()
+        )));
+    }
+    for i in 0..n - 1 {
+        let (u, v) = topo.endpoints(EdgeId::new(i));
+        let ok = (u.index() == i && v.index() == i + 1) || (u.index() == i + 1 && v.index() == i);
+        if !ok {
+            return Err(CoreError::NotAPathGraph(format!(
+                "edge {i} joins {u} and {v}, expected {i} and {}",
+                i + 1
+            )));
+        }
+    }
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------------
+// Hub hierarchy (the paper's Appendix A construction)
+// ---------------------------------------------------------------------------
+
+/// One level of the hub hierarchy: hubs at every `stride`-th vertex and
+/// noisy distances between consecutive hubs.
+#[derive(Clone, Debug)]
+struct HubLevel {
+    stride: usize,
+    /// `dist[j]` estimates `d(j * stride, (j+1) * stride)`.
+    dist: Vec<f64>,
+}
+
+/// The released hub hierarchy (Appendix A / Theorem A.1).
+#[derive(Clone, Debug)]
+pub struct HubPathRelease {
+    n: usize,
+    levels: Vec<HubLevel>,
+    noise_scale: f64,
+}
+
+impl HubPathRelease {
+    /// Number of path vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hierarchy levels (the released query vector's
+    /// sensitivity).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The Laplace scale used per released value.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Total number of released noisy values.
+    pub fn num_released(&self) -> usize {
+        self.levels.iter().map(|l| l.dist.len()).sum()
+    }
+
+    /// The released estimate of `d(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if either vertex is out of range.
+    pub fn distance(&self, x: NodeId, y: NodeId) -> f64 {
+        self.distance_with_pieces(x, y).0
+    }
+
+    /// As [`distance`](Self::distance), also reporting how many released
+    /// values were summed — the quantity the proof of Theorem A.1 bounds by
+    /// `O(branching * levels)`.
+    ///
+    /// # Panics
+    /// Panics if either vertex is out of range.
+    pub fn distance_with_pieces(&self, x: NodeId, y: NodeId) -> (f64, usize) {
+        assert!(x.index() < self.n && y.index() < self.n, "vertex out of range");
+        let (mut lx, mut ly) = (x.index().min(y.index()), x.index().max(y.index()));
+        if lx == ly {
+            return (0.0, 0);
+        }
+        let mut total = 0.0;
+        let mut pieces = 0;
+        let mut level = 0usize;
+        loop {
+            let climb = if level + 1 < self.levels.len() {
+                let stride_next = self.levels[level + 1].stride;
+                let nx = lx.div_ceil(stride_next) * stride_next;
+                let ny = (ly / stride_next) * stride_next;
+                // Only climb if the next level's hubs exist between lx and
+                // ly and their released segments cover [nx, ny].
+                let max_covered = self.levels[level + 1].dist.len() * stride_next;
+                (nx <= ny && ny <= max_covered).then_some((nx, ny))
+            } else {
+                None
+            };
+            match climb {
+                Some((nx, ny)) => {
+                    let (s1, p1) = self.hop_sum(level, lx, nx);
+                    let (s2, p2) = self.hop_sum(level, ny, ly);
+                    total += s1 + s2;
+                    pieces += p1 + p2;
+                    lx = nx;
+                    ly = ny;
+                    level += 1;
+                    if lx == ly {
+                        break;
+                    }
+                }
+                None => {
+                    let (s, p) = self.hop_sum(level, lx, ly);
+                    total += s;
+                    pieces += p;
+                    break;
+                }
+            }
+        }
+        (total, pieces)
+    }
+
+    /// Sum of released consecutive-hub distances at `level` from hub
+    /// position `a` to `b` (both multiples of the level's stride, `a <= b`).
+    fn hop_sum(&self, level: usize, a: usize, b: usize) -> (f64, usize) {
+        let stride = self.levels[level].stride;
+        debug_assert!(a.is_multiple_of(stride) && b.is_multiple_of(stride) && a <= b);
+        let (ja, jb) = (a / stride, b / stride);
+        let sum = self.levels[level].dist[ja..jb].iter().sum();
+        (sum, jb - ja)
+    }
+}
+
+/// Builds the Appendix A hub-hierarchy release with an explicit noise
+/// source.
+///
+/// # Errors
+/// [`CoreError::NotAPathGraph`] if `topo` is not the canonical path;
+/// [`CoreError::Graph`] on weight mismatch.
+pub fn hub_path_release_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &PathGraphParams,
+    noise: &mut impl NoiseSource,
+) -> Result<HubPathRelease, CoreError> {
+    let n = expect_path_topology(topo)?;
+    weights.validate_for(topo)?;
+    let m = n - 1; // edges
+    let prefix = prefix_sums(weights);
+
+    // Levels: strides branching^0, branching^1, ... while a full segment
+    // fits (stride <= m).
+    let mut strides = Vec::new();
+    let mut s = 1usize;
+    while s <= m.max(1) && !strides.contains(&s) {
+        strides.push(s);
+        s = s.saturating_mul(params.branching);
+    }
+    if strides.is_empty() {
+        strides.push(1);
+    }
+    let num_levels = strides.len();
+    let b = num_levels as f64 * params.scale.value() / params.eps.value();
+
+    let levels = strides
+        .into_iter()
+        .map(|stride| {
+            let segments = m / stride;
+            let dist = (0..segments)
+                .map(|j| {
+                    let true_d = prefix[(j + 1) * stride] - prefix[j * stride];
+                    true_d + noise.laplace(b)
+                })
+                .collect();
+            HubLevel { stride, dist }
+        })
+        .collect();
+    Ok(HubPathRelease { n, levels, noise_scale: b })
+}
+
+/// Builds the hub-hierarchy release drawing noise from `rng`.
+///
+/// # Errors
+/// Same conditions as [`hub_path_release_with`].
+pub fn hub_path_release(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &PathGraphParams,
+    rng: &mut impl Rng,
+) -> Result<HubPathRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    hub_path_release_with(topo, weights, params, &mut noise)
+}
+
+// ---------------------------------------------------------------------------
+// Dyadic (binary-tree / DNPR10) mechanism
+// ---------------------------------------------------------------------------
+
+/// The released dyadic block sums (\[DNPR10\]-style continual counting
+/// view), backed by the reusable [`DyadicSeries`](crate::series::DyadicSeries).
+#[derive(Clone, Debug)]
+pub struct DyadicPathRelease {
+    n: usize,
+    series: crate::series::DyadicSeries,
+    noise_scale: f64,
+}
+
+impl DyadicPathRelease {
+    /// Number of path vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of dyadic levels (the sensitivity of the released vector).
+    pub fn num_levels(&self) -> usize {
+        self.series.num_levels()
+    }
+
+    /// The Laplace scale used per released value.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Total number of released noisy values.
+    pub fn num_released(&self) -> usize {
+        self.series.num_released()
+    }
+
+    /// The released estimate of `d(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if either vertex is out of range.
+    pub fn distance(&self, x: NodeId, y: NodeId) -> f64 {
+        self.distance_with_pieces(x, y).0
+    }
+
+    /// As [`distance`](Self::distance), also reporting the number of blocks
+    /// summed (`<= 2 * levels`).
+    ///
+    /// # Panics
+    /// Panics if either vertex is out of range.
+    pub fn distance_with_pieces(&self, x: NodeId, y: NodeId) -> (f64, usize) {
+        assert!(x.index() < self.n && y.index() < self.n, "vertex out of range");
+        let (lo, hi) = (x.index().min(y.index()), x.index().max(y.index()));
+        self.series.range_with_pieces(lo, hi)
+    }
+
+    /// The released threshold query `sum of the first x edges` — the
+    /// continual-counting view (distance from vertex 0 to vertex `x`).
+    ///
+    /// # Panics
+    /// Panics if `x` is out of range.
+    pub fn prefix(&self, x: NodeId) -> f64 {
+        self.distance(NodeId::new(0), x)
+    }
+}
+
+/// Builds the dyadic release with an explicit noise source.
+///
+/// # Errors
+/// Same conditions as [`hub_path_release_with`].
+pub fn dyadic_path_release_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &PathGraphParams,
+    noise: &mut impl NoiseSource,
+) -> Result<DyadicPathRelease, CoreError> {
+    let n = expect_path_topology(topo)?;
+    weights.validate_for(topo)?;
+    let m = n - 1;
+    let num_levels = crate::series::DyadicSeries::levels_for(m);
+    let b = num_levels as f64 * params.scale.value() / params.eps.value();
+    let series = crate::series::DyadicSeries::build(weights.as_slice(), b, noise);
+    Ok(DyadicPathRelease { n, series, noise_scale: b })
+}
+
+/// Builds the dyadic release drawing noise from `rng`.
+///
+/// # Errors
+/// Same conditions as [`hub_path_release_with`].
+pub fn dyadic_path_release(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &PathGraphParams,
+    rng: &mut impl Rng,
+) -> Result<DyadicPathRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    dyadic_path_release_with(topo, weights, params, &mut noise)
+}
+
+/// `prefix[v] = sum of the first v edge weights`, so
+/// `d(a, b) = prefix[b] - prefix[a]` on the path.
+fn prefix_sums(weights: &EdgeWeights) -> Vec<f64> {
+    let mut prefix = Vec::with_capacity(weights.len() + 1);
+    let mut acc = 0.0;
+    prefix.push(0.0);
+    for (_, w) in weights.iter() {
+        acc += w;
+        prefix.push(acc);
+    }
+    prefix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_dp::{RecordingNoise, ZeroNoise};
+    use privpath_graph::generators::{path_graph, star_graph, uniform_weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(e: f64) -> PathGraphParams {
+        PathGraphParams::new(Epsilon::new(e).unwrap())
+    }
+
+    #[test]
+    fn expect_path_topology_validates() {
+        assert_eq!(expect_path_topology(&path_graph(5)).unwrap(), 5);
+        assert_eq!(expect_path_topology(&path_graph(1)).unwrap(), 1);
+        assert!(matches!(
+            expect_path_topology(&star_graph(5)),
+            Err(CoreError::NotAPathGraph(_))
+        ));
+        assert!(matches!(
+            expect_path_topology(&privpath_graph::generators::cycle_graph(4)),
+            Err(CoreError::NotAPathGraph(_))
+        ));
+    }
+
+    #[test]
+    fn hub_zero_noise_is_exact_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for n in [2usize, 3, 7, 16, 17, 33, 64, 100] {
+            let topo = path_graph(n);
+            let w = uniform_weights(n - 1, 0.0, 5.0, &mut rng);
+            let prefix = prefix_sums(&w);
+            let rel = hub_path_release_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+            for x in 0..n {
+                for y in 0..n {
+                    let truth = (prefix[y] - prefix[x]).abs();
+                    let est = rel.distance(NodeId::new(x), NodeId::new(y));
+                    assert!(
+                        (est - truth).abs() < 1e-9,
+                        "n={n} pair ({x},{y}): {est} vs {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_zero_noise_is_exact_all_pairs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [2usize, 5, 8, 9, 31, 64, 65] {
+            let topo = path_graph(n);
+            let w = uniform_weights(n - 1, 0.0, 5.0, &mut rng);
+            let prefix = prefix_sums(&w);
+            let rel = dyadic_path_release_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+            for x in 0..n {
+                for y in 0..n {
+                    let truth = (prefix[y] - prefix[x]).abs();
+                    let est = rel.distance(NodeId::new(x), NodeId::new(y));
+                    assert!(
+                        (est - truth).abs() < 1e-9,
+                        "n={n} pair ({x},{y}): {est} vs {truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_pieces_bounded_by_2_branching_levels() {
+        for (n, branching) in [(256usize, 2usize), (256, 4), (100, 3), (1000, 2)] {
+            let topo = path_graph(n);
+            let w = EdgeWeights::constant(n - 1, 1.0);
+            let p = params(1.0).with_branching(branching).unwrap();
+            let rel = hub_path_release_with(&topo, &w, &p, &mut ZeroNoise).unwrap();
+            let bound = 2 * branching * rel.num_levels();
+            for x in (0..n).step_by(7) {
+                for y in (0..n).step_by(11) {
+                    let (_, pieces) = rel.distance_with_pieces(NodeId::new(x), NodeId::new(y));
+                    assert!(
+                        pieces <= bound,
+                        "n={n} b={branching} pair ({x},{y}): {pieces} pieces > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_pieces_bounded_by_2_levels() {
+        let n = 512;
+        let topo = path_graph(n);
+        let w = EdgeWeights::constant(n - 1, 1.0);
+        let rel = dyadic_path_release_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        for x in (0..n).step_by(13) {
+            for y in (0..n).step_by(17) {
+                let (_, pieces) = rel.distance_with_pieces(NodeId::new(x), NodeId::new(y));
+                assert!(
+                    pieces <= 2 * rel.num_levels(),
+                    "pair ({x},{y}): {pieces} pieces"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noise_audit_counts_and_scales() {
+        let n = 64;
+        let topo = path_graph(n);
+        let w = EdgeWeights::constant(n - 1, 1.0);
+
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let rel = hub_path_release_with(&topo, &w, &params(2.0), &mut rec).unwrap();
+        assert_eq!(rec.len(), rel.num_released());
+        let expected = rel.num_levels() as f64 / 2.0;
+        for &(scale, _) in rec.draws() {
+            assert!((scale - expected).abs() < 1e-12);
+        }
+
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let rel = dyadic_path_release_with(&topo, &w, &params(2.0), &mut rec).unwrap();
+        assert_eq!(rec.len(), rel.num_released());
+        // 63 edges -> levels 1,2,4,8,16,32,64: 7 levels.
+        assert_eq!(rel.num_levels(), 7);
+    }
+
+    #[test]
+    fn level_count_is_logarithmic() {
+        for n in [4usize, 16, 128, 1024] {
+            let topo = path_graph(n);
+            let w = EdgeWeights::constant(n - 1, 1.0);
+            let rel = hub_path_release_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+            let bound = ((n - 1) as f64).log2().floor() as usize + 1;
+            assert!(
+                rel.num_levels() <= bound,
+                "n={n}: {} levels > {bound}",
+                rel.num_levels()
+            );
+        }
+    }
+
+    #[test]
+    fn error_bounded_with_high_probability() {
+        // Theorem A.1 shape check: per-query error across random pairs is
+        // within the Lemma 3.1 bound for 4*levels summands at the used
+        // scale, most of the time.
+        let n = 256;
+        let topo = path_graph(n);
+        let mut rng = StdRng::seed_from_u64(22);
+        let w = uniform_weights(n - 1, 0.0, 50.0, &mut rng);
+        let prefix = prefix_sums(&w);
+        let rel = dyadic_path_release(&topo, &w, &params(1.0), &mut rng).unwrap();
+        let gamma = 0.05f64;
+        let bound = privpath_dp::concentration::laplace_sum_bound(
+            rel.noise_scale(),
+            2 * rel.num_levels(),
+            gamma,
+        )
+        .unwrap();
+        let mut violations = 0;
+        let mut total = 0;
+        for x in (0..n).step_by(5) {
+            for y in (x + 1..n).step_by(7) {
+                total += 1;
+                let truth = prefix[y] - prefix[x];
+                if (rel.distance(NodeId::new(x), NodeId::new(y)) - truth).abs() > bound {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(
+            (violations as f64) < 3.0 * gamma * total as f64 + 5.0,
+            "{violations}/{total} violations"
+        );
+    }
+
+    #[test]
+    fn branching_affects_levels() {
+        let n = 257;
+        let topo = path_graph(n);
+        let w = EdgeWeights::constant(n - 1, 1.0);
+        let rel2 = hub_path_release_with(
+            &topo,
+            &w,
+            &params(1.0).with_branching(2).unwrap(),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+        let rel4 = hub_path_release_with(
+            &topo,
+            &w,
+            &params(1.0).with_branching(4).unwrap(),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+        assert!(rel4.num_levels() < rel2.num_levels());
+        assert!(rel4.noise_scale() < rel2.noise_scale());
+    }
+
+    #[test]
+    fn prefix_is_threshold_query() {
+        let n = 32;
+        let topo = path_graph(n);
+        let w = EdgeWeights::constant(n - 1, 2.0);
+        let rel = dyadic_path_release_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        assert_eq!(rel.prefix(NodeId::new(0)), 0.0);
+        assert!((rel.prefix(NodeId::new(10)) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_branching_rejected() {
+        assert!(params(1.0).with_branching(1).is_err());
+        assert!(params(1.0).with_branching(0).is_err());
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let topo = path_graph(1);
+        let w = EdgeWeights::zeros(0);
+        let rel = hub_path_release_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        assert_eq!(rel.distance(NodeId::new(0), NodeId::new(0)), 0.0);
+        let rel = dyadic_path_release_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        assert_eq!(rel.distance(NodeId::new(0), NodeId::new(0)), 0.0);
+    }
+}

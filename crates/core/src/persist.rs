@@ -1,0 +1,171 @@
+//! Persistence for releases: store a DP release once, serve queries from
+//! it forever (post-processing is free, so a stored release carries its
+//! original privacy guarantee unchanged).
+//!
+//! Currently covers [`ShortestPathRelease`] — the navigation-server use
+//! case from the paper's introduction: compute the private routing table
+//! offline, persist it, answer route queries from disk.
+
+use crate::shortest_path::{ShortestPathRelease, ShortestPathParams};
+use crate::model::NeighborScale;
+use crate::CoreError;
+use privpath_dp::Epsilon;
+use privpath_graph::io::{read_topology, read_weights, write_topology, write_weights, IoError};
+use std::io::{BufRead, Write};
+
+/// Writes a shortest-path release (header with the privacy metadata, the
+/// public topology, the released weights).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_shortest_path_release(
+    out: &mut impl Write,
+    release: &ShortestPathRelease,
+) -> Result<(), IoError> {
+    writeln!(out, "privpath-sp-release v1")?;
+    let p = release.params();
+    writeln!(out, "eps {:?}", p.eps().value())?;
+    writeln!(out, "gamma {:?}", p.gamma())?;
+    writeln!(out, "scale {:?}", p.scale().value())?;
+    writeln!(out, "shift_enabled {}", p.shift_enabled())?;
+    writeln!(out, "shift_amount {:?}", release.shift_amount())?;
+    write_topology(out, release.topology())?;
+    write_weights(out, release.released_weights())?;
+    Ok(())
+}
+
+/// Reads a release written by [`write_shortest_path_release`].
+///
+/// # Errors
+/// [`IoError::Parse`] for malformed input, wrapped [`CoreError`] messages
+/// for invalid stored parameters.
+pub fn read_shortest_path_release(
+    mut input: impl BufRead,
+) -> Result<ShortestPathRelease, IoError> {
+    let mut line_no = 0usize;
+    let mut read_line = |input: &mut dyn BufRead, expect: &str| -> Result<String, IoError> {
+        let mut line = String::new();
+        line_no += 1;
+        let n = input.read_line(&mut line)?;
+        if n == 0 {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("unexpected end of input, expected {expect}"),
+            });
+        }
+        Ok(line.trim_end().to_string())
+    };
+
+    let header = read_line(&mut input, "header")?;
+    if header != "privpath-sp-release v1" {
+        return Err(IoError::Parse { line: 1, message: format!("bad header {header:?}") });
+    }
+    let parse_f64 = |line: &str, prefix: &str, at: usize| -> Result<f64, IoError> {
+        line.strip_prefix(prefix)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or(IoError::Parse { line: at, message: format!("expected `{prefix}<float>`") })
+    };
+    let eps = parse_f64(&read_line(&mut input, "eps")?, "eps ", 2)?;
+    let gamma = parse_f64(&read_line(&mut input, "gamma")?, "gamma ", 3)?;
+    let scale = parse_f64(&read_line(&mut input, "scale")?, "scale ", 4)?;
+    let shift_line = read_line(&mut input, "shift_enabled")?;
+    let shift_enabled: bool = shift_line
+        .strip_prefix("shift_enabled ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or(IoError::Parse { line: 5, message: "expected `shift_enabled <bool>`".into() })?;
+    let shift_amount = parse_f64(&read_line(&mut input, "shift_amount")?, "shift_amount ", 6)?;
+
+    let topo = read_topology(&mut input)?;
+    let weights = read_weights(&mut input)?;
+
+    let core_err = |e: CoreError| IoError::Parse { line: 0, message: e.to_string() };
+    let eps = Epsilon::new(eps)
+        .map_err(|e| IoError::Parse { line: 2, message: e.to_string() })?;
+    let mut params = ShortestPathParams::new(eps, gamma).map_err(core_err)?;
+    params = params.with_scale(NeighborScale::new(scale).map_err(core_err)?);
+    if !shift_enabled {
+        params = params.without_shift();
+    }
+    ShortestPathRelease::from_parts(topo, weights, params, shift_amount).map_err(core_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest_path::private_shortest_paths;
+    use privpath_graph::generators::{connected_gnm, uniform_weights};
+    use privpath_graph::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::io::BufReader;
+
+    #[test]
+    fn release_roundtrip_answers_identically() {
+        let mut rng = StdRng::seed_from_u64(300);
+        let topo = connected_gnm(30, 70, &mut rng);
+        let w = uniform_weights(70, 0.0, 10.0, &mut rng);
+        let params =
+            ShortestPathParams::new(Epsilon::new(0.7).unwrap(), 0.05).unwrap();
+        let release = private_shortest_paths(&topo, &w, &params, &mut rng).unwrap();
+
+        let mut buf = Vec::new();
+        write_shortest_path_release(&mut buf, &release).unwrap();
+        let restored = read_shortest_path_release(BufReader::new(buf.as_slice())).unwrap();
+
+        assert_eq!(
+            restored.released_weights().as_slice(),
+            release.released_weights().as_slice()
+        );
+        assert_eq!(restored.shift_amount().to_bits(), release.shift_amount().to_bits());
+        assert_eq!(restored.params().eps().value(), 0.7);
+        for (s, t) in [(0usize, 29usize), (5, 17)] {
+            let (s, t) = (NodeId::new(s), NodeId::new(t));
+            assert_eq!(
+                restored.path(s, t).unwrap().edges(),
+                release.path(s, t).unwrap().edges()
+            );
+        }
+    }
+
+    #[test]
+    fn no_shift_release_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(301);
+        let topo = connected_gnm(10, 20, &mut rng);
+        let w = uniform_weights(20, 0.0, 3.0, &mut rng);
+        let params = ShortestPathParams::new(Epsilon::new(1.0).unwrap(), 0.1)
+            .unwrap()
+            .without_shift();
+        let release = private_shortest_paths(&topo, &w, &params, &mut rng).unwrap();
+        let mut buf = Vec::new();
+        write_shortest_path_release(&mut buf, &release).unwrap();
+        let restored = read_shortest_path_release(BufReader::new(buf.as_slice())).unwrap();
+        assert!(!restored.params().shift_enabled());
+        assert_eq!(restored.shift_amount(), 0.0);
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        assert!(read_shortest_path_release(BufReader::new("nope\n".as_bytes())).is_err());
+    }
+
+    #[test]
+    fn mismatched_weights_rejected() {
+        // Handcraft a file whose weights length disagrees with the topology.
+        let input = "privpath-sp-release v1\n\
+                     eps 1.0\n\
+                     gamma 0.1\n\
+                     scale 1.0\n\
+                     shift_enabled true\n\
+                     shift_amount 0.5\n\
+                     privpath-topology v1\n\
+                     nodes 2\n\
+                     directed false\n\
+                     edges 1\n\
+                     0 1\n\
+                     privpath-weights v1\n\
+                     len 2\n\
+                     1.0\n\
+                     2.0\n";
+        assert!(read_shortest_path_release(BufReader::new(input.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Noisy dyadic block sums over a sequence — the reusable core of the
+//! \[DNPR10\]-style mechanisms.
+//!
+//! Given a sequence of private values `v_0..v_{m-1}` (edge weights along a
+//! path or a heavy chain), release for every dyadic level `l` the noisy
+//! sums of the aligned blocks `[j 2^l, min((j+1) 2^l, m))`. Each value
+//! lies in exactly one block per level, so the released vector has `l1`
+//! sensitivity `levels * per_value_sensitivity`; any range `[a, b)` is a
+//! union of at most `2 * levels` blocks.
+//!
+//! Used by [`crate::path_graph`] (Appendix A) and by the heavy-path tree
+//! mechanism ([`crate::tree_hld`], an extension ablation of Algorithm 1).
+
+use privpath_dp::NoiseSource;
+
+/// Released noisy dyadic sums over a fixed-length sequence.
+#[derive(Clone, Debug)]
+pub struct DyadicSeries {
+    len: usize,
+    /// `blocks[l][j]` estimates `sum(values[j * 2^l .. min((j+1) * 2^l, len)])`.
+    blocks: Vec<Vec<f64>>,
+}
+
+impl DyadicSeries {
+    /// Builds the released series: every block sum plus `Lap(noise_scale)`
+    /// noise. An empty sequence yields a single empty level.
+    pub fn build(values: &[f64], noise_scale: f64, noise: &mut impl NoiseSource) -> Self {
+        let m = values.len();
+        let num_levels = Self::levels_for(m);
+        // Prefix sums for O(1) block sums during construction.
+        let mut prefix = Vec::with_capacity(m + 1);
+        prefix.push(0.0);
+        for &v in values {
+            prefix.push(prefix.last().expect("non-empty") + v);
+        }
+        let mut blocks = Vec::with_capacity(num_levels);
+        for level in 0..num_levels {
+            let size = 1usize << level;
+            let count = m.div_ceil(size.max(1));
+            let level_blocks = (0..count)
+                .map(|j| {
+                    let lo = j * size;
+                    let hi = ((j + 1) * size).min(m);
+                    prefix[hi] - prefix[lo] + noise.laplace(noise_scale)
+                })
+                .collect();
+            blocks.push(level_blocks);
+        }
+        DyadicSeries { len: m, blocks }
+    }
+
+    /// Number of dyadic levels for a sequence of length `m` (at least 1).
+    pub fn levels_for(m: usize) -> usize {
+        let mut levels = 1usize;
+        while (1usize << (levels - 1)) < m.max(1) {
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (the per-value sensitivity multiplier).
+    pub fn num_levels(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of released noisy values.
+    pub fn num_released(&self) -> usize {
+        self.blocks.iter().map(|l| l.len()).sum()
+    }
+
+    /// The released estimate of `sum(values[a..b])` together with the
+    /// number of blocks summed (`<= 2 * num_levels`).
+    ///
+    /// # Panics
+    /// Panics unless `a <= b <= len`.
+    pub fn range_with_pieces(&self, a: usize, b: usize) -> (f64, usize) {
+        assert!(a <= b && b <= self.len, "range [{a}, {b}) out of bounds for len {}", self.len);
+        let mut total = 0.0;
+        let mut pieces = 0;
+        let mut p = a;
+        while p < b {
+            let mut level = 0usize;
+            // Largest aligned block starting at p and contained in [p, b).
+            while level + 1 < self.blocks.len() {
+                let size = 1usize << (level + 1);
+                if p.is_multiple_of(size) && p + size <= b {
+                    level += 1;
+                } else {
+                    break;
+                }
+            }
+            let size = 1usize << level;
+            total += self.blocks[level][p >> level];
+            pieces += 1;
+            p += size;
+        }
+        (total, pieces)
+    }
+
+    /// The released estimate of `sum(values[a..b])`.
+    ///
+    /// # Panics
+    /// Panics unless `a <= b <= len`.
+    pub fn range(&self, a: usize, b: usize) -> f64 {
+        self.range_with_pieces(a, b).0
+    }
+
+    /// The released estimate of the prefix `sum(values[0..k])`.
+    ///
+    /// # Panics
+    /// Panics unless `k <= len`.
+    pub fn prefix(&self, k: usize) -> f64 {
+        self.range(0, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_dp::{RecordingNoise, ZeroNoise};
+
+    #[test]
+    fn zero_noise_ranges_are_exact() {
+        for m in [0usize, 1, 2, 3, 7, 8, 9, 31, 64, 100] {
+            let values: Vec<f64> = (0..m).map(|i| (i * i % 13) as f64).collect();
+            let s = DyadicSeries::build(&values, 1.0, &mut ZeroNoise);
+            assert_eq!(s.len(), m);
+            for a in 0..=m {
+                for b in a..=m {
+                    let truth: f64 = values[a..b].iter().sum();
+                    assert!(
+                        (s.range(a, b) - truth).abs() < 1e-9,
+                        "m={m} range [{a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pieces_bounded_by_twice_levels() {
+        let values = vec![1.0; 777];
+        let s = DyadicSeries::build(&values, 1.0, &mut ZeroNoise);
+        for a in (0..=777).step_by(13) {
+            for b in (a..=777).step_by(17) {
+                let (_, pieces) = s.range_with_pieces(a, b);
+                assert!(pieces <= 2 * s.num_levels(), "[{a},{b}): {pieces} pieces");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_formula() {
+        assert_eq!(DyadicSeries::levels_for(0), 1);
+        assert_eq!(DyadicSeries::levels_for(1), 1);
+        assert_eq!(DyadicSeries::levels_for(2), 2);
+        assert_eq!(DyadicSeries::levels_for(3), 3);
+        assert_eq!(DyadicSeries::levels_for(4), 3);
+        assert_eq!(DyadicSeries::levels_for(63), 7);
+        assert_eq!(DyadicSeries::levels_for(64), 7);
+        assert_eq!(DyadicSeries::levels_for(65), 8);
+    }
+
+    #[test]
+    fn every_value_in_one_block_per_level() {
+        // Noise audit: draws equal the block count; per-level blocks
+        // partition the sequence.
+        let values = vec![2.0; 50];
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let s = DyadicSeries::build(&values, 3.0, &mut rec);
+        assert_eq!(rec.len(), s.num_released());
+        for &(scale, _) in rec.draws() {
+            assert_eq!(scale, 3.0);
+        }
+        let mut expected = 0;
+        for level in 0..s.num_levels() {
+            expected += 50usize.div_ceil(1 << level);
+        }
+        assert_eq!(s.num_released(), expected);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = DyadicSeries::build(&[], 1.0, &mut ZeroNoise);
+        assert!(s.is_empty());
+        assert_eq!(s.range(0, 0), 0.0);
+        assert_eq!(s.prefix(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_panics() {
+        let s = DyadicSeries::build(&[1.0, 2.0], 1.0, &mut ZeroNoise);
+        let _ = s.range(0, 3);
+    }
+}

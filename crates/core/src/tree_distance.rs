@@ -1,0 +1,472 @@
+//! Algorithm 1 and Theorems 4.1–4.2: private distances on trees.
+//!
+//! **Single source** (Theorem 4.1): recursively split the tree at the
+//! vertex `v*` whose subtree holds more than half of the current piece
+//! (paper Figure 1); at each step release a noisy distance from the piece
+//! root to `v*` and a noisy weight for each edge from `v*` to its
+//! children. Each recursion level's queries touch disjoint edges, so the
+//! whole query vector has `l1` sensitivity equal to the recursion depth
+//! (`<= log2 V`); adding `Lap(depth * s / eps)` noise per query is one
+//! application of the Laplace mechanism, hence `eps`-DP. Each vertex's
+//! estimate sums at most `2 * depth` noisy terms, so by concentration
+//! (Lemma 3.1) the per-vertex error is `O(log^{1.5} V * log(1/gamma) / eps)`.
+//!
+//! **All pairs** (Theorem 4.2): root anywhere; then
+//! `d(x, y) = d(v0, x) + d(v0, y) - 2 d(v0, lca(x, y))` turns single-source
+//! estimates into all-pairs answers by pure post-processing.
+//!
+//! The decomposition itself is computed in the substrate
+//! ([`privpath_graph::tree::decompose`]) from the **public** topology; this
+//! module executes it with noise.
+
+use crate::model::NeighborScale;
+use crate::CoreError;
+use privpath_dp::{Epsilon, NoiseSource, RngNoise};
+use privpath_graph::tree::{decompose, weighted_depths, DecompCall, Lca, RootedTree};
+use privpath_graph::{EdgeWeights, NodeId, Topology};
+use rand::Rng;
+
+/// Parameters for the tree-distance mechanisms.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeDistanceParams {
+    eps: Epsilon,
+    scale: NeighborScale,
+}
+
+impl TreeDistanceParams {
+    /// Privacy `eps` at unit neighbor scale.
+    pub fn new(eps: Epsilon) -> Self {
+        TreeDistanceParams { eps, scale: NeighborScale::unit() }
+    }
+
+    /// Overrides the neighbor scale.
+    pub fn with_scale(mut self, scale: NeighborScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The privacy parameter.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The neighbor scale.
+    pub fn scale(&self) -> NeighborScale {
+        self.scale
+    }
+}
+
+/// The released single-source distance estimates (Theorem 4.1).
+#[derive(Clone, Debug)]
+pub struct TreeSingleSourceRelease {
+    root: NodeId,
+    estimates: Vec<f64>,
+    noise_scale: f64,
+    decomposition_depth: usize,
+    num_queries: usize,
+}
+
+impl TreeSingleSourceRelease {
+    /// The source vertex the estimates are measured from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The released estimate of `d(root, v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.estimates[v.index()]
+    }
+
+    /// All estimates, indexed by node id.
+    pub fn estimates(&self) -> &[f64] {
+        &self.estimates
+    }
+
+    /// The Laplace scale used per query (`depth * s / eps`).
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// The recursion depth of the decomposition (the query vector's
+    /// sensitivity bound).
+    pub fn decomposition_depth(&self) -> usize {
+        self.decomposition_depth
+    }
+
+    /// Number of noisy queries released (at most `2V`).
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+}
+
+/// Runs Algorithm 1 with an explicit noise source.
+///
+/// # Errors
+/// * [`CoreError::Graph`] with [`privpath_graph::GraphError::NotATree`] if
+///   the topology is not a tree, or on weight/topology mismatch.
+pub fn tree_single_source_distances_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    root: NodeId,
+    params: &TreeDistanceParams,
+    noise: &mut impl NoiseSource,
+) -> Result<TreeSingleSourceRelease, CoreError> {
+    weights.validate_for(topo)?;
+    let tree = RootedTree::new(topo, root)?;
+    let wdepth = weighted_depths(&tree, weights)?;
+    let decomp = decompose(&tree);
+
+    let depth = decomp.depth.max(1);
+    let b = depth as f64 * params.scale.value() / params.eps.value();
+    let mut estimates = vec![0.0; topo.num_nodes()];
+
+    fn walk(
+        call: &DecompCall,
+        estimates: &mut [f64],
+        wdepth: &[f64],
+        weights: &EdgeWeights,
+        b: f64,
+        noise: &mut impl NoiseSource,
+    ) {
+        // Step 4: d(v*, T) = d(piece_root -> v*) + Lap(b), based at the
+        // piece root's accumulated estimate. The true distance is a
+        // difference of weighted depths because the piece root is the
+        // topmost vertex of the piece.
+        let true_root_to_split =
+            wdepth[call.split_vertex.index()] - wdepth[call.piece_root.index()];
+        let d_star = estimates[call.piece_root.index()] + true_root_to_split + noise.laplace(b);
+        // Step 6: d(v_i, T) = d(v*, T) + w((v*, v_i)) + Lap(b).
+        for &(child, edge) in &call.child_edges {
+            estimates[child.index()] = d_star + weights.get(edge) + noise.laplace(b);
+        }
+        // Steps 7-8: recurse into T_0 (same piece root) and each T_i
+        // (rooted at the child, whose estimate was just assigned).
+        for sub in &call.subcalls {
+            walk(sub, estimates, wdepth, weights, b, noise);
+        }
+    }
+
+    if let Some(root_call) = &decomp.root_call {
+        walk(root_call, &mut estimates, &wdepth, weights, b, noise);
+    }
+    estimates[root.index()] = 0.0; // Step 5: the root's distance is exact.
+
+    Ok(TreeSingleSourceRelease {
+        root,
+        estimates,
+        noise_scale: b,
+        decomposition_depth: decomp.depth,
+        num_queries: decomp.num_queries,
+    })
+}
+
+/// Runs Algorithm 1 drawing noise from `rng`.
+///
+/// # Errors
+/// Same conditions as [`tree_single_source_distances_with`].
+pub fn tree_single_source_distances(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    root: NodeId,
+    params: &TreeDistanceParams,
+    rng: &mut impl Rng,
+) -> Result<TreeSingleSourceRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    tree_single_source_distances_with(topo, weights, root, params, &mut noise)
+}
+
+/// The released all-pairs tree distances (Theorem 4.2): single-source
+/// estimates plus an LCA index over the public topology.
+#[derive(Clone, Debug)]
+pub struct TreeAllPairsRelease {
+    single: TreeSingleSourceRelease,
+    lca: Lca,
+}
+
+impl TreeAllPairsRelease {
+    /// The released estimate of `d(x, y)`, computed as
+    /// `d(v0, x) + d(v0, y) - 2 d(v0, lca(x, y))`.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn distance(&self, x: NodeId, y: NodeId) -> f64 {
+        let a = self.lca.lca(x, y);
+        self.single.distance(x) + self.single.distance(y) - 2.0 * self.single.distance(a)
+    }
+
+    /// The underlying single-source release.
+    pub fn single_source(&self) -> &TreeSingleSourceRelease {
+        &self.single
+    }
+}
+
+/// Theorem 4.2: all-pairs tree distances, `eps`-DP, with an explicit noise
+/// source. The root is chosen arbitrarily (vertex 0, per the proof —
+/// "arbitrarily choose some root vertex").
+///
+/// # Errors
+/// Same conditions as [`tree_single_source_distances_with`].
+pub fn tree_all_pairs_distances_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &TreeDistanceParams,
+    noise: &mut impl NoiseSource,
+) -> Result<TreeAllPairsRelease, CoreError> {
+    if topo.num_nodes() == 0 {
+        return Err(CoreError::Graph(privpath_graph::GraphError::EmptyGraph));
+    }
+    let root = NodeId::new(0);
+    let single = tree_single_source_distances_with(topo, weights, root, params, noise)?;
+    let tree = RootedTree::new(topo, root)?;
+    let lca = Lca::new(&tree);
+    Ok(TreeAllPairsRelease { single, lca })
+}
+
+/// Theorem 4.2 drawing noise from `rng`.
+///
+/// ```
+/// use privpath_core::tree_distance::{tree_all_pairs_distances, TreeDistanceParams};
+/// use privpath_dp::Epsilon;
+/// use privpath_graph::generators::{random_tree_prufer, uniform_weights};
+/// use privpath_graph::NodeId;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let topo = random_tree_prufer(50, &mut rng);
+/// let weights = uniform_weights(topo.num_edges(), 1.0, 10.0, &mut rng);
+/// let params = TreeDistanceParams::new(Epsilon::new(1.0)?);
+/// let release = tree_all_pairs_distances(&topo, &weights, &params, &mut rng)?;
+/// // One release answers every pair.
+/// let d = release.distance(NodeId::new(3), NodeId::new(40));
+/// assert!(d.is_finite());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+/// Same conditions as [`tree_all_pairs_distances_with`].
+pub fn tree_all_pairs_distances(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &TreeDistanceParams,
+    rng: &mut impl Rng,
+) -> Result<TreeAllPairsRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    tree_all_pairs_distances_with(topo, weights, params, &mut noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_dp::{RecordingNoise, ZeroNoise};
+    use privpath_graph::generators::{
+        balanced_binary_tree, caterpillar_tree, path_graph, random_tree_prufer, spider_tree,
+        star_graph, uniform_weights,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(e: f64) -> TreeDistanceParams {
+        TreeDistanceParams::new(Epsilon::new(e).unwrap())
+    }
+
+    /// Exact single-source distances on a tree (unique paths).
+    fn exact(topo: &Topology, w: &EdgeWeights, root: NodeId) -> Vec<f64> {
+        let tree = RootedTree::new(topo, root).unwrap();
+        weighted_depths(&tree, w).unwrap()
+    }
+
+    #[test]
+    fn zero_noise_single_source_is_exact_on_many_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let shapes: Vec<Topology> = vec![
+            path_graph(17),
+            star_graph(9),
+            balanced_binary_tree(31),
+            caterpillar_tree(5, 3),
+            spider_tree(4, 6),
+            random_tree_prufer(40, &mut rng),
+        ];
+        for topo in &shapes {
+            let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+            for root_idx in [0usize, topo.num_nodes() / 2] {
+                let root = NodeId::new(root_idx);
+                let release =
+                    tree_single_source_distances_with(topo, &w, root, &params(1.0), &mut ZeroNoise)
+                        .unwrap();
+                let truth = exact(topo, &w, root);
+                for v in topo.nodes() {
+                    assert!(
+                        (release.distance(v) - truth[v.index()]).abs() < 1e-9,
+                        "V={} root={root} v={v}: {} vs {}",
+                        topo.num_nodes(),
+                        release.distance(v),
+                        truth[v.index()]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_all_pairs_is_exact() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let topo = random_tree_prufer(30, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.5, 4.0, &mut rng);
+        let release =
+            tree_all_pairs_distances_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        // Exact all-pairs via per-root weighted depths.
+        for x in topo.nodes() {
+            let truth = exact(&topo, &w, x);
+            for y in topo.nodes() {
+                assert!(
+                    (release.distance(x, y) - truth[y.index()]).abs() < 1e-9,
+                    "pair ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_diagonal() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let topo = random_tree_prufer(25, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 5.0, &mut rng);
+        let release = tree_all_pairs_distances(&topo, &w, &params(0.5), &mut rng).unwrap();
+        for x in topo.nodes() {
+            assert_eq!(release.distance(x, x), 0.0);
+            for y in topo.nodes() {
+                assert!((release.distance(x, y) - release.distance(y, x)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_audit_count_and_scale() {
+        // At most 2V draws, all at scale depth/eps.
+        let topo = path_graph(64);
+        let w = EdgeWeights::constant(63, 1.0);
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let release =
+            tree_single_source_distances_with(&topo, &w, NodeId::new(0), &params(2.0), &mut rec)
+                .unwrap();
+        assert!(rec.len() <= 2 * 64, "too many draws: {}", rec.len());
+        assert_eq!(rec.len(), release.num_queries());
+        let expected_scale = release.decomposition_depth() as f64 / 2.0;
+        for &(scale, _) in rec.draws() {
+            assert!((scale - expected_scale).abs() < 1e-12);
+        }
+        // Depth is logarithmic.
+        assert!(release.decomposition_depth() <= 7);
+    }
+
+    #[test]
+    fn error_within_thm41_bound_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let topo = random_tree_prufer(128, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 100.0, &mut rng);
+        let truth = exact(&topo, &w, NodeId::new(0));
+        let gamma = 0.05;
+        let trials = 20;
+        let mut violations = 0usize;
+        for t in 0..trials {
+            let mut trial_rng = StdRng::seed_from_u64(5000 + t);
+            let release = tree_single_source_distances(
+                &topo,
+                &w,
+                NodeId::new(0),
+                &params(1.0),
+                &mut trial_rng,
+            )
+            .unwrap();
+            let bound = crate::bounds::thm41_single_source_tree(topo.num_nodes(), 1.0, gamma);
+            for v in topo.nodes() {
+                if (release.distance(v) - truth[v.index()]).abs() > bound {
+                    violations += 1;
+                }
+            }
+        }
+        // Per-vertex failure probability is gamma; generous slack over
+        // 20 * 128 vertex-trials.
+        let total = trials as usize * topo.num_nodes();
+        assert!(
+            violations as f64 <= 3.0 * gamma * total as f64 + 10.0,
+            "{violations}/{total} bound violations"
+        );
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let topo = Topology::builder(1).build();
+        let w = EdgeWeights::zeros(0);
+        let release = tree_single_source_distances_with(
+            &topo,
+            &w,
+            NodeId::new(0),
+            &params(1.0),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+        assert_eq!(release.distance(NodeId::new(0)), 0.0);
+        assert_eq!(release.num_queries(), 0);
+    }
+
+    #[test]
+    fn two_vertex_tree_with_noise() {
+        let topo = path_graph(2);
+        let w = EdgeWeights::constant(1, 5.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let release =
+            tree_single_source_distances(&topo, &w, NodeId::new(0), &params(10.0), &mut rng)
+                .unwrap();
+        assert_eq!(release.distance(NodeId::new(0)), 0.0);
+        // eps = 10: estimate within ~2 of 5 almost surely.
+        assert!((release.distance(NodeId::new(1)) - 5.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn non_tree_rejected() {
+        let topo = privpath_graph::generators::cycle_graph(5);
+        let w = EdgeWeights::constant(5, 1.0);
+        let err = tree_single_source_distances_with(
+            &topo,
+            &w,
+            NodeId::new(0),
+            &params(1.0),
+            &mut ZeroNoise,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Graph(privpath_graph::GraphError::NotATree { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_multiplies_noise_scale() {
+        let topo = path_graph(16);
+        let w = EdgeWeights::constant(15, 1.0);
+        let p = params(1.0).with_scale(NeighborScale::new(3.0).unwrap());
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let release =
+            tree_single_source_distances_with(&topo, &w, NodeId::new(0), &p, &mut rec).unwrap();
+        let expected = 3.0 * release.decomposition_depth() as f64;
+        assert!((release.noise_scale() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_mismatch_rejected() {
+        let topo = path_graph(4);
+        let w = EdgeWeights::zeros(9);
+        assert!(tree_single_source_distances_with(
+            &topo,
+            &w,
+            NodeId::new(0),
+            &params(1.0),
+            &mut ZeroNoise
+        )
+        .is_err());
+    }
+}

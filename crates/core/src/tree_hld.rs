@@ -1,0 +1,339 @@
+//! An alternative private tree-distance mechanism built on heavy-path
+//! decomposition — an **extension ablation** of Algorithm 1.
+//!
+//! Decompose the tree into heavy paths; every edge belongs to exactly one
+//! chain (a chain owns its own edges plus the light edge linking its head
+//! to the parent chain). Release each chain's edge-weight sequence with a
+//! [`DyadicSeries`] at a common noise scale.
+//!
+//! **Privacy.** An edge appears in exactly one chain, inside at most
+//! `S = max_chain levels <= ceil(log2 V) + 1` blocks, so the full released
+//! vector has `l1` sensitivity `S` and `Lap(S * s / eps)` noise per value
+//! is the Laplace mechanism — `eps`-DP, just like Algorithm 1.
+//!
+//! **Utility.** A root-to-vertex path crosses at most `log2 V + 1` chains
+//! and uses a *prefix* of each, so a query sums at most
+//! `(log2 V + 1) * 2 S` noisy blocks. Crucially `S` adapts to the longest
+//! *chain*, not to `V`: on balanced or random trees heavy chains have
+//! length `O(log V)`, giving `S = O(log log V)` — far less noise per value
+//! than Algorithm 1's `log V / eps` — and the E16 experiment measures the
+//! heavy-path release *beating* Algorithm 1 on those shapes (ratio
+//! 0.2–0.7) while tying on the path graph, where the tree is a single
+//! chain and both mechanisms degenerate to the same `O(log^{1.5} V)`
+//! behaviour. Algorithm 1 retains the cleaner worst-case statement; the
+//! heavy-path layout wins when chains are short.
+
+use crate::series::DyadicSeries;
+use crate::tree_distance::TreeDistanceParams;
+use crate::CoreError;
+use privpath_dp::{NoiseSource, RngNoise};
+use privpath_graph::tree::{HeavyPathDecomposition, Lca, RootedTree};
+use privpath_graph::{EdgeWeights, NodeId, Topology};
+use rand::Rng;
+
+/// The released heavy-path tree distances.
+#[derive(Clone, Debug)]
+pub struct HldTreeRelease {
+    root: NodeId,
+    /// One released series per chain: values are `[link edge weight]`
+    /// (absent for the root chain) followed by the chain's edge weights.
+    chains: Vec<DyadicSeries>,
+    /// Whether chain `i`'s series starts with a link-edge value.
+    has_link: Vec<bool>,
+    /// Parent of each chain's head (`None` for the root chain).
+    head_parent: Vec<Option<NodeId>>,
+    hld: HeavyPathDecomposition,
+    lca: Lca,
+    noise_scale: f64,
+    sensitivity_levels: usize,
+}
+
+impl HldTreeRelease {
+    /// The root all estimates are measured from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The Laplace scale used per released value.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// The sensitivity bound `S` (max dyadic levels over chains).
+    pub fn sensitivity_levels(&self) -> usize {
+        self.sensitivity_levels
+    }
+
+    /// Number of heavy chains.
+    pub fn num_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total number of released noisy values.
+    pub fn num_released(&self) -> usize {
+        self.chains.iter().map(DyadicSeries::num_released).sum()
+    }
+
+    /// The released estimate of `d(root, v)`, with the number of noisy
+    /// blocks summed.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn root_distance_with_pieces(&self, v: NodeId) -> (f64, usize) {
+        let mut total = 0.0;
+        let mut pieces = 0;
+        let mut cur = v;
+        loop {
+            let chain = self.hld.path_of(cur);
+            let offset = usize::from(self.has_link[chain]);
+            // Prefix of the chain: link edge (if any) plus edges from the
+            // head down to `cur`.
+            let end = offset + self.hld.pos_in_path(cur);
+            let (sum, p) = self.chains[chain].range_with_pieces(0, end);
+            total += sum;
+            pieces += p;
+            match self.head_parent[chain] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        (total, pieces)
+    }
+
+    /// The released estimate of `d(root, v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn root_distance(&self, v: NodeId) -> f64 {
+        self.root_distance_with_pieces(v).0
+    }
+
+    /// The released estimate of `d(x, y)` via the LCA identity
+    /// (Theorem 4.2's post-processing).
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn distance(&self, x: NodeId, y: NodeId) -> f64 {
+        let a = self.lca.lca(x, y);
+        self.root_distance(x) + self.root_distance(y) - 2.0 * self.root_distance(a)
+    }
+}
+
+/// Builds the heavy-path tree release with an explicit noise source.
+///
+/// # Errors
+/// [`CoreError::Graph`] if the topology is not a tree or the weights
+/// mismatch.
+pub fn hld_tree_all_pairs_with(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &TreeDistanceParams,
+    noise: &mut impl NoiseSource,
+) -> Result<HldTreeRelease, CoreError> {
+    weights.validate_for(topo)?;
+    if topo.num_nodes() == 0 {
+        return Err(CoreError::Graph(privpath_graph::GraphError::EmptyGraph));
+    }
+    let root = NodeId::new(0);
+    let tree = RootedTree::new(topo, root)?;
+    let hld = HeavyPathDecomposition::new(&tree);
+    let lca = Lca::new(&tree);
+
+    // Chain value sequences: [link edge] + chain edges.
+    let mut sequences: Vec<Vec<f64>> = Vec::with_capacity(hld.paths().len());
+    let mut has_link = Vec::with_capacity(hld.paths().len());
+    let mut head_parent = Vec::with_capacity(hld.paths().len());
+    for path in hld.paths() {
+        let head = path.vertices[0];
+        let mut seq = Vec::with_capacity(path.edges.len() + 1);
+        match tree.parent_edge(head) {
+            Some(link) => {
+                seq.push(weights.get(link));
+                has_link.push(true);
+            }
+            None => has_link.push(false),
+        }
+        head_parent.push(tree.parent(head));
+        for &e in &path.edges {
+            seq.push(weights.get(e));
+        }
+        sequences.push(seq);
+    }
+
+    // Common sensitivity bound: an edge lies in exactly one chain and in
+    // at most levels(chain) blocks there.
+    let sensitivity_levels = sequences
+        .iter()
+        .map(|s| DyadicSeries::levels_for(s.len()))
+        .max()
+        .unwrap_or(1);
+    let b = sensitivity_levels as f64 * params.scale().value() / params.eps().value();
+    let chains = sequences
+        .iter()
+        .map(|seq| DyadicSeries::build(seq, b, noise))
+        .collect();
+
+    Ok(HldTreeRelease {
+        root,
+        chains,
+        has_link,
+        head_parent,
+        hld,
+        lca,
+        noise_scale: b,
+        sensitivity_levels,
+    })
+}
+
+/// Builds the heavy-path tree release drawing noise from `rng`.
+///
+/// # Errors
+/// Same conditions as [`hld_tree_all_pairs_with`].
+pub fn hld_tree_all_pairs(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    params: &TreeDistanceParams,
+    rng: &mut impl Rng,
+) -> Result<HldTreeRelease, CoreError> {
+    let mut noise = RngNoise::new(rng);
+    hld_tree_all_pairs_with(topo, weights, params, &mut noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_dp::{Epsilon, RecordingNoise, ZeroNoise};
+    use privpath_graph::generators::{
+        balanced_binary_tree, caterpillar_tree, path_graph, random_tree_prufer, star_graph,
+        uniform_weights,
+    };
+    use privpath_graph::tree::weighted_depths;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(e: f64) -> TreeDistanceParams {
+        TreeDistanceParams::new(Epsilon::new(e).unwrap())
+    }
+
+    #[test]
+    fn zero_noise_root_distances_exact_on_shapes() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let shapes = vec![
+            path_graph(33),
+            star_graph(17),
+            balanced_binary_tree(63),
+            caterpillar_tree(8, 3),
+            random_tree_prufer(70, &mut rng),
+        ];
+        for topo in &shapes {
+            let w = uniform_weights(topo.num_edges(), 0.0, 9.0, &mut rng);
+            let rel = hld_tree_all_pairs_with(topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+            let rt = RootedTree::new(topo, NodeId::new(0)).unwrap();
+            let truth = weighted_depths(&rt, &w).unwrap();
+            for v in topo.nodes() {
+                assert!(
+                    (rel.root_distance(v) - truth[v.index()]).abs() < 1e-9,
+                    "V={} v={v}",
+                    topo.num_nodes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_all_pairs_exact() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let topo = random_tree_prufer(40, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.5, 6.0, &mut rng);
+        let rel = hld_tree_all_pairs_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        for x in topo.nodes() {
+            let rt = RootedTree::new(&topo, x).unwrap();
+            let truth = weighted_depths(&rt, &w).unwrap();
+            for y in topo.nodes() {
+                assert!(
+                    (rel.distance(x, y) - truth[y.index()]).abs() < 1e-9,
+                    "pair ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pieces_bounded_by_chains_times_levels() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for n in [64usize, 256, 1024] {
+            let topo = random_tree_prufer(n, &mut rng);
+            let w = uniform_weights(n - 1, 0.0, 3.0, &mut rng);
+            let rel = hld_tree_all_pairs_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+            let chain_bound = (n as f64).log2().floor() as usize + 1;
+            let bound = chain_bound * 2 * rel.sensitivity_levels();
+            for v in topo.nodes() {
+                let (_, pieces) = rel.root_distance_with_pieces(v);
+                assert!(pieces <= bound, "n={n} v={v}: {pieces} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_audit_scale_and_count() {
+        let topo = balanced_binary_tree(127);
+        let w = EdgeWeights::constant(126, 1.0);
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        let rel = hld_tree_all_pairs_with(&topo, &w, &params(2.0), &mut rec).unwrap();
+        assert_eq!(rec.len(), rel.num_released());
+        let expected = rel.sensitivity_levels() as f64 / 2.0;
+        for &(scale, _) in rec.draws() {
+            assert!((scale - expected).abs() < 1e-12);
+        }
+        // Sensitivity bound is logarithmic.
+        assert!(rel.sensitivity_levels() <= 8);
+    }
+
+    #[test]
+    fn chains_cover_all_edges_exactly_once() {
+        // The privacy argument: each edge appears in exactly one chain
+        // series. Verified by total released block-level-0 count equals
+        // edge count.
+        let mut rng = StdRng::seed_from_u64(93);
+        let topo = random_tree_prufer(200, &mut rng);
+        let w = EdgeWeights::constant(199, 1.0);
+        let rel = hld_tree_all_pairs_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        let level0_total: usize = (0..rel.num_chains())
+            .map(|c| rel.chains[c].len())
+            .sum();
+        assert_eq!(level0_total, topo.num_edges());
+    }
+
+    #[test]
+    fn noisy_error_stays_moderate() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let topo = path_graph(512);
+        let w = uniform_weights(511, 0.0, 50.0, &mut rng);
+        let rel = hld_tree_all_pairs(&topo, &w, &params(1.0), &mut rng).unwrap();
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let truth = weighted_depths(&rt, &w).unwrap();
+        // Coarse shape check: polylog error scale, nowhere near V.
+        let mut max_err = 0.0f64;
+        for v in topo.nodes() {
+            max_err = max_err.max((rel.root_distance(v) - truth[v.index()]).abs());
+        }
+        assert!(max_err < 512.0, "max err {max_err} looks linear in V");
+        assert!(max_err > 0.0);
+    }
+
+    #[test]
+    fn non_tree_rejected() {
+        let topo = privpath_graph::generators::cycle_graph(6);
+        let w = EdgeWeights::constant(6, 1.0);
+        assert!(hld_tree_all_pairs_with(&topo, &w, &params(1.0), &mut ZeroNoise).is_err());
+    }
+
+    #[test]
+    fn single_vertex() {
+        let topo = Topology::builder(1).build();
+        let w = EdgeWeights::zeros(0);
+        let rel = hld_tree_all_pairs_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
+        assert_eq!(rel.root_distance(NodeId::new(0)), 0.0);
+        assert_eq!(rel.distance(NodeId::new(0), NodeId::new(0)), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! A privacy-budget ledger for compositions of releases.
+
+use crate::{Delta, DpError, Epsilon};
+
+/// One recorded release.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrivacySpend {
+    /// Label for diagnostics (e.g. `"tree-distances"`).
+    pub label: String,
+    /// The release's epsilon.
+    pub eps: f64,
+    /// The release's delta.
+    pub delta: f64,
+}
+
+/// Tracks the cumulative `(eps, delta)` spent by a sequence of releases
+/// under basic composition (Lemma 3.3), optionally enforcing a budget.
+///
+/// The paper's mechanisms are all "one-shot" (a single release answers all
+/// queries), but applications composing several releases — e.g. a shortest
+/// path release *and* a tree-distance release on the same weights — need
+/// exactly this bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Accountant {
+    budget: Option<(f64, f64)>,
+    spends: Vec<PrivacySpend>,
+}
+
+impl Accountant {
+    /// An unlimited ledger (tracks but never refuses).
+    pub fn unbounded() -> Self {
+        Accountant { budget: None, spends: Vec::new() }
+    }
+
+    /// A ledger enforcing a total `(eps, delta)` budget.
+    pub fn with_budget(eps: Epsilon, delta: Delta) -> Self {
+        Accountant { budget: Some((eps.value(), delta.value())), spends: Vec::new() }
+    }
+
+    /// Records a release.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidComposition`] if the spend would exceed
+    /// the budget (the spend is **not** recorded in that case).
+    pub fn spend(
+        &mut self,
+        label: impl Into<String>,
+        eps: Epsilon,
+        delta: Delta,
+    ) -> Result<(), DpError> {
+        let (cur_e, cur_d) = self.total();
+        let (new_e, new_d) = (cur_e + eps.value(), cur_d + delta.value());
+        if let Some((be, bd)) = self.budget {
+            if new_e > be + 1e-12 || new_d > bd + 1e-15 {
+                return Err(DpError::InvalidComposition(format!(
+                    "spend ({}, {}) would exceed budget ({be}, {bd}); already spent ({cur_e}, {cur_d})",
+                    eps.value(),
+                    delta.value(),
+                )));
+            }
+        }
+        self.spends.push(PrivacySpend {
+            label: label.into(),
+            eps: eps.value(),
+            delta: delta.value(),
+        });
+        Ok(())
+    }
+
+    /// Total `(eps, delta)` spent so far under basic composition.
+    pub fn total(&self) -> (f64, f64) {
+        self.spends
+            .iter()
+            .fold((0.0, 0.0), |(e, d), s| (e + s.eps, d + s.delta))
+    }
+
+    /// Remaining `(eps, delta)`, or `None` for an unbounded ledger.
+    pub fn remaining(&self) -> Option<(f64, f64)> {
+        self.budget.map(|(be, bd)| {
+            let (e, d) = self.total();
+            ((be - e).max(0.0), (bd - d).max(0.0))
+        })
+    }
+
+    /// The recorded spends, in order.
+    pub fn spends(&self) -> &[PrivacySpend] {
+        &self.spends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn unbounded_tracks() {
+        let mut a = Accountant::unbounded();
+        a.spend("first", eps(0.5), Delta::zero()).unwrap();
+        a.spend("second", eps(0.7), Delta::new(1e-6).unwrap()).unwrap();
+        let (e, d) = a.total();
+        assert!((e - 1.2).abs() < 1e-12);
+        assert!((d - 1e-6).abs() < 1e-15);
+        assert_eq!(a.remaining(), None);
+        assert_eq!(a.spends().len(), 2);
+        assert_eq!(a.spends()[0].label, "first");
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut a = Accountant::with_budget(eps(1.0), Delta::zero());
+        a.spend("ok", eps(0.6), Delta::zero()).unwrap();
+        let err = a.spend("too much", eps(0.6), Delta::zero()).unwrap_err();
+        assert!(matches!(err, DpError::InvalidComposition(_)));
+        // Rejected spend not recorded.
+        assert_eq!(a.spends().len(), 1);
+        let (re, _) = a.remaining().unwrap();
+        assert!((re - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_budget_enforced() {
+        let mut a = Accountant::with_budget(eps(10.0), Delta::new(1e-6).unwrap());
+        a.spend("ok", eps(1.0), Delta::new(5e-7).unwrap()).unwrap();
+        assert!(a.spend("bad", eps(1.0), Delta::new(9e-7).unwrap()).is_err());
+    }
+
+    #[test]
+    fn exact_budget_allowed() {
+        let mut a = Accountant::with_budget(eps(1.0), Delta::zero());
+        a.spend("a", eps(0.5), Delta::zero()).unwrap();
+        a.spend("b", eps(0.5), Delta::zero()).unwrap();
+        let (re, _) = a.remaining().unwrap();
+        assert!(re.abs() < 1e-9);
+    }
+}

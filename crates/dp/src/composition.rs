@@ -1,0 +1,211 @@
+//! Composition of differentially private mechanisms: Lemma 3.3 (basic) and
+//! Lemma 3.4 (advanced, after [DRV10, DR13]), plus the numeric inverse of
+//! advanced composition that Theorem 4.5 needs ("what per-query epsilon can
+//! I afford for `k` queries at a total `(eps, delta)`?").
+
+use crate::{Delta, DpError, Epsilon};
+
+/// Basic composition (Lemma 3.3): `k` adaptive `(eps, delta)`-DP
+/// mechanisms compose to `(k * eps, k * delta)`-DP.
+///
+/// # Errors
+/// Returns [`DpError::InvalidComposition`] if `k == 0`, or propagates
+/// parameter validation if the products overflow their domains.
+pub fn basic_composition(
+    eps: Epsilon,
+    delta: Delta,
+    k: usize,
+) -> Result<(Epsilon, Delta), DpError> {
+    if k == 0 {
+        return Err(DpError::InvalidComposition("k must be positive".into()));
+    }
+    let e = Epsilon::new(eps.value() * k as f64)?;
+    let d = Delta::new((delta.value() * k as f64).min(1.0 - f64::EPSILON))?;
+    Ok((e, d))
+}
+
+/// Advanced composition (Lemma 3.4): `k` adaptive `(eps, delta)`-DP
+/// mechanisms are `(eps', k * delta + delta')`-DP for
+///
+/// ```text
+/// eps' = sqrt(2 k ln(1 / delta')) * eps + k * eps * (e^eps - 1)
+/// ```
+///
+/// Returns `eps'` (the caller supplies `delta'`).
+///
+/// # Errors
+/// Returns [`DpError::InvalidComposition`] if `k == 0` or
+/// [`DpError::InvalidDelta`] if `delta_prime` is not in `(0, 1)`.
+pub fn advanced_composition_epsilon(
+    eps: Epsilon,
+    k: usize,
+    delta_prime: f64,
+) -> Result<f64, DpError> {
+    if k == 0 {
+        return Err(DpError::InvalidComposition("k must be positive".into()));
+    }
+    if !(delta_prime > 0.0 && delta_prime < 1.0) {
+        return Err(DpError::InvalidDelta(delta_prime));
+    }
+    let e = eps.value();
+    let kf = k as f64;
+    Ok((2.0 * kf * (1.0 / delta_prime).ln()).sqrt() * e + kf * e * (e.exp() - 1.0))
+}
+
+/// The inverse of [`advanced_composition_epsilon`]: the largest per-query
+/// `eps` such that `k` adaptive pure-DP queries compose to at most
+/// `eps_total` (with slack `delta_prime`), found by monotone bisection on
+/// the exact Lemma 3.4 expression. This realizes Theorem 4.5's
+/// "`eps' = O(eps / sqrt(ln(1/delta)))`" without the hidden constant.
+///
+/// # Errors
+/// Returns [`DpError::InvalidComposition`] if `k == 0` or
+/// [`DpError::InvalidDelta`] if `delta_prime` is not in `(0, 1)`.
+pub fn per_query_epsilon(
+    eps_total: Epsilon,
+    k: usize,
+    delta_prime: f64,
+) -> Result<Epsilon, DpError> {
+    if k == 0 {
+        return Err(DpError::InvalidComposition("k must be positive".into()));
+    }
+    if !(delta_prime > 0.0 && delta_prime < 1.0) {
+        return Err(DpError::InvalidDelta(delta_prime));
+    }
+    let target = eps_total.value();
+    // The advanced-composition epsilon is strictly increasing in the
+    // per-query epsilon, starts at 0, and is unbounded: bisect.
+    let mut lo = 0.0f64;
+    let mut hi = target; // composition of k >= 1 queries is >= one query
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid == lo || mid == hi {
+            break;
+        }
+        let eps_mid = Epsilon::new(mid).map_err(|_| DpError::InvalidEpsilon(mid))?;
+        let total = advanced_composition_epsilon(eps_mid, k, delta_prime)?;
+        if total <= target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Epsilon::new(lo)
+}
+
+/// Which of basic and advanced composition yields the better (larger)
+/// per-query budget for `k` pure-DP queries at total `(eps_total,
+/// delta_total)`; for small `k` basic composition wins, for large `k`
+/// advanced does. Returns the winning per-query epsilon and whether
+/// advanced composition was used (spending `delta_total` as slack).
+///
+/// # Errors
+/// Returns [`DpError::InvalidComposition`] if `k == 0`.
+pub fn best_per_query_epsilon(
+    eps_total: Epsilon,
+    delta_total: Delta,
+    k: usize,
+) -> Result<(Epsilon, bool), DpError> {
+    let basic = eps_total.split(k)?;
+    if delta_total.is_pure() {
+        return Ok((basic, false));
+    }
+    let advanced = per_query_epsilon(eps_total, k, delta_total.value())?;
+    if advanced.value() > basic.value() {
+        Ok((advanced, true))
+    } else {
+        Ok((basic, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_composition_multiplies() {
+        let (e, d) = basic_composition(
+            Epsilon::new(0.1).unwrap(),
+            Delta::new(1e-6).unwrap(),
+            10,
+        )
+        .unwrap();
+        assert!((e.value() - 1.0).abs() < 1e-12);
+        assert!((d.value() - 1e-5).abs() < 1e-18);
+        assert!(basic_composition(Epsilon::new(1.0).unwrap(), Delta::zero(), 0).is_err());
+    }
+
+    #[test]
+    fn advanced_composition_formula() {
+        let eps = Epsilon::new(0.01).unwrap();
+        let k = 10_000;
+        let dp = 1e-6;
+        let e = advanced_composition_epsilon(eps, k, dp).unwrap();
+        let expected = (2.0 * 10_000.0 * (1e6f64).ln()).sqrt() * 0.01
+            + 10_000.0 * 0.01 * ((0.01f64).exp() - 1.0);
+        assert!((e - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_query_inverts_advanced() {
+        let total = Epsilon::new(1.0).unwrap();
+        for &k in &[2usize, 16, 256, 10_000] {
+            let per = per_query_epsilon(total, k, 1e-6).unwrap();
+            let recomposed = advanced_composition_epsilon(per, k, 1e-6).unwrap();
+            assert!(recomposed <= 1.0 + 1e-9, "k={k}: {recomposed}");
+            // And nearly tight.
+            assert!(recomposed > 0.999, "k={k}: loose inverse {recomposed}");
+        }
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_queries() {
+        let total = Epsilon::new(1.0).unwrap();
+        let delta = Delta::new(1e-6).unwrap();
+        let k = 10_000;
+        let (eps, used_advanced) = best_per_query_epsilon(total, delta, k).unwrap();
+        assert!(used_advanced);
+        // Basic would give 1e-4; advanced should give ~ 1/sqrt(2 k ln 1e6).
+        assert!(eps.value() > 1.0 / k as f64, "advanced not better: {}", eps.value());
+        let rough = 1.0 / (2.0 * k as f64 * (1e6f64).ln()).sqrt();
+        assert!(eps.value() > 0.5 * rough && eps.value() < 2.0 * rough);
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_few_queries() {
+        let total = Epsilon::new(1.0).unwrap();
+        let delta = Delta::new(1e-6).unwrap();
+        let (eps, used_advanced) = best_per_query_epsilon(total, delta, 2).unwrap();
+        assert!(!used_advanced);
+        assert_eq!(eps.value(), 0.5);
+    }
+
+    #[test]
+    fn pure_dp_always_basic() {
+        let total = Epsilon::new(1.0).unwrap();
+        let (eps, used_advanced) =
+            best_per_query_epsilon(total, Delta::zero(), 1_000).unwrap();
+        assert!(!used_advanced);
+        assert!((eps.value() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let total = Epsilon::new(1.0).unwrap();
+        let mut prev = f64::INFINITY;
+        for &k in &[1usize, 4, 16, 64, 256] {
+            let per = per_query_epsilon(total, k, 1e-5).unwrap().value();
+            assert!(per < prev, "per-query eps should shrink with k");
+            prev = per;
+        }
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert!(advanced_composition_epsilon(e, 0, 0.1).is_err());
+        assert!(advanced_composition_epsilon(e, 5, 0.0).is_err());
+        assert!(advanced_composition_epsilon(e, 5, 1.0).is_err());
+        assert!(per_query_epsilon(e, 0, 0.5).is_err());
+    }
+}

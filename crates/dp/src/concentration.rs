@@ -1,0 +1,117 @@
+//! Concentration bounds for Laplace noise: Lemma 3.1 (\[CSS10\]) and the
+//! single-variable tail, expressed as executable bound formulas used by the
+//! utility theorems and the experiment harness.
+
+use crate::DpError;
+
+/// Lemma 3.1: for `t` independent `Lap(b)` variables, their sum `X`
+/// satisfies `|X| < 4 b sqrt(t ln(2/gamma))` with probability at least
+/// `1 - gamma`. Returns that bound.
+///
+/// # Errors
+/// Returns [`DpError::InvalidScale`] for invalid `b` and
+/// [`DpError::InvalidProbability`] for `gamma` outside `(0, 1)`.
+pub fn laplace_sum_bound(b: f64, t: usize, gamma: f64) -> Result<f64, DpError> {
+    if !b.is_finite() || b <= 0.0 {
+        return Err(DpError::InvalidScale(b));
+    }
+    if !(gamma > 0.0 && gamma < 1.0) {
+        return Err(DpError::InvalidProbability(gamma));
+    }
+    Ok(4.0 * b * ((t as f64) * (2.0 / gamma).ln()).sqrt())
+}
+
+/// The union-bound magnitude for `count` independent `Lap(b)` variables:
+/// with probability `1 - gamma`, **every** one of them has magnitude at
+/// most `b * ln(count / gamma)`. This is the paper's ubiquitous
+/// "(1/eps) log(E/gamma)" term.
+///
+/// # Errors
+/// Same domains as [`laplace_sum_bound`]; additionally `count` must be
+/// positive.
+pub fn laplace_union_bound(b: f64, count: usize, gamma: f64) -> Result<f64, DpError> {
+    if !b.is_finite() || b <= 0.0 {
+        return Err(DpError::InvalidScale(b));
+    }
+    if !(gamma > 0.0 && gamma < 1.0) {
+        return Err(DpError::InvalidProbability(gamma));
+    }
+    if count == 0 {
+        return Err(DpError::InvalidComposition("count must be positive".into()));
+    }
+    Ok(b * ((count as f64) / gamma).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Laplace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sum_bound_formula() {
+        let b = 2.0;
+        let t = 16;
+        let gamma = 0.05;
+        let bound = laplace_sum_bound(b, t, gamma).unwrap();
+        let expected = 4.0 * 2.0 * (16.0f64 * (2.0f64 / 0.05).ln()).sqrt();
+        assert!((bound - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_bound_holds_empirically() {
+        // Draw 1000 sums of 25 Lap(1.0) variables; at gamma = 0.1 at most
+        // ~10% + slack may exceed the bound.
+        let d = Laplace::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let gamma = 0.1;
+        let bound = laplace_sum_bound(1.0, 25, gamma).unwrap();
+        let trials = 1000;
+        let exceed = (0..trials)
+            .filter(|_| {
+                let s: f64 = (0..25).map(|_| d.sample(&mut rng)).sum();
+                s.abs() >= bound
+            })
+            .count();
+        assert!(
+            (exceed as f64) < gamma * trials as f64 * 1.5 + 5.0,
+            "{exceed} of {trials} sums exceeded the 1-gamma bound"
+        );
+    }
+
+    #[test]
+    fn union_bound_holds_empirically() {
+        let d = Laplace::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let gamma = 0.1;
+        let count = 50;
+        let bound = laplace_union_bound(1.0, count, gamma).unwrap();
+        let trials = 500;
+        let bad = (0..trials)
+            .filter(|_| (0..count).any(|_| d.sample(&mut rng).abs() > bound))
+            .count();
+        assert!(
+            (bad as f64) < gamma * trials as f64 * 1.5 + 5.0,
+            "{bad} of {trials} batches had an outlier"
+        );
+    }
+
+    #[test]
+    fn domains_validated() {
+        assert!(laplace_sum_bound(0.0, 5, 0.1).is_err());
+        assert!(laplace_sum_bound(1.0, 5, 0.0).is_err());
+        assert!(laplace_sum_bound(1.0, 5, 1.0).is_err());
+        assert!(laplace_union_bound(1.0, 0, 0.1).is_err());
+    }
+
+    #[test]
+    fn bounds_grow_with_confidence() {
+        let loose = laplace_sum_bound(1.0, 10, 0.5).unwrap();
+        let tight = laplace_sum_bound(1.0, 10, 0.001).unwrap();
+        assert!(tight > loose);
+        let loose = laplace_union_bound(1.0, 10, 0.5).unwrap();
+        let tight = laplace_union_bound(1.0, 10, 0.001).unwrap();
+        assert!(tight > loose);
+    }
+}

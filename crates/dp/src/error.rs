@@ -1,0 +1,56 @@
+//! Error type for privacy-parameter and mechanism misuse.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DP substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// Epsilon must be a positive, finite real.
+    InvalidEpsilon(f64),
+    /// Delta must lie in `[0, 1)`.
+    InvalidDelta(f64),
+    /// A scale/sensitivity parameter was non-positive or non-finite.
+    InvalidScale(f64),
+    /// A probability parameter was outside `(0, 1)`.
+    InvalidProbability(f64),
+    /// A composition target is infeasible (e.g. zero queries).
+    InvalidComposition(String),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon(v) => {
+                write!(f, "epsilon must be positive and finite, got {v}")
+            }
+            DpError::InvalidDelta(v) => write!(f, "delta must be in [0, 1), got {v}"),
+            DpError::InvalidScale(v) => {
+                write!(f, "scale must be positive and finite, got {v}")
+            }
+            DpError::InvalidProbability(v) => {
+                write!(f, "probability must be in (0, 1), got {v}")
+            }
+            DpError::InvalidComposition(msg) => write!(f, "invalid composition: {msg}"),
+        }
+    }
+}
+
+impl Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_values() {
+        assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(DpError::InvalidDelta(1.5).to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error>(_: E) {}
+        assert_err(DpError::InvalidScale(0.0));
+    }
+}

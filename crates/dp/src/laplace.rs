@@ -1,0 +1,215 @@
+//! The Laplace distribution (paper Definition 3.1), implemented from
+//! scratch.
+
+use crate::DpError;
+use rand::Rng;
+
+/// The Laplace distribution `Lap(b)` centred at zero with scale `b`:
+/// density `p(x) = exp(-|x| / b) / (2b)` and tail
+/// `Pr[|Y| > t * b] = e^{-t}`.
+///
+/// Sampling uses the inverse CDF: for `U` uniform on `(-1/2, 1/2)`,
+/// `X = -b * sign(U) * ln(1 - 2|U|)` is `Lap(b)`-distributed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates `Lap(scale)`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidScale`] unless `scale` is positive and
+    /// finite.
+    pub fn new(scale: f64) -> Result<Self, DpError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(DpError::InvalidScale(scale));
+        }
+        Ok(Laplace { scale })
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance, `2 b^2`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // u in [-0.5, 0.5); shift away from the singular endpoint.
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        let abs = 1.0 - 2.0 * u.abs();
+        // abs in (0, 1]; ln finite. Guard the measure-zero abs == 0 case
+        // anyway (u == -0.5 exactly).
+        let abs = abs.max(f64::MIN_POSITIVE);
+        -self.scale * u.signum() * abs.ln()
+    }
+
+    /// The density `p(x)`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-(x.abs()) / self.scale).exp() / (2.0 * self.scale)
+    }
+
+    /// The cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+
+    /// The quantile function (inverse CDF) for `p` in `(0, 1)`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidProbability`] for `p` outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64, DpError> {
+        if !(0.0..1.0).contains(&p) || p == 0.0 {
+            return Err(DpError::InvalidProbability(p));
+        }
+        Ok(if p < 0.5 {
+            self.scale * (2.0 * p).ln()
+        } else {
+            -self.scale * (2.0 * (1.0 - p)).ln()
+        })
+    }
+
+    /// The two-sided tail probability `Pr[|Y| > t]`.
+    pub fn tail(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-t / self.scale).exp()
+        }
+    }
+
+    /// The magnitude bound `t` with `Pr[|Y| > t] = gamma`: the paper's
+    /// ubiquitous "`|X| <= (b) log(1/gamma)` with probability `1 - gamma`".
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidProbability`] for `gamma` outside `(0, 1)`.
+    pub fn magnitude_bound(&self, gamma: f64) -> Result<f64, DpError> {
+        if !(0.0..1.0).contains(&gamma) || gamma == 0.0 {
+            return Err(DpError::InvalidProbability(gamma));
+        }
+        Ok(self.scale * (1.0 / gamma).ln())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_scales_rejected() {
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-1.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        assert!(Laplace::new(f64::INFINITY).is_err());
+        assert!(Laplace::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = Laplace::new(1.5).unwrap();
+        // Trapezoid rule over [-40, 40].
+        let steps = 200_000;
+        let (a, b) = (-40.0f64, 40.0f64);
+        let h = (b - a) / steps as f64;
+        let mut total = 0.0;
+        for i in 0..=steps {
+            let x = a + i as f64 * h;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            total += w * d.pdf(x);
+        }
+        total *= h;
+        assert!((total - 1.0).abs() < 1e-6, "integral {total}");
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let d = Laplace::new(0.7).unwrap();
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = d.quantile(p).unwrap();
+            assert!((d.cdf(x) - p).abs() < 1e-12, "p={p}");
+        }
+        assert_eq!(d.quantile(0.5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_symmetric() {
+        let d = Laplace::new(1.0).unwrap();
+        let mut prev = -1.0;
+        for i in -50..=50 {
+            let x = i as f64 / 5.0;
+            let c = d.cdf(x);
+            assert!(c >= prev);
+            prev = c;
+            // Symmetry: F(-x) = 1 - F(x).
+            assert!((d.cdf(-x) - (1.0 - d.cdf(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tail_matches_definition() {
+        let d = Laplace::new(2.0).unwrap();
+        // Pr[|Y| > t*b] = e^{-t}.
+        for &t in &[0.5, 1.0, 3.0] {
+            assert!((d.tail(t * 2.0) - (-t).exp()).abs() < 1e-12);
+        }
+        assert_eq!(d.tail(-1.0), 1.0);
+    }
+
+    #[test]
+    fn magnitude_bound_inverts_tail() {
+        let d = Laplace::new(3.0).unwrap();
+        let gamma = 0.05;
+        let t = d.magnitude_bound(gamma).unwrap();
+        assert!((d.tail(t) - gamma).abs() < 1e-12);
+        assert!(d.magnitude_bound(0.0).is_err());
+        assert!(d.magnitude_bound(1.0).is_err());
+    }
+
+    #[test]
+    fn sample_moments() {
+        let d = Laplace::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(12345);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - d.variance()).abs() / d.variance() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn sample_tail_fraction() {
+        let d = Laplace::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(999);
+        let n = 100_000;
+        let t = 2.0;
+        let exceed = (0..n).filter(|_| d.sample(&mut rng).abs() > t).count();
+        let expected = t.exp().recip();
+        let frac = exceed as f64 / n as f64;
+        assert!(
+            (frac - expected).abs() < 0.01,
+            "tail fraction {frac} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sample_median_near_zero() {
+        let d = Laplace::new(5.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 50_000;
+        let pos = (0..n).filter(|_| d.sample(&mut rng) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+}

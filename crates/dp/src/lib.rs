@@ -1,0 +1,42 @@
+//! # privpath-dp — differential-privacy substrate
+//!
+//! The probability and accounting layer beneath the paper's mechanisms:
+//!
+//! * [`Laplace`] — the Laplace distribution (Definition 3.1), sampled from
+//!   scratch via inverse CDF (the `rand_distr` crate is deliberately not
+//!   used; see DESIGN.md).
+//! * [`NoiseSource`] — the seam through which every mechanism draws noise.
+//!   [`RngNoise`] is the production source; [`ZeroNoise`] turns any
+//!   mechanism into its exact counterpart for decomposition tests;
+//!   [`RecordingNoise`] audits the number and scale of draws against the
+//!   privacy analysis.
+//! * [`laplace_mechanism`] — the Laplace mechanism for vector queries
+//!   (Lemma 3.2).
+//! * [`Epsilon`] / [`Delta`] — validated privacy parameters.
+//! * [`composition`] — basic (Lemma 3.3) and advanced (Lemma 3.4)
+//!   composition, including the numeric inverse needed by Theorem 4.5.
+//! * [`Accountant`] — a privacy-budget ledger.
+//! * [`concentration`] — Lemma 3.1 (\[CSS10\]) bounds on sums of Laplace
+//!   variables, and the single-variable tail.
+//! * [`randomized_response`] — Warner's mechanism, whose optimality
+//!   (Lemma 5.3) underpins the reconstruction lower bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accountant;
+pub mod composition;
+pub mod concentration;
+mod error;
+mod laplace;
+mod mechanism;
+mod noise;
+mod params;
+pub mod randomized_response;
+
+pub use accountant::{Accountant, PrivacySpend};
+pub use error::DpError;
+pub use laplace::Laplace;
+pub use mechanism::{laplace_mechanism, laplace_mechanism_scalar};
+pub use noise::{NoiseSource, RecordingNoise, RngNoise, ZeroNoise};
+pub use params::{Delta, Epsilon};

@@ -1,0 +1,155 @@
+//! The noise-source seam: every mechanism in `privpath-core` draws its
+//! Laplace noise through [`NoiseSource`].
+//!
+//! This indirection is what makes the paper's decomposition arguments
+//! testable: running a mechanism with [`ZeroNoise`] must reproduce the
+//! exact (non-private) quantity, isolating the combinatorial logic from the
+//! randomness; running with [`RecordingNoise`] lets tests audit that the
+//! number and scale of draws match the sensitivity analysis.
+
+use crate::Laplace;
+use rand::Rng;
+
+/// A source of Laplace noise at caller-chosen scales.
+pub trait NoiseSource {
+    /// Draws one `Lap(scale)` sample.
+    ///
+    /// # Panics
+    /// Implementations may panic if `scale` is non-positive or non-finite;
+    /// mechanisms validate scales before drawing.
+    fn laplace(&mut self, scale: f64) -> f64;
+}
+
+/// The production noise source: samples from a [`rand::Rng`].
+#[derive(Debug)]
+pub struct RngNoise<R: Rng> {
+    rng: R,
+}
+
+impl<R: Rng> RngNoise<R> {
+    /// Wraps an RNG.
+    pub fn new(rng: R) -> Self {
+        RngNoise { rng }
+    }
+
+    /// Unwraps the RNG.
+    pub fn into_inner(self) -> R {
+        self.rng
+    }
+}
+
+impl<R: Rng> NoiseSource for RngNoise<R> {
+    fn laplace(&mut self, scale: f64) -> f64 {
+        Laplace::new(scale)
+            .expect("mechanism passed an invalid noise scale")
+            .sample(&mut self.rng)
+    }
+}
+
+/// A noise source returning exactly zero: turns any mechanism into its
+/// exact, non-private counterpart. **For tests and diagnostics only** — a
+/// release produced with `ZeroNoise` is not differentially private.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZeroNoise;
+
+impl NoiseSource for ZeroNoise {
+    fn laplace(&mut self, scale: f64) -> f64 {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "mechanism passed an invalid noise scale {scale}"
+        );
+        0.0
+    }
+}
+
+/// Wraps another source and records every `(scale, value)` draw, so tests
+/// can audit a mechanism's noise usage against its privacy analysis.
+#[derive(Debug, Default)]
+pub struct RecordingNoise<N> {
+    inner: N,
+    draws: Vec<(f64, f64)>,
+}
+
+impl<N: NoiseSource> RecordingNoise<N> {
+    /// Wraps `inner`.
+    pub fn new(inner: N) -> Self {
+        RecordingNoise { inner, draws: Vec::new() }
+    }
+
+    /// All draws so far as `(scale, value)` pairs, in order.
+    pub fn draws(&self) -> &[(f64, f64)] {
+        &self.draws
+    }
+
+    /// Number of draws so far.
+    pub fn len(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// Whether no draws have been made.
+    pub fn is_empty(&self) -> bool {
+        self.draws.is_empty()
+    }
+
+    /// The minimum scale drawn at, if any draw happened.
+    pub fn min_scale(&self) -> Option<f64> {
+        self.draws.iter().map(|&(s, _)| s).min_by(f64::total_cmp)
+    }
+}
+
+impl<N: NoiseSource> NoiseSource for RecordingNoise<N> {
+    fn laplace(&mut self, scale: f64) -> f64 {
+        let value = self.inner.laplace(scale);
+        self.draws.push((scale, value));
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_noise_is_zero() {
+        let mut z = ZeroNoise;
+        assert_eq!(z.laplace(1.0), 0.0);
+        assert_eq!(z.laplace(100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid noise scale")]
+    fn zero_noise_rejects_bad_scale() {
+        let mut z = ZeroNoise;
+        let _ = z.laplace(-1.0);
+    }
+
+    #[test]
+    fn rng_noise_produces_varied_samples() {
+        let mut n = RngNoise::new(StdRng::seed_from_u64(5));
+        let a = n.laplace(1.0);
+        let b = n.laplace(1.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rng_noise_deterministic_under_seed() {
+        let mut a = RngNoise::new(StdRng::seed_from_u64(9));
+        let mut b = RngNoise::new(StdRng::seed_from_u64(9));
+        for _ in 0..10 {
+            assert_eq!(a.laplace(2.0), b.laplace(2.0));
+        }
+    }
+
+    #[test]
+    fn recording_noise_audits_draws() {
+        let mut r = RecordingNoise::new(ZeroNoise);
+        assert!(r.is_empty());
+        let _ = r.laplace(3.0);
+        let _ = r.laplace(5.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.draws()[0], (3.0, 0.0));
+        assert_eq!(r.min_scale(), Some(3.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Validated privacy parameters.
+
+use crate::DpError;
+use std::fmt;
+
+/// A validated privacy parameter `epsilon > 0` (finite).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Validates and wraps an epsilon.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidEpsilon`] unless `value` is positive and
+    /// finite.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(DpError::InvalidEpsilon(value));
+        }
+        Ok(Epsilon(value))
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Splits this budget evenly over `k` sequential uses (basic
+    /// composition, Lemma 3.3).
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidComposition`] if `k == 0`.
+    pub fn split(&self, k: usize) -> Result<Epsilon, DpError> {
+        if k == 0 {
+            return Err(DpError::InvalidComposition("cannot split over zero uses".into()));
+        }
+        Epsilon::new(self.0 / k as f64)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A validated privacy parameter `delta` in `[0, 1)`.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Delta(f64);
+
+impl Delta {
+    /// Validates and wraps a delta.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidDelta`] unless `value` is in `[0, 1)`.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if !value.is_finite() || !(0.0..1.0).contains(&value) {
+            return Err(DpError::InvalidDelta(value));
+        }
+        Ok(Delta(value))
+    }
+
+    /// The `delta = 0` of pure differential privacy.
+    pub fn zero() -> Self {
+        Delta(0.0)
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether this is pure DP (`delta == 0`).
+    pub fn is_pure(&self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(1.0).is_ok());
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-0.5).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn epsilon_split() {
+        let e = Epsilon::new(2.0).unwrap();
+        assert_eq!(e.split(4).unwrap().value(), 0.5);
+        assert!(e.split(0).is_err());
+    }
+
+    #[test]
+    fn delta_validation() {
+        assert!(Delta::new(0.0).is_ok());
+        assert!(Delta::new(1e-9).is_ok());
+        assert!(Delta::new(1.0).is_err());
+        assert!(Delta::new(-0.1).is_err());
+        assert!(Delta::zero().is_pure());
+        assert!(!Delta::new(0.1).unwrap().is_pure());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Epsilon::new(0.5).unwrap().to_string(), "0.5");
+        assert_eq!(Delta::zero().to_string(), "0");
+    }
+}

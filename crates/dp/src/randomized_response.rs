@@ -1,0 +1,119 @@
+//! Randomized response (Warner 1965) and the reconstruction limits of
+//! Lemmas 5.3 and 5.4.
+//!
+//! Lemma 5.3 states that any `(eps, delta)`-DP algorithm `B : {0,1}^n ->
+//! {0,1}` must err on a uniformly random input's bit with probability at
+//! least `(1 - delta) / (1 + e^eps)`; randomized response achieves exactly
+//! this for `delta = 0`, which is why the paper calls the lemma a statement
+//! about the optimality of randomized response. The reconstruction-attack
+//! experiments (E1/E10/E11) report their Hamming distances against
+//! [`reconstruction_error_floor`].
+
+use crate::{Delta, DpError, Epsilon};
+use rand::Rng;
+
+/// `eps`-DP randomized response on one bit: report the truth with
+/// probability `e^eps / (1 + e^eps)`, the flip otherwise.
+pub fn randomized_response_bit(bit: bool, eps: Epsilon, rng: &mut impl Rng) -> bool {
+    let p_truth = eps.value().exp() / (1.0 + eps.value().exp());
+    if rng.gen::<f64>() < p_truth {
+        bit
+    } else {
+        !bit
+    }
+}
+
+/// Applies [`randomized_response_bit`] to each bit independently, giving an
+/// `eps`-DP release of the whole vector **per bit**; as a release of the
+/// whole vector under the "one record changes" neighboring relation it is
+/// also `eps`-DP.
+pub fn randomized_response(bits: &[bool], eps: Epsilon, rng: &mut impl Rng) -> Vec<bool> {
+    bits.iter().map(|&b| randomized_response_bit(b, eps, rng)).collect()
+}
+
+/// The unbiased estimator for the population frequency of `true` under
+/// randomized response: given the reported frequency `p_hat` and the truth
+/// probability `p = e^eps / (1 + e^eps)`, returns
+/// `(p_hat - (1 - p)) / (2p - 1)` clamped to `[0, 1]`.
+pub fn estimate_frequency(reported_true_frac: f64, eps: Epsilon) -> f64 {
+    let p = eps.value().exp() / (1.0 + eps.value().exp());
+    ((reported_true_frac - (1.0 - p)) / (2.0 * p - 1.0)).clamp(0.0, 1.0)
+}
+
+/// Lemma 5.3 / 5.4: the per-bit disagreement floor
+/// `(1 - delta) / (1 + e^eps)` for any `(eps, delta)`-DP bit release. The
+/// expected Hamming distance of any DP reconstruction of an `n`-bit uniform
+/// input is at least `n` times this.
+///
+/// # Errors
+/// Never fails for validated parameters; signature returns `Result` for
+/// uniformity with the other bound formulas.
+pub fn reconstruction_error_floor(eps: Epsilon, delta: Delta) -> Result<f64, DpError> {
+    Ok((1.0 - delta.value()) / (1.0 + eps.value().exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rr_error_rate_matches_floor() {
+        // Lemma 5.3 is tight for randomized response at delta = 0: the
+        // disagreement probability is exactly 1 / (1 + e^eps).
+        let mut rng = StdRng::seed_from_u64(55);
+        for &e in &[0.25, 1.0, 2.0] {
+            let eps = Epsilon::new(e).unwrap();
+            let floor = reconstruction_error_floor(eps, Delta::zero()).unwrap();
+            let trials = 200_000;
+            let flips = (0..trials)
+                .filter(|i| randomized_response_bit(i % 2 == 0, eps, &mut rng) != (i % 2 == 0))
+                .count();
+            let rate = flips as f64 / trials as f64;
+            assert!(
+                (rate - floor).abs() < 0.01,
+                "eps={e}: rate {rate} vs floor {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_estimator_unbiased() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 100_000;
+        let truth_frac = 0.3;
+        let bits: Vec<bool> = (0..n).map(|i| (i as f64 / n as f64) < truth_frac).collect();
+        let reported = randomized_response(&bits, eps, &mut rng);
+        let p_hat = reported.iter().filter(|&&b| b).count() as f64 / n as f64;
+        let est = estimate_frequency(p_hat, eps);
+        assert!((est - truth_frac).abs() < 0.02, "estimate {est}");
+    }
+
+    #[test]
+    fn floor_decreases_with_eps() {
+        let d = Delta::zero();
+        let f1 = reconstruction_error_floor(Epsilon::new(0.1).unwrap(), d).unwrap();
+        let f2 = reconstruction_error_floor(Epsilon::new(2.0).unwrap(), d).unwrap();
+        assert!(f1 > f2);
+        // eps -> 0: floor -> 1/2.
+        let f0 = reconstruction_error_floor(Epsilon::new(1e-9).unwrap(), d).unwrap();
+        assert!((f0 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floor_scales_with_delta() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let f0 = reconstruction_error_floor(eps, Delta::zero()).unwrap();
+        let f1 = reconstruction_error_floor(eps, Delta::new(0.5).unwrap()).unwrap();
+        assert!((f1 - 0.5 * f0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_clamps() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert_eq!(estimate_frequency(0.0, eps), 0.0);
+        assert_eq!(estimate_frequency(1.0, eps), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Bellman–Ford: single-source shortest paths with negative weights.
+//!
+//! Used by tests to confirm that clamping Laplace-noised weights at zero
+//! (the default post-processing in Algorithm 3's implementation) does not
+//! change released paths in the high-probability regime, and available to
+//! users who prefer unclamped noisy weights.
+
+use crate::algo::dijkstra::ShortestPathTree;
+use crate::{EdgeWeights, GraphError, NodeId, Topology};
+
+/// Single-source shortest paths allowing negative edge weights.
+///
+/// For **undirected** topologies a negative edge forms a negative cycle
+/// (traverse it back and forth), so undirected inputs with any negative
+/// weight yield [`GraphError::NegativeCycle`]. Directed inputs are handled
+/// with full generality in `O(V * E)`.
+///
+/// # Errors
+/// * [`GraphError::WeightsLengthMismatch`] if `weights` does not match.
+/// * [`GraphError::NodeOutOfRange`] if `source` is invalid.
+/// * [`GraphError::NegativeCycle`] if a negative cycle is reachable from
+///   `source` (including the undirected case described above).
+pub fn bellman_ford(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    source: NodeId,
+) -> Result<ShortestPathTree, GraphError> {
+    weights.validate_for(topo)?;
+    topo.check_node(source)?;
+    if !topo.is_directed() {
+        // An undirected negative edge is a negative cycle if reachable; we
+        // reject conservatively without a reachability check for
+        // predictability.
+        if let Some((e, w)) = weights.iter().find(|&(_, w)| w < 0.0) {
+            let _ = (e, w);
+            return Err(GraphError::NegativeCycle);
+        }
+    }
+
+    let n = topo.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_node = vec![None; n];
+    let mut parent_edge = vec![None; n];
+    dist[source.index()] = 0.0;
+
+    // Relax repeatedly. Using adjacency (not the raw edge list) respects
+    // direction for directed graphs and covers both directions for
+    // undirected ones.
+    for round in 0..n {
+        let mut changed = false;
+        for u in topo.nodes() {
+            let du = dist[u.index()];
+            if !du.is_finite() {
+                continue;
+            }
+            for (v, e) in topo.neighbors(u) {
+                let nd = du + weights.get(e);
+                if nd < dist[v.index()] - 1e-15 {
+                    dist[v.index()] = nd;
+                    parent_node[v.index()] = Some(u);
+                    parent_edge[v.index()] = Some(e);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == n - 1 {
+            return Err(GraphError::NegativeCycle);
+        }
+    }
+    Ok(ShortestPathTree::new(source, dist, parent_node, parent_edge))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra;
+
+    #[test]
+    fn matches_dijkstra_on_nonnegative() {
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        b.add_edge(NodeId::new(0), NodeId::new(2));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![1.0, 2.0, 4.0, 0.5]).unwrap();
+        let bf = bellman_ford(&topo, &w, NodeId::new(0)).unwrap();
+        let dj = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+        for v in topo.nodes() {
+            assert_eq!(bf.distance(v), dj.distance(v));
+        }
+    }
+
+    #[test]
+    fn directed_negative_edge_ok() {
+        let mut b = Topology::builder_directed(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![-1.0, 2.0]).unwrap();
+        let bf = bellman_ford(&topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(bf.distance(NodeId::new(2)), Some(1.0));
+        let p = bf.path_to(NodeId::new(2)).unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn directed_negative_cycle_detected() {
+        let mut b = Topology::builder_directed(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(0));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![-1.0, 0.5]).unwrap();
+        assert_eq!(
+            bellman_ford(&topo, &w, NodeId::new(0)).unwrap_err(),
+            GraphError::NegativeCycle
+        );
+    }
+
+    #[test]
+    fn undirected_negative_edge_rejected() {
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![-0.5]).unwrap();
+        assert_eq!(
+            bellman_ford(&topo, &w, NodeId::new(0)).unwrap_err(),
+            GraphError::NegativeCycle
+        );
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let mut b = Topology::builder_directed(2);
+        b.add_edge(NodeId::new(1), NodeId::new(0));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![-3.0]).unwrap();
+        let bf = bellman_ford(&topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(bf.distance(NodeId::new(1)), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! Breadth-first search: hop distances `h(x, y)` and multi-source cover
+//! assignment.
+//!
+//! The paper's bounded-weight algorithm (Algorithm 2) measures nearness to a
+//! k-covering in *hop* distance, so everything here is unweighted.
+
+use crate::{GraphError, NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Sentinel for "unreachable" in hop-distance arrays.
+pub(crate) const UNREACHED: u32 = u32::MAX;
+
+/// Hop distances (`h(source, ·)` in the paper's notation) from a single
+/// source; `u32::MAX` marks unreachable vertices.
+///
+/// # Errors
+/// Returns [`GraphError::NodeOutOfRange`] if `source` is invalid.
+pub fn hop_distances(topo: &Topology, source: NodeId) -> Result<Vec<u32>, GraphError> {
+    topo.check_node(source)?;
+    Ok(bfs_from(topo, std::iter::once(source)).0)
+}
+
+/// The assignment of every vertex to its nearest center, produced by
+/// [`multi_source_hop_assignment`].
+#[derive(Clone, Debug)]
+pub struct CoverAssignment {
+    /// Hop distance to the nearest center (`u32::MAX` if none reachable).
+    pub dist: Vec<u32>,
+    /// The nearest center `z(v)` itself, `None` if none reachable.
+    pub center: Vec<Option<NodeId>>,
+}
+
+impl CoverAssignment {
+    /// The nearest center of `v`, i.e. the paper's `z(v)`.
+    pub fn center_of(&self, v: NodeId) -> Option<NodeId> {
+        self.center[v.index()]
+    }
+
+    /// Hop distance from `v` to its nearest center.
+    pub fn dist_of(&self, v: NodeId) -> Option<u32> {
+        let d = self.dist[v.index()];
+        (d != UNREACHED).then_some(d)
+    }
+
+    /// The covering radius: the maximum over vertices of the distance to the
+    /// nearest center. `None` if some vertex is unreachable from every
+    /// center.
+    pub fn radius(&self) -> Option<u32> {
+        let mut r = 0;
+        for &d in &self.dist {
+            if d == UNREACHED {
+                return None;
+            }
+            r = r.max(d);
+        }
+        Some(r)
+    }
+}
+
+/// Multi-source BFS: for every vertex, the hop distance to the nearest of
+/// `centers` and which center that is. This realizes the paper's map
+/// `v -> z(v)` for a k-covering `Z` (Algorithm 2, step 2).
+///
+/// # Errors
+/// Returns [`GraphError::NodeOutOfRange`] for an invalid center and
+/// [`GraphError::EmptyGraph`] if `centers` is empty.
+pub fn multi_source_hop_assignment(
+    topo: &Topology,
+    centers: &[NodeId],
+) -> Result<CoverAssignment, GraphError> {
+    if centers.is_empty() {
+        return Err(GraphError::EmptyGraph);
+    }
+    for &c in centers {
+        topo.check_node(c)?;
+    }
+    let (dist, origin) = bfs_from(topo, centers.iter().copied());
+    Ok(CoverAssignment { dist, center: origin })
+}
+
+/// BFS from a set of sources; returns `(dist, origin)` where `origin[v]` is
+/// the source whose BFS reached `v` first.
+fn bfs_from(
+    topo: &Topology,
+    sources: impl Iterator<Item = NodeId>,
+) -> (Vec<u32>, Vec<Option<NodeId>>) {
+    let n = topo.num_nodes();
+    let mut dist = vec![UNREACHED; n];
+    let mut origin: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for s in sources {
+        if dist[s.index()] != 0 || origin[s.index()].is_none() {
+            dist[s.index()] = 0;
+            origin[s.index()] = Some(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for (v, _) in topo.neighbors(u) {
+            if dist[v.index()] == UNREACHED {
+                dist[v.index()] = du + 1;
+                origin[v.index()] = origin[u.index()];
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, origin)
+}
+
+/// The farthest vertex from `start` (in hops) and its distance. Ties break
+/// toward the smallest node id for determinism.
+///
+/// Two applications of this ("double sweep") find an endpoint of a longest
+/// path when the graph is a tree — exactly the vertex `x` required by the
+/// Meir–Moon covering construction (Lemma 4.4).
+///
+/// # Errors
+/// Returns [`GraphError::NodeOutOfRange`] if `start` is invalid.
+pub fn double_sweep_farthest(
+    topo: &Topology,
+    start: NodeId,
+) -> Result<(NodeId, u32), GraphError> {
+    let d = hop_distances(topo, start)?;
+    let mut best = (start, 0u32);
+    for v in topo.nodes() {
+        let dv = d[v.index()];
+        if dv != UNREACHED && dv > best.1 {
+            best = (v, dv);
+        }
+    }
+    Ok(best)
+}
+
+/// The hop eccentricity of `v`: the largest hop distance from `v` to any
+/// vertex reachable from it.
+///
+/// # Errors
+/// Returns [`GraphError::NodeOutOfRange`] if `v` is invalid.
+pub fn hop_eccentricity(topo: &Topology, v: NodeId) -> Result<u32, GraphError> {
+    let d = hop_distances(topo, v)?;
+    Ok(d.iter().copied().filter(|&x| x != UNREACHED).max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::path_graph;
+
+    #[test]
+    fn path_hop_distances() {
+        let topo = path_graph(5);
+        let d = hop_distances(&topo, NodeId::new(0)).unwrap();
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_is_sentinel() {
+        let mut b = Topology::builder(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let d = hop_distances(&topo, NodeId::new(0)).unwrap();
+        assert_eq!(d[2], UNREACHED);
+    }
+
+    #[test]
+    fn multi_source_assignment_picks_nearest() {
+        let topo = path_graph(7);
+        let centers = [NodeId::new(0), NodeId::new(6)];
+        let a = multi_source_hop_assignment(&topo, &centers).unwrap();
+        assert_eq!(a.center_of(NodeId::new(1)), Some(NodeId::new(0)));
+        assert_eq!(a.center_of(NodeId::new(5)), Some(NodeId::new(6)));
+        assert_eq!(a.dist_of(NodeId::new(3)), Some(3));
+        assert_eq!(a.radius(), Some(3));
+    }
+
+    #[test]
+    fn empty_centers_rejected() {
+        let topo = path_graph(3);
+        assert!(matches!(
+            multi_source_hop_assignment(&topo, &[]),
+            Err(GraphError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn radius_none_when_uncovered() {
+        let mut b = Topology::builder(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let a = multi_source_hop_assignment(&topo, &[NodeId::new(0)]).unwrap();
+        assert_eq!(a.radius(), None);
+        assert_eq!(a.dist_of(NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn double_sweep_on_path_finds_endpoint() {
+        let topo = path_graph(9);
+        let (far, d) = double_sweep_farthest(&topo, NodeId::new(4)).unwrap();
+        assert_eq!(d, 4);
+        assert!(far == NodeId::new(0) || far == NodeId::new(8));
+        let (end, diam) = double_sweep_farthest(&topo, far).unwrap();
+        assert_eq!(diam, 8);
+        assert!(end == NodeId::new(0) || end == NodeId::new(8));
+    }
+
+    #[test]
+    fn eccentricity_of_path_center() {
+        let topo = path_graph(9);
+        assert_eq!(hop_eccentricity(&topo, NodeId::new(4)).unwrap(), 4);
+        assert_eq!(hop_eccentricity(&topo, NodeId::new(0)).unwrap(), 8);
+    }
+}

@@ -1,0 +1,186 @@
+//! Connected components and bipartiteness (edges treated as undirected).
+
+use crate::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Vertex labelling by connected component, from [`connected_components`].
+#[derive(Clone, Debug)]
+pub struct ComponentLabels {
+    /// `label[v]` is the component index of vertex `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl ComponentLabels {
+    /// Component index of `v`.
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.label[v.index()] as usize
+    }
+
+    /// Groups vertices by component.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (i, &l) in self.label.iter().enumerate() {
+            out[l as usize].push(NodeId::new(i));
+        }
+        out
+    }
+}
+
+/// Labels connected components by BFS. Directed topologies are treated as
+/// undirected for this purpose (weak connectivity), matching how spanning
+/// trees and matchings ignore orientation.
+pub fn connected_components(topo: &Topology) -> ComponentLabels {
+    let n = topo.num_nodes();
+    let undirected_neighbors = build_undirected_adj(topo);
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = count as u32;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in &undirected_neighbors[u] {
+                if label[v] == u32::MAX {
+                    label[v] = count as u32;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    ComponentLabels { label, count }
+}
+
+/// Whether the graph is connected (vacuously true for the empty graph).
+pub fn is_connected(topo: &Topology) -> bool {
+    connected_components(topo).count <= 1
+}
+
+/// Two-colors each component; returns `None` if some component contains an
+/// odd cycle (i.e. the graph is not bipartite). Self-loops make a graph
+/// non-bipartite. Colors are `0`/`1`, with the smallest vertex of each
+/// component colored `0`.
+pub fn bipartite_coloring(topo: &Topology) -> Option<Vec<u8>> {
+    let n = topo.num_nodes();
+    let undirected_neighbors = build_undirected_adj(topo);
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        if u == v {
+            return None;
+        }
+    }
+    let mut color = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in &undirected_neighbors[u] {
+                if color[v] == u8::MAX {
+                    color[v] = 1 - color[u];
+                    queue.push_back(v);
+                } else if color[v] == color[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+fn build_undirected_adj(topo: &Topology) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); topo.num_nodes()];
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        adj[u.index()].push(v.index());
+        if u != v {
+            adj[v.index()].push(u.index());
+        }
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, path_graph};
+
+    #[test]
+    fn single_component_path() {
+        let topo = path_graph(5);
+        let c = connected_components(&topo);
+        assert_eq!(c.count, 1);
+        assert!(is_connected(&topo));
+        assert_eq!(c.groups().len(), 1);
+        assert_eq!(c.groups()[0].len(), 5);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        let c = connected_components(&topo);
+        assert_eq!(c.count, 2);
+        assert!(!is_connected(&topo));
+        assert_eq!(c.component_of(NodeId::new(0)), c.component_of(NodeId::new(1)));
+        assert_ne!(c.component_of(NodeId::new(0)), c.component_of(NodeId::new(2)));
+    }
+
+    #[test]
+    fn even_cycle_bipartite_odd_cycle_not() {
+        assert!(bipartite_coloring(&cycle_graph(6)).is_some());
+        assert!(bipartite_coloring(&cycle_graph(5)).is_none());
+    }
+
+    #[test]
+    fn coloring_is_proper() {
+        let topo = cycle_graph(8);
+        let color = bipartite_coloring(&topo).unwrap();
+        for e in topo.edge_ids() {
+            let (u, v) = topo.endpoints(e);
+            assert_ne!(color[u.index()], color[v.index()]);
+        }
+    }
+
+    #[test]
+    fn self_loop_not_bipartite() {
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(0));
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        assert!(bipartite_coloring(&topo).is_none());
+    }
+
+    #[test]
+    fn parallel_edges_still_bipartite() {
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        assert!(bipartite_coloring(&topo).is_some());
+    }
+
+    #[test]
+    fn directed_edges_treated_as_undirected() {
+        let mut b = Topology::builder_directed(2);
+        b.add_edge(NodeId::new(1), NodeId::new(0));
+        let topo = b.build();
+        assert!(is_connected(&topo));
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let topo = Topology::builder(3).build();
+        assert_eq!(connected_components(&topo).count, 3);
+    }
+}

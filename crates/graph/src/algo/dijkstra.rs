@@ -1,0 +1,301 @@
+//! Dijkstra's algorithm with path extraction.
+
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Path, Topology};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A shortest-path tree rooted at a source vertex: the output of
+/// [`dijkstra`] (and [`bellman_ford`](crate::algo::bellman_ford)).
+///
+/// Stores, for every vertex, the distance from the source and the last edge
+/// of some shortest path, from which full paths are reconstructed on demand.
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    parent_node: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+}
+
+impl ShortestPathTree {
+    pub(crate) fn new(
+        source: NodeId,
+        dist: Vec<f64>,
+        parent_node: Vec<Option<NodeId>>,
+        parent_edge: Vec<Option<EdgeId>>,
+    ) -> Self {
+        ShortestPathTree { source, dist, parent_node, parent_edge }
+    }
+
+    /// The source vertex.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `v`, or `None` if unreachable.
+    pub fn distance(&self, v: NodeId) -> Option<f64> {
+        let d = self.dist[v.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Raw distance slice (`f64::INFINITY` marks unreachable vertices).
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Whether `v` is reachable from the source.
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+
+    /// The predecessor edge of `v` on its shortest path, if any.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// Reconstructs a shortest path from the source to `v`.
+    ///
+    /// Returns `None` if `v` is unreachable. The path for `v == source` is
+    /// the trivial single-vertex path.
+    pub fn path_to(&self, v: NodeId) -> Option<Path> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut nodes = vec![v];
+        let mut edges = Vec::new();
+        let mut cur = v;
+        while let Some(p) = self.parent_node[cur.index()] {
+            edges.push(self.parent_edge[cur.index()].expect("parent edge set with parent node"));
+            nodes.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        nodes.reverse();
+        edges.reverse();
+        Some(Path::new(nodes, edges))
+    }
+}
+
+/// Min-heap entry ordered by distance. `f64::total_cmp` is safe because
+/// weights are validated finite and nonnegative before the heap is used.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on distance; tie-break on node for
+        // determinism.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths with nonnegative weights.
+///
+/// Runs in `O((V + E) log V)` using a binary heap with lazy deletion.
+///
+/// # Errors
+/// * [`GraphError::WeightsLengthMismatch`] if `weights` does not match
+///   `topo`.
+/// * [`GraphError::NodeOutOfRange`] if `source` is invalid.
+/// * [`GraphError::NegativeWeight`] if any weight is negative (use
+///   [`bellman_ford`](crate::algo::bellman_ford) instead, or clamp first).
+pub fn dijkstra(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    source: NodeId,
+) -> Result<ShortestPathTree, GraphError> {
+    weights.validate_for(topo)?;
+    topo.check_node(source)?;
+    for (e, w) in weights.iter() {
+        if w < 0.0 {
+            return Err(GraphError::NegativeWeight { edge: e, value: w });
+        }
+    }
+    Ok(dijkstra_unchecked(topo, weights, source))
+}
+
+/// Dijkstra without precondition checks (weights already validated by the
+/// caller). Used internally to avoid re-scanning weights in all-pairs loops.
+pub(crate) fn dijkstra_unchecked(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    source: NodeId,
+) -> ShortestPathTree {
+    let n = topo.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_node = vec![None; n];
+    let mut parent_edge = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for (v, e) in topo.neighbors(u) {
+            let nd = d + weights.get(e);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent_node[v.index()] = Some(u);
+                parent_edge[v.index()] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPathTree::new(source, dist, parent_node, parent_edge)
+}
+
+/// Shortest-path trees from every vertex (`V` runs of Dijkstra).
+///
+/// # Errors
+/// Same preconditions as [`dijkstra`].
+pub fn all_pairs_dijkstra(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<Vec<ShortestPathTree>, GraphError> {
+    weights.validate_for(topo)?;
+    for (e, w) in weights.iter() {
+        if w < 0.0 {
+            return Err(GraphError::NegativeWeight { edge: e, value: w });
+        }
+    }
+    Ok(topo.nodes().map(|s| dijkstra_unchecked(topo, weights, s)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 --1-- 1 --1-- 2
+    ///  \_____5______/
+    fn diamond() -> (Topology, EdgeWeights) {
+        let mut b = Topology::builder(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        b.add_edge(NodeId::new(0), NodeId::new(2));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![1.0, 1.0, 5.0]).unwrap();
+        (topo, w)
+    }
+
+    #[test]
+    fn shortest_path_prefers_two_hops() {
+        let (topo, w) = diamond();
+        let spt = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(spt.distance(NodeId::new(2)), Some(2.0));
+        let p = spt.path_to(NodeId::new(2)).unwrap();
+        assert_eq!(p.hops(), 2);
+        assert!(p.validate(&topo).is_ok());
+        assert!((w.path_weight(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_edge_wins_when_cheaper() {
+        let (topo, _) = diamond();
+        let w = EdgeWeights::new(vec![3.0, 3.0, 5.0]).unwrap();
+        let spt = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(spt.distance(NodeId::new(2)), Some(5.0));
+        assert_eq!(spt.path_to(NodeId::new(2)).unwrap().hops(), 1);
+    }
+
+    #[test]
+    fn source_distance_is_zero_and_trivial_path() {
+        let (topo, w) = diamond();
+        let spt = dijkstra(&topo, &w, NodeId::new(1)).unwrap();
+        assert_eq!(spt.distance(NodeId::new(1)), Some(0.0));
+        assert_eq!(spt.path_to(NodeId::new(1)).unwrap().hops(), 0);
+    }
+
+    #[test]
+    fn unreachable_vertex_is_none() {
+        let mut b = Topology::builder(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let w = EdgeWeights::zeros(1);
+        let spt = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(spt.distance(NodeId::new(2)), None);
+        assert!(spt.path_to(NodeId::new(2)).is_none());
+        assert!(!spt.is_reachable(NodeId::new(2)));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let (topo, _) = diamond();
+        let w = EdgeWeights::new(vec![1.0, -0.1, 5.0]).unwrap();
+        assert!(matches!(
+            dijkstra(&topo, &w, NodeId::new(0)),
+            Err(GraphError::NegativeWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_edges_take_lighter() {
+        let mut b = Topology::builder(2);
+        let heavy = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let light = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let mut w = EdgeWeights::zeros(2);
+        w.set(heavy, 2.0);
+        w.set(light, 1.0);
+        let spt = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+        let p = spt.path_to(NodeId::new(1)).unwrap();
+        assert_eq!(p.edges(), &[light]);
+    }
+
+    #[test]
+    fn directed_respects_orientation() {
+        let mut b = Topology::builder_directed(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let w = EdgeWeights::constant(1, 1.0);
+        let fwd = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(fwd.distance(NodeId::new(1)), Some(1.0));
+        let back = dijkstra(&topo, &w, NodeId::new(1)).unwrap();
+        assert_eq!(back.distance(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn zero_weight_edges_ok() {
+        let (topo, _) = diamond();
+        let w = EdgeWeights::zeros(3);
+        let spt = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(spt.distance(NodeId::new(2)), Some(0.0));
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric_for_undirected() {
+        let (topo, w) = diamond();
+        let trees = all_pairs_dijkstra(&topo, &w).unwrap();
+        for u in topo.nodes() {
+            for v in topo.nodes() {
+                assert_eq!(trees[u.index()].distance(v), trees[v.index()].distance(u));
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_weights_rejected() {
+        let (topo, _) = diamond();
+        let w = EdgeWeights::zeros(2);
+        assert!(matches!(
+            dijkstra(&topo, &w, NodeId::new(0)),
+            Err(GraphError::WeightsLengthMismatch { .. })
+        ));
+    }
+}

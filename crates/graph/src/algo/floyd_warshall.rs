@@ -1,0 +1,172 @@
+//! Floyd–Warshall all-pairs distances: the dense test oracle.
+
+use crate::{EdgeWeights, GraphError, NodeId, Topology};
+
+/// A dense all-pairs distance matrix.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from `u` to `v`, `None` if unreachable.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn get(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let d = self.d[u.index() * self.n + v.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Raw entry including the `f64::INFINITY` unreachable sentinel.
+    pub fn get_raw(&self, u: NodeId, v: NodeId) -> f64 {
+        self.d[u.index() * self.n + v.index()]
+    }
+}
+
+/// All-pairs shortest distances in `O(V^3)`.
+///
+/// Intended as a correctness oracle for tests and for small instances;
+/// the mechanisms themselves use repeated Dijkstra. Negative weights are
+/// allowed for directed graphs; undirected graphs with a negative edge are
+/// rejected (negative cycle).
+///
+/// # Errors
+/// * [`GraphError::WeightsLengthMismatch`] on weight/topology mismatch.
+/// * [`GraphError::NegativeCycle`] if any cycle has negative total weight.
+pub fn floyd_warshall(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<DistanceMatrix, GraphError> {
+    weights.validate_for(topo)?;
+    let n = topo.num_nodes();
+    if !topo.is_directed() && weights.iter().any(|(_, w)| w < 0.0) {
+        return Err(GraphError::NegativeCycle);
+    }
+    let mut d = vec![f64::INFINITY; n * n];
+    for i in 0..n {
+        d[i * n + i] = 0.0;
+    }
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        let w = weights.get(e);
+        let slot = &mut d[u.index() * n + v.index()];
+        if w < *slot {
+            *slot = w;
+        }
+        if !topo.is_directed() {
+            let slot = &mut d[v.index() * n + u.index()];
+            if w < *slot {
+                *slot = w;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i * n + k];
+            if !dik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let alt = dik + d[k * n + j];
+                if alt < d[i * n + j] {
+                    d[i * n + j] = alt;
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        if d[i * n + i] < 0.0 {
+            return Err(GraphError::NegativeCycle);
+        }
+    }
+    Ok(DistanceMatrix { n, d })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra;
+    use crate::generators::cycle_graph;
+
+    #[test]
+    fn agrees_with_dijkstra_on_cycle() {
+        let topo = cycle_graph(6);
+        let w = EdgeWeights::new(vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0]).unwrap();
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        for s in topo.nodes() {
+            let spt = dijkstra(&topo, &w, s).unwrap();
+            for t in topo.nodes() {
+                let a = fw.get(s, t);
+                let b = spt.distance(t);
+                match (a, b) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                    (x, y) => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let topo = cycle_graph(4);
+        let w = EdgeWeights::constant(4, 1.0);
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        for v in topo.nodes() {
+            assert_eq!(fw.get(v, v), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn disconnected_pair_is_none() {
+        let mut b = Topology::builder(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let w = EdgeWeights::zeros(1);
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        assert_eq!(fw.get(NodeId::new(0), NodeId::new(2)), None);
+        assert_eq!(fw.get_raw(NodeId::new(0), NodeId::new(2)), f64::INFINITY);
+    }
+
+    #[test]
+    fn directed_negative_ok_but_cycle_detected() {
+        let mut b = Topology::builder_directed(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![-2.0, 1.0]).unwrap();
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        assert_eq!(fw.get(NodeId::new(0), NodeId::new(2)), Some(-1.0));
+
+        let mut b = Topology::builder_directed(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(0));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![-2.0, 1.0]).unwrap();
+        assert_eq!(floyd_warshall(&topo, &w).unwrap_err(), GraphError::NegativeCycle);
+    }
+
+    #[test]
+    fn undirected_negative_rejected() {
+        let topo = cycle_graph(3);
+        let w = EdgeWeights::new(vec![1.0, -1.0, 1.0]).unwrap();
+        assert_eq!(floyd_warshall(&topo, &w).unwrap_err(), GraphError::NegativeCycle);
+    }
+
+    #[test]
+    fn parallel_edges_use_minimum() {
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![5.0, 2.0]).unwrap();
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        assert_eq!(fw.get(NodeId::new(0), NodeId::new(1)), Some(2.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Kruskal's minimum spanning forest.
+//!
+//! Appendix B.1 of the paper releases the MST of a Laplace-noised graph, so
+//! negative weights must be supported — Kruskal handles them natively.
+
+use crate::algo::union_find::UnionFind;
+use crate::{EdgeId, EdgeWeights, GraphError, Topology};
+
+/// A spanning forest: the output of [`minimum_spanning_forest`] and
+/// [`prim_spanning_forest`](crate::algo::prim_spanning_forest).
+#[derive(Clone, Debug)]
+pub struct SpanningForest {
+    /// The chosen edges.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the chosen edges under the weights used to build the
+    /// forest.
+    pub total_weight: f64,
+    /// Number of connected components (1 for a spanning tree).
+    pub num_components: usize,
+}
+
+impl SpanningForest {
+    /// Whether the forest is a single spanning tree.
+    pub fn is_spanning_tree(&self) -> bool {
+        self.num_components == 1
+    }
+
+    /// Re-evaluates the forest's weight under different weights (the paper's
+    /// utility metric: the *true* weight of the tree chosen on *noisy*
+    /// weights).
+    pub fn weight_under(&self, weights: &EdgeWeights) -> f64 {
+        self.edges.iter().map(|&e| weights.get(e)).sum()
+    }
+}
+
+/// Minimum spanning forest via Kruskal in `O(E log E)`.
+///
+/// Directed topologies are treated as undirected (spanning trees ignore
+/// orientation). Negative weights are allowed. Ties are broken by edge id
+/// for determinism.
+///
+/// # Errors
+/// Returns [`GraphError::WeightsLengthMismatch`] if `weights` does not
+/// match the topology.
+pub fn minimum_spanning_forest(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<SpanningForest, GraphError> {
+    weights.validate_for(topo)?;
+    let mut order: Vec<EdgeId> = topo.edge_ids().collect();
+    order.sort_by(|&a, &b| {
+        weights.get(a).total_cmp(&weights.get(b)).then_with(|| a.cmp(&b))
+    });
+    let mut uf = UnionFind::new(topo.num_nodes());
+    let mut edges = Vec::with_capacity(topo.num_nodes().saturating_sub(1));
+    let mut total_weight = 0.0;
+    for e in order {
+        let (u, v) = topo.endpoints(e);
+        if u != v && uf.union_nodes(u, v) {
+            edges.push(e);
+            total_weight += weights.get(e);
+            if uf.num_sets() == 1 {
+                break;
+            }
+        }
+    }
+    Ok(SpanningForest { edges, total_weight, num_components: uf.num_sets() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph};
+    use crate::NodeId;
+
+    #[test]
+    fn cycle_drops_heaviest_edge() {
+        let topo = cycle_graph(4);
+        let w = EdgeWeights::new(vec![1.0, 2.0, 9.0, 3.0]).unwrap();
+        let f = minimum_spanning_forest(&topo, &w).unwrap();
+        assert!(f.is_spanning_tree());
+        assert_eq!(f.edges.len(), 3);
+        assert!(!f.edges.contains(&EdgeId::new(2)));
+        assert!((f.total_weight - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_weights_are_fine() {
+        let topo = cycle_graph(3);
+        let w = EdgeWeights::new(vec![-5.0, -1.0, -3.0]).unwrap();
+        let f = minimum_spanning_forest(&topo, &w).unwrap();
+        // Keeps the two most negative edges.
+        assert!((f.total_weight - (-8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_yields_forest() {
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        let w = EdgeWeights::constant(2, 1.0);
+        let f = minimum_spanning_forest(&topo, &w).unwrap();
+        assert_eq!(f.num_components, 2);
+        assert!(!f.is_spanning_tree());
+        assert_eq!(f.edges.len(), 2);
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges_handled() {
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(0)); // self loop, never chosen
+        let heavy = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let light = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let mut w = EdgeWeights::zeros(3);
+        w.set(heavy, 5.0);
+        w.set(light, 1.0);
+        let f = minimum_spanning_forest(&topo, &w).unwrap();
+        assert_eq!(f.edges, vec![light]);
+    }
+
+    #[test]
+    fn complete_graph_mst_weight_under_other_weights() {
+        let topo = complete_graph(5);
+        let w = EdgeWeights::constant(topo.num_edges(), 2.0);
+        let f = minimum_spanning_forest(&topo, &w).unwrap();
+        assert_eq!(f.edges.len(), 4);
+        assert!((f.total_weight - 8.0).abs() < 1e-12);
+        let other = EdgeWeights::constant(topo.num_edges(), 1.0);
+        assert!((f.weight_under(&other) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let topo = Topology::builder(0).build();
+        let f = minimum_spanning_forest(&topo, &EdgeWeights::zeros(0)).unwrap();
+        assert!(f.edges.is_empty());
+        assert_eq!(f.num_components, 0);
+    }
+}

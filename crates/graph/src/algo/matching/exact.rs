@@ -1,0 +1,192 @@
+//! Exact minimum-weight perfect matching by bitmask dynamic programming,
+//! for small (possibly non-bipartite) components.
+
+use super::BIG;
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Topology};
+use std::collections::HashMap;
+
+/// Matches one connected component exactly in `O(2^m * m)` where
+/// `m = vertices.len()` (caller guarantees `m` is even and at most
+/// [`super::MAX_EXACT_COMPONENT`]).
+pub(super) fn match_component_exact(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    vertices: &[NodeId],
+    edges: &[EdgeId],
+) -> Result<Vec<EdgeId>, GraphError> {
+    let m = vertices.len();
+    debug_assert!(m.is_multiple_of(2));
+    debug_assert!(m <= super::MAX_EXACT_COMPONENT);
+    let local: HashMap<NodeId, usize> =
+        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // Lightest parallel edge per unordered local pair.
+    let mut pair_cost = vec![BIG; m * m];
+    let mut pair_edge: Vec<Option<EdgeId>> = vec![None; m * m];
+    for &e in edges {
+        let (u, v) = topo.endpoints(e);
+        let (i, j) = (local[&u], local[&v]);
+        let w = weights.get(e);
+        if w < pair_cost[i * m + j] {
+            pair_cost[i * m + j] = w;
+            pair_cost[j * m + i] = w;
+            pair_edge[i * m + j] = Some(e);
+            pair_edge[j * m + i] = Some(e);
+        }
+    }
+
+    let full: usize = (1 << m) - 1;
+    let mut f = vec![f64::INFINITY; 1 << m];
+    // choice[mask] = (i, j) matched in the step that produced `mask`.
+    let mut choice: Vec<(u8, u8)> = vec![(u8::MAX, u8::MAX); 1 << m];
+    f[0] = 0.0;
+    for mask in 0..full {
+        if !f[mask].is_finite() {
+            continue;
+        }
+        // Match the lowest unmatched vertex; this canonical order visits
+        // each perfect matching exactly once.
+        let i = (!mask).trailing_zeros() as usize;
+        debug_assert!(i < m);
+        for j in (i + 1)..m {
+            if mask & (1 << j) != 0 {
+                continue;
+            }
+            let c = pair_cost[i * m + j];
+            if c >= BIG {
+                continue;
+            }
+            let next = mask | (1 << i) | (1 << j);
+            let cand = f[mask] + c;
+            if cand < f[next] {
+                f[next] = cand;
+                choice[next] = (i as u8, j as u8);
+            }
+        }
+    }
+    if !f[full].is_finite() {
+        return Err(GraphError::NoPerfectMatching);
+    }
+
+    // Unwind the DP.
+    let mut out = Vec::with_capacity(m / 2);
+    let mut mask = full;
+    while mask != 0 {
+        let (i, j) = choice[mask];
+        let (i, j) = (i as usize, j as usize);
+        out.push(pair_edge[i * m + j].expect("chosen pair has an edge"));
+        mask ^= (1 << i) | (1 << j);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::matching::min_weight_perfect_matching;
+    use crate::generators::complete_graph;
+
+    /// Brute-force min perfect matching weight over all pairings for tiny
+    /// graphs (n <= 8).
+    fn brute(topo: &Topology, w: &EdgeWeights) -> Option<f64> {
+        let n = topo.num_nodes();
+        fn rec(
+            topo: &Topology,
+            w: &EdgeWeights,
+            used: &mut Vec<bool>,
+        ) -> Option<f64> {
+            let Some(i) = used.iter().position(|&u| !u) else {
+                return Some(0.0);
+            };
+            used[i] = true;
+            let mut best: Option<f64> = None;
+            for j in (i + 1)..used.len() {
+                if used[j] {
+                    continue;
+                }
+                let edges = topo.edges_between(NodeId::new(i), NodeId::new(j));
+                let back = topo.edges_between(NodeId::new(j), NodeId::new(i));
+                let min_edge = edges
+                    .iter()
+                    .chain(back.iter())
+                    .map(|&e| w.get(e))
+                    .min_by(f64::total_cmp);
+                if let Some(cw) = min_edge {
+                    used[j] = true;
+                    if let Some(rest) = rec(topo, w, used) {
+                        let total = cw + rest;
+                        if best.is_none_or(|b| total < b) {
+                            best = Some(total);
+                        }
+                    }
+                    used[j] = false;
+                }
+            }
+            used[i] = false;
+            best
+        }
+        let mut used = vec![false; n];
+        rec(topo, w, &mut used)
+    }
+
+    #[test]
+    fn k6_matches_brute_force() {
+        let topo = complete_graph(6);
+        for seed in 0..5u64 {
+            let w = EdgeWeights::new(
+                (0..topo.num_edges())
+                    .map(|i| (((i as u64 * 2654435761 + seed * 97) % 101) as f64) - 30.0)
+                    .collect(),
+            )
+            .unwrap();
+            let m = min_weight_perfect_matching(&topo, &w).unwrap();
+            let b = brute(&topo, &w).unwrap();
+            assert!(
+                (m.total_weight - b).abs() < 1e-9,
+                "seed {seed}: exact {} != brute {b}",
+                m.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn odd_component_has_no_matching() {
+        // Triangle alone: connected, non-bipartite, odd — caught upstream,
+        // but the DP itself must also fail gracefully on an even set with
+        // no feasible pairing.
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        b.add_edge(NodeId::new(2), NodeId::new(0));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        // Force matching to need (0,1) and (2,3): feasible.
+        let w = EdgeWeights::constant(4, 1.0);
+        let m = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert!(m.is_perfect(&topo));
+        assert!((m.total_weight - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_even_component() {
+        // Path 0-1-2 with pendant 3 on vertex 1: star-like K_{1,3} plus, er,
+        // build exactly: edges (0,1), (1,2), (1,3). Non-bipartite? No —
+        // it's a star, bipartite with sides {1} and {0,2,3}, unbalanced,
+        // handled by Hungarian path. Make it non-bipartite with a triangle
+        // 0-1-2 and an isolated-ish pendant pair that cannot match.
+        let mut b = Topology::builder(6);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        b.add_edge(NodeId::new(2), NodeId::new(0));
+        b.add_edge(NodeId::new(0), NodeId::new(3));
+        b.add_edge(NodeId::new(0), NodeId::new(4));
+        b.add_edge(NodeId::new(0), NodeId::new(5));
+        let topo = b.build();
+        // 3, 4, 5 all hang off 0: only one of them can be matched.
+        let w = EdgeWeights::constant(6, 1.0);
+        assert_eq!(
+            min_weight_perfect_matching(&topo, &w).unwrap_err(),
+            GraphError::NoPerfectMatching
+        );
+    }
+}

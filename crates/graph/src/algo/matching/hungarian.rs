@@ -1,0 +1,214 @@
+//! Hungarian algorithm (Kuhn–Munkres with potentials) for min-cost perfect
+//! matching on bipartite components, `O(n^3)`.
+
+use super::BIG;
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Topology};
+use std::collections::HashMap;
+
+/// Matches one bipartite connected component.
+///
+/// `vertices` are the component's vertices, `color` the component-local
+/// 2-coloring aligned with `vertices`, and `edges` the component's edges.
+/// Returns the chosen edge ids.
+pub(super) fn match_bipartite_component(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    vertices: &[NodeId],
+    edges: &[EdgeId],
+    color: &[u8],
+) -> Result<Vec<EdgeId>, GraphError> {
+    let left: Vec<NodeId> = vertices
+        .iter()
+        .zip(color)
+        .filter(|&(_, &c)| c == 0)
+        .map(|(&v, _)| v)
+        .collect();
+    let right: Vec<NodeId> = vertices
+        .iter()
+        .zip(color)
+        .filter(|&(_, &c)| c == 1)
+        .map(|(&v, _)| v)
+        .collect();
+    if left.len() != right.len() {
+        return Err(GraphError::NoPerfectMatching);
+    }
+    let n = left.len();
+    let left_idx: HashMap<NodeId, usize> = left.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let right_idx: HashMap<NodeId, usize> =
+        right.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // Dense cost matrix, keeping the lightest parallel edge per pair.
+    let mut cost = vec![BIG; n * n];
+    let mut chosen_edge = vec![None; n * n];
+    for &e in edges {
+        let (u, v) = topo.endpoints(e);
+        let (i, j) = if let Some(&i) = left_idx.get(&u) {
+            (i, right_idx[&v])
+        } else {
+            (left_idx[&v], right_idx[&u])
+        };
+        let w = weights.get(e);
+        if w < cost[i * n + j] {
+            cost[i * n + j] = w;
+            chosen_edge[i * n + j] = Some(e);
+        }
+    }
+
+    let assignment = solve(n, &cost);
+    let mut out = Vec::with_capacity(n);
+    for (i, j) in assignment.into_iter().enumerate() {
+        match chosen_edge[i * n + j] {
+            Some(e) => out.push(e),
+            None => return Err(GraphError::NoPerfectMatching),
+        }
+    }
+    Ok(out)
+}
+
+/// Solves the square assignment problem; `cost` is `n x n` row-major.
+/// Returns `assignment[row] = col`. Missing edges carry the [`BIG`]
+/// sentinel; the caller detects infeasibility by the sentinel surviving in
+/// the assignment.
+pub(crate) fn solve(n: usize, cost: &[f64]) -> Vec<usize> {
+    assert_eq!(cost.len(), n * n);
+    if n == 0 {
+        return Vec::new();
+    }
+    // 1-based arrays per the classical formulation; p[j] = row matched to
+    // column j (0 = virtual unmatched marker).
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=n {
+        assignment[p[j] - 1] = j - 1;
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(n: usize, cost: &[f64], asg: &[usize]) -> f64 {
+        asg.iter().enumerate().map(|(i, &j)| cost[i * n + j]).sum()
+    }
+
+    #[test]
+    fn identity_matrix_assignment() {
+        // Cost favors the diagonal.
+        let cost = vec![0.0, 5.0, 5.0, 5.0, 0.0, 5.0, 5.0, 5.0, 0.0];
+        let asg = solve(3, &cost);
+        assert_eq!(asg, vec![0, 1, 2]);
+        assert_eq!(total(3, &cost, &asg), 0.0);
+    }
+
+    #[test]
+    fn classic_3x3() {
+        // Known optimum: rows pick (0->1), (1->0), (2->2) with cost 5.
+        #[rustfmt::skip]
+        let cost = vec![
+            4.0, 1.0, 3.0,
+            2.0, 0.0, 5.0,
+            3.0, 2.0, 2.0,
+        ];
+        let asg = solve(3, &cost);
+        assert!((total(3, &cost, &asg) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_costs() {
+        #[rustfmt::skip]
+        let cost = vec![
+            -1.0,  2.0,
+             2.0, -3.0,
+        ];
+        let asg = solve(2, &cost);
+        assert_eq!(asg, vec![0, 1]);
+        assert!((total(2, &cost, &asg) - (-4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brute_force_agreement_4x4() {
+        // Deterministic pseudo-random costs; compare to brute force over
+        // all 24 permutations.
+        let n = 4;
+        let cost: Vec<f64> = (0..n * n).map(|i| ((i * 31 + 7) % 17) as f64 - 5.0).collect();
+        let asg = solve(n, &cost);
+        let got = total(n, &cost, &asg);
+
+        let mut best = f64::INFINITY;
+        let mut perm = [0, 1, 2, 3];
+        permute(&mut perm, 0, &mut |p| {
+            let c: f64 = p.iter().enumerate().map(|(i, &j)| cost[i * n + j]).sum();
+            if c < best {
+                best = c;
+            }
+        });
+        assert!((got - best).abs() < 1e-9, "hungarian {got} != brute {best}");
+    }
+
+    fn permute(arr: &mut [usize; 4], k: usize, f: &mut impl FnMut(&[usize; 4])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert!(solve(0, &[]).is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! Minimum-weight perfect matching.
+//!
+//! Appendix B.2 of the paper releases the min-weight perfect matching of a
+//! Laplace-noised graph. Its lower-bound gadget (Figure 3, right) is a
+//! disjoint union of 4-cycles — bipartite components — and its utility
+//! theorem applies to both bipartite and general matching. We implement:
+//!
+//! * an `O(n^3)` **Hungarian algorithm** for bipartite components,
+//! * an exact `O(2^m m)` **bitmask dynamic program** for small
+//!   non-bipartite components (`m <= 20`), and
+//! * a **greedy maximal matching** baseline.
+//!
+//! The public entry point [`min_weight_perfect_matching`] decomposes the
+//! graph into connected components and dispatches per component. Negative
+//! weights are fully supported (Appendix B permits them).
+
+mod exact;
+mod hungarian;
+mod variants;
+
+pub use variants::{max_weight_matching, max_weight_perfect_matching, min_weight_matching};
+
+use crate::algo::components::connected_components;
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Maximum size of a non-bipartite component handled by the exact bitmask
+/// solver.
+pub const MAX_EXACT_COMPONENT: usize = 20;
+
+/// Sentinel cost for "no edge" inside the dense solvers. Kept finite so the
+/// Hungarian potential arithmetic stays NaN-free.
+pub(crate) const BIG: f64 = 1e30;
+
+/// A matching: a set of vertex-disjoint edges.
+#[derive(Clone, Debug)]
+pub struct Matching {
+    /// The chosen edges.
+    pub edges: Vec<EdgeId>,
+    /// Total weight under the weights used to compute the matching.
+    pub total_weight: f64,
+}
+
+impl Matching {
+    /// Re-evaluates the matching under different weights (the paper's
+    /// utility metric: the *true* weight of the matching chosen on *noisy*
+    /// weights).
+    pub fn weight_under(&self, weights: &EdgeWeights) -> f64 {
+        self.edges.iter().map(|&e| weights.get(e)).sum()
+    }
+
+    /// Whether this matching is perfect for `topo` (covers every vertex
+    /// exactly once).
+    pub fn is_perfect(&self, topo: &Topology) -> bool {
+        if self.edges.len() * 2 != topo.num_nodes() {
+            return false;
+        }
+        let mut seen = vec![false; topo.num_nodes()];
+        for &e in &self.edges {
+            let (u, v) = topo.endpoints(e);
+            if u == v || seen[u.index()] || seen[v.index()] {
+                return false;
+            }
+            seen[u.index()] = true;
+            seen[v.index()] = true;
+        }
+        true
+    }
+}
+
+/// Minimum-weight perfect matching.
+///
+/// Decomposes into connected components; bipartite components are solved by
+/// the Hungarian algorithm, non-bipartite components of at most
+/// [`MAX_EXACT_COMPONENT`] vertices by exact bitmask DP. Directed topologies
+/// are treated as undirected.
+///
+/// # Errors
+/// * [`GraphError::WeightsLengthMismatch`] on weight/topology mismatch.
+/// * [`GraphError::NoPerfectMatching`] if no perfect matching exists.
+/// * [`GraphError::MatchingComponentTooLarge`] for a large non-bipartite
+///   component.
+pub fn min_weight_perfect_matching(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<Matching, GraphError> {
+    weights.validate_for(topo)?;
+    if !topo.num_nodes().is_multiple_of(2) {
+        return Err(GraphError::NoPerfectMatching);
+    }
+    let comps = connected_components(topo);
+    let groups = comps.groups();
+
+    // Bucket edges by component (self-loops can never be matched; skip).
+    let mut comp_edges: Vec<Vec<EdgeId>> = vec![Vec::new(); comps.count];
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        if u != v {
+            comp_edges[comps.component_of(u)].push(e);
+        }
+    }
+
+    let mut edges = Vec::with_capacity(topo.num_nodes() / 2);
+    let mut total_weight = 0.0;
+    for (comp, vertices) in groups.iter().enumerate() {
+        if vertices.len() % 2 != 0 {
+            return Err(GraphError::NoPerfectMatching);
+        }
+        if vertices.is_empty() {
+            continue;
+        }
+        let chosen = match two_color(topo, vertices) {
+            Some(color) => {
+                hungarian::match_bipartite_component(topo, weights, vertices, &comp_edges[comp], &color)?
+            }
+            None => {
+                if vertices.len() > MAX_EXACT_COMPONENT {
+                    return Err(GraphError::MatchingComponentTooLarge {
+                        size: vertices.len(),
+                        limit: MAX_EXACT_COMPONENT,
+                    });
+                }
+                exact::match_component_exact(topo, weights, vertices, &comp_edges[comp])?
+            }
+        };
+        for e in chosen {
+            total_weight += weights.get(e);
+            edges.push(e);
+        }
+    }
+    Ok(Matching { edges, total_weight })
+}
+
+/// Greedy minimum-weight *maximal* (not necessarily perfect) matching:
+/// scans edges in increasing weight order, keeping each edge whose both
+/// endpoints are still free. A fast baseline used in experiments.
+pub fn greedy_min_weight_maximal_matching(topo: &Topology, weights: &EdgeWeights) -> Matching {
+    let mut order: Vec<EdgeId> = topo.edge_ids().collect();
+    order.sort_by(|&a, &b| weights.get(a).total_cmp(&weights.get(b)).then_with(|| a.cmp(&b)));
+    let mut used = vec![false; topo.num_nodes()];
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+    for e in order {
+        let (u, v) = topo.endpoints(e);
+        if u != v && !used[u.index()] && !used[v.index()] {
+            used[u.index()] = true;
+            used[v.index()] = true;
+            total_weight += weights.get(e);
+            edges.push(e);
+        }
+    }
+    Matching { edges, total_weight }
+}
+
+/// 2-colors a single component, returning `color[local_index]` aligned with
+/// `vertices`, or `None` if the component has an odd cycle.
+fn two_color(topo: &Topology, vertices: &[NodeId]) -> Option<Vec<u8>> {
+    let mut local = std::collections::HashMap::with_capacity(vertices.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        local.insert(v, i);
+    }
+    let mut color = vec![u8::MAX; vertices.len()];
+    let mut queue = VecDeque::new();
+    color[0] = 0;
+    queue.push_back(vertices[0]);
+    while let Some(u) = queue.pop_front() {
+        let cu = color[local[&u]];
+        for (v, _) in topo.neighbors(u) {
+            if v == u {
+                return None; // self-loop
+            }
+            let li = local[&v];
+            if color[li] == u8::MAX {
+                color[li] = 1 - cu;
+                queue.push_back(v);
+            } else if color[li] == cu {
+                return None;
+            }
+        }
+    }
+    // For undirected topologies BFS from vertices[0] covers the component.
+    // Directed topologies may need extra sweeps (weak connectivity).
+    while let Some(start) = color.iter().position(|&c| c == u8::MAX) {
+        color[start] = 0;
+        queue.push_back(vertices[start]);
+        while let Some(u) = queue.pop_front() {
+            let cu = color[local[&u]];
+            for (v, _) in topo.neighbors(u) {
+                if v == u {
+                    return None;
+                }
+                let li = local[&v];
+                if color[li] == u8::MAX {
+                    color[li] = 1 - cu;
+                    queue.push_back(v);
+                } else if color[li] == cu {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph};
+
+    #[test]
+    fn four_cycle_picks_cheaper_pairing() {
+        // 0-1-2-3-0 with weights; perfect matchings are {01,23} and {12,30}.
+        let topo = cycle_graph(4);
+        let w = EdgeWeights::new(vec![1.0, 10.0, 1.0, 10.0]).unwrap();
+        let m = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert!(m.is_perfect(&topo));
+        assert!((m.total_weight - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odd_vertex_count_fails() {
+        let topo = cycle_graph(5);
+        let w = EdgeWeights::constant(5, 1.0);
+        assert_eq!(
+            min_weight_perfect_matching(&topo, &w).unwrap_err(),
+            GraphError::NoPerfectMatching
+        );
+    }
+
+    #[test]
+    fn disconnected_components_each_matched() {
+        let mut b = Topology::builder(4);
+        let e0 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let e1 = b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![3.0, 4.0]).unwrap();
+        let m = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert!(m.is_perfect(&topo));
+        assert_eq!(m.edges.len(), 2);
+        assert!(m.edges.contains(&e0) && m.edges.contains(&e1));
+        assert!((m.total_weight - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_even_vertices_fail() {
+        let topo = Topology::builder(2).build();
+        let w = EdgeWeights::zeros(0);
+        assert_eq!(
+            min_weight_perfect_matching(&topo, &w).unwrap_err(),
+            GraphError::NoPerfectMatching
+        );
+    }
+
+    #[test]
+    fn triangle_plus_pendant_uses_exact_solver() {
+        // Non-bipartite: triangle 0-1-2 plus pendant 3 attached to 0.
+        // Perfect matching must use (0,3) and (1,2).
+        let mut b = Topology::builder(4);
+        let e01 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let e12 = b.add_edge(NodeId::new(1), NodeId::new(2));
+        let e20 = b.add_edge(NodeId::new(2), NodeId::new(0));
+        let e03 = b.add_edge(NodeId::new(0), NodeId::new(3));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![1.0, 5.0, 1.0, 2.0]).unwrap();
+        let m = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert!(m.is_perfect(&topo));
+        let mut chosen = m.edges.clone();
+        chosen.sort();
+        assert_eq!(chosen, vec![e12, e03]);
+        let _ = (e01, e20);
+        assert!((m.total_weight - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_weights_preferred() {
+        let topo = cycle_graph(4);
+        let w = EdgeWeights::new(vec![-5.0, 1.0, -5.0, 1.0]).unwrap();
+        let m = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert!((m.total_weight - (-10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complete_even_graph_has_matching() {
+        let topo = complete_graph(6); // K6 is non-bipartite, size 6 <= limit
+        let w = EdgeWeights::new(
+            (0..topo.num_edges()).map(|i| ((i * 7 + 3) % 13) as f64).collect(),
+        )
+        .unwrap();
+        let m = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert!(m.is_perfect(&topo));
+        assert_eq!(m.edges.len(), 3);
+    }
+
+    #[test]
+    fn bipartite_unbalanced_sides_fail() {
+        // Star K_{1,3}: 4 vertices, bipartite, but sides are 1 and 3.
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(0), NodeId::new(2));
+        b.add_edge(NodeId::new(0), NodeId::new(3));
+        let topo = b.build();
+        let w = EdgeWeights::constant(3, 1.0);
+        assert_eq!(
+            min_weight_perfect_matching(&topo, &w).unwrap_err(),
+            GraphError::NoPerfectMatching
+        );
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let topo = cycle_graph(6);
+        let w = EdgeWeights::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let m = greedy_min_weight_maximal_matching(&topo, &w);
+        // Greedy picks 1.0, then 3.0, then 5.0: a perfect matching here.
+        assert!(m.is_perfect(&topo));
+        assert!((m.total_weight - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_on_empty_graph() {
+        let topo = Topology::builder(0).build();
+        let m = greedy_min_weight_maximal_matching(&topo, &EdgeWeights::zeros(0));
+        assert!(m.edges.is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_pick_lighter() {
+        let mut b = Topology::builder(2);
+        let heavy = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let light = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let mut w = EdgeWeights::zeros(2);
+        w.set(heavy, 9.0);
+        w.set(light, 1.0);
+        let m = min_weight_perfect_matching(&topo, &w).unwrap();
+        assert_eq!(m.edges, vec![light]);
+    }
+}

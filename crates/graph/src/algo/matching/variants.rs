@@ -1,0 +1,445 @@
+//! Matching variants beyond min-weight perfect: minimum-weight matching
+//! *not required to be perfect*, and the maximum-weight counterparts.
+//!
+//! The paper (Appendix B.2) notes its results hold verbatim for these
+//! variants; this module supplies the substrate. The key simplification
+//! for the non-perfect minimum: edges of nonnegative weight never help, so
+//! the problem restricts to the subgraph of negative edges, whose
+//! components are typically far smaller than the host graph's.
+
+use super::hungarian;
+use super::{Matching, BIG, MAX_EXACT_COMPONENT};
+use crate::algo::union_find::UnionFind;
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Topology};
+use std::collections::HashMap;
+
+/// Minimum-weight matching, **not** required to be perfect (the empty
+/// matching is feasible, so the optimum is always `<= 0`).
+///
+/// Only negative-weight edges can improve on empty, so the search runs on
+/// the negative-edge subgraph: bipartite pieces via a padded Hungarian
+/// instance with zero-cost "unmatched" slots, small non-bipartite pieces
+/// via bitmask DP with a skip transition.
+///
+/// # Errors
+/// * [`GraphError::WeightsLengthMismatch`] on mismatch.
+/// * [`GraphError::MatchingComponentTooLarge`] if a non-bipartite
+///   negative-edge component exceeds [`MAX_EXACT_COMPONENT`].
+pub fn min_weight_matching(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<Matching, GraphError> {
+    weights.validate_for(topo)?;
+    // Collect strictly negative, non-loop edges.
+    let neg_edges: Vec<EdgeId> = topo
+        .edge_ids()
+        .filter(|&e| {
+            let (u, v) = topo.endpoints(e);
+            u != v && weights.get(e) < 0.0
+        })
+        .collect();
+    if neg_edges.is_empty() {
+        return Ok(Matching { edges: Vec::new(), total_weight: 0.0 });
+    }
+
+    // Components of the negative subgraph.
+    let mut uf = UnionFind::new(topo.num_nodes());
+    for &e in &neg_edges {
+        let (u, v) = topo.endpoints(e);
+        uf.union_nodes(u, v);
+    }
+    let mut comp_edges: HashMap<usize, Vec<EdgeId>> = HashMap::new();
+    for &e in &neg_edges {
+        let (u, _) = topo.endpoints(e);
+        comp_edges.entry(uf.find(u.index())).or_default().push(e);
+    }
+
+    let mut edges = Vec::new();
+    let mut total_weight = 0.0;
+    for (_, es) in comp_edges {
+        // Component vertex list (stable order).
+        let mut vs: Vec<NodeId> = Vec::new();
+        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        for &e in &es {
+            let (u, v) = topo.endpoints(e);
+            for x in [u, v] {
+                if seen.insert(x, ()).is_none() {
+                    vs.push(x);
+                }
+            }
+        }
+        vs.sort();
+
+        let chosen = match two_color_subgraph(topo, &vs, &es) {
+            Some(color) => match_bipartite_allow_unmatched(topo, weights, &vs, &es, &color),
+            None => {
+                if vs.len() > MAX_EXACT_COMPONENT {
+                    return Err(GraphError::MatchingComponentTooLarge {
+                        size: vs.len(),
+                        limit: MAX_EXACT_COMPONENT,
+                    });
+                }
+                match_exact_allow_skip(topo, weights, &vs, &es)
+            }
+        };
+        for e in chosen {
+            total_weight += weights.get(e);
+            edges.push(e);
+        }
+    }
+    Ok(Matching { edges, total_weight })
+}
+
+/// Maximum-weight matching (not required to be perfect): negate weights,
+/// take the minimum.
+///
+/// # Errors
+/// Same conditions as [`min_weight_matching`].
+pub fn max_weight_matching(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<Matching, GraphError> {
+    let negated = weights.map(|_, w| -w);
+    let m = min_weight_matching(topo, &negated)?;
+    let total_weight = m.edges.iter().map(|&e| weights.get(e)).sum();
+    Ok(Matching { edges: m.edges, total_weight })
+}
+
+/// Maximum-weight **perfect** matching: negate weights, take the minimum
+/// perfect matching.
+///
+/// # Errors
+/// Same conditions as
+/// [`min_weight_perfect_matching`](super::min_weight_perfect_matching).
+pub fn max_weight_perfect_matching(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<Matching, GraphError> {
+    let negated = weights.map(|_, w| -w);
+    let m = super::min_weight_perfect_matching(topo, &negated)?;
+    let total_weight = m.edges.iter().map(|&e| weights.get(e)).sum();
+    Ok(Matching { edges: m.edges, total_weight })
+}
+
+/// 2-colors `vertices` using only `edges` (the negative subgraph), or
+/// `None` if that subgraph has an odd cycle.
+fn two_color_subgraph(
+    topo: &Topology,
+    vertices: &[NodeId],
+    edges: &[EdgeId],
+) -> Option<Vec<u8>> {
+    let local: HashMap<NodeId, usize> =
+        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut adj = vec![Vec::new(); vertices.len()];
+    for &e in edges {
+        let (u, v) = topo.endpoints(e);
+        let (iu, iv) = (local[&u], local[&v]);
+        adj[iu].push(iv);
+        adj[iv].push(iu);
+    }
+    let mut color = vec![u8::MAX; vertices.len()];
+    let mut stack = Vec::new();
+    for start in 0..vertices.len() {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        color[start] = 0;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if color[v] == u8::MAX {
+                    color[v] = 1 - color[u];
+                    stack.push(v);
+                } else if color[v] == color[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// Bipartite min-weight matching allowing unmatched vertices: a square
+/// assignment over `max(|L|, |R|)` slots where missing pairs and dummy
+/// slots cost 0 (= leave unmatched) and real pairs cost `min(w, 0)`
+/// (a nonnegative edge is never chosen because skipping is free).
+fn match_bipartite_allow_unmatched(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    vertices: &[NodeId],
+    edges: &[EdgeId],
+    color: &[u8],
+) -> Vec<EdgeId> {
+    let left: Vec<NodeId> = vertices
+        .iter()
+        .zip(color)
+        .filter(|&(_, &c)| c == 0)
+        .map(|(&v, _)| v)
+        .collect();
+    let right: Vec<NodeId> = vertices
+        .iter()
+        .zip(color)
+        .filter(|&(_, &c)| c == 1)
+        .map(|(&v, _)| v)
+        .collect();
+    let left_idx: HashMap<NodeId, usize> = left.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let right_idx: HashMap<NodeId, usize> =
+        right.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let m = left.len().max(right.len());
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut cost = vec![0.0f64; m * m];
+    let mut chosen_edge: Vec<Option<EdgeId>> = vec![None; m * m];
+    for &e in edges {
+        let (u, v) = topo.endpoints(e);
+        let (i, j) = if let Some(&i) = left_idx.get(&u) {
+            (i, right_idx[&v])
+        } else {
+            (left_idx[&v], right_idx[&u])
+        };
+        let w = weights.get(e).min(0.0);
+        if w < cost[i * m + j] {
+            cost[i * m + j] = w;
+            chosen_edge[i * m + j] = Some(e);
+        }
+    }
+    let assignment = hungarian::solve(m, &cost);
+    let mut out = Vec::new();
+    for (i, j) in assignment.into_iter().enumerate() {
+        if let Some(e) = chosen_edge[i * m + j] {
+            if weights.get(e) < 0.0 {
+                out.push(e);
+            }
+        }
+    }
+    out
+}
+
+/// Exact min-weight matching with skips by bitmask DP over the component.
+fn match_exact_allow_skip(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    vertices: &[NodeId],
+    edges: &[EdgeId],
+) -> Vec<EdgeId> {
+    let m = vertices.len();
+    let local: HashMap<NodeId, usize> =
+        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut pair_cost = vec![BIG; m * m];
+    let mut pair_edge: Vec<Option<EdgeId>> = vec![None; m * m];
+    for &e in edges {
+        let (u, v) = topo.endpoints(e);
+        let (i, j) = (local[&u], local[&v]);
+        let w = weights.get(e);
+        if w < pair_cost[i * m + j] {
+            pair_cost[i * m + j] = w;
+            pair_cost[j * m + i] = w;
+            pair_edge[i * m + j] = Some(e);
+            pair_edge[j * m + i] = Some(e);
+        }
+    }
+    const SKIP: u8 = u8::MAX;
+    let full: usize = (1 << m) - 1;
+    let mut f = vec![f64::INFINITY; 1 << m];
+    let mut choice: Vec<(u8, u8)> = vec![(SKIP, SKIP); 1 << m];
+    f[0] = 0.0;
+    for mask in 0..full {
+        if !f[mask].is_finite() {
+            continue;
+        }
+        let i = (!mask).trailing_zeros() as usize;
+        // Skip vertex i.
+        let skipped = mask | (1 << i);
+        if f[mask] < f[skipped] {
+            f[skipped] = f[mask];
+            choice[skipped] = (i as u8, SKIP);
+        }
+        // Match i with some j via a negative edge (nonnegative never
+        // beats skipping).
+        for j in (i + 1)..m {
+            if mask & (1 << j) != 0 {
+                continue;
+            }
+            let c = pair_cost[i * m + j];
+            if c >= 0.0 {
+                continue;
+            }
+            let next = mask | (1 << i) | (1 << j);
+            let cand = f[mask] + c;
+            if cand < f[next] {
+                f[next] = cand;
+                choice[next] = (i as u8, j as u8);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut mask = full;
+    while mask != 0 {
+        let (i, j) = choice[mask];
+        let i = i as usize;
+        if j == SKIP {
+            mask ^= 1 << i;
+        } else {
+            let j = j as usize;
+            out.push(pair_edge[i * m + j].expect("chosen pair has an edge"));
+            mask ^= (1 << i) | (1 << j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph};
+
+    /// Brute-force min-weight (possibly empty) matching for tiny graphs.
+    fn brute_min(topo: &Topology, w: &EdgeWeights) -> f64 {
+        let n = topo.num_nodes();
+        fn rec(topo: &Topology, w: &EdgeWeights, used: &mut Vec<bool>, from: usize) -> f64 {
+            let mut best = 0.0f64; // empty matching on the rest
+            for i in from..used.len() {
+                if used[i] {
+                    continue;
+                }
+                for j in (i + 1)..used.len() {
+                    if used[j] {
+                        continue;
+                    }
+                    let min_edge = topo
+                        .edges_between(NodeId::new(i), NodeId::new(j))
+                        .iter()
+                        .chain(topo.edges_between(NodeId::new(j), NodeId::new(i)).iter())
+                        .map(|&e| w.get(e))
+                        .min_by(f64::total_cmp);
+                    if let Some(cw) = min_edge {
+                        used[i] = true;
+                        used[j] = true;
+                        let total = cw + rec(topo, w, used, i + 1);
+                        if total < best {
+                            best = total;
+                        }
+                        used[i] = false;
+                        used[j] = false;
+                    }
+                }
+            }
+            best
+        }
+        let mut used = vec![false; n];
+        rec(topo, w, &mut used, 0)
+    }
+
+    #[test]
+    fn all_positive_weights_give_empty_matching() {
+        let topo = complete_graph(6);
+        let w = EdgeWeights::constant(topo.num_edges(), 2.0);
+        let m = min_weight_matching(&topo, &w).unwrap();
+        assert!(m.edges.is_empty());
+        assert_eq!(m.total_weight, 0.0);
+    }
+
+    #[test]
+    fn picks_negative_edges_only() {
+        // Path 0-1-2-3 with weights [-5, 1, -3]: optimal {e0, e2} = -8.
+        let topo = crate::generators::path_graph(4);
+        let w = EdgeWeights::new(vec![-5.0, 1.0, -3.0]).unwrap();
+        let m = min_weight_matching(&topo, &w).unwrap();
+        assert_eq!(m.edges.len(), 2);
+        assert!((m.total_weight - (-8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conflict_resolved_optimally() {
+        // Path 0-1-2 with weights [-5, -3]: edges share vertex 1; take -5.
+        let topo = crate::generators::path_graph(3);
+        let w = EdgeWeights::new(vec![-5.0, -3.0]).unwrap();
+        let m = min_weight_matching(&topo, &w).unwrap();
+        assert_eq!(m.edges.len(), 1);
+        assert!((m.total_weight - (-5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_k6() {
+        let topo = complete_graph(6);
+        for seed in 0..8u64 {
+            let w = EdgeWeights::new(
+                (0..topo.num_edges())
+                    .map(|i| (((i as u64 * 48271 + seed * 131) % 97) as f64) - 48.0)
+                    .collect(),
+            )
+            .unwrap();
+            let m = min_weight_matching(&topo, &w).unwrap();
+            let b = brute_min(&topo, &w);
+            assert!(
+                (m.total_weight - b).abs() < 1e-9,
+                "seed {seed}: got {} brute {b}",
+                m.total_weight
+            );
+            // Chosen edges are vertex-disjoint and negative.
+            let mut seen = [false; 6];
+            for &e in &m.edges {
+                assert!(w.get(e) < 0.0);
+                let (u, v) = topo.endpoints(e);
+                assert!(!seen[u.index()] && !seen[v.index()]);
+                seen[u.index()] = true;
+                seen[v.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn odd_negative_cycle_handled_by_dp() {
+        // Triangle with all edges -1: non-bipartite negative subgraph;
+        // best = one edge = -1.
+        let topo = cycle_graph(3);
+        let w = EdgeWeights::constant(3, -1.0);
+        let m = min_weight_matching(&topo, &w).unwrap();
+        assert_eq!(m.edges.len(), 1);
+        assert!((m.total_weight - (-1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_weight_matching_mirrors_min() {
+        let topo = crate::generators::path_graph(4);
+        let w = EdgeWeights::new(vec![5.0, 1.0, 3.0]).unwrap();
+        let m = max_weight_matching(&topo, &w).unwrap();
+        assert_eq!(m.edges.len(), 2);
+        assert!((m.total_weight - 8.0).abs() < 1e-9);
+        // All-negative weights: empty max matching.
+        let w = EdgeWeights::constant(3, -1.0);
+        let m = max_weight_matching(&topo, &w).unwrap();
+        assert!(m.edges.is_empty());
+    }
+
+    #[test]
+    fn max_weight_perfect_matching_on_cycle() {
+        let topo = cycle_graph(4);
+        let w = EdgeWeights::new(vec![1.0, 10.0, 1.0, 10.0]).unwrap();
+        let m = max_weight_perfect_matching(&topo, &w).unwrap();
+        assert!(m.is_perfect(&topo));
+        assert!((m.total_weight - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_negative_edges_take_most_negative() {
+        let mut b = Topology::builder(2);
+        let e0 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let e1 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let mut w = EdgeWeights::zeros(2);
+        w.set(e0, -1.0);
+        w.set(e1, -7.0);
+        let m = min_weight_matching(&topo, &w).unwrap();
+        assert_eq!(m.edges, vec![e1]);
+        assert!((m.total_weight - (-7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let topo = Topology::builder(0).build();
+        let m = min_weight_matching(&topo, &EdgeWeights::zeros(0)).unwrap();
+        assert!(m.edges.is_empty());
+    }
+}

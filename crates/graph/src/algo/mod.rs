@@ -1,0 +1,32 @@
+//! Graph algorithms over `(Topology, EdgeWeights)` pairs.
+//!
+//! Everything here is classical and deterministic; the differential-privacy
+//! layer (crate `privpath-core`) composes these as *post-processing* steps
+//! over released noisy weights, which is what makes e.g. Algorithm 3's
+//! "release noisy weights, then run Dijkstra" private.
+
+mod bellman_ford;
+mod bfs;
+mod components;
+mod dijkstra;
+mod floyd_warshall;
+mod kruskal;
+pub mod matching;
+mod prim;
+mod union_find;
+
+pub use bellman_ford::bellman_ford;
+pub use bfs::{
+    double_sweep_farthest, hop_distances, hop_eccentricity, multi_source_hop_assignment,
+    CoverAssignment,
+};
+pub use components::{bipartite_coloring, connected_components, is_connected, ComponentLabels};
+pub use dijkstra::{all_pairs_dijkstra, dijkstra, ShortestPathTree};
+pub use floyd_warshall::{floyd_warshall, DistanceMatrix};
+pub use kruskal::{minimum_spanning_forest, SpanningForest};
+pub use matching::{
+    greedy_min_weight_maximal_matching, max_weight_matching, max_weight_perfect_matching,
+    min_weight_matching, min_weight_perfect_matching, Matching,
+};
+pub use prim::prim_spanning_forest;
+pub use union_find::UnionFind;

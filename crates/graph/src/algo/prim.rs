@@ -1,0 +1,133 @@
+//! Prim's minimum spanning forest — the cross-check for Kruskal.
+
+use crate::algo::kruskal::SpanningForest;
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Topology};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct Entry {
+    weight: f64,
+    edge: EdgeId,
+    node: NodeId,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .weight
+            .total_cmp(&self.weight)
+            .then_with(|| other.edge.cmp(&self.edge))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Minimum spanning forest via Prim with a binary heap, restarted once per
+/// connected component. Supports negative weights, parallel edges, and
+/// self-loops (ignored). Exists primarily as an independent implementation
+/// to property-test Kruskal against.
+///
+/// # Errors
+/// Returns [`GraphError::WeightsLengthMismatch`] if `weights` does not
+/// match the topology.
+pub fn prim_spanning_forest(
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<SpanningForest, GraphError> {
+    weights.validate_for(topo)?;
+    let n = topo.num_nodes();
+    let mut in_tree = vec![false; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut total_weight = 0.0;
+    let mut num_components = 0;
+    let mut heap = BinaryHeap::new();
+
+    for start in topo.nodes() {
+        if in_tree[start.index()] {
+            continue;
+        }
+        num_components += 1;
+        in_tree[start.index()] = true;
+        for (v, e) in topo.neighbors(start) {
+            if v != start {
+                heap.push(Entry { weight: weights.get(e), edge: e, node: v });
+            }
+        }
+        while let Some(Entry { weight, edge, node }) = heap.pop() {
+            if in_tree[node.index()] {
+                continue;
+            }
+            in_tree[node.index()] = true;
+            edges.push(edge);
+            total_weight += weight;
+            for (v, e) in topo.neighbors(node) {
+                if !in_tree[v.index()] {
+                    heap.push(Entry { weight: weights.get(e), edge: e, node: v });
+                }
+            }
+        }
+    }
+    Ok(SpanningForest { edges, total_weight, num_components })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::minimum_spanning_forest;
+    use crate::generators::{complete_graph, cycle_graph};
+
+    #[test]
+    fn agrees_with_kruskal_on_cycle() {
+        let topo = cycle_graph(5);
+        let w = EdgeWeights::new(vec![2.0, 7.0, 1.0, 5.0, 3.0]).unwrap();
+        let p = prim_spanning_forest(&topo, &w).unwrap();
+        let k = minimum_spanning_forest(&topo, &w).unwrap();
+        assert!((p.total_weight - k.total_weight).abs() < 1e-9);
+        assert_eq!(p.edges.len(), k.edges.len());
+    }
+
+    #[test]
+    fn agrees_with_kruskal_on_complete_graph() {
+        let topo = complete_graph(6);
+        // Deterministic pseudo-random-ish weights.
+        let w = EdgeWeights::new(
+            (0..topo.num_edges())
+                .map(|i| ((i * 37 + 11) % 101) as f64 / 10.0)
+                .collect(),
+        )
+        .unwrap();
+        let p = prim_spanning_forest(&topo, &w).unwrap();
+        let k = minimum_spanning_forest(&topo, &w).unwrap();
+        assert!((p.total_weight - k.total_weight).abs() < 1e-9);
+        assert!(p.is_spanning_tree());
+    }
+
+    #[test]
+    fn handles_disconnected() {
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        let w = EdgeWeights::constant(2, 1.0);
+        let p = prim_spanning_forest(&topo, &w).unwrap();
+        assert_eq!(p.num_components, 2);
+        assert_eq!(p.edges.len(), 2);
+    }
+
+    #[test]
+    fn negative_weights_match_kruskal() {
+        let topo = cycle_graph(4);
+        let w = EdgeWeights::new(vec![-1.0, -2.0, -3.0, 4.0]).unwrap();
+        let p = prim_spanning_forest(&topo, &w).unwrap();
+        let k = minimum_spanning_forest(&topo, &w).unwrap();
+        assert!((p.total_weight - k.total_weight).abs() < 1e-9);
+        assert!((p.total_weight - (-6.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Disjoint-set union (union–find) with union by rank and path halving.
+
+use crate::NodeId;
+
+/// A union–find structure over `n` elements, used by Kruskal's algorithm
+/// and the connectivity helpers.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Representative of the set containing `x`, with path halving.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x as usize
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[ra] += 1;
+        }
+        self.num_sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Convenience wrapper taking node ids.
+    pub fn union_nodes(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.union(a.index(), b.index())
+    }
+
+    /// Convenience wrapper taking node ids.
+    pub fn same_nodes(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.same(a.index(), b.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_merge() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_sets(), 4);
+        assert!(!uf.same(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.same(0, 1));
+        assert!(!uf.union(0, 1));
+        assert_eq!(uf.num_sets(), 3);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(2, 3));
+        assert_eq!(uf.num_sets(), 2);
+        uf.union(2, 3);
+        assert!(uf.same(0, 4));
+        assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn node_id_wrappers() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union_nodes(NodeId::new(0), NodeId::new(2)));
+        assert!(uf.same_nodes(NodeId::new(2), NodeId::new(0)));
+    }
+
+    #[test]
+    fn find_is_idempotent_representative() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find(i), r);
+        }
+        assert_eq!(uf.num_sets(), 1);
+    }
+}

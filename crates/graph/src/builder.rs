@@ -1,0 +1,118 @@
+//! Construction of [`Topology`] values.
+
+use crate::{EdgeId, GraphError, NodeId, Topology};
+
+/// Incremental builder for [`Topology`].
+///
+/// Edge ids are assigned densely in insertion order, which generators rely
+/// on to document positional weight layouts.
+///
+/// ```
+/// use privpath_graph::{Topology, NodeId};
+/// let mut b = Topology::builder(2);
+/// let e = b.add_edge(NodeId::new(0), NodeId::new(1));
+/// assert_eq!(e.index(), 0);
+/// let topo = b.build();
+/// assert_eq!(topo.num_edges(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopologyBuilder {
+    num_nodes: u32,
+    directed: bool,
+    endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl TopologyBuilder {
+    /// Creates a builder for an undirected topology with `num_nodes`
+    /// vertices.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` exceeds `u32::MAX`.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes <= u32::MAX as usize, "num_nodes {num_nodes} exceeds u32::MAX");
+        TopologyBuilder { num_nodes: num_nodes as u32, directed: false, endpoints: Vec::new() }
+    }
+
+    /// Creates a builder for a directed topology with `num_nodes` vertices.
+    pub fn new_directed(num_nodes: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.directed = true;
+        b
+    }
+
+    /// Number of vertices the built topology will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Adds an edge between `u` and `v` and returns its id.
+    ///
+    /// Parallel edges and self-loops are allowed. For infallible internal
+    /// construction; use [`try_add_edge`](Self::try_add_edge) for untrusted
+    /// input.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
+        self.try_add_edge(u, v).expect("edge endpoints out of range")
+    }
+
+    /// Adds an edge between `u` and `v`, validating the endpoints.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is not a
+    /// valid node id.
+    pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
+        let n = self.num_nodes as usize;
+        for node in [u, v] {
+            if node.index() >= n {
+                return Err(GraphError::NodeOutOfRange { node, num_nodes: n });
+            }
+        }
+        let id = EdgeId::new(self.endpoints.len());
+        self.endpoints.push((u, v));
+        Ok(id)
+    }
+
+    /// Finalizes the builder into an immutable [`Topology`].
+    pub fn build(self) -> Topology {
+        Topology::from_builder(self.num_nodes, self.directed, self.endpoints)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_ids_are_dense_and_ordered() {
+        let mut b = TopologyBuilder::new(4);
+        for i in 0..3 {
+            let e = b.add_edge(NodeId::new(i), NodeId::new(i + 1));
+            assert_eq!(e.index(), i);
+        }
+        assert_eq!(b.num_edges(), 3);
+        let t = b.build();
+        assert_eq!(t.endpoints(EdgeId::new(1)), (NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn try_add_edge_rejects_out_of_range() {
+        let mut b = TopologyBuilder::new(2);
+        let err = b.try_add_edge(NodeId::new(0), NodeId::new(5)).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { .. }));
+        assert_eq!(b.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_panics_out_of_range() {
+        let mut b = TopologyBuilder::new(1);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+    }
+}

@@ -1,0 +1,262 @@
+//! k-coverings (k-dominating sets): Lemma 4.4 and friends.
+//!
+//! A set `Z ⊆ V` is a *k-covering* if every vertex is within `k` hops of
+//! some member of `Z` (Definition 4.1, after Meir–Moon 1975). Algorithm 2
+//! releases noisy distances only between covering vertices, so small
+//! coverings mean little noise; the `2kM` detour cost is the other side of
+//! the trade.
+
+use crate::algo::{
+    double_sweep_farthest, hop_distances, minimum_spanning_forest, multi_source_hop_assignment,
+};
+use crate::{EdgeWeights, GraphError, NodeId, Topology};
+
+/// The Meir–Moon construction of Lemma 4.4: a k-covering of size at most
+/// `floor(V / (k+1))` for any connected graph with `V >= k + 1`.
+///
+/// Construction: take a spanning tree `T`, let `x` be an endpoint of a
+/// longest path of `T` (found by double sweep), classify vertices by tree
+/// distance from `x` modulo `k + 1`, and return the smallest class — each
+/// class is a k-covering of `T` and hence of `G`.
+///
+/// If `V <= k`, the singleton `{x}` is returned (any vertex has
+/// eccentricity at most `V - 1 <= k` in a connected graph).
+///
+/// # Errors
+/// * [`GraphError::EmptyGraph`] for an empty graph.
+/// * [`GraphError::InvalidParameter`] if `k == 0` (the only 0-covering is
+///   all of `V`; asking for it is almost certainly a bug) or if the graph
+///   is disconnected.
+pub fn meir_moon_covering(topo: &Topology, k: usize) -> Result<Vec<NodeId>, GraphError> {
+    if topo.num_nodes() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if k == 0 {
+        return Err(GraphError::InvalidParameter(
+            "k must be >= 1; the only 0-covering is V itself".into(),
+        ));
+    }
+    // Spanning tree: unit-weight MST == BFS-ish spanning tree.
+    let unit = EdgeWeights::constant(topo.num_edges(), 1.0);
+    let forest = minimum_spanning_forest(topo, &unit)?;
+    if !forest.is_spanning_tree() && topo.num_nodes() > 1 {
+        return Err(GraphError::InvalidParameter(
+            "meir_moon_covering requires a connected graph".into(),
+        ));
+    }
+
+    // Build the tree topology to measure tree distances.
+    let mut tb = Topology::builder(topo.num_nodes());
+    for &e in &forest.edges {
+        let (u, v) = topo.endpoints(e);
+        tb.add_edge(u, v);
+    }
+    let tree = tb.build();
+
+    // Double sweep on the tree finds an exact longest-path endpoint.
+    let (mid, _) = double_sweep_farthest(&tree, NodeId::new(0))?;
+    let (x, _) = double_sweep_farthest(&tree, mid)?;
+
+    let dist = hop_distances(&tree, x)?;
+    if topo.num_nodes() <= k {
+        return Ok(vec![x]);
+    }
+
+    // Classes by distance mod (k + 1); return the smallest class that
+    // verifies as a covering (Lemma 4.4 proves all of them do for a
+    // longest-path endpoint; the verification is a cheap defensive check).
+    let mut classes: Vec<Vec<NodeId>> = vec![Vec::new(); k + 1];
+    for v in topo.nodes() {
+        classes[dist[v.index()] as usize % (k + 1)].push(v);
+    }
+    let mut order: Vec<usize> = (0..=k).collect();
+    order.sort_by_key(|&i| classes[i].len());
+    for i in order {
+        if classes[i].is_empty() {
+            continue;
+        }
+        if verify_covering(&tree, &classes[i], k)? {
+            return Ok(std::mem::take(&mut classes[i]));
+        }
+    }
+    unreachable!("Lemma 4.4 guarantees some class is a covering");
+}
+
+/// Greedy k-covering: repeatedly pick the uncovered vertex with the most
+/// uncovered vertices in its k-ball. No size guarantee comparable to
+/// Lemma 4.4 in theory, but often smaller in practice — used as an
+/// ablation against the Meir–Moon construction. Unlike
+/// [`meir_moon_covering`] this also handles disconnected graphs (each
+/// component receives its own centers).
+///
+/// # Errors
+/// * [`GraphError::EmptyGraph`] for an empty graph.
+/// * [`GraphError::InvalidParameter`] if `k == 0`.
+pub fn greedy_covering(topo: &Topology, k: usize) -> Result<Vec<NodeId>, GraphError> {
+    if topo.num_nodes() == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if k == 0 {
+        return Err(GraphError::InvalidParameter("k must be >= 1".into()));
+    }
+    let mut covered = vec![false; topo.num_nodes()];
+    let mut centers = Vec::new();
+    loop {
+        // Pick the uncovered vertex covering the most uncovered vertices.
+        let mut best: Option<(NodeId, usize)> = None;
+        for v in topo.nodes() {
+            if covered[v.index()] {
+                continue;
+            }
+            let dist = hop_distances(topo, v)?;
+            let gain = dist
+                .iter()
+                .enumerate()
+                .filter(|&(u, &d)| !covered[u] && d as usize <= k)
+                .count();
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((v, gain));
+            }
+        }
+        let Some((center, _)) = best else { break };
+        centers.push(center);
+        let dist = hop_distances(topo, center)?;
+        for u in 0..covered.len() {
+            if dist[u] as usize <= k {
+                covered[u] = true;
+            }
+        }
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+    Ok(centers)
+}
+
+/// Checks whether `centers` is a k-covering of `topo` (every vertex within
+/// `k` hops of some center).
+///
+/// # Errors
+/// Returns [`GraphError::NodeOutOfRange`] for invalid centers and
+/// [`GraphError::EmptyGraph`] for an empty center set on a non-empty graph.
+pub fn verify_covering(
+    topo: &Topology,
+    centers: &[NodeId],
+    k: usize,
+) -> Result<bool, GraphError> {
+    if topo.num_nodes() == 0 {
+        return Ok(true);
+    }
+    let assignment = multi_source_hop_assignment(topo, centers)?;
+    Ok(assignment.radius().is_some_and(|r| r as usize <= k))
+}
+
+/// The covering radius of `centers`: the maximum hop distance from any
+/// vertex to its nearest center, or `None` if some vertex is unreachable.
+///
+/// # Errors
+/// Same conditions as [`verify_covering`].
+pub fn covering_radius(topo: &Topology, centers: &[NodeId]) -> Result<Option<u32>, GraphError> {
+    let assignment = multi_source_hop_assignment(topo, centers)?;
+    Ok(assignment.radius())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn meir_moon_on_path_respects_size_bound() {
+        for (n, k) in [(10usize, 1usize), (10, 2), (10, 3), (100, 5), (33, 4)] {
+            let topo = path_graph(n);
+            let z = meir_moon_covering(&topo, k).unwrap();
+            assert!(verify_covering(&topo, &z, k).unwrap(), "n={n} k={k}");
+            assert!(
+                z.len() <= n / (k + 1) + usize::from(n < k + 1),
+                "n={n} k={k}: |Z|={} > floor(n/(k+1))={}",
+                z.len(),
+                n / (k + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn meir_moon_on_star_and_cycle() {
+        let star = star_graph(20);
+        let z = meir_moon_covering(&star, 2).unwrap();
+        assert!(verify_covering(&star, &z, 2).unwrap());
+        assert!(z.len() <= 20 / 3);
+
+        let cycle = cycle_graph(12);
+        let z = meir_moon_covering(&cycle, 2).unwrap();
+        assert!(verify_covering(&cycle, &z, 2).unwrap());
+        assert!(z.len() <= 4);
+    }
+
+    #[test]
+    fn small_graph_single_center() {
+        let topo = path_graph(3);
+        let z = meir_moon_covering(&topo, 5).unwrap();
+        assert_eq!(z.len(), 1);
+        assert!(verify_covering(&topo, &z, 5).unwrap());
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let topo = path_graph(3);
+        assert!(matches!(
+            meir_moon_covering(&topo, 0),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        assert!(matches!(greedy_covering(&topo, 0), Err(GraphError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn disconnected_meir_moon_rejected_greedy_covers_per_component() {
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        assert!(meir_moon_covering(&topo, 1).is_err());
+        let z = greedy_covering(&topo, 1).unwrap();
+        assert_eq!(z.len(), 2);
+        assert!(verify_covering(&topo, &z, 1).unwrap());
+    }
+
+    #[test]
+    fn greedy_produces_valid_covering() {
+        for (n, k) in [(15usize, 2usize), (30, 3)] {
+            let topo = path_graph(n);
+            let z = greedy_covering(&topo, k).unwrap();
+            assert!(verify_covering(&topo, &z, k).unwrap(), "n={n} k={k}");
+        }
+        let topo = complete_graph(8);
+        let z = greedy_covering(&topo, 1).unwrap();
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn verify_covering_rejects_insufficient() {
+        let topo = path_graph(10);
+        // A single endpoint cannot 2-cover a 10-path.
+        assert!(!verify_covering(&topo, &[NodeId::new(0)], 2).unwrap());
+        assert!(verify_covering(&topo, &[NodeId::new(0)], 9).unwrap());
+    }
+
+    #[test]
+    fn covering_radius_reports_max() {
+        let topo = path_graph(9);
+        let r = covering_radius(&topo, &[NodeId::new(4)]).unwrap();
+        assert_eq!(r, Some(4));
+        let r = covering_radius(&topo, &[NodeId::new(0), NodeId::new(8)]).unwrap();
+        assert_eq!(r, Some(4));
+    }
+
+    #[test]
+    fn whole_vertex_set_is_0_like_covering() {
+        let topo = cycle_graph(6);
+        let all: Vec<NodeId> = topo.nodes().collect();
+        assert_eq!(covering_radius(&topo, &all).unwrap(), Some(0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Error type shared by all substrate operations.
+
+use crate::{EdgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referenced a vertex outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the topology.
+        num_nodes: usize,
+    },
+    /// An edge id referenced an edge outside `0..num_edges`.
+    EdgeOutOfRange {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Number of edges in the topology.
+        num_edges: usize,
+    },
+    /// A weight vector's length does not match the topology's edge count.
+    WeightsLengthMismatch {
+        /// Edge count of the topology.
+        expected: usize,
+        /// Length of the provided weight vector.
+        got: usize,
+    },
+    /// A weight was NaN or infinite where a finite value is required.
+    NonFiniteWeight {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A negative weight was passed to an algorithm that requires
+    /// nonnegative weights (e.g. Dijkstra).
+    NegativeWeight {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A negative-weight cycle was detected (Bellman–Ford, Floyd–Warshall).
+    NegativeCycle,
+    /// Two vertices are not connected but a path/distance between them was
+    /// required.
+    Disconnected {
+        /// Source vertex.
+        from: NodeId,
+        /// Target vertex.
+        to: NodeId,
+    },
+    /// The graph (or a required subgraph) is not a tree.
+    NotATree {
+        /// Human-readable reason (edge count, connectivity, ...).
+        reason: &'static str,
+    },
+    /// The graph has no perfect matching.
+    NoPerfectMatching,
+    /// A non-bipartite connected component was too large for the exact
+    /// bitmask matching solver.
+    MatchingComponentTooLarge {
+        /// Size of the offending component.
+        size: usize,
+        /// Maximum supported size for the exact solver.
+        limit: usize,
+    },
+    /// The graph is empty where at least one vertex is required.
+    EmptyGraph,
+    /// A parameter was outside its documented domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for topology with {num_nodes} nodes")
+            }
+            GraphError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge {edge} out of range for topology with {num_edges} edges")
+            }
+            GraphError::WeightsLengthMismatch { expected, got } => {
+                write!(f, "weight vector has length {got}, topology has {expected} edges")
+            }
+            GraphError::NonFiniteWeight { edge, value } => {
+                write!(f, "edge {edge} has non-finite weight {value}")
+            }
+            GraphError::NegativeWeight { edge, value } => {
+                write!(f, "edge {edge} has negative weight {value}, algorithm requires w >= 0")
+            }
+            GraphError::NegativeCycle => write!(f, "graph contains a negative-weight cycle"),
+            GraphError::Disconnected { from, to } => {
+                write!(f, "no path from {from} to {to}")
+            }
+            GraphError::NotATree { reason } => write!(f, "graph is not a tree: {reason}"),
+            GraphError::NoPerfectMatching => write!(f, "graph has no perfect matching"),
+            GraphError::MatchingComponentTooLarge { size, limit } => write!(
+                f,
+                "non-bipartite component of size {size} exceeds exact matching limit {limit}"
+            ),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::WeightsLengthMismatch { expected: 5, got: 3 };
+        assert!(e.to_string().contains("length 3"));
+        assert!(e.to_string().contains("5 edges"));
+
+        let e = GraphError::Disconnected { from: NodeId::new(1), to: NodeId::new(2) };
+        assert!(e.to_string().contains("no path"));
+
+        let e = GraphError::NegativeWeight { edge: EdgeId::new(4), value: -1.5 };
+        assert!(e.to_string().contains("-1.5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(GraphError::EmptyGraph);
+    }
+}

@@ -1,0 +1,121 @@
+//! Elementary graph families.
+
+use crate::{NodeId, Topology};
+
+/// The path graph `P_n`: vertices `0..n`, edge `i` joining `i` and `i+1`.
+///
+/// Appendix A of the paper treats all-pairs distances on this graph as
+/// query release of threshold functions; the edge-id layout (edge `i` =
+/// `(i, i+1)`) is guaranteed so that weight vectors can be built
+/// positionally.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn path_graph(n: usize) -> Topology {
+    assert!(n > 0, "path graph needs at least one vertex");
+    let mut b = Topology::builder(n);
+    for i in 0..n - 1 {
+        b.add_edge(NodeId::new(i), NodeId::new(i + 1));
+    }
+    b.build()
+}
+
+/// The cycle graph `C_n`: edge `i` joins `i` and `(i+1) mod n`.
+///
+/// Used in the paper's Section 1.3 to show edge-DP cannot release
+/// distances: deleting one cycle edge flips a distance from 1 to `n - 1`.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle_graph(n: usize) -> Topology {
+    assert!(n >= 3, "cycle graph needs at least three vertices");
+    let mut b = Topology::builder(n);
+    for i in 0..n {
+        b.add_edge(NodeId::new(i), NodeId::new((i + 1) % n));
+    }
+    b.build()
+}
+
+/// The star `K_{1,n-1}`: center `0`, leaves `1..n`; edge `i` joins `0` and
+/// `i + 1`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn star_graph(n: usize) -> Topology {
+    assert!(n > 0, "star graph needs at least one vertex");
+    let mut b = Topology::builder(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new(0), NodeId::new(i));
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`; edges in lexicographic order `(0,1), (0,2),
+/// ..., (n-2, n-1)`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn complete_graph(n: usize) -> Topology {
+    assert!(n > 0, "complete graph needs at least one vertex");
+    let mut b = Topology::builder(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use crate::EdgeId;
+
+    #[test]
+    fn path_layout() {
+        let p = path_graph(5);
+        assert_eq!(p.num_nodes(), 5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.endpoints(EdgeId::new(2)), (NodeId::new(2), NodeId::new(3)));
+        assert!(is_connected(&p));
+        assert_eq!(p.degree(NodeId::new(0)), 1);
+        assert_eq!(p.degree(NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let p = path_graph(1);
+        assert_eq!(p.num_nodes(), 1);
+        assert_eq!(p.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_layout() {
+        let c = cycle_graph(4);
+        assert_eq!(c.num_edges(), 4);
+        assert_eq!(c.endpoints(EdgeId::new(3)), (NodeId::new(3), NodeId::new(0)));
+        for v in c.nodes() {
+            assert_eq!(c.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_layout() {
+        let s = star_graph(6);
+        assert_eq!(s.num_edges(), 5);
+        assert_eq!(s.degree(NodeId::new(0)), 5);
+        for i in 1..6 {
+            assert_eq!(s.degree(NodeId::new(i)), 1);
+        }
+    }
+
+    #[test]
+    fn complete_counts() {
+        let k = complete_graph(6);
+        assert_eq!(k.num_edges(), 15);
+        for v in k.nodes() {
+            assert_eq!(k.degree(v), 5);
+        }
+    }
+}

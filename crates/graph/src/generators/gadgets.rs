@@ -1,0 +1,334 @@
+//! The paper's lower-bound gadget graphs (Figures 2 and 3).
+//!
+//! Each gadget encodes a database `x ∈ {0,1}^n` as a `{0,1}` edge-weight
+//! function; the reconstruction reductions (Lemmas 5.2, B.2, B.5) live in
+//! `privpath-core::attack` and use the structural accessors defined here.
+
+use crate::{EdgeId, NodeId, Topology};
+
+/// Figure 2: the `(n+1)`-vertex path with **two parallel edges** between
+/// consecutive vertices, used in the shortest-path lower bound
+/// (Theorem 5.1).
+///
+/// Bit `i` (0-based, `i < n`) corresponds to the vertex pair `(i, i+1)`;
+/// its two parallel edges are [`zero_edge(i)`](Self::zero_edge) (id `2i`)
+/// and [`one_edge(i)`](Self::one_edge) (id `2i + 1`).
+#[derive(Clone, Debug)]
+pub struct ParallelPathGadget {
+    topo: Topology,
+    n: usize,
+}
+
+impl ParallelPathGadget {
+    /// Builds the gadget for `n` bits (`n + 1` vertices, `2n` edges).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "gadget needs at least one bit");
+        let mut b = Topology::builder(n + 1);
+        for i in 0..n {
+            b.add_edge(NodeId::new(i), NodeId::new(i + 1));
+            b.add_edge(NodeId::new(i), NodeId::new(i + 1));
+        }
+        ParallelPathGadget { topo: b.build(), n }
+    }
+
+    /// The public topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of encoded bits.
+    pub fn num_bits(&self) -> usize {
+        self.n
+    }
+
+    /// The query source `s` (vertex 0).
+    pub fn s(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// The query target `t` (vertex n).
+    pub fn t(&self) -> NodeId {
+        NodeId::new(self.n)
+    }
+
+    /// The edge `e_i^{(0)}` carrying weight 0 when `x_i = 0`.
+    pub fn zero_edge(&self, bit: usize) -> EdgeId {
+        assert!(bit < self.n, "bit {bit} out of range");
+        EdgeId::new(2 * bit)
+    }
+
+    /// The edge `e_i^{(1)}` carrying weight 0 when `x_i = 1`.
+    pub fn one_edge(&self, bit: usize) -> EdgeId {
+        assert!(bit < self.n, "bit {bit} out of range");
+        EdgeId::new(2 * bit + 1)
+    }
+}
+
+/// The simple-graph variant of Figure 2 mentioned in the paper: each
+/// parallel edge pair is subdivided through a fresh middle vertex, doubling
+/// the vertex count and changing the bound by a factor of 2.
+///
+/// For bit `i`: branch 0 runs `i -> a_i -> i+1` and branch 1 runs
+/// `i -> b_i -> i+1`, where `a_i` and `b_i` are the added vertices.
+#[derive(Clone, Debug)]
+pub struct SimpleParallelPathGadget {
+    topo: Topology,
+    n: usize,
+}
+
+impl SimpleParallelPathGadget {
+    /// Builds the simple-graph gadget for `n` bits
+    /// (`3n + 1` vertices, `4n` edges).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "gadget needs at least one bit");
+        let mut b = Topology::builder(n + 1 + 2 * n);
+        for i in 0..n {
+            let a = NodeId::new(n + 1 + 2 * i);
+            let bb = NodeId::new(n + 2 + 2 * i);
+            let u = NodeId::new(i);
+            let v = NodeId::new(i + 1);
+            b.add_edge(u, a); // 4i
+            b.add_edge(a, v); // 4i + 1
+            b.add_edge(u, bb); // 4i + 2
+            b.add_edge(bb, v); // 4i + 3
+        }
+        SimpleParallelPathGadget { topo: b.build(), n }
+    }
+
+    /// The public topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of encoded bits.
+    pub fn num_bits(&self) -> usize {
+        self.n
+    }
+
+    /// The query source `s` (vertex 0).
+    pub fn s(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// The query target `t` (vertex n).
+    pub fn t(&self) -> NodeId {
+        NodeId::new(self.n)
+    }
+
+    /// The middle vertex of branch `side` (0 or 1) for `bit`.
+    pub fn middle_vertex(&self, bit: usize, side: u8) -> NodeId {
+        assert!(bit < self.n && side < 2);
+        NodeId::new(self.n + 1 + 2 * bit + side as usize)
+    }
+
+    /// The two edges of branch `side` for `bit`, in path order.
+    pub fn branch_edges(&self, bit: usize, side: u8) -> [EdgeId; 2] {
+        assert!(bit < self.n && side < 2);
+        let base = 4 * bit + 2 * side as usize;
+        [EdgeId::new(base), EdgeId::new(base + 1)]
+    }
+}
+
+/// Figure 3 (left): the star gadget for the MST lower bound (Theorem B.1).
+/// Vertex 0 is the hub; spoke `i` (0-based, `i < n`) is vertex `i + 1`,
+/// joined to the hub by parallel edges [`zero_edge(i)`](Self::zero_edge)
+/// (id `2i`) and [`one_edge(i)`](Self::one_edge) (id `2i + 1`).
+#[derive(Clone, Debug)]
+pub struct StarGadget {
+    topo: Topology,
+    n: usize,
+}
+
+impl StarGadget {
+    /// Builds the gadget for `n` bits (`n + 1` vertices, `2n` edges).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "gadget needs at least one bit");
+        let mut b = Topology::builder(n + 1);
+        for i in 0..n {
+            b.add_edge(NodeId::new(0), NodeId::new(i + 1));
+            b.add_edge(NodeId::new(0), NodeId::new(i + 1));
+        }
+        StarGadget { topo: b.build(), n }
+    }
+
+    /// The public topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of encoded bits.
+    pub fn num_bits(&self) -> usize {
+        self.n
+    }
+
+    /// The hub vertex.
+    pub fn hub(&self) -> NodeId {
+        NodeId::new(0)
+    }
+
+    /// The spoke vertex of `bit`.
+    pub fn spoke(&self, bit: usize) -> NodeId {
+        assert!(bit < self.n);
+        NodeId::new(bit + 1)
+    }
+
+    /// The spoke edge carrying weight 0 when `x_i = 0`.
+    pub fn zero_edge(&self, bit: usize) -> EdgeId {
+        assert!(bit < self.n, "bit {bit} out of range");
+        EdgeId::new(2 * bit)
+    }
+
+    /// The spoke edge carrying weight 0 when `x_i = 1`.
+    pub fn one_edge(&self, bit: usize) -> EdgeId {
+        assert!(bit < self.n, "bit {bit} out of range");
+        EdgeId::new(2 * bit + 1)
+    }
+}
+
+/// Figure 3 (right): the hourglass gadget family for the matching lower
+/// bound (Theorem B.4): `n` disjoint 4-cycles, one per bit.
+///
+/// Gadget `c` has vertices `(b1, b2, c)` with id `4c + 2*b1 + b2`, where
+/// `b1` is the side (0 = left, 1 = right); its four edges join `(0, b, c)`
+/// to `(1, b', c)` with edge id `4c + 2b + b'`.
+#[derive(Clone, Debug)]
+pub struct HourglassGadget {
+    topo: Topology,
+    n: usize,
+}
+
+impl HourglassGadget {
+    /// Builds `n` disjoint hourglass gadgets (`4n` vertices, `4n` edges).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "gadget needs at least one bit");
+        let mut builder = Topology::builder(4 * n);
+        for c in 0..n {
+            for b in 0..2usize {
+                for bp in 0..2usize {
+                    builder.add_edge(
+                        NodeId::new(4 * c + b),      // (0, b, c)
+                        NodeId::new(4 * c + 2 + bp), // (1, b', c)
+                    );
+                }
+            }
+        }
+        HourglassGadget { topo: builder.build(), n }
+    }
+
+    /// The public topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of encoded bits (gadgets).
+    pub fn num_bits(&self) -> usize {
+        self.n
+    }
+
+    /// The vertex `(side, b, c)`.
+    pub fn vertex(&self, gadget: usize, side: u8, b: u8) -> NodeId {
+        assert!(gadget < self.n && side < 2 && b < 2);
+        NodeId::new(4 * gadget + 2 * side as usize + b as usize)
+    }
+
+    /// The edge joining `(0, b, c)` and `(1, b', c)`.
+    pub fn edge(&self, gadget: usize, b: u8, bp: u8) -> EdgeId {
+        assert!(gadget < self.n && b < 2 && bp < 2);
+        EdgeId::new(4 * gadget + 2 * b as usize + bp as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_path_layout() {
+        let g = ParallelPathGadget::new(4);
+        let t = g.topology();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_edges(), 8);
+        assert_eq!(g.s(), NodeId::new(0));
+        assert_eq!(g.t(), NodeId::new(4));
+        for bit in 0..4 {
+            let (u0, v0) = t.endpoints(g.zero_edge(bit));
+            let (u1, v1) = t.endpoints(g.one_edge(bit));
+            assert_eq!((u0, v0), (NodeId::new(bit), NodeId::new(bit + 1)));
+            assert_eq!((u1, v1), (NodeId::new(bit), NodeId::new(bit + 1)));
+            assert_ne!(g.zero_edge(bit), g.one_edge(bit));
+        }
+    }
+
+    #[test]
+    fn simple_parallel_path_layout() {
+        let g = SimpleParallelPathGadget::new(3);
+        let t = g.topology();
+        assert_eq!(t.num_nodes(), 10);
+        assert_eq!(t.num_edges(), 12);
+        for bit in 0..3 {
+            for side in 0..2u8 {
+                let [e1, e2] = g.branch_edges(bit, side);
+                let m = g.middle_vertex(bit, side);
+                let (a, b) = t.endpoints(e1);
+                assert_eq!((a, b), (NodeId::new(bit), m));
+                let (a, b) = t.endpoints(e2);
+                assert_eq!((a, b), (m, NodeId::new(bit + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn star_gadget_layout() {
+        let g = StarGadget::new(5);
+        let t = g.topology();
+        assert_eq!(t.num_nodes(), 6);
+        assert_eq!(t.num_edges(), 10);
+        for bit in 0..5 {
+            let (h, s) = t.endpoints(g.zero_edge(bit));
+            assert_eq!(h, g.hub());
+            assert_eq!(s, g.spoke(bit));
+            let (h, s) = t.endpoints(g.one_edge(bit));
+            assert_eq!(h, g.hub());
+            assert_eq!(s, g.spoke(bit));
+        }
+    }
+
+    #[test]
+    fn hourglass_layout() {
+        let g = HourglassGadget::new(3);
+        let t = g.topology();
+        assert_eq!(t.num_nodes(), 12);
+        assert_eq!(t.num_edges(), 12);
+        for c in 0..3 {
+            for b in 0..2u8 {
+                for bp in 0..2u8 {
+                    let e = g.edge(c, b, bp);
+                    let (u, v) = t.endpoints(e);
+                    assert_eq!(u, g.vertex(c, 0, b));
+                    assert_eq!(v, g.vertex(c, 1, bp));
+                }
+            }
+        }
+        // Gadgets are disjoint: 3 components of size 4.
+        let comps = crate::algo::connected_components(t);
+        assert_eq!(comps.count, 3);
+    }
+
+    #[test]
+    fn hourglass_components_are_bipartite_4_cycles() {
+        let g = HourglassGadget::new(2);
+        assert!(crate::algo::bipartite_coloring(g.topology()).is_some());
+    }
+}

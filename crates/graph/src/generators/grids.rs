@@ -1,0 +1,162 @@
+//! Grid graphs with coordinate bookkeeping (Theorem 4.7's workload).
+
+use crate::{GraphError, NodeId, Topology};
+
+/// A `rows x cols` grid graph with 4-neighbor connectivity.
+///
+/// Vertex `(r, c)` has id `r * cols + c`. Edges are inserted row-major:
+/// for each cell, first the edge to its right neighbor, then the edge to
+/// its neighbor below (when they exist).
+///
+/// Theorem 4.7 builds a `2 V^{1/3}`-covering of the `sqrt(V) x sqrt(V)`
+/// grid by taking every vertex whose coordinates are both `≡ -1 (mod
+/// V^{1/3})`; [`GridGraph::modular_covering`] implements exactly that.
+#[derive(Clone, Debug)]
+pub struct GridGraph {
+    topo: Topology,
+    rows: usize,
+    cols: usize,
+}
+
+impl GridGraph {
+    /// Builds the `rows x cols` grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        let mut b = Topology::builder(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = NodeId::new(r * cols + c);
+                if c + 1 < cols {
+                    b.add_edge(v, NodeId::new(r * cols + c + 1));
+                }
+                if r + 1 < rows {
+                    b.add_edge(v, NodeId::new((r + 1) * cols + c));
+                }
+            }
+        }
+        GridGraph { topo: b.build(), rows, cols }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The vertex at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn node_at(&self, r: usize, c: usize) -> NodeId {
+        assert!(r < self.rows && c < self.cols, "grid coordinate out of bounds");
+        NodeId::new(r * self.cols + c)
+    }
+
+    /// The `(row, col)` of a vertex.
+    pub fn coords(&self, v: NodeId) -> (usize, usize) {
+        (v.index() / self.cols, v.index() % self.cols)
+    }
+
+    /// The modular covering of Theorem 4.7: vertices whose row and column
+    /// are both `≡ spacing - 1 (mod spacing)`. This is a
+    /// `2 * spacing`-covering of the grid of size about
+    /// `(rows / spacing) * (cols / spacing)`.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidParameter`] if `spacing == 0` or
+    /// exceeds either dimension (no anchor rows/columns would exist).
+    pub fn modular_covering(&self, spacing: usize) -> Result<Vec<NodeId>, GraphError> {
+        if spacing == 0 {
+            return Err(GraphError::InvalidParameter("spacing must be >= 1".into()));
+        }
+        if spacing > self.rows || spacing > self.cols {
+            return Err(GraphError::InvalidParameter(format!(
+                "spacing {spacing} exceeds grid dimensions {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let mut centers = Vec::new();
+        let mut r = spacing - 1;
+        while r < self.rows {
+            let mut c = spacing - 1;
+            while c < self.cols {
+                centers.push(self.node_at(r, c));
+                c += spacing;
+            }
+            r += spacing;
+        }
+        Ok(centers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use crate::covering::{covering_radius, verify_covering};
+
+    #[test]
+    fn grid_structure() {
+        let g = GridGraph::new(3, 4);
+        let t = g.topology();
+        assert_eq!(t.num_nodes(), 12);
+        // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8 = 17.
+        assert_eq!(t.num_edges(), 17);
+        assert!(is_connected(t));
+        assert_eq!(g.coords(g.node_at(2, 3)), (2, 3));
+        // Corner degree 2, edge degree 3, inner degree 4.
+        assert_eq!(t.degree(g.node_at(0, 0)), 2);
+        assert_eq!(t.degree(g.node_at(0, 1)), 3);
+        assert_eq!(t.degree(g.node_at(1, 1)), 4);
+    }
+
+    #[test]
+    fn modular_covering_is_a_covering() {
+        let g = GridGraph::new(9, 9);
+        let z = g.modular_covering(3).unwrap();
+        assert_eq!(z.len(), 9); // (9/3)^2
+        // Theorem 4.7: spacing s gives a 2s-covering.
+        assert!(verify_covering(g.topology(), &z, 6).unwrap());
+        let r = covering_radius(g.topology(), &z).unwrap().unwrap();
+        assert!(r <= 6, "radius {r} > 2 * spacing");
+    }
+
+    #[test]
+    fn modular_covering_sizes_match_thm_4_7() {
+        // sqrt(V) x sqrt(V) grid with spacing ~ V^{1/3} gives |Z| ~ V^{1/3}.
+        let side = 16usize; // V = 256
+        let g = GridGraph::new(side, side);
+        let spacing = 7; // ~ V^{1/3} = 6.35
+        let z = g.modular_covering(spacing).unwrap();
+        assert_eq!(z.len(), (side / spacing) * (side / spacing));
+        assert!(verify_covering(g.topology(), &z, 2 * spacing).unwrap());
+    }
+
+    #[test]
+    fn invalid_spacing_rejected() {
+        let g = GridGraph::new(4, 4);
+        assert!(g.modular_covering(0).is_err());
+        assert!(g.modular_covering(5).is_err());
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let g = GridGraph::new(1, 1);
+        assert_eq!(g.topology().num_nodes(), 1);
+        assert_eq!(g.topology().num_edges(), 0);
+        let z = g.modular_covering(1).unwrap();
+        assert_eq!(z.len(), 1);
+    }
+}

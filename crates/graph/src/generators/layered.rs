@@ -1,0 +1,115 @@
+//! Graphs with a planted k-hop shortest path (workload for Theorem 5.5's
+//! hop-dependent error experiment, E2).
+
+use crate::{EdgeId, EdgeWeights, NodeId, Topology};
+use rand::Rng;
+
+/// A graph whose `s -> t` shortest path is a planted path with a known
+/// number of hops, surrounded by strictly heavier decoy structure.
+#[derive(Clone, Debug)]
+pub struct PlantedPath {
+    /// The topology.
+    pub topo: Topology,
+    /// The true (private) weights.
+    pub weights: EdgeWeights,
+    /// Query source (vertex 0).
+    pub s: NodeId,
+    /// Query target (vertex `hops`).
+    pub t: NodeId,
+    /// Hop count of the planted shortest path.
+    pub hops: usize,
+    /// Total weight of the planted path.
+    pub planted_weight: f64,
+    /// The planted path's edges, in order.
+    pub planted_edges: Vec<EdgeId>,
+}
+
+/// Builds a [`PlantedPath`]: vertices `0..=hops` carry the planted path
+/// with unit edge weights; `extra` decoy vertices each attach to two random
+/// vertices via heavy edges (weight uniform in `[hops + 1, 2(hops + 1)]`),
+/// and `extra` heavy chords are thrown between random vertex pairs.
+/// Every `s -> t` walk other than the planted path must use a heavy edge,
+/// so the planted path is the unique shortest path, of weight `hops` and
+/// `hops` hops.
+///
+/// # Panics
+/// Panics if `hops == 0`.
+pub fn planted_path_graph(hops: usize, extra: usize, rng: &mut impl Rng) -> PlantedPath {
+    assert!(hops > 0, "planted path needs at least one hop");
+    let n = hops + 1 + extra;
+    let mut b = Topology::builder(n);
+    let mut weights = Vec::new();
+    let mut planted_edges = Vec::with_capacity(hops);
+    for i in 0..hops {
+        planted_edges.push(b.add_edge(NodeId::new(i), NodeId::new(i + 1)));
+        weights.push(1.0);
+    }
+    let heavy_lo = (hops + 1) as f64;
+    for x in 0..extra {
+        let v = NodeId::new(hops + 1 + x);
+        for _ in 0..2 {
+            let u = NodeId::new(rng.gen_range(0..hops + 1 + x));
+            b.add_edge(u, v);
+            weights.push(heavy_lo * (1.0 + rng.gen::<f64>()));
+        }
+    }
+    for _ in 0..extra {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.add_edge(NodeId::new(u), NodeId::new(v));
+            weights.push(heavy_lo * (1.0 + rng.gen::<f64>()));
+        }
+    }
+    let topo = b.build();
+    let weights = EdgeWeights::new(weights).expect("generated weights are finite");
+    PlantedPath {
+        topo,
+        weights,
+        s: NodeId::new(0),
+        t: NodeId::new(hops),
+        hops,
+        planted_weight: hops as f64,
+        planted_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_path_is_the_shortest_path() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for (hops, extra) in [(1usize, 0usize), (4, 10), (16, 50), (32, 100)] {
+            let p = planted_path_graph(hops, extra, &mut rng);
+            let spt = dijkstra(&p.topo, &p.weights, p.s).unwrap();
+            assert_eq!(spt.distance(p.t), Some(p.planted_weight), "hops={hops}");
+            let path = spt.path_to(p.t).unwrap();
+            assert_eq!(path.hops(), hops, "hops={hops}");
+            assert_eq!(path.edges(), p.planted_edges.as_slice());
+        }
+    }
+
+    #[test]
+    fn decoys_are_heavier_than_planted_total() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let p = planted_path_graph(8, 20, &mut rng);
+        for (e, w) in p.weights.iter() {
+            if !p.planted_edges.contains(&e) {
+                assert!(w > p.planted_weight, "decoy edge {e} weight {w} too light");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_size_accounts_for_extras() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let p = planted_path_graph(5, 7, &mut rng);
+        assert_eq!(p.topo.num_nodes(), 13);
+        assert!(p.topo.num_edges() >= 5 + 14);
+    }
+}

@@ -1,0 +1,251 @@
+//! Random graph models: G(n,p), G(n,m), connected G(n,m), and random
+//! geometric graphs (the road-network proxy used throughout EXPERIMENTS.md).
+
+use crate::generators::trees::random_tree_prufer;
+use crate::{NodeId, Topology};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges appears
+/// independently with probability `p`.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]` or `n == 0`.
+pub fn gnp_graph(n: usize, p: f64, rng: &mut impl Rng) -> Topology {
+    assert!(n > 0, "G(n,p) needs at least one vertex");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut b = Topology::builder(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Uniform `G(n, m)`: exactly `m` distinct edges (no parallel edges or
+/// self-loops) chosen uniformly.
+///
+/// # Panics
+/// Panics if `m` exceeds `n(n-1)/2` or `n == 0`.
+pub fn gnm_graph(n: usize, m: usize, rng: &mut impl Rng) -> Topology {
+    assert!(n > 0, "G(n,m) needs at least one vertex");
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "m={m} exceeds max {max} for n={n}");
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(m);
+    let mut b = Topology::builder(n);
+    // Rejection sampling is fine up to half density; above that, sample the
+    // complement.
+    if m * 2 <= max {
+        while chosen.len() < m {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let key = (i.min(j), i.max(j));
+            if chosen.insert(key) {
+                b.add_edge(NodeId::new(key.0), NodeId::new(key.1));
+            }
+        }
+    } else {
+        let mut excluded: HashSet<(usize, usize)> = HashSet::with_capacity(max - m);
+        while excluded.len() < max - m {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            excluded.insert((i.min(j), i.max(j)));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !excluded.contains(&(i, j)) {
+                    b.add_edge(NodeId::new(i), NodeId::new(j));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Connected `G(n, m)`-style graph: a uniform random spanning tree
+/// (Prüfer) plus `m - (n - 1)` additional distinct random edges. Not the
+/// uniform distribution over connected graphs, but a standard connected
+/// workload generator.
+///
+/// # Panics
+/// Panics if `m < n - 1` or `m` exceeds `n(n-1)/2`.
+pub fn connected_gnm(n: usize, m: usize, rng: &mut impl Rng) -> Topology {
+    assert!(n > 0, "connected_gnm needs at least one vertex");
+    assert!(m + 1 >= n, "m={m} cannot connect n={n} vertices");
+    let max = n * (n - 1) / 2;
+    assert!(m <= max, "m={m} exceeds max {max} for n={n}");
+    let tree = random_tree_prufer(n, rng);
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(m);
+    let mut b = Topology::builder(n);
+    for e in tree.edge_ids() {
+        let (u, v) = tree.endpoints(e);
+        let key = (u.index().min(v.index()), u.index().max(v.index()));
+        chosen.insert(key);
+        b.add_edge(u, v);
+    }
+    while chosen.len() < m {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let key = (i.min(j), i.max(j));
+        if chosen.insert(key) {
+            b.add_edge(NodeId::new(key.0), NodeId::new(key.1));
+        }
+    }
+    b.build()
+}
+
+/// A random geometric graph: `n` points uniform in the unit square, an
+/// edge between any two points within `radius`. Components are then
+/// stitched together by connecting each component to its geometrically
+/// nearest other component, so the result is always connected — our proxy
+/// for road networks (see EXPERIMENTS.md for the substitution note).
+#[derive(Clone, Debug)]
+pub struct GeometricGraph {
+    /// The connected topology.
+    pub topo: Topology,
+    /// Point positions, indexed by node id.
+    pub positions: Vec<(f64, f64)>,
+}
+
+impl GeometricGraph {
+    /// Euclidean distance between two vertices' points.
+    pub fn euclid(&self, u: NodeId, v: NodeId) -> f64 {
+        let (ux, uy) = self.positions[u.index()];
+        let (vx, vy) = self.positions[v.index()];
+        ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt()
+    }
+}
+
+/// Samples a connected random geometric graph (see [`GeometricGraph`]).
+///
+/// # Panics
+/// Panics if `n == 0` or `radius <= 0`.
+pub fn random_geometric_graph(n: usize, radius: f64, rng: &mut impl Rng) -> GeometricGraph {
+    assert!(n > 0, "geometric graph needs at least one vertex");
+    assert!(radius > 0.0, "radius must be positive");
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut b = Topology::builder(n);
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = positions[i].0 - positions[j].0;
+            let dy = positions[i].1 - positions[j].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+    }
+    // Stitch components: repeatedly connect the component containing vertex
+    // 0 to its nearest outside point.
+    let mut topo = b.clone().build();
+    loop {
+        let comps = crate::algo::connected_components(&topo);
+        if comps.count <= 1 {
+            break;
+        }
+        let base = comps.component_of(NodeId::new(0));
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..n {
+            if comps.component_of(NodeId::new(i)) != base {
+                continue;
+            }
+            for j in 0..n {
+                if comps.component_of(NodeId::new(j)) == base {
+                    continue;
+                }
+                let dx = positions[i].0 - positions[j].0;
+                let dy = positions[i].1 - positions[j].1;
+                let d2 = dx * dx + dy * dy;
+                if best.is_none_or(|(_, _, b2)| d2 < b2) {
+                    best = Some((i, j, d2));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("multiple components imply a crossing pair");
+        b.add_edge(NodeId::new(i), NodeId::new(j));
+        topo = b.clone().build();
+    }
+    GeometricGraph { topo, positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = gnp_graph(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = gnp_graph(10, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_count_no_duplicates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(n, m) in &[(10usize, 20usize), (10, 40), (10, 45), (10, 0), (5, 10)] {
+            let g = gnm_graph(n, m, &mut rng);
+            assert_eq!(g.num_edges(), m, "n={n} m={m}");
+            let mut seen = HashSet::new();
+            for e in g.edge_ids() {
+                let (u, v) = g.endpoints(e);
+                assert_ne!(u, v);
+                let key = (u.index().min(v.index()), u.index().max(v.index()));
+                assert!(seen.insert(key), "duplicate edge in G(n,m)");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_gnm_is_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(n, m) in &[(2usize, 1usize), (20, 19), (20, 40), (50, 100)] {
+            let g = connected_gnm(n, m, &mut rng);
+            assert_eq!(g.num_edges(), m);
+            assert!(is_connected(&g), "n={n} m={m} disconnected");
+        }
+    }
+
+    #[test]
+    fn geometric_graph_connected_and_metric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_geometric_graph(60, 0.15, &mut rng);
+        assert!(is_connected(&g.topo));
+        assert_eq!(g.positions.len(), 60);
+        // Euclid is symmetric and zero on the diagonal.
+        let (a, b) = (NodeId::new(3), NodeId::new(7));
+        assert!((g.euclid(a, b) - g.euclid(b, a)).abs() < 1e-12);
+        assert_eq!(g.euclid(a, a), 0.0);
+    }
+
+    #[test]
+    fn geometric_tiny() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_geometric_graph(1, 0.1, &mut rng);
+        assert_eq!(g.topo.num_nodes(), 1);
+        assert!(is_connected(&g.topo));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn gnm_overfull_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = gnm_graph(4, 7, &mut rng);
+    }
+}

@@ -1,0 +1,159 @@
+//! Tree generators: the workload families for Theorems 4.1 and 4.2.
+
+use crate::{NodeId, Topology};
+use rand::Rng;
+
+/// A uniformly random labelled tree on `n` vertices via a random Prüfer
+/// sequence.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn random_tree_prufer(n: usize, rng: &mut impl Rng) -> Topology {
+    assert!(n > 0, "tree needs at least one vertex");
+    let mut b = Topology::builder(n);
+    if n == 1 {
+        return b.build();
+    }
+    if n == 2 {
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        return b.build();
+    }
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1u32; n];
+    for &s in &seq {
+        degree[s] += 1;
+    }
+    // Standard decoding with a pointer + leaf variable, O(n) amortized.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &s in &seq {
+        b.add_edge(NodeId::new(leaf), NodeId::new(s));
+        degree[s] -= 1;
+        if degree[s] == 1 && s < ptr {
+            leaf = s;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    b.add_edge(NodeId::new(leaf), NodeId::new(n - 1));
+    b.build()
+}
+
+/// A balanced binary tree on `n` vertices: vertex `i`'s children are
+/// `2i + 1` and `2i + 2` (heap layout). Depth is `floor(log2 n)`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn balanced_binary_tree(n: usize) -> Topology {
+    assert!(n > 0, "tree needs at least one vertex");
+    let mut b = Topology::builder(n);
+    for i in 1..n {
+        b.add_edge(NodeId::new((i - 1) / 2), NodeId::new(i));
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` vertices, each carrying `legs`
+/// pendant leaves. Total vertices: `spine * (1 + legs)`.
+///
+/// Spine vertices are `0..spine`; the legs of spine vertex `s` are
+/// `spine + s * legs .. spine + (s+1) * legs`.
+///
+/// # Panics
+/// Panics if `spine == 0`.
+pub fn caterpillar_tree(spine: usize, legs: usize) -> Topology {
+    assert!(spine > 0, "caterpillar needs a non-empty spine");
+    let n = spine * (1 + legs);
+    let mut b = Topology::builder(n);
+    for s in 1..spine {
+        b.add_edge(NodeId::new(s - 1), NodeId::new(s));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(NodeId::new(s), NodeId::new(spine + s * legs + l));
+        }
+    }
+    b.build()
+}
+
+/// A spider: `legs` paths of length `leg_len` glued at a central vertex
+/// `0`. Total vertices: `1 + legs * leg_len`.
+///
+/// # Panics
+/// Panics if `legs == 0` or `leg_len == 0`.
+pub fn spider_tree(legs: usize, leg_len: usize) -> Topology {
+    assert!(legs > 0 && leg_len > 0, "spider needs legs of positive length");
+    let n = 1 + legs * leg_len;
+    let mut b = Topology::builder(n);
+    for l in 0..legs {
+        let base = 1 + l * leg_len;
+        b.add_edge(NodeId::new(0), NodeId::new(base));
+        for i in 1..leg_len {
+            b.add_edge(NodeId::new(base + i - 1), NodeId::new(base + i));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RootedTree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prufer_trees_are_trees() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 5, 17, 100] {
+            let t = random_tree_prufer(n, &mut rng);
+            assert_eq!(t.num_edges(), n - 1, "n={n}");
+            assert!(RootedTree::new(&t, NodeId::new(0)).is_ok(), "n={n} not a tree");
+        }
+    }
+
+    #[test]
+    fn prufer_is_seeded_deterministic() {
+        let a = random_tree_prufer(30, &mut StdRng::seed_from_u64(11));
+        let b = random_tree_prufer(30, &mut StdRng::seed_from_u64(11));
+        let ea: Vec<_> = a.edge_ids().map(|e| a.endpoints(e)).collect();
+        let eb: Vec<_> = b.edge_ids().map(|e| b.endpoints(e)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn balanced_binary_depths() {
+        let t = balanced_binary_tree(15);
+        let rt = RootedTree::new(&t, NodeId::new(0)).unwrap();
+        assert_eq!(rt.depth(NodeId::new(14)), 3);
+        assert_eq!(rt.subtree_size(NodeId::new(1)), 7);
+        assert_eq!(rt.children(NodeId::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let t = caterpillar_tree(4, 2);
+        assert_eq!(t.num_nodes(), 12);
+        assert_eq!(t.num_edges(), 11);
+        let rt = RootedTree::new(&t, NodeId::new(0)).unwrap();
+        // Legs of spine vertex 1 are 6 and 7.
+        assert_eq!(rt.parent(NodeId::new(6)), Some(NodeId::new(1)));
+        assert_eq!(rt.parent(NodeId::new(7)), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn spider_structure() {
+        let t = spider_tree(3, 4);
+        assert_eq!(t.num_nodes(), 13);
+        let rt = RootedTree::new(&t, NodeId::new(0)).unwrap();
+        assert_eq!(rt.children(NodeId::new(0)).len(), 3);
+        assert_eq!(rt.depth(NodeId::new(4)), 4); // end of first leg
+    }
+}

@@ -1,0 +1,73 @@
+//! Random weight vectors for workloads.
+
+use crate::EdgeWeights;
+use rand::Rng;
+
+/// Uniform weights in `[lo, hi]` for `len` edges.
+///
+/// # Panics
+/// Panics if `lo > hi` or either bound is non-finite.
+pub fn uniform_weights(len: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> EdgeWeights {
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi}]");
+    EdgeWeights::new((0..len).map(|_| lo + (hi - lo) * rng.gen::<f64>()).collect())
+        .expect("uniform weights are finite")
+}
+
+/// Exponential weights with the given mean (inverse-CDF sampling) for `len`
+/// edges. Heavy-tailed-ish workloads for the "large weights drown the
+/// noise" regime the paper highlights in Section 1.2.
+///
+/// # Panics
+/// Panics if `mean <= 0` or non-finite.
+pub fn exponential_weights(len: usize, mean: f64, rng: &mut impl Rng) -> EdgeWeights {
+    assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+    EdgeWeights::new(
+        (0..len)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>();
+                // 1 - u in (0, 1]; ln of it is finite and <= 0.
+                -mean * (1.0 - u).ln()
+            })
+            .collect(),
+    )
+    .expect("exponential weights are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = uniform_weights(1000, 2.0, 5.0, &mut rng);
+        assert!(w.within_bounds(2.0, 5.0));
+        let mean = w.sum() / 1000.0;
+        assert!((mean - 3.5).abs() < 0.2, "mean {mean} far from 3.5");
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = uniform_weights(10, 3.0, 3.0, &mut rng);
+        assert!(w.as_slice().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn exponential_mean_and_sign() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = exponential_weights(5000, 2.0, &mut rng);
+        assert!(w.is_nonnegative());
+        let mean = w.sum() / 5000.0;
+        assert!((mean - 2.0).abs() < 0.15, "mean {mean} far from 2.0");
+    }
+
+    #[test]
+    fn empty_vectors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(uniform_weights(0, 0.0, 1.0, &mut rng).len(), 0);
+        assert_eq!(exponential_weights(0, 1.0, &mut rng).len(), 0);
+    }
+}

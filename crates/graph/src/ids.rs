@@ -1,0 +1,110 @@
+//! Typed node and edge identifiers.
+//!
+//! Both identifiers are thin `u32` newtypes: graphs in this crate are bounded
+//! by `u32::MAX` nodes/edges, which halves index memory relative to `usize`
+//! on 64-bit targets (a deliberate type-size choice for the dense arrays used
+//! throughout the substrate).
+
+use std::fmt;
+
+/// Identifier of a vertex in a [`Topology`](crate::Topology).
+///
+/// Node ids are dense: a topology with `n` nodes has ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+/// Identifier of an edge in a [`Topology`](crate::Topology).
+///
+/// Edge ids are dense and assigned in insertion order by
+/// [`TopologyBuilder::add_edge`](crate::TopologyBuilder::add_edge); generators
+/// document their edge-id layout so that weight vectors can be constructed
+/// positionally.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(u32);
+
+macro_rules! impl_id {
+    ($t:ident, $label:literal) => {
+        impl $t {
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                assert!(
+                    index <= u32::MAX as usize,
+                    concat!($label, " index {} exceeds u32::MAX"),
+                    index
+                );
+                Self(index as u32)
+            }
+
+            /// Returns the id as a `usize` index suitable for array indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Creates an id directly from a raw `u32`.
+            #[inline]
+            pub fn from_raw(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "NodeId");
+impl_id!(EdgeId, "EdgeId");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let v = NodeId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(NodeId::from_raw(42), v);
+        assert_eq!(format!("{v}"), "42");
+        assert_eq!(format!("{v:?}"), "NodeId(42)");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let e = EdgeId::new(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e:?}"), "EdgeId(7)");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Plain-text persistence for topologies and weight vectors.
+//!
+//! A deliberately simple, dependency-free line format (no `serde_json` in
+//! the allowed dependency set) so that released synthetic graphs — e.g.
+//! Algorithm 3's noisy weights — can be stored and served later. Floats
+//! round-trip exactly via Rust's shortest-representation formatting.
+//!
+//! ```text
+//! privpath-topology v1
+//! nodes 3
+//! directed false
+//! edges 2
+//! 0 1
+//! 1 2
+//! ```
+
+use crate::{EdgeWeights, NodeId, Topology};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from reading or writing the persistence format.
+#[derive(Debug)]
+pub enum IoError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The input did not match the expected format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+/// Writes a topology in the v1 text format.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_topology(out: &mut impl Write, topo: &Topology) -> Result<(), IoError> {
+    writeln!(out, "privpath-topology v1")?;
+    writeln!(out, "nodes {}", topo.num_nodes())?;
+    writeln!(out, "directed {}", topo.is_directed())?;
+    writeln!(out, "edges {}", topo.num_edges())?;
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        writeln!(out, "{} {}", u.index(), v.index())?;
+    }
+    Ok(())
+}
+
+/// Reads a topology written by [`write_topology`]. Edge ids are preserved
+/// (insertion order), so weight vectors stay aligned.
+///
+/// # Errors
+/// [`IoError::Parse`] on any malformed line.
+pub fn read_topology(input: impl BufRead) -> Result<Topology, IoError> {
+    let mut lines = input.lines().enumerate();
+    let mut next = |expect: &str| -> Result<(usize, String), IoError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(parse_err(i + 1, e.to_string())),
+            None => Err(parse_err(0, format!("unexpected end of input, expected {expect}"))),
+        }
+    };
+
+    let (ln, header) = next("header")?;
+    if header.trim() != "privpath-topology v1" {
+        return Err(parse_err(ln, format!("bad header {header:?}")));
+    }
+    let (ln, nodes_line) = next("nodes")?;
+    let n: usize = nodes_line
+        .strip_prefix("nodes ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| parse_err(ln, "expected `nodes <count>`"))?;
+    let (ln, directed_line) = next("directed")?;
+    let directed: bool = directed_line
+        .strip_prefix("directed ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| parse_err(ln, "expected `directed <bool>`"))?;
+    let (ln, edges_line) = next("edges")?;
+    let m: usize = edges_line
+        .strip_prefix("edges ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| parse_err(ln, "expected `edges <count>`"))?;
+
+    let mut builder =
+        if directed { Topology::builder_directed(n) } else { Topology::builder(n) };
+    for _ in 0..m {
+        let (ln, edge_line) = next("edge endpoints")?;
+        let mut parts = edge_line.split_whitespace();
+        let parse_endpoint = |tok: Option<&str>| -> Result<usize, IoError> {
+            tok.and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(ln, "expected `<u> <v>`"))
+        };
+        let u = parse_endpoint(parts.next())?;
+        let v = parse_endpoint(parts.next())?;
+        if parts.next().is_some() {
+            return Err(parse_err(ln, "trailing tokens on edge line"));
+        }
+        builder
+            .try_add_edge(NodeId::new(u), NodeId::new(v))
+            .map_err(|e| parse_err(ln, e.to_string()))?;
+    }
+    Ok(builder.build())
+}
+
+/// Writes a weight vector in the v1 text format (one float per line,
+/// exact round-trip formatting).
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_weights(out: &mut impl Write, weights: &EdgeWeights) -> Result<(), IoError> {
+    writeln!(out, "privpath-weights v1")?;
+    writeln!(out, "len {}", weights.len())?;
+    for (_, w) in weights.iter() {
+        writeln!(out, "{w:?}")?;
+    }
+    Ok(())
+}
+
+/// Reads a weight vector written by [`write_weights`].
+///
+/// # Errors
+/// [`IoError::Parse`] on any malformed line or non-finite value.
+pub fn read_weights(input: impl BufRead) -> Result<EdgeWeights, IoError> {
+    let mut lines = input.lines().enumerate();
+    let mut next = |expect: &str| -> Result<(usize, String), IoError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(parse_err(i + 1, e.to_string())),
+            None => Err(parse_err(0, format!("unexpected end of input, expected {expect}"))),
+        }
+    };
+    let (ln, header) = next("header")?;
+    if header.trim() != "privpath-weights v1" {
+        return Err(parse_err(ln, format!("bad header {header:?}")));
+    }
+    let (ln, len_line) = next("len")?;
+    let len: usize = len_line
+        .strip_prefix("len ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| parse_err(ln, "expected `len <count>`"))?;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        let (ln, value_line) = next("weight")?;
+        let v: f64 = value_line
+            .trim()
+            .parse()
+            .map_err(|_| parse_err(ln, format!("bad float {value_line:?}")))?;
+        values.push(v);
+    }
+    EdgeWeights::new(values).map_err(|e| parse_err(0, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gnm_graph, uniform_weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::io::BufReader;
+
+    fn roundtrip_topo(topo: &Topology) -> Topology {
+        let mut buf = Vec::new();
+        write_topology(&mut buf, topo).unwrap();
+        read_topology(BufReader::new(buf.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn topology_roundtrip_preserves_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let topo = gnm_graph(20, 50, &mut rng);
+        let back = roundtrip_topo(&topo);
+        assert_eq!(back.num_nodes(), topo.num_nodes());
+        assert_eq!(back.num_edges(), topo.num_edges());
+        assert_eq!(back.is_directed(), topo.is_directed());
+        for e in topo.edge_ids() {
+            assert_eq!(back.endpoints(e), topo.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn directed_and_multigraph_roundtrip() {
+        let mut b = Topology::builder_directed(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(0), NodeId::new(1)); // parallel
+        b.add_edge(NodeId::new(2), NodeId::new(2)); // self loop
+        let topo = b.build();
+        let back = roundtrip_topo(&topo);
+        assert!(back.is_directed());
+        assert_eq!(back.num_edges(), 3);
+        assert_eq!(back.endpoints(crate::EdgeId::new(2)), (NodeId::new(2), NodeId::new(2)));
+    }
+
+    #[test]
+    fn weights_roundtrip_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = uniform_weights(40, -5.0, 5.0, &mut rng);
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &w).unwrap();
+        let back = read_weights(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.as_slice(), w.as_slice(), "floats must round-trip exactly");
+    }
+
+    #[test]
+    fn special_float_values_roundtrip() {
+        let w = EdgeWeights::new(vec![0.0, -0.0, 1e-300, 1e300, 0.1 + 0.2]).unwrap();
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &w).unwrap();
+        let back = read_weights(BufReader::new(buf.as_slice())).unwrap();
+        for (a, b) in back.as_slice().iter().zip(w.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected_with_line_numbers() {
+        let cases: Vec<(&str, usize)> = vec![
+            ("wrong header\n", 1),
+            ("privpath-topology v1\nnope\n", 2),
+            ("privpath-topology v1\nnodes 2\ndirected maybe\n", 3),
+            ("privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0\n", 5),
+            ("privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0 5\n", 5),
+            ("privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0 1 9\n", 5),
+        ];
+        for (input, want_line) in cases {
+            match read_topology(BufReader::new(input.as_bytes())) {
+                Err(IoError::Parse { line, .. }) => {
+                    assert_eq!(line, want_line, "input {input:?}");
+                }
+                other => panic!("input {input:?}: expected parse error, got {other:?}"),
+            }
+        }
+        assert!(read_weights(BufReader::new("privpath-weights v1\nlen 1\nNaN\n".as_bytes()))
+            .is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let input = "privpath-topology v1\nnodes 2\ndirected false\nedges 3\n0 1\n";
+        assert!(read_topology(BufReader::new(input.as_bytes())).is_err());
+        let input = "privpath-weights v1\nlen 3\n1.0\n";
+        assert!(read_weights(BufReader::new(input.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let topo = Topology::builder(0).build();
+        let back = roundtrip_topo(&topo);
+        assert_eq!(back.num_nodes(), 0);
+        let w = EdgeWeights::zeros(0);
+        let mut buf = Vec::new();
+        write_weights(&mut buf, &w).unwrap();
+        assert_eq!(read_weights(BufReader::new(buf.as_slice())).unwrap().len(), 0);
+    }
+}

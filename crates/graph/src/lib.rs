@@ -1,0 +1,66 @@
+//! # privpath-graph — graph substrate for the private edge-weight model
+//!
+//! This crate implements, from scratch, every graph primitive needed by
+//! Sealfon's *Shortest Paths and Distances with Differential Privacy*
+//! (PODS 2016): a weighted multigraph representation that **separates the
+//! public topology from the private edge weights**, shortest-path and
+//! spanning-tree algorithms, minimum-weight perfect matching, rooted-tree
+//! machinery (LCA, the split-vertex decomposition of the paper's Figure 1),
+//! k-coverings (Meir–Moon, Lemma 4.4), and a library of graph generators
+//! including the lower-bound gadgets of Figures 2 and 3.
+//!
+//! ## Topology / weight separation
+//!
+//! In the paper's model the topology `G = (V, E)` is public while the weight
+//! function `w : E -> R+` is the private database. The API mirrors this:
+//!
+//! * [`Topology`] is an immutable, weight-free multigraph. Any computation
+//!   that takes only a `&Topology` provably does not depend on the private
+//!   data.
+//! * [`EdgeWeights`] is a dense weight vector indexed by [`EdgeId`]. It is
+//!   handed separately to each algorithm that needs it.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use privpath_graph::{Topology, EdgeWeights, NodeId, algo::dijkstra};
+//!
+//! let mut b = Topology::builder(3);
+//! let e01 = b.add_edge(NodeId::new(0), NodeId::new(1));
+//! let e12 = b.add_edge(NodeId::new(1), NodeId::new(2));
+//! let e02 = b.add_edge(NodeId::new(0), NodeId::new(2));
+//! let topo = b.build();
+//!
+//! let mut w = EdgeWeights::zeros(topo.num_edges());
+//! w.set(e01, 1.0);
+//! w.set(e12, 1.0);
+//! w.set(e02, 5.0);
+//!
+//! let spt = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
+//! assert_eq!(spt.distance(NodeId::new(2)), Some(2.0));
+//! let path = spt.path_to(NodeId::new(2)).unwrap();
+//! assert_eq!(path.hops(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod ids;
+mod path;
+mod topology;
+mod weights;
+
+pub mod algo;
+pub mod covering;
+pub mod generators;
+pub mod io;
+pub mod tree;
+
+pub use builder::TopologyBuilder;
+pub use error::GraphError;
+pub use ids::{EdgeId, NodeId};
+pub use path::Path;
+pub use topology::Topology;
+pub use weights::EdgeWeights;

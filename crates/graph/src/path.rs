@@ -1,0 +1,167 @@
+//! Walks/paths through a topology.
+
+use crate::{EdgeId, GraphError, NodeId, Topology};
+
+/// A walk through the graph: a sequence of vertices joined by explicit
+/// edge ids (explicit because multigraphs have parallel edges — the path
+/// must say *which* of the parallel edges it uses, which is exactly what the
+/// Section 5.1 reconstruction attack decodes).
+///
+/// Invariant: `nodes.len() == edges.len() + 1`. A trivial path has one node
+/// and no edges. `Path` does not by itself guarantee consistency with a
+/// topology; use [`Path::validate`] for that.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Creates a path from node and edge sequences.
+    ///
+    /// # Panics
+    /// Panics unless `nodes.len() == edges.len() + 1` and `nodes` is
+    /// non-empty.
+    pub fn new(nodes: Vec<NodeId>, edges: Vec<EdgeId>) -> Self {
+        assert!(!nodes.is_empty(), "a path must contain at least one node");
+        assert_eq!(
+            nodes.len(),
+            edges.len() + 1,
+            "a path with {} edges must have {} nodes",
+            edges.len(),
+            edges.len() + 1
+        );
+        Path { nodes, edges }
+    }
+
+    /// The trivial path consisting of a single vertex.
+    pub fn single(node: NodeId) -> Self {
+        Path { nodes: vec![node], edges: Vec::new() }
+    }
+
+    /// The vertices of the path, in order.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The edges of the path, in order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Hop length `ℓ(P)`: the number of edges.
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// First vertex.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last vertex.
+    #[inline]
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("path is non-empty")
+    }
+
+    /// Whether the path uses edge `e`.
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Validates the path against a topology: every consecutive node pair
+    /// must be joined by the stated edge (respecting direction for directed
+    /// topologies).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::EdgeOutOfRange`], [`GraphError::NodeOutOfRange`]
+    /// or [`GraphError::InvalidParameter`] describing the first
+    /// inconsistency.
+    pub fn validate(&self, topo: &Topology) -> Result<(), GraphError> {
+        for &v in &self.nodes {
+            topo.check_node(v)?;
+        }
+        for (i, &e) in self.edges.iter().enumerate() {
+            topo.check_edge(e)?;
+            let (a, b) = topo.endpoints(e);
+            let (u, v) = (self.nodes[i], self.nodes[i + 1]);
+            let ok = if topo.is_directed() {
+                a == u && b == v
+            } else {
+                (a == u && b == v) || (a == v && b == u)
+            };
+            if !ok {
+                return Err(GraphError::InvalidParameter(format!(
+                    "path step {i}: edge {e} does not join {u} and {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> (Topology, Vec<EdgeId>) {
+        let mut b = Topology::builder(3);
+        let e0 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let e1 = b.add_edge(NodeId::new(2), NodeId::new(1)); // reversed insertion order
+        (b.build(), vec![e0, e1])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (_, es) = line();
+        let p = Path::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)], es.clone());
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.source(), NodeId::new(0));
+        assert_eq!(p.target(), NodeId::new(2));
+        assert!(p.contains_edge(es[0]));
+    }
+
+    #[test]
+    fn single_node_path() {
+        let p = Path::single(NodeId::new(5));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.source(), p.target());
+    }
+
+    #[test]
+    fn validate_accepts_either_direction_when_undirected() {
+        let (topo, es) = line();
+        let p = Path::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)], es);
+        assert!(p.validate(&topo).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_edge() {
+        let (topo, es) = line();
+        // edge 0 joins nodes 0-1, not 1-2.
+        let p = Path::new(vec![NodeId::new(1), NodeId::new(2)], vec![es[0]]);
+        assert!(p.validate(&topo).is_err());
+    }
+
+    #[test]
+    fn validate_respects_direction() {
+        let mut b = Topology::builder_directed(2);
+        let e = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let forward = Path::new(vec![NodeId::new(0), NodeId::new(1)], vec![e]);
+        let backward = Path::new(vec![NodeId::new(1), NodeId::new(0)], vec![e]);
+        assert!(forward.validate(&topo).is_ok());
+        assert!(backward.validate(&topo).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must have")]
+    fn mismatched_lengths_panic() {
+        let _ = Path::new(vec![NodeId::new(0)], vec![EdgeId::new(0)]);
+    }
+}

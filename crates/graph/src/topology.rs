@@ -1,0 +1,274 @@
+//! The public, immutable graph topology.
+
+use crate::builder::TopologyBuilder;
+use crate::{EdgeId, GraphError, NodeId};
+
+/// An immutable multigraph topology: the **public** part of the paper's
+/// database `(G, w)`.
+///
+/// * Supports parallel edges (the lower-bound gadgets of Figures 2 and 3 use
+///   them) and self-loops (permitted but never useful for shortest paths).
+/// * May be undirected (the default) or directed (the shortest-path results
+///   of the paper's Section 5 also apply to directed graphs).
+/// * Stores adjacency in compressed sparse row (CSR) form for cache-friendly
+///   traversal; construction happens once through [`TopologyBuilder`].
+///
+/// `Topology` deliberately carries **no weights**; see
+/// [`EdgeWeights`](crate::EdgeWeights).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    num_nodes: u32,
+    directed: bool,
+    /// Endpoints of each edge in insertion order. For undirected graphs the
+    /// pair order is as given at insertion but carries no meaning.
+    endpoints: Vec<(NodeId, NodeId)>,
+    /// CSR offsets: `offsets[v]..offsets[v + 1]` indexes the adjacency
+    /// arrays for vertex `v`. For undirected graphs each edge appears in
+    /// both endpoint lists (once per endpoint for self-loops).
+    offsets: Vec<u32>,
+    adj_node: Vec<NodeId>,
+    adj_edge: Vec<EdgeId>,
+}
+
+impl Topology {
+    /// Starts building an undirected topology over `num_nodes` vertices.
+    pub fn builder(num_nodes: usize) -> TopologyBuilder {
+        TopologyBuilder::new(num_nodes)
+    }
+
+    /// Starts building a directed topology over `num_nodes` vertices.
+    pub fn builder_directed(num_nodes: usize) -> TopologyBuilder {
+        TopologyBuilder::new_directed(num_nodes)
+    }
+
+    pub(crate) fn from_builder(
+        num_nodes: u32,
+        directed: bool,
+        endpoints: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        let n = num_nodes as usize;
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &endpoints {
+            degree[u.index()] += 1;
+            if !directed && u != v {
+                degree[v.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut adj_node = vec![NodeId::new(0); acc as usize];
+        let mut adj_edge = vec![EdgeId::new(0); acc as usize];
+        for (i, &(u, v)) in endpoints.iter().enumerate() {
+            let e = EdgeId::new(i);
+            let slot = cursor[u.index()] as usize;
+            adj_node[slot] = v;
+            adj_edge[slot] = e;
+            cursor[u.index()] += 1;
+            if !directed && u != v {
+                let slot = cursor[v.index()] as usize;
+                adj_node[slot] = u;
+                adj_edge[slot] = e;
+                cursor[v.index()] += 1;
+            }
+        }
+        Topology { num_nodes, directed, endpoints, offsets, adj_node, adj_edge }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the topology is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Iterates over all node ids `0..num_nodes`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::new)
+    }
+
+    /// Iterates over all edge ids `0..num_edges`.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges()).map(EdgeId::new)
+    }
+
+    /// The endpoints `(u, v)` of edge `e`, in insertion order.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// The endpoint of `e` that is not `v`.
+    ///
+    /// For a self-loop returns `v` itself.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range or `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if a == v {
+            b
+        } else {
+            assert_eq!(b, v, "node {v} is not an endpoint of edge {e}");
+            a
+        }
+    }
+
+    /// Iterates over the out-neighbors of `v` as `(neighbor, edge)` pairs.
+    ///
+    /// For undirected graphs this includes every incident edge; for directed
+    /// graphs only out-edges. Parallel edges yield one entry each.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.adj_node[lo..hi].iter().copied().zip(self.adj_edge[lo..hi].iter().copied())
+    }
+
+    /// The out-degree of `v` (number of incident edges for undirected
+    /// graphs, counting parallel edges).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Returns some edge between `u` and `v`, if any. `O(deg(u))`.
+    ///
+    /// For directed graphs only edges `u -> v` are considered.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.neighbors(u).find(|&(n, _)| n == v).map(|(_, e)| e)
+    }
+
+    /// Returns all (parallel) edges between `u` and `v`. `O(deg(u))`.
+    pub fn edges_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
+        self.neighbors(u).filter(|&(n, _)| n == v).map(|(_, e)| e).collect()
+    }
+
+    /// Checks that `v` is a valid node id for this topology.
+    pub fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v.index() < self.num_nodes() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node: v, num_nodes: self.num_nodes() })
+        }
+    }
+
+    /// Checks that `e` is a valid edge id for this topology.
+    pub fn check_edge(&self, e: EdgeId) -> Result<(), GraphError> {
+        if e.index() < self.num_edges() {
+            Ok(())
+        } else {
+            Err(GraphError::EdgeOutOfRange { edge: e, num_edges: self.num_edges() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut b = Topology::builder(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(1), NodeId::new(2));
+        b.add_edge(NodeId::new(2), NodeId::new(0));
+        b.build()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let t = triangle();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert!(!t.is_directed());
+        assert_eq!(t.nodes().count(), 3);
+        assert_eq!(t.edge_ids().count(), 3);
+    }
+
+    #[test]
+    fn undirected_adjacency_is_symmetric() {
+        let t = triangle();
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 2);
+            for (n, e) in t.neighbors(v) {
+                assert_eq!(t.other_endpoint(e, v), n);
+                assert!(t.neighbors(n).any(|(back, be)| back == v && be == e));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_adjacency_is_one_way() {
+        let mut b = Topology::builder_directed(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let t = b.build();
+        assert_eq!(t.degree(NodeId::new(0)), 1);
+        assert_eq!(t.degree(NodeId::new(1)), 0);
+        assert!(t.edge_between(NodeId::new(0), NodeId::new(1)).is_some());
+        assert!(t.edge_between(NodeId::new(1), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct() {
+        let mut b = Topology::builder(2);
+        let e0 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let e1 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let t = b.build();
+        assert_ne!(e0, e1);
+        assert_eq!(t.edges_between(NodeId::new(0), NodeId::new(1)), vec![e0, e1]);
+        assert_eq!(t.degree(NodeId::new(0)), 2);
+        assert_eq!(t.degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn self_loop_counts_once_in_adjacency() {
+        let mut b = Topology::builder(1);
+        let e = b.add_edge(NodeId::new(0), NodeId::new(0));
+        let t = b.build();
+        assert_eq!(t.degree(NodeId::new(0)), 1);
+        assert_eq!(t.other_endpoint(e, NodeId::new(0)), NodeId::new(0));
+    }
+
+    #[test]
+    fn check_node_and_edge_bounds() {
+        let t = triangle();
+        assert!(t.check_node(NodeId::new(2)).is_ok());
+        assert!(matches!(
+            t.check_node(NodeId::new(3)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(t.check_edge(EdgeId::new(2)).is_ok());
+        assert!(matches!(
+            t.check_edge(EdgeId::new(3)),
+            Err(GraphError::EdgeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_topology_is_fine() {
+        let t = Topology::builder(0).build();
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(t.nodes().count(), 0);
+    }
+}

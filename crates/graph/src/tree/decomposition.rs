@@ -1,0 +1,396 @@
+//! The recursive split-vertex decomposition of Algorithm 1 (paper Fig. 1).
+//!
+//! Given a tree rooted at `v0`, each recursion step finds the unique vertex
+//! `v*` whose subtree holds more than half the piece's vertices while every
+//! child subtree holds at most half. The piece splits into `T_0` (the piece
+//! minus the strict descendants of `v*`, still rooted at the piece root)
+//! and `T_1..T_t` (the subtrees of `v*`'s children). The queries released
+//! at this step are the distance `d(piece_root, v*)` and the edge weights
+//! `w((v*, v_i))`.
+//!
+//! Crucially the decomposition depends **only on the public topology**, so
+//! it is computed here, in the non-private substrate, as an explicit query
+//! plan ([`TreeDecomposition`]). The DP layer executes the plan with
+//! Laplace noise; tests execute it with zero noise to check the
+//! decomposition identities exactly.
+
+use super::rooted::RootedTree;
+use crate::{EdgeId, NodeId};
+
+/// One recursion step of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct DecompCall {
+    /// The root of this piece (the paper's `v0` at top level).
+    pub piece_root: NodeId,
+    /// The split vertex `v*`.
+    pub split_vertex: NodeId,
+    /// Children of `v*` inside this piece, with their parent edges: the
+    /// queries `w((v*, v_i))`.
+    pub child_edges: Vec<(NodeId, EdgeId)>,
+    /// Number of vertices in this piece.
+    pub size: usize,
+    /// Sub-pieces, in order: `T_0` first (if it recurses), then `T_i` for
+    /// each child. Pieces of size 1 terminate and are omitted.
+    pub subcalls: Vec<DecompCall>,
+}
+
+/// The full query plan of Algorithm 1 on a rooted tree.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// The top-level call; `None` for a single-vertex tree (no queries).
+    pub root_call: Option<DecompCall>,
+    /// Maximum recursion depth (number of levels of calls). The paper
+    /// bounds this by `log2 V` because every piece has at most
+    /// `ceil(|S| / 2)` vertices.
+    pub depth: usize,
+    /// Total number of released queries (`d(piece_root, v*)` plus one per
+    /// child edge). The paper bounds this by `2V`.
+    pub num_queries: usize,
+}
+
+impl TreeDecomposition {
+    /// Visits every call with its recursion depth (root call has depth 0).
+    pub fn for_each_call(&self, mut f: impl FnMut(&DecompCall, usize)) {
+        fn walk(call: &DecompCall, depth: usize, f: &mut impl FnMut(&DecompCall, usize)) {
+            f(call, depth);
+            for sub in &call.subcalls {
+                walk(sub, depth + 1, f);
+            }
+        }
+        if let Some(root) = &self.root_call {
+            walk(root, 0, &mut f);
+        }
+    }
+
+    /// For each vertex, the number of Laplace noise terms its Algorithm 1
+    /// estimate accumulates (0 for the root). The paper's analysis bounds
+    /// this by `2 * depth`.
+    pub fn noise_terms_per_vertex(&self, num_nodes: usize) -> Vec<u32> {
+        let mut terms = vec![0u32; num_nodes];
+        fn walk(call: &DecompCall, terms: &mut [u32]) {
+            let base = terms[call.piece_root.index()];
+            for &(child, _) in &call.child_edges {
+                // est[child] = (est[piece_root] + noisy dist) + w(edge) + noise
+                terms[child.index()] = base + 2;
+            }
+            for sub in &call.subcalls {
+                walk(sub, terms);
+            }
+        }
+        if let Some(root) = &self.root_call {
+            walk(root, &mut terms);
+        }
+        terms
+    }
+
+    /// For each recursion level, the edges used by the queries released at
+    /// that level (the root-to-split path edges plus the child edges). The
+    /// privacy analysis of Theorem 4.1 rests on these being **disjoint
+    /// within every level** — sensitivity 1 per level, `depth` in total —
+    /// which tests assert.
+    pub fn level_edge_usage(&self, tree: &RootedTree) -> Vec<Vec<EdgeId>> {
+        let mut levels: Vec<Vec<EdgeId>> = vec![Vec::new(); self.depth];
+        self.for_each_call(|call, depth| {
+            let level = &mut levels[depth];
+            // Path from split vertex up to the piece root.
+            let mut cur = call.split_vertex;
+            while cur != call.piece_root {
+                let e = tree.parent_edge(cur).expect("non-root vertex has parent edge");
+                level.push(e);
+                cur = tree.parent(cur).expect("non-root vertex has parent");
+            }
+            for &(_, e) in &call.child_edges {
+                level.push(e);
+            }
+        });
+        levels
+    }
+}
+
+/// Computes the Algorithm 1 decomposition of `tree`. Pure topology; no
+/// weights involved. Runs in `O(V log V)`.
+pub fn decompose(tree: &RootedTree) -> TreeDecomposition {
+    let n = tree.num_nodes();
+    // Position of each vertex in global preorder (parents before children),
+    // used to accumulate piece-local subtree sizes bottom-up.
+    let mut pos = vec![0u32; n];
+    for (i, &v) in tree.preorder().iter().enumerate() {
+        pos[v.index()] = i as u32;
+    }
+    let mut ctx = Ctx {
+        tree,
+        pos,
+        stamp: vec![0; n],
+        epoch: 0,
+        local_size: vec![0; n],
+        num_queries: 0,
+    };
+    let all: Vec<NodeId> = tree.preorder().to_vec();
+    let (root_call, depth) = recurse(&mut ctx, tree.root(), all);
+    TreeDecomposition { root_call, depth, num_queries: ctx.num_queries }
+}
+
+struct Ctx<'a> {
+    tree: &'a RootedTree,
+    pos: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    local_size: Vec<u32>,
+    num_queries: usize,
+}
+
+/// Returns the call for this piece (or `None` for singleton pieces) and the
+/// number of levels including this one.
+fn recurse(ctx: &mut Ctx<'_>, piece_root: NodeId, mut nodes: Vec<NodeId>) -> (Option<DecompCall>, usize) {
+    let size = nodes.len();
+    if size <= 1 {
+        return (None, 0);
+    }
+    // Stamp membership and compute piece-local subtree sizes bottom-up
+    // (descending preorder position processes children before parents).
+    ctx.epoch += 1;
+    let epoch = ctx.epoch;
+    for &v in &nodes {
+        ctx.stamp[v.index()] = epoch;
+        ctx.local_size[v.index()] = 1;
+    }
+    nodes.sort_by(|a, b| ctx.pos[b.index()].cmp(&ctx.pos[a.index()]));
+    for &v in &nodes {
+        if v == piece_root {
+            continue;
+        }
+        let p = ctx.tree.parent(v).expect("piece member below piece root has parent");
+        debug_assert_eq!(ctx.stamp[p.index()], epoch, "piece must be connected");
+        ctx.local_size[p.index()] += ctx.local_size[v.index()];
+    }
+    debug_assert_eq!(ctx.local_size[piece_root.index()] as usize, size);
+
+    // Descend to the split vertex: the deepest vertex whose local subtree
+    // holds more than half the piece.
+    let half = (size / 2) as u32;
+    let mut split = piece_root;
+    loop {
+        let next = ctx
+            .tree
+            .children(split)
+            .iter()
+            .copied()
+            .find(|c| ctx.stamp[c.index()] == epoch && ctx.local_size[c.index()] > half);
+        match next {
+            Some(c) => split = c,
+            None => break,
+        }
+    }
+
+    let child_edges: Vec<(NodeId, EdgeId)> = ctx
+        .tree
+        .children(split)
+        .iter()
+        .copied()
+        .filter(|c| ctx.stamp[c.index()] == epoch)
+        .map(|c| (c, ctx.tree.parent_edge(c).expect("child has parent edge")))
+        .collect();
+    ctx.num_queries += 1 + child_edges.len();
+
+    // Collect each child piece by DFS restricted to the stamped set. The
+    // stamp is "consumed" (reset to 0) as vertices are claimed so that the
+    // leftover stamped vertices form T_0.
+    let mut pieces: Vec<(NodeId, Vec<NodeId>)> = Vec::with_capacity(child_edges.len());
+    let mut stack = Vec::new();
+    for &(c, _) in &child_edges {
+        let mut members = Vec::new();
+        stack.push(c);
+        ctx.stamp[c.index()] = 0;
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for &w in ctx.tree.children(u) {
+                if ctx.stamp[w.index()] == epoch {
+                    ctx.stamp[w.index()] = 0;
+                    stack.push(w);
+                }
+            }
+        }
+        pieces.push((c, members));
+    }
+    let t0: Vec<NodeId> = nodes.iter().copied().filter(|v| ctx.stamp[v.index()] == epoch).collect();
+    debug_assert!(t0.contains(&piece_root));
+    debug_assert!(t0.contains(&split));
+
+    let mut subcalls = Vec::new();
+    let mut max_sub_depth = 0usize;
+    let (t0_call, d0) = recurse(ctx, piece_root, t0);
+    max_sub_depth = max_sub_depth.max(d0);
+    if let Some(c) = t0_call {
+        subcalls.push(c);
+    }
+    for (child, members) in pieces {
+        let (call, d) = recurse(ctx, child, members);
+        max_sub_depth = max_sub_depth.max(d);
+        if let Some(c) = call {
+            subcalls.push(c);
+        }
+    }
+
+    (
+        Some(DecompCall { piece_root, split_vertex: split, child_edges, size, subcalls }),
+        max_sub_depth + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{path_graph, star_graph};
+    use crate::tree::RootedTree;
+    use crate::Topology;
+    use std::collections::HashSet;
+
+    fn decompose_tree(topo: &Topology, root: usize) -> (RootedTree, TreeDecomposition) {
+        let rt = RootedTree::new(topo, NodeId::new(root)).unwrap();
+        let d = decompose(&rt);
+        (rt, d)
+    }
+
+    #[test]
+    fn singleton_tree_has_no_calls() {
+        let topo = Topology::builder(1).build();
+        let (_, d) = decompose_tree(&topo, 0);
+        assert!(d.root_call.is_none());
+        assert_eq!(d.depth, 0);
+        assert_eq!(d.num_queries, 0);
+    }
+
+    #[test]
+    fn two_vertex_tree() {
+        let topo = path_graph(2);
+        let (_, d) = decompose_tree(&topo, 0);
+        let call = d.root_call.as_ref().unwrap();
+        assert_eq!(call.size, 2);
+        assert_eq!(d.depth, 1);
+        // Split vertex subtree must exceed half (1), so v* = root with
+        // subtree 2; one child edge query plus the root-to-split query.
+        assert_eq!(call.split_vertex, NodeId::new(0));
+        assert_eq!(call.child_edges.len(), 1);
+        assert_eq!(d.num_queries, 2);
+    }
+
+    #[test]
+    fn split_vertex_satisfies_paper_invariant() {
+        for n in [3usize, 5, 8, 13, 21, 64] {
+            let topo = path_graph(n);
+            let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+            let d = decompose(&rt);
+            // Check the *top level* invariant against global subtree sizes
+            // (the top piece is the whole tree).
+            let call = d.root_call.as_ref().unwrap();
+            let vstar = call.split_vertex;
+            assert!(rt.subtree_size(vstar) > n / 2, "n={n}");
+            for &c in rt.children(vstar) {
+                assert!(rt.subtree_size(c) <= n / 2, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        for n in [2usize, 4, 16, 100, 257, 1000] {
+            let topo = path_graph(n);
+            let (_, d) = decompose_tree(&topo, 0);
+            let bound = (n as f64).log2().ceil() as usize + 1;
+            assert!(d.depth <= bound, "n={n}: depth {} > bound {bound}", d.depth);
+        }
+    }
+
+    #[test]
+    fn num_queries_at_most_2v() {
+        for n in [2usize, 7, 33, 150] {
+            let topo = path_graph(n);
+            let (_, d) = decompose_tree(&topo, 0);
+            assert!(d.num_queries <= 2 * n, "n={n}: {} queries", d.num_queries);
+        }
+        let topo = star_graph(50);
+        let (_, d) = decompose_tree(&topo, 0);
+        assert!(d.num_queries <= 100);
+    }
+
+    #[test]
+    fn every_nonroot_vertex_gets_an_estimate() {
+        // Every vertex except the root must appear exactly once as a child
+        // in some call (that is where its estimate is assigned).
+        for (topo, n) in [(path_graph(17), 17usize), (star_graph(9), 9)] {
+            let (_, d) = decompose_tree(&topo, 0);
+            let mut seen = vec![0u32; n];
+            d.for_each_call(|call, _| {
+                for &(c, _) in &call.child_edges {
+                    seen[c.index()] += 1;
+                }
+            });
+            assert_eq!(seen[0], 0, "root never assigned");
+            for (v, &count) in seen.iter().enumerate().skip(1) {
+                assert_eq!(count, 1, "vertex {v} assigned {count} times");
+            }
+        }
+    }
+
+    #[test]
+    fn noise_terms_bounded_by_twice_depth() {
+        for n in [2usize, 31, 64, 200] {
+            let topo = path_graph(n);
+            let (_, d) = decompose_tree(&topo, 0);
+            let terms = d.noise_terms_per_vertex(n);
+            let max = *terms.iter().max().unwrap();
+            assert!(
+                max as usize <= 2 * d.depth,
+                "n={n}: max terms {max} > 2 * depth {}",
+                d.depth
+            );
+            assert_eq!(terms[0], 0);
+        }
+    }
+
+    #[test]
+    fn level_edges_are_disjoint_within_levels() {
+        // The sensitivity-1-per-level claim of Theorem 4.1.
+        for n in [5usize, 16, 99, 256] {
+            let topo = path_graph(n);
+            let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+            let d = decompose(&rt);
+            for (lvl, edges) in d.level_edge_usage(&rt).iter().enumerate() {
+                let unique: HashSet<_> = edges.iter().collect();
+                assert_eq!(
+                    unique.len(),
+                    edges.len(),
+                    "n={n} level {lvl}: duplicate edge in level queries"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_decomposes_in_one_level() {
+        let topo = star_graph(10);
+        let (_, d) = decompose_tree(&topo, 0);
+        // v* is the center; all leaves are children; T_0 = {center} and all
+        // T_i singletons, so recursion ends after one level.
+        assert_eq!(d.depth, 1);
+        let call = d.root_call.as_ref().unwrap();
+        assert_eq!(call.split_vertex, NodeId::new(0));
+        assert_eq!(call.child_edges.len(), 9);
+    }
+
+    #[test]
+    fn pieces_partition_the_tree() {
+        let topo = path_graph(33);
+        let (_, d) = decompose_tree(&topo, 0);
+        let call = d.root_call.as_ref().unwrap();
+        // Sum of subcall sizes plus singleton pieces equals total size:
+        // every vertex is in exactly one sub-piece (T_0 keeps the root).
+        // We verify sizes never exceed ceil(size/2).
+        d.for_each_call(|c, _| {
+            for sub in &c.subcalls {
+                assert!(sub.size <= c.size.div_ceil(2), "piece {} in {}", sub.size, c.size);
+            }
+        });
+        assert_eq!(call.size, 33);
+    }
+}

@@ -1,0 +1,181 @@
+//! Lowest common ancestors by binary lifting.
+
+use super::rooted::RootedTree;
+use crate::NodeId;
+
+/// Lowest-common-ancestor queries in `O(log V)` after `O(V log V)`
+/// preprocessing.
+///
+/// Theorem 4.2 computes all-pairs tree distances from single-source
+/// estimates via `d(x, y) = d(v0, x) + d(v0, y) - 2 d(v0, lca(x, y))`; this
+/// structure supplies the `lca`.
+#[derive(Clone, Debug)]
+pub struct Lca {
+    /// `up[k][v]` = the `2^k`-th ancestor of `v` (clamped at the root).
+    up: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+    levels: usize,
+}
+
+impl Lca {
+    /// Builds the lifting table for `tree`.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.num_nodes();
+        let levels = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
+        let levels = levels.max(1);
+        let mut up = vec![vec![0u32; n]; levels];
+        for (v, slot) in up[0].iter_mut().enumerate() {
+            let vid = NodeId::new(v);
+            *slot = tree.parent(vid).unwrap_or(vid).raw();
+        }
+        for k in 1..levels {
+            for v in 0..n {
+                up[k][v] = up[k - 1][up[k - 1][v] as usize];
+            }
+        }
+        let depth = (0..n).map(|v| tree.depth(NodeId::new(v))).collect();
+        Lca { up, depth, levels }
+    }
+
+    /// Hop depth of `v` (cached from the tree).
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// The ancestor of `v` exactly `k` levels up (clamped at the root).
+    pub fn ancestor(&self, v: NodeId, k: u32) -> NodeId {
+        // Clamp so every remaining bit of k fits within the lifting table.
+        let mut k = k.min(self.depth(v));
+        let mut v = v.raw();
+        let mut level = 0;
+        while k > 0 && level < self.levels {
+            if k & 1 == 1 {
+                v = self.up[level][v as usize];
+            }
+            k >>= 1;
+            level += 1;
+        }
+        NodeId::from_raw(v)
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut u, mut v) = (u, v);
+        if self.depth(u) < self.depth(v) {
+            std::mem::swap(&mut u, &mut v);
+        }
+        u = self.ancestor(u, self.depth(u) - self.depth(v));
+        if u == v {
+            return u;
+        }
+        for k in (0..self.levels).rev() {
+            let (au, av) = (self.up[k][u.index()], self.up[k][v.index()]);
+            if au != av {
+                u = NodeId::from_raw(au);
+                v = NodeId::from_raw(av);
+            }
+        }
+        NodeId::from_raw(self.up[0][u.index()])
+    }
+
+    /// Hop distance between `u` and `v` through their LCA.
+    pub fn hop_distance(&self, u: NodeId, v: NodeId) -> u32 {
+        let a = self.lca(u, v);
+        self.depth(u) + self.depth(v) - 2 * self.depth(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{path_graph, star_graph};
+    use crate::tree::RootedTree;
+    use crate::Topology;
+
+    #[test]
+    fn lca_on_path() {
+        let topo = path_graph(8);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let lca = Lca::new(&rt);
+        assert_eq!(lca.lca(NodeId::new(3), NodeId::new(6)), NodeId::new(3));
+        assert_eq!(lca.lca(NodeId::new(6), NodeId::new(3)), NodeId::new(3));
+        assert_eq!(lca.lca(NodeId::new(5), NodeId::new(5)), NodeId::new(5));
+        assert_eq!(lca.hop_distance(NodeId::new(2), NodeId::new(7)), 5);
+    }
+
+    #[test]
+    fn lca_on_star() {
+        let topo = star_graph(6);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let lca = Lca::new(&rt);
+        assert_eq!(lca.lca(NodeId::new(1), NodeId::new(2)), NodeId::new(0));
+        assert_eq!(lca.hop_distance(NodeId::new(1), NodeId::new(2)), 2);
+        assert_eq!(lca.lca(NodeId::new(0), NodeId::new(4)), NodeId::new(0));
+    }
+
+    #[test]
+    fn lca_on_binary_like_tree() {
+        //       0
+        //      / \
+        //     1   2
+        //    / \   \
+        //   3   4   5
+        let mut b = Topology::builder(6);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(0), NodeId::new(2));
+        b.add_edge(NodeId::new(1), NodeId::new(3));
+        b.add_edge(NodeId::new(1), NodeId::new(4));
+        b.add_edge(NodeId::new(2), NodeId::new(5));
+        let topo = b.build();
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let lca = Lca::new(&rt);
+        assert_eq!(lca.lca(NodeId::new(3), NodeId::new(4)), NodeId::new(1));
+        assert_eq!(lca.lca(NodeId::new(3), NodeId::new(5)), NodeId::new(0));
+        assert_eq!(lca.lca(NodeId::new(4), NodeId::new(1)), NodeId::new(1));
+        assert_eq!(lca.hop_distance(NodeId::new(3), NodeId::new(5)), 4);
+    }
+
+    #[test]
+    fn lca_matches_naive_on_path_rooted_in_middle() {
+        let topo = path_graph(16);
+        let rt = RootedTree::new(&topo, NodeId::new(7)).unwrap();
+        let lca = Lca::new(&rt);
+        // Naive LCA: walk parents upward.
+        let naive = |mut u: NodeId, mut v: NodeId| -> NodeId {
+            while rt.depth(u) > rt.depth(v) {
+                u = rt.parent(u).unwrap();
+            }
+            while rt.depth(v) > rt.depth(u) {
+                v = rt.parent(v).unwrap();
+            }
+            while u != v {
+                u = rt.parent(u).unwrap();
+                v = rt.parent(v).unwrap();
+            }
+            u
+        };
+        for ui in 0..16 {
+            for vi in 0..16 {
+                let (u, v) = (NodeId::new(ui), NodeId::new(vi));
+                assert_eq!(lca.lca(u, v), naive(u, v), "pair ({ui},{vi})");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_clamps_at_root() {
+        let topo = path_graph(4);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let lca = Lca::new(&rt);
+        assert_eq!(lca.ancestor(NodeId::new(3), 100), NodeId::new(0));
+        assert_eq!(lca.ancestor(NodeId::new(3), 2), NodeId::new(1));
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let topo = Topology::builder(1).build();
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let lca = Lca::new(&rt);
+        assert_eq!(lca.lca(NodeId::new(0), NodeId::new(0)), NodeId::new(0));
+    }
+}

@@ -1,0 +1,18 @@
+//! Rooted-tree machinery for Algorithm 1 (Theorem 4.1) and Theorem 4.2.
+//!
+//! * [`RootedTree`] — parent/children/depth arrays over a tree topology.
+//! * [`Lca`] — lowest common ancestors by binary lifting (Theorem 4.2
+//!   reduces all-pairs tree distances to single-source distances + LCA).
+//! * [`decompose`] — the recursive split-vertex decomposition of the
+//!   paper's Figure 1, produced as a weight-independent *query plan* that
+//!   the DP layer executes with noise.
+
+mod decomposition;
+mod hld;
+mod lca;
+mod rooted;
+
+pub use decomposition::{decompose, DecompCall, TreeDecomposition};
+pub use hld::{HeavyPath, HeavyPathDecomposition};
+pub use lca::Lca;
+pub use rooted::{weighted_depths, RootedTree};

@@ -1,0 +1,303 @@
+//! Rooted tree representation.
+
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Topology};
+use std::collections::VecDeque;
+
+/// A tree topology rooted at a chosen vertex, with parent pointers, child
+/// lists, depths, subtree sizes and a preorder traversal.
+///
+/// Construction verifies that the topology really is a tree: connected,
+/// with exactly `V - 1` edges, no self-loops, and no parallel edges.
+#[derive(Clone, Debug)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    subtree_size: Vec<u32>,
+    /// Preorder: every vertex appears after its parent.
+    preorder: Vec<NodeId>,
+    /// Euler tour entry/exit counters for O(1) ancestor tests.
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+}
+
+impl RootedTree {
+    /// Roots the tree topology `topo` at `root`.
+    ///
+    /// # Errors
+    /// * [`GraphError::NodeOutOfRange`] if `root` is invalid.
+    /// * [`GraphError::NotATree`] if `topo` is not a tree (wrong edge
+    ///   count, disconnected, self-loop, or parallel edges).
+    pub fn new(topo: &Topology, root: NodeId) -> Result<Self, GraphError> {
+        topo.check_node(root)?;
+        let n = topo.num_nodes();
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if topo.num_edges() != n - 1 {
+            return Err(GraphError::NotATree { reason: "edge count is not V - 1" });
+        }
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        let mut depth = vec![0u32; n];
+        let mut visited = vec![false; n];
+        let mut preorder = Vec::with_capacity(n);
+        let mut queue = VecDeque::new();
+        visited[root.index()] = true;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            preorder.push(u);
+            for (v, e) in topo.neighbors(u) {
+                if v == u {
+                    return Err(GraphError::NotATree { reason: "self-loop present" });
+                }
+                if Some(e) == parent_edge[u.index()] {
+                    continue;
+                }
+                if visited[v.index()] {
+                    return Err(GraphError::NotATree {
+                        reason: "cycle or parallel edge present",
+                    });
+                }
+                visited[v.index()] = true;
+                parent[v.index()] = Some(u);
+                parent_edge[v.index()] = Some(e);
+                children[u.index()].push(v);
+                depth[v.index()] = depth[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+        if preorder.len() != n {
+            return Err(GraphError::NotATree { reason: "graph is disconnected" });
+        }
+
+        // Subtree sizes: accumulate in reverse BFS order (children before
+        // parents).
+        let mut subtree_size = vec![1u32; n];
+        for &v in preorder.iter().rev() {
+            if let Some(p) = parent[v.index()] {
+                subtree_size[p.index()] += subtree_size[v.index()];
+            }
+        }
+
+        // Euler in/out times by iterative DFS.
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut timer = 0u32;
+        let mut stack: Vec<(NodeId, bool)> = vec![(root, false)];
+        while let Some((v, done)) = stack.pop() {
+            if done {
+                tout[v.index()] = timer;
+                timer += 1;
+                continue;
+            }
+            tin[v.index()] = timer;
+            timer += 1;
+            stack.push((v, true));
+            for &c in children[v.index()].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+
+        Ok(RootedTree {
+            root,
+            parent,
+            parent_edge,
+            children,
+            depth,
+            subtree_size,
+            preorder,
+            tin,
+            tout,
+        })
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v`, `None` for the root.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The edge joining `v` to its parent, `None` for the root.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Hop depth of `v` below the root.
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Size of the subtree rooted at `v` (including `v`).
+    pub fn subtree_size(&self, v: NodeId) -> usize {
+        self.subtree_size[v.index()] as usize
+    }
+
+    /// Preorder traversal (every vertex after its parent).
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.preorder
+    }
+
+    /// Whether `a` is an ancestor of `b` (inclusive: a vertex is its own
+    /// ancestor). `O(1)` via Euler-tour intervals.
+    pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
+        self.tin[a.index()] <= self.tin[b.index()] && self.tout[b.index()] <= self.tout[a.index()]
+    }
+}
+
+/// Weighted depth of every vertex: the tree distance from the root under
+/// `weights`. Because the graph is a tree, the root-to-`v` path is unique,
+/// so this *is* the single-source distance vector that Algorithm 1
+/// approximates privately.
+///
+/// # Errors
+/// Returns [`GraphError::WeightsLengthMismatch`] if `weights` does not
+/// match the underlying topology's edge count.
+pub fn weighted_depths(
+    tree: &RootedTree,
+    weights: &EdgeWeights,
+) -> Result<Vec<f64>, GraphError> {
+    if weights.len() != tree.num_nodes() - 1 {
+        return Err(GraphError::WeightsLengthMismatch {
+            expected: tree.num_nodes() - 1,
+            got: weights.len(),
+        });
+    }
+    let mut wd = vec![0.0; tree.num_nodes()];
+    for &v in tree.preorder() {
+        if let (Some(p), Some(e)) = (tree.parent(v), tree.parent_edge(v)) {
+            wd[v.index()] = wd[p.index()] + weights.get(e);
+        }
+    }
+    Ok(wd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{path_graph, star_graph};
+
+    #[test]
+    fn path_rooted_at_end() {
+        let topo = path_graph(5);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        assert_eq!(rt.root(), NodeId::new(0));
+        assert_eq!(rt.depth(NodeId::new(4)), 4);
+        assert_eq!(rt.parent(NodeId::new(3)), Some(NodeId::new(2)));
+        assert_eq!(rt.subtree_size(NodeId::new(0)), 5);
+        assert_eq!(rt.subtree_size(NodeId::new(2)), 3);
+        assert_eq!(rt.children(NodeId::new(2)), &[NodeId::new(3)]);
+    }
+
+    #[test]
+    fn star_rooted_at_center_and_leaf() {
+        let topo = star_graph(5); // center 0, leaves 1..=4
+        let center = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        assert_eq!(center.children(NodeId::new(0)).len(), 4);
+        assert_eq!(center.depth(NodeId::new(3)), 1);
+
+        let leaf = RootedTree::new(&topo, NodeId::new(1)).unwrap();
+        assert_eq!(leaf.depth(NodeId::new(0)), 1);
+        assert_eq!(leaf.depth(NodeId::new(2)), 2);
+        assert_eq!(leaf.subtree_size(NodeId::new(0)), 4);
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let topo = path_graph(6);
+        let rt = RootedTree::new(&topo, NodeId::new(3)).unwrap();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 6];
+            for (i, &v) in rt.preorder().iter().enumerate() {
+                pos[v.index()] = i;
+            }
+            pos
+        };
+        for v in topo.nodes() {
+            if let Some(p) = rt.parent(v) {
+                assert!(pos[p.index()] < pos[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let topo = path_graph(5);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        assert!(rt.is_ancestor(NodeId::new(0), NodeId::new(4)));
+        assert!(rt.is_ancestor(NodeId::new(2), NodeId::new(2)));
+        assert!(!rt.is_ancestor(NodeId::new(4), NodeId::new(0)));
+    }
+
+    #[test]
+    fn non_trees_rejected() {
+        // Cycle: wrong edge count.
+        let topo = crate::generators::cycle_graph(4);
+        assert!(matches!(
+            RootedTree::new(&topo, NodeId::new(0)),
+            Err(GraphError::NotATree { .. })
+        ));
+
+        // Disconnected with V - 1 edges (one doubled).
+        let mut b = Topology::builder(4);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        b.add_edge(NodeId::new(2), NodeId::new(3));
+        let topo = b.build();
+        assert!(matches!(
+            RootedTree::new(&topo, NodeId::new(0)),
+            Err(GraphError::NotATree { .. })
+        ));
+
+        // Self loop.
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(0));
+        let topo = b.build();
+        assert!(matches!(
+            RootedTree::new(&topo, NodeId::new(0)),
+            Err(GraphError::NotATree { .. })
+        ));
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let topo = Topology::builder(1).build();
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        assert_eq!(rt.num_nodes(), 1);
+        assert_eq!(rt.subtree_size(NodeId::new(0)), 1);
+        assert!(rt.children(NodeId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn weighted_depths_accumulate() {
+        let topo = path_graph(4);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let w = EdgeWeights::new(vec![1.0, 2.0, 4.0]).unwrap();
+        let wd = weighted_depths(&rt, &w).unwrap();
+        assert_eq!(wd, vec![0.0, 1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn weighted_depths_rejects_bad_length() {
+        let topo = path_graph(4);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        assert!(weighted_depths(&rt, &EdgeWeights::zeros(5)).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Edge weight vectors: the **private** part of the database.
+
+use crate::{EdgeId, GraphError, Path, Topology};
+use std::ops::Index;
+
+/// A dense vector of edge weights indexed by [`EdgeId`].
+///
+/// In the private edge-weight model this is the sensitive database: two
+/// weight vectors are *neighboring* when their [`l1_distance`] is at most 1
+/// (paper Definition 2.1). `EdgeWeights` enforces finiteness of every entry
+/// (weights may be negative — Appendix B permits negative weights for MST
+/// and matching — but never NaN or infinite).
+///
+/// [`l1_distance`]: EdgeWeights::l1_distance
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeWeights {
+    w: Vec<f64>,
+}
+
+impl EdgeWeights {
+    /// Creates a weight vector from raw values.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NonFiniteWeight`] if any value is NaN or
+    /// infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self, GraphError> {
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(GraphError::NonFiniteWeight { edge: EdgeId::new(i), value: v });
+            }
+        }
+        Ok(EdgeWeights { w: values })
+    }
+
+    /// An all-zero weight vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        EdgeWeights { w: vec![0.0; len] }
+    }
+
+    /// A constant weight vector of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `value` is not finite.
+    pub fn constant(len: usize, value: f64) -> Self {
+        assert!(value.is_finite(), "weight must be finite, got {value}");
+        EdgeWeights { w: vec![value; len] }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// The weight of edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> f64 {
+        self.w[e.index()]
+    }
+
+    /// Sets the weight of edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range or `value` is not finite.
+    #[inline]
+    pub fn set(&mut self, e: EdgeId, value: f64) {
+        assert!(value.is_finite(), "weight must be finite, got {value}");
+        self.w[e.index()] = value;
+    }
+
+    /// Borrow the underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Iterates over `(EdgeId, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, f64)> + '_ {
+        self.w.iter().enumerate().map(|(i, &v)| (EdgeId::new(i), v))
+    }
+
+    /// The `l1` distance `||w - w'||_1` between two weight vectors
+    /// (Definition 2.1: vectors are neighboring when this is at most 1).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn l1_distance(&self, other: &EdgeWeights) -> f64 {
+        assert_eq!(self.len(), other.len(), "weight vectors must have equal length");
+        self.w.iter().zip(&other.w).map(|(a, b)| (a - b).abs()).sum()
+    }
+
+    /// Sum of all weights (`||w||_1` for nonnegative weights).
+    pub fn sum(&self) -> f64 {
+        self.w.iter().sum()
+    }
+
+    /// Minimum entry, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.w.iter().copied().min_by(f64::total_cmp)
+    }
+
+    /// Maximum entry, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.w.iter().copied().max_by(f64::total_cmp)
+    }
+
+    /// Whether every entry is `>= 0`.
+    pub fn is_nonnegative(&self) -> bool {
+        self.w.iter().all(|&v| v >= 0.0)
+    }
+
+    /// Whether every entry lies in `[lo, hi]` (the bounded-weight model of
+    /// Section 4.2 uses `[0, M]`).
+    pub fn within_bounds(&self, lo: f64, hi: f64) -> bool {
+        self.w.iter().all(|&v| v >= lo && v <= hi)
+    }
+
+    /// Total weight of a path: `w(P) = sum_{e in P} w(e)`.
+    ///
+    /// # Panics
+    /// Panics if the path references an edge out of range.
+    pub fn path_weight(&self, path: &Path) -> f64 {
+        path.edges().iter().map(|&e| self.get(e)).sum()
+    }
+
+    /// Returns a new vector with `f` applied to each weight.
+    ///
+    /// # Panics
+    /// Panics if `f` produces a non-finite value.
+    pub fn map(&self, mut f: impl FnMut(EdgeId, f64) -> f64) -> EdgeWeights {
+        let w: Vec<f64> = self
+            .w
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let out = f(EdgeId::new(i), v);
+                assert!(out.is_finite(), "mapped weight must be finite, got {out}");
+                out
+            })
+            .collect();
+        EdgeWeights { w }
+    }
+
+    /// Returns a copy with every entry clamped to be `>= 0`.
+    ///
+    /// Used as a post-processing step after adding Laplace noise so that
+    /// Dijkstra's nonnegativity precondition holds surely (see DESIGN.md §4).
+    pub fn clamp_nonnegative(&self) -> EdgeWeights {
+        EdgeWeights { w: self.w.iter().map(|&v| v.max(0.0)).collect() }
+    }
+
+    /// Validates that this weight vector matches `topo`'s edge count.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::WeightsLengthMismatch`] on mismatch.
+    pub fn validate_for(&self, topo: &Topology) -> Result<(), GraphError> {
+        if self.len() == topo.num_edges() {
+            Ok(())
+        } else {
+            Err(GraphError::WeightsLengthMismatch {
+                expected: topo.num_edges(),
+                got: self.len(),
+            })
+        }
+    }
+}
+
+impl Index<EdgeId> for EdgeWeights {
+    type Output = f64;
+
+    fn index(&self, e: EdgeId) -> &f64 {
+        &self.w[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn new_rejects_non_finite() {
+        assert!(EdgeWeights::new(vec![1.0, f64::NAN]).is_err());
+        assert!(EdgeWeights::new(vec![f64::INFINITY]).is_err());
+        assert!(EdgeWeights::new(vec![1.0, -2.0]).is_ok());
+    }
+
+    #[test]
+    fn l1_distance_matches_definition() {
+        let a = EdgeWeights::new(vec![1.0, 2.0, 0.0]).unwrap();
+        let b = EdgeWeights::new(vec![1.5, 1.5, 0.0]).unwrap();
+        assert!((a.l1_distance(&b) - 1.0).abs() < 1e-12);
+        // Neighboring iff l1 <= 1.
+        assert!(a.l1_distance(&b) <= 1.0);
+    }
+
+    #[test]
+    fn bounds_and_signs() {
+        let w = EdgeWeights::new(vec![0.0, 0.5, 1.0]).unwrap();
+        assert!(w.is_nonnegative());
+        assert!(w.within_bounds(0.0, 1.0));
+        assert!(!w.within_bounds(0.0, 0.9));
+        assert_eq!(w.min(), Some(0.0));
+        assert_eq!(w.max(), Some(1.0));
+        assert!((w.sum() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_nonnegative_only_touches_negatives() {
+        let w = EdgeWeights::new(vec![-1.0, 0.5]).unwrap();
+        let c = w.clamp_nonnegative();
+        assert_eq!(c.as_slice(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn path_weight_sums_edges() {
+        let mut b = Topology::builder(3);
+        let e0 = b.add_edge(NodeId::new(0), NodeId::new(1));
+        let e1 = b.add_edge(NodeId::new(1), NodeId::new(2));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![1.5, 2.5]).unwrap();
+        let p = Path::new(
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            vec![e0, e1],
+        );
+        assert!((w.path_weight(&p) - 4.0).abs() < 1e-12);
+        assert_eq!(topo.num_edges(), 2);
+    }
+
+    #[test]
+    fn validate_for_checks_length() {
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        assert!(EdgeWeights::zeros(1).validate_for(&topo).is_ok());
+        assert!(matches!(
+            EdgeWeights::zeros(2).validate_for(&topo),
+            Err(GraphError::WeightsLengthMismatch { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn map_and_index() {
+        let w = EdgeWeights::new(vec![1.0, 2.0]).unwrap();
+        let doubled = w.map(|_, v| v * 2.0);
+        assert_eq!(doubled[EdgeId::new(1)], 4.0);
+        assert_eq!(w.iter().count(), 2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Theorem 4.7: all-pairs distances on a grid with the modular covering.
+//!
+//! A sqrt(V) x sqrt(V) grid (a stylized street network) with bounded edge
+//! weights admits a `2 V^{1/3}`-covering of only ~`V^{1/3}` centers, which
+//! beats the generic Meir-Moon covering of Lemma 4.4 — Algorithm 2 with the
+//! better covering yields `~V^{1/3}` error instead of `~V^{1/2}`.
+//!
+//! Run with: `cargo run --release --example grid_distances`
+
+use privpath::core::experiment::ErrorCollector;
+use privpath::graph::algo::dijkstra;
+use privpath::graph::generators::{uniform_weights, GridGraph};
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(47);
+    let eps = Epsilon::new(1.0)?;
+    let delta = privpath::dp::Delta::new(1e-6)?;
+    let max_w = 1.0;
+
+    println!(
+        "{:>6} {:>9} | {:>9} {:>11} | {:>9} {:>11}",
+        "V", "side", "|Z| grid", "p95 err", "|Z| generic", "p95 err"
+    );
+    println!("{}", "-".repeat(64));
+
+    for &side in &[8usize, 12, 16, 24] {
+        let grid = GridGraph::new(side, side);
+        let topo = grid.topology();
+        let v = topo.num_nodes();
+        let weights = uniform_weights(topo.num_edges(), 0.0, max_w, &mut rng);
+
+        // Theorem 4.7's covering: spacing ~ V^{1/3}.
+        let spacing = ((v as f64).powf(1.0 / 3.0).round() as usize).clamp(1, side);
+        let centers = grid.modular_covering(spacing)?;
+        let k_grid = 2 * spacing;
+
+        let grid_params = BoundedWeightParams::approx(eps, delta, max_w)?
+            .with_strategy(CoveringStrategy::Custom { centers: centers.clone(), k: k_grid });
+        let grid_rel = bounded_weight_all_pairs(topo, &weights, &grid_params, &mut rng)?;
+
+        // Generic Lemma 4.4 covering at the same radius.
+        let generic_params = BoundedWeightParams::approx(eps, delta, max_w)?
+            .with_strategy(CoveringStrategy::MeirMoon { k: k_grid });
+        let generic_rel = bounded_weight_all_pairs(topo, &weights, &generic_params, &mut rng)?;
+
+        // Measure error over sampled pairs.
+        let mut grid_err = ErrorCollector::new();
+        let mut generic_err = ErrorCollector::new();
+        let mut pair_rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let s = NodeId::new(pair_rng.gen_range(0..v));
+            let spt = dijkstra(topo, &weights, s)?;
+            for _ in 0..10 {
+                let t = NodeId::new(pair_rng.gen_range(0..v));
+                let truth = spt.distance(t).expect("grid connected");
+                grid_err.push((grid_rel.distance(s, t) - truth).abs());
+                generic_err.push((generic_rel.distance(s, t) - truth).abs());
+            }
+        }
+        println!(
+            "{:>6} {:>9} | {:>9} {:>11.2} | {:>11} {:>9.2}",
+            v,
+            format!("{side}x{side}"),
+            grid_rel.centers().len(),
+            grid_err.stats().p95,
+            generic_rel.centers().len(),
+            generic_err.stats().p95,
+        );
+    }
+
+    println!("\nThe structured (grid) covering needs far fewer centers at the same");
+    println!("radius, so its released matrix carries less composition noise —");
+    println!("exactly the improvement Theorem 4.7 claims over the generic bound.");
+    Ok(())
+}

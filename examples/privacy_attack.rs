@@ -1,0 +1,68 @@
+//! The Section 5.1 reconstruction attack, live.
+//!
+//! An adversary encodes a secret bit-string into the edge weights of the
+//! Figure 2 gadget (two parallel edges per position; the cheap edge spells
+//! the bit). Releasing the *exact* shortest path is blatantly non-private:
+//! the path reads the secret back verbatim. Releasing through Algorithm 3
+//! resists: reconstruction collapses to coin-flipping, and the released
+//! path's error obeys the Theorem 5.1 lower bound
+//! `alpha = (V-1)(1-(1+e^eps)delta)/(1+e^(2 eps))`.
+//!
+//! Run with: `cargo run --release --example privacy_attack`
+
+use privpath::core::attack::{exact_shortest_path, random_bits, thm51_alpha_bits, PathAttack};
+use privpath::dp::Delta;
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_bits = 128;
+    let attack = PathAttack::new(n_bits);
+    let mut rng = StdRng::seed_from_u64(1511);
+
+    println!("secret: {n_bits} bits encoded into a {}-vertex gadget\n", n_bits + 1);
+
+    // 1. The non-private release: exact shortest path.
+    let secret = random_bits(n_bits, &mut rng);
+    let w = attack.encode(&secret);
+    let path = exact_shortest_path(attack.topology(), &w, attack.s(), attack.t())?;
+    let guess = attack.decode(&path);
+    let wrong = privpath::core::attack::hamming(&secret, &guess);
+    println!("exact release:      reconstructed {}/{} bits ({} wrong) — blatant non-privacy",
+        n_bits - wrong, n_bits, wrong);
+
+    // 2. The DP release at several privacy levels.
+    println!("\n{:>6} | {:>12} {:>12} {:>14}", "eps", "bits wrong", "path error", "alpha (thm 5.1)");
+    println!("{}", "-".repeat(52));
+    for &eps_val in &[0.05, 0.1, 0.5, 1.0, 2.0] {
+        let eps = Epsilon::new(eps_val)?;
+        let params = ShortestPathParams::new(eps, 0.1)?;
+        let trials = 15;
+        let mut wrong_total = 0usize;
+        let mut err_total = 0.0;
+        for t in 0..trials {
+            let outcome = attack.run(&mut rng, |topo, w| {
+                let mut mech_rng = StdRng::seed_from_u64(t * 31 + (eps_val * 1000.0) as u64);
+                let release = private_shortest_paths(topo, w, &params, &mut mech_rng)?;
+                release.path(attack.s(), attack.t())
+            })?;
+            wrong_total += outcome.hamming;
+            err_total += outcome.objective_error;
+        }
+        let alpha = thm51_alpha_bits(n_bits, eps, Delta::zero());
+        println!(
+            "{:>6.2} | {:>9.1}/{} {:>12.1} {:>14.1}",
+            eps_val,
+            wrong_total as f64 / trials as f64,
+            n_bits,
+            err_total / trials as f64,
+            alpha,
+        );
+    }
+
+    println!("\nAt small eps the adversary mislabels ~half the bits (coin flipping),");
+    println!("and the mean path error sits above alpha — the reconstruction bound in");
+    println!("action. As eps grows, privacy (and the lower bound) fade together.");
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Quickstart: private routing on a toy road map in five minutes.
+//!
+//! The topology (which roads exist) is public; the travel times (congestion,
+//! derived from individual drivers' GPS traces) are private. We release all
+//! shortest paths once with Algorithm 3 and then answer arbitrary route
+//! queries from the release.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small town: 8 intersections, 12 road segments.
+    //
+    //   0 --- 1 --- 2
+    //   |     |     |
+    //   3 --- 4 --- 5
+    //    \    |    /
+    //      6 -+- 7
+    let mut b = Topology::builder(8);
+    let roads = [
+        (0, 1),
+        (1, 2),
+        (0, 3),
+        (1, 4),
+        (2, 5),
+        (3, 4),
+        (4, 5),
+        (3, 6),
+        (4, 6),
+        (4, 7),
+        (5, 7),
+        (6, 7),
+    ];
+    for &(u, v) in &roads {
+        b.add_edge(NodeId::new(u), NodeId::new(v));
+    }
+    let topo = b.build();
+
+    // Private travel times (minutes). In production these would come from
+    // aggregated driver data; one driver's contribution moves the vector by
+    // at most 1 in l1 — exactly the model's neighboring relation.
+    let travel_minutes =
+        vec![4.0, 6.0, 3.0, 5.0, 4.0, 2.0, 7.0, 6.0, 3.0, 4.0, 5.0, 2.0];
+    let weights = EdgeWeights::new(travel_minutes)?;
+
+    // Release once with eps = 1 differential privacy.
+    let eps = Epsilon::new(1.0)?;
+    let params = ShortestPathParams::new(eps, 0.05)?;
+    let mut rng = StdRng::seed_from_u64(2016);
+    let release = private_shortest_paths(&topo, &weights, &params, &mut rng)?;
+
+    println!("Released a private routing table (eps = 1, gamma = 0.05).");
+    println!("Per-edge shift applied: {:.2} minutes\n", release.shift_amount());
+
+    // Answer as many queries as we like — pure post-processing.
+    for (s, t) in [(0usize, 7usize), (2, 6), (0, 5)] {
+        let (s, t) = (NodeId::new(s), NodeId::new(t));
+        let path = release.path(s, t)?;
+        let true_time = weights.path_weight(&path);
+        let spt = privpath::graph::algo::dijkstra(&topo, &weights, s)?;
+        let optimal = spt.distance(t).expect("connected");
+        println!(
+            "route {s} -> {t}: {:?}  ({} hops, true time {:.1} min, optimum {:.1} min, excess {:.1})",
+            path.nodes().iter().map(|n| n.index()).collect::<Vec<_>>(),
+            path.hops(),
+            true_time,
+            optimal,
+            true_time - optimal,
+        );
+    }
+
+    println!("\nTheorem 5.5 says a k-hop route's excess is at most (2k/eps) ln(E/gamma):");
+    for k in [2usize, 3, 4] {
+        println!(
+            "  k = {k}: bound {:.1} minutes",
+            privpath::core::bounds::thm55_path_error(k, 1.0, topo.num_edges(), 0.05)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Traffic navigation on a synthetic road network — the paper's motivating
+//! workload (Section 1.1: "a navigation system which has access to current
+//! traffic data and uses it to direct drivers").
+//!
+//! We build a random geometric graph as a road-network proxy, weight each
+//! road by base travel time plus private congestion, and compare the routes
+//! produced by Algorithm 3 at several privacy levels against the true
+//! optimum. The experiment shows the paper's key qualitative claims:
+//!
+//! 1. error grows with the *hop count* of the route, not with |V|;
+//! 2. when travel times are large, the (additive) privacy cost is
+//!    negligible in relative terms;
+//! 3. one release answers every origin/destination pair.
+//!
+//! Run with: `cargo run --release --example traffic_navigation`
+
+use privpath::core::experiment::ErrorCollector;
+use privpath::graph::algo::dijkstra;
+use privpath::graph::generators::random_geometric_graph;
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let n = 300;
+    let geo = random_geometric_graph(n, 0.09, &mut rng);
+    let topo = &geo.topo;
+    println!(
+        "road network: {} intersections, {} road segments",
+        topo.num_nodes(),
+        topo.num_edges()
+    );
+
+    // Travel time = distance-proportional base + private congestion term.
+    let mut minutes = Vec::with_capacity(topo.num_edges());
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        let base = 100.0 * geo.euclid(u, v); // ~minutes at free flow
+        let congestion = rng.gen::<f64>() * 8.0;
+        minutes.push(base + congestion);
+    }
+    let weights = EdgeWeights::new(minutes)?;
+
+    println!("\n{:>6} | {:>10} {:>10} {:>10} {:>8}", "eps", "mean excess", "p95 excess", "max excess", "mean hops");
+    println!("{}", "-".repeat(56));
+    for &eps_val in &[0.25, 0.5, 1.0, 2.0, 4.0] {
+        let eps = Epsilon::new(eps_val)?;
+        let params = ShortestPathParams::new(eps, 0.05)?;
+        let mut mech_rng = StdRng::seed_from_u64(7 + (eps_val * 100.0) as u64);
+        let release = private_shortest_paths(topo, &weights, &params, &mut mech_rng)?;
+
+        // Query 60 random origin/destination pairs from the one release.
+        let mut excess = ErrorCollector::new();
+        let mut hops = 0usize;
+        let mut pairs = 0usize;
+        let mut pair_rng = StdRng::seed_from_u64(99);
+        while pairs < 60 {
+            let s = NodeId::new(pair_rng.gen_range(0..n));
+            let t = NodeId::new(pair_rng.gen_range(0..n));
+            if s == t {
+                continue;
+            }
+            let path = release.path(s, t)?;
+            let truth = dijkstra(topo, &weights, s)?.distance(t).expect("connected");
+            excess.push(weights.path_weight(&path) - truth);
+            hops += path.hops();
+            pairs += 1;
+        }
+        let stats = excess.stats();
+        println!(
+            "{:>6.2} | {:>10.2} {:>10.2} {:>10.2} {:>8.1}",
+            eps_val,
+            stats.mean,
+            stats.p95,
+            stats.max,
+            hops as f64 / pairs as f64
+        );
+    }
+
+    println!("\nAll excesses are additive minutes; as eps grows the routes converge");
+    println!("to the optimum, and even at small eps the excess is bounded by the");
+    println!("hop count of the route, not by the size of the city.");
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! All-pairs distances on a tree: Algorithm 1 / Theorem 4.2 versus the
+//! generic baselines of Section 4.
+//!
+//! The workload is a river network (trees model drainage basins, utility
+//! grids, org hierarchies...). Edge weights are private flow volumes; we
+//! release all-pairs distances and compare the tree mechanism's polylog
+//! error against the linear-in-V baselines.
+//!
+//! Run with: `cargo run --release --example tree_hierarchy`
+
+use privpath::core::baselines;
+use privpath::core::experiment::ErrorCollector;
+use privpath::core::model::NeighborScale;
+use privpath::graph::generators::{random_tree_prufer, uniform_weights};
+use privpath::graph::tree::{weighted_depths, RootedTree};
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let eps = Epsilon::new(1.0)?;
+
+    println!(
+        "{:>6} | {:>14} {:>16} {:>18} | {:>11} {:>11}",
+        "V", "tree mech p95", "synthetic p95", "basic-comp p95", "tree bound", "synth bound"
+    );
+    println!("{}", "-".repeat(92));
+
+    for &v in &[64usize, 128, 256, 512] {
+        let topo = random_tree_prufer(v, &mut rng);
+        let weights = uniform_weights(topo.num_edges(), 1.0, 50.0, &mut rng);
+
+        // Exact all-pairs distances on a tree come from per-root depths.
+        let exact_from = |root: NodeId| -> Vec<f64> {
+            let rt = RootedTree::new(&topo, root).expect("tree");
+            weighted_depths(&rt, &weights).expect("weights fit")
+        };
+
+        // Tree mechanism (Theorem 4.2).
+        let params = TreeDistanceParams::new(eps);
+        let release = tree_all_pairs_distances(&topo, &weights, &params, &mut rng)?;
+
+        // Baselines: synthetic graph and basic composition.
+        let synth = baselines::rng::synthetic_graph_release(
+            &topo,
+            &weights,
+            eps,
+            NeighborScale::unit(),
+            &mut rng,
+        )?;
+        let basic = baselines::rng::all_pairs_basic_composition(
+            &topo,
+            &weights,
+            eps,
+            NeighborScale::unit(),
+            &mut rng,
+        )?;
+
+        let mut tree_err = ErrorCollector::new();
+        let mut synth_err = ErrorCollector::new();
+        let mut basic_err = ErrorCollector::new();
+        // Sample pairs on a stride to keep the example snappy.
+        for x in (0..v).step_by(7) {
+            let truth = exact_from(NodeId::new(x));
+            let synth_dists = synth.distances_from(NodeId::new(x))?;
+            for y in (0..v).step_by(5) {
+                if x == y {
+                    continue;
+                }
+                let (xn, yn) = (NodeId::new(x), NodeId::new(y));
+                tree_err.push((release.distance(xn, yn) - truth[y]).abs());
+                synth_err.push((synth_dists[y] - truth[y]).abs());
+                basic_err.push((basic.distance(xn, yn) - truth[y]).abs());
+            }
+        }
+        // Worst-case guarantees: tree mechanism (Thm 4.2) vs synthetic
+        // graph ((V/eps) ln(E/gamma), Section 4 intro).
+        let tree_bound = privpath::core::bounds::thm42_all_pairs_tree(v, 1.0, 0.05);
+        let synth_bound = (v as f64) * ((topo.num_edges() as f64) / 0.05).ln();
+        println!(
+            "{:>6} | {:>14.1} {:>16.1} {:>18.1} | {:>11.0} {:>11.0}",
+            v,
+            tree_err.stats().p95,
+            synth_err.stats().p95,
+            basic_err.stats().p95,
+            tree_bound,
+            synth_bound,
+        );
+    }
+
+    println!("\nBasic composition is hopeless at every size. The synthetic-graph");
+    println!("baseline looks good *on average* on shallow random trees (independent");
+    println!("edge noise cancels along short paths), but its worst-case guarantee");
+    println!("grows like V while the tree mechanism's stays polylog — compare the");
+    println!("two bound columns, which is the separation Theorem 4.2 proves. The");
+    println!("`experiments` harness (E5/E6) measures the max-error crossover on");
+    println!("deep trees, where the guarantee gap becomes an observed gap.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! # privpath — Shortest Paths and Distances with Differential Privacy
+//!
+//! A from-scratch Rust implementation of Adam Sealfon's *Shortest Paths and
+//! Distances with Differential Privacy* (PODS 2016): differentially private
+//! graph analysis in the **private edge-weight model**, where the topology
+//! is public and only the edge weights are sensitive.
+//!
+//! This facade crate re-exports the three layers:
+//!
+//! * [`graph`] — the graph substrate (topology/weight separation, shortest
+//!   paths, MST, matching, trees, coverings, generators).
+//! * [`dp`] — the differential-privacy substrate (Laplace distribution and
+//!   mechanism, composition, accounting).
+//! * [`core`] — the paper's mechanisms (Algorithms 1–3, bounded-weight
+//!   all-pairs distances, private MST/matching, the reconstruction-attack
+//!   lower bounds, baselines, and closed-form error bounds).
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduction of
+//! every theorem-level claim.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use privpath::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A toy road network: topology is public, weights (travel times) are
+//! // private.
+//! let topo = privpath::graph::generators::path_graph(8);
+//! let weights = EdgeWeights::constant(topo.num_edges(), 3.0);
+//!
+//! // Release all shortest paths with eps-DP (Algorithm 3).
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let params = ShortestPathParams::new(Epsilon::new(1.0).unwrap(), 0.05).unwrap();
+//! let release = private_shortest_paths(&topo, &weights, &params, &mut rng).unwrap();
+//!
+//! // Query any pair through the released object (pure post-processing).
+//! let path = release.path(NodeId::new(0), NodeId::new(7)).unwrap();
+//! assert_eq!(path.source(), NodeId::new(0));
+//! assert_eq!(path.target(), NodeId::new(7));
+//! ```
+
+pub use privpath_core as core;
+pub use privpath_dp as dp;
+pub use privpath_graph as graph;
+
+/// One-stop imports for the most common API surface.
+pub mod prelude {
+    pub use privpath_core::attack::{
+        MatchingAttack, MstAttack, PathAttack, ReconstructionOutcome,
+    };
+    pub use privpath_core::baselines::{
+        all_pairs_advanced_composition, all_pairs_basic_composition, laplace_distance_oracle,
+        single_source_advanced_composition, synthetic_graph_release,
+    };
+    pub use privpath_core::bounded::{
+        bounded_weight_all_pairs, BoundedWeightParams, BoundedWeightRelease, CoveringStrategy,
+    };
+    pub use privpath_core::matching::{
+        private_matching, private_matching_objective, MatchingObjective, MatchingParams,
+    };
+    pub use privpath_core::mst::{private_mst, MstParams};
+    pub use privpath_core::persist::{
+        read_shortest_path_release, write_shortest_path_release,
+    };
+    pub use privpath_core::shortest_path::{
+        private_shortest_paths, ShortestPathParams, ShortestPathRelease,
+    };
+    pub use privpath_core::tree_distance::{
+        tree_all_pairs_distances, tree_single_source_distances, TreeDistanceParams,
+    };
+    pub use privpath_core::tree_hld::{hld_tree_all_pairs, HldTreeRelease};
+    pub use privpath_dp::{Delta, Epsilon, NoiseSource, RngNoise, ZeroNoise};
+    pub use privpath_graph::{EdgeId, EdgeWeights, GraphError, NodeId, Path, Topology};
+}

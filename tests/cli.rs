@@ -1,0 +1,92 @@
+//! End-to-end tests of the `privpath` command-line tool: generate a demo
+//! network, release a private routing table, query routes and distances
+//! from the stored release.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_privpath")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("privpath_cli_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = Command::new(bin()).args(args).output().expect("spawn privpath");
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn full_workflow() {
+    let prefix = tmp("demo");
+    let prefix_str = prefix.to_str().unwrap();
+    let release = tmp("demo.release");
+    let release_str = release.to_str().unwrap();
+
+    let out = run_ok(&["gen-demo", "--nodes", "80", "--out-prefix", prefix_str, "--seed", "3"]);
+    assert!(out.contains("80 nodes"), "{out}");
+
+    let out = run_ok(&[
+        "release",
+        "--topo",
+        &format!("{prefix_str}.topo"),
+        "--weights",
+        &format!("{prefix_str}.weights"),
+        "--eps",
+        "1.0",
+        "--out",
+        release_str,
+    ]);
+    assert!(out.contains("eps = 1"), "{out}");
+
+    let out = run_ok(&["route", "--release", release_str, "--from", "0", "--to", "41"]);
+    assert!(out.starts_with("route 0 -> 41"), "{out}");
+    assert!(out.contains("hops"), "{out}");
+
+    let out = run_ok(&["distance", "--release", release_str, "--from", "0", "--to", "41"]);
+    assert!(out.contains("estimated travel time 0 -> 41"), "{out}");
+
+    // Determinism: the same seed regenerates the same route.
+    let a = run_ok(&["route", "--release", release_str, "--from", "5", "--to", "60"]);
+    let b = run_ok(&["route", "--release", release_str, "--from", "5", "--to", "60"]);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    let cases: &[&[&str]] = &[
+        &[],
+        &["frobnicate"],
+        &["gen-demo"],                                        // missing flags
+        &["gen-demo", "--nodes", "1", "--out-prefix", "x"],   // too small
+        &["release", "--topo", "/nonexistent", "--weights", "/nonexistent", "--eps", "1", "--out", "/tmp/x"],
+        &["route", "--release", "/nonexistent", "--from", "0", "--to", "1"],
+        &["gen-demo", "--nodes"],                             // flag without value
+    ];
+    for args in cases {
+        let out = Command::new(bin()).args(*args).output().expect("spawn");
+        assert!(
+            !out.status.success(),
+            "command {args:?} unexpectedly succeeded: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(!out.stderr.is_empty(), "command {args:?} gave no error message");
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("usage: privpath"));
+    assert!(out.contains("gen-demo"));
+}

@@ -1,0 +1,323 @@
+//! End-to-end integration tests through the facade: generator → mechanism
+//! → release → queries → error statistics → theorem bound.
+
+use privpath::core::baselines;
+use privpath::core::bounds;
+use privpath::core::experiment::ErrorCollector;
+use privpath::core::model::NeighborScale;
+use privpath::core::path_graph::{dyadic_path_release, hub_path_release, PathGraphParams};
+use privpath::graph::algo::{dijkstra, floyd_warshall, minimum_spanning_forest};
+use privpath::graph::generators::{
+    connected_gnm, path_graph, random_tree_prufer, uniform_weights, GridGraph,
+};
+use privpath::graph::tree::{weighted_depths, RootedTree};
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+#[test]
+fn shortest_path_full_flow_on_random_graph() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let topo = connected_gnm(120, 360, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 5.0, 50.0, &mut rng);
+    let params = ShortestPathParams::new(eps(1.0), 0.05).unwrap();
+    let release = private_shortest_paths(&topo, &weights, &params, &mut rng).unwrap();
+
+    // Every queried pair yields a valid path whose true-weight excess is
+    // within the Corollary 5.6 worst-case bound (with overwhelming
+    // probability at these sizes).
+    let worst = bounds::cor56_worst_case(topo.num_nodes(), 1.0, topo.num_edges(), 0.05);
+    let mut count = 0;
+    for s in (0..120).step_by(17) {
+        let s = NodeId::new(s);
+        let spt = dijkstra(&topo, &weights, s).unwrap();
+        let released_tree = release.paths_from(s).unwrap();
+        for t in (0..120).step_by(13) {
+            let t = NodeId::new(t);
+            let path = released_tree.path_to(t).unwrap();
+            path.validate(&topo).unwrap();
+            assert_eq!(path.source(), s);
+            assert_eq!(path.target(), t);
+            let excess = weights.path_weight(&path) - spt.distance(t).unwrap();
+            assert!(excess >= -1e-9, "released path beat the optimum");
+            assert!(excess <= worst, "excess {excess} above worst-case bound {worst}");
+            count += 1;
+        }
+    }
+    assert!(count > 40);
+}
+
+#[test]
+fn tree_all_pairs_full_flow_with_bound() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let topo = random_tree_prufer(200, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 30.0, &mut rng);
+    let params = TreeDistanceParams::new(eps(1.0));
+    let release = tree_all_pairs_distances(&topo, &weights, &params, &mut rng).unwrap();
+
+    let mut collector = ErrorCollector::new();
+    for x in (0..200).step_by(11) {
+        let rt = RootedTree::new(&topo, NodeId::new(x)).unwrap();
+        let truth = weighted_depths(&rt, &weights).unwrap();
+        for y in (0..200).step_by(7) {
+            collector
+                .push((release.distance(NodeId::new(x), NodeId::new(y)) - truth[y]).abs());
+        }
+    }
+    // The all-pairs bound at gamma = 0.05 holds for the overwhelming
+    // majority of sampled pairs.
+    let bound = bounds::thm42_all_pairs_tree(200, 1.0, 0.05);
+    assert!(collector.exceed_fraction(bound) < 0.05);
+}
+
+#[test]
+fn bounded_weight_full_flow_pure_and_approx() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let topo = connected_gnm(150, 450, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    let fw = floyd_warshall(&topo, &weights).unwrap();
+
+    for delta in [None, Some(Delta::new(1e-6).unwrap())] {
+        let params = match delta {
+            None => BoundedWeightParams::pure(eps(1.0), 1.0).unwrap(),
+            Some(d) => BoundedWeightParams::approx(eps(1.0), d, 1.0).unwrap(),
+        };
+        let release = bounded_weight_all_pairs(&topo, &weights, &params, &mut rng).unwrap();
+        let bound = bounds::bounded_error(
+            release.k(),
+            1.0,
+            release.noise_scale(),
+            release.num_released(),
+            0.05,
+        );
+        let mut collector = ErrorCollector::new();
+        for u in (0..150).step_by(13) {
+            for v in (0..150).step_by(17) {
+                let (u, v) = (NodeId::new(u), NodeId::new(v));
+                collector.push((release.distance(u, v) - fw.get(u, v).unwrap()).abs());
+            }
+        }
+        assert!(
+            collector.exceed_fraction(bound) < 0.1,
+            "delta={delta:?}: too many violations of {bound}"
+        );
+    }
+}
+
+#[test]
+fn grid_covering_full_flow() {
+    let mut rng = StdRng::seed_from_u64(103);
+    let grid = GridGraph::new(12, 12);
+    let weights = uniform_weights(grid.topology().num_edges(), 0.0, 1.0, &mut rng);
+    let spacing = 5;
+    let centers = grid.modular_covering(spacing).unwrap();
+    let params = BoundedWeightParams::approx(eps(1.0), Delta::new(1e-6).unwrap(), 1.0)
+        .unwrap()
+        .with_strategy(CoveringStrategy::Custom { centers, k: 2 * spacing });
+    let release = bounded_weight_all_pairs(grid.topology(), &weights, &params, &mut rng).unwrap();
+    assert!(release.centers().len() <= 9);
+    // Smoke-check a few queries.
+    let fw = floyd_warshall(grid.topology(), &weights).unwrap();
+    let bound =
+        bounds::bounded_error(release.k(), 1.0, release.noise_scale(), release.num_released(), 0.01);
+    for (a, b) in [(0usize, 143usize), (12, 77), (60, 61)] {
+        let (a, b) = (NodeId::new(a), NodeId::new(b));
+        let err = (release.distance(a, b) - fw.get(a, b).unwrap()).abs();
+        assert!(err <= bound, "pair ({a},{b}) err {err} > {bound}");
+    }
+}
+
+#[test]
+fn path_graph_mechanisms_agree_with_tree_mechanism_shape() {
+    // All three mechanisms answer all-pairs distance queries on the path;
+    // under zero noise they are all exact, so here we just check they run
+    // and produce symmetric, nonnegative-ish estimates with real noise.
+    let mut rng = StdRng::seed_from_u64(104);
+    let n = 256;
+    let topo = path_graph(n);
+    let weights = uniform_weights(n - 1, 1.0, 9.0, &mut rng);
+
+    let pg = PathGraphParams::new(eps(1.0));
+    let hub = hub_path_release(&topo, &weights, &pg, &mut rng).unwrap();
+    let dyadic = dyadic_path_release(&topo, &weights, &pg, &mut rng).unwrap();
+    let tree = tree_all_pairs_distances(&topo, &weights, &TreeDistanceParams::new(eps(1.0)), &mut rng)
+        .unwrap();
+
+    let truth: Vec<f64> = {
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        weighted_depths(&rt, &weights).unwrap()
+    };
+    let bound = bounds::thm42_all_pairs_tree(n, 1.0, 0.01);
+    let mut checked = 0;
+    for x in (0..n).step_by(31) {
+        for y in (0..n).step_by(29) {
+            let (xn, yn) = (NodeId::new(x), NodeId::new(y));
+            let t = (truth[y] - truth[x]).abs();
+            for est in [hub.distance(xn, yn), dyadic.distance(xn, yn), tree.distance(xn, yn)] {
+                assert!((est - t).abs() <= bound, "pair ({x},{y}): {est} vs {t}");
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 50);
+}
+
+#[test]
+fn mst_and_matching_full_flow() {
+    let mut rng = StdRng::seed_from_u64(105);
+    let topo = connected_gnm(60, 200, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+
+    let mst = private_mst(&topo, &weights, &MstParams::new(eps(1.0)), &mut rng).unwrap();
+    let truth = minimum_spanning_forest(&topo, &weights).unwrap();
+    let excess = mst.weight_under(&weights) - truth.total_weight;
+    assert!(excess >= -1e-9);
+    assert!(excess <= bounds::thm_b3_mst_error(60, 1.0, topo.num_edges(), 0.01));
+    assert!(mst.forest().is_spanning_tree());
+
+    // Matching on a complete bipartite graph.
+    let mut b = Topology::builder(20);
+    for i in 0..10 {
+        for j in 10..20 {
+            b.add_edge(NodeId::new(i), NodeId::new(j));
+        }
+    }
+    let topo = b.build();
+    let weights = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+    let released =
+        private_matching(&topo, &weights, &MatchingParams::new(eps(1.0)), &mut rng).unwrap();
+    assert!(released.matching().is_perfect(&topo));
+    let best = privpath::graph::algo::min_weight_perfect_matching(&topo, &weights).unwrap();
+    let excess = released.weight_under(&weights) - best.total_weight;
+    assert!(excess >= -1e-9);
+    assert!(excess <= bounds::thm_b6_matching_error(20, 1.0, topo.num_edges(), 0.01));
+}
+
+#[test]
+fn baselines_flow_and_ordering() {
+    // At equal eps, the noise scales must order: oracle (1) < advanced
+    // (~V sqrt(log)) < basic (~V^2) — the Section 4 intro hierarchy.
+    let mut rng = StdRng::seed_from_u64(106);
+    let topo = connected_gnm(80, 240, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 5.0, &mut rng);
+    let scale = NeighborScale::unit();
+
+    let basic =
+        baselines::rng::all_pairs_basic_composition(&topo, &weights, eps(1.0), scale, &mut rng)
+            .unwrap();
+    let adv = baselines::rng::all_pairs_advanced_composition(
+        &topo,
+        &weights,
+        eps(1.0),
+        Delta::new(1e-6).unwrap(),
+        scale,
+        &mut rng,
+    )
+    .unwrap();
+    let synth =
+        baselines::rng::synthetic_graph_release(&topo, &weights, eps(1.0), scale, &mut rng)
+            .unwrap();
+
+    assert!(synth.noise_scale() < adv.noise_scale());
+    assert!(adv.noise_scale() < basic.noise_scale());
+    // All three answer queries.
+    let (a, b) = (NodeId::new(0), NodeId::new(40));
+    let _ = basic.distance(a, b);
+    let _ = adv.distance(a, b);
+    let _ = synth.distance(a, b).unwrap();
+}
+
+#[test]
+fn accountant_tracks_two_releases() {
+    use privpath::dp::Accountant;
+    let mut rng = StdRng::seed_from_u64(107);
+    let topo = random_tree_prufer(50, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 5.0, &mut rng);
+
+    let mut ledger = Accountant::with_budget(eps(2.0), Delta::zero());
+
+    let e1 = eps(1.0);
+    let _tree = tree_all_pairs_distances(&topo, &weights, &TreeDistanceParams::new(e1), &mut rng)
+        .unwrap();
+    ledger.spend("tree-distances", e1, Delta::zero()).unwrap();
+
+    let e2 = eps(1.0);
+    let params = ShortestPathParams::new(e2, 0.05).unwrap();
+    let _paths = private_shortest_paths(&topo, &weights, &params, &mut rng).unwrap();
+    ledger.spend("shortest-paths", e2, Delta::zero()).unwrap();
+
+    // Budget exhausted: a third release must be refused.
+    assert!(ledger.spend("one-more", eps(0.1), Delta::zero()).is_err());
+    let (total_eps, _) = ledger.total();
+    assert!((total_eps - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn neighbor_scale_changes_error_linearly_in_expectation() {
+    // Section 1.2 scaling: with scale s = 1/V, Algorithm 3's error drops
+    // to O(log V / eps) — measure the released-vs-true weight gap shrinks.
+    let mut rng = StdRng::seed_from_u64(108);
+    let topo = connected_gnm(100, 300, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 10.0, 20.0, &mut rng);
+
+    let unit = ShortestPathParams::new(eps(1.0), 0.05).unwrap();
+    let tiny = ShortestPathParams::new(eps(1.0), 0.05)
+        .unwrap()
+        .with_scale(NeighborScale::new(0.01).unwrap());
+
+    let mut rng_a = StdRng::seed_from_u64(1);
+    let mut rng_b = StdRng::seed_from_u64(1);
+    let rel_unit = private_shortest_paths(&topo, &weights, &unit, &mut rng_a).unwrap();
+    let rel_tiny = private_shortest_paths(&topo, &weights, &tiny, &mut rng_b).unwrap();
+
+    let dev = |rel: &ShortestPathRelease| -> f64 {
+        rel.released_weights()
+            .iter()
+            .zip(weights.iter())
+            .map(|((_, r), (_, w))| (r - w).abs())
+            .sum::<f64>()
+    };
+    assert!(
+        dev(&rel_tiny) < dev(&rel_unit) * 0.05,
+        "scaling did not shrink perturbations: {} vs {}",
+        dev(&rel_tiny),
+        dev(&rel_unit)
+    );
+}
+
+#[test]
+fn deterministic_under_seeds() {
+    let mut rng = StdRng::seed_from_u64(109);
+    let topo = connected_gnm(40, 100, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 5.0, &mut rng);
+    let params = ShortestPathParams::new(eps(1.0), 0.05).unwrap();
+
+    let mut r1 = StdRng::seed_from_u64(77);
+    let mut r2 = StdRng::seed_from_u64(77);
+    let a = private_shortest_paths(&topo, &weights, &params, &mut r1).unwrap();
+    let b = private_shortest_paths(&topo, &weights, &params, &mut r2).unwrap();
+    assert_eq!(a.released_weights().as_slice(), b.released_weights().as_slice());
+}
+
+#[test]
+fn random_query_pairs_match_matrix_release() {
+    // Cross-check BoundedWeightRelease against its own center assignment:
+    // query (u, v) must equal the released entry for (z(u), z(v)).
+    let mut rng = StdRng::seed_from_u64(110);
+    let topo = connected_gnm(70, 210, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    let params = BoundedWeightParams::pure(eps(1.0), 1.0)
+        .unwrap()
+        .with_strategy(CoveringStrategy::MeirMoon { k: 3 });
+    let release = bounded_weight_all_pairs(&topo, &weights, &params, &mut rng).unwrap();
+    for _ in 0..50 {
+        let u = NodeId::new(rng.gen_range(0..70));
+        let v = NodeId::new(rng.gen_range(0..70));
+        let (zu, zv) = (release.center_of(u), release.center_of(v));
+        assert_eq!(release.distance(u, v), release.distance(zu, zv));
+    }
+}

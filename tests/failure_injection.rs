@@ -1,0 +1,201 @@
+//! Failure-injection tests: every documented error path across the crates
+//! must trigger cleanly, never panic, and produce an informative message.
+
+use privpath::core::bounded::{bounded_weight_all_pairs_with, BoundedWeightParams, CoveringStrategy};
+use privpath::core::matching::{private_matching_with, MatchingParams};
+use privpath::core::model::NeighborScale;
+use privpath::core::mst::{private_mst_with, MstParams};
+use privpath::core::path_graph::{dyadic_path_release_with, PathGraphParams};
+use privpath::core::shortest_path::{private_shortest_paths_with, ShortestPathParams};
+use privpath::core::tree_distance::{tree_single_source_distances_with, TreeDistanceParams};
+use privpath::core::CoreError;
+use privpath::dp::{DpError, Laplace};
+use privpath::graph::generators::{cycle_graph, path_graph, star_graph};
+use privpath::prelude::*;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+#[test]
+fn invalid_privacy_parameters() {
+    for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        assert!(matches!(Epsilon::new(bad), Err(DpError::InvalidEpsilon(_))));
+    }
+    for bad in [-0.1, 1.0, 2.0, f64::NAN] {
+        assert!(matches!(Delta::new(bad), Err(DpError::InvalidDelta(_))));
+    }
+    assert!(matches!(Laplace::new(-1.0), Err(DpError::InvalidScale(_))));
+}
+
+#[test]
+fn invalid_gamma_for_shortest_paths() {
+    for bad in [0.0, 1.0, -0.5, 2.0] {
+        assert!(matches!(
+            ShortestPathParams::new(eps(1.0), bad),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+}
+
+#[test]
+fn weights_length_mismatch_everywhere() {
+    let topo = path_graph(5);
+    let wrong = EdgeWeights::zeros(3); // needs 4
+
+    let sp = ShortestPathParams::new(eps(1.0), 0.1).unwrap();
+    assert!(matches!(
+        private_shortest_paths_with(&topo, &wrong, &sp, &mut ZeroNoise),
+        Err(CoreError::Graph(GraphError::WeightsLengthMismatch { expected: 4, got: 3 }))
+    ));
+
+    assert!(private_mst_with(&topo, &wrong, &MstParams::new(eps(1.0)), &mut ZeroNoise).is_err());
+    assert!(
+        private_matching_with(&topo, &wrong, &MatchingParams::new(eps(1.0)), &mut ZeroNoise)
+            .is_err()
+    );
+    assert!(tree_single_source_distances_with(
+        &topo,
+        &wrong,
+        NodeId::new(0),
+        &TreeDistanceParams::new(eps(1.0)),
+        &mut ZeroNoise
+    )
+    .is_err());
+    assert!(
+        dyadic_path_release_with(&topo, &wrong, &PathGraphParams::new(eps(1.0)), &mut ZeroNoise)
+            .is_err()
+    );
+}
+
+#[test]
+fn nan_weights_rejected_at_construction() {
+    assert!(matches!(
+        EdgeWeights::new(vec![0.0, f64::NAN]),
+        Err(GraphError::NonFiniteWeight { .. })
+    ));
+    assert!(matches!(
+        EdgeWeights::new(vec![f64::NEG_INFINITY]),
+        Err(GraphError::NonFiniteWeight { .. })
+    ));
+}
+
+#[test]
+fn tree_mechanism_rejects_non_trees() {
+    let w = EdgeWeights::constant(5, 1.0);
+    let err = tree_single_source_distances_with(
+        &cycle_graph(5),
+        &w,
+        NodeId::new(0),
+        &TreeDistanceParams::new(eps(1.0)),
+        &mut ZeroNoise,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("not a tree"));
+}
+
+#[test]
+fn path_mechanism_rejects_non_paths() {
+    let star = star_graph(6);
+    let w = EdgeWeights::constant(5, 1.0);
+    let err = dyadic_path_release_with(&star, &w, &PathGraphParams::new(eps(1.0)), &mut ZeroNoise)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::NotAPathGraph(_)));
+    assert!(err.to_string().contains("path graph"));
+}
+
+#[test]
+fn bounded_weight_domain_violations() {
+    let topo = path_graph(6);
+    // Weight above M.
+    let w = EdgeWeights::constant(5, 3.0);
+    let params = BoundedWeightParams::pure(eps(1.0), 2.0).unwrap();
+    assert!(matches!(
+        bounded_weight_all_pairs_with(&topo, &w, &params, &mut ZeroNoise),
+        Err(CoreError::WeightOutOfBounds { value, max_weight })
+            if value == 3.0 && max_weight == 2.0
+    ));
+    // Invalid M at construction.
+    assert!(BoundedWeightParams::pure(eps(1.0), -1.0).is_err());
+    assert!(BoundedWeightParams::approx(eps(1.0), Delta::zero(), 1.0).is_err());
+}
+
+#[test]
+fn bounded_weight_rejects_disconnected_and_bad_covering() {
+    let mut b = Topology::builder(4);
+    b.add_edge(NodeId::new(0), NodeId::new(1));
+    b.add_edge(NodeId::new(2), NodeId::new(3));
+    let disconnected = b.build();
+    let w = EdgeWeights::constant(2, 0.5);
+    let params = BoundedWeightParams::pure(eps(1.0), 1.0).unwrap();
+    assert!(matches!(
+        bounded_weight_all_pairs_with(&disconnected, &w, &params, &mut ZeroNoise),
+        Err(CoreError::InvalidParameter(_))
+    ));
+
+    let topo = path_graph(10);
+    let w = EdgeWeights::constant(9, 0.5);
+    let params = BoundedWeightParams::pure(eps(1.0), 1.0)
+        .unwrap()
+        .with_strategy(CoveringStrategy::Custom { centers: vec![NodeId::new(9)], k: 1 });
+    let err = bounded_weight_all_pairs_with(&topo, &w, &params, &mut ZeroNoise).unwrap_err();
+    assert!(err.to_string().contains("covering"));
+}
+
+#[test]
+fn matching_structural_failures() {
+    // Odd order.
+    let w = EdgeWeights::constant(5, 1.0);
+    assert!(matches!(
+        private_matching_with(&cycle_graph(5), &w, &MatchingParams::new(eps(1.0)), &mut ZeroNoise),
+        Err(CoreError::Graph(GraphError::NoPerfectMatching))
+    ));
+    // Even order, no perfect matching (star).
+    let w = EdgeWeights::constant(3, 1.0);
+    assert!(private_matching_with(
+        &star_graph(4),
+        &w,
+        &MatchingParams::new(eps(1.0)),
+        &mut ZeroNoise
+    )
+    .is_err());
+}
+
+#[test]
+fn disconnected_queries_error_not_panic() {
+    let mut b = Topology::builder(4);
+    b.add_edge(NodeId::new(0), NodeId::new(1));
+    let topo = b.build();
+    let w = EdgeWeights::constant(1, 1.0);
+    let sp = ShortestPathParams::new(eps(1.0), 0.1).unwrap();
+    let release = private_shortest_paths_with(&topo, &w, &sp, &mut ZeroNoise).unwrap();
+    let err = release.path(NodeId::new(0), NodeId::new(3)).unwrap_err();
+    assert!(matches!(err, CoreError::Graph(GraphError::Disconnected { .. })));
+}
+
+#[test]
+fn out_of_range_nodes_error() {
+    let topo = path_graph(3);
+    let w = EdgeWeights::constant(2, 1.0);
+    let sp = ShortestPathParams::new(eps(1.0), 0.1).unwrap();
+    let release = private_shortest_paths_with(&topo, &w, &sp, &mut ZeroNoise).unwrap();
+    assert!(release.path(NodeId::new(0), NodeId::new(9)).is_err());
+    assert!(release.paths_from(NodeId::new(9)).is_err());
+}
+
+#[test]
+fn neighbor_scale_validation() {
+    assert!(NeighborScale::new(0.0).is_err());
+    assert!(NeighborScale::new(-1.0).is_err());
+    assert!(NeighborScale::new(f64::INFINITY).is_err());
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    let e = CoreError::WeightOutOfBounds { value: 7.0, max_weight: 1.0 };
+    assert!(e.to_string().contains("7"));
+    let e: CoreError = GraphError::Disconnected { from: NodeId::new(1), to: NodeId::new(2) }.into();
+    assert!(e.to_string().contains("no path"));
+    let e: CoreError = DpError::InvalidEpsilon(-3.0).into();
+    assert!(e.to_string().contains("-3"));
+}

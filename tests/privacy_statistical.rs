@@ -1,0 +1,191 @@
+//! Statistical privacy/utility tests (seeded, generous tolerances):
+//! the reconstruction attacks fail against the DP mechanisms, utility
+//! bounds hold at their stated confidence, and the lower-bound/upper-bound
+//! pincer of Section 5 is visible in the data.
+
+use privpath::core::attack::{thm51_alpha_bits, MatchingAttack, MstAttack, PathAttack};
+use privpath::core::bounds;
+use privpath::dp::randomized_response::{
+    randomized_response_bit, reconstruction_error_floor,
+};
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+#[test]
+fn attack_on_dp_shortest_paths_is_near_chance_at_small_eps() {
+    let n = 96;
+    let attack = PathAttack::new(n);
+    let params = ShortestPathParams::new(eps(0.05), 0.1).unwrap();
+    let mut rng = StdRng::seed_from_u64(500);
+    let trials = 25;
+    let mut total = 0usize;
+    for t in 0..trials {
+        let outcome = attack
+            .run(&mut rng, |topo, w| {
+                let mut mech = StdRng::seed_from_u64(t);
+                let rel = private_shortest_paths(topo, w, &params, &mut mech)?;
+                rel.path(attack.s(), attack.t())
+            })
+            .unwrap();
+        total += outcome.hamming;
+    }
+    let rate = total as f64 / (trials as usize * n) as f64;
+    assert!((rate - 0.5).abs() < 0.08, "reconstruction rate {rate} too far from chance");
+}
+
+#[test]
+fn attack_error_respects_thm51_pincer() {
+    // The measured mean error of the DP mechanism on the gadget sits
+    // between the Thm 5.1 lower bound (any DP mechanism errs this much)
+    // and the Cor 5.6 upper bound (Algorithm 3 errs at most this much whp).
+    let n = 128;
+    let attack = PathAttack::new(n);
+    let e = eps(0.1);
+    let params = ShortestPathParams::new(e, 0.1).unwrap();
+    let mut rng = StdRng::seed_from_u64(501);
+    let trials = 25;
+    let mut total_err = 0.0;
+    for t in 0..trials {
+        let outcome = attack
+            .run(&mut rng, |topo, w| {
+                let mut mech = StdRng::seed_from_u64(100 + t);
+                let rel = private_shortest_paths(topo, w, &params, &mut mech)?;
+                rel.path(attack.s(), attack.t())
+            })
+            .unwrap();
+        total_err += outcome.objective_error;
+    }
+    let mean = total_err / trials as f64;
+    let lower = thm51_alpha_bits(n, e, Delta::zero());
+    let upper = bounds::cor56_worst_case(n + 1, 0.1, 2 * n, 0.01);
+    assert!(mean >= 0.8 * lower, "mean {mean} below lower bound {lower}");
+    assert!(mean <= upper, "mean {mean} above upper bound {upper}");
+}
+
+#[test]
+fn attacks_on_dp_mst_and_matching_near_chance() {
+    let mut rng = StdRng::seed_from_u64(502);
+
+    let mst_attack = MstAttack::new(64);
+    let mut total = 0usize;
+    let trials = 20;
+    for t in 0..trials {
+        let outcome = mst_attack
+            .run(&mut rng, |topo, w| {
+                let mut mech = StdRng::seed_from_u64(t);
+                privpath::core::mst::private_mst(
+                    topo,
+                    w,
+                    &privpath::core::mst::MstParams::new(eps(0.05)),
+                    &mut mech,
+                )
+                .map(|r| r.edges().to_vec())
+            })
+            .unwrap();
+        total += outcome.hamming;
+    }
+    let rate = total as f64 / (trials as usize * 64) as f64;
+    assert!((rate - 0.5).abs() < 0.1, "MST reconstruction rate {rate}");
+
+    let matching_attack = MatchingAttack::new(48);
+    let mut total = 0usize;
+    for t in 0..trials {
+        let outcome = matching_attack
+            .run(&mut rng, |topo, w| {
+                let mut mech = StdRng::seed_from_u64(t + 999);
+                privpath::core::matching::private_matching(
+                    topo,
+                    w,
+                    &privpath::core::matching::MatchingParams::new(eps(0.05)),
+                    &mut mech,
+                )
+                .map(|r| r.edges().to_vec())
+            })
+            .unwrap();
+        total += outcome.hamming;
+    }
+    let rate = total as f64 / (trials as usize * 48) as f64;
+    assert!((rate - 0.5).abs() < 0.1, "matching reconstruction rate {rate}");
+}
+
+#[test]
+fn reconstruction_floor_matches_randomized_response_exactly() {
+    // Lemma 5.3 tightness: randomized response achieves the floor.
+    let mut rng = StdRng::seed_from_u64(503);
+    for &e in &[0.5, 1.0] {
+        let epsilon = eps(e);
+        let floor = reconstruction_error_floor(epsilon, Delta::zero()).unwrap();
+        let trials = 150_000;
+        let wrong = (0..trials)
+            .filter(|i| randomized_response_bit(i % 2 == 0, epsilon, &mut rng) != (i % 2 == 0))
+            .count();
+        let rate = wrong as f64 / trials as f64;
+        assert!((rate - floor).abs() < 0.008, "eps {e}: rate {rate} vs floor {floor}");
+    }
+}
+
+#[test]
+fn utility_failure_rate_matches_gamma() {
+    // Algorithm 3's per-pair bound fails with probability ~gamma; measure
+    // the failure rate at gamma = 0.3 (chosen large so failures actually
+    // happen) and check it is neither ~0 nor >> gamma.
+    let gamma = 0.3;
+    let hops = 6;
+    let mut rng = StdRng::seed_from_u64(504);
+    let planted = privpath::graph::generators::planted_path_graph(hops, 24, &mut rng);
+    let bound = bounds::thm55_path_error(hops, 1.0, planted.topo.num_edges(), gamma);
+    let params = ShortestPathParams::new(eps(1.0), gamma).unwrap();
+    let trials = 300;
+    let mut failures = 0;
+    for t in 0..trials {
+        let mut mech = StdRng::seed_from_u64(t);
+        let rel =
+            private_shortest_paths(&planted.topo, &planted.weights, &params, &mut mech).unwrap();
+        let path = rel.path(planted.s, planted.t).unwrap();
+        let excess = planted.weights.path_weight(&path) - planted.planted_weight;
+        if excess > bound {
+            failures += 1;
+        }
+    }
+    let rate = failures as f64 / trials as f64;
+    // The union bound is conservative, so the true failure rate is below
+    // gamma — but catastrophically exceeding it would indicate a bug.
+    assert!(rate <= gamma + 0.05, "failure rate {rate} exceeds gamma {gamma}");
+}
+
+#[test]
+fn laplace_mechanism_indistinguishability_histogram() {
+    // Direct eps-DP check on the scalar Laplace mechanism over a coarse
+    // histogram: max likelihood ratio over bins <= e^eps within sampling
+    // error.
+    use privpath::dp::{laplace_mechanism_scalar, RngNoise};
+    let e = eps(0.5);
+    let mut noise = RngNoise::new(StdRng::seed_from_u64(505));
+    let trials = 200_000;
+    let bins = 40;
+    let lo = -6.0;
+    let hi = 7.0;
+    let width = (hi - lo) / bins as f64;
+    let mut h0 = vec![0u32; bins];
+    let mut h1 = vec![0u32; bins];
+    for _ in 0..trials {
+        let x0 = laplace_mechanism_scalar(0.0, 1.0, e, &mut noise).unwrap();
+        let x1 = laplace_mechanism_scalar(1.0, 1.0, e, &mut noise).unwrap();
+        let b0 = (((x0 - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        let b1 = (((x1 - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        h0[b0] += 1;
+        h1[b1] += 1;
+    }
+    let bound = (0.5f64).exp() * 1.15; // e^eps with sampling slack
+    for b in 0..bins {
+        if h0[b] >= 500 && h1[b] >= 500 {
+            let ratio = h0[b] as f64 / h1[b] as f64;
+            assert!(ratio < bound && 1.0 / ratio < bound, "bin {b}: ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests of the DP mechanisms: zero-noise exactness on
+//! randomized inputs, attack encode/decode round-trips, and composition
+//! algebra.
+
+use privpath::core::attack::{
+    exact_shortest_path, hamming, random_bits, MatchingAttack, MstAttack, PathAttack,
+    SimplePathAttack,
+};
+use privpath::core::baselines;
+use privpath::core::bounded::{
+    bounded_weight_all_pairs_with, BoundedWeightParams, CoveringStrategy,
+};
+use privpath::core::model::{are_neighbors, NeighborScale};
+use privpath::core::path_graph::{
+    dyadic_path_release_with, hub_path_release_with, PathGraphParams,
+};
+use privpath::core::shortest_path::{private_shortest_paths_with, ShortestPathParams};
+use privpath::core::tree_distance::{
+    tree_all_pairs_distances_with, TreeDistanceParams,
+};
+use privpath::dp::composition::{advanced_composition_epsilon, per_query_epsilon};
+use privpath::graph::algo::{dijkstra, floyd_warshall, min_weight_perfect_matching, minimum_spanning_forest};
+use privpath::graph::generators::{
+    connected_gnm, path_graph, random_tree_prufer, uniform_weights,
+};
+use privpath::graph::tree::{weighted_depths, RootedTree};
+use privpath::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn algorithm3_zero_noise_no_shift_is_exact(n in 3usize..30, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = (n - 1) + seed as usize % n;
+        let topo = connected_gnm(n, m.min(n * (n - 1) / 2), &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 9.0, &mut rng);
+        let params = ShortestPathParams::new(eps(1.0), 0.1).unwrap().without_shift();
+        let release = private_shortest_paths_with(&topo, &w, &params, &mut ZeroNoise).unwrap();
+        for s in topo.nodes() {
+            let truth = dijkstra(&topo, &w, s).unwrap();
+            let released = release.paths_from(s).unwrap();
+            for t in topo.nodes() {
+                // Path weight (not identity) must match: ties may differ.
+                let a = truth.distance(t).unwrap();
+                let p = released.path_to(t).unwrap();
+                prop_assert!((w.path_weight(&p) - a).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_mechanism_zero_noise_exact(n in 2usize..50, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = random_tree_prufer(n, &mut rng);
+        let w = uniform_weights(n - 1, 0.0, 7.0, &mut rng);
+        let release = tree_all_pairs_distances_with(
+            &topo, &w, &TreeDistanceParams::new(eps(1.0)), &mut ZeroNoise).unwrap();
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        for x in topo.nodes() {
+            for y in topo.nodes() {
+                prop_assert!(
+                    (release.distance(x, y) - fw.get(x, y).unwrap()).abs() < 1e-9,
+                    "pair ({}, {})", x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_mechanisms_zero_noise_exact(n in 2usize..80, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = path_graph(n);
+        let w = uniform_weights(n - 1, 0.0, 4.0, &mut rng);
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let depths = weighted_depths(&rt, &w).unwrap();
+        let p = PathGraphParams::new(eps(1.0));
+        let hub = hub_path_release_with(&topo, &w, &p, &mut ZeroNoise).unwrap();
+        let dyadic = dyadic_path_release_with(&topo, &w, &p, &mut ZeroNoise).unwrap();
+        for x in 0..n {
+            for y in 0..n {
+                let truth = (depths[y] - depths[x]).abs();
+                let (xn, yn) = (NodeId::new(x), NodeId::new(y));
+                prop_assert!((hub.distance(xn, yn) - truth).abs() < 1e-9);
+                prop_assert!((dyadic.distance(xn, yn) - truth).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_branching_ablation_all_exact(n in 3usize..60, branching in 2usize..6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = path_graph(n);
+        let w = uniform_weights(n - 1, 0.0, 4.0, &mut rng);
+        let p = PathGraphParams::new(eps(1.0)).with_branching(branching).unwrap();
+        let hub = hub_path_release_with(&topo, &w, &p, &mut ZeroNoise).unwrap();
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let depths = weighted_depths(&rt, &w).unwrap();
+        for x in (0..n).step_by(2) {
+            for y in (0..n).step_by(3) {
+                let truth = (depths[y] - depths[x]).abs();
+                prop_assert!((hub.distance(NodeId::new(x), NodeId::new(y)) - truth).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_zero_noise_error_is_detour_only(n in 10usize..40, k in 1usize..4, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = (n - 1) + n;
+        let topo = connected_gnm(n, m.min(n * (n - 1) / 2), &mut rng);
+        let max_w = 3.0;
+        let w = uniform_weights(topo.num_edges(), 0.0, max_w, &mut rng);
+        let params = BoundedWeightParams::pure(eps(1.0), max_w)
+            .unwrap()
+            .with_strategy(CoveringStrategy::MeirMoon { k });
+        let rel = bounded_weight_all_pairs_with(&topo, &w, &params, &mut ZeroNoise).unwrap();
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        for u in topo.nodes() {
+            for v in topo.nodes() {
+                let err = (rel.distance(u, v) - fw.get(u, v).unwrap()).abs();
+                prop_assert!(err <= 2.0 * k as f64 * max_w + 1e-9, "err {}", err);
+            }
+        }
+    }
+
+    #[test]
+    fn path_attack_roundtrip(n in 1usize..64, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attack = PathAttack::new(n);
+        let bits = random_bits(n, &mut rng);
+        let w = attack.encode(&bits);
+        // Encoding invariants: {0,1} weights, one flip = l1 distance 2.
+        prop_assert!(w.within_bounds(0.0, 1.0));
+        if n > 1 {
+            let mut other = bits.clone();
+            other[n / 2] = !other[n / 2];
+            let w2 = attack.encode(&other);
+            prop_assert!((w.l1_distance(&w2) - 2.0).abs() < 1e-12);
+            prop_assert!(!are_neighbors(&w, &w2)); // distance 2 > 1
+        }
+        let path = exact_shortest_path(attack.topology(), &w, attack.s(), attack.t()).unwrap();
+        prop_assert_eq!(w.path_weight(&path), 0.0);
+        prop_assert_eq!(attack.decode(&path), bits);
+    }
+
+    #[test]
+    fn simple_path_attack_roundtrip(n in 1usize..32, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attack = SimplePathAttack::new(n);
+        let bits = random_bits(n, &mut rng);
+        let w = attack.encode(&bits);
+        let path = exact_shortest_path(attack.topology(), &w, attack.s(), attack.t()).unwrap();
+        prop_assert_eq!(w.path_weight(&path), 0.0);
+        prop_assert_eq!(attack.decode(&path), bits);
+    }
+
+    #[test]
+    fn mst_attack_roundtrip(n in 1usize..48, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attack = MstAttack::new(n);
+        let bits = random_bits(n, &mut rng);
+        let w = attack.encode(&bits);
+        let forest = minimum_spanning_forest(attack.topology(), &w).unwrap();
+        prop_assert_eq!(forest.total_weight, 0.0);
+        prop_assert_eq!(attack.decode(&forest.edges), bits);
+    }
+
+    #[test]
+    fn matching_attack_roundtrip(n in 1usize..32, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attack = MatchingAttack::new(n);
+        let bits = random_bits(n, &mut rng);
+        let w = attack.encode(&bits);
+        let m = min_weight_perfect_matching(attack.topology(), &w).unwrap();
+        prop_assert_eq!(m.total_weight, 0.0);
+        prop_assert_eq!(attack.decode(&m.edges), bits);
+    }
+
+    #[test]
+    fn hamming_objective_error_dominates(n in 2usize..32, seed in any::<u64>(), flips in 0usize..10) {
+        // For any released path, hamming(x, decode(P)) <= w_x(P): the
+        // reduction's key inequality (Lemma 5.2).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let attack = PathAttack::new(n);
+        let bits = random_bits(n, &mut rng);
+        let w = attack.encode(&bits);
+        // Corrupt some bits to simulate an imperfect mechanism: walk the
+        // gadget choosing the wrong edge at `flips` positions.
+        let mut corrupted = bits.clone();
+        for bit in corrupted.iter_mut().take(flips.min(n)) {
+            *bit = !*bit;
+        }
+        let mut nodes = vec![attack.s()];
+        let mut edges = Vec::new();
+        let gadget_topo = attack.topology();
+        for (i, &bit) in corrupted.iter().enumerate() {
+            let between = gadget_topo.edges_between(NodeId::new(i), NodeId::new(i + 1));
+            let e = between[usize::from(bit)];
+            edges.push(e);
+            nodes.push(NodeId::new(i + 1));
+        }
+        let path = privpath::graph::Path::new(nodes, edges);
+        let guess = attack.decode(&path);
+        prop_assert!(hamming(&bits, &guess) as f64 <= w.path_weight(&path) + 1e-9);
+    }
+
+    #[test]
+    fn advanced_composition_monotone_and_consistent(
+        k in 1usize..5000,
+        eps_v in 0.001f64..2.0,
+        delta_exp in 2u32..12
+    ) {
+        let delta = 10f64.powi(-(delta_exp as i32));
+        let per = per_query_epsilon(eps(eps_v), k, delta).unwrap();
+        // Recomposing stays within target.
+        let total = advanced_composition_epsilon(per, k, delta).unwrap();
+        prop_assert!(total <= eps_v * (1.0 + 1e-6));
+        // Per-query epsilon never exceeds the total.
+        prop_assert!(per.value() <= eps_v + 1e-12);
+    }
+
+    #[test]
+    fn synthetic_graph_zero_noise_exact(n in 3usize..25, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = connected_gnm(n, (2 * n).min(n * (n - 1) / 2), &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 5.0, &mut rng);
+        let rel = baselines::synthetic_graph_release(
+            &topo, &w, eps(1.0), NeighborScale::unit(), &mut ZeroNoise).unwrap();
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        for u in topo.nodes() {
+            for v in topo.nodes() {
+                if let Some(truth) = fw.get(u, v) {
+                    prop_assert!((rel.distance(u, v).unwrap() - truth).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

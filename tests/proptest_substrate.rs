@@ -1,0 +1,291 @@
+//! Property-based tests of the graph substrate: independent algorithm
+//! implementations must agree, and structural invariants must hold on
+//! randomized inputs.
+
+use privpath::graph::algo::{
+    bellman_ford, dijkstra, floyd_warshall, greedy_min_weight_maximal_matching,
+    max_weight_matching, max_weight_perfect_matching, min_weight_matching,
+    min_weight_perfect_matching, minimum_spanning_forest, prim_spanning_forest,
+};
+use privpath::graph::covering::{covering_radius, meir_moon_covering, verify_covering};
+use privpath::graph::generators::{connected_gnm, random_tree_prufer, uniform_weights};
+use privpath::graph::tree::{decompose, weighted_depths, Lca, RootedTree};
+use privpath::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph() -> impl Strategy<Value = (Topology, EdgeWeights)> {
+    (2usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_m = n * (n - 1) / 2;
+        let spare = max_m - (n - 1); // extra edges beyond a spanning tree
+        let m = (n - 1) + (seed as usize % (spare + 1)).min(spare);
+        let topo = connected_gnm(n, m, &mut rng);
+        let w = uniform_weights(m, 0.0, 10.0, &mut rng);
+        (topo, w)
+    })
+}
+
+fn arb_tree() -> impl Strategy<Value = (Topology, EdgeWeights)> {
+    (2usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = random_tree_prufer(n, &mut rng);
+        let w = uniform_weights(n - 1, 0.0, 5.0, &mut rng);
+        (topo, w)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dijkstra_bellman_ford_floyd_warshall_agree((topo, w) in arb_graph()) {
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        for s in topo.nodes() {
+            let dj = dijkstra(&topo, &w, s).unwrap();
+            let bf = bellman_ford(&topo, &w, s).unwrap();
+            for t in topo.nodes() {
+                let (a, b, c) = (dj.distance(t), bf.distance(t), fw.get(s, t));
+                match (a, b, c) {
+                    (Some(x), Some(y), Some(z)) => {
+                        prop_assert!((x - y).abs() < 1e-9, "dj {x} vs bf {y}");
+                        prop_assert!((x - z).abs() < 1e-9, "dj {x} vs fw {z}");
+                    }
+                    _ => prop_assert!(a.is_none() && b.is_none() && c.is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_paths_are_valid_and_weigh_their_distance((topo, w) in arb_graph()) {
+        let s = NodeId::new(0);
+        let spt = dijkstra(&topo, &w, s).unwrap();
+        for t in topo.nodes() {
+            if let Some(path) = spt.path_to(t) {
+                path.validate(&topo).unwrap();
+                prop_assert_eq!(path.source(), s);
+                prop_assert_eq!(path.target(), t);
+                let d = spt.distance(t).unwrap();
+                prop_assert!((w.path_weight(&path) - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kruskal_and_prim_agree((topo, w) in arb_graph()) {
+        let k = minimum_spanning_forest(&topo, &w).unwrap();
+        let p = prim_spanning_forest(&topo, &w).unwrap();
+        prop_assert!((k.total_weight - p.total_weight).abs() < 1e-9);
+        prop_assert_eq!(k.edges.len(), p.edges.len());
+        prop_assert_eq!(k.num_components, p.num_components);
+        // Spanning: n - 1 edges for connected inputs.
+        prop_assert_eq!(k.edges.len(), topo.num_nodes() - 1);
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_over_random_spanning_subsets((topo, w) in arb_graph()) {
+        // Any spanning tree found by Prim on permuted weights must weigh at
+        // least the MST.
+        let mst = minimum_spanning_forest(&topo, &w).unwrap();
+        let shuffled = EdgeWeights::new(
+            (0..topo.num_edges()).map(|i| ((i * 7919) % 97) as f64).collect(),
+        ).unwrap();
+        let other = prim_spanning_forest(&topo, &shuffled).unwrap();
+        let other_true_weight: f64 = other.edges.iter().map(|&e| w.get(e)).sum();
+        prop_assert!(other_true_weight >= mst.total_weight - 1e-9);
+    }
+
+    #[test]
+    fn lca_matches_naive((topo, _w) in arb_tree()) {
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let lca = Lca::new(&rt);
+        let naive = |mut u: NodeId, mut v: NodeId| -> NodeId {
+            while rt.depth(u) > rt.depth(v) { u = rt.parent(u).unwrap(); }
+            while rt.depth(v) > rt.depth(u) { v = rt.parent(v).unwrap(); }
+            while u != v { u = rt.parent(u).unwrap(); v = rt.parent(v).unwrap(); }
+            u
+        };
+        let n = topo.num_nodes();
+        for ui in (0..n).step_by(3) {
+            for vi in (0..n).step_by(2) {
+                let (u, v) = (NodeId::new(ui), NodeId::new(vi));
+                prop_assert_eq!(lca.lca(u, v), naive(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_distance_identity_via_lca((topo, w) in arb_tree()) {
+        // d(x,y) = d(r,x) + d(r,y) - 2 d(r, lca(x,y)) for every pair.
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let lca = Lca::new(&rt);
+        let depth_w = weighted_depths(&rt, &w).unwrap();
+        let fw = floyd_warshall(&topo, &w).unwrap();
+        let n = topo.num_nodes();
+        for x in (0..n).step_by(2) {
+            for y in (0..n).step_by(3) {
+                let (xn, yn) = (NodeId::new(x), NodeId::new(y));
+                let a = lca.lca(xn, yn);
+                let formula = depth_w[x] + depth_w[y] - 2.0 * depth_w[a.index()];
+                prop_assert!((formula - fw.get(xn, yn).unwrap()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_invariants((topo, _w) in arb_tree()) {
+        let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+        let d = decompose(&rt);
+        let n = topo.num_nodes();
+        // Depth bound and query count bound.
+        let depth_bound = (n as f64).log2().ceil() as usize + 1;
+        prop_assert!(d.depth <= depth_bound, "depth {} > {}", d.depth, depth_bound);
+        prop_assert!(d.num_queries <= 2 * n);
+        // Every level's queried edges are disjoint (sensitivity 1/level).
+        for edges in d.level_edge_usage(&rt) {
+            let mut sorted: Vec<_> = edges.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), edges.len());
+        }
+        // Every non-root vertex assigned exactly once.
+        let mut assigned = vec![0u32; n];
+        d.for_each_call(|call, _| {
+            for &(c, _) in &call.child_edges {
+                assigned[c.index()] += 1;
+            }
+        });
+        prop_assert_eq!(assigned[0], 0);
+        for (v, &count) in assigned.iter().enumerate().skip(1) {
+            prop_assert_eq!(count, 1, "vertex {} assigned {} times", v, count);
+        }
+        // Noise-term count bounded by 2 * depth.
+        let terms = d.noise_terms_per_vertex(n);
+        prop_assert!(terms.iter().all(|&t| t as usize <= 2 * d.depth));
+    }
+
+    #[test]
+    fn meir_moon_covering_invariants((topo, _w) in arb_graph(), k in 1usize..6) {
+        let z = meir_moon_covering(&topo, k).unwrap();
+        prop_assert!(verify_covering(&topo, &z, k).unwrap());
+        let n = topo.num_nodes();
+        if n > k {
+            prop_assert!(z.len() <= n / (k + 1), "|Z| = {} > {}", z.len(), n / (k + 1));
+        } else {
+            prop_assert_eq!(z.len(), 1);
+        }
+        let r = covering_radius(&topo, &z).unwrap().unwrap();
+        prop_assert!(r as usize <= k);
+    }
+
+    #[test]
+    fn greedy_matching_weight_at_least_perfect_min(seed in any::<u64>(), n_half in 2usize..7) {
+        // On complete bipartite graphs a perfect matching exists; greedy
+        // maximal is perfect there and weighs at least the Hungarian min.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Topology::builder(2 * n_half);
+        for i in 0..n_half {
+            for j in 0..n_half {
+                b.add_edge(NodeId::new(i), NodeId::new(n_half + j));
+            }
+        }
+        let topo = b.build();
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let exact = min_weight_perfect_matching(&topo, &w).unwrap();
+        let greedy = greedy_min_weight_maximal_matching(&topo, &w);
+        prop_assert!(exact.is_perfect(&topo));
+        prop_assert!(greedy.is_perfect(&topo));
+        prop_assert!(greedy.total_weight >= exact.total_weight - 1e-9);
+    }
+
+    #[test]
+    fn matching_is_minimal_vs_random_perfect_matchings(seed in any::<u64>(), n_half in 2usize..6) {
+        // Compare Hungarian answer against random permutation matchings.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Topology::builder(2 * n_half);
+        let mut edge_ids = vec![vec![EdgeId::new(0); n_half]; n_half];
+        for (i, row) in edge_ids.iter_mut().enumerate() {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = b.add_edge(NodeId::new(i), NodeId::new(n_half + j));
+            }
+        }
+        let topo = b.build();
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        let exact = min_weight_perfect_matching(&topo, &w).unwrap();
+        // Identity and reversed permutations as competitors.
+        for rev in [false, true] {
+            let total: f64 = (0..n_half)
+                .map(|i| {
+                    let j = if rev { n_half - 1 - i } else { i };
+                    w.get(edge_ids[i][j])
+                })
+                .sum();
+            prop_assert!(total >= exact.total_weight - 1e-9);
+        }
+    }
+
+    #[test]
+    fn matching_variant_order_relations(seed in any::<u64>(), n_half in 2usize..6) {
+        // On complete bipartite graphs with mixed-sign weights:
+        //   MinAny <= min(0, MinPerfect)   and   MaxAny >= max(0, MaxPerfect).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = Topology::builder(2 * n_half);
+        for i in 0..n_half {
+            for j in 0..n_half {
+                b.add_edge(NodeId::new(i), NodeId::new(n_half + j));
+            }
+        }
+        let topo = b.build();
+        let w = uniform_weights(topo.num_edges(), -5.0, 5.0, &mut rng);
+        let min_perfect = min_weight_perfect_matching(&topo, &w).unwrap().total_weight;
+        let min_any = min_weight_matching(&topo, &w).unwrap().total_weight;
+        let max_perfect = max_weight_perfect_matching(&topo, &w).unwrap().total_weight;
+        let max_any = max_weight_matching(&topo, &w).unwrap().total_weight;
+        prop_assert!(min_any <= 1e-9);
+        prop_assert!(min_any <= min_perfect + 1e-9);
+        prop_assert!(max_any >= -1e-9);
+        prop_assert!(max_any >= max_perfect - 1e-9);
+        // Duality: max(w) == -min(-w).
+        let negated = w.map(|_, x| -x);
+        let dual = min_weight_matching(&topo, &negated).unwrap().total_weight;
+        prop_assert!((max_any + dual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_any_matching_edges_are_negative_and_disjoint((topo, w_pos) in arb_graph()) {
+        // Shift weights down so some are negative.
+        let w = w_pos.map(|_, x| x - 5.0);
+        let m = match min_weight_matching(&topo, &w) {
+            Ok(m) => m,
+            // Dense negative subgraphs can exceed the exact solver's
+            // component limit; that is documented behavior, skip.
+            Err(GraphError::MatchingComponentTooLarge { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+        let mut seen = vec![false; topo.num_nodes()];
+        for &e in &m.edges {
+            prop_assert!(w.get(e) < 0.0, "nonnegative edge chosen");
+            let (u, v) = topo.endpoints(e);
+            prop_assert!(!seen[u.index()] && !seen[v.index()], "vertex reused");
+            seen[u.index()] = true;
+            seen[v.index()] = true;
+        }
+        // Total is the sum of chosen edges and never positive.
+        let total: f64 = m.edges.iter().map(|&e| w.get(e)).sum();
+        prop_assert!((total - m.total_weight).abs() < 1e-9);
+        prop_assert!(m.total_weight <= 1e-9);
+    }
+
+    #[test]
+    fn weighted_depths_match_dijkstra_on_trees((topo, w) in arb_tree()) {
+        let root = NodeId::new(topo.num_nodes() / 2);
+        let rt = RootedTree::new(&topo, root).unwrap();
+        let wd = weighted_depths(&rt, &w).unwrap();
+        let spt = dijkstra(&topo, &w, root).unwrap();
+        for v in topo.nodes() {
+            prop_assert!((wd[v.index()] - spt.distance(v).unwrap()).abs() < 1e-9);
+        }
+    }
+}
