@@ -1,0 +1,91 @@
+//! Serving hot-path benchmarks for the engine layer: `distance_batch`
+//! against repeated single `distance` calls, on the release kind whose
+//! query cost is dominated by per-source Dijkstra work.
+//!
+//! The batch surface exists precisely so a serving frontend can amortize
+//! one shortest-path-tree computation across every query that shares a
+//! source; these benchmarks establish that baseline for future
+//! sharding/caching work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::shortest_path::ShortestPathParams;
+use privpath_dp::Epsilon;
+use privpath_engine::{mechanisms, ReleaseEngine};
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+use privpath_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A query workload with heavy source reuse: `sources` distinct origins,
+/// `per_source` destinations each — the shape a navigation frontend's
+/// request queue actually has.
+fn workload(v: usize, sources: usize, per_source: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(sources * per_source);
+    for _ in 0..sources {
+        let s = NodeId::new(rng.gen_range(0..v));
+        for _ in 0..per_source {
+            pairs.push((s, NodeId::new(rng.gen_range(0..v))));
+        }
+    }
+    pairs
+}
+
+fn shortest_path_oracle(v: usize) -> ReleaseEngine {
+    let mut rng = StdRng::seed_from_u64(20);
+    let topo = connected_gnm(v, 4 * v, &mut rng);
+    let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+    let mut engine = ReleaseEngine::new(topo, w).unwrap();
+    let params = ShortestPathParams::new(Epsilon::new(1.0).unwrap(), 0.05).unwrap();
+    engine
+        .release(&mechanisms::ShortestPaths, &params, &mut rng)
+        .unwrap();
+    engine
+}
+
+fn bench_batch_vs_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/shortest_path_serving");
+    group.sample_size(10);
+    for &v in &[512usize, 2048] {
+        let engine = shortest_path_oracle(v);
+        let id = engine.releases().next().unwrap().id();
+        let oracle = engine.query(id).unwrap();
+        let pairs = workload(v, 8, 32, 77);
+
+        group.bench_with_input(BenchmarkId::new("single_loop", v), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(s, t) in pairs {
+                    acc += oracle.distance(s, t).unwrap();
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("distance_batch", v), &pairs, |b, pairs| {
+            b.iter(|| oracle.distance_batch(pairs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_source_locality(c: &mut Criterion) {
+    // The batch win shrinks as source reuse drops; measure both regimes.
+    let mut group = c.benchmark_group("engine/batch_source_locality");
+    group.sample_size(10);
+    let v = 1024;
+    let engine = shortest_path_oracle(v);
+    let id = engine.releases().next().unwrap().id();
+    let oracle = engine.query(id).unwrap();
+    for &(sources, per_source) in &[(4usize, 64usize), (64, 4)] {
+        let pairs = workload(v, sources, per_source, 78);
+        group.bench_with_input(
+            BenchmarkId::new(format!("{sources}src_x{per_source}"), v),
+            &pairs,
+            |b, pairs| b.iter(|| oracle.distance_batch(pairs).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_single, bench_batch_source_locality);
+criterion_main!(benches);

@@ -17,7 +17,9 @@ fn bench_releases(c: &mut Criterion) {
         let topo = path_graph(v);
         let w = uniform_weights(v - 1, 0.0, 10.0, &mut rng);
         let p2 = PathGraphParams::new(Epsilon::new(1.0).unwrap());
-        let p8 = PathGraphParams::new(Epsilon::new(1.0).unwrap()).with_branching(8).unwrap();
+        let p8 = PathGraphParams::new(Epsilon::new(1.0).unwrap())
+            .with_branching(8)
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("hub_b2", v), &v, |b, _| {
             let mut mech = StdRng::seed_from_u64(31);
             b.iter(|| hub_path_release(&topo, &w, &p2, &mut mech).unwrap());

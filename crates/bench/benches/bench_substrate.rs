@@ -74,5 +74,11 @@ fn bench_covering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dijkstra, bench_mst, bench_tree_machinery, bench_covering);
+criterion_group!(
+    benches,
+    bench_dijkstra,
+    bench_mst,
+    bench_tree_machinery,
+    bench_covering
+);
 criterion_main!(benches);

@@ -24,8 +24,7 @@ fn bench_single_source(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, _| {
             let mut mech = StdRng::seed_from_u64(21);
             b.iter(|| {
-                tree_single_source_distances(&topo, &w, NodeId::new(0), &params, &mut mech)
-                    .unwrap()
+                tree_single_source_distances(&topo, &w, NodeId::new(0), &params, &mut mech).unwrap()
             });
         });
     }

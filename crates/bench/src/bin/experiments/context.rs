@@ -1,6 +1,8 @@
 //! Shared experiment context.
 
 use privpath_bench::Table;
+use privpath_engine::ReleaseEngine;
+use privpath_graph::{EdgeWeights, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -18,7 +20,18 @@ pub struct Ctx {
 impl Ctx {
     /// A deterministic RNG for a given salt.
     pub fn rng(&self, salt: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(salt))
+        StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(salt),
+        )
+    }
+
+    /// An unbounded release engine over a copy of the workload, so
+    /// experiments run mechanisms through the production release path
+    /// while keeping a per-trial spend ledger.
+    pub fn engine(&self, topo: &Topology, weights: &EdgeWeights) -> ReleaseEngine {
+        ReleaseEngine::new(topo.clone(), weights.clone()).expect("experiment workloads validate")
     }
 
     /// Prints a table and writes its CSV if an output directory is set.

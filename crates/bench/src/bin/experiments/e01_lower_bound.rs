@@ -18,8 +18,13 @@ pub fn run(ctx: &Ctx) {
     let mut table = Table::new(
         "E1 path reconstruction: exact vs Algorithm 3",
         &[
-            "bits", "eps", "exact_recovered", "dp_recovered_frac", "dp_mean_error",
-            "alpha_lower_bound", "error_over_alpha",
+            "bits",
+            "eps",
+            "exact_recovered",
+            "dp_recovered_frac",
+            "dp_mean_error",
+            "alpha_lower_bound",
+            "error_over_alpha",
         ],
     );
     let gamma = 0.1;
@@ -32,7 +37,8 @@ pub fn run(ctx: &Ctx) {
         let w = attack.encode(&bits);
         let exact_path =
             exact_shortest_path(attack.topology(), &w, attack.s(), attack.t()).unwrap();
-        let exact_recovered = n - privpath_core::attack::hamming(&bits, &attack.decode(&exact_path));
+        let exact_recovered =
+            n - privpath_core::attack::hamming(&bits, &attack.decode(&exact_path));
 
         for &eps_v in &[0.1f64, 0.5, 1.0] {
             let eps = Epsilon::new(eps_v).unwrap();
@@ -62,7 +68,11 @@ pub fn run(ctx: &Ctx) {
                 fmt(dp_recovered),
                 fmt(mean_err),
                 fmt(alpha),
-                if alpha > 0.0 { fmt(mean_err / alpha) } else { "-".into() },
+                if alpha > 0.0 {
+                    fmt(mean_err / alpha)
+                } else {
+                    "-".into()
+                },
             ]);
         }
     }

@@ -9,8 +9,9 @@ use super::context::Ctx;
 use privpath_bench::{fmt, Table};
 use privpath_core::bounds;
 use privpath_core::experiment::ErrorCollector;
-use privpath_core::shortest_path::{private_shortest_paths, ShortestPathParams};
+use privpath_core::shortest_path::ShortestPathParams;
 use privpath_dp::Epsilon;
+use privpath_engine::mechanisms;
 use privpath_graph::generators::planted_path_graph;
 
 pub fn run(ctx: &Ctx) {
@@ -18,7 +19,15 @@ pub fn run(ctx: &Ctx) {
     let extra = 128;
     let mut table = Table::new(
         "E2 hop-proportional error of Algorithm 3",
-        &["hops_k", "eps", "V", "E", "mean_excess", "p95_excess", "bound_2k_lnE"],
+        &[
+            "hops_k",
+            "eps",
+            "V",
+            "E",
+            "mean_excess",
+            "p95_excess",
+            "bound_2k_lnE",
+        ],
     );
     for &eps_v in &[0.5f64, 1.0, 2.0] {
         let eps = Epsilon::new(eps_v).unwrap();
@@ -33,10 +42,17 @@ pub fn run(ctx: &Ctx) {
                 e_count = planted.topo.num_edges();
                 let params = ShortestPathParams::new(eps, gamma).unwrap();
                 let mut mech = ctx.rng(2000 + t * 31 + k as u64);
-                let rel =
-                    private_shortest_paths(&planted.topo, &planted.weights, &params, &mut mech)
-                        .expect("valid workload");
-                let path = rel.path(planted.s, planted.t).expect("connected");
+                // Release through the engine, query through the oracle.
+                let mut engine = ctx.engine(&planted.topo, &planted.weights);
+                let id = engine
+                    .release(&mechanisms::ShortestPaths, &params, &mut mech)
+                    .expect("valid workload");
+                let path = engine
+                    .query(id)
+                    .expect("distance-capable")
+                    .path(planted.s, planted.t)
+                    .expect("route-capable")
+                    .expect("connected");
                 collector.push(planted.weights.path_weight(&path) - planted.planted_weight);
             }
             let stats = collector.stats();

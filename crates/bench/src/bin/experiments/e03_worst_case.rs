@@ -101,7 +101,12 @@ pub fn run(ctx: &Ctx) {
             "256".into(),
             topo.num_edges().to_string(),
             fmt(max_e),
-            fmt(bounds::cor56_worst_case(256, eps_v, topo.num_edges(), gamma)),
+            fmt(bounds::cor56_worst_case(
+                256,
+                eps_v,
+                topo.num_edges(),
+                gamma,
+            )),
         ]);
     }
     ctx.emit(&table);

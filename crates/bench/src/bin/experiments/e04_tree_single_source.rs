@@ -34,7 +34,15 @@ pub fn run(ctx: &Ctx) {
     let gamma = 0.05;
     let mut table = Table::new(
         "E4 single-source tree distance error (Algorithm 1)",
-        &["shape", "V", "depth_L", "queries", "mean_err", "max_err", "thm41_bound"],
+        &[
+            "shape",
+            "V",
+            "depth_L",
+            "queries",
+            "mean_err",
+            "max_err",
+            "thm41_bound",
+        ],
     );
     for &v in &[64usize, 256, 1024, 4096] {
         for (name, topo) in shapes(v, ctx) {

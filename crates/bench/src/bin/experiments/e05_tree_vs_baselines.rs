@@ -26,14 +26,21 @@ pub fn run(ctx: &Ctx) {
     let mut table = Table::new(
         "E5 all-pairs tree distances: mechanism vs baselines (max err over pairs)",
         &[
-            "topology", "V", "tree_mech", "synthetic", "advanced_comp", "basic_comp",
-            "tree_bound", "synth_bound",
+            "topology",
+            "V",
+            "tree_mech",
+            "synthetic",
+            "advanced_comp",
+            "basic_comp",
+            "tree_bound",
+            "synth_bound",
         ],
     );
 
-    for (name, sizes) in
-        [("path", vec![128usize, 512, 2048, 8192, 32768]), ("random_tree", vec![128, 512, 2048])]
-    {
+    for (name, sizes) in [
+        ("path", vec![128usize, 512, 2048, 8192, 32768]),
+        ("random_tree", vec![128, 512, 2048]),
+    ] {
         for &v in &sizes {
             let topo: Topology = if name == "path" {
                 path_graph(v)
@@ -152,8 +159,16 @@ pub fn run(ctx: &Ctx) {
                 v.to_string(),
                 fmt(tree_err.stats().mean),
                 fmt(synth_err.stats().mean),
-                if measure_advanced { fmt(adv_err.stats().mean) } else { "(skipped)".into() },
-                if measure_basic { fmt(basic_err.stats().mean) } else { "(skipped)".into() },
+                if measure_advanced {
+                    fmt(adv_err.stats().mean)
+                } else {
+                    "(skipped)".into()
+                },
+                if measure_basic {
+                    fmt(basic_err.stats().mean)
+                } else {
+                    "(skipped)".into()
+                },
                 fmt(bounds::thm42_all_pairs_tree(v, 1.0, gamma)),
                 fmt((v as f64) * ((topo.num_edges() as f64) / gamma).ln()),
             ]);

@@ -20,7 +20,14 @@ pub fn run(ctx: &Ctx) {
     let gamma = 0.05;
     let mut table = Table::new(
         "E6 path graph mechanisms (p95 err over pairs)",
-        &["V", "hub_b2", "hub_b4", "dyadic", "tree_mech", "thm_a1_shape"],
+        &[
+            "V",
+            "hub_b2",
+            "hub_b4",
+            "dyadic",
+            "tree_mech",
+            "thm_a1_shape",
+        ],
     );
     for &v in &[128usize, 512, 2048, 8192, 16384] {
         let topo = path_graph(v);
@@ -44,13 +51,9 @@ pub fn run(ctx: &Ctx) {
             let hub2 = hub_path_release(&topo, &weights, &p2, &mut mech).expect("path");
             let hub4 = hub_path_release(&topo, &weights, &p4, &mut mech).expect("path");
             let dyadic = dyadic_path_release(&topo, &weights, &p2, &mut mech).expect("path");
-            let tree = tree_all_pairs_distances(
-                &topo,
-                &weights,
-                &TreeDistanceParams::new(eps),
-                &mut mech,
-            )
-            .expect("path is a tree");
+            let tree =
+                tree_all_pairs_distances(&topo, &weights, &TreeDistanceParams::new(eps), &mut mech)
+                    .expect("path is a tree");
 
             let mut pair_rng = ctx.rng(v as u64 * 29 + t);
             for (x, y) in sample_pairs(v, 100, &mut pair_rng) {

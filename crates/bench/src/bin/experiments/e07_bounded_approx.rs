@@ -22,7 +22,16 @@ pub fn run(ctx: &Ctx) {
     let gamma = 0.05;
     let mut table = Table::new(
         "E7 bounded-weight all-pairs, approximate DP (Thm 4.5, auto-k)",
-        &["V", "M", "k", "|Z|", "p95_err", "max_err", "bound", "synthetic_p95"],
+        &[
+            "V",
+            "M",
+            "k",
+            "|Z|",
+            "p95_err",
+            "max_err",
+            "bound",
+            "synthetic_p95",
+        ],
     );
     for &v in &[128usize, 256, 512, 1024] {
         for &m_w in &[0.25f64, 1.0, 4.0] {

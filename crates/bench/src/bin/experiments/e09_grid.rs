@@ -27,8 +27,8 @@ fn measure(
     let mut bound = 0.0;
     for t in 0..ctx.trials {
         let mut mech = ctx.rng(salt + t);
-        let rel = bounded_weight_all_pairs(topo, weights, params, &mut mech)
-            .expect("grid workload");
+        let rel =
+            bounded_weight_all_pairs(topo, weights, params, &mut mech).expect("grid workload");
         z = rel.centers().len();
         bound = bounds::bounded_error(rel.k(), 1.0, rel.noise_scale(), rel.num_released(), 0.05);
         let mut pair_rng = ctx.rng(salt + 999 + t);
@@ -55,8 +55,16 @@ pub fn run(ctx: &Ctx) {
     let mut table = Table::new(
         "E9 grid coverings (Thm 4.7): modular vs generic vs greedy",
         &[
-            "V", "side", "radius_k", "Z_modular", "p95_modular", "Z_meirmoon", "p95_meirmoon",
-            "Z_greedy", "p95_greedy", "bound_modular",
+            "V",
+            "side",
+            "radius_k",
+            "Z_modular",
+            "p95_modular",
+            "Z_meirmoon",
+            "p95_meirmoon",
+            "Z_greedy",
+            "p95_greedy",
+            "bound_modular",
         ],
     );
     for &side in &[8usize, 16, 24, 32] {

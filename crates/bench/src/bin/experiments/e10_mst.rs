@@ -59,7 +59,14 @@ pub fn run(ctx: &Ctx) {
 
     let mut attack_table = Table::new(
         "E10b star-gadget MST reconstruction (Thm B.1)",
-        &["bits", "eps", "exact_recovered", "dp_recovered_frac", "dp_mean_error", "alpha"],
+        &[
+            "bits",
+            "eps",
+            "exact_recovered",
+            "dp_recovered_frac",
+            "dp_mean_error",
+            "alpha",
+        ],
     );
     for &n in &[64usize, 128] {
         let attack = MstAttack::new(n);

@@ -60,7 +60,12 @@ pub fn run(ctx: &Ctx) {
                 fmt(eps_v),
                 fmt(stats.mean),
                 fmt(stats.max),
-                fmt(bounds::thm_b6_matching_error(v, eps_v, topo.num_edges(), gamma)),
+                fmt(bounds::thm_b6_matching_error(
+                    v,
+                    eps_v,
+                    topo.num_edges(),
+                    gamma,
+                )),
             ]);
         }
     }
@@ -68,7 +73,14 @@ pub fn run(ctx: &Ctx) {
 
     let mut attack_table = Table::new(
         "E11b hourglass-gadget matching reconstruction (Thm B.4)",
-        &["bits", "eps", "exact_recovered", "dp_recovered_frac", "dp_mean_error", "alpha"],
+        &[
+            "bits",
+            "eps",
+            "exact_recovered",
+            "dp_recovered_frac",
+            "dp_mean_error",
+            "alpha",
+        ],
     );
     for &n in &[32usize, 96] {
         let attack = MatchingAttack::new(n);

@@ -7,6 +7,10 @@
 //! * all-pairs by advanced composition — noise `~V sqrt(ln(1/delta))/eps`;
 //! * synthetic graph — per-edge noise `1/eps`, per-query error up to
 //!   `~(V/eps) log E` on deep graphs.
+//!
+//! The three all-pairs baselines run through the `ReleaseEngine` — one
+//! engine per trial, three budget-tracked releases, batched queries
+//! through the uniform `DistanceRelease` surface.
 
 use super::context::Ctx;
 use privpath_bench::{fmt, sample_pairs, Table};
@@ -14,8 +18,10 @@ use privpath_core::baselines;
 use privpath_core::experiment::ErrorCollector;
 use privpath_core::model::NeighborScale;
 use privpath_dp::{Delta, Epsilon, RngNoise};
+use privpath_engine::{mechanisms, AnyRelease};
 use privpath_graph::algo::dijkstra;
 use privpath_graph::generators::{connected_gnm, uniform_weights};
+use privpath_graph::NodeId;
 
 pub fn run(ctx: &Ctx) {
     let eps = Epsilon::new(1.0).unwrap();
@@ -24,8 +30,14 @@ pub fn run(ctx: &Ctx) {
     let mut table = Table::new(
         "E12 generic baselines for all-pairs distances (p95 err over pairs)",
         &[
-            "V", "oracle_noise_scale", "synthetic_p95", "advanced_p95", "basic_p95",
-            "synthetic_scale", "advanced_scale", "basic_scale",
+            "V",
+            "oracle_noise_scale",
+            "synthetic_p95",
+            "advanced_p95",
+            "basic_p95",
+            "synthetic_scale",
+            "advanced_scale",
+            "basic_scale",
         ],
     );
     for &v in &[64usize, 128, 256, 512] {
@@ -39,36 +51,73 @@ pub fn run(ctx: &Ctx) {
         let (mut s_scale, mut a_scale, mut b_scale) = (0.0, 0.0, 0.0);
         for t in 0..ctx.trials {
             let mut mech = ctx.rng(v as u64 * 91 + t);
-            let synth =
-                baselines::rng::synthetic_graph_release(&topo, &weights, eps, scale, &mut mech)
-                    .expect("valid");
-            let adv = baselines::rng::all_pairs_advanced_composition(
-                &topo, &weights, eps, delta, scale, &mut mech,
-            )
-            .expect("valid");
-            let basic =
-                baselines::rng::all_pairs_basic_composition(&topo, &weights, eps, scale, &mut mech)
-                    .expect("valid");
-            s_scale = synth.noise_scale();
-            a_scale = adv.noise_scale();
-            b_scale = basic.noise_scale();
+            let mut engine = ctx.engine(&topo, &weights);
+            let synth_id = engine
+                .release(
+                    &mechanisms::SyntheticGraph,
+                    &mechanisms::SyntheticGraphParams::new(eps).with_scale(scale),
+                    &mut mech,
+                )
+                .expect("valid");
+            let adv_id = engine
+                .release(
+                    &mechanisms::AllPairsBaseline,
+                    &mechanisms::AllPairsBaselineParams::advanced(eps, delta)
+                        .expect("delta > 0")
+                        .with_scale(scale),
+                    &mut mech,
+                )
+                .expect("valid");
+            let basic_id = engine
+                .release(
+                    &mechanisms::AllPairsBaseline,
+                    &mechanisms::AllPairsBaselineParams::basic(eps).with_scale(scale),
+                    &mut mech,
+                )
+                .expect("valid");
+            // The ledger sees all three releases over this database.
+            debug_assert_eq!(engine.spent(), (3.0, 1e-6));
+
+            let noise_scale_of = |id| match engine.get(id).expect("registered").release() {
+                AnyRelease::SyntheticGraph(r) => r.noise_scale(),
+                AnyRelease::AllPairsBaseline(r) => r.noise_scale(),
+                _ => unreachable!("baseline kinds"),
+            };
+            s_scale = noise_scale_of(synth_id);
+            a_scale = noise_scale_of(adv_id);
+            b_scale = noise_scale_of(basic_id);
 
             let mut pair_rng = ctx.rng(v as u64 * 71 + t);
             let mut pairs = sample_pairs(v, 40, &mut pair_rng);
             pairs.sort();
-            let mut cur: Option<(privpath_graph::NodeId, Vec<f64>, Vec<f64>)> = None;
-            for (s, t2) in pairs {
-                let refresh = cur.as_ref().is_none_or(|(src, _, _)| *src != s);
+            let synth_d = engine
+                .query(synth_id)
+                .expect("distance-capable")
+                .distance_batch(&pairs)
+                .expect("connected");
+            let adv_d = engine
+                .query(adv_id)
+                .expect("distance-capable")
+                .distance_batch(&pairs)
+                .expect("in range");
+            let basic_d = engine
+                .query(basic_id)
+                .expect("distance-capable")
+                .distance_batch(&pairs)
+                .expect("in range");
+
+            let mut cur: Option<(NodeId, Vec<f64>)> = None;
+            for (i, &(s, t2)) in pairs.iter().enumerate() {
+                let refresh = cur.as_ref().is_none_or(|(src, _)| *src != s);
                 if refresh {
                     let spt = dijkstra(&topo, &weights, s).expect("nonneg");
-                    let sd = synth.distances_from(s).expect("valid");
-                    cur = Some((s, spt.distances().to_vec(), sd));
+                    cur = Some((s, spt.distances().to_vec()));
                 }
-                let (_, truths, synth_d) = cur.as_ref().expect("set");
+                let (_, truths) = cur.as_ref().expect("set");
                 let truth = truths[t2.index()];
-                synth_err.push((synth_d[t2.index()] - truth).abs());
-                adv_err.push((adv.distance(s, t2) - truth).abs());
-                basic_err.push((basic.distance(s, t2) - truth).abs());
+                synth_err.push((synth_d[i] - truth).abs());
+                adv_err.push((adv_d[i] - truth).abs());
+                basic_err.push((basic_d[i] - truth).abs());
             }
         }
         // The oracle answers exactly one query at scale 1/eps; demonstrate
@@ -77,8 +126,8 @@ pub fn run(ctx: &Ctx) {
         let _ = baselines::laplace_distance_oracle(
             &topo,
             &weights,
-            privpath_graph::NodeId::new(0),
-            privpath_graph::NodeId::new(1),
+            NodeId::new(0),
+            NodeId::new(1),
             eps,
             scale,
             &mut noise,

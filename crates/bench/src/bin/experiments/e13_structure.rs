@@ -22,7 +22,15 @@ pub fn run(ctx: &Ctx) {
     // --- Decomposition census over random trees ---
     let mut decomp = Table::new(
         "E13a Algorithm 1 decomposition census (random trees)",
-        &["V_range", "samples", "max_depth", "depth_bound", "max_queries_over_2V", "level_overlaps", "piece_violations"],
+        &[
+            "V_range",
+            "samples",
+            "max_depth",
+            "depth_bound",
+            "max_queries_over_2V",
+            "level_overlaps",
+            "piece_violations",
+        ],
     );
     let mut rng = ctx.rng(13);
     let mut max_depth = 0usize;
@@ -67,7 +75,14 @@ pub fn run(ctx: &Ctx) {
     // --- Covering census over random connected graphs ---
     let mut cover = Table::new(
         "E13b Lemma 4.4 covering census (connected gnm)",
-        &["V_range", "k_range", "samples", "size_violations", "radius_violations", "max_size_ratio"],
+        &[
+            "V_range",
+            "k_range",
+            "samples",
+            "size_violations",
+            "radius_violations",
+            "max_size_ratio",
+        ],
     );
     let mut size_violations = 0usize;
     let mut radius_violations = 0usize;

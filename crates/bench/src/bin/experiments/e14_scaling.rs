@@ -23,7 +23,13 @@ pub fn run(ctx: &Ctx) {
     let v = 256;
     let mut table = Table::new(
         "E14 neighbor-unit scaling (Sec 1.2)",
-        &["scale_s", "alg3_p95_excess", "alg3_ratio_to_s1", "tree_p95_err", "tree_ratio_to_s1"],
+        &[
+            "scale_s",
+            "alg3_p95_excess",
+            "alg3_ratio_to_s1",
+            "tree_p95_err",
+            "tree_ratio_to_s1",
+        ],
     );
 
     let mut gen_rng = ctx.rng(14);
@@ -39,7 +45,9 @@ pub fn run(ctx: &Ctx) {
         // Algorithm 3 excess over sampled pairs.
         let mut alg3 = ErrorCollector::new();
         for t in 0..ctx.trials {
-            let params = ShortestPathParams::new(eps, 0.05).expect("valid").with_scale(scale);
+            let params = ShortestPathParams::new(eps, 0.05)
+                .expect("valid")
+                .with_scale(scale);
             let mut mech = ctx.rng(1000 + t + (s * 1000.0) as u64);
             let rel = private_shortest_paths(&topo, &weights, &params, &mut mech).expect("valid");
             let mut pair_rng = ctx.rng(2000 + t);

@@ -14,7 +14,13 @@ pub fn run(ctx: &Ctx) {
     let n = 40_000 * ctx.trials as usize;
     let mut table = Table::new(
         "E15 randomized response vs the Lemma 5.3 floor",
-        &["eps", "measured_flip_rate", "floor", "ratio", "freq_estimate_of_0.30"],
+        &[
+            "eps",
+            "measured_flip_rate",
+            "floor",
+            "ratio",
+            "freq_estimate_of_0.30",
+        ],
     );
     for &eps_v in &[0.1f64, 0.25, 0.5, 1.0, 2.0, 4.0] {
         let eps = Epsilon::new(eps_v).unwrap();

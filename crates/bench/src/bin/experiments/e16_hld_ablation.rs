@@ -23,7 +23,15 @@ pub fn run(ctx: &Ctx) {
     let eps = Epsilon::new(1.0).unwrap();
     let mut table = Table::new(
         "E16 Algorithm 1 vs heavy-path dyadic release (p95 err over pairs)",
-        &["shape", "V", "alg1_p95", "hld_p95", "hld_over_alg1", "hld_chains", "hld_levels"],
+        &[
+            "shape",
+            "V",
+            "alg1_p95",
+            "hld_p95",
+            "hld_over_alg1",
+            "hld_chains",
+            "hld_levels",
+        ],
     );
     for &v in &[256usize, 1024, 4096] {
         let shapes: Vec<(&str, Topology)> = vec![

@@ -43,22 +43,86 @@ struct Experiment {
 
 fn registry() -> Vec<Experiment> {
     vec![
-        Experiment { id: "e1", anchor: "Thm 5.1 + Fig 2: shortest-path reconstruction lower bound", run: e01_lower_bound::run },
-        Experiment { id: "e2", anchor: "Thm 5.5: Algorithm 3 error is hop-proportional", run: e02_hop_error::run },
-        Experiment { id: "e3", anchor: "Cor 5.6: Algorithm 3 worst case over all pairs", run: e03_worst_case::run },
-        Experiment { id: "e4", anchor: "Thm 4.1 + Fig 1: single-source tree distances", run: e04_tree_single_source::run },
-        Experiment { id: "e5", anchor: "Thm 4.2 + Sec 4 intro: all-pairs trees vs baselines", run: e05_tree_vs_baselines::run },
-        Experiment { id: "e6", anchor: "Appendix A: path graph hub hierarchy and dyadic ablation", run: e06_path_graph::run },
-        Experiment { id: "e7", anchor: "Thm 4.3/4.5: bounded weights, approximate DP", run: e07_bounded_approx::run },
-        Experiment { id: "e8", anchor: "Thm 4.6: bounded weights, pure DP", run: e08_bounded_pure::run },
-        Experiment { id: "e9", anchor: "Thm 4.7: grid covering vs generic covering", run: e09_grid::run },
-        Experiment { id: "e10", anchor: "Thm B.1/B.3 + Fig 3: private MST", run: e10_mst::run },
-        Experiment { id: "e11", anchor: "Thm B.4/B.6 + Fig 3: private matching", run: e11_matching::run },
-        Experiment { id: "e12", anchor: "Sec 4 intro: the four generic all-pairs baselines", run: e12_baselines::run },
-        Experiment { id: "e13", anchor: "Fig 1 + Lemma 4.4: structural invariants census", run: e13_structure::run },
-        Experiment { id: "e14", anchor: "Sec 1.2: error scales with the neighbor unit", run: e14_scaling::run },
-        Experiment { id: "e15", anchor: "Lemma 5.3: randomized-response optimality", run: e15_randomized_response::run },
-        Experiment { id: "e16", anchor: "Extension: Algorithm 1 vs heavy-path dyadic release", run: e16_hld_ablation::run },
+        Experiment {
+            id: "e1",
+            anchor: "Thm 5.1 + Fig 2: shortest-path reconstruction lower bound",
+            run: e01_lower_bound::run,
+        },
+        Experiment {
+            id: "e2",
+            anchor: "Thm 5.5: Algorithm 3 error is hop-proportional",
+            run: e02_hop_error::run,
+        },
+        Experiment {
+            id: "e3",
+            anchor: "Cor 5.6: Algorithm 3 worst case over all pairs",
+            run: e03_worst_case::run,
+        },
+        Experiment {
+            id: "e4",
+            anchor: "Thm 4.1 + Fig 1: single-source tree distances",
+            run: e04_tree_single_source::run,
+        },
+        Experiment {
+            id: "e5",
+            anchor: "Thm 4.2 + Sec 4 intro: all-pairs trees vs baselines",
+            run: e05_tree_vs_baselines::run,
+        },
+        Experiment {
+            id: "e6",
+            anchor: "Appendix A: path graph hub hierarchy and dyadic ablation",
+            run: e06_path_graph::run,
+        },
+        Experiment {
+            id: "e7",
+            anchor: "Thm 4.3/4.5: bounded weights, approximate DP",
+            run: e07_bounded_approx::run,
+        },
+        Experiment {
+            id: "e8",
+            anchor: "Thm 4.6: bounded weights, pure DP",
+            run: e08_bounded_pure::run,
+        },
+        Experiment {
+            id: "e9",
+            anchor: "Thm 4.7: grid covering vs generic covering",
+            run: e09_grid::run,
+        },
+        Experiment {
+            id: "e10",
+            anchor: "Thm B.1/B.3 + Fig 3: private MST",
+            run: e10_mst::run,
+        },
+        Experiment {
+            id: "e11",
+            anchor: "Thm B.4/B.6 + Fig 3: private matching",
+            run: e11_matching::run,
+        },
+        Experiment {
+            id: "e12",
+            anchor: "Sec 4 intro: the four generic all-pairs baselines",
+            run: e12_baselines::run,
+        },
+        Experiment {
+            id: "e13",
+            anchor: "Fig 1 + Lemma 4.4: structural invariants census",
+            run: e13_structure::run,
+        },
+        Experiment {
+            id: "e14",
+            anchor: "Sec 1.2: error scales with the neighbor unit",
+            run: e14_scaling::run,
+        },
+        Experiment {
+            id: "e15",
+            anchor: "Lemma 5.3: randomized-response optimality",
+            run: e15_randomized_response::run,
+        },
+        Experiment {
+            id: "e16",
+            anchor: "Extension: Algorithm 1 vs heavy-path dyadic release",
+            run: e16_hld_ablation::run,
+        },
     ]
 }
 
@@ -73,9 +137,17 @@ fn print_usage(exps: &[Experiment]) {
 fn main() -> ExitCode {
     let exps = registry();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "--list") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--help" || a == "-h" || a == "--list")
+    {
         print_usage(&exps);
-        return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     let mut selected: Vec<&str> = Vec::new();
@@ -141,7 +213,11 @@ fn main() -> ExitCode {
             println!("==== {} — {} ====", exp.id.to_uppercase(), exp.anchor);
             let start = std::time::Instant::now();
             (exp.run)(&ctx);
-            println!("[{} done in {:.1}s]\n", exp.id, start.elapsed().as_secs_f64());
+            println!(
+                "[{} done in {:.1}s]\n",
+                exp.id,
+                start.elapsed().as_secs_f64()
+            );
         }
     }
     ExitCode::SUCCESS

@@ -80,7 +80,9 @@ pub struct PathAttack {
 impl PathAttack {
     /// An attack instance over `n` secret bits.
     pub fn new(n: usize) -> Self {
-        PathAttack { gadget: ParallelPathGadget::new(n) }
+        PathAttack {
+            gadget: ParallelPathGadget::new(n),
+        }
     }
 
     /// The public gadget topology.
@@ -167,7 +169,9 @@ pub struct SimplePathAttack {
 impl SimplePathAttack {
     /// An attack instance over `n` secret bits.
     pub fn new(n: usize) -> Self {
-        SimplePathAttack { gadget: SimpleParallelPathGadget::new(n) }
+        SimplePathAttack {
+            gadget: SimpleParallelPathGadget::new(n),
+        }
     }
 
     /// The public gadget topology.
@@ -231,7 +235,9 @@ pub struct MstAttack {
 impl MstAttack {
     /// An attack instance over `n` secret bits.
     pub fn new(n: usize) -> Self {
-        MstAttack { gadget: StarGadget::new(n) }
+        MstAttack {
+            gadget: StarGadget::new(n),
+        }
     }
 
     /// The public gadget topology.
@@ -305,7 +311,9 @@ pub struct MatchingAttack {
 impl MatchingAttack {
     /// An attack instance over `n` secret bits.
     pub fn new(n: usize) -> Self {
-        MatchingAttack { gadget: HourglassGadget::new(n) }
+        MatchingAttack {
+            gadget: HourglassGadget::new(n),
+        }
     }
 
     /// The public gadget topology.
@@ -388,7 +396,10 @@ pub fn exact_shortest_path(
 ) -> Result<Path, CoreError> {
     let spt = privpath_graph::algo::dijkstra(topo, weights, s)?;
     spt.path_to(t)
-        .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected { from: s, to: t }))
+        .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+            from: s,
+            to: t,
+        }))
 }
 
 #[cfg(test)]
@@ -549,7 +560,10 @@ mod tests {
             total_rate += outcome.hamming_rate();
         }
         let mean = total_rate / trials as f64;
-        assert!((mean - 0.5).abs() < 0.12, "matching reconstruction rate {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.12,
+            "matching reconstruction rate {mean}"
+        );
     }
 
     #[test]

@@ -37,9 +37,12 @@ pub fn laplace_distance_oracle(
     weights.validate_for(topo)?;
     topo.check_node(t)?;
     let spt = dijkstra(topo, weights, s)?;
-    let d = spt.distance(t).ok_or(CoreError::Graph(
-        privpath_graph::GraphError::Disconnected { from: s, to: t },
-    ))?;
+    let d = spt
+        .distance(t)
+        .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+            from: s,
+            to: t,
+        }))?;
     Ok(d + noise.laplace(scale.value() / eps.value()))
 }
 
@@ -63,6 +66,42 @@ impl AllPairsDistanceRelease {
     /// The Laplace scale used per pair.
     pub fn noise_scale(&self) -> f64 {
         self.noise_scale
+    }
+
+    /// Number of vertices the release answers queries for.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The dense row-major `V x V` released matrix.
+    pub fn matrix(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Reassembles a release from a stored `n x n` matrix.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] on size mismatch or non-finite
+    /// entries.
+    pub fn from_parts(n: usize, d: Vec<f64>, noise_scale: f64) -> Result<Self, CoreError> {
+        if d.len() != n * n {
+            return Err(CoreError::InvalidParameter(format!(
+                "stored matrix has {} entries, expected {}",
+                d.len(),
+                n * n
+            )));
+        }
+        if d.iter().any(|x| !x.is_finite()) {
+            return Err(CoreError::InvalidParameter(
+                "stored distance matrix contains non-finite entries".into(),
+            ));
+        }
+        if !noise_scale.is_finite() || noise_scale <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "invalid stored noise scale {noise_scale}"
+            )));
+        }
+        Ok(AllPairsDistanceRelease { n, d, noise_scale })
     }
 }
 
@@ -178,9 +217,12 @@ pub fn single_source_advanced_composition(
             out.push(0.0);
             continue;
         }
-        let d = spt.distance(v).ok_or(CoreError::Graph(
-            privpath_graph::GraphError::Disconnected { from: source, to: v },
-        ))?;
+        let d =
+            spt.distance(v)
+                .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+                    from: source,
+                    to: v,
+                }))?;
         out.push(d + noise.laplace(b));
     }
     Ok((out, b))
@@ -209,6 +251,40 @@ impl SyntheticGraphRelease {
         self.noise_scale
     }
 
+    /// The public topology the release answers queries on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Reassembles a release from stored parts.
+    ///
+    /// # Errors
+    /// [`CoreError::Graph`] on weight/topology mismatch;
+    /// [`CoreError::InvalidParameter`] for negative stored weights or an
+    /// invalid noise scale.
+    pub fn from_parts(
+        topo: Topology,
+        released: EdgeWeights,
+        noise_scale: f64,
+    ) -> Result<Self, CoreError> {
+        released.validate_for(&topo)?;
+        if !released.is_nonnegative() {
+            return Err(CoreError::InvalidParameter(
+                "stored released weights must be nonnegative".into(),
+            ));
+        }
+        if !noise_scale.is_finite() || noise_scale <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "invalid stored noise scale {noise_scale}"
+            )));
+        }
+        Ok(SyntheticGraphRelease {
+            topo,
+            released,
+            noise_scale,
+        })
+    }
+
     /// The estimated distance between `u` and `v` in the synthetic graph.
     ///
     /// # Errors
@@ -216,9 +292,11 @@ impl SyntheticGraphRelease {
     pub fn distance(&self, u: NodeId, v: NodeId) -> Result<f64, CoreError> {
         self.topo.check_node(v)?;
         let spt = dijkstra(&self.topo, &self.released, u)?;
-        spt.distance(v).ok_or(CoreError::Graph(
-            privpath_graph::GraphError::Disconnected { from: u, to: v },
-        ))
+        spt.distance(v)
+            .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+                from: u,
+                to: v,
+            }))
     }
 
     /// All estimated distances from `u` (one Dijkstra).
@@ -245,7 +323,11 @@ pub fn synthetic_graph_release(
     weights.validate_for(topo)?;
     let b = scale.value() / eps.value();
     let released = weights.map(|_, w| w + noise.laplace(b)).clamp_nonnegative();
-    Ok(SyntheticGraphRelease { topo: topo.clone(), released, noise_scale: b })
+    Ok(SyntheticGraphRelease {
+        topo: topo.clone(),
+        released,
+        noise_scale: b,
+    })
 }
 
 /// Convenience wrappers drawing from an `Rng`.
@@ -355,8 +437,7 @@ mod tests {
         let topo = path_graph(10); // 45 pairs
         let w = EdgeWeights::constant(9, 1.0);
         let mut rec = RecordingNoise::new(ZeroNoise);
-        let rel =
-            all_pairs_basic_composition(&topo, &w, eps(1.0), unit(), &mut rec).unwrap();
+        let rel = all_pairs_basic_composition(&topo, &w, eps(1.0), unit(), &mut rec).unwrap();
         assert_eq!(rec.len(), 45);
         assert!((rel.noise_scale() - 45.0).abs() < 1e-12);
         // Zero noise: exact distances.
@@ -446,7 +527,10 @@ mod tests {
         }
         // Scale is ~sqrt(V ln 1/delta), far below the all-pairs V-scale.
         let rough = (2.0 * 99.0 * (1e6f64).ln()).sqrt();
-        assert!(b > 0.5 * rough && b < 2.0 * rough, "scale {b} vs rough {rough}");
+        assert!(
+            b > 0.5 * rough && b < 2.0 * rough,
+            "scale {b} vs rough {rough}"
+        );
 
         // Pure delta rejected.
         assert!(single_source_advanced_composition(

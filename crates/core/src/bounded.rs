@@ -28,9 +28,7 @@ use crate::model::NeighborScale;
 use crate::CoreError;
 use privpath_dp::composition::per_query_epsilon;
 use privpath_dp::{Delta, Epsilon, NoiseSource, RngNoise};
-use privpath_graph::algo::{
-    dijkstra, is_connected, multi_source_hop_assignment, CoverAssignment,
-};
+use privpath_graph::algo::{dijkstra, is_connected, multi_source_hop_assignment, CoverAssignment};
 use privpath_graph::covering::{greedy_covering, meir_moon_covering, verify_covering};
 use privpath_graph::{EdgeWeights, NodeId, Topology};
 use rand::Rng;
@@ -153,6 +151,7 @@ impl BoundedWeightParams {
 /// The released bounded-weight all-pairs distances.
 #[derive(Clone, Debug)]
 pub struct BoundedWeightRelease {
+    topo: Topology,
     centers: Vec<NodeId>,
     /// `center_rank[v]` = index into `centers` of `z(v)`'s entry.
     center_rank: Vec<u32>,
@@ -184,7 +183,9 @@ impl BoundedWeightRelease {
     /// # Panics
     /// Panics if `v` is out of range.
     pub fn center_of(&self, v: NodeId) -> NodeId {
-        self.assignment.center_of(v).expect("connected graph covered")
+        self.assignment
+            .center_of(v)
+            .expect("connected graph covered")
     }
 
     /// The released estimate of `d(u, v)`: the noisy distance between
@@ -194,7 +195,10 @@ impl BoundedWeightRelease {
     /// Panics if either vertex is out of range.
     pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
         let z = self.centers.len();
-        let (i, j) = (self.center_rank[u.index()] as usize, self.center_rank[v.index()] as usize);
+        let (i, j) = (
+            self.center_rank[u.index()] as usize,
+            self.center_rank[v.index()] as usize,
+        );
         self.noisy_dist[i * z + j]
     }
 
@@ -203,6 +207,95 @@ impl BoundedWeightRelease {
         let z = self.centers.len();
         z * (z - 1) / 2
     }
+
+    /// Number of vertices the release answers queries for.
+    pub fn num_nodes(&self) -> usize {
+        self.center_rank.len()
+    }
+
+    /// The public topology the release answers queries on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The dense symmetric `|Z| x |Z|` matrix of released center-pair
+    /// distances, row-major (see [`crate::persist`] users).
+    pub fn released_matrix(&self) -> &[f64] {
+        &self.noisy_dist
+    }
+
+    /// Reassembles a release from stored parts: the public topology, the
+    /// covering `centers` with radius `k`, and the released `|Z| x |Z|`
+    /// distance matrix. The vertex-to-center assignment is recomputed from
+    /// the (public) topology, exactly as the mechanism computed it.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] if the centers are not a
+    /// `k`-covering, the matrix has the wrong size, or it contains
+    /// non-finite entries; [`CoreError::Graph`] for invalid center ids.
+    pub fn from_parts(
+        topo: &Topology,
+        centers: Vec<NodeId>,
+        k: usize,
+        noisy_dist: Vec<f64>,
+        noise_scale: f64,
+    ) -> Result<Self, CoreError> {
+        let z = centers.len();
+        if noisy_dist.len() != z * z {
+            return Err(CoreError::InvalidParameter(format!(
+                "stored matrix has {} entries, expected {}",
+                noisy_dist.len(),
+                z * z
+            )));
+        }
+        if noisy_dist.iter().any(|d| !d.is_finite()) {
+            return Err(CoreError::InvalidParameter(
+                "stored center-distance matrix contains non-finite entries".into(),
+            ));
+        }
+        if !noise_scale.is_finite() || noise_scale <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "invalid stored noise scale {noise_scale}"
+            )));
+        }
+        if !verify_covering(topo, &centers, k)? {
+            return Err(CoreError::InvalidParameter(format!(
+                "stored centers are not a {k}-covering of the topology"
+            )));
+        }
+        let (center_rank, assignment) = assign_centers(topo, &centers)?;
+        Ok(BoundedWeightRelease {
+            topo: topo.clone(),
+            centers,
+            center_rank,
+            noisy_dist,
+            k,
+            noise_scale,
+            assignment,
+        })
+    }
+}
+
+/// Assigns every vertex to its covering center and ranks centers.
+fn assign_centers(
+    topo: &Topology,
+    centers: &[NodeId],
+) -> Result<(Vec<u32>, CoverAssignment), CoreError> {
+    let assignment = multi_source_hop_assignment(topo, centers)?;
+    let mut center_rank = vec![0u32; topo.num_nodes()];
+    let index_of = |c: NodeId| -> u32 {
+        centers
+            .iter()
+            .position(|&x| x == c)
+            .expect("assigned center is in Z") as u32
+    };
+    for v in topo.nodes() {
+        let c = assignment.center_of(v).ok_or_else(|| {
+            CoreError::InvalidParameter(format!("vertex {v} is not covered by any center"))
+        })?;
+        center_rank[v.index()] = index_of(c);
+    }
+    Ok((center_rank, assignment))
 }
 
 /// Runs Algorithm 2 with an explicit noise source.
@@ -219,8 +312,14 @@ pub fn bounded_weight_all_pairs_with(
     noise: &mut impl NoiseSource,
 ) -> Result<BoundedWeightRelease, CoreError> {
     weights.validate_for(topo)?;
-    if let Some((_, w)) = weights.iter().find(|&(_, w)| w < 0.0 || w > params.max_weight) {
-        return Err(CoreError::WeightOutOfBounds { value: w, max_weight: params.max_weight });
+    if let Some((_, w)) = weights
+        .iter()
+        .find(|&(_, w)| w < 0.0 || w > params.max_weight)
+    {
+        return Err(CoreError::WeightOutOfBounds {
+            value: w,
+            max_weight: params.max_weight,
+        });
     }
     if topo.num_nodes() == 0 {
         return Err(CoreError::Graph(privpath_graph::GraphError::EmptyGraph));
@@ -277,17 +376,17 @@ pub fn bounded_weight_all_pairs_with(
         }
     }
 
-    let assignment = multi_source_hop_assignment(topo, &centers)?;
-    let mut center_rank = vec![0u32; topo.num_nodes()];
-    let index_of = |c: NodeId| -> u32 {
-        centers.iter().position(|&x| x == c).expect("assigned center is in Z") as u32
-    };
-    for v in topo.nodes() {
-        let c = assignment.center_of(v).expect("connected graph covered");
-        center_rank[v.index()] = index_of(c);
-    }
+    let (center_rank, assignment) = assign_centers(topo, &centers)?;
 
-    Ok(BoundedWeightRelease { centers, center_rank, noisy_dist, k, noise_scale, assignment })
+    Ok(BoundedWeightRelease {
+        topo: topo.clone(),
+        centers,
+        center_rank,
+        noisy_dist,
+        k,
+        noise_scale,
+        assignment,
+    })
 }
 
 /// Runs Algorithm 2 drawing noise from `rng`.
@@ -365,7 +464,10 @@ mod tests {
         let w = EdgeWeights::constant(4, 1.0);
         let params = BoundedWeightParams::pure(eps(1.0), 1.0)
             .unwrap()
-            .with_strategy(CoveringStrategy::Custom { centers: vec![NodeId::new(2)], k: 2 });
+            .with_strategy(CoveringStrategy::Custom {
+                centers: vec![NodeId::new(2)],
+                k: 2,
+            });
         let rel = bounded_weight_all_pairs_with(&topo, &w, &params, &mut ZeroNoise).unwrap();
         assert_eq!(rel.distance(NodeId::new(0), NodeId::new(4)), 0.0);
         assert_eq!(rel.num_released(), 0);
@@ -426,7 +528,10 @@ mod tests {
         let w = EdgeWeights::constant(grid.topology().num_edges(), 0.5);
         let params = BoundedWeightParams::pure(eps(1.0), 1.0)
             .unwrap()
-            .with_strategy(CoveringStrategy::Custom { centers: centers.clone(), k: 6 });
+            .with_strategy(CoveringStrategy::Custom {
+                centers: centers.clone(),
+                k: 6,
+            });
         let rel =
             bounded_weight_all_pairs_with(grid.topology(), &w, &params, &mut ZeroNoise).unwrap();
         assert_eq!(rel.centers().len(), centers.len());
@@ -439,7 +544,10 @@ mod tests {
         let w = EdgeWeights::constant(9, 0.5);
         let params = BoundedWeightParams::pure(eps(1.0), 1.0)
             .unwrap()
-            .with_strategy(CoveringStrategy::Custom { centers: vec![NodeId::new(0)], k: 2 });
+            .with_strategy(CoveringStrategy::Custom {
+                centers: vec![NodeId::new(0)],
+                k: 2,
+            });
         assert!(matches!(
             bounded_weight_all_pairs_with(&topo, &w, &params, &mut ZeroNoise),
             Err(CoreError::InvalidParameter(_))

@@ -138,16 +138,15 @@ mod tests {
         let b1 = thm55_path_error(4, 1.0, 100, 0.1);
         let b2 = thm55_path_error(8, 1.0, 100, 0.1);
         assert!((b2 / b1 - 2.0).abs() < 1e-12);
-        assert_eq!(cor56_worst_case(50, 1.0, 100, 0.1), thm55_path_error(50, 1.0, 100, 0.1));
+        assert_eq!(
+            cor56_worst_case(50, 1.0, 100, 0.1),
+            thm55_path_error(50, 1.0, 100, 0.1)
+        );
     }
 
     #[test]
     fn alpha_is_half_v_for_tiny_eps() {
-        let a = thm51_alpha(
-            101,
-            Epsilon::new(1e-9).unwrap(),
-            Delta::zero(),
-        );
+        let a = thm51_alpha(101, Epsilon::new(1e-9).unwrap(), Delta::zero());
         assert!((a - 50.0).abs() < 1e-3);
     }
 

@@ -35,7 +35,10 @@ impl fmt::Display for CoreError {
                 write!(f, "mechanism requires the canonical path graph: {msg}")
             }
             CoreError::WeightOutOfBounds { value, max_weight } => {
-                write!(f, "weight {value} outside the bounded-weight range [0, {max_weight}]")
+                write!(
+                    f,
+                    "weight {value} outside the bounded-weight range [0, {max_weight}]"
+                )
             }
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
@@ -81,7 +84,10 @@ mod tests {
 
     #[test]
     fn bounded_weight_message() {
-        let e = CoreError::WeightOutOfBounds { value: 3.0, max_weight: 1.0 };
+        let e = CoreError::WeightOutOfBounds {
+            value: 3.0,
+            max_weight: 1.0,
+        };
         assert!(e.to_string().contains("[0, 1]"));
         assert!(e.source().is_none());
     }

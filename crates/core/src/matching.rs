@@ -26,7 +26,10 @@ pub struct MatchingParams {
 impl MatchingParams {
     /// Privacy `eps` at unit neighbor scale.
     pub fn new(eps: Epsilon) -> Self {
-        MatchingParams { eps, scale: NeighborScale::unit() }
+        MatchingParams {
+            eps,
+            scale: NeighborScale::unit(),
+        }
     }
 
     /// Overrides the neighbor scale.
@@ -87,7 +90,10 @@ pub fn private_matching_with(
     let b = params.scale.value() / params.eps.value();
     let noisy = weights.map(|_, w| w + noise.laplace(b));
     let matching = min_weight_perfect_matching(topo, &noisy)?;
-    Ok(MatchingRelease { matching, noise_scale: b })
+    Ok(MatchingRelease {
+        matching,
+        noise_scale: b,
+    })
 }
 
 /// Releases a low-weight perfect matching drawing noise from `rng`.
@@ -140,17 +146,16 @@ pub fn private_matching_objective_with(
     let noisy = weights.map(|_, w| w + noise.laplace(b));
     let matching = match objective {
         MatchingObjective::MinPerfect => min_weight_perfect_matching(topo, &noisy)?,
-        MatchingObjective::MinAny => {
-            privpath_graph::algo::min_weight_matching(topo, &noisy)?
-        }
+        MatchingObjective::MinAny => privpath_graph::algo::min_weight_matching(topo, &noisy)?,
         MatchingObjective::MaxPerfect => {
             privpath_graph::algo::max_weight_perfect_matching(topo, &noisy)?
         }
-        MatchingObjective::MaxAny => {
-            privpath_graph::algo::max_weight_matching(topo, &noisy)?
-        }
+        MatchingObjective::MaxAny => privpath_graph::algo::max_weight_matching(topo, &noisy)?,
     };
-    Ok(MatchingRelease { matching, noise_scale: b })
+    Ok(MatchingRelease {
+        matching,
+        noise_scale: b,
+    })
 }
 
 /// Objective-selecting release drawing noise from `rng`.
@@ -251,7 +256,9 @@ mod tests {
         let w = EdgeWeights::constant(3, 1.0);
         assert!(matches!(
             private_matching_with(&topo, &w, &params(1.0), &mut ZeroNoise),
-            Err(CoreError::Graph(privpath_graph::GraphError::NoPerfectMatching))
+            Err(CoreError::Graph(
+                privpath_graph::GraphError::NoPerfectMatching
+            ))
         ));
     }
 
@@ -271,7 +278,9 @@ mod tests {
         let cases: [(MatchingObjective, f64); 4] = [
             (
                 MatchingObjective::MinPerfect,
-                galgo::min_weight_perfect_matching(&topo, &w).unwrap().total_weight,
+                galgo::min_weight_perfect_matching(&topo, &w)
+                    .unwrap()
+                    .total_weight,
             ),
             (
                 MatchingObjective::MinAny,
@@ -279,7 +288,9 @@ mod tests {
             ),
             (
                 MatchingObjective::MaxPerfect,
-                galgo::max_weight_perfect_matching(&topo, &w).unwrap().total_weight,
+                galgo::max_weight_perfect_matching(&topo, &w)
+                    .unwrap()
+                    .total_weight,
             ),
             (
                 MatchingObjective::MaxAny,
@@ -287,14 +298,9 @@ mod tests {
             ),
         ];
         for (objective, expected) in cases {
-            let rel = private_matching_objective_with(
-                &topo,
-                &w,
-                &params(1.0),
-                objective,
-                &mut ZeroNoise,
-            )
-            .unwrap();
+            let rel =
+                private_matching_objective_with(&topo, &w, &params(1.0), objective, &mut ZeroNoise)
+                    .unwrap();
             assert!(
                 (rel.weight_under(&w) - expected).abs() < 1e-9,
                 "{objective:?}: {} vs {expected}",

@@ -26,7 +26,10 @@ pub struct MstParams {
 impl MstParams {
     /// Privacy `eps` at unit neighbor scale.
     pub fn new(eps: Epsilon) -> Self {
-        MstParams { eps, scale: NeighborScale::unit() }
+        MstParams {
+            eps,
+            scale: NeighborScale::unit(),
+        }
     }
 
     /// Overrides the neighbor scale.
@@ -86,7 +89,10 @@ pub fn private_mst_with(
     let b = params.scale.value() / params.eps.value();
     let noisy = weights.map(|_, w| w + noise.laplace(b));
     let forest = minimum_spanning_forest(topo, &noisy)?;
-    Ok(MstRelease { forest, noise_scale: b })
+    Ok(MstRelease {
+        forest,
+        noise_scale: b,
+    })
 }
 
 /// Releases an almost-minimum spanning tree drawing noise from `rng`.

@@ -40,7 +40,11 @@ pub struct PathGraphParams {
 impl PathGraphParams {
     /// Privacy `eps`, unit neighbor scale, branching factor 2.
     pub fn new(eps: Epsilon) -> Self {
-        PathGraphParams { eps, scale: NeighborScale::unit(), branching: 2 }
+        PathGraphParams {
+            eps,
+            scale: NeighborScale::unit(),
+            branching: 2,
+        }
     }
 
     /// Overrides the hub-hierarchy branching factor (`>= 2`). Larger
@@ -166,7 +170,10 @@ impl HubPathRelease {
     /// # Panics
     /// Panics if either vertex is out of range.
     pub fn distance_with_pieces(&self, x: NodeId, y: NodeId) -> (f64, usize) {
-        assert!(x.index() < self.n && y.index() < self.n, "vertex out of range");
+        assert!(
+            x.index() < self.n && y.index() < self.n,
+            "vertex out of range"
+        );
         let (mut lx, mut ly) = (x.index().min(y.index()), x.index().max(y.index()));
         if lx == ly {
             return (0.0, 0);
@@ -265,7 +272,11 @@ pub fn hub_path_release_with(
             HubLevel { stride, dist }
         })
         .collect();
-    Ok(HubPathRelease { n, levels, noise_scale: b })
+    Ok(HubPathRelease {
+        n,
+        levels,
+        noise_scale: b,
+    })
 }
 
 /// Builds the hub-hierarchy release drawing noise from `rng`.
@@ -330,7 +341,10 @@ impl DyadicPathRelease {
     /// # Panics
     /// Panics if either vertex is out of range.
     pub fn distance_with_pieces(&self, x: NodeId, y: NodeId) -> (f64, usize) {
-        assert!(x.index() < self.n && y.index() < self.n, "vertex out of range");
+        assert!(
+            x.index() < self.n && y.index() < self.n,
+            "vertex out of range"
+        );
         let (lo, hi) = (x.index().min(y.index()), x.index().max(y.index()));
         self.series.range_with_pieces(lo, hi)
     }
@@ -361,7 +375,11 @@ pub fn dyadic_path_release_with(
     let num_levels = crate::series::DyadicSeries::levels_for(m);
     let b = num_levels as f64 * params.scale.value() / params.eps.value();
     let series = crate::series::DyadicSeries::build(weights.as_slice(), b, noise);
-    Ok(DyadicPathRelease { n, series, noise_scale: b })
+    Ok(DyadicPathRelease {
+        n,
+        series,
+        noise_scale: b,
+    })
 }
 
 /// Builds the dyadic release drawing noise from `rng`.

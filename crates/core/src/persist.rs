@@ -6,8 +6,8 @@
 //! case from the paper's introduction: compute the private routing table
 //! offline, persist it, answer route queries from disk.
 
-use crate::shortest_path::{ShortestPathRelease, ShortestPathParams};
 use crate::model::NeighborScale;
+use crate::shortest_path::{ShortestPathParams, ShortestPathRelease};
 use crate::CoreError;
 use privpath_dp::Epsilon;
 use privpath_graph::io::{read_topology, read_weights, write_topology, write_weights, IoError};
@@ -39,9 +39,7 @@ pub fn write_shortest_path_release(
 /// # Errors
 /// [`IoError::Parse`] for malformed input, wrapped [`CoreError`] messages
 /// for invalid stored parameters.
-pub fn read_shortest_path_release(
-    mut input: impl BufRead,
-) -> Result<ShortestPathRelease, IoError> {
+pub fn read_shortest_path_release(mut input: impl BufRead) -> Result<ShortestPathRelease, IoError> {
     let mut line_no = 0usize;
     let mut read_line = |input: &mut dyn BufRead, expect: &str| -> Result<String, IoError> {
         let mut line = String::new();
@@ -58,12 +56,18 @@ pub fn read_shortest_path_release(
 
     let header = read_line(&mut input, "header")?;
     if header != "privpath-sp-release v1" {
-        return Err(IoError::Parse { line: 1, message: format!("bad header {header:?}") });
+        return Err(IoError::Parse {
+            line: 1,
+            message: format!("bad header {header:?}"),
+        });
     }
     let parse_f64 = |line: &str, prefix: &str, at: usize| -> Result<f64, IoError> {
         line.strip_prefix(prefix)
             .and_then(|s| s.trim().parse().ok())
-            .ok_or(IoError::Parse { line: at, message: format!("expected `{prefix}<float>`") })
+            .ok_or(IoError::Parse {
+                line: at,
+                message: format!("expected `{prefix}<float>`"),
+            })
     };
     let eps = parse_f64(&read_line(&mut input, "eps")?, "eps ", 2)?;
     let gamma = parse_f64(&read_line(&mut input, "gamma")?, "gamma ", 3)?;
@@ -72,15 +76,23 @@ pub fn read_shortest_path_release(
     let shift_enabled: bool = shift_line
         .strip_prefix("shift_enabled ")
         .and_then(|s| s.trim().parse().ok())
-        .ok_or(IoError::Parse { line: 5, message: "expected `shift_enabled <bool>`".into() })?;
+        .ok_or(IoError::Parse {
+            line: 5,
+            message: "expected `shift_enabled <bool>`".into(),
+        })?;
     let shift_amount = parse_f64(&read_line(&mut input, "shift_amount")?, "shift_amount ", 6)?;
 
     let topo = read_topology(&mut input)?;
     let weights = read_weights(&mut input)?;
 
-    let core_err = |e: CoreError| IoError::Parse { line: 0, message: e.to_string() };
-    let eps = Epsilon::new(eps)
-        .map_err(|e| IoError::Parse { line: 2, message: e.to_string() })?;
+    let core_err = |e: CoreError| IoError::Parse {
+        line: 0,
+        message: e.to_string(),
+    };
+    let eps = Epsilon::new(eps).map_err(|e| IoError::Parse {
+        line: 2,
+        message: e.to_string(),
+    })?;
     let mut params = ShortestPathParams::new(eps, gamma).map_err(core_err)?;
     params = params.with_scale(NeighborScale::new(scale).map_err(core_err)?);
     if !shift_enabled {
@@ -104,8 +116,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(300);
         let topo = connected_gnm(30, 70, &mut rng);
         let w = uniform_weights(70, 0.0, 10.0, &mut rng);
-        let params =
-            ShortestPathParams::new(Epsilon::new(0.7).unwrap(), 0.05).unwrap();
+        let params = ShortestPathParams::new(Epsilon::new(0.7).unwrap(), 0.05).unwrap();
         let release = private_shortest_paths(&topo, &w, &params, &mut rng).unwrap();
 
         let mut buf = Vec::new();
@@ -116,7 +127,10 @@ mod tests {
             restored.released_weights().as_slice(),
             release.released_weights().as_slice()
         );
-        assert_eq!(restored.shift_amount().to_bits(), release.shift_amount().to_bits());
+        assert_eq!(
+            restored.shift_amount().to_bits(),
+            release.shift_amount().to_bits()
+        );
         assert_eq!(restored.params().eps().value(), 0.7);
         for (s, t) in [(0usize, 29usize), (5, 17)] {
             let (s, t) = (NodeId::new(s), NodeId::new(t));

@@ -84,7 +84,11 @@ impl DyadicSeries {
     /// # Panics
     /// Panics unless `a <= b <= len`.
     pub fn range_with_pieces(&self, a: usize, b: usize) -> (f64, usize) {
-        assert!(a <= b && b <= self.len, "range [{a}, {b}) out of bounds for len {}", self.len);
+        assert!(
+            a <= b && b <= self.len,
+            "range [{a}, {b}) out of bounds for len {}",
+            self.len
+        );
         let mut total = 0.0;
         let mut pieces = 0;
         let mut p = a;

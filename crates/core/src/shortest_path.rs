@@ -44,7 +44,12 @@ impl ShortestPathParams {
                 "gamma must be in (0,1), got {gamma}"
             )));
         }
-        Ok(ShortestPathParams { eps, gamma, scale: NeighborScale::unit(), shift: true })
+        Ok(ShortestPathParams {
+            eps,
+            gamma,
+            scale: NeighborScale::unit(),
+            shift: true,
+        })
     }
 
     /// Overrides the neighbor scale (Section 1.2 "Scaling").
@@ -140,7 +145,12 @@ impl ShortestPathRelease {
                 "invalid stored shift amount {shift_amount}"
             )));
         }
-        Ok(ShortestPathRelease { topo, released, params, shift_amount })
+        Ok(ShortestPathRelease {
+            topo,
+            released,
+            params,
+            shift_amount,
+        })
     }
 
     /// The shortest-path tree from `s` in the released graph, from which
@@ -162,9 +172,11 @@ impl ShortestPathRelease {
     pub fn path(&self, s: NodeId, t: NodeId) -> Result<Path, CoreError> {
         self.topo.check_node(t)?;
         let tree = self.paths_from(s)?;
-        tree.path_to(t).ok_or(CoreError::Graph(
-            privpath_graph::GraphError::Disconnected { from: s, to: t },
-        ))
+        tree.path_to(t)
+            .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+                from: s,
+                to: t,
+            }))
     }
 
     /// The `s`-`t` distance in the released graph. Biased upward by about
@@ -176,9 +188,11 @@ impl ShortestPathRelease {
     pub fn estimated_distance(&self, s: NodeId, t: NodeId) -> Result<f64, CoreError> {
         self.topo.check_node(t)?;
         let tree = self.paths_from(s)?;
-        tree.distance(t).ok_or(CoreError::Graph(
-            privpath_graph::GraphError::Disconnected { from: s, to: t },
-        ))
+        tree.distance(t)
+            .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+                from: s,
+                to: t,
+            }))
     }
 }
 
@@ -243,7 +257,9 @@ mod tests {
     fn zero_noise_without_shift_reproduces_true_shortest_paths() {
         let mut rng = StdRng::seed_from_u64(1);
         let planted = planted_path_graph(6, 12, &mut rng);
-        let params = ShortestPathParams::new(eps(1.0), 0.05).unwrap().without_shift();
+        let params = ShortestPathParams::new(eps(1.0), 0.05)
+            .unwrap()
+            .without_shift();
         let release =
             private_shortest_paths_with(&planted.topo, &planted.weights, &params, &mut ZeroNoise)
                 .unwrap();
@@ -253,9 +269,11 @@ mod tests {
     }
 
     #[test]
-    fn zero_noise_with_shift_still_finds_planted_path() {
-        // The shift adds the same amount per edge; the planted path is also
-        // the hop-shortest among competitive routes, so it survives.
+    fn zero_noise_with_shift_selects_shifted_argmin() {
+        // With zero noise the release is exactly Dijkstra on `w + shift`:
+        // the shift penalizes every hop uniformly, so the selected route is
+        // the argmin of `true weight + hops * shift` — which may legally
+        // differ from the planted path when a low-hop heavy detour exists.
         let mut rng = StdRng::seed_from_u64(2);
         let planted = planted_path_graph(5, 10, &mut rng);
         let params = ShortestPathParams::new(eps(1.0), 0.05).unwrap();
@@ -263,8 +281,20 @@ mod tests {
             private_shortest_paths_with(&planted.topo, &planted.weights, &params, &mut ZeroNoise)
                 .unwrap();
         let path = release.path(planted.s, planted.t).unwrap();
+        let shift = release.shift_amount();
+        let shifted = planted.weights.map(|_, w| w + shift);
+        let expected = dijkstra(&planted.topo, &shifted, planted.s)
+            .unwrap()
+            .path_to(planted.t)
+            .unwrap();
+        assert_eq!(path.edges(), expected.edges());
+        // The chosen route's shifted cost never exceeds the planted
+        // optimum's shifted cost (zero-noise Theorem 5.5).
         let true_weight = planted.weights.path_weight(&path);
-        assert!((true_weight - planted.planted_weight).abs() < 1e-9);
+        assert!(
+            true_weight + path.hops() as f64 * shift
+                <= planted.planted_weight + planted.hops as f64 * shift + 1e-9
+        );
     }
 
     #[test]
@@ -315,7 +345,9 @@ mod tests {
     fn released_weights_are_nonnegative_even_with_heavy_noise() {
         let topo = path_graph(50);
         let w = EdgeWeights::zeros(topo.num_edges());
-        let params = ShortestPathParams::new(eps(0.1), 0.5).unwrap().without_shift();
+        let params = ShortestPathParams::new(eps(0.1), 0.5)
+            .unwrap()
+            .without_shift();
         let mut rng = StdRng::seed_from_u64(3);
         let release = private_shortest_paths(&topo, &w, &params, &mut rng).unwrap();
         assert!(release.released_weights().is_nonnegative());
@@ -336,12 +368,8 @@ mod tests {
                     .unwrap();
             let path = release.path(planted.s, planted.t).unwrap();
             let err = planted.weights.path_weight(&path) - planted.planted_weight;
-            let bound = crate::bounds::thm55_path_error(
-                planted.hops,
-                1.0,
-                planted.topo.num_edges(),
-                0.1,
-            );
+            let bound =
+                crate::bounds::thm55_path_error(planted.hops, 1.0, planted.topo.num_edges(), 0.1);
             if err > bound {
                 violations += 1;
             }
@@ -373,7 +401,9 @@ mod tests {
         let params = ShortestPathParams::new(eps(1.0), 0.1).unwrap();
         let release = private_shortest_paths_with(&topo, &w, &params, &mut ZeroNoise).unwrap();
         assert!(release.path(NodeId::new(0), NodeId::new(2)).is_err());
-        assert!(release.estimated_distance(NodeId::new(0), NodeId::new(2)).is_err());
+        assert!(release
+            .estimated_distance(NodeId::new(0), NodeId::new(2))
+            .is_err());
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub struct TreeDistanceParams {
 impl TreeDistanceParams {
     /// Privacy `eps` at unit neighbor scale.
     pub fn new(eps: Epsilon) -> Self {
-        TreeDistanceParams { eps, scale: NeighborScale::unit() }
+        TreeDistanceParams {
+            eps,
+            scale: NeighborScale::unit(),
+        }
     }
 
     /// Overrides the neighbor scale.
@@ -99,6 +102,44 @@ impl TreeSingleSourceRelease {
     /// Number of noisy queries released (at most `2V`).
     pub fn num_queries(&self) -> usize {
         self.num_queries
+    }
+
+    /// Reassembles a single-source release from stored parts (see the
+    /// engine's persistence layer).
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] for an out-of-range root,
+    /// non-finite estimates, or an invalid noise scale.
+    pub fn from_parts(
+        root: NodeId,
+        estimates: Vec<f64>,
+        noise_scale: f64,
+        decomposition_depth: usize,
+        num_queries: usize,
+    ) -> Result<Self, CoreError> {
+        if root.index() >= estimates.len() {
+            return Err(CoreError::InvalidParameter(format!(
+                "root {root} outside the {}-vertex estimate vector",
+                estimates.len()
+            )));
+        }
+        if estimates.iter().any(|e| !e.is_finite()) {
+            return Err(CoreError::InvalidParameter(
+                "stored estimates contain non-finite entries".into(),
+            ));
+        }
+        if !noise_scale.is_finite() || noise_scale <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "invalid stored noise scale {noise_scale}"
+            )));
+        }
+        Ok(TreeSingleSourceRelease {
+            root,
+            estimates,
+            noise_scale,
+            decomposition_depth,
+            num_queries,
+        })
     }
 }
 
@@ -182,6 +223,7 @@ pub fn tree_single_source_distances(
 /// estimates plus an LCA index over the public topology.
 #[derive(Clone, Debug)]
 pub struct TreeAllPairsRelease {
+    topo: Topology,
     single: TreeSingleSourceRelease,
     lca: Lca,
 }
@@ -200,6 +242,40 @@ impl TreeAllPairsRelease {
     /// The underlying single-source release.
     pub fn single_source(&self) -> &TreeSingleSourceRelease {
         &self.single
+    }
+
+    /// Number of vertices the release answers queries for.
+    pub fn num_nodes(&self) -> usize {
+        self.single.estimates().len()
+    }
+
+    /// The public topology the release answers queries on.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Reassembles an all-pairs release from a stored single-source
+    /// release and the public topology (the LCA index is recomputed —
+    /// it depends only on public data).
+    ///
+    /// # Errors
+    /// [`CoreError::Graph`] if the topology is not a tree or does not
+    /// match the estimate vector's length.
+    pub fn from_parts(topo: &Topology, single: TreeSingleSourceRelease) -> Result<Self, CoreError> {
+        if topo.num_nodes() != single.estimates().len() {
+            return Err(CoreError::InvalidParameter(format!(
+                "stored estimates cover {} vertices but the topology has {}",
+                single.estimates().len(),
+                topo.num_nodes()
+            )));
+        }
+        let tree = RootedTree::new(topo, single.root())?;
+        let lca = Lca::new(&tree);
+        Ok(TreeAllPairsRelease {
+            topo: topo.clone(),
+            single,
+            lca,
+        })
     }
 }
 
@@ -222,7 +298,11 @@ pub fn tree_all_pairs_distances_with(
     let single = tree_single_source_distances_with(topo, weights, root, params, noise)?;
     let tree = RootedTree::new(topo, root)?;
     let lca = Lca::new(&tree);
-    Ok(TreeAllPairsRelease { single, lca })
+    Ok(TreeAllPairsRelease {
+        topo: topo.clone(),
+        single,
+        lca,
+    })
 }
 
 /// Theorem 4.2 drawing noise from `rng`.

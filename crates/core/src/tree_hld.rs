@@ -46,6 +46,7 @@ pub struct HldTreeRelease {
     lca: Lca,
     noise_scale: f64,
     sensitivity_levels: usize,
+    num_nodes: usize,
 }
 
 impl HldTreeRelease {
@@ -67,6 +68,11 @@ impl HldTreeRelease {
     /// Number of heavy chains.
     pub fn num_chains(&self) -> usize {
         self.chains.len()
+    }
+
+    /// Number of vertices the release answers queries for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
     }
 
     /// Total number of released noisy values.
@@ -182,6 +188,7 @@ pub fn hld_tree_all_pairs_with(
         lca,
         noise_scale: b,
         sensitivity_levels,
+        num_nodes: topo.num_nodes(),
     })
 }
 
@@ -298,9 +305,7 @@ mod tests {
         let topo = random_tree_prufer(200, &mut rng);
         let w = EdgeWeights::constant(199, 1.0);
         let rel = hld_tree_all_pairs_with(&topo, &w, &params(1.0), &mut ZeroNoise).unwrap();
-        let level0_total: usize = (0..rel.num_chains())
-            .map(|c| rel.chains[c].len())
-            .sum();
+        let level0_total: usize = (0..rel.num_chains()).map(|c| rel.chains[c].len()).sum();
         assert_eq!(level0_total, topo.num_edges());
     }
 

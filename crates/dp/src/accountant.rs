@@ -29,12 +29,41 @@ pub struct Accountant {
 impl Accountant {
     /// An unlimited ledger (tracks but never refuses).
     pub fn unbounded() -> Self {
-        Accountant { budget: None, spends: Vec::new() }
+        Accountant {
+            budget: None,
+            spends: Vec::new(),
+        }
     }
 
     /// A ledger enforcing a total `(eps, delta)` budget.
     pub fn with_budget(eps: Epsilon, delta: Delta) -> Self {
-        Accountant { budget: Some((eps.value(), delta.value())), spends: Vec::new() }
+        Accountant {
+            budget: Some((eps.value(), delta.value())),
+            spends: Vec::new(),
+        }
+    }
+
+    /// Checks whether a prospective spend fits the budget **without**
+    /// recording it. Callers that must avoid drawing noise for releases
+    /// they cannot afford (e.g. the release engine) check first, run the
+    /// mechanism, then [`spend`](Self::spend).
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidComposition`] if the spend would exceed
+    /// the budget.
+    pub fn check(&self, eps: Epsilon, delta: Delta) -> Result<(), DpError> {
+        let (cur_e, cur_d) = self.total();
+        let (new_e, new_d) = (cur_e + eps.value(), cur_d + delta.value());
+        if let Some((be, bd)) = self.budget {
+            if new_e > be + 1e-12 || new_d > bd + 1e-15 {
+                return Err(DpError::InvalidComposition(format!(
+                    "spend ({}, {}) would exceed budget ({be}, {bd}); already spent ({cur_e}, {cur_d})",
+                    eps.value(),
+                    delta.value(),
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Records a release.
@@ -48,17 +77,7 @@ impl Accountant {
         eps: Epsilon,
         delta: Delta,
     ) -> Result<(), DpError> {
-        let (cur_e, cur_d) = self.total();
-        let (new_e, new_d) = (cur_e + eps.value(), cur_d + delta.value());
-        if let Some((be, bd)) = self.budget {
-            if new_e > be + 1e-12 || new_d > bd + 1e-15 {
-                return Err(DpError::InvalidComposition(format!(
-                    "spend ({}, {}) would exceed budget ({be}, {bd}); already spent ({cur_e}, {cur_d})",
-                    eps.value(),
-                    delta.value(),
-                )));
-            }
-        }
+        self.check(eps, delta)?;
         self.spends.push(PrivacySpend {
             label: label.into(),
             eps: eps.value(),
@@ -100,7 +119,8 @@ mod tests {
     fn unbounded_tracks() {
         let mut a = Accountant::unbounded();
         a.spend("first", eps(0.5), Delta::zero()).unwrap();
-        a.spend("second", eps(0.7), Delta::new(1e-6).unwrap()).unwrap();
+        a.spend("second", eps(0.7), Delta::new(1e-6).unwrap())
+            .unwrap();
         let (e, d) = a.total();
         assert!((e - 1.2).abs() < 1e-12);
         assert!((d - 1e-6).abs() < 1e-15);
@@ -126,6 +146,17 @@ mod tests {
         let mut a = Accountant::with_budget(eps(10.0), Delta::new(1e-6).unwrap());
         a.spend("ok", eps(1.0), Delta::new(5e-7).unwrap()).unwrap();
         assert!(a.spend("bad", eps(1.0), Delta::new(9e-7).unwrap()).is_err());
+    }
+
+    #[test]
+    fn check_does_not_record() {
+        let mut a = Accountant::with_budget(eps(1.0), Delta::zero());
+        a.check(eps(0.8), Delta::zero()).unwrap();
+        assert!(a.check(eps(1.2), Delta::zero()).is_err());
+        assert_eq!(a.spends().len(), 0);
+        a.spend("real", eps(0.8), Delta::zero()).unwrap();
+        assert!(a.check(eps(0.3), Delta::zero()).is_err());
+        assert!(a.check(eps(0.2), Delta::zero()).is_ok());
     }
 
     #[test]

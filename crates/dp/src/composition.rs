@@ -124,12 +124,8 @@ mod tests {
 
     #[test]
     fn basic_composition_multiplies() {
-        let (e, d) = basic_composition(
-            Epsilon::new(0.1).unwrap(),
-            Delta::new(1e-6).unwrap(),
-            10,
-        )
-        .unwrap();
+        let (e, d) =
+            basic_composition(Epsilon::new(0.1).unwrap(), Delta::new(1e-6).unwrap(), 10).unwrap();
         assert!((e.value() - 1.0).abs() < 1e-12);
         assert!((d.value() - 1e-5).abs() < 1e-18);
         assert!(basic_composition(Epsilon::new(1.0).unwrap(), Delta::zero(), 0).is_err());
@@ -166,7 +162,11 @@ mod tests {
         let (eps, used_advanced) = best_per_query_epsilon(total, delta, k).unwrap();
         assert!(used_advanced);
         // Basic would give 1e-4; advanced should give ~ 1/sqrt(2 k ln 1e6).
-        assert!(eps.value() > 1.0 / k as f64, "advanced not better: {}", eps.value());
+        assert!(
+            eps.value() > 1.0 / k as f64,
+            "advanced not better: {}",
+            eps.value()
+        );
         let rough = 1.0 / (2.0 * k as f64 * (1e6f64).ln()).sqrt();
         assert!(eps.value() > 0.5 * rough && eps.value() < 2.0 * rough);
     }
@@ -183,8 +183,7 @@ mod tests {
     #[test]
     fn pure_dp_always_basic() {
         let total = Epsilon::new(1.0).unwrap();
-        let (eps, used_advanced) =
-            best_per_query_epsilon(total, Delta::zero(), 1_000).unwrap();
+        let (eps, used_advanced) = best_per_query_epsilon(total, Delta::zero(), 1_000).unwrap();
         assert!(!used_advanced);
         assert!((eps.value() - 0.001).abs() < 1e-12);
     }

@@ -185,7 +185,10 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
-        assert!((var - d.variance()).abs() / d.variance() < 0.03, "var {var}");
+        assert!(
+            (var - d.variance()).abs() / d.variance() < 0.03,
+            "var {var}"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub struct RecordingNoise<N> {
 impl<N: NoiseSource> RecordingNoise<N> {
     /// Wraps `inner`.
     pub fn new(inner: N) -> Self {
-        RecordingNoise { inner, draws: Vec::new() }
+        RecordingNoise {
+            inner,
+            draws: Vec::new(),
+        }
     }
 
     /// All draws so far as `(scale, value)` pairs, in order.

@@ -32,7 +32,9 @@ impl Epsilon {
     /// Returns [`DpError::InvalidComposition`] if `k == 0`.
     pub fn split(&self, k: usize) -> Result<Epsilon, DpError> {
         if k == 0 {
-            return Err(DpError::InvalidComposition("cannot split over zero uses".into()));
+            return Err(DpError::InvalidComposition(
+                "cannot split over zero uses".into(),
+            ));
         }
         Epsilon::new(self.0 / k as f64)
     }

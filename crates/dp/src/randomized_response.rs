@@ -28,7 +28,9 @@ pub fn randomized_response_bit(bit: bool, eps: Epsilon, rng: &mut impl Rng) -> b
 /// whole vector under the "one record changes" neighboring relation it is
 /// also `eps`-DP.
 pub fn randomized_response(bits: &[bool], eps: Epsilon, rng: &mut impl Rng) -> Vec<bool> {
-    bits.iter().map(|&b| randomized_response_bit(b, eps, rng)).collect()
+    bits.iter()
+        .map(|&b| randomized_response_bit(b, eps, rng))
+        .collect()
 }
 
 /// The unbiased estimator for the population frequency of `true` under

@@ -1,0 +1,300 @@
+//! The [`ReleaseEngine`]: one weight database, many budget-accounted
+//! releases, one registry to query them from.
+//!
+//! The engine owns the public topology and the private weights, debits an
+//! [`Accountant`] for every release (basic composition, Lemma 3.3), and
+//! registers each release object under a [`ReleaseId`] so callers can
+//! serve `distance` / `distance_batch` / `path` queries — or persist any
+//! release — without ever touching the private weights again.
+
+use crate::error::EngineError;
+use crate::mechanism::Mechanism;
+use crate::release::{AnyRelease, DistanceRelease, ReleaseKind};
+use privpath_dp::{Accountant, Delta, Epsilon, NoiseSource, RngNoise};
+use privpath_graph::{EdgeWeights, Topology};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A registry handle for one release held by a [`ReleaseEngine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReleaseId(u64);
+
+impl ReleaseId {
+    /// The raw numeric id.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ReleaseId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A registered release plus its accounting metadata.
+#[derive(Clone, Debug)]
+pub struct ReleaseRecord {
+    id: ReleaseId,
+    label: String,
+    eps: f64,
+    delta: f64,
+    release: AnyRelease,
+}
+
+impl ReleaseRecord {
+    /// The registry id.
+    pub fn id(&self) -> ReleaseId {
+        self.id
+    }
+
+    /// The spend label recorded in the accountant.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The release's kind.
+    pub fn kind(&self) -> ReleaseKind {
+        self.release.kind()
+    }
+
+    /// The epsilon this release cost.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The delta this release cost.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The release object.
+    pub fn release(&self) -> &AnyRelease {
+        &self.release
+    }
+
+    pub(crate) fn from_parts(
+        id: ReleaseId,
+        label: String,
+        eps: f64,
+        delta: f64,
+        release: AnyRelease,
+    ) -> Self {
+        ReleaseRecord {
+            id,
+            label,
+            eps,
+            delta,
+            release,
+        }
+    }
+}
+
+/// Owns one private weight database and composes releases over it under a
+/// tracked privacy budget.
+#[derive(Clone, Debug)]
+pub struct ReleaseEngine {
+    topo: Topology,
+    weights: EdgeWeights,
+    accountant: Accountant,
+    records: BTreeMap<u64, ReleaseRecord>,
+    next_id: u64,
+}
+
+impl ReleaseEngine {
+    /// An engine with an unbounded (tracking-only) budget.
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] on weight/topology mismatch.
+    pub fn new(topo: Topology, weights: EdgeWeights) -> Result<Self, EngineError> {
+        Self::with_accountant(topo, weights, Accountant::unbounded())
+    }
+
+    /// An engine enforcing a total `(eps, delta)` budget across all
+    /// releases.
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] on weight/topology mismatch.
+    pub fn with_budget(
+        topo: Topology,
+        weights: EdgeWeights,
+        eps: Epsilon,
+        delta: Delta,
+    ) -> Result<Self, EngineError> {
+        Self::with_accountant(topo, weights, Accountant::with_budget(eps, delta))
+    }
+
+    /// An engine over an explicit accountant (possibly carrying prior
+    /// spends on the same database).
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] on weight/topology mismatch.
+    pub fn with_accountant(
+        topo: Topology,
+        weights: EdgeWeights,
+        accountant: Accountant,
+    ) -> Result<Self, EngineError> {
+        weights
+            .validate_for(&topo)
+            .map_err(privpath_core::CoreError::from)?;
+        Ok(ReleaseEngine {
+            topo,
+            weights,
+            accountant,
+            records: BTreeMap::new(),
+            next_id: 0,
+        })
+    }
+
+    /// The public topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs `mechanism` over the engine's database with an explicit noise
+    /// source, debiting the accountant and registering the release.
+    ///
+    /// The budget is checked **before** any noise is drawn; an
+    /// over-budget request leaves the engine untouched.
+    ///
+    /// # Errors
+    /// [`EngineError::BudgetExhausted`] when the declared cost does not
+    /// fit the remaining budget; otherwise the mechanism's own errors.
+    pub fn release_with<M: Mechanism>(
+        &mut self,
+        mechanism: &M,
+        params: &M::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<ReleaseId, EngineError>
+    where
+        AnyRelease: From<M::Release>,
+    {
+        let cost = mechanism.privacy_cost(params);
+        self.accountant
+            .check(cost.eps(), cost.delta())
+            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+        let release = mechanism.release_with(&self.topo, &self.weights, params, noise)?;
+        let id = ReleaseId(self.next_id);
+        let label = format!("{}#{}", mechanism.name(), id.value());
+        self.accountant
+            .spend(label.clone(), cost.eps(), cost.delta())
+            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+        self.next_id += 1;
+        self.records.insert(
+            id.value(),
+            ReleaseRecord::from_parts(
+                id,
+                label,
+                cost.eps().value(),
+                cost.delta().value(),
+                AnyRelease::from(release),
+            ),
+        );
+        Ok(id)
+    }
+
+    /// Runs `mechanism` drawing noise from `rng`.
+    ///
+    /// # Errors
+    /// Same conditions as [`release_with`](Self::release_with).
+    pub fn release<M: Mechanism>(
+        &mut self,
+        mechanism: &M,
+        params: &M::Params,
+        rng: &mut impl Rng,
+    ) -> Result<ReleaseId, EngineError>
+    where
+        AnyRelease: From<M::Release>,
+    {
+        let mut noise = RngNoise::new(rng);
+        self.release_with(mechanism, params, &mut noise)
+    }
+
+    /// Registers an externally produced release (e.g. loaded from disk),
+    /// debiting its recorded `(eps, delta)` so the engine's ledger keeps
+    /// covering every release that exists over this database.
+    ///
+    /// # Errors
+    /// [`EngineError::BudgetExhausted`] if the recorded cost does not fit
+    /// the remaining budget; [`EngineError::Dp`] for invalid stored
+    /// parameters.
+    pub fn adopt(
+        &mut self,
+        label: impl Into<String>,
+        eps: f64,
+        delta: f64,
+        release: AnyRelease,
+    ) -> Result<ReleaseId, EngineError> {
+        let eps = Epsilon::new(eps)?;
+        let delta = Delta::new(delta)?;
+        self.accountant
+            .check(eps, delta)
+            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+        let id = ReleaseId(self.next_id);
+        let label = label.into();
+        self.accountant
+            .spend(label.clone(), eps, delta)
+            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+        self.next_id += 1;
+        self.records.insert(
+            id.value(),
+            ReleaseRecord::from_parts(id, label, eps.value(), delta.value(), release),
+        );
+        Ok(id)
+    }
+
+    /// The record for a registered release.
+    pub fn get(&self, id: ReleaseId) -> Option<&ReleaseRecord> {
+        self.records.get(&id.value())
+    }
+
+    /// A distance-oracle view of a registered release.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownRelease`] for an unregistered id;
+    /// [`EngineError::UnsupportedQuery`] for kinds without a distance
+    /// surface (MST, matching).
+    pub fn query(&self, id: ReleaseId) -> Result<&dyn DistanceRelease, EngineError> {
+        let record = self
+            .records
+            .get(&id.value())
+            .ok_or(EngineError::UnknownRelease(id.value()))?;
+        record
+            .release()
+            .as_distance()
+            .ok_or(EngineError::UnsupportedQuery {
+                kind: record.kind().as_str(),
+                query: "distance",
+            })
+    }
+
+    /// All registered releases, in id order.
+    pub fn releases(&self) -> impl Iterator<Item = &ReleaseRecord> {
+        self.records.values()
+    }
+
+    /// Number of registered releases.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no release has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The privacy ledger.
+    pub fn accountant(&self) -> &Accountant {
+        &self.accountant
+    }
+
+    /// Total `(eps, delta)` spent so far (basic composition).
+    pub fn spent(&self) -> (f64, f64) {
+        self.accountant.total()
+    }
+
+    /// Remaining `(eps, delta)`, or `None` for an unbounded engine.
+    pub fn remaining(&self) -> Option<(f64, f64)> {
+        self.accountant.remaining()
+    }
+}

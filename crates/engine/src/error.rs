@@ -1,0 +1,90 @@
+//! Error type for the release engine.
+
+use privpath_core::CoreError;
+use privpath_dp::DpError;
+use privpath_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the engine layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A mechanism-layer error.
+    Core(CoreError),
+    /// A privacy-substrate error.
+    Dp(DpError),
+    /// A release would exceed the engine's privacy budget; nothing was
+    /// run and no noise was drawn.
+    BudgetExhausted(String),
+    /// The referenced release id is not registered in the engine.
+    UnknownRelease(u64),
+    /// The release kind does not support the requested query (e.g. a
+    /// distance query against an MST release).
+    UnsupportedQuery {
+        /// The release kind's name.
+        kind: &'static str,
+        /// The query that was attempted.
+        query: &'static str,
+    },
+    /// A vertex id was outside the release's vertex range.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of vertices the release covers.
+        num_nodes: usize,
+    },
+    /// A persistence failure (I/O or malformed stored release).
+    Persist(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "mechanism error: {e}"),
+            EngineError::Dp(e) => write!(f, "privacy error: {e}"),
+            EngineError::BudgetExhausted(msg) => write!(f, "privacy budget exhausted: {msg}"),
+            EngineError::UnknownRelease(id) => write!(f, "no release with id r{id}"),
+            EngineError::UnsupportedQuery { kind, query } => {
+                write!(
+                    f,
+                    "release kind `{kind}` does not support `{query}` queries"
+                )
+            }
+            EngineError::NodeOutOfRange { index, num_nodes } => {
+                write!(
+                    f,
+                    "vertex {index} outside the release's range 0..{num_nodes}"
+                )
+            }
+            EngineError::Persist(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<DpError> for EngineError {
+    fn from(e: DpError) -> Self {
+        EngineError::Dp(e)
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Core(CoreError::Graph(e))
+    }
+}

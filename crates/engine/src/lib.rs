@@ -1,0 +1,90 @@
+//! # privpath-engine — the release-once/query-many layer
+//!
+//! Sealfon's mechanisms (and the APSD line of work that followed) share
+//! one architecture: **release once, query many**. A mechanism touches the
+//! private edge weights exactly once and emits a release object; every
+//! query thereafter is post-processing, free of further privacy cost. This
+//! crate makes that architecture a first-class API:
+//!
+//! * [`Mechanism`] — one trait over all seven paper mechanisms
+//!   (Algorithms 1–3, bounded-weight distances, MST, matching, the
+//!   Section 4 baselines) plus the heavy-path extension. Each declares its
+//!   exact `(eps, delta)` cost via [`Mechanism::privacy_cost`] before
+//!   running.
+//! * [`DistanceRelease`] — the object-safe serving surface
+//!   (`distance`, `distance_batch`, optional `path`) implemented by every
+//!   distance-capable release type. `distance_batch` is the serving hot
+//!   path: graph-replaying releases share one Dijkstra per distinct
+//!   source across a batch.
+//! * [`ReleaseEngine`] — owns one weight database and an
+//!   [`Accountant`](privpath_dp::Accountant); debits the declared cost
+//!   per release (budget checked **before** noise is drawn), registers
+//!   releases under [`ReleaseId`]s, and serves queries from the registry.
+//! * [`persist`] — a unified tagged storage format covering every
+//!   distance-capable release kind (and still reading the legacy
+//!   shortest-path-only v1 files).
+//!
+//! ## Example
+//!
+//! ```
+//! use privpath_engine::{mechanisms, ReleaseEngine};
+//! use privpath_core::shortest_path::ShortestPathParams;
+//! use privpath_core::tree_distance::TreeDistanceParams;
+//! use privpath_dp::{Delta, Epsilon};
+//! use privpath_graph::generators::{path_graph, uniform_weights};
+//! use privpath_graph::NodeId;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let topo = path_graph(32);
+//! let weights = uniform_weights(topo.num_edges(), 1.0, 5.0, &mut rng);
+//!
+//! // One database, one budget, several releases.
+//! let mut engine = ReleaseEngine::with_budget(
+//!     topo,
+//!     weights,
+//!     Epsilon::new(2.0)?,
+//!     Delta::zero(),
+//! )?;
+//! let sp = engine.release(
+//!     &mechanisms::ShortestPaths,
+//!     &ShortestPathParams::new(Epsilon::new(1.0)?, 0.05)?,
+//!     &mut rng,
+//! )?;
+//! let tree = engine.release(
+//!     &mechanisms::TreeAllPairs,
+//!     &TreeDistanceParams::new(Epsilon::new(1.0)?),
+//!     &mut rng,
+//! )?;
+//! assert_eq!(engine.spent(), (2.0, 0.0));
+//!
+//! // Serve queries from either release; both are pure post-processing.
+//! let (u, v) = (NodeId::new(0), NodeId::new(31));
+//! let d1 = engine.query(sp)?.distance(u, v)?;
+//! let d2 = engine.query(tree)?.distance(u, v)?;
+//! assert!(d1.is_finite() && d2.is_finite());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod mechanism;
+pub mod persist;
+mod release;
+
+pub use engine::{ReleaseEngine, ReleaseId, ReleaseRecord};
+pub use error::EngineError;
+pub use mechanism::{Mechanism, PrivacyCost};
+pub use persist::{read_release, write_release, StoredRelease};
+pub use release::{AnyRelease, DistanceRelease, ReleaseKind};
+
+/// The mechanism singletons implementing [`Mechanism`].
+pub mod mechanisms {
+    pub use crate::mechanism::{
+        AllPairsBaseline, AllPairsBaselineParams, BoundedWeight, HldTree, Matching, Mst,
+        ShortestPaths, SyntheticGraph, SyntheticGraphParams, TreeAllPairs,
+    };
+}

@@ -1,0 +1,470 @@
+//! The [`Mechanism`] trait: one uniform surface over every DP release
+//! algorithm in the codebase.
+//!
+//! A mechanism consumes the public topology, the private weights, its
+//! parameters, and a noise source, and produces a release object. Every
+//! mechanism also *declares its privacy cost up front* via
+//! [`Mechanism::privacy_cost`], which is what lets the
+//! [`ReleaseEngine`](crate::ReleaseEngine) debit an
+//! [`Accountant`](privpath_dp::Accountant) before any noise is drawn.
+//!
+//! All seven paper mechanisms (Algorithms 1–3, the bounded-weight release,
+//! MST, matching, and the Section 4 baselines) plus the heavy-path
+//! extension implement the trait; the conformance test suite runs each one
+//! with [`privpath_dp::ZeroNoise`] (exactness) and
+//! [`privpath_dp::RecordingNoise`] (noise audit vs. the declared cost).
+
+use crate::error::EngineError;
+use privpath_core::baselines::{
+    all_pairs_advanced_composition, all_pairs_basic_composition, synthetic_graph_release,
+    AllPairsDistanceRelease, SyntheticGraphRelease,
+};
+use privpath_core::bounded::{
+    bounded_weight_all_pairs_with, BoundedWeightParams, BoundedWeightRelease,
+};
+use privpath_core::matching::{
+    private_matching_objective_with, MatchingObjective, MatchingParams, MatchingRelease,
+};
+use privpath_core::model::NeighborScale;
+use privpath_core::mst::{private_mst_with, MstParams, MstRelease};
+use privpath_core::shortest_path::{
+    private_shortest_paths_with, ShortestPathParams, ShortestPathRelease,
+};
+use privpath_core::tree_distance::{
+    tree_all_pairs_distances_with, TreeAllPairsRelease, TreeDistanceParams,
+};
+use privpath_core::tree_hld::{hld_tree_all_pairs_with, HldTreeRelease};
+use privpath_dp::{Delta, Epsilon, NoiseSource, RngNoise};
+use privpath_graph::{EdgeWeights, Topology};
+use rand::Rng;
+
+/// The `(eps, delta)` a single release debits from a budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrivacyCost {
+    eps: Epsilon,
+    delta: Delta,
+}
+
+impl PrivacyCost {
+    /// A pure-DP cost.
+    pub fn pure(eps: Epsilon) -> Self {
+        PrivacyCost {
+            eps,
+            delta: Delta::zero(),
+        }
+    }
+
+    /// An approximate-DP cost.
+    pub fn approx(eps: Epsilon, delta: Delta) -> Self {
+        PrivacyCost { eps, delta }
+    }
+
+    /// The epsilon component.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The delta component.
+    pub fn delta(&self) -> Delta {
+        self.delta
+    }
+}
+
+/// A differentially private release algorithm over the private-edge-weight
+/// model: public `Topology`, private `EdgeWeights`.
+pub trait Mechanism {
+    /// The mechanism's parameter object.
+    type Params;
+    /// The release object the mechanism produces.
+    type Release;
+
+    /// A stable machine-readable name (used as spend labels, CLI values,
+    /// and persistence kind tags).
+    fn name(&self) -> &'static str;
+
+    /// The `(eps, delta)` this release will cost under `params`. Must be
+    /// exact: the engine debits precisely this amount.
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost;
+
+    /// Runs the mechanism with an explicit noise source.
+    ///
+    /// # Errors
+    /// Mechanism-specific; see each implementation.
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError>;
+
+    /// Runs the mechanism drawing noise from `rng`.
+    ///
+    /// # Errors
+    /// Same conditions as [`release_with`](Self::release_with).
+    fn release(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        rng: &mut impl Rng,
+    ) -> Result<Self::Release, EngineError> {
+        let mut noise = RngNoise::new(rng);
+        self.release_with(topo, weights, params, &mut noise)
+    }
+}
+
+/// Algorithm 3: private shortest paths (Section 5.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShortestPaths;
+
+impl Mechanism for ShortestPaths {
+    type Params = ShortestPathParams;
+    type Release = ShortestPathRelease;
+
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::pure(params.eps())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        Ok(private_shortest_paths_with(topo, weights, params, noise)?)
+    }
+}
+
+/// Algorithm 1 + Theorem 4.2: all-pairs distances on trees.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeAllPairs;
+
+impl Mechanism for TreeAllPairs {
+    type Params = TreeDistanceParams;
+    type Release = TreeAllPairsRelease;
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::pure(params.eps())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        Ok(tree_all_pairs_distances_with(topo, weights, params, noise)?)
+    }
+}
+
+/// The heavy-path-decomposition tree mechanism (extension ablation of
+/// Algorithm 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HldTree;
+
+impl Mechanism for HldTree {
+    type Params = TreeDistanceParams;
+    type Release = HldTreeRelease;
+
+    fn name(&self) -> &'static str {
+        "hld-tree"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::pure(params.eps())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        Ok(hld_tree_all_pairs_with(topo, weights, params, noise)?)
+    }
+}
+
+/// Algorithm 2: all-pairs distances for bounded-weight graphs
+/// (Theorems 4.3/4.5/4.6/4.7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoundedWeight;
+
+impl Mechanism for BoundedWeight {
+    type Params = BoundedWeightParams;
+    type Release = BoundedWeightRelease;
+
+    fn name(&self) -> &'static str {
+        "bounded-weight"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::approx(params.eps(), params.delta())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        Ok(bounded_weight_all_pairs_with(topo, weights, params, noise)?)
+    }
+}
+
+/// Appendix B.1: private almost-minimum spanning tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mst;
+
+impl Mechanism for Mst {
+    type Params = MstParams;
+    type Release = MstRelease;
+
+    fn name(&self) -> &'static str {
+        "mst"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::pure(params.eps())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        Ok(private_mst_with(topo, weights, params, noise)?)
+    }
+}
+
+/// Appendix B.2: private low-weight matching, with a selectable objective.
+#[derive(Clone, Copy, Debug)]
+pub struct Matching {
+    /// The matching objective to optimize (the paper's results carry over
+    /// to all four variants).
+    pub objective: MatchingObjective,
+}
+
+impl Default for Matching {
+    fn default() -> Self {
+        Matching {
+            objective: MatchingObjective::MinPerfect,
+        }
+    }
+}
+
+impl Mechanism for Matching {
+    type Params = MatchingParams;
+    type Release = MatchingRelease;
+
+    fn name(&self) -> &'static str {
+        "matching"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::pure(params.eps())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        Ok(private_matching_objective_with(
+            topo,
+            weights,
+            params,
+            self.objective,
+            noise,
+        )?)
+    }
+}
+
+/// Parameters for the [`SyntheticGraph`] baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticGraphParams {
+    eps: Epsilon,
+    scale: NeighborScale,
+}
+
+impl SyntheticGraphParams {
+    /// Privacy `eps` at unit neighbor scale.
+    pub fn new(eps: Epsilon) -> Self {
+        SyntheticGraphParams {
+            eps,
+            scale: NeighborScale::unit(),
+        }
+    }
+
+    /// Overrides the neighbor scale.
+    pub fn with_scale(mut self, scale: NeighborScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The privacy parameter.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The neighbor scale.
+    pub fn scale(&self) -> NeighborScale {
+        self.scale
+    }
+}
+
+/// The Laplace synthetic-graph baseline (Section 4's opening discussion;
+/// Algorithm 3 without its shift).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyntheticGraph;
+
+impl Mechanism for SyntheticGraph {
+    type Params = SyntheticGraphParams;
+    type Release = SyntheticGraphRelease;
+
+    fn name(&self) -> &'static str {
+        "synthetic-graph"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::pure(params.eps())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        Ok(synthetic_graph_release(
+            topo,
+            weights,
+            params.eps(),
+            params.scale(),
+            noise,
+        )?)
+    }
+}
+
+/// Parameters for the [`AllPairsBaseline`] mechanism.
+#[derive(Clone, Copy, Debug)]
+pub struct AllPairsBaselineParams {
+    eps: Epsilon,
+    delta: Delta,
+    scale: NeighborScale,
+}
+
+impl AllPairsBaselineParams {
+    /// Basic composition (pure DP, Lemma 3.3): noise scale
+    /// `V(V-1)/2 / eps` per pair.
+    pub fn basic(eps: Epsilon) -> Self {
+        AllPairsBaselineParams {
+            eps,
+            delta: Delta::zero(),
+            scale: NeighborScale::unit(),
+        }
+    }
+
+    /// Advanced composition (`(eps, delta)`-DP, Lemma 3.4).
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] for `delta = 0` (use [`basic`](Self::basic)).
+    pub fn advanced(eps: Epsilon, delta: Delta) -> Result<Self, EngineError> {
+        if delta.is_pure() {
+            return Err(EngineError::Core(
+                privpath_core::CoreError::InvalidParameter(
+                    "advanced composition requires delta > 0".into(),
+                ),
+            ));
+        }
+        Ok(AllPairsBaselineParams {
+            eps,
+            delta,
+            scale: NeighborScale::unit(),
+        })
+    }
+
+    /// Overrides the neighbor scale.
+    pub fn with_scale(mut self, scale: NeighborScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The privacy parameter.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The privacy parameter delta (zero selects basic composition).
+    pub fn delta(&self) -> Delta {
+        self.delta
+    }
+
+    /// The neighbor scale.
+    pub fn scale(&self) -> NeighborScale {
+        self.scale
+    }
+}
+
+/// The generic all-pairs composition baseline (Section 4's opening
+/// discussion): release every pairwise distance under basic or advanced
+/// composition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllPairsBaseline;
+
+impl Mechanism for AllPairsBaseline {
+    type Params = AllPairsBaselineParams;
+    type Release = AllPairsDistanceRelease;
+
+    fn name(&self) -> &'static str {
+        "all-pairs-baseline"
+    }
+
+    fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
+        PrivacyCost::approx(params.eps(), params.delta())
+    }
+
+    fn release_with(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        params: &Self::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<Self::Release, EngineError> {
+        if params.delta().is_pure() {
+            Ok(all_pairs_basic_composition(
+                topo,
+                weights,
+                params.eps(),
+                params.scale(),
+                noise,
+            )?)
+        } else {
+            Ok(all_pairs_advanced_composition(
+                topo,
+                weights,
+                params.eps(),
+                params.delta(),
+                params.scale(),
+                noise,
+            )?)
+        }
+    }
+}

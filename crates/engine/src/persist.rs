@@ -1,0 +1,362 @@
+//! Unified persistence for engine releases: store any distance-capable
+//! release once, serve queries from it forever (post-processing carries
+//! the original privacy guarantee unchanged).
+//!
+//! Generalizes `privpath_core::persist` (which only covered shortest-path
+//! releases) to a tagged container format:
+//!
+//! ```text
+//! privpath-release v2
+//! kind <mechanism-name>
+//! label <spend label>
+//! eps <f64>
+//! delta <f64>
+//! <kind-specific body, reusing the substrate's topology/weights blocks>
+//! ```
+//!
+//! The legacy `privpath-sp-release v1` format is still readable — the
+//! loader sniffs the header and upgrades on the fly. Structure-releasing
+//! kinds (MST, matching) have no serve-side query surface and are not
+//! persisted.
+
+use crate::engine::{ReleaseEngine, ReleaseId};
+use crate::error::EngineError;
+use crate::release::{AnyRelease, ReleaseKind};
+use privpath_core::baselines::{AllPairsDistanceRelease, SyntheticGraphRelease};
+use privpath_core::bounded::BoundedWeightRelease;
+use privpath_core::model::NeighborScale;
+use privpath_core::persist::read_shortest_path_release;
+use privpath_core::shortest_path::{ShortestPathParams, ShortestPathRelease};
+use privpath_core::tree_distance::{TreeAllPairsRelease, TreeSingleSourceRelease};
+use privpath_dp::Epsilon;
+use privpath_graph::io::{read_topology, read_weights, write_topology, write_weights};
+use privpath_graph::NodeId;
+use std::io::{BufRead, BufReader, Write};
+
+const HEADER_V2: &str = "privpath-release v2";
+const HEADER_V1: &str = "privpath-sp-release v1";
+
+/// A release as read from storage: the object plus its accounting
+/// metadata, ready for [`ReleaseEngine::adopt`] or direct querying.
+#[derive(Clone, Debug)]
+pub struct StoredRelease {
+    /// The spend label the release was registered under.
+    pub label: String,
+    /// The epsilon the release cost.
+    pub eps: f64,
+    /// The delta the release cost.
+    pub delta: f64,
+    /// The release object.
+    pub release: AnyRelease,
+}
+
+fn persist_err(msg: impl Into<String>) -> EngineError {
+    EngineError::Persist(msg.into())
+}
+
+fn io_err(e: impl std::fmt::Display) -> EngineError {
+    persist_err(e.to_string())
+}
+
+/// Writes a release in the v2 container format.
+///
+/// # Errors
+/// [`EngineError::UnsupportedQuery`] for kinds without persistence (MST,
+/// matching, hld-tree); [`EngineError::Persist`] for I/O failures.
+pub fn write_release(
+    out: &mut impl Write,
+    label: &str,
+    eps: f64,
+    delta: f64,
+    release: &AnyRelease,
+) -> Result<(), EngineError> {
+    let kind = release.kind();
+    match release {
+        AnyRelease::ShortestPath(_)
+        | AnyRelease::Tree(_)
+        | AnyRelease::BoundedWeight(_)
+        | AnyRelease::SyntheticGraph(_)
+        | AnyRelease::AllPairsBaseline(_) => {}
+        AnyRelease::Mst(_) | AnyRelease::Matching(_) | AnyRelease::HldTree(_) => {
+            return Err(EngineError::UnsupportedQuery {
+                kind: kind.as_str(),
+                query: "persist",
+            });
+        }
+    }
+    writeln!(out, "{HEADER_V2}").map_err(io_err)?;
+    writeln!(out, "kind {}", kind.as_str()).map_err(io_err)?;
+    writeln!(out, "label {label}").map_err(io_err)?;
+    writeln!(out, "eps {eps:?}").map_err(io_err)?;
+    writeln!(out, "delta {delta:?}").map_err(io_err)?;
+    match release {
+        AnyRelease::ShortestPath(r) => {
+            let p = r.params();
+            writeln!(out, "gamma {:?}", p.gamma()).map_err(io_err)?;
+            writeln!(out, "scale {:?}", p.scale().value()).map_err(io_err)?;
+            writeln!(out, "shift_enabled {}", p.shift_enabled()).map_err(io_err)?;
+            writeln!(out, "shift_amount {:?}", r.shift_amount()).map_err(io_err)?;
+            write_topology(out, r.topology()).map_err(io_err)?;
+            write_weights(out, r.released_weights()).map_err(io_err)?;
+        }
+        AnyRelease::Tree(r) => {
+            let s = r.single_source();
+            writeln!(out, "root {}", s.root().index()).map_err(io_err)?;
+            writeln!(out, "noise_scale {:?}", s.noise_scale()).map_err(io_err)?;
+            writeln!(out, "depth {}", s.decomposition_depth()).map_err(io_err)?;
+            writeln!(out, "num_queries {}", s.num_queries()).map_err(io_err)?;
+            writeln!(out, "estimates {}", s.estimates().len()).map_err(io_err)?;
+            for e in s.estimates() {
+                writeln!(out, "{e:?}").map_err(io_err)?;
+            }
+            // The topology is needed to rebuild the (public) LCA index.
+            write_topology(out, r.topology()).map_err(io_err)?;
+        }
+        AnyRelease::BoundedWeight(r) => {
+            writeln!(out, "k {}", r.k()).map_err(io_err)?;
+            writeln!(out, "noise_scale {:?}", r.noise_scale()).map_err(io_err)?;
+            let centers: Vec<String> = r.centers().iter().map(|c| c.index().to_string()).collect();
+            writeln!(out, "centers {}", centers.len()).map_err(io_err)?;
+            writeln!(out, "{}", centers.join(" ")).map_err(io_err)?;
+            writeln!(out, "matrix {}", r.released_matrix().len()).map_err(io_err)?;
+            for v in r.released_matrix() {
+                writeln!(out, "{v:?}").map_err(io_err)?;
+            }
+            write_topology(out, r.topology()).map_err(io_err)?;
+        }
+        AnyRelease::SyntheticGraph(r) => {
+            writeln!(out, "noise_scale {:?}", r.noise_scale()).map_err(io_err)?;
+            write_topology(out, r.topology()).map_err(io_err)?;
+            write_weights(out, r.released_weights()).map_err(io_err)?;
+        }
+        AnyRelease::AllPairsBaseline(r) => {
+            writeln!(out, "n {}", r.num_nodes()).map_err(io_err)?;
+            writeln!(out, "noise_scale {:?}", r.noise_scale()).map_err(io_err)?;
+            writeln!(out, "matrix {}", r.matrix().len()).map_err(io_err)?;
+            for v in r.matrix() {
+                writeln!(out, "{v:?}").map_err(io_err)?;
+            }
+        }
+        AnyRelease::Mst(_) | AnyRelease::Matching(_) | AnyRelease::HldTree(_) => unreachable!(),
+    }
+    Ok(())
+}
+
+/// Reads a release written by [`write_release`] (or the legacy v1
+/// shortest-path format, upgraded transparently).
+///
+/// # Errors
+/// [`EngineError::Persist`] for malformed input.
+pub fn read_release(mut input: impl BufRead) -> Result<StoredRelease, EngineError> {
+    // Buffer everything so the legacy reader can re-consume its header.
+    let mut text = String::new();
+    input.read_to_string(&mut text).map_err(io_err)?;
+    let first = text.lines().next().unwrap_or("");
+    if first == HEADER_V1 {
+        let release =
+            read_shortest_path_release(BufReader::new(text.as_bytes())).map_err(io_err)?;
+        let eps = release.params().eps().value();
+        return Ok(StoredRelease {
+            label: "shortest-path#legacy".into(),
+            eps,
+            delta: 0.0,
+            release: AnyRelease::ShortestPath(release),
+        });
+    }
+    if first != HEADER_V2 {
+        return Err(persist_err(format!("bad header {first:?}")));
+    }
+
+    let mut reader = BufReader::new(text.as_bytes());
+    let mut line = String::new();
+    let mut next_line =
+        |reader: &mut BufReader<&[u8]>, expect: &str| -> Result<String, EngineError> {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(io_err)?;
+            if n == 0 {
+                return Err(persist_err(format!(
+                    "unexpected end of input, expected {expect}"
+                )));
+            }
+            Ok(line.trim_end().to_string())
+        };
+
+    let _header = next_line(&mut reader, "header")?;
+    let kind_line = next_line(&mut reader, "kind")?;
+    let kind_str = kind_line
+        .strip_prefix("kind ")
+        .ok_or_else(|| persist_err("expected `kind <name>`"))?;
+    let kind = ReleaseKind::parse(kind_str)
+        .ok_or_else(|| persist_err(format!("unknown release kind {kind_str:?}")))?;
+    let label = next_line(&mut reader, "label")?
+        .strip_prefix("label ")
+        .ok_or_else(|| persist_err("expected `label <text>`"))?
+        .to_string();
+    let eps = parse_field_f64(&next_line(&mut reader, "eps")?, "eps ")?;
+    let delta = parse_field_f64(&next_line(&mut reader, "delta")?, "delta ")?;
+
+    let release = match kind {
+        ReleaseKind::ShortestPath => {
+            let gamma = parse_field_f64(&next_line(&mut reader, "gamma")?, "gamma ")?;
+            let scale = parse_field_f64(&next_line(&mut reader, "scale")?, "scale ")?;
+            let shift_line = next_line(&mut reader, "shift_enabled")?;
+            let shift_enabled: bool = shift_line
+                .strip_prefix("shift_enabled ")
+                .and_then(|s| s.trim().parse().ok())
+                .ok_or_else(|| persist_err("expected `shift_enabled <bool>`"))?;
+            let shift_amount =
+                parse_field_f64(&next_line(&mut reader, "shift_amount")?, "shift_amount ")?;
+            let topo = read_topology(&mut reader).map_err(io_err)?;
+            let weights = read_weights(&mut reader).map_err(io_err)?;
+            let eps_p = Epsilon::new(eps).map_err(io_err)?;
+            let mut params = ShortestPathParams::new(eps_p, gamma).map_err(io_err)?;
+            params = params.with_scale(NeighborScale::new(scale).map_err(io_err)?);
+            if !shift_enabled {
+                params = params.without_shift();
+            }
+            AnyRelease::ShortestPath(
+                ShortestPathRelease::from_parts(topo, weights, params, shift_amount)
+                    .map_err(io_err)?,
+            )
+        }
+        ReleaseKind::Tree => {
+            let root = parse_field_usize(&next_line(&mut reader, "root")?, "root ")?;
+            let noise_scale =
+                parse_field_f64(&next_line(&mut reader, "noise_scale")?, "noise_scale ")?;
+            let depth = parse_field_usize(&next_line(&mut reader, "depth")?, "depth ")?;
+            let num_queries =
+                parse_field_usize(&next_line(&mut reader, "num_queries")?, "num_queries ")?;
+            let count = parse_field_usize(&next_line(&mut reader, "estimates")?, "estimates ")?;
+            let mut estimates = Vec::with_capacity(count);
+            for _ in 0..count {
+                let v: f64 = next_line(&mut reader, "estimate value")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| persist_err("invalid estimate value"))?;
+                estimates.push(v);
+            }
+            let topo = read_topology(&mut reader).map_err(io_err)?;
+            let single = TreeSingleSourceRelease::from_parts(
+                NodeId::new(root),
+                estimates,
+                noise_scale,
+                depth,
+                num_queries,
+            )
+            .map_err(io_err)?;
+            AnyRelease::Tree(TreeAllPairsRelease::from_parts(&topo, single).map_err(io_err)?)
+        }
+        ReleaseKind::BoundedWeight => {
+            let k = parse_field_usize(&next_line(&mut reader, "k")?, "k ")?;
+            let noise_scale =
+                parse_field_f64(&next_line(&mut reader, "noise_scale")?, "noise_scale ")?;
+            let z = parse_field_usize(&next_line(&mut reader, "centers")?, "centers ")?;
+            let centers_line = next_line(&mut reader, "center ids")?;
+            let centers: Vec<NodeId> = centers_line
+                .split_whitespace()
+                .map(|t| t.parse::<usize>().map(NodeId::new))
+                .collect::<Result<_, _>>()
+                .map_err(|_| persist_err("invalid center id"))?;
+            if centers.len() != z {
+                return Err(persist_err(format!(
+                    "expected {z} centers, found {}",
+                    centers.len()
+                )));
+            }
+            let count = parse_field_usize(&next_line(&mut reader, "matrix")?, "matrix ")?;
+            let mut matrix = Vec::with_capacity(count);
+            for _ in 0..count {
+                let v: f64 = next_line(&mut reader, "matrix value")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| persist_err("invalid matrix value"))?;
+                matrix.push(v);
+            }
+            let topo = read_topology(&mut reader).map_err(io_err)?;
+            AnyRelease::BoundedWeight(
+                BoundedWeightRelease::from_parts(&topo, centers, k, matrix, noise_scale)
+                    .map_err(io_err)?,
+            )
+        }
+        ReleaseKind::SyntheticGraph => {
+            let noise_scale =
+                parse_field_f64(&next_line(&mut reader, "noise_scale")?, "noise_scale ")?;
+            let topo = read_topology(&mut reader).map_err(io_err)?;
+            let weights = read_weights(&mut reader).map_err(io_err)?;
+            AnyRelease::SyntheticGraph(
+                SyntheticGraphRelease::from_parts(topo, weights, noise_scale).map_err(io_err)?,
+            )
+        }
+        ReleaseKind::AllPairsBaseline => {
+            let n = parse_field_usize(&next_line(&mut reader, "n")?, "n ")?;
+            let noise_scale =
+                parse_field_f64(&next_line(&mut reader, "noise_scale")?, "noise_scale ")?;
+            let count = parse_field_usize(&next_line(&mut reader, "matrix")?, "matrix ")?;
+            let mut matrix = Vec::with_capacity(count);
+            for _ in 0..count {
+                let v: f64 = next_line(&mut reader, "matrix value")?
+                    .trim()
+                    .parse()
+                    .map_err(|_| persist_err("invalid matrix value"))?;
+                matrix.push(v);
+            }
+            AnyRelease::AllPairsBaseline(
+                AllPairsDistanceRelease::from_parts(n, matrix, noise_scale).map_err(io_err)?,
+            )
+        }
+        ReleaseKind::Mst | ReleaseKind::Matching | ReleaseKind::HldTree => {
+            return Err(persist_err(format!(
+                "release kind `{kind}` has no persistence format"
+            )));
+        }
+    };
+
+    Ok(StoredRelease {
+        label,
+        eps,
+        delta,
+        release,
+    })
+}
+
+fn parse_field_f64(line: &str, prefix: &str) -> Result<f64, EngineError> {
+    line.strip_prefix(prefix)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| persist_err(format!("expected `{prefix}<float>`, got {line:?}")))
+}
+
+fn parse_field_usize(line: &str, prefix: &str) -> Result<usize, EngineError> {
+    line.strip_prefix(prefix)
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| persist_err(format!("expected `{prefix}<int>`, got {line:?}")))
+}
+
+impl ReleaseEngine {
+    /// Persists a registered release in the v2 container format.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownRelease`] for an unregistered id; otherwise
+    /// as [`write_release`].
+    pub fn save(&self, id: ReleaseId, out: &mut impl Write) -> Result<(), EngineError> {
+        let record = self
+            .get(id)
+            .ok_or(EngineError::UnknownRelease(id.value()))?;
+        write_release(
+            out,
+            record.label(),
+            record.eps(),
+            record.delta(),
+            record.release(),
+        )
+    }
+
+    /// Loads a stored release into the registry, debiting its recorded
+    /// cost (see [`ReleaseEngine::adopt`]).
+    ///
+    /// # Errors
+    /// As [`read_release`] and [`ReleaseEngine::adopt`].
+    pub fn restore(&mut self, input: impl BufRead) -> Result<ReleaseId, EngineError> {
+        let stored = read_release(input)?;
+        self.adopt(stored.label, stored.eps, stored.delta, stored.release)
+    }
+}

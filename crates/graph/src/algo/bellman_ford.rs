@@ -70,7 +70,12 @@ pub fn bellman_ford(
             return Err(GraphError::NegativeCycle);
         }
     }
-    Ok(ShortestPathTree::new(source, dist, parent_node, parent_edge))
+    Ok(ShortestPathTree::new(
+        source,
+        dist,
+        parent_node,
+        parent_edge,
+    ))
 }
 
 #[cfg(test)]

@@ -75,7 +75,10 @@ pub fn multi_source_hop_assignment(
         topo.check_node(c)?;
     }
     let (dist, origin) = bfs_from(topo, centers.iter().copied());
-    Ok(CoverAssignment { dist, center: origin })
+    Ok(CoverAssignment {
+        dist,
+        center: origin,
+    })
 }
 
 /// BFS from a set of sources; returns `(dist, origin)` where `origin[v]` is
@@ -117,10 +120,7 @@ fn bfs_from(
 ///
 /// # Errors
 /// Returns [`GraphError::NodeOutOfRange`] if `start` is invalid.
-pub fn double_sweep_farthest(
-    topo: &Topology,
-    start: NodeId,
-) -> Result<(NodeId, u32), GraphError> {
+pub fn double_sweep_farthest(topo: &Topology, start: NodeId) -> Result<(NodeId, u32), GraphError> {
     let d = hop_distances(topo, start)?;
     let mut best = (start, 0u32);
     for v in topo.nodes() {
@@ -139,7 +139,11 @@ pub fn double_sweep_farthest(
 /// Returns [`GraphError::NodeOutOfRange`] if `v` is invalid.
 pub fn hop_eccentricity(topo: &Topology, v: NodeId) -> Result<u32, GraphError> {
     let d = hop_distances(topo, v)?;
-    Ok(d.iter().copied().filter(|&x| x != UNREACHED).max().unwrap_or(0))
+    Ok(d.iter()
+        .copied()
+        .filter(|&x| x != UNREACHED)
+        .max()
+        .unwrap_or(0))
 }
 
 #[cfg(test)]

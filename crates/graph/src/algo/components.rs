@@ -132,8 +132,14 @@ mod tests {
         let c = connected_components(&topo);
         assert_eq!(c.count, 2);
         assert!(!is_connected(&topo));
-        assert_eq!(c.component_of(NodeId::new(0)), c.component_of(NodeId::new(1)));
-        assert_ne!(c.component_of(NodeId::new(0)), c.component_of(NodeId::new(2)));
+        assert_eq!(
+            c.component_of(NodeId::new(0)),
+            c.component_of(NodeId::new(1))
+        );
+        assert_ne!(
+            c.component_of(NodeId::new(0)),
+            c.component_of(NodeId::new(2))
+        );
     }
 
     #[test]

@@ -24,7 +24,12 @@ impl ShortestPathTree {
         parent_node: Vec<Option<NodeId>>,
         parent_edge: Vec<Option<EdgeId>>,
     ) -> Self {
-        ShortestPathTree { source, dist, parent_node, parent_edge }
+        ShortestPathTree {
+            source,
+            dist,
+            parent_node,
+            parent_edge,
+        }
     }
 
     /// The source vertex.
@@ -142,7 +147,10 @@ pub(crate) fn dijkstra_unchecked(
     let mut settled = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if settled[u.index()] {
             continue;
@@ -175,7 +183,10 @@ pub fn all_pairs_dijkstra(
             return Err(GraphError::NegativeWeight { edge: e, value: w });
         }
     }
-    Ok(topo.nodes().map(|s| dijkstra_unchecked(topo, weights, s)).collect())
+    Ok(topo
+        .nodes()
+        .map(|s| dijkstra_unchecked(topo, weights, s))
+        .collect())
 }
 
 #[cfg(test)]

@@ -149,14 +149,20 @@ mod tests {
         b.add_edge(NodeId::new(1), NodeId::new(0));
         let topo = b.build();
         let w = EdgeWeights::new(vec![-2.0, 1.0]).unwrap();
-        assert_eq!(floyd_warshall(&topo, &w).unwrap_err(), GraphError::NegativeCycle);
+        assert_eq!(
+            floyd_warshall(&topo, &w).unwrap_err(),
+            GraphError::NegativeCycle
+        );
     }
 
     #[test]
     fn undirected_negative_rejected() {
         let topo = cycle_graph(3);
         let w = EdgeWeights::new(vec![1.0, -1.0, 1.0]).unwrap();
-        assert_eq!(floyd_warshall(&topo, &w).unwrap_err(), GraphError::NegativeCycle);
+        assert_eq!(
+            floyd_warshall(&topo, &w).unwrap_err(),
+            GraphError::NegativeCycle
+        );
     }
 
     #[test]

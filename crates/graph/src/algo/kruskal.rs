@@ -49,7 +49,10 @@ pub fn minimum_spanning_forest(
     weights.validate_for(topo)?;
     let mut order: Vec<EdgeId> = topo.edge_ids().collect();
     order.sort_by(|&a, &b| {
-        weights.get(a).total_cmp(&weights.get(b)).then_with(|| a.cmp(&b))
+        weights
+            .get(a)
+            .total_cmp(&weights.get(b))
+            .then_with(|| a.cmp(&b))
     });
     let mut uf = UnionFind::new(topo.num_nodes());
     let mut edges = Vec::with_capacity(topo.num_nodes().saturating_sub(1));
@@ -64,7 +67,11 @@ pub fn minimum_spanning_forest(
             }
         }
     }
-    Ok(SpanningForest { edges, total_weight, num_components: uf.num_sets() })
+    Ok(SpanningForest {
+        edges,
+        total_weight,
+        num_components: uf.num_sets(),
+    })
 }
 
 #[cfg(test)]

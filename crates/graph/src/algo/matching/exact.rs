@@ -17,8 +17,7 @@ pub(super) fn match_component_exact(
     let m = vertices.len();
     debug_assert!(m.is_multiple_of(2));
     debug_assert!(m <= super::MAX_EXACT_COMPONENT);
-    let local: HashMap<NodeId, usize> =
-        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let local: HashMap<NodeId, usize> = vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     // Lightest parallel edge per unordered local pair.
     let mut pair_cost = vec![BIG; m * m];
@@ -90,11 +89,7 @@ mod tests {
     /// graphs (n <= 8).
     fn brute(topo: &Topology, w: &EdgeWeights) -> Option<f64> {
         let n = topo.num_nodes();
-        fn rec(
-            topo: &Topology,
-            w: &EdgeWeights,
-            used: &mut Vec<bool>,
-        ) -> Option<f64> {
+        fn rec(topo: &Topology, w: &EdgeWeights, used: &mut Vec<bool>) -> Option<f64> {
             let Some(i) = used.iter().position(|&u| !u) else {
                 return Some(0.0);
             };

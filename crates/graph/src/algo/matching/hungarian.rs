@@ -180,7 +180,9 @@ mod tests {
         // Deterministic pseudo-random costs; compare to brute force over
         // all 24 permutations.
         let n = 4;
-        let cost: Vec<f64> = (0..n * n).map(|i| ((i * 31 + 7) % 17) as f64 - 5.0).collect();
+        let cost: Vec<f64> = (0..n * n)
+            .map(|i| ((i * 31 + 7) % 17) as f64 - 5.0)
+            .collect();
         let asg = solve(n, &cost);
         let got = total(n, &cost, &asg);
 

@@ -110,9 +110,13 @@ pub fn min_weight_perfect_matching(
             continue;
         }
         let chosen = match two_color(topo, vertices) {
-            Some(color) => {
-                hungarian::match_bipartite_component(topo, weights, vertices, &comp_edges[comp], &color)?
-            }
+            Some(color) => hungarian::match_bipartite_component(
+                topo,
+                weights,
+                vertices,
+                &comp_edges[comp],
+                &color,
+            )?,
             None => {
                 if vertices.len() > MAX_EXACT_COMPONENT {
                     return Err(GraphError::MatchingComponentTooLarge {
@@ -128,7 +132,10 @@ pub fn min_weight_perfect_matching(
             edges.push(e);
         }
     }
-    Ok(Matching { edges, total_weight })
+    Ok(Matching {
+        edges,
+        total_weight,
+    })
 }
 
 /// Greedy minimum-weight *maximal* (not necessarily perfect) matching:
@@ -136,7 +143,12 @@ pub fn min_weight_perfect_matching(
 /// endpoints are still free. A fast baseline used in experiments.
 pub fn greedy_min_weight_maximal_matching(topo: &Topology, weights: &EdgeWeights) -> Matching {
     let mut order: Vec<EdgeId> = topo.edge_ids().collect();
-    order.sort_by(|&a, &b| weights.get(a).total_cmp(&weights.get(b)).then_with(|| a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        weights
+            .get(a)
+            .total_cmp(&weights.get(b))
+            .then_with(|| a.cmp(&b))
+    });
     let mut used = vec![false; topo.num_nodes()];
     let mut edges = Vec::new();
     let mut total_weight = 0.0;
@@ -149,7 +161,10 @@ pub fn greedy_min_weight_maximal_matching(topo: &Topology, weights: &EdgeWeights
             edges.push(e);
         }
     }
-    Matching { edges, total_weight }
+    Matching {
+        edges,
+        total_weight,
+    }
 }
 
 /// 2-colors a single component, returning `color[local_index]` aligned with
@@ -283,7 +298,9 @@ mod tests {
     fn complete_even_graph_has_matching() {
         let topo = complete_graph(6); // K6 is non-bipartite, size 6 <= limit
         let w = EdgeWeights::new(
-            (0..topo.num_edges()).map(|i| ((i * 7 + 3) % 13) as f64).collect(),
+            (0..topo.num_edges())
+                .map(|i| ((i * 7 + 3) % 13) as f64)
+                .collect(),
         )
         .unwrap();
         let m = min_weight_perfect_matching(&topo, &w).unwrap();

@@ -25,10 +25,7 @@ use std::collections::HashMap;
 /// * [`GraphError::WeightsLengthMismatch`] on mismatch.
 /// * [`GraphError::MatchingComponentTooLarge`] if a non-bipartite
 ///   negative-edge component exceeds [`MAX_EXACT_COMPONENT`].
-pub fn min_weight_matching(
-    topo: &Topology,
-    weights: &EdgeWeights,
-) -> Result<Matching, GraphError> {
+pub fn min_weight_matching(topo: &Topology, weights: &EdgeWeights) -> Result<Matching, GraphError> {
     weights.validate_for(topo)?;
     // Collect strictly negative, non-loop edges.
     let neg_edges: Vec<EdgeId> = topo
@@ -39,7 +36,10 @@ pub fn min_weight_matching(
         })
         .collect();
     if neg_edges.is_empty() {
-        return Ok(Matching { edges: Vec::new(), total_weight: 0.0 });
+        return Ok(Matching {
+            edges: Vec::new(),
+            total_weight: 0.0,
+        });
     }
 
     // Components of the negative subgraph.
@@ -87,7 +87,10 @@ pub fn min_weight_matching(
             edges.push(e);
         }
     }
-    Ok(Matching { edges, total_weight })
+    Ok(Matching {
+        edges,
+        total_weight,
+    })
 }
 
 /// Maximum-weight matching (not required to be perfect): negate weights,
@@ -95,14 +98,14 @@ pub fn min_weight_matching(
 ///
 /// # Errors
 /// Same conditions as [`min_weight_matching`].
-pub fn max_weight_matching(
-    topo: &Topology,
-    weights: &EdgeWeights,
-) -> Result<Matching, GraphError> {
+pub fn max_weight_matching(topo: &Topology, weights: &EdgeWeights) -> Result<Matching, GraphError> {
     let negated = weights.map(|_, w| -w);
     let m = min_weight_matching(topo, &negated)?;
     let total_weight = m.edges.iter().map(|&e| weights.get(e)).sum();
-    Ok(Matching { edges: m.edges, total_weight })
+    Ok(Matching {
+        edges: m.edges,
+        total_weight,
+    })
 }
 
 /// Maximum-weight **perfect** matching: negate weights, take the minimum
@@ -118,18 +121,16 @@ pub fn max_weight_perfect_matching(
     let negated = weights.map(|_, w| -w);
     let m = super::min_weight_perfect_matching(topo, &negated)?;
     let total_weight = m.edges.iter().map(|&e| weights.get(e)).sum();
-    Ok(Matching { edges: m.edges, total_weight })
+    Ok(Matching {
+        edges: m.edges,
+        total_weight,
+    })
 }
 
 /// 2-colors `vertices` using only `edges` (the negative subgraph), or
 /// `None` if that subgraph has an odd cycle.
-fn two_color_subgraph(
-    topo: &Topology,
-    vertices: &[NodeId],
-    edges: &[EdgeId],
-) -> Option<Vec<u8>> {
-    let local: HashMap<NodeId, usize> =
-        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+fn two_color_subgraph(topo: &Topology, vertices: &[NodeId], edges: &[EdgeId]) -> Option<Vec<u8>> {
+    let local: HashMap<NodeId, usize> = vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut adj = vec![Vec::new(); vertices.len()];
     for &e in edges {
         let (u, v) = topo.endpoints(e);
@@ -224,8 +225,7 @@ fn match_exact_allow_skip(
     edges: &[EdgeId],
 ) -> Vec<EdgeId> {
     let m = vertices.len();
-    let local: HashMap<NodeId, usize> =
-        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let local: HashMap<NodeId, usize> = vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut pair_cost = vec![BIG; m * m];
     let mut pair_edge: Vec<Option<EdgeId>> = vec![None; m * m];
     for &e in edges {

@@ -57,7 +57,11 @@ pub fn prim_spanning_forest(
         in_tree[start.index()] = true;
         for (v, e) in topo.neighbors(start) {
             if v != start {
-                heap.push(Entry { weight: weights.get(e), edge: e, node: v });
+                heap.push(Entry {
+                    weight: weights.get(e),
+                    edge: e,
+                    node: v,
+                });
             }
         }
         while let Some(Entry { weight, edge, node }) = heap.pop() {
@@ -69,12 +73,20 @@ pub fn prim_spanning_forest(
             total_weight += weight;
             for (v, e) in topo.neighbors(node) {
                 if !in_tree[v.index()] {
-                    heap.push(Entry { weight: weights.get(e), edge: e, node: v });
+                    heap.push(Entry {
+                        weight: weights.get(e),
+                        edge: e,
+                        node: v,
+                    });
                 }
             }
         }
     }
-    Ok(SpanningForest { edges, total_weight, num_components })
+    Ok(SpanningForest {
+        edges,
+        total_weight,
+        num_components,
+    })
 }
 
 #[cfg(test)]

@@ -29,8 +29,15 @@ impl TopologyBuilder {
     /// # Panics
     /// Panics if `num_nodes` exceeds `u32::MAX`.
     pub fn new(num_nodes: usize) -> Self {
-        assert!(num_nodes <= u32::MAX as usize, "num_nodes {num_nodes} exceeds u32::MAX");
-        TopologyBuilder { num_nodes: num_nodes as u32, directed: false, endpoints: Vec::new() }
+        assert!(
+            num_nodes <= u32::MAX as usize,
+            "num_nodes {num_nodes} exceeds u32::MAX"
+        );
+        TopologyBuilder {
+            num_nodes: num_nodes as u32,
+            directed: false,
+            endpoints: Vec::new(),
+        }
     }
 
     /// Creates a builder for a directed topology with `num_nodes` vertices.
@@ -59,7 +66,8 @@ impl TopologyBuilder {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> EdgeId {
-        self.try_add_edge(u, v).expect("edge endpoints out of range")
+        self.try_add_edge(u, v)
+            .expect("edge endpoints out of range")
     }
 
     /// Adds an edge between `u` and `v`, validating the endpoints.
@@ -98,7 +106,10 @@ mod tests {
         }
         assert_eq!(b.num_edges(), 3);
         let t = b.build();
-        assert_eq!(t.endpoints(EdgeId::new(1)), (NodeId::new(1), NodeId::new(2)));
+        assert_eq!(
+            t.endpoints(EdgeId::new(1)),
+            (NodeId::new(1), NodeId::new(2))
+        );
     }
 
     #[test]

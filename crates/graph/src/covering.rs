@@ -139,11 +139,7 @@ pub fn greedy_covering(topo: &Topology, k: usize) -> Result<Vec<NodeId>, GraphEr
 /// # Errors
 /// Returns [`GraphError::NodeOutOfRange`] for invalid centers and
 /// [`GraphError::EmptyGraph`] for an empty center set on a non-empty graph.
-pub fn verify_covering(
-    topo: &Topology,
-    centers: &[NodeId],
-    k: usize,
-) -> Result<bool, GraphError> {
+pub fn verify_covering(topo: &Topology, centers: &[NodeId], k: usize) -> Result<bool, GraphError> {
     if topo.num_nodes() == 0 {
         return Ok(true);
     }
@@ -209,7 +205,10 @@ mod tests {
             meir_moon_covering(&topo, 0),
             Err(GraphError::InvalidParameter(_))
         ));
-        assert!(matches!(greedy_covering(&topo, 0), Err(GraphError::InvalidParameter(_))));
+        assert!(matches!(
+            greedy_covering(&topo, 0),
+            Err(GraphError::InvalidParameter(_))
+        ));
     }
 
     #[test]

@@ -78,19 +78,31 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for topology with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for topology with {num_nodes} nodes"
+                )
             }
             GraphError::EdgeOutOfRange { edge, num_edges } => {
-                write!(f, "edge {edge} out of range for topology with {num_edges} edges")
+                write!(
+                    f,
+                    "edge {edge} out of range for topology with {num_edges} edges"
+                )
             }
             GraphError::WeightsLengthMismatch { expected, got } => {
-                write!(f, "weight vector has length {got}, topology has {expected} edges")
+                write!(
+                    f,
+                    "weight vector has length {got}, topology has {expected} edges"
+                )
             }
             GraphError::NonFiniteWeight { edge, value } => {
                 write!(f, "edge {edge} has non-finite weight {value}")
             }
             GraphError::NegativeWeight { edge, value } => {
-                write!(f, "edge {edge} has negative weight {value}, algorithm requires w >= 0")
+                write!(
+                    f,
+                    "edge {edge} has negative weight {value}, algorithm requires w >= 0"
+                )
             }
             GraphError::NegativeCycle => write!(f, "graph contains a negative-weight cycle"),
             GraphError::Disconnected { from, to } => {
@@ -116,14 +128,23 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::WeightsLengthMismatch { expected: 5, got: 3 };
+        let e = GraphError::WeightsLengthMismatch {
+            expected: 5,
+            got: 3,
+        };
         assert!(e.to_string().contains("length 3"));
         assert!(e.to_string().contains("5 edges"));
 
-        let e = GraphError::Disconnected { from: NodeId::new(1), to: NodeId::new(2) };
+        let e = GraphError::Disconnected {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+        };
         assert!(e.to_string().contains("no path"));
 
-        let e = GraphError::NegativeWeight { edge: EdgeId::new(4), value: -1.5 };
+        let e = GraphError::NegativeWeight {
+            edge: EdgeId::new(4),
+            value: -1.5,
+        };
         assert!(e.to_string().contains("-1.5"));
     }
 

@@ -77,7 +77,10 @@ mod tests {
         let p = path_graph(5);
         assert_eq!(p.num_nodes(), 5);
         assert_eq!(p.num_edges(), 4);
-        assert_eq!(p.endpoints(EdgeId::new(2)), (NodeId::new(2), NodeId::new(3)));
+        assert_eq!(
+            p.endpoints(EdgeId::new(2)),
+            (NodeId::new(2), NodeId::new(3))
+        );
         assert!(is_connected(&p));
         assert_eq!(p.degree(NodeId::new(0)), 1);
         assert_eq!(p.degree(NodeId::new(2)), 2);
@@ -94,7 +97,10 @@ mod tests {
     fn cycle_layout() {
         let c = cycle_graph(4);
         assert_eq!(c.num_edges(), 4);
-        assert_eq!(c.endpoints(EdgeId::new(3)), (NodeId::new(3), NodeId::new(0)));
+        assert_eq!(
+            c.endpoints(EdgeId::new(3)),
+            (NodeId::new(3), NodeId::new(0))
+        );
         for v in c.nodes() {
             assert_eq!(c.degree(v), 2);
         }

@@ -224,7 +224,10 @@ impl HourglassGadget {
                 }
             }
         }
-        HourglassGadget { topo: builder.build(), n }
+        HourglassGadget {
+            topo: builder.build(),
+            n,
+        }
     }
 
     /// The public topology.

@@ -37,7 +37,11 @@ impl GridGraph {
                 }
             }
         }
-        GridGraph { topo: b.build(), rows, cols }
+        GridGraph {
+            topo: b.build(),
+            rows,
+            cols,
+        }
     }
 
     /// The underlying topology.
@@ -60,7 +64,10 @@ impl GridGraph {
     /// # Panics
     /// Panics if out of bounds.
     pub fn node_at(&self, r: usize, c: usize) -> NodeId {
-        assert!(r < self.rows && c < self.cols, "grid coordinate out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "grid coordinate out of bounds"
+        );
         NodeId::new(r * self.cols + c)
     }
 
@@ -127,7 +134,7 @@ mod tests {
         let g = GridGraph::new(9, 9);
         let z = g.modular_covering(3).unwrap();
         assert_eq!(z.len(), 9); // (9/3)^2
-        // Theorem 4.7: spacing s gives a 2s-covering.
+                                // Theorem 4.7: spacing s gives a 2s-covering.
         assert!(verify_covering(g.topology(), &z, 6).unwrap());
         let r = covering_radius(g.topology(), &z).unwrap().unwrap();
         assert!(r <= 6, "radius {r} > 2 * spacing");

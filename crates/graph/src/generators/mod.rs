@@ -13,10 +13,6 @@ pub use basic::{complete_graph, cycle_graph, path_graph, star_graph};
 pub use gadgets::{HourglassGadget, ParallelPathGadget, SimpleParallelPathGadget, StarGadget};
 pub use grids::GridGraph;
 pub use layered::{planted_path_graph, PlantedPath};
-pub use random::{
-    connected_gnm, gnm_graph, gnp_graph, random_geometric_graph, GeometricGraph,
-};
-pub use trees::{
-    balanced_binary_tree, caterpillar_tree, random_tree_prufer, spider_tree,
-};
+pub use random::{connected_gnm, gnm_graph, gnp_graph, random_geometric_graph, GeometricGraph};
+pub use trees::{balanced_binary_tree, caterpillar_tree, random_tree_prufer, spider_tree};
 pub use weight_gen::{exponential_weights, uniform_weights};

@@ -135,7 +135,9 @@ impl GeometricGraph {
 pub fn random_geometric_graph(n: usize, radius: f64, rng: &mut impl Rng) -> GeometricGraph {
     assert!(n > 0, "geometric graph needs at least one vertex");
     assert!(radius > 0.0, "radius must be positive");
-    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut b = Topology::builder(n);
     let r2 = radius * radius;
     for i in 0..n {

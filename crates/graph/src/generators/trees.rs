@@ -89,7 +89,10 @@ pub fn caterpillar_tree(spine: usize, legs: usize) -> Topology {
 /// # Panics
 /// Panics if `legs == 0` or `leg_len == 0`.
 pub fn spider_tree(legs: usize, leg_len: usize) -> Topology {
-    assert!(legs > 0 && leg_len > 0, "spider needs legs of positive length");
+    assert!(
+        legs > 0 && leg_len > 0,
+        "spider needs legs of positive length"
+    );
     let n = 1 + legs * leg_len;
     let mut b = Topology::builder(n);
     for l in 0..legs {
@@ -115,7 +118,10 @@ mod tests {
         for n in [1usize, 2, 3, 5, 17, 100] {
             let t = random_tree_prufer(n, &mut rng);
             assert_eq!(t.num_edges(), n - 1, "n={n}");
-            assert!(RootedTree::new(&t, NodeId::new(0)).is_ok(), "n={n} not a tree");
+            assert!(
+                RootedTree::new(&t, NodeId::new(0)).is_ok(),
+                "n={n} not a tree"
+            );
         }
     }
 

@@ -8,9 +8,16 @@ use rand::Rng;
 /// # Panics
 /// Panics if `lo > hi` or either bound is non-finite.
 pub fn uniform_weights(len: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> EdgeWeights {
-    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi}]");
-    EdgeWeights::new((0..len).map(|_| lo + (hi - lo) * rng.gen::<f64>()).collect())
-        .expect("uniform weights are finite")
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "invalid range [{lo}, {hi}]"
+    );
+    EdgeWeights::new(
+        (0..len)
+            .map(|_| lo + (hi - lo) * rng.gen::<f64>())
+            .collect(),
+    )
+    .expect("uniform weights are finite")
 }
 
 /// Exponential weights with the given mean (inverse-CDF sampling) for `len`
@@ -20,7 +27,10 @@ pub fn uniform_weights(len: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Edge
 /// # Panics
 /// Panics if `mean <= 0` or non-finite.
 pub fn exponential_weights(len: usize, mean: f64, rng: &mut impl Rng) -> EdgeWeights {
-    assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "mean must be positive, got {mean}"
+    );
     EdgeWeights::new(
         (0..len)
             .map(|_| {

@@ -58,7 +58,10 @@ impl From<std::io::Error> for IoError {
 }
 
 fn parse_err(line: usize, message: impl Into<String>) -> IoError {
-    IoError::Parse { line, message: message.into() }
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes a topology in the v1 text format.
@@ -88,7 +91,10 @@ pub fn read_topology(input: impl BufRead) -> Result<Topology, IoError> {
         match lines.next() {
             Some((i, Ok(l))) => Ok((i + 1, l)),
             Some((i, Err(e))) => Err(parse_err(i + 1, e.to_string())),
-            None => Err(parse_err(0, format!("unexpected end of input, expected {expect}"))),
+            None => Err(parse_err(
+                0,
+                format!("unexpected end of input, expected {expect}"),
+            )),
         }
     };
 
@@ -112,8 +118,11 @@ pub fn read_topology(input: impl BufRead) -> Result<Topology, IoError> {
         .and_then(|s| s.trim().parse().ok())
         .ok_or_else(|| parse_err(ln, "expected `edges <count>`"))?;
 
-    let mut builder =
-        if directed { Topology::builder_directed(n) } else { Topology::builder(n) };
+    let mut builder = if directed {
+        Topology::builder_directed(n)
+    } else {
+        Topology::builder(n)
+    };
     for _ in 0..m {
         let (ln, edge_line) = next("edge endpoints")?;
         let mut parts = edge_line.split_whitespace();
@@ -157,7 +166,10 @@ pub fn read_weights(input: impl BufRead) -> Result<EdgeWeights, IoError> {
         match lines.next() {
             Some((i, Ok(l))) => Ok((i + 1, l)),
             Some((i, Err(e))) => Err(parse_err(i + 1, e.to_string())),
-            None => Err(parse_err(0, format!("unexpected end of input, expected {expect}"))),
+            None => Err(parse_err(
+                0,
+                format!("unexpected end of input, expected {expect}"),
+            )),
         }
     };
     let (ln, header) = next("header")?;
@@ -218,7 +230,10 @@ mod tests {
         let back = roundtrip_topo(&topo);
         assert!(back.is_directed());
         assert_eq!(back.num_edges(), 3);
-        assert_eq!(back.endpoints(crate::EdgeId::new(2)), (NodeId::new(2), NodeId::new(2)));
+        assert_eq!(
+            back.endpoints(crate::EdgeId::new(2)),
+            (NodeId::new(2), NodeId::new(2))
+        );
     }
 
     #[test]
@@ -228,7 +243,11 @@ mod tests {
         let mut buf = Vec::new();
         write_weights(&mut buf, &w).unwrap();
         let back = read_weights(BufReader::new(buf.as_slice())).unwrap();
-        assert_eq!(back.as_slice(), w.as_slice(), "floats must round-trip exactly");
+        assert_eq!(
+            back.as_slice(),
+            w.as_slice(),
+            "floats must round-trip exactly"
+        );
     }
 
     #[test]
@@ -248,9 +267,18 @@ mod tests {
             ("wrong header\n", 1),
             ("privpath-topology v1\nnope\n", 2),
             ("privpath-topology v1\nnodes 2\ndirected maybe\n", 3),
-            ("privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0\n", 5),
-            ("privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0 5\n", 5),
-            ("privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0 1 9\n", 5),
+            (
+                "privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0\n",
+                5,
+            ),
+            (
+                "privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0 5\n",
+                5,
+            ),
+            (
+                "privpath-topology v1\nnodes 2\ndirected false\nedges 1\n0 1 9\n",
+                5,
+            ),
         ];
         for (input, want_line) in cases {
             match read_topology(BufReader::new(input.as_bytes())) {
@@ -260,8 +288,10 @@ mod tests {
                 other => panic!("input {input:?}: expected parse error, got {other:?}"),
             }
         }
-        assert!(read_weights(BufReader::new("privpath-weights v1\nlen 1\nNaN\n".as_bytes()))
-            .is_err());
+        assert!(read_weights(BufReader::new(
+            "privpath-weights v1\nlen 1\nNaN\n".as_bytes()
+        ))
+        .is_err());
     }
 
     #[test]
@@ -280,6 +310,9 @@ mod tests {
         let w = EdgeWeights::zeros(0);
         let mut buf = Vec::new();
         write_weights(&mut buf, &w).unwrap();
-        assert_eq!(read_weights(BufReader::new(buf.as_slice())).unwrap().len(), 0);
+        assert_eq!(
+            read_weights(BufReader::new(buf.as_slice())).unwrap().len(),
+            0
+        );
     }
 }

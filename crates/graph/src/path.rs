@@ -36,7 +36,10 @@ impl Path {
 
     /// The trivial path consisting of a single vertex.
     pub fn single(node: NodeId) -> Self {
-        Path { nodes: vec![node], edges: Vec::new() }
+        Path {
+            nodes: vec![node],
+            edges: Vec::new(),
+        }
     }
 
     /// The vertices of the path, in order.
@@ -119,7 +122,10 @@ mod tests {
     #[test]
     fn construction_and_accessors() {
         let (_, es) = line();
-        let p = Path::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)], es.clone());
+        let p = Path::new(
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            es.clone(),
+        );
         assert_eq!(p.hops(), 2);
         assert_eq!(p.source(), NodeId::new(0));
         assert_eq!(p.target(), NodeId::new(2));

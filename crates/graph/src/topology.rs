@@ -77,7 +77,14 @@ impl Topology {
                 cursor[v.index()] += 1;
             }
         }
-        Topology { num_nodes, directed, endpoints, offsets, adj_node, adj_edge }
+        Topology {
+            num_nodes,
+            directed,
+            endpoints,
+            offsets,
+            adj_node,
+            adj_edge,
+        }
     }
 
     /// Number of vertices.
@@ -142,7 +149,10 @@ impl Topology {
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         let lo = self.offsets[v.index()] as usize;
         let hi = self.offsets[v.index() + 1] as usize;
-        self.adj_node[lo..hi].iter().copied().zip(self.adj_edge[lo..hi].iter().copied())
+        self.adj_node[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adj_edge[lo..hi].iter().copied())
     }
 
     /// The out-degree of `v` (number of incident edges for undirected
@@ -161,7 +171,10 @@ impl Topology {
 
     /// Returns all (parallel) edges between `u` and `v`. `O(deg(u))`.
     pub fn edges_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
-        self.neighbors(u).filter(|&(n, _)| n == v).map(|(_, e)| e).collect()
+        self.neighbors(u)
+            .filter(|&(n, _)| n == v)
+            .map(|(_, e)| e)
+            .collect()
     }
 
     /// Checks that `v` is a valid node id for this topology.
@@ -169,7 +182,10 @@ impl Topology {
         if v.index() < self.num_nodes() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: v, num_nodes: self.num_nodes() })
+            Err(GraphError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes(),
+            })
         }
     }
 
@@ -178,7 +194,10 @@ impl Topology {
         if e.index() < self.num_edges() {
             Ok(())
         } else {
-            Err(GraphError::EdgeOutOfRange { edge: e, num_edges: self.num_edges() })
+            Err(GraphError::EdgeOutOfRange {
+                edge: e,
+                num_edges: self.num_edges(),
+            })
         }
     }
 }
@@ -235,7 +254,10 @@ mod tests {
         let e1 = b.add_edge(NodeId::new(0), NodeId::new(1));
         let t = b.build();
         assert_ne!(e0, e1);
-        assert_eq!(t.edges_between(NodeId::new(0), NodeId::new(1)), vec![e0, e1]);
+        assert_eq!(
+            t.edges_between(NodeId::new(0), NodeId::new(1)),
+            vec![e0, e1]
+        );
         assert_eq!(t.degree(NodeId::new(0)), 2);
         assert_eq!(t.degree(NodeId::new(1)), 2);
     }

@@ -95,7 +95,9 @@ impl TreeDecomposition {
             // Path from split vertex up to the piece root.
             let mut cur = call.split_vertex;
             while cur != call.piece_root {
-                let e = tree.parent_edge(cur).expect("non-root vertex has parent edge");
+                let e = tree
+                    .parent_edge(cur)
+                    .expect("non-root vertex has parent edge");
                 level.push(e);
                 cur = tree.parent(cur).expect("non-root vertex has parent");
             }
@@ -127,7 +129,11 @@ pub fn decompose(tree: &RootedTree) -> TreeDecomposition {
     };
     let all: Vec<NodeId> = tree.preorder().to_vec();
     let (root_call, depth) = recurse(&mut ctx, tree.root(), all);
-    TreeDecomposition { root_call, depth, num_queries: ctx.num_queries }
+    TreeDecomposition {
+        root_call,
+        depth,
+        num_queries: ctx.num_queries,
+    }
 }
 
 struct Ctx<'a> {
@@ -141,7 +147,11 @@ struct Ctx<'a> {
 
 /// Returns the call for this piece (or `None` for singleton pieces) and the
 /// number of levels including this one.
-fn recurse(ctx: &mut Ctx<'_>, piece_root: NodeId, mut nodes: Vec<NodeId>) -> (Option<DecompCall>, usize) {
+fn recurse(
+    ctx: &mut Ctx<'_>,
+    piece_root: NodeId,
+    mut nodes: Vec<NodeId>,
+) -> (Option<DecompCall>, usize) {
     let size = nodes.len();
     if size <= 1 {
         return (None, 0);
@@ -159,7 +169,10 @@ fn recurse(ctx: &mut Ctx<'_>, piece_root: NodeId, mut nodes: Vec<NodeId>) -> (Op
         if v == piece_root {
             continue;
         }
-        let p = ctx.tree.parent(v).expect("piece member below piece root has parent");
+        let p = ctx
+            .tree
+            .parent(v)
+            .expect("piece member below piece root has parent");
         debug_assert_eq!(ctx.stamp[p.index()], epoch, "piece must be connected");
         ctx.local_size[p.index()] += ctx.local_size[v.index()];
     }
@@ -212,7 +225,11 @@ fn recurse(ctx: &mut Ctx<'_>, piece_root: NodeId, mut nodes: Vec<NodeId>) -> (Op
         }
         pieces.push((c, members));
     }
-    let t0: Vec<NodeId> = nodes.iter().copied().filter(|v| ctx.stamp[v.index()] == epoch).collect();
+    let t0: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|v| ctx.stamp[v.index()] == epoch)
+        .collect();
     debug_assert!(t0.contains(&piece_root));
     debug_assert!(t0.contains(&split));
 
@@ -232,7 +249,13 @@ fn recurse(ctx: &mut Ctx<'_>, piece_root: NodeId, mut nodes: Vec<NodeId>) -> (Op
     }
 
     (
-        Some(DecompCall { piece_root, split_vertex: split, child_edges, size, subcalls }),
+        Some(DecompCall {
+            piece_root,
+            split_vertex: split,
+            child_edges,
+            size,
+            subcalls,
+        }),
         max_sub_depth + 1,
     )
 }
@@ -388,7 +411,12 @@ mod tests {
         // We verify sizes never exceed ceil(size/2).
         d.for_each_call(|c, _| {
             for sub in &c.subcalls {
-                assert!(sub.size <= c.size.div_ceil(2), "piece {} in {}", sub.size, c.size);
+                assert!(
+                    sub.size <= c.size.div_ceil(2),
+                    "piece {} in {}",
+                    sub.size,
+                    c.size
+                );
             }
         });
         assert_eq!(call.size, 33);

@@ -93,7 +93,11 @@ impl HeavyPathDecomposition {
             }
             paths.push(HeavyPath { vertices, edges });
         }
-        HeavyPathDecomposition { paths, path_of, pos_in_path }
+        HeavyPathDecomposition {
+            paths,
+            path_of,
+            pos_in_path,
+        }
     }
 
     /// The heavy paths.

@@ -37,7 +37,9 @@ impl RootedTree {
             return Err(GraphError::EmptyGraph);
         }
         if topo.num_edges() != n - 1 {
-            return Err(GraphError::NotATree { reason: "edge count is not V - 1" });
+            return Err(GraphError::NotATree {
+                reason: "edge count is not V - 1",
+            });
         }
         let mut parent = vec![None; n];
         let mut parent_edge = vec![None; n];
@@ -52,7 +54,9 @@ impl RootedTree {
             preorder.push(u);
             for (v, e) in topo.neighbors(u) {
                 if v == u {
-                    return Err(GraphError::NotATree { reason: "self-loop present" });
+                    return Err(GraphError::NotATree {
+                        reason: "self-loop present",
+                    });
                 }
                 if Some(e) == parent_edge[u.index()] {
                     continue;
@@ -71,7 +75,9 @@ impl RootedTree {
             }
         }
         if preorder.len() != n {
-            return Err(GraphError::NotATree { reason: "graph is disconnected" });
+            return Err(GraphError::NotATree {
+                reason: "graph is disconnected",
+            });
         }
 
         // Subtree sizes: accumulate in reverse BFS order (children before
@@ -170,10 +176,7 @@ impl RootedTree {
 /// # Errors
 /// Returns [`GraphError::WeightsLengthMismatch`] if `weights` does not
 /// match the underlying topology's edge count.
-pub fn weighted_depths(
-    tree: &RootedTree,
-    weights: &EdgeWeights,
-) -> Result<Vec<f64>, GraphError> {
+pub fn weighted_depths(tree: &RootedTree, weights: &EdgeWeights) -> Result<Vec<f64>, GraphError> {
     if weights.len() != tree.num_nodes() - 1 {
         return Err(GraphError::WeightsLengthMismatch {
             expected: tree.num_nodes() - 1,

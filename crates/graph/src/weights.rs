@@ -26,7 +26,10 @@ impl EdgeWeights {
     pub fn new(values: Vec<f64>) -> Result<Self, GraphError> {
         for (i, &v) in values.iter().enumerate() {
             if !v.is_finite() {
-                return Err(GraphError::NonFiniteWeight { edge: EdgeId::new(i), value: v });
+                return Err(GraphError::NonFiniteWeight {
+                    edge: EdgeId::new(i),
+                    value: v,
+                });
             }
         }
         Ok(EdgeWeights { w: values })
@@ -43,7 +46,9 @@ impl EdgeWeights {
     /// Panics if `value` is not finite.
     pub fn constant(len: usize, value: f64) -> Self {
         assert!(value.is_finite(), "weight must be finite, got {value}");
-        EdgeWeights { w: vec![value; len] }
+        EdgeWeights {
+            w: vec![value; len],
+        }
     }
 
     /// Number of entries.
@@ -94,8 +99,16 @@ impl EdgeWeights {
     /// # Panics
     /// Panics if lengths differ.
     pub fn l1_distance(&self, other: &EdgeWeights) -> f64 {
-        assert_eq!(self.len(), other.len(), "weight vectors must have equal length");
-        self.w.iter().zip(&other.w).map(|(a, b)| (a - b).abs()).sum()
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "weight vectors must have equal length"
+        );
+        self.w
+            .iter()
+            .zip(&other.w)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
     }
 
     /// Sum of all weights (`||w||_1` for nonnegative weights).
@@ -155,7 +168,9 @@ impl EdgeWeights {
     /// Used as a post-processing step after adding Laplace noise so that
     /// Dijkstra's nonnegativity precondition holds surely (see DESIGN.md §4).
     pub fn clamp_nonnegative(&self) -> EdgeWeights {
-        EdgeWeights { w: self.w.iter().map(|&v| v.max(0.0)).collect() }
+        EdgeWeights {
+            w: self.w.iter().map(|&v| v.max(0.0)).collect(),
+        }
     }
 
     /// Validates that this weight vector matches `topo`'s edge count.
@@ -244,7 +259,10 @@ mod tests {
         assert!(EdgeWeights::zeros(1).validate_for(&topo).is_ok());
         assert!(matches!(
             EdgeWeights::zeros(2).validate_for(&topo),
-            Err(GraphError::WeightsLengthMismatch { expected: 1, got: 2 })
+            Err(GraphError::WeightsLengthMismatch {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 

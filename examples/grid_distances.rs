@@ -37,16 +37,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let centers = grid.modular_covering(spacing)?;
         let k_grid = 2 * spacing;
 
-        let grid_params = BoundedWeightParams::approx(eps, delta, max_w)?
-            .with_strategy(CoveringStrategy::Custom { centers: centers.clone(), k: k_grid });
-        let grid_rel = bounded_weight_all_pairs(topo, &weights, &grid_params, &mut rng)?;
+        // Both coverings run as Algorithm 2 releases through one engine:
+        // the (eps, delta) cost of each is debited against a shared ledger.
+        let mut engine = ReleaseEngine::new(topo.clone(), weights.clone())?;
+        let grid_params = BoundedWeightParams::approx(eps, delta, max_w)?.with_strategy(
+            CoveringStrategy::Custom {
+                centers: centers.clone(),
+                k: k_grid,
+            },
+        );
+        let grid_id = engine.release(&mechanisms::BoundedWeight, &grid_params, &mut rng)?;
 
         // Generic Lemma 4.4 covering at the same radius.
         let generic_params = BoundedWeightParams::approx(eps, delta, max_w)?
             .with_strategy(CoveringStrategy::MeirMoon { k: k_grid });
-        let generic_rel = bounded_weight_all_pairs(topo, &weights, &generic_params, &mut rng)?;
+        let generic_id = engine.release(&mechanisms::BoundedWeight, &generic_params, &mut rng)?;
+        let (spent_eps, spent_delta) = engine.spent();
+        assert!((spent_eps - 2.0).abs() < 1e-12 && spent_delta > 0.0);
 
-        // Measure error over sampled pairs.
+        let (grid_centers, generic_centers) = match (
+            engine.get(grid_id).expect("registered").release(),
+            engine.get(generic_id).expect("registered").release(),
+        ) {
+            (AnyRelease::BoundedWeight(g), AnyRelease::BoundedWeight(m)) => {
+                (g.centers().len(), m.centers().len())
+            }
+            _ => unreachable!("bounded-weight releases"),
+        };
+
+        // Measure error over sampled pairs through the uniform oracle.
         let mut grid_err = ErrorCollector::new();
         let mut generic_err = ErrorCollector::new();
         let mut pair_rng = StdRng::seed_from_u64(7);
@@ -56,17 +75,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for _ in 0..10 {
                 let t = NodeId::new(pair_rng.gen_range(0..v));
                 let truth = spt.distance(t).expect("grid connected");
-                grid_err.push((grid_rel.distance(s, t) - truth).abs());
-                generic_err.push((generic_rel.distance(s, t) - truth).abs());
+                grid_err.push((engine.query(grid_id)?.distance(s, t)? - truth).abs());
+                generic_err.push((engine.query(generic_id)?.distance(s, t)? - truth).abs());
             }
         }
         println!(
             "{:>6} {:>9} | {:>9} {:>11.2} | {:>11} {:>9.2}",
             v,
             format!("{side}x{side}"),
-            grid_rel.centers().len(),
+            grid_centers,
             grid_err.stats().p95,
-            generic_rel.centers().len(),
+            generic_centers,
             generic_err.stats().p95,
         );
     }

@@ -11,7 +11,6 @@
 //! Run with: `cargo run --release --example privacy_attack`
 
 use privpath::core::attack::{exact_shortest_path, random_bits, thm51_alpha_bits, PathAttack};
-use privpath::dp::Delta;
 use privpath::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let attack = PathAttack::new(n_bits);
     let mut rng = StdRng::seed_from_u64(1511);
 
-    println!("secret: {n_bits} bits encoded into a {}-vertex gadget\n", n_bits + 1);
+    println!(
+        "secret: {n_bits} bits encoded into a {}-vertex gadget\n",
+        n_bits + 1
+    );
 
     // 1. The non-private release: exact shortest path.
     let secret = random_bits(n_bits, &mut rng);
@@ -29,11 +31,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = exact_shortest_path(attack.topology(), &w, attack.s(), attack.t())?;
     let guess = attack.decode(&path);
     let wrong = privpath::core::attack::hamming(&secret, &guess);
-    println!("exact release:      reconstructed {}/{} bits ({} wrong) — blatant non-privacy",
-        n_bits - wrong, n_bits, wrong);
+    println!(
+        "exact release:      reconstructed {}/{} bits ({} wrong) — blatant non-privacy",
+        n_bits - wrong,
+        n_bits,
+        wrong
+    );
 
     // 2. The DP release at several privacy levels.
-    println!("\n{:>6} | {:>12} {:>12} {:>14}", "eps", "bits wrong", "path error", "alpha (thm 5.1)");
+    println!(
+        "\n{:>6} | {:>12} {:>12} {:>14}",
+        "eps", "bits wrong", "path error", "alpha (thm 5.1)"
+    );
     println!("{}", "-".repeat(52));
     for &eps_val in &[0.05, 0.1, 0.5, 1.0, 2.0] {
         let eps = Epsilon::new(eps_val)?;
@@ -42,10 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut wrong_total = 0usize;
         let mut err_total = 0.0;
         for t in 0..trials {
-            let outcome = attack.run(&mut rng, |topo, w| {
+            // Each trial encodes a fresh secret, so the adversary faces the
+            // mechanism through the engine's uniform trait surface.
+            let outcome = attack.run(&mut rng, |topo, w| -> Result<Path, EngineError> {
                 let mut mech_rng = StdRng::seed_from_u64(t * 31 + (eps_val * 1000.0) as u64);
-                let release = private_shortest_paths(topo, w, &params, &mut mech_rng)?;
-                release.path(attack.s(), attack.t())
+                let release = mechanisms::ShortestPaths.release(topo, w, &params, &mut mech_rng)?;
+                Ok(release.path(attack.s(), attack.t())?)
             })?;
             wrong_total += outcome.hamming;
             err_total += outcome.objective_error;

@@ -1,9 +1,11 @@
 //! Quickstart: private routing on a toy road map in five minutes.
 //!
 //! The topology (which roads exist) is public; the travel times (congestion,
-//! derived from individual drivers' GPS traces) are private. We release all
-//! shortest paths once with Algorithm 3 and then answer arbitrary route
-//! queries from the release.
+//! derived from individual drivers' GPS traces) are private. We hand the
+//! database to a [`ReleaseEngine`] with a total privacy budget, release all
+//! shortest paths once with Algorithm 3, and then answer arbitrary route
+//! queries from the release — pure post-processing, so queries never touch
+//! the budget again.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -42,25 +44,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Private travel times (minutes). In production these would come from
     // aggregated driver data; one driver's contribution moves the vector by
     // at most 1 in l1 — exactly the model's neighboring relation.
-    let travel_minutes =
-        vec![4.0, 6.0, 3.0, 5.0, 4.0, 2.0, 7.0, 6.0, 3.0, 4.0, 5.0, 2.0];
-    let weights = EdgeWeights::new(travel_minutes)?;
+    let travel_minutes = vec![4.0, 6.0, 3.0, 5.0, 4.0, 2.0, 7.0, 6.0, 3.0, 4.0, 5.0, 2.0];
+    let weights = EdgeWeights::new(travel_minutes.clone())?;
+    let true_weights = EdgeWeights::new(travel_minutes)?;
 
-    // Release once with eps = 1 differential privacy.
-    let eps = Epsilon::new(1.0)?;
-    let params = ShortestPathParams::new(eps, 0.05)?;
+    // The engine owns the database and a total privacy budget of eps = 2:
+    // every release debits the ledger, queries are free.
+    let mut engine =
+        ReleaseEngine::with_budget(topo.clone(), weights, Epsilon::new(2.0)?, Delta::zero())?;
+
+    // Release once with eps = 1 differential privacy (Algorithm 3).
+    let params = ShortestPathParams::new(Epsilon::new(1.0)?, 0.05)?;
     let mut rng = StdRng::seed_from_u64(2016);
-    let release = private_shortest_paths(&topo, &weights, &params, &mut rng)?;
+    let id = engine.release(&mechanisms::ShortestPaths, &params, &mut rng)?;
 
+    let (spent_eps, _) = engine.spent();
+    let (left_eps, _) = engine.remaining().expect("budgeted engine");
     println!("Released a private routing table (eps = 1, gamma = 0.05).");
-    println!("Per-edge shift applied: {:.2} minutes\n", release.shift_amount());
+    println!("Budget: spent eps = {spent_eps}, remaining eps = {left_eps}\n");
 
     // Answer as many queries as we like — pure post-processing.
+    let oracle = engine.query(id)?;
     for (s, t) in [(0usize, 7usize), (2, 6), (0, 5)] {
         let (s, t) = (NodeId::new(s), NodeId::new(t));
-        let path = release.path(s, t)?;
-        let true_time = weights.path_weight(&path);
-        let spt = privpath::graph::algo::dijkstra(&topo, &weights, s)?;
+        let path = oracle
+            .path(s, t)
+            .expect("shortest-path releases carry routes")?;
+        let true_time = true_weights.path_weight(&path);
+        let spt = privpath::graph::algo::dijkstra(&topo, &true_weights, s)?;
         let optimal = spt.distance(t).expect("connected");
         println!(
             "route {s} -> {t}: {:?}  ({} hops, true time {:.1} min, optimum {:.1} min, excess {:.1})",
@@ -71,6 +82,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             true_time - optimal,
         );
     }
+
+    // Batched serving: one call, sharing a Dijkstra per distinct origin.
+    let pairs: Vec<(NodeId, NodeId)> = [(0usize, 7usize), (0, 5), (2, 6), (2, 7)]
+        .iter()
+        .map(|&(s, t)| (NodeId::new(s), NodeId::new(t)))
+        .collect();
+    let estimates = oracle.distance_batch(&pairs)?;
+    println!(
+        "\nbatched estimates: {:?}",
+        estimates
+            .iter()
+            .map(|d| (d * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 
     println!("\nTheorem 5.5 says a k-hop route's excess is at most (2k/eps) ln(E/gamma):");
     for k in [2usize, 3, 4] {

@@ -3,14 +3,16 @@
 //! traffic data and uses it to direct drivers").
 //!
 //! We build a random geometric graph as a road-network proxy, weight each
-//! road by base travel time plus private congestion, and compare the routes
-//! produced by Algorithm 3 at several privacy levels against the true
-//! optimum. The experiment shows the paper's key qualitative claims:
+//! road by base travel time plus private congestion, hand the database to
+//! one [`ReleaseEngine`], and compare the routes produced by Algorithm 3
+//! at several privacy levels against the true optimum. The experiment
+//! shows the paper's key qualitative claims:
 //!
 //! 1. error grows with the *hop count* of the route, not with |V|;
 //! 2. when travel times are large, the (additive) privacy cost is
 //!    negligible in relative terms;
-//! 3. one release answers every origin/destination pair.
+//! 3. one release answers every origin/destination pair — and the engine's
+//!    ledger shows exactly what the whole sweep cost.
 //!
 //! Run with: `cargo run --release --example traffic_navigation`
 
@@ -42,13 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let weights = EdgeWeights::new(minutes)?;
 
-    println!("\n{:>6} | {:>10} {:>10} {:>10} {:>8}", "eps", "mean excess", "p95 excess", "max excess", "mean hops");
+    // One engine owns the private congestion data; the whole eps sweep is
+    // five budget-tracked releases over the same database.
+    let mut engine = ReleaseEngine::new(topo.clone(), weights.clone())?;
+
+    println!(
+        "\n{:>6} | {:>10} {:>10} {:>10} {:>8}",
+        "eps", "mean excess", "p95 excess", "max excess", "mean hops"
+    );
     println!("{}", "-".repeat(56));
     for &eps_val in &[0.25, 0.5, 1.0, 2.0, 4.0] {
         let eps = Epsilon::new(eps_val)?;
         let params = ShortestPathParams::new(eps, 0.05)?;
         let mut mech_rng = StdRng::seed_from_u64(7 + (eps_val * 100.0) as u64);
-        let release = private_shortest_paths(topo, &weights, &params, &mut mech_rng)?;
+        let id = engine.release(&mechanisms::ShortestPaths, &params, &mut mech_rng)?;
+        let oracle = engine.query(id)?;
 
         // Query 60 random origin/destination pairs from the one release.
         let mut excess = ErrorCollector::new();
@@ -61,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if s == t {
                 continue;
             }
-            let path = release.path(s, t)?;
+            let path = oracle.path(s, t).expect("route-capable release")?;
             let truth = dijkstra(topo, &weights, s)?.distance(t).expect("connected");
             excess.push(weights.path_weight(&path) - truth);
             hops += path.hops();
@@ -75,6 +85,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.p95,
             stats.max,
             hops as f64 / pairs as f64
+        );
+    }
+
+    let (spent_eps, _) = engine.spent();
+    println!(
+        "\nledger: {} releases over one database, total eps = {spent_eps}",
+        engine.len()
+    );
+    for record in engine.releases() {
+        println!(
+            "  {} ({}, eps = {})",
+            record.label(),
+            record.kind(),
+            record.eps()
         );
     }
 

@@ -1,16 +1,18 @@
 //! All-pairs distances on a tree: Algorithm 1 / Theorem 4.2 versus the
-//! generic baselines of Section 4.
+//! generic baselines of Section 4, all driven through one
+//! [`ReleaseEngine`] per workload size.
 //!
 //! The workload is a river network (trees model drainage basins, utility
 //! grids, org hierarchies...). Edge weights are private flow volumes; we
-//! release all-pairs distances and compare the tree mechanism's polylog
-//! error against the linear-in-V baselines.
+//! release all-pairs distances three ways — the tree mechanism, the
+//! synthetic graph, and basic composition — under a single tracked budget
+//! of 3 eps per size, and compare the tree mechanism's polylog error
+//! against the linear-in-V baselines through the uniform
+//! [`DistanceRelease`] query surface.
 //!
 //! Run with: `cargo run --release --example tree_hierarchy`
 
-use privpath::core::baselines;
 use privpath::core::experiment::ErrorCollector;
-use privpath::core::model::NeighborScale;
 use privpath::graph::generators::{random_tree_prufer, uniform_weights};
 use privpath::graph::tree::{weighted_depths, RootedTree};
 use privpath::prelude::*;
@@ -37,41 +39,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             weighted_depths(&rt, &weights).expect("weights fit")
         };
 
-        // Tree mechanism (Theorem 4.2).
-        let params = TreeDistanceParams::new(eps);
-        let release = tree_all_pairs_distances(&topo, &weights, &params, &mut rng)?;
-
-        // Baselines: synthetic graph and basic composition.
-        let synth = baselines::rng::synthetic_graph_release(
-            &topo,
-            &weights,
-            eps,
-            NeighborScale::unit(),
+        // One engine per workload: three releases, one eps = 3 budget.
+        let mut engine = ReleaseEngine::with_budget(
+            topo.clone(),
+            weights.clone(),
+            Epsilon::new(3.0)?,
+            Delta::zero(),
+        )?;
+        let tree_id = engine.release(
+            &mechanisms::TreeAllPairs,
+            &TreeDistanceParams::new(eps),
             &mut rng,
         )?;
-        let basic = baselines::rng::all_pairs_basic_composition(
-            &topo,
-            &weights,
-            eps,
-            NeighborScale::unit(),
+        let synth_id = engine.release(
+            &mechanisms::SyntheticGraph,
+            &mechanisms::SyntheticGraphParams::new(eps),
             &mut rng,
         )?;
+        let basic_id = engine.release(
+            &mechanisms::AllPairsBaseline,
+            &mechanisms::AllPairsBaselineParams::basic(eps),
+            &mut rng,
+        )?;
+        assert_eq!(engine.remaining(), Some((0.0, 0.0)));
 
         let mut tree_err = ErrorCollector::new();
         let mut synth_err = ErrorCollector::new();
         let mut basic_err = ErrorCollector::new();
-        // Sample pairs on a stride to keep the example snappy.
+        // Sample pairs on a stride to keep the example snappy; batch the
+        // per-source queries through the uniform oracle surface.
         for x in (0..v).step_by(7) {
             let truth = exact_from(NodeId::new(x));
-            let synth_dists = synth.distances_from(NodeId::new(x))?;
-            for y in (0..v).step_by(5) {
-                if x == y {
-                    continue;
-                }
-                let (xn, yn) = (NodeId::new(x), NodeId::new(y));
-                tree_err.push((release.distance(xn, yn) - truth[y]).abs());
-                synth_err.push((synth_dists[y] - truth[y]).abs());
-                basic_err.push((basic.distance(xn, yn) - truth[y]).abs());
+            let pairs: Vec<(NodeId, NodeId)> = (0..v)
+                .step_by(5)
+                .filter(|&y| y != x)
+                .map(|y| (NodeId::new(x), NodeId::new(y)))
+                .collect();
+            let tree_d = engine.query(tree_id)?.distance_batch(&pairs)?;
+            let synth_d = engine.query(synth_id)?.distance_batch(&pairs)?;
+            let basic_d = engine.query(basic_id)?.distance_batch(&pairs)?;
+            for (i, &(_, yn)) in pairs.iter().enumerate() {
+                let t = truth[yn.index()];
+                tree_err.push((tree_d[i] - t).abs());
+                synth_err.push((synth_d[i] - t).abs());
+                basic_err.push((basic_d[i] - t).abs());
             }
         }
         // Worst-case guarantees: tree mechanism (Thm 4.2) vs synthetic

@@ -1,18 +1,21 @@
 //! `privpath` — command-line front end for the private routing workflow:
-//! generate or import a network, release a private routing table once,
-//! then answer route queries from the stored release (post-processing, so
-//! queries are free of further privacy cost).
+//! generate or import a network, release private distance products once
+//! through the budget-accounted [`ReleaseEngine`], then answer queries
+//! from the stored releases (post-processing, so queries are free of
+//! further privacy cost).
 //!
 //! ```text
-//! privpath gen-demo --nodes 200 --out-prefix demo          # demo.topo / demo.weights
+//! privpath gen-demo --nodes 200 --out-prefix demo            # demo.topo / demo.weights
 //! privpath release  --topo demo.topo --weights demo.weights \
-//!                   --eps 1.0 --gamma 0.05 --out demo.release
-//! privpath route    --release demo.release --from 0 --to 17
-//! privpath distance --release demo.release --from 0 --to 17
+//!                   --mechanism shortest-path,synthetic-graph \
+//!                   --eps 1.0 --budget-eps 2.0 --out demo
+//! privpath route    --release demo.shortest-path.release --from 0 --to 17
+//! privpath distance --release demo.synthetic-graph.release --from 0 --to 17
+//! privpath inspect  --release demo.shortest-path.release
 //! ```
 
-use privpath::core::persist::{read_shortest_path_release, write_shortest_path_release};
-use privpath::graph::generators::random_geometric_graph;
+use privpath::engine::{mechanisms, read_release, ReleaseEngine, ReleaseId};
+use privpath::graph::generators::{random_geometric_graph, random_tree_prufer, uniform_weights};
 use privpath::graph::io::{read_topology, read_weights, write_topology, write_weights};
 use privpath::prelude::*;
 use rand::rngs::StdRng;
@@ -25,37 +28,66 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: privpath <command> [--flag value ...]
 
 commands:
-  gen-demo   --nodes N --out-prefix P [--seed S]
+  gen-demo   --nodes N --out-prefix P [--seed S] [--shape geometric|tree]
              generate a demo road network: P.topo (public topology) and
              P.weights (private travel times)
-  release    --topo F --weights F --eps E [--gamma G] [--seed S] --out F
-             run Algorithm 3 once and store the eps-DP routing table
+  release    --topo F --weights F --eps E --out F
+             [--mechanism M[,M...]] [--gamma G] [--delta D]
+             [--max-weight W] [--budget-eps E --budget-delta D] [--seed S]
+             run one or more mechanisms through the release engine under a
+             tracked privacy budget and store each release;
+             mechanisms: shortest-path (default), tree, bounded-weight,
+             synthetic-graph
   route      --release F --from A --to B
              print the released route between two intersections
+             (route-capable releases only)
   distance   --release F --from A --to B
-             print the released (upward-biased) travel-time estimate
+             print the released travel-time estimate from any stored
+             release kind
+  inspect    --release F
+             print a stored release's kind and privacy metadata
 ";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Parses `--flag value` pairs, rejecting unknown and duplicated flags.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown flag --{key} (expected one of: {})",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("duplicate flag --{key}"));
+        }
         i += 2;
     }
     Ok(flags)
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn parse<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
-    value.parse().map_err(|_| format!("invalid {what}: {value:?}"))
+    value
+        .parse()
+        .map_err(|_| format!("invalid {what}: {value:?}"))
 }
 
 fn run() -> Result<(), String> {
@@ -63,12 +95,30 @@ fn run() -> Result<(), String> {
     let Some((command, rest)) = args.split_first() else {
         return Err(USAGE.into());
     };
-    let flags = parse_flags(rest)?;
     match command.as_str() {
-        "gen-demo" => gen_demo(&flags),
-        "release" => release(&flags),
-        "route" => query(&flags, true),
-        "distance" => query(&flags, false),
+        "gen-demo" => gen_demo(&parse_flags(
+            rest,
+            &["nodes", "out-prefix", "seed", "shape"],
+        )?),
+        "release" => release(&parse_flags(
+            rest,
+            &[
+                "topo",
+                "weights",
+                "mechanism",
+                "eps",
+                "gamma",
+                "delta",
+                "max-weight",
+                "budget-eps",
+                "budget-delta",
+                "seed",
+                "out",
+            ],
+        )?),
+        "route" => query(&parse_flags(rest, &["release", "from", "to"])?, true),
+        "distance" => query(&parse_flags(rest, &["release", "from", "to"])?, false),
+        "inspect" => inspect(&parse_flags(rest, &["release"])?),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -81,29 +131,41 @@ fn gen_demo(flags: &HashMap<String, String>) -> Result<(), String> {
     let n: usize = parse(required(flags, "nodes")?, "node count")?;
     let prefix = required(flags, "out-prefix")?;
     let seed: u64 = flags.get("seed").map_or(Ok(7), |s| parse(s, "seed"))?;
+    let shape = flags.get("shape").map_or("geometric", String::as_str);
     if n < 2 {
         return Err("--nodes must be at least 2".into());
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let radius = (4.0 / n as f64).sqrt().clamp(0.05, 0.5);
-    let geo = random_geometric_graph(n, radius, &mut rng);
-    let mut minutes = Vec::with_capacity(geo.topo.num_edges());
-    for e in geo.topo.edge_ids() {
-        let (u, v) = geo.topo.endpoints(e);
-        minutes.push(100.0 * geo.euclid(u, v) + rng.gen::<f64>() * 8.0);
-    }
-    let weights = EdgeWeights::new(minutes).map_err(|e| e.to_string())?;
+    let (topo, weights) = match shape {
+        "geometric" => {
+            let radius = (4.0 / n as f64).sqrt().clamp(0.05, 0.5);
+            let geo = random_geometric_graph(n, radius, &mut rng);
+            let mut minutes = Vec::with_capacity(geo.topo.num_edges());
+            for e in geo.topo.edge_ids() {
+                let (u, v) = geo.topo.endpoints(e);
+                minutes.push(100.0 * geo.euclid(u, v) + rng.gen::<f64>() * 8.0);
+            }
+            let weights = EdgeWeights::new(minutes).map_err(|e| e.to_string())?;
+            (geo.topo, weights)
+        }
+        "tree" => {
+            let topo = random_tree_prufer(n, &mut rng);
+            let weights = uniform_weights(topo.num_edges(), 1.0, 9.0, &mut rng);
+            (topo, weights)
+        }
+        other => return Err(format!("invalid --shape {other:?} (geometric or tree)")),
+    };
 
     let topo_path = format!("{prefix}.topo");
     let weights_path = format!("{prefix}.weights");
     let mut tf = BufWriter::new(File::create(&topo_path).map_err(|e| e.to_string())?);
-    write_topology(&mut tf, &geo.topo).map_err(|e| e.to_string())?;
+    write_topology(&mut tf, &topo).map_err(|e| e.to_string())?;
     let mut wf = BufWriter::new(File::create(&weights_path).map_err(|e| e.to_string())?);
     write_weights(&mut wf, &weights).map_err(|e| e.to_string())?;
     println!(
         "wrote {topo_path} ({} nodes, {} roads) and {weights_path}",
-        geo.topo.num_nodes(),
-        geo.topo.num_edges()
+        topo.num_nodes(),
+        topo.num_edges()
     );
     Ok(())
 }
@@ -114,44 +176,168 @@ fn release(flags: &HashMap<String, String>) -> Result<(), String> {
     let weights_file = File::open(required(flags, "weights")?).map_err(|e| e.to_string())?;
     let weights = read_weights(BufReader::new(weights_file)).map_err(|e| e.to_string())?;
 
-    let eps: f64 = parse(required(flags, "eps")?, "epsilon")?;
+    let eps_v: f64 = parse(required(flags, "eps")?, "epsilon")?;
     let gamma: f64 = flags.get("gamma").map_or(Ok(0.05), |s| parse(s, "gamma"))?;
     let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "seed"))?;
     let out = required(flags, "out")?;
+    let mechanism_list = flags
+        .get("mechanism")
+        .map_or("shortest-path", String::as_str);
+    let names: Vec<&str> = mechanism_list.split(',').map(str::trim).collect();
+    if names.is_empty() || names.iter().any(|n| n.is_empty()) {
+        return Err("--mechanism needs a comma-separated list of names".into());
+    }
+    // Each mechanism writes to a name-derived output path, so a repeat
+    // would overwrite its own earlier release while double-spending.
+    for (i, name) in names.iter().enumerate() {
+        if names[..i].contains(name) {
+            return Err(format!("duplicate mechanism {name:?} in --mechanism"));
+        }
+    }
 
-    let eps = Epsilon::new(eps).map_err(|e| e.to_string())?;
-    let params = ShortestPathParams::new(eps, gamma).map_err(|e| e.to_string())?;
+    let eps = Epsilon::new(eps_v).map_err(|e| e.to_string())?;
+    let mut engine = match flags.get("budget-eps") {
+        Some(be) => {
+            let be = Epsilon::new(parse(be, "budget epsilon")?).map_err(|e| e.to_string())?;
+            let bd: f64 = flags
+                .get("budget-delta")
+                .map_or(Ok(0.0), |s| parse(s, "budget delta"))?;
+            let bd = Delta::new(bd).map_err(|e| e.to_string())?;
+            ReleaseEngine::with_budget(topo.clone(), weights, be, bd)
+        }
+        None => {
+            if flags.contains_key("budget-delta") {
+                return Err("--budget-delta needs --budget-eps (no budget is \
+                            enforced without an epsilon cap)"
+                    .into());
+            }
+            ReleaseEngine::new(topo.clone(), weights)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
     let mut rng = StdRng::seed_from_u64(seed);
-    let release_obj =
-        private_shortest_paths(&topo, &weights, &params, &mut rng).map_err(|e| e.to_string())?;
+    let mut saved: Vec<(ReleaseId, String)> = Vec::new();
+    for name in &names {
+        let id = match *name {
+            "shortest-path" => {
+                let params = ShortestPathParams::new(eps, gamma).map_err(|e| e.to_string())?;
+                engine.release(&mechanisms::ShortestPaths, &params, &mut rng)
+            }
+            "tree" => {
+                let params = TreeDistanceParams::new(eps);
+                engine.release(&mechanisms::TreeAllPairs, &params, &mut rng)
+            }
+            "synthetic-graph" => {
+                let params = mechanisms::SyntheticGraphParams::new(eps);
+                engine.release(&mechanisms::SyntheticGraph, &params, &mut rng)
+            }
+            "bounded-weight" => {
+                let max_weight: f64 = parse(
+                    required(flags, "max-weight")
+                        .map_err(|_| "--mechanism bounded-weight needs --max-weight".to_string())?,
+                    "max weight",
+                )?;
+                let params = match flags.get("delta") {
+                    Some(d) => {
+                        let delta = Delta::new(parse(d, "delta")?).map_err(|e| e.to_string())?;
+                        BoundedWeightParams::approx(eps, delta, max_weight)
+                    }
+                    None => BoundedWeightParams::pure(eps, max_weight),
+                }
+                .map_err(|e| e.to_string())?;
+                engine.release(&mechanisms::BoundedWeight, &params, &mut rng)
+            }
+            other => {
+                return Err(format!(
+                    "unknown mechanism {other:?} (expected shortest-path, tree, \
+                     bounded-weight, or synthetic-graph)"
+                ))
+            }
+        }
+        .map_err(|e| e.to_string())?;
 
-    let mut f = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
-    write_shortest_path_release(&mut f, &release_obj).map_err(|e| e.to_string())?;
-    println!(
-        "released eps = {} routing table over {} roads to {out} (per-edge shift {:.3})",
-        params.eps(),
-        topo.num_edges(),
-        release_obj.shift_amount()
-    );
+        let path = if names.len() == 1 {
+            out.to_string()
+        } else {
+            format!("{out}.{name}.release")
+        };
+        let mut f = BufWriter::new(File::create(&path).map_err(|e| e.to_string())?);
+        engine.save(id, &mut f).map_err(|e| e.to_string())?;
+        saved.push((id, path));
+    }
+
+    for (id, path) in &saved {
+        let record = engine.get(*id).expect("saved release is registered");
+        println!(
+            "released eps = {} {} table over {} roads to {path}",
+            record.eps(),
+            record.kind(),
+            topo.num_edges(),
+        );
+    }
+    let (se, sd) = engine.spent();
+    match engine.remaining() {
+        Some((re, rd)) => println!(
+            "privacy ledger: spent (eps {se}, delta {sd}); remaining (eps {re}, delta {rd})"
+        ),
+        None => println!("privacy ledger: spent (eps {se}, delta {sd}); no budget cap"),
+    }
     Ok(())
 }
 
-fn query(flags: &HashMap<String, String>, want_route: bool) -> Result<(), String> {
+fn load_stored(flags: &HashMap<String, String>) -> Result<StoredRelease, String> {
     let file = File::open(required(flags, "release")?).map_err(|e| e.to_string())?;
-    let release = read_shortest_path_release(BufReader::new(file)).map_err(|e| e.to_string())?;
+    read_release(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn query(flags: &HashMap<String, String>, want_route: bool) -> Result<(), String> {
+    let stored = load_stored(flags)?;
     let from: usize = parse(required(flags, "from")?, "source id")?;
     let to: usize = parse(required(flags, "to")?, "target id")?;
     let (s, t) = (NodeId::new(from), NodeId::new(to));
+    let oracle = stored.release.as_distance().ok_or_else(|| {
+        format!(
+            "release kind `{}` has no query surface",
+            stored.release.kind()
+        )
+    })?;
     if want_route {
-        let path = release.path(s, t).map_err(|e| e.to_string())?;
+        let path = oracle
+            .path(s, t)
+            .ok_or_else(|| {
+                format!(
+                    "release kind `{}` does not carry routes",
+                    stored.release.kind()
+                )
+            })?
+            .map_err(|e| e.to_string())?;
         let stops: Vec<String> = path.nodes().iter().map(|n| n.index().to_string()).collect();
-        println!("route {from} -> {to} ({} hops): {}", path.hops(), stops.join(" -> "));
-    } else {
-        let d = release.estimated_distance(s, t).map_err(|e| e.to_string())?;
         println!(
-            "estimated travel time {from} -> {to}: {d:.2} (upward-biased by ~{:.2}/hop)",
-            release.shift_amount()
+            "route {from} -> {to} ({} hops): {}",
+            path.hops(),
+            stops.join(" -> ")
         );
+    } else {
+        let d = oracle.distance(s, t).map_err(|e| e.to_string())?;
+        println!(
+            "estimated travel time {from} -> {to}: {d:.2} ({} release, eps = {})",
+            stored.release.kind(),
+            stored.eps
+        );
+    }
+    Ok(())
+}
+
+fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let stored = load_stored(flags)?;
+    println!("kind: {}", stored.release.kind());
+    println!("label: {}", stored.label);
+    println!("eps: {}", stored.eps);
+    println!("delta: {}", stored.delta);
+    match stored.release.as_distance() {
+        Some(oracle) => println!("vertices: {}", oracle.num_nodes()),
+        None => println!("vertices: (no distance surface)"),
     }
     Ok(())
 }

@@ -16,7 +16,10 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 fn run_ok(args: &[&str]) -> String {
-    let out = Command::new(bin()).args(args).output().expect("spawn privpath");
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn privpath");
     assert!(
         out.status.success(),
         "command {args:?} failed:\nstdout: {}\nstderr: {}",
@@ -33,7 +36,15 @@ fn full_workflow() {
     let release = tmp("demo.release");
     let release_str = release.to_str().unwrap();
 
-    let out = run_ok(&["gen-demo", "--nodes", "80", "--out-prefix", prefix_str, "--seed", "3"]);
+    let out = run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "80",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "3",
+    ]);
     assert!(out.contains("80 nodes"), "{out}");
 
     let out = run_ok(&[
@@ -49,17 +60,299 @@ fn full_workflow() {
     ]);
     assert!(out.contains("eps = 1"), "{out}");
 
-    let out = run_ok(&["route", "--release", release_str, "--from", "0", "--to", "41"]);
+    let out = run_ok(&[
+        "route",
+        "--release",
+        release_str,
+        "--from",
+        "0",
+        "--to",
+        "41",
+    ]);
     assert!(out.starts_with("route 0 -> 41"), "{out}");
     assert!(out.contains("hops"), "{out}");
 
-    let out = run_ok(&["distance", "--release", release_str, "--from", "0", "--to", "41"]);
+    let out = run_ok(&[
+        "distance",
+        "--release",
+        release_str,
+        "--from",
+        "0",
+        "--to",
+        "41",
+    ]);
     assert!(out.contains("estimated travel time 0 -> 41"), "{out}");
 
     // Determinism: the same seed regenerates the same route.
-    let a = run_ok(&["route", "--release", release_str, "--from", "5", "--to", "60"]);
-    let b = run_ok(&["route", "--release", release_str, "--from", "5", "--to", "60"]);
+    let a = run_ok(&[
+        "route",
+        "--release",
+        release_str,
+        "--from",
+        "5",
+        "--to",
+        "60",
+    ]);
+    let b = run_ok(&[
+        "route",
+        "--release",
+        release_str,
+        "--from",
+        "5",
+        "--to",
+        "60",
+    ]);
     assert_eq!(a, b);
+}
+
+#[test]
+fn multi_mechanism_release_and_query_through_engine() {
+    let prefix = tmp("multi");
+    let prefix_str = prefix.to_str().unwrap();
+    let out = tmp("multi_rel");
+    let out_str = out.to_str().unwrap();
+
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "60",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "9",
+    ]);
+
+    // Three mechanism kinds released through one engine run, under one
+    // tracked budget.
+    let stdout = run_ok(&[
+        "release",
+        "--topo",
+        &format!("{prefix_str}.topo"),
+        "--weights",
+        &format!("{prefix_str}.weights"),
+        "--mechanism",
+        "shortest-path,synthetic-graph,bounded-weight",
+        "--eps",
+        "1.0",
+        "--max-weight",
+        "120",
+        "--budget-eps",
+        "3.0",
+        "--out",
+        out_str,
+    ]);
+    assert!(stdout.contains("shortest-path table"), "{stdout}");
+    assert!(stdout.contains("synthetic-graph table"), "{stdout}");
+    assert!(stdout.contains("bounded-weight table"), "{stdout}");
+    assert!(stdout.contains("privacy ledger: spent (eps 3"), "{stdout}");
+    assert!(stdout.contains("remaining (eps 0"), "{stdout}");
+
+    // Every stored kind answers distance queries; only shortest-path
+    // carries routes.
+    for kind in ["shortest-path", "synthetic-graph", "bounded-weight"] {
+        let file = format!("{out_str}.{kind}.release");
+        let q = run_ok(&["distance", "--release", &file, "--from", "3", "--to", "41"]);
+        assert!(q.contains("estimated travel time 3 -> 41"), "{kind}: {q}");
+        assert!(q.contains(&format!("{kind} release")), "{kind}: {q}");
+        let meta = run_ok(&["inspect", "--release", &file]);
+        assert!(meta.contains(&format!("kind: {kind}")), "{meta}");
+        assert!(meta.contains("eps: 1"), "{meta}");
+    }
+    let route = run_ok(&[
+        "route",
+        "--release",
+        &format!("{out_str}.shortest-path.release"),
+        "--from",
+        "3",
+        "--to",
+        "41",
+    ]);
+    assert!(route.starts_with("route 3 -> 41"), "{route}");
+    let no_route = Command::new(bin())
+        .args([
+            "route",
+            "--release",
+            &format!("{out_str}.synthetic-graph.release"),
+            "--from",
+            "3",
+            "--to",
+            "41",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        !no_route.status.success(),
+        "synthetic-graph should not serve routes"
+    );
+}
+
+#[test]
+fn tree_mechanism_workflow() {
+    let prefix = tmp("treedemo");
+    let prefix_str = prefix.to_str().unwrap();
+    let release = tmp("treedemo.release");
+    let release_str = release.to_str().unwrap();
+
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "40",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "5",
+        "--shape",
+        "tree",
+    ]);
+    run_ok(&[
+        "release",
+        "--topo",
+        &format!("{prefix_str}.topo"),
+        "--weights",
+        &format!("{prefix_str}.weights"),
+        "--mechanism",
+        "tree",
+        "--eps",
+        "2.0",
+        "--out",
+        release_str,
+    ]);
+    let out = run_ok(&[
+        "distance",
+        "--release",
+        release_str,
+        "--from",
+        "0",
+        "--to",
+        "39",
+    ]);
+    assert!(out.contains("estimated travel time 0 -> 39"), "{out}");
+    assert!(out.contains("tree release"), "{out}");
+}
+
+#[test]
+fn over_budget_release_is_refused() {
+    let prefix = tmp("budget");
+    let prefix_str = prefix.to_str().unwrap();
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "30",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "2",
+    ]);
+    let out = Command::new(bin())
+        .args([
+            "release",
+            "--topo",
+            &format!("{prefix_str}.topo"),
+            "--weights",
+            &format!("{prefix_str}.weights"),
+            "--mechanism",
+            "shortest-path,synthetic-graph",
+            "--eps",
+            "1.0",
+            "--budget-eps",
+            "1.5",
+            "--out",
+            tmp("budget_rel").to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        !out.status.success(),
+        "second release should exceed the eps = 1.5 budget"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget"), "{stderr}");
+}
+
+#[test]
+fn duplicate_mechanism_and_dangling_budget_delta_rejected() {
+    let prefix = tmp("dup");
+    let prefix_str = prefix.to_str().unwrap();
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "20",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "8",
+    ]);
+    let topo = format!("{prefix_str}.topo");
+    let weights = format!("{prefix_str}.weights");
+    let out_file = tmp("dup_rel");
+    let base = [
+        "release",
+        "--topo",
+        topo.as_str(),
+        "--weights",
+        weights.as_str(),
+        "--eps",
+        "1.0",
+        "--out",
+        out_file.to_str().unwrap(),
+    ];
+
+    // A repeated mechanism would overwrite its own output file while
+    // double-spending the budget.
+    let mut args = base.to_vec();
+    args.extend(["--mechanism", "tree,tree"]);
+    let out = Command::new(bin()).args(&args).output().expect("spawn");
+    assert!(!out.status.success(), "duplicate mechanism accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("duplicate mechanism"), "{stderr}");
+
+    // --budget-delta without --budget-eps enforces nothing; refuse it.
+    let mut args = base.to_vec();
+    args.extend(["--budget-delta", "1e-6"]);
+    let out = Command::new(bin()).args(&args).output().expect("spawn");
+    assert!(!out.status.success(), "dangling --budget-delta accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--budget-delta needs --budget-eps"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn unknown_and_duplicate_flags_rejected() {
+    // parse_flags must reject unknown flags rather than ignore them...
+    let out = Command::new(bin())
+        .args([
+            "gen-demo",
+            "--nodes",
+            "10",
+            "--out-prefix",
+            "/tmp/x",
+            "--frobnicate",
+            "1",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "unknown flag accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --frobnicate"), "{stderr}");
+
+    // ...and duplicated flags rather than silently overwrite.
+    let out = Command::new(bin())
+        .args([
+            "gen-demo",
+            "--nodes",
+            "10",
+            "--nodes",
+            "20",
+            "--out-prefix",
+            "/tmp/x",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "duplicate flag accepted");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("duplicate flag --nodes"), "{stderr}");
 }
 
 #[test]
@@ -67,11 +360,29 @@ fn bad_invocations_fail_cleanly() {
     let cases: &[&[&str]] = &[
         &[],
         &["frobnicate"],
-        &["gen-demo"],                                        // missing flags
-        &["gen-demo", "--nodes", "1", "--out-prefix", "x"],   // too small
-        &["release", "--topo", "/nonexistent", "--weights", "/nonexistent", "--eps", "1", "--out", "/tmp/x"],
-        &["route", "--release", "/nonexistent", "--from", "0", "--to", "1"],
-        &["gen-demo", "--nodes"],                             // flag without value
+        &["gen-demo"],                                      // missing flags
+        &["gen-demo", "--nodes", "1", "--out-prefix", "x"], // too small
+        &[
+            "release",
+            "--topo",
+            "/nonexistent",
+            "--weights",
+            "/nonexistent",
+            "--eps",
+            "1",
+            "--out",
+            "/tmp/x",
+        ],
+        &[
+            "route",
+            "--release",
+            "/nonexistent",
+            "--from",
+            "0",
+            "--to",
+            "1",
+        ],
+        &["gen-demo", "--nodes"], // flag without value
     ];
     for args in cases {
         let out = Command::new(bin()).args(*args).output().expect("spawn");
@@ -80,7 +391,10 @@ fn bad_invocations_fail_cleanly() {
             "command {args:?} unexpectedly succeeded: {}",
             String::from_utf8_lossy(&out.stdout)
         );
-        assert!(!out.stderr.is_empty(), "command {args:?} gave no error message");
+        assert!(
+            !out.stderr.is_empty(),
+            "command {args:?} gave no error message"
+        );
     }
 }
 

@@ -85,7 +85,9 @@ fn algorithm3_on_directed_graphs() {
 fn directed_zero_noise_no_shift_reproduces_optima() {
     let mut rng = StdRng::seed_from_u64(203);
     let (topo, w) = random_dag(30, 60, &mut rng);
-    let params = ShortestPathParams::new(eps(1.0), 0.05).unwrap().without_shift();
+    let params = ShortestPathParams::new(eps(1.0), 0.05)
+        .unwrap()
+        .without_shift();
     let release = private_shortest_paths_with(&topo, &w, &params, &mut ZeroNoise).unwrap();
     for s in topo.nodes() {
         let truth = dijkstra(&topo, &w, s).unwrap();
@@ -120,7 +122,8 @@ fn directed_gadget_attack_roundtrip() {
     let spt = dijkstra(&topo, &w, NodeId::new(0)).unwrap();
     let path = spt.path_to(NodeId::new(n)).unwrap();
     assert_eq!(w.path_weight(&path), 0.0);
-    let decoded: Vec<bool> =
-        (0..n).map(|i| !path.edges().contains(&EdgeId::new(2 * i))).collect();
+    let decoded: Vec<bool> = (0..n)
+        .map(|i| !path.edges().contains(&EdgeId::new(2 * i)))
+        .collect();
     assert_eq!(decoded, bits);
 }

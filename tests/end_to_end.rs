@@ -44,7 +44,10 @@ fn shortest_path_full_flow_on_random_graph() {
             assert_eq!(path.target(), t);
             let excess = weights.path_weight(&path) - spt.distance(t).unwrap();
             assert!(excess >= -1e-9, "released path beat the optimum");
-            assert!(excess <= worst, "excess {excess} above worst-case bound {worst}");
+            assert!(
+                excess <= worst,
+                "excess {excess} above worst-case bound {worst}"
+            );
             count += 1;
         }
     }
@@ -64,8 +67,7 @@ fn tree_all_pairs_full_flow_with_bound() {
         let rt = RootedTree::new(&topo, NodeId::new(x)).unwrap();
         let truth = weighted_depths(&rt, &weights).unwrap();
         for y in (0..200).step_by(7) {
-            collector
-                .push((release.distance(NodeId::new(x), NodeId::new(y)) - truth[y]).abs());
+            collector.push((release.distance(NodeId::new(x), NodeId::new(y)) - truth[y]).abs());
         }
     }
     // The all-pairs bound at gamma = 0.05 holds for the overwhelming
@@ -117,13 +119,21 @@ fn grid_covering_full_flow() {
     let centers = grid.modular_covering(spacing).unwrap();
     let params = BoundedWeightParams::approx(eps(1.0), Delta::new(1e-6).unwrap(), 1.0)
         .unwrap()
-        .with_strategy(CoveringStrategy::Custom { centers, k: 2 * spacing });
+        .with_strategy(CoveringStrategy::Custom {
+            centers,
+            k: 2 * spacing,
+        });
     let release = bounded_weight_all_pairs(grid.topology(), &weights, &params, &mut rng).unwrap();
     assert!(release.centers().len() <= 9);
     // Smoke-check a few queries.
     let fw = floyd_warshall(grid.topology(), &weights).unwrap();
-    let bound =
-        bounds::bounded_error(release.k(), 1.0, release.noise_scale(), release.num_released(), 0.01);
+    let bound = bounds::bounded_error(
+        release.k(),
+        1.0,
+        release.noise_scale(),
+        release.num_released(),
+        0.01,
+    );
     for (a, b) in [(0usize, 143usize), (12, 77), (60, 61)] {
         let (a, b) = (NodeId::new(a), NodeId::new(b));
         let err = (release.distance(a, b) - fw.get(a, b).unwrap()).abs();
@@ -144,8 +154,13 @@ fn path_graph_mechanisms_agree_with_tree_mechanism_shape() {
     let pg = PathGraphParams::new(eps(1.0));
     let hub = hub_path_release(&topo, &weights, &pg, &mut rng).unwrap();
     let dyadic = dyadic_path_release(&topo, &weights, &pg, &mut rng).unwrap();
-    let tree = tree_all_pairs_distances(&topo, &weights, &TreeDistanceParams::new(eps(1.0)), &mut rng)
-        .unwrap();
+    let tree = tree_all_pairs_distances(
+        &topo,
+        &weights,
+        &TreeDistanceParams::new(eps(1.0)),
+        &mut rng,
+    )
+    .unwrap();
 
     let truth: Vec<f64> = {
         let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
@@ -157,7 +172,11 @@ fn path_graph_mechanisms_agree_with_tree_mechanism_shape() {
         for y in (0..n).step_by(29) {
             let (xn, yn) = (NodeId::new(x), NodeId::new(y));
             let t = (truth[y] - truth[x]).abs();
-            for est in [hub.distance(xn, yn), dyadic.distance(xn, yn), tree.distance(xn, yn)] {
+            for est in [
+                hub.distance(xn, yn),
+                dyadic.distance(xn, yn),
+                tree.distance(xn, yn),
+            ] {
                 assert!((est - t).abs() <= bound, "pair ({x},{y}): {est} vs {t}");
             }
             checked += 1;
@@ -218,9 +237,8 @@ fn baselines_flow_and_ordering() {
         &mut rng,
     )
     .unwrap();
-    let synth =
-        baselines::rng::synthetic_graph_release(&topo, &weights, eps(1.0), scale, &mut rng)
-            .unwrap();
+    let synth = baselines::rng::synthetic_graph_release(&topo, &weights, eps(1.0), scale, &mut rng)
+        .unwrap();
 
     assert!(synth.noise_scale() < adv.noise_scale());
     assert!(adv.noise_scale() < basic.noise_scale());
@@ -241,8 +259,8 @@ fn accountant_tracks_two_releases() {
     let mut ledger = Accountant::with_budget(eps(2.0), Delta::zero());
 
     let e1 = eps(1.0);
-    let _tree = tree_all_pairs_distances(&topo, &weights, &TreeDistanceParams::new(e1), &mut rng)
-        .unwrap();
+    let _tree =
+        tree_all_pairs_distances(&topo, &weights, &TreeDistanceParams::new(e1), &mut rng).unwrap();
     ledger.spend("tree-distances", e1, Delta::zero()).unwrap();
 
     let e2 = eps(1.0);
@@ -300,7 +318,10 @@ fn deterministic_under_seeds() {
     let mut r2 = StdRng::seed_from_u64(77);
     let a = private_shortest_paths(&topo, &weights, &params, &mut r1).unwrap();
     let b = private_shortest_paths(&topo, &weights, &params, &mut r2).unwrap();
-    assert_eq!(a.released_weights().as_slice(), b.released_weights().as_slice());
+    assert_eq!(
+        a.released_weights().as_slice(),
+        b.released_weights().as_slice()
+    );
 }
 
 #[test]

@@ -1,0 +1,656 @@
+//! Conformance suite for the engine's `Mechanism` implementations.
+//!
+//! Every mechanism must satisfy two contracts:
+//!
+//! 1. **ZeroNoise exactness** — run with `ZeroNoise`, the release must
+//!    reproduce the exact (non-private) quantity its algorithm computes,
+//!    isolating the combinatorial logic from the randomness.
+//! 2. **Noise audit vs. declared cost** — run with `RecordingNoise`
+//!    through a `ReleaseEngine`, the number and scale of Laplace draws
+//!    must match the `(eps, delta)` the engine debited from its
+//!    `Accountant`: the declared cost is only honest if the noise
+//!    actually drawn implements a mechanism of exactly that cost.
+//!
+//! Plus engine-level contracts: budget refusal happens *before* any noise
+//! is drawn, and persistence round-trips preserve query answers.
+
+use privpath::dp::composition::per_query_epsilon;
+use privpath::dp::{RecordingNoise, ZeroNoise};
+use privpath::engine::{mechanisms, read_release, ReleaseEngine};
+use privpath::graph::algo::{floyd_warshall, min_weight_perfect_matching, minimum_spanning_forest};
+use privpath::graph::generators::{connected_gnm, random_tree_prufer, uniform_weights};
+use privpath::graph::tree::{weighted_depths, RootedTree};
+use privpath::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::BufReader;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn graph_workload(v: usize, m: usize, seed: u64) -> (Topology, EdgeWeights) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = connected_gnm(v, m, &mut rng);
+    let w = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    (topo, w)
+}
+
+fn tree_workload(v: usize, seed: u64) -> (Topology, EdgeWeights) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = random_tree_prufer(v, &mut rng);
+    let w = uniform_weights(topo.num_edges(), 0.5, 4.0, &mut rng);
+    (topo, w)
+}
+
+fn bipartite_workload(n_half: usize, seed: u64) -> (Topology, EdgeWeights) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Topology::builder(2 * n_half);
+    for i in 0..n_half {
+        for j in 0..n_half {
+            b.add_edge(NodeId::new(i), NodeId::new(n_half + j));
+        }
+    }
+    let topo = b.build();
+    let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+    (topo, w)
+}
+
+// ---------------------------------------------------------------------------
+// Contract 1: ZeroNoise releases equal the exact algorithm.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_noise_shortest_paths_is_exact() {
+    let (topo, w) = graph_workload(40, 110, 1);
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let params = ShortestPathParams::new(eps(1.0), 0.05)
+        .unwrap()
+        .without_shift();
+    let id = engine
+        .release_with(&mechanisms::ShortestPaths, &params, &mut ZeroNoise)
+        .unwrap();
+    let oracle = engine.query(id).unwrap();
+    let fw = floyd_warshall(&topo, &w).unwrap();
+    for s in topo.nodes().step_by(5) {
+        for t in topo.nodes().step_by(3) {
+            let truth = fw.get(s, t).unwrap();
+            assert!(
+                (oracle.distance(s, t).unwrap() - truth).abs() < 1e-9,
+                "pair ({s},{t})"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_noise_tree_mechanisms_are_exact() {
+    let (topo, w) = tree_workload(50, 2);
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let params = TreeDistanceParams::new(eps(1.0));
+    let tree_id = engine
+        .release_with(&mechanisms::TreeAllPairs, &params, &mut ZeroNoise)
+        .unwrap();
+    let hld_id = engine
+        .release_with(&mechanisms::HldTree, &params, &mut ZeroNoise)
+        .unwrap();
+    for x in topo.nodes().step_by(4) {
+        let rt = RootedTree::new(&topo, x).unwrap();
+        let truth = weighted_depths(&rt, &w).unwrap();
+        for y in topo.nodes().step_by(3) {
+            let t = truth[y.index()];
+            for id in [tree_id, hld_id] {
+                let d = engine.query(id).unwrap().distance(x, y).unwrap();
+                assert!(
+                    (d - t).abs() < 1e-9,
+                    "release {id} pair ({x},{y}): {d} vs {t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_noise_bounded_weight_error_is_detour_only() {
+    let (topo, w) = graph_workload(50, 130, 3);
+    let k = 2;
+    let max_w = 1.0;
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let params = BoundedWeightParams::pure(eps(1.0), max_w)
+        .unwrap()
+        .with_strategy(CoveringStrategy::MeirMoon { k });
+    let id = engine
+        .release_with(&mechanisms::BoundedWeight, &params, &mut ZeroNoise)
+        .unwrap();
+    let oracle = engine.query(id).unwrap();
+    let fw = floyd_warshall(&topo, &w).unwrap();
+    for s in topo.nodes().step_by(7) {
+        for t in topo.nodes().step_by(5) {
+            let truth = fw.get(s, t).unwrap();
+            let err = (oracle.distance(s, t).unwrap() - truth).abs();
+            assert!(
+                err <= 2.0 * k as f64 * max_w + 1e-9,
+                "pair ({s},{t}): {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_noise_mst_and_matching_are_exact() {
+    let (topo, w) = graph_workload(30, 80, 4);
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let id = engine
+        .release_with(&mechanisms::Mst, &MstParams::new(eps(1.0)), &mut ZeroNoise)
+        .unwrap();
+    let truth = minimum_spanning_forest(&topo, &w).unwrap();
+    match engine.get(id).unwrap().release() {
+        AnyRelease::Mst(rel) => {
+            assert!((rel.weight_under(&w) - truth.total_weight).abs() < 1e-9);
+        }
+        other => panic!("unexpected kind {:?}", other.kind()),
+    }
+
+    let (btopo, bw) = bipartite_workload(6, 5);
+    let mut engine = ReleaseEngine::new(btopo.clone(), bw.clone()).unwrap();
+    let id = engine
+        .release_with(
+            &mechanisms::Matching::default(),
+            &MatchingParams::new(eps(1.0)),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+    let truth = min_weight_perfect_matching(&btopo, &bw).unwrap();
+    match engine.get(id).unwrap().release() {
+        AnyRelease::Matching(rel) => {
+            assert!((rel.weight_under(&bw) - truth.total_weight).abs() < 1e-9);
+        }
+        other => panic!("unexpected kind {:?}", other.kind()),
+    }
+}
+
+#[test]
+fn zero_noise_baselines_are_exact() {
+    let (topo, w) = graph_workload(25, 60, 6);
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let synth_id = engine
+        .release_with(
+            &mechanisms::SyntheticGraph,
+            &mechanisms::SyntheticGraphParams::new(eps(1.0)),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+    let basic_id = engine
+        .release_with(
+            &mechanisms::AllPairsBaseline,
+            &mechanisms::AllPairsBaselineParams::basic(eps(1.0)),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+    let adv_id = engine
+        .release_with(
+            &mechanisms::AllPairsBaseline,
+            &mechanisms::AllPairsBaselineParams::advanced(eps(1.0), Delta::new(1e-6).unwrap())
+                .unwrap(),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+    let fw = floyd_warshall(&topo, &w).unwrap();
+    for s in topo.nodes().step_by(3) {
+        for t in topo.nodes().step_by(2) {
+            let truth = fw.get(s, t).unwrap();
+            for id in [synth_id, basic_id, adv_id] {
+                let d = engine.query(id).unwrap().distance(s, t).unwrap();
+                assert!((d - truth).abs() < 1e-9, "release {id} pair ({s},{t})");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract 2: RecordingNoise draws match the accountant spend the engine
+// recorded for the release.
+// ---------------------------------------------------------------------------
+
+/// Asserts the last spend matches the declared cost and returns it.
+fn last_spend(engine: &ReleaseEngine) -> (String, f64, f64) {
+    let spend = engine
+        .accountant()
+        .spends()
+        .last()
+        .expect("one spend per release");
+    (spend.label.clone(), spend.eps, spend.delta)
+}
+
+#[test]
+fn noise_audit_shortest_paths() {
+    let (topo, w) = graph_workload(30, 80, 10);
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    let params = ShortestPathParams::new(eps(0.5), 0.05).unwrap();
+    let id = engine
+        .release_with(&mechanisms::ShortestPaths, &params, &mut rec)
+        .unwrap();
+    let (label, spent_eps, spent_delta) = last_spend(&engine);
+    assert_eq!(label, engine.get(id).unwrap().label());
+    assert_eq!((spent_eps, spent_delta), (0.5, 0.0));
+    // Algorithm 3 is one Laplace mechanism on the identity query: E draws
+    // at scale s/eps — exactly an eps-DP spend, matching the ledger.
+    assert_eq!(rec.len(), topo.num_edges());
+    for &(scale, _) in rec.draws() {
+        assert!((scale - 1.0 / spent_eps).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn noise_audit_tree() {
+    let (topo, w) = tree_workload(64, 11);
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    let id = engine
+        .release_with(
+            &mechanisms::TreeAllPairs,
+            &TreeDistanceParams::new(eps(2.0)),
+            &mut rec,
+        )
+        .unwrap();
+    let (_, spent_eps, _) = last_spend(&engine);
+    let record = engine.get(id).unwrap();
+    let single = match record.release() {
+        AnyRelease::Tree(rel) => rel.single_source(),
+        other => panic!("unexpected kind {:?}", other.kind()),
+    };
+    // Algorithm 1: num_queries draws at scale depth * s / eps; disjoint
+    // levels make the query vector's sensitivity = depth, so this is one
+    // eps-DP Laplace mechanism — matching the debited eps.
+    assert_eq!(rec.len(), single.num_queries());
+    let expected_scale = single.decomposition_depth() as f64 / spent_eps;
+    for &(scale, _) in rec.draws() {
+        assert!((scale - expected_scale).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn noise_audit_hld_tree() {
+    let (topo, w) = tree_workload(64, 12);
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    let id = engine
+        .release_with(
+            &mechanisms::HldTree,
+            &TreeDistanceParams::new(eps(1.0)),
+            &mut rec,
+        )
+        .unwrap();
+    let (_, spent_eps, _) = last_spend(&engine);
+    let rel = match engine.get(id).unwrap().release() {
+        AnyRelease::HldTree(rel) => rel,
+        other => panic!("unexpected kind {:?}", other.kind()),
+    };
+    assert_eq!(rec.len(), rel.num_released());
+    let expected_scale = rel.sensitivity_levels() as f64 / spent_eps;
+    for &(scale, _) in rec.draws() {
+        assert!((scale - expected_scale).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn noise_audit_bounded_pure_and_approx() {
+    let (topo, w) = graph_workload(40, 100, 13);
+
+    // Pure DP: basic composition forces scale num_pairs * s / eps.
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    let params = BoundedWeightParams::pure(eps(1.0), 1.0)
+        .unwrap()
+        .with_strategy(CoveringStrategy::MeirMoon { k: 2 });
+    let id = engine
+        .release_with(&mechanisms::BoundedWeight, &params, &mut rec)
+        .unwrap();
+    let (_, spent_eps, spent_delta) = last_spend(&engine);
+    assert_eq!(spent_delta, 0.0);
+    let rel = match engine.get(id).unwrap().release() {
+        AnyRelease::BoundedWeight(rel) => rel,
+        other => panic!("unexpected kind {:?}", other.kind()),
+    };
+    assert_eq!(rec.len(), rel.num_released());
+    let expected = rel.num_released() as f64 / spent_eps;
+    for &(scale, _) in rec.draws() {
+        assert!((scale - expected).abs() < 1e-12);
+    }
+
+    // Approximate DP: advanced composition's inverted per-query epsilon.
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    let delta = Delta::new(1e-6).unwrap();
+    let params = BoundedWeightParams::approx(eps(1.0), delta, 1.0)
+        .unwrap()
+        .with_strategy(CoveringStrategy::MeirMoon { k: 2 });
+    let id = engine
+        .release_with(&mechanisms::BoundedWeight, &params, &mut rec)
+        .unwrap();
+    let (_, spent_eps, spent_delta) = last_spend(&engine);
+    assert_eq!((spent_eps, spent_delta), (1.0, 1e-6));
+    let rel = match engine.get(id).unwrap().release() {
+        AnyRelease::BoundedWeight(rel) => rel,
+        other => panic!("unexpected kind {:?}", other.kind()),
+    };
+    assert_eq!(rec.len(), rel.num_released());
+    let per = per_query_epsilon(eps(spent_eps), rel.num_released(), spent_delta).unwrap();
+    let expected = 1.0 / per.value();
+    for &(scale, _) in rec.draws() {
+        assert!((scale - expected).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn noise_audit_mst_matching_and_baselines() {
+    let (topo, w) = graph_workload(24, 60, 14);
+    let e_count = topo.num_edges();
+    let v = topo.num_nodes();
+
+    // MST and synthetic graph: E draws at s/eps.
+    for run in 0..2 {
+        let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+        let mut rec = RecordingNoise::new(ZeroNoise);
+        if run == 0 {
+            engine
+                .release_with(&mechanisms::Mst, &MstParams::new(eps(0.5)), &mut rec)
+                .unwrap();
+        } else {
+            engine
+                .release_with(
+                    &mechanisms::SyntheticGraph,
+                    &mechanisms::SyntheticGraphParams::new(eps(0.5)),
+                    &mut rec,
+                )
+                .unwrap();
+        }
+        let (_, spent_eps, _) = last_spend(&engine);
+        assert_eq!(rec.len(), e_count);
+        for &(scale, _) in rec.draws() {
+            assert!((scale - 1.0 / spent_eps).abs() < 1e-12);
+        }
+    }
+
+    // Matching: E draws at s/eps on a bipartite workload.
+    let (btopo, bw) = bipartite_workload(5, 15);
+    let mut engine = ReleaseEngine::new(btopo.clone(), bw).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    engine
+        .release_with(
+            &mechanisms::Matching::default(),
+            &MatchingParams::new(eps(0.25)),
+            &mut rec,
+        )
+        .unwrap();
+    let (_, spent_eps, _) = last_spend(&engine);
+    assert_eq!(rec.len(), btopo.num_edges());
+    for &(scale, _) in rec.draws() {
+        assert!((scale - 1.0 / spent_eps).abs() < 1e-12);
+    }
+
+    // All-pairs basic composition: V(V-1)/2 draws at pairs * s / eps.
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    engine
+        .release_with(
+            &mechanisms::AllPairsBaseline,
+            &mechanisms::AllPairsBaselineParams::basic(eps(1.0)),
+            &mut rec,
+        )
+        .unwrap();
+    let (_, spent_eps, _) = last_spend(&engine);
+    let pairs = v * (v - 1) / 2;
+    assert_eq!(rec.len(), pairs);
+    for &(scale, _) in rec.draws() {
+        assert!((scale - pairs as f64 / spent_eps).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level contracts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budget_is_checked_before_noise_is_drawn() {
+    let (topo, w) = graph_workload(20, 40, 16);
+    let mut engine = ReleaseEngine::with_budget(topo, w, eps(1.0), Delta::zero()).unwrap();
+    let params = ShortestPathParams::new(eps(0.8), 0.05).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    engine
+        .release_with(&mechanisms::ShortestPaths, &params, &mut rec)
+        .unwrap();
+    let drawn_after_first = rec.len();
+    assert!(drawn_after_first > 0);
+
+    // Second release exceeds the budget: refused with NO additional draws.
+    let err = engine
+        .release_with(&mechanisms::ShortestPaths, &params, &mut rec)
+        .unwrap_err();
+    assert!(matches!(err, EngineError::BudgetExhausted(_)), "{err}");
+    assert_eq!(
+        rec.len(),
+        drawn_after_first,
+        "refused release must not draw noise"
+    );
+    assert_eq!(engine.len(), 1);
+    assert_eq!(engine.accountant().spends().len(), 1);
+
+    // A smaller release still fits.
+    let params = ShortestPathParams::new(eps(0.2), 0.05).unwrap();
+    engine
+        .release_with(&mechanisms::ShortestPaths, &params, &mut rec)
+        .unwrap();
+    assert_eq!(engine.remaining(), Some((0.0, 0.0)));
+}
+
+#[test]
+fn queries_reject_out_of_range_and_wrong_kind() {
+    let (topo, w) = graph_workload(12, 24, 17);
+    let mut engine = ReleaseEngine::new(topo, w).unwrap();
+    let sp = engine
+        .release_with(
+            &mechanisms::ShortestPaths,
+            &ShortestPathParams::new(eps(1.0), 0.05).unwrap(),
+            &mut ZeroNoise,
+        )
+        .unwrap();
+    let mst = engine
+        .release_with(&mechanisms::Mst, &MstParams::new(eps(1.0)), &mut ZeroNoise)
+        .unwrap();
+
+    let oracle = engine.query(sp).unwrap();
+    assert!(oracle.distance(NodeId::new(0), NodeId::new(99)).is_err());
+    assert!(oracle
+        .distance_batch(&[(NodeId::new(0), NodeId::new(99))])
+        .is_err());
+    let err = match engine.query(mst) {
+        Ok(_) => panic!("MST releases must not answer distance queries"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, EngineError::UnsupportedQuery { .. }), "{err}");
+}
+
+#[test]
+fn distance_batch_agrees_with_single_queries() {
+    let (topo, w) = graph_workload(40, 110, 18);
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let ids = [
+        engine
+            .release(
+                &mechanisms::ShortestPaths,
+                &ShortestPathParams::new(eps(1.0), 0.05).unwrap(),
+                &mut rng,
+            )
+            .unwrap(),
+        engine
+            .release(
+                &mechanisms::SyntheticGraph,
+                &mechanisms::SyntheticGraphParams::new(eps(1.0)),
+                &mut rng,
+            )
+            .unwrap(),
+        engine
+            .release(
+                &mechanisms::AllPairsBaseline,
+                &mechanisms::AllPairsBaselineParams::basic(eps(1.0)),
+                &mut rng,
+            )
+            .unwrap(),
+    ];
+    let pairs: Vec<(NodeId, NodeId)> = (0..topo.num_nodes())
+        .step_by(3)
+        .flat_map(|s| {
+            (0..topo.num_nodes())
+                .step_by(7)
+                .map(move |t| (NodeId::new(s), NodeId::new(t)))
+        })
+        .collect();
+    for id in ids {
+        let oracle = engine.query(id).unwrap();
+        let batch = oracle.distance_batch(&pairs).unwrap();
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let single = oracle.distance(s, t).unwrap();
+            assert_eq!(batch[i].to_bits(), single.to_bits(), "{id} pair ({s},{t})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistence round-trips.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn persistence_roundtrips_preserve_answers() {
+    let (topo, w) = graph_workload(30, 75, 20);
+    let (ttopo, tw) = tree_workload(30, 21);
+    let mut rng = StdRng::seed_from_u64(22);
+
+    // Graph-based kinds.
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let mut ids = vec![
+        engine
+            .release(
+                &mechanisms::ShortestPaths,
+                &ShortestPathParams::new(eps(0.7), 0.05).unwrap(),
+                &mut rng,
+            )
+            .unwrap(),
+        engine
+            .release(
+                &mechanisms::SyntheticGraph,
+                &mechanisms::SyntheticGraphParams::new(eps(0.9)),
+                &mut rng,
+            )
+            .unwrap(),
+        engine
+            .release(
+                &mechanisms::BoundedWeight,
+                &BoundedWeightParams::pure(eps(1.0), 1.0)
+                    .unwrap()
+                    .with_strategy(CoveringStrategy::MeirMoon { k: 2 }),
+                &mut rng,
+            )
+            .unwrap(),
+        engine
+            .release(
+                &mechanisms::AllPairsBaseline,
+                &mechanisms::AllPairsBaselineParams::basic(eps(1.0)),
+                &mut rng,
+            )
+            .unwrap(),
+    ];
+    // Tree kind runs on its own (tree) database.
+    let mut tree_engine = ReleaseEngine::new(ttopo.clone(), tw).unwrap();
+    ids.push(
+        tree_engine
+            .release(
+                &mechanisms::TreeAllPairs,
+                &TreeDistanceParams::new(eps(1.0)),
+                &mut rng,
+            )
+            .unwrap(),
+    );
+
+    for (i, id) in ids.into_iter().enumerate() {
+        let (eng, n) = if i == 4 {
+            (&tree_engine, ttopo.num_nodes())
+        } else {
+            (&engine, topo.num_nodes())
+        };
+        let mut buf = Vec::new();
+        eng.save(id, &mut buf).unwrap();
+        let stored = read_release(BufReader::new(buf.as_slice())).unwrap();
+        let record = eng.get(id).unwrap();
+        assert_eq!(stored.label, record.label());
+        assert_eq!(stored.eps, record.eps());
+        assert_eq!(stored.delta, record.delta());
+        assert_eq!(stored.release.kind(), record.kind());
+
+        let restored = stored.release.as_distance().expect("distance-capable");
+        let original = eng.query(id).unwrap();
+        for s in (0..n).step_by(4) {
+            for t in (0..n).step_by(3) {
+                let (s, t) = (NodeId::new(s), NodeId::new(t));
+                assert_eq!(
+                    original.distance(s, t).unwrap().to_bits(),
+                    restored.distance(s, t).unwrap().to_bits(),
+                    "kind {} pair ({s},{t})",
+                    record.kind()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn legacy_v1_release_files_still_load() {
+    let (topo, w) = graph_workload(20, 50, 23);
+    let mut rng = StdRng::seed_from_u64(24);
+    let params = ShortestPathParams::new(eps(0.7), 0.05).unwrap();
+    let release = private_shortest_paths(&topo, &w, &params, &mut rng).unwrap();
+    let mut buf = Vec::new();
+    write_shortest_path_release(&mut buf, &release).unwrap();
+
+    let stored = read_release(BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(stored.release.kind(), ReleaseKind::ShortestPath);
+    assert_eq!(stored.eps, 0.7);
+    let oracle = stored.release.as_distance().unwrap();
+    let d = oracle.distance(NodeId::new(0), NodeId::new(19)).unwrap();
+    assert_eq!(
+        d.to_bits(),
+        release
+            .estimated_distance(NodeId::new(0), NodeId::new(19))
+            .unwrap()
+            .to_bits()
+    );
+}
+
+#[test]
+fn restore_debits_the_adopting_engine() {
+    let (topo, w) = graph_workload(20, 50, 25);
+    let mut rng = StdRng::seed_from_u64(26);
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let id = engine
+        .release(
+            &mechanisms::ShortestPaths,
+            &ShortestPathParams::new(eps(0.6), 0.05).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    let mut buf = Vec::new();
+    engine.save(id, &mut buf).unwrap();
+
+    // A fresh engine over the same database adopts the stored release and
+    // its ledger reflects the already-paid cost.
+    let mut serving = ReleaseEngine::with_budget(topo, w, eps(1.0), Delta::zero()).unwrap();
+    let rid = serving.restore(BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(serving.spent(), (0.6, 0.0));
+    assert!(serving.query(rid).is_ok());
+
+    // Adopting again exceeds the eps = 1 budget.
+    let err = serving.restore(BufReader::new(buf.as_slice())).unwrap_err();
+    assert!(matches!(err, EngineError::BudgetExhausted(_)), "{err}");
+}

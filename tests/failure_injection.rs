@@ -1,7 +1,9 @@
 //! Failure-injection tests: every documented error path across the crates
 //! must trigger cleanly, never panic, and produce an informative message.
 
-use privpath::core::bounded::{bounded_weight_all_pairs_with, BoundedWeightParams, CoveringStrategy};
+use privpath::core::bounded::{
+    bounded_weight_all_pairs_with, BoundedWeightParams, CoveringStrategy,
+};
 use privpath::core::matching::{private_matching_with, MatchingParams};
 use privpath::core::model::NeighborScale;
 use privpath::core::mst::{private_mst_with, MstParams};
@@ -46,14 +48,20 @@ fn weights_length_mismatch_everywhere() {
     let sp = ShortestPathParams::new(eps(1.0), 0.1).unwrap();
     assert!(matches!(
         private_shortest_paths_with(&topo, &wrong, &sp, &mut ZeroNoise),
-        Err(CoreError::Graph(GraphError::WeightsLengthMismatch { expected: 4, got: 3 }))
+        Err(CoreError::Graph(GraphError::WeightsLengthMismatch {
+            expected: 4,
+            got: 3
+        }))
     ));
 
     assert!(private_mst_with(&topo, &wrong, &MstParams::new(eps(1.0)), &mut ZeroNoise).is_err());
-    assert!(
-        private_matching_with(&topo, &wrong, &MatchingParams::new(eps(1.0)), &mut ZeroNoise)
-            .is_err()
-    );
+    assert!(private_matching_with(
+        &topo,
+        &wrong,
+        &MatchingParams::new(eps(1.0)),
+        &mut ZeroNoise
+    )
+    .is_err());
     assert!(tree_single_source_distances_with(
         &topo,
         &wrong,
@@ -62,10 +70,13 @@ fn weights_length_mismatch_everywhere() {
         &mut ZeroNoise
     )
     .is_err());
-    assert!(
-        dyadic_path_release_with(&topo, &wrong, &PathGraphParams::new(eps(1.0)), &mut ZeroNoise)
-            .is_err()
-    );
+    assert!(dyadic_path_release_with(
+        &topo,
+        &wrong,
+        &PathGraphParams::new(eps(1.0)),
+        &mut ZeroNoise
+    )
+    .is_err());
 }
 
 #[test]
@@ -137,7 +148,10 @@ fn bounded_weight_rejects_disconnected_and_bad_covering() {
     let w = EdgeWeights::constant(9, 0.5);
     let params = BoundedWeightParams::pure(eps(1.0), 1.0)
         .unwrap()
-        .with_strategy(CoveringStrategy::Custom { centers: vec![NodeId::new(9)], k: 1 });
+        .with_strategy(CoveringStrategy::Custom {
+            centers: vec![NodeId::new(9)],
+            k: 1,
+        });
     let err = bounded_weight_all_pairs_with(&topo, &w, &params, &mut ZeroNoise).unwrap_err();
     assert!(err.to_string().contains("covering"));
 }
@@ -147,7 +161,12 @@ fn matching_structural_failures() {
     // Odd order.
     let w = EdgeWeights::constant(5, 1.0);
     assert!(matches!(
-        private_matching_with(&cycle_graph(5), &w, &MatchingParams::new(eps(1.0)), &mut ZeroNoise),
+        private_matching_with(
+            &cycle_graph(5),
+            &w,
+            &MatchingParams::new(eps(1.0)),
+            &mut ZeroNoise
+        ),
         Err(CoreError::Graph(GraphError::NoPerfectMatching))
     ));
     // Even order, no perfect matching (star).
@@ -170,7 +189,10 @@ fn disconnected_queries_error_not_panic() {
     let sp = ShortestPathParams::new(eps(1.0), 0.1).unwrap();
     let release = private_shortest_paths_with(&topo, &w, &sp, &mut ZeroNoise).unwrap();
     let err = release.path(NodeId::new(0), NodeId::new(3)).unwrap_err();
-    assert!(matches!(err, CoreError::Graph(GraphError::Disconnected { .. })));
+    assert!(matches!(
+        err,
+        CoreError::Graph(GraphError::Disconnected { .. })
+    ));
 }
 
 #[test]
@@ -192,9 +214,16 @@ fn neighbor_scale_validation() {
 
 #[test]
 fn error_messages_name_the_problem() {
-    let e = CoreError::WeightOutOfBounds { value: 7.0, max_weight: 1.0 };
+    let e = CoreError::WeightOutOfBounds {
+        value: 7.0,
+        max_weight: 1.0,
+    };
     assert!(e.to_string().contains("7"));
-    let e: CoreError = GraphError::Disconnected { from: NodeId::new(1), to: NodeId::new(2) }.into();
+    let e: CoreError = GraphError::Disconnected {
+        from: NodeId::new(1),
+        to: NodeId::new(2),
+    }
+    .into();
     assert!(e.to_string().contains("no path"));
     let e: CoreError = DpError::InvalidEpsilon(-3.0).into();
     assert!(e.to_string().contains("-3"));

@@ -5,9 +5,7 @@
 
 use privpath::core::attack::{thm51_alpha_bits, MatchingAttack, MstAttack, PathAttack};
 use privpath::core::bounds;
-use privpath::dp::randomized_response::{
-    randomized_response_bit, reconstruction_error_floor,
-};
+use privpath::dp::randomized_response::{randomized_response_bit, reconstruction_error_floor};
 use privpath::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,7 +33,10 @@ fn attack_on_dp_shortest_paths_is_near_chance_at_small_eps() {
         total += outcome.hamming;
     }
     let rate = total as f64 / (trials as usize * n) as f64;
-    assert!((rate - 0.5).abs() < 0.08, "reconstruction rate {rate} too far from chance");
+    assert!(
+        (rate - 0.5).abs() < 0.08,
+        "reconstruction rate {rate} too far from chance"
+    );
 }
 
 #[test]
@@ -110,7 +111,10 @@ fn attacks_on_dp_mst_and_matching_near_chance() {
         total += outcome.hamming;
     }
     let rate = total as f64 / (trials as usize * 48) as f64;
-    assert!((rate - 0.5).abs() < 0.1, "matching reconstruction rate {rate}");
+    assert!(
+        (rate - 0.5).abs() < 0.1,
+        "matching reconstruction rate {rate}"
+    );
 }
 
 #[test]
@@ -125,7 +129,10 @@ fn reconstruction_floor_matches_randomized_response_exactly() {
             .filter(|i| randomized_response_bit(i % 2 == 0, epsilon, &mut rng) != (i % 2 == 0))
             .count();
         let rate = wrong as f64 / trials as f64;
-        assert!((rate - floor).abs() < 0.008, "eps {e}: rate {rate} vs floor {floor}");
+        assert!(
+            (rate - floor).abs() < 0.008,
+            "eps {e}: rate {rate} vs floor {floor}"
+        );
     }
 }
 
@@ -155,7 +162,10 @@ fn utility_failure_rate_matches_gamma() {
     let rate = failures as f64 / trials as f64;
     // The union bound is conservative, so the true failure rate is below
     // gamma — but catastrophically exceeding it would indicate a bug.
-    assert!(rate <= gamma + 0.05, "failure rate {rate} exceeds gamma {gamma}");
+    assert!(
+        rate <= gamma + 0.05,
+        "failure rate {rate} exceeds gamma {gamma}"
+    );
 }
 
 #[test]
@@ -185,7 +195,10 @@ fn laplace_mechanism_indistinguishability_histogram() {
     for b in 0..bins {
         if h0[b] >= 500 && h1[b] >= 500 {
             let ratio = h0[b] as f64 / h1[b] as f64;
-            assert!(ratio < bound && 1.0 / ratio < bound, "bin {b}: ratio {ratio}");
+            assert!(
+                ratio < bound && 1.0 / ratio < bound,
+                "bin {b}: ratio {ratio}"
+            );
         }
     }
 }

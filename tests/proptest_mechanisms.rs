@@ -15,14 +15,12 @@ use privpath::core::path_graph::{
     dyadic_path_release_with, hub_path_release_with, PathGraphParams,
 };
 use privpath::core::shortest_path::{private_shortest_paths_with, ShortestPathParams};
-use privpath::core::tree_distance::{
-    tree_all_pairs_distances_with, TreeDistanceParams,
-};
+use privpath::core::tree_distance::{tree_all_pairs_distances_with, TreeDistanceParams};
 use privpath::dp::composition::{advanced_composition_epsilon, per_query_epsilon};
-use privpath::graph::algo::{dijkstra, floyd_warshall, min_weight_perfect_matching, minimum_spanning_forest};
-use privpath::graph::generators::{
-    connected_gnm, path_graph, random_tree_prufer, uniform_weights,
+use privpath::graph::algo::{
+    dijkstra, floyd_warshall, min_weight_perfect_matching, minimum_spanning_forest,
 };
+use privpath::graph::generators::{connected_gnm, path_graph, random_tree_prufer, uniform_weights};
 use privpath::graph::tree::{weighted_depths, RootedTree};
 use privpath::prelude::*;
 use proptest::prelude::*;

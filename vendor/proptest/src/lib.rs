@@ -1,0 +1,353 @@
+//! Offline drop-in subset of the `proptest` crate API.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of proptest that the repo's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`any`], [`ProptestConfig`], the [`proptest!`] macro, and
+//! the `prop_assert*` family. Case generation is deterministic: case `i`
+//! of every test runs on a generator seeded from `i`, so failures
+//! reproduce exactly. No shrinking is performed — the failing case's
+//! values are reported as-is.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Run-loop configuration for the [`proptest!`] macro.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-case execution support types.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// A failed property within a test case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+
+        /// Alias of [`fail`](Self::fail) kept for API compatibility.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            Self::fail(reason)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The result type a generated test-case body evaluates to.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-case deterministic randomness for strategy evaluation.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// The runner for case number `case` (deterministic per case).
+        pub fn for_case(case: u64) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bf0_3635),
+            }
+        }
+
+        /// The case's generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, i64, i32, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (self.0.generate(runner), self.1.generate(runner))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (
+                self.0.generate(runner),
+                self.1.generate(runner),
+                self.2.generate(runner),
+            )
+        }
+    }
+
+    /// A strategy producing a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`crate::any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (see [`crate::any`]).
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().gen()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().gen()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng().gen()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+}
+
+/// The whole-domain strategy for `T` (uniform over the type).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __runner =
+                        $crate::test_runner::TestRunner::for_case(u64::from(__case));
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __runner);)*
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (|| -> $crate::test_runner::TestCaseResult {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(__e) = __result {
+                        panic!("proptest case {} failed: {}", __case, __e);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),*) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current test case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                __l,
+                __r,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Any, Arbitrary, Just, Map, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_case() {
+        let mut r1 = crate::test_runner::TestRunner::for_case(3);
+        let mut r2 = crate::test_runner::TestRunner::for_case(3);
+        let s = (2usize..40, any::<u64>()).prop_map(|(n, seed)| (n * 2, seed));
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn range_strategy_stays_in_range() {
+        let mut runner = crate::test_runner::TestRunner::for_case(0);
+        for case in 0..200 {
+            let mut r = crate::test_runner::TestRunner::for_case(case);
+            assert!((5..17).contains(&(5usize..17).generate(&mut r)));
+            assert!((1..6).contains(&(1usize..6).generate(&mut runner)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(n in 1usize..10, seed in any::<u64>()) {
+            prop_assert!((1..10).contains(&n), "n = {}", n);
+            let _ = seed;
+            prop_assert_eq!(n + 1, n + 1);
+        }
+
+        #[test]
+        fn early_ok_return_is_supported((a, b) in (0usize..4, 0usize..4)) {
+            if a == b {
+                return Ok(());
+            }
+            prop_assert!(a != b);
+        }
+    }
+}
