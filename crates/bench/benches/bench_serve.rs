@@ -1,0 +1,125 @@
+//! Serve-path benchmarks: `QueryService` snapshot throughput under
+//! reader threads, and the query planner against naive per-query
+//! serving.
+//!
+//! The read path is lock-free by construction (immutable snapshot,
+//! `Arc`-shared releases), so distance serving should scale with
+//! threads until cores run out; `serve/threads` measures the same fixed
+//! workload split over 1, 2, 4, and 8 readers on the same release set.
+//! On a single-core machine expect a flat curve — near-flat rather than
+//! degrading under 8 readers is the no-contention evidence there.
+//! `serve/planner` measures what `(release, source)` grouping buys over
+//! per-query answering on a mixed batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::shortest_path::ShortestPathParams;
+use privpath_dp::Epsilon;
+use privpath_engine::{mechanisms, QueryService, ReleaseEngine};
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+use privpath_graph::NodeId;
+use privpath_serve::{answer_all, answer_one, QueryRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two releases over one G(n, m) road network, snapshotted for serving.
+fn snapshot(v: usize) -> QueryService {
+    let mut rng = StdRng::seed_from_u64(30);
+    let topo = connected_gnm(v, 4 * v, &mut rng);
+    let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+    let mut engine = ReleaseEngine::new(topo, w).unwrap();
+    let params = ShortestPathParams::new(Epsilon::new(1.0).unwrap(), 0.05).unwrap();
+    engine
+        .release(&mechanisms::ShortestPaths, &params, &mut rng)
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::SyntheticGraph,
+            &mechanisms::SyntheticGraphParams::new(Epsilon::new(1.0).unwrap()),
+            &mut rng,
+        )
+        .unwrap();
+    engine.snapshot()
+}
+
+/// A mixed serving workload: `Distance` requests over both releases
+/// with heavy source reuse (the shape a navigation queue actually has).
+fn workload(
+    service: &QueryService,
+    v: usize,
+    sources: usize,
+    per_source: usize,
+) -> Vec<QueryRequest> {
+    let ids: Vec<_> = service.releases().map(|r| r.id()).collect();
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut requests = Vec::with_capacity(sources * per_source);
+    for _ in 0..sources {
+        let s = NodeId::new(rng.gen_range(0..v));
+        for _ in 0..per_source {
+            requests.push(QueryRequest::Distance {
+                release: ids[rng.gen_range(0..ids.len())],
+                from: s,
+                to: NodeId::new(rng.gen_range(0..v)),
+            });
+        }
+    }
+    requests
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/threads");
+    group.sample_size(10);
+    let v = 1024;
+    let service = snapshot(v);
+    // Per-query serving so the thread count is the only lever.
+    let requests = workload(&service, v, 64, 4);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("readers", threads),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let chunk = requests.len().div_ceil(threads);
+                        for shard in requests.chunks(chunk) {
+                            let service = service.clone();
+                            scope.spawn(move || {
+                                for req in shard {
+                                    criterion::black_box(answer_one(&service, req));
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_planner_vs_per_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve/planner");
+    group.sample_size(10);
+    let v = 1024;
+    let service = snapshot(v);
+    let requests = workload(&service, v, 8, 32);
+    group.bench_with_input(
+        BenchmarkId::new("per_query", requests.len()),
+        &requests,
+        |b, requests| {
+            b.iter(|| {
+                for req in requests {
+                    criterion::black_box(answer_one(&service, req));
+                }
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("planned", requests.len()),
+        &requests,
+        |b, requests| b.iter(|| criterion::black_box(answer_all(&service, requests))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_planner_vs_per_query);
+criterion_main!(benches);

@@ -28,6 +28,7 @@ mod e13_structure;
 mod e14_scaling;
 mod e15_randomized_response;
 mod e16_hld_ablation;
+mod e17_serving;
 
 use context::Ctx;
 use std::path::PathBuf;
@@ -122,6 +123,11 @@ fn registry() -> Vec<Experiment> {
             id: "e16",
             anchor: "Extension: Algorithm 1 vs heavy-path dyadic release",
             run: e16_hld_ablation::run,
+        },
+        Experiment {
+            id: "e17",
+            anchor: "Extension: serve-path queries/sec vs reader threads",
+            run: e17_serving::run,
         },
     ]
 }

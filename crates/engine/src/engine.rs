@@ -10,12 +10,25 @@
 use crate::error::EngineError;
 use crate::mechanism::Mechanism;
 use crate::release::{AnyRelease, DistanceRelease, ReleaseKind};
+use crate::service::QueryService;
 use privpath_dp::{Accountant, Delta, Epsilon, NoiseSource, RngNoise};
 use privpath_graph::{EdgeWeights, Topology};
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A registry handle for one release held by a [`ReleaseEngine`].
+///
+/// Renders as `r<N>` (e.g. `r3`) and parses back from the same form, so
+/// the CLI and the wire protocol share one id syntax:
+///
+/// ```
+/// use privpath_engine::ReleaseId;
+/// let id: ReleaseId = "r3".parse()?;
+/// assert_eq!(id.value(), 3);
+/// assert_eq!(id.to_string().parse::<ReleaseId>()?, id);
+/// # Ok::<(), privpath_engine::ParseReleaseIdError>(())
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReleaseId(u64);
 
@@ -24,11 +37,50 @@ impl ReleaseId {
     pub fn value(&self) -> u64 {
         self.0
     }
+
+    pub(crate) fn from_value(value: u64) -> Self {
+        ReleaseId(value)
+    }
 }
 
 impl std::fmt::Display for ReleaseId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "r{}", self.0)
+    }
+}
+
+/// Error parsing a [`ReleaseId`] from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseReleaseIdError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseReleaseIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid release id {:?} (expected `r<N>`, e.g. `r0`)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseReleaseIdError {}
+
+impl std::str::FromStr for ReleaseId {
+    type Err = ParseReleaseIdError;
+
+    /// Accepts the canonical `r<N>` form produced by `Display`, or a bare
+    /// numeral for convenience at the CLI.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix('r').unwrap_or(s);
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseReleaseIdError { input: s.into() });
+        }
+        digits
+            .parse::<u64>()
+            .map(ReleaseId)
+            .map_err(|_| ParseReleaseIdError { input: s.into() })
     }
 }
 
@@ -92,12 +144,18 @@ impl ReleaseRecord {
 
 /// Owns one private weight database and composes releases over it under a
 /// tracked privacy budget.
+///
+/// This is the exclusive **write path**: releasing mutates the ledger and
+/// the registry, so it requires `&mut self`. The shared **read path** is a
+/// [`QueryService`] obtained from [`snapshot`](Self::snapshot) — records
+/// are stored as [`Arc<ReleaseRecord>`] precisely so a snapshot shares
+/// them with zero copying and queries never contend with writers.
 #[derive(Clone, Debug)]
 pub struct ReleaseEngine {
     topo: Topology,
     weights: EdgeWeights,
     accountant: Accountant,
-    records: BTreeMap<u64, ReleaseRecord>,
+    records: BTreeMap<u64, Arc<ReleaseRecord>>,
     next_id: u64,
 }
 
@@ -172,23 +230,23 @@ impl ReleaseEngine {
         let cost = mechanism.privacy_cost(params);
         self.accountant
             .check(cost.eps(), cost.delta())
-            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+            .map_err(|_| self.budget_error(cost.eps(), cost.delta()))?;
         let release = mechanism.release_with(&self.topo, &self.weights, params, noise)?;
         let id = ReleaseId(self.next_id);
         let label = format!("{}#{}", mechanism.name(), id.value());
         self.accountant
             .spend(label.clone(), cost.eps(), cost.delta())
-            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+            .map_err(|_| self.budget_error(cost.eps(), cost.delta()))?;
         self.next_id += 1;
         self.records.insert(
             id.value(),
-            ReleaseRecord::from_parts(
+            Arc::new(ReleaseRecord::from_parts(
                 id,
                 label,
                 cost.eps().value(),
                 cost.delta().value(),
                 AnyRelease::from(release),
-            ),
+            )),
         );
         Ok(id)
     }
@@ -229,23 +287,52 @@ impl ReleaseEngine {
         let delta = Delta::new(delta)?;
         self.accountant
             .check(eps, delta)
-            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+            .map_err(|_| self.budget_error(eps, delta))?;
         let id = ReleaseId(self.next_id);
         let label = label.into();
         self.accountant
             .spend(label.clone(), eps, delta)
-            .map_err(|e| EngineError::BudgetExhausted(e.to_string()))?;
+            .map_err(|_| self.budget_error(eps, delta))?;
         self.next_id += 1;
         self.records.insert(
             id.value(),
-            ReleaseRecord::from_parts(id, label, eps.value(), delta.value(), release),
+            Arc::new(ReleaseRecord::from_parts(
+                id,
+                label,
+                eps.value(),
+                delta.value(),
+                release,
+            )),
         );
         Ok(id)
     }
 
+    /// The structured budget error for a refused `(eps, delta)` request.
+    fn budget_error(&self, eps: Epsilon, delta: Delta) -> EngineError {
+        let (remaining_eps, remaining_delta) = self
+            .accountant
+            .remaining()
+            .unwrap_or((f64::INFINITY, f64::INFINITY));
+        EngineError::BudgetExhausted {
+            requested_eps: eps.value(),
+            requested_delta: delta.value(),
+            remaining_eps,
+            remaining_delta,
+        }
+    }
+
     /// The record for a registered release.
     pub fn get(&self, id: ReleaseId) -> Option<&ReleaseRecord> {
-        self.records.get(&id.value())
+        self.records.get(&id.value()).map(Arc::as_ref)
+    }
+
+    /// An immutable, cheaply-cloneable view of every release registered so
+    /// far, for the shared read path: the snapshot holds [`Arc`]s to the
+    /// same records (no release data is copied) plus the ledger totals
+    /// frozen at snapshot time. Releases made after the snapshot do not
+    /// appear in it — take a new snapshot to publish them.
+    pub fn snapshot(&self) -> QueryService {
+        QueryService::from_records(self.records.clone(), self.spent(), self.remaining())
     }
 
     /// A distance-oracle view of a registered release.
@@ -270,7 +357,7 @@ impl ReleaseEngine {
 
     /// All registered releases, in id order.
     pub fn releases(&self) -> impl Iterator<Item = &ReleaseRecord> {
-        self.records.values()
+        self.records.values().map(Arc::as_ref)
     }
 
     /// Number of registered releases.

@@ -14,8 +14,19 @@ pub enum EngineError {
     /// A privacy-substrate error.
     Dp(DpError),
     /// A release would exceed the engine's privacy budget; nothing was
-    /// run and no noise was drawn.
-    BudgetExhausted(String),
+    /// run and no noise was drawn. Carries the requested and remaining
+    /// `(eps, delta)` so servers and CLIs can report budget state without
+    /// parsing messages.
+    BudgetExhausted {
+        /// The epsilon the refused release would have cost.
+        requested_eps: f64,
+        /// The delta the refused release would have cost.
+        requested_delta: f64,
+        /// Epsilon still available under the budget.
+        remaining_eps: f64,
+        /// Delta still available under the budget.
+        remaining_delta: f64,
+    },
     /// The referenced release id is not registered in the engine.
     UnknownRelease(u64),
     /// The release kind does not support the requested query (e.g. a
@@ -42,7 +53,17 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Core(e) => write!(f, "mechanism error: {e}"),
             EngineError::Dp(e) => write!(f, "privacy error: {e}"),
-            EngineError::BudgetExhausted(msg) => write!(f, "privacy budget exhausted: {msg}"),
+            EngineError::BudgetExhausted {
+                requested_eps,
+                requested_delta,
+                remaining_eps,
+                remaining_delta,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested (eps {requested_eps}, delta \
+                 {requested_delta}) exceeds remaining (eps {remaining_eps}, delta \
+                 {remaining_delta})"
+            ),
             EngineError::UnknownRelease(id) => write!(f, "no release with id r{id}"),
             EngineError::UnsupportedQuery { kind, query } => {
                 write!(

@@ -16,10 +16,16 @@
 //!   distance-capable release type. `distance_batch` is the serving hot
 //!   path: graph-replaying releases share one Dijkstra per distinct
 //!   source across a batch.
-//! * [`ReleaseEngine`] — owns one weight database and an
-//!   [`Accountant`](privpath_dp::Accountant); debits the declared cost
-//!   per release (budget checked **before** noise is drawn), registers
-//!   releases under [`ReleaseId`]s, and serves queries from the registry.
+//! * [`ReleaseEngine`] — the exclusive **write path**: owns one weight
+//!   database and an [`Accountant`](privpath_dp::Accountant); debits the
+//!   declared cost per release (budget checked **before** noise is
+//!   drawn) and registers releases under [`ReleaseId`]s.
+//! * [`QueryService`] — the shared **read path**: an immutable `Send +
+//!   Sync` snapshot of the registry ([`ReleaseEngine::snapshot`]) or of
+//!   stored release files ([`QueryService::from_stored`]) that any
+//!   number of threads query in parallel with no locks. Queries are
+//!   post-processing, so a snapshot answers unboundedly many of them at
+//!   zero privacy cost while the engine keeps releasing.
 //! * [`persist`] — a unified tagged storage format covering every
 //!   distance-capable release kind (and still reading the legacy
 //!   shortest-path-only v1 files).
@@ -74,12 +80,14 @@ mod error;
 mod mechanism;
 pub mod persist;
 mod release;
+mod service;
 
-pub use engine::{ReleaseEngine, ReleaseId, ReleaseRecord};
+pub use engine::{ParseReleaseIdError, ReleaseEngine, ReleaseId, ReleaseRecord};
 pub use error::EngineError;
 pub use mechanism::{Mechanism, PrivacyCost};
 pub use persist::{read_release, write_release, StoredRelease};
 pub use release::{AnyRelease, DistanceRelease, ReleaseKind};
+pub use service::QueryService;
 
 /// The mechanism singletons implementing [`Mechanism`].
 pub mod mechanisms {

@@ -23,7 +23,11 @@ use std::collections::HashMap;
 /// the serving hot path is dominated by per-query setup for
 /// graph-replaying releases (a Dijkstra per source); batching lets those
 /// implementations share work across queries with the same source.
-pub trait DistanceRelease {
+///
+/// The `Send + Sync` supertraits make `&dyn DistanceRelease` shareable
+/// across serving threads: queries take `&self` and every release type
+/// is immutable after construction.
+pub trait DistanceRelease: Send + Sync {
     /// Number of vertices the release answers queries for.
     fn num_nodes(&self) -> usize;
 
@@ -101,6 +105,10 @@ impl DistanceRelease for ShortestPathRelease {
     }
 
     fn distance(&self, u: NodeId, v: NodeId) -> Result<f64, EngineError> {
+        // Normalize range errors across kinds: every release reports
+        // NodeOutOfRange rather than its substrate's own variant.
+        check_node(u.index(), DistanceRelease::num_nodes(self))?;
+        check_node(v.index(), DistanceRelease::num_nodes(self))?;
         Ok(self.estimated_distance(u, v)?)
     }
 
@@ -157,6 +165,8 @@ impl DistanceRelease for SyntheticGraphRelease {
     }
 
     fn distance(&self, u: NodeId, v: NodeId) -> Result<f64, EngineError> {
+        check_node(u.index(), DistanceRelease::num_nodes(self))?;
+        check_node(v.index(), DistanceRelease::num_nodes(self))?;
         Ok(SyntheticGraphRelease::distance(self, u, v)?)
     }
 

@@ -1,0 +1,103 @@
+//! A minimal blocking client for the line protocol, used by the CLI's
+//! `query --connect` and by tests.
+
+use crate::protocol::{QueryRequest, QueryResponse};
+use crate::server::SHUTDOWN_ACK;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure: transport or protocol.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(io::Error),
+    /// The server's response line did not parse.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a query server. One client may issue any
+/// number of requests over its connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// Propagates the connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response line.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on transport failure (including a server that
+    /// closed the connection), [`ClientError::Protocol`] if the response
+    /// line does not parse.
+    pub fn request(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        let line = self.round_trip(&request.to_string())?;
+        line.parse()
+            .map_err(|e| ClientError::Protocol(format!("{e} in response {line:?}")))
+    }
+
+    /// Sends a raw line and returns the raw response line (for control
+    /// commands outside the typed protocol).
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on transport failure.
+    pub fn round_trip(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Protocol`]
+    /// if the server does not acknowledge.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let ack = self.round_trip("shutdown")?;
+        if ack == SHUTDOWN_ACK {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "expected {SHUTDOWN_ACK:?}, got {ack:?}"
+            )))
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! # privpath-serve — the serve path over DP release snapshots
+//!
+//! The paper's architecture — release once, query many — makes the read
+//! path embarrassingly shareable: a DP release answers unboundedly many
+//! queries at zero further privacy cost, so serving is pure fan-out over
+//! an immutable artifact. This crate is that fan-out:
+//!
+//! * [`protocol`] — the typed [`QueryRequest`] / [`QueryResponse`] pairs
+//!   with a line-delimited text codec (grammar in the module docs),
+//!   shared by the server, the client, and the CLI.
+//! * [`planner`] — [`QueryPlan`] groups a mixed request batch by
+//!   `(release, source)` so each group pays one Dijkstra through the
+//!   engine's `distance_batch`, with per-query error isolation.
+//! * [`server`] — a dependency-free `std::net` TCP server: fixed-size
+//!   worker pool over [`QueryService`](privpath_engine::QueryService)
+//!   clones (no locks on the query path), per-connection error
+//!   isolation, graceful `shutdown` control line.
+//! * [`client`] — a small blocking client for the same protocol.
+//!
+//! ## Example
+//!
+//! ```
+//! use privpath_engine::{mechanisms, QueryService, ReleaseEngine};
+//! use privpath_serve::{Client, QueryRequest, QueryResponse, Server};
+//! use privpath_core::shortest_path::ShortestPathParams;
+//! use privpath_dp::Epsilon;
+//! use privpath_graph::generators::{path_graph, uniform_weights};
+//! use privpath_graph::NodeId;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Write path: release once under a budget.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let topo = path_graph(16);
+//! let weights = uniform_weights(topo.num_edges(), 1.0, 5.0, &mut rng);
+//! let mut engine = ReleaseEngine::new(topo, weights)?;
+//! let id = engine.release(
+//!     &mechanisms::ShortestPaths,
+//!     &ShortestPathParams::new(Epsilon::new(1.0)?, 0.05)?,
+//!     &mut rng,
+//! )?;
+//!
+//! // Read path: snapshot, serve over TCP, query from a client.
+//! let server = Server::bind("127.0.0.1:0", engine.snapshot())?.with_threads(2);
+//! let running = server.spawn()?;
+//! let mut client = Client::connect(running.addr())?;
+//! let resp = client.request(&QueryRequest::Distance {
+//!     release: id,
+//!     from: NodeId::new(0),
+//!     to: NodeId::new(15),
+//! })?;
+//! assert!(matches!(resp, QueryResponse::Distance(d) if d.is_finite()));
+//! drop(client);
+//! running.shutdown()?; // graceful: drains connections, returns stats
+
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod planner;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use planner::{answer_all, answer_one, PlanGroup, QueryPlan};
+pub use protocol::{ErrorCode, ParseLineError, QueryRequest, QueryResponse, ReleaseSummary};
+pub use server::{RunningServer, Server, ServerStats, MAX_LINE_BYTES};

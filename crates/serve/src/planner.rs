@@ -1,0 +1,179 @@
+//! The query planner: turns a mixed batch of [`QueryRequest`]s into
+//! per-`(release, source)` groups so every group pays one Dijkstra (or
+//! one table lookup pass) via the release's `distance_batch`, then
+//! scatters the answers back into request order.
+//!
+//! Serving workloads are dominated by `Distance` queries with heavy
+//! source reuse (a navigation frontend's queue asks many destinations
+//! per origin, across several released products). Answering them one by
+//! one costs a shortest-path-tree computation per query on
+//! graph-replaying releases; grouped, each distinct `(release, source)`
+//! pays that cost once.
+
+use crate::protocol::{ErrorCode, QueryRequest, QueryResponse, ReleaseSummary};
+use privpath_engine::{QueryService, ReleaseId};
+use privpath_graph::NodeId;
+use std::collections::HashMap;
+
+/// One planned group: every `Distance` request in the batch that shares
+/// a release and a source vertex.
+#[derive(Clone, Debug)]
+pub struct PlanGroup {
+    /// The release the group queries.
+    pub release: ReleaseId,
+    /// The shared source vertex.
+    pub source: NodeId,
+    /// `(request index, target)` for each member, in request order.
+    pub members: Vec<(usize, NodeId)>,
+}
+
+/// An execution plan over a request batch: `Distance` requests grouped
+/// by `(release, source)`, everything else answered directly.
+#[derive(Clone, Debug, Default)]
+pub struct QueryPlan {
+    groups: Vec<PlanGroup>,
+    direct: Vec<usize>,
+}
+
+impl QueryPlan {
+    /// Groups a request batch. Requests other than `Distance` (batches,
+    /// paths, metadata) are left to direct per-request execution —
+    /// `DistanceBatch` already shares per-source work internally.
+    pub fn build(requests: &[QueryRequest]) -> Self {
+        let mut keys: HashMap<(u64, usize), usize> = HashMap::new();
+        let mut plan = QueryPlan::default();
+        for (i, req) in requests.iter().enumerate() {
+            match req {
+                QueryRequest::Distance { release, from, to } => {
+                    let key = (release.value(), from.index());
+                    let slot = *keys.entry(key).or_insert_with(|| {
+                        plan.groups.push(PlanGroup {
+                            release: *release,
+                            source: *from,
+                            members: Vec::new(),
+                        });
+                        plan.groups.len() - 1
+                    });
+                    plan.groups[slot].members.push((i, *to));
+                }
+                _ => plan.direct.push(i),
+            }
+        }
+        plan
+    }
+
+    /// The `(release, source)` groups, in first-appearance order.
+    pub fn groups(&self) -> &[PlanGroup] {
+        &self.groups
+    }
+
+    /// Executes the plan against a snapshot, returning one response per
+    /// request in request order. Group members that fail (e.g. a
+    /// disconnected pair) are retried individually so one bad query
+    /// never poisons its group.
+    pub fn execute(&self, service: &QueryService, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        let mut out: Vec<Option<QueryResponse>> = vec![None; requests.len()];
+        for group in &self.groups {
+            let pairs: Vec<(NodeId, NodeId)> = group
+                .members
+                .iter()
+                .map(|&(_, to)| (group.source, to))
+                .collect();
+            match service.query(group.release) {
+                Ok(oracle) => match oracle.distance_batch(&pairs) {
+                    Ok(ds) => {
+                        for (&(i, _), d) in group.members.iter().zip(ds) {
+                            out[i] = Some(QueryResponse::Distance(d));
+                        }
+                    }
+                    // The batch reports only its first failure; isolate
+                    // it by falling back to per-pair queries.
+                    Err(_) => {
+                        for &(i, to) in &group.members {
+                            out[i] = Some(match oracle.distance(group.source, to) {
+                                Ok(d) => QueryResponse::Distance(d),
+                                Err(e) => QueryResponse::from_engine_error(&e),
+                            });
+                        }
+                    }
+                },
+                Err(e) => {
+                    let resp = QueryResponse::from_engine_error(&e);
+                    for &(i, _) in &group.members {
+                        out[i] = Some(resp.clone());
+                    }
+                }
+            }
+        }
+        for &i in &self.direct {
+            out[i] = Some(answer_one(service, &requests[i]));
+        }
+        out.into_iter()
+            .map(|r| {
+                r.unwrap_or(QueryResponse::Error {
+                    code: ErrorCode::Internal,
+                    message: "request not covered by plan".into(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// Plans and executes a mixed request batch in one call.
+pub fn answer_all(service: &QueryService, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+    QueryPlan::build(requests).execute(service, requests)
+}
+
+/// Answers a single request directly (the server's per-line path and the
+/// planner's fallback for non-`Distance` requests).
+pub fn answer_one(service: &QueryService, request: &QueryRequest) -> QueryResponse {
+    match request {
+        QueryRequest::Distance { release, from, to } => match service.query(*release) {
+            Ok(oracle) => match oracle.distance(*from, *to) {
+                Ok(d) => QueryResponse::Distance(d),
+                Err(e) => QueryResponse::from_engine_error(&e),
+            },
+            Err(e) => QueryResponse::from_engine_error(&e),
+        },
+        QueryRequest::DistanceBatch { release, pairs } => match service.query(*release) {
+            Ok(oracle) => match oracle.distance_batch(pairs) {
+                Ok(ds) => QueryResponse::Distances(ds),
+                Err(e) => QueryResponse::from_engine_error(&e),
+            },
+            Err(e) => QueryResponse::from_engine_error(&e),
+        },
+        QueryRequest::Path { release, from, to } => match service.query(*release) {
+            Ok(oracle) => match oracle.path(*from, *to) {
+                Some(Ok(path)) => QueryResponse::Path(path.nodes().to_vec()),
+                Some(Err(e)) => QueryResponse::from_engine_error(&e),
+                None => QueryResponse::Error {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "release {release} does not carry routes (value-only release)"
+                    ),
+                },
+            },
+            Err(e) => QueryResponse::from_engine_error(&e),
+        },
+        QueryRequest::ListReleases => QueryResponse::Releases(
+            service
+                .releases()
+                .map(|r| ReleaseSummary {
+                    id: r.id(),
+                    kind: r.kind(),
+                    eps: r.eps(),
+                    delta: r.delta(),
+                    num_nodes: r.release().as_distance().map(|o| o.num_nodes()),
+                })
+                .collect(),
+        ),
+        QueryRequest::BudgetStatus => {
+            let (spent_eps, spent_delta) = service.spent();
+            QueryResponse::Budget {
+                spent_eps,
+                spent_delta,
+                remaining: service.remaining(),
+            }
+        }
+    }
+}

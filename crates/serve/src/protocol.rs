@@ -1,0 +1,476 @@
+//! The typed wire protocol: [`QueryRequest`] / [`QueryResponse`] with a
+//! line-delimited text codec.
+//!
+//! One request per line, one response line per request. Fields are
+//! space-separated; floats use Rust's `{:?}` formatting (the same
+//! convention as the `privpath-release` persistence format) so values
+//! round-trip exactly. Variable-length lists are preceded by their count.
+//!
+//! ```text
+//! request  := "distance" id node node
+//!           | "batch" id count pair*          pair := node ":" node
+//!           | "path" id node node
+//!           | "list"
+//!           | "budget"
+//! response := "distance" float
+//!           | "distances" count float*
+//!           | "path" count node*
+//!           | "releases" count (id kind float float nodes)*
+//!           | "budget" "spent" float float ("remaining" float float | "unbounded")
+//!           | "error" code message...
+//! ```
+//!
+//! `id` is a [`ReleaseId`] in its `r<N>` display form; `nodes` in a
+//! release record is a vertex count or `-` for kinds without a distance
+//! surface. The `error` message is free text extending to the end of the
+//! line (newlines are squashed on encode so framing survives).
+
+use privpath_engine::{EngineError, ReleaseId, ReleaseKind};
+use privpath_graph::NodeId;
+use std::fmt;
+use std::str::FromStr;
+
+/// A single query against a served release set.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryRequest {
+    /// The released estimate of `d(from, to)` under one release.
+    Distance {
+        /// The release to query.
+        release: ReleaseId,
+        /// Source vertex.
+        from: NodeId,
+        /// Target vertex.
+        to: NodeId,
+    },
+    /// Released estimates for many pairs under one release, answered
+    /// with shared per-source work.
+    DistanceBatch {
+        /// The release to query.
+        release: ReleaseId,
+        /// The `(from, to)` pairs.
+        pairs: Vec<(NodeId, NodeId)>,
+    },
+    /// The released route between two vertices, for route-capable kinds.
+    Path {
+        /// The release to query.
+        release: ReleaseId,
+        /// Source vertex.
+        from: NodeId,
+        /// Target vertex.
+        to: NodeId,
+    },
+    /// Metadata for every release in the snapshot.
+    ListReleases,
+    /// The frozen ledger totals of the snapshot.
+    BudgetStatus,
+}
+
+/// One release's metadata as reported by [`QueryResponse::Releases`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReleaseSummary {
+    /// The registry id.
+    pub id: ReleaseId,
+    /// The release's kind.
+    pub kind: ReleaseKind,
+    /// The epsilon the release cost.
+    pub eps: f64,
+    /// The delta the release cost.
+    pub delta: f64,
+    /// Vertex count, for kinds with a distance surface.
+    pub num_nodes: Option<usize>,
+}
+
+/// Stable error codes the server reports, so clients can branch without
+/// parsing messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line did not parse.
+    Malformed,
+    /// The release id is not in the served snapshot.
+    UnknownRelease,
+    /// The release kind does not support the requested query.
+    Unsupported,
+    /// A vertex id was outside the release's range.
+    OutOfRange,
+    /// A budget violation (surfaces the engine's structured budget
+    /// state).
+    Budget,
+    /// The query itself failed (e.g. a disconnected pair).
+    Query,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The code's wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownRelease => "unknown-release",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::OutOfRange => "out-of-range",
+            ErrorCode::Budget => "budget",
+            ErrorCode::Query => "query",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "malformed" => ErrorCode::Malformed,
+            "unknown-release" => ErrorCode::UnknownRelease,
+            "unsupported" => ErrorCode::Unsupported,
+            "out-of-range" => ErrorCode::OutOfRange,
+            "budget" => ErrorCode::Budget,
+            "query" => ErrorCode::Query,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A single response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResponse {
+    /// Answer to [`QueryRequest::Distance`].
+    Distance(f64),
+    /// Answer to [`QueryRequest::DistanceBatch`], in request order.
+    Distances(Vec<f64>),
+    /// Answer to [`QueryRequest::Path`]: the route's vertices in order.
+    Path(Vec<NodeId>),
+    /// Answer to [`QueryRequest::ListReleases`].
+    Releases(Vec<ReleaseSummary>),
+    /// Answer to [`QueryRequest::BudgetStatus`].
+    Budget {
+        /// Total epsilon spent at snapshot time.
+        spent_eps: f64,
+        /// Total delta spent at snapshot time.
+        spent_delta: f64,
+        /// Remaining `(eps, delta)`, or `None` for an uncapped ledger.
+        remaining: Option<(f64, f64)>,
+    },
+    /// The request failed; the query slot carries a code and a message.
+    Error {
+        /// Stable machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl QueryResponse {
+    /// The error response for an engine-level failure, mapping the
+    /// structured error variants onto wire codes.
+    pub fn from_engine_error(e: &EngineError) -> Self {
+        let code = match e {
+            EngineError::UnknownRelease(_) => ErrorCode::UnknownRelease,
+            EngineError::UnsupportedQuery { .. } => ErrorCode::Unsupported,
+            EngineError::NodeOutOfRange { .. } => ErrorCode::OutOfRange,
+            EngineError::BudgetExhausted { .. } => ErrorCode::Budget,
+            EngineError::Core(_) | EngineError::Dp(_) => ErrorCode::Query,
+            EngineError::Persist(_) => ErrorCode::Internal,
+        };
+        QueryResponse::Error {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+impl fmt::Display for QueryRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryRequest::Distance { release, from, to } => {
+                write!(f, "distance {release} {} {}", from.index(), to.index())
+            }
+            QueryRequest::DistanceBatch { release, pairs } => {
+                write!(f, "batch {release} {}", pairs.len())?;
+                for (u, v) in pairs {
+                    write!(f, " {}:{}", u.index(), v.index())?;
+                }
+                Ok(())
+            }
+            QueryRequest::Path { release, from, to } => {
+                write!(f, "path {release} {} {}", from.index(), to.index())
+            }
+            QueryRequest::ListReleases => f.write_str("list"),
+            QueryRequest::BudgetStatus => f.write_str("budget"),
+        }
+    }
+}
+
+/// Error parsing a protocol line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLineError(String);
+
+impl ParseLineError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseLineError(msg.into())
+    }
+}
+
+impl fmt::Display for ParseLineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseLineError {}
+
+struct Tokens<'a> {
+    iter: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(s: &'a str) -> Self {
+        Tokens {
+            iter: s.split_whitespace(),
+        }
+    }
+
+    fn next(&mut self, what: &str) -> Result<&'a str, ParseLineError> {
+        self.iter
+            .next()
+            .ok_or_else(|| ParseLineError::new(format!("missing {what}")))
+    }
+
+    fn parse<T: FromStr>(&mut self, what: &str) -> Result<T, ParseLineError> {
+        let tok = self.next(what)?;
+        tok.parse()
+            .map_err(|_| ParseLineError::new(format!("invalid {what}: {tok:?}")))
+    }
+
+    fn node(&mut self, what: &str) -> Result<NodeId, ParseLineError> {
+        Ok(NodeId::new(self.parse::<usize>(what)?))
+    }
+
+    fn finish(mut self) -> Result<(), ParseLineError> {
+        match self.iter.next() {
+            Some(extra) => Err(ParseLineError::new(format!(
+                "unexpected trailing token {extra:?}"
+            ))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl FromStr for QueryRequest {
+    type Err = ParseLineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut t = Tokens::new(s);
+        let req = match t.next("request verb")? {
+            "distance" => QueryRequest::Distance {
+                release: t.parse("release id")?,
+                from: t.node("source vertex")?,
+                to: t.node("target vertex")?,
+            },
+            "batch" => {
+                let release = t.parse("release id")?;
+                let count: usize = t.parse("pair count")?;
+                let mut pairs = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let tok = t.next("pair")?;
+                    let (u, v) = tok
+                        .split_once(':')
+                        .ok_or_else(|| ParseLineError::new(format!("invalid pair {tok:?}")))?;
+                    let u: usize = u
+                        .parse()
+                        .map_err(|_| ParseLineError::new(format!("invalid pair {tok:?}")))?;
+                    let v: usize = v
+                        .parse()
+                        .map_err(|_| ParseLineError::new(format!("invalid pair {tok:?}")))?;
+                    pairs.push((NodeId::new(u), NodeId::new(v)));
+                }
+                QueryRequest::DistanceBatch { release, pairs }
+            }
+            "path" => QueryRequest::Path {
+                release: t.parse("release id")?,
+                from: t.node("source vertex")?,
+                to: t.node("target vertex")?,
+            },
+            "list" => QueryRequest::ListReleases,
+            "budget" => QueryRequest::BudgetStatus,
+            other => {
+                return Err(ParseLineError::new(format!(
+                    "unknown request verb {other:?} (expected distance, batch, path, list, \
+                     or budget)"
+                )))
+            }
+        };
+        t.finish()?;
+        Ok(req)
+    }
+}
+
+impl fmt::Display for QueryResponse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryResponse::Distance(d) => write!(f, "distance {}", fmt_f64(*d)),
+            QueryResponse::Distances(ds) => {
+                write!(f, "distances {}", ds.len())?;
+                for d in ds {
+                    write!(f, " {}", fmt_f64(*d))?;
+                }
+                Ok(())
+            }
+            QueryResponse::Path(nodes) => {
+                write!(f, "path {}", nodes.len())?;
+                for n in nodes {
+                    write!(f, " {}", n.index())?;
+                }
+                Ok(())
+            }
+            QueryResponse::Releases(rs) => {
+                write!(f, "releases {}", rs.len())?;
+                for r in rs {
+                    write!(
+                        f,
+                        " {} {} {} {}",
+                        r.id,
+                        r.kind,
+                        fmt_f64(r.eps),
+                        fmt_f64(r.delta)
+                    )?;
+                    match r.num_nodes {
+                        Some(n) => write!(f, " {n}")?,
+                        None => write!(f, " -")?,
+                    }
+                }
+                Ok(())
+            }
+            QueryResponse::Budget {
+                spent_eps,
+                spent_delta,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "budget spent {} {}",
+                    fmt_f64(*spent_eps),
+                    fmt_f64(*spent_delta)
+                )?;
+                match remaining {
+                    Some((e, d)) => write!(f, " remaining {} {}", fmt_f64(*e), fmt_f64(*d)),
+                    None => write!(f, " unbounded"),
+                }
+            }
+            QueryResponse::Error { code, message } => {
+                // Squash newlines so the line-delimited framing survives
+                // arbitrary error text.
+                let message = message.replace(['\n', '\r'], " ");
+                write!(f, "error {code} {message}")
+            }
+        }
+    }
+}
+
+impl FromStr for QueryResponse {
+    type Err = ParseLineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut t = Tokens::new(s);
+        let resp = match t.next("response verb")? {
+            "distance" => QueryResponse::Distance(t.parse("distance value")?),
+            "distances" => {
+                let count: usize = t.parse("value count")?;
+                let mut ds = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    ds.push(t.parse("distance value")?);
+                }
+                QueryResponse::Distances(ds)
+            }
+            "path" => {
+                let count: usize = t.parse("vertex count")?;
+                let mut nodes = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    nodes.push(t.node("path vertex")?);
+                }
+                QueryResponse::Path(nodes)
+            }
+            "releases" => {
+                let count: usize = t.parse("release count")?;
+                let mut rs = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let id = t.parse("release id")?;
+                    let kind_tok = t.next("release kind")?;
+                    let kind = ReleaseKind::parse(kind_tok).ok_or_else(|| {
+                        ParseLineError::new(format!("unknown release kind {kind_tok:?}"))
+                    })?;
+                    let eps = t.parse("eps")?;
+                    let delta = t.parse("delta")?;
+                    let nodes_tok = t.next("vertex count")?;
+                    let num_nodes = if nodes_tok == "-" {
+                        None
+                    } else {
+                        Some(nodes_tok.parse::<usize>().map_err(|_| {
+                            ParseLineError::new(format!("invalid vertex count {nodes_tok:?}"))
+                        })?)
+                    };
+                    rs.push(ReleaseSummary {
+                        id,
+                        kind,
+                        eps,
+                        delta,
+                        num_nodes,
+                    });
+                }
+                QueryResponse::Releases(rs)
+            }
+            "budget" => {
+                let spent_tok = t.next("`spent`")?;
+                if spent_tok != "spent" {
+                    return Err(ParseLineError::new(format!(
+                        "expected `spent`, got {spent_tok:?}"
+                    )));
+                }
+                let spent_eps = t.parse("spent eps")?;
+                let spent_delta = t.parse("spent delta")?;
+                let remaining = match t.next("`remaining` or `unbounded`")? {
+                    "remaining" => Some((t.parse("remaining eps")?, t.parse("remaining delta")?)),
+                    "unbounded" => None,
+                    other => {
+                        return Err(ParseLineError::new(format!(
+                            "expected `remaining` or `unbounded`, got {other:?}"
+                        )))
+                    }
+                };
+                QueryResponse::Budget {
+                    spent_eps,
+                    spent_delta,
+                    remaining,
+                }
+            }
+            "error" => {
+                let code_tok = t.next("error code")?;
+                let code = ErrorCode::parse(code_tok).ok_or_else(|| {
+                    ParseLineError::new(format!("unknown error code {code_tok:?}"))
+                })?;
+                // The message is the rest of the line, whitespace-joined.
+                let message: Vec<&str> = t.iter.collect();
+                return Ok(QueryResponse::Error {
+                    code,
+                    message: message.join(" "),
+                });
+            }
+            other => {
+                return Err(ParseLineError::new(format!(
+                    "unknown response verb {other:?}"
+                )))
+            }
+        };
+        t.finish()?;
+        Ok(resp)
+    }
+}

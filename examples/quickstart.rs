@@ -104,5 +104,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             privpath::core::bounds::thm55_path_error(k, 1.0, topo.num_edges(), 0.05)
         );
     }
+
+    // Concurrent serving: snapshot the engine into an immutable
+    // QueryService and fan queries out across threads — the read path is
+    // Send + Sync and lock-free, and still spends no privacy.
+    let service = engine.snapshot();
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let service = service.clone(); // two Arc bumps, no data copied
+            scope.spawn(move || {
+                let oracle = service.query(id).expect("snapshot holds the release");
+                let t = NodeId::new((worker + 4) % 8);
+                let d = oracle.distance(NodeId::new(worker), t).expect("connected");
+                println!(
+                    "worker {worker}: {worker} -> {} estimated {d:.1} min",
+                    t.index()
+                );
+            });
+        }
+    });
     Ok(())
 }

@@ -1,0 +1,98 @@
+//! Serving: the write-path/read-path split, end to end over TCP.
+//!
+//! A `ReleaseEngine` (exclusive write path) releases two private
+//! distance products once under a tracked budget; a `QueryService`
+//! snapshot (shared read path) then serves them from a thread-pooled
+//! TCP server, and clients query over the line protocol — every answer
+//! pure post-processing, free of further privacy cost.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use privpath::prelude::*;
+use privpath::serve::answer_all;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -- Write path: one database, one budget, two releases. ------------
+    let mut rng = StdRng::seed_from_u64(2016);
+    let topo = privpath::graph::generators::random_geometric_graph(64, 0.3, &mut rng).topo;
+    let weights =
+        privpath::graph::generators::uniform_weights(topo.num_edges(), 1.0, 9.0, &mut rng);
+    let mut engine = ReleaseEngine::with_budget(topo, weights, Epsilon::new(2.0)?, Delta::zero())?;
+    let sp = engine.release(
+        &mechanisms::ShortestPaths,
+        &ShortestPathParams::new(Epsilon::new(1.0)?, 0.05)?,
+        &mut rng,
+    )?;
+    let synth = engine.release(
+        &mechanisms::SyntheticGraph,
+        &mechanisms::SyntheticGraphParams::new(Epsilon::new(1.0)?),
+        &mut rng,
+    )?;
+    println!(
+        "released {sp} (routes) and {synth} (distances); budget spent {:?}",
+        engine.spent()
+    );
+
+    // -- Read path: snapshot and serve. ---------------------------------
+    // The snapshot is immutable and Send + Sync; the engine could keep
+    // releasing (later snapshots would include the new releases).
+    let service = engine.snapshot();
+
+    // In-process batch serving through the query planner: a mixed batch
+    // is grouped by (release, source) so each group pays one Dijkstra.
+    let batch = vec![
+        QueryRequest::Distance {
+            release: sp,
+            from: NodeId::new(0),
+            to: NodeId::new(40),
+        },
+        QueryRequest::Distance {
+            release: synth,
+            from: NodeId::new(0),
+            to: NodeId::new(40),
+        },
+        QueryRequest::Distance {
+            release: sp,
+            from: NodeId::new(0),
+            to: NodeId::new(63),
+        },
+        QueryRequest::BudgetStatus,
+    ];
+    for (req, resp) in batch.iter().zip(answer_all(&service, &batch)) {
+        println!("  {req}  ->  {resp}");
+    }
+
+    // Over TCP: a dependency-free thread-pooled server on an ephemeral
+    // port, queried by four concurrent clients.
+    let running = Server::bind("127.0.0.1:0", service)?
+        .with_threads(4)
+        .spawn()?;
+    let addr = running.addr();
+    println!("serving on {addr}");
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let to = NodeId::new(8 * worker + 7);
+                let resp = client
+                    .request(&QueryRequest::Distance {
+                        release: sp,
+                        from: NodeId::new(0),
+                        to,
+                    })
+                    .expect("query");
+                println!("  client {worker}: 0 -> {} answered {resp}", to.index());
+            });
+        }
+    });
+
+    // Graceful shutdown drains connections and reports totals.
+    let stats = running.shutdown()?;
+    println!(
+        "served {} requests over {} connections, then shut down cleanly",
+        stats.requests, stats.connections
+    );
+    Ok(())
+}

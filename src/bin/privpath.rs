@@ -14,15 +14,16 @@
 //! privpath inspect  --release demo.shortest-path.release
 //! ```
 
-use privpath::engine::{mechanisms, read_release, ReleaseEngine, ReleaseId};
+use privpath::engine::{mechanisms, read_release, QueryService, ReleaseEngine, ReleaseId};
 use privpath::graph::generators::{random_geometric_graph, random_tree_prufer, uniform_weights};
 use privpath::graph::io::{read_topology, read_weights, write_topology, write_weights};
 use privpath::prelude::*;
+use privpath::serve::{Client, QueryRequest, QueryResponse, Server};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: privpath <command> [--flag value ...]
@@ -46,6 +47,17 @@ commands:
              release kind
   inspect    --release F
              print a stored release's kind and privacy metadata
+  serve      --store-dir D --port P [--host H] [--threads N]
+             load every *.release file in D (sorted by name, ids r0, r1,
+             ...) and serve distance/path queries over TCP from a shared
+             QueryService snapshot; --port 0 picks an ephemeral port
+             (printed as `listening on HOST:PORT`); a client sending the
+             `shutdown` line stops the server gracefully
+  query      --connect HOST:PORT [--op OP] [--release ID]
+             [--from A --to B] [--pairs A:B,A:B,...]
+             query a running server; OP is one of distance (default),
+             route, batch, list, budget, shutdown; ID is a release id in
+             its r<N> form (e.g. r0)
 ";
 
 /// Parses `--flag value` pairs, rejecting unknown and duplicated flags.
@@ -119,6 +131,14 @@ fn run() -> Result<(), String> {
         "route" => query(&parse_flags(rest, &["release", "from", "to"])?, true),
         "distance" => query(&parse_flags(rest, &["release", "from", "to"])?, false),
         "inspect" => inspect(&parse_flags(rest, &["release"])?),
+        "serve" => serve(&parse_flags(
+            rest,
+            &["store-dir", "port", "host", "threads"],
+        )?),
+        "query" => remote_query(&parse_flags(
+            rest,
+            &["connect", "op", "release", "from", "to", "pairs"],
+        )?),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -338,6 +358,179 @@ fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
     match stored.release.as_distance() {
         Some(oracle) => println!("vertices: {}", oracle.num_nodes()),
         None => println!("vertices: (no distance surface)"),
+    }
+    Ok(())
+}
+
+fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = required(flags, "store-dir")?;
+    let port: u16 = parse(required(flags, "port")?, "port")?;
+    let host = flags.get("host").map_or("127.0.0.1", String::as_str);
+    let threads: usize = flags
+        .get("threads")
+        .map_or(Ok(4), |s| parse(s, "threads"))?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+
+    // Deterministic id assignment: every *.release file, sorted by name.
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read --store-dir {dir:?}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "release"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no *.release files in --store-dir {dir:?}"));
+    }
+    let mut stored = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        stored.push(
+            read_release(BufReader::new(file)).map_err(|e| format!("{}: {e}", path.display()))?,
+        );
+    }
+
+    let service = QueryService::from_stored(stored);
+    for (record, path) in service.releases().zip(&paths) {
+        println!(
+            "{}: {} (eps {}, delta {}) from {}",
+            record.id(),
+            record.kind(),
+            record.eps(),
+            record.delta(),
+            path.display()
+        );
+    }
+    let server = Server::bind((host, port), service)
+        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?
+        .with_threads(threads);
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    // The smoke tests parse the line above from a pipe; make sure it is
+    // visible before the first connection arrives.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let stats = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "shut down after {} connections, {} requests ({} connection errors)",
+        stats.connections, stats.requests, stats.connection_errors
+    );
+    Ok(())
+}
+
+/// Parses `--release` through [`ReleaseId`]'s `FromStr` (`r3` or `3`).
+fn release_id(flags: &HashMap<String, String>) -> Result<ReleaseId, String> {
+    required(flags, "release")?
+        .parse()
+        .map_err(|e: privpath::engine::ParseReleaseIdError| e.to_string())
+}
+
+fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = required(flags, "connect")?;
+    let op = flags.get("op").map_or("distance", String::as_str);
+
+    // Validate the request fully before dialing the server.
+    let request = match op {
+        "distance" => QueryRequest::Distance {
+            release: release_id(flags)?,
+            from: NodeId::new(parse(required(flags, "from")?, "source id")?),
+            to: NodeId::new(parse(required(flags, "to")?, "target id")?),
+        },
+        "route" => QueryRequest::Path {
+            release: release_id(flags)?,
+            from: NodeId::new(parse(required(flags, "from")?, "source id")?),
+            to: NodeId::new(parse(required(flags, "to")?, "target id")?),
+        },
+        "batch" => {
+            let spec = required(flags, "pairs")?;
+            let mut pairs = Vec::new();
+            for tok in spec.split(',') {
+                let (u, v) = tok
+                    .split_once(':')
+                    .ok_or_else(|| format!("invalid pair {tok:?} (expected FROM:TO)"))?;
+                pairs.push((
+                    NodeId::new(parse(u, "source id")?),
+                    NodeId::new(parse(v, "target id")?),
+                ));
+            }
+            QueryRequest::DistanceBatch {
+                release: release_id(flags)?,
+                pairs,
+            }
+        }
+        "list" => QueryRequest::ListReleases,
+        "budget" => QueryRequest::BudgetStatus,
+        "shutdown" => {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown");
+            return Ok(());
+        }
+        other => {
+            return Err(format!(
+                "invalid --op {other:?} (expected distance, route, batch, list, budget, \
+                 or shutdown)"
+            ))
+        }
+    };
+
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let response = client.request(&request).map_err(|e| e.to_string())?;
+    match (&request, response) {
+        (QueryRequest::Distance { release, from, to }, QueryResponse::Distance(d)) => {
+            println!(
+                "estimated travel time {} -> {}: {d:.2} (release {release})",
+                from.index(),
+                to.index()
+            );
+        }
+        (QueryRequest::Path { from, to, .. }, QueryResponse::Path(nodes)) => {
+            let stops: Vec<String> = nodes.iter().map(|n| n.index().to_string()).collect();
+            println!(
+                "route {} -> {} ({} hops): {}",
+                from.index(),
+                to.index(),
+                nodes.len().saturating_sub(1),
+                stops.join(" -> ")
+            );
+        }
+        (QueryRequest::DistanceBatch { pairs, .. }, QueryResponse::Distances(ds)) => {
+            for ((u, v), d) in pairs.iter().zip(ds) {
+                println!("{} -> {}: {d:.2}", u.index(), v.index());
+            }
+        }
+        (QueryRequest::ListReleases, QueryResponse::Releases(rs)) => {
+            for r in rs {
+                let nodes = r.num_nodes.map_or("-".to_string(), |n| n.to_string());
+                println!(
+                    "{} {} eps={} delta={} vertices={nodes}",
+                    r.id, r.kind, r.eps, r.delta
+                );
+            }
+        }
+        (
+            QueryRequest::BudgetStatus,
+            QueryResponse::Budget {
+                spent_eps,
+                spent_delta,
+                remaining,
+            },
+        ) => match remaining {
+            Some((re, rd)) => println!(
+                "privacy ledger: spent (eps {spent_eps}, delta {spent_delta}); \
+                 remaining (eps {re}, delta {rd})"
+            ),
+            None => println!(
+                "privacy ledger: spent (eps {spent_eps}, delta {spent_delta}); no budget cap"
+            ),
+        },
+        (_, QueryResponse::Error { code, message }) => {
+            return Err(format!("server error [{code}]: {message}"));
+        }
+        (_, other) => {
+            return Err(format!("unexpected response: {other}"));
+        }
     }
     Ok(())
 }

@@ -17,8 +17,16 @@
 //! * [`engine`] — the release-once/query-many layer: the
 //!   [`Mechanism`](engine::Mechanism) and
 //!   [`DistanceRelease`](engine::DistanceRelease) traits, the
-//!   budget-accounted [`ReleaseEngine`](engine::ReleaseEngine), and
-//!   unified release persistence.
+//!   budget-accounted write path ([`ReleaseEngine`](engine::ReleaseEngine)),
+//!   the shared `Send + Sync` read path
+//!   ([`QueryService`](engine::QueryService) snapshots), and unified
+//!   release persistence.
+//! * [`serve`] — the network serve path: the typed
+//!   [`QueryRequest`](serve::QueryRequest) /
+//!   [`QueryResponse`](serve::QueryResponse) line protocol, the
+//!   `(release, source)` batch [`planner`](serve::planner), and a
+//!   dependency-free thread-pooled TCP [`server`](serve::server) with a
+//!   matching [`client`](serve::client).
 //!
 //! See `README.md` for a tour (including the engine architecture) and
 //! `EXPERIMENTS.md` for the reproduction of every theorem-level claim.
@@ -68,6 +76,7 @@ pub use privpath_core as core;
 pub use privpath_dp as dp;
 pub use privpath_engine as engine;
 pub use privpath_graph as graph;
+pub use privpath_serve as serve;
 
 /// One-stop imports for the most common API surface.
 pub mod prelude {
@@ -93,8 +102,11 @@ pub mod prelude {
     pub use privpath_core::tree_hld::{hld_tree_all_pairs, HldTreeRelease};
     pub use privpath_dp::{Accountant, Delta, Epsilon, NoiseSource, RngNoise, ZeroNoise};
     pub use privpath_engine::{
-        mechanisms, AnyRelease, DistanceRelease, EngineError, Mechanism, PrivacyCost,
+        mechanisms, AnyRelease, DistanceRelease, EngineError, Mechanism, PrivacyCost, QueryService,
         ReleaseEngine, ReleaseId, ReleaseKind, StoredRelease,
     };
     pub use privpath_graph::{EdgeId, EdgeWeights, GraphError, NodeId, Path, Topology};
+    pub use privpath_serve::{
+        Client, QueryPlan, QueryRequest, QueryResponse, ReleaseSummary, Server,
+    };
 }

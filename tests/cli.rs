@@ -399,6 +399,84 @@ fn bad_invocations_fail_cleanly() {
 }
 
 #[test]
+fn serve_and_query_over_tcp() {
+    use std::io::{BufRead, BufReader};
+
+    let prefix = tmp("served");
+    let prefix_str = prefix.to_str().unwrap();
+    let store = tmp("served_store");
+    std::fs::create_dir_all(&store).expect("create store dir");
+    let store_str = store.to_str().unwrap();
+
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "50",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "11",
+    ]);
+    run_ok(&[
+        "release",
+        "--topo",
+        &format!("{prefix_str}.topo"),
+        "--weights",
+        &format!("{prefix_str}.weights"),
+        "--mechanism",
+        "shortest-path,synthetic-graph",
+        "--eps",
+        "1.0",
+        "--out",
+        &format!("{store_str}/demo"),
+    ]);
+
+    // Ephemeral port; the server prints `listening on HOST:PORT`.
+    let mut server = Command::new(bin())
+        .args(["serve", "--store-dir", store_str, "--port", "0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = server.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before listening")
+            .expect("read server stdout");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+
+    // Distance query answered over the wire, by release id.
+    let out = run_ok(&[
+        "query",
+        "--connect",
+        &addr,
+        "--release",
+        "r0",
+        "--from",
+        "0",
+        "--to",
+        "30",
+    ]);
+    assert!(out.contains("estimated travel time 0 -> 30"), "{out}");
+    assert!(out.contains("release r0"), "{out}");
+
+    // Both stored releases are listed with their metadata.
+    let out = run_ok(&["query", "--connect", &addr, "--op", "list"]);
+    assert!(out.contains("r0 shortest-path eps=1"), "{out}");
+    assert!(out.contains("r1 synthetic-graph eps=1"), "{out}");
+
+    // Graceful shutdown: acknowledged, and the server process exits 0.
+    let out = run_ok(&["query", "--connect", &addr, "--op", "shutdown"]);
+    assert!(out.contains("server acknowledged shutdown"), "{out}");
+    let status = server.wait().expect("server exit status");
+    assert!(status.success(), "serve exited with {status}");
+}
+
+#[test]
 fn help_prints_usage() {
     let out = run_ok(&["help"]);
     assert!(out.contains("usage: privpath"));

@@ -428,7 +428,22 @@ fn budget_is_checked_before_noise_is_drawn() {
     let err = engine
         .release_with(&mechanisms::ShortestPaths, &params, &mut rec)
         .unwrap_err();
-    assert!(matches!(err, EngineError::BudgetExhausted(_)), "{err}");
+    // The structured variant reports the request and what was left, so
+    // servers can surface budget state without parsing messages.
+    match err {
+        EngineError::BudgetExhausted {
+            requested_eps,
+            requested_delta,
+            remaining_eps,
+            remaining_delta,
+        } => {
+            assert!((requested_eps - 0.8).abs() < 1e-12);
+            assert_eq!(requested_delta, 0.0);
+            assert!((remaining_eps - 0.2).abs() < 1e-12);
+            assert_eq!(remaining_delta, 0.0);
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
     assert_eq!(
         rec.len(),
         drawn_after_first,
@@ -652,5 +667,5 @@ fn restore_debits_the_adopting_engine() {
 
     // Adopting again exceeds the eps = 1 budget.
     let err = serving.restore(BufReader::new(buf.as_slice())).unwrap_err();
-    assert!(matches!(err, EngineError::BudgetExhausted(_)), "{err}");
+    assert!(matches!(err, EngineError::BudgetExhausted { .. }), "{err}");
 }

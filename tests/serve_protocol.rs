@@ -1,0 +1,544 @@
+//! Serve-path conformance: the wire codec round-trips, the query planner
+//! agrees with per-query answers on every release kind, and concurrent
+//! `QueryService` readers agree with single-threaded serving.
+
+use privpath::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// An engine over one random tree workload carrying a release of every
+/// distance-capable kind (trees support all six mechanisms at once).
+fn all_kinds_engine(n: usize, seed: u64) -> ReleaseEngine {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = privpath::graph::generators::random_tree_prufer(n, &mut rng);
+    let weights =
+        privpath::graph::generators::uniform_weights(topo.num_edges(), 1.0, 9.0, &mut rng);
+    let mut engine = ReleaseEngine::new(topo, weights).unwrap();
+    engine
+        .release(
+            &mechanisms::ShortestPaths,
+            &ShortestPathParams::new(eps(1.0), 0.05).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::TreeAllPairs,
+            &TreeDistanceParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::HldTree,
+            &TreeDistanceParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::BoundedWeight,
+            &BoundedWeightParams::pure(eps(1.0), 10.0).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::SyntheticGraph,
+            &mechanisms::SyntheticGraphParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::AllPairsBaseline,
+            &mechanisms::AllPairsBaselineParams::basic(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+}
+
+fn shuffled<T>(mut items: Vec<T>, rng: &mut StdRng) -> Vec<T> {
+    // Fisher-Yates; the vendored rand has no shuffle helper.
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        items.swap(i, j);
+    }
+    items
+}
+
+#[test]
+fn planner_matches_per_query_answers_for_every_kind() {
+    let n = 24;
+    let engine = all_kinds_engine(n, 41);
+    let service = engine.snapshot();
+    assert_eq!(service.len(), 6);
+
+    // A mixed, shuffled batch: every release kind, heavy source reuse.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut requests = Vec::new();
+    for record in service.releases() {
+        for _ in 0..4 {
+            let from = NodeId::new(rng.gen_range(0..n));
+            for _ in 0..6 {
+                requests.push(QueryRequest::Distance {
+                    release: record.id(),
+                    from,
+                    to: NodeId::new(rng.gen_range(0..n)),
+                });
+            }
+        }
+    }
+    let requests = shuffled(requests, &mut rng);
+
+    let plan = QueryPlan::build(&requests);
+    // Grouping is exactly by (release, source).
+    let mut keys: Vec<(u64, usize)> = plan
+        .groups()
+        .iter()
+        .map(|g| (g.release.value(), g.source.index()))
+        .collect();
+    let covered: usize = plan.groups().iter().map(|g| g.members.len()).sum();
+    assert_eq!(covered, requests.len());
+    keys.sort_unstable();
+    let before = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), before, "duplicate (release, source) group");
+
+    let answers = plan.execute(&service, &requests);
+    assert_eq!(answers.len(), requests.len());
+    for (req, ans) in requests.iter().zip(&answers) {
+        let QueryRequest::Distance { release, from, to } = req else {
+            unreachable!()
+        };
+        let expected = service
+            .query(*release)
+            .unwrap()
+            .distance(*from, *to)
+            .unwrap();
+        match ans {
+            QueryResponse::Distance(d) => assert_eq!(
+                *d, expected,
+                "planner disagrees with per-query answer on {req}"
+            ),
+            other => panic!("expected a distance for {req}, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn planner_isolates_failing_queries_within_a_group() {
+    let n = 16;
+    let engine = all_kinds_engine(n, 43);
+    let service = engine.snapshot();
+    let id = service.releases().next().unwrap().id();
+    let src = NodeId::new(3);
+    let requests = vec![
+        QueryRequest::Distance {
+            release: id,
+            from: src,
+            to: NodeId::new(5),
+        },
+        // Out of range: poisons a naive whole-batch answer.
+        QueryRequest::Distance {
+            release: id,
+            from: src,
+            to: NodeId::new(n + 100),
+        },
+        QueryRequest::Distance {
+            release: id,
+            from: src,
+            to: NodeId::new(9),
+        },
+    ];
+    let answers = privpath::serve::answer_all(&service, &requests);
+    assert!(matches!(answers[0], QueryResponse::Distance(_)));
+    assert!(matches!(
+        answers[1],
+        QueryResponse::Error {
+            code: privpath::serve::ErrorCode::OutOfRange,
+            ..
+        }
+    ));
+    assert!(matches!(answers[2], QueryResponse::Distance(_)));
+}
+
+#[test]
+fn planner_answers_mixed_request_kinds_in_order() {
+    let engine = all_kinds_engine(12, 44);
+    let service = engine.snapshot();
+    let sp = service.releases().next().unwrap().id();
+    let requests = vec![
+        QueryRequest::BudgetStatus,
+        QueryRequest::Distance {
+            release: sp,
+            from: NodeId::new(0),
+            to: NodeId::new(5),
+        },
+        QueryRequest::ListReleases,
+        QueryRequest::Path {
+            release: sp,
+            from: NodeId::new(0),
+            to: NodeId::new(5),
+        },
+        QueryRequest::DistanceBatch {
+            release: sp,
+            pairs: vec![
+                (NodeId::new(1), NodeId::new(2)),
+                (NodeId::new(1), NodeId::new(3)),
+            ],
+        },
+    ];
+    let answers = privpath::serve::answer_all(&service, &requests);
+    assert!(matches!(answers[0], QueryResponse::Budget { .. }));
+    assert!(matches!(answers[1], QueryResponse::Distance(_)));
+    match &answers[2] {
+        QueryResponse::Releases(rs) => assert_eq!(rs.len(), 6),
+        other => panic!("expected releases, got {other}"),
+    }
+    match &answers[3] {
+        QueryResponse::Path(nodes) => {
+            assert_eq!(nodes.first(), Some(&NodeId::new(0)));
+            assert_eq!(nodes.last(), Some(&NodeId::new(5)));
+        }
+        other => panic!("expected a path, got {other}"),
+    }
+    match &answers[4] {
+        QueryResponse::Distances(ds) => assert_eq!(ds.len(), 2),
+        other => panic!("expected distances, got {other}"),
+    }
+}
+
+#[test]
+fn eight_concurrent_readers_agree_with_single_threaded_answers() {
+    let n = 32;
+    let engine = all_kinds_engine(n, 45);
+    let service = engine.snapshot();
+
+    // The reference answers, computed single-threaded.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut workload = Vec::new();
+    for record in service.releases() {
+        for _ in 0..20 {
+            workload.push((
+                record.id(),
+                NodeId::new(rng.gen_range(0..n)),
+                NodeId::new(rng.gen_range(0..n)),
+            ));
+        }
+    }
+    let reference: Vec<f64> = workload
+        .iter()
+        .map(|&(id, u, v)| service.query(id).unwrap().distance(u, v).unwrap())
+        .collect();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let service = service.clone(); // two Arc bumps, no data copied
+            let workload = &workload;
+            let reference = &reference;
+            handles.push(scope.spawn(move || {
+                // Each thread walks the workload from a different offset
+                // so threads hit different releases at the same time.
+                let len = workload.len();
+                for i in 0..len {
+                    let idx = (i + t * len / 8) % len;
+                    let (id, u, v) = workload[idx];
+                    let d = service.query(id).unwrap().distance(u, v).unwrap();
+                    assert_eq!(d, reference[idx], "thread {t} diverged at {idx}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn snapshot_is_isolated_from_later_releases() {
+    let mut rng = StdRng::seed_from_u64(46);
+    let topo = privpath::graph::generators::random_tree_prufer(10, &mut rng);
+    let weights =
+        privpath::graph::generators::uniform_weights(topo.num_edges(), 1.0, 5.0, &mut rng);
+    let mut engine = ReleaseEngine::with_budget(topo, weights, eps(2.0), Delta::zero()).unwrap();
+    engine
+        .release(
+            &mechanisms::TreeAllPairs,
+            &TreeDistanceParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    let before = engine.snapshot();
+    assert_eq!(before.len(), 1);
+    assert_eq!(before.spent(), (1.0, 0.0));
+    assert_eq!(before.remaining(), Some((1.0, 0.0)));
+
+    // The engine keeps writing; the old snapshot must not see it.
+    engine
+        .release(
+            &mechanisms::SyntheticGraph,
+            &mechanisms::SyntheticGraphParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(engine.len(), 2);
+    assert_eq!(before.len(), 1);
+    assert_eq!(before.spent(), (1.0, 0.0));
+    let after = engine.snapshot();
+    assert_eq!(after.len(), 2);
+    assert_eq!(after.spent(), (2.0, 0.0));
+}
+
+#[test]
+fn service_from_stored_assigns_sequential_ids() {
+    let engine = all_kinds_engine(10, 47);
+    let mut stored = Vec::new();
+    for record in engine.releases() {
+        // MST/matching are not persistable; all six here are.
+        let mut buf = Vec::new();
+        if engine.save(record.id(), &mut buf).is_ok() {
+            stored.push(
+                privpath::engine::read_release(std::io::BufReader::new(buf.as_slice())).unwrap(),
+            );
+        }
+    }
+    // hld-tree has no persistence format; the other five round-trip.
+    assert_eq!(stored.len(), 5);
+    let service = QueryService::from_stored(stored);
+    assert_eq!(service.len(), 5);
+    let ids: Vec<u64> = service.releases().map(|r| r.id().value()).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    assert_eq!(service.spent(), (5.0, 0.0));
+    assert_eq!(service.remaining(), None);
+    for record in service.releases() {
+        let d = service
+            .query(record.id())
+            .unwrap()
+            .distance(NodeId::new(0), NodeId::new(9))
+            .unwrap();
+        assert!(d.is_finite());
+    }
+}
+
+#[test]
+fn release_id_round_trips_and_rejects_garbage() {
+    let id: ReleaseId = "r3".parse().unwrap();
+    assert_eq!(id.value(), 3);
+    assert_eq!(id.to_string(), "r3");
+    assert_eq!(id.to_string().parse::<ReleaseId>().unwrap(), id);
+    // Bare numerals are accepted for CLI convenience.
+    assert_eq!("17".parse::<ReleaseId>().unwrap().value(), 17);
+    for bad in ["", "r", "x3", "r3x", "r-1", "3.5", "r 3"] {
+        assert!(
+            bad.parse::<ReleaseId>().is_err(),
+            "{bad:?} should not parse"
+        );
+    }
+}
+
+#[test]
+fn unknown_release_and_unsupported_kind_map_to_wire_codes() {
+    let mut rng = StdRng::seed_from_u64(48);
+    let topo = privpath::graph::generators::random_tree_prufer(8, &mut rng);
+    let weights =
+        privpath::graph::generators::uniform_weights(topo.num_edges(), 1.0, 5.0, &mut rng);
+    let mut engine = ReleaseEngine::new(topo, weights).unwrap();
+    let mst = engine
+        .release(
+            &mechanisms::Mst,
+            &privpath::core::mst::MstParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    let service = engine.snapshot();
+
+    let missing: ReleaseId = "r99".parse().unwrap();
+    let resp = privpath::serve::answer_one(
+        &service,
+        &QueryRequest::Distance {
+            release: missing,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        },
+    );
+    assert!(matches!(
+        resp,
+        QueryResponse::Error {
+            code: privpath::serve::ErrorCode::UnknownRelease,
+            ..
+        }
+    ));
+
+    let resp = privpath::serve::answer_one(
+        &service,
+        &QueryRequest::Distance {
+            release: mst,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        },
+    );
+    assert!(matches!(
+        resp,
+        QueryResponse::Error {
+            code: privpath::serve::ErrorCode::Unsupported,
+            ..
+        }
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Codec round-trip properties.
+// ---------------------------------------------------------------------------
+
+fn arb_release_id() -> impl Strategy<Value = ReleaseId> {
+    (0u64..10_000).prop_map(|v| format!("r{v}").parse().unwrap())
+}
+
+fn arb_request() -> impl Strategy<Value = QueryRequest> {
+    (arb_release_id(), 0usize..4, any::<u64>()).prop_map(|(release, variant, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match variant {
+            0 => QueryRequest::Distance {
+                release,
+                from: NodeId::new(rng.gen_range(0..1000)),
+                to: NodeId::new(rng.gen_range(0..1000)),
+            },
+            1 => {
+                let count = rng.gen_range(0..20);
+                let pairs = (0..count)
+                    .map(|_| {
+                        (
+                            NodeId::new(rng.gen_range(0..1000)),
+                            NodeId::new(rng.gen_range(0..1000)),
+                        )
+                    })
+                    .collect();
+                QueryRequest::DistanceBatch { release, pairs }
+            }
+            2 => QueryRequest::Path {
+                release,
+                from: NodeId::new(rng.gen_range(0..1000)),
+                to: NodeId::new(rng.gen_range(0..1000)),
+            },
+            3 => QueryRequest::ListReleases,
+            _ => QueryRequest::BudgetStatus,
+        }
+    })
+}
+
+fn arb_float() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|s| match s % 4 {
+        0 => 0.0,
+        1 => f64::INFINITY,
+        2 => 1.0e-12,
+        _ => {
+            let mut rng = StdRng::seed_from_u64(s);
+            rng.gen_range(-1.0e9..1.0e9)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_codec_round_trips(req in arb_request()) {
+        let line = req.to_string();
+        let back: QueryRequest = line.parse().unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn distance_response_round_trips(d in arb_float()) {
+        let resp = QueryResponse::Distance(d);
+        let back: QueryResponse = resp.to_string().parse().unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn distances_response_round_trips(seed in any::<u64>(), count in 0usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ds: Vec<f64> = (0..count).map(|_| rng.gen_range(0.0..1.0e6)).collect();
+        let resp = QueryResponse::Distances(ds);
+        let back: QueryResponse = resp.to_string().parse().unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn budget_response_round_trips(e in arb_float(), d in arb_float(), capped in any::<bool>()) {
+        let resp = QueryResponse::Budget {
+            spent_eps: e.abs(),
+            spent_delta: d.abs(),
+            remaining: capped.then_some((e.abs() / 2.0, d.abs() / 2.0)),
+        };
+        let back: QueryResponse = resp.to_string().parse().unwrap();
+        prop_assert_eq!(back, resp);
+    }
+}
+
+#[test]
+fn releases_and_error_responses_round_trip() {
+    let resp = QueryResponse::Releases(vec![
+        ReleaseSummary {
+            id: "r0".parse().unwrap(),
+            kind: ReleaseKind::ShortestPath,
+            eps: 1.5,
+            delta: 1e-6,
+            num_nodes: Some(128),
+        },
+        ReleaseSummary {
+            id: "r3".parse().unwrap(),
+            kind: ReleaseKind::Mst,
+            eps: 0.25,
+            delta: 0.0,
+            num_nodes: None,
+        },
+    ]);
+    let back: QueryResponse = resp.to_string().parse().unwrap();
+    assert_eq!(back, resp);
+
+    // Error messages may contain anything, including newlines; the codec
+    // squashes them so line framing survives, and whitespace normalizes.
+    let resp = QueryResponse::Error {
+        code: privpath::serve::ErrorCode::Query,
+        message: "no path\nfrom 3 to 9".into(),
+    };
+    let line = resp.to_string();
+    assert!(!line.contains('\n'));
+    let back: QueryResponse = line.parse().unwrap();
+    match back {
+        QueryResponse::Error { code, message } => {
+            assert_eq!(code, privpath::serve::ErrorCode::Query);
+            assert_eq!(message, "no path from 3 to 9");
+        }
+        other => panic!("expected an error, got {other}"),
+    }
+}
+
+#[test]
+fn malformed_lines_are_rejected_with_reasons() {
+    for bad in [
+        "",
+        "frobnicate r0 1 2",
+        "distance",
+        "distance r0 1",
+        "distance r0 1 2 3",
+        "distance zebra 1 2",
+        "batch r0 2 1:2",
+        "batch r0 1 12",
+        "path r0 x 2",
+    ] {
+        assert!(
+            bad.parse::<QueryRequest>().is_err(),
+            "{bad:?} should not parse"
+        );
+    }
+}
