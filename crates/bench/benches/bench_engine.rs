@@ -87,5 +87,91 @@ fn bench_batch_source_locality(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_vs_single, bench_batch_source_locality);
+/// Calibration must stay O(1)-ish: the linear `C / eps` bounds invert in
+/// two bound evaluations, and the bisection fallback (advanced
+/// composition, auto-k bounded-weight) in a bounded number — none of
+/// them may grow with the graph. Regressions here mean the inverse
+/// solvers started iterating on something expensive.
+fn bench_calibration(c: &mut Criterion) {
+    use privpath_core::bounded::BoundedWeightParams;
+    use privpath_core::tree_distance::TreeDistanceParams;
+    use privpath_dp::Delta;
+    use privpath_engine::{ErrorTarget, Mechanism};
+    use privpath_graph::generators::random_tree_prufer;
+
+    let mut group = c.benchmark_group("engine/calibration");
+    let eps1 = Epsilon::new(1.0).unwrap();
+    for &v in &[256usize, 4096] {
+        let mut rng = StdRng::seed_from_u64(30);
+        let tree = random_tree_prufer(v, &mut rng);
+        let graph = connected_gnm(v, 4 * v, &mut rng);
+
+        let sp = ShortestPathParams::new(eps1, 0.05).unwrap();
+        let alpha = mechanisms::ShortestPaths
+            .error_bound(&graph, &sp, 0.05)
+            .unwrap()
+            .alpha();
+        let target = ErrorTarget::new(alpha / 3.0, 0.05).unwrap();
+        group.bench_function(BenchmarkId::new("shortest_path_linear", v), |b| {
+            b.iter(|| {
+                mechanisms::ShortestPaths
+                    .calibrate(&graph, &sp, &target)
+                    .unwrap()
+            })
+        });
+
+        let tp = TreeDistanceParams::new(eps1);
+        let alpha = mechanisms::TreeAllPairs
+            .error_bound(&tree, &tp, 0.05)
+            .unwrap()
+            .alpha();
+        let target = ErrorTarget::new(alpha / 3.0, 0.05).unwrap();
+        group.bench_function(BenchmarkId::new("tree_linear", v), |b| {
+            b.iter(|| {
+                mechanisms::TreeAllPairs
+                    .calibrate(&tree, &tp, &target)
+                    .unwrap()
+            })
+        });
+
+        // The two bisection-backed solvers: advanced composition and the
+        // auto-k bounded-weight bound (k moves with eps).
+        let adv =
+            mechanisms::AllPairsBaselineParams::advanced(eps1, Delta::new(1e-6).unwrap()).unwrap();
+        let alpha = mechanisms::AllPairsBaseline
+            .error_bound(&graph, &adv, 0.05)
+            .unwrap()
+            .alpha();
+        let target = ErrorTarget::new(alpha / 3.0, 0.05).unwrap();
+        group.bench_function(BenchmarkId::new("all_pairs_advanced_bisect", v), |b| {
+            b.iter(|| {
+                mechanisms::AllPairsBaseline
+                    .calibrate(&graph, &adv, &target)
+                    .unwrap()
+            })
+        });
+
+        let bw = BoundedWeightParams::approx(eps1, Delta::new(1e-6).unwrap(), 10.0).unwrap();
+        let alpha = mechanisms::BoundedWeight
+            .error_bound(&graph, &bw, 0.05)
+            .unwrap()
+            .alpha();
+        let target = ErrorTarget::new(alpha * 1.5, 0.05).unwrap();
+        group.bench_function(BenchmarkId::new("bounded_autok_bisect", v), |b| {
+            b.iter(|| {
+                mechanisms::BoundedWeight
+                    .calibrate(&graph, &bw, &target)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_vs_single,
+    bench_batch_source_locality,
+    bench_calibration
+);
 criterion_main!(benches);

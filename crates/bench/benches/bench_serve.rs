@@ -59,6 +59,7 @@ fn workload(
                 release: ids[rng.gen_range(0..ids.len())],
                 from: s,
                 to: NodeId::new(rng.gen_range(0..v)),
+                gamma: None,
             });
         }
     }

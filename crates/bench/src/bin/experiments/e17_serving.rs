@@ -58,6 +58,7 @@ pub fn run(ctx: &Ctx) {
                 release: id,
                 from: s,
                 to: NodeId::new(rng.gen_range(0..v)),
+                gamma: None,
             });
         }
     }

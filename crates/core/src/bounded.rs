@@ -119,9 +119,27 @@ impl BoundedWeightParams {
         self
     }
 
+    /// The same parameters at a different privacy budget — the engine's
+    /// calibration reparameterizes a template this way (under
+    /// [`CoveringStrategy::AutoK`] the balanced radius moves with it).
+    pub fn with_eps(mut self, eps: Epsilon) -> Self {
+        self.eps = eps;
+        self
+    }
+
     /// The privacy parameter.
     pub fn eps(&self) -> Epsilon {
         self.eps
+    }
+
+    /// The covering strategy.
+    pub fn strategy(&self) -> &CoveringStrategy {
+        &self.strategy
+    }
+
+    /// The neighbor scale.
+    pub fn scale(&self) -> NeighborScale {
+        self.scale
     }
 
     /// The privacy parameter delta (zero for pure DP).

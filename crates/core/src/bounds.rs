@@ -1,4 +1,6 @@
-//! Every theorem's error bound as an executable formula.
+//! Every theorem's error bound as an executable formula — and as a typed
+//! **accuracy contract** the engine and the serve path can hand to
+//! callers.
 //!
 //! The experiment harness and the statistical tests compare measured errors
 //! against these predictions. Conventions: `log` is the natural logarithm
@@ -6,9 +8,25 @@
 //! use `ceil(log2 V)` (Algorithm 1 halves piece sizes). Each function
 //! documents the exact expression it computes, so the constants are pinned
 //! down rather than hidden in `O(·)`.
+//!
+//! The free functions are thin constructors over [`AccuracyContract`]: a
+//! contract captures a theorem's *structural inputs* (vertex count, noise
+//! scale, covering radius, ...) independent of the confidence, and
+//! [`AccuracyContract::bound_at`] evaluates the per-query bound at any
+//! failure probability `gamma`. [`ErrorBound`] is one such evaluation —
+//! theorem name, bound, confidence — and [`ErrorTarget`] is the inverse
+//! request ("give me error at most `alpha` with probability `1 - gamma`")
+//! that the engine's calibration solves for the smallest epsilon.
 
+use crate::CoreError;
 use privpath_dp::concentration::laplace_sum_bound;
 use privpath_dp::{Delta, Epsilon};
+use std::fmt;
+
+/// The default confidence at which stored contracts are reported when the
+/// caller does not supply one (`inspect`, `list` summaries): bounds hold
+/// with probability `1 - DEFAULT_GAMMA = 95%`.
+pub const DEFAULT_GAMMA: f64 = 0.05;
 
 /// `ceil(log2 v)`, at least 1 — the recursion-depth / level-count bound
 /// shared by Algorithm 1 and the path-graph hierarchy.
@@ -17,6 +35,452 @@ pub fn log2_ceil(v: usize) -> usize {
         1
     } else {
         (usize::BITS - (v - 1).leading_zeros()) as usize
+    }
+}
+
+/// The paper theorem an accuracy statement comes from. Wire and
+/// persistence formats use [`as_str`](Self::as_str) (stable,
+/// whitespace-free); [`title`](Self::title) is the human-readable form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Theorem {
+    /// Theorem 4.1: single-source tree distances.
+    Thm41,
+    /// Theorem 4.2: all-pairs tree distances (also covers the heavy-path
+    /// ablation, whose decomposition obeys the same depth bound).
+    Thm42,
+    /// Theorem 4.5: bounded-weight all-pairs distances, approximate DP.
+    Thm45,
+    /// Theorem 4.6: bounded-weight all-pairs distances, pure DP.
+    Thm46,
+    /// Corollary 5.6: Algorithm 3's simultaneous worst-case path error.
+    Cor56,
+    /// Lemma 3.3: the basic-composition all-pairs baseline.
+    Lem33,
+    /// Lemma 3.4: the advanced-composition all-pairs baseline.
+    Lem34,
+    /// Theorem B.3: private almost-minimum spanning tree weight excess.
+    ThmB3,
+    /// Theorem B.6: private low-weight matching weight excess.
+    ThmB6,
+}
+
+impl Theorem {
+    /// The stable machine-readable name (persistence tags, wire tokens).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Theorem::Thm41 => "thm-4.1",
+            Theorem::Thm42 => "thm-4.2",
+            Theorem::Thm45 => "thm-4.5",
+            Theorem::Thm46 => "thm-4.6",
+            Theorem::Cor56 => "cor-5.6",
+            Theorem::Lem33 => "lem-3.3",
+            Theorem::Lem34 => "lem-3.4",
+            Theorem::ThmB3 => "thm-b.3",
+            Theorem::ThmB6 => "thm-b.6",
+        }
+    }
+
+    /// Parses a [`Self::as_str`] name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "thm-4.1" => Theorem::Thm41,
+            "thm-4.2" => Theorem::Thm42,
+            "thm-4.5" => Theorem::Thm45,
+            "thm-4.6" => Theorem::Thm46,
+            "cor-5.6" => Theorem::Cor56,
+            "lem-3.3" => Theorem::Lem33,
+            "lem-3.4" => Theorem::Lem34,
+            "thm-b.3" => Theorem::ThmB3,
+            "thm-b.6" => Theorem::ThmB6,
+            _ => return None,
+        })
+    }
+
+    /// The human-readable statement name.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Theorem::Thm41 => "Theorem 4.1 (single-source tree distances)",
+            Theorem::Thm42 => "Theorem 4.2 (all-pairs tree distances)",
+            Theorem::Thm45 => "Theorem 4.5 (bounded-weight, approximate DP)",
+            Theorem::Thm46 => "Theorem 4.6 (bounded-weight, pure DP)",
+            Theorem::Cor56 => "Corollary 5.6 (worst-case path error)",
+            Theorem::Lem33 => "Lemma 3.3 (basic-composition baseline)",
+            Theorem::Lem34 => "Lemma 3.4 (advanced-composition baseline)",
+            Theorem::ThmB3 => "Theorem B.3 (private spanning tree)",
+            Theorem::ThmB6 => "Theorem B.6 (private matching)",
+        }
+    }
+}
+
+impl fmt::Display for Theorem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One evaluated accuracy statement: *with probability at least
+/// `1 - gamma`, the per-query error is at most `alpha` — by `theorem`.*
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorBound {
+    theorem: Theorem,
+    alpha: f64,
+    gamma: f64,
+}
+
+impl ErrorBound {
+    /// Assembles an evaluated bound (used by the contract evaluator and
+    /// the wire codec).
+    pub fn new(theorem: Theorem, alpha: f64, gamma: f64) -> Self {
+        ErrorBound {
+            theorem,
+            alpha,
+            gamma,
+        }
+    }
+
+    /// The theorem the bound instantiates.
+    pub fn theorem(&self) -> Theorem {
+        self.theorem
+    }
+
+    /// The per-query error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The failure probability the bound holds outside of.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl fmt::Display for ErrorBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error <= {} with probability {} ({})",
+            self.alpha,
+            1.0 - self.gamma,
+            self.theorem.as_str()
+        )
+    }
+}
+
+/// A requested accuracy: per-query error at most `alpha`, with
+/// probability at least `1 - gamma`. The inverse of an [`ErrorBound`] —
+/// calibration finds the smallest epsilon whose bound meets it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorTarget {
+    alpha: f64,
+    gamma: f64,
+}
+
+impl ErrorTarget {
+    /// Validates a target: `alpha` positive and finite, `gamma` in
+    /// `(0, 1)`.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidParameter`] outside those domains.
+    pub fn new(alpha: f64, gamma: f64) -> Result<Self, CoreError> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(CoreError::InvalidParameter(format!(
+                "target alpha must be positive and finite, got {alpha}"
+            )));
+        }
+        if !(gamma > 0.0 && gamma < 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "target gamma must be in (0,1), got {gamma}"
+            )));
+        }
+        Ok(ErrorTarget { alpha, gamma })
+    }
+
+    /// The requested per-query error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The requested failure probability.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+/// A theorem plus the structural inputs its bound needs — everything
+/// *except* the confidence, so one stored contract can be re-evaluated at
+/// any `gamma` (the serve path's `accuracy` query does exactly that).
+///
+/// Noise scales below are the *per-released-value* Laplace scales the
+/// mechanism actually uses, so a contract built from a release object
+/// reports the realized bound, and one built from parameters reports the
+/// a-priori theorem bound; both shapes evaluate through the same
+/// formulas.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AccuracyContract {
+    /// Theorem 4.2 (and the heavy-path ablation): each pair combines at
+    /// most `2 * depth` noisy terms per single-source estimate, four
+    /// estimates per pair, union-bounded over all `V(V-1)/2` pairs.
+    TreeAllPairs {
+        /// Vertex count.
+        v: usize,
+        /// Decomposition depth (the per-estimate term count is
+        /// `2 * depth`).
+        depth: usize,
+        /// Per-query Laplace scale (`depth * s / eps`).
+        noise_scale: f64,
+        /// Whether this is the heavy-path ablation (reporting only).
+        hld: bool,
+    },
+    /// Corollary 5.6: every pair's released path simultaneously errs by
+    /// at most `(2 V / eps_eff) ln(E / gamma)` (also the synthetic-graph
+    /// baseline, i.e. Algorithm 3 without its shift).
+    WorstCasePath {
+        /// Vertex count.
+        v: usize,
+        /// Edge count.
+        num_edges: usize,
+        /// Scale-adjusted privacy parameter `eps / s`.
+        eps_eff: f64,
+    },
+    /// Theorems 4.5/4.6: detour `2 k M` plus the union bound over the
+    /// released center-pair distances.
+    BoundedWeight {
+        /// Covering radius.
+        k: usize,
+        /// The weight bound `M`.
+        max_weight: f64,
+        /// Per-released-value Laplace scale.
+        noise_scale: f64,
+        /// Number of released noisy values.
+        num_released: usize,
+        /// Pure DP (Theorem 4.6) or approximate (Theorem 4.5).
+        pure: bool,
+    },
+    /// Lemmas 3.3/3.4: the all-pairs composition baselines' union bound
+    /// over every released pairwise distance.
+    Composition {
+        /// Number of released noisy values.
+        num_released: usize,
+        /// Per-released-value Laplace scale.
+        noise_scale: f64,
+        /// Advanced (Lemma 3.4) or basic (Lemma 3.3) composition.
+        advanced: bool,
+    },
+    /// Theorem B.3: the released spanning tree's true weight exceeds the
+    /// optimum by at most `2 (V-1) / eps_eff * ln(E / gamma)`.
+    Mst {
+        /// Vertex count.
+        v: usize,
+        /// Edge count.
+        num_edges: usize,
+        /// Scale-adjusted privacy parameter `eps / s`.
+        eps_eff: f64,
+    },
+    /// Theorem B.6: the released matching's true weight exceeds the
+    /// optimum by at most `V / eps_eff * ln(E / gamma)`.
+    Matching {
+        /// Vertex count.
+        v: usize,
+        /// Edge count.
+        num_edges: usize,
+        /// Scale-adjusted privacy parameter `eps / s`.
+        eps_eff: f64,
+    },
+}
+
+impl AccuracyContract {
+    /// The theorem this contract instantiates.
+    pub fn theorem(&self) -> Theorem {
+        match self {
+            AccuracyContract::TreeAllPairs { .. } => Theorem::Thm42,
+            AccuracyContract::WorstCasePath { .. } => Theorem::Cor56,
+            AccuracyContract::BoundedWeight { pure: true, .. } => Theorem::Thm46,
+            AccuracyContract::BoundedWeight { pure: false, .. } => Theorem::Thm45,
+            AccuracyContract::Composition {
+                advanced: false, ..
+            } => Theorem::Lem33,
+            AccuracyContract::Composition { advanced: true, .. } => Theorem::Lem34,
+            AccuracyContract::Mst { .. } => Theorem::ThmB3,
+            AccuracyContract::Matching { .. } => Theorem::ThmB6,
+        }
+    }
+
+    /// The per-query error bound at failure probability `gamma`, or
+    /// `None` for `gamma` outside `(0, 1)` or inputs whose bound is
+    /// undefined (NaN, or a sum-bound domain error). A bound of `+inf`
+    /// (e.g. a degenerate `eps_eff = 0`) is returned as `+inf`, never
+    /// collapsed — "no guarantee at all" must not read as "perfect
+    /// accuracy". Every bound is clamped at zero as a *final* step (a
+    /// union-bound `ln` factor can go negative when `gamma` exceeds the
+    /// count, and the clamp must apply to the product, not the factor —
+    /// see the regression test).
+    pub fn bound_at(&self, gamma: f64) -> Option<f64> {
+        if !(gamma > 0.0 && gamma < 1.0) {
+            return None;
+        }
+        let b = match *self {
+            AccuracyContract::TreeAllPairs {
+                v,
+                depth,
+                noise_scale,
+                hld: _,
+            } => {
+                let pairs = (v * v.saturating_sub(1) / 2).max(1) as f64;
+                if depth == 0 {
+                    0.0
+                } else {
+                    4.0 * laplace_sum_bound(noise_scale, 2 * depth, gamma / pairs).ok()?
+                }
+            }
+            AccuracyContract::WorstCasePath {
+                v,
+                num_edges,
+                eps_eff,
+            } => (2.0 * v as f64 / eps_eff) * ((num_edges as f64) / gamma).ln(),
+            AccuracyContract::BoundedWeight {
+                k,
+                max_weight,
+                noise_scale,
+                num_released,
+                pure: _,
+            } => {
+                let union = if num_released == 0 {
+                    0.0
+                } else {
+                    (noise_scale * ((num_released as f64) / gamma).ln()).max(0.0)
+                };
+                2.0 * k as f64 * max_weight + union
+            }
+            AccuracyContract::Composition {
+                num_released,
+                noise_scale,
+                advanced: _,
+            } => {
+                if num_released == 0 {
+                    0.0
+                } else {
+                    noise_scale * ((num_released as f64) / gamma).ln()
+                }
+            }
+            AccuracyContract::Mst {
+                v,
+                num_edges,
+                eps_eff,
+            } => 2.0 * (v.saturating_sub(1) as f64) / eps_eff * ((num_edges as f64) / gamma).ln(),
+            AccuracyContract::Matching {
+                v,
+                num_edges,
+                eps_eff,
+            } => (v as f64) / eps_eff * ((num_edges as f64) / gamma).ln(),
+        };
+        if b.is_nan() {
+            None
+        } else {
+            Some(b.max(0.0))
+        }
+    }
+
+    /// Evaluates the contract into an [`ErrorBound`] at confidence
+    /// `1 - gamma`.
+    pub fn evaluate(&self, gamma: f64) -> Option<ErrorBound> {
+        Some(ErrorBound::new(
+            self.theorem(),
+            self.bound_at(gamma)?,
+            gamma,
+        ))
+    }
+
+    /// A stable one-token-stream serialization (persistence and wire):
+    /// a tag followed by the structural fields, space-separated, floats
+    /// in Rust `{:?}` form so they round-trip exactly.
+    pub fn to_line(&self) -> String {
+        match *self {
+            AccuracyContract::TreeAllPairs {
+                v,
+                depth,
+                noise_scale,
+                hld,
+            } => format!(
+                "tree-all-pairs {v} {depth} {noise_scale:?} {}",
+                u8::from(hld)
+            ),
+            AccuracyContract::WorstCasePath {
+                v,
+                num_edges,
+                eps_eff,
+            } => format!("worst-case-path {v} {num_edges} {eps_eff:?}"),
+            AccuracyContract::BoundedWeight {
+                k,
+                max_weight,
+                noise_scale,
+                num_released,
+                pure,
+            } => format!(
+                "bounded-weight {k} {max_weight:?} {noise_scale:?} {num_released} {}",
+                u8::from(pure)
+            ),
+            AccuracyContract::Composition {
+                num_released,
+                noise_scale,
+                advanced,
+            } => format!(
+                "composition {num_released} {noise_scale:?} {}",
+                u8::from(advanced)
+            ),
+            AccuracyContract::Mst {
+                v,
+                num_edges,
+                eps_eff,
+            } => format!("mst {v} {num_edges} {eps_eff:?}"),
+            AccuracyContract::Matching {
+                v,
+                num_edges,
+                eps_eff,
+            } => format!("matching {v} {num_edges} {eps_eff:?}"),
+        }
+    }
+
+    /// Parses a [`Self::to_line`] serialization.
+    pub fn parse_line(s: &str) -> Option<Self> {
+        let mut t = s.split_whitespace();
+        let tag = t.next()?;
+        let contract = match tag {
+            "tree-all-pairs" => AccuracyContract::TreeAllPairs {
+                v: t.next()?.parse().ok()?,
+                depth: t.next()?.parse().ok()?,
+                noise_scale: t.next()?.parse().ok()?,
+                hld: t.next()? == "1",
+            },
+            "worst-case-path" => AccuracyContract::WorstCasePath {
+                v: t.next()?.parse().ok()?,
+                num_edges: t.next()?.parse().ok()?,
+                eps_eff: t.next()?.parse().ok()?,
+            },
+            "bounded-weight" => AccuracyContract::BoundedWeight {
+                k: t.next()?.parse().ok()?,
+                max_weight: t.next()?.parse().ok()?,
+                noise_scale: t.next()?.parse().ok()?,
+                num_released: t.next()?.parse().ok()?,
+                pure: t.next()? == "1",
+            },
+            "composition" => AccuracyContract::Composition {
+                num_released: t.next()?.parse().ok()?,
+                noise_scale: t.next()?.parse().ok()?,
+                advanced: t.next()? == "1",
+            },
+            "mst" => AccuracyContract::Mst {
+                v: t.next()?.parse().ok()?,
+                num_edges: t.next()?.parse().ok()?,
+                eps_eff: t.next()?.parse().ok()?,
+            },
+            "matching" => AccuracyContract::Matching {
+                v: t.next()?.parse().ok()?,
+                num_edges: t.next()?.parse().ok()?,
+                eps_eff: t.next()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        t.next().is_none().then_some(contract)
     }
 }
 
@@ -36,23 +500,41 @@ pub fn thm41_single_source_tree(v: usize, eps: f64, gamma: f64) -> f64 {
 /// single-source estimates (`x`, `y`, and their LCA twice), so a union
 /// bound over all `V(V-1)/2` pairs gives, with probability `1 - gamma`,
 /// per-pair error at most `4x` the single-source bound at confidence
-/// `gamma / pairs` — the paper's extra `log V` factor.
+/// `gamma / pairs` — the paper's extra `log V` factor. Constructor of the
+/// [`AccuracyContract::TreeAllPairs`] contract at the a-priori depth
+/// `ceil(log2 V)`.
 pub fn thm42_all_pairs_tree(v: usize, eps: f64, gamma: f64) -> f64 {
-    let pairs = (v * v.saturating_sub(1) / 2).max(1) as f64;
-    4.0 * thm41_single_source_tree(v, eps, gamma / pairs)
+    let l = log2_ceil(v);
+    AccuracyContract::TreeAllPairs {
+        v,
+        depth: l,
+        noise_scale: l as f64 / eps,
+        hld: false,
+    }
+    .bound_at(gamma)
+    .expect("validated parameters")
 }
 
 /// Theorem 5.5 (Algorithm 3, hop-dependent): with probability `1 - gamma`,
 /// against any `k`-hop competitor path the released path's excess true
-/// weight is at most `(2 k / eps) ln(E / gamma)`.
+/// weight is at most `(2 k / eps) ln(E / gamma)`, clamped at zero as a
+/// whole (a degenerate `gamma >= E` makes the log factor negative; the
+/// *product* is what must not go below zero).
 pub fn thm55_path_error(k_hops: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
-    (2.0 * k_hops as f64 / eps) * ((num_edges as f64) / gamma).ln().max(0.0)
+    ((2.0 * k_hops as f64 / eps) * ((num_edges as f64) / gamma).ln()).max(0.0)
 }
 
 /// Corollary 5.6 (Algorithm 3, worst case): every pair simultaneously errs
-/// by at most `(2 V / eps) ln(E / gamma)`.
+/// by at most `(2 V / eps) ln(E / gamma)`. Constructor of the
+/// [`AccuracyContract::WorstCasePath`] contract.
 pub fn cor56_worst_case(v: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
-    thm55_path_error(v, eps, num_edges, gamma)
+    AccuracyContract::WorstCasePath {
+        v,
+        num_edges,
+        eps_eff: eps,
+    }
+    .bound_at(gamma)
+    .unwrap_or(0.0)
 }
 
 /// Theorem 5.1 (shortest-path lower bound): any `(eps, delta)`-DP release
@@ -65,7 +547,8 @@ pub fn thm51_alpha(v: usize, eps: Epsilon, delta: Delta) -> f64 {
 /// Theorem 4.5 / Algorithm 2 utility, parameterized by the mechanism's
 /// actual per-value noise scale: with probability `1 - gamma`, per-pair
 /// error at most `2 k M + noise_scale * ln(num_released / gamma)` (detour
-/// plus the union bound over released values).
+/// plus the union bound over released values). Constructor of the
+/// [`AccuracyContract::BoundedWeight`] contract.
 pub fn bounded_error(
     k: usize,
     max_weight: f64,
@@ -73,12 +556,15 @@ pub fn bounded_error(
     num_released: usize,
     gamma: f64,
 ) -> f64 {
-    let union = if num_released == 0 {
-        0.0
-    } else {
-        noise_scale * ((num_released as f64) / gamma).ln().max(0.0)
-    };
-    2.0 * k as f64 * max_weight + union
+    AccuracyContract::BoundedWeight {
+        k,
+        max_weight,
+        noise_scale,
+        num_released,
+        pure: false,
+    }
+    .bound_at(gamma)
+    .unwrap_or(2.0 * k as f64 * max_weight)
 }
 
 /// Theorem 4.3's headline rate for the approximate-DP variant:
@@ -95,16 +581,30 @@ pub fn thm43_approx_rate(v: usize, max_weight: f64, eps: f64, delta: f64, gamma:
 
 /// Theorem B.3 (private MST): with probability `1 - gamma` the released
 /// tree's true weight exceeds the optimum by at most
-/// `2 (V - 1) (1 / eps) ln(E / gamma)`.
+/// `2 (V - 1) (1 / eps) ln(E / gamma)`. Constructor of the
+/// [`AccuracyContract::Mst`] contract.
 pub fn thm_b3_mst_error(v: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
-    2.0 * (v.saturating_sub(1) as f64) / eps * ((num_edges as f64) / gamma).ln().max(0.0)
+    AccuracyContract::Mst {
+        v,
+        num_edges,
+        eps_eff: eps,
+    }
+    .bound_at(gamma)
+    .unwrap_or(0.0)
 }
 
 /// Theorem B.6 (private matching): with probability `1 - gamma` the
 /// released perfect matching's true weight exceeds the optimum by at most
-/// `(V / eps) ln(E / gamma)`.
+/// `(V / eps) ln(E / gamma)`. Constructor of the
+/// [`AccuracyContract::Matching`] contract.
 pub fn thm_b6_matching_error(v: usize, eps: f64, num_edges: usize, gamma: f64) -> f64 {
-    (v as f64) / eps * ((num_edges as f64) / gamma).ln().max(0.0)
+    AccuracyContract::Matching {
+        v,
+        num_edges,
+        eps_eff: eps,
+    }
+    .bound_at(gamma)
+    .unwrap_or(0.0)
 }
 
 #[cfg(test)]
@@ -134,6 +634,16 @@ mod tests {
     }
 
     #[test]
+    fn thm42_matches_four_single_source_at_union_gamma() {
+        let v = 300;
+        let gamma = 0.05;
+        let pairs = (v * (v - 1) / 2) as f64;
+        let expected = 4.0 * thm41_single_source_tree(v, 1.3, gamma / pairs);
+        let got = thm42_all_pairs_tree(v, 1.3, gamma);
+        assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    #[test]
     fn path_error_linear_in_hops() {
         let b1 = thm55_path_error(4, 1.0, 100, 0.1);
         let b2 = thm55_path_error(8, 1.0, 100, 0.1);
@@ -142,6 +652,35 @@ mod tests {
             cor56_worst_case(50, 1.0, 100, 0.1),
             thm55_path_error(50, 1.0, 100, 0.1)
         );
+    }
+
+    #[test]
+    fn degenerate_inputs_clamp_the_product_not_the_factor() {
+        // The old code clamped only the ln(E/gamma) factor; a negative
+        // *product* (edgeless graph driving the log to -inf, or an
+        // unvalidated negative eps flipping the prefactor's sign) leaked
+        // through cor56_worst_case. The clamp must be the final step.
+        assert_eq!(thm55_path_error(10, -1.0, 100, 0.1), 0.0);
+        assert_eq!(thm55_path_error(10, 1.0, 0, 0.9), 0.0);
+        assert_eq!(cor56_worst_case(50, 1.0, 0, 0.9), 0.0);
+        // MST/matching share the log factor; they must clamp too.
+        assert_eq!(thm_b3_mst_error(10, 1.0, 0, 0.9), 0.0);
+        assert_eq!(thm_b6_matching_error(10, 1.0, 0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn zero_eps_means_unbounded_error_not_perfect_accuracy() {
+        // eps = 0 gives no guarantee: the bound must be +inf, never a
+        // silent 0.0 (the worst possible misreport).
+        assert!(cor56_worst_case(100, 0.0, 500, 0.05).is_infinite());
+        assert!(thm_b3_mst_error(100, 0.0, 500, 0.05).is_infinite());
+        assert!(thm_b6_matching_error(100, 0.0, 500, 0.05).is_infinite());
+        let c = AccuracyContract::WorstCasePath {
+            v: 100,
+            num_edges: 500,
+            eps_eff: 0.0,
+        };
+        assert_eq!(c.bound_at(0.05), Some(f64::INFINITY));
     }
 
     #[test]
@@ -173,5 +712,92 @@ mod tests {
         assert!((mst - 2.0 * 9.0 * (200.0f64).ln()).abs() < 1e-9);
         let m = thm_b6_matching_error(10, 1.0, 20, 0.1);
         assert!((m - 10.0 * (200.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_names_round_trip() {
+        for thm in [
+            Theorem::Thm41,
+            Theorem::Thm42,
+            Theorem::Thm45,
+            Theorem::Thm46,
+            Theorem::Cor56,
+            Theorem::Lem33,
+            Theorem::Lem34,
+            Theorem::ThmB3,
+            Theorem::ThmB6,
+        ] {
+            assert_eq!(Theorem::parse(thm.as_str()), Some(thm));
+        }
+        assert_eq!(Theorem::parse("thm-9.9"), None);
+    }
+
+    #[test]
+    fn contracts_serialize_round_trip() {
+        let contracts = [
+            AccuracyContract::TreeAllPairs {
+                v: 50,
+                depth: 6,
+                noise_scale: 6.25,
+                hld: true,
+            },
+            AccuracyContract::WorstCasePath {
+                v: 40,
+                num_edges: 110,
+                eps_eff: 0.5,
+            },
+            AccuracyContract::BoundedWeight {
+                k: 3,
+                max_weight: 1.5,
+                noise_scale: 12.0,
+                num_released: 45,
+                pure: true,
+            },
+            AccuracyContract::Composition {
+                num_released: 780,
+                noise_scale: 780.0,
+                advanced: false,
+            },
+            AccuracyContract::Mst {
+                v: 10,
+                num_edges: 20,
+                eps_eff: 1.0,
+            },
+            AccuracyContract::Matching {
+                v: 10,
+                num_edges: 25,
+                eps_eff: 2.0,
+            },
+        ];
+        for c in contracts {
+            let line = c.to_line();
+            assert_eq!(AccuracyContract::parse_line(&line), Some(c), "{line}");
+        }
+        assert_eq!(AccuracyContract::parse_line("nonsense 1 2 3"), None);
+        assert_eq!(AccuracyContract::parse_line("mst 1 2 3.0 extra"), None);
+    }
+
+    #[test]
+    fn contract_evaluation_names_the_theorem() {
+        let c = AccuracyContract::WorstCasePath {
+            v: 40,
+            num_edges: 110,
+            eps_eff: 1.0,
+        };
+        let b = c.evaluate(0.05).unwrap();
+        assert_eq!(b.theorem(), Theorem::Cor56);
+        assert!((b.alpha() - cor56_worst_case(40, 1.0, 110, 0.05)).abs() < 1e-12);
+        assert_eq!(b.gamma(), 0.05);
+        assert!(c.evaluate(0.0).is_none());
+        assert!(c.evaluate(1.0).is_none());
+    }
+
+    #[test]
+    fn error_target_validates() {
+        assert!(ErrorTarget::new(1.0, 0.05).is_ok());
+        assert!(ErrorTarget::new(0.0, 0.05).is_err());
+        assert!(ErrorTarget::new(1.0, 0.0).is_err());
+        assert!(ErrorTarget::new(1.0, 1.0).is_err());
+        assert!(ErrorTarget::new(f64::INFINITY, 0.5).is_err());
     }
 }

@@ -38,9 +38,21 @@ impl MatchingParams {
         self
     }
 
+    /// The same parameters at a different privacy budget — the engine's
+    /// calibration reparameterizes a template this way.
+    pub fn with_eps(mut self, eps: Epsilon) -> Self {
+        self.eps = eps;
+        self
+    }
+
     /// The privacy parameter.
     pub fn eps(&self) -> Epsilon {
         self.eps
+    }
+
+    /// The neighbor scale.
+    pub fn scale(&self) -> NeighborScale {
+        self.scale
     }
 }
 

@@ -58,6 +58,13 @@ impl ShortestPathParams {
         self
     }
 
+    /// The same parameters at a different privacy budget — the engine's
+    /// calibration reparameterizes a template this way.
+    pub fn with_eps(mut self, eps: Epsilon) -> Self {
+        self.eps = eps;
+        self
+    }
+
     /// Disables the `(s/eps) ln(E/gamma)` shift. Without the shift the
     /// release is still `eps`-DP, but the error bound degrades from
     /// hop-proportional to the worst-case Corollary 5.6 form, and negative

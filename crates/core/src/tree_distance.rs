@@ -48,6 +48,13 @@ impl TreeDistanceParams {
         self
     }
 
+    /// The same parameters at a different privacy budget — the engine's
+    /// calibration reparameterizes a template this way.
+    pub fn with_eps(mut self, eps: Epsilon) -> Self {
+        self.eps = eps;
+        self
+    }
+
     /// The privacy parameter.
     pub fn eps(&self) -> Epsilon {
         self.eps

@@ -1,0 +1,248 @@
+//! Inverse-bound solvers: given a target accuracy, find the noise scale
+//! or privacy parameter that achieves it.
+//!
+//! Every accuracy theorem in the paper is a closed-form bound that is
+//! nonincreasing in the privacy parameter `eps` (more budget, less
+//! noise). Calibration inverts that map: *"what is the smallest `eps`
+//! whose bound meets a target `(alpha, gamma)`?"* The two closed-form
+//! inverters below cover the Lemma 3.1 sum bound and the union bound of
+//! [`crate::concentration`]; [`solve_min_eps`] handles any bound shape by
+//! a linear-guess-then-bisection hybrid (most paper bounds are exactly
+//! `C / eps`, so the linear guess terminates in a handful of
+//! evaluations; bounds with eps-dependent structure — advanced
+//! composition, Theorem 4.3's balanced `k` — fall back to bisection).
+
+use crate::concentration::{laplace_sum_bound, laplace_union_bound};
+use crate::DpError;
+
+/// The scale `b` at which the Lemma 3.1 sum bound for `t` terms equals
+/// `alpha` at confidence `gamma`: inverts
+/// [`laplace_sum_bound`] in `b` (the bound is linear in `b`).
+///
+/// # Errors
+/// [`DpError::InvalidScale`] for a nonpositive/nonfinite `alpha`;
+/// [`DpError::InvalidProbability`] for `gamma` outside `(0, 1)`;
+/// [`DpError::InvalidComposition`] for `t == 0` (the bound is identically
+/// zero and has no inverse).
+pub fn invert_laplace_sum_bound(alpha: f64, t: usize, gamma: f64) -> Result<f64, DpError> {
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return Err(DpError::InvalidScale(alpha));
+    }
+    if t == 0 {
+        return Err(DpError::InvalidComposition(
+            "sum bound over zero terms has no inverse".into(),
+        ));
+    }
+    // Evaluate at b = 1 and scale: bound(b) = b * bound(1).
+    let unit = laplace_sum_bound(1.0, t, gamma)?;
+    Ok(alpha / unit)
+}
+
+/// The scale `b` at which the union bound over `count` variables equals
+/// `alpha` at confidence `gamma`: inverts [`laplace_union_bound`] in `b`.
+///
+/// # Errors
+/// [`DpError::InvalidScale`] for a nonpositive/nonfinite `alpha`; the
+/// domains of [`laplace_union_bound`] otherwise. Additionally
+/// [`DpError::InvalidComposition`] when `ln(count / gamma) <= 0` (i.e.
+/// `gamma >= count`): every magnitude bound holds trivially and no finite
+/// scale is pinned down.
+pub fn invert_laplace_union_bound(alpha: f64, count: usize, gamma: f64) -> Result<f64, DpError> {
+    if !alpha.is_finite() || alpha <= 0.0 {
+        return Err(DpError::InvalidScale(alpha));
+    }
+    let unit = laplace_union_bound(1.0, count, gamma)?;
+    if unit <= 0.0 {
+        return Err(DpError::InvalidComposition(format!(
+            "union bound over {count} variables at gamma {gamma} is degenerate"
+        )));
+    }
+    Ok(alpha / unit)
+}
+
+/// The result of a [`solve_min_eps`] calibration: the epsilon found and
+/// how many bound evaluations the solver spent (the regression signal the
+/// calibration micro-bench watches).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Calibration {
+    /// The smallest epsilon found whose bound meets the target.
+    pub eps: f64,
+    /// Number of times the bound function was evaluated.
+    pub evaluations: usize,
+}
+
+/// Relative slack accepted by the linear fast path before falling back to
+/// bisection.
+const LINEAR_SLACK: f64 = 1e-9;
+
+/// Finds the smallest `eps > 0` with `bound(eps) <= target_alpha`, for a
+/// bound function that is nonincreasing in `eps`.
+///
+/// `bound` returns `None` where it is undefined (e.g. an invalid
+/// parameter combination); the solver treats such points as
+/// unsatisfiable. Strategy:
+///
+/// 1. **Linear guess.** Most paper bounds are exactly `C / eps`; from one
+///    evaluation at `eps = 1` the exact answer is `C / alpha`. The guess
+///    is verified, so a non-linear bound cannot be silently
+///    mis-calibrated.
+/// 2. **Bracket and bisect.** Otherwise expand a bracket geometrically
+///    (up to `1e15`) and bisect, returning the upper end so the result
+///    always satisfies `bound(eps) <= target_alpha`.
+///
+/// Returns `None` when no `eps` in `(0, 1e15]` meets the target — e.g. a
+/// bounded-weight detour term `2 k M` already exceeding `alpha`.
+pub fn solve_min_eps(bound: impl Fn(f64) -> Option<f64>, target_alpha: f64) -> Option<Calibration> {
+    if !target_alpha.is_finite() || target_alpha <= 0.0 {
+        return None;
+    }
+    let mut evaluations = 0usize;
+    let mut eval = |e: f64| -> Option<f64> {
+        evaluations += 1;
+        let b = bound(e)?;
+        b.is_finite().then_some(b)
+    };
+
+    // Linear fast path: if bound(e) = C / e, then e* = bound(1) / alpha.
+    if let Some(at_one) = eval(1.0) {
+        if at_one > 0.0 {
+            let guess = at_one / target_alpha;
+            if guess.is_finite() && guess > 0.0 {
+                if let Some(at_guess) = eval(guess) {
+                    let rel = (at_guess - target_alpha).abs() / target_alpha;
+                    if at_guess <= target_alpha && rel <= LINEAR_SLACK {
+                        return Some(Calibration {
+                            eps: guess,
+                            evaluations,
+                        });
+                    }
+                }
+            }
+        } else {
+            // The bound is already <= 0 <= alpha at eps = 1: walk down.
+            // (No paper bound does this, but stay total.)
+            let mut lo = 1.0;
+            while lo > 1e-15 {
+                let next = lo / 2.0;
+                match eval(next) {
+                    Some(b) if b <= target_alpha => lo = next,
+                    _ => break,
+                }
+            }
+            return Some(Calibration {
+                eps: lo,
+                evaluations,
+            });
+        }
+    }
+
+    // Bracket: hi with bound(hi) <= alpha, lo with bound(lo) > alpha.
+    let mut hi = 1.0;
+    let mut tries = 0;
+    while tries < 60 {
+        match eval(hi) {
+            Some(b) if b <= target_alpha => break,
+            _ => {
+                hi *= 2.0;
+                tries += 1;
+            }
+        }
+    }
+    if tries == 60 || hi > 1e15 {
+        return None;
+    }
+    let mut lo = hi / 2.0;
+    // Shrink lo until the bound there exceeds the target (or lo hits the
+    // floor, meaning arbitrarily small eps already meets it).
+    while lo > 1e-15 {
+        match eval(lo) {
+            Some(b) if b <= target_alpha => {
+                hi = lo;
+                lo /= 2.0;
+            }
+            _ => break,
+        }
+    }
+
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if mid == lo || mid == hi {
+            break;
+        }
+        match eval(mid) {
+            Some(b) if b <= target_alpha => hi = mid,
+            _ => lo = mid,
+        }
+    }
+    Some(Calibration {
+        eps: hi,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_bound_inverse_round_trips() {
+        let alpha = 3.7;
+        let b = invert_laplace_sum_bound(alpha, 12, 0.05).unwrap();
+        let back = laplace_sum_bound(b, 12, 0.05).unwrap();
+        assert!((back - alpha).abs() < 1e-12, "{back} vs {alpha}");
+    }
+
+    #[test]
+    fn union_bound_inverse_round_trips() {
+        let alpha = 0.9;
+        let b = invert_laplace_union_bound(alpha, 200, 0.1).unwrap();
+        let back = laplace_union_bound(b, 200, 0.1).unwrap();
+        assert!((back - alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_domains_validated() {
+        assert!(invert_laplace_sum_bound(0.0, 5, 0.1).is_err());
+        assert!(invert_laplace_sum_bound(1.0, 0, 0.1).is_err());
+        assert!(invert_laplace_sum_bound(1.0, 5, 1.5).is_err());
+        assert!(invert_laplace_union_bound(-1.0, 5, 0.1).is_err());
+        assert!(invert_laplace_union_bound(1.0, 0, 0.1).is_err());
+    }
+
+    #[test]
+    fn linear_bound_solves_in_two_evaluations() {
+        let cal = solve_min_eps(|e| Some(10.0 / e), 0.5).unwrap();
+        assert!((cal.eps - 20.0).abs() / 20.0 < 1e-9);
+        assert_eq!(cal.evaluations, 2);
+        assert!(10.0 / cal.eps <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn nonlinear_bound_bisects_to_the_boundary() {
+        // bound(e) = 4 + 10/e: floor of 4, so alpha = 5 needs eps = 10.
+        let cal = solve_min_eps(|e| Some(4.0 + 10.0 / e), 5.0).unwrap();
+        assert!((cal.eps - 10.0).abs() / 10.0 < 1e-9, "eps {}", cal.eps);
+        assert!(4.0 + 10.0 / cal.eps <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn unattainable_target_returns_none() {
+        // Floor of 4 exceeds the target 3 at every eps.
+        assert!(solve_min_eps(|e| Some(4.0 + 1.0 / e), 3.0).is_none());
+        assert!(solve_min_eps(|_| None, 1.0).is_none());
+        assert!(solve_min_eps(|e| Some(1.0 / e), 0.0).is_none());
+        assert!(solve_min_eps(|e| Some(1.0 / e), f64::NAN).is_none());
+    }
+
+    #[test]
+    fn stepwise_bound_still_lands_in_the_feasible_region() {
+        // A stepped bound (like auto-k bounded-weight): not linear, has
+        // plateaus; the solver must still return a satisfying eps.
+        let bound = |e: f64| {
+            let k = if e < 2.0 { 3.0 } else { 1.0 };
+            Some(2.0 * k + 5.0 / e)
+        };
+        let cal = solve_min_eps(bound, 4.0).unwrap();
+        assert!(bound(cal.eps).unwrap() <= 4.0 + 1e-9);
+    }
+}

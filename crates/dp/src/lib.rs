@@ -18,6 +18,9 @@
 //! * [`Accountant`] — a privacy-budget ledger.
 //! * [`concentration`] — Lemma 3.1 (\[CSS10\]) bounds on sums of Laplace
 //!   variables, and the single-variable tail.
+//! * [`calibration`] — the inverse direction: solve a closed-form accuracy
+//!   bound for the noise scale or the smallest epsilon meeting a target
+//!   `(alpha, gamma)` accuracy contract.
 //! * [`randomized_response`] — Warner's mechanism, whose optimality
 //!   (Lemma 5.3) underpins the reconstruction lower bounds.
 
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod accountant;
+pub mod calibration;
 pub mod composition;
 pub mod concentration;
 mod error;

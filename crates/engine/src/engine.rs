@@ -11,6 +11,7 @@ use crate::error::EngineError;
 use crate::mechanism::Mechanism;
 use crate::release::{AnyRelease, DistanceRelease, ReleaseKind};
 use crate::service::QueryService;
+use privpath_core::bounds::{AccuracyContract, ErrorBound, ErrorTarget};
 use privpath_dp::{Accountant, Delta, Epsilon, NoiseSource, RngNoise};
 use privpath_graph::{EdgeWeights, Topology};
 use rand::Rng;
@@ -84,13 +85,15 @@ impl std::str::FromStr for ReleaseId {
     }
 }
 
-/// A registered release plus its accounting metadata.
+/// A registered release plus its accounting metadata and the accuracy
+/// contract declared at release time.
 #[derive(Clone, Debug)]
 pub struct ReleaseRecord {
     id: ReleaseId,
     label: String,
     eps: f64,
     delta: f64,
+    accuracy: Option<AccuracyContract>,
     release: AnyRelease,
 }
 
@@ -120,6 +123,18 @@ impl ReleaseRecord {
         self.delta
     }
 
+    /// The accuracy contract declared by the releasing mechanism
+    /// (`None` for releases adopted from legacy storage).
+    pub fn accuracy(&self) -> Option<&AccuracyContract> {
+        self.accuracy.as_ref()
+    }
+
+    /// The contract evaluated at failure probability `gamma`: what error
+    /// this release guarantees with probability `1 - gamma`.
+    pub fn error_bound(&self, gamma: f64) -> Option<ErrorBound> {
+        self.accuracy.as_ref()?.evaluate(gamma)
+    }
+
     /// The release object.
     pub fn release(&self) -> &AnyRelease {
         &self.release
@@ -130,6 +145,7 @@ impl ReleaseRecord {
         label: String,
         eps: f64,
         delta: f64,
+        accuracy: Option<AccuracyContract>,
         release: AnyRelease,
     ) -> Self {
         ReleaseRecord {
@@ -137,6 +153,7 @@ impl ReleaseRecord {
             label,
             eps,
             delta,
+            accuracy,
             release,
         }
     }
@@ -231,6 +248,7 @@ impl ReleaseEngine {
         self.accountant
             .check(cost.eps(), cost.delta())
             .map_err(|_| self.budget_error(cost.eps(), cost.delta()))?;
+        let accuracy = mechanism.accuracy_contract(&self.topo, params);
         let release = mechanism.release_with(&self.topo, &self.weights, params, noise)?;
         let id = ReleaseId(self.next_id);
         let label = format!("{}#{}", mechanism.name(), id.value());
@@ -245,6 +263,7 @@ impl ReleaseEngine {
                 label,
                 cost.eps().value(),
                 cost.delta().value(),
+                accuracy,
                 AnyRelease::from(release),
             )),
         );
@@ -268,9 +287,70 @@ impl ReleaseEngine {
         self.release_with(mechanism, params, &mut noise)
     }
 
+    /// Releases under an **accuracy contract** instead of an explicit
+    /// epsilon: calibrates the smallest epsilon whose bound meets
+    /// `target` (via [`Mechanism::calibrate`]; every non-epsilon knob is
+    /// taken from `template`), checks the budget, runs the mechanism,
+    /// and debits the calibrated cost. Returns the registered id plus the
+    /// evaluated [`ErrorBound`] the release now guarantees.
+    ///
+    /// # Errors
+    /// [`EngineError::CalibrationFailed`] when the mechanism has no
+    /// contract or no epsilon attains the target; otherwise as
+    /// [`release_with`](Self::release_with).
+    pub fn release_with_accuracy<M: Mechanism>(
+        &mut self,
+        mechanism: &M,
+        template: &M::Params,
+        target: &ErrorTarget,
+        rng: &mut impl Rng,
+    ) -> Result<(ReleaseId, ErrorBound), EngineError>
+    where
+        AnyRelease: From<M::Release>,
+    {
+        let mut noise = RngNoise::new(rng);
+        self.release_with_accuracy_noise(mechanism, template, target, &mut noise)
+    }
+
+    /// [`release_with_accuracy`](Self::release_with_accuracy) with an
+    /// explicit noise source (conformance tests drive this with
+    /// [`privpath_dp::ZeroNoise`] / [`privpath_dp::RecordingNoise`]).
+    ///
+    /// # Errors
+    /// Same conditions as
+    /// [`release_with_accuracy`](Self::release_with_accuracy).
+    pub fn release_with_accuracy_noise<M: Mechanism>(
+        &mut self,
+        mechanism: &M,
+        template: &M::Params,
+        target: &ErrorTarget,
+        noise: &mut impl NoiseSource,
+    ) -> Result<(ReleaseId, ErrorBound), EngineError>
+    where
+        AnyRelease: From<M::Release>,
+    {
+        let calibration_error = || EngineError::CalibrationFailed {
+            mechanism: mechanism.name(),
+            alpha: target.alpha(),
+            gamma: target.gamma(),
+        };
+        let eps = mechanism
+            .calibrate(&self.topo, template, target)
+            .ok_or_else(calibration_error)?;
+        let params = mechanism.with_eps(template, eps);
+        let id = self.release_with(mechanism, &params, noise)?;
+        let bound = self
+            .get(id)
+            .expect("just registered")
+            .error_bound(target.gamma())
+            .ok_or_else(calibration_error)?;
+        Ok((id, bound))
+    }
+
     /// Registers an externally produced release (e.g. loaded from disk),
     /// debiting its recorded `(eps, delta)` so the engine's ledger keeps
-    /// covering every release that exists over this database.
+    /// covering every release that exists over this database. The stored
+    /// accuracy contract, where one was persisted, rides along.
     ///
     /// # Errors
     /// [`EngineError::BudgetExhausted`] if the recorded cost does not fit
@@ -281,6 +361,7 @@ impl ReleaseEngine {
         label: impl Into<String>,
         eps: f64,
         delta: f64,
+        accuracy: Option<AccuracyContract>,
         release: AnyRelease,
     ) -> Result<ReleaseId, EngineError> {
         let eps = Epsilon::new(eps)?;
@@ -301,6 +382,7 @@ impl ReleaseEngine {
                 label,
                 eps.value(),
                 delta.value(),
+                accuracy,
                 release,
             )),
         );

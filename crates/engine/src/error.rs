@@ -27,6 +27,17 @@ pub enum EngineError {
         /// Delta still available under the budget.
         remaining_delta: f64,
     },
+    /// No epsilon attains the requested accuracy target — the mechanism
+    /// has no utility theorem, or the target lies below the bound's
+    /// epsilon-independent floor (e.g. a bounded-weight detour `2 k M`).
+    CalibrationFailed {
+        /// The mechanism's name.
+        mechanism: &'static str,
+        /// The requested per-query error bound.
+        alpha: f64,
+        /// The requested failure probability.
+        gamma: f64,
+    },
     /// The referenced release id is not registered in the engine.
     UnknownRelease(u64),
     /// The release kind does not support the requested query (e.g. a
@@ -63,6 +74,17 @@ impl fmt::Display for EngineError {
                 "privacy budget exhausted: requested (eps {requested_eps}, delta \
                  {requested_delta}) exceeds remaining (eps {remaining_eps}, delta \
                  {remaining_delta})"
+            ),
+            EngineError::CalibrationFailed {
+                mechanism,
+                alpha,
+                gamma,
+            } => write!(
+                f,
+                "cannot calibrate `{mechanism}` to error <= {alpha} with probability \
+                 {} (no epsilon attains the target, or the mechanism declares no \
+                 accuracy contract)",
+                1.0 - gamma
             ),
             EngineError::UnknownRelease(id) => write!(f, "no release with id r{id}"),
             EngineError::UnsupportedQuery { kind, query } => {

@@ -10,7 +10,14 @@
 //!   (Algorithms 1–3, bounded-weight distances, MST, matching, the
 //!   Section 4 baselines) plus the heavy-path extension. Each declares its
 //!   exact `(eps, delta)` cost via [`Mechanism::privacy_cost`] before
-//!   running.
+//!   running, **and** its accuracy contract: an [`AccuracyContract`]
+//!   naming the paper theorem behind [`Mechanism::error_bound`], with
+//!   [`Mechanism::calibrate`] solving the bound backwards for the
+//!   smallest epsilon meeting an [`ErrorTarget`] — so callers ask for
+//!   accuracy and the engine derives the budget, not the other way
+//!   around. [`ReleaseEngine::release_with_accuracy`] runs that loop
+//!   end-to-end, and [`BudgetPlan`] splits one total budget across
+//!   several calibrated releases proportionally.
 //! * [`DistanceRelease`] — the object-safe serving surface
 //!   (`distance`, `distance_batch`, optional `path`) implemented by every
 //!   distance-capable release type. `distance_batch` is the serving hot
@@ -79,6 +86,7 @@ mod engine;
 mod error;
 mod mechanism;
 pub mod persist;
+mod plan;
 mod release;
 mod service;
 
@@ -86,8 +94,16 @@ pub use engine::{ParseReleaseIdError, ReleaseEngine, ReleaseId, ReleaseRecord};
 pub use error::EngineError;
 pub use mechanism::{Mechanism, PrivacyCost};
 pub use persist::{read_release, write_release, StoredRelease};
+pub use plan::BudgetPlan;
 pub use release::{AnyRelease, DistanceRelease, ReleaseKind};
 pub use service::QueryService;
+
+// The accuracy-contract vocabulary is defined next to the bound formulas
+// in `privpath_core::bounds`; re-export it here because the engine is
+// where callers speak it (error_bound / calibrate / release_with_accuracy).
+pub use privpath_core::bounds::{
+    AccuracyContract, ErrorBound, ErrorTarget, Theorem, DEFAULT_GAMMA,
+};
 
 /// The mechanism singletons implementing [`Mechanism`].
 pub mod mechanisms {

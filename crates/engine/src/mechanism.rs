@@ -8,6 +8,14 @@
 //! [`ReleaseEngine`](crate::ReleaseEngine) debit an
 //! [`Accountant`](privpath_dp::Accountant) before any noise is drawn.
 //!
+//! Symmetrically, every mechanism with a utility theorem *declares its
+//! accuracy contract up front*: [`Mechanism::accuracy_contract`] names
+//! the paper theorem and its structural inputs,
+//! [`Mechanism::error_bound`] evaluates it at a confidence, and
+//! [`Mechanism::calibrate`] inverts it — the smallest epsilon whose
+//! bound meets a requested [`ErrorTarget`]. Privacy cost and accuracy
+//! are the two halves of the engine's declarative release surface.
+//!
 //! All seven paper mechanisms (Algorithms 1–3, the bounded-weight release,
 //! MST, matching, and the Section 4 baselines) plus the heavy-path
 //! extension implement the trait; the conformance test suite runs each one
@@ -20,8 +28,9 @@ use privpath_core::baselines::{
     AllPairsDistanceRelease, SyntheticGraphRelease,
 };
 use privpath_core::bounded::{
-    bounded_weight_all_pairs_with, BoundedWeightParams, BoundedWeightRelease,
+    bounded_weight_all_pairs_with, BoundedWeightParams, BoundedWeightRelease, CoveringStrategy,
 };
+use privpath_core::bounds::{log2_ceil, AccuracyContract, ErrorBound, ErrorTarget};
 use privpath_core::matching::{
     private_matching_objective_with, MatchingObjective, MatchingParams, MatchingRelease,
 };
@@ -34,7 +43,10 @@ use privpath_core::tree_distance::{
     tree_all_pairs_distances_with, TreeAllPairsRelease, TreeDistanceParams,
 };
 use privpath_core::tree_hld::{hld_tree_all_pairs_with, HldTreeRelease};
+use privpath_dp::calibration::solve_min_eps;
+use privpath_dp::composition::per_query_epsilon;
 use privpath_dp::{Delta, Epsilon, NoiseSource, RngNoise};
+use privpath_graph::covering::greedy_covering;
 use privpath_graph::{EdgeWeights, Topology};
 use rand::Rng;
 
@@ -86,6 +98,48 @@ pub trait Mechanism {
     /// exact: the engine debits precisely this amount.
     fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost;
 
+    /// The same parameters at a different privacy budget. Calibration
+    /// uses this to re-evaluate the bound while solving for the smallest
+    /// epsilon; every other knob (confidence, scale, covering strategy,
+    /// ...) is carried over unchanged.
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params;
+
+    /// The accuracy contract this release will honor under `params` over
+    /// `topo` — the paper theorem plus its structural inputs — or `None`
+    /// for mechanisms without a utility theorem. The contract depends on
+    /// the **public** topology only, so declaring it costs no privacy.
+    fn accuracy_contract(&self, topo: &Topology, params: &Self::Params)
+        -> Option<AccuracyContract>;
+
+    /// The evaluated per-query error bound at failure probability
+    /// `gamma`: with probability at least `1 - gamma`, every query
+    /// answered from the release errs by at most
+    /// [`ErrorBound::alpha`].
+    fn error_bound(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+        gamma: f64,
+    ) -> Option<ErrorBound> {
+        self.accuracy_contract(topo, params)?.evaluate(gamma)
+    }
+
+    /// The smallest epsilon whose [`error_bound`](Self::error_bound)
+    /// meets `target` — the inverse of the accuracy theorem, solved on
+    /// the closed-form bound (linear `C / eps` bounds invert in two
+    /// evaluations; eps-dependent structure falls back to bisection).
+    /// `params` supplies every non-epsilon knob. Returns `None` when the
+    /// mechanism has no contract or no epsilon attains the target (e.g.
+    /// a bounded-weight detour floor above `alpha`).
+    fn calibrate(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+        target: &ErrorTarget,
+    ) -> Option<Epsilon> {
+        solve_calibration(self, topo, params, target)
+    }
+
     /// Runs the mechanism with an explicit noise source.
     ///
     /// # Errors
@@ -114,6 +168,31 @@ pub trait Mechanism {
     }
 }
 
+/// The generic solver behind [`Mechanism::calibrate`]: bisect (with a
+/// linear fast path) on the mechanism's own `error_bound` over
+/// reparameterized candidates. Free-standing so calibrate overrides can
+/// delegate to it after preprocessing their parameters.
+fn solve_calibration<M: Mechanism + ?Sized>(
+    mechanism: &M,
+    topo: &Topology,
+    params: &M::Params,
+    target: &ErrorTarget,
+) -> Option<Epsilon> {
+    let cal = solve_min_eps(
+        |e| {
+            let eps = Epsilon::new(e).ok()?;
+            let candidate = mechanism.with_eps(params, eps);
+            Some(
+                mechanism
+                    .error_bound(topo, &candidate, target.gamma())?
+                    .alpha(),
+            )
+        },
+        target.alpha(),
+    )?;
+    Epsilon::new(cal.eps).ok()
+}
+
 /// Algorithm 3: private shortest paths (Section 5.2).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ShortestPaths;
@@ -128,6 +207,26 @@ impl Mechanism for ShortestPaths {
 
     fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
         PrivacyCost::pure(params.eps())
+    }
+
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        // With the shift the bound is Corollary 5.6 exactly; without it
+        // the error degrades *to* the same worst-case form (module docs
+        // of `privpath_core::shortest_path`), so one contract covers
+        // both configurations.
+        Some(AccuracyContract::WorstCasePath {
+            v: topo.num_nodes(),
+            num_edges: topo.num_edges(),
+            eps_eff: params.eps().value() / params.scale().value(),
+        })
     }
 
     fn release_with(
@@ -157,6 +256,18 @@ impl Mechanism for TreeAllPairs {
         PrivacyCost::pure(params.eps())
     }
 
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        Some(tree_contract(topo, params, false))
+    }
+
     fn release_with(
         &self,
         topo: &Topology,
@@ -165,6 +276,20 @@ impl Mechanism for TreeAllPairs {
         noise: &mut impl NoiseSource,
     ) -> Result<Self::Release, EngineError> {
         Ok(tree_all_pairs_distances_with(topo, weights, params, noise)?)
+    }
+}
+
+/// Theorem 4.2's a-priori contract: depth at most `ceil(log2 V)` (both
+/// the Algorithm 1 decomposition and the heavy-path ablation obey it),
+/// per-query noise scale `depth * s / eps`.
+fn tree_contract(topo: &Topology, params: &TreeDistanceParams, hld: bool) -> AccuracyContract {
+    let v = topo.num_nodes();
+    let depth = log2_ceil(v);
+    AccuracyContract::TreeAllPairs {
+        v,
+        depth,
+        noise_scale: depth as f64 * params.scale().value() / params.eps().value(),
+        hld,
     }
 }
 
@@ -183,6 +308,18 @@ impl Mechanism for HldTree {
 
     fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
         PrivacyCost::pure(params.eps())
+    }
+
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        Some(tree_contract(topo, params, true))
     }
 
     fn release_with(
@@ -213,6 +350,72 @@ impl Mechanism for BoundedWeight {
         PrivacyCost::approx(params.eps(), params.delta())
     }
 
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.clone().with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        let v = topo.num_nodes();
+        // The covering size: Lemma 4.4's guarantee |Z| <= V / (k + 1)
+        // where a Meir–Moon construction backs the theorem; the actual
+        // center count where the caller pinned the covering (the greedy
+        // heuristic carries no a-priori size bound, so it is run on the
+        // public topology — no privacy is spent).
+        let (k, z) = match params.strategy() {
+            CoveringStrategy::AutoK => {
+                let k = params.auto_k(v);
+                (k, (v / (k + 1)).max(1))
+            }
+            CoveringStrategy::MeirMoon { k } => (*k, (v / (k + 1)).max(1)),
+            CoveringStrategy::Custom { centers, k } => (*k, centers.len().max(1)),
+            CoveringStrategy::Greedy { k } => (*k, greedy_covering(topo, *k).ok()?.len().max(1)),
+        };
+        let num_released = z * (z - 1) / 2;
+        let s = params.scale().value();
+        let noise_scale = if num_released == 0 {
+            s / params.eps().value()
+        } else if params.delta().is_pure() {
+            // Theorem 4.6: basic composition over the released vector.
+            s * num_released as f64 / params.eps().value()
+        } else {
+            // Theorem 4.5: invert advanced composition per query.
+            let per = per_query_epsilon(params.eps(), num_released, params.delta().value()).ok()?;
+            s / per.value()
+        };
+        Some(AccuracyContract::BoundedWeight {
+            k,
+            max_weight: params.max_weight(),
+            noise_scale,
+            num_released,
+            pure: params.delta().is_pure(),
+        })
+    }
+
+    fn calibrate(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+        target: &ErrorTarget,
+    ) -> Option<Epsilon> {
+        // The greedy covering is epsilon-independent (k is fixed), but
+        // the generic solver rebuilds the contract — and would re-run
+        // the covering construction — on every bound evaluation. Pin
+        // the centers once and solve on the equivalent Custom strategy.
+        if let CoveringStrategy::Greedy { k } = params.strategy() {
+            let k = *k;
+            let centers = greedy_covering(topo, k).ok()?;
+            let pinned = params
+                .clone()
+                .with_strategy(CoveringStrategy::Custom { centers, k });
+            return solve_calibration(self, topo, &pinned, target);
+        }
+        solve_calibration(self, topo, params, target)
+    }
+
     fn release_with(
         &self,
         topo: &Topology,
@@ -238,6 +441,22 @@ impl Mechanism for Mst {
 
     fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
         PrivacyCost::pure(params.eps())
+    }
+
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        Some(AccuracyContract::Mst {
+            v: topo.num_nodes(),
+            num_edges: topo.num_edges(),
+            eps_eff: params.eps().value() / params.scale().value(),
+        })
     }
 
     fn release_with(
@@ -279,6 +498,22 @@ impl Mechanism for Matching {
         PrivacyCost::pure(params.eps())
     }
 
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        Some(AccuracyContract::Matching {
+            v: topo.num_nodes(),
+            num_edges: topo.num_edges(),
+            eps_eff: params.eps().value() / params.scale().value(),
+        })
+    }
+
     fn release_with(
         &self,
         topo: &Topology,
@@ -318,6 +553,12 @@ impl SyntheticGraphParams {
         self
     }
 
+    /// The same parameters at a different privacy budget.
+    pub fn with_eps(mut self, eps: Epsilon) -> Self {
+        self.eps = eps;
+        self
+    }
+
     /// The privacy parameter.
     pub fn eps(&self) -> Epsilon {
         self.eps
@@ -344,6 +585,24 @@ impl Mechanism for SyntheticGraph {
 
     fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
         PrivacyCost::pure(params.eps())
+    }
+
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        // Algorithm 3 without its shift: the simultaneous worst-case
+        // bound has the same Corollary 5.6 form.
+        Some(AccuracyContract::WorstCasePath {
+            v: topo.num_nodes(),
+            num_edges: topo.num_edges(),
+            eps_eff: params.eps().value() / params.scale().value(),
+        })
     }
 
     fn release_with(
@@ -407,6 +666,12 @@ impl AllPairsBaselineParams {
         self
     }
 
+    /// The same parameters at a different privacy budget.
+    pub fn with_eps(mut self, eps: Epsilon) -> Self {
+        self.eps = eps;
+        self
+    }
+
     /// The privacy parameter.
     pub fn eps(&self) -> Epsilon {
         self.eps
@@ -439,6 +704,34 @@ impl Mechanism for AllPairsBaseline {
 
     fn privacy_cost(&self, params: &Self::Params) -> PrivacyCost {
         PrivacyCost::approx(params.eps(), params.delta())
+    }
+
+    fn with_eps(&self, params: &Self::Params, eps: Epsilon) -> Self::Params {
+        params.with_eps(eps)
+    }
+
+    fn accuracy_contract(
+        &self,
+        topo: &Topology,
+        params: &Self::Params,
+    ) -> Option<AccuracyContract> {
+        let n = topo.num_nodes();
+        let num_released = n * n.saturating_sub(1) / 2;
+        let s = params.scale().value();
+        let advanced = !params.delta().is_pure();
+        let noise_scale = if num_released == 0 {
+            s / params.eps().value()
+        } else if advanced {
+            let per = per_query_epsilon(params.eps(), num_released, params.delta().value()).ok()?;
+            s / per.value()
+        } else {
+            s * num_released as f64 / params.eps().value()
+        };
+        Some(AccuracyContract::Composition {
+            num_released,
+            noise_scale,
+            advanced,
+        })
     }
 
     fn release_with(

@@ -6,24 +6,32 @@
 //! releases) to a tagged container format:
 //!
 //! ```text
-//! privpath-release v2
+//! privpath-release v3
 //! kind <mechanism-name>
 //! label <spend label>
 //! eps <f64>
 //! delta <f64>
+//! accuracy none | accuracy <contract tag + fields>
 //! <kind-specific body, reusing the substrate's topology/weights blocks>
 //! ```
 //!
-//! The legacy `privpath-sp-release v1` format is still readable — the
-//! loader sniffs the header and upgrades on the fly. Structure-releasing
-//! kinds (MST, matching) have no serve-side query surface and are not
-//! persisted.
+//! v3 adds the `accuracy` line: the release's
+//! [`AccuracyContract`](privpath_core::bounds::AccuracyContract) in its
+//! [`to_line`](privpath_core::bounds::AccuracyContract::to_line) form, so
+//! a stored release carries the theorem-named error bound it was created
+//! under and the serve path can report it at any confidence. The legacy
+//! `privpath-release v2` (no accuracy line) and `privpath-sp-release v1`
+//! (shortest-path only) formats are still readable — the loader sniffs
+//! the header and upgrades on the fly, leaving the contract empty.
+//! Structure-releasing kinds (MST, matching) have no serve-side query
+//! surface and are not persisted.
 
 use crate::engine::{ReleaseEngine, ReleaseId};
 use crate::error::EngineError;
 use crate::release::{AnyRelease, ReleaseKind};
 use privpath_core::baselines::{AllPairsDistanceRelease, SyntheticGraphRelease};
 use privpath_core::bounded::BoundedWeightRelease;
+use privpath_core::bounds::AccuracyContract;
 use privpath_core::model::NeighborScale;
 use privpath_core::persist::read_shortest_path_release;
 use privpath_core::shortest_path::{ShortestPathParams, ShortestPathRelease};
@@ -33,6 +41,7 @@ use privpath_graph::io::{read_topology, read_weights, write_topology, write_weig
 use privpath_graph::NodeId;
 use std::io::{BufRead, BufReader, Write};
 
+const HEADER_V3: &str = "privpath-release v3";
 const HEADER_V2: &str = "privpath-release v2";
 const HEADER_V1: &str = "privpath-sp-release v1";
 
@@ -46,6 +55,9 @@ pub struct StoredRelease {
     pub eps: f64,
     /// The delta the release cost.
     pub delta: f64,
+    /// The accuracy contract the release was created under (`None` for
+    /// legacy v1/v2 files, which predate contracts).
+    pub accuracy: Option<AccuracyContract>,
     /// The release object.
     pub release: AnyRelease,
 }
@@ -58,7 +70,7 @@ fn io_err(e: impl std::fmt::Display) -> EngineError {
     persist_err(e.to_string())
 }
 
-/// Writes a release in the v2 container format.
+/// Writes a release in the v3 container format.
 ///
 /// # Errors
 /// [`EngineError::UnsupportedQuery`] for kinds without persistence (MST,
@@ -68,6 +80,7 @@ pub fn write_release(
     label: &str,
     eps: f64,
     delta: f64,
+    accuracy: Option<&AccuracyContract>,
     release: &AnyRelease,
 ) -> Result<(), EngineError> {
     let kind = release.kind();
@@ -84,11 +97,15 @@ pub fn write_release(
             });
         }
     }
-    writeln!(out, "{HEADER_V2}").map_err(io_err)?;
+    writeln!(out, "{HEADER_V3}").map_err(io_err)?;
     writeln!(out, "kind {}", kind.as_str()).map_err(io_err)?;
     writeln!(out, "label {label}").map_err(io_err)?;
     writeln!(out, "eps {eps:?}").map_err(io_err)?;
     writeln!(out, "delta {delta:?}").map_err(io_err)?;
+    match accuracy {
+        Some(contract) => writeln!(out, "accuracy {}", contract.to_line()).map_err(io_err)?,
+        None => writeln!(out, "accuracy none").map_err(io_err)?,
+    }
     match release {
         AnyRelease::ShortestPath(r) => {
             let p = r.params();
@@ -142,8 +159,8 @@ pub fn write_release(
     Ok(())
 }
 
-/// Reads a release written by [`write_release`] (or the legacy v1
-/// shortest-path format, upgraded transparently).
+/// Reads a release written by [`write_release`] (or the legacy v2 /
+/// v1 formats, upgraded transparently with an empty contract).
 ///
 /// # Errors
 /// [`EngineError::Persist`] for malformed input.
@@ -160,12 +177,15 @@ pub fn read_release(mut input: impl BufRead) -> Result<StoredRelease, EngineErro
             label: "shortest-path#legacy".into(),
             eps,
             delta: 0.0,
+            accuracy: None,
             release: AnyRelease::ShortestPath(release),
         });
     }
-    if first != HEADER_V2 {
-        return Err(persist_err(format!("bad header {first:?}")));
-    }
+    let has_accuracy_line = match first {
+        HEADER_V3 => true,
+        HEADER_V2 => false,
+        _ => return Err(persist_err(format!("bad header {first:?}"))),
+    };
 
     let mut reader = BufReader::new(text.as_bytes());
     let mut line = String::new();
@@ -194,6 +214,22 @@ pub fn read_release(mut input: impl BufRead) -> Result<StoredRelease, EngineErro
         .to_string();
     let eps = parse_field_f64(&next_line(&mut reader, "eps")?, "eps ")?;
     let delta = parse_field_f64(&next_line(&mut reader, "delta")?, "delta ")?;
+    let accuracy = if has_accuracy_line {
+        let line = next_line(&mut reader, "accuracy")?;
+        let spec = line
+            .strip_prefix("accuracy ")
+            .ok_or_else(|| persist_err("expected `accuracy <contract>` or `accuracy none`"))?;
+        if spec.trim() == "none" {
+            None
+        } else {
+            Some(
+                AccuracyContract::parse_line(spec)
+                    .ok_or_else(|| persist_err(format!("invalid accuracy contract {spec:?}")))?,
+            )
+        }
+    } else {
+        None
+    };
 
     let release = match kind {
         ReleaseKind::ShortestPath => {
@@ -315,6 +351,7 @@ pub fn read_release(mut input: impl BufRead) -> Result<StoredRelease, EngineErro
         label,
         eps,
         delta,
+        accuracy,
         release,
     })
 }
@@ -332,7 +369,8 @@ fn parse_field_usize(line: &str, prefix: &str) -> Result<usize, EngineError> {
 }
 
 impl ReleaseEngine {
-    /// Persists a registered release in the v2 container format.
+    /// Persists a registered release in the v3 container format,
+    /// including its accuracy contract.
     ///
     /// # Errors
     /// [`EngineError::UnknownRelease`] for an unregistered id; otherwise
@@ -346,6 +384,7 @@ impl ReleaseEngine {
             record.label(),
             record.eps(),
             record.delta(),
+            record.accuracy(),
             record.release(),
         )
     }
@@ -357,6 +396,12 @@ impl ReleaseEngine {
     /// As [`read_release`] and [`ReleaseEngine::adopt`].
     pub fn restore(&mut self, input: impl BufRead) -> Result<ReleaseId, EngineError> {
         let stored = read_release(input)?;
-        self.adopt(stored.label, stored.eps, stored.delta, stored.release)
+        self.adopt(
+            stored.label,
+            stored.eps,
+            stored.delta,
+            stored.accuracy,
+            stored.release,
+        )
     }
 }

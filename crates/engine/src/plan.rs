@@ -1,0 +1,141 @@
+//! [`BudgetPlan`]: split one total privacy budget across several
+//! requested releases, proportionally to their calibrated costs.
+//!
+//! Calibration answers "what does *one* release at accuracy `(alpha,
+//! gamma)` cost?"; a deployment usually wants *several* releases out of
+//! *one* budget. Because every closed-form bound in the paper scales as
+//! `C / eps` (exactly, or as an upper envelope), scaling each calibrated
+//! epsilon by the common factor `total / sum` keeps the releases'
+//! *relative* accuracies while spending exactly the total: each release's
+//! error bound inflates (or tightens) by the same `sum / total` factor.
+//!
+//! ```
+//! use privpath_dp::Epsilon;
+//! use privpath_engine::BudgetPlan;
+//!
+//! let mut plan = BudgetPlan::new(Epsilon::new(2.0)?);
+//! plan.request("tree", Epsilon::new(3.0)?);
+//! plan.request("shortest-path", Epsilon::new(1.0)?);
+//! let allocs = plan.allocations()?;
+//! // 3:1 calibrated ratio preserved, 2.0 total spent.
+//! assert!((allocs[0].1.value() - 1.5).abs() < 1e-12);
+//! assert!((allocs[1].1.value() - 0.5).abs() < 1e-12);
+//! assert!((plan.scale_factor()? - 0.5).abs() < 1e-12);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::error::EngineError;
+use privpath_core::CoreError;
+use privpath_dp::Epsilon;
+
+/// A proportional split of one total epsilon budget over several
+/// requested (typically calibrated) per-release epsilons.
+#[derive(Clone, Debug)]
+pub struct BudgetPlan {
+    total: Epsilon,
+    requests: Vec<(String, Epsilon)>,
+}
+
+impl BudgetPlan {
+    /// A plan distributing `total` epsilon.
+    pub fn new(total: Epsilon) -> Self {
+        BudgetPlan {
+            total,
+            requests: Vec::new(),
+        }
+    }
+
+    /// Adds a requested release with its calibrated epsilon cost.
+    pub fn request(&mut self, label: impl Into<String>, calibrated: Epsilon) -> &mut Self {
+        self.requests.push((label.into(), calibrated));
+        self
+    }
+
+    /// The total budget being split.
+    pub fn total(&self) -> Epsilon {
+        self.total
+    }
+
+    /// The requested `(label, calibrated eps)` pairs, in insertion order.
+    pub fn requests(&self) -> &[(String, Epsilon)] {
+        &self.requests
+    }
+
+    /// The factor every calibrated epsilon is multiplied by
+    /// (`total / sum of requests`). Factors below 1 mean the budget is
+    /// oversubscribed and every release's error bound inflates by the
+    /// reciprocal.
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] when the plan holds no requests.
+    pub fn scale_factor(&self) -> Result<f64, EngineError> {
+        if self.requests.is_empty() {
+            return Err(EngineError::Core(CoreError::InvalidParameter(
+                "budget plan has no requested releases".into(),
+            )));
+        }
+        let sum: f64 = self.requests.iter().map(|(_, e)| e.value()).sum();
+        Ok(self.total.value() / sum)
+    }
+
+    /// The per-release allocations: each calibrated epsilon scaled by
+    /// [`scale_factor`](Self::scale_factor), in insertion order. The
+    /// allocations sum to the total budget (up to rounding), so releasing
+    /// each at its allocation exactly exhausts an engine budgeted at
+    /// [`total`](Self::total).
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] when the plan holds no requests;
+    /// [`EngineError::Dp`] if a scaled epsilon leaves the valid domain
+    /// (e.g. underflows to zero).
+    pub fn allocations(&self) -> Result<Vec<(String, Epsilon)>, EngineError> {
+        let factor = self.scale_factor()?;
+        self.requests
+            .iter()
+            .map(|(label, eps)| {
+                Ok((
+                    label.clone(),
+                    Epsilon::new(eps.value() * factor).map_err(EngineError::Dp)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn allocations_are_proportional_and_exhaustive() {
+        let mut plan = BudgetPlan::new(eps(1.0));
+        plan.request("a", eps(2.0));
+        plan.request("b", eps(6.0));
+        plan.request("c", eps(2.0));
+        let allocs = plan.allocations().unwrap();
+        let total: f64 = allocs.iter().map(|(_, e)| e.value()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((allocs[1].1.value() / allocs[0].1.value() - 3.0).abs() < 1e-12);
+        assert_eq!(allocs[0].0, "a");
+    }
+
+    #[test]
+    fn undersubscribed_budget_scales_up() {
+        let mut plan = BudgetPlan::new(eps(4.0));
+        plan.request("only", eps(1.0));
+        assert!((plan.scale_factor().unwrap() - 4.0).abs() < 1e-12);
+        let allocs = plan.allocations().unwrap();
+        assert!((allocs[0].1.value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_is_rejected() {
+        let plan = BudgetPlan::new(eps(1.0));
+        assert!(plan.scale_factor().is_err());
+        assert!(plan.allocations().is_err());
+    }
+}

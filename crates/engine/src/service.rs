@@ -14,6 +14,8 @@ use crate::engine::{ReleaseId, ReleaseRecord};
 use crate::error::EngineError;
 use crate::persist::StoredRelease;
 use crate::release::DistanceRelease;
+use privpath_core::bounds::ErrorBound;
+use privpath_core::CoreError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -63,7 +65,7 @@ impl QueryService {
             records.insert(
                 id.value(),
                 Arc::new(ReleaseRecord::from_parts(
-                    id, s.label, s.eps, s.delta, s.release,
+                    id, s.label, s.eps, s.delta, s.accuracy, s.release,
                 )),
             );
         }
@@ -97,6 +99,33 @@ impl QueryService {
                 kind: record.kind().as_str(),
                 query: "distance",
             })
+    }
+
+    /// The accuracy contract of a release in the snapshot, evaluated at
+    /// failure probability `gamma`: what per-query error the release
+    /// guarantees with probability `1 - gamma`. Contracts are declared
+    /// from the public topology at release time, so answering costs no
+    /// privacy — exactly like distance queries.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownRelease`] for an id not in the snapshot;
+    /// [`EngineError::UnsupportedQuery`] when the release carries no
+    /// contract (legacy storage); [`EngineError::Core`] for `gamma`
+    /// outside `(0, 1)`.
+    pub fn accuracy(&self, id: ReleaseId, gamma: f64) -> Result<ErrorBound, EngineError> {
+        let record = self
+            .records
+            .get(&id.value())
+            .ok_or(EngineError::UnknownRelease(id.value()))?;
+        let contract = record.accuracy().ok_or(EngineError::UnsupportedQuery {
+            kind: record.kind().as_str(),
+            query: "accuracy",
+        })?;
+        contract.evaluate(gamma).ok_or_else(|| {
+            EngineError::Core(CoreError::InvalidParameter(format!(
+                "accuracy gamma must be in (0,1), got {gamma}"
+            )))
+        })
     }
 
     /// All releases in the snapshot, in id order.

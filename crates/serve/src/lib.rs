@@ -47,8 +47,12 @@
 //!     release: id,
 //!     from: NodeId::new(0),
 //!     to: NodeId::new(15),
+//!     gamma: Some(0.05), // also return the ±bound at 95% confidence
 //! })?;
-//! assert!(matches!(resp, QueryResponse::Distance(d) if d.is_finite()));
+//! assert!(matches!(
+//!     resp,
+//!     QueryResponse::Distance { value, bound: Some(b) } if value.is_finite() && b > 0.0
+//! ));
 //! drop(client);
 //! running.shutdown()?; // graceful: drains connections, returns stats
 

@@ -11,7 +11,7 @@
 //! pays that cost once.
 
 use crate::protocol::{ErrorCode, QueryRequest, QueryResponse, ReleaseSummary};
-use privpath_engine::{QueryService, ReleaseId};
+use privpath_engine::{EngineError, QueryService, ReleaseId, DEFAULT_GAMMA};
 use privpath_graph::NodeId;
 use std::collections::HashMap;
 
@@ -23,8 +23,9 @@ pub struct PlanGroup {
     pub release: ReleaseId,
     /// The shared source vertex.
     pub source: NodeId,
-    /// `(request index, target)` for each member, in request order.
-    pub members: Vec<(usize, NodeId)>,
+    /// `(request index, target, requested accuracy gamma)` for each
+    /// member, in request order.
+    pub members: Vec<(usize, NodeId, Option<f64>)>,
 }
 
 /// An execution plan over a request batch: `Distance` requests grouped
@@ -44,7 +45,12 @@ impl QueryPlan {
         let mut plan = QueryPlan::default();
         for (i, req) in requests.iter().enumerate() {
             match req {
-                QueryRequest::Distance { release, from, to } => {
+                QueryRequest::Distance {
+                    release,
+                    from,
+                    to,
+                    gamma,
+                } => {
                     let key = (release.value(), from.index());
                     let slot = *keys.entry(key).or_insert_with(|| {
                         plan.groups.push(PlanGroup {
@@ -54,7 +60,7 @@ impl QueryPlan {
                         });
                         plan.groups.len() - 1
                     });
-                    plan.groups[slot].members.push((i, *to));
+                    plan.groups[slot].members.push((i, *to, *gamma));
                 }
                 _ => plan.direct.push(i),
             }
@@ -77,29 +83,41 @@ impl QueryPlan {
             let pairs: Vec<(NodeId, NodeId)> = group
                 .members
                 .iter()
-                .map(|&(_, to)| (group.source, to))
+                .map(|&(_, to, _)| (group.source, to))
                 .collect();
+            // One contract lookup covers every member that asked for an
+            // error bar (the bound is uniform over pairs per gamma).
+            let bound_at = |gamma: Option<f64>| -> Result<Option<f64>, QueryResponse> {
+                error_bar(service, group.release, gamma)
+            };
             match service.query(group.release) {
                 Ok(oracle) => match oracle.distance_batch(&pairs) {
                     Ok(ds) => {
-                        for (&(i, _), d) in group.members.iter().zip(ds) {
-                            out[i] = Some(QueryResponse::Distance(d));
+                        for (&(i, _, gamma), d) in group.members.iter().zip(ds) {
+                            out[i] = Some(match bound_at(gamma) {
+                                Ok(bound) => QueryResponse::Distance { value: d, bound },
+                                Err(resp) => resp,
+                            });
                         }
                     }
                     // The batch reports only its first failure; isolate
                     // it by falling back to per-pair queries.
                     Err(_) => {
-                        for &(i, to) in &group.members {
-                            out[i] = Some(match oracle.distance(group.source, to) {
-                                Ok(d) => QueryResponse::Distance(d),
-                                Err(e) => QueryResponse::from_engine_error(&e),
-                            });
+                        for &(i, to, gamma) in &group.members {
+                            out[i] =
+                                Some(match (oracle.distance(group.source, to), bound_at(gamma)) {
+                                    (Ok(d), Ok(bound)) => {
+                                        QueryResponse::Distance { value: d, bound }
+                                    }
+                                    (Ok(_), Err(resp)) => resp,
+                                    (Err(e), _) => QueryResponse::from_engine_error(&e),
+                                });
                         }
                     }
                 },
                 Err(e) => {
                     let resp = QueryResponse::from_engine_error(&e);
-                    for &(i, _) in &group.members {
+                    for &(i, _, _) in &group.members {
                         out[i] = Some(resp.clone());
                     }
                 }
@@ -124,22 +142,64 @@ pub fn answer_all(service: &QueryService, requests: &[QueryRequest]) -> Vec<Quer
     QueryPlan::build(requests).execute(service, requests)
 }
 
+/// The error bar for a distance/batch request that asked for one.
+///
+/// Lenient on contract availability — a bar-less answer is still an
+/// answer, so a release without a contract (or an unknown id, which the
+/// distance query itself will report) yields `Ok(None)`. Strict on the
+/// input — an invalid `gamma` fails the request, exactly as it fails an
+/// `accuracy` request, instead of being silently indistinguishable from
+/// "no contract".
+fn error_bar(
+    service: &QueryService,
+    release: ReleaseId,
+    gamma: Option<f64>,
+) -> Result<Option<f64>, QueryResponse> {
+    let Some(g) = gamma else { return Ok(None) };
+    match service.accuracy(release, g) {
+        Ok(bound) => Ok(Some(bound.alpha())),
+        Err(EngineError::UnsupportedQuery { .. }) | Err(EngineError::UnknownRelease(_)) => Ok(None),
+        Err(e) => Err(QueryResponse::from_engine_error(&e)),
+    }
+}
+
 /// Answers a single request directly (the server's per-line path and the
 /// planner's fallback for non-`Distance` requests).
 pub fn answer_one(service: &QueryService, request: &QueryRequest) -> QueryResponse {
     match request {
-        QueryRequest::Distance { release, from, to } => match service.query(*release) {
-            Ok(oracle) => match oracle.distance(*from, *to) {
-                Ok(d) => QueryResponse::Distance(d),
-                Err(e) => QueryResponse::from_engine_error(&e),
+        QueryRequest::Distance {
+            release,
+            from,
+            to,
+            gamma,
+        } => match service.query(*release) {
+            Ok(oracle) => match (
+                oracle.distance(*from, *to),
+                error_bar(service, *release, *gamma),
+            ) {
+                (Ok(d), Ok(bound)) => QueryResponse::Distance { value: d, bound },
+                (Ok(_), Err(resp)) => resp,
+                (Err(e), _) => QueryResponse::from_engine_error(&e),
             },
             Err(e) => QueryResponse::from_engine_error(&e),
         },
-        QueryRequest::DistanceBatch { release, pairs } => match service.query(*release) {
-            Ok(oracle) => match oracle.distance_batch(pairs) {
-                Ok(ds) => QueryResponse::Distances(ds),
-                Err(e) => QueryResponse::from_engine_error(&e),
+        QueryRequest::DistanceBatch {
+            release,
+            pairs,
+            gamma,
+        } => match service.query(*release) {
+            Ok(oracle) => match (
+                oracle.distance_batch(pairs),
+                error_bar(service, *release, *gamma),
+            ) {
+                (Ok(ds), Ok(bound)) => QueryResponse::Distances { values: ds, bound },
+                (Ok(_), Err(resp)) => resp,
+                (Err(e), _) => QueryResponse::from_engine_error(&e),
             },
+            Err(e) => QueryResponse::from_engine_error(&e),
+        },
+        QueryRequest::Accuracy { release, gamma } => match service.accuracy(*release, *gamma) {
+            Ok(bound) => QueryResponse::Accuracy(bound),
             Err(e) => QueryResponse::from_engine_error(&e),
         },
         QueryRequest::Path { release, from, to } => match service.query(*release) {
@@ -164,6 +224,7 @@ pub fn answer_one(service: &QueryService, request: &QueryRequest) -> QueryRespon
                     eps: r.eps(),
                     delta: r.delta(),
                     num_nodes: r.release().as_distance().map(|o| o.num_nodes()),
+                    accuracy: r.error_bound(DEFAULT_GAMMA),
                 })
                 .collect(),
         ),

@@ -7,25 +7,37 @@
 //! round-trip exactly. Variable-length lists are preceded by their count.
 //!
 //! ```text
-//! request  := "distance" id node node
-//!           | "batch" id count pair*          pair := node ":" node
+//! request  := "distance" id node node ["gamma" float]
+//!           | "batch" id count pair* ["gamma" float]    pair := node ":" node
 //!           | "path" id node node
+//!           | "accuracy" id float
 //!           | "list"
 //!           | "budget"
-//! response := "distance" float
-//!           | "distances" count float*
+//! response := "distance" float ["bound" float]
+//!           | "distances" count float* ["bound" float]
 //!           | "path" count node*
-//!           | "releases" count (id kind float float nodes)*
+//!           | "accuracy" theorem float float
+//!           | "releases" count (id kind float float nodes acc)*
 //!           | "budget" "spent" float float ("remaining" float float | "unbounded")
 //!           | "error" code message...
 //! ```
 //!
 //! `id` is a [`ReleaseId`] in its `r<N>` display form; `nodes` in a
 //! release record is a vertex count or `-` for kinds without a distance
-//! surface. The `error` message is free text extending to the end of the
-//! line (newlines are squashed on encode so framing survives).
+//! surface. The optional `gamma` on `distance`/`batch` asks the server to
+//! attach the release's accuracy contract evaluated at that failure
+//! probability: the response then carries `bound <alpha>`, the `±alpha`
+//! error bar every returned value honors with probability `1 - gamma`
+//! (omitted when the release carries no contract). `accuracy` asks for
+//! the contract alone; `theorem` is a
+//! [`Theorem`](privpath_engine::Theorem) wire name (e.g. `thm-4.2`), and
+//! `acc` in a release record is `-` or `theorem:alpha:gamma` evaluated at
+//! the default confidence
+//! ([`DEFAULT_GAMMA`](privpath_engine::DEFAULT_GAMMA)). The `error`
+//! message is free text extending to the end of the line (newlines are
+//! squashed on encode so framing survives).
 
-use privpath_engine::{EngineError, ReleaseId, ReleaseKind};
+use privpath_engine::{EngineError, ErrorBound, ReleaseId, ReleaseKind, Theorem};
 use privpath_graph::NodeId;
 use std::fmt;
 use std::str::FromStr;
@@ -41,6 +53,9 @@ pub enum QueryRequest {
         from: NodeId,
         /// Target vertex.
         to: NodeId,
+        /// When set, attach the release's error bound at this failure
+        /// probability to the response.
+        gamma: Option<f64>,
     },
     /// Released estimates for many pairs under one release, answered
     /// with shared per-source work.
@@ -49,6 +64,10 @@ pub enum QueryRequest {
         release: ReleaseId,
         /// The `(from, to)` pairs.
         pairs: Vec<(NodeId, NodeId)>,
+        /// When set, attach the release's error bound at this failure
+        /// probability to the response (the paper bounds are uniform
+        /// over pairs, so one bound covers the whole batch).
+        gamma: Option<f64>,
     },
     /// The released route between two vertices, for route-capable kinds.
     Path {
@@ -59,13 +78,25 @@ pub enum QueryRequest {
         /// Target vertex.
         to: NodeId,
     },
+    /// The release's accuracy contract evaluated at a failure
+    /// probability: what error it guarantees with probability
+    /// `1 - gamma`.
+    Accuracy {
+        /// The release to query.
+        release: ReleaseId,
+        /// The failure probability to evaluate the contract at.
+        gamma: f64,
+    },
     /// Metadata for every release in the snapshot.
     ListReleases,
     /// The frozen ledger totals of the snapshot.
     BudgetStatus,
 }
 
-/// One release's metadata as reported by [`QueryResponse::Releases`].
+/// One release's metadata as reported by [`QueryResponse::Releases`]:
+/// kind, spent privacy cost, query surface, and the accuracy contract —
+/// everything a caller needs to pick a release without issuing separate
+/// `budget`/`accuracy` queries per id.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReleaseSummary {
     /// The registry id.
@@ -78,6 +109,10 @@ pub struct ReleaseSummary {
     pub delta: f64,
     /// Vertex count, for kinds with a distance surface.
     pub num_nodes: Option<usize>,
+    /// The accuracy contract evaluated at the default confidence
+    /// ([`privpath_engine::DEFAULT_GAMMA`]), where the release carries
+    /// one.
+    pub accuracy: Option<ErrorBound>,
 }
 
 /// Stable error codes the server reports, so clients can branch without
@@ -140,11 +175,25 @@ impl fmt::Display for ErrorCode {
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryResponse {
     /// Answer to [`QueryRequest::Distance`].
-    Distance(f64),
+    Distance {
+        /// The released estimate.
+        value: f64,
+        /// The `±` error bar at the requested `gamma`, when the request
+        /// asked for one and the release carries a contract.
+        bound: Option<f64>,
+    },
     /// Answer to [`QueryRequest::DistanceBatch`], in request order.
-    Distances(Vec<f64>),
+    Distances {
+        /// The released estimates, in request order.
+        values: Vec<f64>,
+        /// The shared `±` error bar at the requested `gamma` (uniform
+        /// over pairs), when requested and available.
+        bound: Option<f64>,
+    },
     /// Answer to [`QueryRequest::Path`]: the route's vertices in order.
     Path(Vec<NodeId>),
+    /// Answer to [`QueryRequest::Accuracy`]: the theorem-named bound.
+    Accuracy(ErrorBound),
     /// Answer to [`QueryRequest::ListReleases`].
     Releases(Vec<ReleaseSummary>),
     /// Answer to [`QueryRequest::BudgetStatus`].
@@ -166,12 +215,27 @@ pub enum QueryResponse {
 }
 
 impl QueryResponse {
+    /// A bare distance answer (no error bar requested).
+    pub fn distance(value: f64) -> Self {
+        QueryResponse::Distance { value, bound: None }
+    }
+
+    /// A bare batch answer (no error bar requested).
+    pub fn distances(values: Vec<f64>) -> Self {
+        QueryResponse::Distances {
+            values,
+            bound: None,
+        }
+    }
+
     /// The error response for an engine-level failure, mapping the
     /// structured error variants onto wire codes.
     pub fn from_engine_error(e: &EngineError) -> Self {
         let code = match e {
             EngineError::UnknownRelease(_) => ErrorCode::UnknownRelease,
-            EngineError::UnsupportedQuery { .. } => ErrorCode::Unsupported,
+            EngineError::UnsupportedQuery { .. } | EngineError::CalibrationFailed { .. } => {
+                ErrorCode::Unsupported
+            }
             EngineError::NodeOutOfRange { .. } => ErrorCode::OutOfRange,
             EngineError::BudgetExhausted { .. } => ErrorCode::Budget,
             EngineError::Core(_) | EngineError::Dp(_) => ErrorCode::Query,
@@ -191,18 +255,37 @@ fn fmt_f64(v: f64) -> String {
 impl fmt::Display for QueryRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QueryRequest::Distance { release, from, to } => {
-                write!(f, "distance {release} {} {}", from.index(), to.index())
+            QueryRequest::Distance {
+                release,
+                from,
+                to,
+                gamma,
+            } => {
+                write!(f, "distance {release} {} {}", from.index(), to.index())?;
+                if let Some(g) = gamma {
+                    write!(f, " gamma {}", fmt_f64(*g))?;
+                }
+                Ok(())
             }
-            QueryRequest::DistanceBatch { release, pairs } => {
+            QueryRequest::DistanceBatch {
+                release,
+                pairs,
+                gamma,
+            } => {
                 write!(f, "batch {release} {}", pairs.len())?;
                 for (u, v) in pairs {
                     write!(f, " {}:{}", u.index(), v.index())?;
+                }
+                if let Some(g) = gamma {
+                    write!(f, " gamma {}", fmt_f64(*g))?;
                 }
                 Ok(())
             }
             QueryRequest::Path { release, from, to } => {
                 write!(f, "path {release} {} {}", from.index(), to.index())
+            }
+            QueryRequest::Accuracy { release, gamma } => {
+                write!(f, "accuracy {release} {}", fmt_f64(*gamma))
             }
             QueryRequest::ListReleases => f.write_str("list"),
             QueryRequest::BudgetStatus => f.write_str("budget"),
@@ -229,13 +312,13 @@ impl fmt::Display for ParseLineError {
 impl std::error::Error for ParseLineError {}
 
 struct Tokens<'a> {
-    iter: std::str::SplitWhitespace<'a>,
+    iter: std::iter::Peekable<std::str::SplitWhitespace<'a>>,
 }
 
 impl<'a> Tokens<'a> {
     fn new(s: &'a str) -> Self {
         Tokens {
-            iter: s.split_whitespace(),
+            iter: s.split_whitespace().peekable(),
         }
     }
 
@@ -255,6 +338,16 @@ impl<'a> Tokens<'a> {
         Ok(NodeId::new(self.parse::<usize>(what)?))
     }
 
+    /// Consumes `keyword <float>` if the next token is `keyword`.
+    fn optional_keyed_f64(&mut self, keyword: &str) -> Result<Option<f64>, ParseLineError> {
+        if self.iter.peek() == Some(&keyword) {
+            self.iter.next();
+            Ok(Some(self.parse(keyword)?))
+        } else {
+            Ok(None)
+        }
+    }
+
     fn finish(mut self) -> Result<(), ParseLineError> {
         match self.iter.next() {
             Some(extra) => Err(ParseLineError::new(format!(
@@ -263,6 +356,10 @@ impl<'a> Tokens<'a> {
             None => Ok(()),
         }
     }
+}
+
+fn parse_theorem(tok: &str) -> Result<Theorem, ParseLineError> {
+    Theorem::parse(tok).ok_or_else(|| ParseLineError::new(format!("unknown theorem {tok:?}")))
 }
 
 impl FromStr for QueryRequest {
@@ -275,6 +372,7 @@ impl FromStr for QueryRequest {
                 release: t.parse("release id")?,
                 from: t.node("source vertex")?,
                 to: t.node("target vertex")?,
+                gamma: t.optional_keyed_f64("gamma")?,
             },
             "batch" => {
                 let release = t.parse("release id")?;
@@ -293,19 +391,27 @@ impl FromStr for QueryRequest {
                         .map_err(|_| ParseLineError::new(format!("invalid pair {tok:?}")))?;
                     pairs.push((NodeId::new(u), NodeId::new(v)));
                 }
-                QueryRequest::DistanceBatch { release, pairs }
+                QueryRequest::DistanceBatch {
+                    release,
+                    pairs,
+                    gamma: t.optional_keyed_f64("gamma")?,
+                }
             }
             "path" => QueryRequest::Path {
                 release: t.parse("release id")?,
                 from: t.node("source vertex")?,
                 to: t.node("target vertex")?,
             },
+            "accuracy" => QueryRequest::Accuracy {
+                release: t.parse("release id")?,
+                gamma: t.parse("gamma")?,
+            },
             "list" => QueryRequest::ListReleases,
             "budget" => QueryRequest::BudgetStatus,
             other => {
                 return Err(ParseLineError::new(format!(
-                    "unknown request verb {other:?} (expected distance, batch, path, list, \
-                     or budget)"
+                    "unknown request verb {other:?} (expected distance, batch, path, \
+                     accuracy, list, or budget)"
                 )))
             }
         };
@@ -317,11 +423,20 @@ impl FromStr for QueryRequest {
 impl fmt::Display for QueryResponse {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QueryResponse::Distance(d) => write!(f, "distance {}", fmt_f64(*d)),
-            QueryResponse::Distances(ds) => {
-                write!(f, "distances {}", ds.len())?;
-                for d in ds {
+            QueryResponse::Distance { value, bound } => {
+                write!(f, "distance {}", fmt_f64(*value))?;
+                if let Some(b) = bound {
+                    write!(f, " bound {}", fmt_f64(*b))?;
+                }
+                Ok(())
+            }
+            QueryResponse::Distances { values, bound } => {
+                write!(f, "distances {}", values.len())?;
+                for d in values {
                     write!(f, " {}", fmt_f64(*d))?;
+                }
+                if let Some(b) = bound {
+                    write!(f, " bound {}", fmt_f64(*b))?;
                 }
                 Ok(())
             }
@@ -331,6 +446,15 @@ impl fmt::Display for QueryResponse {
                     write!(f, " {}", n.index())?;
                 }
                 Ok(())
+            }
+            QueryResponse::Accuracy(b) => {
+                write!(
+                    f,
+                    "accuracy {} {} {}",
+                    b.theorem(),
+                    fmt_f64(b.alpha()),
+                    fmt_f64(b.gamma())
+                )
             }
             QueryResponse::Releases(rs) => {
                 write!(f, "releases {}", rs.len())?;
@@ -345,6 +469,17 @@ impl fmt::Display for QueryResponse {
                     )?;
                     match r.num_nodes {
                         Some(n) => write!(f, " {n}")?,
+                        None => write!(f, " -")?,
+                    }
+                    match &r.accuracy {
+                        // Colon-joined so each record stays fixed-arity.
+                        Some(b) => write!(
+                            f,
+                            " {}:{}:{}",
+                            b.theorem(),
+                            fmt_f64(b.alpha()),
+                            fmt_f64(b.gamma())
+                        )?,
                         None => write!(f, " -")?,
                     }
                 }
@@ -382,14 +517,20 @@ impl FromStr for QueryResponse {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut t = Tokens::new(s);
         let resp = match t.next("response verb")? {
-            "distance" => QueryResponse::Distance(t.parse("distance value")?),
+            "distance" => QueryResponse::Distance {
+                value: t.parse("distance value")?,
+                bound: t.optional_keyed_f64("bound")?,
+            },
             "distances" => {
                 let count: usize = t.parse("value count")?;
-                let mut ds = Vec::with_capacity(count.min(1 << 16));
+                let mut values = Vec::with_capacity(count.min(1 << 16));
                 for _ in 0..count {
-                    ds.push(t.parse("distance value")?);
+                    values.push(t.parse("distance value")?);
                 }
-                QueryResponse::Distances(ds)
+                QueryResponse::Distances {
+                    values,
+                    bound: t.optional_keyed_f64("bound")?,
+                }
             }
             "path" => {
                 let count: usize = t.parse("vertex count")?;
@@ -398,6 +539,12 @@ impl FromStr for QueryResponse {
                     nodes.push(t.node("path vertex")?);
                 }
                 QueryResponse::Path(nodes)
+            }
+            "accuracy" => {
+                let theorem = parse_theorem(t.next("theorem")?)?;
+                let alpha = t.parse("alpha")?;
+                let gamma = t.parse("gamma")?;
+                QueryResponse::Accuracy(ErrorBound::new(theorem, alpha, gamma))
             }
             "releases" => {
                 let count: usize = t.parse("release count")?;
@@ -418,12 +565,41 @@ impl FromStr for QueryResponse {
                             ParseLineError::new(format!("invalid vertex count {nodes_tok:?}"))
                         })?)
                     };
+                    let acc_tok = t.next("accuracy")?;
+                    let accuracy = if acc_tok == "-" {
+                        None
+                    } else {
+                        fn part<'a>(
+                            p: Option<&'a str>,
+                            what: &str,
+                            tok: &str,
+                        ) -> Result<&'a str, ParseLineError> {
+                            p.ok_or_else(|| {
+                                ParseLineError::new(format!("missing {what} in {tok:?}"))
+                            })
+                        }
+                        let mut parts = acc_tok.split(':');
+                        let theorem = parse_theorem(part(parts.next(), "theorem", acc_tok)?)?;
+                        let alpha: f64 = part(parts.next(), "alpha", acc_tok)?
+                            .parse()
+                            .map_err(|_| ParseLineError::new(format!("invalid {acc_tok:?}")))?;
+                        let gamma: f64 = part(parts.next(), "gamma", acc_tok)?
+                            .parse()
+                            .map_err(|_| ParseLineError::new(format!("invalid {acc_tok:?}")))?;
+                        if parts.next().is_some() {
+                            return Err(ParseLineError::new(format!(
+                                "trailing accuracy fields in {acc_tok:?}"
+                            )));
+                        }
+                        Some(ErrorBound::new(theorem, alpha, gamma))
+                    };
                     rs.push(ReleaseSummary {
                         id,
                         kind,
                         eps,
                         delta,
                         num_nodes,
+                        accuracy,
                     });
                 }
                 QueryResponse::Releases(rs)

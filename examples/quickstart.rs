@@ -105,6 +105,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // The release carries that promise as a typed accuracy contract, and
+    // the engine can run the theorem backwards: ask for a target error
+    // and let calibration derive the epsilon (here on the remaining
+    // budget, as a second release over the same database).
+    let worst = engine
+        .get(id)
+        .expect("registered")
+        .error_bound(0.05)
+        .expect("shortest-path declares a contract");
+    println!(
+        "\nStored contract ({}): every route errs by <= {:.1} min, w.p. 95%.",
+        worst.theorem(),
+        worst.alpha()
+    );
+    let target = ErrorTarget::new(worst.alpha() * 2.0, 0.05)?;
+    let (calibrated_id, bound) = engine.release_with_accuracy(
+        &mechanisms::SyntheticGraph,
+        &mechanisms::SyntheticGraphParams::new(Epsilon::new(1.0)?),
+        &target,
+        &mut rng,
+    )?;
+    let record = engine.get(calibrated_id).expect("registered");
+    println!(
+        "Calibrated release {calibrated_id}: eps = {:.4} buys error <= {:.1} ({}).",
+        record.eps(),
+        bound.alpha(),
+        bound.theorem()
+    );
+
     // Concurrent serving: snapshot the engine into an immutable
     // QueryService and fan queries out across threads — the read path is
     // Send + Sync and lock-free, and still spends no privacy.

@@ -47,16 +47,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             release: sp,
             from: NodeId::new(0),
             to: NodeId::new(40),
+            // Ask for the accuracy contract alongside the estimate: the
+            // response carries the ±bound the value honors w.p. 95%.
+            gamma: Some(0.05),
         },
         QueryRequest::Distance {
             release: synth,
             from: NodeId::new(0),
             to: NodeId::new(40),
+            gamma: None,
         },
         QueryRequest::Distance {
             release: sp,
             from: NodeId::new(0),
             to: NodeId::new(63),
+            gamma: Some(0.05),
+        },
+        QueryRequest::Accuracy {
+            release: sp,
+            gamma: 0.01,
         },
         QueryRequest::BudgetStatus,
     ];
@@ -81,6 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         release: sp,
                         from: NodeId::new(0),
                         to,
+                        gamma: None,
                     })
                     .expect("query");
                 println!("  client {worker}: 0 -> {} answered {resp}", to.index());

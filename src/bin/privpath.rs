@@ -5,13 +5,15 @@
 //! further privacy cost).
 //!
 //! ```text
-//! privpath gen-demo --nodes 200 --out-prefix demo            # demo.topo / demo.weights
-//! privpath release  --topo demo.topo --weights demo.weights \
-//!                   --mechanism shortest-path,synthetic-graph \
-//!                   --eps 1.0 --budget-eps 2.0 --out demo
-//! privpath route    --release demo.shortest-path.release --from 0 --to 17
-//! privpath distance --release demo.synthetic-graph.release --from 0 --to 17
-//! privpath inspect  --release demo.shortest-path.release
+//! privpath gen-demo  --nodes 200 --out-prefix demo           # demo.topo / demo.weights
+//! privpath calibrate --topo demo.topo --mechanism shortest-path \
+//!                    --target-alpha 150 --gamma 0.05         # smallest eps for the target
+//! privpath release   --topo demo.topo --weights demo.weights \
+//!                    --mechanism shortest-path,synthetic-graph \
+//!                    --eps 1.0 --budget-eps 2.0 --out demo
+//! privpath route     --release demo.shortest-path.release --from 0 --to 17
+//! privpath distance  --release demo.synthetic-graph.release --from 0 --to 17
+//! privpath inspect   --release demo.shortest-path.release   # incl. accuracy contract
 //! ```
 
 use privpath::engine::{mechanisms, read_release, QueryService, ReleaseEngine, ReleaseId};
@@ -32,13 +34,24 @@ commands:
   gen-demo   --nodes N --out-prefix P [--seed S] [--shape geometric|tree]
              generate a demo road network: P.topo (public topology) and
              P.weights (private travel times)
+  calibrate  --topo F --mechanism M --target-alpha A
+             [--gamma G] [--delta D] [--max-weight W]
+             solve the mechanism's accuracy theorem backwards: print the
+             smallest eps whose error bound meets `error <= A with
+             probability 1 - G` (G defaults to 0.05) on the given
+             topology, plus the theorem-named contract; mechanisms:
+             shortest-path, tree, hld-tree, bounded-weight,
+             synthetic-graph, all-pairs-baseline, mst, matching
+             (hld-tree/mst/matching have no stored-release format, so
+             their calibrated eps feeds the library API, not `release`)
   release    --topo F --weights F --eps E --out F
              [--mechanism M[,M...]] [--gamma G] [--delta D]
              [--max-weight W] [--budget-eps E --budget-delta D] [--seed S]
              run one or more mechanisms through the release engine under a
-             tracked privacy budget and store each release;
+             tracked privacy budget and store each release (with its
+             accuracy contract);
              mechanisms: shortest-path (default), tree, bounded-weight,
-             synthetic-graph
+             synthetic-graph, all-pairs-baseline
   route      --release F --from A --to B
              print the released route between two intersections
              (route-capable releases only)
@@ -46,7 +59,8 @@ commands:
              print the released travel-time estimate from any stored
              release kind
   inspect    --release F
-             print a stored release's kind and privacy metadata
+             print a stored release's kind, privacy metadata, and
+             accuracy contract
   serve      --store-dir D --port P [--host H] [--threads N]
              load every *.release file in D (sorted by name, ids r0, r1,
              ...) and serve distance/path queries over TCP from a shared
@@ -54,10 +68,12 @@ commands:
              (printed as `listening on HOST:PORT`); a client sending the
              `shutdown` line stops the server gracefully
   query      --connect HOST:PORT [--op OP] [--release ID]
-             [--from A --to B] [--pairs A:B,A:B,...]
+             [--from A --to B] [--pairs A:B,A:B,...] [--gamma G]
              query a running server; OP is one of distance (default),
-             route, batch, list, budget, shutdown; ID is a release id in
-             its r<N> form (e.g. r0)
+             route, batch, accuracy, list, budget, shutdown; ID is a
+             release id in its r<N> form (e.g. r0); --gamma on
+             distance/batch attaches the release's ±error bound at that
+             confidence, and is the evaluation point for accuracy
 ";
 
 /// Parses `--flag value` pairs, rejecting unknown and duplicated flags.
@@ -112,6 +128,17 @@ fn run() -> Result<(), String> {
             rest,
             &["nodes", "out-prefix", "seed", "shape"],
         )?),
+        "calibrate" => calibrate(&parse_flags(
+            rest,
+            &[
+                "topo",
+                "mechanism",
+                "target-alpha",
+                "gamma",
+                "delta",
+                "max-weight",
+            ],
+        )?),
         "release" => release(&parse_flags(
             rest,
             &[
@@ -137,7 +164,7 @@ fn run() -> Result<(), String> {
         )?),
         "query" => remote_query(&parse_flags(
             rest,
-            &["connect", "op", "release", "from", "to", "pairs"],
+            &["connect", "op", "release", "from", "to", "pairs", "gamma"],
         )?),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -186,6 +213,122 @@ fn gen_demo(flags: &HashMap<String, String>) -> Result<(), String> {
         "wrote {topo_path} ({} nodes, {} roads) and {weights_path}",
         topo.num_nodes(),
         topo.num_edges()
+    );
+    Ok(())
+}
+
+/// Runs one mechanism's calibration against a target and reports the
+/// smallest satisfying epsilon plus the contract it buys.
+fn calibrate_one<M: Mechanism>(
+    mechanism: &M,
+    topo: &Topology,
+    template: &M::Params,
+    target: &ErrorTarget,
+) -> Result<(f64, privpath::engine::ErrorBound), String> {
+    let eps = mechanism.calibrate(topo, template, target).ok_or_else(|| {
+        format!(
+            "cannot calibrate `{}` to error <= {} at gamma {} (target below the \
+             bound's floor?)",
+            mechanism.name(),
+            target.alpha(),
+            target.gamma()
+        )
+    })?;
+    let params = mechanism.with_eps(template, eps);
+    let bound = mechanism
+        .error_bound(topo, &params, target.gamma())
+        .ok_or_else(|| format!("`{}` declares no accuracy contract", mechanism.name()))?;
+    Ok((eps.value(), bound))
+}
+
+fn calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let topo_file = File::open(required(flags, "topo")?).map_err(|e| e.to_string())?;
+    let topo = read_topology(BufReader::new(topo_file)).map_err(|e| e.to_string())?;
+    let alpha: f64 = parse(required(flags, "target-alpha")?, "target alpha")?;
+    let gamma: f64 = flags.get("gamma").map_or(Ok(0.05), |s| parse(s, "gamma"))?;
+    let target = ErrorTarget::new(alpha, gamma).map_err(|e| e.to_string())?;
+    let name = flags
+        .get("mechanism")
+        .map_or("shortest-path", String::as_str);
+    // The template epsilon is a placeholder: calibration solves for it;
+    // every other knob (gamma, delta, max-weight) comes from the flags.
+    let unit = Epsilon::new(1.0).expect("valid constant");
+
+    let (eps, bound) = match name {
+        "shortest-path" => {
+            let params = ShortestPathParams::new(unit, gamma).map_err(|e| e.to_string())?;
+            calibrate_one(&mechanisms::ShortestPaths, &topo, &params, &target)?
+        }
+        "tree" => calibrate_one(
+            &mechanisms::TreeAllPairs,
+            &topo,
+            &TreeDistanceParams::new(unit),
+            &target,
+        )?,
+        "hld-tree" => calibrate_one(
+            &mechanisms::HldTree,
+            &topo,
+            &TreeDistanceParams::new(unit),
+            &target,
+        )?,
+        "bounded-weight" => {
+            let max_weight: f64 = parse(
+                required(flags, "max-weight")
+                    .map_err(|_| "--mechanism bounded-weight needs --max-weight".to_string())?,
+                "max weight",
+            )?;
+            let params = match flags.get("delta") {
+                Some(d) => {
+                    let delta = Delta::new(parse(d, "delta")?).map_err(|e| e.to_string())?;
+                    BoundedWeightParams::approx(unit, delta, max_weight)
+                }
+                None => BoundedWeightParams::pure(unit, max_weight),
+            }
+            .map_err(|e| e.to_string())?;
+            calibrate_one(&mechanisms::BoundedWeight, &topo, &params, &target)?
+        }
+        "synthetic-graph" => calibrate_one(
+            &mechanisms::SyntheticGraph,
+            &topo,
+            &mechanisms::SyntheticGraphParams::new(unit),
+            &target,
+        )?,
+        "all-pairs-baseline" => {
+            let params = match flags.get("delta") {
+                Some(d) => {
+                    let delta = Delta::new(parse(d, "delta")?).map_err(|e| e.to_string())?;
+                    mechanisms::AllPairsBaselineParams::advanced(unit, delta)
+                        .map_err(|e| e.to_string())?
+                }
+                None => mechanisms::AllPairsBaselineParams::basic(unit),
+            };
+            calibrate_one(&mechanisms::AllPairsBaseline, &topo, &params, &target)?
+        }
+        "mst" => calibrate_one(&mechanisms::Mst, &topo, &MstParams::new(unit), &target)?,
+        "matching" => calibrate_one(
+            &mechanisms::Matching::default(),
+            &topo,
+            &MatchingParams::new(unit),
+            &target,
+        )?,
+        other => {
+            return Err(format!(
+                "unknown mechanism {other:?} (expected shortest-path, tree, hld-tree, \
+                 bounded-weight, synthetic-graph, all-pairs-baseline, mst, or matching)"
+            ))
+        }
+    };
+
+    // First line is machine-readable (the serve-smoke CI step feeds it
+    // back into `privpath release --eps`); details follow.
+    println!("calibrated eps {eps}");
+    println!("mechanism {name}");
+    println!(
+        "contract {}: error <= {} with probability {} (gamma {})",
+        bound.theorem(),
+        bound.alpha(),
+        1.0 - bound.gamma(),
+        bound.gamma()
     );
     Ok(())
 }
@@ -268,10 +411,21 @@ fn release(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
                 engine.release(&mechanisms::BoundedWeight, &params, &mut rng)
             }
+            "all-pairs-baseline" => {
+                let params = match flags.get("delta") {
+                    Some(d) => {
+                        let delta = Delta::new(parse(d, "delta")?).map_err(|e| e.to_string())?;
+                        mechanisms::AllPairsBaselineParams::advanced(eps, delta)
+                            .map_err(|e| e.to_string())?
+                    }
+                    None => mechanisms::AllPairsBaselineParams::basic(eps),
+                };
+                engine.release(&mechanisms::AllPairsBaseline, &params, &mut rng)
+            }
             other => {
                 return Err(format!(
                     "unknown mechanism {other:?} (expected shortest-path, tree, \
-                     bounded-weight, or synthetic-graph)"
+                     bounded-weight, synthetic-graph, or all-pairs-baseline)"
                 ))
             }
         }
@@ -295,6 +449,14 @@ fn release(flags: &HashMap<String, String>) -> Result<(), String> {
             record.kind(),
             topo.num_edges(),
         );
+        if let Some(b) = record.error_bound(DEFAULT_GAMMA) {
+            println!(
+                "  contract {}: error <= {} with probability {}",
+                b.theorem(),
+                b.alpha(),
+                1.0 - b.gamma()
+            );
+        }
     }
     let (se, sd) = engine.spent();
     match engine.remaining() {
@@ -345,6 +507,18 @@ fn query(flags: &HashMap<String, String>, want_route: bool) -> Result<(), String
             stored.release.kind(),
             stored.eps
         );
+        if let Some(b) = stored
+            .accuracy
+            .as_ref()
+            .and_then(|c| c.evaluate(DEFAULT_GAMMA))
+        {
+            println!(
+                "error bound: ±{:.2} with probability {} ({})",
+                b.alpha(),
+                1.0 - b.gamma(),
+                b.theorem()
+            );
+        }
     }
     Ok(())
 }
@@ -358,6 +532,19 @@ fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
     match stored.release.as_distance() {
         Some(oracle) => println!("vertices: {}", oracle.num_nodes()),
         None => println!("vertices: (no distance surface)"),
+    }
+    match stored
+        .accuracy
+        .as_ref()
+        .and_then(|c| c.evaluate(DEFAULT_GAMMA))
+    {
+        Some(b) => println!(
+            "accuracy: {} alpha {} gamma {}",
+            b.theorem(),
+            b.alpha(),
+            b.gamma()
+        ),
+        None => println!("accuracy: none"),
     }
     Ok(())
 }
@@ -428,6 +615,10 @@ fn release_id(flags: &HashMap<String, String>) -> Result<ReleaseId, String> {
 fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = required(flags, "connect")?;
     let op = flags.get("op").map_or("distance", String::as_str);
+    let gamma = flags
+        .get("gamma")
+        .map(|s| parse::<f64>(s, "gamma"))
+        .transpose()?;
 
     // Validate the request fully before dialing the server.
     let request = match op {
@@ -435,6 +626,7 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
             release: release_id(flags)?,
             from: NodeId::new(parse(required(flags, "from")?, "source id")?),
             to: NodeId::new(parse(required(flags, "to")?, "target id")?),
+            gamma,
         },
         "route" => QueryRequest::Path {
             release: release_id(flags)?,
@@ -456,8 +648,13 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
             QueryRequest::DistanceBatch {
                 release: release_id(flags)?,
                 pairs,
+                gamma,
             }
         }
+        "accuracy" => QueryRequest::Accuracy {
+            release: release_id(flags)?,
+            gamma: gamma.unwrap_or(DEFAULT_GAMMA),
+        },
         "list" => QueryRequest::ListReleases,
         "budget" => QueryRequest::BudgetStatus,
         "shutdown" => {
@@ -478,12 +675,24 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
     let response = client.request(&request).map_err(|e| e.to_string())?;
     match (&request, response) {
-        (QueryRequest::Distance { release, from, to }, QueryResponse::Distance(d)) => {
-            println!(
-                "estimated travel time {} -> {}: {d:.2} (release {release})",
-                from.index(),
-                to.index()
-            );
+        (
+            QueryRequest::Distance {
+                release, from, to, ..
+            },
+            QueryResponse::Distance { value, bound },
+        ) => {
+            match bound {
+                Some(b) => println!(
+                    "estimated travel time {} -> {}: {value:.2} ±{b:.2} (release {release})",
+                    from.index(),
+                    to.index()
+                ),
+                None => println!(
+                    "estimated travel time {} -> {}: {value:.2} (release {release})",
+                    from.index(),
+                    to.index()
+                ),
+            };
         }
         (QueryRequest::Path { from, to, .. }, QueryResponse::Path(nodes)) => {
             let stops: Vec<String> = nodes.iter().map(|n| n.index().to_string()).collect();
@@ -495,16 +704,31 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
                 stops.join(" -> ")
             );
         }
-        (QueryRequest::DistanceBatch { pairs, .. }, QueryResponse::Distances(ds)) => {
-            for ((u, v), d) in pairs.iter().zip(ds) {
+        (QueryRequest::DistanceBatch { pairs, .. }, QueryResponse::Distances { values, bound }) => {
+            for ((u, v), d) in pairs.iter().zip(values) {
                 println!("{} -> {}: {d:.2}", u.index(), v.index());
             }
+            if let Some(b) = bound {
+                println!("error bound: ±{b:.2} for every pair");
+            }
+        }
+        (QueryRequest::Accuracy { release, .. }, QueryResponse::Accuracy(b)) => {
+            println!(
+                "release {release} accuracy {}: error <= {} with probability {} (gamma {})",
+                b.theorem(),
+                b.alpha(),
+                1.0 - b.gamma(),
+                b.gamma()
+            );
         }
         (QueryRequest::ListReleases, QueryResponse::Releases(rs)) => {
             for r in rs {
                 let nodes = r.num_nodes.map_or("-".to_string(), |n| n.to_string());
+                let accuracy = r.accuracy.as_ref().map_or("-".to_string(), |b| {
+                    format!("{}:{}", b.theorem(), b.alpha())
+                });
                 println!(
-                    "{} {} eps={} delta={} vertices={nodes}",
+                    "{} {} eps={} delta={} vertices={nodes} accuracy={accuracy}",
                     r.id, r.kind, r.eps, r.delta
                 );
             }

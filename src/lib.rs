@@ -102,8 +102,9 @@ pub mod prelude {
     pub use privpath_core::tree_hld::{hld_tree_all_pairs, HldTreeRelease};
     pub use privpath_dp::{Accountant, Delta, Epsilon, NoiseSource, RngNoise, ZeroNoise};
     pub use privpath_engine::{
-        mechanisms, AnyRelease, DistanceRelease, EngineError, Mechanism, PrivacyCost, QueryService,
-        ReleaseEngine, ReleaseId, ReleaseKind, StoredRelease,
+        mechanisms, AccuracyContract, AnyRelease, BudgetPlan, DistanceRelease, EngineError,
+        ErrorBound, ErrorTarget, Mechanism, PrivacyCost, QueryService, ReleaseEngine, ReleaseId,
+        ReleaseKind, StoredRelease, Theorem, DEFAULT_GAMMA,
     };
     pub use privpath_graph::{EdgeId, EdgeWeights, GraphError, NodeId, Path, Topology};
     pub use privpath_serve::{

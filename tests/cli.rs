@@ -482,3 +482,144 @@ fn help_prints_usage() {
     assert!(out.contains("usage: privpath"));
     assert!(out.contains("gen-demo"));
 }
+
+#[test]
+fn calibrate_then_release_stores_the_contract() {
+    let prefix = tmp("calib");
+    let prefix_str = prefix.to_str().unwrap();
+    let release = tmp("calib.release");
+    let release_str = release.to_str().unwrap();
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "50",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "9",
+    ]);
+    let topo = format!("{prefix_str}.topo");
+
+    // Solve Cor 5.6 backwards for the smallest eps with error <= 5000.
+    let out = run_ok(&[
+        "calibrate",
+        "--topo",
+        &topo,
+        "--mechanism",
+        "shortest-path",
+        "--target-alpha",
+        "5000",
+        "--gamma",
+        "0.05",
+    ]);
+    let eps_line = out
+        .lines()
+        .find(|l| l.starts_with("calibrated eps "))
+        .unwrap_or_else(|| panic!("no calibrated eps line in {out}"));
+    let eps: f64 = eps_line["calibrated eps ".len()..].parse().unwrap();
+    assert!(eps > 0.0, "{out}");
+    assert!(out.contains("contract cor-5.6"), "{out}");
+    // The reported bound meets the target.
+    let alpha_str = out
+        .split("error <= ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no bound in {out}"));
+    let alpha: f64 = alpha_str.parse().unwrap();
+    assert!(alpha <= 5000.0 + 1e-6, "{out}");
+
+    // Release at the calibrated eps; the stored file carries the
+    // contract, and inspect reports the same theorem and bound.
+    let out = run_ok(&[
+        "release",
+        "--topo",
+        &topo,
+        "--weights",
+        &format!("{prefix_str}.weights"),
+        "--eps",
+        &eps.to_string(),
+        "--out",
+        release_str,
+    ]);
+    assert!(out.contains("contract cor-5.6"), "{out}");
+
+    let out = run_ok(&["inspect", "--release", release_str]);
+    assert!(out.contains("accuracy: cor-5.6"), "{out}");
+    let stored_alpha: f64 = out
+        .split("alpha ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        (stored_alpha - alpha).abs() < 1e-6,
+        "stored contract {stored_alpha} != calibrated {alpha}"
+    );
+
+    // A local distance query reports the error bar from the contract.
+    let out = run_ok(&[
+        "distance",
+        "--release",
+        release_str,
+        "--from",
+        "0",
+        "--to",
+        "20",
+    ]);
+    assert!(out.contains("error bound: ±"), "{out}");
+    assert!(out.contains("cor-5.6"), "{out}");
+}
+
+#[test]
+fn calibrate_rejects_bad_targets_and_mechanisms() {
+    let prefix = tmp("calib_bad");
+    let prefix_str = prefix.to_str().unwrap();
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "20",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "4",
+    ]);
+    let topo = format!("{prefix_str}.topo");
+    for args in [
+        vec!["calibrate", "--topo", topo.as_str(), "--target-alpha", "0"],
+        vec![
+            "calibrate",
+            "--topo",
+            topo.as_str(),
+            "--target-alpha",
+            "10",
+            "--gamma",
+            "2.0",
+        ],
+        vec![
+            "calibrate",
+            "--topo",
+            topo.as_str(),
+            "--target-alpha",
+            "10",
+            "--mechanism",
+            "frobnicate",
+        ],
+        // bounded-weight without --max-weight
+        vec![
+            "calibrate",
+            "--topo",
+            topo.as_str(),
+            "--target-alpha",
+            "10",
+            "--mechanism",
+            "bounded-weight",
+        ],
+    ] {
+        let out = Command::new(bin())
+            .args(&args)
+            .output()
+            .expect("spawn privpath");
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}

@@ -669,3 +669,396 @@ fn restore_debits_the_adopting_engine() {
     let err = serving.restore(BufReader::new(buf.as_slice())).unwrap_err();
     assert!(matches!(err, EngineError::BudgetExhausted { .. }), "{err}");
 }
+
+// ---------------------------------------------------------------------------
+// Contract 3: accuracy contracts — every mechanism names its theorem, and
+// calibration round-trips (error_bound(calibrate(target)) <= target).
+// ---------------------------------------------------------------------------
+
+/// Asserts the mechanism declares `expected` and that calibration is the
+/// bound's inverse: for targets below/at/above the eps = 1 bound, the
+/// calibrated epsilon meets the target within 1e-9, and (for bounds with
+/// no epsilon-independent floor, `check_minimal`) half the calibrated
+/// epsilon misses it — the solver really found the smallest epsilon.
+fn assert_accuracy_round_trip<M: privpath::engine::Mechanism>(
+    mechanism: &M,
+    topo: &Topology,
+    template: &M::Params,
+    expected: Theorem,
+    check_minimal: bool,
+) {
+    let gamma = 0.05;
+    let at_unit = mechanism
+        .error_bound(topo, template, gamma)
+        .unwrap_or_else(|| panic!("{} declares no contract", mechanism.name()));
+    assert_eq!(at_unit.theorem(), expected, "{}", mechanism.name());
+    assert_eq!(at_unit.gamma(), gamma);
+    assert!(
+        at_unit.alpha().is_finite() && at_unit.alpha() > 0.0,
+        "{} bound degenerate: {}",
+        mechanism.name(),
+        at_unit.alpha()
+    );
+
+    for factor in [0.37, 1.0, 7.3] {
+        let alpha = at_unit.alpha() * factor;
+        let target = ErrorTarget::new(alpha, gamma).unwrap();
+        let eps = mechanism
+            .calibrate(topo, template, &target)
+            .unwrap_or_else(|| panic!("{} fails to calibrate to {alpha}", mechanism.name()));
+        let achieved = mechanism
+            .error_bound(topo, &mechanism.with_eps(template, eps), gamma)
+            .unwrap();
+        assert!(
+            achieved.alpha() <= alpha + 1e-9,
+            "{}: calibrated eps {} achieves {} > target {alpha}",
+            mechanism.name(),
+            eps.value(),
+            achieved.alpha()
+        );
+        if check_minimal {
+            let half = mechanism
+                .error_bound(
+                    topo,
+                    &mechanism.with_eps(template, Epsilon::new(eps.value() / 2.0).unwrap()),
+                    gamma,
+                )
+                .unwrap();
+            assert!(
+                half.alpha() > alpha,
+                "{}: half the calibrated eps still meets the target — not minimal",
+                mechanism.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_mechanism_names_its_theorem_and_calibrates() {
+    let (topo, _) = tree_workload(40, 61);
+    let sp = ShortestPathParams::new(eps(1.0), 0.05).unwrap();
+    assert_accuracy_round_trip(&mechanisms::ShortestPaths, &topo, &sp, Theorem::Cor56, true);
+    let tree = TreeDistanceParams::new(eps(1.0));
+    assert_accuracy_round_trip(
+        &mechanisms::TreeAllPairs,
+        &topo,
+        &tree,
+        Theorem::Thm42,
+        true,
+    );
+    assert_accuracy_round_trip(&mechanisms::HldTree, &topo, &tree, Theorem::Thm42, true);
+    let synth = mechanisms::SyntheticGraphParams::new(eps(1.0));
+    assert_accuracy_round_trip(
+        &mechanisms::SyntheticGraph,
+        &topo,
+        &synth,
+        Theorem::Cor56,
+        true,
+    );
+    let basic = mechanisms::AllPairsBaselineParams::basic(eps(1.0));
+    assert_accuracy_round_trip(
+        &mechanisms::AllPairsBaseline,
+        &topo,
+        &basic,
+        Theorem::Lem33,
+        true,
+    );
+    let advanced =
+        mechanisms::AllPairsBaselineParams::advanced(eps(1.0), Delta::new(1e-6).unwrap()).unwrap();
+    assert_accuracy_round_trip(
+        &mechanisms::AllPairsBaseline,
+        &topo,
+        &advanced,
+        Theorem::Lem34,
+        // Advanced composition is super-linear in eps; minimality still
+        // holds but the bound has no clean halving law — skip that probe.
+        false,
+    );
+    assert_accuracy_round_trip(
+        &mechanisms::Mst,
+        &topo,
+        &MstParams::new(eps(1.0)),
+        Theorem::ThmB3,
+        true,
+    );
+
+    // Bounded-weight on a connected graph: pure (Thm 4.6) and approx
+    // (Thm 4.5). The detour floor 2kM makes minimality conditional.
+    let (gtopo, _) = graph_workload(40, 110, 62);
+    let pure = BoundedWeightParams::pure(eps(1.0), 1.0).unwrap();
+    assert_accuracy_round_trip(
+        &mechanisms::BoundedWeight,
+        &gtopo,
+        &pure,
+        Theorem::Thm46,
+        false,
+    );
+    let approx = BoundedWeightParams::approx(eps(1.0), Delta::new(1e-6).unwrap(), 1.0).unwrap();
+    assert_accuracy_round_trip(
+        &mechanisms::BoundedWeight,
+        &gtopo,
+        &approx,
+        Theorem::Thm45,
+        false,
+    );
+
+    // Matching wants a bipartite workload.
+    let (btopo, _) = bipartite_workload(6, 63);
+    assert_accuracy_round_trip(
+        &mechanisms::Matching::default(),
+        &btopo,
+        &MatchingParams::new(eps(1.0)),
+        Theorem::ThmB6,
+        true,
+    );
+}
+
+#[test]
+fn bounded_weight_target_below_detour_floor_fails_to_calibrate() {
+    let (topo, _) = graph_workload(40, 110, 64);
+    let params = BoundedWeightParams::pure(eps(1.0), 1.0)
+        .unwrap()
+        .with_strategy(privpath::core::bounded::CoveringStrategy::MeirMoon { k: 3 });
+    // The detour term alone is 2 * 3 * 1 = 6; no epsilon beats alpha = 5.
+    let target = ErrorTarget::new(5.0, 0.05).unwrap();
+    assert!(mechanisms::BoundedWeight
+        .calibrate(&topo, &params, &target)
+        .is_none());
+}
+
+#[test]
+fn release_with_accuracy_calibrates_debits_and_stores_the_contract() {
+    let (topo, w) = tree_workload(40, 65);
+    let template = TreeDistanceParams::new(eps(1.0));
+    let at_unit = mechanisms::TreeAllPairs
+        .error_bound(&topo, &template, 0.05)
+        .unwrap();
+    // Ask for 3x the eps = 1 error: a third of the budget should do.
+    let target = ErrorTarget::new(at_unit.alpha() * 3.0, 0.05).unwrap();
+    let expected_eps = mechanisms::TreeAllPairs
+        .calibrate(&topo, &template, &target)
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(66);
+    let mut engine = ReleaseEngine::with_budget(topo, w, eps(1.0), Delta::zero()).unwrap();
+    let (id, bound) = engine
+        .release_with_accuracy(&mechanisms::TreeAllPairs, &template, &target, &mut rng)
+        .unwrap();
+    assert!(bound.alpha() <= target.alpha() + 1e-9);
+    assert_eq!(bound.theorem(), Theorem::Thm42);
+    let record = engine.get(id).unwrap();
+    assert_eq!(record.eps(), expected_eps.value(), "debited != calibrated");
+    assert_eq!(engine.spent(), (expected_eps.value(), 0.0));
+    // The stored contract re-evaluates to the same bound.
+    assert_eq!(record.error_bound(0.05), Some(bound));
+    // And tightening the confidence loosens the bound.
+    assert!(record.error_bound(0.001).unwrap().alpha() > bound.alpha());
+}
+
+#[test]
+fn release_with_accuracy_respects_the_budget_check() {
+    let (topo, w) = tree_workload(30, 67);
+    let template = TreeDistanceParams::new(eps(1.0));
+    let at_unit = mechanisms::TreeAllPairs
+        .error_bound(&topo, &template, 0.05)
+        .unwrap();
+    // A tiny target alpha needs eps far above the budget of 0.5.
+    let target = ErrorTarget::new(at_unit.alpha() / 100.0, 0.05).unwrap();
+    let mut rng = StdRng::seed_from_u64(68);
+    let mut engine =
+        ReleaseEngine::with_budget(topo, w, Epsilon::new(0.5).unwrap(), Delta::zero()).unwrap();
+    let err = engine
+        .release_with_accuracy(&mechanisms::TreeAllPairs, &template, &target, &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, EngineError::BudgetExhausted { .. }), "{err}");
+    assert!(engine.is_empty());
+    assert_eq!(engine.spent(), (0.0, 0.0));
+}
+
+#[test]
+fn zero_noise_release_with_accuracy_is_exact_and_contracted() {
+    let (topo, w) = tree_workload(24, 69);
+    let template = TreeDistanceParams::new(eps(1.0));
+    let at_unit = mechanisms::TreeAllPairs
+        .error_bound(&topo, &template, 0.05)
+        .unwrap();
+    let target = ErrorTarget::new(at_unit.alpha(), 0.05).unwrap();
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let (id, bound) = engine
+        .release_with_accuracy_noise(
+            &mechanisms::TreeAllPairs,
+            &template,
+            &target,
+            &mut ZeroNoise,
+        )
+        .unwrap();
+    assert!(bound.alpha() <= target.alpha() + 1e-9);
+    // Calibration changes only epsilon, never correctness: with zero
+    // noise the release still answers exactly.
+    let rt = RootedTree::new(&topo, NodeId::new(0)).unwrap();
+    let truth = weighted_depths(&rt, &w).unwrap();
+    let oracle = engine.query(id).unwrap();
+    for v in topo.nodes().step_by(3) {
+        assert!((oracle.distance(NodeId::new(0), v).unwrap() - truth[v.index()]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn budget_plan_splits_proportionally_and_preserves_contract_ratios() {
+    let (topo, w) = tree_workload(36, 70);
+    let gamma = 0.05;
+    let tree = TreeDistanceParams::new(eps(1.0));
+    let sp = ShortestPathParams::new(eps(1.0), gamma).unwrap();
+    let tree_target = ErrorTarget::new(40.0, gamma).unwrap();
+    let sp_target = ErrorTarget::new(900.0, gamma).unwrap();
+    let tree_eps = mechanisms::TreeAllPairs
+        .calibrate(&topo, &tree, &tree_target)
+        .unwrap();
+    let sp_eps = mechanisms::ShortestPaths
+        .calibrate(&topo, &sp, &sp_target)
+        .unwrap();
+
+    let total = Epsilon::new((tree_eps.value() + sp_eps.value()) / 2.0).unwrap();
+    let mut plan = BudgetPlan::new(total);
+    plan.request("tree", tree_eps);
+    plan.request("shortest-path", sp_eps);
+    let factor = plan.scale_factor().unwrap();
+    assert!((factor - 0.5).abs() < 1e-12);
+    let allocs = plan.allocations().unwrap();
+    let granted: f64 = allocs.iter().map(|(_, e)| e.value()).sum();
+    assert!(
+        (granted - total.value()).abs() < 1e-9,
+        "plan must spend the whole budget"
+    );
+
+    // Releasing at the allocations fits the budget exactly, and each
+    // bound inflates by the same 1/factor (the C/eps law).
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut engine = ReleaseEngine::with_budget(topo.clone(), w, total, Delta::zero()).unwrap();
+    let tree_id = engine
+        .release(
+            &mechanisms::TreeAllPairs,
+            &tree.with_eps(allocs[0].1),
+            &mut rng,
+        )
+        .unwrap();
+    let sp_id = engine
+        .release(
+            &mechanisms::ShortestPaths,
+            &sp.with_eps(allocs[1].1),
+            &mut rng,
+        )
+        .unwrap();
+    assert!(engine.remaining().unwrap().0 < 1e-9);
+    let tree_bound = engine.get(tree_id).unwrap().error_bound(gamma).unwrap();
+    let sp_bound = engine.get(sp_id).unwrap().error_bound(gamma).unwrap();
+    assert!((tree_bound.alpha() - tree_target.alpha() / factor).abs() < 1e-6);
+    assert!((sp_bound.alpha() - sp_target.alpha() / factor).abs() < 1e-6);
+}
+
+#[test]
+fn persistence_round_trips_the_accuracy_contract() {
+    let (topo, w) = tree_workload(20, 72);
+    let mut rng = StdRng::seed_from_u64(73);
+    let mut engine = ReleaseEngine::new(topo, w).unwrap();
+    engine
+        .release(
+            &mechanisms::ShortestPaths,
+            &ShortestPathParams::new(eps(1.0), 0.05).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::TreeAllPairs,
+            &TreeDistanceParams::new(eps(0.7)),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::BoundedWeight,
+            &BoundedWeightParams::pure(eps(1.0), 10.0).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::SyntheticGraph,
+            &mechanisms::SyntheticGraphParams::new(eps(2.0)),
+            &mut rng,
+        )
+        .unwrap();
+    engine
+        .release(
+            &mechanisms::AllPairsBaseline,
+            &mechanisms::AllPairsBaselineParams::basic(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+
+    for record in engine.releases() {
+        let mut buf = Vec::new();
+        engine.save(record.id(), &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("privpath-release v3\n"), "header bumped");
+        assert!(text.contains("\naccuracy "), "contract line missing");
+        let stored = read_release(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(
+            stored.accuracy.as_ref(),
+            record.accuracy(),
+            "{} contract did not round-trip",
+            record.kind()
+        );
+
+        // A v2 file (header downgraded, accuracy line dropped) still
+        // loads — with no contract.
+        let v2 = text
+            .replacen("privpath-release v3", "privpath-release v2", 1)
+            .lines()
+            .filter(|l| !l.starts_with("accuracy "))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>();
+        let legacy = read_release(BufReader::new(v2.as_bytes())).unwrap();
+        assert!(legacy.accuracy.is_none());
+        assert_eq!(legacy.eps, stored.eps);
+    }
+}
+
+#[test]
+fn greedy_covering_calibration_agrees_with_pinned_custom_covering() {
+    use privpath::core::bounded::CoveringStrategy;
+    use privpath::graph::covering::greedy_covering;
+
+    let (topo, _) = graph_workload(60, 160, 74);
+    let greedy = BoundedWeightParams::pure(eps(1.0), 1.0)
+        .unwrap()
+        .with_strategy(CoveringStrategy::Greedy { k: 2 });
+    let centers = greedy_covering(&topo, 2).unwrap();
+    let custom = BoundedWeightParams::pure(eps(1.0), 1.0)
+        .unwrap()
+        .with_strategy(CoveringStrategy::Custom { centers, k: 2 });
+
+    let alpha = mechanisms::BoundedWeight
+        .error_bound(&topo, &greedy, 0.05)
+        .unwrap()
+        .alpha();
+    let target = ErrorTarget::new(alpha * 1.3, 0.05).unwrap();
+    // The Greedy calibrate override pins the covering once; it must
+    // land exactly where solving on the equivalent Custom strategy does.
+    let via_greedy = mechanisms::BoundedWeight
+        .calibrate(&topo, &greedy, &target)
+        .unwrap();
+    let via_custom = mechanisms::BoundedWeight
+        .calibrate(&topo, &custom, &target)
+        .unwrap();
+    assert_eq!(via_greedy.value(), via_custom.value());
+    let achieved = mechanisms::BoundedWeight
+        .error_bound(
+            &topo,
+            &mechanisms::BoundedWeight.with_eps(&greedy, via_greedy),
+            0.05,
+        )
+        .unwrap();
+    assert!(achieved.alpha() <= target.alpha() + 1e-9);
+}

@@ -1,0 +1,171 @@
+//! Property tests pinning the closed-form error bounds that the engine's
+//! calibration inverts: every bound is nonnegative, nonincreasing in
+//! `eps` (more budget never hurts), and nondecreasing as `gamma` shrinks
+//! (more confidence never comes free). If any of these drifted, the
+//! inverse solvers would silently mis-calibrate — these properties are
+//! the contract between `bounds.rs` and `calibrate`.
+
+use privpath::core::bounds::{
+    bounded_error, cor56_worst_case, thm41_single_source_tree, thm42_all_pairs_tree,
+    thm43_approx_rate, thm55_path_error, thm_b3_mst_error, thm_b6_matching_error, AccuracyContract,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Structural parameters drawn over the ranges the mechanisms actually
+/// use, plus an ordered pair `eps_lo < eps_hi` and `gamma_lo < gamma_hi`.
+#[derive(Clone, Debug)]
+struct BoundInputs {
+    v: usize,
+    num_edges: usize,
+    k: usize,
+    eps_lo: f64,
+    eps_hi: f64,
+    gamma_lo: f64,
+    gamma_hi: f64,
+    max_weight: f64,
+    noise_scale: f64,
+    num_released: usize,
+}
+
+fn arb_inputs() -> impl Strategy<Value = BoundInputs> {
+    any::<u64>().prop_map(|seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = rng.gen_range(2..2000);
+        let e_lo = rng.gen_range(0.01..10.0f64);
+        let e_hi = e_lo * rng.gen_range(1.0001..1000.0);
+        let g_lo = rng.gen_range(1e-9..0.5f64);
+        let g_hi = (g_lo * rng.gen_range(1.0001..100.0)).min(0.9999);
+        BoundInputs {
+            v,
+            num_edges: rng.gen_range(1..4_000_000),
+            k: rng.gen_range(1..v),
+            eps_lo: e_lo,
+            eps_hi: e_hi,
+            gamma_lo: g_lo,
+            gamma_hi: g_hi,
+            max_weight: rng.gen_range(0.01..100.0),
+            noise_scale: rng.gen_range(0.01..1000.0),
+            num_released: rng.gen_range(0..100_000),
+        }
+    })
+}
+
+/// Asserts the three properties for one bound-in-eps at fixed gamma and
+/// one bound-in-gamma at fixed eps.
+fn assert_bound_laws(
+    name: &str,
+    i: &BoundInputs,
+    bound: impl Fn(f64, f64) -> f64, // (eps, gamma) -> alpha
+) -> Result<(), TestCaseError> {
+    let at = |e: f64, g: f64| {
+        let b = bound(e, g);
+        prop_assert!(b.is_finite(), "{name} non-finite at eps={e} gamma={g}");
+        prop_assert!(b >= 0.0, "{name} negative ({b}) at eps={e} gamma={g}");
+        Ok(b)
+    };
+    // Nonincreasing in eps (fixed gamma).
+    let lo = at(i.eps_lo, i.gamma_lo)?;
+    let hi = at(i.eps_hi, i.gamma_lo)?;
+    prop_assert!(
+        hi <= lo + 1e-9 * lo.abs().max(1.0),
+        "{name} grew with eps: alpha({}) = {lo} -> alpha({}) = {hi}",
+        i.eps_lo,
+        i.eps_hi
+    );
+    // Nondecreasing as gamma shrinks (fixed eps).
+    let tight = at(i.eps_lo, i.gamma_lo)?;
+    let loose = at(i.eps_lo, i.gamma_hi)?;
+    prop_assert!(
+        tight >= loose - 1e-9 * loose.abs().max(1.0),
+        "{name} shrank with confidence: alpha(gamma={}) = {tight} < alpha(gamma={}) = {loose}",
+        i.gamma_lo,
+        i.gamma_hi
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tree_bounds_obey_the_laws(i in arb_inputs()) {
+        assert_bound_laws("thm41", &i, |e, g| thm41_single_source_tree(i.v, e, g))?;
+        assert_bound_laws("thm42", &i, |e, g| thm42_all_pairs_tree(i.v, e, g))?;
+    }
+
+    #[test]
+    fn path_bounds_obey_the_laws(i in arb_inputs()) {
+        assert_bound_laws("thm55", &i, |e, g| {
+            thm55_path_error(i.k, e, i.num_edges, g)
+        })?;
+        assert_bound_laws("cor56", &i, |e, g| {
+            cor56_worst_case(i.v, e, i.num_edges, g)
+        })?;
+    }
+
+    #[test]
+    fn bounded_weight_bounds_obey_the_laws(i in arb_inputs()) {
+        // bounded_error takes the noise scale directly; it is linear in
+        // the scale, and the scale is C/eps in both mechanisms — so
+        // monotonicity in eps is monotonicity in scale.
+        assert_bound_laws("thm45", &i, |e, g| {
+            bounded_error(i.k, i.max_weight, i.noise_scale / e, i.num_released, g)
+        })?;
+        assert_bound_laws("thm43-rate", &i, |e, g| {
+            thm43_approx_rate(i.v, i.max_weight, e, 1e-6, g)
+        })?;
+    }
+
+    #[test]
+    fn structure_bounds_obey_the_laws(i in arb_inputs()) {
+        assert_bound_laws("thm-b3", &i, |e, g| {
+            thm_b3_mst_error(i.v, e, i.num_edges, g)
+        })?;
+        assert_bound_laws("thm-b6", &i, |e, g| {
+            thm_b6_matching_error(i.v, e, i.num_edges, g)
+        })?;
+    }
+
+    /// The typed contracts evaluate through the same formulas: spot-check
+    /// agreement between the constructor functions and contract
+    /// evaluation (exact equality — the constructors *are* contract
+    /// evaluations, this pins the wiring).
+    #[test]
+    fn contracts_agree_with_their_constructors(i in arb_inputs()) {
+        let g = i.gamma_lo;
+        let worst = AccuracyContract::WorstCasePath {
+            v: i.v,
+            num_edges: i.num_edges,
+            eps_eff: i.eps_lo,
+        };
+        prop_assert_eq!(
+            worst.bound_at(g).unwrap(),
+            cor56_worst_case(i.v, i.eps_lo, i.num_edges, g)
+        );
+        let mst = AccuracyContract::Mst {
+            v: i.v,
+            num_edges: i.num_edges,
+            eps_eff: i.eps_lo,
+        };
+        prop_assert_eq!(
+            mst.bound_at(g).unwrap(),
+            thm_b3_mst_error(i.v, i.eps_lo, i.num_edges, g)
+        );
+        let bounded = AccuracyContract::BoundedWeight {
+            k: i.k,
+            max_weight: i.max_weight,
+            noise_scale: i.noise_scale,
+            num_released: i.num_released,
+            pure: false,
+        };
+        prop_assert_eq!(
+            bounded.bound_at(g).unwrap(),
+            bounded_error(i.k, i.max_weight, i.noise_scale, i.num_released, g)
+        );
+        // Contract serialization round-trips on arbitrary inputs too.
+        let line = bounded.to_line();
+        prop_assert_eq!(AccuracyContract::parse_line(&line), Some(bounded));
+    }
+}

@@ -91,6 +91,7 @@ fn planner_matches_per_query_answers_for_every_kind() {
                     release: record.id(),
                     from,
                     to: NodeId::new(rng.gen_range(0..n)),
+                    gamma: None,
                 });
             }
         }
@@ -114,7 +115,10 @@ fn planner_matches_per_query_answers_for_every_kind() {
     let answers = plan.execute(&service, &requests);
     assert_eq!(answers.len(), requests.len());
     for (req, ans) in requests.iter().zip(&answers) {
-        let QueryRequest::Distance { release, from, to } = req else {
+        let QueryRequest::Distance {
+            release, from, to, ..
+        } = req
+        else {
             unreachable!()
         };
         let expected = service
@@ -123,10 +127,13 @@ fn planner_matches_per_query_answers_for_every_kind() {
             .distance(*from, *to)
             .unwrap();
         match ans {
-            QueryResponse::Distance(d) => assert_eq!(
-                *d, expected,
-                "planner disagrees with per-query answer on {req}"
-            ),
+            QueryResponse::Distance { value, bound } => {
+                assert_eq!(
+                    *value, expected,
+                    "planner disagrees with per-query answer on {req}"
+                );
+                assert!(bound.is_none(), "no gamma requested, no bound expected");
+            }
             other => panic!("expected a distance for {req}, got {other}"),
         }
     }
@@ -144,21 +151,24 @@ fn planner_isolates_failing_queries_within_a_group() {
             release: id,
             from: src,
             to: NodeId::new(5),
+            gamma: None,
         },
         // Out of range: poisons a naive whole-batch answer.
         QueryRequest::Distance {
             release: id,
             from: src,
             to: NodeId::new(n + 100),
+            gamma: None,
         },
         QueryRequest::Distance {
             release: id,
             from: src,
             to: NodeId::new(9),
+            gamma: None,
         },
     ];
     let answers = privpath::serve::answer_all(&service, &requests);
-    assert!(matches!(answers[0], QueryResponse::Distance(_)));
+    assert!(matches!(answers[0], QueryResponse::Distance { .. }));
     assert!(matches!(
         answers[1],
         QueryResponse::Error {
@@ -166,7 +176,7 @@ fn planner_isolates_failing_queries_within_a_group() {
             ..
         }
     ));
-    assert!(matches!(answers[2], QueryResponse::Distance(_)));
+    assert!(matches!(answers[2], QueryResponse::Distance { .. }));
 }
 
 #[test]
@@ -180,6 +190,7 @@ fn planner_answers_mixed_request_kinds_in_order() {
             release: sp,
             from: NodeId::new(0),
             to: NodeId::new(5),
+            gamma: None,
         },
         QueryRequest::ListReleases,
         QueryRequest::Path {
@@ -193,11 +204,16 @@ fn planner_answers_mixed_request_kinds_in_order() {
                 (NodeId::new(1), NodeId::new(2)),
                 (NodeId::new(1), NodeId::new(3)),
             ],
+            gamma: None,
+        },
+        QueryRequest::Accuracy {
+            release: sp,
+            gamma: 0.05,
         },
     ];
     let answers = privpath::serve::answer_all(&service, &requests);
     assert!(matches!(answers[0], QueryResponse::Budget { .. }));
-    assert!(matches!(answers[1], QueryResponse::Distance(_)));
+    assert!(matches!(answers[1], QueryResponse::Distance { .. }));
     match &answers[2] {
         QueryResponse::Releases(rs) => assert_eq!(rs.len(), 6),
         other => panic!("expected releases, got {other}"),
@@ -210,8 +226,19 @@ fn planner_answers_mixed_request_kinds_in_order() {
         other => panic!("expected a path, got {other}"),
     }
     match &answers[4] {
-        QueryResponse::Distances(ds) => assert_eq!(ds.len(), 2),
+        QueryResponse::Distances { values, bound } => {
+            assert_eq!(values.len(), 2);
+            assert!(bound.is_none());
+        }
         other => panic!("expected distances, got {other}"),
+    }
+    match &answers[5] {
+        QueryResponse::Accuracy(b) => {
+            assert_eq!(b.theorem(), Theorem::Cor56);
+            assert_eq!(b.gamma(), 0.05);
+            assert!(b.alpha() > 0.0);
+        }
+        other => panic!("expected an accuracy bound, got {other}"),
     }
 }
 
@@ -367,6 +394,7 @@ fn unknown_release_and_unsupported_kind_map_to_wire_codes() {
             release: missing,
             from: NodeId::new(0),
             to: NodeId::new(1),
+            gamma: None,
         },
     );
     assert!(matches!(
@@ -383,6 +411,7 @@ fn unknown_release_and_unsupported_kind_map_to_wire_codes() {
             release: mst,
             from: NodeId::new(0),
             to: NodeId::new(1),
+            gamma: None,
         },
     );
     assert!(matches!(
@@ -402,14 +431,19 @@ fn arb_release_id() -> impl Strategy<Value = ReleaseId> {
     (0u64..10_000).prop_map(|v| format!("r{v}").parse().unwrap())
 }
 
+fn arb_gamma(rng: &mut StdRng) -> Option<f64> {
+    rng.gen_bool(0.5).then(|| rng.gen_range(1e-6..0.999))
+}
+
 fn arb_request() -> impl Strategy<Value = QueryRequest> {
-    (arb_release_id(), 0usize..4, any::<u64>()).prop_map(|(release, variant, seed)| {
+    (arb_release_id(), 0usize..5, any::<u64>()).prop_map(|(release, variant, seed)| {
         let mut rng = StdRng::seed_from_u64(seed);
         match variant {
             0 => QueryRequest::Distance {
                 release,
                 from: NodeId::new(rng.gen_range(0..1000)),
                 to: NodeId::new(rng.gen_range(0..1000)),
+                gamma: arb_gamma(&mut rng),
             },
             1 => {
                 let count = rng.gen_range(0..20);
@@ -421,14 +455,23 @@ fn arb_request() -> impl Strategy<Value = QueryRequest> {
                         )
                     })
                     .collect();
-                QueryRequest::DistanceBatch { release, pairs }
+                let gamma = arb_gamma(&mut rng);
+                QueryRequest::DistanceBatch {
+                    release,
+                    pairs,
+                    gamma,
+                }
             }
             2 => QueryRequest::Path {
                 release,
                 from: NodeId::new(rng.gen_range(0..1000)),
                 to: NodeId::new(rng.gen_range(0..1000)),
             },
-            3 => QueryRequest::ListReleases,
+            3 => QueryRequest::Accuracy {
+                release,
+                gamma: rng.gen_range(1e-6..0.999),
+            },
+            4 => QueryRequest::ListReleases,
             _ => QueryRequest::BudgetStatus,
         }
     })
@@ -457,8 +500,11 @@ proptest! {
     }
 
     #[test]
-    fn distance_response_round_trips(d in arb_float()) {
-        let resp = QueryResponse::Distance(d);
+    fn distance_response_round_trips(d in arb_float(), with_bound in any::<bool>()) {
+        let resp = QueryResponse::Distance {
+            value: d,
+            bound: with_bound.then_some(d.abs() / 2.0),
+        };
         let back: QueryResponse = resp.to_string().parse().unwrap();
         prop_assert_eq!(back, resp);
     }
@@ -467,7 +513,26 @@ proptest! {
     fn distances_response_round_trips(seed in any::<u64>(), count in 0usize..30) {
         let mut rng = StdRng::seed_from_u64(seed);
         let ds: Vec<f64> = (0..count).map(|_| rng.gen_range(0.0..1.0e6)).collect();
-        let resp = QueryResponse::Distances(ds);
+        let bound = rng.gen_bool(0.5).then(|| rng.gen_range(0.0..1.0e4));
+        let resp = QueryResponse::Distances { values: ds, bound };
+        let back: QueryResponse = resp.to_string().parse().unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn accuracy_response_round_trips(alpha in arb_float(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let theorems = [
+            Theorem::Thm41, Theorem::Thm42, Theorem::Thm45, Theorem::Thm46,
+            Theorem::Cor56, Theorem::Lem33, Theorem::Lem34, Theorem::ThmB3,
+            Theorem::ThmB6,
+        ];
+        let theorem = theorems[rng.gen_range(0..theorems.len())];
+        let resp = QueryResponse::Accuracy(ErrorBound::new(
+            theorem,
+            alpha.abs(),
+            rng.gen_range(1e-6..0.999),
+        ));
         let back: QueryResponse = resp.to_string().parse().unwrap();
         prop_assert_eq!(back, resp);
     }
@@ -493,6 +558,7 @@ fn releases_and_error_responses_round_trip() {
             eps: 1.5,
             delta: 1e-6,
             num_nodes: Some(128),
+            accuracy: Some(ErrorBound::new(Theorem::Cor56, 812.25, 0.05)),
         },
         ReleaseSummary {
             id: "r3".parse().unwrap(),
@@ -500,6 +566,7 @@ fn releases_and_error_responses_round_trip() {
             eps: 0.25,
             delta: 0.0,
             num_nodes: None,
+            accuracy: None,
         },
     ]);
     let back: QueryResponse = resp.to_string().parse().unwrap();
@@ -535,10 +602,173 @@ fn malformed_lines_are_rejected_with_reasons() {
         "batch r0 2 1:2",
         "batch r0 1 12",
         "path r0 x 2",
+        "distance r0 1 2 gamma",
+        "distance r0 1 2 gamma x",
+        "accuracy r0",
+        "accuracy r0 zebra",
+        "accuracy r0 0.05 extra",
     ] {
         assert!(
             bad.parse::<QueryRequest>().is_err(),
             "{bad:?} should not parse"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy over the wire.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn distance_queries_carry_error_bars_for_every_kind() {
+    let n = 20;
+    let engine = all_kinds_engine(n, 51);
+    let service = engine.snapshot();
+    for record in service.releases() {
+        let gamma = 0.1;
+        let expected = service.accuracy(record.id(), gamma).unwrap();
+        assert!(
+            expected.alpha().is_finite() && expected.alpha() > 0.0,
+            "{} bound degenerate",
+            record.kind()
+        );
+        // answer_one and the planner must attach the same bar, and it
+        // must survive the wire codec.
+        let req = QueryRequest::Distance {
+            release: record.id(),
+            from: NodeId::new(0),
+            to: NodeId::new(5),
+            gamma: Some(gamma),
+        };
+        let direct = privpath::serve::answer_one(&service, &req);
+        let planned = privpath::serve::answer_all(&service, std::slice::from_ref(&req));
+        assert_eq!(direct, planned[0], "planner/direct divergence");
+        let QueryResponse::Distance { value, bound } = direct else {
+            panic!("expected a distance for {}", record.kind());
+        };
+        assert!(value.is_finite());
+        assert_eq!(bound, Some(expected.alpha()), "{}", record.kind());
+        let wire: QueryResponse = planned[0].to_string().parse().unwrap();
+        assert_eq!(wire, planned[0], "error bar lost on the wire");
+    }
+}
+
+#[test]
+fn batch_queries_share_one_error_bar() {
+    let engine = all_kinds_engine(16, 52);
+    let service = engine.snapshot();
+    let id = service.releases().next().unwrap().id();
+    let resp = privpath::serve::answer_one(
+        &service,
+        &QueryRequest::DistanceBatch {
+            release: id,
+            pairs: vec![
+                (NodeId::new(0), NodeId::new(3)),
+                (NodeId::new(2), NodeId::new(9)),
+            ],
+            gamma: Some(0.05),
+        },
+    );
+    let QueryResponse::Distances { values, bound } = resp else {
+        panic!("expected distances");
+    };
+    assert_eq!(values.len(), 2);
+    assert_eq!(
+        bound,
+        Some(service.accuracy(id, 0.05).unwrap().alpha()),
+        "batch bar must equal the contract at the requested gamma"
+    );
+}
+
+#[test]
+fn accuracy_queries_report_tighter_bounds_for_looser_confidence() {
+    let engine = all_kinds_engine(16, 53);
+    let service = engine.snapshot();
+    for record in service.releases() {
+        let tight = service.accuracy(record.id(), 0.01).unwrap();
+        let loose = service.accuracy(record.id(), 0.5).unwrap();
+        assert!(
+            tight.alpha() >= loose.alpha(),
+            "{}: shrinking gamma must not shrink the bound",
+            record.kind()
+        );
+    }
+    // Invalid gammas are Query errors on the wire, not crashes.
+    let id = service.releases().next().unwrap().id();
+    let resp = privpath::serve::answer_one(
+        &service,
+        &QueryRequest::Accuracy {
+            release: id,
+            gamma: 1.5,
+        },
+    );
+    assert!(matches!(
+        resp,
+        QueryResponse::Error {
+            code: privpath::serve::ErrorCode::Query,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn list_carries_kind_cost_and_accuracy_per_release() {
+    let engine = all_kinds_engine(16, 54);
+    let service = engine.snapshot();
+    let resp = privpath::serve::answer_one(&service, &QueryRequest::ListReleases);
+    let QueryResponse::Releases(rs) = &resp else {
+        panic!("expected releases");
+    };
+    assert_eq!(rs.len(), 6);
+    for (summary, record) in rs.iter().zip(service.releases()) {
+        assert_eq!(summary.kind, record.kind());
+        assert_eq!(summary.eps, record.eps());
+        assert_eq!(summary.delta, record.delta());
+        let expected = service.accuracy(record.id(), DEFAULT_GAMMA).unwrap();
+        assert_eq!(summary.accuracy, Some(expected), "{}", record.kind());
+    }
+    // The whole summary — accuracy triple included — survives the codec.
+    let wire: QueryResponse = resp.to_string().parse().unwrap();
+    assert_eq!(wire, resp);
+}
+
+#[test]
+fn invalid_gamma_on_distance_fails_like_accuracy_does() {
+    let engine = all_kinds_engine(12, 55);
+    let service = engine.snapshot();
+    let id = service.releases().next().unwrap().id();
+    for gamma in [0.0, 1.0, 1.5, -0.2] {
+        // A bad gamma must be an error, not a silently bar-less answer
+        // (which would be indistinguishable from "no contract").
+        for req in [
+            QueryRequest::Distance {
+                release: id,
+                from: NodeId::new(0),
+                to: NodeId::new(3),
+                gamma: Some(gamma),
+            },
+            QueryRequest::DistanceBatch {
+                release: id,
+                pairs: vec![(NodeId::new(0), NodeId::new(3))],
+                gamma: Some(gamma),
+            },
+        ] {
+            let direct = privpath::serve::answer_one(&service, &req);
+            assert!(
+                matches!(
+                    direct,
+                    QueryResponse::Error {
+                        code: privpath::serve::ErrorCode::Query,
+                        ..
+                    }
+                ),
+                "gamma {gamma}: expected a query error, got {direct}"
+            );
+            let planned = privpath::serve::answer_all(&service, std::slice::from_ref(&req));
+            assert_eq!(
+                planned[0], direct,
+                "planner/direct divergence at gamma {gamma}"
+            );
+        }
     }
 }

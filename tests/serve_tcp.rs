@@ -65,11 +65,45 @@ fn serves_typed_queries_over_tcp() {
             release: id,
             from: u,
             to: v,
+            gamma: None,
         })
         .unwrap()
     {
-        QueryResponse::Distance(d) => assert_eq!(d, expected, "wire answer must match local"),
+        QueryResponse::Distance { value, bound } => {
+            assert_eq!(value, expected, "wire answer must match local");
+            assert!(bound.is_none());
+        }
         other => panic!("expected a distance, got {other}"),
+    }
+
+    // With a gamma the same request carries the contract's error bar.
+    match client
+        .request(&QueryRequest::Distance {
+            release: id,
+            from: u,
+            to: v,
+            gamma: Some(0.05),
+        })
+        .unwrap()
+    {
+        QueryResponse::Distance { value, bound } => {
+            assert_eq!(value, expected);
+            assert_eq!(bound, Some(service.accuracy(id, 0.05).unwrap().alpha()));
+        }
+        other => panic!("expected a distance, got {other}"),
+    }
+
+    match client
+        .request(&QueryRequest::Accuracy {
+            release: id,
+            gamma: 0.05,
+        })
+        .unwrap()
+    {
+        QueryResponse::Accuracy(b) => {
+            assert_eq!(b, service.accuracy(id, 0.05).unwrap());
+        }
+        other => panic!("expected an accuracy bound, got {other}"),
     }
 
     match client.request(&QueryRequest::ListReleases).unwrap() {
@@ -103,14 +137,16 @@ fn serves_typed_queries_over_tcp() {
         .request(&QueryRequest::DistanceBatch {
             release: id,
             pairs: pairs.clone(),
+            gamma: None,
         })
         .unwrap()
     {
-        QueryResponse::Distances(ds) => {
+        QueryResponse::Distances { values, bound } => {
             let oracle = service.query(id).unwrap();
-            for ((u, v), d) in pairs.iter().zip(&ds) {
+            for ((u, v), d) in pairs.iter().zip(&values) {
                 assert_eq!(*d, oracle.distance(*u, *v).unwrap());
             }
+            assert!(bound.is_none());
         }
         other => panic!("expected distances, got {other}"),
     }
@@ -118,7 +154,7 @@ fn serves_typed_queries_over_tcp() {
     drop(client);
     let stats = running.shutdown().unwrap();
     assert!(stats.connections >= 1);
-    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.requests, 6);
 }
 
 #[test]
@@ -182,11 +218,12 @@ fn concurrent_tcp_clients_agree_with_local_answers() {
                             release: id,
                             from: u,
                             to: v,
+                            gamma: None,
                         })
                         .unwrap()
                     {
-                        QueryResponse::Distance(d) => {
-                            assert_eq!(d, oracle.distance(u, v).unwrap())
+                        QueryResponse::Distance { value, .. } => {
+                            assert_eq!(value, oracle.distance(u, v).unwrap())
                         }
                         other => panic!("expected a distance, got {other}"),
                     }
