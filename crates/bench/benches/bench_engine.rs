@@ -168,10 +168,92 @@ fn bench_calibration(c: &mut Criterion) {
     group.finish();
 }
 
+/// The headline comparison for the hierarchical shortcut mechanism:
+/// release time and measured worst-case error against the all-pairs
+/// composition baseline on bounded-weight graphs, 256 -> 4096 vertices.
+/// The error probe is reported once per size via `eprintln` (criterion
+/// times the releases; the audit test suite asserts the error ordering,
+/// this bench makes the gap visible next to the timing numbers).
+fn bench_shortcut_vs_baseline(c: &mut Criterion) {
+    use privpath_core::shortcut::ShortcutApspParams;
+    use privpath_dp::Delta;
+    use privpath_engine::{DistanceRelease, Mechanism};
+    use privpath_graph::algo::dijkstra;
+
+    let mut group = c.benchmark_group("engine/shortcut_vs_baseline");
+    group.sample_size(10);
+    let eps1 = Epsilon::new(1.0).unwrap();
+    let delta = Delta::new(1e-6).unwrap();
+    for &v in &[256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(40);
+        let topo = connected_gnm(v, 3 * v, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+        let shortcut = ShortcutApspParams::approx(eps1, delta, 1.0).unwrap();
+        let baseline = mechanisms::AllPairsBaselineParams::basic(eps1);
+
+        // One-shot error probe on a pinned workload.
+        let pairs = workload(v, 8, 16, 41);
+        let truth: Vec<f64> = {
+            let mut cache: std::collections::HashMap<usize, Vec<f64>> = Default::default();
+            pairs
+                .iter()
+                .map(|&(s, t)| {
+                    cache
+                        .entry(s.index())
+                        .or_insert_with(|| dijkstra(&topo, &w, s).unwrap().distances().to_vec())
+                        [t.index()]
+                })
+                .collect()
+        };
+        let probe = |est: Vec<f64>| -> f64 {
+            est.iter()
+                .zip(&truth)
+                .map(|(e, t)| (e - t).abs())
+                .fold(0.0, f64::max)
+        };
+        let mut prng = StdRng::seed_from_u64(42);
+        let sc_rel = mechanisms::ShortcutApsp
+            .release(&topo, &w, &shortcut, &mut prng)
+            .unwrap();
+        let bl_rel = mechanisms::AllPairsBaseline
+            .release(&topo, &w, &baseline, &mut prng)
+            .unwrap();
+        eprintln!(
+            "shortcut_vs_baseline v={v}: max error shortcut {:.1} vs baseline {:.1}",
+            probe(sc_rel.distance_batch(&pairs).unwrap()),
+            probe(bl_rel.distance_batch(&pairs).unwrap()),
+        );
+
+        group.bench_function(BenchmarkId::new("shortcut_release", v), |b| {
+            let mut rng = StdRng::seed_from_u64(43);
+            b.iter(|| {
+                mechanisms::ShortcutApsp
+                    .release(&topo, &w, &shortcut, &mut rng)
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("baseline_release", v), |b| {
+            let mut rng = StdRng::seed_from_u64(44);
+            b.iter(|| {
+                mechanisms::AllPairsBaseline
+                    .release(&topo, &w, &baseline, &mut rng)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("shortcut_distance_batch", v),
+            &pairs,
+            |b, pairs| b.iter(|| sc_rel.distance_batch(pairs).unwrap()),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_vs_single,
     bench_batch_source_locality,
-    bench_calibration
+    bench_calibration,
+    bench_shortcut_vs_baseline
 );
 criterion_main!(benches);

@@ -29,6 +29,7 @@ mod e14_scaling;
 mod e15_randomized_response;
 mod e16_hld_ablation;
 mod e17_serving;
+mod e18_shortcut;
 
 use context::Ctx;
 use std::path::PathBuf;
@@ -128,6 +129,11 @@ fn registry() -> Vec<Experiment> {
             id: "e17",
             anchor: "Extension: serve-path queries/sec vs reader threads",
             run: e17_serving::run,
+        },
+        Experiment {
+            id: "e18",
+            anchor: "Extension: shortcut APSP vs Algorithm 2 vs baseline",
+            run: e18_shortcut::run,
         },
     ]
 }

@@ -62,6 +62,11 @@ pub enum Theorem {
     ThmB3,
     /// Theorem B.6: private low-weight matching weight excess.
     ThmB6,
+    /// The Chen–Narayanan–Xu-style hierarchical shortcut bound for
+    /// bounded-weight graphs (related work, arXiv:2204.02335): the
+    /// worst-case per-pair error of the covering ladder, `2 k_top M`
+    /// detour plus the union bound over all released shortcut values.
+    CnxShortcut,
 }
 
 impl Theorem {
@@ -77,6 +82,7 @@ impl Theorem {
             Theorem::Lem34 => "lem-3.4",
             Theorem::ThmB3 => "thm-b.3",
             Theorem::ThmB6 => "thm-b.6",
+            Theorem::CnxShortcut => "cnx-shortcut",
         }
     }
 
@@ -92,6 +98,7 @@ impl Theorem {
             "lem-3.4" => Theorem::Lem34,
             "thm-b.3" => Theorem::ThmB3,
             "thm-b.6" => Theorem::ThmB6,
+            "cnx-shortcut" => Theorem::CnxShortcut,
             _ => return None,
         })
     }
@@ -108,6 +115,7 @@ impl Theorem {
             Theorem::Lem34 => "Lemma 3.4 (advanced-composition baseline)",
             Theorem::ThmB3 => "Theorem B.3 (private spanning tree)",
             Theorem::ThmB6 => "Theorem B.6 (private matching)",
+            Theorem::CnxShortcut => "CNX shortcut APSP (hierarchical shortcutting)",
         }
     }
 }
@@ -286,6 +294,24 @@ pub enum AccuracyContract {
         /// Scale-adjusted privacy parameter `eps / s`.
         eps_eff: f64,
     },
+    /// The hierarchical shortcut ladder (CNX-style, bounded weights):
+    /// every pair is answered from some level's shortcut, so the
+    /// worst-case error is the top level's detour `2 k_top M` plus the
+    /// union bound over all released shortcut values. Per-pair errors at
+    /// finer levels are strictly smaller; this contract states the
+    /// simultaneous worst case.
+    ShortcutApsp {
+        /// Number of ladder levels (reporting only).
+        levels: usize,
+        /// Top-level covering radius (worst-case detour radius).
+        k_top: usize,
+        /// The weight bound `M`.
+        max_weight: f64,
+        /// Per-released-value Laplace scale.
+        noise_scale: f64,
+        /// Total number of released noisy values across all levels.
+        num_released: usize,
+    },
 }
 
 impl AccuracyContract {
@@ -302,6 +328,7 @@ impl AccuracyContract {
             AccuracyContract::Composition { advanced: true, .. } => Theorem::Lem34,
             AccuracyContract::Mst { .. } => Theorem::ThmB3,
             AccuracyContract::Matching { .. } => Theorem::ThmB6,
+            AccuracyContract::ShortcutApsp { .. } => Theorem::CnxShortcut,
         }
     }
 
@@ -372,6 +399,20 @@ impl AccuracyContract {
                 num_edges,
                 eps_eff,
             } => (v as f64) / eps_eff * ((num_edges as f64) / gamma).ln(),
+            AccuracyContract::ShortcutApsp {
+                levels: _,
+                k_top,
+                max_weight,
+                noise_scale,
+                num_released,
+            } => {
+                let union = if num_released == 0 {
+                    0.0
+                } else {
+                    (noise_scale * ((num_released as f64) / gamma).ln()).max(0.0)
+                };
+                2.0 * k_top as f64 * max_weight + union
+            }
         };
         if b.is_nan() {
             None
@@ -437,6 +478,15 @@ impl AccuracyContract {
                 num_edges,
                 eps_eff,
             } => format!("matching {v} {num_edges} {eps_eff:?}"),
+            AccuracyContract::ShortcutApsp {
+                levels,
+                k_top,
+                max_weight,
+                noise_scale,
+                num_released,
+            } => format!(
+                "shortcut-apsp {levels} {k_top} {max_weight:?} {noise_scale:?} {num_released}"
+            ),
         }
     }
 
@@ -477,6 +527,13 @@ impl AccuracyContract {
                 v: t.next()?.parse().ok()?,
                 num_edges: t.next()?.parse().ok()?,
                 eps_eff: t.next()?.parse().ok()?,
+            },
+            "shortcut-apsp" => AccuracyContract::ShortcutApsp {
+                levels: t.next()?.parse().ok()?,
+                k_top: t.next()?.parse().ok()?,
+                max_weight: t.next()?.parse().ok()?,
+                noise_scale: t.next()?.parse().ok()?,
+                num_released: t.next()?.parse().ok()?,
             },
             _ => return None,
         };
@@ -577,6 +634,30 @@ pub fn thm43_approx_rate(v: usize, max_weight: f64, eps: f64, delta: f64, gamma:
     let z = (v / (k + 1)).max(1);
     let noise_scale = z as f64 * (2.0 * (1.0 / delta).ln()).sqrt() / eps;
     bounded_error(k, max_weight, noise_scale, z * z, gamma)
+}
+
+/// The hierarchical shortcut worst case (related-work extension,
+/// CNX-style): with probability `1 - gamma`, every pair errs by at most
+/// `2 k_top M + noise_scale * ln(num_released / gamma)` — top-level
+/// detour plus the union bound over all released shortcut values.
+/// Constructor of the [`AccuracyContract::ShortcutApsp`] contract.
+pub fn shortcut_error(
+    levels: usize,
+    k_top: usize,
+    max_weight: f64,
+    noise_scale: f64,
+    num_released: usize,
+    gamma: f64,
+) -> f64 {
+    AccuracyContract::ShortcutApsp {
+        levels,
+        k_top,
+        max_weight,
+        noise_scale,
+        num_released,
+    }
+    .bound_at(gamma)
+    .unwrap_or(2.0 * k_top as f64 * max_weight)
 }
 
 /// Theorem B.3 (private MST): with probability `1 - gamma` the released
@@ -726,6 +807,7 @@ mod tests {
             Theorem::Lem34,
             Theorem::ThmB3,
             Theorem::ThmB6,
+            Theorem::CnxShortcut,
         ] {
             assert_eq!(Theorem::parse(thm.as_str()), Some(thm));
         }
@@ -768,6 +850,13 @@ mod tests {
                 num_edges: 25,
                 eps_eff: 2.0,
             },
+            AccuracyContract::ShortcutApsp {
+                levels: 4,
+                k_top: 16,
+                max_weight: 1.5,
+                noise_scale: 33.25,
+                num_released: 612,
+            },
         ];
         for c in contracts {
             let line = c.to_line();
@@ -790,6 +879,22 @@ mod tests {
         assert_eq!(b.gamma(), 0.05);
         assert!(c.evaluate(0.0).is_none());
         assert!(c.evaluate(1.0).is_none());
+    }
+
+    #[test]
+    fn shortcut_contract_is_detour_plus_union() {
+        let detour_only = shortcut_error(3, 8, 1.5, 1.0, 0, 0.05);
+        assert_eq!(detour_only, 2.0 * 8.0 * 1.5);
+        let b = shortcut_error(3, 8, 1.5, 2.0, 100, 0.05);
+        assert!((b - (24.0 + 2.0 * (100.0f64 / 0.05).ln())).abs() < 1e-9);
+        let c = AccuracyContract::ShortcutApsp {
+            levels: 3,
+            k_top: 8,
+            max_weight: 1.5,
+            noise_scale: 2.0,
+            num_released: 100,
+        };
+        assert_eq!(c.theorem(), Theorem::CnxShortcut);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | Extension: heavy-path tree mechanism (ablation of Algorithm 1) | [`tree_hld`] |
 //! | Extension: reusable noisy dyadic series | [`series`] |
 //! | Extension: release persistence | [`persist`] |
+//! | Extension: CNX-style hierarchical shortcut APSP (related work) | [`shortcut`] |
 //!
 //! Every mechanism comes in two flavours: a `*_with` function generic over
 //! [`privpath_dp::NoiseSource`] (so tests can run it with zero or recorded
@@ -41,6 +42,7 @@ pub mod mst;
 pub mod path_graph;
 pub mod persist;
 pub mod series;
+pub mod shortcut;
 pub mod shortest_path;
 pub mod tree_distance;
 pub mod tree_hld;

@@ -60,6 +60,35 @@ pub fn invert_laplace_union_bound(alpha: f64, count: usize, gamma: f64) -> Resul
     Ok(alpha / unit)
 }
 
+/// The scale `b` at which a *shifted* union bound — a noise-independent
+/// error floor plus the union bound over `count` variables — equals
+/// `alpha` at confidence `gamma`: solves
+/// `floor + b * ln(count / gamma) = alpha` for `b`. This is the closed
+/// form behind detour-plus-noise mechanisms (the bounded-weight release
+/// and the hierarchical shortcut ladder, whose floor is `2 k M`).
+///
+/// # Errors
+/// [`DpError::InvalidScale`] for a nonpositive/nonfinite `alpha`, a
+/// negative/nonfinite `floor`, or `alpha <= floor` (the target sits at
+/// or below the noise-independent floor — no scale attains it); the
+/// domains of [`laplace_union_bound`] otherwise, and
+/// [`DpError::InvalidComposition`] when the union bound is degenerate
+/// (`gamma >= count`).
+pub fn invert_shifted_union_bound(
+    alpha: f64,
+    floor: f64,
+    count: usize,
+    gamma: f64,
+) -> Result<f64, DpError> {
+    if !floor.is_finite() || floor < 0.0 {
+        return Err(DpError::InvalidScale(floor));
+    }
+    if !alpha.is_finite() || alpha <= floor {
+        return Err(DpError::InvalidScale(alpha));
+    }
+    invert_laplace_union_bound(alpha - floor, count, gamma)
+}
+
 /// The result of a [`solve_min_eps`] calibration: the epsilon found and
 /// how many bound evaluations the solver spent (the regression signal the
 /// calibration micro-bench watches).
@@ -198,6 +227,23 @@ mod tests {
         let b = invert_laplace_union_bound(alpha, 200, 0.1).unwrap();
         let back = laplace_union_bound(b, 200, 0.1).unwrap();
         assert!((back - alpha).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_union_bound_inverse_round_trips() {
+        let (alpha, floor) = (10.0, 4.0);
+        let b = invert_shifted_union_bound(alpha, floor, 120, 0.05).unwrap();
+        let back = floor + laplace_union_bound(b, 120, 0.05).unwrap();
+        assert!((back - alpha).abs() < 1e-12, "{back} vs {alpha}");
+        // A zero floor degenerates to the plain union-bound inverse.
+        assert_eq!(
+            invert_shifted_union_bound(3.0, 0.0, 50, 0.1).unwrap(),
+            invert_laplace_union_bound(3.0, 50, 0.1).unwrap()
+        );
+        // Targets at or below the floor have no solution.
+        assert!(invert_shifted_union_bound(4.0, 4.0, 120, 0.05).is_err());
+        assert!(invert_shifted_union_bound(3.0, 4.0, 120, 0.05).is_err());
+        assert!(invert_shifted_union_bound(1.0, -1.0, 120, 0.05).is_err());
     }
 
     #[test]

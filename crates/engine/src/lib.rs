@@ -109,6 +109,6 @@ pub use privpath_core::bounds::{
 pub mod mechanisms {
     pub use crate::mechanism::{
         AllPairsBaseline, AllPairsBaselineParams, BoundedWeight, HldTree, Matching, Mst,
-        ShortestPaths, SyntheticGraph, SyntheticGraphParams, TreeAllPairs,
+        ShortcutApsp, ShortestPaths, SyntheticGraph, SyntheticGraphParams, TreeAllPairs,
     };
 }

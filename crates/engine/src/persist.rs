@@ -22,9 +22,12 @@
 //! under and the serve path can report it at any confidence. The legacy
 //! `privpath-release v2` (no accuracy line) and `privpath-sp-release v1`
 //! (shortest-path only) formats are still readable — the loader sniffs
-//! the header and upgrades on the fly, leaving the contract empty.
-//! Structure-releasing kinds (MST, matching) have no serve-side query
-//! surface and are not persisted.
+//! the header and upgrades on the fly, leaving the contract empty. The
+//! `shortcut-apsp` kind (hierarchical shortcut ladder) persists its
+//! level structure — radius, centers, sorted shortcut triples — under
+//! the same v3 header; files written before it existed keep loading
+//! unchanged. Structure-releasing kinds (MST, matching) have no
+//! serve-side query surface and are not persisted.
 
 use crate::engine::{ReleaseEngine, ReleaseId};
 use crate::error::EngineError;
@@ -34,6 +37,7 @@ use privpath_core::bounded::BoundedWeightRelease;
 use privpath_core::bounds::AccuracyContract;
 use privpath_core::model::NeighborScale;
 use privpath_core::persist::read_shortest_path_release;
+use privpath_core::shortcut::ShortcutApspRelease;
 use privpath_core::shortest_path::{ShortestPathParams, ShortestPathRelease};
 use privpath_core::tree_distance::{TreeAllPairsRelease, TreeSingleSourceRelease};
 use privpath_dp::Epsilon;
@@ -89,7 +93,8 @@ pub fn write_release(
         | AnyRelease::Tree(_)
         | AnyRelease::BoundedWeight(_)
         | AnyRelease::SyntheticGraph(_)
-        | AnyRelease::AllPairsBaseline(_) => {}
+        | AnyRelease::AllPairsBaseline(_)
+        | AnyRelease::ShortcutApsp(_) => {}
         AnyRelease::Mst(_) | AnyRelease::Matching(_) | AnyRelease::HldTree(_) => {
             return Err(EngineError::UnsupportedQuery {
                 kind: kind.as_str(),
@@ -153,6 +158,26 @@ pub fn write_release(
             for v in r.matrix() {
                 writeln!(out, "{v:?}").map_err(io_err)?;
             }
+        }
+        AnyRelease::ShortcutApsp(r) => {
+            writeln!(out, "noise_scale {:?}", r.noise_scale()).map_err(io_err)?;
+            writeln!(out, "max_weight {:?}", r.max_weight()).map_err(io_err)?;
+            writeln!(out, "levels {}", r.levels().len()).map_err(io_err)?;
+            for level in r.levels() {
+                writeln!(out, "k {}", level.k()).map_err(io_err)?;
+                let centers: Vec<String> = level
+                    .centers()
+                    .iter()
+                    .map(|c| c.index().to_string())
+                    .collect();
+                writeln!(out, "centers {}", centers.len()).map_err(io_err)?;
+                writeln!(out, "{}", centers.join(" ")).map_err(io_err)?;
+                writeln!(out, "shortcuts {}", level.values().len()).map_err(io_err)?;
+                for &(i, j, value) in level.values() {
+                    writeln!(out, "{i} {j} {value:?}").map_err(io_err)?;
+                }
+            }
+            write_topology(out, r.topology()).map_err(io_err)?;
         }
         AnyRelease::Mst(_) | AnyRelease::Matching(_) | AnyRelease::HldTree(_) => unreachable!(),
     }
@@ -338,6 +363,50 @@ pub fn read_release(mut input: impl BufRead) -> Result<StoredRelease, EngineErro
             }
             AnyRelease::AllPairsBaseline(
                 AllPairsDistanceRelease::from_parts(n, matrix, noise_scale).map_err(io_err)?,
+            )
+        }
+        ReleaseKind::ShortcutApsp => {
+            let noise_scale =
+                parse_field_f64(&next_line(&mut reader, "noise_scale")?, "noise_scale ")?;
+            let max_weight =
+                parse_field_f64(&next_line(&mut reader, "max_weight")?, "max_weight ")?;
+            let num_levels = parse_field_usize(&next_line(&mut reader, "levels")?, "levels ")?;
+            let mut levels = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                let k = parse_field_usize(&next_line(&mut reader, "k")?, "k ")?;
+                let z = parse_field_usize(&next_line(&mut reader, "centers")?, "centers ")?;
+                let centers_line = next_line(&mut reader, "center ids")?;
+                let centers: Vec<NodeId> = centers_line
+                    .split_whitespace()
+                    .map(|t| t.parse::<usize>().map(NodeId::new))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| persist_err("invalid center id"))?;
+                if centers.len() != z {
+                    return Err(persist_err(format!(
+                        "expected {z} centers, found {}",
+                        centers.len()
+                    )));
+                }
+                let count = parse_field_usize(&next_line(&mut reader, "shortcuts")?, "shortcuts ")?;
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let line = next_line(&mut reader, "shortcut triple")?;
+                    let mut t = line.split_whitespace();
+                    let triple = (|| {
+                        let i: u32 = t.next()?.parse().ok()?;
+                        let j: u32 = t.next()?.parse().ok()?;
+                        let value: f64 = t.next()?.parse().ok()?;
+                        t.next().is_none().then_some((i, j, value))
+                    })()
+                    .ok_or_else(|| persist_err(format!("invalid shortcut triple {line:?}")))?;
+                    values.push(triple);
+                }
+                levels.push((k, centers, values));
+            }
+            let topo = read_topology(&mut reader).map_err(io_err)?;
+            AnyRelease::ShortcutApsp(
+                ShortcutApspRelease::from_parts(&topo, levels, noise_scale, max_weight)
+                    .map_err(io_err)?,
             )
         }
         ReleaseKind::Mst | ReleaseKind::Matching | ReleaseKind::HldTree => {

@@ -4,15 +4,24 @@
 //! Everything here is **post-processing** of an already-made DP release:
 //! queries are free of further privacy cost, which is exactly why the
 //! release-once/query-many architecture works.
+//!
+//! Unreachable targets are uniform across kinds: `distance` /
+//! `distance_batch` answer `+inf` for a pair with no connecting path
+//! (graph-replaying releases on disconnected topologies), never an error
+//! and never a silent `0`. Errors are reserved for invalid queries
+//! (out-of-range ids, unsupported kinds); `path` still reports
+//! `Disconnected` because there is no route to return.
 
 use crate::error::EngineError;
 use privpath_core::baselines::{AllPairsDistanceRelease, SyntheticGraphRelease};
 use privpath_core::bounded::BoundedWeightRelease;
 use privpath_core::matching::MatchingRelease;
 use privpath_core::mst::MstRelease;
+use privpath_core::shortcut::ShortcutApspRelease;
 use privpath_core::shortest_path::ShortestPathRelease;
 use privpath_core::tree_distance::TreeAllPairsRelease;
 use privpath_core::tree_hld::HldTreeRelease;
+use privpath_core::CoreError;
 use privpath_graph::{GraphError, NodeId, Path};
 use std::collections::HashMap;
 
@@ -31,11 +40,12 @@ pub trait DistanceRelease: Send + Sync {
     /// Number of vertices the release answers queries for.
     fn num_nodes(&self) -> usize;
 
-    /// The released estimate of `d(u, v)`.
+    /// The released estimate of `d(u, v)`; `+inf` when `v` is
+    /// unreachable from `u` (uniform across every release kind — an
+    /// unreachable target is an answer, not an error).
     ///
     /// # Errors
-    /// [`EngineError::NodeOutOfRange`] for invalid ids; graph errors for
-    /// disconnected pairs on graph-replaying releases.
+    /// [`EngineError::NodeOutOfRange`] for invalid ids.
     fn distance(&self, u: NodeId, v: NodeId) -> Result<f64, EngineError>;
 
     /// Released estimates for many pairs at once. Equivalent to mapping
@@ -66,9 +76,18 @@ fn check_node(index: usize, num_nodes: usize) -> Result<(), EngineError> {
     Ok(())
 }
 
+/// Maps a core-level `Disconnected` error to the uniform unreachable
+/// answer `+inf`; every other error passes through.
+fn disconnected_is_infinite(e: CoreError) -> Result<f64, EngineError> {
+    match e {
+        CoreError::Graph(GraphError::Disconnected { .. }) => Ok(f64::INFINITY),
+        other => Err(EngineError::Core(other)),
+    }
+}
+
 /// Shared batching core for graph-replaying releases: one `per_source`
 /// evaluation (a Dijkstra) per distinct source, shared across every pair
-/// with that source; non-finite entries map to `Disconnected`.
+/// with that source; unreachable targets answer `+inf`.
 fn batch_by_source(
     num_nodes: usize,
     pairs: &[(NodeId, NodeId)],
@@ -86,14 +105,8 @@ fn batch_by_source(
     for s in sources {
         let dists = per_source(NodeId::new(s))?;
         for &i in &by_source[&s] {
-            let (u, v) = pairs[i];
-            let d = dists[v.index()];
-            if !d.is_finite() {
-                return Err(EngineError::Core(privpath_core::CoreError::Graph(
-                    GraphError::Disconnected { from: u, to: v },
-                )));
-            }
-            out[i] = d;
+            let (_, v) = pairs[i];
+            out[i] = dists[v.index()];
         }
     }
     Ok(out)
@@ -109,7 +122,8 @@ impl DistanceRelease for ShortestPathRelease {
         // NodeOutOfRange rather than its substrate's own variant.
         check_node(u.index(), DistanceRelease::num_nodes(self))?;
         check_node(v.index(), DistanceRelease::num_nodes(self))?;
-        Ok(self.estimated_distance(u, v)?)
+        self.estimated_distance(u, v)
+            .or_else(disconnected_is_infinite)
     }
 
     fn distance_batch(&self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<f64>, EngineError> {
@@ -167,7 +181,7 @@ impl DistanceRelease for SyntheticGraphRelease {
     fn distance(&self, u: NodeId, v: NodeId) -> Result<f64, EngineError> {
         check_node(u.index(), DistanceRelease::num_nodes(self))?;
         check_node(v.index(), DistanceRelease::num_nodes(self))?;
-        Ok(SyntheticGraphRelease::distance(self, u, v)?)
+        SyntheticGraphRelease::distance(self, u, v).or_else(disconnected_is_infinite)
     }
 
     fn distance_batch(&self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<f64>, EngineError> {
@@ -186,6 +200,18 @@ impl DistanceRelease for AllPairsDistanceRelease {
         check_node(u.index(), self.num_nodes())?;
         check_node(v.index(), self.num_nodes())?;
         Ok(AllPairsDistanceRelease::distance(self, u, v))
+    }
+}
+
+impl DistanceRelease for ShortcutApspRelease {
+    fn num_nodes(&self) -> usize {
+        ShortcutApspRelease::num_nodes(self)
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Result<f64, EngineError> {
+        check_node(u.index(), self.num_nodes())?;
+        check_node(v.index(), self.num_nodes())?;
+        Ok(ShortcutApspRelease::distance(self, u, v))
     }
 }
 
@@ -209,6 +235,8 @@ pub enum ReleaseKind {
     SyntheticGraph,
     /// All-pairs composition baseline.
     AllPairsBaseline,
+    /// CNX-style hierarchical shortcut APSP (bounded weights).
+    ShortcutApsp,
 }
 
 impl ReleaseKind {
@@ -223,6 +251,7 @@ impl ReleaseKind {
             ReleaseKind::Matching => "matching",
             ReleaseKind::SyntheticGraph => "synthetic-graph",
             ReleaseKind::AllPairsBaseline => "all-pairs-baseline",
+            ReleaseKind::ShortcutApsp => "shortcut-apsp",
         }
     }
 
@@ -237,6 +266,7 @@ impl ReleaseKind {
             "matching" => ReleaseKind::Matching,
             "synthetic-graph" => ReleaseKind::SyntheticGraph,
             "all-pairs-baseline" => ReleaseKind::AllPairsBaseline,
+            "shortcut-apsp" => ReleaseKind::ShortcutApsp,
             _ => return None,
         })
     }
@@ -269,6 +299,8 @@ pub enum AnyRelease {
     SyntheticGraph(SyntheticGraphRelease),
     /// Composition baseline output.
     AllPairsBaseline(AllPairsDistanceRelease),
+    /// Hierarchical shortcut output.
+    ShortcutApsp(ShortcutApspRelease),
 }
 
 impl AnyRelease {
@@ -283,6 +315,7 @@ impl AnyRelease {
             AnyRelease::Matching(_) => ReleaseKind::Matching,
             AnyRelease::SyntheticGraph(_) => ReleaseKind::SyntheticGraph,
             AnyRelease::AllPairsBaseline(_) => ReleaseKind::AllPairsBaseline,
+            AnyRelease::ShortcutApsp(_) => ReleaseKind::ShortcutApsp,
         }
     }
 
@@ -297,6 +330,7 @@ impl AnyRelease {
             AnyRelease::BoundedWeight(r) => Some(r),
             AnyRelease::SyntheticGraph(r) => Some(r),
             AnyRelease::AllPairsBaseline(r) => Some(r),
+            AnyRelease::ShortcutApsp(r) => Some(r),
             AnyRelease::Mst(_) | AnyRelease::Matching(_) => None,
         }
     }
@@ -347,5 +381,11 @@ impl From<SyntheticGraphRelease> for AnyRelease {
 impl From<AllPairsDistanceRelease> for AnyRelease {
     fn from(r: AllPairsDistanceRelease) -> Self {
         AnyRelease::AllPairsBaseline(r)
+    }
+}
+
+impl From<ShortcutApspRelease> for AnyRelease {
+    fn from(r: ShortcutApspRelease) -> Self {
+        AnyRelease::ShortcutApsp(r)
     }
 }

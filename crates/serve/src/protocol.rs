@@ -24,13 +24,16 @@
 //!
 //! `id` is a [`ReleaseId`] in its `r<N>` display form; `nodes` in a
 //! release record is a vertex count or `-` for kinds without a distance
-//! surface. The optional `gamma` on `distance`/`batch` asks the server to
+//! surface. Distance values may be `inf` — the uniform unreachable-target
+//! answer (see [`privpath_engine::DistanceRelease`]); Rust's `{:?}` float
+//! form round-trips it. The optional `gamma` on `distance`/`batch` asks the server to
 //! attach the release's accuracy contract evaluated at that failure
 //! probability: the response then carries `bound <alpha>`, the `±alpha`
 //! error bar every returned value honors with probability `1 - gamma`
 //! (omitted when the release carries no contract). `accuracy` asks for
 //! the contract alone; `theorem` is a
-//! [`Theorem`](privpath_engine::Theorem) wire name (e.g. `thm-4.2`), and
+//! [`Theorem`](privpath_engine::Theorem) wire name (e.g. `thm-4.2`, or
+//! `cnx-shortcut` for the hierarchical shortcut mechanism), and
 //! `acc` in a release record is `-` or `theorem:alpha:gamma` evaluated at
 //! the default confidence
 //! ([`DEFAULT_GAMMA`](privpath_engine::DEFAULT_GAMMA)). The `error`

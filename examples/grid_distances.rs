@@ -5,6 +5,11 @@
 //! beats the generic Meir-Moon covering of Lemma 4.4 — Algorithm 2 with the
 //! better covering yields `~V^{1/3}` error instead of `~V^{1/2}`.
 //!
+//! A third column runs the related-work `shortcut-apsp` mechanism
+//! (hierarchical covering ladder) on the same grids: grids have large hop
+//! diameter, so many sampled pairs resolve at fine ladder levels with a
+//! detour proportional to their own hop distance.
+//!
 //! Run with: `cargo run --release --example grid_distances`
 
 use privpath::core::experiment::ErrorCollector;
@@ -21,10 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_w = 1.0;
 
     println!(
-        "{:>6} {:>9} | {:>9} {:>11} | {:>9} {:>11}",
-        "V", "side", "|Z| grid", "p95 err", "|Z| generic", "p95 err"
+        "{:>6} {:>9} | {:>9} {:>11} | {:>9} {:>11} | {:>11}",
+        "V", "side", "|Z| grid", "p95 err", "|Z| generic", "p95 err", "shortcut"
     );
-    println!("{}", "-".repeat(64));
+    println!("{}", "-".repeat(78));
 
     for &side in &[8usize, 12, 16, 24] {
         let grid = GridGraph::new(side, side);
@@ -52,8 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let generic_params = BoundedWeightParams::approx(eps, delta, max_w)?
             .with_strategy(CoveringStrategy::MeirMoon { k: k_grid });
         let generic_id = engine.release(&mechanisms::BoundedWeight, &generic_params, &mut rng)?;
+
+        // The hierarchical ladder on the same grid, same budget per
+        // release: close pairs answer at fine levels.
+        let shortcut_params = ShortcutApspParams::approx(eps, delta, max_w)?;
+        let shortcut_id = engine.release(&mechanisms::ShortcutApsp, &shortcut_params, &mut rng)?;
         let (spent_eps, spent_delta) = engine.spent();
-        assert!((spent_eps - 2.0).abs() < 1e-12 && spent_delta > 0.0);
+        assert!((spent_eps - 3.0).abs() < 1e-12 && spent_delta > 0.0);
 
         let (grid_centers, generic_centers) = match (
             engine.get(grid_id).expect("registered").release(),
@@ -68,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Measure error over sampled pairs through the uniform oracle.
         let mut grid_err = ErrorCollector::new();
         let mut generic_err = ErrorCollector::new();
+        let mut shortcut_err = ErrorCollector::new();
         let mut pair_rng = StdRng::seed_from_u64(7);
         for _ in 0..40 {
             let s = NodeId::new(pair_rng.gen_range(0..v));
@@ -77,16 +88,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let truth = spt.distance(t).expect("grid connected");
                 grid_err.push((engine.query(grid_id)?.distance(s, t)? - truth).abs());
                 generic_err.push((engine.query(generic_id)?.distance(s, t)? - truth).abs());
+                shortcut_err.push((engine.query(shortcut_id)?.distance(s, t)? - truth).abs());
             }
         }
         println!(
-            "{:>6} {:>9} | {:>9} {:>11.2} | {:>11} {:>9.2}",
+            "{:>6} {:>9} | {:>9} {:>11.2} | {:>11} {:>9.2} | {:>11.2}",
             v,
             format!("{side}x{side}"),
             grid_centers,
             grid_err.stats().p95,
             generic_centers,
             generic_err.stats().p95,
+            shortcut_err.stats().p95,
         );
     }
 

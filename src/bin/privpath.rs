@@ -41,9 +41,10 @@ commands:
              probability 1 - G` (G defaults to 0.05) on the given
              topology, plus the theorem-named contract; mechanisms:
              shortest-path, tree, hld-tree, bounded-weight,
-             synthetic-graph, all-pairs-baseline, mst, matching
-             (hld-tree/mst/matching have no stored-release format, so
-             their calibrated eps feeds the library API, not `release`)
+             shortcut-apsp, synthetic-graph, all-pairs-baseline, mst,
+             matching (hld-tree/mst/matching have no stored-release
+             format, so their calibrated eps feeds the library API, not
+             `release`)
   release    --topo F --weights F --eps E --out F
              [--mechanism M[,M...]] [--gamma G] [--delta D]
              [--max-weight W] [--budget-eps E --budget-delta D] [--seed S]
@@ -51,7 +52,7 @@ commands:
              tracked privacy budget and store each release (with its
              accuracy contract);
              mechanisms: shortest-path (default), tree, bounded-weight,
-             synthetic-graph, all-pairs-baseline
+             shortcut-apsp, synthetic-graph, all-pairs-baseline
   route      --release F --from A --to B
              print the released route between two intersections
              (route-capable releases only)
@@ -287,6 +288,22 @@ fn calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             calibrate_one(&mechanisms::BoundedWeight, &topo, &params, &target)?
         }
+        "shortcut-apsp" => {
+            let max_weight: f64 = parse(
+                required(flags, "max-weight")
+                    .map_err(|_| "--mechanism shortcut-apsp needs --max-weight".to_string())?,
+                "max weight",
+            )?;
+            let params = match flags.get("delta") {
+                Some(d) => {
+                    let delta = Delta::new(parse(d, "delta")?).map_err(|e| e.to_string())?;
+                    ShortcutApspParams::approx(unit, delta, max_weight)
+                }
+                None => ShortcutApspParams::pure(unit, max_weight),
+            }
+            .map_err(|e| e.to_string())?;
+            calibrate_one(&mechanisms::ShortcutApsp, &topo, &params, &target)?
+        }
         "synthetic-graph" => calibrate_one(
             &mechanisms::SyntheticGraph,
             &topo,
@@ -314,7 +331,8 @@ fn calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
         other => {
             return Err(format!(
                 "unknown mechanism {other:?} (expected shortest-path, tree, hld-tree, \
-                 bounded-weight, synthetic-graph, all-pairs-baseline, mst, or matching)"
+                 bounded-weight, shortcut-apsp, synthetic-graph, all-pairs-baseline, mst, \
+                 or matching)"
             ))
         }
     };
@@ -422,10 +440,26 @@ fn release(flags: &HashMap<String, String>) -> Result<(), String> {
                 };
                 engine.release(&mechanisms::AllPairsBaseline, &params, &mut rng)
             }
+            "shortcut-apsp" => {
+                let max_weight: f64 = parse(
+                    required(flags, "max-weight")
+                        .map_err(|_| "--mechanism shortcut-apsp needs --max-weight".to_string())?,
+                    "max weight",
+                )?;
+                let params = match flags.get("delta") {
+                    Some(d) => {
+                        let delta = Delta::new(parse(d, "delta")?).map_err(|e| e.to_string())?;
+                        ShortcutApspParams::approx(eps, delta, max_weight)
+                    }
+                    None => ShortcutApspParams::pure(eps, max_weight),
+                }
+                .map_err(|e| e.to_string())?;
+                engine.release(&mechanisms::ShortcutApsp, &params, &mut rng)
+            }
             other => {
                 return Err(format!(
                     "unknown mechanism {other:?} (expected shortest-path, tree, \
-                     bounded-weight, synthetic-graph, or all-pairs-baseline)"
+                     bounded-weight, shortcut-apsp, synthetic-graph, or all-pairs-baseline)"
                 ))
             }
         }

@@ -93,6 +93,7 @@ pub mod prelude {
     };
     pub use privpath_core::mst::{private_mst, MstParams};
     pub use privpath_core::persist::{read_shortest_path_release, write_shortest_path_release};
+    pub use privpath_core::shortcut::{shortcut_apsp, ShortcutApspParams, ShortcutApspRelease};
     pub use privpath_core::shortest_path::{
         private_shortest_paths, ShortestPathParams, ShortestPathRelease,
     };

@@ -623,3 +623,86 @@ fn calibrate_rejects_bad_targets_and_mechanisms() {
         assert!(!out.status.success(), "{args:?} should fail");
     }
 }
+
+#[test]
+fn shortcut_apsp_end_to_end_via_cli() {
+    let prefix = tmp("shortcut");
+    let prefix_str = prefix.to_str().unwrap();
+    let release = tmp("shortcut.release");
+    let release_str = release.to_str().unwrap();
+    // A tree demo network is connected by construction with weights in
+    // [1, 9] — within the --max-weight 10 promise.
+    run_ok(&[
+        "gen-demo",
+        "--nodes",
+        "60",
+        "--out-prefix",
+        prefix_str,
+        "--seed",
+        "21",
+        "--shape",
+        "tree",
+    ]);
+    let topo = format!("{prefix_str}.topo");
+
+    // The accuracy theorem solves backwards for the new mechanism too.
+    let out = run_ok(&[
+        "calibrate",
+        "--topo",
+        &topo,
+        "--mechanism",
+        "shortcut-apsp",
+        "--target-alpha",
+        "4000",
+        "--delta",
+        "1e-6",
+        "--max-weight",
+        "10",
+    ]);
+    assert!(out.contains("contract cnx-shortcut"), "{out}");
+    let eps_line = out
+        .lines()
+        .find(|l| l.starts_with("calibrated eps "))
+        .unwrap_or_else(|| panic!("no calibrated eps line in {out}"));
+    let eps: f64 = eps_line["calibrated eps ".len()..].parse().unwrap();
+    assert!(eps > 0.0, "{out}");
+
+    // Release, inspect, query: the ninth mechanism is a first-class
+    // stored-release kind.
+    let out = run_ok(&[
+        "release",
+        "--topo",
+        &topo,
+        "--weights",
+        &format!("{prefix_str}.weights"),
+        "--mechanism",
+        "shortcut-apsp",
+        "--eps",
+        "1.0",
+        "--delta",
+        "1e-6",
+        "--max-weight",
+        "10",
+        "--out",
+        release_str,
+    ]);
+    assert!(out.contains("shortcut-apsp table"), "{out}");
+    assert!(out.contains("contract cnx-shortcut"), "{out}");
+
+    let out = run_ok(&["inspect", "--release", release_str]);
+    assert!(out.contains("kind: shortcut-apsp"), "{out}");
+    assert!(out.contains("accuracy: cnx-shortcut"), "{out}");
+
+    let out = run_ok(&[
+        "distance",
+        "--release",
+        release_str,
+        "--from",
+        "0",
+        "--to",
+        "31",
+    ]);
+    assert!(out.contains("estimated travel time 0 -> 31"), "{out}");
+    assert!(out.contains("shortcut-apsp release"), "{out}");
+    assert!(out.contains("cnx-shortcut"), "{out}");
+}

@@ -1062,3 +1062,233 @@ fn greedy_covering_calibration_agrees_with_pinned_custom_covering() {
         .unwrap();
     assert!(achieved.alpha() <= target.alpha() + 1e-9);
 }
+
+// ---------------------------------------------------------------------------
+// Shortcut-APSP conformance: the ninth mechanism obeys the same three
+// contracts (ZeroNoise exactness-up-to-detour, noise audit vs. declared
+// cost, theorem-named calibration) as the paper mechanisms.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_noise_shortcut_error_is_detour_only() {
+    let (topo, w) = graph_workload(60, 150, 80);
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let params = ShortcutApspParams::approx(eps(1.0), Delta::new(1e-6).unwrap(), 1.0).unwrap();
+    let id = engine
+        .release_with(&mechanisms::ShortcutApsp, &params, &mut ZeroNoise)
+        .unwrap();
+    let rel = match engine.get(id).unwrap().release() {
+        AnyRelease::ShortcutApsp(rel) => rel,
+        other => panic!("unexpected kind {:?}", other.kind()),
+    };
+    let fw = floyd_warshall(&topo, &w).unwrap();
+    let detour = 2.0 * rel.k_top() as f64 * 1.0;
+    for s in topo.nodes().step_by(5) {
+        for t in topo.nodes().step_by(3) {
+            let truth = fw.get(s, t).unwrap();
+            let d = engine.query(id).unwrap().distance(s, t).unwrap();
+            assert!((d - truth).abs() <= detour + 1e-9, "pair ({s},{t})");
+        }
+    }
+}
+
+#[test]
+fn noise_audit_shortcut_apsp() {
+    let (topo, w) = graph_workload(60, 150, 81);
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let mut rec = RecordingNoise::new(ZeroNoise);
+    let delta = Delta::new(1e-6).unwrap();
+    let params = ShortcutApspParams::approx(eps(1.0), delta, 1.0).unwrap();
+    let id = engine
+        .release_with(&mechanisms::ShortcutApsp, &params, &mut rec)
+        .unwrap();
+    let (_, spent_eps, spent_delta) = last_spend(&engine);
+    assert_eq!((spent_eps, spent_delta), (1.0, 1e-6));
+    let rel = match engine.get(id).unwrap().release() {
+        AnyRelease::ShortcutApsp(rel) => rel,
+        other => panic!("unexpected kind {:?}", other.kind()),
+    };
+    assert_eq!(rec.len(), rel.num_released());
+    let per = per_query_epsilon(eps(spent_eps), rel.num_released(), spent_delta).unwrap();
+    let expected = 1.0 / per.value();
+    for &(scale, _) in rec.draws() {
+        assert!((scale - expected).abs() < 1e-12);
+    }
+    // The declared contract states exactly the realized noise scale.
+    match engine.get(id).unwrap().accuracy() {
+        Some(AccuracyContract::ShortcutApsp {
+            noise_scale,
+            num_released,
+            k_top,
+            ..
+        }) => {
+            assert!((noise_scale - expected).abs() < 1e-12);
+            assert_eq!(*num_released, rel.num_released());
+            assert_eq!(*k_top, rel.k_top());
+        }
+        other => panic!("unexpected contract {other:?}"),
+    }
+}
+
+#[test]
+fn shortcut_apsp_names_its_theorem_and_calibrates() {
+    let (topo, _) = graph_workload(60, 160, 82);
+    let pure = ShortcutApspParams::pure(eps(1.0), 1.0).unwrap();
+    assert_accuracy_round_trip(
+        &mechanisms::ShortcutApsp,
+        &topo,
+        &pure,
+        Theorem::CnxShortcut,
+        // The detour floor (and the eps-dependent ladder) break the
+        // clean halving law; feasibility is what the probe checks.
+        false,
+    );
+    let approx = ShortcutApspParams::approx(eps(1.0), Delta::new(1e-6).unwrap(), 1.0).unwrap();
+    assert_accuracy_round_trip(
+        &mechanisms::ShortcutApsp,
+        &topo,
+        &approx,
+        Theorem::CnxShortcut,
+        false,
+    );
+}
+
+#[test]
+fn shortcut_persistence_roundtrips_answers_and_contract() {
+    let (topo, w) = graph_workload(50, 130, 83);
+    let mut rng = StdRng::seed_from_u64(84);
+    let mut engine = ReleaseEngine::new(topo.clone(), w).unwrap();
+    let params = ShortcutApspParams::approx(eps(1.0), Delta::new(1e-6).unwrap(), 1.0).unwrap();
+    let id = engine
+        .release(&mechanisms::ShortcutApsp, &params, &mut rng)
+        .unwrap();
+    let mut buf = Vec::new();
+    engine.save(id, &mut buf).unwrap();
+    let text = String::from_utf8(buf.clone()).unwrap();
+    assert!(text.starts_with("privpath-release v3\nkind shortcut-apsp\n"));
+    let stored = read_release(BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(stored.accuracy.as_ref(), engine.get(id).unwrap().accuracy());
+    let oracle = engine.query(id).unwrap();
+    let restored = stored.release.as_distance().unwrap();
+    for s in topo.nodes().step_by(7) {
+        for t in topo.nodes().step_by(5) {
+            assert_eq!(
+                oracle.distance(s, t).unwrap().to_bits(),
+                restored.distance(s, t).unwrap().to_bits()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unreachable-target conformance: `distance` / `distance_batch` answer
+// `+inf` for pairs with no connecting path, uniformly across every kind
+// that can hold a disconnected topology; kinds that require
+// connectivity reject it at release time instead. Pinned per kind so a
+// new release kind must take a documented position.
+// ---------------------------------------------------------------------------
+
+/// Two components: a connected gnm block on [0, v) plus an isolated
+/// edge (v, v+1).
+fn disconnected_workload(v: usize, m: usize, seed: u64) -> (Topology, EdgeWeights) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block = connected_gnm(v, m, &mut rng);
+    let mut b = Topology::builder(v + 2);
+    for e in block.edge_ids() {
+        let (s, t) = block.endpoints(e);
+        b.add_edge(s, t);
+    }
+    b.add_edge(NodeId::new(v), NodeId::new(v + 1));
+    let topo = b.build();
+    let w = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    (topo, w)
+}
+
+#[test]
+fn disconnected_pairs_answer_infinity_uniformly() {
+    let v = 20;
+    let (topo, w) = disconnected_workload(v, 50, 90);
+    let mut engine = ReleaseEngine::new(topo.clone(), w.clone()).unwrap();
+    let mut rng = StdRng::seed_from_u64(91);
+
+    // Kinds that hold disconnected topologies: shortest-path and
+    // synthetic-graph (per-edge releases replay the public graph).
+    let sp = engine
+        .release(
+            &mechanisms::ShortestPaths,
+            &ShortestPathParams::new(eps(1.0), 0.05).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    let synth = engine
+        .release(
+            &mechanisms::SyntheticGraph,
+            &mechanisms::SyntheticGraphParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .unwrap();
+    let (inside, island) = (NodeId::new(0), NodeId::new(v));
+    for id in [sp, synth] {
+        let oracle = engine.query(id).unwrap();
+        // Unreachable: +inf, not an error, not 0.
+        let d = oracle.distance(inside, island).unwrap();
+        assert!(d.is_infinite() && d > 0.0, "release {id}: {d}");
+        // Reachable pairs stay finite, in both directions of the batch.
+        let batch = oracle
+            .distance_batch(&[
+                (inside, NodeId::new(1)),
+                (inside, island),
+                (island, NodeId::new(v + 1)),
+                (island, inside),
+            ])
+            .unwrap();
+        assert!(batch[0].is_finite());
+        assert!(batch[1].is_infinite() && batch[1] > 0.0);
+        assert!(batch[2].is_finite());
+        assert!(batch[3].is_infinite() && batch[3] > 0.0);
+        // Routes cannot be returned for unreachable pairs: still an
+        // error there (there is no path object to hand back).
+        if let Some(result) = oracle.path(inside, island) {
+            assert!(result.is_err());
+        }
+    }
+
+    // Kinds that require connectivity reject the topology at release
+    // time — they can never hold an unreachable pair.
+    assert!(engine
+        .release(
+            &mechanisms::BoundedWeight,
+            &BoundedWeightParams::pure(eps(1.0), 1.0).unwrap(),
+            &mut rng,
+        )
+        .is_err());
+    assert!(engine
+        .release(
+            &mechanisms::ShortcutApsp,
+            &ShortcutApspParams::pure(eps(1.0), 1.0).unwrap(),
+            &mut rng,
+        )
+        .is_err());
+    assert!(engine
+        .release(
+            &mechanisms::AllPairsBaseline,
+            &mechanisms::AllPairsBaselineParams::basic(eps(1.0)),
+            &mut rng,
+        )
+        .is_err());
+    // Tree mechanisms require a tree, which is connected by definition.
+    assert!(engine
+        .release(
+            &mechanisms::TreeAllPairs,
+            &TreeDistanceParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .is_err());
+    assert!(engine
+        .release(
+            &mechanisms::HldTree,
+            &TreeDistanceParams::new(eps(1.0)),
+            &mut rng,
+        )
+        .is_err());
+}

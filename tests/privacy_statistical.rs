@@ -202,3 +202,159 @@ fn laplace_mechanism_indistinguishability_histogram() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Statistical eps-audit: neighboring-weight-function distinguishing via
+// the likelihood ratio of recorded Laplace draws. For an output
+// transcript r_i = mu_i + n_i at scales b_i, the log-likelihood ratio
+// between neighboring weight functions w and w' is
+//   sum_i (|n_i + mu_i - mu'_i| - |n_i|) / b_i  <=  sum_i |mu_i - mu'_i| / b_i,
+// and each released shortest-path distance is 1-Lipschitz in the total
+// weight change, so the ratio is bounded by ||w - w'||_1 * sum_i 1/b_i —
+// the transcript's pure-DP cost. Seed-pinned so CI is deterministic.
+// ---------------------------------------------------------------------------
+
+/// A neighboring weight function: one edge shifted by `delta_w` (staying
+/// within `[0, 1]`), so `||w - w'||_1 = |delta_w|`.
+fn neighbor_weights(w: &EdgeWeights) -> (EdgeWeights, f64) {
+    let e0 = EdgeId::new(0);
+    let old = w.get(e0);
+    let delta_w = if old <= 0.5 { 0.5 } else { -0.5 };
+    let mut shifted = w.clone();
+    shifted.set(e0, old + delta_w);
+    (shifted, delta_w.abs())
+}
+
+/// The empirical log-likelihood ratio of a recorded transcript between
+/// `mu` (the truth the noise was added to) and `mu_prime`.
+fn log_likelihood_ratio(draws: &[(f64, f64)], mu: &[f64], mu_prime: &[f64]) -> f64 {
+    assert_eq!(draws.len(), mu.len());
+    assert_eq!(draws.len(), mu_prime.len());
+    draws
+        .iter()
+        .zip(mu.iter().zip(mu_prime))
+        .map(|(&(b, n), (&m, &mp))| ((n + m - mp).abs() - n.abs()) / b)
+        .sum()
+}
+
+#[test]
+fn likelihood_ratio_audit_bounded_weight_pure() {
+    use privpath::dp::RecordingNoise;
+    use privpath::graph::algo::dijkstra;
+
+    let e = eps(0.8);
+    for seed in [600, 601, 602] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = privpath::graph::generators::connected_gnm(50, 120, &mut rng);
+        let w = privpath::graph::generators::uniform_weights(120, 0.0, 1.0, &mut rng);
+        let (w_prime, l1) = neighbor_weights(&w);
+
+        // Pin a small covering radius so the released vector is large
+        // enough for the audit to see real composition (AutoK on a
+        // graph this small can collapse to a single center).
+        let params = privpath::core::bounded::BoundedWeightParams::pure(e, 1.0)
+            .unwrap()
+            .with_strategy(privpath::core::bounded::CoveringStrategy::MeirMoon { k: 2 });
+        let mut rec = RecordingNoise::new(RngNoise::new(StdRng::seed_from_u64(seed ^ 0xa)));
+        let rel =
+            privpath::core::bounded::bounded_weight_all_pairs_with(&topo, &w, &params, &mut rec)
+                .unwrap();
+
+        // Replay the released quantities (center-pair distances, in the
+        // mechanism's draw order) under both weight functions.
+        let z = rel.centers().len();
+        let (mut mu, mut mu_prime) = (Vec::new(), Vec::new());
+        for (i, &zi) in rel.centers().iter().enumerate() {
+            let spt = dijkstra(&topo, &w, zi).unwrap();
+            let spt_p = dijkstra(&topo, &w_prime, zi).unwrap();
+            for &zj in rel.centers().iter().skip(i + 1) {
+                mu.push(spt.distance(zj).unwrap());
+                mu_prime.push(spt_p.distance(zj).unwrap());
+            }
+        }
+        assert_eq!(rec.len(), z * (z - 1) / 2);
+
+        // The transcript's pure-DP cost: each of the N draws is at
+        // scale N * s / eps, so sum 1/b_i = eps exactly.
+        let transcript_eps: f64 = rec.draws().iter().map(|&(b, _)| 1.0 / b).sum();
+        assert!((transcript_eps - e.value()).abs() < 1e-9);
+
+        let lr = log_likelihood_ratio(rec.draws(), &mu, &mu_prime);
+        assert!(
+            lr.abs() <= l1 * transcript_eps + 1e-9,
+            "seed {seed}: |log LR| {} exceeds {}",
+            lr.abs(),
+            l1 * transcript_eps
+        );
+    }
+}
+
+#[test]
+fn likelihood_ratio_audit_shortcut_apsp_approx() {
+    use privpath::dp::composition::per_query_epsilon;
+    use privpath::dp::RecordingNoise;
+    use privpath::graph::algo::dijkstra;
+
+    let e = eps(1.0);
+    let d = Delta::new(1e-6).unwrap();
+    let mut some_seed_distinguishes = false;
+    for seed in [610, 611, 612] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = privpath::graph::generators::connected_gnm(50, 120, &mut rng);
+        let w = privpath::graph::generators::uniform_weights(120, 0.0, 1.0, &mut rng);
+        let (w_prime, l1) = neighbor_weights(&w);
+
+        let params = ShortcutApspParams::approx(e, d, 1.0).unwrap();
+        let mut rec = RecordingNoise::new(RngNoise::new(StdRng::seed_from_u64(seed ^ 0xb)));
+        let rel =
+            privpath::core::shortcut::shortcut_apsp_with(&topo, &w, &params, &mut rec).unwrap();
+
+        // Replay the released shortcut distances in draw order: levels
+        // finest-first, pairs sorted.
+        let (mut mu, mut mu_prime) = (Vec::new(), Vec::new());
+        for level in rel.levels() {
+            let mut last_i = u32::MAX;
+            let (mut spt, mut spt_p) = (None, None);
+            for &(i, j, _) in level.values() {
+                if i != last_i {
+                    let c = level.centers()[i as usize];
+                    spt = Some(dijkstra(&topo, &w, c).unwrap());
+                    spt_p = Some(dijkstra(&topo, &w_prime, c).unwrap());
+                    last_i = i;
+                }
+                let t = level.centers()[j as usize];
+                mu.push(spt.as_ref().unwrap().distance(t).unwrap());
+                mu_prime.push(spt_p.as_ref().unwrap().distance(t).unwrap());
+            }
+        }
+        assert_eq!(rec.len(), rel.num_released());
+
+        // Every draw sits at the advanced-composition per-query scale
+        // the mechanism declared: s / per_query_epsilon(eps, N, delta).
+        let per = per_query_epsilon(e, rel.num_released(), d.value()).unwrap();
+        for &(b, _) in rec.draws() {
+            assert!((b - 1.0 / per.value()).abs() < 1e-12);
+        }
+
+        // The transcript's pure-DP cost is N * per-query eps (advanced
+        // composition trades the rest against delta); the realized
+        // likelihood ratio must respect it scaled by ||w - w'||_1.
+        let transcript_eps = rel.num_released() as f64 * per.value();
+        let lr = log_likelihood_ratio(rec.draws(), &mu, &mu_prime);
+        assert!(
+            lr.abs() <= l1 * transcript_eps + 1e-9,
+            "seed {seed}: |log LR| {} exceeds {}",
+            lr.abs(),
+            l1 * transcript_eps
+        );
+        // Whether this seed's shifted edge moved any released value
+        // (it may sit on no center-to-center shortest path).
+        some_seed_distinguishes |= mu.iter().zip(&mu_prime).any(|(a, b)| (a - b).abs() > 1e-12);
+    }
+    // The audit is not vacuous: across the pinned seeds, at least one
+    // neighboring pair produces genuinely different transcripts.
+    assert!(
+        some_seed_distinguishes,
+        "no seed's neighboring weights changed any released value"
+    );
+}

@@ -6,8 +6,9 @@
 //! the contract between `bounds.rs` and `calibrate`.
 
 use privpath::core::bounds::{
-    bounded_error, cor56_worst_case, thm41_single_source_tree, thm42_all_pairs_tree,
-    thm43_approx_rate, thm55_path_error, thm_b3_mst_error, thm_b6_matching_error, AccuracyContract,
+    bounded_error, cor56_worst_case, shortcut_error, thm41_single_source_tree,
+    thm42_all_pairs_tree, thm43_approx_rate, thm55_path_error, thm_b3_mst_error,
+    thm_b6_matching_error, AccuracyContract,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -116,6 +117,18 @@ proptest! {
         assert_bound_laws("thm43-rate", &i, |e, g| {
             thm43_approx_rate(i.v, i.max_weight, e, 1e-6, g)
         })?;
+        // The shortcut ladder's bound shares the detour-plus-union shape
+        // at a fixed plan: linear in the per-value scale (itself C/eps).
+        assert_bound_laws("cnx-shortcut", &i, |e, g| {
+            shortcut_error(
+                3,
+                i.k,
+                i.max_weight,
+                i.noise_scale / e,
+                i.num_released,
+                g,
+            )
+        })?;
     }
 
     #[test]
@@ -164,8 +177,21 @@ proptest! {
             bounded.bound_at(g).unwrap(),
             bounded_error(i.k, i.max_weight, i.noise_scale, i.num_released, g)
         );
+        let shortcut = AccuracyContract::ShortcutApsp {
+            levels: 4,
+            k_top: i.k,
+            max_weight: i.max_weight,
+            noise_scale: i.noise_scale,
+            num_released: i.num_released,
+        };
+        prop_assert_eq!(
+            shortcut.bound_at(g).unwrap(),
+            shortcut_error(4, i.k, i.max_weight, i.noise_scale, i.num_released, g)
+        );
         // Contract serialization round-trips on arbitrary inputs too.
         let line = bounded.to_line();
         prop_assert_eq!(AccuracyContract::parse_line(&line), Some(bounded));
+        let line = shortcut.to_line();
+        prop_assert_eq!(AccuracyContract::parse_line(&line), Some(shortcut));
     }
 }

@@ -12,7 +12,7 @@ fn eps(v: f64) -> Epsilon {
 }
 
 /// An engine over one random tree workload carrying a release of every
-/// distance-capable kind (trees support all six mechanisms at once).
+/// distance-capable kind (trees support all seven mechanisms at once).
 fn all_kinds_engine(n: usize, seed: u64) -> ReleaseEngine {
     let mut rng = StdRng::seed_from_u64(seed);
     let topo = privpath::graph::generators::random_tree_prufer(n, &mut rng);
@@ -62,6 +62,13 @@ fn all_kinds_engine(n: usize, seed: u64) -> ReleaseEngine {
         )
         .unwrap();
     engine
+        .release(
+            &mechanisms::ShortcutApsp,
+            &ShortcutApspParams::pure(eps(1.0), 10.0).unwrap(),
+            &mut rng,
+        )
+        .unwrap();
+    engine
 }
 
 fn shuffled<T>(mut items: Vec<T>, rng: &mut StdRng) -> Vec<T> {
@@ -78,7 +85,7 @@ fn planner_matches_per_query_answers_for_every_kind() {
     let n = 24;
     let engine = all_kinds_engine(n, 41);
     let service = engine.snapshot();
-    assert_eq!(service.len(), 6);
+    assert_eq!(service.len(), 7);
 
     // A mixed, shuffled batch: every release kind, heavy source reuse.
     let mut rng = StdRng::seed_from_u64(7);
@@ -215,7 +222,7 @@ fn planner_answers_mixed_request_kinds_in_order() {
     assert!(matches!(answers[0], QueryResponse::Budget { .. }));
     assert!(matches!(answers[1], QueryResponse::Distance { .. }));
     match &answers[2] {
-        QueryResponse::Releases(rs) => assert_eq!(rs.len(), 6),
+        QueryResponse::Releases(rs) => assert_eq!(rs.len(), 7),
         other => panic!("expected releases, got {other}"),
     }
     match &answers[3] {
@@ -329,7 +336,7 @@ fn service_from_stored_assigns_sequential_ids() {
     let engine = all_kinds_engine(10, 47);
     let mut stored = Vec::new();
     for record in engine.releases() {
-        // MST/matching are not persistable; all six here are.
+        // MST/matching are not persistable; all seven here are.
         let mut buf = Vec::new();
         if engine.save(record.id(), &mut buf).is_ok() {
             stored.push(
@@ -337,13 +344,13 @@ fn service_from_stored_assigns_sequential_ids() {
             );
         }
     }
-    // hld-tree has no persistence format; the other five round-trip.
-    assert_eq!(stored.len(), 5);
+    // hld-tree has no persistence format; the other six round-trip.
+    assert_eq!(stored.len(), 6);
     let service = QueryService::from_stored(stored);
-    assert_eq!(service.len(), 5);
+    assert_eq!(service.len(), 6);
     let ids: Vec<u64> = service.releases().map(|r| r.id().value()).collect();
-    assert_eq!(ids, vec![0, 1, 2, 3, 4]);
-    assert_eq!(service.spent(), (5.0, 0.0));
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    assert_eq!(service.spent(), (6.0, 0.0));
     assert_eq!(service.remaining(), None);
     for record in service.releases() {
         let d = service
@@ -525,7 +532,7 @@ proptest! {
         let theorems = [
             Theorem::Thm41, Theorem::Thm42, Theorem::Thm45, Theorem::Thm46,
             Theorem::Cor56, Theorem::Lem33, Theorem::Lem34, Theorem::ThmB3,
-            Theorem::ThmB6,
+            Theorem::ThmB6, Theorem::CnxShortcut,
         ];
         let theorem = theorems[rng.gen_range(0..theorems.len())];
         let resp = QueryResponse::Accuracy(ErrorBound::new(
@@ -567,6 +574,14 @@ fn releases_and_error_responses_round_trip() {
             delta: 0.0,
             num_nodes: None,
             accuracy: None,
+        },
+        ReleaseSummary {
+            id: "r4".parse().unwrap(),
+            kind: ReleaseKind::ShortcutApsp,
+            eps: 1.0,
+            delta: 1e-6,
+            num_nodes: Some(1024),
+            accuracy: Some(ErrorBound::new(Theorem::CnxShortcut, 1970.5, 0.05)),
         },
     ]);
     let back: QueryResponse = resp.to_string().parse().unwrap();
@@ -719,7 +734,7 @@ fn list_carries_kind_cost_and_accuracy_per_release() {
     let QueryResponse::Releases(rs) = &resp else {
         panic!("expected releases");
     };
-    assert_eq!(rs.len(), 6);
+    assert_eq!(rs.len(), 7);
     for (summary, record) in rs.iter().zip(service.releases()) {
         assert_eq!(summary.kind, record.kind());
         assert_eq!(summary.eps, record.eps());
@@ -770,5 +785,74 @@ fn invalid_gamma_on_distance_fails_like_accuracy_does() {
                 "planner/direct divergence at gamma {gamma}"
             );
         }
+    }
+}
+
+#[test]
+fn shortcut_release_is_served_on_every_wire_surface() {
+    // The new kind flows through list / accuracy / bound responses and
+    // each survives the codec.
+    let engine = all_kinds_engine(24, 91);
+    let service = engine.snapshot();
+    let record = service
+        .releases()
+        .find(|r| r.kind() == ReleaseKind::ShortcutApsp)
+        .expect("shortcut release registered");
+    let id = record.id();
+
+    // list: the record names the kind and an evaluated cnx-shortcut bound.
+    let list = privpath::serve::answer_one(&service, &QueryRequest::ListReleases);
+    let QueryResponse::Releases(rs) = &list else {
+        panic!("expected releases, got {list}");
+    };
+    let summary = rs.iter().find(|s| s.id == id).unwrap();
+    assert_eq!(summary.kind, ReleaseKind::ShortcutApsp);
+    let bound = summary.accuracy.as_ref().expect("contract declared");
+    assert_eq!(bound.theorem(), Theorem::CnxShortcut);
+    let wire: QueryResponse = list.to_string().parse().unwrap();
+    assert_eq!(wire, list);
+
+    // accuracy: re-evaluable at any gamma over the wire.
+    let resp = privpath::serve::answer_one(
+        &service,
+        &QueryRequest::Accuracy {
+            release: id,
+            gamma: 0.2,
+        },
+    );
+    let QueryResponse::Accuracy(b) = &resp else {
+        panic!("expected accuracy, got {resp}");
+    };
+    assert_eq!(b.theorem(), Theorem::CnxShortcut);
+    assert!(b.alpha() < bound.alpha(), "looser gamma, smaller bound");
+    let wire: QueryResponse = resp.to_string().parse().unwrap();
+    assert_eq!(wire, resp);
+
+    // distance / batch with gamma: answers carry the ±bound error bar.
+    for req in [
+        QueryRequest::Distance {
+            release: id,
+            from: NodeId::new(0),
+            to: NodeId::new(5),
+            gamma: Some(0.05),
+        },
+        QueryRequest::DistanceBatch {
+            release: id,
+            pairs: vec![
+                (NodeId::new(0), NodeId::new(5)),
+                (NodeId::new(2), NodeId::new(9)),
+            ],
+            gamma: Some(0.05),
+        },
+    ] {
+        let resp = privpath::serve::answer_one(&service, &req);
+        let attached = match &resp {
+            QueryResponse::Distance { bound, .. } => *bound,
+            QueryResponse::Distances { bound, .. } => *bound,
+            other => panic!("expected a distance answer, got {other}"),
+        };
+        assert_eq!(attached, Some(bound.alpha()));
+        let wire: QueryResponse = resp.to_string().parse().unwrap();
+        assert_eq!(wire, resp);
     }
 }

@@ -375,3 +375,81 @@ fn graceful_shutdown_acknowledges_and_stops_accepting() {
     }
     assert!(refused, "listener still accepting after shutdown");
 }
+
+#[test]
+fn malformed_corpus_never_kills_a_worker() {
+    // The fuzz-style corpus: truncated floats, half-tokens, wrong
+    // arities, unknown verbs, binary junk, and whitespace pathologies.
+    // Every line gets exactly one error response on the same
+    // connection, interleaved valid requests still answer, and the
+    // worker pool survives to serve a fresh connection afterwards —
+    // per-connection error isolation must never take a worker down.
+    const CORPUS: &[&str] = &[
+        "distance r0 0 1 gamma 0.0.5",       // truncated/duplicated float dot
+        "distance r0 0 1 gamma .",           // bare dot
+        "distance r0 0 1 gamma 1e",          // dangling exponent
+        "batch r0 3 0:1 2:3",                // count exceeds provided pairs
+        "batch r0 1 0:1:2",                  // malformed pair
+        "batch r0 18446744073709551616 0:1", // count overflows u64
+        "distance r0 0 1 2",                 // trailing token
+        "accuracy r0 0x1p3",                 // hex float not in grammar
+        "path r0 -1 2",                      // negative vertex
+        "shutdown now please",               // control verb with arguments
+        "\u{7f}\u{1b}[2Jdistance",           // control bytes
+    ];
+    // (Blank/whitespace-only lines are deliberately absent: the
+    // protocol skips them without a response line.)
+
+    let engine = serving_engine();
+    let running = Server::bind("127.0.0.1:0", engine.snapshot())
+        .unwrap()
+        .with_threads(2)
+        .spawn()
+        .unwrap();
+
+    let mut fuzz = TcpStream::connect(running.addr()).unwrap();
+    for (i, bad) in CORPUS.iter().enumerate() {
+        let resp = round_trip(&mut fuzz, bad);
+        assert!(
+            resp.starts_with("error malformed "),
+            "corpus line {i} {bad:?}: got {resp}"
+        );
+        // Interleave a valid request: the connection state machine must
+        // recover after every malformed line.
+        let resp = round_trip(&mut fuzz, "distance r0 0 1");
+        assert!(
+            resp.starts_with("distance "),
+            "after corpus line {i}: {resp}"
+        );
+    }
+
+    // A pipelined burst mixing malformed and valid lines answers one
+    // response per line, in order.
+    let mut pipelined = TcpStream::connect(running.addr()).unwrap();
+    let burst = "distance r0 0 2\nbatch r0 1 0:3\ndistance r0 0 1 gamma 0.0.5\nlist\n";
+    pipelined.write_all(burst.as_bytes()).unwrap();
+    pipelined.flush().unwrap();
+    let mut reader = BufReader::new(pipelined.try_clone().unwrap());
+    let mut lines = Vec::new();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        lines.push(line.trim_end().to_string());
+    }
+    assert!(lines[0].starts_with("distance "), "{}", lines[0]);
+    assert!(lines[1].starts_with("distances 1 "), "{}", lines[1]);
+    assert!(lines[2].starts_with("error malformed "), "{}", lines[2]);
+    assert!(lines[3].starts_with("releases 2 "), "{}", lines[3]);
+
+    // Both workers are still alive: a fresh connection gets answered
+    // while the fuzz connections are still open.
+    let mut fresh = TcpStream::connect(running.addr()).unwrap();
+    let resp = round_trip(&mut fresh, "budget");
+    assert!(resp.starts_with("budget spent "), "{resp}");
+
+    drop(fresh);
+    drop(pipelined);
+    drop(fuzz);
+    let stats = running.shutdown().unwrap();
+    assert!(stats.requests >= (2 * CORPUS.len() + 4 + 1) as u64);
+}
