@@ -56,7 +56,7 @@ fn workload(
         let s = NodeId::new(rng.gen_range(0..v));
         for _ in 0..per_source {
             requests.push(QueryRequest::Distance {
-                release: ids[rng.gen_range(0..ids.len())],
+                release: ids[rng.gen_range(0..ids.len())].into(),
                 from: s,
                 to: NodeId::new(rng.gen_range(0..v)),
                 gamma: None,

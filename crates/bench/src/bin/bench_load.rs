@@ -1,0 +1,269 @@
+//! `bench_load` — a closed-loop TCP load generator for the live release
+//! store, reporting p50/p99 latency and queries/sec.
+//!
+//! In its default self-contained mode it builds a temporary store (one
+//! namespace, one shortest-path release over a random bounded-weight
+//! graph), serves it live on an ephemeral port, and drives a
+//! repeated-source `batch` workload through real sockets — once with
+//! the read-path source cache on and once with it off — then writes the
+//! comparison to `results/bench_load_cache.csv`. Pass `--connect
+//! HOST:PORT --release REF` to drive an external server instead (one
+//! run, no comparison).
+//!
+//! Closed loop means every client thread keeps exactly one request in
+//! flight: measured latency is service latency, and queries/sec is the
+//! throughput the server actually sustained at that concurrency.
+//!
+//! ```text
+//! bench_load [--requests N] [--threads T] [--batch B] [--sources S]
+//!            [--nodes V] [--out FILE] [--connect ADDR --release REF]
+//! ```
+
+use privpath_dp::Epsilon;
+use privpath_engine::ReleaseKind;
+use privpath_graph::generators::{connected_gnm, uniform_weights};
+use privpath_graph::NodeId;
+use privpath_serve::{Client, QueryRequest, QueryResponse, ReleaseRef, Server};
+use privpath_store::{ReleaseSpec, ReleaseStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    requests: u64,
+    threads: usize,
+    batch: usize,
+    sources: usize,
+    nodes: usize,
+    out: String,
+    connect: Option<String>,
+    release: Option<String>,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        requests: 400,
+        threads: 4,
+        batch: 16,
+        sources: 4,
+        nodes: 1024,
+        out: "results/bench_load_cache.csv".into(),
+        connect: None,
+        release: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{key} needs a value"))?;
+        match key {
+            "--requests" => cfg.requests = val.parse().map_err(|_| "bad --requests")?,
+            "--threads" => cfg.threads = val.parse().map_err(|_| "bad --threads")?,
+            "--batch" => cfg.batch = val.parse().map_err(|_| "bad --batch")?,
+            "--sources" => cfg.sources = val.parse().map_err(|_| "bad --sources")?,
+            "--nodes" => cfg.nodes = val.parse().map_err(|_| "bad --nodes")?,
+            "--out" => cfg.out = val.clone(),
+            "--connect" => cfg.connect = Some(val.clone()),
+            "--release" => cfg.release = Some(val.clone()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+struct RunResult {
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Drives `cfg.requests` batch requests through `cfg.threads` closed-loop
+/// clients against `addr` and returns the latency/throughput profile.
+fn drive(addr: &str, release: &ReleaseRef, cfg: &Config) -> Result<RunResult, String> {
+    let remaining = AtomicU64::new(cfg.requests);
+    let started = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let remaining = &remaining;
+            let release = release.clone();
+            handles.push(scope.spawn(move || -> Result<Vec<f64>, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut rng = StdRng::seed_from_u64(0xbe9c4 + t as u64);
+                let mut lats = Vec::new();
+                while remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    // Repeated-source workload: every batch draws all its
+                    // pairs from a small pool of sources, the shape the
+                    // planner groups and the store cache slots.
+                    let source = NodeId::new(rng.gen_range(0..cfg.sources) * 7 % cfg.nodes);
+                    let pairs: Vec<(NodeId, NodeId)> = (0..cfg.batch)
+                        .map(|_| (source, NodeId::new(rng.gen_range(0..cfg.nodes))))
+                        .collect();
+                    let req = QueryRequest::DistanceBatch {
+                        release: release.clone(),
+                        pairs,
+                        gamma: None,
+                    };
+                    let start = Instant::now();
+                    match client.request(&req).map_err(|e| e.to_string())? {
+                        QueryResponse::Distances { values, .. } => {
+                            assert_eq!(values.len(), cfg.batch);
+                        }
+                        QueryResponse::Error { code, message } => {
+                            return Err(format!("server error [{code}]: {message}"))
+                        }
+                        other => return Err(format!("unexpected response {other}")),
+                    }
+                    lats.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+                Ok(lats)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    let wall = started.elapsed().as_secs_f64();
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if all.is_empty() {
+            return f64::NAN;
+        }
+        all[((all.len() - 1) as f64 * p) as usize]
+    };
+    Ok(RunResult {
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        qps: all.len() as f64 / wall,
+        cache_hits: 0,
+        cache_misses: 0,
+    })
+}
+
+/// One self-contained run: build the store with the cache on or off,
+/// serve it, drive the load, shut down.
+fn self_contained_run(cfg: &Config, cache: bool) -> Result<RunResult, String> {
+    let dir = std::env::temp_dir().join(format!(
+        "privpath-bench-load-{}-{}",
+        if cache { "on" } else { "off" },
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ReleaseStore::open(&dir)
+        .map_err(|e| e.to_string())?
+        .with_cache(cache)
+        .with_seed(7);
+    let mut rng = StdRng::seed_from_u64(42);
+    let topo = connected_gnm(cfg.nodes, 3 * cfg.nodes, &mut rng);
+    let weights = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    store
+        .create_namespace("load", topo, weights, None)
+        .map_err(|e| e.to_string())?;
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, Epsilon::new(1.0).unwrap())
+        .map_err(|e| e.to_string())?;
+    let id = store.publish("load", &spec).map_err(|e| e.to_string())?.id;
+
+    let store = Arc::new(store);
+    let running = Server::bind_store("127.0.0.1:0", Arc::clone(&store))
+        .map_err(|e| e.to_string())?
+        .with_threads(cfg.threads)
+        .spawn()
+        .map_err(|e| e.to_string())?;
+    let release = ReleaseRef::from(id);
+    let mut result = drive(&running.addr().to_string(), &release, cfg)?;
+    let stats = store.stats_for("load").map_err(|e| e.to_string())?;
+    result.cache_hits = stats.cache_hits;
+    result.cache_misses = stats.cache_misses;
+    running.shutdown().map_err(|e| e.to_string())?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(result)
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let cfg = parse_args()?;
+    println!(
+        "bench_load: {} requests x {} pair batches, {} closed-loop clients, \
+         {} distinct sources, {} nodes",
+        cfg.requests, cfg.batch, cfg.threads, cfg.sources, cfg.nodes
+    );
+
+    if let Some(addr) = &cfg.connect {
+        let release: ReleaseRef = cfg
+            .release
+            .as_deref()
+            .ok_or("--connect needs --release")?
+            .parse()
+            .map_err(|e| format!("{e}"))?;
+        let r = drive(addr, &release, &cfg)?;
+        println!(
+            "external {addr}: p50 {:.0}us p99 {:.0}us {:.0} req/s",
+            r.p50_us, r.p99_us, r.qps
+        );
+        return Ok(());
+    }
+
+    let on = self_contained_run(&cfg, true)?;
+    println!(
+        "cache-on : p50 {:.0}us p99 {:.0}us {:.0} req/s ({} hits / {} misses)",
+        on.p50_us, on.p99_us, on.qps, on.cache_hits, on.cache_misses
+    );
+    let off = self_contained_run(&cfg, false)?;
+    println!(
+        "cache-off: p50 {:.0}us p99 {:.0}us {:.0} req/s",
+        off.p50_us, off.p99_us, off.qps
+    );
+    let speedup = on.qps / off.qps;
+    println!("cache speedup on repeated-source batches: {speedup:.2}x queries/sec");
+
+    if let Some(parent) = std::path::Path::new(&cfg.out).parent() {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    let mut f = std::fs::File::create(&cfg.out).map_err(|e| e.to_string())?;
+    writeln!(
+        f,
+        "mode,requests,threads,batch,sources,nodes,p50_us,p99_us,qps,cache_hits,cache_misses"
+    )
+    .map_err(|e| e.to_string())?;
+    for (mode, r) in [("cache-on", &on), ("cache-off", &off)] {
+        writeln!(
+            f,
+            "{mode},{},{},{},{},{},{:.1},{:.1},{:.1},{},{}",
+            cfg.requests,
+            cfg.threads,
+            cfg.batch,
+            cfg.sources,
+            cfg.nodes,
+            r.p50_us,
+            r.p99_us,
+            r.qps,
+            r.cache_hits,
+            r.cache_misses
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    println!("wrote {}", cfg.out);
+    Ok(())
+}

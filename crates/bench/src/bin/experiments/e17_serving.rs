@@ -55,7 +55,7 @@ pub fn run(ctx: &Ctx) {
         let s = NodeId::new(rng.gen_range(0..v));
         for _ in 0..per_source {
             requests.push(QueryRequest::Distance {
-                release: id,
+                release: id.into(),
                 from: s,
                 to: NodeId::new(rng.gen_range(0..v)),
                 gamma: None,

@@ -66,6 +66,68 @@ impl Default for NeighborScale {
     }
 }
 
+/// The magnitude of a weight update in the model's own metric.
+///
+/// Re-releasing after a weight update is the live-store workflow: the
+/// topology stays public and fixed while the private weights move from
+/// `old` to `new`. The privacy-relevant size of that move is
+/// `||new - old||_1` (Definition 2.1's neighboring metric): it says how
+/// many unit-scale "individuals" worth of change the update carries.
+/// Note this number is **itself private** (it is a function of the
+/// weights); the store records it in write-path logs, never in served
+/// responses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightUpdate {
+    l1_shift: f64,
+    changed_edges: usize,
+}
+
+impl WeightUpdate {
+    /// Measures the update taking `old` to `new`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if the vectors have
+    /// different lengths (a weight update never changes the topology).
+    pub fn measure(old: &EdgeWeights, new: &EdgeWeights) -> Result<Self, CoreError> {
+        if old.len() != new.len() {
+            return Err(CoreError::InvalidParameter(format!(
+                "weight update changes the edge count ({} -> {}); updates must \
+                 preserve the public topology",
+                old.len(),
+                new.len()
+            )));
+        }
+        let changed_edges = old
+            .iter()
+            .zip(new.iter())
+            .filter(|((_, a), (_, b))| a != b)
+            .count();
+        Ok(WeightUpdate {
+            l1_shift: old.l1_distance(new),
+            changed_edges,
+        })
+    }
+
+    /// `||new - old||_1`: the update's size in the neighboring metric.
+    pub fn l1_shift(&self) -> f64 {
+        self.l1_shift
+    }
+
+    /// How many edges changed weight.
+    pub fn changed_edges(&self) -> usize {
+        self.changed_edges
+    }
+
+    /// How many unit-scale neighboring steps the update spans (the
+    /// ceiling of [`l1_shift`](Self::l1_shift) at `scale`): group privacy
+    /// degrades a single release's guarantee by this factor *between* the
+    /// old and new databases, which is why the store re-releases (fresh
+    /// noise, fresh debit) instead of serving stale answers.
+    pub fn neighboring_steps(&self, scale: NeighborScale) -> u64 {
+        (self.l1_shift / scale.value()).ceil() as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

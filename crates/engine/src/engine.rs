@@ -34,6 +34,13 @@ use std::sync::Arc;
 pub struct ReleaseId(u64);
 
 impl ReleaseId {
+    /// A handle for a raw id value (used by stores replaying a manifest
+    /// that recorded ids explicitly; within one engine, ids come from the
+    /// engine itself).
+    pub fn new(value: u64) -> Self {
+        ReleaseId(value)
+    }
+
     /// The raw numeric id.
     pub fn value(&self) -> u64 {
         self.0
@@ -226,6 +233,37 @@ impl ReleaseEngine {
         &self.topo
     }
 
+    /// The private weight database.
+    ///
+    /// This is write-path-only surface: the engine *is* the component
+    /// trusted with the private weights (it runs mechanisms over them),
+    /// and live-store curators need the current vector to apply sparse
+    /// updates and persist write-path state. Never expose this through a
+    /// read path — [`snapshot`](Self::snapshot) deliberately carries
+    /// releases only.
+    pub fn weights(&self) -> &EdgeWeights {
+        &self.weights
+    }
+
+    /// Replaces the private weight database (the topology stays fixed —
+    /// it is public and every registered release was declared against
+    /// it). Existing releases are untouched: they keep answering from the
+    /// weights they were released over, which stays differentially
+    /// private (post-processing) but grows stale;
+    /// [`rerelease_with`](Self::rerelease_with) re-runs a mechanism over
+    /// the new weights under a fresh debit.
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] when the new vector's length does not match
+    /// the topology. On error the old weights remain in place.
+    pub fn update_weights(&mut self, weights: EdgeWeights) -> Result<(), EngineError> {
+        weights
+            .validate_for(&self.topo)
+            .map_err(privpath_core::CoreError::from)?;
+        self.weights = weights;
+        Ok(())
+    }
+
     /// Runs `mechanism` over the engine's database with an explicit noise
     /// source, debiting the accountant and registering the release.
     ///
@@ -345,6 +383,179 @@ impl ReleaseEngine {
             .error_bound(target.gamma())
             .ok_or_else(calibration_error)?;
         Ok((id, bound))
+    }
+
+    /// Re-runs a mechanism over the **current** weights and replaces the
+    /// record registered at `id`, keeping the id stable (readers of the
+    /// next snapshot see the same handle answer from fresh data). This is
+    /// the live-update half of the release lifecycle: after
+    /// [`update_weights`](Self::update_weights), each release the curator
+    /// wants refreshed is re-released here under a **fresh debit** — a
+    /// re-release touches the private weights again, so it costs privacy
+    /// exactly like a first release (budget checked before noise).
+    ///
+    /// The replaced record is dropped from the registry but its original
+    /// spend stays in the ledger: both the old and the new release were
+    /// in fact computed from private data.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownRelease`] for an unregistered id;
+    /// [`EngineError::BudgetExhausted`] when the fresh cost does not fit;
+    /// otherwise the mechanism's own errors. On error the old record
+    /// remains registered.
+    pub fn rerelease_with<M: Mechanism>(
+        &mut self,
+        id: ReleaseId,
+        mechanism: &M,
+        params: &M::Params,
+        noise: &mut impl NoiseSource,
+    ) -> Result<(), EngineError>
+    where
+        AnyRelease: From<M::Release>,
+    {
+        if !self.records.contains_key(&id.value()) {
+            return Err(EngineError::UnknownRelease(id.value()));
+        }
+        let cost = mechanism.privacy_cost(params);
+        self.accountant
+            .check(cost.eps(), cost.delta())
+            .map_err(|_| self.budget_error(cost.eps(), cost.delta()))?;
+        let accuracy = mechanism.accuracy_contract(&self.topo, params);
+        let release = mechanism.release_with(&self.topo, &self.weights, params, noise)?;
+        // The spend label records which update generation this was.
+        let label = format!(
+            "{}#{}@u{}",
+            mechanism.name(),
+            id.value(),
+            self.accountant.spends().len()
+        );
+        self.accountant
+            .spend(label.clone(), cost.eps(), cost.delta())
+            .map_err(|_| self.budget_error(cost.eps(), cost.delta()))?;
+        self.records.insert(
+            id.value(),
+            Arc::new(ReleaseRecord::from_parts(
+                id,
+                label,
+                cost.eps().value(),
+                cost.delta().value(),
+                accuracy,
+                AnyRelease::from(release),
+            )),
+        );
+        Ok(())
+    }
+
+    /// [`rerelease_with`](Self::rerelease_with) drawing noise from `rng`.
+    ///
+    /// # Errors
+    /// Same conditions as [`rerelease_with`](Self::rerelease_with).
+    pub fn rerelease<M: Mechanism>(
+        &mut self,
+        id: ReleaseId,
+        mechanism: &M,
+        params: &M::Params,
+        rng: &mut impl Rng,
+    ) -> Result<(), EngineError>
+    where
+        AnyRelease: From<M::Release>,
+    {
+        let mut noise = RngNoise::new(rng);
+        self.rerelease_with(id, mechanism, params, &mut noise)
+    }
+
+    /// Replaces the record at `id` with an **externally staged**
+    /// re-release, debiting its recorded cost. This is the two-phase
+    /// commit path live stores use: the mechanism is run *outside* the
+    /// engine first (so a mid-generation failure stages nothing and
+    /// leaves the registry untouched), then each staged release is
+    /// installed here — budget checked, spend recorded, id stable. The
+    /// replaced record's own spends stay in the ledger.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownRelease`] for an unregistered id;
+    /// [`EngineError::BudgetExhausted`] when the cost does not fit;
+    /// [`EngineError::Dp`] for invalid `(eps, delta)` values. On error
+    /// the old record remains registered.
+    pub fn replace_release(
+        &mut self,
+        id: ReleaseId,
+        label: impl Into<String>,
+        eps: f64,
+        delta: f64,
+        accuracy: Option<AccuracyContract>,
+        release: AnyRelease,
+    ) -> Result<(), EngineError> {
+        if !self.records.contains_key(&id.value()) {
+            return Err(EngineError::UnknownRelease(id.value()));
+        }
+        let eps = Epsilon::new(eps)?;
+        let delta = Delta::new(delta)?;
+        let label = label.into();
+        self.accountant
+            .spend(label.clone(), eps, delta)
+            .map_err(|_| self.budget_error(eps, delta))?;
+        self.records.insert(
+            id.value(),
+            Arc::new(ReleaseRecord::from_parts(
+                id,
+                label,
+                eps.value(),
+                delta.value(),
+                accuracy,
+                release,
+            )),
+        );
+        Ok(())
+    }
+
+    /// Unregisters a release and returns its record (shared snapshots
+    /// holding the `Arc` keep working). The release's spends stay in the
+    /// ledger — dropping an artifact does not un-spend the privacy that
+    /// produced it.
+    pub fn remove(&mut self, id: ReleaseId) -> Option<Arc<ReleaseRecord>> {
+        self.records.remove(&id.value())
+    }
+
+    /// Registers a release at an **explicit id without debiting** — the
+    /// ledger-replay path: a store reopening its manifest reconstructs
+    /// the accountant from recorded spends first (which already cover
+    /// every release and re-release, including spends on records since
+    /// replaced or dropped) and then attaches the persisted records here.
+    /// Debiting again via [`adopt`](Self::adopt) would double-count.
+    ///
+    /// `next_id` advances past `id` so subsequent releases never collide.
+    ///
+    /// # Errors
+    /// [`EngineError::Persist`] when `id` is already registered (a
+    /// manifest listing an id twice is corrupt).
+    pub fn adopt_spent(
+        &mut self,
+        id: ReleaseId,
+        label: impl Into<String>,
+        eps: f64,
+        delta: f64,
+        accuracy: Option<AccuracyContract>,
+        release: AnyRelease,
+    ) -> Result<(), EngineError> {
+        if self.records.contains_key(&id.value()) {
+            return Err(EngineError::Persist(format!(
+                "release id {id} adopted twice"
+            )));
+        }
+        self.records.insert(
+            id.value(),
+            Arc::new(ReleaseRecord::from_parts(
+                id,
+                label.into(),
+                eps,
+                delta,
+                accuracy,
+                release,
+            )),
+        );
+        self.next_id = self.next_id.max(id.value() + 1);
+        Ok(())
     }
 
     /// Registers an externally produced release (e.g. loaded from disk),

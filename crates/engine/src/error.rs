@@ -57,6 +57,21 @@ pub enum EngineError {
     },
     /// A persistence failure (I/O or malformed stored release).
     Persist(String),
+    /// A [`BudgetPlan`](crate::BudgetPlan) with no requested releases was
+    /// asked for a split — there is nothing to allocate the total to.
+    EmptyBudgetPlan,
+    /// Scaling a calibrated epsilon by the plan's common factor left the
+    /// valid epsilon domain (underflowed to zero or overflowed): the plan
+    /// is too oversubscribed (or the total too extreme) to honor this
+    /// request's share.
+    DegenerateAllocation {
+        /// The label of the request whose allocation degenerated.
+        label: String,
+        /// The calibrated epsilon the request asked for.
+        calibrated_eps: f64,
+        /// The plan's scale factor (`total / sum of requests`).
+        scale_factor: f64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -100,6 +115,19 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            EngineError::EmptyBudgetPlan => {
+                write!(f, "budget plan has no requested releases")
+            }
+            EngineError::DegenerateAllocation {
+                label,
+                calibrated_eps,
+                scale_factor,
+            } => write!(
+                f,
+                "allocation for {label:?} degenerates: calibrated eps \
+                 {calibrated_eps} scaled by {scale_factor} leaves the valid \
+                 epsilon domain"
+            ),
         }
     }
 }

@@ -25,7 +25,6 @@
 //! ```
 
 use crate::error::EngineError;
-use privpath_core::CoreError;
 use privpath_dp::Epsilon;
 
 /// A proportional split of one total epsilon budget over several
@@ -67,12 +66,10 @@ impl BudgetPlan {
     /// reciprocal.
     ///
     /// # Errors
-    /// [`EngineError::Core`] when the plan holds no requests.
+    /// [`EngineError::EmptyBudgetPlan`] when the plan holds no requests.
     pub fn scale_factor(&self) -> Result<f64, EngineError> {
         if self.requests.is_empty() {
-            return Err(EngineError::Core(CoreError::InvalidParameter(
-                "budget plan has no requested releases".into(),
-            )));
+            return Err(EngineError::EmptyBudgetPlan);
         }
         let sum: f64 = self.requests.iter().map(|(_, e)| e.value()).sum();
         Ok(self.total.value() / sum)
@@ -85,18 +82,23 @@ impl BudgetPlan {
     /// [`total`](Self::total).
     ///
     /// # Errors
-    /// [`EngineError::Core`] when the plan holds no requests;
-    /// [`EngineError::Dp`] if a scaled epsilon leaves the valid domain
-    /// (e.g. underflows to zero).
+    /// [`EngineError::EmptyBudgetPlan`] when the plan holds no requests;
+    /// [`EngineError::DegenerateAllocation`] if a scaled epsilon leaves
+    /// the valid domain (underflows to zero on an extremely oversubscribed
+    /// plan, or overflows), naming the request whose share degenerated.
     pub fn allocations(&self) -> Result<Vec<(String, Epsilon)>, EngineError> {
         let factor = self.scale_factor()?;
         self.requests
             .iter()
             .map(|(label, eps)| {
-                Ok((
-                    label.clone(),
-                    Epsilon::new(eps.value() * factor).map_err(EngineError::Dp)?,
-                ))
+                let scaled = Epsilon::new(eps.value() * factor).map_err(|_| {
+                    EngineError::DegenerateAllocation {
+                        label: label.clone(),
+                        calibrated_eps: eps.value(),
+                        scale_factor: factor,
+                    }
+                })?;
+                Ok((label.clone(), scaled))
             })
             .collect()
     }
@@ -133,9 +135,53 @@ mod tests {
     }
 
     #[test]
-    fn empty_plan_is_rejected() {
+    fn empty_plan_is_rejected_with_typed_error() {
         let plan = BudgetPlan::new(eps(1.0));
-        assert!(plan.scale_factor().is_err());
-        assert!(plan.allocations().is_err());
+        assert!(matches!(
+            plan.scale_factor(),
+            Err(EngineError::EmptyBudgetPlan)
+        ));
+        assert!(matches!(
+            plan.allocations(),
+            Err(EngineError::EmptyBudgetPlan)
+        ));
+    }
+
+    // Regression: a scaled allocation that underflows to zero must come
+    // back as a typed `DegenerateAllocation` naming the request — not a
+    // raw unwrap/panic and not an opaque parameter error.
+    #[test]
+    fn zero_allocation_is_a_typed_degenerate_error() {
+        let mut plan = BudgetPlan::new(eps(5e-324));
+        plan.request("tiny-share", eps(1.0));
+        plan.request("dominant", eps(1e300));
+        let err = plan.allocations().unwrap_err();
+        match err {
+            EngineError::DegenerateAllocation {
+                label,
+                calibrated_eps,
+                scale_factor,
+            } => {
+                assert_eq!(label, "tiny-share");
+                assert_eq!(calibrated_eps, 1.0);
+                assert!((0.0..f64::MIN_POSITIVE).contains(&scale_factor));
+            }
+            other => panic!("expected DegenerateAllocation, got {other:?}"),
+        }
+    }
+
+    // Degenerate in the other direction: a scale factor that overflows to
+    // infinity (subnormal request sum under a huge total) is also typed,
+    // not a panic.
+    #[test]
+    fn overflow_allocation_is_a_typed_degenerate_error() {
+        let mut plan = BudgetPlan::new(eps(1e308));
+        plan.request("only", eps(5e-324));
+        assert!(plan.scale_factor().unwrap().is_infinite());
+        let err = plan.allocations().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::DegenerateAllocation { ref label, .. } if label == "only"
+        ));
     }
 }

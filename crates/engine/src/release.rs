@@ -58,6 +58,23 @@ pub trait DistanceRelease: Send + Sync {
         pairs.iter().map(|&(u, v)| self.distance(u, v)).collect()
     }
 
+    /// Every released distance from one source, indexed by target
+    /// (unreachable targets are `+inf`). This is the serve-path **cache
+    /// slot**: one vector answers every `(source, *)` query against the
+    /// release, so a read-path cache keyed by `(release, source)` turns
+    /// repeated-source workloads into array lookups. Graph-replaying
+    /// releases override it to pay exactly one Dijkstra; the default maps
+    /// [`distance`](Self::distance) over all targets (cheap for
+    /// table-backed kinds).
+    ///
+    /// # Errors
+    /// Same conditions as [`distance`](Self::distance).
+    fn source_distances(&self, u: NodeId) -> Result<Vec<f64>, EngineError> {
+        (0..self.num_nodes())
+            .map(|v| self.distance(u, NodeId::new(v)))
+            .collect()
+    }
+
     /// The released route from `u` to `v`, for release kinds that carry
     /// one (`None` for value-only releases).
     ///
@@ -132,6 +149,11 @@ impl DistanceRelease for ShortestPathRelease {
         })
     }
 
+    fn source_distances(&self, u: NodeId) -> Result<Vec<f64>, EngineError> {
+        check_node(u.index(), DistanceRelease::num_nodes(self))?;
+        Ok(self.paths_from(u)?.distances().to_vec())
+    }
+
     fn path(&self, u: NodeId, v: NodeId) -> Option<Result<Path, EngineError>> {
         Some(ShortestPathRelease::path(self, u, v).map_err(EngineError::from))
     }
@@ -188,6 +210,11 @@ impl DistanceRelease for SyntheticGraphRelease {
         batch_by_source(DistanceRelease::num_nodes(self), pairs, |s| {
             Ok(self.distances_from(s)?)
         })
+    }
+
+    fn source_distances(&self, u: NodeId) -> Result<Vec<f64>, EngineError> {
+        check_node(u.index(), DistanceRelease::num_nodes(self))?;
+        Ok(self.distances_from(u)?)
     }
 }
 

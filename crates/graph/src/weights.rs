@@ -173,6 +173,36 @@ impl EdgeWeights {
         }
     }
 
+    /// Returns a copy with a sparse set of `(edge, new weight)` updates
+    /// applied — the weight-update entry point live re-release workflows
+    /// use when conditions shift on a subset of edges (traffic on some
+    /// roads) while the topology stays fixed.
+    ///
+    /// Later updates to the same edge win; untouched entries are copied
+    /// unchanged.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::EdgeOutOfRange`] for an edge outside
+    /// `0..len`, or [`GraphError::NonFiniteWeight`] for a NaN/infinite
+    /// replacement value. On error, no partial update is observable (the
+    /// original vector is untouched).
+    pub fn with_updates(&self, updates: &[(EdgeId, f64)]) -> Result<EdgeWeights, GraphError> {
+        let mut w = self.w.clone();
+        for &(e, value) in updates {
+            if e.index() >= w.len() {
+                return Err(GraphError::EdgeOutOfRange {
+                    edge: e,
+                    num_edges: w.len(),
+                });
+            }
+            if !value.is_finite() {
+                return Err(GraphError::NonFiniteWeight { edge: e, value });
+            }
+            w[e.index()] = value;
+        }
+        Ok(EdgeWeights { w })
+    }
+
     /// Validates that this weight vector matches `topo`'s edge count.
     ///
     /// # Errors

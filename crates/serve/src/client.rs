@@ -1,6 +1,7 @@
 //! A minimal blocking client for the line protocol, used by the CLI's
 //! `query --connect` and by tests.
 
+use crate::admin::{AdminRequest, AdminResponse};
 use crate::protocol::{QueryRequest, QueryResponse};
 use crate::server::SHUTDOWN_ACK;
 use std::fmt;
@@ -47,6 +48,9 @@ impl Client {
     /// Propagates the connection failure.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
+        // One small request line per round trip: Nagle + delayed ACK
+        // would add ~40ms per request, so turn it off.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
@@ -61,6 +65,18 @@ impl Client {
     /// closed the connection), [`ClientError::Protocol`] if the response
     /// line does not parse.
     pub fn request(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        let line = self.round_trip(&request.to_string())?;
+        line.parse()
+            .map_err(|e| ClientError::Protocol(format!("{e} in response {line:?}")))
+    }
+
+    /// Sends one admin request (live-store servers only) and reads its
+    /// response line.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Protocol`]
+    /// if the response line does not parse.
+    pub fn admin(&mut self, request: &AdminRequest) -> Result<AdminResponse, ClientError> {
         let line = self.round_trip(&request.to_string())?;
         line.parse()
             .map_err(|e| ClientError::Protocol(format!("{e} in response {line:?}")))

@@ -7,14 +7,23 @@
 //!
 //! * [`protocol`] — the typed [`QueryRequest`] / [`QueryResponse`] pairs
 //!   with a line-delimited text codec (grammar in the module docs),
-//!   shared by the server, the client, and the CLI.
+//!   shared by the server, the client, and the CLI. Release refs are
+//!   optionally namespace-qualified ([`ReleaseRef`]) for multi-tenant
+//!   live stores.
+//! * [`admin`] — the namespace-scoped write verbs against a live store:
+//!   `publish`, `update-weights`, `drop`, `epoch`, `stats`
+//!   (budget-gated; typed [`AdminRequest`] / [`AdminResponse`]).
 //! * [`planner`] — [`QueryPlan`] groups a mixed request batch by
 //!   `(release, source)` so each group pays one Dijkstra through the
 //!   engine's `distance_batch`, with per-query error isolation.
 //! * [`server`] — a dependency-free `std::net` TCP server: fixed-size
-//!   worker pool over [`QueryService`](privpath_engine::QueryService)
-//!   clones (no locks on the query path), per-connection error
-//!   isolation, graceful `shutdown` control line.
+//!   worker pool multiplexing connections over a shared
+//!   [`RequestHandler`] backend — a frozen
+//!   [`QueryService`](privpath_engine::QueryService) snapshot
+//!   ([`Server::bind`]) or a live
+//!   [`ReleaseStore`](privpath_store::ReleaseStore)
+//!   ([`Server::bind_store`], see [`live`]) — with per-connection error
+//!   isolation and a graceful `shutdown` control line.
 //! * [`client`] — a small blocking client for the same protocol.
 //!
 //! ## Example
@@ -44,7 +53,7 @@
 //! let running = server.spawn()?;
 //! let mut client = Client::connect(running.addr())?;
 //! let resp = client.request(&QueryRequest::Distance {
-//!     release: id,
+//!     release: id.into(),
 //!     from: NodeId::new(0),
 //!     to: NodeId::new(15),
 //!     gamma: Some(0.05), // also return the ±bound at 95% confidence
@@ -62,12 +71,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod client;
+pub mod live;
 pub mod planner;
 pub mod protocol;
 pub mod server;
 
+pub use admin::{AdminRequest, AdminResponse};
 pub use client::{Client, ClientError};
+pub use live::StoreHandler;
 pub use planner::{answer_all, answer_one, PlanGroup, QueryPlan};
-pub use protocol::{ErrorCode, ParseLineError, QueryRequest, QueryResponse, ReleaseSummary};
-pub use server::{RunningServer, Server, ServerStats, MAX_LINE_BYTES};
+pub use protocol::{
+    ErrorCode, ParseLineError, QueryRequest, QueryResponse, ReleaseRef, ReleaseSummary,
+};
+pub use server::{
+    RequestHandler, RunningServer, Server, ServerStats, SnapshotHandler, MAX_LINE_BYTES,
+};

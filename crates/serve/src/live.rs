@@ -1,0 +1,313 @@
+//! The live-store backend: one [`RequestHandler`] fronting a
+//! multi-tenant [`ReleaseStore`].
+//!
+//! Query verbs resolve their namespace first — an explicit `ns/r0`
+//! prefix picks the namespace; a bare `r0` is accepted when the store
+//! has exactly one namespace (the common single-tenant deployment) —
+//! then answer against that namespace's **current snapshot**: an
+//! immutable, epoch-stamped view obtained by one `Arc` clone, so
+//! queries never block on writers and never observe a half-applied
+//! mutation. `distance`/`batch` go through the snapshot's source cache.
+//!
+//! Admin verbs ([`crate::admin`]) call straight into the store's write
+//! path, which serializes per namespace, debits the namespace budget
+//! before drawing noise, persists, and hot-swaps the snapshot.
+
+use crate::admin::{AdminRequest, AdminResponse};
+use crate::planner::{answer_one, error_bar};
+use crate::protocol::{engine_error_code, ErrorCode, QueryRequest, QueryResponse};
+use crate::server::RequestHandler;
+use privpath_graph::EdgeId;
+use privpath_store::{NamespaceSnapshot, ReleaseStore, StoreError};
+use std::sync::Arc;
+
+/// The query request verbs, for dispatch before parsing.
+const QUERY_VERBS: [&str; 6] = ["distance", "batch", "path", "accuracy", "list", "budget"];
+
+/// A [`RequestHandler`] over a live [`ReleaseStore`].
+pub struct StoreHandler {
+    store: Arc<ReleaseStore>,
+    admin_enabled: bool,
+}
+
+impl StoreHandler {
+    /// Wraps a store with the full surface: query verbs **and** the
+    /// mutating admin verbs. Admin verbs are unauthenticated — bind this
+    /// handler to an operator-local endpoint only (see [`crate::admin`]).
+    pub fn new(store: Arc<ReleaseStore>) -> Self {
+        StoreHandler {
+            store,
+            admin_enabled: true,
+        }
+    }
+
+    /// Wraps a store **read-only**: query verbs answer from the live
+    /// snapshots, every admin verb is refused with `error unsupported`.
+    /// This is the handler to expose publicly; pair it with a
+    /// [`new`](Self::new) handler on a local admin port over the same
+    /// `Arc<ReleaseStore>` (the CLI's `serve --store ... --admin-port`
+    /// does exactly that).
+    pub fn read_only(store: Arc<ReleaseStore>) -> Self {
+        StoreHandler {
+            store,
+            admin_enabled: false,
+        }
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> &Arc<ReleaseStore> {
+        &self.store
+    }
+
+    /// Resolves an optional namespace qualifier to a snapshot: explicit
+    /// names must exist; a bare ref works only on a single-tenant store.
+    fn resolve(&self, namespace: Option<&str>) -> Result<Arc<NamespaceSnapshot>, QueryResponse> {
+        let not_found = |msg: String| QueryResponse::Error {
+            code: ErrorCode::UnknownRelease,
+            message: msg,
+        };
+        match namespace {
+            Some(ns) => self
+                .store
+                .snapshot(ns)
+                .map_err(|e| not_found(e.to_string())),
+            None => {
+                let names = self.store.namespaces();
+                match names.as_slice() {
+                    [] => Err(not_found("the store has no namespaces yet".into())),
+                    [only] => self
+                        .store
+                        .snapshot(only)
+                        .map_err(|e| not_found(e.to_string())),
+                    _ => Err(not_found(format!(
+                        "this store is multi-tenant ({}); qualify the release as \
+                         <namespace>/r<N>",
+                        names.join(", ")
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn answer_query(&self, req: &QueryRequest) -> QueryResponse {
+        match req {
+            QueryRequest::Distance {
+                release,
+                from,
+                to,
+                gamma,
+            } => {
+                let snap = match self.resolve(release.namespace()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                match (
+                    snap.distance(release.id(), *from, *to),
+                    error_bar(snap.service(), release.id(), *gamma),
+                ) {
+                    (Ok(d), Ok(bound)) => QueryResponse::Distance { value: d, bound },
+                    (Ok(_), Err(resp)) => resp,
+                    (Err(e), _) => QueryResponse::from_engine_error(&e),
+                }
+            }
+            QueryRequest::DistanceBatch {
+                release,
+                pairs,
+                gamma,
+            } => {
+                let snap = match self.resolve(release.namespace()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                match (
+                    snap.distance_batch(release.id(), pairs),
+                    error_bar(snap.service(), release.id(), *gamma),
+                ) {
+                    (Ok(ds), Ok(bound)) => QueryResponse::Distances { values: ds, bound },
+                    (Ok(_), Err(resp)) => resp,
+                    (Err(e), _) => QueryResponse::from_engine_error(&e),
+                }
+            }
+            QueryRequest::Path { release, from, to } => {
+                let snap = match self.resolve(release.namespace()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                let local = QueryRequest::Path {
+                    release: release.strip_namespace(),
+                    from: *from,
+                    to: *to,
+                };
+                answer_one(snap.service(), &local)
+            }
+            QueryRequest::Accuracy { release, gamma } => {
+                let snap = match self.resolve(release.namespace()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                let local = QueryRequest::Accuracy {
+                    release: release.strip_namespace(),
+                    gamma: *gamma,
+                };
+                answer_one(snap.service(), &local)
+            }
+            QueryRequest::ListReleases { namespace } => {
+                let snap = match self.resolve(namespace.as_deref()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                answer_one(
+                    snap.service(),
+                    &QueryRequest::ListReleases { namespace: None },
+                )
+            }
+            QueryRequest::BudgetStatus { namespace } => {
+                let snap = match self.resolve(namespace.as_deref()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                answer_one(
+                    snap.service(),
+                    &QueryRequest::BudgetStatus { namespace: None },
+                )
+            }
+        }
+    }
+
+    fn answer_admin(&self, req: &AdminRequest) -> AdminResponse {
+        match req {
+            AdminRequest::Publish { namespace, spec } => {
+                match self.store.publish(namespace, spec) {
+                    Ok(r) => AdminResponse::Published {
+                        namespace: r.namespace,
+                        id: r.id,
+                        epoch: r.epoch,
+                        eps: r.eps,
+                        delta: r.delta,
+                    },
+                    Err(e) => admin_error(&e),
+                }
+            }
+            AdminRequest::UpdateWeights {
+                namespace,
+                updates,
+                full,
+            } => {
+                let updates: Vec<(EdgeId, f64)> =
+                    updates.iter().map(|&(e, w)| (EdgeId::new(e), w)).collect();
+                let outcome = if *full {
+                    self.store.update_weights_full(namespace, &updates)
+                } else {
+                    self.store.update_weights_sparse(namespace, &updates)
+                };
+                match outcome {
+                    Ok(r) => AdminResponse::Updated {
+                        namespace: r.namespace,
+                        epoch: r.epoch,
+                        rereleased: r.rereleased,
+                        eps: r.eps,
+                        delta: r.delta,
+                    },
+                    Err(e) => admin_error(&e),
+                }
+            }
+            AdminRequest::Drop {
+                namespace,
+                release: Some(id),
+            } => match self.store.drop_release(namespace, *id) {
+                Ok(epoch) => AdminResponse::Dropped {
+                    namespace: namespace.clone(),
+                    release: Some(*id),
+                    epoch: Some(epoch),
+                },
+                Err(e) => admin_error(&e),
+            },
+            AdminRequest::Drop {
+                namespace,
+                release: None,
+            } => match self.store.drop_namespace(namespace) {
+                Ok(()) => AdminResponse::Dropped {
+                    namespace: namespace.clone(),
+                    release: None,
+                    epoch: None,
+                },
+                Err(e) => admin_error(&e),
+            },
+            AdminRequest::Epoch { namespace } => match self.store.epoch(namespace) {
+                Ok(epoch) => AdminResponse::Epoch {
+                    namespace: namespace.clone(),
+                    epoch,
+                },
+                Err(e) => admin_error(&e),
+            },
+            AdminRequest::Stats { namespace } => match namespace {
+                Some(ns) => match self.store.stats_for(ns) {
+                    Ok(s) => AdminResponse::Stats(vec![s]),
+                    Err(e) => admin_error(&e),
+                },
+                None => AdminResponse::Stats(self.store.stats()),
+            },
+        }
+    }
+}
+
+/// Maps a store failure onto a wire error code.
+fn admin_error(e: &StoreError) -> AdminResponse {
+    let code = match e {
+        StoreError::Engine(inner) => engine_error_code(inner),
+        StoreError::UnknownNamespace(_) => ErrorCode::UnknownRelease,
+        StoreError::InvalidNamespace(_)
+        | StoreError::InvalidSpec(_)
+        | StoreError::InvalidUpdate(_) => ErrorCode::Malformed,
+        StoreError::NamespaceExists(_) => ErrorCode::Query,
+        StoreError::Io { .. } | StoreError::Manifest { .. } => ErrorCode::Internal,
+    };
+    AdminResponse::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+impl RequestHandler for StoreHandler {
+    fn handle(&self, line: &str) -> String {
+        let verb = line.split_whitespace().next().unwrap_or_default();
+        if QUERY_VERBS.contains(&verb) {
+            match line.parse::<QueryRequest>() {
+                Ok(req) => self.answer_query(&req).to_string(),
+                Err(e) => QueryResponse::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                }
+                .to_string(),
+            }
+        } else if crate::admin::ADMIN_VERBS.contains(&verb) {
+            if !self.admin_enabled {
+                return AdminResponse::Error {
+                    code: ErrorCode::Unsupported,
+                    message: format!(
+                        "`{verb}` refused: this endpoint serves the store read-only \
+                         (admin verbs live on the operator-local admin endpoint)"
+                    ),
+                }
+                .to_string();
+            }
+            match line.parse::<AdminRequest>() {
+                Ok(req) => self.answer_admin(&req).to_string(),
+                Err(e) => AdminResponse::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                }
+                .to_string(),
+            }
+        } else {
+            QueryResponse::Error {
+                code: ErrorCode::Malformed,
+                message: format!(
+                    "unknown verb {verb:?} (query: distance, batch, path, accuracy, \
+                     list, budget; admin: publish, update-weights, drop, epoch, stats)"
+                ),
+            }
+            .to_string()
+        }
+    }
+}

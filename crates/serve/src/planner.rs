@@ -10,17 +10,17 @@
 //! graph-replaying releases; grouped, each distinct `(release, source)`
 //! pays that cost once.
 
-use crate::protocol::{ErrorCode, QueryRequest, QueryResponse, ReleaseSummary};
+use crate::protocol::{ErrorCode, QueryRequest, QueryResponse, ReleaseRef, ReleaseSummary};
 use privpath_engine::{EngineError, QueryService, ReleaseId, DEFAULT_GAMMA};
 use privpath_graph::NodeId;
 use std::collections::HashMap;
 
 /// One planned group: every `Distance` request in the batch that shares
-/// a release and a source vertex.
+/// a release ref (namespace included) and a source vertex.
 #[derive(Clone, Debug)]
 pub struct PlanGroup {
     /// The release the group queries.
-    pub release: ReleaseId,
+    pub release: ReleaseRef,
     /// The shared source vertex.
     pub source: NodeId,
     /// `(request index, target, requested accuracy gamma)` for each
@@ -41,7 +41,7 @@ impl QueryPlan {
     /// paths, metadata) are left to direct per-request execution —
     /// `DistanceBatch` already shares per-source work internally.
     pub fn build(requests: &[QueryRequest]) -> Self {
-        let mut keys: HashMap<(u64, usize), usize> = HashMap::new();
+        let mut keys: HashMap<(ReleaseRef, usize), usize> = HashMap::new();
         let mut plan = QueryPlan::default();
         for (i, req) in requests.iter().enumerate() {
             match req {
@@ -51,10 +51,10 @@ impl QueryPlan {
                     to,
                     gamma,
                 } => {
-                    let key = (release.value(), from.index());
+                    let key = (release.clone(), from.index());
                     let slot = *keys.entry(key).or_insert_with(|| {
                         plan.groups.push(PlanGroup {
-                            release: *release,
+                            release: release.clone(),
                             source: *from,
                             members: Vec::new(),
                         });
@@ -80,6 +80,13 @@ impl QueryPlan {
     pub fn execute(&self, service: &QueryService, requests: &[QueryRequest]) -> Vec<QueryResponse> {
         let mut out: Vec<Option<QueryResponse>> = vec![None; requests.len()];
         for group in &self.groups {
+            if let Some(resp) = reject_namespace(group.release.namespace()) {
+                for &(i, _, _) in &group.members {
+                    out[i] = Some(resp.clone());
+                }
+                continue;
+            }
+            let release = group.release.id();
             let pairs: Vec<(NodeId, NodeId)> = group
                 .members
                 .iter()
@@ -88,9 +95,9 @@ impl QueryPlan {
             // One contract lookup covers every member that asked for an
             // error bar (the bound is uniform over pairs per gamma).
             let bound_at = |gamma: Option<f64>| -> Result<Option<f64>, QueryResponse> {
-                error_bar(service, group.release, gamma)
+                error_bar(service, release, gamma)
             };
-            match service.query(group.release) {
+            match service.query(release) {
                 Ok(oracle) => match oracle.distance_batch(&pairs) {
                     Ok(ds) => {
                         for (&(i, _, gamma), d) in group.members.iter().zip(ds) {
@@ -142,6 +149,19 @@ pub fn answer_all(service: &QueryService, requests: &[QueryRequest]) -> Vec<Quer
     QueryPlan::build(requests).execute(service, requests)
 }
 
+/// The refusal for a namespace-qualified request against a server that
+/// fronts a single frozen snapshot (namespaces exist on live-store
+/// servers only).
+fn reject_namespace(namespace: Option<&str>) -> Option<QueryResponse> {
+    namespace.map(|ns| QueryResponse::Error {
+        code: ErrorCode::UnknownRelease,
+        message: format!(
+            "namespace {ns:?} is not served here: this endpoint serves a single \
+             frozen release set (live stores are served with `serve --store`)"
+        ),
+    })
+}
+
 /// The error bar for a distance/batch request that asked for one.
 ///
 /// Lenient on contract availability — a bar-less answer is still an
@@ -150,7 +170,7 @@ pub fn answer_all(service: &QueryService, requests: &[QueryRequest]) -> Vec<Quer
 /// input — an invalid `gamma` fails the request, exactly as it fails an
 /// `accuracy` request, instead of being silently indistinguishable from
 /// "no contract".
-fn error_bar(
+pub(crate) fn error_bar(
     service: &QueryService,
     release: ReleaseId,
     gamma: Option<f64>,
@@ -164,7 +184,10 @@ fn error_bar(
 }
 
 /// Answers a single request directly (the server's per-line path and the
-/// planner's fallback for non-`Distance` requests).
+/// planner's fallback for non-`Distance` requests). Namespace-qualified
+/// requests are refused: this path answers against one already-resolved
+/// snapshot (live-store servers resolve the namespace first and strip
+/// it).
 pub fn answer_one(service: &QueryService, request: &QueryRequest) -> QueryResponse {
     match request {
         QueryRequest::Distance {
@@ -172,63 +195,91 @@ pub fn answer_one(service: &QueryService, request: &QueryRequest) -> QueryRespon
             from,
             to,
             gamma,
-        } => match service.query(*release) {
-            Ok(oracle) => match (
-                oracle.distance(*from, *to),
-                error_bar(service, *release, *gamma),
-            ) {
-                (Ok(d), Ok(bound)) => QueryResponse::Distance { value: d, bound },
-                (Ok(_), Err(resp)) => resp,
-                (Err(e), _) => QueryResponse::from_engine_error(&e),
-            },
-            Err(e) => QueryResponse::from_engine_error(&e),
-        },
+        } => {
+            if let Some(resp) = reject_namespace(release.namespace()) {
+                return resp;
+            }
+            match service.query(release.id()) {
+                Ok(oracle) => match (
+                    oracle.distance(*from, *to),
+                    error_bar(service, release.id(), *gamma),
+                ) {
+                    (Ok(d), Ok(bound)) => QueryResponse::Distance { value: d, bound },
+                    (Ok(_), Err(resp)) => resp,
+                    (Err(e), _) => QueryResponse::from_engine_error(&e),
+                },
+                Err(e) => QueryResponse::from_engine_error(&e),
+            }
+        }
         QueryRequest::DistanceBatch {
             release,
             pairs,
             gamma,
-        } => match service.query(*release) {
-            Ok(oracle) => match (
-                oracle.distance_batch(pairs),
-                error_bar(service, *release, *gamma),
-            ) {
-                (Ok(ds), Ok(bound)) => QueryResponse::Distances { values: ds, bound },
-                (Ok(_), Err(resp)) => resp,
-                (Err(e), _) => QueryResponse::from_engine_error(&e),
-            },
-            Err(e) => QueryResponse::from_engine_error(&e),
-        },
-        QueryRequest::Accuracy { release, gamma } => match service.accuracy(*release, *gamma) {
-            Ok(bound) => QueryResponse::Accuracy(bound),
-            Err(e) => QueryResponse::from_engine_error(&e),
-        },
-        QueryRequest::Path { release, from, to } => match service.query(*release) {
-            Ok(oracle) => match oracle.path(*from, *to) {
-                Some(Ok(path)) => QueryResponse::Path(path.nodes().to_vec()),
-                Some(Err(e)) => QueryResponse::from_engine_error(&e),
-                None => QueryResponse::Error {
-                    code: ErrorCode::Unsupported,
-                    message: format!(
-                        "release {release} does not carry routes (value-only release)"
-                    ),
+        } => {
+            if let Some(resp) = reject_namespace(release.namespace()) {
+                return resp;
+            }
+            match service.query(release.id()) {
+                Ok(oracle) => match (
+                    oracle.distance_batch(pairs),
+                    error_bar(service, release.id(), *gamma),
+                ) {
+                    (Ok(ds), Ok(bound)) => QueryResponse::Distances { values: ds, bound },
+                    (Ok(_), Err(resp)) => resp,
+                    (Err(e), _) => QueryResponse::from_engine_error(&e),
                 },
-            },
-            Err(e) => QueryResponse::from_engine_error(&e),
-        },
-        QueryRequest::ListReleases => QueryResponse::Releases(
-            service
-                .releases()
-                .map(|r| ReleaseSummary {
-                    id: r.id(),
-                    kind: r.kind(),
-                    eps: r.eps(),
-                    delta: r.delta(),
-                    num_nodes: r.release().as_distance().map(|o| o.num_nodes()),
-                    accuracy: r.error_bound(DEFAULT_GAMMA),
-                })
-                .collect(),
-        ),
-        QueryRequest::BudgetStatus => {
+                Err(e) => QueryResponse::from_engine_error(&e),
+            }
+        }
+        QueryRequest::Accuracy { release, gamma } => {
+            if let Some(resp) = reject_namespace(release.namespace()) {
+                return resp;
+            }
+            match service.accuracy(release.id(), *gamma) {
+                Ok(bound) => QueryResponse::Accuracy(bound),
+                Err(e) => QueryResponse::from_engine_error(&e),
+            }
+        }
+        QueryRequest::Path { release, from, to } => {
+            if let Some(resp) = reject_namespace(release.namespace()) {
+                return resp;
+            }
+            match service.query(release.id()) {
+                Ok(oracle) => match oracle.path(*from, *to) {
+                    Some(Ok(path)) => QueryResponse::Path(path.nodes().to_vec()),
+                    Some(Err(e)) => QueryResponse::from_engine_error(&e),
+                    None => QueryResponse::Error {
+                        code: ErrorCode::Unsupported,
+                        message: format!(
+                            "release {release} does not carry routes (value-only release)"
+                        ),
+                    },
+                },
+                Err(e) => QueryResponse::from_engine_error(&e),
+            }
+        }
+        QueryRequest::ListReleases { namespace } => {
+            if let Some(resp) = reject_namespace(namespace.as_deref()) {
+                return resp;
+            }
+            QueryResponse::Releases(
+                service
+                    .releases()
+                    .map(|r| ReleaseSummary {
+                        id: r.id(),
+                        kind: r.kind(),
+                        eps: r.eps(),
+                        delta: r.delta(),
+                        num_nodes: r.release().as_distance().map(|o| o.num_nodes()),
+                        accuracy: r.error_bound(DEFAULT_GAMMA),
+                    })
+                    .collect(),
+            )
+        }
+        QueryRequest::BudgetStatus { namespace } => {
+            if let Some(resp) = reject_namespace(namespace.as_deref()) {
+                return resp;
+            }
             let (spent_eps, spent_delta) = service.spent();
             QueryResponse::Budget {
                 spent_eps,

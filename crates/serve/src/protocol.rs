@@ -7,12 +7,13 @@
 //! round-trip exactly. Variable-length lists are preceded by their count.
 //!
 //! ```text
-//! request  := "distance" id node node ["gamma" float]
-//!           | "batch" id count pair* ["gamma" float]    pair := node ":" node
-//!           | "path" id node node
-//!           | "accuracy" id float
-//!           | "list"
-//!           | "budget"
+//! request  := "distance" ref node node ["gamma" float]
+//!           | "batch" ref count pair* ["gamma" float]    pair := node ":" node
+//!           | "path" ref node node
+//!           | "accuracy" ref float
+//!           | "list" [ns]
+//!           | "budget" [ns]
+//! ref      := [ns "/"] id                                ns := [A-Za-z0-9_-]{1,64}
 //! response := "distance" float ["bound" float]
 //!           | "distances" count float* ["bound" float]
 //!           | "path" count node*
@@ -22,9 +23,13 @@
 //!           | "error" code message...
 //! ```
 //!
-//! `id` is a [`ReleaseId`] in its `r<N>` display form; `nodes` in a
-//! release record is a vertex count or `-` for kinds without a distance
-//! surface. Distance values may be `inf` — the uniform unreachable-target
+//! `ref` is a [`ReleaseRef`]: a [`ReleaseId`] in its `r<N>` display form,
+//! optionally prefixed by a namespace (`city/r0`) when the server fronts
+//! a multi-tenant live store ([admin verbs](crate::admin) manage the
+//! namespaces; a frozen single-snapshot server rejects namespaced refs).
+//! `list`/`budget` take the namespace as an optional trailing argument
+//! for the same reason. `nodes` in a release record is a vertex count or
+//! `-` for kinds without a distance surface. Distance values may be `inf` — the uniform unreachable-target
 //! answer (see [`privpath_engine::DistanceRelease`]); Rust's `{:?}` float
 //! form round-trips it. The optional `gamma` on `distance`/`batch` asks the server to
 //! attach the release's accuracy contract evaluated at that failure
@@ -42,8 +47,106 @@
 
 use privpath_engine::{EngineError, ErrorBound, ReleaseId, ReleaseKind, Theorem};
 use privpath_graph::NodeId;
+use privpath_store::is_valid_namespace;
 use std::fmt;
 use std::str::FromStr;
+
+/// A reference to a release: its registry id, optionally qualified by
+/// the namespace that owns it (live-store servers are multi-tenant; a
+/// frozen snapshot server serves exactly one unnamed release set).
+///
+/// Renders as `r3` or `city/r3` and parses back from the same forms:
+///
+/// ```
+/// use privpath_serve::ReleaseRef;
+/// let r: ReleaseRef = "city/r3".parse()?;
+/// assert_eq!(r.namespace(), Some("city"));
+/// assert_eq!(r.id().value(), 3);
+/// assert_eq!(r.to_string().parse::<ReleaseRef>()?, r);
+/// # Ok::<(), privpath_serve::ParseLineError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ReleaseRef {
+    namespace: Option<String>,
+    id: ReleaseId,
+}
+
+impl ReleaseRef {
+    /// A reference within the server's single (unnamed) release set.
+    pub fn local(id: ReleaseId) -> Self {
+        ReleaseRef {
+            namespace: None,
+            id,
+        }
+    }
+
+    /// A namespace-qualified reference.
+    ///
+    /// # Errors
+    /// [`ParseLineError`] when the namespace name is not wire-safe (see
+    /// [`privpath_store::is_valid_namespace`]).
+    pub fn namespaced(namespace: impl Into<String>, id: ReleaseId) -> Result<Self, ParseLineError> {
+        let namespace = namespace.into();
+        if !is_valid_namespace(&namespace) {
+            return Err(ParseLineError::new(format!(
+                "invalid namespace {namespace:?} (expected 1-64 chars from [A-Za-z0-9_-])"
+            )));
+        }
+        Ok(ReleaseRef {
+            namespace: Some(namespace),
+            id,
+        })
+    }
+
+    /// The namespace, when qualified.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
+    }
+
+    /// The registry id.
+    pub fn id(&self) -> ReleaseId {
+        self.id
+    }
+
+    /// The same id without its namespace qualifier (for answering
+    /// against an already-resolved snapshot).
+    pub fn strip_namespace(&self) -> Self {
+        ReleaseRef::local(self.id)
+    }
+}
+
+impl From<ReleaseId> for ReleaseRef {
+    fn from(id: ReleaseId) -> Self {
+        ReleaseRef::local(id)
+    }
+}
+
+impl fmt::Display for ReleaseRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.namespace {
+            Some(ns) => write!(f, "{ns}/{}", self.id),
+            None => write!(f, "{}", self.id),
+        }
+    }
+}
+
+impl FromStr for ReleaseRef {
+    type Err = ParseLineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ns, id_tok) = match s.split_once('/') {
+            Some((ns, rest)) => (Some(ns), rest),
+            None => (None, s),
+        };
+        let id: ReleaseId = id_tok
+            .parse()
+            .map_err(|e| ParseLineError::new(format!("{e}")))?;
+        match ns {
+            Some(ns) => ReleaseRef::namespaced(ns, id),
+            None => Ok(ReleaseRef::local(id)),
+        }
+    }
+}
 
 /// A single query against a served release set.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,7 +154,7 @@ pub enum QueryRequest {
     /// The released estimate of `d(from, to)` under one release.
     Distance {
         /// The release to query.
-        release: ReleaseId,
+        release: ReleaseRef,
         /// Source vertex.
         from: NodeId,
         /// Target vertex.
@@ -64,7 +167,7 @@ pub enum QueryRequest {
     /// with shared per-source work.
     DistanceBatch {
         /// The release to query.
-        release: ReleaseId,
+        release: ReleaseRef,
         /// The `(from, to)` pairs.
         pairs: Vec<(NodeId, NodeId)>,
         /// When set, attach the release's error bound at this failure
@@ -75,7 +178,7 @@ pub enum QueryRequest {
     /// The released route between two vertices, for route-capable kinds.
     Path {
         /// The release to query.
-        release: ReleaseId,
+        release: ReleaseRef,
         /// Source vertex.
         from: NodeId,
         /// Target vertex.
@@ -86,14 +189,22 @@ pub enum QueryRequest {
     /// `1 - gamma`.
     Accuracy {
         /// The release to query.
-        release: ReleaseId,
+        release: ReleaseRef,
         /// The failure probability to evaluate the contract at.
         gamma: f64,
     },
-    /// Metadata for every release in the snapshot.
-    ListReleases,
-    /// The frozen ledger totals of the snapshot.
-    BudgetStatus,
+    /// Metadata for every release in the snapshot (of one namespace, on
+    /// a live-store server).
+    ListReleases {
+        /// The namespace to list, when the server is multi-tenant.
+        namespace: Option<String>,
+    },
+    /// The frozen ledger totals of the snapshot (of one namespace, on a
+    /// live-store server).
+    BudgetStatus {
+        /// The namespace to report, when the server is multi-tenant.
+        namespace: Option<String>,
+    },
 }
 
 /// One release's metadata as reported by [`QueryResponse::Releases`]:
@@ -234,24 +345,34 @@ impl QueryResponse {
     /// The error response for an engine-level failure, mapping the
     /// structured error variants onto wire codes.
     pub fn from_engine_error(e: &EngineError) -> Self {
-        let code = match e {
-            EngineError::UnknownRelease(_) => ErrorCode::UnknownRelease,
-            EngineError::UnsupportedQuery { .. } | EngineError::CalibrationFailed { .. } => {
-                ErrorCode::Unsupported
-            }
-            EngineError::NodeOutOfRange { .. } => ErrorCode::OutOfRange,
-            EngineError::BudgetExhausted { .. } => ErrorCode::Budget,
-            EngineError::Core(_) | EngineError::Dp(_) => ErrorCode::Query,
-            EngineError::Persist(_) => ErrorCode::Internal,
-        };
         QueryResponse::Error {
-            code,
+            code: engine_error_code(e),
             message: e.to_string(),
         }
     }
 }
 
-fn fmt_f64(v: f64) -> String {
+/// The wire code for an engine-level failure (shared by the query and
+/// admin response paths).
+pub(crate) fn engine_error_code(e: &EngineError) -> ErrorCode {
+    match e {
+        EngineError::UnknownRelease(_) => ErrorCode::UnknownRelease,
+        EngineError::UnsupportedQuery { .. } | EngineError::CalibrationFailed { .. } => {
+            ErrorCode::Unsupported
+        }
+        EngineError::NodeOutOfRange { .. } => ErrorCode::OutOfRange,
+        EngineError::BudgetExhausted { .. }
+        | EngineError::EmptyBudgetPlan
+        | EngineError::DegenerateAllocation { .. } => ErrorCode::Budget,
+        EngineError::Core(_) | EngineError::Dp(_) => ErrorCode::Query,
+        EngineError::Persist(_) => ErrorCode::Internal,
+    }
+}
+
+/// Canonical wire form for floats (Rust `{:?}` — round-trips exactly);
+/// shared by the query and admin codecs so the two halves of the
+/// protocol can never drift apart.
+pub(crate) fn fmt_f64(v: f64) -> String {
     format!("{v:?}")
 }
 
@@ -290,8 +411,14 @@ impl fmt::Display for QueryRequest {
             QueryRequest::Accuracy { release, gamma } => {
                 write!(f, "accuracy {release} {}", fmt_f64(*gamma))
             }
-            QueryRequest::ListReleases => f.write_str("list"),
-            QueryRequest::BudgetStatus => f.write_str("budget"),
+            QueryRequest::ListReleases { namespace } => match namespace {
+                Some(ns) => write!(f, "list {ns}"),
+                None => f.write_str("list"),
+            },
+            QueryRequest::BudgetStatus { namespace } => match namespace {
+                Some(ns) => write!(f, "budget {ns}"),
+                None => f.write_str("budget"),
+            },
         }
     }
 }
@@ -301,7 +428,7 @@ impl fmt::Display for QueryRequest {
 pub struct ParseLineError(String);
 
 impl ParseLineError {
-    fn new(msg: impl Into<String>) -> Self {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
         ParseLineError(msg.into())
     }
 }
@@ -341,6 +468,18 @@ impl<'a> Tokens<'a> {
         Ok(NodeId::new(self.parse::<usize>(what)?))
     }
 
+    /// Consumes a trailing optional namespace argument (`list [ns]`,
+    /// `budget [ns]`).
+    fn optional_namespace(&mut self) -> Result<Option<String>, ParseLineError> {
+        match self.iter.next() {
+            None => Ok(None),
+            Some(tok) if is_valid_namespace(tok) => Ok(Some(tok.to_string())),
+            Some(tok) => Err(ParseLineError::new(format!(
+                "invalid namespace {tok:?} (expected 1-64 chars from [A-Za-z0-9_-])"
+            ))),
+        }
+    }
+
     /// Consumes `keyword <float>` if the next token is `keyword`.
     fn optional_keyed_f64(&mut self, keyword: &str) -> Result<Option<f64>, ParseLineError> {
         if self.iter.peek() == Some(&keyword) {
@@ -372,13 +511,13 @@ impl FromStr for QueryRequest {
         let mut t = Tokens::new(s);
         let req = match t.next("request verb")? {
             "distance" => QueryRequest::Distance {
-                release: t.parse("release id")?,
+                release: t.parse("release ref")?,
                 from: t.node("source vertex")?,
                 to: t.node("target vertex")?,
                 gamma: t.optional_keyed_f64("gamma")?,
             },
             "batch" => {
-                let release = t.parse("release id")?;
+                let release = t.parse("release ref")?;
                 let count: usize = t.parse("pair count")?;
                 let mut pairs = Vec::with_capacity(count.min(1 << 16));
                 for _ in 0..count {
@@ -401,16 +540,20 @@ impl FromStr for QueryRequest {
                 }
             }
             "path" => QueryRequest::Path {
-                release: t.parse("release id")?,
+                release: t.parse("release ref")?,
                 from: t.node("source vertex")?,
                 to: t.node("target vertex")?,
             },
             "accuracy" => QueryRequest::Accuracy {
-                release: t.parse("release id")?,
+                release: t.parse("release ref")?,
                 gamma: t.parse("gamma")?,
             },
-            "list" => QueryRequest::ListReleases,
-            "budget" => QueryRequest::BudgetStatus,
+            "list" => QueryRequest::ListReleases {
+                namespace: t.optional_namespace()?,
+            },
+            "budget" => QueryRequest::BudgetStatus {
+                namespace: t.optional_namespace()?,
+            },
             other => {
                 return Err(ParseLineError::new(format!(
                     "unknown request verb {other:?} (expected distance, batch, path, \

@@ -1,12 +1,17 @@
-//! A dependency-free TCP server over a [`QueryService`] snapshot.
+//! A dependency-free TCP server over any line-answering backend.
 //!
 //! Built on `std::net` only (no async runtime): an accept loop feeds a
-//! fixed-size pool of worker threads over a channel; each worker owns a
-//! clone of the snapshot (an `Arc` bump) and **multiplexes every
-//! connection handed to it** with nonblocking reads, so a worker is
-//! never parked on one idle client while others wait. Connections speak
-//! the line protocol of [`crate::protocol`]: one request per line, one
-//! response line back.
+//! fixed-size pool of worker threads over a channel; each worker shares
+//! the backend (an `Arc` bump) and **multiplexes every connection handed
+//! to it** with nonblocking reads, so a worker is never parked on one
+//! idle client while others wait. Connections speak the line protocol of
+//! [`crate::protocol`]: one request per line, one response line back.
+//!
+//! The backend is a [`RequestHandler`]: either a frozen
+//! [`QueryService`] snapshot ([`Server::bind`], query verbs only) or a
+//! live multi-tenant [`ReleaseStore`](privpath_store::ReleaseStore)
+//! ([`Server::bind_store`], query verbs with namespace refs plus the
+//! [admin verbs](crate::admin)).
 //!
 //! Three properties the serving story needs:
 //!
@@ -23,9 +28,12 @@
 //!   which the server stops accepting, closes remaining connections,
 //!   joins its workers, and returns its stats.
 
+use crate::admin::ADMIN_VERBS;
+use crate::live::StoreHandler;
 use crate::planner::answer_one;
 use crate::protocol::{ErrorCode, QueryRequest, QueryResponse};
 use privpath_engine::QueryService;
+use privpath_store::ReleaseStore;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -33,6 +41,55 @@ use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A server backend: answers one trimmed, non-empty request line with
+/// one response line (no trailing newline). The server handles framing,
+/// the `shutdown` control line, and connection lifecycle; handlers are
+/// shared across worker threads.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Answers one request line.
+    fn handle(&self, line: &str) -> String;
+}
+
+/// The frozen-snapshot backend: query verbs against one
+/// [`QueryService`]; admin verbs are refused (there is nothing to
+/// mutate).
+pub struct SnapshotHandler {
+    service: QueryService,
+}
+
+impl SnapshotHandler {
+    /// Wraps a snapshot.
+    pub fn new(service: QueryService) -> Self {
+        SnapshotHandler { service }
+    }
+}
+
+impl RequestHandler for SnapshotHandler {
+    fn handle(&self, line: &str) -> String {
+        let verb = line.split_whitespace().next().unwrap_or_default();
+        let response = if ADMIN_VERBS.contains(&verb) {
+            // Admin verbs never overlap query verbs: refuse with a
+            // pointed message rather than "unknown verb".
+            QueryResponse::Error {
+                code: ErrorCode::Unsupported,
+                message: format!(
+                    "`{verb}` is a live-store admin verb; this server serves a \
+                     frozen snapshot (start one with `serve --store`)"
+                ),
+            }
+        } else {
+            match line.parse::<QueryRequest>() {
+                Ok(req) => answer_one(&self.service, &req),
+                Err(e) => QueryResponse::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                },
+            }
+        };
+        response.to_string()
+    }
+}
 
 /// The acknowledgement line sent for the `shutdown` control command.
 pub const SHUTDOWN_ACK: &str = "ok shutdown";
@@ -43,7 +100,10 @@ pub const SHUTDOWN_ACK: &str = "ok shutdown";
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
-const WORKER_POLL: Duration = Duration::from_millis(5);
+// 1ms, not 5: a closed-loop client's next request lands one sleep after
+// the previous answer, so the idle-pass sleep is a direct latency floor
+// for request/response workloads (bench_load's p99 tracks it).
+const WORKER_POLL: Duration = Duration::from_millis(1);
 const WRITE_POLL: Duration = Duration::from_millis(1);
 
 /// Totals observed over a server's lifetime, returned by
@@ -78,20 +138,43 @@ impl Counters {
 /// A bound-but-not-yet-running query server.
 pub struct Server {
     listener: TcpListener,
-    service: QueryService,
+    handler: Arc<dyn RequestHandler>,
     threads: usize,
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an OS-assigned ephemeral port)
-    /// with a default pool of 4 worker threads.
+    /// serving a frozen [`QueryService`] snapshot, with a default pool
+    /// of 4 worker threads.
     ///
     /// # Errors
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs, service: QueryService) -> io::Result<Self> {
+        Self::bind_handler(addr, Arc::new(SnapshotHandler::new(service)))
+    }
+
+    /// Binds to `addr` serving a **live store**: query verbs resolve
+    /// namespace-qualified refs against the store's current snapshots
+    /// (through the read-path cache), and the [admin verbs](crate::admin)
+    /// mutate it.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_store(addr: impl ToSocketAddrs, store: Arc<ReleaseStore>) -> io::Result<Self> {
+        Self::bind_handler(addr, Arc::new(StoreHandler::new(store)))
+    }
+
+    /// Binds to `addr` over any [`RequestHandler`] backend.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind_handler(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+    ) -> io::Result<Self> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            service,
+            handler,
             threads: 4,
         })
     }
@@ -126,11 +209,11 @@ impl Server {
         let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(self.threads);
         for _ in 0..self.threads {
             let rx = Arc::clone(&rx);
-            let service = self.service.clone();
+            let handler = Arc::clone(&self.handler);
             let shutdown = Arc::clone(&shutdown);
             let counters = Arc::clone(&counters);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &service, &shutdown, &counters)
+                worker_loop(&rx, handler.as_ref(), &shutdown, &counters)
             }));
         }
 
@@ -140,6 +223,9 @@ impl Server {
         while !shutdown.load(Ordering::Relaxed) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Responses are one small line each; Nagle would
+                    // stall request/response pipelines by ~40ms.
+                    let _ = stream.set_nodelay(true);
                     counters.connections.fetch_add(1, Ordering::Relaxed);
                     if tx.send(stream).is_err() {
                         break;
@@ -230,7 +316,7 @@ enum ConnState {
 /// so one idle client never parks the thread.
 fn worker_loop(
     rx: &Mutex<Receiver<TcpStream>>,
-    service: &QueryService,
+    handler: &dyn RequestHandler,
     shutdown: &AtomicBool,
     counters: &Counters,
 ) {
@@ -267,7 +353,7 @@ fn worker_loop(
 
         let mut progressed = false;
         conns.retain_mut(|conn| {
-            let (state, did_work) = service_conn(conn, service, shutdown, counters);
+            let (state, did_work) = service_conn(conn, handler, shutdown, counters);
             progressed |= did_work;
             match state {
                 ConnState::Open => true,
@@ -296,7 +382,7 @@ const MAX_LINES_PER_PASS: usize = 64;
 /// fully idle pass).
 fn service_conn(
     conn: &mut Conn,
-    service: &QueryService,
+    handler: &dyn RequestHandler,
     shutdown: &AtomicBool,
     counters: &Counters,
 ) -> (ConnState, bool) {
@@ -307,7 +393,7 @@ fn service_conn(
         // a previous pass that hit the per-pass cap.
         while let Some(pos) = conn.buf.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = conn.buf.drain(..=pos).collect();
-            match handle_line(&line, &conn.stream, service, shutdown, counters) {
+            match handle_line(&line, &conn.stream, handler, shutdown, counters) {
                 Ok(true) => answered += 1,
                 Ok(false) => return (ConnState::Closed, true),
                 Err(_) => return (ConnState::Failed, true),
@@ -343,7 +429,7 @@ fn service_conn(
 fn handle_line(
     raw: &[u8],
     stream: &TcpStream,
-    service: &QueryService,
+    handler: &dyn RequestHandler,
     shutdown: &AtomicBool,
     counters: &Counters,
 ) -> io::Result<bool> {
@@ -358,14 +444,7 @@ fn handle_line(
         return Ok(false);
     }
     counters.requests.fetch_add(1, Ordering::Relaxed);
-    let response = match trimmed.parse::<QueryRequest>() {
-        Ok(req) => answer_one(service, &req),
-        Err(e) => QueryResponse::Error {
-            code: ErrorCode::Malformed,
-            message: e.to_string(),
-        },
-    };
-    write_line(stream, &response.to_string())?;
+    write_line(stream, &handler.handle(trimmed))?;
     Ok(true)
 }
 

@@ -1,0 +1,155 @@
+//! The read-path source cache: released distance vectors keyed by
+//! `(release, source)`.
+//!
+//! Serving workloads reuse sources heavily (a navigation frontend asks
+//! many destinations per origin), and for graph-replaying releases every
+//! distinct source costs a Dijkstra. The cache stores the whole
+//! [`source_distances`](privpath_engine::DistanceRelease::source_distances)
+//! vector per `(release, source)` — one computation answers every target
+//! — behind a small fixed array of sharded locks, so concurrent readers
+//! on different sources rarely contend.
+//!
+//! **Invalidation is structural, not tracked**: a cache instance belongs
+//! to exactly one [`NamespaceSnapshot`](crate::NamespaceSnapshot), and
+//! every epoch bump installs a fresh snapshot with a fresh, empty cache.
+//! A stale answer cannot survive an `update-weights` because nothing
+//! carries cached values across the swap. Hit/miss counters are shared
+//! across a namespace's snapshots so `stats` reports cumulative totals.
+
+use privpath_engine::EngineError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of lock shards (a fixed power of two; the key hash picks one).
+const NUM_SHARDS: usize = 16;
+
+/// Cumulative cache counters for one namespace, across snapshots.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CacheCounters {
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl CacheCounters {
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// One lock shard: `(release, source)` → released distance vector.
+type Shard = Mutex<HashMap<(u64, usize), Arc<Vec<f64>>>>;
+
+/// One snapshot's source-vector cache.
+#[derive(Debug)]
+pub(crate) struct SourceCache {
+    shards: Vec<Shard>,
+    per_shard_capacity: usize,
+    counters: CacheCounters,
+}
+
+impl SourceCache {
+    /// A cache bounded at roughly `capacity` source vectors, reporting
+    /// into `counters`.
+    pub(crate) fn new(capacity: usize, counters: CacheCounters) -> Self {
+        let per_shard_capacity = capacity.div_ceil(NUM_SHARDS).max(1);
+        SourceCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_capacity,
+            counters,
+        }
+    }
+
+    fn shard(&self, release: u64, source: usize) -> &Shard {
+        // A cheap mix of the two key halves; NUM_SHARDS is a power of two.
+        let h = release
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(source as u64)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        &self.shards[(h >> 32) as usize % NUM_SHARDS]
+    }
+
+    /// The cached distance vector for `(release, source)`, computing and
+    /// inserting it on a miss. The computation runs **outside** the shard
+    /// lock so concurrent misses on different sources overlap; two racing
+    /// readers of the same cold key may both compute (the second insert
+    /// wins, both results are identical post-processing of the same
+    /// release).
+    ///
+    /// # Errors
+    /// Whatever `compute` reports; errors are never cached.
+    pub(crate) fn get_or_compute(
+        &self,
+        release: u64,
+        source: usize,
+        compute: impl FnOnce() -> Result<Vec<f64>, EngineError>,
+    ) -> Result<Arc<Vec<f64>>, EngineError> {
+        let shard = self.shard(release, source);
+        if let Some(hit) = shard
+            .lock()
+            .expect("cache shard lock")
+            .get(&(release, source))
+        {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        let vector = Arc::new(compute()?);
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = shard.lock().expect("cache shard lock");
+        if guard.len() >= self.per_shard_capacity {
+            // Bounded memory beats recency here: evict an arbitrary
+            // entry (HashMap order) rather than tracking LRU on the hot
+            // path.
+            if let Some(&victim) = guard.keys().next() {
+                guard.remove(&victim);
+            }
+        }
+        guard.insert((release, source), Arc::clone(&vector));
+        Ok(vector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss_and_counters() {
+        let counters = CacheCounters::default();
+        let cache = SourceCache::new(8, counters.clone());
+        let v1 = cache.get_or_compute(0, 3, || Ok(vec![1.0, 2.0])).unwrap();
+        let v2 = cache
+            .get_or_compute(0, 3, || panic!("must be served from cache"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert_eq!(counters.hits(), 1);
+        assert_eq!(counters.misses(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = SourceCache::new(8, CacheCounters::default());
+        let err = cache
+            .get_or_compute(1, 1, || Err(EngineError::UnknownRelease(1)))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownRelease(1)));
+        let ok = cache.get_or_compute(1, 1, || Ok(vec![0.5])).unwrap();
+        assert_eq!(*ok, vec![0.5]);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache = SourceCache::new(4, CacheCounters::default());
+        for s in 0..1000 {
+            cache.get_or_compute(0, s, || Ok(vec![s as f64])).unwrap();
+        }
+        let total: usize = cache.shards.iter().map(|s| s.lock().unwrap().len()).sum();
+        assert!(total <= NUM_SHARDS, "cache grew past its bound: {total}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the live release store.
+
+use privpath_core::CoreError;
+use privpath_engine::EngineError;
+use privpath_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Errors produced by the store layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// An engine-layer failure (budget, mechanism, persistence codec).
+    Engine(EngineError),
+    /// A filesystem failure, with the path involved.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The referenced namespace does not exist in the store.
+    UnknownNamespace(String),
+    /// A namespace with this name already exists.
+    NamespaceExists(String),
+    /// The namespace name is not valid (see
+    /// [`is_valid_namespace`](crate::is_valid_namespace)).
+    InvalidNamespace(String),
+    /// A release spec that cannot be run or parsed (unknown mechanism,
+    /// knobs for the wrong mechanism, missing required knobs).
+    InvalidSpec(String),
+    /// A weight update that cannot be applied as requested (a full
+    /// replacement with the wrong edge count, or duplicate edges).
+    InvalidUpdate(String),
+    /// A malformed or inconsistent manifest, with the path involved.
+    Manifest {
+        /// The manifest path.
+        path: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(path: &Path, e: impl fmt::Display) -> Self {
+        StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    pub(crate) fn manifest(path: &Path, message: impl Into<String>) -> Self {
+        StoreError::Manifest {
+            path: path.display().to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Engine(e) => write!(f, "engine error: {e}"),
+            StoreError::Io { path, message } => write!(f, "i/o error at {path}: {message}"),
+            StoreError::UnknownNamespace(ns) => write!(f, "no namespace {ns:?} in the store"),
+            StoreError::NamespaceExists(ns) => write!(f, "namespace {ns:?} already exists"),
+            StoreError::InvalidNamespace(ns) => write!(
+                f,
+                "invalid namespace name {ns:?} (expected 1-64 chars from [A-Za-z0-9_-])"
+            ),
+            StoreError::InvalidSpec(msg) => write!(f, "invalid release spec: {msg}"),
+            StoreError::InvalidUpdate(msg) => write!(f, "invalid weight update: {msg}"),
+            StoreError::Manifest { path, message } => {
+                write!(f, "manifest error at {path}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for StoreError {
+    fn from(e: EngineError) -> Self {
+        StoreError::Engine(e)
+    }
+}
+
+impl From<CoreError> for StoreError {
+    fn from(e: CoreError) -> Self {
+        StoreError::Engine(EngineError::Core(e))
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Engine(EngineError::from(e))
+    }
+}

@@ -1,0 +1,451 @@
+//! [`ReleaseSpec`]: a compact, re-runnable description of one release —
+//! which mechanism and which knobs — that the store persists next to
+//! every release so `update-weights` can re-run it against fresh weights.
+//!
+//! The spec is the store's unit of *reproducibility of intent*: a release
+//! file records what came out, the spec records what to run again. It has
+//! one token form shared by the manifest and the wire protocol:
+//!
+//! ```text
+//! spec := <mechanism> "eps" <f64> ["delta" <f64>] ["gamma" <f64>]
+//!         ["max-weight" <f64>]
+//! ```
+//!
+//! Knobs are mechanism-checked: `gamma` belongs to `shortest-path` only,
+//! `delta` to the composition-based kinds (`bounded-weight`,
+//! `shortcut-apsp`, `all-pairs-baseline`), and `max-weight` is required
+//! by exactly the bounded-weight kinds (`bounded-weight`,
+//! `shortcut-apsp`). Structure-releasing kinds (`mst`, `matching`) and
+//! `hld-tree` have no persistence/serve surface and are rejected at spec
+//! construction, so a store can never hold a release it cannot replay.
+
+use crate::error::StoreError;
+use privpath_core::bounded::BoundedWeightParams;
+use privpath_core::bounds::AccuracyContract;
+use privpath_core::shortcut::ShortcutApspParams;
+use privpath_core::shortest_path::ShortestPathParams;
+use privpath_core::tree_distance::TreeDistanceParams;
+use privpath_dp::{Delta, Epsilon, NoiseSource};
+use privpath_engine::{mechanisms, AnyRelease, EngineError, Mechanism, ReleaseKind};
+use privpath_graph::{EdgeWeights, Topology};
+
+/// The default confidence knob for `shortest-path` specs (matches
+/// [`privpath_engine::DEFAULT_GAMMA`]).
+const DEFAULT_SPEC_GAMMA: f64 = 0.05;
+
+/// A re-runnable release request: mechanism plus every knob needed to
+/// run it again on the same topology with different weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReleaseSpec {
+    kind: ReleaseKind,
+    eps: Epsilon,
+    delta: Delta,
+    gamma: f64,
+    max_weight: Option<f64>,
+}
+
+/// The parameter object a spec builds, one variant per servable kind.
+enum BuiltParams {
+    ShortestPath(ShortestPathParams),
+    Tree(TreeDistanceParams),
+    Bounded(BoundedWeightParams),
+    Shortcut(ShortcutApspParams),
+    Synthetic(mechanisms::SyntheticGraphParams),
+    AllPairs(mechanisms::AllPairsBaselineParams),
+}
+
+fn invalid(msg: impl Into<String>) -> StoreError {
+    StoreError::InvalidSpec(msg.into())
+}
+
+/// Whether a release kind can live in the store: it must have a distance
+/// surface *and* a persistence format, so the store can both serve it
+/// and replay it from disk.
+pub fn is_storable(kind: ReleaseKind) -> bool {
+    matches!(
+        kind,
+        ReleaseKind::ShortestPath
+            | ReleaseKind::Tree
+            | ReleaseKind::BoundedWeight
+            | ReleaseKind::SyntheticGraph
+            | ReleaseKind::AllPairsBaseline
+            | ReleaseKind::ShortcutApsp
+    )
+}
+
+impl ReleaseSpec {
+    /// A spec for `kind` at privacy `eps` (pure DP, default knobs).
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidSpec`] for kinds without a live-store surface
+    /// (`mst`, `matching`, `hld-tree`).
+    pub fn new(kind: ReleaseKind, eps: Epsilon) -> Result<Self, StoreError> {
+        if !is_storable(kind) {
+            return Err(invalid(format!(
+                "mechanism `{kind}` has no live-store surface (no persistence \
+                 format or no distance queries)"
+            )));
+        }
+        Ok(ReleaseSpec {
+            kind,
+            eps,
+            delta: Delta::zero(),
+            gamma: DEFAULT_SPEC_GAMMA,
+            max_weight: None,
+        })
+    }
+
+    /// Selects approximate DP (`delta > 0`) for the composition-based
+    /// kinds.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidSpec`] for kinds whose mechanism is pure-DP
+    /// only.
+    pub fn with_delta(mut self, delta: Delta) -> Result<Self, StoreError> {
+        if !delta.is_pure()
+            && !matches!(
+                self.kind,
+                ReleaseKind::BoundedWeight
+                    | ReleaseKind::ShortcutApsp
+                    | ReleaseKind::AllPairsBaseline
+            )
+        {
+            return Err(invalid(format!(
+                "mechanism `{}` is pure-DP; `delta` does not apply",
+                self.kind
+            )));
+        }
+        self.delta = delta;
+        Ok(self)
+    }
+
+    /// Sets the `shortest-path` confidence knob.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidSpec`] for other kinds (the knob would be
+    /// silently ignored, which a typed spec refuses to do).
+    pub fn with_gamma(mut self, gamma: f64) -> Result<Self, StoreError> {
+        if self.kind != ReleaseKind::ShortestPath {
+            return Err(invalid(format!(
+                "`gamma` is a shortest-path knob; mechanism is `{}`",
+                self.kind
+            )));
+        }
+        self.gamma = gamma;
+        Ok(self)
+    }
+
+    /// Sets the bounded-weight promise `M` (required by `bounded-weight`
+    /// and `shortcut-apsp`).
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidSpec`] for kinds without a weight bound.
+    pub fn with_max_weight(mut self, max_weight: f64) -> Result<Self, StoreError> {
+        if !matches!(
+            self.kind,
+            ReleaseKind::BoundedWeight | ReleaseKind::ShortcutApsp
+        ) {
+            return Err(invalid(format!(
+                "`max-weight` applies to bounded-weight kinds only; mechanism is `{}`",
+                self.kind
+            )));
+        }
+        self.max_weight = Some(max_weight);
+        Ok(self)
+    }
+
+    /// The mechanism this spec runs.
+    pub fn kind(&self) -> ReleaseKind {
+        self.kind
+    }
+
+    /// The epsilon one run of this spec costs.
+    pub fn eps(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The delta one run of this spec costs.
+    pub fn delta(&self) -> Delta {
+        self.delta
+    }
+
+    /// The `(eps, delta)` one run debits — every storable mechanism's
+    /// declared [`privacy_cost`](privpath_engine::Mechanism::privacy_cost)
+    /// equals its parameter budget, so the spec knows its cost without
+    /// building params. Used to pre-check a whole `update-weights` pass
+    /// against the budget before any noise is drawn.
+    pub fn cost(&self) -> (f64, f64) {
+        (self.eps.value(), self.delta.value())
+    }
+
+    /// The canonical token form (also valid inside a longer wire line).
+    pub fn to_line(&self) -> String {
+        let mut line = format!("{} eps {:?}", self.kind, self.eps.value());
+        if !self.delta.is_pure() {
+            line.push_str(&format!(" delta {:?}", self.delta.value()));
+        }
+        if self.kind == ReleaseKind::ShortestPath && self.gamma != DEFAULT_SPEC_GAMMA {
+            line.push_str(&format!(" gamma {:?}", self.gamma));
+        }
+        if let Some(m) = self.max_weight {
+            line.push_str(&format!(" max-weight {m:?}"));
+        }
+        line
+    }
+
+    /// Parses the canonical token form from a whole line.
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidSpec`] on unknown mechanisms, malformed
+    /// numbers, misplaced knobs, or trailing tokens.
+    pub fn parse_line(line: &str) -> Result<Self, StoreError> {
+        let mut tokens = line.split_whitespace();
+        let spec = Self::parse_tokens(&mut tokens)?;
+        if let Some(extra) = tokens.next() {
+            return Err(invalid(format!("unexpected trailing token {extra:?}")));
+        }
+        Ok(spec)
+    }
+
+    /// Parses the token form from an iterator, consuming exactly the
+    /// spec's tokens (for embedding in wire lines).
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidSpec`] on unknown mechanisms, malformed
+    /// numbers, or misplaced knobs. Note a knob keyword is only consumed
+    /// when recognized, so a caller can append its own trailing fields.
+    pub fn parse_tokens<'a>(
+        tokens: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<Self, StoreError> {
+        let kind_tok = tokens.next().ok_or_else(|| invalid("missing mechanism"))?;
+        let kind = ReleaseKind::parse(kind_tok)
+            .ok_or_else(|| invalid(format!("unknown mechanism {kind_tok:?}")))?;
+        let mut eps = None;
+        let mut delta = None;
+        let mut gamma = None;
+        let mut max_weight = None;
+        // Peekable so an unrecognized token is left for the caller.
+        let mut tokens = tokens.peekable();
+        while let Some(&key) = tokens.peek() {
+            let slot: &mut Option<f64> = match key {
+                "eps" => &mut eps,
+                "delta" => &mut delta,
+                "gamma" => &mut gamma,
+                "max-weight" => &mut max_weight,
+                _ => break,
+            };
+            if slot.is_some() {
+                return Err(invalid(format!("duplicate `{key}`")));
+            }
+            tokens.next();
+            let val = tokens
+                .next()
+                .ok_or_else(|| invalid(format!("`{key}` needs a value")))?;
+            *slot = Some(
+                val.parse::<f64>()
+                    .map_err(|_| invalid(format!("invalid `{key}` value {val:?}")))?,
+            );
+        }
+        let eps = eps.ok_or_else(|| invalid("missing `eps`"))?;
+        let mut spec = Self::new(kind, Epsilon::new(eps).map_err(|e| invalid(e.to_string()))?)?;
+        if let Some(d) = delta {
+            spec = spec.with_delta(Delta::new(d).map_err(|e| invalid(e.to_string()))?)?;
+        }
+        if let Some(g) = gamma {
+            spec = spec.with_gamma(g)?;
+        }
+        if let Some(m) = max_weight {
+            spec = spec.with_max_weight(m)?;
+        }
+        Ok(spec)
+    }
+
+    /// Builds the mechanism's parameter object.
+    fn build_params(&self) -> Result<BuiltParams, StoreError> {
+        let require_max_weight = || {
+            self.max_weight
+                .ok_or_else(|| invalid(format!("mechanism `{}` needs `max-weight`", self.kind)))
+        };
+        Ok(match self.kind {
+            ReleaseKind::ShortestPath => BuiltParams::ShortestPath(
+                ShortestPathParams::new(self.eps, self.gamma).map_err(EngineError::from)?,
+            ),
+            ReleaseKind::Tree => BuiltParams::Tree(TreeDistanceParams::new(self.eps)),
+            ReleaseKind::BoundedWeight => {
+                let m = require_max_weight()?;
+                BuiltParams::Bounded(
+                    if self.delta.is_pure() {
+                        BoundedWeightParams::pure(self.eps, m)
+                    } else {
+                        BoundedWeightParams::approx(self.eps, self.delta, m)
+                    }
+                    .map_err(EngineError::from)?,
+                )
+            }
+            ReleaseKind::ShortcutApsp => {
+                let m = require_max_weight()?;
+                BuiltParams::Shortcut(
+                    if self.delta.is_pure() {
+                        ShortcutApspParams::pure(self.eps, m)
+                    } else {
+                        ShortcutApspParams::approx(self.eps, self.delta, m)
+                    }
+                    .map_err(EngineError::from)?,
+                )
+            }
+            ReleaseKind::SyntheticGraph => {
+                BuiltParams::Synthetic(mechanisms::SyntheticGraphParams::new(self.eps))
+            }
+            ReleaseKind::AllPairsBaseline => BuiltParams::AllPairs(if self.delta.is_pure() {
+                mechanisms::AllPairsBaselineParams::basic(self.eps)
+            } else {
+                mechanisms::AllPairsBaselineParams::advanced(self.eps, self.delta)?
+            }),
+            ReleaseKind::Mst | ReleaseKind::Matching | ReleaseKind::HldTree => {
+                unreachable!("rejected at construction")
+            }
+        })
+    }
+
+    /// Runs the spec's mechanism over `(topo, weights)` **without
+    /// touching any registry** — the staging half of the store's
+    /// two-phase commit. The caller (under its write lock) installs the
+    /// result via [`ReleaseEngine::adopt`] /
+    /// [`ReleaseEngine::replace_release`] only after the whole
+    /// generation staged successfully, so a mid-generation failure
+    /// publishes nothing and debits nothing (noise that is discarded
+    /// unobserved costs no privacy).
+    ///
+    /// # Errors
+    /// [`StoreError::InvalidSpec`] for missing knobs; otherwise the
+    /// mechanism's own errors.
+    pub fn run(
+        &self,
+        topo: &Topology,
+        weights: &EdgeWeights,
+        noise: &mut impl NoiseSource,
+    ) -> Result<StagedRelease, StoreError> {
+        fn stage<M: Mechanism>(
+            mechanism: &M,
+            params: &M::Params,
+            topo: &Topology,
+            weights: &EdgeWeights,
+            noise: &mut impl NoiseSource,
+        ) -> Result<StagedRelease, StoreError>
+        where
+            AnyRelease: From<M::Release>,
+        {
+            let cost = mechanism.privacy_cost(params);
+            Ok(StagedRelease {
+                eps: cost.eps().value(),
+                delta: cost.delta().value(),
+                accuracy: mechanism.accuracy_contract(topo, params),
+                release: AnyRelease::from(mechanism.release_with(topo, weights, params, noise)?),
+            })
+        }
+        match self.build_params()? {
+            BuiltParams::ShortestPath(p) => {
+                stage(&mechanisms::ShortestPaths, &p, topo, weights, noise)
+            }
+            BuiltParams::Tree(p) => stage(&mechanisms::TreeAllPairs, &p, topo, weights, noise),
+            BuiltParams::Bounded(p) => stage(&mechanisms::BoundedWeight, &p, topo, weights, noise),
+            BuiltParams::Shortcut(p) => stage(&mechanisms::ShortcutApsp, &p, topo, weights, noise),
+            BuiltParams::Synthetic(p) => {
+                stage(&mechanisms::SyntheticGraph, &p, topo, weights, noise)
+            }
+            BuiltParams::AllPairs(p) => {
+                stage(&mechanisms::AllPairsBaseline, &p, topo, weights, noise)
+            }
+        }
+    }
+}
+
+/// A release run by a [`ReleaseSpec`] but not yet installed anywhere:
+/// the staging unit of the store's two-phase commit.
+#[derive(Clone, Debug)]
+pub struct StagedRelease {
+    /// The epsilon installing this release will debit.
+    pub eps: f64,
+    /// The delta installing this release will debit.
+    pub delta: f64,
+    /// The contract the mechanism declared (from the public topology).
+    pub accuracy: Option<AccuracyContract>,
+    /// The release object.
+    pub release: AnyRelease,
+}
+
+impl std::fmt::Display for ReleaseSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn spec_line_round_trips() {
+        let specs = [
+            ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.5))
+                .unwrap()
+                .with_gamma(0.1)
+                .unwrap(),
+            ReleaseSpec::new(ReleaseKind::Tree, eps(0.25)).unwrap(),
+            ReleaseSpec::new(ReleaseKind::BoundedWeight, eps(2.0))
+                .unwrap()
+                .with_delta(Delta::new(1e-6).unwrap())
+                .unwrap()
+                .with_max_weight(3.0)
+                .unwrap(),
+            ReleaseSpec::new(ReleaseKind::ShortcutApsp, eps(1.0))
+                .unwrap()
+                .with_max_weight(1.0)
+                .unwrap(),
+            ReleaseSpec::new(ReleaseKind::SyntheticGraph, eps(0.5)).unwrap(),
+            ReleaseSpec::new(ReleaseKind::AllPairsBaseline, eps(4.0)).unwrap(),
+        ];
+        for spec in specs {
+            let line = spec.to_line();
+            assert_eq!(ReleaseSpec::parse_line(&line).unwrap(), spec, "{line}");
+        }
+    }
+
+    #[test]
+    fn unstorable_kinds_are_rejected() {
+        for kind in [
+            ReleaseKind::Mst,
+            ReleaseKind::Matching,
+            ReleaseKind::HldTree,
+        ] {
+            assert!(matches!(
+                ReleaseSpec::new(kind, eps(1.0)),
+                Err(StoreError::InvalidSpec(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn misplaced_knobs_are_rejected() {
+        assert!(ReleaseSpec::new(ReleaseKind::Tree, eps(1.0))
+            .unwrap()
+            .with_gamma(0.1)
+            .is_err());
+        assert!(ReleaseSpec::new(ReleaseKind::Tree, eps(1.0))
+            .unwrap()
+            .with_delta(Delta::new(1e-6).unwrap())
+            .is_err());
+        assert!(ReleaseSpec::new(ReleaseKind::SyntheticGraph, eps(1.0))
+            .unwrap()
+            .with_max_weight(1.0)
+            .is_err());
+        assert!(ReleaseSpec::parse_line("tree eps 1.0 gamma 0.1").is_err());
+        assert!(ReleaseSpec::parse_line("mst eps 1.0").is_err());
+        assert!(ReleaseSpec::parse_line("shortest-path eps 1.0 eps 2.0").is_err());
+        assert!(ReleaseSpec::parse_line("shortest-path").is_err());
+    }
+}

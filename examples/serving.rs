@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is grouped by (release, source) so each group pays one Dijkstra.
     let batch = vec![
         QueryRequest::Distance {
-            release: sp,
+            release: sp.into(),
             from: NodeId::new(0),
             to: NodeId::new(40),
             // Ask for the accuracy contract alongside the estimate: the
@@ -52,22 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             gamma: Some(0.05),
         },
         QueryRequest::Distance {
-            release: synth,
+            release: synth.into(),
             from: NodeId::new(0),
             to: NodeId::new(40),
             gamma: None,
         },
         QueryRequest::Distance {
-            release: sp,
+            release: sp.into(),
             from: NodeId::new(0),
             to: NodeId::new(63),
             gamma: Some(0.05),
         },
         QueryRequest::Accuracy {
-            release: sp,
+            release: sp.into(),
             gamma: 0.01,
         },
-        QueryRequest::BudgetStatus,
+        QueryRequest::BudgetStatus { namespace: None },
     ];
     for (req, resp) in batch.iter().zip(answer_all(&service, &batch)) {
         println!("  {req}  ->  {resp}");
@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let to = NodeId::new(8 * worker + 7);
                 let resp = client
                     .request(&QueryRequest::Distance {
-                        release: sp,
+                        release: sp.into(),
                         from: NodeId::new(0),
                         to,
                         gamma: None,

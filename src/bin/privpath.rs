@@ -16,17 +16,21 @@
 //! privpath inspect   --release demo.shortest-path.release   # incl. accuracy contract
 //! ```
 
-use privpath::engine::{mechanisms, read_release, QueryService, ReleaseEngine, ReleaseId};
+use privpath::engine::{mechanisms, read_release, QueryService, ReleaseEngine, ReleaseKind};
 use privpath::graph::generators::{random_geometric_graph, random_tree_prufer, uniform_weights};
 use privpath::graph::io::{read_topology, read_weights, write_topology, write_weights};
 use privpath::prelude::*;
-use privpath::serve::{Client, QueryRequest, QueryResponse, Server};
+use privpath::serve::{
+    AdminRequest, AdminResponse, Client, QueryRequest, QueryResponse, ReleaseRef, Server,
+};
+use privpath::store::{ReleaseSpec, ReleaseStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "usage: privpath <command> [--flag value ...]
 
@@ -62,19 +66,47 @@ commands:
   inspect    --release F
              print a stored release's kind, privacy metadata, and
              accuracy contract
-  serve      --store-dir D --port P [--host H] [--threads N]
-             load every *.release file in D (sorted by name, ids r0, r1,
-             ...) and serve distance/path queries over TCP from a shared
-             QueryService snapshot; --port 0 picks an ephemeral port
+  serve      (--store D | --store-dir D) --port P [--host H] [--threads N]
+             [--no-cache] [--read-only] [--admin-port Q]
+             --store D serves a LIVE release store rooted at D: queries
+             resolve namespace-qualified refs (NS/r0) against hot-swapped
+             snapshots through the read-path cache (--no-cache disables
+             it). Admin verbs (publish, update-weights, drop, epoch,
+             stats) mutate the store: by default they share the main
+             port (operator-local deployments); --admin-port Q moves
+             them to 127.0.0.1:Q and makes the main port read-only (the
+             public deployment); --read-only disables them entirely.
+             --store-dir D keeps the frozen mode: load every *.release
+             file in D (sorted by name, ids r0, r1, ...) into one
+             immutable snapshot. --port 0 picks an ephemeral port
              (printed as `listening on HOST:PORT`); a client sending the
              `shutdown` line stops the server gracefully
-  query      --connect HOST:PORT [--op OP] [--release ID]
+  query      --connect HOST:PORT [--op OP] [--release REF]
              [--from A --to B] [--pairs A:B,A:B,...] [--gamma G]
+             [--namespace NS]
              query a running server; OP is one of distance (default),
-             route, batch, accuracy, list, budget, shutdown; ID is a
-             release id in its r<N> form (e.g. r0); --gamma on
+             route, batch, accuracy, list, budget, shutdown; REF is a
+             release ref (`r0`, or `NS/r0` against a live store);
+             --namespace scopes list/budget on a live store; --gamma on
              distance/batch attaches the release's ±error bound at that
              confidence, and is the evaluation point for accuracy
+  store      <init|publish|update|drop|epoch|stats> ...
+             manage a live release store. `init` works on a local store
+             directory (--dir); the others take either --dir (offline)
+             or --connect HOST:PORT (admin verbs against a live server):
+               store init    --dir D --namespace NS --topo F --weights F
+                             [--budget-eps E] [--budget-delta D]
+               store publish (--dir D | --connect A) --namespace NS
+                             --mechanism M --eps E [--delta D] [--gamma G]
+                             [--max-weight W]
+               store update  (--dir D | --connect A) --namespace NS
+                             (--weights F | --set E:W[,E:W...])
+                             re-releases every live release against the
+                             new weights under a fresh budget debit
+               store drop    (--dir D | --connect A) --namespace NS
+                             [--release R]      (no R: drop the namespace)
+               store epoch   (--dir D | --connect A) --namespace NS
+               store stats   (--dir D | --connect A) [--namespace NS]
 ";
 
 /// Parses `--flag value` pairs, rejecting unknown and duplicated flags.
@@ -104,6 +136,25 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
         i += 2;
     }
     Ok(flags)
+}
+
+/// Removes every occurrence of a valueless switch from the args,
+/// reporting whether it was present.
+fn extract_switch(args: &[String], switch: &str) -> (Vec<String>, bool) {
+    let mut present = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == switch {
+                present = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, present)
 }
 
 fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
@@ -159,14 +210,41 @@ fn run() -> Result<(), String> {
         "route" => query(&parse_flags(rest, &["release", "from", "to"])?, true),
         "distance" => query(&parse_flags(rest, &["release", "from", "to"])?, false),
         "inspect" => inspect(&parse_flags(rest, &["release"])?),
-        "serve" => serve(&parse_flags(
-            rest,
-            &["store-dir", "port", "host", "threads"],
-        )?),
+        "serve" => {
+            // `--no-cache`/`--read-only` are switches (no value); split
+            // them off before the `--flag value` parser sees the list.
+            let (rest, no_cache) = extract_switch(rest, "--no-cache");
+            let (rest, read_only) = extract_switch(&rest, "--read-only");
+            serve(
+                &parse_flags(
+                    &rest,
+                    &[
+                        "store",
+                        "store-dir",
+                        "port",
+                        "host",
+                        "threads",
+                        "admin-port",
+                    ],
+                )?,
+                no_cache,
+                read_only,
+            )
+        }
         "query" => remote_query(&parse_flags(
             rest,
-            &["connect", "op", "release", "from", "to", "pairs", "gamma"],
+            &[
+                "connect",
+                "op",
+                "release",
+                "from",
+                "to",
+                "pairs",
+                "gamma",
+                "namespace",
+            ],
         )?),
+        "store" => store_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -583,8 +661,7 @@ fn inspect(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    let dir = required(flags, "store-dir")?;
+fn serve(flags: &HashMap<String, String>, no_cache: bool, read_only: bool) -> Result<(), String> {
     let port: u16 = parse(required(flags, "port")?, "port")?;
     let host = flags.get("host").map_or("127.0.0.1", String::as_str);
     let threads: usize = flags
@@ -593,6 +670,28 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let admin_port: Option<u16> = flags
+        .get("admin-port")
+        .map(|s| parse(s, "admin port"))
+        .transpose()?;
+
+    match (flags.get("store"), flags.get("store-dir")) {
+        (Some(_), Some(_)) => {
+            return Err("--store (live) and --store-dir (frozen) are mutually exclusive".into())
+        }
+        (Some(dir), None) => {
+            return serve_live(dir, host, port, threads, no_cache, read_only, admin_port)
+        }
+        (None, Some(_)) => {}
+        (None, None) => return Err("serve needs --store (live) or --store-dir (frozen)".into()),
+    }
+    if no_cache || read_only || admin_port.is_some() {
+        return Err(
+            "--no-cache/--read-only/--admin-port apply to the live store only (serve --store)"
+                .into(),
+        );
+    }
+    let dir = required(flags, "store-dir")?;
 
     // Deterministic id assignment: every *.release file, sorted by name.
     let mut paths: Vec<_> = std::fs::read_dir(dir)
@@ -639,11 +738,83 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses `--release` through [`ReleaseId`]'s `FromStr` (`r3` or `3`).
-fn release_id(flags: &HashMap<String, String>) -> Result<ReleaseId, String> {
+/// Serves a live [`ReleaseStore`]: query verbs resolve namespaces
+/// against hot-swapped snapshots; admin verbs mutate the store — on the
+/// main port by default, on a separate loopback-only port with
+/// `--admin-port` (the main port then serves read-only), or nowhere
+/// with `--read-only`.
+fn serve_live(
+    dir: &str,
+    host: &str,
+    port: u16,
+    threads: usize,
+    no_cache: bool,
+    read_only: bool,
+    admin_port: Option<u16>,
+) -> Result<(), String> {
+    use privpath::serve::{RequestHandler, StoreHandler};
+    let store = Arc::new(
+        ReleaseStore::open(dir)
+            .map_err(|e| e.to_string())?
+            .with_cache(!no_cache),
+    );
+    for s in store.stats() {
+        println!(
+            "namespace {}: epoch {}, {} releases (eps {} spent)",
+            s.namespace, s.epoch, s.releases, s.spent_eps
+        );
+    }
+    println!(
+        "live store at {dir} ({} namespaces, cache {})",
+        store.len(),
+        if no_cache { "off" } else { "on" }
+    );
+
+    // A dedicated admin endpoint stays on loopback; the public port then
+    // serves read-only, so the unauthenticated admin verbs never face
+    // the open network.
+    let admin = match admin_port {
+        Some(p) => {
+            let server = Server::bind_handler(
+                ("127.0.0.1", p),
+                Arc::new(StoreHandler::new(Arc::clone(&store))),
+            )
+            .map_err(|e| format!("cannot bind admin 127.0.0.1:{p}: {e}"))?
+            .with_threads(1);
+            let running = server.spawn().map_err(|e| e.to_string())?;
+            println!("admin listening on {}", running.addr());
+            Some(running)
+        }
+        None => None,
+    };
+    let handler: Arc<dyn RequestHandler> = if read_only || admin.is_some() {
+        Arc::new(StoreHandler::read_only(Arc::clone(&store)))
+    } else {
+        Arc::new(StoreHandler::new(Arc::clone(&store)))
+    };
+    let server = Server::bind_handler((host, port), handler)
+        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?
+        .with_threads(threads);
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {addr}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let stats = server.run().map_err(|e| e.to_string())?;
+    if let Some(admin) = admin {
+        let _ = admin.shutdown();
+    }
+    println!(
+        "shut down after {} connections, {} requests ({} connection errors)",
+        stats.connections, stats.requests, stats.connection_errors
+    );
+    Ok(())
+}
+
+/// Parses `--release` through [`ReleaseRef`]'s `FromStr` (`r3`, `3`, or
+/// `namespace/r3`).
+fn release_ref(flags: &HashMap<String, String>) -> Result<ReleaseRef, String> {
     required(flags, "release")?
         .parse()
-        .map_err(|e: privpath::engine::ParseReleaseIdError| e.to_string())
+        .map_err(|e: privpath::serve::ParseLineError| e.to_string())
 }
 
 fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -653,17 +824,18 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("gamma")
         .map(|s| parse::<f64>(s, "gamma"))
         .transpose()?;
+    let namespace = flags.get("namespace").cloned();
 
     // Validate the request fully before dialing the server.
     let request = match op {
         "distance" => QueryRequest::Distance {
-            release: release_id(flags)?,
+            release: release_ref(flags)?,
             from: NodeId::new(parse(required(flags, "from")?, "source id")?),
             to: NodeId::new(parse(required(flags, "to")?, "target id")?),
             gamma,
         },
         "route" => QueryRequest::Path {
-            release: release_id(flags)?,
+            release: release_ref(flags)?,
             from: NodeId::new(parse(required(flags, "from")?, "source id")?),
             to: NodeId::new(parse(required(flags, "to")?, "target id")?),
         },
@@ -680,17 +852,17 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
                 ));
             }
             QueryRequest::DistanceBatch {
-                release: release_id(flags)?,
+                release: release_ref(flags)?,
                 pairs,
                 gamma,
             }
         }
         "accuracy" => QueryRequest::Accuracy {
-            release: release_id(flags)?,
+            release: release_ref(flags)?,
             gamma: gamma.unwrap_or(DEFAULT_GAMMA),
         },
-        "list" => QueryRequest::ListReleases,
-        "budget" => QueryRequest::BudgetStatus,
+        "list" => QueryRequest::ListReleases { namespace },
+        "budget" => QueryRequest::BudgetStatus { namespace },
         "shutdown" => {
             let mut client =
                 Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
@@ -755,7 +927,7 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
                 b.gamma()
             );
         }
-        (QueryRequest::ListReleases, QueryResponse::Releases(rs)) => {
+        (QueryRequest::ListReleases { .. }, QueryResponse::Releases(rs)) => {
             for r in rs {
                 let nodes = r.num_nodes.map_or("-".to_string(), |n| n.to_string());
                 let accuracy = r.accuracy.as_ref().map_or("-".to_string(), |b| {
@@ -768,7 +940,7 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
         (
-            QueryRequest::BudgetStatus,
+            QueryRequest::BudgetStatus { .. },
             QueryResponse::Budget {
                 spent_eps,
                 spent_delta,
@@ -791,6 +963,349 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Builds a [`ReleaseSpec`] from `--mechanism/--eps/--delta/--gamma/
+/// --max-weight` flags (shared by the offline and wire publish paths).
+fn build_spec(flags: &HashMap<String, String>) -> Result<ReleaseSpec, String> {
+    let name = required(flags, "mechanism")?;
+    let kind = ReleaseKind::parse(name).ok_or_else(|| format!("unknown mechanism {name:?}"))?;
+    let eps =
+        Epsilon::new(parse(required(flags, "eps")?, "epsilon")?).map_err(|e| e.to_string())?;
+    let mut spec = ReleaseSpec::new(kind, eps).map_err(|e| e.to_string())?;
+    if let Some(d) = flags.get("delta") {
+        let delta = Delta::new(parse(d, "delta")?).map_err(|e| e.to_string())?;
+        spec = spec.with_delta(delta).map_err(|e| e.to_string())?;
+    }
+    if let Some(g) = flags.get("gamma") {
+        spec = spec
+            .with_gamma(parse(g, "gamma")?)
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(m) = flags.get("max-weight") {
+        spec = spec
+            .with_max_weight(parse(m, "max weight")?)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(spec)
+}
+
+/// Prints one stats entry (shared by the offline and wire paths).
+fn print_stats(s: &privpath::store::NamespaceStats) {
+    let remaining = match s.remaining {
+        Some((e, d)) => format!("remaining (eps {e}, delta {d})"),
+        None => "unbounded".to_string(),
+    };
+    println!(
+        "{} epoch {} releases {} spent (eps {}, delta {}) {remaining} cache {} hits / {} misses",
+        s.namespace, s.epoch, s.releases, s.spent_eps, s.spent_delta, s.cache_hits, s.cache_misses
+    );
+}
+
+/// Either side of a store subcommand: a local store directory or a live
+/// server address.
+enum StoreTarget {
+    Dir(String),
+    Wire(String),
+}
+
+fn store_target(flags: &HashMap<String, String>) -> Result<StoreTarget, String> {
+    match (flags.get("dir"), flags.get("connect")) {
+        (Some(d), None) => Ok(StoreTarget::Dir(d.clone())),
+        (None, Some(a)) => Ok(StoreTarget::Wire(a.clone())),
+        _ => Err("need exactly one of --dir (offline) or --connect (live server)".into()),
+    }
+}
+
+/// Sends one admin request and renders the typed response (errors become
+/// CLI failures).
+fn wire_admin(addr: &str, request: &AdminRequest) -> Result<AdminResponse, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    match client.admin(request).map_err(|e| e.to_string())? {
+        AdminResponse::Error { code, message } => Err(format!("server error [{code}]: {message}")),
+        ok => Ok(ok),
+    }
+}
+
+fn store_cmd(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("store needs a subcommand: init, publish, update, drop, epoch, stats".into());
+    };
+    match sub.as_str() {
+        "init" => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    "dir",
+                    "namespace",
+                    "topo",
+                    "weights",
+                    "budget-eps",
+                    "budget-delta",
+                ],
+            )?;
+            let dir = required(&flags, "dir")?;
+            let ns = required(&flags, "namespace")?;
+            let topo_file = File::open(required(&flags, "topo")?).map_err(|e| e.to_string())?;
+            let topo = read_topology(BufReader::new(topo_file)).map_err(|e| e.to_string())?;
+            let weights_file =
+                File::open(required(&flags, "weights")?).map_err(|e| e.to_string())?;
+            let weights = read_weights(BufReader::new(weights_file)).map_err(|e| e.to_string())?;
+            let budget = match flags.get("budget-eps") {
+                Some(be) => {
+                    let be =
+                        Epsilon::new(parse(be, "budget epsilon")?).map_err(|e| e.to_string())?;
+                    let bd: f64 = flags
+                        .get("budget-delta")
+                        .map_or(Ok(0.0), |s| parse(s, "budget delta"))?;
+                    Some((be, Delta::new(bd).map_err(|e| e.to_string())?))
+                }
+                None => {
+                    if flags.contains_key("budget-delta") {
+                        return Err("--budget-delta needs --budget-eps".into());
+                    }
+                    None
+                }
+            };
+            let store = ReleaseStore::open(dir).map_err(|e| e.to_string())?;
+            let (nodes, edges) = (topo.num_nodes(), topo.num_edges());
+            store
+                .create_namespace(ns, topo, weights, budget)
+                .map_err(|e| e.to_string())?;
+            let budget_text = match budget {
+                Some((e, d)) => format!("budget (eps {e}, delta {d})"),
+                None => "unbounded budget".to_string(),
+            };
+            println!(
+                "initialized namespace {ns} in {dir} ({nodes} nodes, {edges} roads, {budget_text})"
+            );
+            Ok(())
+        }
+        "publish" => {
+            let flags = parse_flags(
+                rest,
+                &[
+                    "dir",
+                    "connect",
+                    "namespace",
+                    "mechanism",
+                    "eps",
+                    "delta",
+                    "gamma",
+                    "max-weight",
+                ],
+            )?;
+            let ns = required(&flags, "namespace")?;
+            let spec = build_spec(&flags)?;
+            match store_target(&flags)? {
+                StoreTarget::Dir(dir) => {
+                    let store = ReleaseStore::open(&dir).map_err(|e| e.to_string())?;
+                    let r = store.publish(ns, &spec).map_err(|e| e.to_string())?;
+                    println!(
+                        "published {}/{} epoch {} (eps {}, delta {})",
+                        r.namespace, r.id, r.epoch, r.eps, r.delta
+                    );
+                }
+                StoreTarget::Wire(addr) => {
+                    let resp = wire_admin(
+                        &addr,
+                        &AdminRequest::Publish {
+                            namespace: ns.to_string(),
+                            spec,
+                        },
+                    )?;
+                    let AdminResponse::Published {
+                        namespace,
+                        id,
+                        epoch,
+                        eps,
+                        delta,
+                    } = resp
+                    else {
+                        return Err(format!("unexpected response: {resp}"));
+                    };
+                    println!("published {namespace}/{id} epoch {epoch} (eps {eps}, delta {delta})");
+                }
+            }
+            Ok(())
+        }
+        "update" => {
+            let flags = parse_flags(rest, &["dir", "connect", "namespace", "weights", "set"])?;
+            let ns = required(&flags, "namespace")?;
+            // Either a full replacement weight file (length-checked: a
+            // short file is an error, never a silent partial update) or
+            // sparse E:W pairs applied onto the current weights.
+            let (updates, full): (Vec<(usize, f64)>, bool) =
+                match (flags.get("weights"), flags.get("set")) {
+                    (Some(path), None) => {
+                        let f = File::open(path).map_err(|e| e.to_string())?;
+                        let w = read_weights(BufReader::new(f)).map_err(|e| e.to_string())?;
+                        (w.iter().map(|(e, v)| (e.index(), v)).collect(), true)
+                    }
+                    (None, Some(spec)) => {
+                        let mut updates = Vec::new();
+                        for tok in spec.split(',') {
+                            let (e, v) = tok.split_once(':').ok_or_else(|| {
+                                format!("invalid update {tok:?} (expected EDGE:W)")
+                            })?;
+                            updates.push((parse(e, "edge id")?, parse(v, "weight")?));
+                        }
+                        (updates, false)
+                    }
+                    _ => {
+                        return Err("need exactly one of --weights (full) or --set (sparse)".into())
+                    }
+                };
+            match store_target(&flags)? {
+                StoreTarget::Dir(dir) => {
+                    let store = ReleaseStore::open(&dir).map_err(|e| e.to_string())?;
+                    let sparse: Vec<(EdgeId, f64)> =
+                        updates.iter().map(|&(e, v)| (EdgeId::new(e), v)).collect();
+                    let r = if full {
+                        store.update_weights_full(ns, &sparse)
+                    } else {
+                        store.update_weights_sparse(ns, &sparse)
+                    }
+                    .map_err(|e| e.to_string())?;
+                    println!(
+                        "updated {} epoch {} rereleased {} (eps {}, delta {})",
+                        r.namespace, r.epoch, r.rereleased, r.eps, r.delta
+                    );
+                    // Write-path log only: the shift is a function of the
+                    // private weights and is never served.
+                    println!(
+                        "  weights moved by l1 {} over {} edges",
+                        r.l1_shift, r.changed_edges
+                    );
+                }
+                StoreTarget::Wire(addr) => {
+                    let resp = wire_admin(
+                        &addr,
+                        &AdminRequest::UpdateWeights {
+                            namespace: ns.to_string(),
+                            updates,
+                            full,
+                        },
+                    )?;
+                    let AdminResponse::Updated {
+                        namespace,
+                        epoch,
+                        rereleased,
+                        eps,
+                        delta,
+                    } = resp
+                    else {
+                        return Err(format!("unexpected response: {resp}"));
+                    };
+                    println!(
+                        "updated {namespace} epoch {epoch} rereleased {rereleased} \
+                         (eps {eps}, delta {delta})"
+                    );
+                }
+            }
+            Ok(())
+        }
+        "drop" => {
+            let flags = parse_flags(rest, &["dir", "connect", "namespace", "release"])?;
+            let ns = required(&flags, "namespace")?;
+            let release: Option<ReleaseId> = flags
+                .get("release")
+                .map(|s| {
+                    s.parse()
+                        .map_err(|e: privpath::engine::ParseReleaseIdError| e.to_string())
+                })
+                .transpose()?;
+            match store_target(&flags)? {
+                StoreTarget::Dir(dir) => {
+                    let store = ReleaseStore::open(&dir).map_err(|e| e.to_string())?;
+                    match release {
+                        Some(id) => {
+                            let epoch = store.drop_release(ns, id).map_err(|e| e.to_string())?;
+                            println!("dropped {ns}/{id} epoch {epoch}");
+                        }
+                        None => {
+                            store.drop_namespace(ns).map_err(|e| e.to_string())?;
+                            println!("dropped namespace {ns}");
+                        }
+                    }
+                }
+                StoreTarget::Wire(addr) => {
+                    let resp = wire_admin(
+                        &addr,
+                        &AdminRequest::Drop {
+                            namespace: ns.to_string(),
+                            release,
+                        },
+                    )?;
+                    match resp {
+                        AdminResponse::Dropped {
+                            namespace,
+                            release: Some(id),
+                            epoch: Some(epoch),
+                        } => println!("dropped {namespace}/{id} epoch {epoch}"),
+                        AdminResponse::Dropped { namespace, .. } => {
+                            println!("dropped namespace {namespace}")
+                        }
+                        other => return Err(format!("unexpected response: {other}")),
+                    }
+                }
+            }
+            Ok(())
+        }
+        "epoch" => {
+            let flags = parse_flags(rest, &["dir", "connect", "namespace"])?;
+            let ns = required(&flags, "namespace")?;
+            match store_target(&flags)? {
+                StoreTarget::Dir(dir) => {
+                    let store = ReleaseStore::open(&dir).map_err(|e| e.to_string())?;
+                    println!("{ns} epoch {}", store.epoch(ns).map_err(|e| e.to_string())?);
+                }
+                StoreTarget::Wire(addr) => {
+                    let resp = wire_admin(
+                        &addr,
+                        &AdminRequest::Epoch {
+                            namespace: ns.to_string(),
+                        },
+                    )?;
+                    let AdminResponse::Epoch { namespace, epoch } = resp else {
+                        return Err(format!("unexpected response: {resp}"));
+                    };
+                    println!("{namespace} epoch {epoch}");
+                }
+            }
+            Ok(())
+        }
+        "stats" => {
+            let flags = parse_flags(rest, &["dir", "connect", "namespace"])?;
+            let namespace = flags.get("namespace").cloned();
+            match store_target(&flags)? {
+                StoreTarget::Dir(dir) => {
+                    let store = ReleaseStore::open(&dir).map_err(|e| e.to_string())?;
+                    let entries = match &namespace {
+                        Some(ns) => vec![store.stats_for(ns).map_err(|e| e.to_string())?],
+                        None => store.stats(),
+                    };
+                    for s in &entries {
+                        print_stats(s);
+                    }
+                }
+                StoreTarget::Wire(addr) => {
+                    let resp = wire_admin(&addr, &AdminRequest::Stats { namespace })?;
+                    let AdminResponse::Stats(entries) = resp else {
+                        return Err(format!("unexpected response: {resp}"));
+                    };
+                    for s in &entries {
+                        print_stats(s);
+                    }
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown store subcommand {other:?} (expected init, publish, update, drop, \
+             epoch, or stats)"
+        )),
+    }
 }
 
 fn main() -> ExitCode {

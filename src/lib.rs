@@ -21,12 +21,19 @@
 //!   the shared `Send + Sync` read path
 //!   ([`QueryService`](engine::QueryService) snapshots), and unified
 //!   release persistence.
+//! * [`store`] — the live release store: multi-tenant, epoch-versioned
+//!   namespaces ([`ReleaseStore`](store::ReleaseStore)) with hot-swap
+//!   snapshots, budget-metered re-release under weight updates
+//!   ([`ReleaseSpec`](store::ReleaseSpec)), crash-safe manifests, and a
+//!   read-path source cache.
 //! * [`serve`] — the network serve path: the typed
 //!   [`QueryRequest`](serve::QueryRequest) /
-//!   [`QueryResponse`](serve::QueryResponse) line protocol, the
-//!   `(release, source)` batch [`planner`](serve::planner), and a
-//!   dependency-free thread-pooled TCP [`server`](serve::server) with a
-//!   matching [`client`](serve::client).
+//!   [`QueryResponse`](serve::QueryResponse) line protocol (release refs
+//!   optionally namespace-qualified), the [admin verbs](serve::admin)
+//!   driving a live store, the `(release, source)` batch
+//!   [`planner`](serve::planner), and a dependency-free thread-pooled
+//!   TCP [`server`](serve::server) — over a frozen snapshot or a live
+//!   store — with a matching [`client`](serve::client).
 //!
 //! See `README.md` for a tour (including the engine architecture) and
 //! `EXPERIMENTS.md` for the reproduction of every theorem-level claim.
@@ -77,6 +84,7 @@ pub use privpath_dp as dp;
 pub use privpath_engine as engine;
 pub use privpath_graph as graph;
 pub use privpath_serve as serve;
+pub use privpath_store as store;
 
 /// One-stop imports for the most common API surface.
 pub mod prelude {
@@ -109,6 +117,11 @@ pub mod prelude {
     };
     pub use privpath_graph::{EdgeId, EdgeWeights, GraphError, NodeId, Path, Topology};
     pub use privpath_serve::{
-        Client, QueryPlan, QueryRequest, QueryResponse, ReleaseSummary, Server,
+        AdminRequest, AdminResponse, Client, QueryPlan, QueryRequest, QueryResponse, ReleaseRef,
+        ReleaseSummary, Server,
+    };
+    pub use privpath_store::{
+        NamespaceSnapshot, NamespaceStats, PublishReceipt, ReleaseSpec, ReleaseStore, StoreError,
+        UpdateReceipt,
     };
 }

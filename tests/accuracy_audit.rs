@@ -10,6 +10,11 @@
 //! on [`ReleaseKind`]: adding a mechanism without adding its audit entry
 //! fails to compile, which the `tests-audit` CI job then catches.
 //!
+//! Live-store re-releases are audited the same way: an `update-weights`
+//! pass re-runs every release against fresh weights, and
+//! [`run_rerelease_audit`] (its own exhaustive match) asserts each
+//! re-released generation honors the contract its record declares.
+//!
 //! The headline assertions live at the bottom: the shortcut-APSP
 //! mechanism's measured error must be *strictly below* the all-pairs
 //! baseline's on bounded-weight graphs (the first mechanism whose claim
@@ -21,6 +26,7 @@ use privpath::engine::{mechanisms, DistanceRelease, Mechanism, ReleaseKind};
 use privpath::graph::algo::{dijkstra, min_weight_perfect_matching, minimum_spanning_forest};
 use privpath::graph::generators::{connected_gnm, random_tree_prufer, uniform_weights};
 use privpath::prelude::*;
+use privpath::store::StoreError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -347,6 +353,151 @@ fn audit_measurements_are_nondegenerate() {
             outcome.max_measured() > 0.0,
             "{name}: audit measured exactly zero error across trials"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-store re-release audit: an `update-weights` re-release must honor
+// the same declared contract as a first release.
+// ---------------------------------------------------------------------------
+
+/// Audits one storable kind through the live store: publish once, then
+/// repeatedly swap in fresh seeded weights (each swap re-releases under
+/// a fresh debit) and measure the observed error of the re-released
+/// generation against the contract the record declares. **Exhaustive on
+/// purpose**, like [`run_audit`]: a new `ReleaseKind` fails to compile
+/// until it either gets a re-release audit entry or is explicitly
+/// recorded here as having no store surface.
+fn run_rerelease_audit(kind: ReleaseKind, trials: usize) -> Option<AuditOutcome> {
+    let e = eps(1.0);
+    let v = 32;
+    let m = 80;
+    let (topo, w0, spec, seed) = match kind {
+        ReleaseKind::ShortestPath => {
+            let (topo, w) = graph_workload(v, m, 31);
+            let spec = ReleaseSpec::new(kind, e)
+                .unwrap()
+                .with_gamma(GAMMA)
+                .unwrap();
+            (topo, w, spec, 3100)
+        }
+        ReleaseKind::Tree => {
+            let (topo, w) = tree_workload(v, 32);
+            (topo, w, ReleaseSpec::new(kind, e).unwrap(), 3200)
+        }
+        ReleaseKind::BoundedWeight => {
+            let (topo, w) = graph_workload(v, m, 33);
+            let spec = ReleaseSpec::new(kind, e)
+                .unwrap()
+                .with_delta(delta())
+                .unwrap()
+                .with_max_weight(MAX_WEIGHT)
+                .unwrap();
+            (topo, w, spec, 3300)
+        }
+        ReleaseKind::ShortcutApsp => {
+            let (topo, w) = graph_workload(v, m, 34);
+            let spec = ReleaseSpec::new(kind, e)
+                .unwrap()
+                .with_delta(delta())
+                .unwrap()
+                .with_max_weight(MAX_WEIGHT)
+                .unwrap();
+            (topo, w, spec, 3400)
+        }
+        ReleaseKind::SyntheticGraph => {
+            let (topo, w) = graph_workload(v, m, 35);
+            (topo, w, ReleaseSpec::new(kind, e).unwrap(), 3500)
+        }
+        ReleaseKind::AllPairsBaseline => {
+            let (topo, w) = graph_workload(v, m, 36);
+            (topo, w, ReleaseSpec::new(kind, e).unwrap(), 3600)
+        }
+        // No live-store surface: no persistence format (hld-tree) or no
+        // distance queries (mst, matching). Their *first* releases are
+        // audited by `run_audit` above; the store refuses to hold them
+        // at all (checked in `store_refuses_unstorable_kinds`).
+        ReleaseKind::HldTree | ReleaseKind::Mst | ReleaseKind::Matching => return None,
+    };
+
+    let num_edges = topo.num_edges();
+    let dir = std::env::temp_dir().join(format!(
+        "privpath-audit-{}-{}",
+        kind.as_str(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(seed);
+    store
+        .create_namespace("audit", topo.clone(), w0, None)
+        .unwrap();
+    let id = store.publish("audit", &spec).unwrap().id;
+    let pairs = query_pairs(v, 8, 5, seed ^ 0x5eed);
+
+    let mut theorem = None;
+    let mut alpha = f64::NAN;
+    let measured = (0..trials)
+        .map(|t| {
+            // Fresh weights each trial: the re-released generation is
+            // measured against *its own* ground truth.
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1 + t as u64));
+            let w = uniform_weights(num_edges, 0.0, MAX_WEIGHT, &mut rng);
+            store.update_weights("audit", w.clone()).unwrap();
+            let snap = store.snapshot("audit").unwrap();
+            let bound = snap
+                .service()
+                .get(id)
+                .expect("release survives updates")
+                .error_bound(GAMMA)
+                .expect("re-release declares a contract");
+            theorem = Some(bound.theorem());
+            alpha = bound.alpha();
+            let truth = true_distances(&topo, &w, &pairs);
+            let est = snap.distance_batch(id, &pairs).expect("workload in range");
+            est.iter()
+                .zip(&truth)
+                .map(|(e, t)| (e - t).abs())
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    Some(AuditOutcome {
+        theorem: theorem.unwrap(),
+        alpha,
+        measured,
+    })
+}
+
+/// Every storable kind's `update-weights` re-release honors its declared
+/// `error_bound(GAMMA)` at empirical rate `>= 1 - GAMMA`, exactly like a
+/// first release.
+#[test]
+fn store_rerelease_meets_declared_bound_empirically() {
+    let mut audited = 0;
+    for name in ALL_KINDS {
+        let kind = ReleaseKind::parse(name).expect("roster is valid");
+        if let Some(outcome) = run_rerelease_audit(kind, 30) {
+            println!("rerelease {name} — {outcome}");
+            outcome.assert_rate(&format!("rerelease {name}"));
+            audited += 1;
+        }
+    }
+    assert_eq!(audited, 6, "every storable kind must be re-release audited");
+}
+
+/// The kinds the re-release audit skips are exactly the kinds the store
+/// refuses to hold — nothing can ship through the store unaudited.
+#[test]
+fn store_refuses_unstorable_kinds() {
+    for kind in [
+        ReleaseKind::HldTree,
+        ReleaseKind::Mst,
+        ReleaseKind::Matching,
+    ] {
+        assert!(matches!(
+            ReleaseSpec::new(kind, eps(1.0)),
+            Err(StoreError::InvalidSpec(_))
+        ));
     }
 }
 

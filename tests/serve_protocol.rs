@@ -95,7 +95,7 @@ fn planner_matches_per_query_answers_for_every_kind() {
             let from = NodeId::new(rng.gen_range(0..n));
             for _ in 0..6 {
                 requests.push(QueryRequest::Distance {
-                    release: record.id(),
+                    release: record.id().into(),
                     from,
                     to: NodeId::new(rng.gen_range(0..n)),
                     gamma: None,
@@ -106,11 +106,11 @@ fn planner_matches_per_query_answers_for_every_kind() {
     let requests = shuffled(requests, &mut rng);
 
     let plan = QueryPlan::build(&requests);
-    // Grouping is exactly by (release, source).
-    let mut keys: Vec<(u64, usize)> = plan
+    // Grouping is exactly by (release ref, source).
+    let mut keys: Vec<(String, usize)> = plan
         .groups()
         .iter()
-        .map(|g| (g.release.value(), g.source.index()))
+        .map(|g| (g.release.to_string(), g.source.index()))
         .collect();
     let covered: usize = plan.groups().iter().map(|g| g.members.len()).sum();
     assert_eq!(covered, requests.len());
@@ -129,7 +129,7 @@ fn planner_matches_per_query_answers_for_every_kind() {
             unreachable!()
         };
         let expected = service
-            .query(*release)
+            .query(release.id())
             .unwrap()
             .distance(*from, *to)
             .unwrap();
@@ -155,20 +155,20 @@ fn planner_isolates_failing_queries_within_a_group() {
     let src = NodeId::new(3);
     let requests = vec![
         QueryRequest::Distance {
-            release: id,
+            release: id.into(),
             from: src,
             to: NodeId::new(5),
             gamma: None,
         },
         // Out of range: poisons a naive whole-batch answer.
         QueryRequest::Distance {
-            release: id,
+            release: id.into(),
             from: src,
             to: NodeId::new(n + 100),
             gamma: None,
         },
         QueryRequest::Distance {
-            release: id,
+            release: id.into(),
             from: src,
             to: NodeId::new(9),
             gamma: None,
@@ -192,21 +192,21 @@ fn planner_answers_mixed_request_kinds_in_order() {
     let service = engine.snapshot();
     let sp = service.releases().next().unwrap().id();
     let requests = vec![
-        QueryRequest::BudgetStatus,
+        QueryRequest::BudgetStatus { namespace: None },
         QueryRequest::Distance {
-            release: sp,
+            release: sp.into(),
             from: NodeId::new(0),
             to: NodeId::new(5),
             gamma: None,
         },
-        QueryRequest::ListReleases,
+        QueryRequest::ListReleases { namespace: None },
         QueryRequest::Path {
-            release: sp,
+            release: sp.into(),
             from: NodeId::new(0),
             to: NodeId::new(5),
         },
         QueryRequest::DistanceBatch {
-            release: sp,
+            release: sp.into(),
             pairs: vec![
                 (NodeId::new(1), NodeId::new(2)),
                 (NodeId::new(1), NodeId::new(3)),
@@ -214,7 +214,7 @@ fn planner_answers_mixed_request_kinds_in_order() {
             gamma: None,
         },
         QueryRequest::Accuracy {
-            release: sp,
+            release: sp.into(),
             gamma: 0.05,
         },
     ];
@@ -398,7 +398,7 @@ fn unknown_release_and_unsupported_kind_map_to_wire_codes() {
     let resp = privpath::serve::answer_one(
         &service,
         &QueryRequest::Distance {
-            release: missing,
+            release: missing.into(),
             from: NodeId::new(0),
             to: NodeId::new(1),
             gamma: None,
@@ -415,7 +415,7 @@ fn unknown_release_and_unsupported_kind_map_to_wire_codes() {
     let resp = privpath::serve::answer_one(
         &service,
         &QueryRequest::Distance {
-            release: mst,
+            release: mst.into(),
             from: NodeId::new(0),
             to: NodeId::new(1),
             gamma: None,
@@ -434,8 +434,26 @@ fn unknown_release_and_unsupported_kind_map_to_wire_codes() {
 // Codec round-trip properties.
 // ---------------------------------------------------------------------------
 
-fn arb_release_id() -> impl Strategy<Value = ReleaseId> {
-    (0u64..10_000).prop_map(|v| format!("r{v}").parse().unwrap())
+/// Release refs with and without a namespace qualifier, so the codec
+/// properties cover the live-store form too.
+fn arb_release_ref() -> impl Strategy<Value = privpath::serve::ReleaseRef> {
+    (0u64..10_000, any::<u64>()).prop_map(|(v, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ns = match rng.gen_range(0..3) {
+            0 => "",
+            1 => "metro",
+            _ => "Tenant_7-x",
+        };
+        if ns.is_empty() {
+            format!("r{v}").parse().unwrap()
+        } else {
+            format!("{ns}/r{v}").parse().unwrap()
+        }
+    })
+}
+
+fn arb_namespace(rng: &mut StdRng) -> Option<String> {
+    rng.gen_bool(0.5).then(|| "metro".to_string())
 }
 
 fn arb_gamma(rng: &mut StdRng) -> Option<f64> {
@@ -443,7 +461,7 @@ fn arb_gamma(rng: &mut StdRng) -> Option<f64> {
 }
 
 fn arb_request() -> impl Strategy<Value = QueryRequest> {
-    (arb_release_id(), 0usize..5, any::<u64>()).prop_map(|(release, variant, seed)| {
+    (arb_release_ref(), 0usize..6, any::<u64>()).prop_map(|(release, variant, seed)| {
         let mut rng = StdRng::seed_from_u64(seed);
         match variant {
             0 => QueryRequest::Distance {
@@ -478,8 +496,12 @@ fn arb_request() -> impl Strategy<Value = QueryRequest> {
                 release,
                 gamma: rng.gen_range(1e-6..0.999),
             },
-            4 => QueryRequest::ListReleases,
-            _ => QueryRequest::BudgetStatus,
+            4 => QueryRequest::ListReleases {
+                namespace: arb_namespace(&mut rng),
+            },
+            _ => QueryRequest::BudgetStatus {
+                namespace: arb_namespace(&mut rng),
+            },
         }
     })
 }
@@ -650,7 +672,7 @@ fn distance_queries_carry_error_bars_for_every_kind() {
         // answer_one and the planner must attach the same bar, and it
         // must survive the wire codec.
         let req = QueryRequest::Distance {
-            release: record.id(),
+            release: record.id().into(),
             from: NodeId::new(0),
             to: NodeId::new(5),
             gamma: Some(gamma),
@@ -676,7 +698,7 @@ fn batch_queries_share_one_error_bar() {
     let resp = privpath::serve::answer_one(
         &service,
         &QueryRequest::DistanceBatch {
-            release: id,
+            release: id.into(),
             pairs: vec![
                 (NodeId::new(0), NodeId::new(3)),
                 (NodeId::new(2), NodeId::new(9)),
@@ -713,7 +735,7 @@ fn accuracy_queries_report_tighter_bounds_for_looser_confidence() {
     let resp = privpath::serve::answer_one(
         &service,
         &QueryRequest::Accuracy {
-            release: id,
+            release: id.into(),
             gamma: 1.5,
         },
     );
@@ -730,7 +752,8 @@ fn accuracy_queries_report_tighter_bounds_for_looser_confidence() {
 fn list_carries_kind_cost_and_accuracy_per_release() {
     let engine = all_kinds_engine(16, 54);
     let service = engine.snapshot();
-    let resp = privpath::serve::answer_one(&service, &QueryRequest::ListReleases);
+    let resp =
+        privpath::serve::answer_one(&service, &QueryRequest::ListReleases { namespace: None });
     let QueryResponse::Releases(rs) = &resp else {
         panic!("expected releases");
     };
@@ -757,13 +780,13 @@ fn invalid_gamma_on_distance_fails_like_accuracy_does() {
         // (which would be indistinguishable from "no contract").
         for req in [
             QueryRequest::Distance {
-                release: id,
+                release: id.into(),
                 from: NodeId::new(0),
                 to: NodeId::new(3),
                 gamma: Some(gamma),
             },
             QueryRequest::DistanceBatch {
-                release: id,
+                release: id.into(),
                 pairs: vec![(NodeId::new(0), NodeId::new(3))],
                 gamma: Some(gamma),
             },
@@ -801,7 +824,8 @@ fn shortcut_release_is_served_on_every_wire_surface() {
     let id = record.id();
 
     // list: the record names the kind and an evaluated cnx-shortcut bound.
-    let list = privpath::serve::answer_one(&service, &QueryRequest::ListReleases);
+    let list =
+        privpath::serve::answer_one(&service, &QueryRequest::ListReleases { namespace: None });
     let QueryResponse::Releases(rs) = &list else {
         panic!("expected releases, got {list}");
     };
@@ -816,7 +840,7 @@ fn shortcut_release_is_served_on_every_wire_surface() {
     let resp = privpath::serve::answer_one(
         &service,
         &QueryRequest::Accuracy {
-            release: id,
+            release: id.into(),
             gamma: 0.2,
         },
     );
@@ -831,13 +855,13 @@ fn shortcut_release_is_served_on_every_wire_surface() {
     // distance / batch with gamma: answers carry the ±bound error bar.
     for req in [
         QueryRequest::Distance {
-            release: id,
+            release: id.into(),
             from: NodeId::new(0),
             to: NodeId::new(5),
             gamma: Some(0.05),
         },
         QueryRequest::DistanceBatch {
-            release: id,
+            release: id.into(),
             pairs: vec![
                 (NodeId::new(0), NodeId::new(5)),
                 (NodeId::new(2), NodeId::new(9)),

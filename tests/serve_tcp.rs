@@ -62,7 +62,7 @@ fn serves_typed_queries_over_tcp() {
     let expected = service.query(id).unwrap().distance(u, v).unwrap();
     match client
         .request(&QueryRequest::Distance {
-            release: id,
+            release: id.into(),
             from: u,
             to: v,
             gamma: None,
@@ -79,7 +79,7 @@ fn serves_typed_queries_over_tcp() {
     // With a gamma the same request carries the contract's error bar.
     match client
         .request(&QueryRequest::Distance {
-            release: id,
+            release: id.into(),
             from: u,
             to: v,
             gamma: Some(0.05),
@@ -95,7 +95,7 @@ fn serves_typed_queries_over_tcp() {
 
     match client
         .request(&QueryRequest::Accuracy {
-            release: id,
+            release: id.into(),
             gamma: 0.05,
         })
         .unwrap()
@@ -106,7 +106,10 @@ fn serves_typed_queries_over_tcp() {
         other => panic!("expected an accuracy bound, got {other}"),
     }
 
-    match client.request(&QueryRequest::ListReleases).unwrap() {
+    match client
+        .request(&QueryRequest::ListReleases { namespace: None })
+        .unwrap()
+    {
         QueryResponse::Releases(rs) => {
             assert_eq!(rs.len(), 2);
             assert_eq!(rs[0].kind, ReleaseKind::ShortestPath);
@@ -115,7 +118,10 @@ fn serves_typed_queries_over_tcp() {
         other => panic!("expected releases, got {other}"),
     }
 
-    match client.request(&QueryRequest::BudgetStatus).unwrap() {
+    match client
+        .request(&QueryRequest::BudgetStatus { namespace: None })
+        .unwrap()
+    {
         QueryResponse::Budget {
             spent_eps,
             remaining,
@@ -135,7 +141,7 @@ fn serves_typed_queries_over_tcp() {
     ];
     match client
         .request(&QueryRequest::DistanceBatch {
-            release: id,
+            release: id.into(),
             pairs: pairs.clone(),
             gamma: None,
         })
@@ -215,7 +221,7 @@ fn concurrent_tcp_clients_agree_with_local_answers() {
                     let (u, v) = (NodeId::new((t + i) % 20), NodeId::new((3 * i + t) % 20));
                     match client
                         .request(&QueryRequest::Distance {
-                            release: id,
+                            release: id.into(),
                             from: u,
                             to: v,
                             gamma: None,

@@ -1,0 +1,260 @@
+//! Live-store concurrency: readers only ever observe complete epochs
+//! (no torn snapshots), no stale cached answer survives an
+//! `update-weights` epoch bump, and a reader mid-update never sees a
+//! mixed generation of releases.
+
+use privpath::engine::ReleaseKind;
+use privpath::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("privpath-store-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Publish-only history invariant: every committed publish bumps the
+/// epoch by exactly one and adds exactly one release, so `epoch ==
+/// releases` in *every* complete snapshot. A torn snapshot (records
+/// visible before the epoch bump, or vice versa) breaks the equality.
+#[test]
+fn publish_while_querying_never_observes_a_torn_snapshot() {
+    let dir = temp_store("torn");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(11);
+    let n = 24;
+    let topo = privpath::graph::generators::path_graph(n);
+    let weights = EdgeWeights::constant(topo.num_edges(), 2.0);
+    store
+        .create_namespace("metro", topo, weights, None)
+        .unwrap();
+
+    const PUBLISHES: usize = 24;
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for t in 0..4 {
+            let store = &store;
+            let done = &done;
+            readers.push(scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut observed = 0usize;
+                while !done.load(Ordering::Relaxed) || observed == 0 {
+                    let snap = store.snapshot("metro").unwrap();
+                    let epoch = snap.epoch();
+                    let len = snap.service().len() as u64;
+                    assert_eq!(
+                        epoch, len,
+                        "reader {t}: torn snapshot (epoch {epoch}, {len} releases)"
+                    );
+                    assert!(
+                        epoch >= last_epoch,
+                        "reader {t}: epoch went backwards ({last_epoch} -> {epoch})"
+                    );
+                    last_epoch = epoch;
+                    // Every release the snapshot claims must answer.
+                    for id in 0..snap.service().len() {
+                        let d = snap
+                            .distance(
+                                ReleaseId::new(id as u64),
+                                NodeId::new(0),
+                                NodeId::new(n - 1),
+                            )
+                            .unwrap();
+                        assert!(d.is_finite());
+                    }
+                    observed += 1;
+                }
+                observed
+            }));
+        }
+
+        let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.0)).unwrap();
+        for i in 0..PUBLISHES {
+            let receipt = store.publish("metro", &spec).unwrap();
+            assert_eq!(receipt.epoch, i as u64 + 1);
+        }
+        done.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader made no observations");
+        }
+    });
+    assert_eq!(store.epoch("metro").unwrap(), PUBLISHES as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Cache invalidation: warm the cache on one generation, update the
+/// weights by 100x, and assert no stale answer survives the epoch bump
+/// — while a reader still holding the *old* snapshot keeps getting the
+/// old generation's answers (snapshot isolation, not mutation).
+#[test]
+fn no_stale_cached_answer_survives_update_weights() {
+    let dir = temp_store("stale");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(12);
+    let n = 64;
+    let topo = privpath::graph::generators::path_graph(n);
+    store
+        .create_namespace("metro", topo, EdgeWeights::constant(n - 1, 1.0), None)
+        .unwrap();
+    // eps = 1000: per-edge noise ~1e-3, so the released path distance
+    // tracks the true one closely and the two generations (true ~63 vs
+    // ~6300) are unmistakable.
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1000.0)).unwrap();
+    let id = store.publish("metro", &spec).unwrap().id;
+    let (u, v) = (NodeId::new(0), NodeId::new(n - 1));
+
+    let before = store.snapshot("metro").unwrap();
+    let d_old = before.distance(id, u, v).unwrap();
+    assert!((d_old - 63.0).abs() < 10.0, "old generation: {d_old}");
+    // Warm the cache: repeats must be hits on the same source vector.
+    for _ in 0..5 {
+        assert_eq!(before.distance(id, u, v).unwrap(), d_old);
+    }
+    let stats = store.stats_for("metro").unwrap();
+    assert!(stats.cache_hits >= 5, "expected cache hits, got {stats:?}");
+
+    let update = store
+        .update_weights("metro", EdgeWeights::constant(n - 1, 100.0))
+        .unwrap();
+    assert_eq!(update.epoch, before.epoch() + 1);
+    assert_eq!(update.rereleased, 1);
+    assert!((update.l1_shift - 99.0 * (n - 1) as f64).abs() < 1e-6);
+
+    let after = store.snapshot("metro").unwrap();
+    assert_eq!(after.epoch(), update.epoch);
+    let d_new = after.distance(id, u, v).unwrap();
+    assert!(
+        (d_new - 6300.0).abs() < 100.0,
+        "stale answer survived the epoch bump: {d_new} (old {d_old})"
+    );
+    // Batch path too: repeated sources through the fresh cache.
+    let pairs: Vec<(NodeId, NodeId)> = (1..n).map(|t| (u, NodeId::new(t))).collect();
+    let batch = after.distance_batch(id, &pairs).unwrap();
+    assert!(batch.iter().all(|d| *d > 50.0), "stale batch entry");
+
+    // The old snapshot is isolated, not mutated: still the old answers.
+    assert_eq!(before.distance(id, u, v).unwrap(), d_old);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Generation atomicity: an `update-weights` re-releases every release
+/// in the namespace, and readers see the whole new generation or none
+/// of it — never release A from the old weights next to release B from
+/// the new ones.
+#[test]
+fn readers_never_observe_a_mixed_release_generation() {
+    let dir = temp_store("mixed");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(13);
+    let n = 48;
+    let topo = privpath::graph::generators::path_graph(n);
+    store
+        .create_namespace("metro", topo, EdgeWeights::constant(n - 1, 1.0), None)
+        .unwrap();
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1000.0)).unwrap();
+    let a = store.publish("metro", &spec).unwrap().id;
+    let b = store.publish("metro", &spec).unwrap().id;
+    let (u, v) = (NodeId::new(0), NodeId::new(n - 1));
+
+    // Old generation ~47, new generation ~9400: classify with huge slack.
+    let classify = |d: f64| -> &'static str {
+        if d < 1000.0 {
+            "old"
+        } else if d > 5000.0 {
+            "new"
+        } else {
+            panic!("unclassifiable distance {d}")
+        }
+    };
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let store = &store;
+            let done = &done;
+            let classify = &classify;
+            readers.push(scope.spawn(move || {
+                let mut saw = [false, false];
+                while !done.load(Ordering::Relaxed) {
+                    let snap = store.snapshot("metro").unwrap();
+                    let da = snap.distance(a, u, v).unwrap();
+                    let db = snap.distance(b, u, v).unwrap();
+                    let (ca, cb) = (classify(da), classify(db));
+                    assert_eq!(
+                        ca, cb,
+                        "mixed generation in one snapshot: {a}={da} ({ca}), {b}={db} ({cb})"
+                    );
+                    saw[usize::from(ca == "new")] = true;
+                }
+                saw
+            }));
+        }
+        store
+            .update_weights("metro", EdgeWeights::constant(n - 1, 200.0))
+            .unwrap();
+        // Give readers a beat on the new generation before stopping.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        done.store(true, Ordering::Relaxed);
+        let mut saw_new = false;
+        for r in readers {
+            let saw = r.join().unwrap();
+            saw_new |= saw[1];
+        }
+        assert!(saw_new, "no reader observed the new generation");
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Tenants are isolated: budget exhaustion and epochs in one namespace
+/// leave a sibling untouched, and dropping a release keeps its spends.
+#[test]
+fn namespaces_are_isolated_tenants() {
+    let dir = temp_store("tenants");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(14);
+    let topo = privpath::graph::generators::path_graph(8);
+    let w = EdgeWeights::constant(7, 1.0);
+    store
+        .create_namespace(
+            "alpha",
+            topo.clone(),
+            w.clone(),
+            Some((eps(1.0), Delta::zero())),
+        )
+        .unwrap();
+    store.create_namespace("beta", topo, w, None).unwrap();
+
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.0)).unwrap();
+    store.publish("alpha", &spec).unwrap();
+    // Alpha's budget is now exhausted; publishing again is refused...
+    let err = store.publish("alpha", &spec).unwrap_err();
+    assert!(matches!(
+        err,
+        StoreError::Engine(EngineError::BudgetExhausted { .. })
+    ));
+    // ...an update-weights re-release pass is refused up front too...
+    let err = store
+        .update_weights("alpha", EdgeWeights::constant(7, 2.0))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        StoreError::Engine(EngineError::BudgetExhausted { .. })
+    ));
+    // ...and the refusals did not commit anything.
+    assert_eq!(store.epoch("alpha").unwrap(), 1);
+
+    // Beta is unaffected.
+    let receipt = store.publish("beta", &spec).unwrap();
+    assert_eq!(receipt.epoch, 1);
+    let dropped_epoch = store.drop_release("beta", receipt.id).unwrap();
+    assert_eq!(dropped_epoch, 2);
+    let stats = store.stats_for("beta").unwrap();
+    assert_eq!(stats.releases, 0);
+    // The drop keeps the spend: released noise cannot be un-spent.
+    assert_eq!(stats.spent_eps, 1.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
