@@ -1,0 +1,250 @@
+//! `bench_continual` — the continual-release plane's headline numbers,
+//! machine-readable.
+//!
+//! Builds two namespaces over the same graph and drives the same
+//! weight-update stream through both:
+//!
+//! * `stream` — a continual namespace (`--horizon T`, standing
+//!   `(eps, delta)` budget): every update flows through the binary-tree
+//!   composer, so the cumulative ledger debit grows polylogarithmically.
+//! * `naive` — a standard namespace whose shortest-path release is
+//!   re-published at the *matched* per-query accuracy: every update is
+//!   a fresh full debit, so the spend grows linearly.
+//!
+//! The output is `results/BENCH_continual.json`: the
+//! budget-spent-vs-update-count series for both planes plus update
+//! (release) and query timings. The store-level acceptance test
+//! (`tests/store_continual.rs`) pins the >= 10x spend ratio; this
+//! binary is the reproducible artifact behind the README numbers.
+//!
+//! ```text
+//! bench_continual [--updates T] [--nodes V] [--out FILE]
+//! ```
+
+use privpath_dp::{Delta, Epsilon};
+use privpath_engine::ReleaseKind;
+use privpath_graph::generators::complete_graph;
+use privpath_graph::{EdgeWeights, NodeId};
+use privpath_store::{ReleaseSpec, ReleaseStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The confidence level both contracts are matched at.
+const GAMMA: f64 = 0.01;
+
+struct Config {
+    updates: u64,
+    nodes: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        updates: 256,
+        nodes: 24,
+        out: "results/BENCH_continual.json".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{key} needs a value"))?;
+        match key {
+            "--updates" => cfg.updates = val.parse().map_err(|_| "bad --updates")?,
+            "--nodes" => cfg.nodes = val.parse().map_err(|_| "bad --nodes")?,
+            "--out" => cfg.out = val.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    sorted_us[((sorted_us.len() - 1) as f64 * p) as usize]
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let cfg = parse_args()?;
+    let err = |e: &dyn std::fmt::Display| e.to_string();
+
+    let dir = std::env::temp_dir().join(format!("privpath-bench-continual-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ReleaseStore::open(&dir).map_err(|e| err(&e))?.with_seed(7);
+
+    let topo = complete_graph(cfg.nodes);
+    let v = topo.num_nodes();
+    let num_edges = topo.num_edges();
+    let base = EdgeWeights::constant(num_edges, 4.5);
+    let budget_eps = 1.0;
+    let budget_delta = 1e-6;
+
+    store
+        .create_namespace_continual(
+            "stream",
+            topo.clone(),
+            base.clone(),
+            (
+                Epsilon::new(budget_eps).unwrap(),
+                Delta::new(budget_delta).unwrap(),
+            ),
+            cfg.updates,
+        )
+        .map_err(|e| err(&e))?;
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, Epsilon::new(1.0).unwrap())
+        .map_err(|e| err(&e))?
+        .with_gamma(GAMMA)
+        .map_err(|e| err(&e))?;
+    let started = Instant::now();
+    let stream_id = store.publish("stream", &spec).map_err(|e| err(&e))?.id;
+    let publish_us = started.elapsed().as_secs_f64() * 1e6;
+
+    // Match the naive plane's per-query accuracy to the continual
+    // contract: invert the Cor. 5.6 worst-case bound
+    // alpha = (2V / eps) ln(E / gamma) at the continual alpha.
+    let continual_alpha = store
+        .snapshot("stream")
+        .map_err(|e| err(&e))?
+        .service()
+        .accuracy(stream_id, GAMMA)
+        .map_err(|e| err(&e))?
+        .alpha();
+    let eps_matched = 2.0 * v as f64 * (num_edges as f64 / GAMMA).ln() / continual_alpha;
+    store
+        .create_namespace("naive", topo, base, None)
+        .map_err(|e| err(&e))?;
+    let naive_spec = ReleaseSpec::new(
+        ReleaseKind::ShortestPath,
+        Epsilon::new(eps_matched).map_err(|e| err(&e))?,
+    )
+    .map_err(|e| err(&e))?
+    .with_gamma(GAMMA)
+    .map_err(|e| err(&e))?;
+    store.publish("naive", &naive_spec).map_err(|e| err(&e))?;
+
+    println!(
+        "bench_continual: {} updates, K_{} ({} edges), budget (eps {budget_eps}, \
+         delta {budget_delta}), matched per-release eps {eps_matched:.6}",
+        cfg.updates, cfg.nodes, num_edges
+    );
+
+    // The identical update stream through both planes, timed.
+    let mut series = String::new();
+    let mut stream_us = Vec::new();
+    let mut naive_us = Vec::new();
+    let mut final_ratio = f64::NAN;
+    for t in 0..cfg.updates {
+        let mut rng = StdRng::seed_from_u64(0x5ea1 ^ t);
+        let w: Vec<f64> = (0..num_edges)
+            .map(|_| 4.0 + rng.gen_range(0.0..1.0))
+            .collect();
+
+        let started = Instant::now();
+        store
+            .update_weights("stream", EdgeWeights::new(w.clone()).map_err(|e| err(&e))?)
+            .map_err(|e| err(&e))?;
+        stream_us.push(started.elapsed().as_secs_f64() * 1e6);
+
+        let started = Instant::now();
+        store
+            .update_weights("naive", EdgeWeights::new(w).map_err(|e| err(&e))?)
+            .map_err(|e| err(&e))?;
+        naive_us.push(started.elapsed().as_secs_f64() * 1e6);
+
+        let stream_eps = store.stats_for("stream").map_err(|e| err(&e))?.spent_eps;
+        let naive_eps = store.stats_for("naive").map_err(|e| err(&e))?.spent_eps;
+        final_ratio = naive_eps / stream_eps;
+        if !series.is_empty() {
+            series.push(',');
+        }
+        write!(
+            series,
+            "\n    {{\"update\": {}, \"continual_eps\": {stream_eps:.9}, \
+             \"naive_eps\": {naive_eps:.9}}}",
+            t + 1
+        )
+        .unwrap();
+    }
+
+    // Query timing over the final continual snapshot (cache on).
+    let snap = store.snapshot("stream").map_err(|e| err(&e))?;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut query_us = Vec::new();
+    for _ in 0..512 {
+        let a = NodeId::new(rng.gen_range(0..v));
+        let mut b = NodeId::new(rng.gen_range(0..v));
+        if b == a {
+            b = NodeId::new((a.index() + 1) % v);
+        }
+        let started = Instant::now();
+        snap.distance(stream_id, a, b).map_err(|e| err(&e))?;
+        query_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+
+    stream_us.sort_by(f64::total_cmp);
+    naive_us.sort_by(f64::total_cmp);
+    query_us.sort_by(f64::total_cmp);
+    let status = store
+        .stats_for("stream")
+        .map_err(|e| err(&e))?
+        .continual
+        .expect("continual namespace reports stream status");
+
+    println!(
+        "spend after {} updates: continual {:.6} eps of {budget_eps} (rho {:.6}/{:.6}), \
+         naive {:.3} eps — {final_ratio:.1}x",
+        cfg.updates,
+        store.stats_for("stream").map_err(|e| err(&e))?.spent_eps,
+        status.rho_spent,
+        status.rho_total,
+        store.stats_for("naive").map_err(|e| err(&e))?.spent_eps,
+    );
+
+    let json = format!(
+        "{{\n  \"graph\": {{\"nodes\": {v}, \"edges\": {num_edges}}},\n  \
+         \"budget\": {{\"eps\": {budget_eps}, \"delta\": {budget_delta}}},\n  \
+         \"horizon\": {},\n  \"gamma\": {GAMMA},\n  \
+         \"matched_accuracy\": {{\"alpha\": {continual_alpha:.6}, \
+         \"naive_eps_per_release\": {eps_matched:.9}}},\n  \
+         \"final_spend_ratio\": {final_ratio:.3},\n  \
+         \"rho\": {{\"spent\": {:.9}, \"total\": {:.9}}},\n  \
+         \"series\": [{series}\n  ],\n  \
+         \"timing_us\": {{\n    \"publish\": {publish_us:.1},\n    \
+         \"continual_update_p50\": {:.1},\n    \"continual_update_p99\": {:.1},\n    \
+         \"naive_update_p50\": {:.1},\n    \"naive_update_p99\": {:.1},\n    \
+         \"query_p50\": {:.1},\n    \"query_p99\": {:.1}\n  }}\n}}\n",
+        cfg.updates,
+        status.rho_spent,
+        status.rho_total,
+        percentile(&stream_us, 0.50),
+        percentile(&stream_us, 0.99),
+        percentile(&naive_us, 0.50),
+        percentile(&naive_us, 0.99),
+        percentile(&query_us, 0.50),
+        percentile(&query_us, 0.99),
+    );
+    if let Some(parent) = std::path::Path::new(&cfg.out).parent() {
+        std::fs::create_dir_all(parent).map_err(|e| err(&e))?;
+    }
+    std::fs::write(&cfg.out, json).map_err(|e| err(&e))?;
+    println!("wrote {}", cfg.out);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -14,16 +14,25 @@
 //! flight: measured latency is service latency, and queries/sec is the
 //! throughput the server actually sustained at that concurrency.
 //!
+//! Pass `--update-rate R` to add a third, mixed read/write run: a
+//! writer issues `update-weights` admin requests at `R` updates/sec
+//! over the same wire while the closed-loop readers drive the batch
+//! workload — the latency profile under live re-releases and cache
+//! invalidation, not just a frozen snapshot.
+//!
 //! ```text
 //! bench_load [--requests N] [--threads T] [--batch B] [--sources S]
-//!            [--nodes V] [--out FILE] [--connect ADDR --release REF]
+//!            [--nodes V] [--update-rate R] [--out FILE]
+//!            [--connect ADDR --release REF]
 //! ```
 
 use privpath_dp::Epsilon;
 use privpath_engine::ReleaseKind;
 use privpath_graph::generators::{connected_gnm, uniform_weights};
 use privpath_graph::NodeId;
-use privpath_serve::{Client, QueryRequest, QueryResponse, ReleaseRef, Server};
+use privpath_serve::{
+    AdminRequest, AdminResponse, Client, QueryRequest, QueryResponse, ReleaseRef, Server,
+};
 use privpath_store::{ReleaseSpec, ReleaseStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +47,7 @@ struct Config {
     batch: usize,
     sources: usize,
     nodes: usize,
+    update_rate: f64,
     out: String,
     connect: Option<String>,
     release: Option<String>,
@@ -50,6 +60,7 @@ fn parse_args() -> Result<Config, String> {
         batch: 16,
         sources: 4,
         nodes: 1024,
+        update_rate: 0.0,
         out: "results/bench_load_cache.csv".into(),
         connect: None,
         release: None,
@@ -67,6 +78,7 @@ fn parse_args() -> Result<Config, String> {
             "--batch" => cfg.batch = val.parse().map_err(|_| "bad --batch")?,
             "--sources" => cfg.sources = val.parse().map_err(|_| "bad --sources")?,
             "--nodes" => cfg.nodes = val.parse().map_err(|_| "bad --nodes")?,
+            "--update-rate" => cfg.update_rate = val.parse().map_err(|_| "bad --update-rate")?,
             "--out" => cfg.out = val.clone(),
             "--connect" => cfg.connect = Some(val.clone()),
             "--release" => cfg.release = Some(val.clone()),
@@ -83,6 +95,7 @@ struct RunResult {
     qps: f64,
     cache_hits: u64,
     cache_misses: u64,
+    updates_applied: u64,
 }
 
 /// Drives `cfg.requests` batch requests through `cfg.threads` closed-loop
@@ -150,12 +163,48 @@ fn drive(addr: &str, release: &ReleaseRef, cfg: &Config) -> Result<RunResult, St
         qps: all.len() as f64 / wall,
         cache_hits: 0,
         cache_misses: 0,
+        updates_applied: 0,
     })
 }
 
+/// A background writer for the mixed read/write run: issues sparse
+/// one-edge `update-weights` admin requests at `rate` updates/sec until
+/// `stop` flips, and returns how many committed. Every update debits,
+/// re-releases, and hot-swaps the namespace — the readers racing it are
+/// what the mixed profile measures.
+fn write_load(
+    addr: &str,
+    namespace: &str,
+    num_edges: usize,
+    rate: f64,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<u64, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(0x5107);
+    let interval = std::time::Duration::from_secs_f64(1.0 / rate);
+    let mut applied = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let req = AdminRequest::UpdateWeights {
+            namespace: namespace.to_string(),
+            updates: vec![(rng.gen_range(0..num_edges), rng.gen_range(0.0..1.0))],
+            full: false,
+        };
+        match client.admin(&req).map_err(|e| e.to_string())? {
+            AdminResponse::Updated { .. } => applied += 1,
+            AdminResponse::Error { code, message } => {
+                return Err(format!("update refused [{code}]: {message}"))
+            }
+            other => return Err(format!("unexpected admin response {other}")),
+        }
+        std::thread::sleep(interval);
+    }
+    Ok(applied)
+}
+
 /// One self-contained run: build the store with the cache on or off,
-/// serve it, drive the load, shut down.
-fn self_contained_run(cfg: &Config, cache: bool) -> Result<RunResult, String> {
+/// serve it, drive the load (plus a background writer when
+/// `update_rate > 0`), shut down.
+fn self_contained_run(cfg: &Config, cache: bool, update_rate: f64) -> Result<RunResult, String> {
     let dir = std::env::temp_dir().join(format!(
         "privpath-bench-load-{}-{}",
         if cache { "on" } else { "off" },
@@ -168,7 +217,8 @@ fn self_contained_run(cfg: &Config, cache: bool) -> Result<RunResult, String> {
         .with_seed(7);
     let mut rng = StdRng::seed_from_u64(42);
     let topo = connected_gnm(cfg.nodes, 3 * cfg.nodes, &mut rng);
-    let weights = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    let num_edges = topo.num_edges();
+    let weights = uniform_weights(num_edges, 0.0, 1.0, &mut rng);
     store
         .create_namespace("load", topo, weights, None)
         .map_err(|e| e.to_string())?;
@@ -183,7 +233,20 @@ fn self_contained_run(cfg: &Config, cache: bool) -> Result<RunResult, String> {
         .spawn()
         .map_err(|e| e.to_string())?;
     let release = ReleaseRef::from(id);
-    let mut result = drive(&running.addr().to_string(), &release, cfg)?;
+    let addr = running.addr().to_string();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let (result, updates) = std::thread::scope(|scope| {
+        let writer = (update_rate > 0.0).then(|| {
+            let (addr, stop) = (addr.clone(), &stop);
+            scope.spawn(move || write_load(&addr, "load", num_edges, update_rate, stop))
+        });
+        let result = drive(&addr, &release, cfg);
+        stop.store(true, Ordering::Relaxed);
+        let updates = writer.map(|w| w.join().expect("writer panicked"));
+        (result, updates)
+    });
+    let mut result = result?;
+    result.updates_applied = updates.transpose()?.unwrap_or(0);
     let stats = store.stats_for("load").map_err(|e| e.to_string())?;
     result.cache_hits = stats.cache_hits;
     result.cache_misses = stats.cache_misses;
@@ -225,12 +288,12 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
-    let on = self_contained_run(&cfg, true)?;
+    let on = self_contained_run(&cfg, true, 0.0)?;
     println!(
         "cache-on : p50 {:.0}us p99 {:.0}us {:.0} req/s ({} hits / {} misses)",
         on.p50_us, on.p99_us, on.qps, on.cache_hits, on.cache_misses
     );
-    let off = self_contained_run(&cfg, false)?;
+    let off = self_contained_run(&cfg, false, 0.0)?;
     println!(
         "cache-off: p50 {:.0}us p99 {:.0}us {:.0} req/s",
         off.p50_us, off.p99_us, off.qps
@@ -238,24 +301,42 @@ fn run() -> Result<(), String> {
     let speedup = on.qps / off.qps;
     println!("cache speedup on repeated-source batches: {speedup:.2}x queries/sec");
 
+    let mixed = if cfg.update_rate > 0.0 {
+        let r = self_contained_run(&cfg, true, cfg.update_rate)?;
+        println!(
+            "mixed    : p50 {:.0}us p99 {:.0}us {:.0} req/s under {} live updates \
+             ({:.1}/s target)",
+            r.p50_us, r.p99_us, r.qps, r.updates_applied, cfg.update_rate
+        );
+        Some(r)
+    } else {
+        None
+    };
+
     if let Some(parent) = std::path::Path::new(&cfg.out).parent() {
         std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
     }
     let mut f = std::fs::File::create(&cfg.out).map_err(|e| e.to_string())?;
     writeln!(
         f,
-        "mode,requests,threads,batch,sources,nodes,p50_us,p99_us,qps,cache_hits,cache_misses"
+        "mode,requests,threads,batch,sources,nodes,update_rate,updates,p50_us,p99_us,qps,\
+         cache_hits,cache_misses"
     )
     .map_err(|e| e.to_string())?;
-    for (mode, r) in [("cache-on", &on), ("cache-off", &off)] {
+    let mut rows = vec![("cache-on", &on, 0.0), ("cache-off", &off, 0.0)];
+    if let Some(r) = &mixed {
+        rows.push(("mixed", r, cfg.update_rate));
+    }
+    for (mode, r, rate) in rows {
         writeln!(
             f,
-            "{mode},{},{},{},{},{},{:.1},{:.1},{:.1},{},{}",
+            "{mode},{},{},{},{},{},{rate},{},{:.1},{:.1},{:.1},{},{}",
             cfg.requests,
             cfg.threads,
             cfg.batch,
             cfg.sources,
             cfg.nodes,
+            r.updates_applied,
             r.p50_us,
             r.p99_us,
             r.qps,

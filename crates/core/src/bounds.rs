@@ -67,6 +67,12 @@ pub enum Theorem {
     /// worst-case per-pair error of the covering ladder, `2 k_top M`
     /// detour plus the union bound over all released shortcut values.
     CnxShortcut,
+    /// The binary-tree continual-release bound (Chan–Shi–Song style):
+    /// per-edge weight estimates carry `sqrt(levels) * sigma_node`
+    /// Gaussian noise after any prefix of the update stream, and a path
+    /// sums at most `V` of them — `O(log^{3/2} T)` error over a horizon
+    /// of `T` updates.
+    ContinualRelease,
 }
 
 impl Theorem {
@@ -83,6 +89,7 @@ impl Theorem {
             Theorem::ThmB3 => "thm-b.3",
             Theorem::ThmB6 => "thm-b.6",
             Theorem::CnxShortcut => "cnx-shortcut",
+            Theorem::ContinualRelease => "continual-release",
         }
     }
 
@@ -99,6 +106,7 @@ impl Theorem {
             "thm-b.3" => Theorem::ThmB3,
             "thm-b.6" => Theorem::ThmB6,
             "cnx-shortcut" => Theorem::CnxShortcut,
+            "continual-release" => Theorem::ContinualRelease,
             _ => return None,
         })
     }
@@ -116,6 +124,7 @@ impl Theorem {
             Theorem::ThmB3 => "Theorem B.3 (private spanning tree)",
             Theorem::ThmB6 => "Theorem B.6 (private matching)",
             Theorem::CnxShortcut => "CNX shortcut APSP (hierarchical shortcutting)",
+            Theorem::ContinualRelease => "Continual release (binary-tree composition)",
         }
     }
 }
@@ -312,6 +321,28 @@ pub enum AccuracyContract {
         /// Total number of released noisy values across all levels.
         num_released: usize,
     },
+    /// Continual release through the binary-tree composer: after any
+    /// prefix of the update stream each edge's served weight carries
+    /// `N(0, sigma_edge^2)` noise (`sigma_edge = sqrt(levels) *
+    /// sigma_node` — at most `levels` noisy tree nodes per estimate), so
+    /// with probability `1 - gamma` every released path of at most `V`
+    /// edges errs by at most
+    /// `2 V sigma_edge sqrt(2 ln(2 E / gamma))` — union over the `E`
+    /// per-edge Gaussian tails, worst-case path length `V`, and the
+    /// factor 2 because a served shortest path compares two weightings.
+    ContinualRelease {
+        /// Vertex count (worst-case path length).
+        v: usize,
+        /// Edge count (union-bound width).
+        num_edges: usize,
+        /// The stream horizon `T` (reporting only; `levels` already
+        /// reflects it).
+        horizon: u64,
+        /// Tree levels, `floor(log2(T + 1)) + 1`.
+        levels: u32,
+        /// Composed per-edge noise `sqrt(levels) * sigma_node`.
+        sigma_edge: f64,
+    },
 }
 
 impl AccuracyContract {
@@ -329,6 +360,7 @@ impl AccuracyContract {
             AccuracyContract::Mst { .. } => Theorem::ThmB3,
             AccuracyContract::Matching { .. } => Theorem::ThmB6,
             AccuracyContract::ShortcutApsp { .. } => Theorem::CnxShortcut,
+            AccuracyContract::ContinualRelease { .. } => Theorem::ContinualRelease,
         }
     }
 
@@ -413,6 +445,20 @@ impl AccuracyContract {
                 };
                 2.0 * k_top as f64 * max_weight + union
             }
+            AccuracyContract::ContinualRelease {
+                v,
+                num_edges,
+                horizon: _,
+                levels: _,
+                sigma_edge,
+            } => {
+                if num_edges == 0 {
+                    0.0
+                } else {
+                    let tail = (2.0 * (2.0 * num_edges as f64 / gamma).ln()).max(0.0);
+                    2.0 * v as f64 * sigma_edge * tail.sqrt()
+                }
+            }
         };
         if b.is_nan() {
             None
@@ -487,6 +533,13 @@ impl AccuracyContract {
             } => format!(
                 "shortcut-apsp {levels} {k_top} {max_weight:?} {noise_scale:?} {num_released}"
             ),
+            AccuracyContract::ContinualRelease {
+                v,
+                num_edges,
+                horizon,
+                levels,
+                sigma_edge,
+            } => format!("continual-release {v} {num_edges} {horizon} {levels} {sigma_edge:?}"),
         }
     }
 
@@ -534,6 +587,13 @@ impl AccuracyContract {
                 max_weight: t.next()?.parse().ok()?,
                 noise_scale: t.next()?.parse().ok()?,
                 num_released: t.next()?.parse().ok()?,
+            },
+            "continual-release" => AccuracyContract::ContinualRelease {
+                v: t.next()?.parse().ok()?,
+                num_edges: t.next()?.parse().ok()?,
+                horizon: t.next()?.parse().ok()?,
+                levels: t.next()?.parse().ok()?,
+                sigma_edge: t.next()?.parse().ok()?,
             },
             _ => return None,
         };
@@ -658,6 +718,31 @@ pub fn shortcut_error(
     }
     .bound_at(gamma)
     .unwrap_or(2.0 * k_top as f64 * max_weight)
+}
+
+/// The continual-release worst case (binary-tree composition): with
+/// probability `1 - gamma`, after any stream prefix every released path
+/// errs by at most `2 V sigma_edge sqrt(2 ln(2 E / gamma))`, where
+/// `sigma_edge = sqrt(levels) * sigma_node` is the composed per-edge
+/// Gaussian noise. Constructor of the
+/// [`AccuracyContract::ContinualRelease`] contract.
+pub fn continual_release_error(
+    v: usize,
+    num_edges: usize,
+    horizon: u64,
+    levels: u32,
+    sigma_edge: f64,
+    gamma: f64,
+) -> f64 {
+    AccuracyContract::ContinualRelease {
+        v,
+        num_edges,
+        horizon,
+        levels,
+        sigma_edge,
+    }
+    .bound_at(gamma)
+    .unwrap_or(0.0)
 }
 
 /// Theorem B.3 (private MST): with probability `1 - gamma` the released
@@ -808,6 +893,7 @@ mod tests {
             Theorem::ThmB3,
             Theorem::ThmB6,
             Theorem::CnxShortcut,
+            Theorem::ContinualRelease,
         ] {
             assert_eq!(Theorem::parse(thm.as_str()), Some(thm));
         }
@@ -857,6 +943,13 @@ mod tests {
                 noise_scale: 33.25,
                 num_released: 612,
             },
+            AccuracyContract::ContinualRelease {
+                v: 64,
+                num_edges: 112,
+                horizon: 256,
+                levels: 9,
+                sigma_edge: 4.75,
+            },
         ];
         for c in contracts {
             let line = c.to_line();
@@ -895,6 +988,50 @@ mod tests {
             num_released: 100,
         };
         assert_eq!(c.theorem(), Theorem::CnxShortcut);
+    }
+
+    #[test]
+    fn continual_contract_shape() {
+        let c = AccuracyContract::ContinualRelease {
+            v: 16,
+            num_edges: 24,
+            horizon: 200,
+            levels: 8,
+            sigma_edge: 2.0,
+        };
+        assert_eq!(c.theorem(), Theorem::ContinualRelease);
+        let b = c.bound_at(0.05).unwrap();
+        let expected = 2.0 * 16.0 * 2.0 * (2.0 * (2.0 * 24.0 / 0.05f64).ln()).sqrt();
+        assert!((b - expected).abs() < 1e-9, "{b} vs {expected}");
+        assert!((continual_release_error(16, 24, 200, 8, 2.0, 0.05) - expected).abs() < 1e-9);
+        // Linear in sigma_edge; monotone as gamma shrinks.
+        let wider = AccuracyContract::ContinualRelease {
+            v: 16,
+            num_edges: 24,
+            horizon: 200,
+            levels: 8,
+            sigma_edge: 4.0,
+        };
+        assert!((wider.bound_at(0.05).unwrap() - 2.0 * b).abs() < 1e-9);
+        assert!(c.bound_at(0.01).unwrap() > b);
+        // Degenerate cases: no edges means nothing released; a huge gamma
+        // cannot drive the bound negative.
+        let empty = AccuracyContract::ContinualRelease {
+            v: 4,
+            num_edges: 0,
+            horizon: 8,
+            levels: 4,
+            sigma_edge: 1.0,
+        };
+        assert_eq!(empty.bound_at(0.5), Some(0.0));
+        let tiny = AccuracyContract::ContinualRelease {
+            v: 1,
+            num_edges: 1,
+            horizon: 1,
+            levels: 1,
+            sigma_edge: 1.0,
+        };
+        assert!(tiny.bound_at(0.999).unwrap() >= 0.0);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Continual release via the binary-tree mechanism (Chan–Shi–Song /
+//! Dwork–Naor–Pitassi–Rothblum).
+//!
+//! A release store taking a stream of weight updates cannot afford a
+//! fresh debit per update: `T` updates would cost `Theta(T)` budget. The
+//! tree mechanism instead maintains the dyadic decomposition of the
+//! stream prefix: item `n` finalises exactly one tree node (at level
+//! `trailing_zeros(n)`), each node is released once with Gaussian noise
+//! `N(0, sigma_node^2)` per coordinate, and the running prefix sum is the
+//! sum of the `O(log T)` noisy nodes selected by the binary digits of
+//! `n`. Each stream item therefore participates in at most
+//! `floor(log2 T) + 1` released nodes, so the total privacy cost over the
+//! whole stream is `levels * rho_node` — polylog in `T` — while every
+//! prefix estimate carries at most `levels` noise terms, giving the
+//! `O(log^{3/2} T)`-shaped error the `ContinualRelease` accuracy contract
+//! declares.
+
+use crate::gaussian::Gaussian;
+use crate::DpError;
+use rand::Rng;
+
+/// Number of tree levels for a stream of `capacity` items:
+/// `floor(log2(capacity)) + 1`, or 0 for an empty stream.
+pub fn levels_for(capacity: u64) -> u32 {
+    if capacity == 0 {
+        0
+    } else {
+        64 - capacity.leading_zeros()
+    }
+}
+
+/// Number of tree levels *touched* by the first `n` items — the level
+/// count the accountant charges for after `n` pushes. Equals
+/// [`levels_for`]`(n)`: released nodes so far live on levels
+/// `0 ..= floor(log2 n)`, and an item appears in at most one per level.
+pub fn levels_used(n: u64) -> u32 {
+    levels_for(n)
+}
+
+/// The binary-tree composer over a stream of `dim`-dimensional deltas.
+///
+/// Holds one slot per level; slot `j` is occupied exactly when bit `j`
+/// of the item count is set (a binary counter). Each occupied slot
+/// carries the *raw* dyadic partial sum (needed to build parent nodes)
+/// and its *noisy* release (the only value that flows into estimates).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeComposer {
+    dim: usize,
+    capacity: u64,
+    sigma_node: f64,
+    items: u64,
+    raw: Vec<Option<Vec<f64>>>,
+    noisy: Vec<Option<Vec<f64>>>,
+}
+
+impl TreeComposer {
+    /// A composer for up to `capacity` stream items of dimension `dim`,
+    /// with per-coordinate node noise `N(0, sigma_node^2)`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidScale`] unless `sigma_node` is positive
+    /// and finite, or [`DpError::InvalidComposition`] for a zero
+    /// capacity.
+    pub fn new(dim: usize, capacity: u64, sigma_node: f64) -> Result<Self, DpError> {
+        Gaussian::new(sigma_node)?;
+        if capacity == 0 {
+            return Err(DpError::InvalidComposition(
+                "tree composer needs capacity >= 1".into(),
+            ));
+        }
+        let levels = levels_for(capacity) as usize;
+        Ok(TreeComposer {
+            dim,
+            capacity,
+            sigma_node,
+            items: 0,
+            raw: vec![None; levels],
+            noisy: vec![None; levels],
+        })
+    }
+
+    /// The stream dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The stream capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of tree levels.
+    pub fn levels(&self) -> u32 {
+        self.raw.len() as u32
+    }
+
+    /// The per-node noise standard deviation.
+    pub fn sigma_node(&self) -> f64 {
+        self.sigma_node
+    }
+
+    /// Items pushed so far.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Absorbs the next stream delta and returns the fresh prefix-sum
+    /// estimate. Draws `dim` Gaussian samples (one node is finalised per
+    /// push).
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidComposition`] if the stream is at
+    /// capacity or `delta` has the wrong dimension.
+    pub fn push(&mut self, delta: &[f64], rng: &mut impl Rng) -> Result<Vec<f64>, DpError> {
+        if self.items >= self.capacity {
+            return Err(DpError::InvalidComposition(format!(
+                "tree composer at capacity ({} items)",
+                self.capacity
+            )));
+        }
+        if delta.len() != self.dim {
+            return Err(DpError::InvalidComposition(format!(
+                "delta dimension {} != composer dimension {}",
+                delta.len(),
+                self.dim
+            )));
+        }
+        let n = self.items + 1;
+        let level = n.trailing_zeros() as usize;
+        // The new node's raw value is this delta plus every lower
+        // (now-merged) dyadic block.
+        let mut raw = delta.to_vec();
+        for j in 0..level {
+            if let Some(block) = self.raw[j].take() {
+                for (r, b) in raw.iter_mut().zip(&block) {
+                    *r += b;
+                }
+            }
+            self.noisy[j] = None;
+        }
+        let noise = Gaussian::new(self.sigma_node).expect("validated in new");
+        let noisy: Vec<f64> = raw.iter().map(|&r| r + noise.sample(rng)).collect();
+        self.raw[level] = Some(raw);
+        self.noisy[level] = Some(noisy);
+        self.items = n;
+        Ok(self.estimate())
+    }
+
+    /// The current noisy prefix-sum estimate: the sum of the noisy nodes
+    /// selected by the set bits of the item count (all zeros before the
+    /// first push).
+    pub fn estimate(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for j in 0..self.raw.len() {
+            if (self.items >> j) & 1 == 1 {
+                let node = self.noisy[j].as_ref().expect("occupied level has noise");
+                for (o, v) in out.iter_mut().zip(node) {
+                    *o += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// The `(raw, noisy)` vectors at `level`, if that slot is occupied —
+    /// the unit of state a store persists for crash-safe replay.
+    pub fn level_state(&self, level: u32) -> Option<(&[f64], &[f64])> {
+        let j = level as usize;
+        match (self.raw.get(j), self.noisy.get(j)) {
+            (Some(Some(r)), Some(Some(n))) => Some((r.as_slice(), n.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a composer from persisted state: `levels_state[j]` holds
+    /// the `(raw, noisy)` pair for level `j` or `None` for an empty slot.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidComposition`] unless occupancy matches
+    /// the binary digits of `items`, every vector has length `dim`, and
+    /// `items <= capacity`; sigma and capacity are validated as in
+    /// [`new`](Self::new).
+    pub fn restore(
+        dim: usize,
+        capacity: u64,
+        sigma_node: f64,
+        items: u64,
+        levels_state: Vec<Option<(Vec<f64>, Vec<f64>)>>,
+    ) -> Result<Self, DpError> {
+        let mut composer = TreeComposer::new(dim, capacity, sigma_node)?;
+        if items > capacity {
+            return Err(DpError::InvalidComposition(format!(
+                "restored position {items} exceeds capacity {capacity}"
+            )));
+        }
+        if levels_state.len() != composer.raw.len() {
+            return Err(DpError::InvalidComposition(format!(
+                "restored state has {} levels, composer has {}",
+                levels_state.len(),
+                composer.raw.len()
+            )));
+        }
+        for (j, slot) in levels_state.into_iter().enumerate() {
+            let occupied = (items >> j) & 1 == 1;
+            match slot {
+                Some((raw, noisy)) if occupied => {
+                    if raw.len() != dim || noisy.len() != dim {
+                        return Err(DpError::InvalidComposition(format!(
+                            "level {j} state has wrong dimension"
+                        )));
+                    }
+                    composer.raw[j] = Some(raw);
+                    composer.noisy[j] = Some(noisy);
+                }
+                None if !occupied => {}
+                _ => {
+                    return Err(DpError::InvalidComposition(format!(
+                        "level {j} occupancy does not match position {items}"
+                    )));
+                }
+            }
+        }
+        composer.items = items;
+        Ok(composer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn level_math() {
+        assert_eq!(levels_for(0), 0);
+        assert_eq!(levels_for(1), 1);
+        assert_eq!(levels_for(2), 2);
+        assert_eq!(levels_for(256), 9);
+        assert_eq!(levels_for(257), 9);
+        assert_eq!(levels_used(5), 3);
+        assert_eq!(levels_used(0), 0);
+    }
+
+    #[test]
+    fn raw_blocks_sum_to_exact_prefix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut composer = TreeComposer::new(3, 40, 1.0).unwrap();
+        let mut exact = vec![0.0f64; 3];
+        for t in 0..40u64 {
+            let delta: Vec<f64> = (0..3).map(|c| (t * 3 + c as u64) as f64 * 0.1).collect();
+            for (e, d) in exact.iter_mut().zip(&delta) {
+                *e += d;
+            }
+            composer.push(&delta, &mut rng).unwrap();
+            // Invariant: occupied slots are the set bits, and their raw
+            // blocks partition the prefix exactly.
+            let n = t + 1;
+            let mut raw_sum = [0.0f64; 3];
+            for j in 0..composer.levels() {
+                let occupied = (n >> j) & 1 == 1;
+                assert_eq!(composer.level_state(j).is_some(), occupied, "n={n} j={j}");
+                if let Some((raw, _)) = composer.level_state(j) {
+                    for (s, r) in raw_sum.iter_mut().zip(raw) {
+                        *s += r;
+                    }
+                }
+            }
+            for (s, e) in raw_sum.iter().zip(&exact) {
+                assert!((s - e).abs() < 1e-9, "n={n}: raw {s} vs exact {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_error_stays_within_composed_noise() {
+        let sigma = 0.5;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut composer = TreeComposer::new(4, 300, sigma).unwrap();
+        let mut exact = vec![0.0f64; 4];
+        let worst_noise = 8.0 * (composer.levels() as f64).sqrt() * sigma;
+        for t in 0..300u64 {
+            let delta: Vec<f64> = (0..4).map(|c| ((t + c as u64) % 7) as f64 - 3.0).collect();
+            for (e, d) in exact.iter_mut().zip(&delta) {
+                *e += d;
+            }
+            let est = composer.push(&delta, &mut rng).unwrap();
+            for (a, b) in est.iter().zip(&exact) {
+                assert!(
+                    (a - b).abs() <= worst_noise,
+                    "t={t}: estimate {a} vs exact {b} (limit {worst_noise})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_and_dimension_enforced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut composer = TreeComposer::new(2, 2, 1.0).unwrap();
+        composer.push(&[1.0, 2.0], &mut rng).unwrap();
+        assert!(composer.push(&[1.0], &mut rng).is_err());
+        composer.push(&[0.0, 0.0], &mut rng).unwrap();
+        let err = composer.push(&[1.0, 1.0], &mut rng).unwrap_err();
+        assert!(matches!(err, DpError::InvalidComposition(_)));
+        assert!(TreeComposer::new(2, 0, 1.0).is_err());
+        assert!(TreeComposer::new(2, 4, 0.0).is_err());
+    }
+
+    #[test]
+    fn restore_resumes_identically() {
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut continuous = TreeComposer::new(2, 30, 0.7).unwrap();
+        let mut interrupted = TreeComposer::new(2, 30, 0.7).unwrap();
+        let delta_at = |t: u64| vec![t as f64, -(t as f64) * 0.5];
+        for t in 0..13u64 {
+            continuous.push(&delta_at(t), &mut rng_a).unwrap();
+            interrupted.push(&delta_at(t), &mut rng_b).unwrap();
+        }
+        // Persist and rebuild mid-stream.
+        let state: Vec<Option<(Vec<f64>, Vec<f64>)>> = (0..interrupted.levels())
+            .map(|j| {
+                interrupted
+                    .level_state(j)
+                    .map(|(r, n)| (r.to_vec(), n.to_vec()))
+            })
+            .collect();
+        let mut restored = TreeComposer::restore(2, 30, 0.7, interrupted.items(), state).unwrap();
+        assert_eq!(restored, interrupted);
+        for t in 13..30u64 {
+            let a = continuous.push(&delta_at(t), &mut rng_a).unwrap();
+            let b = restored.push(&delta_at(t), &mut rng_b).unwrap();
+            assert_eq!(a, b, "t={t}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        // Occupancy must match the binary digits of the position.
+        let bad = TreeComposer::restore(1, 8, 1.0, 1, vec![None, None, None, None]);
+        assert!(bad.is_err());
+        let bad = TreeComposer::restore(
+            1,
+            8,
+            1.0,
+            2,
+            vec![
+                Some((vec![1.0], vec![1.0])),
+                Some((vec![1.0], vec![1.0])),
+                None,
+                None,
+            ],
+        );
+        assert!(bad.is_err());
+        // Wrong dimension inside a slot.
+        let bad = TreeComposer::restore(
+            2,
+            8,
+            1.0,
+            1,
+            vec![Some((vec![1.0], vec![1.0])), None, None, None],
+        );
+        assert!(bad.is_err());
+        // Position past capacity.
+        let bad = TreeComposer::restore(1, 2, 1.0, 3, vec![None, None]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn estimate_before_any_push_is_zero() {
+        let composer = TreeComposer::new(3, 4, 1.0).unwrap();
+        assert_eq!(composer.estimate(), vec![0.0, 0.0, 0.0]);
+    }
+}

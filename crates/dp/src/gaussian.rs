@@ -1,0 +1,157 @@
+//! The Gaussian distribution, implemented from scratch for the
+//! zero-concentrated-DP (zCDP) side of the substrate.
+//!
+//! The Laplace mechanism is the paper's workhorse for one-shot releases,
+//! but under *continual observation* a stream of `T` releases composes
+//! far more tightly through the Gaussian mechanism accounted in zCDP
+//! (rho adds linearly; see [`crate::zcdp`]). Sampling uses Box–Muller
+//! over the same uniform source the Laplace sampler draws from — no
+//! external distribution crate.
+
+use crate::DpError;
+use rand::Rng;
+
+/// The centred Gaussian `N(0, sigma^2)`.
+///
+/// Tail: `Pr[|Y| > t] <= 2 exp(-t^2 / (2 sigma^2))`, the bound every
+/// continual-release accuracy contract unions over.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gaussian {
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates `N(0, sigma^2)`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidScale`] unless `sigma` is positive and
+    /// finite.
+    pub fn new(sigma: f64) -> Result<Self, DpError> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(DpError::InvalidScale(sigma));
+        }
+        Ok(Gaussian { sigma })
+    }
+
+    /// The standard deviation `sigma`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The variance, `sigma^2`.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Draws one sample via Box–Muller.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        // u1 in (0, 1]: shift the half-open [0, 1) draw away from the
+        // ln(0) singularity; u2 in [0, 1) is fine for the angle.
+        let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let angle = 2.0 * std::f64::consts::PI * u2;
+        self.sigma * radius * angle.cos()
+    }
+
+    /// The two-sided sub-Gaussian tail bound `2 exp(-t^2 / (2 sigma^2))`
+    /// (clamped to 1), used to calibrate magnitude bounds.
+    pub fn tail_bound(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (2.0 * (-(t * t) / (2.0 * self.sigma * self.sigma)).exp()).min(1.0)
+        }
+    }
+
+    /// The magnitude `t` with tail bound `gamma`:
+    /// `t = sigma * sqrt(2 ln(2 / gamma))`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidProbability`] for `gamma` outside `(0, 1)`.
+    pub fn magnitude_bound(&self, gamma: f64) -> Result<f64, DpError> {
+        if !(0.0..1.0).contains(&gamma) || gamma == 0.0 {
+            return Err(DpError::InvalidProbability(gamma));
+        }
+        Ok(self.sigma * (2.0 * (2.0 / gamma).ln()).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_sigmas_rejected() {
+        assert!(Gaussian::new(0.0).is_err());
+        assert!(Gaussian::new(-2.0).is_err());
+        assert!(Gaussian::new(f64::NAN).is_err());
+        assert!(Gaussian::new(f64::INFINITY).is_err());
+        assert!(Gaussian::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn sample_moments() {
+        let d = Gaussian::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4242);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(
+            (var - d.variance()).abs() / d.variance() < 0.03,
+            "var {var} vs {}",
+            d.variance()
+        );
+    }
+
+    #[test]
+    fn sample_symmetric() {
+        let d = Gaussian::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| d.sample(&mut rng) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn tail_bound_dominates_empirical_tail() {
+        let d = Gaussian::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        let n = 100_000;
+        for &t in &[1.0, 2.0, 4.0] {
+            let exceed = (0..n).filter(|_| d.sample(&mut rng).abs() > t).count();
+            let frac = exceed as f64 / n as f64;
+            assert!(
+                frac <= d.tail_bound(t) + 0.01,
+                "tail at {t}: empirical {frac} > bound {}",
+                d.tail_bound(t)
+            );
+        }
+    }
+
+    #[test]
+    fn magnitude_bound_inverts_tail_bound() {
+        let d = Gaussian::new(1.7).unwrap();
+        for &gamma in &[0.5, 0.1, 0.01] {
+            let t = d.magnitude_bound(gamma).unwrap();
+            assert!((d.tail_bound(t) - gamma).abs() < 1e-12, "gamma={gamma}");
+        }
+        assert!(d.magnitude_bound(0.0).is_err());
+        assert!(d.magnitude_bound(1.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = Gaussian::new(1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+}

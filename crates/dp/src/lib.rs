@@ -23,6 +23,13 @@
 //!   `(alpha, gamma)` accuracy contract.
 //! * [`randomized_response`] — Warner's mechanism, whose optimality
 //!   (Lemma 5.3) underpins the reconstruction lower bounds.
+//! * [`Gaussian`] / [`zcdp`] — the Gaussian mechanism and
+//!   zero-concentrated-DP accounting ([`ZcdpAccountant`], tight
+//!   zCDP-to-`(eps, delta)` conversion) for workloads where pure-DP
+//!   composition is too loose.
+//! * [`continual`] — the binary-tree composer ([`TreeComposer`]) for
+//!   continual release: `T` stream updates at `O(polylog T)` total
+//!   budget instead of `Theta(T)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,16 +38,22 @@ mod accountant;
 pub mod calibration;
 pub mod composition;
 pub mod concentration;
+pub mod continual;
 mod error;
+mod gaussian;
 mod laplace;
 mod mechanism;
 mod noise;
 mod params;
 pub mod randomized_response;
+pub mod zcdp;
 
 pub use accountant::{Accountant, PrivacySpend};
+pub use continual::TreeComposer;
 pub use error::DpError;
+pub use gaussian::Gaussian;
 pub use laplace::Laplace;
 pub use mechanism::{laplace_mechanism, laplace_mechanism_scalar};
 pub use noise::{NoiseSource, RecordingNoise, RngNoise, ZeroNoise};
 pub use params::{Delta, Epsilon};
+pub use zcdp::ZcdpAccountant;

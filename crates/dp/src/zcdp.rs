@@ -1,0 +1,374 @@
+//! Zero-concentrated differential privacy (zCDP): conversions and a
+//! rho-based accountant.
+//!
+//! The paper's mechanisms account in pure `(eps, 0)`-DP, which composes
+//! *linearly* — fatal for a continual-release stream of `T` updates. zCDP
+//! (Bun–Steinke) gives the tight alternative: the Gaussian mechanism with
+//! sensitivity `s` and standard deviation `sigma` is
+//! `rho = s^2 / (2 sigma^2)`-zCDP, rho adds linearly under composition,
+//! and a total rho converts back to `(eps, delta)`-DP far more tightly
+//! than advanced composition. The [`ZcdpAccountant`] here is the
+//! rho-denominated sibling of [`Accountant`](crate::Accountant); the
+//! conversions are:
+//!
+//! * pure `eps`-DP implies `(eps^2 / 2)`-zCDP ([`pure_to_zcdp`]);
+//! * `rho`-zCDP implies `(eps, delta)`-DP with the classic
+//!   `eps = rho + 2 sqrt(rho ln(1/delta))` ([`zcdp_epsilon_classic`]) and
+//!   the tighter minimum-over-alpha form ([`zcdp_epsilon`]);
+//! * the numeric inverse [`max_rho_for_epsilon`] — the largest rho whose
+//!   conversion fits a target `(eps, delta)` budget — which is how a
+//!   continual namespace derives its rho allowance from the store's
+//!   eps-denominated budget.
+
+use crate::DpError;
+
+/// rho for pure `eps`-DP: every `eps`-DP mechanism is
+/// `(eps^2 / 2)`-zCDP (Bun–Steinke Proposition 1.4).
+pub fn pure_to_zcdp(eps: f64) -> f64 {
+    0.5 * eps * eps
+}
+
+/// rho of the Gaussian mechanism: sensitivity `s`, noise `N(0, sigma^2)`
+/// gives `rho = s^2 / (2 sigma^2)`.
+///
+/// # Errors
+/// Returns [`DpError::InvalidScale`] unless both arguments are positive
+/// and finite.
+pub fn gaussian_rho(sensitivity: f64, sigma: f64) -> Result<f64, DpError> {
+    if !sensitivity.is_finite() || sensitivity <= 0.0 {
+        return Err(DpError::InvalidScale(sensitivity));
+    }
+    if !sigma.is_finite() || sigma <= 0.0 {
+        return Err(DpError::InvalidScale(sigma));
+    }
+    Ok(sensitivity * sensitivity / (2.0 * sigma * sigma))
+}
+
+/// The sigma achieving a target rho at sensitivity `s`:
+/// `sigma = s / sqrt(2 rho)`.
+///
+/// # Errors
+/// Returns [`DpError::InvalidScale`] unless both arguments are positive
+/// and finite.
+pub fn gaussian_sigma(sensitivity: f64, rho: f64) -> Result<f64, DpError> {
+    if !sensitivity.is_finite() || sensitivity <= 0.0 {
+        return Err(DpError::InvalidScale(sensitivity));
+    }
+    if !rho.is_finite() || rho <= 0.0 {
+        return Err(DpError::InvalidScale(rho));
+    }
+    Ok(sensitivity / (2.0 * rho).sqrt())
+}
+
+/// The classic zCDP-to-DP conversion (Bun–Steinke Proposition 1.3):
+/// `rho`-zCDP implies `(rho + 2 sqrt(rho ln(1/delta)), delta)`-DP.
+///
+/// # Errors
+/// Returns [`DpError::InvalidScale`] for a negative or non-finite rho and
+/// [`DpError::InvalidDelta`] for delta outside `(0, 1)`.
+pub fn zcdp_epsilon_classic(rho: f64, delta: f64) -> Result<f64, DpError> {
+    check_conversion_args(rho, delta)?;
+    if rho == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(rho + 2.0 * (rho * (1.0 / delta).ln()).sqrt())
+}
+
+/// The tight zCDP-to-DP conversion: `rho`-zCDP implies `(eps, delta)`-DP
+/// for
+///
+/// ```text
+/// eps = min over alpha > 1 of
+///       rho * alpha + ln(1 / (alpha * delta)) / (alpha - 1)
+///                   + ln((alpha - 1) / alpha)
+/// ```
+///
+/// (Canonne–Kamath–Steinke; each alpha gives a valid upper bound, so the
+/// numeric minimum is sound). Always at most [`zcdp_epsilon_classic`],
+/// and clamped at zero.
+///
+/// # Errors
+/// Same argument validation as [`zcdp_epsilon_classic`].
+pub fn zcdp_epsilon(rho: f64, delta: f64) -> Result<f64, DpError> {
+    check_conversion_args(rho, delta)?;
+    if rho == 0.0 {
+        return Ok(0.0);
+    }
+    let eps_at = |alpha: f64| {
+        rho * alpha + (1.0 / (alpha * delta)).ln() / (alpha - 1.0) + ((alpha - 1.0) / alpha).ln()
+    };
+    // The objective is unimodal in alpha on (1, inf); bracket the
+    // minimiser around the classic stationary point
+    // alpha* = 1 + sqrt(ln(1/delta) / rho) and ternary-search.
+    let alpha_star = 1.0 + ((1.0 / delta).ln() / rho).sqrt();
+    let mut lo = 1.0 + 1e-9;
+    let mut hi = (2.0 * alpha_star).max(16.0);
+    while eps_at(hi * 2.0) < eps_at(hi) {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if eps_at(m1) <= eps_at(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let tight = eps_at(0.5 * (lo + hi));
+    let classic = zcdp_epsilon_classic(rho, delta)?;
+    Ok(tight.min(classic).max(0.0))
+}
+
+/// The largest rho whose tight conversion at `delta` fits within `eps`
+/// (bisection on the monotone [`zcdp_epsilon`]). This is how a continual
+/// namespace turns its store-level `(eps, delta)` budget into a rho
+/// allowance for the tree composer.
+///
+/// # Errors
+/// Returns [`DpError::InvalidEpsilon`] for a non-positive or non-finite
+/// eps and [`DpError::InvalidDelta`] for delta outside `(0, 1)`.
+pub fn max_rho_for_epsilon(eps: f64, delta: f64) -> Result<f64, DpError> {
+    if !eps.is_finite() || eps <= 0.0 {
+        return Err(DpError::InvalidEpsilon(eps));
+    }
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(DpError::InvalidDelta(delta));
+    }
+    // eps(rho) >= 0 is nondecreasing in rho; find an upper bracket.
+    let mut hi = eps.max(1e-9);
+    while zcdp_epsilon(hi, delta)? <= eps {
+        hi *= 2.0;
+        if hi > 1e12 {
+            break;
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if zcdp_epsilon(mid, delta)? <= eps {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+fn check_conversion_args(rho: f64, delta: f64) -> Result<(), DpError> {
+    if !rho.is_finite() || rho < 0.0 {
+        return Err(DpError::InvalidScale(rho));
+    }
+    if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+        return Err(DpError::InvalidDelta(delta));
+    }
+    Ok(())
+}
+
+/// One recorded rho spend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RhoSpend {
+    /// Label for diagnostics (e.g. `"continual@17"`).
+    pub label: String,
+    /// The spend's rho.
+    pub rho: f64,
+}
+
+/// A rho-denominated privacy ledger: the zCDP sibling of
+/// [`Accountant`](crate::Accountant). rho adds linearly under
+/// composition, so the ledger is a running sum with an optional cap;
+/// [`epsilon_at`](Self::epsilon_at) reports the spend in `(eps, delta)`
+/// terms through the tight conversion.
+#[derive(Clone, Debug)]
+pub struct ZcdpAccountant {
+    budget: Option<f64>,
+    spends: Vec<RhoSpend>,
+}
+
+impl ZcdpAccountant {
+    /// An unlimited ledger (tracks but never refuses).
+    pub fn unbounded() -> Self {
+        ZcdpAccountant {
+            budget: None,
+            spends: Vec::new(),
+        }
+    }
+
+    /// A ledger enforcing a total rho budget.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidScale`] unless `rho` is positive and
+    /// finite.
+    pub fn with_budget(rho: f64) -> Result<Self, DpError> {
+        if !rho.is_finite() || rho <= 0.0 {
+            return Err(DpError::InvalidScale(rho));
+        }
+        Ok(ZcdpAccountant {
+            budget: Some(rho),
+            spends: Vec::new(),
+        })
+    }
+
+    /// Checks whether a prospective spend fits the budget **without**
+    /// recording it.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidScale`] for a negative or non-finite
+    /// rho, or [`DpError::InvalidComposition`] if the spend would exceed
+    /// the budget.
+    pub fn check(&self, rho: f64) -> Result<(), DpError> {
+        if !rho.is_finite() || rho < 0.0 {
+            return Err(DpError::InvalidScale(rho));
+        }
+        let cur = self.total_rho();
+        if let Some(budget) = self.budget {
+            if cur + rho > budget + 1e-12 {
+                return Err(DpError::InvalidComposition(format!(
+                    "rho spend {rho} would exceed budget {budget}; already spent {cur}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a spend.
+    ///
+    /// # Errors
+    /// Same as [`check`](Self::check); a rejected spend is not recorded.
+    pub fn spend(&mut self, label: impl Into<String>, rho: f64) -> Result<(), DpError> {
+        self.check(rho)?;
+        self.spends.push(RhoSpend {
+            label: label.into(),
+            rho,
+        });
+        Ok(())
+    }
+
+    /// Total rho spent so far.
+    pub fn total_rho(&self) -> f64 {
+        self.spends.iter().map(|s| s.rho).sum()
+    }
+
+    /// Remaining rho, or `None` for an unbounded ledger.
+    pub fn remaining_rho(&self) -> Option<f64> {
+        self.budget.map(|b| (b - self.total_rho()).max(0.0))
+    }
+
+    /// The cumulative spend expressed as an epsilon at `delta`, through
+    /// the tight conversion.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidDelta`] for delta outside `(0, 1)`.
+    pub fn epsilon_at(&self, delta: f64) -> Result<f64, DpError> {
+        zcdp_epsilon(self.total_rho(), delta)
+    }
+
+    /// The recorded spends, in order.
+    pub fn spends(&self) -> &[RhoSpend] {
+        &self.spends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_rho_sigma_invert() {
+        let rho = gaussian_rho(2.0, 4.0).unwrap();
+        let sigma = gaussian_sigma(2.0, rho).unwrap();
+        assert!((sigma - 4.0).abs() < 1e-12);
+        assert!(gaussian_rho(0.0, 1.0).is_err());
+        assert!(gaussian_sigma(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn tight_never_exceeds_classic() {
+        for &rho in &[1e-4, 0.01, 0.1, 0.5, 2.0, 10.0] {
+            for &delta in &[1e-12, 1e-9, 1e-6, 1e-3] {
+                let tight = zcdp_epsilon(rho, delta).unwrap();
+                let classic = zcdp_epsilon_classic(rho, delta).unwrap();
+                assert!(
+                    tight <= classic + 1e-9,
+                    "rho={rho} delta={delta}: tight {tight} > classic {classic}"
+                );
+                assert!(tight >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_monotone_in_rho() {
+        let delta = 1e-6;
+        let mut prev = 0.0;
+        for i in 1..=50 {
+            let rho = i as f64 * 0.05;
+            let eps = zcdp_epsilon(rho, delta).unwrap();
+            assert!(eps >= prev - 1e-9, "rho={rho}: {eps} < {prev}");
+            prev = eps;
+        }
+    }
+
+    #[test]
+    fn zero_rho_is_free() {
+        assert_eq!(zcdp_epsilon(0.0, 1e-6).unwrap(), 0.0);
+        assert_eq!(zcdp_epsilon_classic(0.0, 1e-6).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_args_rejected() {
+        assert!(zcdp_epsilon(-0.1, 1e-6).is_err());
+        assert!(zcdp_epsilon(0.1, 0.0).is_err());
+        assert!(zcdp_epsilon(0.1, 1.0).is_err());
+        assert!(zcdp_epsilon(f64::NAN, 1e-6).is_err());
+        assert!(max_rho_for_epsilon(0.0, 1e-6).is_err());
+        assert!(max_rho_for_epsilon(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for &eps in &[0.1, 1.0, 4.0] {
+            for &delta in &[1e-9, 1e-6] {
+                let rho = max_rho_for_epsilon(eps, delta).unwrap();
+                let back = zcdp_epsilon(rho, delta).unwrap();
+                assert!(back <= eps + 1e-6, "eps={eps}: back-converted {back}");
+                // Not wastefully loose: slightly more rho would overshoot.
+                let over = zcdp_epsilon(rho * 1.01 + 1e-9, delta).unwrap();
+                assert!(over >= eps - 1e-6, "eps={eps}: inverse too small");
+            }
+        }
+    }
+
+    #[test]
+    fn accountant_tracks_and_enforces() {
+        let mut a = ZcdpAccountant::with_budget(1.0).unwrap();
+        a.spend("first", 0.4).unwrap();
+        a.spend("second", 0.6).unwrap();
+        assert!((a.total_rho() - 1.0).abs() < 1e-12);
+        assert!(a.remaining_rho().unwrap().abs() < 1e-9);
+        let err = a.spend("over", 0.1).unwrap_err();
+        assert!(matches!(err, DpError::InvalidComposition(_)));
+        assert_eq!(a.spends().len(), 2);
+        assert_eq!(a.spends()[0].label, "first");
+    }
+
+    #[test]
+    fn unbounded_accountant_never_refuses() {
+        let mut a = ZcdpAccountant::unbounded();
+        for i in 0..100 {
+            a.spend(format!("s{i}"), 1.0).unwrap();
+        }
+        assert_eq!(a.remaining_rho(), None);
+        let eps = a.epsilon_at(1e-6).unwrap();
+        assert!(eps > 0.0);
+    }
+
+    #[test]
+    fn accountant_rejects_bad_inputs() {
+        assert!(ZcdpAccountant::with_budget(0.0).is_err());
+        assert!(ZcdpAccountant::with_budget(f64::NAN).is_err());
+        let mut a = ZcdpAccountant::unbounded();
+        assert!(a.spend("bad", -1.0).is_err());
+        assert!(a.spend("bad", f64::INFINITY).is_err());
+    }
+}

@@ -600,6 +600,87 @@ impl ReleaseEngine {
         Ok(id)
     }
 
+    /// Registers a release **without debiting** at the next id — the
+    /// continual-release serving path: a release derived purely by
+    /// post-processing an already-paid-for noisy stream estimate costs
+    /// nothing further, so it is recorded with whatever `(eps, delta)`
+    /// annotation the caller chooses (typically zero) and no ledger
+    /// entry. The stream's own spends are debited separately through
+    /// [`debit`](Self::debit).
+    pub fn adopt_unspent(
+        &mut self,
+        label: impl Into<String>,
+        eps: f64,
+        delta: f64,
+        accuracy: Option<AccuracyContract>,
+        release: AnyRelease,
+    ) -> ReleaseId {
+        let id = ReleaseId(self.next_id);
+        self.next_id += 1;
+        self.records.insert(
+            id.value(),
+            Arc::new(ReleaseRecord::from_parts(
+                id,
+                label.into(),
+                eps,
+                delta,
+                accuracy,
+                release,
+            )),
+        );
+        id
+    }
+
+    /// Swaps the record behind `id` **without debiting** — the continual
+    /// re-release path, where each generation is free post-processing of
+    /// the composer's estimate and the stream increments are debited
+    /// separately through [`debit`](Self::debit).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownRelease`] for an unregistered id.
+    pub fn replace_release_unspent(
+        &mut self,
+        id: ReleaseId,
+        label: impl Into<String>,
+        eps: f64,
+        delta: f64,
+        accuracy: Option<AccuracyContract>,
+        release: AnyRelease,
+    ) -> Result<(), EngineError> {
+        if !self.records.contains_key(&id.value()) {
+            return Err(EngineError::UnknownRelease(id.value()));
+        }
+        self.records.insert(
+            id.value(),
+            Arc::new(ReleaseRecord::from_parts(
+                id,
+                label.into(),
+                eps,
+                delta,
+                accuracy,
+                release,
+            )),
+        );
+        Ok(())
+    }
+
+    /// Records a ledger spend that is not tied to any single release —
+    /// how a continual stream's telescoping budget increments enter the
+    /// engine's `(eps, delta)` accounting.
+    ///
+    /// # Errors
+    /// [`EngineError::BudgetExhausted`] when the spend does not fit.
+    pub fn debit(
+        &mut self,
+        label: impl Into<String>,
+        eps: Epsilon,
+        delta: Delta,
+    ) -> Result<(), EngineError> {
+        self.accountant
+            .spend(label, eps, delta)
+            .map_err(|_| self.budget_error(eps, delta))
+    }
+
     /// The structured budget error for a refused `(eps, delta)` request.
     fn budget_error(&self, eps: Epsilon, delta: Delta) -> EngineError {
         let (remaining_eps, remaining_delta) = self

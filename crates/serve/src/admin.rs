@@ -24,7 +24,8 @@
 //!           | "epoch" ns u64
 //!           | "stats" count entry*
 //! entry    := ns epoch releases "spent" float float
-//!             ("remaining" float float | "unbounded") "cache" u64 u64
+//!             ("remaining" float float | "unbounded") "cache" u64 u64 mode
+//! mode     := "standard" | "continual" position horizon "rho" float float
 //! ```
 //!
 //! `spec` is a [`ReleaseSpec`] in its canonical token form; the `full`
@@ -37,7 +38,7 @@
 
 use crate::protocol::{fmt_f64, ErrorCode, ParseLineError};
 use privpath_engine::ReleaseId;
-use privpath_store::{is_valid_namespace, NamespaceStats, ReleaseSpec};
+use privpath_store::{is_valid_namespace, ContinualStatus, NamespaceStats, ReleaseSpec};
 use std::fmt;
 use std::str::FromStr;
 
@@ -326,6 +327,19 @@ impl fmt::Display for AdminResponse {
                         None => write!(f, " unbounded")?,
                     }
                     write!(f, " cache {} {}", s.cache_hits, s.cache_misses)?;
+                    // The mode marker is mandatory (not keyed off a
+                    // keyword that could collide with a namespace name).
+                    match &s.continual {
+                        None => write!(f, " standard")?,
+                        Some(c) => write!(
+                            f,
+                            " continual {} {} rho {} {}",
+                            c.position,
+                            c.horizon,
+                            fmt_f64(c.rho_spent),
+                            fmt_f64(c.rho_total)
+                        )?,
+                    }
                 }
                 Ok(())
             }
@@ -440,6 +454,27 @@ impl FromStr for AdminResponse {
                     keyword(next("`cache`")?, "cache")?;
                     let cache_hits = parse(next("cache hits")?, "cache hits")?;
                     let cache_misses = parse(next("cache misses")?, "cache misses")?;
+                    let continual = match next("`standard` or `continual`")? {
+                        "standard" => None,
+                        "continual" => {
+                            let position = parse(next("stream position")?, "stream position")?;
+                            let horizon = parse(next("horizon")?, "horizon")?;
+                            keyword(next("`rho`")?, "rho")?;
+                            let rho_spent = parse(next("rho spent")?, "rho spent")?;
+                            let rho_total = parse(next("rho total")?, "rho total")?;
+                            Some(ContinualStatus {
+                                position,
+                                horizon,
+                                rho_spent,
+                                rho_total,
+                            })
+                        }
+                        other => {
+                            return Err(err(format!(
+                                "expected `standard` or `continual`, got {other:?}"
+                            )))
+                        }
+                    };
                     entries.push(NamespaceStats {
                         namespace,
                         epoch,
@@ -449,6 +484,7 @@ impl FromStr for AdminResponse {
                         remaining,
                         cache_hits,
                         cache_misses,
+                        continual,
                     });
                 }
                 AdminResponse::Stats(entries)
@@ -550,16 +586,37 @@ mod tests {
                 namespace: "metro".into(),
                 epoch: 9,
             },
-            AdminResponse::Stats(vec![NamespaceStats {
-                namespace: "metro".into(),
-                epoch: 4,
-                releases: 2,
-                spent_eps: 3.0,
-                spent_delta: 0.0,
-                remaining: Some((1.0, 0.0)),
-                cache_hits: 10,
-                cache_misses: 4,
-            }]),
+            AdminResponse::Stats(vec![
+                NamespaceStats {
+                    namespace: "metro".into(),
+                    epoch: 4,
+                    releases: 2,
+                    spent_eps: 3.0,
+                    spent_delta: 0.0,
+                    remaining: Some((1.0, 0.0)),
+                    cache_hits: 10,
+                    cache_misses: 4,
+                    continual: None,
+                },
+                // A namespace literally named "continual": the mandatory
+                // mode marker keeps the entry unambiguous.
+                NamespaceStats {
+                    namespace: "continual".into(),
+                    epoch: 7,
+                    releases: 1,
+                    spent_eps: 0.5,
+                    spent_delta: 1e-6,
+                    remaining: Some((0.25, 0.0)),
+                    cache_hits: 0,
+                    cache_misses: 2,
+                    continual: Some(ContinualStatus {
+                        position: 12,
+                        horizon: 64,
+                        rho_spent: 0.125,
+                        rho_total: 0.5,
+                    }),
+                },
+            ]),
             AdminResponse::Stats(vec![]),
             AdminResponse::Error {
                 code: ErrorCode::Budget,

@@ -260,6 +260,10 @@ fn admin_error(e: &StoreError) -> AdminResponse {
         | StoreError::InvalidSpec(_)
         | StoreError::InvalidUpdate(_) => ErrorCode::Malformed,
         StoreError::NamespaceExists(_) => ErrorCode::Query,
+        // An exhausted stream is a budget condition: the horizon was the
+        // privacy analysis's input, not a parse problem.
+        StoreError::ContinualHorizon { .. } => ErrorCode::Budget,
+        StoreError::ContinualAccountant(_) => ErrorCode::Malformed,
         StoreError::Io { .. } | StoreError::Manifest { .. } => ErrorCode::Internal,
     };
     AdminResponse::Error {

@@ -39,6 +39,21 @@ pub enum StoreError {
         /// What was wrong.
         message: String,
     },
+    /// A continual namespace's update stream is already at its declared
+    /// horizon: no further weight updates can be absorbed (the tree
+    /// composer's privacy analysis is fixed at init time).
+    ContinualHorizon {
+        /// The namespace.
+        namespace: String,
+        /// The declared horizon `T`.
+        horizon: u64,
+    },
+    /// A continual namespace was requested with an accounting setup that
+    /// cannot compose sublinearly (e.g. a pure-DP budget with
+    /// `delta = 0`, which admits no Gaussian tree noise), or an
+    /// operation assumed continual mode on a standard namespace (or vice
+    /// versa).
+    ContinualAccountant(String),
 }
 
 impl StoreError {
@@ -72,6 +87,14 @@ impl fmt::Display for StoreError {
             StoreError::InvalidUpdate(msg) => write!(f, "invalid weight update: {msg}"),
             StoreError::Manifest { path, message } => {
                 write!(f, "manifest error at {path}: {message}")
+            }
+            StoreError::ContinualHorizon { namespace, horizon } => write!(
+                f,
+                "namespace {namespace:?} reached its continual horizon ({horizon} updates); \
+                 re-init with a larger --horizon to stream further"
+            ),
+            StoreError::ContinualAccountant(msg) => {
+                write!(f, "continual accounting error: {msg}")
             }
         }
     }

@@ -30,6 +30,16 @@
 //!   `(release, source)` → distance-vector cache, so repeated-source
 //!   workloads skip recomputation; epoch bumps invalidate structurally
 //!   (a new snapshot starts with an empty cache).
+//! * **Continual-release namespaces** —
+//!   [`ReleaseStore::create_namespace_continual`] fixes an update
+//!   horizon `T` and routes every weight update through a binary-tree
+//!   composer (Chan–Shi–Song over Sealfon's neighboring weightings):
+//!   Gaussian noise on `O(log T)` dyadic partial sums, a zCDP rho
+//!   allowance split across tree levels, and an eps ledger debited only
+//!   when the stream crosses a power of two — polylog total spend over
+//!   the stream where naive re-release pays per update. Releases on such
+//!   a namespace are exact post-processing of the tree estimate and
+//!   carry a `ContinualRelease` accuracy contract.
 //!
 //! ## Example
 //!
@@ -75,13 +85,15 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod continual;
 mod error;
 mod manifest;
 mod spec;
 mod store;
 
+pub use continual::ContinualStatus;
 pub use error::StoreError;
-pub use spec::{is_storable, ReleaseSpec};
+pub use spec::{is_continual_servable, is_storable, ReleaseSpec};
 pub use store::{
     is_valid_namespace, NamespaceSnapshot, NamespaceStats, PublishReceipt, ReleaseStore,
     UpdateReceipt,

@@ -16,11 +16,17 @@
 //! namespace <name>
 //! epoch <u64>
 //! budget eps <f64> delta <f64>   |   budget unbounded
+//! continual horizon <u64> rho-total <f64> delta <f64> file <name>   (optional)
 //! spends <count>
 //! spend <eps> <delta> <label to end of line>     (count times)
 //! releases <count>
 //! release <id> <filename> <spec tokens>          (count times)
 //! ```
+//!
+//! The `continual` line (absent for standard namespaces, so v1 manifests
+//! parse unchanged) pins the stream's privacy configuration and names the
+//! epoch-suffixed tree-state file; the state file itself is written
+//! before the manifest rename, so the rename atomically commits both.
 
 use crate::error::StoreError;
 use crate::spec::ReleaseSpec;
@@ -46,6 +52,19 @@ pub(crate) fn release_file_name(id: u64, epoch: u64) -> String {
     format!("r{id}.e{epoch}.release")
 }
 
+/// The continual-mode configuration a manifest pins for a namespace.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ContinualManifest {
+    /// The declared stream horizon `T` (maximum weight updates).
+    pub horizon: u64,
+    /// The total zCDP budget the tree composer may consume.
+    pub rho_total: f64,
+    /// The delta at which rho converts back to the eps ledger.
+    pub delta: f64,
+    /// The epoch-suffixed tree-state file this manifest references.
+    pub file: String,
+}
+
 /// Everything the manifest records for one namespace.
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) struct ManifestData {
@@ -54,6 +73,8 @@ pub(crate) struct ManifestData {
     /// The namespace's total `(eps, delta)` budget, or `None` when
     /// unbounded.
     pub budget: Option<(f64, f64)>,
+    /// Continual-mode configuration, or `None` for a standard namespace.
+    pub continual: Option<ContinualManifest>,
     /// The full spend ledger: `(label, eps, delta)` in spend order.
     pub spends: Vec<(String, f64, f64)>,
     /// The live releases: `(id, file name, re-run spec)` in id order.
@@ -101,6 +122,15 @@ fn render(data: &ManifestData) -> String {
     match data.budget {
         Some((e, d)) => out.push_str(&format!("budget eps {} delta {}\n", fmt_f64(e), fmt_f64(d))),
         None => out.push_str("budget unbounded\n"),
+    }
+    if let Some(c) = &data.continual {
+        out.push_str(&format!(
+            "continual horizon {} rho-total {} delta {} file {}\n",
+            c.horizon,
+            fmt_f64(c.rho_total),
+            fmt_f64(c.delta),
+            c.file
+        ));
     }
     out.push_str(&format!("spends {}\n", data.spends.len()));
     for (label, eps, delta) in &data.spends {
@@ -169,7 +199,46 @@ fn parse(text: &str) -> Result<ManifestData, String> {
         Some((eps, delta))
     };
 
-    let num_spends: usize = next("spends")?
+    let mut spends_line = next("spends")?;
+    let continual = if let Some(rest) = spends_line.strip_prefix("continual ") {
+        let rest = rest
+            .strip_prefix("horizon ")
+            .ok_or("expected `continual horizon <u64> rho-total <f64> delta <f64> file <name>`")?;
+        let (horizon_tok, rest) = rest
+            .split_once(" rho-total ")
+            .ok_or("expected `rho-total` in continual line")?;
+        let (rho_tok, rest) = rest
+            .split_once(" delta ")
+            .ok_or("expected `delta` in continual line")?;
+        let (delta_tok, file) = rest
+            .split_once(" file ")
+            .ok_or("expected `file` in continual line")?;
+        let horizon: u64 = horizon_tok
+            .trim()
+            .parse()
+            .map_err(|_| "invalid continual horizon")?;
+        let rho_total: f64 = rho_tok
+            .trim()
+            .parse()
+            .map_err(|_| "invalid continual rho-total")?;
+        let delta: f64 = delta_tok
+            .trim()
+            .parse()
+            .map_err(|_| "invalid continual delta")?;
+        if file.trim().is_empty() {
+            return Err("missing continual state file".into());
+        }
+        spends_line = next("spends")?;
+        Some(ContinualManifest {
+            horizon,
+            rho_total,
+            delta,
+            file: file.trim().to_string(),
+        })
+    } else {
+        None
+    };
+    let num_spends: usize = spends_line
         .strip_prefix("spends ")
         .and_then(|s| s.trim().parse().ok())
         .ok_or("expected `spends <count>`")?;
@@ -222,6 +291,7 @@ fn parse(text: &str) -> Result<ManifestData, String> {
         namespace,
         epoch,
         budget,
+        continual,
         spends,
         releases,
     })
@@ -238,6 +308,7 @@ mod tests {
             namespace: "metro".into(),
             epoch: 7,
             budget: Some((4.0, 1e-6)),
+            continual: None,
             spends: vec![
                 ("shortest-path#0".into(), 1.0, 0.0),
                 ("shortest-path#0@u2".into(), 1.0, 0.0),
@@ -261,6 +332,27 @@ mod tests {
             ..data
         };
         assert_eq!(parse(&render(&unbounded)).unwrap(), unbounded);
+    }
+
+    #[test]
+    fn continual_line_round_trips() {
+        let mut data = sample();
+        data.continual = Some(ContinualManifest {
+            horizon: 256,
+            rho_total: 0.09533,
+            delta: 1e-6,
+            file: "continual.e7.state".into(),
+        });
+        assert_eq!(parse(&render(&data)).unwrap(), data);
+        // A namespace literally named "continual" must not trip the
+        // optional-line detection (the keyword is line-initial and the
+        // spends header follows unambiguously).
+        data.namespace = "continual".into();
+        assert_eq!(parse(&render(&data)).unwrap(), data);
+        // Malformed continual lines are rejected, not skipped.
+        let good = render(&data);
+        let bad = good.replace(" rho-total ", " rho ");
+        assert!(parse(&bad).is_err());
     }
 
     #[test]

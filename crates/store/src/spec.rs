@@ -73,6 +73,23 @@ pub fn is_storable(kind: ReleaseKind) -> bool {
     )
 }
 
+/// Whether a release kind can be served from a **continual** namespace.
+/// Continual serving re-runs the spec with zero mechanism noise over the
+/// tree composer's already-noisy weight estimate — pure post-processing —
+/// so the mechanism must be *exact* given its input weights. The
+/// bounded-weight kinds (`bounded-weight`, `shortcut-apsp`) carry a
+/// structural detour error of their own on top of the noise, which the
+/// `ContinualRelease` contract cannot absorb; they are refused.
+pub fn is_continual_servable(kind: ReleaseKind) -> bool {
+    matches!(
+        kind,
+        ReleaseKind::ShortestPath
+            | ReleaseKind::Tree
+            | ReleaseKind::SyntheticGraph
+            | ReleaseKind::AllPairsBaseline
+    )
+}
+
 impl ReleaseSpec {
     /// A spec for `kind` at privacy `eps` (pure DP, default knobs).
     ///

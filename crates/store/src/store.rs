@@ -23,14 +23,16 @@
 //! each bump the namespace epoch by exactly one.
 
 use crate::cache::{CacheCounters, SourceCache};
+use crate::continual::{state_file_name, ContinualState, ContinualStatus};
 use crate::error::StoreError;
 use crate::manifest::{
-    atomic_write, read_manifest, release_file_name, write_manifest, ManifestData, MANIFEST_FILE,
-    TOPOLOGY_FILE, WEIGHTS_FILE,
+    atomic_write, read_manifest, release_file_name, write_manifest, ContinualManifest,
+    ManifestData, MANIFEST_FILE, TOPOLOGY_FILE, WEIGHTS_FILE,
 };
-use crate::spec::{ReleaseSpec, StagedRelease};
+use crate::spec::{is_continual_servable, ReleaseSpec, StagedRelease};
 use privpath_core::model::WeightUpdate;
-use privpath_dp::{Accountant, Delta, Epsilon, RngNoise};
+use privpath_dp::zcdp::max_rho_for_epsilon;
+use privpath_dp::{Accountant, Delta, Epsilon, RngNoise, ZeroNoise};
 use privpath_engine::{EngineError, QueryService, ReleaseEngine, ReleaseId};
 use privpath_graph::io::{read_topology, read_weights, write_topology, write_weights};
 use privpath_graph::{EdgeId, EdgeWeights, NodeId, Topology};
@@ -86,6 +88,7 @@ pub struct NamespaceSnapshot {
     epoch: u64,
     service: QueryService,
     cache: Option<SourceCache>,
+    continual: Option<ContinualStatus>,
 }
 
 impl NamespaceSnapshot {
@@ -104,6 +107,13 @@ impl NamespaceSnapshot {
     /// budget queries go through this).
     pub fn service(&self) -> &QueryService {
         &self.service
+    }
+
+    /// Continual-mode stream status at this epoch, or `None` for a
+    /// standard namespace. Copied onto the snapshot at swap time so
+    /// readers (and `stats`) never touch the writer lock.
+    pub fn continual(&self) -> Option<ContinualStatus> {
+        self.continual
     }
 
     /// The released estimate of `d(u, v)`, via the source cache when
@@ -228,6 +238,8 @@ pub struct NamespaceStats {
     pub cache_hits: u64,
     /// Cumulative read-path cache misses.
     pub cache_misses: u64,
+    /// Continual-mode stream status, or `None` for a standard namespace.
+    pub continual: Option<ContinualStatus>,
 }
 
 /// One live release's bookkeeping: its re-run spec and the (write-once,
@@ -247,6 +259,9 @@ struct NamespaceWriter {
     specs: BTreeMap<u64, SpecEntry>,
     epoch: u64,
     budget: Option<(f64, f64)>,
+    /// Continual mode: the tree-composer state plus the name of the
+    /// state file the on-disk manifest currently references.
+    continual: Option<(ContinualState, String)>,
 }
 
 impl NamespaceWriter {
@@ -255,6 +270,15 @@ impl NamespaceWriter {
             namespace: self.name.clone(),
             epoch: self.epoch,
             budget: self.budget,
+            continual: self
+                .continual
+                .as_ref()
+                .map(|(state, file)| ContinualManifest {
+                    horizon: state.horizon,
+                    rho_total: state.rho_total,
+                    delta: state.delta,
+                    file: file.clone(),
+                }),
             spends: self
                 .engine
                 .accountant()
@@ -475,6 +499,7 @@ impl ReleaseStore {
             specs: BTreeMap::new(),
             epoch: 0,
             budget: budget.map(|(e, d)| (e.value(), d.value())),
+            continual: None,
         };
         let mut topo_bytes = Vec::new();
         write_topology(&mut topo_bytes, writer.engine.topology())
@@ -484,6 +509,103 @@ impl ReleaseStore {
         write_weights(&mut weight_bytes, writer.engine.weights())
             .map_err(|e| StoreError::io(&dir.join(WEIGHTS_FILE), e))?;
         atomic_write(&dir.join(WEIGHTS_FILE), &weight_bytes)?;
+        writer.persist_manifest()?;
+        let ns = self.namespace_from_writer(writer);
+        map.insert(name.to_string(), Arc::new(ns));
+        Ok(())
+    }
+
+    /// Creates a **continual-release** namespace: a fixed update horizon
+    /// `T`, a mandatory `(eps, delta)` budget converted through the
+    /// tight zCDP inverse into a rho allowance, and a binary-tree
+    /// composer whose capacity is `T + 1` (the base weights are stream
+    /// item 1, so every later prefix sum *is* the current weights).
+    /// Weight updates on this namespace route through the composer and
+    /// debit the ledger only when the stream crosses a power of two —
+    /// polylog total spend over the whole stream instead of a fresh full
+    /// debit per update.
+    ///
+    /// # Errors
+    /// [`StoreError::ContinualAccountant`] when `delta == 0` (a pure-DP
+    /// ledger admits no Gaussian tree noise to compose) or `horizon` is
+    /// zero; otherwise as [`create_namespace`](Self::create_namespace).
+    pub fn create_namespace_continual(
+        &self,
+        name: &str,
+        topo: Topology,
+        weights: EdgeWeights,
+        budget: (Epsilon, Delta),
+        horizon: u64,
+    ) -> Result<(), StoreError> {
+        let (eps, delta) = budget;
+        if delta.value() <= 0.0 {
+            return Err(StoreError::ContinualAccountant(
+                "continual mode needs an approximate-DP budget (delta > 0): a pure-DP \
+                 ledger admits no Gaussian tree noise to compose"
+                    .into(),
+            ));
+        }
+        if horizon == 0 {
+            return Err(StoreError::ContinualAccountant(
+                "continual horizon must be at least 1".into(),
+            ));
+        }
+        if !is_valid_namespace(name) {
+            return Err(StoreError::InvalidNamespace(name.into()));
+        }
+        let mut map = self.namespaces.write().expect("namespace map lock");
+        if map.contains_key(name) {
+            return Err(StoreError::NamespaceExists(name.into()));
+        }
+        let dir = self.root.join(name);
+        if dir.join(MANIFEST_FILE).is_file() {
+            return Err(StoreError::NamespaceExists(name.into()));
+        }
+        let rho_total = max_rho_for_epsilon(eps.value(), delta.value())
+            .map_err(|e| StoreError::ContinualAccountant(e.to_string()))?;
+        let mut state = ContinualState::new(horizon, rho_total, delta.value(), weights.len())?;
+        let accountant = Accountant::with_budget(eps, delta);
+        let mut engine = ReleaseEngine::with_accountant(topo, weights, accountant)?;
+        // Stream item 1 is the base weight vector itself. Debit the
+        // telescoped increment (plus the one-time delta) before any
+        // noise is drawn — check-before-noise, as everywhere else.
+        let (inc_eps, inc_delta) = state.prospective_debit()?;
+        engine.debit(
+            "continual@1",
+            Epsilon::new(inc_eps).map_err(EngineError::Dp)?,
+            Delta::new(inc_delta).map_err(EngineError::Dp)?,
+        )?;
+        let base = engine.weights().as_slice().to_vec();
+        let mut rng = self.next_rng();
+        state
+            .composer
+            .push(&base, &mut rng)
+            .map_err(|e| StoreError::ContinualAccountant(e.to_string()))?;
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        let state_file = state_file_name(0);
+        let writer = NamespaceWriter {
+            name: name.to_string(),
+            dir: dir.clone(),
+            engine,
+            specs: BTreeMap::new(),
+            epoch: 0,
+            budget: Some((eps.value(), delta.value())),
+            continual: Some((state, state_file.clone())),
+        };
+        let mut topo_bytes = Vec::new();
+        write_topology(&mut topo_bytes, writer.engine.topology())
+            .map_err(|e| StoreError::io(&dir.join(TOPOLOGY_FILE), e))?;
+        atomic_write(&dir.join(TOPOLOGY_FILE), &topo_bytes)?;
+        let mut weight_bytes = Vec::new();
+        write_weights(&mut weight_bytes, writer.engine.weights())
+            .map_err(|e| StoreError::io(&dir.join(WEIGHTS_FILE), e))?;
+        atomic_write(&dir.join(WEIGHTS_FILE), &weight_bytes)?;
+        writer
+            .continual
+            .as_ref()
+            .expect("just installed")
+            .0
+            .write_state(&dir, &state_file)?;
         writer.persist_manifest()?;
         let ns = self.namespace_from_writer(writer);
         map.insert(name.to_string(), Arc::new(ns));
@@ -508,24 +630,64 @@ impl ReleaseStore {
         let ns = self.get(namespace)?;
         let mut rng = self.next_rng();
         let mut w = ns.writer.lock().expect("namespace writer lock");
-        let (cost_eps, cost_delta) = spec.cost();
-        w.check_budget(cost_eps, cost_delta)?;
-        // Stage first: a mechanism failure touches nothing.
-        let staged = spec.run(
-            w.engine.topology(),
-            w.engine.weights(),
-            &mut RngNoise::new(&mut rng),
-        )?;
+        // Stage first: a mechanism failure touches nothing. A continual
+        // namespace serves releases as **post-processing** of the tree
+        // composer's estimate — exact mechanisms over already-noised
+        // weights, zero marginal ledger cost — so only kinds whose
+        // mechanism is exact under `ZeroNoise` are admissible.
+        let staged = if let Some((state, _)) = &w.continual {
+            if !is_continual_servable(spec.kind()) {
+                return Err(StoreError::InvalidSpec(format!(
+                    "{} releases cannot be served continually: the mechanism perturbs \
+                     per-release structure instead of post-processing the tree estimate",
+                    spec.kind()
+                )));
+            }
+            // The record keeps the spec's *nominal* eps (it doubles as
+            // the persisted mechanism parameter); the actual ledger
+            // debit is zero and the receipt reports that.
+            let mut s = spec.run(
+                w.engine.topology(),
+                &state.estimate_weights(),
+                &mut ZeroNoise,
+            )?;
+            s.accuracy =
+                Some(state.contract(w.engine.topology().num_nodes(), w.engine.weights().len()));
+            s
+        } else {
+            let (cost_eps, cost_delta) = spec.cost();
+            w.check_budget(cost_eps, cost_delta)?;
+            spec.run(
+                w.engine.topology(),
+                w.engine.weights(),
+                &mut RngNoise::new(&mut rng),
+            )?
+        };
+        let continual = w.continual.is_some();
         let new_epoch = w.epoch + 1;
-        let (eps, delta) = (staged.eps, staged.delta);
+        let (eps, delta) = if continual {
+            (0.0, 0.0)
+        } else {
+            (staged.eps, staged.delta)
+        };
         let label = format!("{}#e{new_epoch}", staged.release.kind());
-        let id = w.engine.adopt(
-            label,
-            staged.eps,
-            staged.delta,
-            staged.accuracy,
-            staged.release,
-        )?;
+        let id = if continual {
+            w.engine.adopt_unspent(
+                label,
+                staged.eps,
+                staged.delta,
+                staged.accuracy,
+                staged.release,
+            )
+        } else {
+            w.engine.adopt(
+                label,
+                staged.eps,
+                staged.delta,
+                staged.accuracy,
+                staged.release,
+            )?
+        };
         let file = release_file_name(id.value(), new_epoch);
         if let Err(e) = w.write_record_file(id, &file) {
             w.engine.remove(id);
@@ -589,6 +751,17 @@ impl ReleaseStore {
         let mut rng = self.next_rng();
         let mut w = ns.writer.lock().expect("namespace writer lock");
         let update = WeightUpdate::measure(w.engine.weights(), &new_weights)?;
+
+        if w.continual.is_some() {
+            return self.update_weights_continual(
+                namespace,
+                &ns,
+                &mut w,
+                new_weights,
+                &update,
+                &mut rng,
+            );
+        }
 
         // Pre-check the whole pass so a partial re-release generation is
         // never even staged for budget reasons.
@@ -670,6 +843,139 @@ impl ReleaseStore {
             changed_edges: update.changed_edges(),
         };
         self.swap_snapshot(&ns, &w);
+        Ok(receipt)
+    }
+
+    /// The continual-mode weight update: the delta against the current
+    /// private weights becomes the next binary-tree stream item, every
+    /// live release is re-staged as exact post-processing of the new
+    /// tree estimate, and the ledger is debited only by the telescoped
+    /// increment (zero except when the stream crosses a power of two).
+    /// The tree state persists to a write-once epoch-suffixed file
+    /// before the manifest rename, so the rename atomically commits
+    /// stream position, ledger, and releases together.
+    fn update_weights_continual(
+        &self,
+        namespace: &str,
+        ns: &Namespace,
+        w: &mut NamespaceWriter,
+        new_weights: EdgeWeights,
+        update: &WeightUpdate,
+        rng: &mut StdRng,
+    ) -> Result<UpdateReceipt, StoreError> {
+        let state = w.continual.as_ref().expect("checked by caller").0.clone();
+        if state.position() >= state.horizon {
+            return Err(StoreError::ContinualHorizon {
+                namespace: w.name.clone(),
+                horizon: state.horizon,
+            });
+        }
+        let (inc_eps, inc_delta) = state.prospective_debit()?;
+        if inc_eps > 0.0 || inc_delta > 0.0 {
+            w.check_budget(inc_eps, inc_delta)?;
+        }
+
+        // Phase 1 — stage on a clone: the stream item is the true
+        // per-edge delta; a failure anywhere below touches nothing.
+        let mut new_state = state;
+        let item = new_state.composer.items() + 1;
+        let delta_vec: Vec<f64> = new_weights
+            .as_slice()
+            .iter()
+            .zip(w.engine.weights().as_slice())
+            .map(|(new, old)| new - old)
+            .collect();
+        new_state
+            .composer
+            .push(&delta_vec, rng)
+            .map_err(|e| StoreError::ContinualAccountant(e.to_string()))?;
+        let estimate = new_state.estimate_weights();
+        let new_epoch = w.epoch + 1;
+        let contract =
+            new_state.contract(w.engine.topology().num_nodes(), w.engine.weights().len());
+        let mut staged: Vec<(u64, String, String, StagedRelease)> = Vec::new();
+        for (&id, entry) in &w.specs {
+            let mut s = entry
+                .spec
+                .run(w.engine.topology(), &estimate, &mut ZeroNoise)?;
+            s.accuracy = Some(contract);
+            let label = format!("{}#{id}@e{new_epoch}", s.release.kind());
+            staged.push((id, release_file_name(id, new_epoch), label, s));
+        }
+
+        // Phase 2 — persist the shadows, the new true weights, and the
+        // new tree state under write-once names (old files untouched).
+        let abort_files = |w: &NamespaceWriter, upto: &[(u64, String, String, StagedRelease)]| {
+            for (_, file, _, _) in upto {
+                let _ = fs::remove_file(w.dir.join(file));
+            }
+        };
+        for i in 0..staged.len() {
+            let (_, file, label, s) = &staged[i];
+            if let Err(e) = write_staged(&w.dir, file, label, s) {
+                abort_files(w, &staged[..=i]);
+                return Err(e);
+            }
+        }
+        let mut weight_bytes = Vec::new();
+        write_weights(&mut weight_bytes, &new_weights)
+            .map_err(|e| StoreError::io(&w.dir.join(WEIGHTS_FILE), e))?;
+        if let Err(e) = atomic_write(&w.dir.join(WEIGHTS_FILE), &weight_bytes) {
+            abort_files(w, &staged);
+            return Err(e);
+        }
+        let state_file = state_file_name(new_epoch);
+        if let Err(e) = new_state.write_state(&w.dir, &state_file) {
+            abort_files(w, &staged);
+            let _ = fs::remove_file(w.dir.join(&state_file));
+            return Err(e);
+        }
+
+        // Phase 3 — install and commit: true weights, the telescoped
+        // debit (skipped when zero: the ledger records only crossings),
+        // the post-processed releases, then the manifest rename.
+        w.engine.update_weights(new_weights)?;
+        if inc_eps > 0.0 || inc_delta > 0.0 {
+            w.engine.debit(
+                format!("continual@{item}"),
+                Epsilon::new(inc_eps).map_err(EngineError::Dp)?,
+                Delta::new(inc_delta).map_err(EngineError::Dp)?,
+            )?;
+        }
+        let mut old_files = Vec::with_capacity(staged.len());
+        for (id, file, label, s) in staged {
+            w.engine.replace_release_unspent(
+                ReleaseId::new(id),
+                label,
+                s.eps,
+                s.delta,
+                s.accuracy,
+                s.release,
+            )?;
+            let entry = w.specs.get_mut(&id).expect("staged from the spec map");
+            old_files.push(std::mem::replace(&mut entry.file, file));
+        }
+        let old_state_file = {
+            let slot = w.continual.as_mut().expect("checked by caller");
+            slot.0 = new_state;
+            std::mem::replace(&mut slot.1, state_file)
+        };
+        w.epoch = new_epoch;
+        w.persist_manifest()?;
+        for file in old_files {
+            let _ = fs::remove_file(w.dir.join(file));
+        }
+        let _ = fs::remove_file(w.dir.join(&old_state_file));
+        let receipt = UpdateReceipt {
+            namespace: namespace.to_string(),
+            epoch: w.epoch,
+            rereleased: w.specs.len(),
+            eps: inc_eps,
+            delta: inc_delta,
+            l1_shift: update.l1_shift(),
+            changed_edges: update.changed_edges(),
+        };
+        self.swap_snapshot(ns, w);
         Ok(receipt)
     }
 
@@ -851,6 +1157,7 @@ impl ReleaseStore {
                     remaining: snap.service().remaining(),
                     cache_hits: ns.counters.hits(),
                     cache_misses: ns.counters.misses(),
+                    continual: snap.continual(),
                 }
             })
             .collect()
@@ -893,6 +1200,7 @@ impl ReleaseStore {
             cache: self
                 .cache_enabled
                 .then(|| SourceCache::new(self.cache_capacity, counters.clone())),
+            continual: writer.continual.as_ref().map(|(s, _)| s.status()),
         }
     }
 
@@ -943,6 +1251,30 @@ impl ReleaseStore {
             File::open(&weights_path).map_err(|e| StoreError::io(&weights_path, e))?,
         ))
         .map_err(|e| StoreError::io(&weights_path, e))?;
+
+        // Continual state replays from its own file; the manifest's
+        // horizon/rho/delta must agree with it or the namespace refuses
+        // to load (a mismatch means the stream position is unaccounted).
+        let continual = match &data.continual {
+            Some(cm) => {
+                let state = ContinualState::read_state(dir, &cm.file, weights.len())?;
+                if state.horizon != cm.horizon
+                    || state.rho_total != cm.rho_total
+                    || state.delta != cm.delta
+                {
+                    return Err(StoreError::manifest(
+                        &dir.join(MANIFEST_FILE),
+                        format!(
+                            "continual state file {:?} disagrees with the manifest's \
+                             horizon/rho/delta",
+                            cm.file
+                        ),
+                    ));
+                }
+                Some((state, cm.file.clone()))
+            }
+            None => None,
+        };
 
         // The ledger first: spends cover every release and re-release,
         // including generations since replaced.
@@ -1010,6 +1342,7 @@ impl ReleaseStore {
                 let path = entry.path();
                 let name = entry.file_name().to_string_lossy().into_owned();
                 let referenced = data.releases.iter().any(|(_, f, _)| *f == name)
+                    || data.continual.as_ref().is_some_and(|c| c.file == name)
                     || name == MANIFEST_FILE
                     || name == TOPOLOGY_FILE
                     || name == WEIGHTS_FILE;
@@ -1026,6 +1359,7 @@ impl ReleaseStore {
             specs,
             epoch: data.epoch,
             budget: data.budget,
+            continual,
         };
         Ok((data.namespace.clone(), self.namespace_from_writer(writer)))
     }

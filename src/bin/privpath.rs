@@ -96,6 +96,11 @@ commands:
              or --connect HOST:PORT (admin verbs against a live server):
                store init    --dir D --namespace NS --topo F --weights F
                              [--budget-eps E] [--budget-delta D]
+                             [--continual --horizon T]
+                             --continual streams weight updates through a
+                             binary-tree composer under a zCDP allowance
+                             (budget with delta > 0 required): T updates
+                             cost polylog(T) budget instead of T debits
                store publish (--dir D | --connect A) --namespace NS
                              --mechanism M --eps E [--delta D] [--gamma G]
                              [--max-weight W]
@@ -996,8 +1001,15 @@ fn print_stats(s: &privpath::store::NamespaceStats) {
         Some((e, d)) => format!("remaining (eps {e}, delta {d})"),
         None => "unbounded".to_string(),
     };
+    let mode = match &s.continual {
+        None => String::new(),
+        Some(c) => format!(
+            " continual {}/{} updates rho {:.6}/{:.6}",
+            c.position, c.horizon, c.rho_spent, c.rho_total
+        ),
+    };
     println!(
-        "{} epoch {} releases {} spent (eps {}, delta {}) {remaining} cache {} hits / {} misses",
+        "{} epoch {} releases {} spent (eps {}, delta {}) {remaining} cache {} hits / {} misses{mode}",
         s.namespace, s.epoch, s.releases, s.spent_eps, s.spent_delta, s.cache_hits, s.cache_misses
     );
 }
@@ -1033,8 +1045,9 @@ fn store_cmd(rest: &[String]) -> Result<(), String> {
     };
     match sub.as_str() {
         "init" => {
+            let (rest, continual) = extract_switch(rest, "--continual");
             let flags = parse_flags(
-                rest,
+                &rest,
                 &[
                     "dir",
                     "namespace",
@@ -1042,8 +1055,12 @@ fn store_cmd(rest: &[String]) -> Result<(), String> {
                     "weights",
                     "budget-eps",
                     "budget-delta",
+                    "horizon",
                 ],
             )?;
+            if flags.contains_key("horizon") && !continual {
+                return Err("--horizon needs --continual".into());
+            }
             let dir = required(&flags, "dir")?;
             let ns = required(&flags, "namespace")?;
             let topo_file = File::open(required(&flags, "topo")?).map_err(|e| e.to_string())?;
@@ -1069,6 +1086,21 @@ fn store_cmd(rest: &[String]) -> Result<(), String> {
             };
             let store = ReleaseStore::open(dir).map_err(|e| e.to_string())?;
             let (nodes, edges) = (topo.num_nodes(), topo.num_edges());
+            if continual {
+                let horizon: u64 = parse(required(&flags, "horizon")?, "horizon")?;
+                let budget = budget.ok_or_else(|| {
+                    "--continual needs --budget-eps and --budget-delta (delta > 0)".to_string()
+                })?;
+                store
+                    .create_namespace_continual(ns, topo, weights, budget, horizon)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "initialized continual namespace {ns} in {dir} ({nodes} nodes, {edges} roads, \
+                     horizon {horizon}, budget (eps {}, delta {}))",
+                    budget.0, budget.1
+                );
+                return Ok(());
+            }
             store
                 .create_namespace(ns, topo, weights, budget)
                 .map_err(|e| e.to_string())?;

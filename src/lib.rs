@@ -121,7 +121,7 @@ pub mod prelude {
         ReleaseSummary, Server,
     };
     pub use privpath_store::{
-        NamespaceSnapshot, NamespaceStats, PublishReceipt, ReleaseSpec, ReleaseStore, StoreError,
-        UpdateReceipt,
+        ContinualStatus, NamespaceSnapshot, NamespaceStats, PublishReceipt, ReleaseSpec,
+        ReleaseStore, StoreError, UpdateReceipt,
     };
 }

@@ -706,3 +706,95 @@ fn validated_accuracy_table_n_1024() {
     );
     row("all-pairs-baseline", Theorem::Lem33, a, m);
 }
+
+// ---------------------------------------------------------------------------
+// Continual-release stream audit: a long weight-update stream served
+// through the tree composer must honor the `ContinualRelease` contract
+// its release declares, at every epoch along the stream.
+// ---------------------------------------------------------------------------
+
+/// Streams [`STREAM_LEN`] weight updates through a continual namespace
+/// and measures, at every epoch, the served release's max distance
+/// error against exact Dijkstra on the *true* current weights. The
+/// declared `ContinualRelease` bound must hold at empirical rate at
+/// least `1 - GAMMA` across the stream — one measurement per update,
+/// 200 in total, the issue's stream-audit floor.
+#[test]
+fn continual_stream_meets_declared_bound_across_200_updates() {
+    const STREAM_LEN: usize = 200;
+    let v = 32;
+    let m = 80;
+    let (topo, w0) = graph_workload(v, m, 41);
+    let num_edges = topo.num_edges();
+    let pairs = query_pairs(v, 8, 5, 4100 ^ 0x5eed);
+
+    let dir = std::env::temp_dir().join(format!("privpath-audit-continual-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(4100);
+    store
+        .create_namespace_continual(
+            "stream",
+            topo.clone(),
+            w0,
+            (eps(4.0), delta()),
+            STREAM_LEN as u64,
+        )
+        .unwrap();
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.0))
+        .unwrap()
+        .with_gamma(GAMMA)
+        .unwrap();
+    let id = store.publish("stream", &spec).unwrap().id;
+
+    // The continual contract is declared once at publish and does not
+    // drift with the stream position: the tree's per-node noise scale
+    // is fixed by (rho, T) at init.
+    let declared = store
+        .snapshot("stream")
+        .unwrap()
+        .service()
+        .accuracy(id, GAMMA)
+        .unwrap();
+    let alpha = declared.alpha();
+
+    let mut rng = StdRng::seed_from_u64(4200);
+    let measured: Vec<f64> = (0..STREAM_LEN)
+        .map(|_| {
+            let w = uniform_weights(num_edges, 0.0, MAX_WEIGHT, &mut rng);
+            store.update_weights("stream", w.clone()).unwrap();
+            let snap = store.snapshot("stream").unwrap();
+            let truth = true_distances(&topo, &w, &pairs);
+            let est = snap.distance_batch(id, &pairs).expect("workload in range");
+            est.iter()
+                .zip(&truth)
+                .map(|(e, t)| (e - t).abs())
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let outcome = AuditOutcome {
+        theorem: declared.theorem(),
+        alpha,
+        measured,
+    };
+    println!("continual stream — {outcome}");
+    outcome.assert_rate("continual stream");
+
+    // The stream consumed exactly its horizon within the standing
+    // budget: position at the horizon, rho inside the conversion total.
+    let stats = store.stats_for("stream").unwrap();
+    let status = stats.continual.expect("continual namespace");
+    assert_eq!(status.position, STREAM_LEN as u64);
+    assert_eq!(status.horizon, STREAM_LEN as u64);
+    assert!(
+        status.rho_spent <= status.rho_total + 1e-12,
+        "rho overspent: {} of {}",
+        status.rho_spent,
+        status.rho_total
+    );
+    assert!(
+        stats.spent_eps <= 4.0 + 1e-9,
+        "ledger overspent: {}",
+        stats.spent_eps
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

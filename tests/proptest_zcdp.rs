@@ -1,0 +1,152 @@
+//! Property tests pinning the zCDP conversion layer that the continual
+//! plane's budget accounting stands on: the tight `rho -> (eps, delta)`
+//! conversion must be monotone (in rho and in delta), never beat the
+//! classic closed form it refines, never undersell a pure-DP mechanism
+//! at cryptographically small delta, and invert cleanly through
+//! `max_rho_for_epsilon` — the function that turns a store-level
+//! `(eps, delta)` budget into a continual namespace's rho allowance.
+//! If any of these drifted, a continual stream would mis-debit its
+//! ledger silently.
+
+use privpath::dp::zcdp::{
+    gaussian_rho, gaussian_sigma, max_rho_for_epsilon, pure_to_zcdp, zcdp_epsilon,
+    zcdp_epsilon_classic,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Conversion inputs over the ranges the store actually exercises, plus
+/// ordered pairs `rho_lo < rho_hi` and `delta_lo < delta_hi`.
+#[derive(Clone, Debug)]
+struct ConversionInputs {
+    rho_lo: f64,
+    rho_hi: f64,
+    delta_lo: f64,
+    delta_hi: f64,
+    eps: f64,
+}
+
+fn arb_inputs() -> impl Strategy<Value = ConversionInputs> {
+    any::<u64>().prop_map(|seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rho_lo = 10f64.powf(rng.gen_range(-6.0..1.5));
+        let rho_hi = rho_lo * rng.gen_range(1.0001..1000.0);
+        let delta_lo = 10f64.powf(rng.gen_range(-12.0..-2.0));
+        let delta_hi = (delta_lo * rng.gen_range(1.0001..100.0)).min(0.5);
+        ConversionInputs {
+            rho_lo,
+            rho_hi,
+            delta_lo,
+            delta_hi,
+            eps: 10f64.powf(rng.gen_range(-2.0..1.3)),
+        }
+    })
+}
+
+fn rel_tol(x: f64) -> f64 {
+    1e-9 * x.abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// More rho never converts to less eps, and a laxer delta never
+    /// converts to more eps — the two monotonicities `max_rho_for_epsilon`'s
+    /// bisection and the composer's telescoped ledger debits both assume.
+    #[test]
+    fn conversion_is_monotone_in_rho_and_delta(i in arb_inputs()) {
+        let lo = zcdp_epsilon(i.rho_lo, i.delta_lo).unwrap();
+        let hi = zcdp_epsilon(i.rho_hi, i.delta_lo).unwrap();
+        prop_assert!(
+            hi >= lo - rel_tol(lo),
+            "eps shrank with rho: eps({}) = {lo} -> eps({}) = {hi}",
+            i.rho_lo,
+            i.rho_hi
+        );
+        let strict = zcdp_epsilon(i.rho_lo, i.delta_lo).unwrap();
+        let lax = zcdp_epsilon(i.rho_lo, i.delta_hi).unwrap();
+        prop_assert!(
+            strict >= lax - rel_tol(lax),
+            "eps grew with delta: eps(delta={}) = {strict} < eps(delta={}) = {lax}",
+            i.delta_lo,
+            i.delta_hi
+        );
+    }
+
+    /// The tight minimum-over-alpha conversion is a refinement: finite,
+    /// clamped at zero, and never above the classic closed form.
+    #[test]
+    fn tight_conversion_never_exceeds_classic(i in arb_inputs()) {
+        for &rho in &[i.rho_lo, i.rho_hi] {
+            for &delta in &[i.delta_lo, i.delta_hi] {
+                let tight = zcdp_epsilon(rho, delta).unwrap();
+                let classic = zcdp_epsilon_classic(rho, delta).unwrap();
+                prop_assert!(tight.is_finite() && tight >= 0.0);
+                prop_assert!(
+                    tight <= classic + rel_tol(classic),
+                    "rho={rho} delta={delta}: tight {tight} > classic {classic}"
+                );
+            }
+        }
+    }
+
+    /// Agreement with pure DP as delta -> 0: a pure `eps`-DP mechanism
+    /// is `(eps^2/2)`-zCDP, and at cryptographically small delta the
+    /// back-conversion must charge at least the original eps — zCDP
+    /// accounting never undersells a pure mechanism. Shrinking delta
+    /// only widens the gap (pure DP's delta = 0 is the unattainable
+    /// limit of any positive rho).
+    #[test]
+    fn pure_dp_is_never_undersold_at_small_delta(i in arb_inputs()) {
+        let delta = i.delta_lo.min(1e-6);
+        let rho = pure_to_zcdp(i.eps);
+        let back = zcdp_epsilon(rho, delta).unwrap();
+        prop_assert!(
+            back >= i.eps - rel_tol(i.eps),
+            "pure eps={} re-converted to only {back} at delta={delta}",
+            i.eps
+        );
+        let tighter = zcdp_epsilon(rho, delta / 10.0).unwrap();
+        prop_assert!(
+            tighter >= back - rel_tol(back),
+            "shrinking delta shrank the conversion: {back} -> {tighter}"
+        );
+    }
+
+    /// `max_rho_for_epsilon` inverts the conversion: the returned rho
+    /// fits the `(eps, delta)` budget, and it is not wastefully loose —
+    /// 2% more rho already overshoots the target eps.
+    #[test]
+    fn budget_inverse_round_trips(i in arb_inputs()) {
+        let rho = max_rho_for_epsilon(i.eps, i.delta_lo).unwrap();
+        prop_assert!(rho.is_finite() && rho > 0.0, "degenerate rho allowance {rho}");
+        let back = zcdp_epsilon(rho, i.delta_lo).unwrap();
+        prop_assert!(
+            back <= i.eps + 1e-6 * i.eps.max(1.0),
+            "allowance overshoots: eps({rho}) = {back} > {}",
+            i.eps
+        );
+        let over = zcdp_epsilon(rho * 1.02 + 1e-9, i.delta_lo).unwrap();
+        prop_assert!(
+            over >= i.eps - 1e-6 * i.eps.max(1.0),
+            "allowance wastefully loose: eps({}) = {over} still under {}",
+            rho * 1.02,
+            i.eps
+        );
+    }
+
+    /// The Gaussian calibration inverts: `sigma -> rho -> sigma` is the
+    /// identity, at any sensitivity.
+    #[test]
+    fn gaussian_rho_sigma_invert(i in arb_inputs()) {
+        let sensitivity = i.eps; // any positive finite value
+        let sigma = i.rho_hi;
+        let rho = gaussian_rho(sensitivity, sigma).unwrap();
+        let sigma_back = gaussian_sigma(sensitivity, rho).unwrap();
+        prop_assert!(
+            (sigma_back - sigma).abs() <= 1e-9 * sigma,
+            "sigma {sigma} -> rho {rho} -> sigma {sigma_back}"
+        );
+    }
+}

@@ -258,3 +258,102 @@ fn namespaces_are_isolated_tenants() {
     assert_eq!(stats.spent_eps, 1.0);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Continual-stream invariant: with exactly one publish followed only
+/// by weight updates, every committed update advances the stream
+/// position and the epoch by one each, so `position == epoch - 1` in
+/// *every* complete snapshot. A torn view — the composer's new tree
+/// state visible before the epoch bump, or a bumped epoch still
+/// carrying the old tree — breaks the equality. The budget view must be
+/// torn-free too: rho spend is a deterministic function of position, so
+/// within one snapshot it can never exceed the total, and across
+/// snapshots position and spend only move forward.
+#[test]
+fn continual_readers_never_observe_torn_tree_state() {
+    let dir = temp_store("continual-torn");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(13);
+    let n = 24;
+    let topo = privpath::graph::generators::path_graph(n);
+    let num_edges = topo.num_edges();
+    const UPDATES: u64 = 48;
+    store
+        .create_namespace_continual(
+            "stream",
+            topo,
+            EdgeWeights::constant(num_edges, 3.0),
+            (eps(1.0), Delta::new(1e-6).unwrap()),
+            UPDATES,
+        )
+        .unwrap();
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.0)).unwrap();
+    let id = store.publish("stream", &spec).unwrap().id;
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for t in 0..4 {
+            let store = &store;
+            let done = &done;
+            readers.push(scope.spawn(move || {
+                let mut last_position = 0u64;
+                let mut last_rho = 0.0f64;
+                let mut observed = 0usize;
+                while !done.load(Ordering::Relaxed) || observed == 0 {
+                    let snap = store.snapshot("stream").unwrap();
+                    let epoch = snap.epoch();
+                    let status = snap
+                        .continual()
+                        .expect("continual namespace must always report stream status");
+                    assert_eq!(
+                        status.position,
+                        epoch - 1,
+                        "reader {t}: torn tree state (epoch {epoch}, position {})",
+                        status.position
+                    );
+                    assert!(
+                        status.position >= last_position,
+                        "reader {t}: stream position went backwards ({last_position} -> {})",
+                        status.position
+                    );
+                    assert!(
+                        status.position <= status.horizon,
+                        "reader {t}: position {} past horizon {}",
+                        status.position,
+                        status.horizon
+                    );
+                    assert!(
+                        status.rho_spent >= last_rho && status.rho_spent <= status.rho_total,
+                        "reader {t}: rho spend tore ({last_rho} -> {} of {})",
+                        status.rho_spent,
+                        status.rho_total
+                    );
+                    last_position = status.position;
+                    last_rho = status.rho_spent;
+                    // The continually re-released object must always answer.
+                    let d = snap
+                        .distance(id, NodeId::new(0), NodeId::new(n - 1))
+                        .unwrap();
+                    assert!(d.is_finite());
+                    observed += 1;
+                }
+                observed
+            }));
+        }
+
+        for i in 0..UPDATES {
+            let w = 3.0 + (i as f64 + 1.0) * 0.01;
+            let receipt = store
+                .update_weights("stream", EdgeWeights::constant(num_edges, w))
+                .unwrap();
+            assert_eq!(receipt.epoch, i + 2);
+        }
+        done.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader made no observations");
+        }
+    });
+    let status = store.stats_for("stream").unwrap().continual.unwrap();
+    assert_eq!(status.position, UPDATES);
+    assert_eq!(store.epoch("stream").unwrap(), UPDATES + 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

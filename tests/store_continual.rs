@@ -1,0 +1,373 @@
+//! The continual-release plane end to end: sublinear budget spend over
+//! a long update stream (vs. naive re-release at matched per-query
+//! accuracy), typed misuse errors, and crash-safe stream replay.
+
+use privpath::engine::ReleaseKind;
+use privpath::prelude::*;
+use privpath::store::StoreError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "privpath-continual-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn delta(v: f64) -> Delta {
+    Delta::new(v).unwrap()
+}
+
+/// A deterministic positive weight vector for stream step `t`.
+fn step_weights(num_edges: usize, t: u64) -> EdgeWeights {
+    let mut rng = StdRng::seed_from_u64(0x5ea1 ^ t);
+    EdgeWeights::new(
+        (0..num_edges)
+            .map(|_| 4.0 + rng.gen::<f64>())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+/// The acceptance criterion: streaming 256 weight updates through a
+/// continual namespace costs >= 10x less cumulative epsilon than 256
+/// naive re-releases whose declared per-query accuracy bound matches
+/// the continual namespace's.
+#[test]
+fn continual_stream_is_10x_cheaper_than_naive_at_matched_accuracy() {
+    const T: u64 = 256;
+    const GAMMA: f64 = 0.01;
+    let topo = privpath::graph::generators::complete_graph(24);
+    let (v, num_edges) = (topo.num_nodes(), topo.num_edges());
+    let base = EdgeWeights::constant(num_edges, 4.5);
+
+    let dir = temp_store("tenx");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(42);
+    let budget_eps = 1.0;
+    store
+        .create_namespace_continual(
+            "stream",
+            topo.clone(),
+            base.clone(),
+            (eps(budget_eps), delta(1e-6)),
+            T,
+        )
+        .unwrap();
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.0)).unwrap();
+    let receipt = store.publish("stream", &spec).unwrap();
+    // Continual releases are post-processing: the publish itself debits
+    // nothing beyond the stream's own telescoped spend.
+    assert_eq!(receipt.eps, 0.0);
+    assert_eq!(receipt.delta, 0.0);
+
+    let continual_bound = store
+        .snapshot("stream")
+        .unwrap()
+        .service()
+        .accuracy(receipt.id, GAMMA)
+        .unwrap()
+        .alpha();
+    assert!(continual_bound.is_finite() && continual_bound > 0.0);
+
+    // The matched naive baseline: a fresh shortest-path release whose
+    // WorstCasePath bound `(2 V / eps) ln(E / gamma)` equals the
+    // continual contract's bound at the same gamma.
+    let eps_matched = 2.0 * v as f64 * (num_edges as f64 / GAMMA).ln() / continual_bound;
+    let matched_spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(eps_matched))
+        .unwrap()
+        .with_gamma(GAMMA)
+        .unwrap();
+    store.create_namespace("naive", topo, base, None).unwrap();
+    let naive_receipt = store.publish("naive", &matched_spec).unwrap();
+    let naive_bound = store
+        .snapshot("naive")
+        .unwrap()
+        .service()
+        .accuracy(naive_receipt.id, GAMMA)
+        .unwrap()
+        .alpha();
+    assert!(
+        (naive_bound - continual_bound).abs() <= 1e-6 * continual_bound,
+        "accuracy not matched: naive {naive_bound} vs continual {continual_bound}"
+    );
+
+    // Drive the same 256-step stream through both namespaces.
+    let mut spend_steps = 0usize;
+    let mut last_spent = store.stats_for("stream").unwrap().spent_eps;
+    for t in 1..=T {
+        let w = step_weights(num_edges, t);
+        store.update_weights("stream", w.clone()).unwrap();
+        store.update_weights("naive", w).unwrap();
+        let spent = store.stats_for("stream").unwrap().spent_eps;
+        if spent > last_spent {
+            spend_steps += 1;
+        }
+        last_spent = spent;
+    }
+
+    let continual_spent = store.stats_for("stream").unwrap().spent_eps;
+    let naive_spent = store.stats_for("naive").unwrap().spent_eps;
+    assert!(
+        continual_spent <= budget_eps + 1e-9,
+        "continual spend {continual_spent} exceeds its budget {budget_eps}"
+    );
+    assert!(
+        naive_spent >= 10.0 * continual_spent,
+        "naive spend {naive_spent} is not >= 10x continual spend {continual_spent}"
+    );
+    // The ledger steps only when the stream crosses a power of two:
+    // 256 updates on a capacity-257 tree cross at items 2, 4, ..., 256
+    // (the base item paid the first level at init).
+    assert!(
+        spend_steps <= 8,
+        "expected <= 8 telescoped spend steps over 256 updates, saw {spend_steps}"
+    );
+    let status = store.stats_for("stream").unwrap().continual.unwrap();
+    assert_eq!(status.position, T);
+    assert_eq!(status.horizon, T);
+    assert!(status.rho_spent <= status.rho_total + 1e-12);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Streaming past the declared horizon is a typed error, through both
+/// the sparse/whole-vector path and the wire-shaped `full` replacement.
+#[test]
+fn updates_past_the_horizon_are_refused() {
+    let dir = temp_store("horizon");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(7);
+    let topo = privpath::graph::generators::cycle_graph(8);
+    let num_edges = topo.num_edges();
+    store
+        .create_namespace_continual(
+            "short",
+            topo,
+            EdgeWeights::constant(num_edges, 2.0),
+            (eps(1.0), delta(1e-6)),
+            2,
+        )
+        .unwrap();
+    store
+        .update_weights("short", step_weights(num_edges, 1))
+        .unwrap();
+    store
+        .update_weights("short", step_weights(num_edges, 2))
+        .unwrap();
+
+    let err = store
+        .update_weights("short", step_weights(num_edges, 3))
+        .unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            StoreError::ContinualHorizon { namespace, horizon }
+                if namespace == "short" && *horizon == 2
+        ),
+        "expected ContinualHorizon, got {err:?}"
+    );
+
+    // The `update-weights full` wire form hits the same typed error.
+    let full: Vec<(EdgeId, f64)> = (0..num_edges).map(|i| (EdgeId::new(i), 3.25)).collect();
+    let err = store.update_weights_full("short", &full).unwrap_err();
+    assert!(
+        matches!(err, StoreError::ContinualHorizon { horizon: 2, .. }),
+        "expected ContinualHorizon from the full path, got {err:?}"
+    );
+
+    // The stream position did not move.
+    assert_eq!(
+        store
+            .stats_for("short")
+            .unwrap()
+            .continual
+            .unwrap()
+            .position,
+        2
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A pure-DP budget (delta = 0) cannot absorb Gaussian tree noise, and
+/// a missing horizon cannot fix a privacy analysis: both are refused at
+/// init with the typed accountant error.
+#[test]
+fn continual_init_rejects_uncomposable_accountants() {
+    let dir = temp_store("puredp");
+    let store = ReleaseStore::open(&dir).unwrap();
+    let topo = privpath::graph::generators::path_graph(6);
+    let w = EdgeWeights::constant(topo.num_edges(), 1.0);
+
+    let err = store
+        .create_namespace_continual("pure", topo.clone(), w.clone(), (eps(1.0), delta(0.0)), 16)
+        .unwrap_err();
+    assert!(
+        matches!(&err, StoreError::ContinualAccountant(msg) if msg.contains("pure-DP")),
+        "expected ContinualAccountant for delta = 0, got {err:?}"
+    );
+
+    let err = store
+        .create_namespace_continual("zero", topo, w, (eps(1.0), delta(1e-6)), 0)
+        .unwrap_err();
+    assert!(
+        matches!(err, StoreError::ContinualAccountant(_)),
+        "expected ContinualAccountant for horizon 0, got {err:?}"
+    );
+    assert!(store.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mechanisms that perturb per-release structure (rather than
+/// post-processing the tree estimate exactly) have no continual
+/// serving path and are refused at publish.
+#[test]
+fn structural_mechanisms_are_refused_on_continual_namespaces() {
+    let dir = temp_store("kinds");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(3);
+    let topo = privpath::graph::generators::complete_graph(8);
+    let num_edges = topo.num_edges();
+    store
+        .create_namespace_continual(
+            "stream",
+            topo,
+            EdgeWeights::constant(num_edges, 2.0),
+            (eps(1.0), delta(1e-6)),
+            8,
+        )
+        .unwrap();
+
+    let bounded = ReleaseSpec::new(ReleaseKind::BoundedWeight, eps(0.5))
+        .unwrap()
+        .with_max_weight(4.0)
+        .unwrap();
+    let err = store.publish("stream", &bounded).unwrap_err();
+    assert!(
+        matches!(&err, StoreError::InvalidSpec(msg) if msg.contains("continually")),
+        "expected InvalidSpec for bounded-weight on continual, got {err:?}"
+    );
+
+    // The admissible exact kinds all publish as free post-processing.
+    for kind in [
+        ReleaseKind::ShortestPath,
+        ReleaseKind::SyntheticGraph,
+        ReleaseKind::AllPairsBaseline,
+    ] {
+        let spec = ReleaseSpec::new(kind, eps(0.5)).unwrap();
+        let r = store.publish("stream", &spec).unwrap();
+        assert_eq!((r.eps, r.delta), (0.0, 0.0), "{kind:?}");
+    }
+
+    // The tree mechanism is exact too, on a tree topology.
+    let tree_topo = privpath::graph::generators::path_graph(9);
+    let tree_edges = tree_topo.num_edges();
+    store
+        .create_namespace_continual(
+            "treestream",
+            tree_topo,
+            EdgeWeights::constant(tree_edges, 1.5),
+            (eps(1.0), delta(1e-6)),
+            8,
+        )
+        .unwrap();
+    let spec = ReleaseSpec::new(ReleaseKind::Tree, eps(0.5)).unwrap();
+    let r = store.publish("treestream", &spec).unwrap();
+    assert_eq!((r.eps, r.delta), (0.0, 0.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash/restart replay: reopening the store reconstructs the exact
+/// stream position, budget totals, and served answers from the
+/// manifest-referenced tree state file, and the stream resumes where it
+/// left off.
+#[test]
+fn reopen_resumes_the_stream_at_the_same_position_and_budget() {
+    let dir = temp_store("replay");
+    let topo = privpath::graph::generators::complete_graph(12);
+    let num_edges = topo.num_edges();
+    let (id, before_stats, before_d) = {
+        let store = ReleaseStore::open(&dir).unwrap().with_seed(99);
+        store
+            .create_namespace_continual(
+                "stream",
+                topo,
+                EdgeWeights::constant(num_edges, 3.0),
+                (eps(1.5), delta(1e-7)),
+                32,
+            )
+            .unwrap();
+        let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.0)).unwrap();
+        let id = store.publish("stream", &spec).unwrap().id;
+        for t in 1..=5 {
+            store
+                .update_weights("stream", step_weights(num_edges, t))
+                .unwrap();
+        }
+        let snap = store.snapshot("stream").unwrap();
+        let d = snap.distance(id, NodeId::new(0), NodeId::new(7)).unwrap();
+        (id, store.stats_for("stream").unwrap(), d)
+    };
+
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(100);
+    let after_stats = store.stats_for("stream").unwrap();
+    assert_eq!(after_stats.spent_eps, before_stats.spent_eps);
+    assert_eq!(after_stats.spent_delta, before_stats.spent_delta);
+    assert_eq!(after_stats.continual, before_stats.continual);
+    assert_eq!(after_stats.continual.unwrap().position, 5);
+
+    // The replayed release answers identically: continual serving is
+    // exact post-processing of the persisted tree estimate.
+    let snap = store.snapshot("stream").unwrap();
+    let d = snap.distance(id, NodeId::new(0), NodeId::new(7)).unwrap();
+    assert_eq!(d, before_d);
+
+    // The stream resumes at position 6, not at a reset.
+    store
+        .update_weights("stream", step_weights(num_edges, 6))
+        .unwrap();
+    assert_eq!(
+        store
+            .stats_for("stream")
+            .unwrap()
+            .continual
+            .unwrap()
+            .position,
+        6
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Standard namespaces are untouched by the continual plane: their
+/// stats report no stream status and their update path debits per
+/// re-release exactly as before.
+#[test]
+fn standard_namespaces_report_no_continual_status() {
+    let dir = temp_store("standard");
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(5);
+    let topo = privpath::graph::generators::path_graph(10);
+    let num_edges = topo.num_edges();
+    store
+        .create_namespace(
+            "plain",
+            topo,
+            EdgeWeights::constant(num_edges, 1.0),
+            Some((eps(4.0), delta(0.0))),
+        )
+        .unwrap();
+    assert_eq!(store.stats_for("plain").unwrap().continual, None);
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(1.0)).unwrap();
+    store.publish("plain", &spec).unwrap();
+    store
+        .update_weights("plain", step_weights(num_edges, 1))
+        .unwrap();
+    let stats = store.stats_for("plain").unwrap();
+    assert_eq!(stats.continual, None);
+    assert!((stats.spent_eps - 2.0).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
