@@ -345,6 +345,7 @@ pub mod rng {
         scale: NeighborScale,
         rng: &mut impl Rng,
     ) -> Result<SyntheticGraphRelease, CoreError> {
+        // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
         let mut noise = RngNoise::new(rng);
         super::synthetic_graph_release(topo, weights, eps, scale, &mut noise)
     }
@@ -360,6 +361,7 @@ pub mod rng {
         scale: NeighborScale,
         rng: &mut impl Rng,
     ) -> Result<AllPairsDistanceRelease, CoreError> {
+        // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
         let mut noise = RngNoise::new(rng);
         super::all_pairs_basic_composition(topo, weights, eps, scale, &mut noise)
     }
@@ -376,6 +378,7 @@ pub mod rng {
         scale: NeighborScale,
         rng: &mut impl Rng,
     ) -> Result<AllPairsDistanceRelease, CoreError> {
+        // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
         let mut noise = RngNoise::new(rng);
         super::all_pairs_advanced_composition(topo, weights, eps, delta, scale, &mut noise)
     }

@@ -435,6 +435,7 @@ pub fn bounded_weight_all_pairs(
     params: &BoundedWeightParams,
     rng: &mut impl Rng,
 ) -> Result<BoundedWeightRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     bounded_weight_all_pairs_with(topo, weights, params, &mut noise)
 }

@@ -118,6 +118,7 @@ pub fn private_matching(
     params: &MatchingParams,
     rng: &mut impl Rng,
 ) -> Result<MatchingRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     private_matching_with(topo, weights, params, &mut noise)
 }
@@ -181,6 +182,7 @@ pub fn private_matching_objective(
     objective: MatchingObjective,
     rng: &mut impl Rng,
 ) -> Result<MatchingRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     private_matching_objective_with(topo, weights, params, objective, &mut noise)
 }

@@ -131,6 +131,7 @@ pub fn private_mst(
     params: &MstParams,
     rng: &mut impl Rng,
 ) -> Result<MstRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     private_mst_with(topo, weights, params, &mut noise)
 }

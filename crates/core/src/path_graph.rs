@@ -289,6 +289,7 @@ pub fn hub_path_release(
     params: &PathGraphParams,
     rng: &mut impl Rng,
 ) -> Result<HubPathRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     hub_path_release_with(topo, weights, params, &mut noise)
 }
@@ -392,6 +393,7 @@ pub fn dyadic_path_release(
     params: &PathGraphParams,
     rng: &mut impl Rng,
 ) -> Result<DyadicPathRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     dyadic_path_release_with(topo, weights, params, &mut noise)
 }

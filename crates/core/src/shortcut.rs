@@ -618,6 +618,7 @@ pub fn shortcut_apsp(
     params: &ShortcutApspParams,
     rng: &mut impl Rng,
 ) -> Result<ShortcutApspRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     shortcut_apsp_with(topo, weights, params, &mut noise)
 }

@@ -244,6 +244,7 @@ pub fn private_shortest_paths(
     params: &ShortestPathParams,
     rng: &mut impl Rng,
 ) -> Result<ShortestPathRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     private_shortest_paths_with(topo, weights, params, &mut noise)
 }

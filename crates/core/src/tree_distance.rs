@@ -222,6 +222,7 @@ pub fn tree_single_source_distances(
     params: &TreeDistanceParams,
     rng: &mut impl Rng,
 ) -> Result<TreeSingleSourceRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     tree_single_source_distances_with(topo, weights, root, params, &mut noise)
 }
@@ -340,6 +341,7 @@ pub fn tree_all_pairs_distances(
     params: &TreeDistanceParams,
     rng: &mut impl Rng,
 ) -> Result<TreeAllPairsRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     tree_all_pairs_distances_with(topo, weights, params, &mut noise)
 }

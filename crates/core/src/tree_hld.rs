@@ -202,6 +202,7 @@ pub fn hld_tree_all_pairs(
     params: &TreeDistanceParams,
     rng: &mut impl Rng,
 ) -> Result<HldTreeRelease, CoreError> {
+    // privlint: allow(budget-discipline, "rng-to-NoiseSource adapter in the paper-level convenience API; budgeted callers reach the *_with variant through the engine, which debits before running")
     let mut noise = RngNoise::new(rng);
     hld_tree_all_pairs_with(topo, weights, params, &mut noise)
 }

@@ -70,7 +70,7 @@ impl Gaussian {
     /// # Errors
     /// Returns [`DpError::InvalidProbability`] for `gamma` outside `(0, 1)`.
     pub fn magnitude_bound(&self, gamma: f64) -> Result<f64, DpError> {
-        if !(0.0..1.0).contains(&gamma) || gamma == 0.0 {
+        if !(gamma > 0.0 && gamma < 1.0) {
             return Err(DpError::InvalidProbability(gamma));
         }
         Ok(self.sigma * (2.0 * (2.0 / gamma).ln()).sqrt())

@@ -68,7 +68,7 @@ impl Laplace {
     /// # Errors
     /// Returns [`DpError::InvalidProbability`] for `p` outside `(0, 1)`.
     pub fn quantile(&self, p: f64) -> Result<f64, DpError> {
-        if !(0.0..1.0).contains(&p) || p == 0.0 {
+        if !(p > 0.0 && p < 1.0) {
             return Err(DpError::InvalidProbability(p));
         }
         Ok(if p < 0.5 {
@@ -93,7 +93,7 @@ impl Laplace {
     /// # Errors
     /// Returns [`DpError::InvalidProbability`] for `gamma` outside `(0, 1)`.
     pub fn magnitude_bound(&self, gamma: f64) -> Result<f64, DpError> {
-        if !(0.0..1.0).contains(&gamma) || gamma == 0.0 {
+        if !(gamma > 0.0 && gamma < 1.0) {
             return Err(DpError::InvalidProbability(gamma));
         }
         Ok(self.scale * (1.0 / gamma).ln())

@@ -74,7 +74,7 @@ impl Delta {
 
     /// Whether this is pure DP (`delta == 0`).
     pub fn is_pure(&self) -> bool {
-        self.0 == 0.0
+        self.0 <= 0.0
     }
 }
 

@@ -68,7 +68,7 @@ pub fn gaussian_sigma(sensitivity: f64, rho: f64) -> Result<f64, DpError> {
 /// [`DpError::InvalidDelta`] for delta outside `(0, 1)`.
 pub fn zcdp_epsilon_classic(rho: f64, delta: f64) -> Result<f64, DpError> {
     check_conversion_args(rho, delta)?;
-    if rho == 0.0 {
+    if rho <= 0.0 {
         return Ok(0.0);
     }
     Ok(rho + 2.0 * (rho * (1.0 / delta).ln()).sqrt())
@@ -91,7 +91,7 @@ pub fn zcdp_epsilon_classic(rho: f64, delta: f64) -> Result<f64, DpError> {
 /// Same argument validation as [`zcdp_epsilon_classic`].
 pub fn zcdp_epsilon(rho: f64, delta: f64) -> Result<f64, DpError> {
     check_conversion_args(rho, delta)?;
-    if rho == 0.0 {
+    if rho <= 0.0 {
         return Ok(0.0);
     }
     let eps_at = |alpha: f64| {

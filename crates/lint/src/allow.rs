@@ -1,0 +1,259 @@
+//! The in-source allowlist grammar:
+//!
+//! ```text
+//! // privlint: allow(<rule>, "<justification>")
+//! ```
+//!
+//! A directive suppresses findings of `<rule>` on its **target line**:
+//! the directive's own line when it trails code, otherwise the next
+//! line that carries code. The justification is mandatory and must be
+//! non-empty — an unexplained suppression is itself a finding, as is a
+//! directive that suppresses nothing (so stale allows cannot linger) or
+//! names a rule the linter does not know.
+
+use crate::lexer::Comment;
+use crate::model::SourceFile;
+use crate::Diagnostic;
+
+/// One parsed, well-formed allow directive.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Line the directive is written on.
+    pub line: u32,
+    /// The rule it suppresses.
+    pub rule: String,
+    /// The mandatory justification.
+    pub justification: String,
+    /// The line whose findings it suppresses.
+    pub target_line: u32,
+}
+
+/// Parses every directive in `file`; malformed ones become diagnostics.
+pub fn parse_directives(
+    file: &SourceFile,
+    known_rules: &[&str],
+) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+    let mut directives = Vec::new();
+    let mut issues = Vec::new();
+    for comment in &file.comments {
+        // A directive is a regular comment *starting* with `privlint:`.
+        // Doc comments (`///`, `//!`) lex with a leading `/` or `!`, so
+        // prose *describing* the grammar never parses as a directive.
+        let Some(body) = comment.text.trim_start().strip_prefix("privlint:") else {
+            continue;
+        };
+        let body = body.trim();
+        match parse_allow(body) {
+            Ok((rule, justification)) => {
+                if !known_rules.contains(&rule.as_str()) {
+                    issues.push(Diagnostic {
+                        rule: "allowlist",
+                        path: file.path_str(),
+                        line: comment.line,
+                        message: format!(
+                            "allow names unknown rule {rule:?} (known: {})",
+                            known_rules.join(", ")
+                        ),
+                    });
+                    continue;
+                }
+                if justification.trim().is_empty() {
+                    issues.push(Diagnostic {
+                        rule: "allowlist",
+                        path: file.path_str(),
+                        line: comment.line,
+                        message: format!(
+                            "allow({rule}) has an empty justification; every \
+                             suppression must say why the invariant holds here"
+                        ),
+                    });
+                    continue;
+                }
+                directives.push(AllowDirective {
+                    line: comment.line,
+                    rule,
+                    justification,
+                    target_line: target_line(file, comment),
+                });
+            }
+            Err(msg) => issues.push(Diagnostic {
+                rule: "allowlist",
+                path: file.path_str(),
+                line: comment.line,
+                message: format!(
+                    "malformed privlint directive ({msg}); expected \
+                     `privlint: allow(<rule>, \"<justification>\")`"
+                ),
+            }),
+        }
+    }
+    (directives, issues)
+}
+
+/// Parses `allow(<rule>, "<justification>")`.
+fn parse_allow(body: &str) -> Result<(String, String), &'static str> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or("directive is not `allow`")?
+        .trim_start();
+    let rest = rest.strip_prefix('(').ok_or("missing `(`")?;
+    let comma = rest.find(',').ok_or("missing `,` after rule name")?;
+    let rule = rest[..comma].trim();
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        return Err("rule name must be lowercase-with-dashes");
+    }
+    let rest = rest[comma + 1..].trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or("justification must be a double-quoted string")?;
+    let close = rest.find('"').ok_or("unterminated justification string")?;
+    let justification = &rest[..close];
+    let tail = rest[close + 1..].trim_start();
+    if !tail.starts_with(')') {
+        return Err("missing closing `)`");
+    }
+    Ok((rule.to_string(), justification.to_string()))
+}
+
+/// The line a directive applies to: its own line when trailing code,
+/// otherwise the next line that carries a code token — skipping
+/// `#[...]` attributes, which decorate the same statement the directive
+/// targets (e.g. a paired `#[allow(clippy::disallowed_methods)]`).
+fn target_line(file: &SourceFile, comment: &Comment) -> u32 {
+    if comment.trailing {
+        return comment.line;
+    }
+    let toks = &file.tokens;
+    let Some(mut i) = toks.iter().position(|t| t.line > comment.line) else {
+        return comment.line;
+    };
+    while i < toks.len()
+        && toks[i].is_punct("#")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        let mut depth = 0usize;
+        i += 1;
+        while i < toks.len() {
+            if toks[i].is_punct("[") {
+                depth += 1;
+            } else if toks[i].is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    toks.get(i).map_or(comment.line, |t| t.line)
+}
+
+/// Applies `directives` to `findings`: suppressed findings are removed,
+/// and every directive that suppressed nothing becomes a diagnostic.
+pub fn apply_directives(
+    path: &str,
+    directives: &[AllowDirective],
+    findings: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut used = vec![false; directives.len()];
+    let kept: Vec<Diagnostic> = findings
+        .into_iter()
+        .filter(|f| {
+            let hit = directives
+                .iter()
+                .position(|d| d.rule == f.rule && d.target_line == f.line);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        })
+        .collect();
+    let unused: Vec<Diagnostic> = directives
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(d, _)| Diagnostic {
+            rule: "allowlist",
+            path: path.to_string(),
+            line: d.line,
+            message: format!(
+                "unused allow({}): no {} finding on line {}; remove the stale \
+                 directive",
+                d.rule, d.rule, d.target_line
+            ),
+        })
+        .collect();
+    (kept, unused)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["panic-freedom", "budget-discipline"];
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("crates/store/src/x.rs", src)
+    }
+
+    #[test]
+    fn trailing_directive_targets_own_line() {
+        let f = file("let x = v.unwrap(); // privlint: allow(panic-freedom, \"infallible\")\n");
+        let (ds, issues) = parse_directives(&f, RULES);
+        assert!(issues.is_empty());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].target_line, 1);
+        assert_eq!(ds[0].justification, "infallible");
+    }
+
+    #[test]
+    fn standalone_directive_targets_next_code_line() {
+        let f = file(
+            "// privlint: allow(panic-freedom, \"checked above\")\n// more prose\n\nlet x = v.unwrap();\n",
+        );
+        let (ds, _) = parse_directives(&f, RULES);
+        assert_eq!(ds[0].target_line, 4);
+    }
+
+    #[test]
+    fn standalone_directive_skips_attributes() {
+        let f = file(
+            "// privlint: allow(panic-freedom, \"infallible\")\n#[allow(clippy::disallowed_methods)]\nlet x = v.unwrap();\n",
+        );
+        let (ds, issues) = parse_directives(&f, RULES);
+        assert!(issues.is_empty());
+        assert_eq!(ds[0].target_line, 3);
+    }
+
+    #[test]
+    fn empty_justification_is_an_issue() {
+        let f = file("// privlint: allow(panic-freedom, \"\")\nlet x = v.unwrap();\n");
+        let (ds, issues) = parse_directives(&f, RULES);
+        assert!(ds.is_empty());
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].message.contains("empty justification"));
+    }
+
+    #[test]
+    fn unknown_rule_and_malformed_are_issues() {
+        let f = file("// privlint: allow(no-such-rule, \"x\")\n// privlint: allow panic-freedom\nlet y = 1;\n");
+        let (ds, issues) = parse_directives(&f, RULES);
+        assert!(ds.is_empty());
+        assert_eq!(issues.len(), 2);
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let f = file("// privlint: allow(panic-freedom, \"nothing here\")\nlet y = 1;\n");
+        let (ds, issues) = parse_directives(&f, RULES);
+        assert!(issues.is_empty());
+        let (kept, unused) = apply_directives("crates/store/src/x.rs", &ds, Vec::new());
+        assert!(kept.is_empty());
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].message.contains("unused allow"));
+    }
+}

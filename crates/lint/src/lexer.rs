@@ -1,0 +1,546 @@
+//! A hand-rolled Rust lexer: just enough tokenization for the lint
+//! rules — identifiers, literals, multi-character operators, and
+//! comments with line numbers — with strings, char literals, lifetimes,
+//! and nested block comments handled correctly so rule pattern matching
+//! never fires inside text that is not code.
+//!
+//! No `syn`: this workspace builds with no registry access, so the
+//! linter follows the same vendored-stub philosophy as `rand` and
+//! `proptest` — a small, self-contained model of exactly what the rules
+//! need.
+
+/// What a token is, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `weights`, `ReleaseKind`, ...).
+    Ident,
+    /// Any literal: string (text includes the quotes), char, number.
+    Literal,
+    /// Punctuation; multi-character operators (`::`, `==`, `!=`, `->`,
+    /// ...) are single tokens.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Kind tag.
+    pub kind: TokKind,
+    /// The token text exactly as written.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// Whether this token is a string literal (includes raw/byte forms).
+    pub fn is_string(&self) -> bool {
+        self.kind == TokKind::Literal && self.text.contains('"')
+    }
+
+    /// The contents of a string literal, without quotes or raw markers.
+    /// Escape sequences are left as written (the rules only compare
+    /// names, which never contain escapes).
+    pub fn string_value(&self) -> Option<&str> {
+        if !self.is_string() {
+            return None;
+        }
+        let start = self.text.find('"')?;
+        let end = self.text.rfind('"')?;
+        if end > start {
+            Some(&self.text[start + 1..end])
+        } else {
+            None
+        }
+    }
+
+    /// Whether this token is a floating-point literal (`0.0`, `1e-9`,
+    /// `2.5f64`).
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != TokKind::Literal {
+            return false;
+        }
+        let b = self.text.as_bytes();
+        if b.is_empty() || !b[0].is_ascii_digit() {
+            return false;
+        }
+        self.text.contains('.') || self.text.contains('e') || self.text.contains('E')
+    }
+}
+
+/// One comment with its position and whether code precedes it on the
+/// same line (a *trailing* comment).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// Whether a token was already emitted on this line.
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in order.
+    pub tokens: Vec<Tok>,
+    /// All comments (line and block, including doc comments), in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators lexed as single tokens, longest first.
+const OPERATORS: &[&str] = &[
+    "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=",
+];
+
+/// Tokenizes `source`. The lexer is total: bytes it does not understand
+/// become single-character punctuation, so a file that does not parse as
+/// Rust still yields a best-effort token stream (rules then do no harm).
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut last_token_line: u32 = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: source[start..i].to_string(),
+                    trailing: last_token_line == line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: source[start..end].to_string(),
+                    trailing: last_token_line == start_line,
+                });
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(source, i, line);
+                last_token_line = tok.line;
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (tok, ni, nl) = lex_raw_or_byte(source, i, line);
+                last_token_line = tok.line;
+                out.tokens.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                if let Some((tok, ni)) = lex_char_literal(source, i, line) {
+                    last_token_line = tok.line;
+                    out.tokens.push(tok);
+                    i = ni;
+                } else {
+                    // Lifetime: skip the quote and the identifier run.
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let (tok, ni) = lex_number(source, i, line);
+                last_token_line = tok.line;
+                out.tokens.push(tok);
+                i = ni;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                last_token_line = line;
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &source[i..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                let text = match op {
+                    Some(op) => (*op).to_string(),
+                    None => {
+                        let ch_len = source[i..].chars().next().map_or(1, char::len_utf8);
+                        source[i..i + ch_len].to_string()
+                    }
+                };
+                i += text.len();
+                last_token_line = line;
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether position `i` starts `r"`, `r#"`, `b"`, `br"`, or `br#"`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'"' {
+        return j > i; // `b"..."` (plain `"` is handled by the caller)
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Lexes a plain or byte string starting at the opening quote (or `b"`).
+fn lex_string(source: &str, start: usize, mut line: u32) -> (Tok, usize, u32) {
+    let bytes = source.as_bytes();
+    let start_line = line;
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            // An escaped newline (the `\` line-continuation) still ends
+            // a source line — losing it would shift every later line.
+            b'\\' => {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    line += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Literal,
+            text: source[start..i.min(source.len())].to_string(),
+            line: start_line,
+        },
+        i.min(source.len()),
+        line,
+    )
+}
+
+/// Lexes `r"..."`, `r#"..."#`, `br#"..."#` starting at `r`/`b`.
+fn lex_raw_or_byte(source: &str, start: usize, mut line: u32) -> (Tok, usize, u32) {
+    let bytes = source.as_bytes();
+    let start_line = line;
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        i += 1;
+        let mut hashes = 0usize;
+        while i < bytes.len() && bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            i += 1;
+            // Scan to `"` followed by `hashes` hash marks.
+            'outer: while i < bytes.len() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && j < bytes.len() && bytes[j] == b'#' {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        i = j;
+                        break 'outer;
+                    }
+                }
+                i += 1;
+            }
+            return (
+                Tok {
+                    kind: TokKind::Literal,
+                    text: source[start..i].to_string(),
+                    line: start_line,
+                },
+                i,
+                line,
+            );
+        }
+    }
+    // Not actually a raw string (e.g. `b"` handled by lex_string, or a
+    // plain identifier starting with r/b): fall back to string lexing.
+    lex_string(source, start, start_line)
+}
+
+/// Lexes a char literal if the quote at `start` really opens one;
+/// returns `None` for a lifetime.
+fn lex_char_literal(source: &str, start: usize, line: u32) -> Option<(Tok, usize)> {
+    let bytes = source.as_bytes();
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return None;
+    }
+    if bytes[i] == b'\\' {
+        // Escaped char: skip the backslash and the escape body up to the
+        // closing quote.
+        i += 2;
+        while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'\'' {
+            return Some((
+                Tok {
+                    kind: TokKind::Literal,
+                    text: source[start..=i].to_string(),
+                    line,
+                },
+                i + 1,
+            ));
+        }
+        return None;
+    }
+    if is_ident_byte(bytes[i]) {
+        // `'a'` is a char only if the ident run is one char long and a
+        // quote follows; otherwise it is a lifetime.
+        let mut j = i;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b'\'' && j == i + 1 {
+            return Some((
+                Tok {
+                    kind: TokKind::Literal,
+                    text: source[start..=j].to_string(),
+                    line,
+                },
+                j + 1,
+            ));
+        }
+        return None;
+    }
+    // Punctuation char literal like `'('`.
+    let ch_len = source[i..].chars().next().map_or(1, char::len_utf8);
+    let j = i + ch_len;
+    if j < bytes.len() && bytes[j] == b'\'' {
+        return Some((
+            Tok {
+                kind: TokKind::Literal,
+                text: source[start..=j].to_string(),
+                line,
+            },
+            j + 1,
+        ));
+    }
+    None
+}
+
+/// Lexes a numeric literal (integer or float, with suffix).
+fn lex_number(source: &str, start: usize, line: u32) -> (Tok, usize) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fraction: only when `.` is followed by a digit (so `0..1` and
+    // `self.0.abs()` lex as integers plus punctuation).
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Signed exponent (`1e-9`): the alphanumeric runs above already ate
+    // unsigned exponents.
+    if i < bytes.len()
+        && (bytes[i] == b'+' || bytes[i] == b'-')
+        && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+        && source[start..i]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())
+        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+    {
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Literal,
+            text: source[start..i].to_string(),
+            line,
+        },
+        i,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r#"
+            // weights() in a comment
+            let s = "weights() in a string";
+            /* EdgeWeights in /* nested */ block */
+            let c = 'w';
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"weights".to_string()));
+        assert!(!ids.contains(&"EdgeWeights".to_string()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Literal));
+        // The following char literal must not swallow the rest.
+        let src2 = "let q = 'a'; let w = weights();";
+        assert!(idents(src2).contains(&"weights".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_respect_hashes() {
+        let src = r##"let s = r#"has "quotes" and weights()"#; let x = sync_all;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"weights".to_string()));
+        assert!(ids.contains(&"sync_all".to_string()));
+    }
+
+    #[test]
+    fn float_ranges_lex_separately() {
+        let lexed = lex("if !(0.0..1.0).contains(&gamma) || gamma == 0.0 {}");
+        let floats: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_float_literal())
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["0.0", "1.0", "0.0"]);
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("==")));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn tuple_field_access_is_not_a_float() {
+        let lexed = lex("self.0.max(1) != n.len()");
+        assert!(lexed.tokens.iter().all(|t| !t.is_float_literal()));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("!=")));
+    }
+
+    #[test]
+    fn trailing_comment_flagged() {
+        let lexed = lex("let x = 1; // privlint: allow(rule, \"why\")\n// standalone\n");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_count() {
+        let src = "let s = \"first \\\n second\";\nlet weights_line = 3;\n";
+        let lexed = lex(src);
+        let t = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("weights_line"))
+            .unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn string_value_strips_quotes() {
+        let lexed = lex(r#"name("shortest-path")"#);
+        let s = lexed.tokens.iter().find(|t| t.is_string()).unwrap();
+        assert_eq!(s.string_value(), Some("shortest-path"));
+    }
+}

@@ -1,0 +1,114 @@
+//! `privpath-lint` CLI: the workspace invariant gate.
+//!
+//! ```text
+//! privpath-lint --workspace [--root DIR]   lint the whole workspace
+//! privpath-lint [--root DIR] FILE...       lint specific files
+//! privpath-lint --list-rules               print every rule
+//! ```
+//!
+//! Exits 0 when clean, 1 on any finding (including unjustified or
+//! stale allow directives), 2 on usage or I/O errors.
+
+use privpath_lint::model::SourceFile;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => {
+                for (id, desc) in privpath_lint::rules::RULES {
+                    println!("{id}\n    {desc}");
+                }
+                println!(
+                    "\nsuppress with: // privlint: allow(<rule>, \"<justification>\")\n\
+                     (justification mandatory; unused or unjustified allows are findings)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return usage("--root needs a directory"),
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return usage(&format!("unknown flag {flag}"));
+            }
+            file => files.push(file.to_string()),
+        }
+        i += 1;
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or at least one file");
+    }
+    if workspace && !files.is_empty() {
+        return usage("--workspace and explicit files are mutually exclusive");
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot read cwd: {e}")),
+            };
+            match privpath_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => cwd,
+            }
+        }
+    };
+
+    let diagnostics = if workspace {
+        match privpath_lint::lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => return fail(&format!("workspace walk failed: {e}")),
+        }
+    } else {
+        let mut parsed = Vec::new();
+        for f in &files {
+            let path = root.join(f);
+            let source = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+            };
+            parsed.push(SourceFile::parse(f.replace('\\', "/"), &source));
+        }
+        privpath_lint::lint_files(&parsed)
+    };
+
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!(
+            "privpath-lint: clean ({} rules)",
+            privpath_lint::rules::RULES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("privpath-lint: {} finding(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "privpath-lint: {msg}\nusage: privpath-lint --workspace [--root DIR] | \
+         privpath-lint [--root DIR] FILE... | privpath-lint --list-rules"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("privpath-lint: {msg}");
+    ExitCode::from(2)
+}

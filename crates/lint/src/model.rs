@@ -1,0 +1,294 @@
+//! A lightweight item model over the token stream: which tokens are
+//! test-only (`#[cfg(test)]` / `#[test]` items), which function body a
+//! token lives in, and which tokens belong to `use` declarations. This
+//! is the whole "call-graph" the rules need: file-scoped, line-anchored,
+//! and cheap to rebuild on every run.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use std::path::PathBuf;
+
+/// One `fn` item: its name and the token span of its body.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token range (inclusive start, exclusive end) of the body,
+    /// including the braces. Empty for bodyless trait declarations.
+    pub body: (usize, usize),
+}
+
+/// One lexed-and-modeled source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/store/src/store.rs`).
+    pub path: PathBuf,
+    /// The code tokens.
+    pub tokens: Vec<Tok>,
+    /// The comments (allow directives live here).
+    pub comments: Vec<Comment>,
+    /// Token spans under `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Token spans of `use ...;` declarations.
+    pub use_spans: Vec<(usize, usize)>,
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+impl SourceFile {
+    /// Lexes and models `source` under `path`.
+    pub fn parse(path: impl Into<PathBuf>, source: &str) -> Self {
+        let lexed = lex(source);
+        let test_spans = find_test_spans(&lexed.tokens);
+        let use_spans = find_use_spans(&lexed.tokens);
+        let fns = find_fns(&lexed.tokens);
+        SourceFile {
+            path: path.into(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_spans,
+            use_spans,
+            fns,
+        }
+    }
+
+    /// Whether token `idx` is inside a test-only item.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// Whether token `idx` is inside a `use` declaration.
+    pub fn in_use(&self, idx: usize) -> bool {
+        self.use_spans.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// The innermost function whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| idx >= f.body.0 && idx < f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// The file's path as a forward-slash string for policy matching.
+    pub fn path_str(&self) -> String {
+        self.path
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/")
+    }
+}
+
+/// Scans forward from an opening brace index to just past its matching
+/// close. Returns the exclusive end index (tokens.len() if unbalanced).
+fn match_braces(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct("{") {
+            depth += 1;
+        } else if tokens[i].is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Scans an attribute starting at `#` (index `i`); returns the exclusive
+/// end index past the closing `]`, or `None` if it is not an attribute.
+fn attr_end(tokens: &[Tok], i: usize) -> Option<usize> {
+    if !tokens[i].is_punct("#") {
+        return None;
+    }
+    let mut j = i + 1;
+    if j < tokens.len() && tokens[j].is_punct("!") {
+        j += 1;
+    }
+    if j >= tokens.len() || !tokens[j].is_punct("[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    Some(tokens.len())
+}
+
+/// Whether the attribute tokens in `[i, end)` gate on `test` builds:
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`, and friends.
+/// `#[cfg(not(test))]` is production code, not test code.
+fn attr_is_test(tokens: &[Tok], i: usize, end: usize) -> bool {
+    let idents: Vec<&str> = tokens[i..end]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    }
+}
+
+/// Finds token spans of items annotated `#[cfg(test)]` / `#[test]`.
+/// The span runs from the attribute through the item's closing `}` (or
+/// `;` for bodyless items).
+fn find_test_spans(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Some(end) = attr_end(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(tokens, i, end) {
+            i = end;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = end;
+        while j < tokens.len() {
+            match attr_end(tokens, j) {
+                Some(e) => j = e,
+                None => break,
+            }
+        }
+        // The item ends at the first `;` before any brace, or at the
+        // matching close of its first `{`.
+        let mut k = j;
+        let item_end = loop {
+            if k >= tokens.len() {
+                break tokens.len();
+            }
+            if tokens[k].is_punct(";") {
+                break k + 1;
+            }
+            if tokens[k].is_punct("{") {
+                break match_braces(tokens, k);
+            }
+            k += 1;
+        };
+        spans.push((i, item_end));
+        i = item_end;
+    }
+    spans
+}
+
+/// Finds token spans of `use ...;` declarations (top-level or nested).
+fn find_use_spans(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("use") {
+            let start = i;
+            while i < tokens.len() && !tokens[i].is_punct(";") {
+                i += 1;
+            }
+            spans.push((start, (i + 1).min(tokens.len())));
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Finds every `fn` item with its body span. Trait method declarations
+/// without bodies get an empty span.
+fn find_fns(tokens: &[Tok]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            // Find the body `{` (or a `;` first: a bodyless declaration).
+            // Braces cannot appear in a signature before the body except
+            // inside a const-generic block, which this workspace avoids.
+            let mut j = i + 2;
+            let body = loop {
+                if j >= tokens.len() || tokens[j].is_punct(";") {
+                    break (i, i);
+                }
+                if tokens[j].is_punct("{") {
+                    break (j, match_braces(tokens, j));
+                }
+                j += 1;
+            };
+            fns.push(FnItem {
+                name,
+                start: i,
+                body,
+            });
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_span_covers_contents() {
+        let src = r#"
+            pub fn live() { helper(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { value.unwrap(); }
+            }
+        "#;
+        let f = SourceFile::parse("x.rs", src);
+        let unwrap_idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        let helper_idx = f.tokens.iter().position(|t| t.is_ident("helper")).unwrap();
+        assert!(f.in_test(unwrap_idx));
+        assert!(!f.in_test(helper_idx));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "#[cfg(not(test))] fn prod() { x.unwrap(); }";
+        let f = SourceFile::parse("x.rs", src);
+        let idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!f.in_test(idx));
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let src = "fn outer() { fn inner() { target(); } }";
+        let f = SourceFile::parse("x.rs", src);
+        let idx = f.tokens.iter().position(|t| t.is_ident("target")).unwrap();
+        assert_eq!(f.enclosing_fn(idx).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn use_spans_cover_imports() {
+        let src = "use privpath_dp::{RngNoise, ZeroNoise};\nfn f() { RngNoise::new(r); }";
+        let f = SourceFile::parse("x.rs", src);
+        let first = f
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("ZeroNoise"))
+            .unwrap();
+        let call = f
+            .tokens
+            .iter()
+            .rposition(|t| t.is_ident("RngNoise"))
+            .unwrap();
+        assert!(f.in_use(first));
+        assert!(!f.in_use(call));
+    }
+}

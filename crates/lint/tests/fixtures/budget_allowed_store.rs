@@ -1,0 +1,6 @@
+// Fixture: the same construction, justified with an allow directive.
+pub fn staged_release(rng: &mut StdRng) -> Vec<f64> {
+    // privlint: allow(budget-discipline, "cost pre-checked by the caller before staging")
+    let mut noise = RngNoise::new(rng);
+    noise.laplace_vec(1.0, 8)
+}

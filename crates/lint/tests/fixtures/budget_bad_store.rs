@@ -1,0 +1,6 @@
+// Fixture: noise construction in a store module with no budget
+// pre-check and no justification.
+pub fn leak_release(rng: &mut StdRng) -> Vec<f64> {
+    let mut noise = RngNoise::new(rng);
+    noise.laplace_vec(1.0, 8)
+}

@@ -1,0 +1,7 @@
+// Fixture: the audit only exercises one of the two variants.
+fn audit(kind: ReleaseKind) -> f64 {
+    match kind {
+        ReleaseKind::TreeDistance => audit_tree_distance(),
+        _ => 0.0,
+    }
+}

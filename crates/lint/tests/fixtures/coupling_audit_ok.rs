@@ -1,0 +1,7 @@
+// Fixture: the audit's exhaustive match covers every variant.
+fn audit(kind: ReleaseKind) -> f64 {
+    match kind {
+        ReleaseKind::TreeDistance => audit_tree_distance(),
+        ReleaseKind::ShortestPath => audit_shortest_path(),
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: the shortest-path mechanism forgot to declare what it
+// guarantees.
+impl Mechanism for TreeDistanceMechanism {
+    fn name(&self) -> &'static str {
+        "tree-distance"
+    }
+    fn accuracy_contract(&self, n: usize, m: usize) -> AccuracyContract {
+        AccuracyContract::theorem(Theorem::Four, n, m)
+    }
+}
+
+impl Mechanism for ShortestPathMechanism {
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: both mechanisms declare their wire name and an accuracy
+// contract tied to a paper theorem.
+impl Mechanism for TreeDistanceMechanism {
+    fn name(&self) -> &'static str {
+        "tree-distance"
+    }
+    fn accuracy_contract(&self, n: usize, m: usize) -> AccuracyContract {
+        AccuracyContract::theorem(Theorem::Four, n, m)
+    }
+}
+
+impl Mechanism for ShortestPathMechanism {
+    fn name(&self) -> &'static str {
+        "shortest-path"
+    }
+    fn accuracy_contract(&self, n: usize, m: usize) -> AccuracyContract {
+        AccuracyContract::theorem(Theorem::One, n, m)
+    }
+}

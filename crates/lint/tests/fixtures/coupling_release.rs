@@ -1,0 +1,14 @@
+// Fixture: a two-variant ReleaseKind with wire names.
+pub enum ReleaseKind {
+    TreeDistance,
+    ShortestPath,
+}
+
+impl ReleaseKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReleaseKind::TreeDistance => "tree-distance",
+            ReleaseKind::ShortestPath => "shortest-path",
+        }
+    }
+}

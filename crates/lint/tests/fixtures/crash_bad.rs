@@ -1,0 +1,7 @@
+// Fixture: a rename used as a commit point without the temp-write +
+// sync_all pattern — a crash can commit an unsynced or partial file.
+pub fn save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let staging = path.with_extension("new");
+    fs::write(&staging, bytes)?;
+    fs::rename(&staging, path)
+}

@@ -1,0 +1,9 @@
+// Fixture: the full crash-safe commit — temp file, fsync, then the
+// rename as the single atomic commit point.
+pub fn atomic_save(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fs::rename(&tmp, path)
+}

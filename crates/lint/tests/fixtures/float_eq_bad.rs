@@ -1,0 +1,4 @@
+// Fixture: exact float equality on budget values in an accounting path.
+pub fn is_exhausted(spent_eps: f64, budget_eps: f64) -> bool {
+    spent_eps == budget_eps
+}

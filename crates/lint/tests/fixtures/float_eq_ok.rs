@@ -1,0 +1,5 @@
+// Fixture: the sanctioned comparisons — ranges for accumulated spends,
+// exact bits for persisted-state cross-checks, integers for counters.
+pub fn check(spent_eps: f64, budget_eps: f64, persisted_delta: f64, delta: f64, n: u64) -> bool {
+    spent_eps <= budget_eps && persisted_delta.to_bits() == delta.to_bits() && n == 0
+}

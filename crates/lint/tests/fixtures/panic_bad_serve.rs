@@ -1,0 +1,11 @@
+// Fixture: panics in non-test serve code — each of the four forms the
+// rule denies.
+pub fn handle(req: &[u8]) -> Response {
+    let header = parse_header(req).unwrap();
+    let body = parse_body(req).expect("body present");
+    match header.kind {
+        Kind::Query => respond(body),
+        Kind::Admin => panic!("admin not wired"),
+        _ => unreachable!("exhaustive"),
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: a serve-crate handler that reads private weight state.
+// The taint rule must flag both the `EdgeWeights` type reference and
+// the `.weights()` accessor call.
+pub fn handle_debug_dump(engine: &ReleaseEngine) -> Vec<f64> {
+    let private: &EdgeWeights = engine.weights();
+    private.as_slice().to_vec()
+}

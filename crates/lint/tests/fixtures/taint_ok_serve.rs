@@ -1,0 +1,5 @@
+// Fixture: a serve-crate handler that only touches released state —
+// the snapshot's query service — and never the private weights.
+pub fn handle_distance(snapshot: &NamespaceSnapshot, s: NodeId, t: NodeId) -> Option<f64> {
+    snapshot.service().distance(s, t).ok()
+}

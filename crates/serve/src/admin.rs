@@ -507,6 +507,7 @@ impl FromStr for AdminResponse {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use privpath_dp::Epsilon;

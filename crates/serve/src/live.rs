@@ -264,7 +264,9 @@ fn admin_error(e: &StoreError) -> AdminResponse {
         // privacy analysis's input, not a parse problem.
         StoreError::ContinualHorizon { .. } => ErrorCode::Budget,
         StoreError::ContinualAccountant(_) => ErrorCode::Malformed,
-        StoreError::Io { .. } | StoreError::Manifest { .. } => ErrorCode::Internal,
+        StoreError::Io { .. } | StoreError::Manifest { .. } | StoreError::WriterPoisoned(_) => {
+            ErrorCode::Internal
+        }
     };
     AdminResponse::Error {
         code,

@@ -38,7 +38,7 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -327,7 +327,11 @@ fn worker_loop(
             // At most one new connection per pass, so a burst of accepts
             // spreads across the pool instead of piling onto whichever
             // worker reaches the channel first.
-            let next = rx.lock().expect("worker queue lock").try_recv();
+            // The mutex only serializes `try_recv` on a channel whose
+            // state lives inside the channel itself, so a worker that
+            // panicked mid-recv cannot corrupt it: recover and keep the
+            // remaining workers accepting connections.
+            let next = rx.lock().unwrap_or_else(PoisonError::into_inner).try_recv();
             match next {
                 Ok(stream) => match stream.set_nonblocking(true) {
                     Ok(()) => conns.push(Conn {

@@ -19,7 +19,7 @@
 use privpath_engine::EngineError;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Number of lock shards (a fixed power of two; the key hash picks one).
 const NUM_SHARDS: usize = 16;
@@ -91,9 +91,12 @@ impl SourceCache {
         compute: impl FnOnce() -> Result<Vec<f64>, EngineError>,
     ) -> Result<Arc<Vec<f64>>, EngineError> {
         let shard = self.shard(release, source);
+        // A shard guards a plain map of `Arc`s: a reader that panicked
+        // mid-lookup cannot corrupt it, so recover from poisoning — a
+        // cache must never take down the read path.
         if let Some(hit) = shard
             .lock()
-            .expect("cache shard lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&(release, source))
         {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -101,7 +104,7 @@ impl SourceCache {
         }
         let vector = Arc::new(compute()?);
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        let mut guard = shard.lock().expect("cache shard lock");
+        let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
         if guard.len() >= self.per_shard_capacity {
             // Bounded memory beats recency here: evict an arbitrary
             // entry (HashMap order) rather than tracking LRU on the hot
@@ -116,6 +119,7 @@ impl SourceCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
 

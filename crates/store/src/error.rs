@@ -48,6 +48,12 @@ pub enum StoreError {
         /// The declared horizon `T`.
         horizon: u64,
     },
+    /// A previous write operation on this namespace panicked while
+    /// holding the writer lock, so the in-memory write state may sit
+    /// between two-phase-commit steps. Further writes are refused;
+    /// reads keep serving the last published snapshot. Re-open the
+    /// store to replay the committed on-disk state.
+    WriterPoisoned(String),
     /// A continual namespace was requested with an accounting setup that
     /// cannot compose sublinearly (e.g. a pure-DP budget with
     /// `delta = 0`, which admits no Gaussian tree noise), or an
@@ -92,6 +98,11 @@ impl fmt::Display for StoreError {
                 f,
                 "namespace {namespace:?} reached its continual horizon ({horizon} updates); \
                  re-init with a larger --horizon to stream further"
+            ),
+            StoreError::WriterPoisoned(ns) => write!(
+                f,
+                "namespace {ns:?} writer poisoned by an earlier panic; writes are \
+                 refused until the store is re-opened from committed disk state"
             ),
             StoreError::ContinualAccountant(msg) => {
                 write!(f, "continual accounting error: {msg}")

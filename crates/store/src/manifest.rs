@@ -298,6 +298,7 @@ fn parse(text: &str) -> Result<ManifestData, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
     use privpath_dp::Epsilon;

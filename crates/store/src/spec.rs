@@ -319,6 +319,7 @@ impl ReleaseSpec {
                 mechanisms::AllPairsBaselineParams::advanced(self.eps, self.delta)?
             }),
             ReleaseKind::Mst | ReleaseKind::Matching | ReleaseKind::HldTree => {
+                // privlint: allow(panic-freedom, "ReleaseSpec constructors refuse these kinds, so build() never sees them")
                 unreachable!("rejected at construction")
             }
         })
@@ -398,6 +399,7 @@ impl std::fmt::Display for ReleaseSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
 mod tests {
     use super::*;
 

@@ -43,7 +43,7 @@ use std::fs::{self, File};
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A noise-seed base that differs across processes and across opens:
 /// OS-randomized hasher state mixed with the clock and the pid. The
@@ -352,6 +352,36 @@ struct Namespace {
     counters: CacheCounters,
 }
 
+impl Namespace {
+    /// Locks the writer, refusing the operation when an earlier write
+    /// panicked while holding the lock: the in-memory write state may
+    /// sit between two-phase-commit steps, so writes on this namespace
+    /// are rejected rather than risked. Readers are unaffected — they
+    /// keep serving the last published snapshot.
+    fn lock_writer(&self, name: &str) -> Result<MutexGuard<'_, NamespaceWriter>, StoreError> {
+        self.writer
+            .lock()
+            .map_err(|_| StoreError::WriterPoisoned(name.to_string()))
+    }
+
+    /// The published snapshot. The lock only guards an `Arc` pointer
+    /// swap, so even a poisoned lock still holds the last fully
+    /// committed snapshot; recover it rather than cascade a writer
+    /// panic into every reader.
+    fn current_snapshot(&self) -> Arc<NamespaceSnapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publishes a new snapshot (same poisoning argument as
+    /// [`current_snapshot`](Self::current_snapshot)).
+    fn publish_snapshot(&self, snapshot: Arc<NamespaceSnapshot>) {
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
+    }
+}
+
 /// The concurrent, multi-tenant, epoch-versioned release store.
 ///
 /// See the [module docs](self) for the write/read split. All methods
@@ -396,7 +426,7 @@ impl ReleaseStore {
                 loaded.insert(name, Arc::new(ns));
             }
         }
-        *store.namespaces.write().expect("namespace map lock") = loaded;
+        *store.map_write() = loaded;
         Ok(store)
     }
 
@@ -442,17 +472,12 @@ impl ReleaseStore {
 
     /// The namespace names, sorted.
     pub fn namespaces(&self) -> Vec<String> {
-        self.namespaces
-            .read()
-            .expect("namespace map lock")
-            .keys()
-            .cloned()
-            .collect()
+        self.map_read().keys().cloned().collect()
     }
 
     /// Number of namespaces.
     pub fn len(&self) -> usize {
-        self.namespaces.read().expect("namespace map lock").len()
+        self.map_read().len()
     }
 
     /// Whether the store holds no namespaces.
@@ -478,7 +503,7 @@ impl ReleaseStore {
         if !is_valid_namespace(name) {
             return Err(StoreError::InvalidNamespace(name.into()));
         }
-        let mut map = self.namespaces.write().expect("namespace map lock");
+        let mut map = self.map_write();
         if map.contains_key(name) {
             return Err(StoreError::NamespaceExists(name.into()));
         }
@@ -553,7 +578,7 @@ impl ReleaseStore {
         if !is_valid_namespace(name) {
             return Err(StoreError::InvalidNamespace(name.into()));
         }
-        let mut map = self.namespaces.write().expect("namespace map lock");
+        let mut map = self.map_write();
         if map.contains_key(name) {
             return Err(StoreError::NamespaceExists(name.into()));
         }
@@ -583,6 +608,7 @@ impl ReleaseStore {
             .map_err(|e| StoreError::ContinualAccountant(e.to_string()))?;
         fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
         let state_file = state_file_name(0);
+        state.write_state(&dir, &state_file)?;
         let writer = NamespaceWriter {
             name: name.to_string(),
             dir: dir.clone(),
@@ -590,7 +616,7 @@ impl ReleaseStore {
             specs: BTreeMap::new(),
             epoch: 0,
             budget: Some((eps.value(), delta.value())),
-            continual: Some((state, state_file.clone())),
+            continual: Some((state, state_file)),
         };
         let mut topo_bytes = Vec::new();
         write_topology(&mut topo_bytes, writer.engine.topology())
@@ -600,12 +626,6 @@ impl ReleaseStore {
         write_weights(&mut weight_bytes, writer.engine.weights())
             .map_err(|e| StoreError::io(&dir.join(WEIGHTS_FILE), e))?;
         atomic_write(&dir.join(WEIGHTS_FILE), &weight_bytes)?;
-        writer
-            .continual
-            .as_ref()
-            .expect("just installed")
-            .0
-            .write_state(&dir, &state_file)?;
         writer.persist_manifest()?;
         let ns = self.namespace_from_writer(writer);
         map.insert(name.to_string(), Arc::new(ns));
@@ -629,7 +649,7 @@ impl ReleaseStore {
     ) -> Result<PublishReceipt, StoreError> {
         let ns = self.get(namespace)?;
         let mut rng = self.next_rng();
-        let mut w = ns.writer.lock().expect("namespace writer lock");
+        let mut w = ns.lock_writer(namespace)?;
         // Stage first: a mechanism failure touches nothing. A continual
         // namespace serves releases as **post-processing** of the tree
         // composer's estimate — exact mechanisms over already-noised
@@ -649,6 +669,7 @@ impl ReleaseStore {
             let mut s = spec.run(
                 w.engine.topology(),
                 &state.estimate_weights(),
+                // privlint: allow(budget-discipline, "continual serving is exact post-processing of the already-debited tree estimate; ZeroNoise draws nothing")
                 &mut ZeroNoise,
             )?;
             s.accuracy =
@@ -660,6 +681,7 @@ impl ReleaseStore {
             spec.run(
                 w.engine.topology(),
                 w.engine.weights(),
+                // privlint: allow(budget-discipline, "check_budget pre-approved the full spec cost just above, so this draw is the debited one")
                 &mut RngNoise::new(&mut rng),
             )?
         };
@@ -749,7 +771,7 @@ impl ReleaseStore {
     ) -> Result<UpdateReceipt, StoreError> {
         let ns = self.get(namespace)?;
         let mut rng = self.next_rng();
-        let mut w = ns.writer.lock().expect("namespace writer lock");
+        let mut w = ns.lock_writer(namespace)?;
         let update = WeightUpdate::measure(w.engine.weights(), &new_weights)?;
 
         if w.continual.is_some() {
@@ -780,6 +802,7 @@ impl ReleaseStore {
             let s = entry.spec.run(
                 w.engine.topology(),
                 &new_weights,
+                // privlint: allow(budget-discipline, "the whole generation cost was pre-checked via check_budget before staging began")
                 &mut RngNoise::new(&mut rng),
             )?;
             let label = format!("{}#{id}@e{new_epoch}", s.release.kind());
@@ -825,6 +848,8 @@ impl ReleaseStore {
                 s.accuracy,
                 s.release,
             )?;
+            // privlint: allow(panic-freedom, "id iterates w.specs keys above; get_mut on the same untouched map cannot miss")
+            #[allow(clippy::disallowed_methods)]
             let entry = w.specs.get_mut(&id).expect("staged from the spec map");
             old_files.push(std::mem::replace(&mut entry.file, file));
         }
@@ -863,6 +888,8 @@ impl ReleaseStore {
         update: &WeightUpdate,
         rng: &mut StdRng,
     ) -> Result<UpdateReceipt, StoreError> {
+        // privlint: allow(panic-freedom, "update_weights dispatches here only when w.continual is Some, under the same writer lock")
+        #[allow(clippy::disallowed_methods)]
         let state = w.continual.as_ref().expect("checked by caller").0.clone();
         if state.position() >= state.horizon {
             return Err(StoreError::ContinualHorizon {
@@ -897,6 +924,7 @@ impl ReleaseStore {
         for (&id, entry) in &w.specs {
             let mut s = entry
                 .spec
+                // privlint: allow(budget-discipline, "re-staging is exact post-processing of the debited tree estimate; ZeroNoise draws nothing")
                 .run(w.engine.topology(), &estimate, &mut ZeroNoise)?;
             s.accuracy = Some(contract);
             let label = format!("{}#{id}@e{new_epoch}", s.release.kind());
@@ -952,10 +980,14 @@ impl ReleaseStore {
                 s.accuracy,
                 s.release,
             )?;
+            // privlint: allow(panic-freedom, "id iterates w.specs keys above; get_mut on the same untouched map cannot miss")
+            #[allow(clippy::disallowed_methods)]
             let entry = w.specs.get_mut(&id).expect("staged from the spec map");
             old_files.push(std::mem::replace(&mut entry.file, file));
         }
         let old_state_file = {
+            // privlint: allow(panic-freedom, "guarded by the is_some dispatch in update_weights; the writer lock is held throughout")
+            #[allow(clippy::disallowed_methods)]
             let slot = w.continual.as_mut().expect("checked by caller");
             slot.0 = new_state;
             std::mem::replace(&mut slot.1, state_file)
@@ -993,7 +1025,7 @@ impl ReleaseStore {
     ) -> Result<UpdateReceipt, StoreError> {
         let new_weights = {
             let ns = self.get(namespace)?;
-            let w = ns.writer.lock().expect("namespace writer lock");
+            let w = ns.lock_writer(namespace)?;
             w.engine.weights().with_updates(updates)?
         };
         // The writer lock is released and retaken: a racing full update
@@ -1020,7 +1052,7 @@ impl ReleaseStore {
     ) -> Result<UpdateReceipt, StoreError> {
         let num_edges = {
             let ns = self.get(namespace)?;
-            let w = ns.writer.lock().expect("namespace writer lock");
+            let w = ns.lock_writer(namespace)?;
             w.engine.weights().len()
         };
         if updates.len() != num_edges {
@@ -1046,9 +1078,11 @@ impl ReleaseStore {
         }
         // Length matches and every index is distinct and in range, so
         // every slot is filled.
+        #[allow(clippy::disallowed_methods)]
         let new_weights = EdgeWeights::new(
             values
                 .into_iter()
+                // privlint: allow(panic-freedom, "length equals num_edges and indices are distinct and in range, so every slot was filled")
                 .map(|v| v.expect("every slot filled"))
                 .collect(),
         )?;
@@ -1068,13 +1102,15 @@ impl ReleaseStore {
     /// back: the release keeps serving).
     pub fn drop_release(&self, namespace: &str, id: ReleaseId) -> Result<u64, StoreError> {
         let ns = self.get(namespace)?;
-        let mut w = ns.writer.lock().expect("namespace writer lock");
+        let mut w = ns.lock_writer(namespace)?;
         let Some(entry) = w.specs.get(&id.value()).cloned() else {
             return Err(StoreError::Engine(EngineError::UnknownRelease(id.value())));
         };
+        #[allow(clippy::disallowed_methods)]
         let removed = w
             .engine
             .remove(id)
+            // privlint: allow(panic-freedom, "entry was just found in w.specs; spec map and registry insert and remove together under the writer lock")
             .expect("spec map and registry agree on live ids");
         w.specs.remove(&id.value());
         w.epoch += 1;
@@ -1108,15 +1144,15 @@ impl ReleaseStore {
     /// serving at that point).
     pub fn drop_namespace(&self, namespace: &str) -> Result<(), StoreError> {
         let removed = self
-            .namespaces
-            .write()
-            .expect("namespace map lock")
+            .map_write()
             .remove(namespace)
             .ok_or_else(|| StoreError::UnknownNamespace(namespace.into()))?;
+        // `dir` never mutates after construction, so it survives even a
+        // poisoned writer — and the directory must still be deleted.
         let dir = removed
             .writer
             .lock()
-            .expect("namespace writer lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .dir
             .clone();
         fs::remove_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))
@@ -1137,16 +1173,15 @@ impl ReleaseStore {
     /// [`StoreError::UnknownNamespace`].
     pub fn snapshot(&self, namespace: &str) -> Result<Arc<NamespaceSnapshot>, StoreError> {
         let ns = self.get(namespace)?;
-        let snap = ns.current.read().expect("namespace snapshot lock").clone();
-        Ok(snap)
+        Ok(ns.current_snapshot())
     }
 
     /// Per-namespace counters, sorted by name.
     pub fn stats(&self) -> Vec<NamespaceStats> {
-        let map = self.namespaces.read().expect("namespace map lock");
+        let map = self.map_read();
         map.values()
             .map(|ns| {
-                let snap = ns.current.read().expect("namespace snapshot lock").clone();
+                let snap = ns.current_snapshot();
                 let (spent_eps, spent_delta) = snap.service().spent();
                 NamespaceStats {
                     namespace: snap.namespace().to_string(),
@@ -1174,10 +1209,26 @@ impl ReleaseStore {
             .ok_or_else(|| StoreError::UnknownNamespace(namespace.into()))
     }
 
-    fn get(&self, namespace: &str) -> Result<Arc<Namespace>, StoreError> {
+    /// Namespace-map access. The map only ever holds fully constructed
+    /// `Arc<Namespace>` entries (values are built before insertion and
+    /// removed whole), so even a poisoned lock guards a structurally
+    /// valid map; recover it rather than cascade an unrelated panic.
+    fn map_read(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Namespace>>> {
         self.namespaces
             .read()
-            .expect("namespace map lock")
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access to the namespace map (see
+    /// [`map_read`](Self::map_read) for the poisoning argument).
+    fn map_write(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Arc<Namespace>>> {
+        self.namespaces
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn get(&self, namespace: &str) -> Result<Arc<Namespace>, StoreError> {
+        self.map_read()
             .get(namespace)
             .cloned()
             .ok_or_else(|| StoreError::UnknownNamespace(namespace.into()))
@@ -1218,7 +1269,7 @@ impl ReleaseStore {
     /// brief write lock, after the mutation fully committed.
     fn swap_snapshot(&self, ns: &Namespace, writer: &NamespaceWriter) {
         let snapshot = Arc::new(self.build_snapshot(writer, &ns.counters));
-        *ns.current.write().expect("namespace snapshot lock") = snapshot;
+        ns.publish_snapshot(snapshot);
     }
 
     /// Replays one namespace directory: manifest, ledger, release files.
@@ -1258,9 +1309,11 @@ impl ReleaseStore {
         let continual = match &data.continual {
             Some(cm) => {
                 let state = ContinualState::read_state(dir, &cm.file, weights.len())?;
+                // Both sides are parsed from files we wrote, so the
+                // cross-check is exact bit equality, not float `==`.
                 if state.horizon != cm.horizon
-                    || state.rho_total != cm.rho_total
-                    || state.delta != cm.delta
+                    || state.rho_total.to_bits() != cm.rho_total.to_bits()
+                    || state.delta.to_bits() != cm.delta.to_bits()
                 {
                     return Err(StoreError::manifest(
                         &dir.join(MANIFEST_FILE),
