@@ -1,0 +1,216 @@
+//! `bench_geo` — the road-network workload's headline numbers,
+//! machine-readable.
+//!
+//! Generates a deterministic road network (10^5 nodes by default),
+//! round-trips it through the DIMACS `.gr`/`.co` writers and parsers,
+//! builds the quad-tree spatial index, ingests the network into a geo
+//! namespace of a live store, publishes a shortest-path release, and
+//! then times the serving path: lat/lon snap and end-to-end geo
+//! distance queries (snap both endpoints + private distance through the
+//! release).
+//!
+//! The output is `results/BENCH_geo.json`: ingest throughput (nodes/s
+//! and MB/s over the parsed text), index build time, snap latency
+//! percentiles, and end-to-end geo-query p50/p99. This binary is the
+//! reproducible artifact behind the README numbers.
+//!
+//! ```text
+//! bench_geo [--nodes V] [--queries Q] [--seed S] [--out FILE]
+//! ```
+
+use privpath_dp::Epsilon;
+use privpath_engine::ReleaseKind;
+use privpath_geo::{
+    generate_road_network, read_co_path, read_gr_path, write_co, write_gr, SpatialIndex,
+};
+use privpath_store::{ReleaseSpec, ReleaseStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::BufWriter;
+use std::time::Instant;
+
+struct Config {
+    nodes: usize,
+    queries: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        nodes: 100_000,
+        queries: 256,
+        seed: 7,
+        out: "results/BENCH_geo.json".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{key} needs a value"))?;
+        match key {
+            "--nodes" => cfg.nodes = val.parse().map_err(|_| "bad --nodes")?,
+            "--queries" => cfg.queries = val.parse().map_err(|_| "bad --queries")?,
+            "--seed" => cfg.seed = val.parse().map_err(|_| "bad --seed")?,
+            "--out" => cfg.out = val.clone(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    sorted_us[((sorted_us.len() - 1) as f64 * p) as usize]
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let cfg = parse_args()?;
+    let err = |e: &dyn std::fmt::Display| e.to_string();
+
+    let dir = std::env::temp_dir().join(format!("privpath-bench-geo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| err(&e))?;
+
+    // Generate and serialize the network (generation is not the number
+    // under test, but is reported for context).
+    let started = Instant::now();
+    let network = generate_road_network(cfg.nodes, cfg.seed).map_err(|e| err(&e))?;
+    let gen_s = started.elapsed().as_secs_f64();
+    let (v, e) = (network.topology.num_nodes(), network.topology.num_edges());
+    let gr_path = dir.join("net.gr");
+    let co_path = dir.join("net.co");
+    let gr_file = BufWriter::new(std::fs::File::create(&gr_path).map_err(|e| err(&e))?);
+    write_gr(gr_file, &network.topology, &network.weights).map_err(|e| err(&e))?;
+    let co_file = BufWriter::new(std::fs::File::create(&co_path).map_err(|e| err(&e))?);
+    write_co(co_file, &network.coords).map_err(|e| err(&e))?;
+    let bytes = std::fs::metadata(&gr_path).map_err(|e| err(&e))?.len()
+        + std::fs::metadata(&co_path).map_err(|e| err(&e))?.len();
+
+    println!(
+        "bench_geo: {v} nodes, {e} roads, seed {}, {:.1} MB on disk (generated in {gen_s:.2}s)",
+        cfg.seed,
+        bytes as f64 / 1e6
+    );
+
+    // Ingest: streaming DIMACS parse of both files.
+    let started = Instant::now();
+    let gr = read_gr_path(&gr_path).map_err(|e| err(&e))?;
+    let coords = read_co_path(&co_path, Some(gr.topology.num_nodes())).map_err(|e| err(&e))?;
+    let ingest_s = started.elapsed().as_secs_f64();
+    let ingest_nodes_per_s = v as f64 / ingest_s;
+    let ingest_mb_per_s = bytes as f64 / 1e6 / ingest_s;
+    println!(
+        "ingest: {ingest_s:.3}s ({:.0} nodes/s, {:.1} MB/s)",
+        ingest_nodes_per_s, ingest_mb_per_s
+    );
+
+    // Index build over the parsed coordinates.
+    let started = Instant::now();
+    let index = SpatialIndex::build(coords.clone()).map_err(|e| err(&e))?;
+    let build_s = started.elapsed().as_secs_f64();
+    println!("index build: {build_s:.3}s ({} points)", index.len());
+
+    // Snap latency over uniform coordinates inside the indexed region.
+    let b = index.bounds();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e0);
+    let mut snap_us = Vec::with_capacity(4096);
+    for _ in 0..4096 {
+        let lat = rng.gen_range(b.min_lat()..b.max_lat());
+        let lon = rng.gen_range(b.min_lon()..b.max_lon());
+        let started = Instant::now();
+        index.snap(lat, lon).map_err(|e| err(&e))?;
+        snap_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // End-to-end: geo namespace in a live store, one shortest-path
+    // release, then snap + private distance per query.
+    let store_dir = dir.join("store");
+    let store = ReleaseStore::open(&store_dir)
+        .map_err(|e| err(&e))?
+        .with_seed(cfg.seed);
+    let started = Instant::now();
+    store
+        .create_namespace_geo("roads", gr.topology, gr.weights, coords, None)
+        .map_err(|e| err(&e))?;
+    let init_s = started.elapsed().as_secs_f64();
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, Epsilon::new(1.0).unwrap())
+        .map_err(|e| err(&e))?;
+    let started = Instant::now();
+    let release = store.publish("roads", &spec).map_err(|e| err(&e))?.id;
+    let publish_s = started.elapsed().as_secs_f64();
+    println!("store init: {init_s:.3}s, publish: {publish_s:.3}s");
+
+    let snap_shot = store.snapshot("roads").map_err(|e| err(&e))?;
+    let geo = snap_shot
+        .geo()
+        .ok_or("geo namespace carries no spatial index")?;
+    let mut query_us = Vec::with_capacity(cfg.queries);
+    for _ in 0..cfg.queries {
+        let from = (
+            rng.gen_range(b.min_lat()..b.max_lat()),
+            rng.gen_range(b.min_lon()..b.max_lon()),
+        );
+        let to = (
+            rng.gen_range(b.min_lat()..b.max_lat()),
+            rng.gen_range(b.min_lon()..b.max_lon()),
+        );
+        let started = Instant::now();
+        let su = geo.snap(from.0, from.1).map_err(|e| err(&e))?;
+        let sv = geo.snap(to.0, to.1).map_err(|e| err(&e))?;
+        snap_shot
+            .distance(release, su.node, sv.node)
+            .map_err(|e| err(&e))?;
+        query_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+
+    snap_us.sort_by(f64::total_cmp);
+    query_us.sort_by(f64::total_cmp);
+    println!(
+        "snap p50/p99: {:.1}/{:.1} us; geo query p50/p99: {:.1}/{:.1} us",
+        percentile(&snap_us, 0.50),
+        percentile(&snap_us, 0.99),
+        percentile(&query_us, 0.50),
+        percentile(&query_us, 0.99),
+    );
+
+    let json = format!(
+        "{{\n  \"network\": {{\"nodes\": {v}, \"edges\": {e}, \"seed\": {}, \
+         \"dimacs_bytes\": {bytes}}},\n  \
+         \"generate_s\": {gen_s:.3},\n  \
+         \"ingest\": {{\"seconds\": {ingest_s:.3}, \"nodes_per_s\": {ingest_nodes_per_s:.0}, \
+         \"mb_per_s\": {ingest_mb_per_s:.2}}},\n  \
+         \"index_build_s\": {build_s:.3},\n  \
+         \"store\": {{\"init_s\": {init_s:.3}, \"publish_s\": {publish_s:.3}}},\n  \
+         \"snap_us\": {{\"p50\": {:.1}, \"p99\": {:.1}}},\n  \
+         \"geo_query_us\": {{\"p50\": {:.1}, \"p99\": {:.1}, \"count\": {}}}\n}}\n",
+        cfg.seed,
+        percentile(&snap_us, 0.50),
+        percentile(&snap_us, 0.99),
+        percentile(&query_us, 0.50),
+        percentile(&query_us, 0.99),
+        cfg.queries,
+    );
+    if let Some(parent) = std::path::Path::new(&cfg.out).parent() {
+        std::fs::create_dir_all(parent).map_err(|e| err(&e))?;
+    }
+    std::fs::write(&cfg.out, json).map_err(|e| err(&e))?;
+    println!("wrote {}", cfg.out);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,257 @@
+//! Geographic coordinate model for the road-network workload.
+//!
+//! Sealfon's killer scenario is a road network: the topology and the node
+//! *positions* are public, only the congestion weights are private. This
+//! module gives that public side a typed home — a validated
+//! latitude/longitude point and an axis-aligned bounding box — shared by
+//! the DIMACS loader, the spatial index, and the geo serve verbs.
+//!
+//! Coordinates carry no privacy budget: they are public inputs like the
+//! topology, and everything built from them (quad trees, snapping) is
+//! data-independent preprocessing.
+
+use crate::CoreError;
+use std::fmt;
+
+/// A geographic point: latitude and longitude in decimal degrees.
+///
+/// Both components are guaranteed finite (the constructor rejects NaN and
+/// infinities), but are *not* clamped to the usual ±90/±180 ranges:
+/// generated and projected networks may use arbitrary planar coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    lat: f64,
+    lon: f64,
+}
+
+impl GeoPoint {
+    /// Build a point, rejecting non-finite components.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, CoreError> {
+        if !lat.is_finite() || !lon.is_finite() {
+            return Err(CoreError::InvalidParameter(format!(
+                "geo point components must be finite (got lat={lat}, lon={lon})"
+            )));
+        }
+        Ok(GeoPoint { lat, lon })
+    }
+
+    /// Latitude in decimal degrees.
+    pub fn lat(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in decimal degrees.
+    pub fn lon(&self) -> f64 {
+        self.lon
+    }
+
+    /// Squared Euclidean distance in degree space.
+    ///
+    /// Used for nearest-node ordering only, where any monotone function of
+    /// planar distance gives the same winner; callers needing meters should
+    /// scale themselves.
+    pub fn dist_sq(&self, other: &GeoPoint) -> f64 {
+        let dx = self.lon - other.lon;
+        let dy = self.lat - other.lat;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.lat, self.lon)
+    }
+}
+
+/// An axis-aligned bounding box over [`GeoPoint`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoBounds {
+    min_lat: f64,
+    min_lon: f64,
+    max_lat: f64,
+    max_lon: f64,
+}
+
+impl GeoBounds {
+    /// Build a box from explicit corners, rejecting non-finite or inverted
+    /// extents.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64) -> Result<Self, CoreError> {
+        for v in [min_lat, min_lon, max_lat, max_lon] {
+            if !v.is_finite() {
+                return Err(CoreError::InvalidParameter(format!(
+                    "geo bounds must be finite (got {v})"
+                )));
+            }
+        }
+        if min_lat > max_lat || min_lon > max_lon {
+            return Err(CoreError::InvalidParameter(format!(
+                "geo bounds inverted: [{min_lat}, {max_lat}] x [{min_lon}, {max_lon}]"
+            )));
+        }
+        Ok(GeoBounds {
+            min_lat,
+            min_lon,
+            max_lat,
+            max_lon,
+        })
+    }
+
+    /// The tight bounding box of a non-empty point set.
+    pub fn from_points(points: &[GeoPoint]) -> Result<Self, CoreError> {
+        let first = points.first().ok_or_else(|| {
+            CoreError::InvalidParameter("geo bounds require at least one point".to_string())
+        })?;
+        let mut b = GeoBounds {
+            min_lat: first.lat(),
+            min_lon: first.lon(),
+            max_lat: first.lat(),
+            max_lon: first.lon(),
+        };
+        for p in &points[1..] {
+            b.min_lat = b.min_lat.min(p.lat());
+            b.min_lon = b.min_lon.min(p.lon());
+            b.max_lat = b.max_lat.max(p.lat());
+            b.max_lon = b.max_lon.max(p.lon());
+        }
+        Ok(b)
+    }
+
+    /// Whether the point lies inside the box (inclusive on all edges).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        p.lat() >= self.min_lat
+            && p.lat() <= self.max_lat
+            && p.lon() >= self.min_lon
+            && p.lon() <= self.max_lon
+    }
+
+    /// The box grown by `fraction` of each span on every side (with a
+    /// small absolute floor so degenerate boxes still gain a margin).
+    ///
+    /// The serve layer uses this to accept query coordinates slightly
+    /// outside the tight hull of the network while refusing points that
+    /// are nowhere near it.
+    pub fn expanded(&self, fraction: f64) -> GeoBounds {
+        let span_lat = (self.max_lat - self.min_lat).max(1e-9);
+        let span_lon = (self.max_lon - self.min_lon).max(1e-9);
+        let pad_lat = span_lat * fraction;
+        let pad_lon = span_lon * fraction;
+        GeoBounds {
+            min_lat: self.min_lat - pad_lat,
+            min_lon: self.min_lon - pad_lon,
+            max_lat: self.max_lat + pad_lat,
+            max_lon: self.max_lon + pad_lon,
+        }
+    }
+
+    /// Minimum latitude.
+    pub fn min_lat(&self) -> f64 {
+        self.min_lat
+    }
+
+    /// Minimum longitude.
+    pub fn min_lon(&self) -> f64 {
+        self.min_lon
+    }
+
+    /// Maximum latitude.
+    pub fn max_lat(&self) -> f64 {
+        self.max_lat
+    }
+
+    /// Maximum longitude.
+    pub fn max_lon(&self) -> f64 {
+        self.max_lon
+    }
+
+    /// Squared distance from `p` to the box in degree space (zero inside).
+    pub fn dist_sq_to(&self, p: &GeoPoint) -> f64 {
+        let dx = if p.lon() < self.min_lon {
+            self.min_lon - p.lon()
+        } else if p.lon() > self.max_lon {
+            p.lon() - self.max_lon
+        } else {
+            0.0
+        };
+        let dy = if p.lat() < self.min_lat {
+            self.min_lat - p.lat()
+        } else if p.lat() > self.max_lat {
+            p.lat() - self.max_lat
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for GeoBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lat [{}, {}] lon [{}, {}]",
+            self.min_lat, self.max_lat, self.min_lon, self.max_lon
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_rejects_non_finite() {
+        assert!(GeoPoint::new(f64::NAN, 0.0).is_err());
+        assert!(GeoPoint::new(0.0, f64::INFINITY).is_err());
+        assert!(GeoPoint::new(52.5, 13.4).is_ok());
+    }
+
+    #[test]
+    fn dist_sq_is_planar() {
+        let a = GeoPoint::new(0.0, 0.0).unwrap();
+        let b = GeoPoint::new(3.0, 4.0).unwrap();
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn bounds_from_points_and_contains() {
+        let pts = [
+            GeoPoint::new(1.0, 2.0).unwrap(),
+            GeoPoint::new(-1.0, 5.0).unwrap(),
+            GeoPoint::new(0.5, 3.0).unwrap(),
+        ];
+        let b = GeoBounds::from_points(&pts).unwrap();
+        assert_eq!(b.min_lat(), -1.0);
+        assert_eq!(b.max_lat(), 1.0);
+        assert_eq!(b.min_lon(), 2.0);
+        assert_eq!(b.max_lon(), 5.0);
+        assert!(b.contains(&GeoPoint::new(0.0, 3.0).unwrap()));
+        assert!(!b.contains(&GeoPoint::new(2.0, 3.0).unwrap()));
+    }
+
+    #[test]
+    fn bounds_reject_empty_and_inverted() {
+        assert!(GeoBounds::from_points(&[]).is_err());
+        assert!(GeoBounds::new(1.0, 0.0, 0.0, 1.0).is_err());
+        assert!(GeoBounds::new(0.0, 0.0, 0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn expanded_grows_and_handles_degenerate_boxes() {
+        let b = GeoBounds::new(0.0, 0.0, 10.0, 20.0).unwrap();
+        let e = b.expanded(0.05);
+        assert!(e.min_lat() < 0.0 && e.max_lat() > 10.0);
+        assert!(e.contains(&GeoPoint::new(-0.4, 0.0).unwrap()));
+
+        let point_box = GeoBounds::new(5.0, 5.0, 5.0, 5.0).unwrap();
+        let pe = point_box.expanded(0.05);
+        assert!(pe.min_lat() < 5.0 && pe.max_lat() > 5.0);
+    }
+
+    #[test]
+    fn dist_sq_to_box() {
+        let b = GeoBounds::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let inside = GeoPoint::new(0.5, 0.5).unwrap();
+        assert_eq!(b.dist_sq_to(&inside), 0.0);
+        let out = GeoPoint::new(2.0, 0.5).unwrap();
+        assert_eq!(b.dist_sq_to(&out), 1.0);
+    }
+}

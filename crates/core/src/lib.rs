@@ -22,6 +22,7 @@
 //! | Extension: reusable noisy dyadic series | [`series`] |
 //! | Extension: release persistence | [`persist`] |
 //! | Extension: CNX-style hierarchical shortcut APSP (related work) | [`shortcut`] |
+//! | Extension: public coordinate model for road networks | [`geo`] |
 //!
 //! Every mechanism comes in two flavours: a `*_with` function generic over
 //! [`privpath_dp::NoiseSource`] (so tests can run it with zero or recorded
@@ -36,6 +37,7 @@ pub mod bounded;
 pub mod bounds;
 mod error;
 pub mod experiment;
+pub mod geo;
 pub mod matching;
 pub mod model;
 pub mod mst;

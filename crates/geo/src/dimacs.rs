@@ -1,0 +1,578 @@
+//! Streaming DIMACS shortest-path file parsers and writers.
+//!
+//! The 9th DIMACS Implementation Challenge distributed road networks as
+//! two text files:
+//!
+//! * `G.gr` — the arcs: comment lines `c ...`, one problem line
+//!   `p sp <nodes> <arcs>`, then one `a <from> <to> <weight>` line per
+//!   directed arc with 1-based node ids.
+//! * `G.co` — the coordinates: comment lines, one problem line
+//!   `p aux sp co <nodes>`, then one `v <id> <x> <y>` line per node,
+//!   where `x` is the longitude and `y` the latitude. The classic
+//!   files store integer microdegrees; [`read_co`] detects that (any
+//!   value outside the ±90/±180 degree range) and rescales by `1e-6`.
+//!
+//! Both readers stream line-at-a-time through one reused buffer — the
+//! file is never materialized — and answer every malformed shape with a
+//! typed [`GeoError`], never a panic. CRLF line endings are accepted.
+
+use crate::GeoError;
+use privpath_core::geo::GeoPoint;
+use privpath_graph::{EdgeWeights, NodeId, Topology};
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Cap on up-front allocation from declared header counts, so a header
+/// that lies about the size cannot force a huge allocation before the
+/// mismatch is detected.
+const RESERVE_CAP: usize = 1 << 22;
+
+/// A parsed `.gr` file: the public directed topology plus the (private)
+/// arc weights, in arc order.
+#[derive(Debug, Clone)]
+pub struct GrFile {
+    /// The directed road topology. Arc ids are dense in file order.
+    pub topology: Topology,
+    /// One weight per arc, aligned with the topology's edge ids.
+    pub weights: EdgeWeights,
+}
+
+/// Reads one line into `buf`, returning `false` at EOF.
+fn next_line<R: BufRead>(r: &mut R, buf: &mut String, line_no: &mut u64) -> Result<bool, GeoError> {
+    buf.clear();
+    if r.read_line(buf)? == 0 {
+        return Ok(false);
+    }
+    *line_no += 1;
+    Ok(true)
+}
+
+fn parse_u64(tok: Option<&str>, line: u64, what: &str) -> Result<u64, GeoError> {
+    let tok = tok.ok_or_else(|| GeoError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<u64>().map_err(|_| GeoError::Parse {
+        line,
+        message: format!("invalid {what} {tok:?}"),
+    })
+}
+
+fn parse_f64(tok: Option<&str>, line: u64, what: &str) -> Result<f64, GeoError> {
+    let tok = tok.ok_or_else(|| GeoError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<f64>().map_err(|_| GeoError::Parse {
+        line,
+        message: format!("invalid {what} {tok:?}"),
+    })
+}
+
+/// Parses a 1-based DIMACS node id against the declared node count and
+/// returns it 0-based.
+fn parse_node(tok: Option<&str>, line: u64, num_nodes: u64, what: &str) -> Result<u32, GeoError> {
+    let id = parse_u64(tok, line, what)?;
+    if id == 0 || id > num_nodes {
+        return Err(GeoError::NodeIdOutOfRange {
+            line,
+            id,
+            num_nodes,
+        });
+    }
+    Ok((id - 1) as u32)
+}
+
+fn no_trailing<'a>(mut toks: impl Iterator<Item = &'a str>, line: u64) -> Result<(), GeoError> {
+    match toks.next() {
+        None => Ok(()),
+        Some(extra) => Err(GeoError::Parse {
+            line,
+            message: format!("unexpected trailing token {extra:?}"),
+        }),
+    }
+}
+
+/// Streams a DIMACS `.gr` file into a directed [`Topology`] and its arc
+/// [`EdgeWeights`].
+///
+/// # Errors
+/// Typed [`GeoError`]s for every malformed shape: missing or truncated
+/// `p sp` header, unparseable tokens, node ids outside the declared
+/// range, duplicate directed arcs, non-finite or negative weights, and
+/// an arc count differing from the header's declaration.
+pub fn read_gr<R: BufRead>(mut r: R) -> Result<GrFile, GeoError> {
+    const HEADER: &str = "p sp <nodes> <arcs>";
+    let mut buf = String::new();
+    let mut line_no = 0u64;
+
+    // Scan comments until the problem line.
+    let (num_nodes, num_arcs) = loop {
+        if !next_line(&mut r, &mut buf, &mut line_no)? {
+            return Err(GeoError::TruncatedHeader { expected: HEADER });
+        }
+        let mut toks = buf.split_whitespace();
+        match toks.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if toks.next() != Some("sp") {
+                    return Err(GeoError::Parse {
+                        line: line_no,
+                        message: format!("expected `{HEADER}`"),
+                    });
+                }
+                let n = parse_u64(toks.next(), line_no, "node count")?;
+                let m = parse_u64(toks.next(), line_no, "arc count")?;
+                no_trailing(toks, line_no)?;
+                break (n, m);
+            }
+            Some(other) => {
+                return Err(GeoError::Parse {
+                    line: line_no,
+                    message: format!("expected comment or problem line, got {other:?}"),
+                })
+            }
+        }
+    };
+    if num_nodes == 0 {
+        return Err(GeoError::EmptyNetwork);
+    }
+    if num_nodes > u32::MAX as u64 {
+        return Err(GeoError::Parse {
+            line: line_no,
+            message: format!("node count {num_nodes} exceeds the supported maximum"),
+        });
+    }
+
+    let mut builder = Topology::builder_directed(num_nodes as usize);
+    builder.reserve_edges((num_arcs as usize).min(RESERVE_CAP));
+    let mut weights: Vec<f64> = Vec::with_capacity((num_arcs as usize).min(RESERVE_CAP));
+    let mut seen: HashSet<(u32, u32)> =
+        HashSet::with_capacity((num_arcs as usize).min(RESERVE_CAP));
+
+    while next_line(&mut r, &mut buf, &mut line_no)? {
+        let mut toks = buf.split_whitespace();
+        match toks.next() {
+            None | Some("c") => continue,
+            Some("a") => {
+                let u = parse_node(toks.next(), line_no, num_nodes, "tail node id")?;
+                let v = parse_node(toks.next(), line_no, num_nodes, "head node id")?;
+                let w = parse_f64(toks.next(), line_no, "arc weight")?;
+                no_trailing(toks, line_no)?;
+                if !w.is_finite() || w < 0.0 {
+                    return Err(GeoError::Parse {
+                        line: line_no,
+                        message: format!("arc weight must be finite and nonnegative, got {w}"),
+                    });
+                }
+                if !seen.insert((u, v)) {
+                    return Err(GeoError::DuplicateArc {
+                        line: line_no,
+                        from: u as u64 + 1,
+                        to: v as u64 + 1,
+                    });
+                }
+                builder.try_add_edge(NodeId::new(u as usize), NodeId::new(v as usize))?;
+                weights.push(w);
+            }
+            Some("p") => {
+                return Err(GeoError::Parse {
+                    line: line_no,
+                    message: "duplicate problem line".to_string(),
+                })
+            }
+            Some(other) => {
+                return Err(GeoError::Parse {
+                    line: line_no,
+                    message: format!("expected arc or comment line, got {other:?}"),
+                })
+            }
+        }
+    }
+
+    if weights.len() as u64 != num_arcs {
+        return Err(GeoError::ArcCountMismatch {
+            declared: num_arcs,
+            found: weights.len() as u64,
+        });
+    }
+    Ok(GrFile {
+        topology: builder.build(),
+        weights: EdgeWeights::new(weights)?,
+    })
+}
+
+/// [`read_gr`] over a file path.
+pub fn read_gr_path(path: &Path) -> Result<GrFile, GeoError> {
+    read_gr(BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Streams a DIMACS `.co` coordinate file into one [`GeoPoint`] per
+/// node, indexed by 0-based node id.
+///
+/// When `expected_nodes` is given, the header's declared node count must
+/// match it (this is how the store cross-checks a `.co` against the
+/// topology from its `.gr`). Values outside the ±90/±180 degree range
+/// trigger the classic-DIMACS microdegree interpretation: every
+/// coordinate in the file is rescaled by `1e-6`.
+///
+/// # Errors
+/// Typed [`GeoError`]s for a missing `p aux sp co` header, unparseable
+/// tokens, ids outside the declared range, duplicate or missing
+/// coordinates, and NaN/infinite components.
+pub fn read_co<R: BufRead>(
+    mut r: R,
+    expected_nodes: Option<usize>,
+) -> Result<Vec<GeoPoint>, GeoError> {
+    const HEADER: &str = "p aux sp co <nodes>";
+    let mut buf = String::new();
+    let mut line_no = 0u64;
+
+    let num_nodes = loop {
+        if !next_line(&mut r, &mut buf, &mut line_no)? {
+            return Err(GeoError::TruncatedHeader { expected: HEADER });
+        }
+        let mut toks = buf.split_whitespace();
+        match toks.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                let rest: Vec<&str> = toks.by_ref().take(3).collect();
+                if rest != ["aux", "sp", "co"] {
+                    return Err(GeoError::Parse {
+                        line: line_no,
+                        message: format!("expected `{HEADER}`"),
+                    });
+                }
+                let n = parse_u64(toks.next(), line_no, "node count")?;
+                no_trailing(toks, line_no)?;
+                break n;
+            }
+            Some(other) => {
+                return Err(GeoError::Parse {
+                    line: line_no,
+                    message: format!("expected comment or problem line, got {other:?}"),
+                })
+            }
+        }
+    };
+    if num_nodes == 0 {
+        return Err(GeoError::EmptyNetwork);
+    }
+    if num_nodes > u32::MAX as u64 {
+        return Err(GeoError::Parse {
+            line: line_no,
+            message: format!("node count {num_nodes} exceeds the supported maximum"),
+        });
+    }
+    if let Some(expected) = expected_nodes {
+        if num_nodes as usize != expected {
+            return Err(GeoError::CoordTopologyMismatch {
+                nodes: expected,
+                coords: num_nodes as usize,
+            });
+        }
+    }
+
+    // Slot tables grow lazily to the highest id actually seen, so a
+    // header that lies about the node count cannot force a huge
+    // allocation up front.
+    let n = num_nodes as usize;
+    let mut coords: Vec<(f64, f64)> = Vec::with_capacity(n.min(RESERVE_CAP));
+    let mut present: Vec<bool> = Vec::with_capacity(n.min(RESERVE_CAP));
+    let mut found = 0usize;
+
+    while next_line(&mut r, &mut buf, &mut line_no)? {
+        let mut toks = buf.split_whitespace();
+        match toks.next() {
+            None | Some("c") => continue,
+            Some("v") => {
+                let id = parse_node(toks.next(), line_no, num_nodes, "node id")?;
+                let lon = parse_f64(toks.next(), line_no, "x coordinate (longitude)")?;
+                let lat = parse_f64(toks.next(), line_no, "y coordinate (latitude)")?;
+                no_trailing(toks, line_no)?;
+                if !lat.is_finite() || !lon.is_finite() {
+                    return Err(GeoError::NonFiniteCoordinate {
+                        line: line_no,
+                        lat,
+                        lon,
+                    });
+                }
+                let slot = id as usize;
+                if slot >= present.len() {
+                    present.resize(slot + 1, false);
+                    coords.resize(slot + 1, (0.0, 0.0));
+                }
+                if present[slot] {
+                    return Err(GeoError::DuplicateCoordinate {
+                        line: line_no,
+                        id: id as u64 + 1,
+                    });
+                }
+                present[slot] = true;
+                coords[slot] = (lat, lon);
+                found += 1;
+            }
+            Some("p") => {
+                return Err(GeoError::Parse {
+                    line: line_no,
+                    message: "duplicate problem line".to_string(),
+                })
+            }
+            Some(other) => {
+                return Err(GeoError::Parse {
+                    line: line_no,
+                    message: format!("expected coordinate or comment line, got {other:?}"),
+                })
+            }
+        }
+    }
+
+    if found != n {
+        let slot = present.iter().position(|&p| !p).unwrap_or(present.len());
+        return Err(GeoError::MissingCoordinate {
+            id: slot as u64 + 1,
+        });
+    }
+
+    // Classic DIMACS road files store integer microdegrees; detect and
+    // rescale so both conventions land in decimal degrees.
+    let microdegrees = coords
+        .iter()
+        .any(|&(lat, lon)| lat.abs() > 90.0 || lon.abs() > 180.0);
+    let scale = if microdegrees { 1e-6 } else { 1.0 };
+    coords
+        .into_iter()
+        .map(|(lat, lon)| Ok(GeoPoint::new(lat * scale, lon * scale)?))
+        .collect()
+}
+
+/// [`read_co`] over a file path.
+pub fn read_co_path(path: &Path, expected_nodes: Option<usize>) -> Result<Vec<GeoPoint>, GeoError> {
+    read_co(BufReader::new(std::fs::File::open(path)?), expected_nodes)
+}
+
+/// Writes a directed topology and its arc weights as a DIMACS `.gr`
+/// file (1-based ids, `{:?}` float weights for exact round-trips).
+pub fn write_gr<W: Write>(
+    mut w: W,
+    topo: &Topology,
+    weights: &EdgeWeights,
+) -> Result<(), GeoError> {
+    if weights.len() != topo.num_edges() {
+        return Err(GeoError::Graph(
+            privpath_graph::GraphError::WeightsLengthMismatch {
+                expected: topo.num_edges(),
+                got: weights.len(),
+            },
+        ));
+    }
+    writeln!(w, "c privpath-geo road network")?;
+    writeln!(w, "p sp {} {}", topo.num_nodes(), topo.num_edges())?;
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        writeln!(
+            w,
+            "a {} {} {:?}",
+            u.index() + 1,
+            v.index() + 1,
+            weights.get(e)
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes node coordinates as a DIMACS `.co` file in the classic
+/// integer-microdegree convention (quantizing each component to `1e-6`
+/// degrees).
+pub fn write_co<W: Write>(mut w: W, points: &[GeoPoint]) -> Result<(), GeoError> {
+    writeln!(w, "c privpath-geo road network coordinates")?;
+    writeln!(w, "p aux sp co {}", points.len())?;
+    for (i, p) in points.iter().enumerate() {
+        let lon = (p.lon() * 1e6).round() as i64;
+        let lat = (p.lat() * 1e6).round() as i64;
+        writeln!(w, "v {} {} {}", i + 1, lon, lat)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn gr(text: &str) -> Result<GrFile, GeoError> {
+        read_gr(Cursor::new(text.as_bytes()))
+    }
+
+    fn co(text: &str, expected: Option<usize>) -> Result<Vec<GeoPoint>, GeoError> {
+        read_co(Cursor::new(text.as_bytes()), expected)
+    }
+
+    #[test]
+    fn parses_a_small_gr() {
+        let g = gr("c demo\np sp 3 2\na 1 2 4.5\na 2 3 1\n").unwrap();
+        assert_eq!(g.topology.num_nodes(), 3);
+        assert_eq!(g.topology.num_edges(), 2);
+        assert!(g.topology.is_directed());
+        assert_eq!(g.weights.as_slice(), &[4.5, 1.0]);
+    }
+
+    #[test]
+    fn tolerates_crlf_and_comments_between_arcs() {
+        let g = gr("c one\r\np sp 2 1\r\nc two\r\na 1 2 3\r\n").unwrap();
+        assert_eq!(g.topology.num_edges(), 1);
+        assert_eq!(g.weights.as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn gr_round_trips_through_write() {
+        let g = gr("p sp 4 3\na 1 2 1.25\na 2 3 0.5\na 4 1 7\n").unwrap();
+        let mut out = Vec::new();
+        write_gr(&mut out, &g.topology, &g.weights).unwrap();
+        let back = read_gr(Cursor::new(&out)).unwrap();
+        assert_eq!(back.topology.num_edges(), 3);
+        assert_eq!(back.weights.as_slice(), g.weights.as_slice());
+    }
+
+    #[test]
+    fn truncated_header_and_missing_header() {
+        assert!(matches!(gr(""), Err(GeoError::TruncatedHeader { .. })));
+        assert!(matches!(
+            gr("c only comments\nc here\n"),
+            Err(GeoError::TruncatedHeader { .. })
+        ));
+        assert!(matches!(
+            gr("a 1 2 3\n"),
+            Err(GeoError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(gr("p sp 3\n"), Err(GeoError::Parse { .. })));
+    }
+
+    #[test]
+    fn arc_count_lies_are_reported() {
+        let e = gr("p sp 3 5\na 1 2 1\na 2 3 1\n").unwrap_err();
+        assert!(matches!(
+            e,
+            GeoError::ArcCountMismatch {
+                declared: 5,
+                found: 2
+            }
+        ));
+        let e = gr("p sp 3 1\na 1 2 1\na 2 3 1\n").unwrap_err();
+        assert!(matches!(
+            e,
+            GeoError::ArcCountMismatch {
+                declared: 1,
+                found: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_arcs() {
+        let e = gr("p sp 3 2\na 1 2 1\na 1 2 2\n").unwrap_err();
+        assert!(matches!(
+            e,
+            GeoError::DuplicateArc {
+                line: 3,
+                from: 1,
+                to: 2
+            }
+        ));
+        // Reverse direction is a distinct arc, not a duplicate.
+        assert!(gr("p sp 3 2\na 1 2 1\na 2 1 2\n").is_ok());
+
+        let e = gr("p sp 3 1\na 1 9 1\n").unwrap_err();
+        assert!(matches!(e, GeoError::NodeIdOutOfRange { id: 9, .. }));
+        let e = gr("p sp 3 1\na 0 2 1\n").unwrap_err();
+        assert!(matches!(e, GeoError::NodeIdOutOfRange { id: 0, .. }));
+    }
+
+    #[test]
+    fn bad_weights_are_typed_errors() {
+        assert!(matches!(
+            gr("p sp 2 1\na 1 2 nan\n"),
+            Err(GeoError::Parse { .. })
+        ));
+        assert!(matches!(
+            gr("p sp 2 1\na 1 2 inf\n"),
+            Err(GeoError::Parse { .. })
+        ));
+        assert!(matches!(
+            gr("p sp 2 1\na 1 2 -3\n"),
+            Err(GeoError::Parse { .. })
+        ));
+        assert!(matches!(
+            gr("p sp 2 1\na 1 2 1 junk\n"),
+            Err(GeoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parses_a_small_co_in_degrees_and_microdegrees() {
+        let pts = co(
+            "c demo\np aux sp co 2\nv 1 13.4 52.5\nv 2 13.5 52.6\n",
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].lat(), 52.5);
+        assert_eq!(pts[0].lon(), 13.4);
+
+        let micro = co(
+            "p aux sp co 2\nv 1 13400000 52500000\nv 2 13500000 52600000\n",
+            Some(2),
+        )
+        .unwrap();
+        assert!((micro[0].lat() - 52.5).abs() < 1e-9);
+        assert!((micro[0].lon() - 13.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn co_corpus_of_malformed_inputs() {
+        assert!(matches!(
+            co("", None),
+            Err(GeoError::TruncatedHeader { .. })
+        ));
+        assert!(matches!(
+            co("p aux sp co 2\nv 1 1 1\n", None),
+            Err(GeoError::MissingCoordinate { id: 2 })
+        ));
+        assert!(matches!(
+            co("p aux sp co 1\nv 1 1 1\nv 1 2 2\n", None),
+            Err(GeoError::DuplicateCoordinate { line: 3, id: 1 })
+        ));
+        assert!(matches!(
+            co("p aux sp co 1\nv 1 nan 1\n", None),
+            Err(GeoError::NonFiniteCoordinate { .. })
+        ));
+        assert!(matches!(
+            co("p aux sp co 1\nv 9 1 1\n", None),
+            Err(GeoError::NodeIdOutOfRange { id: 9, .. })
+        ));
+        assert!(matches!(
+            co("p aux sp co 3\nv 1 1 1\n", Some(5)),
+            Err(GeoError::CoordTopologyMismatch {
+                nodes: 5,
+                coords: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn co_round_trips_through_write() {
+        let pts = vec![
+            GeoPoint::new(40.123456, -75.654321).unwrap(),
+            GeoPoint::new(40.2, -75.1).unwrap(),
+        ];
+        let mut out = Vec::new();
+        write_co(&mut out, &pts).unwrap();
+        let back = read_co(Cursor::new(&out), Some(2)).unwrap();
+        for (a, b) in pts.iter().zip(&back) {
+            assert!((a.lat() - b.lat()).abs() < 1e-6);
+            assert!((a.lon() - b.lon()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Typed errors for road-network ingestion and spatial queries.
+
+use privpath_core::geo::GeoBounds;
+use privpath_core::CoreError;
+use privpath_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while ingesting, generating, or indexing a road
+/// network.
+///
+/// DIMACS files are untrusted input: every malformed shape the parsers
+/// can encounter maps to a variant here, never to a panic.
+#[derive(Debug)]
+pub enum GeoError {
+    /// An underlying read or write failed.
+    Io(std::io::Error),
+    /// The file ended (or a non-comment line appeared) before the
+    /// required problem header.
+    TruncatedHeader {
+        /// The header grammar that was expected.
+        expected: &'static str,
+    },
+    /// A line that does not fit the grammar.
+    Parse {
+        /// 1-based line number in the input.
+        line: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// The `.gr` header declared one arc count, the file contained
+    /// another.
+    ArcCountMismatch {
+        /// Arc count from the `p sp` header.
+        declared: u64,
+        /// Arcs actually present.
+        found: u64,
+    },
+    /// A coordinate line carried a NaN or infinite component.
+    NonFiniteCoordinate {
+        /// 1-based line number in the input.
+        line: u64,
+        /// The latitude read.
+        lat: f64,
+        /// The longitude read.
+        lon: f64,
+    },
+    /// The same directed arc appeared twice.
+    DuplicateArc {
+        /// 1-based line number of the second occurrence.
+        line: u64,
+        /// 1-based DIMACS tail node id.
+        from: u64,
+        /// 1-based DIMACS head node id.
+        to: u64,
+    },
+    /// A node id outside `1..=n` for the declared node count `n`.
+    NodeIdOutOfRange {
+        /// 1-based line number in the input.
+        line: u64,
+        /// The offending id as written.
+        id: u64,
+        /// The declared node count.
+        num_nodes: u64,
+    },
+    /// Two coordinate lines for the same node.
+    DuplicateCoordinate {
+        /// 1-based line number of the second occurrence.
+        line: u64,
+        /// 1-based DIMACS node id.
+        id: u64,
+    },
+    /// The `.co` file ended without a coordinate for this node.
+    MissingCoordinate {
+        /// 1-based DIMACS node id of the first uncovered node.
+        id: u64,
+    },
+    /// The coordinate file declares a different node count than the
+    /// topology it is being paired with.
+    CoordTopologyMismatch {
+        /// Node count of the topology.
+        nodes: usize,
+        /// Node count the `.co` header declared.
+        coords: usize,
+    },
+    /// A persisted spatial index that does not fit the `privpath-geo-index`
+    /// grammar or fails structural validation.
+    IndexFormat {
+        /// 1-based line number in the index file.
+        line: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// A spatial index or generator was asked to cover zero nodes.
+    EmptyNetwork,
+    /// A road-network generator parameter outside its documented domain.
+    Generator(String),
+    /// A substrate graph error (invalid ids, weight validation, ...).
+    Graph(GraphError),
+    /// A coordinate-model error from the core layer.
+    Core(CoreError),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::Io(e) => write!(f, "i/o error: {e}"),
+            GeoError::TruncatedHeader { expected } => {
+                write!(f, "truncated input: expected a `{expected}` header")
+            }
+            GeoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            GeoError::ArcCountMismatch { declared, found } => write!(
+                f,
+                "arc count mismatch: header declared {declared} arcs, file contained {found}"
+            ),
+            GeoError::NonFiniteCoordinate { line, lat, lon } => write!(
+                f,
+                "line {line}: non-finite coordinate (lat={lat}, lon={lon})"
+            ),
+            GeoError::DuplicateArc { line, from, to } => {
+                write!(f, "line {line}: duplicate arc {from} -> {to}")
+            }
+            GeoError::NodeIdOutOfRange {
+                line,
+                id,
+                num_nodes,
+            } => write!(f, "line {line}: node id {id} outside 1..={num_nodes}"),
+            GeoError::DuplicateCoordinate { line, id } => {
+                write!(f, "line {line}: duplicate coordinate for node {id}")
+            }
+            GeoError::MissingCoordinate { id } => {
+                write!(f, "missing coordinate for node {id}")
+            }
+            GeoError::CoordTopologyMismatch { nodes, coords } => write!(
+                f,
+                "coordinate file declares {coords} nodes but the topology has {nodes}"
+            ),
+            GeoError::IndexFormat { line, message } => {
+                write!(f, "spatial index line {line}: {message}")
+            }
+            GeoError::EmptyNetwork => write!(f, "road network must have at least one node"),
+            GeoError::Generator(msg) => write!(f, "road-network generator: {msg}"),
+            GeoError::Graph(e) => write!(f, "graph error: {e}"),
+            GeoError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl Error for GeoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GeoError::Io(e) => Some(e),
+            GeoError::Graph(e) => Some(e),
+            GeoError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GeoError {
+    fn from(e: std::io::Error) -> Self {
+        GeoError::Io(e)
+    }
+}
+
+impl From<GraphError> for GeoError {
+    fn from(e: GraphError) -> Self {
+        GeoError::Graph(e)
+    }
+}
+
+impl From<CoreError> for GeoError {
+    fn from(e: CoreError) -> Self {
+        GeoError::Core(e)
+    }
+}
+
+/// Errors produced when snapping a query coordinate to the network.
+///
+/// Cheap and value-like (the serve layer maps these straight to wire
+/// error codes), hence separate from [`GeoError`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SnapError {
+    /// The query coordinate had a NaN or infinite component.
+    NonFinite {
+        /// The latitude as given.
+        lat: f64,
+        /// The longitude as given.
+        lon: f64,
+    },
+    /// The query coordinate lies outside the indexed region (the network
+    /// bounds plus a small margin).
+    OutOfBounds {
+        /// The latitude as given.
+        lat: f64,
+        /// The longitude as given.
+        lon: f64,
+        /// The accepted region.
+        bounds: GeoBounds,
+    },
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::NonFinite { lat, lon } => {
+                write!(f, "query coordinate must be finite (lat={lat}, lon={lon})")
+            }
+            SnapError::OutOfBounds { lat, lon, bounds } => write!(
+                f,
+                "query coordinate ({lat}, {lon}) outside the indexed region {bounds}"
+            ),
+        }
+    }
+}
+
+impl Error for SnapError {}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // tests may unwrap
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_facts() {
+        let e = GeoError::ArcCountMismatch {
+            declared: 10,
+            found: 7,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("7"));
+
+        let e = GeoError::NodeIdOutOfRange {
+            line: 3,
+            id: 99,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("99"));
+
+        let b = GeoBounds::new(0.0, 0.0, 1.0, 1.0).unwrap();
+        let s = SnapError::OutOfBounds {
+            lat: 5.0,
+            lon: 5.0,
+            bounds: b,
+        };
+        assert!(s.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: GeoError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+        let e: GeoError = GraphError::EmptyGraph.into();
+        assert!(e.source().is_some());
+    }
+}

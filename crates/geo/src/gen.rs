@@ -1,0 +1,200 @@
+//! Deterministic road-network generator.
+//!
+//! Emits sparse planar networks with the statistics that matter for
+//! this workload — average degree ~2.5–3.5, strong local structure, a
+//! bounded lat/lon footprint, per-direction congestion asymmetry — so
+//! tests, CI, and benches exercise 10^5–10^6-node road networks fully
+//! offline. Same `(nodes, seed)` always produces the same network,
+//! byte for byte, which the snap-determinism tests rely on.
+//!
+//! The layout is a jittered grid: nodes sit near grid cells of ~111 m
+//! pitch, every node keeps a guaranteed path to node 0 (the "avenue"
+//! skeleton: each row connects upward, row 0 is chained), and extra
+//! east–west streets appear with fixed probability. Every undirected
+//! street becomes two directed arcs with independently perturbed
+//! travel times, like real congestion.
+
+use crate::{GeoError, GrFile};
+use privpath_core::geo::GeoPoint;
+use privpath_graph::{EdgeWeights, NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Southwest corner of the generated footprint (degrees).
+const BASE_LAT: f64 = 40.0;
+const BASE_LON: f64 = -75.0;
+/// Grid pitch in degrees (~111 m of latitude).
+const CELL_DEG: f64 = 0.001;
+/// Maximum positional jitter in degrees (< half the pitch, so grid
+/// neighbors stay nearest neighbors).
+const JITTER_DEG: f64 = 0.00035;
+/// Probability of an extra east–west street off the skeleton.
+const STREET_PROB: f64 = 0.6;
+/// Meters per degree at the footprint's latitude band, used to turn
+/// planar distance into a baseline travel weight.
+const METERS_PER_DEG: f64 = 111_000.0;
+/// Per-direction congestion: each arc's weight is the baseline times a
+/// uniform factor in `[1, 1 + CONGESTION]`.
+const CONGESTION: f64 = 0.5;
+
+/// A generated road network: public topology and coordinates, private
+/// arc weights.
+#[derive(Debug, Clone)]
+pub struct RoadNetwork {
+    /// The directed street topology (two arcs per street).
+    pub topology: Topology,
+    /// Travel-time weights, one per arc.
+    pub weights: EdgeWeights,
+    /// Node positions, indexed by node id.
+    pub coords: Vec<GeoPoint>,
+}
+
+impl RoadNetwork {
+    /// The topology/weights pair in the shape the DIMACS writer takes.
+    pub fn gr(&self) -> GrFile {
+        GrFile {
+            topology: self.topology.clone(),
+            weights: self.weights.clone(),
+        }
+    }
+}
+
+/// Generates a connected road network with `nodes` nodes.
+///
+/// # Errors
+/// [`GeoError::Generator`] for `nodes < 2` or a node count above
+/// `u32::MAX`.
+pub fn generate_road_network(nodes: usize, seed: u64) -> Result<RoadNetwork, GeoError> {
+    if nodes < 2 {
+        return Err(GeoError::Generator(format!(
+            "need at least 2 nodes, got {nodes}"
+        )));
+    }
+    if nodes > u32::MAX as usize {
+        return Err(GeoError::Generator(format!(
+            "node count {nodes} exceeds the supported maximum"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let rows = (nodes as f64).sqrt().floor().max(1.0) as usize;
+    let cols = nodes.div_ceil(rows);
+
+    let mut coords = Vec::with_capacity(nodes);
+    for k in 0..nodes {
+        let row = k / cols;
+        let col = k % cols;
+        let jlat = (rng.gen::<f64>() * 2.0 - 1.0) * JITTER_DEG;
+        let jlon = (rng.gen::<f64>() * 2.0 - 1.0) * JITTER_DEG;
+        coords.push(GeoPoint::new(
+            BASE_LAT + row as f64 * CELL_DEG + jlat,
+            BASE_LON + col as f64 * CELL_DEG + jlon,
+        )?);
+    }
+
+    // Streets as undirected pairs, skeleton first so connectivity never
+    // depends on the random draws: every node above row 0 connects to
+    // the cell directly beneath it, and row 0 is a chain.
+    let mut streets: Vec<(usize, usize)> = Vec::with_capacity(nodes * 2);
+    for k in 0..nodes {
+        let row = k / cols;
+        let col = k % cols;
+        if row > 0 {
+            streets.push((k, k - cols));
+        }
+        if col > 0 && row == 0 {
+            streets.push((k, k - 1));
+        }
+        if col > 0 && row > 0 && rng.gen_bool(STREET_PROB) {
+            streets.push((k, k - 1));
+        }
+    }
+
+    let mut builder = Topology::builder_directed(nodes);
+    builder.reserve_edges(streets.len() * 2);
+    let mut weights = Vec::with_capacity(streets.len() * 2);
+    for &(a, b) in &streets {
+        let (pa, pb) = (&coords[a], &coords[b]);
+        let base = pa.dist_sq(pb).sqrt() * METERS_PER_DEG;
+        for (u, v) in [(a, b), (b, a)] {
+            builder.try_add_edge(NodeId::new(u), NodeId::new(v))?;
+            let factor = 1.0 + CONGESTION * rng.gen::<f64>();
+            weights.push((base * factor).round().max(1.0));
+        }
+    }
+
+    Ok(RoadNetwork {
+        topology: builder.build(),
+        weights: EdgeWeights::new(weights)?,
+        coords,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use crate::dimacs::{read_co, read_gr, write_co, write_gr};
+    use privpath_graph::algo::connected_components;
+    use std::io::Cursor;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_road_network(500, 42).unwrap();
+        let b = generate_road_network(500, 42).unwrap();
+        assert_eq!(a.weights.as_slice(), b.weights.as_slice());
+        assert_eq!(a.coords, b.coords);
+        assert_eq!(a.topology.num_edges(), b.topology.num_edges());
+
+        let c = generate_road_network(500, 43).unwrap();
+        assert_ne!(a.weights.as_slice(), c.weights.as_slice());
+    }
+
+    #[test]
+    fn network_is_sparse_planarish_and_connected() {
+        let net = generate_road_network(1000, 7).unwrap();
+        assert_eq!(net.topology.num_nodes(), 1000);
+        assert_eq!(net.coords.len(), 1000);
+        // Two directed arcs per street; average undirected degree in
+        // the road-network range.
+        let streets = net.topology.num_edges() / 2;
+        let avg_degree = 2.0 * streets as f64 / 1000.0;
+        assert!((2.0..4.0).contains(&avg_degree), "avg degree {avg_degree}");
+        let comps = connected_components(&net.topology);
+        assert_eq!(comps.count, 1);
+        assert!(net.weights.min().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn odd_node_counts_are_exact() {
+        for n in [2usize, 3, 17, 97] {
+            let net = generate_road_network(n, 1).unwrap();
+            assert_eq!(net.topology.num_nodes(), n, "n={n}");
+            assert_eq!(net.coords.len(), n);
+            assert_eq!(connected_components(&net.topology).count, 1, "n={n}");
+        }
+        assert!(matches!(
+            generate_road_network(1, 0),
+            Err(GeoError::Generator(_))
+        ));
+    }
+
+    #[test]
+    fn round_trips_through_dimacs() {
+        let net = generate_road_network(120, 11).unwrap();
+        let mut gr_text = Vec::new();
+        write_gr(&mut gr_text, &net.topology, &net.weights).unwrap();
+        let mut co_text = Vec::new();
+        write_co(&mut co_text, &net.coords).unwrap();
+
+        let gr = read_gr(Cursor::new(&gr_text)).unwrap();
+        assert_eq!(gr.topology.num_nodes(), 120);
+        assert_eq!(gr.weights.as_slice(), net.weights.as_slice());
+
+        let co = read_co(Cursor::new(&co_text), Some(120)).unwrap();
+        for (a, b) in net.coords.iter().zip(&co) {
+            assert!((a.lat() - b.lat()).abs() < 1e-6);
+            assert!((a.lon() - b.lon()).abs() < 1e-6);
+        }
+    }
+}

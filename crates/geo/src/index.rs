@@ -1,0 +1,616 @@
+//! The persistent spatial index: quad tree + point table + bounds.
+//!
+//! Built once per store namespace from the public node coordinates,
+//! serialized to a line-oriented text artifact (`privpath-geo-index v1`)
+//! the store persists next to its manifest, and replayed on open. All
+//! of this is data-independent preprocessing of *public* inputs — no
+//! privacy budget is involved.
+
+use crate::quadtree::{QuadTree, Rect, TreeNode};
+use crate::{GeoError, SnapError};
+use privpath_core::geo::{GeoBounds, GeoPoint};
+use privpath_graph::NodeId;
+use std::fmt::Write as _;
+
+/// Fraction of each bounding-box span accepted as an out-of-network
+/// margin when snapping query coordinates.
+pub const SNAP_MARGIN: f64 = 0.05;
+
+const FORMAT_HEADER: &str = "privpath-geo-index v1";
+
+/// A query coordinate snapped to its nearest network node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapped {
+    /// The nearest node.
+    pub node: NodeId,
+    /// That node's position.
+    pub point: GeoPoint,
+    /// Squared planar distance (degree space) from the query to the node.
+    pub dist_sq: f64,
+}
+
+/// A quad-tree nearest-node index over a road network's node
+/// coordinates.
+///
+/// Deterministic: the same point set always builds (and deserializes
+/// to) the same tree, so snapping is reproducible across processes and
+/// restarts.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    points: Vec<GeoPoint>,
+    bounds: GeoBounds,
+    snap_bounds: GeoBounds,
+    tree: QuadTree,
+}
+
+impl SpatialIndex {
+    /// Builds the index over one point per node (indexed by node id).
+    ///
+    /// # Errors
+    /// [`GeoError::EmptyNetwork`] for an empty point set.
+    pub fn build(points: Vec<GeoPoint>) -> Result<Self, GeoError> {
+        if points.is_empty() {
+            return Err(GeoError::EmptyNetwork);
+        }
+        let bounds = GeoBounds::from_points(&points)?;
+        let tree = QuadTree::build(&points, rect_of(&bounds));
+        Ok(SpatialIndex {
+            snap_bounds: bounds.expanded(SNAP_MARGIN),
+            points,
+            bounds,
+            tree,
+        })
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false: empty point sets are rejected at build time.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The tight bounding box of the indexed points.
+    pub fn bounds(&self) -> GeoBounds {
+        self.bounds
+    }
+
+    /// The accepted query region: [`bounds`](Self::bounds) expanded by
+    /// [`SNAP_MARGIN`].
+    pub fn snap_bounds(&self) -> GeoBounds {
+        self.snap_bounds
+    }
+
+    /// The indexed position of a node, if the id is in range.
+    pub fn point(&self, node: NodeId) -> Option<GeoPoint> {
+        self.points.get(node.index()).copied()
+    }
+
+    /// Snaps a query coordinate to the nearest network node.
+    ///
+    /// # Errors
+    /// [`SnapError::NonFinite`] for NaN/infinite components,
+    /// [`SnapError::OutOfBounds`] for coordinates outside the accepted
+    /// region.
+    pub fn snap(&self, lat: f64, lon: f64) -> Result<Snapped, SnapError> {
+        let q = GeoPoint::new(lat, lon).map_err(|_| SnapError::NonFinite { lat, lon })?;
+        if !self.snap_bounds.contains(&q) {
+            return Err(SnapError::OutOfBounds {
+                lat,
+                lon,
+                bounds: self.snap_bounds,
+            });
+        }
+        self.tree
+            .nearest(&self.points, rect_of(&self.bounds), &q)
+            .and_then(|(i, dist_sq)| self.snapped(i, dist_sq))
+            // Unreachable: build() rejects empty point sets and the tree
+            // only yields indices into them.
+            .ok_or(SnapError::OutOfBounds {
+                lat,
+                lon,
+                bounds: self.snap_bounds,
+            })
+    }
+
+    /// The `k` nearest network nodes to a query coordinate, ascending
+    /// by distance (ties toward the smaller node id).
+    ///
+    /// # Errors
+    /// Same refusals as [`snap`](Self::snap).
+    pub fn k_nearest(&self, lat: f64, lon: f64, k: usize) -> Result<Vec<Snapped>, SnapError> {
+        let q = GeoPoint::new(lat, lon).map_err(|_| SnapError::NonFinite { lat, lon })?;
+        if !self.snap_bounds.contains(&q) {
+            return Err(SnapError::OutOfBounds {
+                lat,
+                lon,
+                bounds: self.snap_bounds,
+            });
+        }
+        Ok(self
+            .tree
+            .k_nearest(&self.points, rect_of(&self.bounds), &q, k)
+            .into_iter()
+            .filter_map(|(i, d)| self.snapped(i, d))
+            .collect())
+    }
+
+    /// `None` only for an index outside the point table (unreachable
+    /// from a validated tree).
+    fn snapped(&self, i: u32, dist_sq: f64) -> Option<Snapped> {
+        Some(Snapped {
+            node: NodeId::new(i as usize),
+            point: self.points.get(i as usize).copied()?,
+            dist_sq,
+        })
+    }
+
+    /// Serializes the index to the `privpath-geo-index v1` line format
+    /// (floats printed with `{:?}` for exact round-trips).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{FORMAT_HEADER}");
+        let _ = writeln!(out, "points {}", self.points.len());
+        let _ = writeln!(
+            out,
+            "bounds {:?} {:?} {:?} {:?}",
+            self.bounds.min_lat(),
+            self.bounds.min_lon(),
+            self.bounds.max_lat(),
+            self.bounds.max_lon()
+        );
+        for p in &self.points {
+            let _ = writeln!(out, "{:?} {:?}", p.lat(), p.lon());
+        }
+        let _ = writeln!(out, "tree {}", self.tree.nodes.len());
+        for node in &self.tree.nodes {
+            match node {
+                TreeNode::Leaf { start, len } => {
+                    let _ = writeln!(out, "leaf {start} {len}");
+                }
+                TreeNode::Split { cx, cy, children } => {
+                    let _ = writeln!(
+                        out,
+                        "split {cx:?} {cy:?} {} {} {} {}",
+                        children[0], children[1], children[2], children[3]
+                    );
+                }
+            }
+        }
+        let _ = write!(out, "order");
+        for i in &self.tree.order {
+            let _ = write!(out, " {i}");
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Deserializes and structurally validates an index produced by
+    /// [`to_text`](Self::to_text).
+    ///
+    /// Validation guarantees the arena is a tree rooted at node 0 whose
+    /// leaf ranges exactly partition the point order, and that `order`
+    /// is a permutation of the point indices — a corrupted artifact is
+    /// a typed [`GeoError::IndexFormat`], never a panic or a wrong
+    /// answer.
+    pub fn from_text(text: &str) -> Result<Self, GeoError> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i as u64 + 1, l));
+        let mut next = |what: &'static str| -> Result<(u64, &str), GeoError> {
+            lines.next().ok_or_else(|| GeoError::IndexFormat {
+                line: 0,
+                message: format!("truncated: expected {what}"),
+            })
+        };
+
+        let (line, header) = next("format header")?;
+        if header.trim_end() != FORMAT_HEADER {
+            return Err(GeoError::IndexFormat {
+                line,
+                message: format!("expected `{FORMAT_HEADER}`, got {header:?}"),
+            });
+        }
+
+        let (line, counts) = next("points count")?;
+        let n = parse_prefixed_count(counts, "points", line)?;
+        if n == 0 {
+            return Err(GeoError::EmptyNetwork);
+        }
+
+        let (line, bounds_line) = next("bounds line")?;
+        let stored_bounds = parse_bounds(bounds_line, line)?;
+
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (line, pt) = next("point line")?;
+            let mut toks = pt.split_whitespace();
+            let lat = parse_index_f64(toks.next(), line, "latitude")?;
+            let lon = parse_index_f64(toks.next(), line, "longitude")?;
+            if toks.next().is_some() {
+                return Err(GeoError::IndexFormat {
+                    line,
+                    message: "trailing tokens on point line".to_string(),
+                });
+            }
+            points.push(GeoPoint::new(lat, lon).map_err(|e| GeoError::IndexFormat {
+                line,
+                message: e.to_string(),
+            })?);
+        }
+
+        let bounds = GeoBounds::from_points(&points)?;
+        if bounds != stored_bounds {
+            return Err(GeoError::IndexFormat {
+                line: 3,
+                message: format!(
+                    "stored bounds ({stored_bounds}) disagree with the points ({bounds})"
+                ),
+            });
+        }
+
+        let (line, tree_count) = next("tree count")?;
+        let t = parse_prefixed_count(tree_count, "tree", line)?;
+        if t == 0 {
+            return Err(GeoError::IndexFormat {
+                line,
+                message: "tree must have at least one node".to_string(),
+            });
+        }
+        let mut nodes = Vec::with_capacity(t);
+        for _ in 0..t {
+            let (line, node_line) = next("tree node line")?;
+            nodes.push(parse_tree_node(node_line, line, t)?);
+        }
+
+        let (line, order_line) = next("order line")?;
+        let mut toks = order_line.split_whitespace();
+        if toks.next() != Some("order") {
+            return Err(GeoError::IndexFormat {
+                line,
+                message: "expected `order ...`".to_string(),
+            });
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for tok in toks {
+            let i: u32 = tok.parse().map_err(|_| GeoError::IndexFormat {
+                line,
+                message: format!("invalid order index {tok:?}"),
+            })?;
+            let slot = i as usize;
+            if slot >= n || seen[slot] {
+                return Err(GeoError::IndexFormat {
+                    line,
+                    message: format!("order is not a permutation (index {i})"),
+                });
+            }
+            seen[slot] = true;
+            order.push(i);
+        }
+        if order.len() != n {
+            return Err(GeoError::IndexFormat {
+                line,
+                message: format!("order has {} entries, expected {n}", order.len()),
+            });
+        }
+
+        validate_tree(&nodes, n)?;
+
+        Ok(SpatialIndex {
+            snap_bounds: bounds.expanded(SNAP_MARGIN),
+            points,
+            bounds,
+            tree: QuadTree::from_parts(nodes, order),
+        })
+    }
+}
+
+fn rect_of(b: &GeoBounds) -> Rect {
+    Rect {
+        min_x: b.min_lon(),
+        min_y: b.min_lat(),
+        max_x: b.max_lon(),
+        max_y: b.max_lat(),
+    }
+}
+
+fn parse_prefixed_count(s: &str, prefix: &str, line: u64) -> Result<usize, GeoError> {
+    let mut toks = s.split_whitespace();
+    if toks.next() != Some(prefix) {
+        return Err(GeoError::IndexFormat {
+            line,
+            message: format!("expected `{prefix} <count>`, got {s:?}"),
+        });
+    }
+    let count = toks
+        .next()
+        .and_then(|t| t.parse::<usize>().ok())
+        .ok_or_else(|| GeoError::IndexFormat {
+            line,
+            message: format!("invalid count in {s:?}"),
+        })?;
+    if toks.next().is_some() {
+        return Err(GeoError::IndexFormat {
+            line,
+            message: format!("trailing tokens in {s:?}"),
+        });
+    }
+    Ok(count)
+}
+
+fn parse_index_f64(tok: Option<&str>, line: u64, what: &str) -> Result<f64, GeoError> {
+    let tok = tok.ok_or_else(|| GeoError::IndexFormat {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    let v: f64 = tok.parse().map_err(|_| GeoError::IndexFormat {
+        line,
+        message: format!("invalid {what} {tok:?}"),
+    })?;
+    if !v.is_finite() {
+        return Err(GeoError::IndexFormat {
+            line,
+            message: format!("non-finite {what} {v}"),
+        });
+    }
+    Ok(v)
+}
+
+fn parse_bounds(s: &str, line: u64) -> Result<GeoBounds, GeoError> {
+    let mut toks = s.split_whitespace();
+    if toks.next() != Some("bounds") {
+        return Err(GeoError::IndexFormat {
+            line,
+            message: format!("expected `bounds ...`, got {s:?}"),
+        });
+    }
+    let min_lat = parse_index_f64(toks.next(), line, "min latitude")?;
+    let min_lon = parse_index_f64(toks.next(), line, "min longitude")?;
+    let max_lat = parse_index_f64(toks.next(), line, "max latitude")?;
+    let max_lon = parse_index_f64(toks.next(), line, "max longitude")?;
+    if toks.next().is_some() {
+        return Err(GeoError::IndexFormat {
+            line,
+            message: "trailing tokens on bounds line".to_string(),
+        });
+    }
+    GeoBounds::new(min_lat, min_lon, max_lat, max_lon).map_err(|e| GeoError::IndexFormat {
+        line,
+        message: e.to_string(),
+    })
+}
+
+fn parse_tree_node(s: &str, line: u64, total: usize) -> Result<TreeNode, GeoError> {
+    let mut toks = s.split_whitespace();
+    match toks.next() {
+        Some("leaf") => {
+            let start = parse_index_u32(toks.next(), line, "leaf start")?;
+            let len = parse_index_u32(toks.next(), line, "leaf len")?;
+            if toks.next().is_some() {
+                return Err(GeoError::IndexFormat {
+                    line,
+                    message: "trailing tokens on leaf line".to_string(),
+                });
+            }
+            Ok(TreeNode::Leaf { start, len })
+        }
+        Some("split") => {
+            let cx = parse_index_f64(toks.next(), line, "split cx")?;
+            let cy = parse_index_f64(toks.next(), line, "split cy")?;
+            let mut children = [0u32; 4];
+            for child in &mut children {
+                let c = parse_index_u32(toks.next(), line, "child index")?;
+                if c as usize >= total {
+                    return Err(GeoError::IndexFormat {
+                        line,
+                        message: format!("child index {c} outside the arena (size {total})"),
+                    });
+                }
+                *child = c;
+            }
+            if toks.next().is_some() {
+                return Err(GeoError::IndexFormat {
+                    line,
+                    message: "trailing tokens on split line".to_string(),
+                });
+            }
+            Ok(TreeNode::Split { cx, cy, children })
+        }
+        other => Err(GeoError::IndexFormat {
+            line,
+            message: format!("expected `leaf` or `split`, got {other:?}"),
+        }),
+    }
+}
+
+fn parse_index_u32(tok: Option<&str>, line: u64, what: &str) -> Result<u32, GeoError> {
+    let tok = tok.ok_or_else(|| GeoError::IndexFormat {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<u32>().map_err(|_| GeoError::IndexFormat {
+        line,
+        message: format!("invalid {what} {tok:?}"),
+    })
+}
+
+/// Walks the arena from the root, checking that every node is reached
+/// exactly once, children point strictly forward, and the leaf ranges
+/// exactly cover `0..num_points` in the order table without overlap.
+fn validate_tree(nodes: &[TreeNode], num_points: usize) -> Result<(), GeoError> {
+    let mut visited = vec![false; nodes.len()];
+    let mut covered = vec![false; num_points];
+    let mut stack = vec![0u32];
+    while let Some(i) = stack.pop() {
+        let slot = i as usize;
+        match visited.get_mut(slot) {
+            None => {
+                return Err(GeoError::IndexFormat {
+                    line: 0,
+                    message: format!("tree node {i} outside the arena"),
+                })
+            }
+            Some(v) if *v => {
+                return Err(GeoError::IndexFormat {
+                    line: 0,
+                    message: format!("tree node {i} reached twice"),
+                })
+            }
+            Some(v) => *v = true,
+        }
+        match nodes.get(slot) {
+            None => {}
+            Some(TreeNode::Leaf { start, len }) => {
+                let start = *start as usize;
+                let end = start.saturating_add(*len as usize);
+                if end > num_points {
+                    return Err(GeoError::IndexFormat {
+                        line: 0,
+                        message: format!(
+                            "leaf range {start}..{end} outside the order table (size {num_points})"
+                        ),
+                    });
+                }
+                for c in covered.get_mut(start..end).unwrap_or(&mut []) {
+                    if *c {
+                        return Err(GeoError::IndexFormat {
+                            line: 0,
+                            message: "leaf ranges overlap".to_string(),
+                        });
+                    }
+                    *c = true;
+                }
+            }
+            Some(TreeNode::Split { children, .. }) => {
+                for &c in children {
+                    if c <= i {
+                        return Err(GeoError::IndexFormat {
+                            line: 0,
+                            message: format!("child {c} does not point forward from node {i}"),
+                        });
+                    }
+                    stack.push(c);
+                }
+            }
+        }
+    }
+    if let Some(unvisited) = visited.iter().position(|&v| !v) {
+        return Err(GeoError::IndexFormat {
+            line: 0,
+            message: format!("tree node {unvisited} unreachable from the root"),
+        });
+    }
+    if let Some(uncovered) = covered.iter().position(|&c| !c) {
+        return Err(GeoError::IndexFormat {
+            line: 0,
+            message: format!("order index {uncovered} not covered by any leaf"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+
+    fn grid(n_side: usize) -> Vec<GeoPoint> {
+        let mut pts = Vec::new();
+        for r in 0..n_side {
+            for c in 0..n_side {
+                pts.push(GeoPoint::new(40.0 + r as f64 * 0.01, -75.0 + c as f64 * 0.01).unwrap());
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn build_and_snap() {
+        let idx = SpatialIndex::build(grid(10)).unwrap();
+        assert_eq!(idx.len(), 100);
+        let s = idx.snap(40.021, -74.953).unwrap();
+        assert_eq!(s.node, NodeId::new(2 * 10 + 5)); // row 2, col 5 (lon -74.95)
+        assert!(s.dist_sq > 0.0);
+        // Exactly on a node: distance zero.
+        let s = idx.snap(40.0, -75.0).unwrap();
+        assert_eq!(s.node, NodeId::new(0));
+        assert_eq!(s.dist_sq, 0.0);
+    }
+
+    #[test]
+    fn snap_refuses_non_finite_and_out_of_bounds() {
+        let idx = SpatialIndex::build(grid(4)).unwrap();
+        assert!(matches!(
+            idx.snap(f64::NAN, 0.0),
+            Err(SnapError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            idx.snap(51.0, -75.0),
+            Err(SnapError::OutOfBounds { .. })
+        ));
+        // Slightly outside the tight hull but within the margin: accepted.
+        assert!(idx.snap(40.0305, -75.0005).is_ok());
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let idx = SpatialIndex::build(grid(5)).unwrap();
+        let got = idx.k_nearest(40.0, -75.0, 3).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].node, NodeId::new(0));
+        assert!(got[0].dist_sq <= got[1].dist_sq);
+        assert!(got[1].dist_sq <= got[2].dist_sq);
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let idx = SpatialIndex::build(grid(13)).unwrap();
+        let text = idx.to_text();
+        let back = SpatialIndex::from_text(&text).unwrap();
+        assert_eq!(back.to_text(), text);
+        // Same snaps after the round trip.
+        for (lat, lon) in [(40.05, -74.97), (40.121, -74.881), (40.0, -75.0)] {
+            assert_eq!(
+                idx.snap(lat, lon).unwrap(),
+                back.snap(lat, lon).unwrap(),
+                "snap ({lat}, {lon})"
+            );
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_corruption() {
+        let idx = SpatialIndex::build(grid(6)).unwrap();
+        let text = idx.to_text();
+
+        assert!(matches!(
+            SpatialIndex::from_text("nonsense"),
+            Err(GeoError::IndexFormat { .. })
+        ));
+
+        // Truncate: drop the last line.
+        let truncated: String = {
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n")
+        };
+        assert!(SpatialIndex::from_text(&truncated).is_err());
+
+        // Tamper with the order permutation (duplicate an index).
+        let tampered = text.replace("order 0 ", "order 1 ");
+        if tampered != text {
+            assert!(matches!(
+                SpatialIndex::from_text(&tampered),
+                Err(GeoError::IndexFormat { .. })
+            ));
+        }
+
+        // Tamper with a bound so it disagrees with the points.
+        let bad_bounds = text.replacen("bounds 40.0", "bounds 39.0", 1);
+        assert!(matches!(
+            SpatialIndex::from_text(&bad_bounds),
+            Err(GeoError::IndexFormat { .. })
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # privpath-geo — the road-network workload
+//!
+//! Sealfon's model is motivated by road networks: the street topology
+//! and node positions are public, the congestion weights are private.
+//! This crate supplies everything between a DIMACS road-network file
+//! and a lat/lon routing query:
+//!
+//! * [`dimacs`] — streaming, panic-free parsers and writers for the
+//!   9th-DIMACS-challenge `.gr` (arcs/weights) and `.co` (coordinates)
+//!   formats, with typed [`GeoError`]s for every malformed shape.
+//! * [`gen`] — a deterministic generator of realistic sparse planar
+//!   road networks ([`gen::generate_road_network`]), so the whole
+//!   pipeline runs offline at 10^5–10^6 nodes.
+//! * [`SpatialIndex`] — a bucket PR quad tree over the node
+//!   coordinates with nearest-node ([`SpatialIndex::snap`]) and
+//!   k-nearest queries, serializable to a validated text artifact the
+//!   store persists crash-safely next to its manifest.
+//!
+//! Everything here is public-data preprocessing: coordinates and
+//! topology carry no privacy budget, and snapping a query coordinate
+//! to a node is free post-processing around the private distance
+//! machinery in the engine and store layers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+mod error;
+pub mod gen;
+mod index;
+mod quadtree;
+
+pub use dimacs::{read_co, read_co_path, read_gr, read_gr_path, write_co, write_gr, GrFile};
+pub use error::{GeoError, SnapError};
+pub use gen::{generate_road_network, RoadNetwork};
+pub use index::{Snapped, SpatialIndex, SNAP_MARGIN};
+pub use privpath_core::geo::{GeoBounds, GeoPoint};

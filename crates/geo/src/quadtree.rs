@@ -1,0 +1,390 @@
+//! A bucket PR quad tree over node coordinates, stored as a flat arena.
+//!
+//! Built once per point set, deterministic (stable partitioning, ties
+//! broken by node id), and laid out as two plain vectors — a pre-order
+//! node arena and a permutation of point indices — so the index
+//! serializes to a line format and replays byte-identically.
+
+use privpath_core::geo::GeoPoint;
+
+/// Points per leaf before a split.
+pub(crate) const LEAF_CAPACITY: usize = 16;
+/// Depth guard: duplicate or near-duplicate points stop splitting here
+/// and fall back to an oversized leaf.
+const MAX_DEPTH: u32 = 32;
+
+/// A planar rectangle in (x = longitude, y = latitude) space.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Rect {
+    pub(crate) min_x: f64,
+    pub(crate) min_y: f64,
+    pub(crate) max_x: f64,
+    pub(crate) max_y: f64,
+}
+
+impl Rect {
+    fn dist_sq_to(&self, p: &GeoPoint) -> f64 {
+        let x = p.lon();
+        let y = p.lat();
+        let dx = if x < self.min_x {
+            self.min_x - x
+        } else if x > self.max_x {
+            x - self.max_x
+        } else {
+            0.0
+        };
+        let dy = if y < self.min_y {
+            self.min_y - y
+        } else if y > self.max_y {
+            y - self.max_y
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+
+    /// The quadrant sub-rectangle for child `q` of a split at `(cx, cy)`.
+    fn child(&self, cx: f64, cy: f64, q: usize) -> Rect {
+        Rect {
+            min_x: if q & 1 == 0 { self.min_x } else { cx },
+            max_x: if q & 1 == 0 { cx } else { self.max_x },
+            min_y: if q & 2 == 0 { self.min_y } else { cy },
+            max_y: if q & 2 == 0 { cy } else { self.max_y },
+        }
+    }
+}
+
+/// Which quadrant a point falls into relative to a split center:
+/// bit 0 = east of `cx`, bit 1 = north of `cy`.
+fn quadrant(p: &GeoPoint, cx: f64, cy: f64) -> usize {
+    (p.lon() >= cx) as usize + 2 * ((p.lat() >= cy) as usize)
+}
+
+/// One arena node. Leaf ranges index into [`QuadTree::order`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum TreeNode {
+    /// `order[start..start + len]` are the point indices in this cell.
+    Leaf { start: u32, len: u32 },
+    /// An internal split at `(cx, cy)` with four child arena indices
+    /// (quadrant-ordered; every child index is greater than its
+    /// parent's — the arena is in pre-order).
+    Split {
+        cx: f64,
+        cy: f64,
+        children: [u32; 4],
+    },
+}
+
+/// The arena quad tree. Always non-empty (node 0 is the root).
+#[derive(Debug, Clone)]
+pub(crate) struct QuadTree {
+    pub(crate) nodes: Vec<TreeNode>,
+    pub(crate) order: Vec<u32>,
+}
+
+impl QuadTree {
+    /// Builds the tree over `points` within `rect` (which must contain
+    /// every point; the caller passes the tight bounding box).
+    pub(crate) fn build(points: &[GeoPoint], rect: Rect) -> QuadTree {
+        let mut tree = QuadTree {
+            nodes: Vec::new(),
+            order: (0..points.len() as u32).collect(),
+        };
+        build_rec(points, &mut tree, 0, points.len(), rect, 0);
+        tree
+    }
+
+    /// Reassembles a tree from deserialized parts. The caller
+    /// ([`SpatialIndex::from_text`](crate::SpatialIndex::from_text))
+    /// validates the structure first.
+    pub(crate) fn from_parts(nodes: Vec<TreeNode>, order: Vec<u32>) -> QuadTree {
+        QuadTree { nodes, order }
+    }
+
+    /// The nearest point to `q`, as `(point index, squared distance)`,
+    /// ties broken toward the smaller index. `None` only for an empty
+    /// point set.
+    pub(crate) fn nearest(
+        &self,
+        points: &[GeoPoint],
+        rect: Rect,
+        q: &GeoPoint,
+    ) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        self.nearest_rec(0, rect, points, q, &mut best);
+        best
+    }
+
+    fn nearest_rec(
+        &self,
+        node: u32,
+        rect: Rect,
+        points: &[GeoPoint],
+        q: &GeoPoint,
+        best: &mut Option<(u32, f64)>,
+    ) {
+        if let Some((_, bd)) = *best {
+            if rect.dist_sq_to(q) > bd {
+                return;
+            }
+        }
+        match self.nodes.get(node as usize) {
+            None => {}
+            Some(TreeNode::Leaf { start, len }) => {
+                let start = *start as usize;
+                let end = start + *len as usize;
+                for &i in self.order.get(start..end).unwrap_or(&[]) {
+                    if let Some(p) = points.get(i as usize) {
+                        let d = p.dist_sq(q);
+                        let better = match *best {
+                            None => true,
+                            Some((bi, bd)) => d < bd || (d == bd && i < bi),
+                        };
+                        if better {
+                            *best = Some((i, d));
+                        }
+                    }
+                }
+            }
+            Some(TreeNode::Split { cx, cy, children }) => {
+                // Visit children nearest-first so pruning bites early.
+                let mut ranked: [(f64, usize); 4] = [(0.0, 0); 4];
+                for (q_idx, slot) in ranked.iter_mut().enumerate() {
+                    *slot = (rect.child(*cx, *cy, q_idx).dist_sq_to(q), q_idx);
+                }
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for (_, q_idx) in ranked {
+                    self.nearest_rec(
+                        children[q_idx],
+                        rect.child(*cx, *cy, q_idx),
+                        points,
+                        q,
+                        best,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The `k` nearest points to `q`, ascending by `(squared distance,
+    /// index)`.
+    pub(crate) fn k_nearest(
+        &self,
+        points: &[GeoPoint],
+        rect: Rect,
+        q: &GeoPoint,
+        k: usize,
+    ) -> Vec<(u32, f64)> {
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(k.min(points.len()));
+        if k > 0 {
+            self.k_nearest_rec(0, rect, points, q, k, &mut heap);
+        }
+        heap.into_iter().map(|(d, i)| (i, d)).collect()
+    }
+
+    fn k_nearest_rec(
+        &self,
+        node: u32,
+        rect: Rect,
+        points: &[GeoPoint],
+        q: &GeoPoint,
+        k: usize,
+        heap: &mut Vec<(f64, u32)>,
+    ) {
+        if heap.len() == k {
+            if let Some(&(wd, _)) = heap.last() {
+                if rect.dist_sq_to(q) > wd {
+                    return;
+                }
+            }
+        }
+        match self.nodes.get(node as usize) {
+            None => {}
+            Some(TreeNode::Leaf { start, len }) => {
+                let start = *start as usize;
+                let end = start + *len as usize;
+                for &i in self.order.get(start..end).unwrap_or(&[]) {
+                    if let Some(p) = points.get(i as usize) {
+                        let entry = (p.dist_sq(q), i);
+                        let pos = heap
+                            .binary_search_by(|e| e.0.total_cmp(&entry.0).then(e.1.cmp(&entry.1)))
+                            .unwrap_or_else(|pos| pos);
+                        if pos < k {
+                            heap.insert(pos, entry);
+                            heap.truncate(k);
+                        }
+                    }
+                }
+            }
+            Some(TreeNode::Split { cx, cy, children }) => {
+                let mut ranked: [(f64, usize); 4] = [(0.0, 0); 4];
+                for (q_idx, slot) in ranked.iter_mut().enumerate() {
+                    *slot = (rect.child(*cx, *cy, q_idx).dist_sq_to(q), q_idx);
+                }
+                ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for (_, q_idx) in ranked {
+                    self.k_nearest_rec(
+                        children[q_idx],
+                        rect.child(*cx, *cy, q_idx),
+                        points,
+                        q,
+                        k,
+                        heap,
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn build_rec(
+    points: &[GeoPoint],
+    tree: &mut QuadTree,
+    start: usize,
+    len: usize,
+    rect: Rect,
+    depth: u32,
+) -> u32 {
+    let idx = tree.nodes.len() as u32;
+    if len <= LEAF_CAPACITY || depth >= MAX_DEPTH {
+        tree.nodes.push(TreeNode::Leaf {
+            start: start as u32,
+            len: len as u32,
+        });
+        return idx;
+    }
+    let cx = (rect.min_x + rect.max_x) / 2.0;
+    let cy = (rect.min_y + rect.max_y) / 2.0;
+    // Stable partition by quadrant keeps the order deterministic.
+    if let Some(range) = tree.order.get_mut(start..start + len) {
+        range.sort_by_key(|&i| points.get(i as usize).map_or(0, |p| quadrant(p, cx, cy)));
+    }
+    let mut counts = [0usize; 4];
+    if let Some(range) = tree.order.get(start..start + len) {
+        for &i in range {
+            if let Some(p) = points.get(i as usize) {
+                counts[quadrant(p, cx, cy)] += 1;
+            }
+        }
+    }
+    tree.nodes.push(TreeNode::Split {
+        cx,
+        cy,
+        children: [0; 4],
+    });
+    let mut children = [0u32; 4];
+    let mut s = start;
+    for (q, child) in children.iter_mut().enumerate() {
+        *child = build_rec(points, tree, s, counts[q], rect.child(cx, cy, q), depth + 1);
+        s += counts[q];
+    }
+    if let Some(slot) = tree.nodes.get_mut(idx as usize) {
+        *slot = TreeNode::Split { cx, cy, children };
+    }
+    idx
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<GeoPoint> {
+        // A deterministic pseudo-random cloud (LCG; no rng dependency).
+        let mut state = 0x2545f4914f6cdd1du64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let lat = ((state >> 16) % 10_000) as f64 / 100.0 - 50.0;
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let lon = ((state >> 16) % 20_000) as f64 / 100.0 - 100.0;
+                GeoPoint::new(lat, lon).unwrap()
+            })
+            .collect()
+    }
+
+    fn tight_rect(points: &[GeoPoint]) -> Rect {
+        let mut r = Rect {
+            min_x: f64::MAX,
+            min_y: f64::MAX,
+            max_x: f64::MIN,
+            max_y: f64::MIN,
+        };
+        for p in points {
+            r.min_x = r.min_x.min(p.lon());
+            r.max_x = r.max_x.max(p.lon());
+            r.min_y = r.min_y.min(p.lat());
+            r.max_y = r.max_y.max(p.lat());
+        }
+        r
+    }
+
+    fn brute_nearest(points: &[GeoPoint], q: &GeoPoint) -> (u32, f64) {
+        let mut best = (0u32, f64::MAX);
+        for (i, p) in points.iter().enumerate() {
+            let d = p.dist_sq(q);
+            if d < best.1 {
+                best = (i as u32, d);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let points = pts(500);
+        let rect = tight_rect(&points);
+        let tree = QuadTree::build(&points, rect);
+        for qi in 0..100 {
+            let q = GeoPoint::new(-60.0 + qi as f64 * 1.3, -110.0 + qi as f64 * 2.1).unwrap();
+            let (i, d) = tree.nearest(&points, rect, &q).unwrap();
+            let (bi, bd) = brute_nearest(&points, &q);
+            assert_eq!(d, bd, "query {qi}");
+            assert_eq!(i, bi, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let points = pts(300);
+        let rect = tight_rect(&points);
+        let tree = QuadTree::build(&points, rect);
+        let q = GeoPoint::new(3.0, -7.0).unwrap();
+        let got = tree.k_nearest(&points, rect, &q, 10);
+        let mut all: Vec<(f64, u32)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.dist_sq(&q), i as u32))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let want: Vec<(u32, f64)> = all.into_iter().take(10).map(|(d, i)| (i, d)).collect();
+        assert_eq!(got, want);
+        assert!(tree.k_nearest(&points, rect, &q, 0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_hit_the_depth_guard_not_the_stack() {
+        let points: Vec<GeoPoint> = (0..100).map(|_| GeoPoint::new(1.0, 1.0).unwrap()).collect();
+        let rect = tight_rect(&points);
+        let tree = QuadTree::build(&points, rect);
+        let (i, d) = tree
+            .nearest(&points, rect, &GeoPoint::new(1.0, 1.0).unwrap())
+            .unwrap();
+        assert_eq!(i, 0); // tie-break toward the smallest index
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let points = pts(200);
+        let rect = tight_rect(&points);
+        let a = QuadTree::build(&points, rect);
+        let b = QuadTree::build(&points, rect);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.order, b.order);
+    }
+}

@@ -1,0 +1,129 @@
+#![allow(clippy::disallowed_methods)] // tests may unwrap/expect
+
+//! Malformed-input corpus for the DIMACS loaders and the index codec.
+//!
+//! Mirrors the serve fuzz-corpus pattern: a table of hostile inputs,
+//! each of which must come back as a typed `GeoError` — never a panic,
+//! never a silently-wrong network.
+
+use privpath_geo::{read_co, read_gr, GeoError, SpatialIndex};
+use std::io::Cursor;
+
+fn gr(text: &str) -> Result<privpath_geo::GrFile, GeoError> {
+    read_gr(Cursor::new(text.as_bytes()))
+}
+
+fn co(text: &str) -> Result<Vec<privpath_geo::GeoPoint>, GeoError> {
+    read_co(Cursor::new(text.as_bytes()), None)
+}
+
+#[test]
+fn gr_corpus_never_panics_and_always_types_the_failure() {
+    let corpus: &[(&str, &str)] = &[
+        ("empty file", ""),
+        ("comments only", "c a\nc b\n"),
+        ("truncated header", "p sp\n"),
+        ("truncated header 2", "p sp 5\n"),
+        ("header trailing junk", "p sp 2 1 9\n"),
+        ("wrong problem kind", "p max 2 1\n"),
+        ("arc before header", "a 1 2 3\n"),
+        ("duplicate header", "p sp 2 1\np sp 2 1\na 1 2 1\n"),
+        ("zero nodes", "p sp 0 0\n"),
+        ("arc count lie (under)", "p sp 3 5\na 1 2 1\n"),
+        ("arc count lie (over)", "p sp 3 0\na 1 2 1\n"),
+        ("duplicate arc", "p sp 2 2\na 1 2 1\na 1 2 2\n"),
+        ("node id zero", "p sp 2 1\na 0 2 1\n"),
+        ("node id oversized", "p sp 2 1\na 1 7 1\n"),
+        ("node id huge", "p sp 2 1\na 1 99999999999999999999 1\n"),
+        ("nan weight", "p sp 2 1\na 1 2 NaN\n"),
+        ("infinite weight", "p sp 2 1\na 1 2 inf\n"),
+        ("negative weight", "p sp 2 1\na 1 2 -1\n"),
+        ("gibberish weight", "p sp 2 1\na 1 2 road\n"),
+        ("truncated arc", "p sp 2 1\na 1 2\n"),
+        ("arc trailing junk", "p sp 2 1\na 1 2 1 junk\n"),
+        ("unknown line kind", "p sp 2 1\nz 1 2 3\n"),
+        ("binary garbage", "p sp 2 1\n\u{0}\u{1}\u{2}\n"),
+    ];
+    for (name, text) in corpus {
+        let err = gr(text).err();
+        assert!(err.is_some(), "corpus entry {name:?} must fail");
+    }
+}
+
+#[test]
+fn gr_crlf_is_not_malformed() {
+    let g = gr("c crlf\r\np sp 2 2\r\na 1 2 5\r\na 2 1 6\r\n").expect("CRLF must parse");
+    assert_eq!(g.topology.num_edges(), 2);
+    assert_eq!(g.weights.as_slice(), &[5.0, 6.0]);
+}
+
+#[test]
+fn co_corpus_never_panics_and_always_types_the_failure() {
+    let corpus: &[(&str, &str)] = &[
+        ("empty file", ""),
+        ("comments only", "c x\n"),
+        ("truncated header", "p aux sp co\n"),
+        ("wrong aux kind", "p aux sp xy 2\n"),
+        ("zero nodes", "p aux sp co 0\n"),
+        ("missing coordinate", "p aux sp co 2\nv 1 0 0\n"),
+        ("duplicate coordinate", "p aux sp co 1\nv 1 0 0\nv 1 1 1\n"),
+        ("id zero", "p aux sp co 1\nv 0 0 0\n"),
+        ("id oversized", "p aux sp co 1\nv 9 0 0\n"),
+        ("nan latitude", "p aux sp co 1\nv 1 0 NaN\n"),
+        ("infinite longitude", "p aux sp co 1\nv 1 inf 0\n"),
+        ("gibberish", "p aux sp co 1\nv 1 east north\n"),
+        ("truncated v line", "p aux sp co 1\nv 1 0\n"),
+        ("trailing junk", "p aux sp co 1\nv 1 0 0 9\n"),
+        ("unknown line kind", "p aux sp co 1\nw 1 0 0\n"),
+    ];
+    for (name, text) in corpus {
+        assert!(co(text).is_err(), "corpus entry {name:?} must fail");
+    }
+}
+
+#[test]
+fn co_crlf_and_microdegrees_are_not_malformed() {
+    let pts = co("p aux sp co 1\r\nv 1 -75000000 40000000\r\n").expect("CRLF microdegrees");
+    assert!((pts[0].lat() - 40.0).abs() < 1e-9);
+    assert!((pts[0].lon() + 75.0).abs() < 1e-9);
+}
+
+#[test]
+fn index_codec_corpus() {
+    let corpus: &[(&str, &str)] = &[
+        ("empty", ""),
+        ("wrong header", "privpath-geo-index v9\npoints 1\n"),
+        ("zero points", "privpath-geo-index v1\npoints 0\n"),
+        (
+            "order not a permutation",
+            "privpath-geo-index v1\npoints 2\nbounds 0.0 0.0 1.0 1.0\n0.0 0.0\n1.0 1.0\ntree 1\nleaf 0 2\norder 0 0\n",
+        ),
+        (
+            "leaf range outside order",
+            "privpath-geo-index v1\npoints 2\nbounds 0.0 0.0 1.0 1.0\n0.0 0.0\n1.0 1.0\ntree 1\nleaf 0 5\norder 0 1\n",
+        ),
+        (
+            "bounds disagree with points",
+            "privpath-geo-index v1\npoints 2\nbounds 0.0 0.0 9.0 9.0\n0.0 0.0\n1.0 1.0\ntree 1\nleaf 0 2\norder 0 1\n",
+        ),
+        (
+            "backward child edge",
+            "privpath-geo-index v1\npoints 2\nbounds 0.0 0.0 1.0 1.0\n0.0 0.0\n1.0 1.0\ntree 2\nsplit 0.5 0.5 0 0 0 1\nleaf 0 2\norder 0 1\n",
+        ),
+        (
+            "non-finite split center",
+            "privpath-geo-index v1\npoints 2\nbounds 0.0 0.0 1.0 1.0\n0.0 0.0\n1.0 1.0\ntree 2\nsplit NaN 0.5 1 1 1 1\nleaf 0 2\norder 0 1\n",
+        ),
+    ];
+    for (name, text) in corpus {
+        assert!(
+            SpatialIndex::from_text(text).is_err(),
+            "corpus entry {name:?} must fail"
+        );
+    }
+
+    // And the well-formed shape does parse.
+    let good = "privpath-geo-index v1\npoints 2\nbounds 0.0 0.0 1.0 1.0\n0.0 0.0\n1.0 1.0\ntree 1\nleaf 0 2\norder 0 1\n";
+    let idx = SpatialIndex::from_text(good).expect("well-formed index");
+    assert_eq!(idx.len(), 2);
+}

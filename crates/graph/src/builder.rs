@@ -47,6 +47,15 @@ impl TopologyBuilder {
         b
     }
 
+    /// Pre-reserves capacity for `additional` further edges.
+    ///
+    /// Streaming loaders that know the declared edge count up front (the
+    /// DIMACS `p sp n m` header, for one) use this to build million-edge
+    /// topologies without incremental reallocation.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.endpoints.reserve(additional);
+    }
+
     /// Number of vertices the built topology will have.
     pub fn num_nodes(&self) -> usize {
         self.num_nodes as usize

@@ -2,7 +2,7 @@
 //! geometric graphs (the road-network proxy used throughout EXPERIMENTS.md).
 
 use crate::generators::trees::random_tree_prufer;
-use crate::{NodeId, Topology};
+use crate::{EdgeId, GraphError, NodeId, Topology};
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -120,6 +120,36 @@ pub struct GeometricGraph {
 }
 
 impl GeometricGraph {
+    /// Pairs a topology with externally supplied point positions,
+    /// validating that every vertex has exactly one finite position.
+    ///
+    /// This is the coordinate-aware entry point the road-network loader
+    /// uses: DIMACS `.co` files carry positions for an already-built
+    /// topology.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::WeightsLengthMismatch`] when the position
+    /// count disagrees with the vertex count, and
+    /// [`GraphError::NonFiniteWeight`] when any coordinate is NaN or
+    /// infinite (the reported index is the node index).
+    pub fn new(topo: Topology, positions: Vec<(f64, f64)>) -> Result<Self, GraphError> {
+        if positions.len() != topo.num_nodes() {
+            return Err(GraphError::WeightsLengthMismatch {
+                expected: topo.num_nodes(),
+                got: positions.len(),
+            });
+        }
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(GraphError::NonFiniteWeight {
+                    edge: EdgeId::new(i),
+                    value: if x.is_finite() { y } else { x },
+                });
+            }
+        }
+        Ok(GeometricGraph { topo, positions })
+    }
+
     /// Euclidean distance between two vertices' points.
     pub fn euclid(&self, u: NodeId, v: NodeId) -> f64 {
         let (ux, uy) = self.positions[u.index()];

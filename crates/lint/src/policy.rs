@@ -36,9 +36,14 @@ pub fn is_production(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/") && !path.starts_with("crates/bench/")
 }
 
-/// Rule `panic-freedom`: non-test serve and store sources.
+/// Rule `panic-freedom`: non-test serve, store, and geo sources (the
+/// geo crate sits on the ingest and read paths: a malformed DIMACS file
+/// or an out-of-range coordinate must surface as a typed error, never a
+/// panic in the serving process).
 pub fn panic_freedom_scope(path: &str) -> bool {
-    path.starts_with("crates/serve/src/") || path.starts_with("crates/store/src/")
+    path.starts_with("crates/serve/src/")
+        || path.starts_with("crates/store/src/")
+        || path.starts_with("crates/geo/src/")
 }
 
 /// Rule `privacy-taint`: the read-path / wire modules that must never

@@ -18,11 +18,21 @@ use crate::planner::{answer_one, error_bar};
 use crate::protocol::{engine_error_code, ErrorCode, QueryRequest, QueryResponse};
 use crate::server::RequestHandler;
 use privpath_graph::EdgeId;
-use privpath_store::{NamespaceSnapshot, ReleaseStore, StoreError};
+use privpath_store::{NamespaceSnapshot, ReleaseStore, SnapError, SpatialIndex, StoreError};
 use std::sync::Arc;
 
 /// The query request verbs, for dispatch before parsing.
-const QUERY_VERBS: [&str; 6] = ["distance", "batch", "path", "accuracy", "list", "budget"];
+const QUERY_VERBS: [&str; 9] = [
+    "distance",
+    "batch",
+    "path",
+    "geo-distance",
+    "geo-route",
+    "geo-batch",
+    "accuracy",
+    "list",
+    "budget",
+];
 
 /// A [`RequestHandler`] over a live [`ReleaseStore`].
 pub struct StoreHandler {
@@ -140,6 +150,101 @@ impl StoreHandler {
                 };
                 answer_one(snap.service(), &local)
             }
+            QueryRequest::GeoDistance {
+                release,
+                from,
+                to,
+                gamma,
+            } => {
+                let snap = match self.resolve(release.namespace()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                let index = match geo_index(&snap) {
+                    Ok(i) => i,
+                    Err(resp) => return resp,
+                };
+                let (su, sv) = match (index.snap(from.0, from.1), index.snap(to.0, to.1)) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (Err(e), _) | (_, Err(e)) => return snap_error(&e),
+                };
+                match (
+                    snap.distance(release.id(), su.node, sv.node),
+                    error_bar(snap.service(), release.id(), *gamma),
+                ) {
+                    (Ok(d), Ok(bound)) => QueryResponse::GeoDistance {
+                        from: su.node,
+                        to: sv.node,
+                        value: d,
+                        bound,
+                    },
+                    (Ok(_), Err(resp)) => resp,
+                    (Err(e), _) => QueryResponse::from_engine_error(&e),
+                }
+            }
+            QueryRequest::GeoRoute { release, from, to } => {
+                let snap = match self.resolve(release.namespace()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                let index = match geo_index(&snap) {
+                    Ok(i) => i,
+                    Err(resp) => return resp,
+                };
+                let (su, sv) = match (index.snap(from.0, from.1), index.snap(to.0, to.1)) {
+                    (Ok(a), Ok(b)) => (a, b),
+                    (Err(e), _) | (_, Err(e)) => return snap_error(&e),
+                };
+                let local = QueryRequest::Path {
+                    release: release.strip_namespace(),
+                    from: su.node,
+                    to: sv.node,
+                };
+                match answer_one(snap.service(), &local) {
+                    QueryResponse::Path(nodes) => QueryResponse::GeoRoute {
+                        from: su.node,
+                        to: sv.node,
+                        nodes,
+                    },
+                    other => other,
+                }
+            }
+            QueryRequest::GeoBatch {
+                release,
+                pairs,
+                gamma,
+            } => {
+                let snap = match self.resolve(release.namespace()) {
+                    Ok(s) => s,
+                    Err(resp) => return resp,
+                };
+                let index = match geo_index(&snap) {
+                    Ok(i) => i,
+                    Err(resp) => return resp,
+                };
+                let mut snapped = Vec::with_capacity(pairs.len());
+                for (i, (from, to)) in pairs.iter().enumerate() {
+                    match (index.snap(from.0, from.1), index.snap(to.0, to.1)) {
+                        (Ok(a), Ok(b)) => snapped.push((a.node, b.node)),
+                        (Err(e), _) | (_, Err(e)) => return snap_error_at(i, &e),
+                    }
+                }
+                match (
+                    snap.distance_batch(release.id(), &snapped),
+                    error_bar(snap.service(), release.id(), *gamma),
+                ) {
+                    (Ok(ds), Ok(bound)) => QueryResponse::GeoDistances {
+                        triples: snapped
+                            .iter()
+                            .zip(ds)
+                            .map(|(&(u, v), d)| (u, v, d))
+                            .collect(),
+                        bound,
+                    },
+                    (Ok(_), Err(resp)) => resp,
+                    (Err(e), _) => QueryResponse::from_engine_error(&e),
+                }
+            }
             QueryRequest::Accuracy { release, gamma } => {
                 let snap = match self.resolve(release.namespace()) {
                     Ok(s) => s,
@@ -251,6 +356,45 @@ impl StoreHandler {
     }
 }
 
+/// The namespace's spatial index, or the `unsupported` refusal for a
+/// namespace created without coordinates.
+fn geo_index(snap: &NamespaceSnapshot) -> Result<&SpatialIndex, QueryResponse> {
+    snap.geo().ok_or_else(|| QueryResponse::Error {
+        code: ErrorCode::Unsupported,
+        message: format!(
+            "namespace {:?} carries no spatial index: geo verbs need a namespace \
+             created with coordinates (`store init --from-gr G.gr --coords G.co`)",
+            snap.namespace()
+        ),
+    })
+}
+
+/// Maps a snap refusal onto a wire error: a coordinate outside the
+/// network's snap bounds is `out-of-range` (the query was well-formed,
+/// the place just isn't on this network); a non-finite coordinate is
+/// `malformed` (the parser already rejects these on the wire path, so
+/// this arm covers embedded callers).
+fn snap_error(e: &SnapError) -> QueryResponse {
+    QueryResponse::Error {
+        code: match e {
+            SnapError::NonFinite { .. } => ErrorCode::Malformed,
+            SnapError::OutOfBounds { .. } => ErrorCode::OutOfRange,
+        },
+        message: e.to_string(),
+    }
+}
+
+/// [`snap_error`] with the failing pair's index, for batch requests.
+fn snap_error_at(pair: usize, e: &SnapError) -> QueryResponse {
+    match snap_error(e) {
+        QueryResponse::Error { code, message } => QueryResponse::Error {
+            code,
+            message: format!("pair {pair}: {message}"),
+        },
+        other => other,
+    }
+}
+
 /// Maps a store failure onto a wire error code.
 fn admin_error(e: &StoreError) -> AdminResponse {
     let code = match e {
@@ -264,6 +408,9 @@ fn admin_error(e: &StoreError) -> AdminResponse {
         // privacy analysis's input, not a parse problem.
         StoreError::ContinualHorizon { .. } => ErrorCode::Budget,
         StoreError::ContinualAccountant(_) => ErrorCode::Malformed,
+        // Geo failures reaching the wire are bad inputs (malformed
+        // DIMACS, coordinate/topology mismatch), not server faults.
+        StoreError::Geo(_) => ErrorCode::Malformed,
         StoreError::Io { .. } | StoreError::Manifest { .. } | StoreError::WriterPoisoned(_) => {
             ErrorCode::Internal
         }
@@ -309,8 +456,9 @@ impl RequestHandler for StoreHandler {
             QueryResponse::Error {
                 code: ErrorCode::Malformed,
                 message: format!(
-                    "unknown verb {verb:?} (query: distance, batch, path, accuracy, \
-                     list, budget; admin: publish, update-weights, drop, epoch, stats)"
+                    "unknown verb {verb:?} (query: distance, batch, path, geo-distance, \
+                     geo-route, geo-batch, accuracy, list, budget; admin: publish, \
+                     update-weights, drop, epoch, stats)"
                 ),
             }
             .to_string()

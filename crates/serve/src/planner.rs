@@ -258,6 +258,15 @@ pub fn answer_one(service: &QueryService, request: &QueryRequest) -> QueryRespon
                 Err(e) => QueryResponse::from_engine_error(&e),
             }
         }
+        QueryRequest::GeoDistance { .. }
+        | QueryRequest::GeoRoute { .. }
+        | QueryRequest::GeoBatch { .. } => QueryResponse::Error {
+            code: ErrorCode::Unsupported,
+            message: "geo queries need a live geo namespace: this endpoint serves a \
+                      frozen release set with no spatial index (create one with \
+                      `store init --from-gr` and serve it with `serve --store`)"
+                .into(),
+        },
         QueryRequest::ListReleases { namespace } => {
             if let Some(resp) = reject_namespace(namespace.as_deref()) {
                 return resp;

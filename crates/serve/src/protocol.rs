@@ -10,6 +10,9 @@
 //! request  := "distance" ref node node ["gamma" float]
 //!           | "batch" ref count pair* ["gamma" float]    pair := node ":" node
 //!           | "path" ref node node
+//!           | "geo-distance" ref lat lon lat lon ["gamma" float]
+//!           | "geo-route" ref lat lon lat lon
+//!           | "geo-batch" ref count (lat lon lat lon)* ["gamma" float]
 //!           | "accuracy" ref float
 //!           | "list" [ns]
 //!           | "budget" [ns]
@@ -17,6 +20,9 @@
 //! response := "distance" float ["bound" float]
 //!           | "distances" count float* ["bound" float]
 //!           | "path" count node*
+//!           | "geo-distance" node node float ["bound" float]
+//!           | "geo-route" node node count node*
+//!           | "geo-distances" count (node node float)* ["bound" float]
 //!           | "accuracy" theorem float float
 //!           | "releases" count (id kind float float nodes acc)*
 //!           | "budget" "spent" float float ("remaining" float float | "unbounded")
@@ -44,6 +50,19 @@
 //! ([`DEFAULT_GAMMA`](privpath_engine::DEFAULT_GAMMA)). The `error`
 //! message is free text extending to the end of the line (newlines are
 //! squashed on encode so framing survives).
+//!
+//! The `geo-*` verbs take **lat/lon coordinates** instead of vertex
+//! ids: a live geo namespace (one created with coordinates, see
+//! [`privpath_store::ReleaseStore::create_namespace_geo`]) snaps each
+//! coordinate to its nearest network node through the namespace's
+//! public spatial index — free, data-independent preprocessing — and
+//! answers the released distance/route between the snapped endpoints.
+//! Geo responses lead with the snapped node ids so callers learn what
+//! the query actually resolved to. Coordinates must be finite (a NaN
+//! or infinite value is `malformed`); a coordinate outside the
+//! network's snap bounds is refused with `out-of-range` rather than
+//! snapped to a far-away boundary node. Frozen single-snapshot servers
+//! carry no index and answer every geo verb with `unsupported`.
 
 use privpath_engine::{EngineError, ErrorBound, ReleaseId, ReleaseKind, Theorem};
 use privpath_graph::NodeId;
@@ -184,6 +203,40 @@ pub enum QueryRequest {
         /// Target vertex.
         to: NodeId,
     },
+    /// The released distance between the network nodes nearest two
+    /// lat/lon coordinates (live geo namespaces only).
+    GeoDistance {
+        /// The release to query.
+        release: ReleaseRef,
+        /// Source coordinate as `(lat, lon)` degrees.
+        from: (f64, f64),
+        /// Target coordinate as `(lat, lon)` degrees.
+        to: (f64, f64),
+        /// When set, attach the release's error bound at this failure
+        /// probability to the response.
+        gamma: Option<f64>,
+    },
+    /// The released route between the network nodes nearest two lat/lon
+    /// coordinates (live geo namespaces, route-capable kinds).
+    GeoRoute {
+        /// The release to query.
+        release: ReleaseRef,
+        /// Source coordinate as `(lat, lon)` degrees.
+        from: (f64, f64),
+        /// Target coordinate as `(lat, lon)` degrees.
+        to: (f64, f64),
+    },
+    /// Released distances for many snapped coordinate pairs, answered
+    /// with shared per-source work (live geo namespaces only).
+    GeoBatch {
+        /// The release to query.
+        release: ReleaseRef,
+        /// The `(from, to)` coordinate pairs, each `(lat, lon)` degrees.
+        pairs: Vec<((f64, f64), (f64, f64))>,
+        /// When set, attach the release's error bound at this failure
+        /// probability to the response.
+        gamma: Option<f64>,
+    },
     /// The release's accuracy contract evaluated at a failure
     /// probability: what error it guarantees with probability
     /// `1 - gamma`.
@@ -306,6 +359,38 @@ pub enum QueryResponse {
     },
     /// Answer to [`QueryRequest::Path`]: the route's vertices in order.
     Path(Vec<NodeId>),
+    /// Answer to [`QueryRequest::GeoDistance`]: the snapped endpoints
+    /// and the released estimate between them.
+    GeoDistance {
+        /// The node the source coordinate snapped to.
+        from: NodeId,
+        /// The node the target coordinate snapped to.
+        to: NodeId,
+        /// The released estimate.
+        value: f64,
+        /// The `±` error bar at the requested `gamma`, when requested
+        /// and the release carries a contract.
+        bound: Option<f64>,
+    },
+    /// Answer to [`QueryRequest::GeoRoute`]: the snapped endpoints and
+    /// the route's vertices in order.
+    GeoRoute {
+        /// The node the source coordinate snapped to.
+        from: NodeId,
+        /// The node the target coordinate snapped to.
+        to: NodeId,
+        /// The route's vertices, source to target inclusive.
+        nodes: Vec<NodeId>,
+    },
+    /// Answer to [`QueryRequest::GeoBatch`], in request order: each
+    /// pair's snapped endpoints and released estimate.
+    GeoDistances {
+        /// `(snapped from, snapped to, estimate)` per request pair.
+        triples: Vec<(NodeId, NodeId, f64)>,
+        /// The shared `±` error bar at the requested `gamma` (uniform
+        /// over pairs), when requested and available.
+        bound: Option<f64>,
+    },
     /// Answer to [`QueryRequest::Accuracy`]: the theorem-named bound.
     Accuracy(ErrorBound),
     /// Answer to [`QueryRequest::ListReleases`].
@@ -408,6 +493,56 @@ impl fmt::Display for QueryRequest {
             QueryRequest::Path { release, from, to } => {
                 write!(f, "path {release} {} {}", from.index(), to.index())
             }
+            QueryRequest::GeoDistance {
+                release,
+                from,
+                to,
+                gamma,
+            } => {
+                write!(
+                    f,
+                    "geo-distance {release} {} {} {} {}",
+                    fmt_f64(from.0),
+                    fmt_f64(from.1),
+                    fmt_f64(to.0),
+                    fmt_f64(to.1)
+                )?;
+                if let Some(g) = gamma {
+                    write!(f, " gamma {}", fmt_f64(*g))?;
+                }
+                Ok(())
+            }
+            QueryRequest::GeoRoute { release, from, to } => {
+                write!(
+                    f,
+                    "geo-route {release} {} {} {} {}",
+                    fmt_f64(from.0),
+                    fmt_f64(from.1),
+                    fmt_f64(to.0),
+                    fmt_f64(to.1)
+                )
+            }
+            QueryRequest::GeoBatch {
+                release,
+                pairs,
+                gamma,
+            } => {
+                write!(f, "geo-batch {release} {}", pairs.len())?;
+                for (from, to) in pairs {
+                    write!(
+                        f,
+                        " {} {} {} {}",
+                        fmt_f64(from.0),
+                        fmt_f64(from.1),
+                        fmt_f64(to.0),
+                        fmt_f64(to.1)
+                    )?;
+                }
+                if let Some(g) = gamma {
+                    write!(f, " gamma {}", fmt_f64(*g))?;
+                }
+                Ok(())
+            }
             QueryRequest::Accuracy { release, gamma } => {
                 write!(f, "accuracy {release} {}", fmt_f64(*gamma))
             }
@@ -466,6 +601,23 @@ impl<'a> Tokens<'a> {
 
     fn node(&mut self, what: &str) -> Result<NodeId, ParseLineError> {
         Ok(NodeId::new(self.parse::<usize>(what)?))
+    }
+
+    /// A float that must be finite (geo coordinates: a NaN or infinite
+    /// lat/lon is rejected at parse time, before any snap is attempted).
+    fn finite_f64(&mut self, what: &str) -> Result<f64, ParseLineError> {
+        let v: f64 = self.parse(what)?;
+        if !v.is_finite() {
+            return Err(ParseLineError::new(format!("non-finite {what}: {v:?}")));
+        }
+        Ok(v)
+    }
+
+    /// A `(lat, lon)` coordinate: two finite floats.
+    fn coord(&mut self, what: &str) -> Result<(f64, f64), ParseLineError> {
+        let lat = self.finite_f64(&format!("{what} latitude"))?;
+        let lon = self.finite_f64(&format!("{what} longitude"))?;
+        Ok((lat, lon))
     }
 
     /// Consumes a trailing optional namespace argument (`list [ns]`,
@@ -544,6 +696,32 @@ impl FromStr for QueryRequest {
                 from: t.node("source vertex")?,
                 to: t.node("target vertex")?,
             },
+            "geo-distance" => QueryRequest::GeoDistance {
+                release: t.parse("release ref")?,
+                from: t.coord("source")?,
+                to: t.coord("target")?,
+                gamma: t.optional_keyed_f64("gamma")?,
+            },
+            "geo-route" => QueryRequest::GeoRoute {
+                release: t.parse("release ref")?,
+                from: t.coord("source")?,
+                to: t.coord("target")?,
+            },
+            "geo-batch" => {
+                let release = t.parse("release ref")?;
+                let count: usize = t.parse("pair count")?;
+                let mut pairs = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let from = t.coord("pair source")?;
+                    let to = t.coord("pair target")?;
+                    pairs.push((from, to));
+                }
+                QueryRequest::GeoBatch {
+                    release,
+                    pairs,
+                    gamma: t.optional_keyed_f64("gamma")?,
+                }
+            }
             "accuracy" => QueryRequest::Accuracy {
                 release: t.parse("release ref")?,
                 gamma: t.parse("gamma")?,
@@ -557,7 +735,7 @@ impl FromStr for QueryRequest {
             other => {
                 return Err(ParseLineError::new(format!(
                     "unknown request verb {other:?} (expected distance, batch, path, \
-                     accuracy, list, or budget)"
+                     geo-distance, geo-route, geo-batch, accuracy, list, or budget)"
                 )))
             }
         };
@@ -590,6 +768,47 @@ impl fmt::Display for QueryResponse {
                 write!(f, "path {}", nodes.len())?;
                 for n in nodes {
                     write!(f, " {}", n.index())?;
+                }
+                Ok(())
+            }
+            QueryResponse::GeoDistance {
+                from,
+                to,
+                value,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "geo-distance {} {} {}",
+                    from.index(),
+                    to.index(),
+                    fmt_f64(*value)
+                )?;
+                if let Some(b) = bound {
+                    write!(f, " bound {}", fmt_f64(*b))?;
+                }
+                Ok(())
+            }
+            QueryResponse::GeoRoute { from, to, nodes } => {
+                write!(
+                    f,
+                    "geo-route {} {} {}",
+                    from.index(),
+                    to.index(),
+                    nodes.len()
+                )?;
+                for n in nodes {
+                    write!(f, " {}", n.index())?;
+                }
+                Ok(())
+            }
+            QueryResponse::GeoDistances { triples, bound } => {
+                write!(f, "geo-distances {}", triples.len())?;
+                for (u, v, d) in triples {
+                    write!(f, " {} {} {}", u.index(), v.index(), fmt_f64(*d))?;
+                }
+                if let Some(b) = bound {
+                    write!(f, " bound {}", fmt_f64(*b))?;
                 }
                 Ok(())
             }
@@ -685,6 +904,36 @@ impl FromStr for QueryResponse {
                     nodes.push(t.node("path vertex")?);
                 }
                 QueryResponse::Path(nodes)
+            }
+            "geo-distance" => QueryResponse::GeoDistance {
+                from: t.node("snapped source")?,
+                to: t.node("snapped target")?,
+                value: t.parse("distance value")?,
+                bound: t.optional_keyed_f64("bound")?,
+            },
+            "geo-route" => {
+                let from = t.node("snapped source")?;
+                let to = t.node("snapped target")?;
+                let count: usize = t.parse("vertex count")?;
+                let mut nodes = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    nodes.push(t.node("route vertex")?);
+                }
+                QueryResponse::GeoRoute { from, to, nodes }
+            }
+            "geo-distances" => {
+                let count: usize = t.parse("triple count")?;
+                let mut triples = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let u = t.node("snapped source")?;
+                    let v = t.node("snapped target")?;
+                    let d: f64 = t.parse("distance value")?;
+                    triples.push((u, v, d));
+                }
+                QueryResponse::GeoDistances {
+                    triples,
+                    bound: t.optional_keyed_f64("bound")?,
+                }
             }
             "accuracy" => {
                 let theorem = parse_theorem(t.next("theorem")?)?;

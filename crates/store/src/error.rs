@@ -60,6 +60,11 @@ pub enum StoreError {
     /// operation assumed continual mode on a standard namespace (or vice
     /// versa).
     ContinualAccountant(String),
+    /// A road-network ingestion or spatial-index failure (malformed
+    /// DIMACS input, coordinate/topology mismatch, corrupt persisted
+    /// index). Carries the rendered [`privpath_geo::GeoError`] text so
+    /// this type stays `Clone + PartialEq`.
+    Geo(String),
 }
 
 impl StoreError {
@@ -107,6 +112,7 @@ impl fmt::Display for StoreError {
             StoreError::ContinualAccountant(msg) => {
                 write!(f, "continual accounting error: {msg}")
             }
+            StoreError::Geo(msg) => write!(f, "geo error: {msg}"),
         }
     }
 }
@@ -135,5 +141,11 @@ impl From<CoreError> for StoreError {
 impl From<GraphError> for StoreError {
     fn from(e: GraphError) -> Self {
         StoreError::Engine(EngineError::from(e))
+    }
+}
+
+impl From<privpath_geo::GeoError> for StoreError {
+    fn from(e: privpath_geo::GeoError) -> Self {
+        StoreError::Geo(e.to_string())
     }
 }

@@ -30,6 +30,13 @@
 //!   `(release, source)` → distance-vector cache, so repeated-source
 //!   workloads skip recomputation; epoch bumps invalidate structurally
 //!   (a new snapshot starts with an empty cache).
+//! * **Geo namespaces** — [`ReleaseStore::create_namespace_geo`]
+//!   attaches one public lat/lon coordinate per node, builds a
+//!   [`SpatialIndex`] (quad tree) once, persists it crash-safely next
+//!   to the manifest, and exposes it on every snapshot via
+//!   [`NamespaceSnapshot::geo`] so the serve layer can snap query
+//!   coordinates to nodes for free (public-data preprocessing, no
+//!   budget).
 //! * **Continual-release namespaces** —
 //!   [`ReleaseStore::create_namespace_continual`] fixes an update
 //!   horizon `T` and routes every weight update through a binary-tree
@@ -98,3 +105,6 @@ pub use store::{
     is_valid_namespace, NamespaceSnapshot, NamespaceStats, PublishReceipt, ReleaseStore,
     UpdateReceipt,
 };
+// Re-exported so the serve layer (and embedders) can snap and type geo
+// results without a direct dependency on the geo crate.
+pub use privpath_geo::{GeoBounds, GeoPoint, SnapError, Snapped, SpatialIndex};

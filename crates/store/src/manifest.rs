@@ -17,6 +17,7 @@
 //! epoch <u64>
 //! budget eps <f64> delta <f64>   |   budget unbounded
 //! continual horizon <u64> rho-total <f64> delta <f64> file <name>   (optional)
+//! geo file <name>                                                   (optional)
 //! spends <count>
 //! spend <eps> <delta> <label to end of line>     (count times)
 //! releases <count>
@@ -27,6 +28,10 @@
 //! parse unchanged) pins the stream's privacy configuration and names the
 //! epoch-suffixed tree-state file; the state file itself is written
 //! before the manifest rename, so the rename atomically commits both.
+//! The `geo` line (absent for non-geo namespaces, same compatibility
+//! argument) names the spatial-index artifact built from the public node
+//! coordinates; the index is epoch-invariant (coordinates never change),
+//! written once at namespace creation before the first manifest rename.
 
 use crate::error::StoreError;
 use crate::spec::ReleaseSpec;
@@ -42,6 +47,10 @@ pub(crate) const MANIFEST_FILE: &str = "manifest";
 pub(crate) const TOPOLOGY_FILE: &str = "topology";
 /// The private-weights file name inside a namespace directory.
 pub(crate) const WEIGHTS_FILE: &str = "weights";
+/// The spatial-index file name inside a geo namespace directory. The
+/// index covers public coordinates only and never changes after
+/// creation, so (unlike release files) it needs no epoch suffix.
+pub(crate) const GEO_INDEX_FILE: &str = "geo.index";
 
 /// The release file name for a registry id at one epoch. The epoch
 /// suffix makes release files **write-once**: an `update-weights` pass
@@ -75,6 +84,9 @@ pub(crate) struct ManifestData {
     pub budget: Option<(f64, f64)>,
     /// Continual-mode configuration, or `None` for a standard namespace.
     pub continual: Option<ContinualManifest>,
+    /// The spatial-index file this namespace owns, or `None` when the
+    /// namespace has no coordinates.
+    pub geo: Option<String>,
     /// The full spend ledger: `(label, eps, delta)` in spend order.
     pub spends: Vec<(String, f64, f64)>,
     /// The live releases: `(id, file name, re-run spec)` in id order.
@@ -131,6 +143,9 @@ fn render(data: &ManifestData) -> String {
             fmt_f64(c.delta),
             c.file
         ));
+    }
+    if let Some(g) = &data.geo {
+        out.push_str(&format!("geo file {g}\n"));
     }
     out.push_str(&format!("spends {}\n", data.spends.len()));
     for (label, eps, delta) in &data.spends {
@@ -238,6 +253,18 @@ fn parse(text: &str) -> Result<ManifestData, String> {
     } else {
         None
     };
+    let geo = if let Some(rest) = spends_line.strip_prefix("geo ") {
+        let file = rest
+            .strip_prefix("file ")
+            .ok_or("expected `geo file <name>`")?;
+        if file.trim().is_empty() {
+            return Err("missing geo index file".into());
+        }
+        spends_line = next("spends")?;
+        Some(file.trim().to_string())
+    } else {
+        None
+    };
     let num_spends: usize = spends_line
         .strip_prefix("spends ")
         .and_then(|s| s.trim().parse().ok())
@@ -292,6 +319,7 @@ fn parse(text: &str) -> Result<ManifestData, String> {
         epoch,
         budget,
         continual,
+        geo,
         spends,
         releases,
     })
@@ -310,6 +338,7 @@ mod tests {
             epoch: 7,
             budget: Some((4.0, 1e-6)),
             continual: None,
+            geo: None,
             spends: vec![
                 ("shortest-path#0".into(), 1.0, 0.0),
                 ("shortest-path#0@u2".into(), 1.0, 0.0),
@@ -353,6 +382,28 @@ mod tests {
         // Malformed continual lines are rejected, not skipped.
         let good = render(&data);
         let bad = good.replace(" rho-total ", " rho ");
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn geo_line_round_trips() {
+        let mut data = sample();
+        data.geo = Some(GEO_INDEX_FILE.into());
+        assert_eq!(parse(&render(&data)).unwrap(), data);
+        // Both optional lines together, in their fixed order.
+        data.continual = Some(ContinualManifest {
+            horizon: 16,
+            rho_total: 0.01,
+            delta: 1e-6,
+            file: "continual.e7.state".into(),
+        });
+        assert_eq!(parse(&render(&data)).unwrap(), data);
+        // A namespace literally named "geo" must not trip detection.
+        data.namespace = "geo".into();
+        assert_eq!(parse(&render(&data)).unwrap(), data);
+        // Malformed geo lines are rejected, not skipped.
+        let good = render(&data);
+        let bad = good.replace("geo file ", "geo file\n");
         assert!(parse(&bad).is_err());
     }
 

@@ -27,13 +27,14 @@ use crate::continual::{state_file_name, ContinualState, ContinualStatus};
 use crate::error::StoreError;
 use crate::manifest::{
     atomic_write, read_manifest, release_file_name, write_manifest, ContinualManifest,
-    ManifestData, MANIFEST_FILE, TOPOLOGY_FILE, WEIGHTS_FILE,
+    ManifestData, GEO_INDEX_FILE, MANIFEST_FILE, TOPOLOGY_FILE, WEIGHTS_FILE,
 };
 use crate::spec::{is_continual_servable, ReleaseSpec, StagedRelease};
 use privpath_core::model::WeightUpdate;
 use privpath_dp::zcdp::max_rho_for_epsilon;
 use privpath_dp::{Accountant, Delta, Epsilon, RngNoise, ZeroNoise};
 use privpath_engine::{EngineError, QueryService, ReleaseEngine, ReleaseId};
+use privpath_geo::{GeoPoint, SpatialIndex};
 use privpath_graph::io::{read_topology, read_weights, write_topology, write_weights};
 use privpath_graph::{EdgeId, EdgeWeights, NodeId, Topology};
 use rand::rngs::StdRng;
@@ -89,6 +90,10 @@ pub struct NamespaceSnapshot {
     service: QueryService,
     cache: Option<SourceCache>,
     continual: Option<ContinualStatus>,
+    /// Public spatial index over the node coordinates, for geo
+    /// namespaces. Epoch-invariant (coordinates are public topology
+    /// metadata), so every snapshot shares one `Arc`.
+    geo: Option<Arc<SpatialIndex>>,
 }
 
 impl NamespaceSnapshot {
@@ -114,6 +119,15 @@ impl NamespaceSnapshot {
     /// readers (and `stats`) never touch the writer lock.
     pub fn continual(&self) -> Option<ContinualStatus> {
         self.continual
+    }
+
+    /// The namespace's spatial index over its (public) node
+    /// coordinates, or `None` for a namespace created without
+    /// coordinates. Snapping a lat/lon query through this index is
+    /// data-independent preprocessing — it reads only public geometry,
+    /// so it costs no privacy budget.
+    pub fn geo(&self) -> Option<&SpatialIndex> {
+        self.geo.as_deref()
     }
 
     /// The released estimate of `d(u, v)`, via the source cache when
@@ -262,6 +276,10 @@ struct NamespaceWriter {
     /// Continual mode: the tree-composer state plus the name of the
     /// state file the on-disk manifest currently references.
     continual: Option<(ContinualState, String)>,
+    /// The namespace's spatial index, if it was created with
+    /// coordinates. Written once at creation (the coordinates are as
+    /// immutable as the topology) and shared with every snapshot.
+    geo: Option<Arc<SpatialIndex>>,
 }
 
 impl NamespaceWriter {
@@ -279,6 +297,7 @@ impl NamespaceWriter {
                     delta: state.delta,
                     file: file.clone(),
                 }),
+            geo: self.geo.as_ref().map(|_| GEO_INDEX_FILE.to_string()),
             spends: self
                 .engine
                 .accountant()
@@ -500,6 +519,50 @@ impl ReleaseStore {
         weights: EdgeWeights,
         budget: Option<(Epsilon, Delta)>,
     ) -> Result<(), StoreError> {
+        self.create_namespace_inner(name, topo, weights, budget, None)
+    }
+
+    /// Creates a **geo** namespace: like
+    /// [`create_namespace`](Self::create_namespace), plus one public
+    /// lat/lon coordinate per node. The coordinates are indexed into a
+    /// quad tree once, persisted crash-safely next to the manifest
+    /// (`geo.index`, temp-write + fsync + rename, referenced by a
+    /// `geo file` manifest line), and replayed with full structural
+    /// validation on [`open`](Self::open). The index is epoch-invariant:
+    /// weight updates never touch it, because coordinates — like the
+    /// topology — are public data.
+    ///
+    /// # Errors
+    /// [`StoreError::Geo`] when `coords` and the topology disagree on
+    /// the node count or a coordinate is non-finite; otherwise as
+    /// [`create_namespace`](Self::create_namespace).
+    pub fn create_namespace_geo(
+        &self,
+        name: &str,
+        topo: Topology,
+        weights: EdgeWeights,
+        coords: Vec<GeoPoint>,
+        budget: Option<(Epsilon, Delta)>,
+    ) -> Result<(), StoreError> {
+        if coords.len() != topo.num_nodes() {
+            return Err(privpath_geo::GeoError::CoordTopologyMismatch {
+                nodes: topo.num_nodes(),
+                coords: coords.len(),
+            }
+            .into());
+        }
+        let index = SpatialIndex::build(coords)?;
+        self.create_namespace_inner(name, topo, weights, budget, Some(Arc::new(index)))
+    }
+
+    fn create_namespace_inner(
+        &self,
+        name: &str,
+        topo: Topology,
+        weights: EdgeWeights,
+        budget: Option<(Epsilon, Delta)>,
+        geo: Option<Arc<SpatialIndex>>,
+    ) -> Result<(), StoreError> {
         if !is_valid_namespace(name) {
             return Err(StoreError::InvalidNamespace(name.into()));
         }
@@ -525,6 +588,7 @@ impl ReleaseStore {
             epoch: 0,
             budget: budget.map(|(e, d)| (e.value(), d.value())),
             continual: None,
+            geo,
         };
         let mut topo_bytes = Vec::new();
         write_topology(&mut topo_bytes, writer.engine.topology())
@@ -534,6 +598,12 @@ impl ReleaseStore {
         write_weights(&mut weight_bytes, writer.engine.weights())
             .map_err(|e| StoreError::io(&dir.join(WEIGHTS_FILE), e))?;
         atomic_write(&dir.join(WEIGHTS_FILE), &weight_bytes)?;
+        // The index before the manifest that references it: a crash
+        // between the two leaves an unreferenced file for GC, never a
+        // manifest pointing at nothing.
+        if let Some(index) = &writer.geo {
+            atomic_write(&dir.join(GEO_INDEX_FILE), index.to_text().as_bytes())?;
+        }
         writer.persist_manifest()?;
         let ns = self.namespace_from_writer(writer);
         map.insert(name.to_string(), Arc::new(ns));
@@ -617,6 +687,7 @@ impl ReleaseStore {
             epoch: 0,
             budget: Some((eps.value(), delta.value())),
             continual: Some((state, state_file)),
+            geo: None,
         };
         let mut topo_bytes = Vec::new();
         write_topology(&mut topo_bytes, writer.engine.topology())
@@ -1252,6 +1323,7 @@ impl ReleaseStore {
                 .cache_enabled
                 .then(|| SourceCache::new(self.cache_capacity, counters.clone())),
             continual: writer.continual.as_ref().map(|(s, _)| s.status()),
+            geo: writer.geo.clone(),
         }
     }
 
@@ -1329,6 +1401,30 @@ impl ReleaseStore {
             None => None,
         };
 
+        // The spatial index replays from its own file with full
+        // structural validation; a point count disagreeing with the
+        // topology means the artifact belongs to a different network,
+        // so the namespace refuses to load.
+        let geo = match &data.geo {
+            Some(file) => {
+                let path = dir.join(file);
+                let text = fs::read_to_string(&path).map_err(|e| StoreError::io(&path, e))?;
+                let index = SpatialIndex::from_text(&text)?;
+                if index.len() != topo.num_nodes() {
+                    return Err(StoreError::manifest(
+                        &dir.join(MANIFEST_FILE),
+                        format!(
+                            "geo index {file:?} holds {} points but the topology has {} nodes",
+                            index.len(),
+                            topo.num_nodes()
+                        ),
+                    ));
+                }
+                Some(Arc::new(index))
+            }
+            None => None,
+        };
+
         // The ledger first: spends cover every release and re-release,
         // including generations since replaced.
         let mut accountant = match data.budget {
@@ -1396,6 +1492,7 @@ impl ReleaseStore {
                 let name = entry.file_name().to_string_lossy().into_owned();
                 let referenced = data.releases.iter().any(|(_, f, _)| *f == name)
                     || data.continual.as_ref().is_some_and(|c| c.file == name)
+                    || data.geo.as_deref() == Some(name.as_str())
                     || name == MANIFEST_FILE
                     || name == TOPOLOGY_FILE
                     || name == WEIGHTS_FILE;
@@ -1413,6 +1510,7 @@ impl ReleaseStore {
             epoch: data.epoch,
             budget: data.budget,
             continual,
+            geo,
         };
         Ok((data.namespace.clone(), self.namespace_from_writer(writer)))
     }

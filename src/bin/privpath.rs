@@ -17,6 +17,7 @@
 //! ```
 
 use privpath::engine::{mechanisms, read_release, QueryService, ReleaseEngine, ReleaseKind};
+use privpath::geo::{generate_road_network, read_co_path, read_gr_path, write_co, write_gr};
 use privpath::graph::generators::{random_geometric_graph, random_tree_prufer, uniform_weights};
 use privpath::graph::io::{read_topology, read_weights, write_topology, write_weights};
 use privpath::prelude::*;
@@ -38,6 +39,11 @@ commands:
   gen-demo   --nodes N --out-prefix P [--seed S] [--shape geometric|tree]
              generate a demo road network: P.topo (public topology) and
              P.weights (private travel times)
+  geo gen    --nodes N --out-prefix P [--seed S]
+             generate a deterministic DIMACS road network: P.gr (directed
+             arcs + private travel times) and P.co (public lat/lon node
+             coordinates); same --nodes/--seed reproduce the same network
+             byte for byte, so the whole geo pipeline runs offline
   calibrate  --topo F --mechanism M --target-alpha A
              [--gamma G] [--delta D] [--max-weight W]
              solve the mechanism's accuracy theorem backwards: print the
@@ -85,18 +91,31 @@ commands:
              [--from A --to B] [--pairs A:B,A:B,...] [--gamma G]
              [--namespace NS]
              query a running server; OP is one of distance (default),
-             route, batch, accuracy, list, budget, shutdown; REF is a
-             release ref (`r0`, or `NS/r0` against a live store);
-             --namespace scopes list/budget on a live store; --gamma on
-             distance/batch attaches the release's ±error bound at that
-             confidence, and is the evaluation point for accuracy
+             route, batch, geo-distance, geo-route, geo-batch, accuracy,
+             list, budget, shutdown; REF is a release ref (`r0`, or
+             `NS/r0` against a live store); --namespace scopes
+             list/budget on a live store; --gamma on distance/batch/
+             geo-distance/geo-batch attaches the release's ±error bound
+             at that confidence, and is the evaluation point for
+             accuracy. The geo-* ops take lat/lon coordinates instead of
+             vertex ids — --from/--to as LAT,LON and --pairs as
+             LAT,LON:LAT,LON[;...] — and answer against the namespace's
+             spatial index (live geo namespaces only)
   store      <init|publish|update|drop|epoch|stats> ...
              manage a live release store. `init` works on a local store
              directory (--dir); the others take either --dir (offline)
              or --connect HOST:PORT (admin verbs against a live server):
-               store init    --dir D --namespace NS --topo F --weights F
+               store init    --dir D --namespace NS
+                             (--topo F --weights F |
+                              --from-gr F.gr --coords F.co)
                              [--budget-eps E] [--budget-delta D]
                              [--continual --horizon T]
+                             --from-gr ingests a DIMACS road network
+                             (arcs + weights) with its --coords lat/lon
+                             file, builds the namespace's quad-tree
+                             spatial index once, and persists it next to
+                             the manifest — enabling the geo-* query
+                             verbs on this namespace
                              --continual streams weight updates through a
                              binary-tree composer under a zCDP allowance
                              (budget with delta > 0 required): T updates
@@ -250,6 +269,7 @@ fn run() -> Result<(), String> {
             ],
         )?),
         "store" => store_cmd(rest),
+        "geo" => geo_cmd(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -822,6 +842,20 @@ fn release_ref(flags: &HashMap<String, String>) -> Result<ReleaseRef, String> {
         .map_err(|e: privpath::serve::ParseLineError| e.to_string())
 }
 
+/// Parses a `LAT,LON` coordinate for the geo query ops. Non-finite
+/// components are refused here, mirroring the wire grammar.
+fn parse_coord(spec: &str, what: &str) -> Result<(f64, f64), String> {
+    let (lat, lon) = spec
+        .split_once(',')
+        .ok_or_else(|| format!("invalid {what} coordinate {spec:?} (expected LAT,LON)"))?;
+    let lat: f64 = parse(lat.trim(), "latitude")?;
+    let lon: f64 = parse(lon.trim(), "longitude")?;
+    if !lat.is_finite() || !lon.is_finite() {
+        return Err(format!("non-finite {what} coordinate {spec:?}"));
+    }
+    Ok((lat, lon))
+}
+
 fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
     let addr = required(flags, "connect")?;
     let op = flags.get("op").map_or("distance", String::as_str);
@@ -862,6 +896,32 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
                 gamma,
             }
         }
+        "geo-distance" => QueryRequest::GeoDistance {
+            release: release_ref(flags)?,
+            from: parse_coord(required(flags, "from")?, "--from")?,
+            to: parse_coord(required(flags, "to")?, "--to")?,
+            gamma,
+        },
+        "geo-route" => QueryRequest::GeoRoute {
+            release: release_ref(flags)?,
+            from: parse_coord(required(flags, "from")?, "--from")?,
+            to: parse_coord(required(flags, "to")?, "--to")?,
+        },
+        "geo-batch" => {
+            let spec = required(flags, "pairs")?;
+            let mut pairs = Vec::new();
+            for tok in spec.split(';') {
+                let (from, to) = tok.split_once(':').ok_or_else(|| {
+                    format!("invalid geo pair {tok:?} (expected LAT,LON:LAT,LON)")
+                })?;
+                pairs.push((parse_coord(from, "--pairs")?, parse_coord(to, "--pairs")?));
+            }
+            QueryRequest::GeoBatch {
+                release: release_ref(flags)?,
+                pairs,
+                gamma,
+            }
+        }
         "accuracy" => QueryRequest::Accuracy {
             release: release_ref(flags)?,
             gamma: gamma.unwrap_or(DEFAULT_GAMMA),
@@ -877,8 +937,8 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "invalid --op {other:?} (expected distance, route, batch, list, budget, \
-                 or shutdown)"
+                "invalid --op {other:?} (expected distance, route, batch, geo-distance, \
+                 geo-route, geo-batch, accuracy, list, budget, or shutdown)"
             ))
         }
     };
@@ -917,6 +977,41 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         (QueryRequest::DistanceBatch { pairs, .. }, QueryResponse::Distances { values, bound }) => {
             for ((u, v), d) in pairs.iter().zip(values) {
+                println!("{} -> {}: {d:.2}", u.index(), v.index());
+            }
+            if let Some(b) = bound {
+                println!("error bound: ±{b:.2} for every pair");
+            }
+        }
+        (
+            QueryRequest::GeoDistance { release, .. },
+            QueryResponse::GeoDistance {
+                from,
+                to,
+                value,
+                bound,
+            },
+        ) => {
+            let tail = bound.map_or(String::new(), |b| format!(" ±{b:.2}"));
+            println!(
+                "estimated travel time (snapped to nodes {} -> {}): {value:.2}{tail} \
+                 (release {release})",
+                from.index(),
+                to.index()
+            );
+        }
+        (QueryRequest::GeoRoute { release, .. }, QueryResponse::GeoRoute { from, to, nodes }) => {
+            let stops: Vec<String> = nodes.iter().map(|n| n.index().to_string()).collect();
+            println!(
+                "route (snapped to nodes {} -> {}, {} hops, release {release}): {}",
+                from.index(),
+                to.index(),
+                nodes.len().saturating_sub(1),
+                stops.join(" -> ")
+            );
+        }
+        (QueryRequest::GeoBatch { .. }, QueryResponse::GeoDistances { triples, bound }) => {
+            for (u, v, d) in triples {
                 println!("{} -> {}: {d:.2}", u.index(), v.index());
             }
             if let Some(b) = bound {
@@ -1053,6 +1148,8 @@ fn store_cmd(rest: &[String]) -> Result<(), String> {
                     "namespace",
                     "topo",
                     "weights",
+                    "from-gr",
+                    "coords",
                     "budget-eps",
                     "budget-delta",
                     "horizon",
@@ -1063,11 +1160,47 @@ fn store_cmd(rest: &[String]) -> Result<(), String> {
             }
             let dir = required(&flags, "dir")?;
             let ns = required(&flags, "namespace")?;
-            let topo_file = File::open(required(&flags, "topo")?).map_err(|e| e.to_string())?;
-            let topo = read_topology(BufReader::new(topo_file)).map_err(|e| e.to_string())?;
-            let weights_file =
-                File::open(required(&flags, "weights")?).map_err(|e| e.to_string())?;
-            let weights = read_weights(BufReader::new(weights_file)).map_err(|e| e.to_string())?;
+            // Two ingestion forms: the native --topo/--weights pair, or a
+            // DIMACS --from-gr/--coords pair that additionally builds the
+            // namespace's spatial index.
+            let geo_input = match (flags.get("from-gr"), flags.get("coords")) {
+                (Some(gr), Some(co)) => {
+                    if flags.contains_key("topo") || flags.contains_key("weights") {
+                        return Err(
+                            "--from-gr/--coords and --topo/--weights are mutually exclusive".into(),
+                        );
+                    }
+                    if continual {
+                        return Err(
+                            "--continual does not support geo namespaces yet (use --topo/--weights)"
+                                .into(),
+                        );
+                    }
+                    Some((gr.clone(), co.clone()))
+                }
+                (None, None) => None,
+                _ => return Err("--from-gr and --coords must be given together".into()),
+            };
+            let (topo, weights, coords) = match &geo_input {
+                Some((gr, co)) => {
+                    let gr = read_gr_path(std::path::Path::new(gr)).map_err(|e| e.to_string())?;
+                    let coords =
+                        read_co_path(std::path::Path::new(co), Some(gr.topology.num_nodes()))
+                            .map_err(|e| e.to_string())?;
+                    (gr.topology, gr.weights, Some(coords))
+                }
+                None => {
+                    let topo_file =
+                        File::open(required(&flags, "topo")?).map_err(|e| e.to_string())?;
+                    let topo =
+                        read_topology(BufReader::new(topo_file)).map_err(|e| e.to_string())?;
+                    let weights_file =
+                        File::open(required(&flags, "weights")?).map_err(|e| e.to_string())?;
+                    let weights =
+                        read_weights(BufReader::new(weights_file)).map_err(|e| e.to_string())?;
+                    (topo, weights, None)
+                }
+            };
             let budget = match flags.get("budget-eps") {
                 Some(be) => {
                     let be =
@@ -1101,16 +1234,30 @@ fn store_cmd(rest: &[String]) -> Result<(), String> {
                 );
                 return Ok(());
             }
-            store
-                .create_namespace(ns, topo, weights, budget)
-                .map_err(|e| e.to_string())?;
             let budget_text = match budget {
                 Some((e, d)) => format!("budget (eps {e}, delta {d})"),
                 None => "unbounded budget".to_string(),
             };
-            println!(
-                "initialized namespace {ns} in {dir} ({nodes} nodes, {edges} roads, {budget_text})"
-            );
+            match coords {
+                Some(coords) => {
+                    store
+                        .create_namespace_geo(ns, topo, weights, coords, budget)
+                        .map_err(|e| e.to_string())?;
+                    println!(
+                        "initialized geo namespace {ns} in {dir} ({nodes} nodes, {edges} roads, \
+                         spatial index persisted, {budget_text})"
+                    );
+                }
+                None => {
+                    store
+                        .create_namespace(ns, topo, weights, budget)
+                        .map_err(|e| e.to_string())?;
+                    println!(
+                        "initialized namespace {ns} in {dir} ({nodes} nodes, {edges} roads, \
+                         {budget_text})"
+                    );
+                }
+            }
             Ok(())
         }
         "publish" => {
@@ -1337,6 +1484,34 @@ fn store_cmd(rest: &[String]) -> Result<(), String> {
             "unknown store subcommand {other:?} (expected init, publish, update, drop, \
              epoch, or stats)"
         )),
+    }
+}
+
+fn geo_cmd(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("geo needs a subcommand: gen".into());
+    };
+    match sub.as_str() {
+        "gen" => {
+            let flags = parse_flags(rest, &["nodes", "out-prefix", "seed"])?;
+            let n: usize = parse(required(&flags, "nodes")?, "node count")?;
+            let prefix = required(&flags, "out-prefix")?;
+            let seed: u64 = flags.get("seed").map_or(Ok(7), |s| parse(s, "seed"))?;
+            let network = generate_road_network(n, seed).map_err(|e| e.to_string())?;
+            let gr_path = format!("{prefix}.gr");
+            let co_path = format!("{prefix}.co");
+            let gr = BufWriter::new(File::create(&gr_path).map_err(|e| e.to_string())?);
+            write_gr(gr, &network.topology, &network.weights).map_err(|e| e.to_string())?;
+            let co = BufWriter::new(File::create(&co_path).map_err(|e| e.to_string())?);
+            write_co(co, &network.coords).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {gr_path} ({} nodes, {} roads) and {co_path} (seed {seed})",
+                network.topology.num_nodes(),
+                network.topology.num_edges()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown geo subcommand {other:?} (expected gen)")),
     }
 }
 

@@ -26,6 +26,10 @@
 //!   snapshots, budget-metered re-release under weight updates
 //!   ([`ReleaseSpec`](store::ReleaseSpec)), crash-safe manifests, and a
 //!   read-path source cache.
+//! * [`geo`] — the road-network workload: streaming DIMACS `.gr`/`.co`
+//!   parsers, a deterministic road-network generator, and the quad-tree
+//!   [`SpatialIndex`](geo::SpatialIndex) that snaps lat/lon queries to
+//!   network nodes (public-data preprocessing, no privacy budget).
 //! * [`serve`] — the network serve path: the typed
 //!   [`QueryRequest`](serve::QueryRequest) /
 //!   [`QueryResponse`](serve::QueryResponse) line protocol (release refs
@@ -82,6 +86,7 @@
 pub use privpath_core as core;
 pub use privpath_dp as dp;
 pub use privpath_engine as engine;
+pub use privpath_geo as geo;
 pub use privpath_graph as graph;
 pub use privpath_serve as serve;
 pub use privpath_store as store;
@@ -114,6 +119,10 @@ pub mod prelude {
         mechanisms, AccuracyContract, AnyRelease, BudgetPlan, DistanceRelease, EngineError,
         ErrorBound, ErrorTarget, Mechanism, PrivacyCost, QueryService, ReleaseEngine, ReleaseId,
         ReleaseKind, StoredRelease, Theorem, DEFAULT_GAMMA,
+    };
+    pub use privpath_geo::{
+        generate_road_network, GeoBounds, GeoError, GeoPoint, RoadNetwork, SnapError, Snapped,
+        SpatialIndex,
     };
     pub use privpath_graph::{EdgeId, EdgeWeights, GraphError, NodeId, Path, Topology};
     pub use privpath_serve::{

@@ -1,0 +1,184 @@
+//! Store-level geo-namespace guarantees: the spatial index is built
+//! once, persisted crash-safely next to the manifest, replayed on
+//! reopen byte-for-byte (snap determinism across restarts), and shared
+//! untouched across weight-update epochs.
+
+use privpath::prelude::*;
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("privpath-geo-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+fn small_network() -> RoadNetwork {
+    generate_road_network(400, 11).unwrap()
+}
+
+/// Snapping is deterministic across a full process-restart simulation:
+/// the reopened store replays the persisted index and returns the same
+/// node for the same coordinate.
+#[test]
+fn snap_is_deterministic_across_reopen() {
+    let dir = temp_store("snap-determinism");
+    let net = small_network();
+    let probes: Vec<(f64, f64)> = {
+        let b = privpath::geo::GeoBounds::from_points(&net.coords).unwrap();
+        (0..32)
+            .map(|i| {
+                let t = i as f64 / 31.0;
+                (
+                    b.min_lat() + t * (b.max_lat() - b.min_lat()),
+                    b.min_lon() + (1.0 - t) * (b.max_lon() - b.min_lon()),
+                )
+            })
+            .collect()
+    };
+
+    let first: Vec<Snapped> = {
+        let store = ReleaseStore::open(&dir).unwrap();
+        store
+            .create_namespace_geo("city", net.topology, net.weights, net.coords, None)
+            .unwrap();
+        let snap = store.snapshot("city").unwrap();
+        let index = snap.geo().expect("geo namespace carries an index");
+        probes
+            .iter()
+            .map(|&(lat, lon)| index.snap(lat, lon).unwrap())
+            .collect()
+    };
+    // The index artifact sits next to the manifest.
+    assert!(dir.join("city").join("geo.index").is_file());
+
+    // "Restart": a brand-new store instance replaying only disk state.
+    let store = ReleaseStore::open(&dir).unwrap();
+    let snap = store.snapshot("city").unwrap();
+    let index = snap.geo().expect("replayed namespace carries the index");
+    for (probe, before) in probes.iter().zip(&first) {
+        let after = index.snap(probe.0, probe.1).unwrap();
+        assert_eq!(after.node, before.node);
+        assert_eq!(after.point, before.point);
+        assert_eq!(after.dist_sq.to_bits(), before.dist_sq.to_bits());
+    }
+}
+
+/// A coordinate file that disagrees with the topology is refused at
+/// creation — never a namespace with a partial index.
+#[test]
+fn coord_topology_mismatch_is_refused() {
+    let dir = temp_store("mismatch");
+    let net = small_network();
+    let mut coords = net.coords.clone();
+    coords.pop();
+    let store = ReleaseStore::open(&dir).unwrap();
+    let err = store
+        .create_namespace_geo("city", net.topology, net.weights, coords, None)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("geo error"),
+        "expected a geo error, got: {err}"
+    );
+    assert!(store.namespaces().is_empty(), "no partial namespace");
+}
+
+/// A corrupted persisted index fails the replay loudly instead of
+/// serving garbage snaps.
+#[test]
+fn corrupt_index_fails_replay() {
+    let dir = temp_store("corrupt-index");
+    let net = small_network();
+    {
+        let store = ReleaseStore::open(&dir).unwrap();
+        store
+            .create_namespace_geo("city", net.topology, net.weights, net.coords, None)
+            .unwrap();
+    }
+    std::fs::write(dir.join("city").join("geo.index"), "not an index\n").unwrap();
+    let err = ReleaseStore::open(&dir).unwrap_err();
+    assert!(
+        err.to_string().contains("geo") || err.to_string().contains("index"),
+        "expected an index replay error, got: {err}"
+    );
+}
+
+/// The index survives weight-update epochs untouched: coordinates are
+/// public and epoch-invariant, so the same `geo.index` artifact serves
+/// every epoch while distances move with the fresh release.
+#[test]
+fn index_survives_weight_update_epochs() {
+    let dir = temp_store("epoch-bump");
+    let net = small_network();
+    let num_edges = net.topology.num_edges();
+    let b = privpath::geo::GeoBounds::from_points(&net.coords).unwrap();
+    let store = ReleaseStore::open(&dir).unwrap().with_seed(3);
+    store
+        .create_namespace_geo(
+            "city",
+            net.topology,
+            net.weights,
+            net.coords,
+            Some((eps(500.0), Delta::zero())),
+        )
+        .unwrap();
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(200.0)).unwrap();
+    let id = store.publish("city", &spec).unwrap().id;
+
+    let snap_before = store.snapshot("city").unwrap();
+    let index_before = snap_before.geo().unwrap();
+    let probe = (
+        (b.min_lat() + b.max_lat()) / 2.0,
+        (b.min_lon() + b.max_lon()) / 2.0,
+    );
+    let s = index_before.snap(probe.0, probe.1).unwrap();
+    let far = index_before.snap(b.max_lat(), b.max_lon()).unwrap();
+    let d_before = snap_before.distance(id, s.node, far.node).unwrap();
+
+    // Double every travel time; the re-release must roughly double the
+    // distance while the snap stays bit-identical.
+    let doubled = EdgeWeights::new(vec![14.0; num_edges]).unwrap();
+    let receipt = store.update_weights("city", doubled).unwrap();
+    assert_eq!(receipt.epoch, 2);
+
+    let snap_after = store.snapshot("city").unwrap();
+    assert_eq!(snap_after.epoch(), 2);
+    let index_after = snap_after.geo().unwrap();
+    let s2 = index_after.snap(probe.0, probe.1).unwrap();
+    assert_eq!(s2.node, s.node);
+    assert_eq!(s2.point, s.point);
+    let d_after = snap_after.distance(id, s.node, far.node).unwrap();
+    assert!(
+        d_before.is_finite() && d_after.is_finite(),
+        "distances answer on both epochs"
+    );
+
+    // And the whole arrangement replays from disk.
+    drop(store);
+    let store = ReleaseStore::open(&dir).unwrap();
+    let snap = store.snapshot("city").unwrap();
+    assert_eq!(snap.epoch(), 2);
+    let s3 = snap.geo().unwrap().snap(probe.0, probe.1).unwrap();
+    assert_eq!(s3.node, s.node);
+}
+
+/// Out-of-bounds coordinates are refused by the index with a typed
+/// error naming the indexed region, not snapped to a far-away node.
+#[test]
+fn out_of_bounds_snap_is_refused() {
+    let net = small_network();
+    let index = SpatialIndex::build(net.coords).unwrap();
+    let err = index.snap(89.0, 179.0).unwrap_err();
+    match err {
+        SnapError::OutOfBounds { .. } => {}
+        other => panic!("expected OutOfBounds, got {other}"),
+    }
+    let err = index.snap(f64::NAN, 0.0).unwrap_err();
+    match err {
+        SnapError::NonFinite { .. } => {}
+        other => panic!("expected NonFinite, got {other}"),
+    }
+}
