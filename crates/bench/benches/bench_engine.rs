@@ -249,11 +249,58 @@ fn bench_shortcut_vs_baseline(c: &mut Criterion) {
     group.finish();
 }
 
+/// Release construction time against the `--threads` knob: the same
+/// all-pairs-baseline and shortcut releases at 1, 2, and 4 worker
+/// threads. The released bytes are bit-identical for every thread count
+/// (the determinism suite asserts this); this group shows what the knob
+/// buys in wall-clock. On a single-core runner the curve is flat — the
+/// acceptance bar there is "not slower than threads=1".
+fn bench_release_vs_cores(c: &mut Criterion) {
+    use privpath_core::shortcut::ShortcutApspParams;
+    use privpath_dp::Delta;
+    use privpath_engine::Mechanism;
+    use privpath_graph::algo::set_default_search_threads;
+
+    let mut group = c.benchmark_group("engine/release_vs_cores");
+    group.sample_size(10);
+    let eps1 = Epsilon::new(1.0).unwrap();
+    let delta = Delta::new(1e-6).unwrap();
+    let v = 1024;
+    let mut rng = StdRng::seed_from_u64(50);
+    let topo = connected_gnm(v, 3 * v, &mut rng);
+    let w = uniform_weights(topo.num_edges(), 0.0, 1.0, &mut rng);
+    let baseline = mechanisms::AllPairsBaselineParams::basic(eps1);
+    let shortcut = ShortcutApspParams::approx(eps1, delta, 1.0).unwrap();
+
+    for &threads in &[1usize, 2, 4] {
+        set_default_search_threads(threads);
+        group.bench_function(BenchmarkId::new("baseline_release", threads), |b| {
+            let mut rng = StdRng::seed_from_u64(51);
+            b.iter(|| {
+                mechanisms::AllPairsBaseline
+                    .release(&topo, &w, &baseline, &mut rng)
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("shortcut_release", threads), |b| {
+            let mut rng = StdRng::seed_from_u64(52);
+            b.iter(|| {
+                mechanisms::ShortcutApsp
+                    .release(&topo, &w, &shortcut, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    set_default_search_threads(0);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_batch_vs_single,
     bench_batch_source_locality,
     bench_calibration,
-    bench_shortcut_vs_baseline
+    bench_shortcut_vs_baseline,
+    bench_release_vs_cores
 );
 criterion_main!(benches);

@@ -10,7 +10,9 @@ use crate::model::NeighborScale;
 use crate::CoreError;
 use privpath_dp::composition::per_query_epsilon;
 use privpath_dp::{Delta, Epsilon, NoiseSource, RngNoise};
-use privpath_graph::algo::dijkstra;
+use privpath_graph::algo::{
+    dijkstra, multi_source_distances_unchecked, validate_dijkstra_inputs, with_thread_workspace,
+};
 use privpath_graph::{EdgeWeights, NodeId, Topology};
 use rand::Rng;
 
@@ -105,27 +107,42 @@ impl AllPairsDistanceRelease {
     }
 }
 
+/// Sources per parallel batch in all-pairs fills: bounds the transient
+/// row storage to `PAR_CHUNK * V` floats while still giving the thread pool
+/// enough work per round.
+const PAR_CHUNK: usize = 64;
+
 fn all_pairs_with_noise_scale(
     topo: &Topology,
     weights: &EdgeWeights,
     noise_scale: f64,
     noise: &mut impl NoiseSource,
 ) -> Result<AllPairsDistanceRelease, CoreError> {
-    weights.validate_for(topo)?;
+    // Validate once (length + nonnegativity); every per-source run below is
+    // unchecked, so the O(E) scan is not repeated per source.
+    validate_dijkstra_inputs(topo, weights)?;
     let n = topo.num_nodes();
     let mut d = vec![0.0; n * n];
-    for u in topo.nodes() {
-        let spt = dijkstra(topo, weights, u)?;
-        for v in topo.nodes() {
-            if v.index() <= u.index() {
-                continue;
+    let sources: Vec<NodeId> = topo.nodes().collect();
+    // The true rows are computed in parallel (bit-for-bit deterministic for
+    // any thread count); the Laplace draws stay on this thread in the exact
+    // (u, v) order the sequential loop used, so pinned-seed releases replay
+    // byte-identically.
+    for chunk in sources.chunks(PAR_CHUNK) {
+        let rows = multi_source_distances_unchecked(topo, weights, chunk, 0);
+        for (&u, row) in chunk.iter().zip(&rows) {
+            for v in topo.nodes().skip(u.index() + 1) {
+                let truth = row[v.index()];
+                if !truth.is_finite() {
+                    return Err(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+                        from: u,
+                        to: v,
+                    }));
+                }
+                let released = truth + noise.laplace(noise_scale);
+                d[u.index() * n + v.index()] = released;
+                d[v.index() * n + u.index()] = released;
             }
-            let truth = spt.distance(v).ok_or(CoreError::Graph(
-                privpath_graph::GraphError::Disconnected { from: u, to: v },
-            ))?;
-            let released = truth + noise.laplace(noise_scale);
-            d[u.index() * n + v.index()] = released;
-            d[v.index() * n + u.index()] = released;
         }
     }
     Ok(AllPairsDistanceRelease { n, d, noise_scale })
@@ -287,25 +304,54 @@ impl SyntheticGraphRelease {
 
     /// The estimated distance between `u` and `v` in the synthetic graph.
     ///
+    /// Runs on the calling thread's shared Dijkstra workspace: the released
+    /// weights were validated nonnegative at construction, so no per-query
+    /// weight scan or allocation is needed.
+    ///
     /// # Errors
     /// [`CoreError::Graph`] for invalid vertices or a disconnected pair.
     pub fn distance(&self, u: NodeId, v: NodeId) -> Result<f64, CoreError> {
+        self.topo.check_node(u)?;
         self.topo.check_node(v)?;
-        let spt = dijkstra(&self.topo, &self.released, u)?;
-        spt.distance(v)
-            .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
-                from: u,
-                to: v,
-            }))
+        with_thread_workspace(|ws| {
+            ws.run_unchecked(&self.topo, &self.released, u);
+            ws.distance(v)
+        })
+        .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+            from: u,
+            to: v,
+        }))
     }
 
-    /// All estimated distances from `u` (one Dijkstra).
+    /// All estimated distances from `u` (one workspace-reusing Dijkstra).
     ///
     /// # Errors
     /// [`CoreError::Graph`] for an invalid vertex.
     pub fn distances_from(&self, u: NodeId) -> Result<Vec<f64>, CoreError> {
-        let spt = dijkstra(&self.topo, &self.released, u)?;
-        Ok(spt.distances().to_vec())
+        self.topo.check_node(u)?;
+        Ok(with_thread_workspace(|ws| {
+            ws.run_unchecked(&self.topo, &self.released, u);
+            ws.distances()
+        }))
+    }
+
+    /// Distance rows for a batch of sources, fanned over the default search
+    /// thread pool. Row `i` is the full distance vector from `sources[i]`
+    /// (`f64::INFINITY` for unreachable vertices); outputs are bit-for-bit
+    /// identical to repeated [`distances_from`](Self::distances_from) calls.
+    ///
+    /// # Errors
+    /// [`CoreError::Graph`] for an invalid vertex.
+    pub fn distances_for_sources(&self, sources: &[NodeId]) -> Result<Vec<Vec<f64>>, CoreError> {
+        for &s in sources {
+            self.topo.check_node(s)?;
+        }
+        Ok(multi_source_distances_unchecked(
+            &self.topo,
+            &self.released,
+            sources,
+            0,
+        ))
     }
 }
 

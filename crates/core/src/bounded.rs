@@ -28,7 +28,9 @@ use crate::model::NeighborScale;
 use crate::CoreError;
 use privpath_dp::composition::per_query_epsilon;
 use privpath_dp::{Delta, Epsilon, NoiseSource, RngNoise};
-use privpath_graph::algo::{dijkstra, is_connected, multi_source_hop_assignment, CoverAssignment};
+use privpath_graph::algo::{
+    is_connected, multi_source_distances_unchecked, multi_source_hop_assignment, CoverAssignment,
+};
 use privpath_graph::covering::{greedy_covering, meir_moon_covering, verify_covering};
 use privpath_graph::{EdgeWeights, NodeId, Topology};
 use rand::Rng;
@@ -380,14 +382,23 @@ pub fn bounded_weight_all_pairs_with(
         params.scale.value() / per.value()
     };
 
-    // True center-pair distances by Dijkstra from each center.
+    // True center-pair distances: one Dijkstra per center, fanned over the
+    // default search thread pool (bit-for-bit deterministic for any thread
+    // count). The `[0, M]` bounds scan above already established the
+    // nonnegativity precondition, so the unchecked entry avoids a second
+    // O(E) scan. Noise is drawn afterwards on this thread in the same
+    // (i, j) order as the sequential loop, preserving pinned-seed replays.
+    let rows = multi_source_distances_unchecked(topo, weights, &centers, 0);
     let mut noisy_dist = vec![0.0; z * z];
     for (i, &zi) in centers.iter().enumerate() {
-        let spt = dijkstra(topo, weights, zi)?;
         for (j, &zj) in centers.iter().enumerate().skip(i + 1) {
-            let d = spt.distance(zj).ok_or(CoreError::Graph(
-                privpath_graph::GraphError::Disconnected { from: zi, to: zj },
-            ))?;
+            let d = rows[i][zj.index()];
+            if !d.is_finite() {
+                return Err(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+                    from: zi,
+                    to: zj,
+                }));
+            }
             let released = d + noise.laplace(noise_scale);
             noisy_dist[i * z + j] = released;
             noisy_dist[j * z + i] = released;

@@ -38,7 +38,9 @@ use crate::model::NeighborScale;
 use crate::CoreError;
 use privpath_dp::composition::per_query_epsilon;
 use privpath_dp::{Delta, Epsilon, NoiseSource, RngNoise};
-use privpath_graph::algo::{dijkstra, is_connected, multi_source_hop_assignment};
+use privpath_graph::algo::{
+    is_connected, multi_source_distances_unchecked, multi_source_hop_assignment,
+};
 use privpath_graph::covering::{meir_moon_covering, verify_covering};
 use privpath_graph::{EdgeWeights, NodeId, Topology};
 use rand::Rng;
@@ -535,22 +537,41 @@ pub fn shortcut_apsp_with(
 
     let mut levels = Vec::with_capacity(plan.levels.len());
     for level in plan.levels {
+        // One Dijkstra per distinct first index, shared across its pairs.
+        // The per-source runs are fanned over the default search thread pool
+        // (the `[0, M]` bounds scan above established nonnegativity, so the
+        // unchecked entry skips a second O(E) scan, and outputs are
+        // bit-for-bit deterministic for any thread count). Noise is then
+        // drawn on this thread in plan order — levels finest-first, pairs
+        // sorted — exactly as the sequential loop did, so recorded-noise
+        // audits replay the same transcript.
+        let mut group_sources: Vec<NodeId> = Vec::new();
+        let mut last_first: Option<u32> = None;
+        for &(i, _) in &level.pairs {
+            if last_first != Some(i) {
+                group_sources.push(level.centers[i as usize]);
+                last_first = Some(i);
+            }
+        }
+        let rows = multi_source_distances_unchecked(topo, weights, &group_sources, 0);
         let mut values = Vec::with_capacity(level.pairs.len());
         let mut pairs = level.pairs.iter().peekable();
-        // One Dijkstra per distinct first index, shared across its pairs.
+        let mut group = 0usize;
         while let Some(&&(i, _)) = pairs.peek() {
-            let spt = dijkstra(topo, weights, level.centers[i as usize])?;
+            let row = &rows[group];
+            group += 1;
             while let Some(&&(x, j)) = pairs.peek() {
                 if x != i {
                     break;
                 }
                 pairs.next();
-                let d = spt
-                    .distance(level.centers[j as usize])
-                    .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+                let d = row[level.centers[j as usize].index()];
+                if !d.is_finite() {
+                    return Err(CoreError::Graph(privpath_graph::GraphError::Disconnected {
                         from: level.centers[i as usize],
                         to: level.centers[j as usize],
-                    }))?;
+                    }));
+                }
                 values.push((i, j, d + noise.laplace(noise_scale)));
             }
         }

@@ -18,7 +18,10 @@
 use crate::model::NeighborScale;
 use crate::CoreError;
 use privpath_dp::{Epsilon, NoiseSource, RngNoise};
-use privpath_graph::algo::{dijkstra, ShortestPathTree};
+use privpath_graph::algo::{
+    multi_source_dijkstra_unchecked, multi_source_distances_unchecked, with_thread_workspace,
+    ShortestPathTree,
+};
 use privpath_graph::{EdgeWeights, NodeId, Path, Topology};
 use rand::Rng;
 
@@ -164,10 +167,62 @@ impl ShortestPathRelease {
     /// paths to every target can be extracted. Prefer this over repeated
     /// [`path`](Self::path) calls when querying many targets.
     ///
+    /// Runs on the calling thread's shared Dijkstra workspace: the released
+    /// weights are nonnegative by construction (clamped, and re-checked in
+    /// [`from_parts`](Self::from_parts)), so no per-query weight scan is
+    /// needed.
+    ///
     /// # Errors
     /// Returns [`CoreError::Graph`] if `s` is invalid.
     pub fn paths_from(&self, s: NodeId) -> Result<ShortestPathTree, CoreError> {
-        Ok(dijkstra(&self.topo, &self.released, s)?)
+        self.topo.check_node(s)?;
+        Ok(with_thread_workspace(|ws| {
+            ws.run_unchecked(&self.topo, &self.released, s);
+            ws.tree()
+        }))
+    }
+
+    /// Shortest-path trees for a batch of sources, fanned over the default
+    /// search thread pool; tree `i` is rooted at `sources[i]`. Outputs are
+    /// bit-for-bit identical to repeated [`paths_from`](Self::paths_from)
+    /// calls regardless of thread count.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Graph`] if any source is invalid.
+    pub fn paths_for_sources(
+        &self,
+        sources: &[NodeId],
+    ) -> Result<Vec<ShortestPathTree>, CoreError> {
+        for &s in sources {
+            self.topo.check_node(s)?;
+        }
+        Ok(multi_source_dijkstra_unchecked(
+            &self.topo,
+            &self.released,
+            sources,
+            0,
+        ))
+    }
+
+    /// Distance rows for a batch of sources (row `i` from `sources[i]`,
+    /// `f64::INFINITY` for unreachable targets), fanned over the default
+    /// search thread pool. The distance-only sibling of
+    /// [`paths_for_sources`](Self::paths_for_sources): it skips
+    /// materializing parent arrays, which is what batch distance queries
+    /// want.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Graph`] if any source is invalid.
+    pub fn distances_for_sources(&self, sources: &[NodeId]) -> Result<Vec<Vec<f64>>, CoreError> {
+        for &s in sources {
+            self.topo.check_node(s)?;
+        }
+        Ok(multi_source_distances_unchecked(
+            &self.topo,
+            &self.released,
+            sources,
+            0,
+        ))
     }
 
     /// The released path from `s` to `t`: the shortest `s`-`t` path under
@@ -193,13 +248,17 @@ impl ShortestPathRelease {
     /// # Errors
     /// Same conditions as [`path`](Self::path).
     pub fn estimated_distance(&self, s: NodeId, t: NodeId) -> Result<f64, CoreError> {
+        self.topo.check_node(s)?;
         self.topo.check_node(t)?;
-        let tree = self.paths_from(s)?;
-        tree.distance(t)
-            .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
-                from: s,
-                to: t,
-            }))
+        // Distance-only query: skip materializing the tree's parent arrays.
+        with_thread_workspace(|ws| {
+            ws.run_unchecked(&self.topo, &self.released, s);
+            ws.distance(t)
+        })
+        .ok_or(CoreError::Graph(privpath_graph::GraphError::Disconnected {
+            from: s,
+            to: t,
+        }))
     }
 }
 
@@ -253,6 +312,7 @@ pub fn private_shortest_paths(
 mod tests {
     use super::*;
     use privpath_dp::{RecordingNoise, ZeroNoise};
+    use privpath_graph::algo::dijkstra;
     use privpath_graph::generators::{path_graph, planted_path_graph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

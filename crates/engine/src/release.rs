@@ -75,6 +75,22 @@ pub trait DistanceRelease: Send + Sync {
             .collect()
     }
 
+    /// Distance rows for many sources at once: row `i` is
+    /// [`source_distances`](Self::source_distances) of `sources[i]`.
+    ///
+    /// The default maps `source_distances` sequentially (fine for
+    /// table-backed kinds, whose rows are array reads); graph-replaying
+    /// kinds override it to fan the per-source Dijkstras over the default
+    /// search thread pool. Overrides must stay bit-for-bit identical to
+    /// the sequential mapping — callers (the store's snapshot cache) rely
+    /// on replayed answers being byte-stable.
+    ///
+    /// # Errors
+    /// Same conditions as [`distance`](Self::distance).
+    fn source_distance_rows(&self, sources: &[NodeId]) -> Result<Vec<Vec<f64>>, EngineError> {
+        sources.iter().map(|&s| self.source_distances(s)).collect()
+    }
+
     /// The released route from `u` to `v`, for release kinds that carry
     /// one (`None` for value-only releases).
     ///
@@ -102,13 +118,19 @@ fn disconnected_is_infinite(e: CoreError) -> Result<f64, EngineError> {
     }
 }
 
-/// Shared batching core for graph-replaying releases: one `per_source`
-/// evaluation (a Dijkstra) per distinct source, shared across every pair
-/// with that source; unreachable targets answer `+inf`.
+/// Shared batching core for graph-replaying releases: one Dijkstra per
+/// distinct source, shared across every pair with that source;
+/// unreachable targets answer `+inf`.
+///
+/// `rows_for_sources` receives every distinct source (sorted by id) in
+/// one call, so implementations can fan the per-source Dijkstras over the
+/// default search thread pool; row `i` must be the full distance vector
+/// from source `i`. Results are identical to a sequential per-source loop
+/// because the parallel drivers are bit-for-bit deterministic.
 fn batch_by_source(
     num_nodes: usize,
     pairs: &[(NodeId, NodeId)],
-    mut per_source: impl FnMut(NodeId) -> Result<Vec<f64>, EngineError>,
+    rows_for_sources: impl FnOnce(&[NodeId]) -> Result<Vec<Vec<f64>>, EngineError>,
 ) -> Result<Vec<f64>, EngineError> {
     let mut by_source: HashMap<usize, Vec<usize>> = HashMap::new();
     for (i, &(u, v)) in pairs.iter().enumerate() {
@@ -116,12 +138,13 @@ fn batch_by_source(
         check_node(v.index(), num_nodes)?;
         by_source.entry(u.index()).or_default().push(i);
     }
+    let mut source_ids: Vec<usize> = by_source.keys().copied().collect();
+    source_ids.sort_unstable();
+    let sources: Vec<NodeId> = source_ids.iter().map(|&s| NodeId::new(s)).collect();
+    let rows = rows_for_sources(&sources)?;
     let mut out = vec![0.0; pairs.len()];
-    let mut sources: Vec<usize> = by_source.keys().copied().collect();
-    sources.sort_unstable();
-    for s in sources {
-        let dists = per_source(NodeId::new(s))?;
-        for &i in &by_source[&s] {
+    for (s, dists) in source_ids.iter().zip(&rows) {
+        for &i in &by_source[s] {
             let (_, v) = pairs[i];
             out[i] = dists[v.index()];
         }
@@ -144,14 +167,21 @@ impl DistanceRelease for ShortestPathRelease {
     }
 
     fn distance_batch(&self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<f64>, EngineError> {
-        batch_by_source(DistanceRelease::num_nodes(self), pairs, |s| {
-            Ok(self.paths_from(s)?.distances().to_vec())
+        batch_by_source(DistanceRelease::num_nodes(self), pairs, |sources| {
+            Ok(self.distances_for_sources(sources)?)
         })
     }
 
     fn source_distances(&self, u: NodeId) -> Result<Vec<f64>, EngineError> {
         check_node(u.index(), DistanceRelease::num_nodes(self))?;
         Ok(self.paths_from(u)?.distances().to_vec())
+    }
+
+    fn source_distance_rows(&self, sources: &[NodeId]) -> Result<Vec<Vec<f64>>, EngineError> {
+        for &s in sources {
+            check_node(s.index(), DistanceRelease::num_nodes(self))?;
+        }
+        Ok(self.distances_for_sources(sources)?)
     }
 
     fn path(&self, u: NodeId, v: NodeId) -> Option<Result<Path, EngineError>> {
@@ -207,14 +237,21 @@ impl DistanceRelease for SyntheticGraphRelease {
     }
 
     fn distance_batch(&self, pairs: &[(NodeId, NodeId)]) -> Result<Vec<f64>, EngineError> {
-        batch_by_source(DistanceRelease::num_nodes(self), pairs, |s| {
-            Ok(self.distances_from(s)?)
+        batch_by_source(DistanceRelease::num_nodes(self), pairs, |sources| {
+            Ok(self.distances_for_sources(sources)?)
         })
     }
 
     fn source_distances(&self, u: NodeId) -> Result<Vec<f64>, EngineError> {
         check_node(u.index(), DistanceRelease::num_nodes(self))?;
         Ok(self.distances_from(u)?)
+    }
+
+    fn source_distance_rows(&self, sources: &[NodeId]) -> Result<Vec<Vec<f64>>, EngineError> {
+        for &s in sources {
+            check_node(s.index(), DistanceRelease::num_nodes(self))?;
+        }
+        Ok(self.distances_for_sources(sources)?)
     }
 }
 

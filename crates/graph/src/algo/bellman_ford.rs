@@ -6,7 +6,7 @@
 //! users who prefer unclamped noisy weights.
 
 use crate::algo::dijkstra::ShortestPathTree;
-use crate::{EdgeWeights, GraphError, NodeId, Topology};
+use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Topology};
 
 /// Single-source shortest paths allowing negative edge weights.
 ///
@@ -39,8 +39,7 @@ pub fn bellman_ford(
 
     let n = topo.num_nodes();
     let mut dist = vec![f64::INFINITY; n];
-    let mut parent_node = vec![None; n];
-    let mut parent_edge = vec![None; n];
+    let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
     dist[source.index()] = 0.0;
 
     // Relax repeatedly. Using adjacency (not the raw edge list) respects
@@ -57,8 +56,7 @@ pub fn bellman_ford(
                 let nd = du + weights.get(e);
                 if nd < dist[v.index()] - 1e-15 {
                     dist[v.index()] = nd;
-                    parent_node[v.index()] = Some(u);
-                    parent_edge[v.index()] = Some(e);
+                    parent[v.index()] = Some((u, e));
                     changed = true;
                 }
             }
@@ -70,12 +68,7 @@ pub fn bellman_ford(
             return Err(GraphError::NegativeCycle);
         }
     }
-    Ok(ShortestPathTree::new(
-        source,
-        dist,
-        parent_node,
-        parent_edge,
-    ))
+    Ok(ShortestPathTree::new(source, dist, parent))
 }
 
 #[cfg(test)]

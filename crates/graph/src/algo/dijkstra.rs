@@ -1,34 +1,44 @@
 //! Dijkstra's algorithm with path extraction.
+//!
+//! Three entry points, from most to least convenient:
+//!
+//! * [`dijkstra`] — validate inputs, run one source, return a
+//!   [`ShortestPathTree`]. Allocates per call.
+//! * [`dijkstra_into`] — validate inputs, run one source into a caller-owned
+//!   [`DijkstraWorkspace`](super::DijkstraWorkspace) so repeated searches
+//!   reuse buffers.
+//! * [`multi_source_dijkstra`](super::multi_source_dijkstra) — validate
+//!   once, fan a batch of sources over a thread pool with bit-for-bit
+//!   deterministic outputs.
 
+use super::workspace::DijkstraWorkspace;
 use crate::{EdgeId, EdgeWeights, GraphError, NodeId, Path, Topology};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A shortest-path tree rooted at a source vertex: the output of
 /// [`dijkstra`] (and [`bellman_ford`](crate::algo::bellman_ford)).
 ///
 /// Stores, for every vertex, the distance from the source and the last edge
 /// of some shortest path, from which full paths are reconstructed on demand.
+/// The predecessor node and edge are stored jointly as
+/// `Option<(NodeId, EdgeId)>`, so "parent node set but parent edge missing"
+/// is unrepresentable and path reconstruction cannot panic.
 #[derive(Clone, Debug)]
 pub struct ShortestPathTree {
     source: NodeId,
     dist: Vec<f64>,
-    parent_node: Vec<Option<NodeId>>,
-    parent_edge: Vec<Option<EdgeId>>,
+    parent: Vec<Option<(NodeId, EdgeId)>>,
 }
 
 impl ShortestPathTree {
     pub(crate) fn new(
         source: NodeId,
         dist: Vec<f64>,
-        parent_node: Vec<Option<NodeId>>,
-        parent_edge: Vec<Option<EdgeId>>,
+        parent: Vec<Option<(NodeId, EdgeId)>>,
     ) -> Self {
         ShortestPathTree {
             source,
             dist,
-            parent_node,
-            parent_edge,
+            parent,
         }
     }
 
@@ -55,7 +65,7 @@ impl ShortestPathTree {
 
     /// The predecessor edge of `v` on its shortest path, if any.
     pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
-        self.parent_edge[v.index()]
+        self.parent[v.index()].map(|(_, e)| e)
     }
 
     /// Reconstructs a shortest path from the source to `v`.
@@ -69,8 +79,8 @@ impl ShortestPathTree {
         let mut nodes = vec![v];
         let mut edges = Vec::new();
         let mut cur = v;
-        while let Some(p) = self.parent_node[cur.index()] {
-            edges.push(self.parent_edge[cur.index()].expect("parent edge set with parent node"));
+        while let Some((p, e)) = self.parent[cur.index()] {
+            edges.push(e);
             nodes.push(p);
             cur = p;
         }
@@ -81,31 +91,25 @@ impl ShortestPathTree {
     }
 }
 
-/// Min-heap entry ordered by distance. `f64::total_cmp` is safe because
-/// weights are validated finite and nonnegative before the heap is used.
-#[derive(PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap on distance; tie-break on node for
-        // determinism.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
+/// Validates the `(topo, weights)` pair for Dijkstra: length match and no
+/// negative weights.
+///
+/// Batch drivers call this **once** and then use the unchecked entry points
+/// ([`dijkstra_unchecked`], [`DijkstraWorkspace::run_unchecked`]) per
+/// source, instead of paying the `O(E)` scan on every run.
+///
+/// # Errors
+/// * [`GraphError::WeightsLengthMismatch`] if `weights` does not match
+///   `topo`.
+/// * [`GraphError::NegativeWeight`] if any weight is negative.
+pub fn validate_dijkstra_inputs(topo: &Topology, weights: &EdgeWeights) -> Result<(), GraphError> {
+    weights.validate_for(topo)?;
+    for (e, w) in weights.iter() {
+        if w < 0.0 {
+            return Err(GraphError::NegativeWeight { edge: e, value: w });
+        }
     }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    Ok(())
 }
 
 /// Single-source shortest paths with nonnegative weights.
@@ -123,53 +127,56 @@ pub fn dijkstra(
     weights: &EdgeWeights,
     source: NodeId,
 ) -> Result<ShortestPathTree, GraphError> {
-    weights.validate_for(topo)?;
+    validate_dijkstra_inputs(topo, weights)?;
     topo.check_node(source)?;
-    for (e, w) in weights.iter() {
-        if w < 0.0 {
-            return Err(GraphError::NegativeWeight { edge: e, value: w });
-        }
-    }
     Ok(dijkstra_unchecked(topo, weights, source))
 }
 
-/// Dijkstra without precondition checks (weights already validated by the
-/// caller). Used internally to avoid re-scanning weights in all-pairs loops.
-pub(crate) fn dijkstra_unchecked(
+/// Runs Dijkstra from `source` into a reusable workspace, validating the
+/// inputs first.
+///
+/// The workspace keeps its buffers between calls, so a loop over sources
+/// performs `O(touched)` re-initialization per run instead of allocating
+/// five fresh vectors. Read the results through
+/// [`DijkstraWorkspace::distance`], [`DijkstraWorkspace::distances`], or
+/// [`DijkstraWorkspace::tree`].
+///
+/// # Errors
+/// Same preconditions as [`dijkstra`].
+pub fn dijkstra_into(
+    ws: &mut DijkstraWorkspace,
+    topo: &Topology,
+    weights: &EdgeWeights,
+    source: NodeId,
+) -> Result<(), GraphError> {
+    validate_dijkstra_inputs(topo, weights)?;
+    topo.check_node(source)?;
+    ws.run_unchecked(topo, weights, source);
+    Ok(())
+}
+
+/// Dijkstra without precondition checks.
+///
+/// The caller must have already established that `weights` matches `topo`
+/// and is nonnegative (e.g. via [`validate_dijkstra_inputs`], or because the
+/// weights were clamped at construction); `source` must be in range. Batch
+/// loops use this to avoid re-scanning weights per source.
+pub fn dijkstra_unchecked(
     topo: &Topology,
     weights: &EdgeWeights,
     source: NodeId,
 ) -> ShortestPathTree {
-    let n = topo.num_nodes();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent_node = vec![None; n];
-    let mut parent_edge = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
-        dist: 0.0,
-        node: source,
-    });
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if settled[u.index()] {
-            continue;
-        }
-        settled[u.index()] = true;
-        for (v, e) in topo.neighbors(u) {
-            let nd = d + weights.get(e);
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                parent_node[v.index()] = Some(u);
-                parent_edge[v.index()] = Some(e);
-                heap.push(HeapEntry { dist: nd, node: v });
-            }
-        }
-    }
-    ShortestPathTree::new(source, dist, parent_node, parent_edge)
+    let mut ws = DijkstraWorkspace::new();
+    ws.run_unchecked(topo, weights, source);
+    ws.tree()
 }
 
 /// Shortest-path trees from every vertex (`V` runs of Dijkstra).
+///
+/// Validates once up front, then fans the per-source runs over the default
+/// search thread pool (see
+/// [`set_default_search_threads`](super::set_default_search_threads)); the
+/// result is bit-for-bit identical regardless of thread count.
 ///
 /// # Errors
 /// Same preconditions as [`dijkstra`].
@@ -177,16 +184,8 @@ pub fn all_pairs_dijkstra(
     topo: &Topology,
     weights: &EdgeWeights,
 ) -> Result<Vec<ShortestPathTree>, GraphError> {
-    weights.validate_for(topo)?;
-    for (e, w) in weights.iter() {
-        if w < 0.0 {
-            return Err(GraphError::NegativeWeight { edge: e, value: w });
-        }
-    }
-    Ok(topo
-        .nodes()
-        .map(|s| dijkstra_unchecked(topo, weights, s))
-        .collect())
+    let sources: Vec<NodeId> = topo.nodes().collect();
+    super::multi_source_dijkstra(topo, weights, &sources, 0)
 }
 
 #[cfg(test)]
@@ -308,5 +307,33 @@ mod tests {
             dijkstra(&topo, &w, NodeId::new(0)),
             Err(GraphError::WeightsLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn dijkstra_into_reuses_workspace_across_sources() {
+        let (topo, w) = diamond();
+        let mut ws = DijkstraWorkspace::new();
+        dijkstra_into(&mut ws, &topo, &w, NodeId::new(0)).unwrap();
+        assert_eq!(ws.distance(NodeId::new(2)), Some(2.0));
+        dijkstra_into(&mut ws, &topo, &w, NodeId::new(2)).unwrap();
+        assert_eq!(ws.distance(NodeId::new(0)), Some(2.0));
+        // Stale state from the previous run must not leak through.
+        assert_eq!(ws.distance(NodeId::new(2)), Some(0.0));
+        assert_eq!(ws.tree().source(), NodeId::new(2));
+    }
+
+    #[test]
+    fn workspace_tree_matches_fresh_dijkstra() {
+        let (topo, w) = diamond();
+        let fresh = dijkstra(&topo, &w, NodeId::new(1)).unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        // Run from another source first to dirty the buffers.
+        dijkstra_into(&mut ws, &topo, &w, NodeId::new(0)).unwrap();
+        dijkstra_into(&mut ws, &topo, &w, NodeId::new(1)).unwrap();
+        let reused = ws.tree();
+        for v in topo.nodes() {
+            assert_eq!(fresh.distance(v), reused.distance(v));
+            assert_eq!(fresh.parent_edge(v), reused.parent_edge(v));
+        }
     }
 }

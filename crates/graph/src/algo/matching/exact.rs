@@ -73,7 +73,12 @@ pub(super) fn match_component_exact(
     while mask != 0 {
         let (i, j) = choice[mask];
         let (i, j) = (i as usize, j as usize);
-        out.push(pair_edge[i * m + j].expect("chosen pair has an edge"));
+        // `choice` is only written for pairs with `pair_cost < BIG`, which
+        // is only ever set together with `pair_edge`.
+        let Some(edge) = pair_edge[i * m + j] else {
+            return Err(GraphError::NoPerfectMatching);
+        };
+        out.push(edge);
         mask ^= (1 << i) | (1 << j);
     }
     Ok(out)

@@ -282,7 +282,11 @@ fn match_exact_allow_skip(
             mask ^= 1 << i;
         } else {
             let j = j as usize;
-            out.push(pair_edge[i * m + j].expect("chosen pair has an edge"));
+            // `choice` is only written for pairs with negative `pair_cost`,
+            // which is only ever set together with `pair_edge`.
+            if let Some(edge) = pair_edge[i * m + j] {
+                out.push(edge);
+            }
             mask ^= (1 << i) | (1 << j);
         }
     }

@@ -12,8 +12,10 @@ mod dijkstra;
 mod floyd_warshall;
 mod kruskal;
 pub mod matching;
+mod parallel;
 mod prim;
 mod union_find;
+mod workspace;
 
 pub use bellman_ford::bellman_ford;
 pub use bfs::{
@@ -21,12 +23,20 @@ pub use bfs::{
     CoverAssignment,
 };
 pub use components::{bipartite_coloring, connected_components, is_connected, ComponentLabels};
-pub use dijkstra::{all_pairs_dijkstra, dijkstra, ShortestPathTree};
+pub use dijkstra::{
+    all_pairs_dijkstra, dijkstra, dijkstra_into, dijkstra_unchecked, validate_dijkstra_inputs,
+    ShortestPathTree,
+};
 pub use floyd_warshall::{floyd_warshall, DistanceMatrix};
 pub use kruskal::{minimum_spanning_forest, SpanningForest};
 pub use matching::{
     greedy_min_weight_maximal_matching, max_weight_matching, max_weight_perfect_matching,
     min_weight_matching, min_weight_perfect_matching, Matching,
 };
+pub use parallel::{
+    default_search_threads, multi_source_dijkstra, multi_source_dijkstra_unchecked,
+    multi_source_distances, multi_source_distances_unchecked, set_default_search_threads,
+};
 pub use prim::prim_spanning_forest;
 pub use union_find::UnionFind;
+pub use workspace::{with_thread_workspace, DijkstraWorkspace};

@@ -1,0 +1,305 @@
+//! Deterministic multi-source Dijkstra over `std::thread::scope`.
+//!
+//! The vendor tree is offline, so there is no rayon: the driver is a plain
+//! scoped-thread pool with an atomic work-stealing cursor. Each worker owns
+//! a private [`DijkstraWorkspace`], claims source indices with a
+//! `fetch_add`, and tags every result with its index; the results are then
+//! sorted back into source order. Because every single-source run is fully
+//! deterministic on its own (the heap tie-breaks on node id), the scheduling
+//! order cannot leak into the outputs: **the returned vectors are
+//! bit-for-bit identical for any thread count**. That is a privacy
+//! requirement, not just a nicety — releases must replay identically from
+//! pinned seeds no matter what machine serves them.
+//!
+//! This module is inside `privpath-lint`'s panic-freedom scope.
+
+use super::dijkstra::{validate_dijkstra_inputs, ShortestPathTree};
+use super::workspace::DijkstraWorkspace;
+use crate::{EdgeWeights, GraphError, NodeId, Topology};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default for `threads == 0` callers; 0 means "ask the OS".
+static DEFAULT_SEARCH_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default search parallelism used when a driver is
+/// called with `threads == 0`.
+///
+/// `privpath release --threads N` and `privpath serve --threads N` route
+/// here. Passing 0 restores the initial behavior of using
+/// [`std::thread::available_parallelism`].
+pub fn set_default_search_threads(n: usize) {
+    DEFAULT_SEARCH_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The process-wide default search parallelism: the last value given to
+/// [`set_default_search_threads`], or the OS-reported available parallelism
+/// (falling back to 1) if none was set.
+pub fn default_search_threads() -> usize {
+    match DEFAULT_SEARCH_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Resolves a caller-supplied thread count against the default and the
+/// amount of work available.
+fn effective_threads(threads: usize, num_sources: usize) -> usize {
+    let requested = if threads == 0 {
+        default_search_threads()
+    } else {
+        threads
+    };
+    requested.clamp(1, num_sources.max(1))
+}
+
+/// Runs `f` over the workspace state of one Dijkstra per source, in
+/// parallel, returning results in source order.
+///
+/// Precondition: inputs already validated (weights match + nonnegative,
+/// sources in range).
+fn run_multi_source<T, F>(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    sources: &[NodeId],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&DijkstraWorkspace) -> T + Sync,
+{
+    let threads = effective_threads(threads, sources.len());
+    if threads <= 1 {
+        let mut ws = DijkstraWorkspace::new();
+        return sources
+            .iter()
+            .map(|&s| {
+                ws.run_unchecked(topo, weights, s);
+                f(&ws)
+            })
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = DijkstraWorkspace::new();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&s) = sources.get(i) else { break };
+                        ws.run_unchecked(topo, weights, s);
+                        local.push((i, f(&ws)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(sources.len());
+        for h in handles {
+            match h.join() {
+                Ok(local) => all.extend(local),
+                // A worker can only panic if `f` panics; re-raise on the
+                // caller's thread rather than swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    // fetch_add hands out each index exactly once, so after sorting the
+    // output order is the source order regardless of which worker ran what.
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Shortest-path trees for a batch of sources, computed in parallel.
+///
+/// `threads == 0` uses the process default (see
+/// [`set_default_search_threads`]); any value is clamped to the number of
+/// sources. Inputs are validated **once** up front — including when
+/// `sources` is empty — so a negative weight is rejected before any
+/// per-source work starts, and never re-scanned per source.
+///
+/// # Errors
+/// * [`GraphError::WeightsLengthMismatch`] / [`GraphError::NegativeWeight`]
+///   from validation.
+/// * [`GraphError::NodeOutOfRange`] if any source is invalid.
+pub fn multi_source_dijkstra(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    sources: &[NodeId],
+    threads: usize,
+) -> Result<Vec<ShortestPathTree>, GraphError> {
+    validate_dijkstra_inputs(topo, weights)?;
+    for &s in sources {
+        topo.check_node(s)?;
+    }
+    Ok(run_multi_source(topo, weights, sources, threads, |ws| {
+        ws.tree()
+    }))
+}
+
+/// Distance rows for a batch of sources, computed in parallel.
+///
+/// Row `i` is the full distance vector from `sources[i]`
+/// (`f64::INFINITY` marks unreachable vertices). Same validation, threading,
+/// and determinism contract as [`multi_source_dijkstra`], but skips
+/// materializing parent arrays — the right shape for distance-only callers
+/// like `DistanceRelease::distance_batch`.
+///
+/// # Errors
+/// Same as [`multi_source_dijkstra`].
+pub fn multi_source_distances(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    sources: &[NodeId],
+    threads: usize,
+) -> Result<Vec<Vec<f64>>, GraphError> {
+    validate_dijkstra_inputs(topo, weights)?;
+    for &s in sources {
+        topo.check_node(s)?;
+    }
+    Ok(run_multi_source(topo, weights, sources, threads, |ws| {
+        ws.distances()
+    }))
+}
+
+/// [`multi_source_dijkstra`] without precondition checks.
+///
+/// The caller must have already run
+/// [`validate_dijkstra_inputs`](super::validate_dijkstra_inputs) (or hold an
+/// equivalent invariant, e.g. weights clamped nonnegative at construction)
+/// and checked every source. Batch loops that process sources in chunks use
+/// this so the `O(E)` weight scan happens exactly once, not once per chunk.
+pub fn multi_source_dijkstra_unchecked(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    sources: &[NodeId],
+    threads: usize,
+) -> Vec<ShortestPathTree> {
+    run_multi_source(topo, weights, sources, threads, |ws| ws.tree())
+}
+
+/// [`multi_source_distances`] without precondition checks; see
+/// [`multi_source_dijkstra_unchecked`] for the caller contract.
+pub fn multi_source_distances_unchecked(
+    topo: &Topology,
+    weights: &EdgeWeights,
+    sources: &[NodeId],
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    run_multi_source(topo, weights, sources, threads, |ws| ws.distances())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra;
+
+    fn grid(side: usize) -> (Topology, EdgeWeights) {
+        let n = side * side;
+        let mut b = Topology::builder(n);
+        let mut weights = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    b.add_edge(NodeId::new(v), NodeId::new(v + 1));
+                    weights.push(1.0 + ((v * 7 + 3) % 11) as f64);
+                }
+                if r + 1 < side {
+                    b.add_edge(NodeId::new(v), NodeId::new(v + side));
+                    weights.push(1.0 + ((v * 13 + 5) % 7) as f64);
+                }
+            }
+        }
+        let topo = b.build();
+        let w = EdgeWeights::new(weights).unwrap();
+        (topo, w)
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_sequential() {
+        let (topo, w) = grid(7);
+        let sources: Vec<NodeId> = topo.nodes().collect();
+        let seq: Vec<Vec<f64>> = sources
+            .iter()
+            .map(|&s| dijkstra(&topo, &w, s).unwrap().distances().to_vec())
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let par = multi_source_distances(&topo, &w, &sources, threads).unwrap();
+            for (a, b) in seq.iter().zip(&par) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trees_carry_correct_sources_in_order() {
+        let (topo, w) = grid(4);
+        let sources = vec![NodeId::new(5), NodeId::new(0), NodeId::new(15)];
+        let trees = multi_source_dijkstra(&topo, &w, &sources, 3).unwrap();
+        assert_eq!(trees.len(), 3);
+        for (t, &s) in trees.iter().zip(&sources) {
+            assert_eq!(t.source(), s);
+            assert_eq!(t.distance(s), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn negative_weight_rejected_up_front_even_with_no_sources() {
+        let mut b = Topology::builder(2);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let topo = b.build();
+        let w = EdgeWeights::new(vec![-1.0]).unwrap();
+        // Validation happens once, before (and independent of) the
+        // per-source fan-out: an empty batch still reports the bad weight.
+        assert!(matches!(
+            multi_source_distances(&topo, &w, &[], 4),
+            Err(GraphError::NegativeWeight { .. })
+        ));
+        assert!(matches!(
+            multi_source_dijkstra(&topo, &w, &[NodeId::new(0)], 2),
+            Err(GraphError::NegativeWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_source_rejected() {
+        let (topo, w) = grid(2);
+        assert!(matches!(
+            multi_source_dijkstra(&topo, &w, &[NodeId::new(99)], 2),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped() {
+        let (topo, w) = grid(3);
+        let sources = vec![NodeId::new(0), NodeId::new(8)];
+        let rows = multi_source_distances(&topo, &w, &sources, 64).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], 0.0);
+        assert_eq!(rows[1][8], 0.0);
+    }
+
+    #[test]
+    fn default_threads_knob_round_trips() {
+        // Don't leave a global set: restore 0 (auto) afterwards.
+        set_default_search_threads(3);
+        assert_eq!(default_search_threads(), 3);
+        set_default_search_threads(0);
+        assert!(default_search_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_sources_yield_empty_output() {
+        let (topo, w) = grid(2);
+        assert!(multi_source_dijkstra(&topo, &w, &[], 0).unwrap().is_empty());
+    }
+}

@@ -20,6 +20,11 @@ pub struct TopologyBuilder {
     num_nodes: u32,
     directed: bool,
     endpoints: Vec<(NodeId, NodeId)>,
+    /// Adjacency slots the edges added so far will occupy in the CSR arrays
+    /// (an undirected non-loop edge occupies two). Tracked in `u64` so the
+    /// builder can reject growth past `u32::MAX` *before* the CSR offsets —
+    /// which are `u32` — would silently wrap during `build`.
+    adj_slots: u64,
 }
 
 impl TopologyBuilder {
@@ -37,6 +42,7 @@ impl TopologyBuilder {
             num_nodes: num_nodes as u32,
             directed: false,
             endpoints: Vec::new(),
+            adj_slots: 0,
         }
     }
 
@@ -82,8 +88,12 @@ impl TopologyBuilder {
     /// Adds an edge between `u` and `v`, validating the endpoints.
     ///
     /// # Errors
-    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is not a
-    /// valid node id.
+    /// * [`GraphError::NodeOutOfRange`] if either endpoint is not a valid
+    ///   node id.
+    /// * [`GraphError::TooManyEdges`] if the edge would overflow the `u32`
+    ///   CSR index space: edge ids are `u32`, and the adjacency offset
+    ///   arrays are `u32` as well, so the *slot* total (two per undirected
+    ///   non-loop edge) must also stay within `u32::MAX`.
     pub fn try_add_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeId, GraphError> {
         let n = self.num_nodes as usize;
         for node in [u, v] {
@@ -91,8 +101,17 @@ impl TopologyBuilder {
                 return Err(GraphError::NodeOutOfRange { node, num_nodes: n });
             }
         }
+        let new_slots = if self.directed || u == v { 1 } else { 2 };
+        let slots = self.adj_slots + new_slots;
+        if self.endpoints.len() >= u32::MAX as usize || slots > u64::from(u32::MAX) {
+            return Err(GraphError::TooManyEdges {
+                edges: self.endpoints.len(),
+                slots,
+            });
+        }
         let id = EdgeId::new(self.endpoints.len());
         self.endpoints.push((u, v));
+        self.adj_slots = slots;
         Ok(id)
     }
 
@@ -134,5 +153,57 @@ mod tests {
     fn add_edge_panics_out_of_range() {
         let mut b = TopologyBuilder::new(1);
         b.add_edge(NodeId::new(0), NodeId::new(1));
+    }
+
+    /// Regression: slot accounting at the `u32::MAX` boundary. An undirected
+    /// non-loop edge needs two adjacency slots, so with `u32::MAX - 1` slots
+    /// already committed it must be rejected while a self-loop (one slot)
+    /// still fits. Allocating 2^32 real edges is infeasible in a test, so
+    /// the private counter is set directly.
+    #[test]
+    fn undirected_edge_rejected_at_slot_boundary() {
+        let mut b = TopologyBuilder::new(2);
+        b.adj_slots = u64::from(u32::MAX) - 1;
+        let err = b.try_add_edge(NodeId::new(0), NodeId::new(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::TooManyEdges {
+                slots,
+                ..
+            } if slots == u64::from(u32::MAX) + 1
+        ));
+        assert_eq!(b.num_edges(), 0);
+        // A self-loop takes the one remaining slot and lands exactly on the
+        // u32::MAX total.
+        assert!(b.try_add_edge(NodeId::new(0), NodeId::new(0)).is_ok());
+        assert_eq!(b.adj_slots, u64::from(u32::MAX));
+        // The next edge of any shape is over the line.
+        assert!(matches!(
+            b.try_add_edge(NodeId::new(0), NodeId::new(0)).unwrap_err(),
+            GraphError::TooManyEdges { .. }
+        ));
+    }
+
+    #[test]
+    fn directed_edge_takes_one_slot() {
+        let mut b = TopologyBuilder::new_directed(2);
+        b.adj_slots = u64::from(u32::MAX) - 1;
+        assert!(b.try_add_edge(NodeId::new(0), NodeId::new(1)).is_ok());
+        assert!(matches!(
+            b.try_add_edge(NodeId::new(1), NodeId::new(0)).unwrap_err(),
+            GraphError::TooManyEdges { .. }
+        ));
+    }
+
+    #[test]
+    fn slot_accounting_tracks_edge_shapes() {
+        let mut b = TopologyBuilder::new(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1)); // 2 slots
+        b.add_edge(NodeId::new(2), NodeId::new(2)); // self-loop: 1 slot
+        assert_eq!(b.adj_slots, 3);
+        let mut d = TopologyBuilder::new_directed(3);
+        d.add_edge(NodeId::new(0), NodeId::new(1)); // 1 slot
+        d.add_edge(NodeId::new(1), NodeId::new(2)); // 1 slot
+        assert_eq!(d.adj_slots, 2);
     }
 }

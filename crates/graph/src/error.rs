@@ -68,6 +68,15 @@ pub enum GraphError {
         /// Maximum supported size for the exact solver.
         limit: usize,
     },
+    /// Adding an edge would overflow the `u32`-indexed CSR layout (edge ids
+    /// and adjacency offsets are `u32`; undirected edges occupy two
+    /// adjacency slots each).
+    TooManyEdges {
+        /// Edges already in the builder when the overflow was detected.
+        edges: usize,
+        /// Adjacency slots the rejected edge would have required in total.
+        slots: u64,
+    },
     /// The graph is empty where at least one vertex is required.
     EmptyGraph,
     /// A parameter was outside its documented domain.
@@ -113,6 +122,11 @@ impl fmt::Display for GraphError {
             GraphError::MatchingComponentTooLarge { size, limit } => write!(
                 f,
                 "non-bipartite component of size {size} exceeds exact matching limit {limit}"
+            ),
+            GraphError::TooManyEdges { edges, slots } => write!(
+                f,
+                "adding the edge would overflow the u32 CSR index space \
+                 ({edges} edges, {slots} adjacency slots required)"
             ),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),

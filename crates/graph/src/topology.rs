@@ -54,13 +54,22 @@ impl Topology {
                 degree[v.index()] += 1;
             }
         }
+        // The builder bounds the slot total by u32::MAX (`TooManyEdges`), so
+        // the u64 accumulation below cannot exceed it; the assert keeps the
+        // invariant checked rather than silently wrapping if a new
+        // construction path ever bypasses the builder.
         let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
+        let mut acc64 = 0u64;
         offsets.push(0);
         for d in &degree {
-            acc += d;
-            offsets.push(acc);
+            acc64 += u64::from(*d);
+            assert!(
+                acc64 <= u64::from(u32::MAX),
+                "CSR adjacency slots overflow u32: builder must reject this"
+            );
+            offsets.push(acc64 as u32);
         }
+        let acc = acc64 as u32;
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         let mut adj_node = vec![NodeId::new(0); acc as usize];
         let mut adj_edge = vec![EdgeId::new(0); acc as usize];

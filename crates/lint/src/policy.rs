@@ -36,14 +36,17 @@ pub fn is_production(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/") && !path.starts_with("crates/bench/")
 }
 
-/// Rule `panic-freedom`: non-test serve, store, and geo sources (the
-/// geo crate sits on the ingest and read paths: a malformed DIMACS file
-/// or an out-of-range coordinate must surface as a typed error, never a
-/// panic in the serving process).
+/// Rule `panic-freedom`: non-test serve, store, geo, and graph-algorithm
+/// sources (the geo crate sits on the ingest and read paths: a malformed
+/// DIMACS file or an out-of-range coordinate must surface as a typed
+/// error, never a panic in the serving process; the search algorithms in
+/// `crates/graph/src/algo/` run inside every query and release path, so
+/// an `.expect` there is a panic in the serving process too).
 pub fn panic_freedom_scope(path: &str) -> bool {
     path.starts_with("crates/serve/src/")
         || path.starts_with("crates/store/src/")
         || path.starts_with("crates/geo/src/")
+        || path.starts_with("crates/graph/src/algo/")
 }
 
 /// Rule `privacy-taint`: the read-path / wire modules that must never

@@ -75,6 +75,44 @@ impl SourceCache {
         &self.shards[(h >> 32) as usize % NUM_SHARDS]
     }
 
+    /// The cached vector for `(release, source)` if present, counting a
+    /// hit; `None` counts nothing (the caller is expected to follow up
+    /// with [`insert`](Self::insert), which counts the miss). Batch reads
+    /// use peek/insert so all their misses can be computed in one
+    /// parallel fan-out instead of one Dijkstra at a time.
+    pub(crate) fn peek(&self, release: u64, source: usize) -> Option<Arc<Vec<f64>>> {
+        let hit = self
+            .shard(release, source)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(release, source))
+            .map(Arc::clone);
+        if hit.is_some() {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Stores a computed vector for `(release, source)`, counting a miss
+    /// and evicting if the shard is at capacity; returns the shared
+    /// handle. A racing insert of the same key is harmless: both vectors
+    /// are identical post-processing of the same release.
+    pub(crate) fn insert(&self, release: u64, source: usize, vector: Vec<f64>) -> Arc<Vec<f64>> {
+        let vector = Arc::new(vector);
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self
+            .shard(release, source)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if guard.len() >= self.per_shard_capacity {
+            if let Some(&victim) = guard.keys().next() {
+                guard.remove(&victim);
+            }
+        }
+        guard.insert((release, source), Arc::clone(&vector));
+        vector
+    }
+
     /// The cached distance vector for `(release, source)`, computing and
     /// inserting it on a miss. The computation runs **outside** the shard
     /// lock so concurrent misses on different sources overlap; two racing

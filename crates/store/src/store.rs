@@ -172,11 +172,29 @@ impl NamespaceSnapshot {
         let mut out = vec![0.0; pairs.len()];
         let mut sources: Vec<usize> = by_source.keys().copied().collect();
         sources.sort_unstable();
-        for s in sources {
-            let vector =
-                cache.get_or_compute(id.value(), s, || oracle.source_distances(NodeId::new(s)))?;
-            for &i in &by_source[&s] {
-                out[i] = vector[pairs[i].1.index()];
+        // Serve what the cache already has, then compute every remaining
+        // source in one batched oracle call — graph-replaying kinds fan
+        // those Dijkstras over the search thread pool, and the rows are
+        // bit-identical to one-at-a-time computation.
+        let mut missing: Vec<usize> = Vec::new();
+        for &s in &sources {
+            match cache.peek(id.value(), s) {
+                Some(vector) => {
+                    for &i in &by_source[&s] {
+                        out[i] = vector[pairs[i].1.index()];
+                    }
+                }
+                None => missing.push(s),
+            }
+        }
+        if !missing.is_empty() {
+            let miss_nodes: Vec<NodeId> = missing.iter().map(|&s| NodeId::new(s)).collect();
+            let rows = oracle.source_distance_rows(&miss_nodes)?;
+            for (&s, row) in missing.iter().zip(rows) {
+                let vector = cache.insert(id.value(), s, row);
+                for &i in &by_source[&s] {
+                    out[i] = vector[pairs[i].1.index()];
+                }
             }
         }
         Ok(out)

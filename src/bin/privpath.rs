@@ -58,9 +58,12 @@ commands:
   release    --topo F --weights F --eps E --out F
              [--mechanism M[,M...]] [--gamma G] [--delta D]
              [--max-weight W] [--budget-eps E --budget-delta D] [--seed S]
+             [--threads N]
              run one or more mechanisms through the release engine under a
              tracked privacy budget and store each release (with its
-             accuracy contract);
+             accuracy contract); --threads N fans the per-source Dijkstras
+             over N cores (default: all cores; the released bytes are
+             identical for any N);
              mechanisms: shortest-path (default), tree, bounded-weight,
              shortcut-apsp, synthetic-graph, all-pairs-baseline
   route      --release F --from A --to B
@@ -228,6 +231,7 @@ fn run() -> Result<(), String> {
                 "budget-eps",
                 "budget-delta",
                 "seed",
+                "threads",
                 "out",
             ],
         )?),
@@ -463,6 +467,17 @@ fn release(flags: &HashMap<String, String>) -> Result<(), String> {
     let eps_v: f64 = parse(required(flags, "eps")?, "epsilon")?;
     let gamma: f64 = flags.get("gamma").map_or(Ok(0.05), |s| parse(s, "gamma"))?;
     let seed: u64 = flags.get("seed").map_or(Ok(42), |s| parse(s, "seed"))?;
+    if let Some(t) = flags.get("threads") {
+        let threads: usize = parse(t, "threads")?;
+        if threads == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        // Release construction fans its per-source Dijkstras over this many
+        // worker threads; outputs are bit-for-bit identical for any value,
+        // so the knob trades wall-clock for cores without touching the
+        // released bytes.
+        privpath::graph::algo::set_default_search_threads(threads);
+    }
     let out = required(flags, "out")?;
     let mechanism_list = flags
         .get("mechanism")
@@ -695,6 +710,9 @@ fn serve(flags: &HashMap<String, String>, no_cache: bool, read_only: bool) -> Re
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    // The same knob sizes both the HTTP worker pool and the search fan-out
+    // used by batch queries and update-weights re-releases.
+    privpath::graph::algo::set_default_search_threads(threads);
     let admin_port: Option<u16> = flags
         .get("admin-port")
         .map(|s| parse(s, "admin port"))

@@ -1,0 +1,133 @@
+//! Determinism suite for the parallel search driver: for every topology
+//! family and every thread count, `multi_source_dijkstra` must return
+//! trees **bit-for-bit identical** to the sequential `dijkstra` — pinned
+//! seeds replay released noise streams, so truths may never depend on
+//! scheduling.
+//!
+//! CI runs the named `determinism_*` tests explicitly at `--threads
+//! 1,2,4` (the knob is also exercised in-process here via
+//! `set_default_search_threads`).
+
+use privpath::graph::algo::{
+    dijkstra, multi_source_dijkstra, multi_source_distances, set_default_search_threads,
+};
+use privpath::graph::generators::{connected_gnm, uniform_weights, GridGraph};
+use privpath::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Asserts that the parallel driver at every thread count reproduces the
+/// sequential trees exactly: same distances (by `f64::to_bits`), same
+/// parent edges, same sources.
+fn assert_bit_identical(topo: &Topology, w: &EdgeWeights, sources: &[NodeId]) {
+    let sequential: Vec<_> = sources
+        .iter()
+        .map(|&s| dijkstra(topo, w, s).expect("sequential dijkstra"))
+        .collect();
+    for &threads in &THREAD_COUNTS {
+        let parallel = multi_source_dijkstra(topo, w, sources, threads).expect("parallel dijkstra");
+        assert_eq!(parallel.len(), sequential.len());
+        for (seq, par) in sequential.iter().zip(&parallel) {
+            assert_eq!(seq.source(), par.source());
+            for v in topo.nodes() {
+                let (a, b) = (seq.distance(v), par.distance(v));
+                assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "threads={threads}: distance to {v:?} diverged ({a:?} vs {b:?})"
+                );
+                assert_eq!(
+                    seq.parent_edge(v),
+                    par.parent_edge(v),
+                    "threads={threads}: parent edge at {v:?} diverged"
+                );
+            }
+        }
+        let rows = multi_source_distances(topo, w, sources, threads).expect("parallel distances");
+        for (seq, row) in sequential.iter().zip(&rows) {
+            for v in topo.nodes() {
+                let expected = seq.distance(v).unwrap_or(f64::INFINITY);
+                assert_eq!(expected.to_bits(), row[v.index()].to_bits());
+            }
+        }
+    }
+}
+
+fn every_kth_node(topo: &Topology, k: usize) -> Vec<NodeId> {
+    topo.nodes().step_by(k.max(1)).collect()
+}
+
+#[test]
+fn determinism_grid_topology() {
+    for (rows, cols, seed) in [(7, 7, 11u64), (3, 17, 12), (10, 5, 13)] {
+        let grid = GridGraph::new(rows, cols);
+        let topo = grid.topology();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+        assert_bit_identical(topo, &w, &every_kth_node(topo, 3));
+    }
+}
+
+#[test]
+fn determinism_random_topology() {
+    for seed in [21u64, 22, 23] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 40 + (seed as usize % 20);
+        let topo = connected_gnm(n, 2 * n, &mut rng);
+        let w = uniform_weights(topo.num_edges(), 0.0, 5.0, &mut rng);
+        assert_bit_identical(&topo, &w, &every_kth_node(&topo, 4));
+    }
+}
+
+#[test]
+fn determinism_road_network_topology() {
+    // The geo generator emits a *directed* topology (two arcs per
+    // street) — the driver must be deterministic there too.
+    let road = privpath::geo::generate_road_network(150, 31).expect("road network");
+    assert_bit_identical(
+        &road.topology,
+        &road.weights,
+        &every_kth_node(&road.topology, 10),
+    );
+}
+
+#[test]
+fn determinism_default_thread_knob() {
+    // The process-wide knob (what `--threads` sets) must not change
+    // released truths either: threads=0 means "auto".
+    let grid = GridGraph::new(6, 6);
+    let topo = grid.topology();
+    let mut rng = StdRng::seed_from_u64(99);
+    let w = uniform_weights(topo.num_edges(), 0.0, 10.0, &mut rng);
+    let sources = every_kth_node(topo, 2);
+    let baseline = multi_source_distances(topo, &w, &sources, 1).expect("baseline");
+    for knob in [1, 2, 4] {
+        set_default_search_threads(knob);
+        let rows = multi_source_distances(topo, &w, &sources, 0).expect("knob run");
+        for (a, b) in baseline.iter().zip(&rows) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "knob={knob} diverged");
+            }
+        }
+    }
+    set_default_search_threads(0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn determinism_randomized_graphs(seed in any::<u64>(), n in 2usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_m = n * (n - 1) / 2;
+        let spare = max_m - (n - 1); // extra edges beyond a spanning tree
+        let m = (n - 1) + (seed as usize % (spare + 1)).min(spare);
+        let topo = connected_gnm(n, m, &mut rng);
+        let w = uniform_weights(m, 0.0, 10.0, &mut rng);
+        let sources: Vec<NodeId> = topo.nodes().collect();
+        assert_bit_identical(&topo, &w, &sources);
+    }
+}
