@@ -20,9 +20,18 @@
 //! workload — the latency profile under live re-releases and cache
 //! invalidation, not just a frozen snapshot.
 //!
+//! Latency percentiles come from `privpath-obs` histograms (one local
+//! histogram per client thread, snapshots merged exactly on the shared
+//! bucket ladder) — the same machinery the server exports over the
+//! `metrics` verb, so bench numbers and scrape numbers are directly
+//! comparable. Pass `--with-metrics-artifact` to also run the cache-on
+//! workload with the observability plane disabled and enabled and write
+//! the overhead comparison to `results/BENCH_serve_metrics.json`.
+//!
 //! ```text
 //! bench_load [--requests N] [--threads T] [--batch B] [--sources S]
 //!            [--nodes V] [--update-rate R] [--out FILE]
+//!            [--with-metrics-artifact]
 //!            [--connect ADDR --release REF]
 //! ```
 
@@ -30,6 +39,7 @@ use privpath_dp::Epsilon;
 use privpath_engine::ReleaseKind;
 use privpath_graph::generators::{connected_gnm, uniform_weights};
 use privpath_graph::NodeId;
+use privpath_obs::{Histogram, HistogramSnapshot};
 use privpath_serve::{
     AdminRequest, AdminResponse, Client, QueryRequest, QueryResponse, ReleaseRef, Server,
 };
@@ -49,6 +59,7 @@ struct Config {
     nodes: usize,
     update_rate: f64,
     out: String,
+    metrics_artifact: bool,
     connect: Option<String>,
     release: Option<String>,
 }
@@ -62,6 +73,7 @@ fn parse_args() -> Result<Config, String> {
         nodes: 1024,
         update_rate: 0.0,
         out: "results/bench_load_cache.csv".into(),
+        metrics_artifact: false,
         connect: None,
         release: None,
     };
@@ -69,6 +81,11 @@ fn parse_args() -> Result<Config, String> {
     let mut i = 0;
     while i < args.len() {
         let key = args[i].as_str();
+        if key == "--with-metrics-artifact" {
+            cfg.metrics_artifact = true;
+            i += 1;
+            continue;
+        }
         let val = args
             .get(i + 1)
             .ok_or_else(|| format!("{key} needs a value"))?;
@@ -100,18 +117,25 @@ struct RunResult {
 
 /// Drives `cfg.requests` batch requests through `cfg.threads` closed-loop
 /// clients against `addr` and returns the latency/throughput profile.
+///
+/// Each thread records into its own `privpath-obs` histogram with the
+/// unconditional [`Histogram::record`] entry point (the bench must keep
+/// measuring even when the plane under test is disabled); the per-thread
+/// snapshots merge exactly on the shared bucket ladder, and the reported
+/// percentiles are the merged quantile bounds — the same numbers a
+/// `metrics` scrape of `serve_request_seconds` would yield.
 fn drive(addr: &str, release: &ReleaseRef, cfg: &Config) -> Result<RunResult, String> {
     let remaining = AtomicU64::new(cfg.requests);
     let started = Instant::now();
-    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+    let snapshots: Vec<HistogramSnapshot> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..cfg.threads {
             let remaining = &remaining;
             let release = release.clone();
-            handles.push(scope.spawn(move || -> Result<Vec<f64>, String> {
+            handles.push(scope.spawn(move || -> Result<HistogramSnapshot, String> {
                 let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
                 let mut rng = StdRng::seed_from_u64(0xbe9c4 + t as u64);
-                let mut lats = Vec::new();
+                let lats = Histogram::new();
                 while remaining
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
                     .is_ok()
@@ -138,9 +162,9 @@ fn drive(addr: &str, release: &ReleaseRef, cfg: &Config) -> Result<RunResult, St
                         }
                         other => return Err(format!("unexpected response {other}")),
                     }
-                    lats.push(start.elapsed().as_secs_f64() * 1e6);
+                    lats.record(start.elapsed().as_secs_f64());
                 }
-                Ok(lats)
+                Ok(lats.snapshot())
             }));
         }
         handles
@@ -149,18 +173,15 @@ fn drive(addr: &str, release: &ReleaseRef, cfg: &Config) -> Result<RunResult, St
             .collect::<Result<Vec<_>, _>>()
     })?;
     let wall = started.elapsed().as_secs_f64();
-    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
-    all.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if all.is_empty() {
-            return f64::NAN;
-        }
-        all[((all.len() - 1) as f64 * p) as usize]
-    };
+    let mut merged = HistogramSnapshot::empty();
+    for s in &snapshots {
+        merged.merge(s);
+    }
+    let pct = |q: f64| -> f64 { merged.quantile(q).map_or(f64::NAN, |s| s * 1e6) };
     Ok(RunResult {
         p50_us: pct(0.50),
         p99_us: pct(0.99),
-        qps: all.len() as f64 / wall,
+        qps: merged.count() as f64 / wall,
         cache_hits: 0,
         cache_misses: 0,
         updates_applied: 0,
@@ -203,7 +224,10 @@ fn write_load(
 
 /// One self-contained run: build the store with the cache on or off,
 /// serve it, drive the load (plus a background writer when
-/// `update_rate > 0`), shut down.
+/// `update_rate > 0`), shut down. Cache counters are reported as deltas
+/// across the drive: the underlying cells live in the process-global
+/// metric registry (keyed by namespace label), so successive runs in
+/// one process see cumulative values.
 fn self_contained_run(cfg: &Config, cache: bool, update_rate: f64) -> Result<RunResult, String> {
     let dir = std::env::temp_dir().join(format!(
         "privpath-bench-load-{}-{}",
@@ -234,6 +258,7 @@ fn self_contained_run(cfg: &Config, cache: bool, update_rate: f64) -> Result<Run
         .map_err(|e| e.to_string())?;
     let release = ReleaseRef::from(id);
     let addr = running.addr().to_string();
+    let cache_before = store.stats_for("load").map_err(|e| e.to_string())?;
     let stop = std::sync::atomic::AtomicBool::new(false);
     let (result, updates) = std::thread::scope(|scope| {
         let writer = (update_rate > 0.0).then(|| {
@@ -248,8 +273,8 @@ fn self_contained_run(cfg: &Config, cache: bool, update_rate: f64) -> Result<Run
     let mut result = result?;
     result.updates_applied = updates.transpose()?.unwrap_or(0);
     let stats = store.stats_for("load").map_err(|e| e.to_string())?;
-    result.cache_hits = stats.cache_hits;
-    result.cache_misses = stats.cache_misses;
+    result.cache_hits = stats.cache_hits - cache_before.cache_hits;
+    result.cache_misses = stats.cache_misses - cache_before.cache_misses;
     running.shutdown().map_err(|e| e.to_string())?;
     std::fs::remove_dir_all(&dir).ok();
     Ok(result)
@@ -300,6 +325,54 @@ fn run() -> Result<(), String> {
     );
     let speedup = on.qps / off.qps;
     println!("cache speedup on repeated-source batches: {speedup:.2}x queries/sec");
+
+    if cfg.metrics_artifact {
+        // Instrumentation overhead: the identical cache-on workload with
+        // the observability plane off (every recording call is a single
+        // relaxed atomic load) and on (counters, histograms, spans all
+        // live). The bench's own latency histograms always record.
+        privpath_obs::set_enabled(false);
+        let plane_off = self_contained_run(&cfg, true, 0.0);
+        privpath_obs::set_enabled(true);
+        let plane_off = plane_off?;
+        let plane_on = self_contained_run(&cfg, true, 0.0)?;
+        println!(
+            "obs-off  : p50 {:.0}us p99 {:.0}us {:.0} req/s",
+            plane_off.p50_us, plane_off.p99_us, plane_off.qps
+        );
+        println!(
+            "obs-on   : p50 {:.0}us p99 {:.0}us {:.0} req/s",
+            plane_on.p50_us, plane_on.p99_us, plane_on.qps
+        );
+        let artifact = "results/BENCH_serve_metrics.json";
+        if let Some(parent) = std::path::Path::new(artifact).parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"bench_load\",\n  \"workload\": {{\n    \"requests\": {},\n    \
+             \"threads\": {},\n    \"batch\": {},\n    \"sources\": {},\n    \"nodes\": {}\n  \
+             }},\n  \"observability_disabled\": {{ \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"qps\": {:.1} }},\n  \"observability_enabled\": {{ \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"qps\": {:.1} }},\n  \"overhead\": {{ \"p50_delta_us\": {:.1}, \
+             \"p99_delta_us\": {:.1}, \"qps_ratio\": {:.4} }}\n}}\n",
+            cfg.requests,
+            cfg.threads,
+            cfg.batch,
+            cfg.sources,
+            cfg.nodes,
+            plane_off.p50_us,
+            plane_off.p99_us,
+            plane_off.qps,
+            plane_on.p50_us,
+            plane_on.p99_us,
+            plane_on.qps,
+            plane_on.p50_us - plane_off.p50_us,
+            plane_on.p99_us - plane_off.p99_us,
+            plane_on.qps / plane_off.qps,
+        );
+        std::fs::write(artifact, json).map_err(|e| e.to_string())?;
+        println!("wrote {artifact}");
+    }
 
     let mixed = if cfg.update_rate > 0.0 {
         let r = self_contained_run(&cfg, true, cfg.update_rate)?;

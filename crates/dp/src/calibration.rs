@@ -122,6 +122,20 @@ const LINEAR_SLACK: f64 = 1e-9;
 /// Returns `None` when no `eps` in `(0, 1e15]` meets the target — e.g. a
 /// bounded-weight detour term `2 k M` already exceeding `alpha`.
 pub fn solve_min_eps(bound: impl Fn(f64) -> Option<f64>, target_alpha: f64) -> Option<Calibration> {
+    let result = solve_min_eps_inner(bound, target_alpha);
+    let reg = privpath_obs::MetricRegistry::global();
+    reg.counter("dp_calibration_solves_total").inc();
+    if let Some(cal) = &result {
+        reg.counter("dp_calibration_evaluations_total")
+            .inc_by(cal.evaluations as u64);
+    }
+    result
+}
+
+fn solve_min_eps_inner(
+    bound: impl Fn(f64) -> Option<f64>,
+    target_alpha: f64,
+) -> Option<Calibration> {
     if !target_alpha.is_finite() || target_alpha <= 0.0 {
         return None;
     }

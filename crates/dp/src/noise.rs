@@ -38,8 +38,18 @@ impl<R: Rng> RngNoise<R> {
     }
 }
 
+/// Counts production noise draws. The *number* of draws is a function of
+/// the public topology and mechanism choice (the sensitivity analysis
+/// fixes it), so exporting it leaks nothing about the weights; the drawn
+/// values themselves never reach the registry.
+fn noise_draw_counter() -> &'static privpath_obs::Counter {
+    static COUNTER: std::sync::OnceLock<privpath_obs::Counter> = std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| privpath_obs::MetricRegistry::global().counter("dp_noise_draws_total"))
+}
+
 impl<R: Rng> NoiseSource for RngNoise<R> {
     fn laplace(&mut self, scale: f64) -> f64 {
+        noise_draw_counter().inc();
         Laplace::new(scale)
             .expect("mechanism passed an invalid noise scale")
             .sample(&mut self.rng)

@@ -17,6 +17,21 @@ use privpath_graph::{EdgeWeights, Topology};
 use rand::Rng;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Records one timed mechanism run. Only the mechanism's public name
+/// and the elapsed wall time reach the registry — never the weights or
+/// the release contents.
+fn record_release_timing(mechanism_name: &str, seconds: f64) {
+    if !privpath_obs::enabled() {
+        return;
+    }
+    let reg = privpath_obs::MetricRegistry::global();
+    reg.counter_with("engine_releases_total", &[("mechanism", mechanism_name)])
+        .inc();
+    reg.histogram_with("engine_release_seconds", &[("mechanism", mechanism_name)])
+        .observe(seconds);
+}
 
 /// A registry handle for one release held by a [`ReleaseEngine`].
 ///
@@ -287,7 +302,9 @@ impl ReleaseEngine {
             .check(cost.eps(), cost.delta())
             .map_err(|_| self.budget_error(cost.eps(), cost.delta()))?;
         let accuracy = mechanism.accuracy_contract(&self.topo, params);
+        let started = Instant::now();
         let release = mechanism.release_with(&self.topo, &self.weights, params, noise)?;
+        record_release_timing(mechanism.name(), started.elapsed().as_secs_f64());
         let id = ReleaseId(self.next_id);
         let label = format!("{}#{}", mechanism.name(), id.value());
         self.accountant
@@ -421,7 +438,9 @@ impl ReleaseEngine {
             .check(cost.eps(), cost.delta())
             .map_err(|_| self.budget_error(cost.eps(), cost.delta()))?;
         let accuracy = mechanism.accuracy_contract(&self.topo, params);
+        let started = Instant::now();
         let release = mechanism.release_with(&self.topo, &self.weights, params, noise)?;
+        record_release_timing(mechanism.name(), started.elapsed().as_secs_f64());
         // The spend label records which update generation this was.
         let label = format!(
             "{}#{}@u{}",

@@ -16,7 +16,27 @@
 use super::dijkstra::{validate_dijkstra_inputs, ShortestPathTree};
 use super::workspace::DijkstraWorkspace;
 use crate::{EdgeWeights, GraphError, NodeId, Topology};
+use privpath_obs::MetricRegistry;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Records the per-driver fan-out shape: how many sources were searched
+/// and how evenly the work-stealing cursor spread them over workers.
+/// Both are functions of the public topology and request shape only.
+fn record_fanout(total_sources: usize, per_worker: &[usize]) {
+    if !privpath_obs::enabled() || total_sources == 0 {
+        return;
+    }
+    let reg = MetricRegistry::global();
+    reg.counter("search_sources_total")
+        .inc_by(total_sources as u64);
+    let spread = reg.histogram("search_sources_per_worker");
+    for &claimed in per_worker {
+        // The shared ladder is in seconds, but the spread histogram
+        // reuses it as a dimensionless doubling ladder: a worker that
+        // claimed k sources lands in the bucket for k microseconds.
+        spread.observe(claimed as f64 * 1e-6);
+    }
+}
 
 /// Process-wide default for `threads == 0` callers; 0 means "ask the OS".
 static DEFAULT_SEARCH_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -73,15 +93,18 @@ where
     let threads = effective_threads(threads, sources.len());
     if threads <= 1 {
         let mut ws = DijkstraWorkspace::new();
-        return sources
+        let out: Vec<T> = sources
             .iter()
             .map(|&s| {
                 ws.run_unchecked(topo, weights, s);
                 f(&ws)
             })
             .collect();
+        record_fanout(sources.len(), &[sources.len()]);
+        return out;
     }
     let cursor = AtomicUsize::new(0);
+    let mut per_worker = vec![0usize; threads];
     let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -99,9 +122,12 @@ where
             })
             .collect();
         let mut all = Vec::with_capacity(sources.len());
-        for h in handles {
+        for (w, h) in per_worker.iter_mut().zip(handles) {
             match h.join() {
-                Ok(local) => all.extend(local),
+                Ok(local) => {
+                    *w = local.len();
+                    all.extend(local);
+                }
                 // A worker can only panic if `f` panics; re-raise on the
                 // caller's thread rather than swallowing it.
                 Err(payload) => std::panic::resume_unwind(payload),
@@ -109,6 +135,7 @@ where
         }
         all
     });
+    record_fanout(sources.len(), &per_worker);
     // fetch_add hands out each index exactly once, so after sorting the
     // output order is the source order regardless of which worker ran what.
     indexed.sort_unstable_by_key(|&(i, _)| i);

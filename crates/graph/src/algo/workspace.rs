@@ -12,9 +12,31 @@
 
 use super::dijkstra::ShortestPathTree;
 use crate::{EdgeId, EdgeWeights, NodeId, Topology};
+use privpath_obs::{Counter, MetricRegistry};
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+
+/// Cached handles into the global registry; looked up once per process
+/// so the per-run cost is a pair of relaxed `fetch_add`s.
+struct SearchMetrics {
+    /// Runs that reused already-sized buffers (generation bump only).
+    generation_reuses: Counter,
+    /// Vertices settled across all runs — the real unit of search work.
+    settled_nodes: Counter,
+}
+
+fn search_metrics() -> &'static SearchMetrics {
+    static METRICS: OnceLock<SearchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = MetricRegistry::global();
+        SearchMetrics {
+            generation_reuses: reg.counter("search_workspace_generation_reuses_total"),
+            settled_nodes: reg.counter("search_settled_nodes_total"),
+        }
+    })
+}
 
 /// Min-heap entry ordered by distance. `f64::total_cmp` is safe because
 /// weights are validated finite and nonnegative before the heap is used.
@@ -114,6 +136,8 @@ impl DijkstraWorkspace {
             self.parent.resize(n, None);
             self.stamp.resize(n, 0);
             self.settled.resize(n, 0);
+        } else if n > 0 {
+            search_metrics().generation_reuses.inc();
         }
         self.n = n;
         if self.gen == u32::MAX {
@@ -147,12 +171,14 @@ impl DijkstraWorkspace {
             dist: 0.0,
             node: source,
         });
+        let mut settled_count = 0u64;
         while let Some(HeapEntry { dist: d, node: u }) = self.heap.pop() {
             let ui = u.index();
             if self.settled[ui] == gen {
                 continue;
             }
             self.settled[ui] = gen;
+            settled_count += 1;
             for (v, e) in topo.neighbors(u) {
                 let vi = v.index();
                 let nd = d + weights.get(e);
@@ -164,6 +190,7 @@ impl DijkstraWorkspace {
                 }
             }
         }
+        search_metrics().settled_nodes.inc_by(settled_count);
     }
 
     /// Number of nodes covered by the most recent run (0 before any run).

@@ -23,6 +23,8 @@
 //!    mechanism with an accuracy contract and an accuracy-audit entry.
 //! 6. `budget-float-eq` — no float `==`/`!=` on budget values in
 //!    accounting paths.
+//! 7. `metrics-taint` — weight/noise-valued identifiers never flow into
+//!    observability sinks (the `metrics`/`trace` verbs export them).
 //!
 //! Suppressions use the in-source grammar
 //! `// privlint: allow(<rule>, "<justification>")` (see [`allow`]);

@@ -74,6 +74,14 @@ pub fn crash_safety_scope(path: &str) -> bool {
     is_production(path)
 }
 
+/// Rule `metrics-taint`: every production call site can feed the
+/// observability plane, and everything the plane holds is exported by
+/// the `metrics` / `trace` wire verbs — so the whole production tree is
+/// in scope.
+pub fn metrics_taint_scope(path: &str) -> bool {
+    is_production(path)
+}
+
 /// Rule `budget-float-eq`: the accounting paths — dp, engine, store.
 pub fn float_eq_scope(path: &str) -> bool {
     path.starts_with("crates/dp/src/")

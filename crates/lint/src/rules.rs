@@ -19,6 +19,8 @@ pub const PANIC_FREEDOM: &str = "panic-freedom";
 pub const MECHANISM_COUPLING: &str = "mechanism-coupling";
 /// Rule id for the budget-float-eq rule.
 pub const BUDGET_FLOAT_EQ: &str = "budget-float-eq";
+/// Rule id for the metrics-taint rule.
+pub const METRICS_TAINT: &str = "metrics-taint";
 
 /// Every rule id with a one-line description, in reporting order.
 pub const RULES: &[(&str, &str)] = &[
@@ -51,6 +53,12 @@ pub const RULES: &[(&str, &str)] = &[
         BUDGET_FLOAT_EQ,
         "budget values (eps/delta/rho) must not be compared with float == or \
          != in accounting paths; use ranges or exact bit comparisons",
+    ),
+    (
+        METRICS_TAINT,
+        "weight- or noise-valued data must not flow into observability sinks \
+         (metric names, label values, samples, span labels): everything the \
+         plane exports is wire-visible and must be a function of public data",
     ),
 ];
 
@@ -86,6 +94,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     }
     if policy::float_eq_scope(&path) {
         out.extend(budget_float_eq(file));
+    }
+    if policy::metrics_taint_scope(&path) {
+        out.extend(metrics_taint(file));
     }
     out
 }
@@ -329,6 +340,91 @@ fn budget_float_eq(file: &SourceFile) -> Vec<Diagnostic> {
                     t.text
                 ),
             ));
+        }
+    }
+    out
+}
+
+/// The observability plane's data sinks: method and constructor names
+/// through which a value becomes a metric sample, a metric name, a
+/// label value, or a span label — all of which the `metrics` / `trace`
+/// verbs export on the wire.
+const METRIC_SINKS: &[&str] = &[
+    "observe",
+    "record",
+    "inc",
+    "inc_by",
+    "set_value",
+    "counter",
+    "counter_with",
+    "gauge",
+    "gauge_with",
+    "histogram",
+    "histogram_with",
+    "enter",
+    "phase",
+];
+
+/// Identifiers that carry private weight state or noise internals. A
+/// string literal is always fine (it is a compile-time constant, not
+/// data); these are the *runtime values* that must never be sampled.
+fn tainted_metric_ident(text: &str) -> bool {
+    if text == "EdgeWeights" {
+        return true;
+    }
+    let lower = text.to_ascii_lowercase();
+    lower.contains("weight")
+        || lower.contains("noise")
+        || lower.contains("private")
+        || lower == "l1_shift"
+        || lower == "changed_edges"
+}
+
+/// Rule `metrics-taint`: a tainted identifier (private weights, noise
+/// values, weight-derived aggregates) used as an argument to an
+/// observability sink. Draw *counts* are public; drawn *values* and
+/// weight magnitudes are not, and neither are identifiers that merely
+/// smell of them — rename the variable or justify with an allow.
+fn metrics_taint(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !METRIC_SINKS.contains(&t.text.as_str()) || file.in_test(i) {
+            continue;
+        }
+        // A sink is a *call*: `.observe(...)` / `Span::enter(...)`. Bare
+        // idents (field names, definitions) are not data flow.
+        let qualified = i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::"));
+        if !qualified || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let a = &toks[j];
+            if a.is_punct("(") {
+                depth += 1;
+            } else if a.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if a.kind == TokKind::Ident && tainted_metric_ident(&a.text) {
+                out.push(finding(
+                    METRICS_TAINT,
+                    file,
+                    a.line,
+                    format!(
+                        "`{}` flows into observability sink `{}(...)`: metric \
+                         samples, names, labels, and span labels are exported \
+                         by the `metrics`/`trace` verbs, so they must be \
+                         functions of public data (counts, timings, epochs) — \
+                         never of private weights or drawn noise",
+                        a.text, t.text
+                    ),
+                ));
+            }
+            j += 1;
         }
     }
     out

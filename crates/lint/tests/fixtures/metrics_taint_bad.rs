@@ -1,0 +1,12 @@
+//! Failing fixture for `metrics-taint`: a weight-valued gauge. The
+//! total weight mass of the private vector is exactly the kind of
+//! aggregate Sealfon's model protects — exporting it as a metric
+//! sample leaks it on the wire.
+
+use privpath_graph::EdgeWeights;
+use privpath_obs::MetricRegistry;
+
+pub fn export_weight_mass(weights: &EdgeWeights) {
+    let gauge = MetricRegistry::global().gauge("store_total_weight_mass");
+    gauge.set_value(weights.l1_norm());
+}

@@ -1,0 +1,13 @@
+//! Passing fixture for `metrics-taint`: counts, timings, and epochs
+//! are public data — exporting them is the plane's whole job.
+
+use privpath_obs::MetricRegistry;
+
+pub fn record_request(verb: &'static str, seconds: f64, epoch: u64) {
+    let reg = MetricRegistry::global();
+    reg.counter_with("serve_requests_total", &[("verb", verb)]).inc();
+    reg.histogram("serve_request_seconds").observe(seconds);
+    reg.gauge("store_epoch").set_value(epoch as f64);
+    let mut span = privpath_obs::Span::enter(verb);
+    span.phase("parse");
+}

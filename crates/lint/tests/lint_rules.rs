@@ -185,6 +185,42 @@ fn ranges_bits_and_integers_are_clean() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// ---- metrics-taint ----
+
+/// The acceptance fixture: a weight-valued gauge sample is flagged.
+#[test]
+fn weight_valued_gauge_is_flagged() {
+    let src = fixture("metrics_taint_bad.rs");
+    let diags = lint_sources(&[("crates/store/src/telemetry.rs", &src)]);
+    let fired = rules_fired(&diags);
+    assert!(
+        fired.iter().filter(|r| **r == "metrics-taint").count() >= 1,
+        "expected a metrics-taint finding for the weight-valued sample, got {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "metrics-taint" && d.message.contains("weights")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn counts_timings_epochs_are_clean() {
+    let src = fixture("metrics_taint_ok.rs");
+    let diags = lint_sources(&[("crates/store/src/telemetry.rs", &src)]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn weight_valued_sample_in_fixture_dir_is_out_of_scope() {
+    // Fixture/vendored paths are not production code; the same source
+    // under a fixtures/ path must not fire.
+    let src = fixture("metrics_taint_bad.rs");
+    let diags = lint_sources(&[("crates/lint/tests/fixtures/metrics_taint_bad.rs", &src)]);
+    assert!(diags.iter().all(|d| d.rule != "metrics-taint"), "{diags:?}");
+}
+
 // ---- allowlist grammar ----
 
 #[test]

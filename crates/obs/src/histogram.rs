@@ -1,0 +1,284 @@
+//! Exact-mergeable log-bucketed latency histograms.
+//!
+//! Every histogram in the process shares one fixed bucket ladder
+//! ([`BUCKET_BOUNDS`]): 27 finite upper bounds at `1e-6 * 2^i` seconds
+//! (1µs up to ~67s) plus an overflow bucket. Because the ladder is
+//! global and immutable, snapshots taken on different threads or at
+//! different times merge *exactly* — bucket counts add element-wise and
+//! nothing is ever re-binned. A snapshot's total count is derived from
+//! its bucket counts rather than stored separately, so a concurrent
+//! scrape can never observe `sum(buckets) != count`.
+//!
+//! Recording is wait-free on the hot path: one relaxed-load enable
+//! check, one branchless bucket index, one relaxed `fetch_add`, and a
+//! CAS loop folding the sample into an f64 sum (contended only under
+//! simultaneous observers of the *same* histogram).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite buckets in the shared ladder.
+pub const FINITE_BUCKETS: usize = 27;
+
+/// Total buckets including the `+Inf` overflow bucket.
+pub const TOTAL_BUCKETS: usize = FINITE_BUCKETS + 1;
+
+/// The shared bucket ladder: upper bounds in seconds, `1e-6 * 2^i` for
+/// `i in 0..27`. Index 27 (not listed) is the `+Inf` overflow bucket.
+pub const BUCKET_BOUNDS: [f64; FINITE_BUCKETS] = {
+    let mut bounds = [0.0; FINITE_BUCKETS];
+    let mut i = 0;
+    while i < FINITE_BUCKETS {
+        bounds[i] = 1e-6 * (1u64 << i) as f64;
+        i += 1;
+    }
+    bounds
+};
+
+/// Index of the bucket a sample lands in (first bound >= value, else
+/// the overflow bucket). Negative and NaN samples clamp into bucket 0
+/// rather than panicking or poisoning the ladder.
+pub fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= BUCKET_BOUNDS[0] {
+        return 0;
+    }
+    match BUCKET_BOUNDS.iter().position(|&b| value <= b) {
+        Some(i) => i,
+        None => FINITE_BUCKETS,
+    }
+}
+
+/// A shared-ladder histogram. Cheap to record into from many threads;
+/// snapshot with [`Histogram::snapshot`] for rendering or merging.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; TOTAL_BUCKETS],
+    /// Sum of observed values, stored as f64 bits and folded in with a
+    /// compare-exchange loop.
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one sample (seconds). No-op when the plane is disabled.
+    pub fn observe(&self, value: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record(value);
+    }
+
+    /// Records unconditionally — used by owners that did their own
+    /// enable check (e.g. bench_load's merged local histograms).
+    pub fn record(&self, value: f64) {
+        let idx = bucket_index(value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Point-in-time copy of the bucket counts and sum. The counts are
+    /// read bucket-by-bucket, so a snapshot racing a recorder may be
+    /// "mid-increment" — but because `count` is derived from the bucket
+    /// counts, the snapshot is always internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable copy of a histogram's state. Merge freely: all
+/// snapshots share the global ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; TOTAL_BUCKETS],
+    sum: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; TOTAL_BUCKETS],
+            sum: 0.0,
+        }
+    }
+
+    /// Per-bucket (non-cumulative) counts, overflow bucket last.
+    pub fn buckets(&self) -> &[u64; TOTAL_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Total samples — derived from the buckets, never stored, so it
+    /// always equals `sum(buckets)` even for snapshots taken mid-storm.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of observed values in seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Adds another snapshot's buckets into this one. Exact: no
+    /// re-binning, because every snapshot shares [`BUCKET_BOUNDS`].
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Upper bound (seconds) of the bucket containing the q-quantile
+    /// sample, or `None` when empty. Deterministic and conservative:
+    /// the true quantile is <= the returned bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q=0 -> first sample.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < FINITE_BUCKETS {
+                    BUCKET_BOUNDS[i]
+                } else {
+                    f64::INFINITY
+                });
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_doubling_from_one_microsecond() {
+        assert_eq!(BUCKET_BOUNDS[0], 1e-6);
+        for i in 1..FINITE_BUCKETS {
+            assert_eq!(BUCKET_BOUNDS[i], 2.0 * BUCKET_BOUNDS[i - 1]);
+        }
+        const { assert!(BUCKET_BOUNDS[FINITE_BUCKETS - 1] > 60.0) };
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-6), 0);
+        assert_eq!(bucket_index(1.1e-6), 1);
+        assert_eq!(bucket_index(2e-6), 1);
+        assert_eq!(bucket_index(1e9), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn count_derived_from_buckets_and_merge_is_exact() {
+        let _guard = crate::test_guard();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for i in 0..100 {
+            a.observe(1e-6 * (i as f64 + 0.5));
+            b.observe(1e-3 * (i as f64 + 0.5));
+        }
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert_eq!(sa.count(), 100);
+        assert_eq!(sb.count(), 100);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        assert_eq!(merged.count(), 200);
+        for i in 0..TOTAL_BUCKETS {
+            assert_eq!(
+                merged.buckets()[i],
+                sa.buckets()[i] + sb.buckets()[i],
+                "bucket {i} must add element-wise"
+            );
+        }
+        assert!((merged.sum() - (sa.sum() + sb.sum())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_returns_containing_bucket_bound() {
+        let _guard = crate::test_guard();
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        // 90 samples in bucket for 64µs-ish, 10 in ~1ms-ish.
+        for _ in 0..90 {
+            h.observe(50e-6);
+        }
+        for _ in 0..10 {
+            h.observe(900e-6);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).unwrap();
+        let p99 = s.quantile(0.99).unwrap();
+        assert_eq!(p50, BUCKET_BOUNDS[bucket_index(50e-6)]);
+        assert_eq!(p99, BUCKET_BOUNDS[bucket_index(900e-6)]);
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn concurrent_observers_never_tear() {
+        let _guard = crate::test_guard();
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.observe(1e-6 * ((t * 1000 + i) as f64 % 50.0 + 0.5));
+                }
+            }));
+        }
+        // Scrape while the storm runs: count must always equal the
+        // bucket sum (trivially true by construction) and be monotone.
+        let mut last = 0u64;
+        for _ in 0..50 {
+            let s = h.snapshot();
+            let c = s.count();
+            assert!(c >= last, "count must be monotone under concurrency");
+            last = c;
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+}

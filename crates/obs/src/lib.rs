@@ -1,0 +1,94 @@
+//! `privpath-obs`: the workspace observability substrate.
+//!
+//! Every layer of the system records into one process-wide
+//! [`MetricRegistry`] — typed counters, gauges, and log-bucketed latency
+//! histograms — and the serve plane exports the registry over the wire
+//! (`metrics` verb, Prometheus text exposition) and through the CLI.
+//! A lightweight span API ([`Span::enter`]) feeds a bounded ring buffer
+//! of recent request traces with per-verb phase timings.
+//!
+//! Two properties are load-bearing and worth stating up front:
+//!
+//! * **Exact-mergeable histograms.** Every histogram shares one fixed
+//!   bucket ladder ([`histogram::BUCKET_BOUNDS`]), so snapshots taken on
+//!   different threads (or different scrapes) merge exactly — bucket
+//!   counts add, nothing is re-binned, and a snapshot's total count is
+//!   *derived* from its bucket counts so a scrape can never tear
+//!   (`sum(buckets) == count` by construction).
+//!
+//! * **Weight-independence.** Under Sealfon's model the topology is
+//!   public and the edge weights are private, so everything this crate
+//!   exports must be a function of public data only: request counts,
+//!   timings, epochs, budget spend, error codes. No metric name, label
+//!   value, or recorded sample may derive from `EdgeWeights` or from
+//!   drawn noise values. That obligation is machine-checked by
+//!   `privpath-lint`'s `metrics-taint` rule, which scans the argument
+//!   lists of every recording call (`inc_by`, `observe`, `set_value`,
+//!   registry getters, span constructors) for weight- or noise-valued
+//!   identifiers.
+//!
+//! The whole plane has one kill switch: [`set_enabled`]`(false)` turns
+//! every recording call into a single relaxed atomic load, which is the
+//! figure `bench_load --with-metrics-artifact` measures (see
+//! `results/BENCH_serve_metrics.json`).
+//!
+//! The crate is dependency-free (std only), like the rest of the
+//! workspace's vendored-stub philosophy.
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricRegistry};
+pub use trace::{recent_traces, Span, TraceRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide enable knob. Defaults to enabled; serving binaries leave
+/// it on, benches flip it to measure instrumentation overhead.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turns the whole observability plane on or off. When off, every
+/// recording call (counter increments, histogram observations, span
+/// lifecycles) early-returns after one relaxed atomic load; registry
+/// handles and snapshots keep working so exporters never break.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is enabled — one relaxed load, the entire cost of
+/// instrumentation when the plane is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serializes unit tests that record or toggle the global enable knob
+/// (the crate's tests run in parallel threads of one process).
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disable_gates_recording_but_not_handles() {
+        let _guard = crate::test_guard();
+        let reg = MetricRegistry::new();
+        let c = reg.counter("obs_lib_test_total");
+        c.inc();
+        assert_eq!(c.value(), 1);
+        set_enabled(false);
+        c.inc();
+        assert_eq!(c.value(), 1, "disabled plane must not record");
+        set_enabled(true);
+        c.inc();
+        assert_eq!(c.value(), 2);
+    }
+}

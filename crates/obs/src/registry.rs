@@ -1,0 +1,387 @@
+//! The sharded metric registry: typed counters, gauges, and shared-
+//! ladder histograms keyed by `name{label="value",...}`.
+//!
+//! Handle acquisition (`counter_with` etc.) takes a shard read lock on
+//! the happy path and a write lock only on first registration. The
+//! hot path — recording through an already-held handle — never touches
+//! the registry at all: handles are `Arc`-backed and wait-free.
+//!
+//! Lookup misses of *kind* (asking for a counter under a name already
+//! registered as a gauge) return a detached handle that records into
+//! thin air instead of panicking: observability must never take down
+//! the serving path it observes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+use crate::histogram::{Histogram, BUCKET_BOUNDS, FINITE_BUCKETS};
+
+const SHARDS: usize = 8;
+
+/// A monotone counter. Clone-cheap; all clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not registered anywhere — it counts, but no exporter
+    /// will ever render it. Used for kind-conflict fallbacks and by
+    /// tests that want counting without touching the global registry.
+    pub fn detached() -> Self {
+        Counter {
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one. No-op when the plane is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n`. No-op when the plane is disabled.
+    #[inline]
+    pub fn inc_by(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge holding an f64.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge not registered anywhere; see [`Counter::detached`].
+    pub fn detached() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+
+    /// Sets the gauge. No-op when the plane is disabled.
+    #[inline]
+    pub fn set_value(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MetricKey {
+    /// Family name, e.g. `serve_requests_total`.
+    name: String,
+    /// Canonical label suffix: `k1="v1",k2="v2"` sorted by key, or
+    /// empty for an unlabeled metric.
+    labels: String,
+}
+
+/// The registry. Most callers use [`MetricRegistry::global`]; tests
+/// that need isolation construct their own with [`MetricRegistry::new`].
+#[derive(Debug)]
+pub struct MetricRegistry {
+    shards: [RwLock<HashMap<MetricKey, Metric>>; SHARDS],
+}
+
+impl Default for MetricRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn canonical_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        // Escape per the Prometheus text format.
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+impl MetricRegistry {
+    pub fn new() -> Self {
+        MetricRegistry {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The process-wide registry every layer records into.
+    pub fn global() -> &'static MetricRegistry {
+        static GLOBAL: OnceLock<MetricRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricRegistry::new)
+    }
+
+    fn shard_for(&self, key: &MetricKey) -> &RwLock<HashMap<MetricKey, Metric>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn lookup_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: fn() -> Metric,
+    ) -> Metric {
+        let key = MetricKey {
+            name: name.to_string(),
+            labels: canonical_labels(labels),
+        };
+        let shard = self.shard_for(&key);
+        {
+            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(m) = map.get(&key) {
+                return m.clone();
+            }
+        }
+        let mut map = shard.write().unwrap_or_else(PoisonError::into_inner);
+        map.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Unlabeled counter handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Labeled counter handle. Labels are canonicalized (sorted by
+    /// key), so `[("a","1"),("b","2")]` and `[("b","2"),("a","1")]`
+    /// name the same series.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.lookup_or_insert(name, labels, || Metric::Counter(Counter::detached())) {
+            Metric::Counter(c) => c,
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Unlabeled gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Labeled gauge handle.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.lookup_or_insert(name, labels, || Metric::Gauge(Gauge::detached())) {
+            Metric::Gauge(g) => g,
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Unlabeled histogram handle (shared bucket ladder).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[])
+    }
+
+    /// Labeled histogram handle.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.lookup_or_insert(name, labels, || {
+            Metric::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format,
+    /// one `# TYPE` line per family, series sorted by name then labels.
+    pub fn render_lines(&self) -> Vec<String> {
+        // (family, labels, kind, value lines)
+        let mut entries: Vec<(MetricKey, Metric)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.read().unwrap_or_else(PoisonError::into_inner);
+            for (k, m) in map.iter() {
+                entries.push((k.clone(), m.clone()));
+            }
+        }
+        entries.sort_by(|a, b| (&a.0.name, &a.0.labels).cmp(&(&b.0.name, &b.0.labels)));
+
+        let mut out = Vec::new();
+        let mut last_family: Option<String> = None;
+        for (key, metric) in entries {
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if last_family.as_deref() != Some(key.name.as_str()) {
+                out.push(format!("# TYPE {} {}", key.name, kind));
+                last_family = Some(key.name.clone());
+            }
+            let series = |extra: &str| -> String {
+                if key.labels.is_empty() && extra.is_empty() {
+                    String::new()
+                } else if key.labels.is_empty() {
+                    format!("{{{extra}}}")
+                } else if extra.is_empty() {
+                    format!("{{{}}}", key.labels)
+                } else {
+                    format!("{{{},{extra}}}", key.labels)
+                }
+            };
+            match metric {
+                Metric::Counter(c) => {
+                    out.push(format!("{}{} {}", key.name, series(""), c.value()));
+                }
+                Metric::Gauge(g) => {
+                    out.push(format!("{}{} {}", key.name, series(""), g.value()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (i, &c) in snap.buckets().iter().enumerate() {
+                        cumulative += c;
+                        let le = if i < FINITE_BUCKETS {
+                            format!("{}", BUCKET_BOUNDS[i])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push(format!(
+                            "{}_bucket{} {}",
+                            key.name,
+                            series(&format!("le=\"{le}\"")),
+                            cumulative
+                        ));
+                    }
+                    out.push(format!("{}_sum{} {}", key.name, series(""), snap.sum()));
+                    out.push(format!("{}_count{} {}", key.name, series(""), snap.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// The exposition as one string, lines joined by `\n` (no trailing
+    /// newline — the wire layer frames it).
+    pub fn render(&self) -> String {
+        self.render_lines().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_canonicalized() {
+        let _guard = crate::test_guard();
+        let reg = MetricRegistry::new();
+        let a = reg.counter_with("reg_test_total", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter_with("reg_test_total", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2, "label order must not split the series");
+    }
+
+    #[test]
+    fn kind_conflict_returns_detached_handle() {
+        let _guard = crate::test_guard();
+        let reg = MetricRegistry::new();
+        let c = reg.counter("reg_conflict");
+        c.inc();
+        // Asking for the same name as a gauge must not panic and must
+        // not corrupt the registered counter.
+        let g = reg.gauge("reg_conflict");
+        g.set_value(42.0);
+        assert_eq!(c.value(), 1);
+        let rendered = reg.render();
+        assert!(rendered.contains("reg_conflict 1"));
+        assert!(!rendered.contains("42"));
+    }
+
+    #[test]
+    fn render_emits_prometheus_text() {
+        let _guard = crate::test_guard();
+        let reg = MetricRegistry::new();
+        reg.counter_with("zz_requests_total", &[("verb", "distance")])
+            .inc_by(3);
+        reg.gauge("aa_epoch").set_value(7.0);
+        let h = reg.histogram_with("mm_latency_seconds", &[("ns", "metro")]);
+        h.observe(5e-6);
+        h.observe(5e-6);
+        let lines = reg.render_lines();
+        let text = lines.join("\n");
+        assert!(text.contains("# TYPE aa_epoch gauge"));
+        assert!(text.contains("aa_epoch 7"));
+        assert!(text.contains("# TYPE zz_requests_total counter"));
+        assert!(text.contains("zz_requests_total{verb=\"distance\"} 3"));
+        assert!(text.contains("# TYPE mm_latency_seconds histogram"));
+        assert!(text.contains("mm_latency_seconds_bucket{ns=\"metro\",le=\"+Inf\"} 2"));
+        assert!(text.contains("mm_latency_seconds_count{ns=\"metro\"} 2"));
+        // Families are sorted.
+        let aa = lines.iter().position(|l| l.contains("aa_epoch")).unwrap();
+        let zz = lines
+            .iter()
+            .position(|l| l.contains("zz_requests_total"))
+            .unwrap();
+        assert!(aa < zz);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_exposition() {
+        let _guard = crate::test_guard();
+        let reg = MetricRegistry::new();
+        let h = reg.histogram("cum_check_seconds");
+        h.observe(0.5e-6); // bucket 0
+        h.observe(1.5e-6); // bucket 1
+        let lines = reg.render_lines();
+        let b0 = lines
+            .iter()
+            .find(|l| l.starts_with("cum_check_seconds_bucket{le=\"0.000001\"}"))
+            .unwrap();
+        let b1 = lines
+            .iter()
+            .find(|l| l.starts_with("cum_check_seconds_bucket{le=\"0.000002\"}"))
+            .unwrap();
+        assert!(b0.ends_with(" 1"), "got {b0}");
+        assert!(b1.ends_with(" 2"), "got {b1}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c1 = MetricRegistry::global().counter("obs_global_smoke_total");
+        let c2 = MetricRegistry::global().counter("obs_global_smoke_total");
+        let before = c1.value();
+        c2.inc();
+        assert!(c1.value() > before);
+    }
+}

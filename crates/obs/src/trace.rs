@@ -1,0 +1,172 @@
+//! Request tracing: a span API feeding a bounded ring of recent
+//! request traces.
+//!
+//! A [`Span`] is entered at the top of a request (`Span::enter("distance")`),
+//! marked at phase boundaries (`span.phase("parse")` closes the segment
+//! since the previous mark), and recorded into the global ring when
+//! dropped. Phase names and op names are `&'static str` by design: the
+//! type system itself prevents smuggling request-derived (and therefore
+//! potentially private) bytes into trace labels.
+//!
+//! The ring holds the most recent [`RING_CAPACITY`] traces behind one
+//! mutex — touched twice per request (enter is free; only drop locks),
+//! so it is far off the hot path. When the plane is disabled spans are
+//! inert: enter returns a dead span and drop does nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Maximum retained traces; older entries are evicted FIFO.
+pub const RING_CAPACITY: usize = 256;
+
+/// One completed request trace: total wall time plus per-phase
+/// timings in the order the phases closed, all in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotone sequence number (process-wide, 1-based).
+    pub seq: u64,
+    /// Operation name, e.g. the request verb.
+    pub op: &'static str,
+    /// Total span duration in microseconds.
+    pub total_us: u64,
+    /// `(phase name, duration in microseconds)` in completion order.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+struct Ring {
+    entries: std::collections::VecDeque<TraceRecord>,
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: std::sync::OnceLock<Mutex<Ring>> = std::sync::OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            entries: std::collections::VecDeque::with_capacity(RING_CAPACITY),
+        })
+    })
+}
+
+/// The `n` most recent traces, newest first.
+pub fn recent_traces(n: usize) -> Vec<TraceRecord> {
+    let guard = ring().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.entries.iter().rev().take(n).cloned().collect()
+}
+
+/// An in-flight request span. Created with [`Span::enter`]; records
+/// itself into the trace ring on drop.
+#[derive(Debug)]
+pub struct Span {
+    /// None when the plane was disabled at enter time — the span is
+    /// inert for its whole lifetime so phase timings stay coherent.
+    started: Option<Instant>,
+    last_mark: Option<Instant>,
+    op: &'static str,
+    phases: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// Opens a span for `op`. When the plane is disabled this is one
+    /// relaxed atomic load and no clock read.
+    pub fn enter(op: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span {
+                started: None,
+                last_mark: None,
+                op,
+                phases: Vec::new(),
+            };
+        }
+        let now = Instant::now();
+        Span {
+            started: Some(now),
+            last_mark: Some(now),
+            op,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Closes the phase running since the previous mark (or since
+    /// enter) and labels it `name`.
+    pub fn phase(&mut self, name: &'static str) {
+        let Some(mark) = self.last_mark else {
+            return;
+        };
+        let now = Instant::now();
+        self.phases
+            .push((name, now.duration_since(mark).as_micros() as u64));
+        self.last_mark = Some(now);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(started) = self.started else {
+            return;
+        };
+        let record = TraceRecord {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed) + 1,
+            op: self.op,
+            total_us: started.elapsed().as_micros() as u64,
+            phases: std::mem::take(&mut self.phases),
+        };
+        let mut guard = ring().lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.entries.len() == RING_CAPACITY {
+            guard.entries.pop_front();
+        }
+        guard.entries.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_phases_in_order() {
+        let _guard = crate::test_guard();
+        {
+            let mut s = Span::enter("trace_test_op");
+            s.phase("parse");
+            s.phase("plan");
+            s.phase("encode");
+        }
+        let recent = recent_traces(1);
+        assert_eq!(recent.len(), 1);
+        let t = &recent[0];
+        assert_eq!(t.op, "trace_test_op");
+        let names: Vec<&str> = t.phases.iter().map(|p| p.0).collect();
+        assert_eq!(names, vec!["parse", "plan", "encode"]);
+        assert!(t.total_us >= t.phases.iter().map(|p| p.1).sum::<u64>() / 2);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = crate::test_guard();
+        let before = recent_traces(RING_CAPACITY).len();
+        crate::set_enabled(false);
+        {
+            let mut s = Span::enter("trace_disabled_op");
+            s.phase("parse");
+        }
+        crate::set_enabled(true);
+        let after = recent_traces(RING_CAPACITY);
+        assert_eq!(after.len(), before, "disabled span must not record");
+        assert!(after.iter().all(|t| t.op != "trace_disabled_op"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_newest_first() {
+        let _guard = crate::test_guard();
+        for _ in 0..RING_CAPACITY + 10 {
+            let _s = Span::enter("trace_flood_op");
+        }
+        let all = recent_traces(RING_CAPACITY + 100);
+        assert_eq!(all.len(), RING_CAPACITY, "ring must stay bounded");
+        for w in all.windows(2) {
+            assert!(w[0].seq > w[1].seq, "newest first");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //!           | "drop" ns [id]
 //!           | "epoch" ns
 //!           | "stats" [ns]
+//!           | "trace" [limit]
 //! spec     := mechanism "eps" float ["delta" float] ["gamma" float]
 //!             ["max-weight" float]
 //! response := "published" ns id "epoch" u64 "eps" float "delta" float
@@ -23,6 +24,8 @@
 //!           | "dropped" ns (id "epoch" u64 | "namespace")
 //!           | "epoch" ns u64
 //!           | "stats" count entry*
+//!           | "traces" count trace*
+//! trace    := op total_us nphases (phase ":" u64)*
 //! entry    := ns epoch releases "spent" float float
 //!             ("remaining" float float | "unbounded") "cache" u64 u64 mode
 //! mode     := "standard" | "continual" position horizon "rho" float float
@@ -84,6 +87,26 @@ pub enum AdminRequest {
         /// Restrict to one namespace.
         namespace: Option<String>,
     },
+    /// The newest completed request traces from the in-process ring,
+    /// newest first. Trace op/phase names are compile-time constants and
+    /// timings are wall-clock — weight-independent by construction —
+    /// but the verb stays admin-gated like `stats`.
+    Trace {
+        /// How many traces to return, at most.
+        limit: usize,
+    },
+}
+
+/// One completed span on the wire: the owned form of
+/// [`privpath_obs::TraceRecord`] (whose names are `&'static str`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// The traced operation.
+    pub op: String,
+    /// Total wall-clock duration, microseconds.
+    pub total_us: u64,
+    /// `(phase name, duration in microseconds)` in completion order.
+    pub phases: Vec<(String, u64)>,
 }
 
 /// The server's answer to an [`AdminRequest`].
@@ -135,6 +158,8 @@ pub enum AdminResponse {
     },
     /// Answer to [`AdminRequest::Stats`].
     Stats(Vec<NamespaceStats>),
+    /// Answer to [`AdminRequest::Trace`]: recent traces, newest first.
+    Traces(Vec<TraceEntry>),
     /// The request failed.
     Error {
         /// Stable machine-readable code.
@@ -178,12 +203,20 @@ impl fmt::Display for AdminRequest {
                 Some(ns) => write!(f, "stats {ns}"),
                 None => f.write_str("stats"),
             },
+            AdminRequest::Trace { limit } => write!(f, "trace {limit}"),
         }
     }
 }
 
 /// The admin request verbs, for dispatch before parsing.
-pub(crate) const ADMIN_VERBS: [&str; 5] = ["publish", "update-weights", "drop", "epoch", "stats"];
+pub(crate) const ADMIN_VERBS: [&str; 6] = [
+    "publish",
+    "update-weights",
+    "drop",
+    "epoch",
+    "stats",
+    "trace",
+];
 
 fn namespace_token<'a>(
     tokens: &mut impl Iterator<Item = &'a str>,
@@ -267,6 +300,14 @@ impl FromStr for AdminRequest {
                     None => None,
                 },
             },
+            "trace" => AdminRequest::Trace {
+                limit: match t.next() {
+                    Some(tok) => tok
+                        .parse()
+                        .map_err(|_| err(format!("invalid trace limit {tok:?}")))?,
+                    None => 16,
+                },
+            },
             other => return Err(err(format!("unknown admin verb {other:?}"))),
         };
         finish(t)?;
@@ -339,6 +380,16 @@ impl fmt::Display for AdminResponse {
                             fmt_f64(c.rho_spent),
                             fmt_f64(c.rho_total)
                         )?,
+                    }
+                }
+                Ok(())
+            }
+            AdminResponse::Traces(entries) => {
+                write!(f, "traces {}", entries.len())?;
+                for t in entries {
+                    write!(f, " {} {} {}", t.op, t.total_us, t.phases.len())?;
+                    for (name, us) in &t.phases {
+                        write!(f, " {name}:{us}")?;
                     }
                 }
                 Ok(())
@@ -488,6 +539,29 @@ impl FromStr for AdminResponse {
                     });
                 }
                 AdminResponse::Stats(entries)
+            }
+            "traces" => {
+                let count: usize = parse(next("trace count")?, "trace count")?;
+                let mut entries = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let op = next("trace op")?.to_string();
+                    let total_us = parse(next("trace total")?, "trace total")?;
+                    let nphases: usize = parse(next("phase count")?, "phase count")?;
+                    let mut phases = Vec::with_capacity(nphases.min(1 << 16));
+                    for _ in 0..nphases {
+                        let tok = next("phase")?;
+                        let (name, us) = tok
+                            .split_once(':')
+                            .ok_or_else(|| err(format!("invalid phase {tok:?}")))?;
+                        phases.push((name.to_string(), parse(us, "phase duration")?));
+                    }
+                    entries.push(TraceEntry {
+                        op,
+                        total_us,
+                        phases,
+                    });
+                }
+                AdminResponse::Traces(entries)
             }
             "error" => {
                 let code_tok = next("error code")?;

@@ -58,14 +58,32 @@ impl Client {
         })
     }
 
-    /// Sends one request and reads its response line.
+    /// Sends one request and reads its response. A `metrics <n>` header
+    /// — the protocol's only multi-line frame — makes the client read
+    /// the `n` promised continuation lines before parsing.
     ///
     /// # Errors
     /// [`ClientError::Io`] on transport failure (including a server that
     /// closed the connection), [`ClientError::Protocol`] if the response
     /// line does not parse.
     pub fn request(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
-        let line = self.round_trip(&request.to_string())?;
+        let mut line = self.round_trip(&request.to_string())?;
+        if let Some(rest) = line.strip_prefix("metrics ") {
+            let count: usize = rest.trim().parse().map_err(|_| {
+                ClientError::Protocol(format!("invalid metrics line count in {line:?}"))
+            })?;
+            for _ in 0..count {
+                let mut next = String::new();
+                if self.reader.read_line(&mut next)? == 0 {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-metrics-frame",
+                    )));
+                }
+                line.push('\n');
+                line.push_str(next.trim_end());
+            }
+        }
         line.parse()
             .map_err(|e| ClientError::Protocol(format!("{e} in response {line:?}")))
     }

@@ -78,7 +78,7 @@ pub mod planner;
 pub mod protocol;
 pub mod server;
 
-pub use admin::{AdminRequest, AdminResponse};
+pub use admin::{AdminRequest, AdminResponse, TraceEntry};
 pub use client::{Client, ClientError};
 pub use live::StoreHandler;
 pub use planner::{answer_all, answer_one, PlanGroup, QueryPlan};

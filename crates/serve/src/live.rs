@@ -13,7 +13,7 @@
 //! path, which serializes per namespace, debits the namespace budget
 //! before drawing noise, persists, and hot-swaps the snapshot.
 
-use crate::admin::{AdminRequest, AdminResponse};
+use crate::admin::{AdminRequest, AdminResponse, TraceEntry};
 use crate::planner::{answer_one, error_bar};
 use crate::protocol::{engine_error_code, ErrorCode, QueryRequest, QueryResponse};
 use crate::server::RequestHandler;
@@ -22,7 +22,7 @@ use privpath_store::{NamespaceSnapshot, ReleaseStore, SnapError, SpatialIndex, S
 use std::sync::Arc;
 
 /// The query request verbs, for dispatch before parsing.
-const QUERY_VERBS: [&str; 9] = [
+pub(crate) const QUERY_VERBS: [&str; 10] = [
     "distance",
     "batch",
     "path",
@@ -32,6 +32,7 @@ const QUERY_VERBS: [&str; 9] = [
     "accuracy",
     "list",
     "budget",
+    "metrics",
 ];
 
 /// A [`RequestHandler`] over a live [`ReleaseStore`].
@@ -276,6 +277,11 @@ impl StoreHandler {
                     &QueryRequest::BudgetStatus { namespace: None },
                 )
             }
+            // Telemetry is process-wide, not namespace-scoped; answer
+            // straight from the global registry without resolving.
+            QueryRequest::Metrics => QueryResponse::Metrics {
+                lines: privpath_obs::MetricRegistry::global().render_lines(),
+            },
         }
     }
 
@@ -352,6 +358,20 @@ impl StoreHandler {
                 },
                 None => AdminResponse::Stats(self.store.stats()),
             },
+            AdminRequest::Trace { limit } => AdminResponse::Traces(
+                privpath_obs::recent_traces(*limit)
+                    .into_iter()
+                    .map(|t| TraceEntry {
+                        op: t.op.to_string(),
+                        total_us: t.total_us,
+                        phases: t
+                            .phases
+                            .iter()
+                            .map(|&(name, us)| (name.to_string(), us))
+                            .collect(),
+                    })
+                    .collect(),
+            ),
         }
     }
 }
@@ -425,8 +445,18 @@ impl RequestHandler for StoreHandler {
     fn handle(&self, line: &str) -> String {
         let verb = line.split_whitespace().next().unwrap_or_default();
         if QUERY_VERBS.contains(&verb) {
+            // Span op names come from the known-verb set (compile-time
+            // constants), never from raw client bytes.
+            let mut span = privpath_obs::Span::enter(crate::server::known_verb(line));
             match line.parse::<QueryRequest>() {
-                Ok(req) => self.answer_query(&req).to_string(),
+                Ok(req) => {
+                    span.phase("parse");
+                    let resp = self.answer_query(&req);
+                    span.phase("search");
+                    let rendered = resp.to_string();
+                    span.phase("encode");
+                    rendered
+                }
                 Err(e) => QueryResponse::Error {
                     code: ErrorCode::Malformed,
                     message: e.to_string(),
@@ -457,8 +487,8 @@ impl RequestHandler for StoreHandler {
                 code: ErrorCode::Malformed,
                 message: format!(
                     "unknown verb {verb:?} (query: distance, batch, path, geo-distance, \
-                     geo-route, geo-batch, accuracy, list, budget; admin: publish, \
-                     update-weights, drop, epoch, stats)"
+                     geo-route, geo-batch, accuracy, list, budget, metrics; admin: \
+                     publish, update-weights, drop, epoch, stats, trace)"
                 ),
             }
             .to_string()

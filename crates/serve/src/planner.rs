@@ -146,7 +146,12 @@ impl QueryPlan {
 
 /// Plans and executes a mixed request batch in one call.
 pub fn answer_all(service: &QueryService, requests: &[QueryRequest]) -> Vec<QueryResponse> {
-    QueryPlan::build(requests).execute(service, requests)
+    let mut span = privpath_obs::Span::enter("answer-all");
+    let plan = QueryPlan::build(requests);
+    span.phase("plan");
+    let out = plan.execute(service, requests);
+    span.phase("search");
+    out
 }
 
 /// The refusal for a namespace-qualified request against a server that
@@ -296,5 +301,10 @@ pub fn answer_one(service: &QueryService, request: &QueryRequest) -> QueryRespon
                 remaining: service.remaining(),
             }
         }
+        // Telemetry is process-wide and weight-independent, so every
+        // handler — frozen snapshots included — answers it.
+        QueryRequest::Metrics => QueryResponse::Metrics {
+            lines: privpath_obs::MetricRegistry::global().render_lines(),
+        },
     }
 }

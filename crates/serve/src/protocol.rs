@@ -258,6 +258,13 @@ pub enum QueryRequest {
         /// The namespace to report, when the server is multi-tenant.
         namespace: Option<String>,
     },
+    /// The process-wide metric registry in Prometheus text exposition
+    /// format. Read-only telemetry: answered by live stores, read-only
+    /// endpoints, **and** frozen-snapshot servers alike. Every exported
+    /// value is a function of public data (counts, timings, epochs) —
+    /// the `metrics-taint` lint rule machine-checks that nothing
+    /// weight- or noise-derived can be recorded.
+    Metrics,
 }
 
 /// One release's metadata as reported by [`QueryResponse::Releases`]:
@@ -403,6 +410,16 @@ pub enum QueryResponse {
         spent_delta: f64,
         /// Remaining `(eps, delta)`, or `None` for an uncapped ledger.
         remaining: Option<(f64, f64)>,
+    },
+    /// Answer to [`QueryRequest::Metrics`]: the raw exposition lines.
+    ///
+    /// This is the protocol's only multi-line response: the wire form is
+    /// a `metrics <n>` header line followed by `n` verbatim exposition
+    /// lines, so the scrape stays framed even though exposition lines
+    /// contain spaces and braces the token codec would mangle.
+    Metrics {
+        /// Prometheus text exposition lines, in registry render order.
+        lines: Vec<String>,
     },
     /// The request failed; the query slot carries a code and a message.
     Error {
@@ -554,6 +571,7 @@ impl fmt::Display for QueryRequest {
                 Some(ns) => write!(f, "budget {ns}"),
                 None => f.write_str("budget"),
             },
+            QueryRequest::Metrics => f.write_str("metrics"),
         }
     }
 }
@@ -732,10 +750,12 @@ impl FromStr for QueryRequest {
             "budget" => QueryRequest::BudgetStatus {
                 namespace: t.optional_namespace()?,
             },
+            "metrics" => QueryRequest::Metrics,
             other => {
                 return Err(ParseLineError::new(format!(
                     "unknown request verb {other:?} (expected distance, batch, path, \
-                     geo-distance, geo-route, geo-batch, accuracy, list, or budget)"
+                     geo-distance, geo-route, geo-batch, accuracy, list, budget, or \
+                     metrics)"
                 )))
             }
         };
@@ -866,6 +886,17 @@ impl fmt::Display for QueryResponse {
                     None => write!(f, " unbounded"),
                 }
             }
+            QueryResponse::Metrics { lines } => {
+                // The only multi-line response: `metrics <n>` header,
+                // then n verbatim exposition lines. Embedded newlines in
+                // a line would break the count-framing, so squash them.
+                write!(f, "metrics {}", lines.len())?;
+                for line in lines {
+                    let line = line.replace(['\n', '\r'], " ");
+                    write!(f, "\n{line}")?;
+                }
+                Ok(())
+            }
             QueryResponse::Error { code, message } => {
                 // Squash newlines so the line-delimited framing survives
                 // arbitrary error text.
@@ -880,6 +911,25 @@ impl FromStr for QueryResponse {
     type Err = ParseLineError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // The metrics response is the protocol's only multi-line frame;
+        // split on raw newlines before the whitespace tokenizer (which
+        // would otherwise merge exposition lines into one token soup).
+        if s.split_whitespace().next() == Some("metrics") {
+            let mut body = s.lines();
+            let header = body.next().unwrap_or_default();
+            let mut t = Tokens::new(header);
+            let _verb = t.next("response verb")?;
+            let count: usize = t.parse("metrics line count")?;
+            t.finish()?;
+            let lines: Vec<String> = body.map(str::to_string).collect();
+            if lines.len() != count {
+                return Err(ParseLineError::new(format!(
+                    "metrics frame promised {count} lines, carried {}",
+                    lines.len()
+                )));
+            }
+            return Ok(QueryResponse::Metrics { lines });
+        }
         let mut t = Tokens::new(s);
         let resp = match t.next("response verb")? {
             "distance" => QueryResponse::Distance {

@@ -29,18 +29,19 @@
 //!   joins its workers, and returns its stats.
 
 use crate::admin::ADMIN_VERBS;
-use crate::live::StoreHandler;
+use crate::live::{StoreHandler, QUERY_VERBS};
 use crate::planner::answer_one;
 use crate::protocol::{ErrorCode, QueryRequest, QueryResponse};
 use privpath_engine::QueryService;
+use privpath_obs::{Counter, MetricRegistry, Span};
 use privpath_store::ReleaseStore;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, TryRecvError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A server backend: answers one trimmed, non-empty request line with
 /// one response line (no trailing newline). The server handles framing,
@@ -68,6 +69,7 @@ impl SnapshotHandler {
 impl RequestHandler for SnapshotHandler {
     fn handle(&self, line: &str) -> String {
         let verb = line.split_whitespace().next().unwrap_or_default();
+        let mut span = Span::enter(known_verb(line));
         let response = if ADMIN_VERBS.contains(&verb) {
             // Admin verbs never overlap query verbs: refuse with a
             // pointed message rather than "unknown verb".
@@ -80,14 +82,21 @@ impl RequestHandler for SnapshotHandler {
             }
         } else {
             match line.parse::<QueryRequest>() {
-                Ok(req) => answer_one(&self.service, &req),
+                Ok(req) => {
+                    span.phase("parse");
+                    let resp = answer_one(&self.service, &req);
+                    span.phase("search");
+                    resp
+                }
                 Err(e) => QueryResponse::Error {
                     code: ErrorCode::Malformed,
                     message: e.to_string(),
                 },
             }
         };
-        response.to_string()
+        let rendered = response.to_string();
+        span.phase("encode");
+        rendered
     }
 }
 
@@ -132,6 +141,65 @@ impl Counters {
             requests: self.requests.load(Ordering::Relaxed),
             connection_errors: self.connection_errors.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Cached registry handles for the per-request hot path (one `OnceLock`
+/// read per event instead of a registry lookup).
+struct ServeMetrics {
+    bytes_read: Counter,
+    bytes_written: Counter,
+    queue_wait: Arc<privpath_obs::Histogram>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static CELL: OnceLock<ServeMetrics> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = MetricRegistry::global();
+        ServeMetrics {
+            bytes_read: reg.counter("serve_bytes_read_total"),
+            bytes_written: reg.counter("serve_bytes_written_total"),
+            queue_wait: reg.histogram("serve_queue_wait_seconds"),
+        }
+    })
+}
+
+/// Maps a raw request line onto a verb label from the *known* verb sets.
+/// Raw client tokens never become label values — an unrecognized verb
+/// (attacker-chosen bytes included) is labelled `"unknown"`, so the
+/// label space stays bounded and public.
+pub(crate) fn known_verb(line: &str) -> &'static str {
+    let verb = line.split_whitespace().next().unwrap_or_default();
+    QUERY_VERBS
+        .iter()
+        .chain(ADMIN_VERBS.iter())
+        .find(|&&v| v == verb)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+/// Records one answered request: per-verb count and latency, per-code
+/// error count, and byte totals. The error code is re-validated through
+/// [`ErrorCode::parse`] so only the fixed code vocabulary (plus
+/// `"unknown"`) can appear as a label value.
+fn record_request(verb: &'static str, request_bytes: usize, response: &str, seconds: f64) {
+    if !privpath_obs::enabled() {
+        return;
+    }
+    let reg = MetricRegistry::global();
+    reg.counter_with("serve_requests_total", &[("verb", verb)])
+        .inc();
+    reg.histogram_with("serve_request_seconds", &[("verb", verb)])
+        .observe(seconds);
+    serve_metrics().bytes_read.inc_by(request_bytes as u64 + 1);
+    serve_metrics()
+        .bytes_written
+        .inc_by(response.len() as u64 + 1);
+    if let Some(rest) = response.strip_prefix("error ") {
+        let tok = rest.split_whitespace().next().unwrap_or_default();
+        let code = ErrorCode::parse(tok).map_or("unknown", |c| c.as_str());
+        reg.counter_with("serve_errors_total", &[("code", code)])
+            .inc();
     }
 }
 
@@ -203,7 +271,9 @@ impl Server {
     pub fn run(self) -> io::Result<ServerStats> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // Each accepted stream carries its accept timestamp so workers
+        // can report time spent queued (`serve_queue_wait_seconds`).
+        let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(self.threads);
@@ -227,7 +297,7 @@ impl Server {
                     // stall request/response pipelines by ~40ms.
                     let _ = stream.set_nodelay(true);
                     counters.connections.fetch_add(1, Ordering::Relaxed);
-                    if tx.send(stream).is_err() {
+                    if tx.send((stream, Instant::now())).is_err() {
                         break;
                     }
                 }
@@ -315,7 +385,7 @@ enum ConnState {
 /// and round-robins nonblocking reads over every connection it holds,
 /// so one idle client never parks the thread.
 fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
+    rx: &Mutex<Receiver<(TcpStream, Instant)>>,
     handler: &dyn RequestHandler,
     shutdown: &AtomicBool,
     counters: &Counters,
@@ -333,15 +403,23 @@ fn worker_loop(
             // remaining workers accepting connections.
             let next = rx.lock().unwrap_or_else(PoisonError::into_inner).try_recv();
             match next {
-                Ok(stream) => match stream.set_nonblocking(true) {
-                    Ok(()) => conns.push(Conn {
-                        stream,
-                        buf: Vec::new(),
-                    }),
-                    Err(_) => {
-                        counters.connection_errors.fetch_add(1, Ordering::Relaxed);
+                Ok((stream, accepted)) => {
+                    if privpath_obs::enabled() {
+                        serve_metrics()
+                            .queue_wait
+                            .observe(accepted.elapsed().as_secs_f64());
                     }
-                },
+                    match stream.set_nonblocking(true) {
+                        Ok(()) => conns.push(Conn {
+                            stream,
+                            buf: Vec::new(),
+                        }),
+                        Err(_) => {
+                            connection_error("io");
+                            counters.connection_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
                 Err(TryRecvError::Empty) => {}
                 Err(TryRecvError::Disconnected) => channel_open = false,
             }
@@ -374,6 +452,18 @@ fn worker_loop(
     }
 }
 
+/// Counts one dying connection in `serve_connection_errors_total{cause}`.
+/// Called at the failure site itself, **before** the early return hands
+/// the connection back to the worker, so the by-cause breakdown can
+/// never drift from the aggregate [`ServerStats`] count.
+fn connection_error(cause: &'static str) {
+    if privpath_obs::enabled() {
+        MetricRegistry::global()
+            .counter_with("serve_connection_errors_total", &[("cause", cause)])
+            .inc();
+    }
+}
+
 /// How many request lines one connection may have answered in a single
 /// worker pass before it must yield. Bounds the time any connection can
 /// hold its worker, so a continuously-pipelining client cannot starve
@@ -400,7 +490,10 @@ fn service_conn(
             match handle_line(&line, &conn.stream, handler, shutdown, counters) {
                 Ok(true) => answered += 1,
                 Ok(false) => return (ConnState::Closed, true),
-                Err(_) => return (ConnState::Failed, true),
+                Err(_) => {
+                    connection_error("io");
+                    return (ConnState::Failed, true);
+                }
             }
             if answered >= MAX_LINES_PER_PASS {
                 return (ConnState::Open, true);
@@ -409,6 +502,7 @@ fn service_conn(
         // A newline-free stream must not grow the buffer without bound:
         // reject and drop the connection.
         if conn.buf.len() > MAX_LINE_BYTES {
+            connection_error("oversized-line");
             let resp = QueryResponse::Error {
                 code: ErrorCode::Malformed,
                 message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
@@ -423,7 +517,10 @@ fn service_conn(
                 return (ConnState::Open, answered > 0)
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return (ConnState::Failed, true),
+            Err(_) => {
+                connection_error("io");
+                return (ConnState::Failed, true);
+            }
         }
     }
 }
@@ -448,7 +545,16 @@ fn handle_line(
         return Ok(false);
     }
     counters.requests.fetch_add(1, Ordering::Relaxed);
-    write_line(stream, &handler.handle(trimmed))?;
+    let verb = known_verb(trimmed);
+    let started = Instant::now();
+    let response = handler.handle(trimmed);
+    record_request(
+        verb,
+        trimmed.len(),
+        &response,
+        started.elapsed().as_secs_f64(),
+    );
+    write_line(stream, &response)?;
     Ok(true)
 }
 

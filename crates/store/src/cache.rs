@@ -13,31 +13,57 @@
 //! to exactly one [`NamespaceSnapshot`](crate::NamespaceSnapshot), and
 //! every epoch bump installs a fresh snapshot with a fresh, empty cache.
 //! A stale answer cannot survive an `update-weights` because nothing
-//! carries cached values across the swap. Hit/miss counters are shared
-//! across a namespace's snapshots so `stats` reports cumulative totals.
+//! carries cached values across the swap. Hit/miss counters live in the
+//! process-wide `privpath-obs` registry (`store_cache_hits_total{ns}` /
+//! `store_cache_misses_total{ns}`), shared across a namespace's
+//! snapshots so both `stats` and the `metrics` exposition report
+//! cumulative totals from the same cells.
 
 use privpath_engine::EngineError;
+use privpath_obs::{Counter, MetricRegistry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Number of lock shards (a fixed power of two; the key hash picks one).
 const NUM_SHARDS: usize = 16;
 
-/// Cumulative cache counters for one namespace, across snapshots.
-#[derive(Clone, Debug, Default)]
+/// Cumulative cache counters for one namespace, across snapshots —
+/// handles into the global metric registry. `Default` yields detached
+/// (unexported) counters for tests and transient snapshots.
+#[derive(Clone, Debug)]
 pub(crate) struct CacheCounters {
-    hits: Arc<AtomicU64>,
-    misses: Arc<AtomicU64>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl Default for CacheCounters {
+    fn default() -> Self {
+        CacheCounters {
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+        }
+    }
 }
 
 impl CacheCounters {
+    /// Registry-backed counters for namespace `ns`, exported as
+    /// `store_cache_hits_total{ns}` / `store_cache_misses_total{ns}`.
+    /// The namespace name is operator-chosen public metadata, never
+    /// request- or weight-derived, so it is safe as a label value.
+    pub(crate) fn for_namespace(ns: &str) -> Self {
+        let reg = MetricRegistry::global();
+        CacheCounters {
+            hits: reg.counter_with("store_cache_hits_total", &[("ns", ns)]),
+            misses: reg.counter_with("store_cache_misses_total", &[("ns", ns)]),
+        }
+    }
+
     pub(crate) fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.value()
     }
 
     pub(crate) fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.value()
     }
 }
 
@@ -88,7 +114,7 @@ impl SourceCache {
             .get(&(release, source))
             .map(Arc::clone);
         if hit.is_some() {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hits.inc();
         }
         hit
     }
@@ -99,7 +125,7 @@ impl SourceCache {
     /// are identical post-processing of the same release.
     pub(crate) fn insert(&self, release: u64, source: usize, vector: Vec<f64>) -> Arc<Vec<f64>> {
         let vector = Arc::new(vector);
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.misses.inc();
         let mut guard = self
             .shard(release, source)
             .lock()
@@ -137,11 +163,11 @@ impl SourceCache {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&(release, source))
         {
-            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hits.inc();
             return Ok(Arc::clone(hit));
         }
         let vector = Arc::new(compute()?);
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.misses.inc();
         let mut guard = shard.lock().unwrap_or_else(PoisonError::into_inner);
         if guard.len() >= self.per_shard_capacity {
             // Bounded memory beats recency here: evict an arbitrary

@@ -101,7 +101,11 @@ pub(crate) fn atomic_write(path: &Path, content: &[u8]) -> Result<(), StoreError
         let mut f = BufWriter::new(File::create(tmp)?);
         f.write_all(content)?;
         let f = f.into_inner().map_err(|e| e.into_error())?;
+        let sync_started = std::time::Instant::now();
         f.sync_all()?;
+        privpath_obs::MetricRegistry::global()
+            .histogram("store_fsync_seconds")
+            .observe(sync_started.elapsed().as_secs_f64());
         fs::rename(tmp, path)
     };
     write(&tmp).map_err(|e| {

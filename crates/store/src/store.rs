@@ -45,6 +45,18 @@ use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+/// Records one committed write-path operation's wall time. Only the
+/// operator-chosen namespace name and the elapsed time are exported.
+fn record_commit_timing(metric: &str, ns: &str, seconds: f64) {
+    if !privpath_obs::enabled() {
+        return;
+    }
+    privpath_obs::MetricRegistry::global()
+        .histogram_with(metric, &[("ns", ns)])
+        .observe(seconds);
+}
 
 /// A noise-seed base that differs across processes and across opens:
 /// OS-randomized hasher state mixed with the clock and the pid. The
@@ -736,6 +748,7 @@ impl ReleaseStore {
         namespace: &str,
         spec: &ReleaseSpec,
     ) -> Result<PublishReceipt, StoreError> {
+        let started = Instant::now();
         let ns = self.get(namespace)?;
         let mut rng = self.next_rng();
         let mut w = ns.lock_writer(namespace)?;
@@ -829,6 +842,11 @@ impl ReleaseStore {
             delta,
         };
         self.swap_snapshot(&ns, &w);
+        record_commit_timing(
+            "store_publish_seconds",
+            namespace,
+            started.elapsed().as_secs_f64(),
+        );
         Ok(receipt)
     }
 
@@ -858,13 +876,14 @@ impl ReleaseStore {
         namespace: &str,
         new_weights: EdgeWeights,
     ) -> Result<UpdateReceipt, StoreError> {
+        let started = Instant::now();
         let ns = self.get(namespace)?;
         let mut rng = self.next_rng();
         let mut w = ns.lock_writer(namespace)?;
         let update = WeightUpdate::measure(w.engine.weights(), &new_weights)?;
 
         if w.continual.is_some() {
-            return self.update_weights_continual(
+            let result = self.update_weights_continual(
                 namespace,
                 &ns,
                 &mut w,
@@ -872,6 +891,14 @@ impl ReleaseStore {
                 &update,
                 &mut rng,
             );
+            if result.is_ok() {
+                record_commit_timing(
+                    "store_update_seconds",
+                    namespace,
+                    started.elapsed().as_secs_f64(),
+                );
+            }
+            return result;
         }
 
         // Pre-check the whole pass so a partial re-release generation is
@@ -957,6 +984,11 @@ impl ReleaseStore {
             changed_edges: update.changed_edges(),
         };
         self.swap_snapshot(&ns, &w);
+        record_commit_timing(
+            "store_update_seconds",
+            namespace,
+            started.elapsed().as_secs_f64(),
+        );
         Ok(receipt)
     }
 
@@ -1346,7 +1378,7 @@ impl ReleaseStore {
     }
 
     fn namespace_from_writer(&self, writer: NamespaceWriter) -> Namespace {
-        let counters = CacheCounters::default();
+        let counters = CacheCounters::for_namespace(&writer.name);
         let snapshot = Arc::new(self.build_snapshot(&writer, &counters));
         Namespace {
             writer: Mutex::new(writer),
@@ -1358,6 +1390,11 @@ impl ReleaseStore {
     /// Publishes the writer's state to readers: one pointer swap under a
     /// brief write lock, after the mutation fully committed.
     fn swap_snapshot(&self, ns: &Namespace, writer: &NamespaceWriter) {
+        // Every swap is a committed epoch bump (publish, update, drop,
+        // continual update) — count it where they all converge.
+        privpath_obs::MetricRegistry::global()
+            .counter_with("store_epoch_bumps_total", &[("ns", &writer.name)])
+            .inc();
         let snapshot = Arc::new(self.build_snapshot(writer, &ns.counters));
         ns.publish_snapshot(snapshot);
     }

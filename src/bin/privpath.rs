@@ -89,13 +89,18 @@ commands:
              file in D (sorted by name, ids r0, r1, ...) into one
              immutable snapshot. --port 0 picks an ephemeral port
              (printed as `listening on HOST:PORT`); a client sending the
-             `shutdown` line stops the server gracefully
+             `shutdown` line stops the server gracefully. --metrics
+             prints the final telemetry exposition (Prometheus text)
+             after shutdown
   query      --connect HOST:PORT [--op OP] [--release REF]
              [--from A --to B] [--pairs A:B,A:B,...] [--gamma G]
              [--namespace NS]
              query a running server; OP is one of distance (default),
              route, batch, geo-distance, geo-route, geo-batch, accuracy,
-             list, budget, shutdown; REF is a release ref (`r0`, or
+             list, budget, metrics, trace, shutdown; metrics dumps the
+             server's telemetry exposition; trace (admin endpoints only)
+             prints the newest --limit N request traces with per-phase
+             timings; REF is a release ref (`r0`, or
              `NS/r0` against a live store); --namespace scopes
              list/budget on a live store; --gamma on distance/batch/
              geo-distance/geo-batch attaches the release's ±error bound
@@ -239,11 +244,13 @@ fn run() -> Result<(), String> {
         "distance" => query(&parse_flags(rest, &["release", "from", "to"])?, false),
         "inspect" => inspect(&parse_flags(rest, &["release"])?),
         "serve" => {
-            // `--no-cache`/`--read-only` are switches (no value); split
-            // them off before the `--flag value` parser sees the list.
+            // `--no-cache`/`--read-only`/`--metrics` are switches (no
+            // value); split them off before the `--flag value` parser
+            // sees the list.
             let (rest, no_cache) = extract_switch(rest, "--no-cache");
             let (rest, read_only) = extract_switch(&rest, "--read-only");
-            serve(
+            let (rest, metrics) = extract_switch(&rest, "--metrics");
+            let result = serve(
                 &parse_flags(
                     &rest,
                     &[
@@ -257,7 +264,14 @@ fn run() -> Result<(), String> {
                 )?,
                 no_cache,
                 read_only,
-            )
+            );
+            // Snapshot-on-shutdown: dump the full exposition once the
+            // server has wound down, so a scripted run keeps its final
+            // telemetry even without a live `metrics` scrape.
+            if metrics && result.is_ok() {
+                println!("{}", privpath_obs::MetricRegistry::global().render());
+            }
+            result
         }
         "query" => remote_query(&parse_flags(
             rest,
@@ -270,6 +284,7 @@ fn run() -> Result<(), String> {
                 "pairs",
                 "gamma",
                 "namespace",
+                "limit",
             ],
         )?),
         "store" => store_cmd(rest),
@@ -946,6 +961,29 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
         },
         "list" => QueryRequest::ListReleases { namespace },
         "budget" => QueryRequest::BudgetStatus { namespace },
+        "metrics" => QueryRequest::Metrics,
+        "trace" => {
+            let limit: usize = flags
+                .get("limit")
+                .map_or(Ok(16), |s| parse(s, "trace limit"))?;
+            match wire_admin(addr, &AdminRequest::Trace { limit })? {
+                AdminResponse::Traces(entries) => {
+                    if entries.is_empty() {
+                        println!("no traces recorded");
+                    }
+                    for t in entries {
+                        let phases: Vec<String> = t
+                            .phases
+                            .iter()
+                            .map(|(name, us)| format!("{name}={us}us"))
+                            .collect();
+                        println!("{} {}us [{}]", t.op, t.total_us, phases.join(" "));
+                    }
+                }
+                other => return Err(format!("unexpected response: {other}")),
+            }
+            return Ok(());
+        }
         "shutdown" => {
             let mut client =
                 Client::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
@@ -956,7 +994,8 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
         other => {
             return Err(format!(
                 "invalid --op {other:?} (expected distance, route, batch, geo-distance, \
-                 geo-route, geo-batch, accuracy, list, budget, or shutdown)"
+                 geo-route, geo-batch, accuracy, list, budget, metrics, trace, or \
+                 shutdown)"
             ))
         }
     };
@@ -1073,6 +1112,11 @@ fn remote_query(flags: &HashMap<String, String>) -> Result<(), String> {
                 "privacy ledger: spent (eps {spent_eps}, delta {spent_delta}); no budget cap"
             ),
         },
+        (QueryRequest::Metrics, QueryResponse::Metrics { lines }) => {
+            for line in lines {
+                println!("{line}");
+            }
+        }
         (_, QueryResponse::Error { code, message }) => {
             return Err(format!("server error [{code}]: {message}"));
         }

@@ -628,6 +628,120 @@ fn releases_and_error_responses_round_trip() {
 }
 
 #[test]
+fn stats_wire_line_is_byte_stable() {
+    // Regression for the cache-counter migration onto the metrics
+    // registry: the `stats` admin line must stay byte-identical —
+    // including the `cache <hits> <misses>` segment — even though the
+    // counters now live in registry cells instead of bespoke fields.
+    use privpath::serve::AdminResponse;
+    use privpath::store::{ContinualStatus, NamespaceStats};
+    let resp = AdminResponse::Stats(vec![
+        NamespaceStats {
+            namespace: "metro".into(),
+            epoch: 3,
+            releases: 2,
+            spent_eps: 1.5,
+            spent_delta: 0.0,
+            remaining: Some((0.5, 0.0)),
+            cache_hits: 10,
+            cache_misses: 4,
+            continual: None,
+        },
+        NamespaceStats {
+            namespace: "stream".into(),
+            epoch: 7,
+            releases: 1,
+            spent_eps: 0.25,
+            spent_delta: 0.0,
+            remaining: None,
+            cache_hits: 0,
+            cache_misses: 2,
+            continual: Some(ContinualStatus {
+                position: 5,
+                horizon: 64,
+                rho_spent: 0.1,
+                rho_total: 0.5,
+            }),
+        },
+    ]);
+    assert_eq!(
+        resp.to_string(),
+        "stats 2 \
+         metro 3 2 spent 1.5 0.0 remaining 0.5 0.0 cache 10 4 standard \
+         stream 7 1 spent 0.25 0.0 unbounded cache 0 2 continual 5 64 rho 0.1 0.5"
+    );
+    let back: AdminResponse = resp.to_string().parse().unwrap();
+    assert_eq!(back, resp);
+}
+
+#[test]
+fn metrics_codec_round_trips_and_rejects_torn_frames() {
+    assert_eq!(QueryRequest::Metrics.to_string(), "metrics");
+    assert_eq!(
+        "metrics".parse::<QueryRequest>().unwrap(),
+        QueryRequest::Metrics
+    );
+
+    // Empty and populated multi-line frames survive the codec.
+    for lines in [
+        vec![],
+        vec![
+            "# TYPE serve_requests_total counter".to_string(),
+            "serve_requests_total{verb=\"distance\"} 42".to_string(),
+            "serve_request_seconds_bucket{verb=\"distance\",le=\"+Inf\"} 42".to_string(),
+        ],
+    ] {
+        let resp = QueryResponse::Metrics { lines };
+        let back: QueryResponse = resp.to_string().parse().unwrap();
+        assert_eq!(back, resp);
+    }
+
+    // A header that promises more lines than the frame carries is torn,
+    // not silently truncated; a non-numeric count is malformed.
+    assert!("metrics 3\nonly one line".parse::<QueryResponse>().is_err());
+    assert!("metrics zebra".parse::<QueryResponse>().is_err());
+}
+
+#[test]
+fn trace_admin_codec_round_trips() {
+    use privpath::serve::{AdminRequest, AdminResponse, TraceEntry};
+
+    let req = AdminRequest::Trace { limit: 5 };
+    assert_eq!(req.to_string(), "trace 5");
+    assert_eq!("trace 5".parse::<AdminRequest>().unwrap(), req);
+    // A bare `trace` gets the default limit.
+    assert_eq!(
+        "trace".parse::<AdminRequest>().unwrap(),
+        AdminRequest::Trace { limit: 16 }
+    );
+    assert!("trace zebra".parse::<AdminRequest>().is_err());
+
+    for entries in [
+        vec![],
+        vec![
+            TraceEntry {
+                op: "distance".into(),
+                total_us: 1203,
+                phases: vec![
+                    ("parse".into(), 11),
+                    ("search".into(), 1100),
+                    ("encode".into(), 92),
+                ],
+            },
+            TraceEntry {
+                op: "metrics".into(),
+                total_us: 40,
+                phases: vec![],
+            },
+        ],
+    ] {
+        let resp = AdminResponse::Traces(entries);
+        let back: AdminResponse = resp.to_string().parse().unwrap();
+        assert_eq!(back, resp);
+    }
+}
+
+#[test]
 fn malformed_lines_are_rejected_with_reasons() {
     for bad in [
         "",

@@ -46,6 +46,21 @@ fn round_trip(stream: &mut TcpStream, line: &str) -> String {
     resp.trim_end().to_string()
 }
 
+/// Scrapes `metrics` through `client` and returns the value of one
+/// exposition series (`name{labels}`), or 0 if it has no samples yet.
+fn scrape_series(client: &mut Client, series: &str) -> f64 {
+    match client.request(&QueryRequest::Metrics).unwrap() {
+        QueryResponse::Metrics { lines } => lines
+            .iter()
+            .find_map(|l| {
+                let (key, val) = l.rsplit_once(' ')?;
+                (key == series).then(|| val.parse().ok()).flatten()
+            })
+            .unwrap_or(0.0),
+        other => panic!("expected a metrics frame, got {other}"),
+    }
+}
+
 #[test]
 fn serves_typed_queries_over_tcp() {
     let engine = serving_engine();
@@ -350,6 +365,91 @@ fn oversized_lines_are_rejected_without_growing_forever() {
     drop(good);
     let stats = running.shutdown().unwrap();
     assert!(stats.connection_errors >= 1);
+}
+
+#[test]
+fn frozen_snapshot_server_answers_metrics_not_unsupported() {
+    // Regression: telemetry is read-only, so a frozen-snapshot server
+    // must serve the `metrics` verb instead of refusing it.
+    let engine = serving_engine();
+    let running = Server::bind("127.0.0.1:0", engine.snapshot())
+        .unwrap()
+        .with_threads(2)
+        .spawn()
+        .unwrap();
+
+    let mut client = Client::connect(running.addr()).unwrap();
+    let id: ReleaseId = "r0".parse().unwrap();
+    let resp = client
+        .request(&QueryRequest::Distance {
+            release: id.into(),
+            from: NodeId::new(0),
+            to: NodeId::new(19),
+            gamma: None,
+        })
+        .unwrap();
+    assert!(matches!(resp, QueryResponse::Distance { .. }));
+
+    match client.request(&QueryRequest::Metrics).unwrap() {
+        QueryResponse::Metrics { lines } => {
+            assert!(
+                lines.iter().any(|l| l.starts_with("serve_requests_total{")),
+                "scrape carries no per-verb request counters"
+            );
+        }
+        other => panic!("frozen server must answer metrics, got {other}"),
+    }
+    drop(client);
+    running.shutdown().unwrap();
+}
+
+#[test]
+fn error_paths_count_before_the_early_return() {
+    // Regression: the per-request error counter must tick before the
+    // response is written (a malformed line is visible in the next
+    // scrape), and a connection torn down for an oversized line must
+    // tick the connection-error counter before its early return.
+    let engine = serving_engine();
+    let running = Server::bind("127.0.0.1:0", engine.snapshot())
+        .unwrap()
+        .with_threads(2)
+        .spawn()
+        .unwrap();
+    let addr = running.addr();
+
+    let mut probe = Client::connect(addr).unwrap();
+    const MALFORMED: &str = "serve_errors_total{code=\"malformed\"}";
+    const OVERSIZED: &str = "serve_connection_errors_total{cause=\"oversized-line\"}";
+    let base_malformed = scrape_series(&mut probe, MALFORMED);
+    let base_oversized = scrape_series(&mut probe, OVERSIZED);
+
+    let mut bad = TcpStream::connect(addr).unwrap();
+    let resp = round_trip(&mut bad, "frobnicate the database");
+    assert!(resp.starts_with("error malformed "), "{resp}");
+    assert!(
+        scrape_series(&mut probe, MALFORMED) >= base_malformed + 1.0,
+        "malformed response not counted in errors_total"
+    );
+
+    // An oversized newline-free blob: wait for the server-side close,
+    // by which point the early-return path has already counted it.
+    let mut hog = TcpStream::connect(addr).unwrap();
+    let blob = vec![b'x'; privpath::serve::MAX_LINE_BYTES + 4096];
+    let _ = hog.write_all(&blob);
+    let _ = hog.flush();
+    let mut reader = BufReader::new(hog);
+    let mut sink = String::new();
+    while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+        sink.clear();
+    }
+    assert!(
+        scrape_series(&mut probe, OVERSIZED) >= base_oversized + 1.0,
+        "oversized-line teardown not counted in connection errors"
+    );
+
+    drop(bad);
+    drop(probe);
+    running.shutdown().unwrap();
 }
 
 #[test]

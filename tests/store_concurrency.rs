@@ -1,7 +1,8 @@
 //! Live-store concurrency: readers only ever observe complete epochs
 //! (no torn snapshots), no stale cached answer survives an
-//! `update-weights` epoch bump, and a reader mid-update never sees a
-//! mixed generation of releases.
+//! `update-weights` epoch bump, a reader mid-update never sees a
+//! mixed generation of releases, and the `metrics` scrape surface
+//! stays monotone and untorn while traffic is in flight.
 
 use privpath::engine::ReleaseKind;
 use privpath::prelude::*;
@@ -355,5 +356,120 @@ fn continual_readers_never_observe_torn_tree_state() {
     let status = store.stats_for("stream").unwrap().continual.unwrap();
     assert_eq!(status.position, UPDATES);
     assert_eq!(store.epoch("stream").unwrap(), UPDATES + 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Observability under concurrency: closed-loop readers hammer a live
+/// TCP store server while a scraper thread pulls `metrics` mid-traffic.
+/// Per scrape, the per-verb request total must be monotone and every
+/// histogram's `+Inf` cumulative bucket must equal its `_count` (the
+/// count is derived from the bucket sums, so a scrape can never tear).
+/// After quiescing, the counter and the latency histogram must both
+/// agree exactly with the number of issued requests. The metric cells
+/// are process-cumulative (the registry is global), so everything is
+/// asserted as deltas against a baseline scrape.
+#[test]
+fn metrics_scrapes_are_monotone_and_untorn_under_load() {
+    use privpath::serve::{Client, QueryRequest, QueryResponse, Server};
+    use std::sync::Arc;
+
+    let dir = temp_store("obs-scrape");
+    let store = Arc::new(ReleaseStore::open(&dir).unwrap().with_seed(21));
+    let n = 32;
+    let topo = privpath::graph::generators::path_graph(n);
+    store
+        .create_namespace("obsmetro", topo, EdgeWeights::constant(n - 1, 1.0), None)
+        .unwrap();
+    let spec = ReleaseSpec::new(ReleaseKind::ShortestPath, eps(2.0)).unwrap();
+    let id = store.publish("obsmetro", &spec).unwrap().id;
+
+    let server = Server::bind_store("127.0.0.1:0", Arc::clone(&store))
+        .unwrap()
+        .with_threads(3);
+    let running = server.spawn().unwrap();
+    let addr = running.addr();
+
+    fn scrape(client: &mut Client) -> Vec<String> {
+        match client.request(&QueryRequest::Metrics).unwrap() {
+            QueryResponse::Metrics { lines } => lines,
+            other => panic!("unexpected metrics response: {other}"),
+        }
+    }
+    fn series_value(lines: &[String], series: &str) -> Option<f64> {
+        lines.iter().find_map(|l| {
+            let (key, val) = l.rsplit_once(' ')?;
+            if key == series {
+                val.parse().ok()
+            } else {
+                None
+            }
+        })
+    }
+    const REQUESTS_TOTAL: &str = "serve_requests_total{verb=\"distance\"}";
+    const LATENCY_COUNT: &str = "serve_request_seconds_count{verb=\"distance\"}";
+    const LATENCY_INF: &str = "serve_request_seconds_bucket{verb=\"distance\",le=\"+Inf\"}";
+
+    let mut probe = Client::connect(addr).unwrap();
+    let baseline = scrape(&mut probe);
+    let base_total = series_value(&baseline, REQUESTS_TOTAL).unwrap_or(0.0);
+    let base_count = series_value(&baseline, LATENCY_COUNT).unwrap_or(0.0);
+
+    const READERS: usize = 4;
+    const PER_READER: usize = 50;
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            scope.spawn(|| {
+                let mut c = Client::connect(addr).unwrap();
+                for t in 0..PER_READER {
+                    let resp = c
+                        .request(&QueryRequest::Distance {
+                            release: id.into(),
+                            from: NodeId::new(0),
+                            to: NodeId::new(1 + t % (n - 1)),
+                            gamma: None,
+                        })
+                        .unwrap();
+                    assert!(
+                        matches!(resp, QueryResponse::Distance { .. }),
+                        "reader got {resp}"
+                    );
+                }
+            });
+        }
+        scope.spawn(|| {
+            let mut c = Client::connect(addr).unwrap();
+            let mut last_total = 0.0f64;
+            for _ in 0..25 {
+                let lines = scrape(&mut c);
+                let count = series_value(&lines, LATENCY_COUNT).unwrap_or(0.0);
+                let inf = series_value(&lines, LATENCY_INF).unwrap_or(0.0);
+                assert_eq!(
+                    count, inf,
+                    "torn scrape: +Inf cumulative bucket {inf} != _count {count}"
+                );
+                let total = series_value(&lines, REQUESTS_TOTAL).unwrap_or(0.0);
+                assert!(
+                    total >= last_total,
+                    "requests_total went backwards ({last_total} -> {total})"
+                );
+                last_total = total;
+            }
+        });
+    });
+
+    let after = scrape(&mut probe);
+    let issued = (READERS * PER_READER) as f64;
+    assert_eq!(
+        series_value(&after, REQUESTS_TOTAL).unwrap() - base_total,
+        issued,
+        "per-verb counter disagrees with issued traffic"
+    );
+    assert_eq!(
+        series_value(&after, LATENCY_COUNT).unwrap() - base_count,
+        issued,
+        "latency histogram count disagrees with issued traffic"
+    );
+    drop(probe);
+    running.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
